@@ -1,0 +1,124 @@
+// Ablation — CSX pattern set and detection sampling (DESIGN.md §6).
+//
+// Three sweeps per suite matrix:
+//   1. Pattern families: full set vs leave-one-out vs delta-only (CSR-DU).
+//      Reported: CSX-Sym compression ratio vs CSR.
+//   2. Statistics sampling fraction: preprocessing seconds vs the
+//      compression the sampled statistics still achieve (§V.E's "advanced
+//      matrix sampling techniques").
+//   3. Minimum pattern length.
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "csx/csx_sym.hpp"
+#include "matrix/csr.hpp"
+#include "matrix/sss.hpp"
+
+using namespace symspmv;
+
+namespace {
+
+struct Variant {
+    std::string name;
+    csx::CsxConfig cfg;
+};
+
+std::vector<Variant> pattern_variants() {
+    std::vector<Variant> out;
+    out.push_back({"full", csx::CsxConfig{}});
+    const auto drop = [](auto mutate, std::string name) {
+        csx::CsxConfig cfg;
+        mutate(cfg);
+        return Variant{std::move(name), cfg};
+    };
+    out.push_back(drop([](auto& c) { c.horizontal = false; }, "-horiz"));
+    out.push_back(drop([](auto& c) { c.vertical = false; }, "-vert"));
+    out.push_back(drop([](auto& c) { c.diagonal = c.antidiagonal = false; }, "-diag"));
+    out.push_back(drop([](auto& c) { c.blocks = false; }, "-blocks"));
+    out.push_back({"delta-only", csx::delta_only_config()});
+    return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const auto env = bench::parse_env(argc, argv);
+    const int parts = env.max_threads();
+    const auto variants = pattern_variants();
+
+    std::cout << "Ablation: CSX-Sym pattern families (compression ratio vs CSR; scale="
+              << env.scale << ", " << parts << " partitions)\n\n";
+    std::vector<int> widths = {14};
+    for (std::size_t i = 0; i < variants.size(); ++i) widths.push_back(11);
+    bench::TablePrinter table(std::cout, widths);
+    std::vector<std::string> head = {"Matrix"};
+    for (const Variant& v : variants) head.push_back(v.name);
+    table.header(head);
+
+    for (const auto& entry : env.entries) {
+        const Coo full = env.load(entry);
+        const double csr_bytes = static_cast<double>(Csr(full).size_bytes());
+        const Sss sss(full);
+        std::vector<std::string> row = {entry.name};
+        for (const Variant& v : variants) {
+            const csx::CsxSymMatrix m(sss, v.cfg, parts);
+            row.push_back(
+                bench::TablePrinter::pct(1.0 - static_cast<double>(m.size_bytes()) / csr_bytes));
+        }
+        table.row(row);
+    }
+
+    std::cout << "\nAblation: statistics sampling fraction (preprocess seconds -> C.R.)\n\n";
+    const std::vector<double> fractions = {1.0, 0.5, 0.25, 0.1};
+    std::vector<int> w2 = {14};
+    for (std::size_t i = 0; i < fractions.size(); ++i) w2.push_back(16);
+    bench::TablePrinter table2(std::cout, w2);
+    std::vector<std::string> head2 = {"Matrix"};
+    for (double f : fractions) head2.push_back("sample " + bench::TablePrinter::fmt(f, 2));
+    table2.header(head2);
+
+    for (const auto& entry : env.entries) {
+        const Coo full = env.load(entry);
+        const double csr_bytes = static_cast<double>(Csr(full).size_bytes());
+        const Sss sss(full);
+        std::vector<std::string> row = {entry.name};
+        for (double f : fractions) {
+            csx::CsxConfig cfg;
+            cfg.sample_fraction = f;
+            const csx::CsxSymMatrix m(sss, cfg, parts);
+            row.push_back(
+                bench::TablePrinter::fmt(m.preprocess_seconds() * 1e3, 1) + "ms/" +
+                bench::TablePrinter::pct(1.0 - static_cast<double>(m.size_bytes()) / csr_bytes));
+        }
+        table2.row(row);
+    }
+
+    std::cout << "\nAblation: minimum pattern length (C.R.)\n\n";
+    const std::vector<int> min_lengths = {2, 4, 8, 16};
+    std::vector<int> w3 = {14};
+    for (std::size_t i = 0; i < min_lengths.size(); ++i) w3.push_back(10);
+    bench::TablePrinter table3(std::cout, w3);
+    std::vector<std::string> head3 = {"Matrix"};
+    for (int l : min_lengths) head3.push_back("len>=" + std::to_string(l));
+    table3.header(head3);
+
+    for (const auto& entry : env.entries) {
+        const Coo full = env.load(entry);
+        const double csr_bytes = static_cast<double>(Csr(full).size_bytes());
+        const Sss sss(full);
+        std::vector<std::string> row = {entry.name};
+        for (int l : min_lengths) {
+            csx::CsxConfig cfg;
+            cfg.min_pattern_length = l;
+            const csx::CsxSymMatrix m(sss, cfg, parts);
+            row.push_back(
+                bench::TablePrinter::pct(1.0 - static_cast<double>(m.size_bytes()) / csr_bytes));
+        }
+        table3.row(row);
+    }
+
+    std::cout << "\nExpected shape: block-structured matrices lose the most compression when\n"
+                 "blocks are disabled; stencils when horizontal/diagonal are; sampling keeps\n"
+                 "nearly full compression at a fraction of the preprocessing time.\n";
+    return 0;
+}

@@ -1,0 +1,102 @@
+// Ablation — reordering algorithm choice (§V.D uses RCM; [18]-[20] span a
+// family).  Compares RCM, King and Sloan on bandwidth, profile, the
+// §III.C conflict-index size they induce, and the SSS-idx SpM×V time.
+//
+// Like table3_reordering, the generated analogs are scrambled first to
+// emulate the UF matrices' natural application ordering.
+#include <algorithm>
+#include <iostream>
+#include <random>
+
+#include "bench/common.hpp"
+#include "matrix/csr.hpp"
+#include "matrix/properties.hpp"
+#include "matrix/sss.hpp"
+#include "reorder/orderings.hpp"
+#include "reorder/permute.hpp"
+#include "reorder/rcm.hpp"
+#include "spmv/comm_volume.hpp"
+#include "spmv/sss_kernels.hpp"
+
+using namespace symspmv;
+
+namespace {
+
+Coo scramble(const Coo& a, std::uint64_t seed) {
+    std::vector<index_t> perm(static_cast<std::size_t>(a.rows()));
+    for (std::size_t i = 0; i < perm.size(); ++i) perm[i] = static_cast<index_t>(i);
+    std::mt19937_64 rng(seed);
+    std::ranges::shuffle(perm, rng);
+    return permute_symmetric(a, perm);
+}
+
+struct OrderingResult {
+    index_t bw = 0;
+    std::int64_t prof = 0;
+    std::size_t index_bytes = 0;
+    std::int64_t comm = 0;
+    double us = 0.0;
+};
+
+OrderingResult evaluate(const Coo& a, ThreadPool& pool, const bench::MeasureOptions& mopts) {
+    OrderingResult out;
+    out.bw = bandwidth(a);
+    out.prof = profile(a);
+    const Csr csr(a);
+    out.comm = communication_volume(csr, split_by_nnz(csr.rowptr(), pool.size()));
+    SssMtKernel kernel(Sss(a), pool, ReductionMethod::kIndexing);
+    out.index_bytes = kernel.reduction_index().bytes();
+    out.us = bench::measure(kernel, mopts).seconds_per_op * 1e6;
+    return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const auto env = bench::parse_env(argc, argv);
+    const int threads = env.max_threads();
+    ThreadPool pool(threads);
+    const auto mopts = bench::measure_options(env);
+
+    std::cout << "Ablation: reordering algorithms at " << threads
+              << " threads (scale=" << env.scale << ", scrambled start)\n"
+              << "bw = bandwidth, prof = profile/1000, idx = conflict-index KiB, "
+                 "us = SSS-idx SpM×V\n\n";
+    bench::TablePrinter table(std::cout, {14, 9, 22, 22, 22, 22});
+    table.header({"Matrix", "", "scrambled", "RCM", "King", "Sloan"});
+
+    for (const auto& entry : env.entries) {
+        const Coo base = scramble(env.load(entry), 2013);
+        const std::vector<std::pair<std::string, Coo>> variants = {
+            {"scrambled", base},
+            {"RCM", permute_symmetric(base, rcm_permutation(base))},
+            {"King", permute_symmetric(base, king_permutation(base))},
+            {"Sloan", permute_symmetric(base, sloan_permutation(base))},
+        };
+        std::vector<std::string> bw_row = {entry.name, "bw"};
+        std::vector<std::string> prof_row = {"", "prof/k"};
+        std::vector<std::string> idx_row = {"", "idx KiB"};
+        std::vector<std::string> comm_row = {"", "comm"};
+        std::vector<std::string> us_row = {"", "us"};
+        for (const auto& [name, matrix] : variants) {
+            const OrderingResult r = evaluate(matrix, pool, mopts);
+            bw_row.push_back(std::to_string(r.bw));
+            prof_row.push_back(bench::TablePrinter::fmt(static_cast<double>(r.prof) / 1e3, 1));
+            idx_row.push_back(
+                bench::TablePrinter::fmt(static_cast<double>(r.index_bytes) / 1024.0, 1));
+            comm_row.push_back(std::to_string(r.comm));
+            us_row.push_back(bench::TablePrinter::fmt(r.us, 1));
+        }
+        table.row(bw_row);
+        table.row(prof_row);
+        table.row(idx_row);
+        table.row(comm_row);
+        table.row(us_row);
+        table.rule();
+    }
+    std::cout << "\nExpected shape: every ordering collapses the scrambled profile and\n"
+                 "shrinks the conflict index with it (§V.D reason 2); the wavefront\n"
+                 "minimizers (King/Sloan) tend to the best profile and index size, RCM\n"
+                 "to the best worst-case bandwidth.\n";
+    return 0;
+}

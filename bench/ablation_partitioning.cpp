@@ -1,0 +1,87 @@
+// Ablation — row-partitioning policy and thread pinning (§V.A, Fig. 3a).
+//
+// The paper assigns rows "ensuring an approximately equal number of
+// non-zero elements per partition" and binds threads to logical CPUs.
+// This bench quantifies both choices: the non-zero imbalance of equal-rows
+// vs equal-nnz partitioning per suite matrix, the resulting CSR SpM×V
+// times, and (with --pin) the effect of CPU pinning.
+#include <algorithm>
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "core/partition.hpp"
+#include "matrix/csr.hpp"
+
+using namespace symspmv;
+
+namespace {
+
+/// max/mean non-zeros across partitions (1.0 = perfectly balanced).
+double imbalance(const Csr& csr, std::span<const RowRange> parts) {
+    std::int64_t max_nnz = 0;
+    for (const RowRange& part : parts) {
+        const std::int64_t nnz = csr.rowptr()[static_cast<std::size_t>(part.end)] -
+                                 csr.rowptr()[static_cast<std::size_t>(part.begin)];
+        max_nnz = std::max(max_nnz, nnz);
+    }
+    const double mean = static_cast<double>(csr.nnz()) / static_cast<double>(parts.size());
+    return mean == 0.0 ? 1.0 : static_cast<double>(max_nnz) / mean;
+}
+
+/// CSR kernel with an injectable partitioning (the ablation subject).
+class PolicyCsrKernel final : public SpmvKernel {
+   public:
+    PolicyCsrKernel(const Csr& csr, ThreadPool& pool, std::vector<RowRange> parts)
+        : csr_(csr), pool_(pool), parts_(std::move(parts)) {}
+
+    [[nodiscard]] std::string_view name() const override { return "CSR-policy"; }
+    [[nodiscard]] index_t rows() const override { return csr_.rows(); }
+    [[nodiscard]] std::int64_t nnz() const override { return csr_.nnz(); }
+    [[nodiscard]] std::size_t footprint_bytes() const override { return csr_.size_bytes(); }
+    void spmv(std::span<const value_t> x, std::span<value_t> y) override {
+        pool_.run([&](int tid) {
+            const RowRange part = parts_[static_cast<std::size_t>(tid)];
+            csr_.spmv_rows(part.begin, part.end, x, y);
+        });
+    }
+
+   private:
+    const Csr& csr_;
+    ThreadPool& pool_;
+    std::vector<RowRange> parts_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const auto env = bench::parse_env(argc, argv);
+    const Options opts(argc, argv);
+    const bool pin = opts.has("--pin");
+    const int threads = env.max_threads();
+    ThreadPool pool(threads, pin);
+
+    std::cout << "Ablation: row partitioning policy at " << threads << " threads"
+              << (pin ? " (pinned)" : "") << " (scale=" << env.scale << ")\n"
+              << "imb = max/mean partition nnz; us = median SpM×V time\n\n";
+    bench::TablePrinter table(std::cout, {14, 10, 10, 10, 10});
+    table.header({"Matrix", "even imb", "even us", "nnz imb", "nnz us"});
+
+    for (const auto& entry : env.entries) {
+        const Coo full = env.load(entry);
+        const Csr csr(full);
+        const auto even = split_even(csr.rows(), threads);
+        const auto by_nnz = split_by_nnz(csr.rowptr(), threads);
+        PolicyCsrKernel even_kernel(csr, pool, even);
+        PolicyCsrKernel nnz_kernel(csr, pool, by_nnz);
+        const auto even_meas = bench::measure(even_kernel, bench::measure_options(env));
+        const auto nnz_meas = bench::measure(nnz_kernel, bench::measure_options(env));
+        table.row({entry.name, bench::TablePrinter::fmt(imbalance(csr, even), 2),
+                   bench::TablePrinter::fmt(even_meas.seconds_per_op * 1e6, 1),
+                   bench::TablePrinter::fmt(imbalance(csr, by_nnz), 2),
+                   bench::TablePrinter::fmt(nnz_meas.seconds_per_op * 1e6, 1)});
+    }
+    std::cout << "\nExpected shape: equal-nnz stays near imb=1.00 everywhere; equal-rows\n"
+                 "degrades on matrices with skewed row lengths (power-law, dense rows),\n"
+                 "which is why the paper partitions by non-zero count (Fig. 3a).\n";
+    return 0;
+}

@@ -1,0 +1,56 @@
+// Ablation — reduction-index layout (§III.C, DESIGN.md §6).
+//
+// The paper stores (vid, idx) pairs with a "generously" 4-byte vid and
+// notes 1-2 bytes suffice.  This bench quantifies the claim: index bytes
+// and SpM×V time for the 4/2/1-byte vid streams and for the CSC-like
+// grouped layout, per suite matrix at the maximum thread count.
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "matrix/sss.hpp"
+#include "spmv/reduction_compact.hpp"
+
+using namespace symspmv;
+
+int main(int argc, char** argv) {
+    const auto env = bench::parse_env(argc, argv);
+    const int threads = env.max_threads();
+    ThreadPool pool(threads);
+    const std::vector<IndexLayout> layouts = {IndexLayout::kPairs4, IndexLayout::kPairs2,
+                                              IndexLayout::kPairs1, IndexLayout::kGrouped};
+
+    std::cout << "Ablation: reduction-index layout at " << threads
+              << " threads (scale=" << env.scale << ")\n"
+              << "KiB = bytes of the conflict index; us = median SpM×V time\n\n";
+
+    std::vector<int> widths = {14};
+    for (std::size_t i = 0; i < layouts.size(); ++i) {
+        widths.push_back(10);
+        widths.push_back(9);
+    }
+    bench::TablePrinter table(std::cout, widths);
+    std::vector<std::string> head = {"Matrix"};
+    for (IndexLayout l : layouts) {
+        const std::string base(to_string(l).substr(8));  // strip "SSS-idx-"
+        head.push_back(base + " KiB");
+        head.push_back(base + " us");
+    }
+    table.header(head);
+
+    for (const auto& entry : env.entries) {
+        const Coo full = env.load(entry);
+        std::vector<std::string> row = {entry.name};
+        for (IndexLayout layout : layouts) {
+            SssCompactIdxKernel kernel(Sss(full), pool, layout);
+            const auto meas = bench::measure(kernel, bench::measure_options(env));
+            row.push_back(
+                bench::TablePrinter::fmt(static_cast<double>(kernel.index_bytes()) / 1024.0, 1));
+            row.push_back(bench::TablePrinter::fmt(meas.seconds_per_op * 1e6, 1));
+        }
+        table.row(row);
+    }
+    std::cout << "\nExpected shape: the narrow-vid streams cut index bytes by 25-37% at\n"
+                 "identical results; the grouped layout wins additionally when several\n"
+                 "threads conflict on the same output rows (low-bandwidth matrices).\n";
+    return 0;
+}

@@ -1,0 +1,119 @@
+// Google-benchmark microbenchmarks of the individual kernels and of the
+// CSX preprocessing pipeline stages.  Complements the table/figure benches
+// with statistically robust per-kernel numbers.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "bench/registry.hpp"
+#include "csx/csx_sym.hpp"
+#include "csx/detect.hpp"
+#include "matrix/csr.hpp"
+#include "matrix/generators.hpp"
+#include "matrix/sss.hpp"
+#include "reorder/rcm.hpp"
+#include "spmv/reduction.hpp"
+
+namespace {
+
+using namespace symspmv;
+
+// A mid-sized block-FEM matrix (bmw-like) reused across benchmarks.
+const Coo& bench_matrix() {
+    static const Coo m = gen::block_fem(900, 6, 8.0, 0.05, 2013);
+    return m;
+}
+
+// A high-bandwidth matrix (offshore-like corner case).
+const Coo& scattered_matrix() {
+    static const Coo m = gen::banded_random(6000, 100, 16.0, 7, 0.6);
+    return m;
+}
+
+std::vector<value_t> random_x(std::size_t n) {
+    std::mt19937_64 rng(17);
+    std::uniform_real_distribution<value_t> dist(-1.0, 1.0);
+    std::vector<value_t> v(n);
+    for (auto& x : v) x = dist(rng);
+    return v;
+}
+
+void bm_spmv(benchmark::State& state, KernelKind kind, const Coo& m) {
+    ThreadPool pool(static_cast<int>(state.range(0)));
+    const KernelPtr kernel = make_kernel(kind, m, pool);
+    const auto n = static_cast<std::size_t>(m.rows());
+    auto x = random_x(n);
+    std::vector<value_t> y(n);
+    for (auto _ : state) {
+        kernel->spmv(x, y);
+        benchmark::DoNotOptimize(y.data());
+        std::swap(x, y);
+    }
+    state.counters["Gflop/s"] = benchmark::Counter(
+        static_cast<double>(kernel->flops()) * static_cast<double>(state.iterations()) * 1e-9,
+        benchmark::Counter::kIsRate);
+}
+
+void register_spmv_benches() {
+    for (KernelKind kind : all_kernel_kinds()) {
+        const std::string name = "spmv/" + std::string(to_string(kind)) + "/blockfem";
+        auto* bench = benchmark::RegisterBenchmark(
+            name.c_str(), [kind](benchmark::State& s) { bm_spmv(s, kind, bench_matrix()); });
+        bench->Arg(1)->Arg(4)->Unit(benchmark::kMicrosecond)->UseRealTime();
+    }
+    for (KernelKind kind : figure_kernel_kinds()) {
+        const std::string name = "spmv/" + std::string(to_string(kind)) + "/scattered";
+        auto* bench = benchmark::RegisterBenchmark(
+            name.c_str(), [kind](benchmark::State& s) { bm_spmv(s, kind, scattered_matrix()); });
+        bench->Arg(4)->Unit(benchmark::kMicrosecond)->UseRealTime();
+    }
+}
+
+void bm_reduction_index_build(benchmark::State& state) {
+    const Sss sss(scattered_matrix());
+    const auto parts = split_by_nnz(sss.rowptr(), static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        const ReductionIndex index(sss, parts);
+        benchmark::DoNotOptimize(index.entries().data());
+    }
+}
+BENCHMARK(bm_reduction_index_build)->Arg(4)->Arg(16)->Unit(benchmark::kMicrosecond)->UseRealTime();
+
+void bm_csx_detection(benchmark::State& state) {
+    const Coo& m = bench_matrix();
+    const std::vector<Triplet> elems(m.entries().begin(), m.entries().end());
+    csx::CsxConfig cfg;
+    cfg.sample_fraction = static_cast<double>(state.range(0)) / 100.0;
+    for (auto _ : state) {
+        const csx::Detector d(elems, cfg);
+        benchmark::DoNotOptimize(d.collect_stats().size());
+    }
+}
+BENCHMARK(bm_csx_detection)->Arg(100)->Arg(25)->Unit(benchmark::kMillisecond);
+
+void bm_csx_sym_build(benchmark::State& state) {
+    const Sss sss(bench_matrix());
+    for (auto _ : state) {
+        const csx::CsxSymMatrix m(sss, csx::CsxConfig{}, 4);
+        benchmark::DoNotOptimize(m.size_bytes());
+    }
+}
+BENCHMARK(bm_csx_sym_build)->Unit(benchmark::kMillisecond);
+
+void bm_rcm(benchmark::State& state) {
+    const Coo& m = scattered_matrix();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(rcm_permutation(m).size());
+    }
+}
+BENCHMARK(bm_rcm)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    register_spmv_benches();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -1,0 +1,86 @@
+// Shared plumbing for the per-table/per-figure bench binaries.
+//
+// Every bench accepts:
+//   --scale F        suite scale factor (1.0 = the paper's sizes; default is
+//                    laptop-sized so the full bench sweep finishes quickly)
+//   --matrices DIR   directory of real .mtx files (overrides the generators)
+//   --matrix NAME    restrict to a single suite matrix
+//   --iterations N   SpM×V iterations per measurement (paper: 128)
+//   --threads LIST   comma-separated thread counts for sweeps
+//   --csv FILE       mirror every printed table to FILE as CSV
+#pragma once
+
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench/harness.hpp"
+#include "bench/registry.hpp"
+#include "core/options.hpp"
+#include "matrix/suite.hpp"
+
+namespace symspmv::bench {
+
+struct BenchEnv {
+    double scale = 0.008;
+    std::string matrices_dir;
+    int iterations = 24;
+    std::vector<int> thread_counts = {1, 2, 4, 8, 16};
+    std::vector<gen::SuiteEntry> entries;
+
+    [[nodiscard]] Coo load(const gen::SuiteEntry& entry) const {
+        return gen::load_or_generate(entry.name, scale, matrices_dir);
+    }
+
+    [[nodiscard]] int max_threads() const { return thread_counts.back(); }
+};
+
+inline std::vector<int> parse_thread_list(const std::string& list) {
+    std::vector<int> out;
+    std::istringstream is(list);
+    std::string tok;
+    while (std::getline(is, tok, ',')) {
+        if (!tok.empty()) out.push_back(std::stoi(tok));
+    }
+    return out;
+}
+
+inline BenchEnv parse_env(int argc, const char* const* argv, int default_iterations = 24) {
+    const Options opts(argc, argv);
+    BenchEnv env;
+    env.scale = opts.get_double("--scale", env.scale);
+    env.matrices_dir = opts.get_string("--matrices", "");
+    env.iterations = static_cast<int>(opts.get_int("--iterations", default_iterations));
+    const std::string threads = opts.get_string("--threads", "");
+    if (!threads.empty()) env.thread_counts = parse_thread_list(threads);
+    const std::string csv_path = opts.get_string("--csv", "");
+    if (!csv_path.empty()) {
+        static std::ofstream csv_file;  // outlives every TablePrinter
+        csv_file.open(csv_path);
+        if (!csv_file) {
+            std::cerr << "cannot open --csv file '" << csv_path << "'\n";
+            std::exit(2);
+        }
+        TablePrinter::set_csv_sink(&csv_file);
+    }
+    const std::string only = opts.get_string("--matrix", "");
+    for (const gen::SuiteEntry& e : gen::suite_entries()) {
+        if (only.empty() || e.name == only) env.entries.push_back(e);
+    }
+    if (env.entries.empty()) {
+        std::cerr << "no suite matrix named '" << only << "'\n";
+        std::exit(2);
+    }
+    return env;
+}
+
+inline MeasureOptions measure_options(const BenchEnv& env) {
+    MeasureOptions m;
+    m.iterations = env.iterations;
+    return m;
+}
+
+}  // namespace symspmv::bench

@@ -1,0 +1,43 @@
+// Fig. 10 — execution-time breakdown of the symmetric SpM×V at the maximum
+// thread count: multiplication phase vs reduction phase, per reduction
+// method and per matrix.
+//
+// Paper shape: the shaded (reduction) share dominates for naive/effective
+// ranges at 24 threads and is minimal for the indexing scheme, which also
+// shortens the multiply phase via reduced cache interference.
+#include <iostream>
+
+#include "bench/common.hpp"
+
+using namespace symspmv;
+
+int main(int argc, char** argv) {
+    const auto env = bench::parse_env(argc, argv);
+    const int threads = env.max_threads();
+    const std::vector<KernelKind> kinds = {KernelKind::kSssNaive, KernelKind::kSssEffective,
+                                           KernelKind::kSssIndexing};
+    ThreadPool pool(threads);
+
+    std::cout << "Fig. 10: symmetric SpM×V time breakdown at " << threads
+              << " threads (scale=" << env.scale << ", iters=" << env.iterations << ")\n\n";
+    bench::TablePrinter table(std::cout, {14, 11, 11, 11, 11});
+    table.header({"Matrix", "Method", "mult us", "reduce us", "reduce %"});
+
+    for (const auto& entry : env.entries) {
+        const Coo full = env.load(entry);
+        for (KernelKind kind : kinds) {
+            const KernelPtr kernel = make_kernel(kind, full, pool);
+            const auto meas = bench::measure(*kernel, bench::measure_options(env));
+            const double mult = meas.phase_totals.multiply_seconds / env.iterations;
+            const double red = meas.phase_totals.reduction_seconds / env.iterations;
+            table.row({entry.name, std::string(to_string(kind)),
+                       bench::TablePrinter::fmt(mult * 1e6, 1),
+                       bench::TablePrinter::fmt(red * 1e6, 1),
+                       bench::TablePrinter::pct(red / (mult + red))});
+        }
+        table.rule();
+    }
+    std::cout << "\nPaper reference shape: reduction dominates naive/eff at high thread\n"
+                 "counts; indexing keeps it minimal and also shrinks the multiply phase.\n";
+    return 0;
+}

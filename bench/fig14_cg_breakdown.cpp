@@ -1,0 +1,64 @@
+// Fig. 14 — CG execution-time breakdown on the RCM-reordered suite:
+// SpM×V multiply, SpM×V reduction, vector operations, and CSX/CSX-Sym
+// preprocessing, for CSR, CSX, SSS-idx and CSX-Sym.
+//
+// Paper shape (24 threads, 2048 iterations): vector ops dominate the small
+// sparse matrices (parabolic_fem, offshore); symmetric formats cut total CG
+// time by >50% on large matrices; CSX-Sym amortizes its preprocessing only
+// on the larger matrices, where it beats SSS-idx.
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "core/timer.hpp"
+#include "reorder/permute.hpp"
+#include "reorder/rcm.hpp"
+#include "solver/cg.hpp"
+
+using namespace symspmv;
+
+int main(int argc, char** argv) {
+    const auto env = bench::parse_env(argc, argv);
+    const Options raw(argc, argv);
+    const int iterations = static_cast<int>(raw.get_int("--cg-iterations", 64));
+    const int threads = env.max_threads();
+    const auto& kinds = figure_kernel_kinds();
+    ThreadPool pool(threads);
+
+    std::cout << "Fig. 14: CG execution-time breakdown on RCM-reordered matrices\n"
+              << "(" << threads << " threads, " << iterations << " CG iterations, scale="
+              << env.scale << ")\n\n";
+    bench::TablePrinter table(std::cout, {14, 9, 10, 10, 10, 10, 10});
+    table.header({"Matrix", "Format", "spmv ms", "reduce ms", "vecops ms", "prep ms",
+                  "total ms"});
+
+    for (const auto& entry : env.entries) {
+        const Coo plain = env.load(entry);
+        const Coo full = permute_symmetric(plain, rcm_permutation(plain));
+        std::vector<value_t> b(static_cast<std::size_t>(full.rows()), 1.0);
+        for (KernelKind kind : kinds) {
+            Timer prep;
+            const KernelPtr kernel = make_kernel(kind, full, pool);
+            // Preprocessing is only charged to the compressed formats, as in
+            // the paper (CSR/SSS construction is the common baseline cost).
+            const bool compressed = kind == KernelKind::kCsx || kind == KernelKind::kCsxSym;
+            const double prep_s = compressed ? prep.seconds() : 0.0;
+
+            cg::Options opts;
+            opts.max_iterations = iterations;
+            opts.tolerance = 0.0;  // run the full iteration budget, like the paper's 2048
+            const cg::Result res = cg::solve(*kernel, pool, b, opts);
+
+            const auto ms = [](double s) { return bench::TablePrinter::fmt(s * 1e3, 1); };
+            table.row({entry.name, std::string(to_string(kind)),
+                       ms(res.breakdown.spmv_multiply_seconds),
+                       ms(res.breakdown.spmv_reduction_seconds),
+                       ms(res.breakdown.vector_ops_seconds), ms(prep_s),
+                       ms(res.breakdown.total() + prep_s)});
+        }
+        table.rule();
+    }
+    std::cout << "\nPaper reference shape: vector ops dominate the small sparse matrices;\n"
+                 "symmetric formats cut CG time >50% on large ones; CSX-Sym must amortize\n"
+                 "its preprocessing and wins only on the larger matrices.\n";
+    return 0;
+}

@@ -1,0 +1,101 @@
+// §V.E — preprocessing cost of CSX-Sym, in units of serial CSR SpM×V
+// operations, for the plain and the RCM-reordered suite; plus the DESIGN.md
+// ablations: statistics sampling fraction and minimum pattern length.
+//
+// Paper reference: 49 (Dunnington, 24t) and 94 (Gainestown, 16t) serial CSR
+// SpM×V equivalents on average; 59 and 115 for the reordered matrices.
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "csx/csx_sym.hpp"
+#include "matrix/csr.hpp"
+#include "matrix/sss.hpp"
+#include "reorder/permute.hpp"
+#include "reorder/rcm.hpp"
+#include "spmv/csr_kernels.hpp"
+
+using namespace symspmv;
+
+namespace {
+
+double csr_serial_seconds(const Coo& full, const bench::BenchEnv& env) {
+    CsrSerialKernel serial((Csr(full)));
+    auto opts = bench::measure_options(env);
+    return bench::measure(serial, opts).seconds_per_op;
+}
+
+double prep_in_spmv_units(const Coo& full, const csx::CsxConfig& cfg, int parts,
+                          double serial_s) {
+    const Sss sss(full);
+    const csx::CsxSymMatrix csxsym(sss, cfg, parts);
+    return csxsym.preprocess_seconds() / serial_s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const auto env = bench::parse_env(argc, argv, /*default_iterations=*/16);
+    const int parts = env.max_threads();
+
+    std::cout << "Section V.E: CSX-Sym preprocessing cost in serial CSR SpM×V units\n"
+              << "(scale=" << env.scale << ", " << parts << " partitions)\n\n";
+    bench::TablePrinter table(std::cout, {14, 12, 12});
+    table.header({"Matrix", "plain", "RCM"});
+
+    double avg_plain = 0.0, avg_rcm = 0.0;
+    for (const auto& entry : env.entries) {
+        const Coo plain = env.load(entry);
+        const Coo reordered = permute_symmetric(plain, rcm_permutation(plain));
+        const double plain_units =
+            prep_in_spmv_units(plain, csx::CsxConfig{}, parts, csr_serial_seconds(plain, env));
+        const double rcm_units = prep_in_spmv_units(reordered, csx::CsxConfig{}, parts,
+                                                    csr_serial_seconds(reordered, env));
+        avg_plain += plain_units;
+        avg_rcm += rcm_units;
+        table.row({entry.name, bench::TablePrinter::fmt(plain_units, 1),
+                   bench::TablePrinter::fmt(rcm_units, 1)});
+    }
+    table.rule();
+    table.row({"average", bench::TablePrinter::fmt(avg_plain / env.entries.size(), 1),
+               bench::TablePrinter::fmt(avg_rcm / env.entries.size(), 1)});
+    std::cout << "\nPaper reference: 49/94 serial SpM×Vs (SMP/NUMA), 59/115 after RCM.\n";
+
+    // Ablation: statistics sampling fraction (CSX's matrix sampling) and
+    // minimum pattern length, on the largest requested matrix.
+    const Coo probe = env.load(env.entries.back());
+    const double serial_s = csr_serial_seconds(probe, env);
+    std::cout << "\nAblation on " << env.entries.back().name
+              << ": preprocessing cost vs sampling and run-length knobs\n\n";
+    bench::TablePrinter ab(std::cout, {26, 12, 14});
+    ab.header({"Config", "prep units", "CSXS bytes/nnz"});
+    auto report = [&](const std::string& name, const csx::CsxConfig& cfg) {
+        const Sss sss(probe);
+        const csx::CsxSymMatrix m(sss, cfg, parts);
+        ab.row({name, bench::TablePrinter::fmt(m.preprocess_seconds() / serial_s, 1),
+                bench::TablePrinter::fmt(
+                    static_cast<double>(m.size_bytes()) / static_cast<double>(m.nnz()), 2)});
+    };
+    csx::CsxConfig cfg;
+    report("default", cfg);
+    for (double f : {0.5, 0.25, 0.1}) {
+        csx::CsxConfig c = cfg;
+        c.sample_fraction = f;
+        report("sample_fraction=" + bench::TablePrinter::fmt(f, 2), c);
+    }
+    for (int len : {2, 8, 16}) {
+        csx::CsxConfig c = cfg;
+        c.min_pattern_length = len;
+        report("min_pattern_length=" + std::to_string(len), c);
+    }
+    {
+        csx::CsxConfig c = cfg;
+        c.blocks = false;
+        report("blocks=off", c);
+    }
+    {
+        csx::CsxConfig c = cfg;
+        c.vertical = c.diagonal = c.antidiagonal = c.blocks = false;
+        report("horizontal-only", c);
+    }
+    return 0;
+}

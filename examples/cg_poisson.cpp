@@ -1,0 +1,53 @@
+// Solve a 2-D Poisson problem with the Conjugate Gradient method, comparing
+// the CSR baseline against the optimized symmetric kernels (the paper's
+// Fig. 14 scenario as a runnable example).
+//
+//   ./examples/cg_poisson [--nx 128] [--ny 128] [--threads 4] [--tol 1e-8]
+#include <iomanip>
+#include <iostream>
+
+#include "bench/registry.hpp"
+#include "core/options.hpp"
+#include "matrix/generators.hpp"
+#include "solver/cg.hpp"
+
+using namespace symspmv;
+
+int main(int argc, char** argv) {
+    const Options opts(argc, argv);
+    const auto nx = static_cast<index_t>(opts.get_int("--nx", 128));
+    const auto ny = static_cast<index_t>(opts.get_int("--ny", 128));
+    const int threads = static_cast<int>(opts.get_int("--threads", 4));
+    const double tol = opts.get_double("--tol", 1e-8);
+
+    const Coo a = gen::poisson2d(nx, ny);
+    std::cout << "Poisson " << nx << "x" << ny << " grid: " << a.rows() << " unknowns, "
+              << a.nnz() << " non-zeros\n\n";
+
+    // Right-hand side: a point source in the middle of the grid.
+    std::vector<value_t> b(static_cast<std::size_t>(a.rows()), 0.0);
+    b[static_cast<std::size_t>(a.rows()) / 2] = 1.0;
+
+    ThreadPool pool(threads);
+    cg::Options copts;
+    copts.tolerance = tol;
+    copts.max_iterations = 4 * static_cast<int>(nx + ny);
+
+    std::cout << std::left << std::setw(10) << "format" << std::right << std::setw(8) << "iters"
+              << std::setw(14) << "residual" << std::setw(12) << "spmv ms" << std::setw(12)
+              << "reduce ms" << std::setw(12) << "vecops ms" << '\n';
+    for (KernelKind kind : figure_kernel_kinds()) {
+        const KernelPtr kernel = make_kernel(kind, a, pool);
+        const cg::Result res = cg::solve(*kernel, pool, b, copts);
+        std::cout << std::left << std::setw(10) << to_string(kind) << std::right << std::setw(8)
+                  << res.iterations << std::setw(14) << std::scientific << std::setprecision(2)
+                  << res.residual_norm << std::fixed << std::setw(12)
+                  << res.breakdown.spmv_multiply_seconds * 1e3 << std::setw(12)
+                  << res.breakdown.spmv_reduction_seconds * 1e3 << std::setw(12)
+                  << res.breakdown.vector_ops_seconds * 1e3 << (res.converged ? "" : "  (cap)")
+                  << '\n';
+    }
+    std::cout << "\nEvery format reaches the same solution; the symmetric kernels read half\n"
+                 "the matrix bytes per iteration.\n";
+    return 0;
+}

@@ -1,0 +1,98 @@
+// csx_inspect: look inside a CSX / CSX-Sym encoding.
+//
+// Shows what the detector found for a matrix: the selected pattern table,
+// per-pattern element coverage, delta-unit fallbacks, the ctl/values byte
+// split and the resulting compression ratio — the "why is my matrix (not)
+// compressing" debugging tool.
+//
+//   ./examples/csx_inspect [matrix.mtx] [--suite bmwcra_1] [--scale 0.02]
+//                          [--partitions 4] [--sym] [--min-len 4]
+#include <iomanip>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "core/options.hpp"
+#include "csx/csx_matrix.hpp"
+#include "csx/csx_sym.hpp"
+#include "matrix/csr.hpp"
+#include "matrix/mmio.hpp"
+#include "matrix/sss.hpp"
+#include "matrix/suite.hpp"
+
+using namespace symspmv;
+
+namespace {
+
+void print_coverage(const std::map<csx::Pattern, std::int64_t>& coverage, std::int64_t stored) {
+    std::cout << "\nper-pattern element coverage:\n";
+    std::int64_t patterned = 0;
+    for (const auto& [pattern, count] : coverage) {
+        std::cout << "  " << std::left << std::setw(18) << to_string(pattern) << std::right
+                  << std::setw(10) << count << "  (" << std::fixed << std::setprecision(1)
+                  << 100.0 * static_cast<double>(count) / static_cast<double>(stored) << "%)\n";
+        if (!is_delta(pattern.type)) patterned += count;
+    }
+    std::cout << "  substructure-encoded total: " << patterned << " / " << stored << " ("
+              << std::setprecision(1)
+              << 100.0 * static_cast<double>(patterned) / static_cast<double>(stored) << "%)\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const Options opts(argc, argv);
+    try {
+        Coo full;
+        std::string label;
+        if (!opts.positional().empty()) {
+            label = opts.positional().front();
+            full = read_matrix_market_file(label);
+        } else {
+            label = opts.get_string("--suite", "bmwcra_1");
+            full = gen::generate_suite_matrix(label, opts.get_double("--scale", 0.02));
+        }
+        const int partitions = static_cast<int>(opts.get_int("--partitions", 4));
+        csx::CsxConfig cfg;
+        cfg.min_pattern_length = static_cast<int>(opts.get_int("--min-len", 4));
+
+        const double csr_bytes = static_cast<double>(Csr(full).size_bytes());
+        std::cout << "matrix " << label << ": " << full.rows() << " rows, " << full.nnz()
+                  << " non-zeros, CSR = " << static_cast<std::size_t>(csr_bytes) / 1024
+                  << " KiB, " << partitions << " partitions\n";
+
+        if (opts.has("--sym")) {
+            const Sss sss(full);
+            const csx::CsxSymMatrix m(sss, cfg, partitions);
+            std::cout << "\nCSX-Sym encoding (lower triangle + dvalues):\n";
+            std::size_t ctl = 0;
+            std::size_t vals = 0;
+            for (int p = 0; p < m.partitions(); ++p) {
+                ctl += m.partition(p).ctl.size();
+                vals += m.partition(p).values.size() * kValueBytes;
+            }
+            std::cout << "  pattern table: " << m.table().size() << " entries\n";
+            for (const csx::Pattern& p : m.table()) std::cout << "    " << to_string(p) << "\n";
+            std::cout << "  ctl bytes: " << ctl << ", value bytes: " << vals
+                      << ", dvalues bytes: " << m.dvalues().size() * kValueBytes << "\n"
+                      << "  compression vs CSR: " << std::fixed << std::setprecision(1)
+                      << 100.0 * (1.0 - static_cast<double>(m.size_bytes()) / csr_bytes) << "%\n"
+                      << "  preprocessing: " << m.preprocess_seconds() * 1e3 << " ms\n";
+            print_coverage(m.coverage(), static_cast<std::int64_t>(Sss(full).stored_nnz()) -
+                                             full.rows());
+        } else {
+            const csx::CsxMatrix m(Csr(full), cfg, partitions);
+            std::cout << "\nCSX encoding (full matrix):\n";
+            std::cout << "  pattern table: " << m.table().size() << " entries\n";
+            for (const csx::Pattern& p : m.table()) std::cout << "    " << to_string(p) << "\n";
+            std::cout << "  compression vs CSR: " << std::fixed << std::setprecision(1)
+                      << 100.0 * (1.0 - static_cast<double>(m.size_bytes()) / csr_bytes) << "%\n"
+                      << "  preprocessing: " << m.preprocess_seconds() * 1e3 << " ms\n";
+            print_coverage(m.coverage(), full.nnz());
+        }
+        return 0;
+    } catch (const std::exception& e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+}

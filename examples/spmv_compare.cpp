@@ -1,0 +1,99 @@
+// spmv_compare: "which format should I use for my matrix?"
+//
+// Runs every kernel in the registry over a matrix (a .mtx file or a named
+// suite generator) across a thread sweep, and prints Gflop/s, footprint and
+// the reduction share — the practical selection table a downstream user
+// wants before committing to a format.
+//
+//   ./examples/spmv_compare [matrix.mtx] [--suite bmw7st_1] [--scale 0.01]
+//                           [--threads 1,2,4,8] [--iterations 32] [--rcm]
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "bench/harness.hpp"
+#include "bench/registry.hpp"
+#include "core/options.hpp"
+#include "matrix/csr.hpp"
+#include "matrix/mmio.hpp"
+#include "matrix/suite.hpp"
+#include "reorder/permute.hpp"
+#include "reorder/rcm.hpp"
+
+using namespace symspmv;
+
+namespace {
+
+std::vector<int> parse_threads(const std::string& list) {
+    std::vector<int> out;
+    std::istringstream is(list);
+    std::string tok;
+    while (std::getline(is, tok, ',')) {
+        if (!tok.empty()) out.push_back(std::stoi(tok));
+    }
+    return out.empty() ? std::vector<int>{1, 2, 4, 8} : out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const Options opts(argc, argv);
+    try {
+        Coo full;
+        std::string label;
+        if (!opts.positional().empty()) {
+            label = opts.positional().front();
+            full = read_matrix_market_file(label);
+        } else {
+            label = opts.get_string("--suite", "bmw7st_1");
+            full = gen::generate_suite_matrix(label, opts.get_double("--scale", 0.02));
+        }
+        if (opts.has("--rcm")) full = permute_symmetric(full, rcm_permutation(full));
+
+        const auto threads = parse_threads(opts.get_string("--threads", ""));
+        bench::MeasureOptions mopts;
+        mopts.iterations = static_cast<int>(opts.get_int("--iterations", 32));
+
+        std::cout << "matrix " << label << ": " << full.rows() << " rows, " << full.nnz()
+                  << " non-zeros, CSR = " << Csr(full).size_bytes() / 1024 << " KiB"
+                  << (opts.has("--rcm") ? ", RCM reordered" : "") << "\n\n";
+
+        std::vector<int> widths = {12, 11, 9};
+        for (std::size_t i = 0; i < threads.size(); ++i) widths.push_back(9);
+        bench::TablePrinter table(std::cout, widths);
+        std::vector<std::string> head = {"Kernel", "KiB", "red%"};
+        for (int t : threads) head.push_back("GF@" + std::to_string(t) + "t");
+        table.header(head);
+
+        for (KernelKind kind : all_kernel_kinds()) {
+            std::vector<std::string> row = {std::string(to_string(kind))};
+            std::string footprint;
+            std::string reduction_share = "0.0%";
+            std::vector<std::string> gflops;
+            for (int t : threads) {
+                ThreadPool pool(t);
+                const KernelPtr kernel = make_kernel(kind, full, pool);
+                const auto meas = bench::measure(*kernel, mopts);
+                gflops.push_back(bench::TablePrinter::fmt(meas.gflops, 2));
+                if (t == threads.back()) {
+                    footprint = std::to_string(kernel->footprint_bytes() / 1024);
+                    const double total = meas.phase_totals.total();
+                    if (total > 0.0) {
+                        reduction_share = bench::TablePrinter::pct(
+                            meas.phase_totals.reduction_seconds / total);
+                    }
+                }
+            }
+            row.push_back(footprint);
+            row.push_back(reduction_share);
+            row.insert(row.end(), gflops.begin(), gflops.end());
+            table.row(row);
+        }
+        std::cout << "\nred% = share of SpMxV time spent in the local-vectors reduction at\n"
+                     "the largest thread count; KiB includes reduction side structures.\n";
+        return 0;
+    } catch (const std::exception& e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+}

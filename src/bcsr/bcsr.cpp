@@ -1,0 +1,197 @@
+#include "bcsr/bcsr.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_set>
+
+#include "core/error.hpp"
+
+namespace symspmv::bcsr {
+
+const std::vector<BlockShape>& candidate_shapes() {
+    static const std::vector<BlockShape> shapes = {
+        {1, 1}, {1, 2}, {2, 1}, {2, 2}, {2, 3}, {3, 2}, {3, 3},
+        {2, 4}, {4, 2}, {4, 4}, {3, 6}, {6, 3}, {6, 6}, {8, 8},
+    };
+    return shapes;
+}
+
+namespace {
+
+/// Counts the occupied r×c tiles of @p coo, optionally restricted to every
+/// stride-th block row (sampling).  Also returns the nnz covered by the
+/// scanned block rows so sampled fill ratios stay unbiased.
+struct TileCount {
+    std::int64_t tiles = 0;
+    std::int64_t covered_nnz = 0;
+};
+
+TileCount count_tiles(const Coo& coo, BlockShape shape, int stride) {
+    TileCount out;
+    // Entries are row-major sorted, so each block row's entries are
+    // contiguous; the distinct block columns within one block row are found
+    // with a hash set (entries within it are NOT column sorted across its r
+    // source rows).
+    const auto entries = coo.entries();
+    std::unordered_set<index_t> cols_seen;
+    std::size_t pos = 0;
+    index_t block_row = 0;
+    while (pos < entries.size()) {
+        const index_t bi = entries[pos].row / shape.r;
+        if (bi != block_row) block_row = bi;
+        const index_t row_end = (block_row + 1) * shape.r;
+        const bool sampled = (block_row % stride) == 0;
+        cols_seen.clear();
+        while (pos < entries.size() && entries[pos].row < row_end) {
+            if (sampled) {
+                cols_seen.insert(entries[pos].col / shape.c);
+                ++out.covered_nnz;
+            }
+            ++pos;
+        }
+        if (sampled) out.tiles += static_cast<std::int64_t>(cols_seen.size());
+        ++block_row;
+    }
+    return out;
+}
+
+}  // namespace
+
+double fill_ratio(const Coo& coo, BlockShape shape) {
+    SYMSPMV_CHECK_MSG(coo.is_canonical(), "fill_ratio requires a canonical COO matrix");
+    if (coo.nnz() == 0) return 1.0;
+    const TileCount tc = count_tiles(coo, shape, 1);
+    return static_cast<double>(tc.tiles) * shape.r * shape.c / static_cast<double>(coo.nnz());
+}
+
+std::size_t predicted_bytes(const Coo& coo, BlockShape shape) {
+    const TileCount tc = count_tiles(coo, shape, 1);
+    const std::size_t block_rows = static_cast<std::size_t>((coo.rows() + shape.r - 1) / shape.r);
+    return static_cast<std::size_t>(tc.tiles) *
+               (static_cast<std::size_t>(shape.r) * static_cast<std::size_t>(shape.c) *
+                    kValueBytes +
+                kIndexBytes) +
+           (block_rows + 1) * kIndexBytes;
+}
+
+BlockShape choose_block_size(const Coo& coo, double sample_fraction) {
+    SYMSPMV_CHECK_MSG(sample_fraction > 0.0 && sample_fraction <= 1.0,
+                      "sample_fraction must be in (0, 1]");
+    const int stride = std::max(1, static_cast<int>(1.0 / sample_fraction));
+    BlockShape best{1, 1};
+    double best_cost = std::numeric_limits<double>::infinity();
+    for (const BlockShape shape : candidate_shapes()) {
+        const TileCount tc = count_tiles(coo, shape, stride);
+        if (tc.covered_nnz == 0) continue;
+        // Bytes streamed per structural non-zero under this shape: the
+        // memory-bound cost model (value fill + amortised block index).
+        const double bytes_per_nnz =
+            (static_cast<double>(tc.tiles) *
+             (static_cast<double>(shape.r) * shape.c * kValueBytes + kIndexBytes)) /
+            static_cast<double>(tc.covered_nnz);
+        if (bytes_per_nnz < best_cost) {
+            best_cost = bytes_per_nnz;
+            best = shape;
+        }
+    }
+    return best;
+}
+
+BcsrMatrix::BcsrMatrix(const Coo& coo, BlockShape shape) : shape_(shape) {
+    SYMSPMV_CHECK_MSG(coo.is_canonical(), "BcsrMatrix requires a canonical COO matrix");
+    SYMSPMV_CHECK_MSG(shape.r >= 1 && shape.c >= 1, "block shape must be positive");
+    n_rows_ = coo.rows();
+    n_cols_ = coo.cols();
+    nnz_ = coo.nnz();
+    n_block_rows_ = (n_rows_ + shape.r - 1) / shape.r;
+    browptr_.assign(static_cast<std::size_t>(n_block_rows_) + 1, 0);
+
+    const auto entries = coo.entries();
+    // Two passes per block row: collect + sort the distinct block columns,
+    // then scatter values into the dense blocks.
+    std::vector<index_t> bcols;
+    std::size_t row_begin = 0;
+    for (index_t bi = 0; bi < n_block_rows_; ++bi) {
+        const index_t row_end_idx = (bi + 1) * shape.r;
+        std::size_t row_end = row_begin;
+        while (row_end < entries.size() && entries[row_end].row < row_end_idx) ++row_end;
+
+        bcols.clear();
+        for (std::size_t k = row_begin; k < row_end; ++k) {
+            bcols.push_back(entries[k].col / shape.c);
+        }
+        std::ranges::sort(bcols);
+        const auto dup = std::ranges::unique(bcols);
+        bcols.erase(dup.begin(), dup.end());
+
+        const std::size_t first_block = bcolind_.size();
+        bcolind_.insert(bcolind_.end(), bcols.begin(), bcols.end());
+        values_.resize(values_.size() +
+                           bcols.size() * static_cast<std::size_t>(shape.r) *
+                               static_cast<std::size_t>(shape.c),
+                       value_t{0});
+        for (std::size_t k = row_begin; k < row_end; ++k) {
+            const Triplet& t = entries[k];
+            const index_t bc = t.col / shape.c;
+            const auto it = std::ranges::lower_bound(bcols, bc);
+            const std::size_t b = first_block + static_cast<std::size_t>(it - bcols.begin());
+            const std::size_t off = b * static_cast<std::size_t>(shape.r) * shape.c +
+                                    static_cast<std::size_t>(t.row - bi * shape.r) * shape.c +
+                                    static_cast<std::size_t>(t.col - bc * shape.c);
+            values_[off] = t.val;
+        }
+        browptr_[static_cast<std::size_t>(bi) + 1] = static_cast<index_t>(bcolind_.size());
+        row_begin = row_end;
+    }
+    SYMSPMV_CHECK(row_begin == entries.size());
+}
+
+std::size_t BcsrMatrix::size_bytes() const {
+    return values_.size() * kValueBytes + bcolind_.size() * kIndexBytes +
+           browptr_.size() * kIndexBytes;
+}
+
+void BcsrMatrix::spmv(std::span<const value_t> x, std::span<value_t> y) const {
+    SYMSPMV_CHECK(static_cast<index_t>(x.size()) == n_cols_ &&
+                  static_cast<index_t>(y.size()) == n_rows_);
+    spmv_block_rows(0, n_block_rows_, x, y);
+}
+
+void BcsrMatrix::spmv_block_rows(index_t bbegin, index_t bend, std::span<const value_t> x,
+                                 std::span<value_t> y) const {
+    const int r = shape_.r;
+    const int c = shape_.c;
+    const value_t* __restrict xv = x.data();
+    value_t* __restrict yv = y.data();
+    const value_t* __restrict vals = values_.data();
+    // Accumulate each block row in a small register-resident buffer; tail
+    // rows (when n is not a multiple of r) write only the valid entries.
+    value_t acc[8];  // r <= 8 for all candidate shapes
+    SYMSPMV_CHECK_MSG(r <= 8, "BCSR kernels support r <= 8");
+    for (index_t bi = bbegin; bi < bend; ++bi) {
+        for (int i = 0; i < r; ++i) acc[i] = value_t{0};
+        for (index_t b = browptr_[static_cast<std::size_t>(bi)];
+             b < browptr_[static_cast<std::size_t>(bi) + 1]; ++b) {
+            const index_t col0 = bcolind_[static_cast<std::size_t>(b)] * c;
+            const value_t* __restrict blk =
+                vals + static_cast<std::size_t>(b) * static_cast<std::size_t>(r) * c;
+            // The last block column may stick out past n_cols; its fill is
+            // zero but x must not be read out of bounds there.
+            const int cols = static_cast<int>(std::min<index_t>(c, n_cols_ - col0));
+            for (int i = 0; i < r; ++i) {
+                value_t s = value_t{0};
+                for (int j = 0; j < cols; ++j) {
+                    s += blk[i * c + j] * xv[col0 + j];
+                }
+                acc[i] += s;
+            }
+        }
+        const index_t row0 = bi * r;
+        const index_t row_hi = std::min<index_t>(row0 + r, n_rows_);
+        for (index_t row = row0; row < row_hi; ++row) {
+            yv[row] = acc[row - row0];
+        }
+    }
+}
+
+}  // namespace symspmv::bcsr

@@ -1,0 +1,107 @@
+// Blocked Compressed Sparse Row (BCSR) — the register-blocking baseline of
+// Im & Yelick / OSKI ([22]-[26] in the paper's related work).
+//
+// The matrix is tiled with a fixed r×c grid aligned to (0,0).  Every tile
+// that contains at least one non-zero is stored as a dense r×c value block
+// (missing elements become explicit zeros — the "fill"), so a block row
+// needs one column index per block instead of one per element.  The win is
+// index compression and unrolled inner loops; the cost is the fill ratio
+//   fill(r,c) = stored_elements / nnz >= 1.
+//
+// choose_block_size() implements an OSKI-style autotuner specialised for the
+// memory-bound regime this paper targets: since SpM×V time is proportional
+// to the bytes streamed, it picks the (r, c) minimising the exact storage
+// footprint (values incl. fill + block column indices + block row pointers).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/allocator.hpp"
+#include "core/types.hpp"
+#include "matrix/coo.hpp"
+
+namespace symspmv::bcsr {
+
+/// A block dimension pair (r rows by c columns).
+struct BlockShape {
+    int r = 1;
+    int c = 1;
+
+    friend bool operator==(const BlockShape&, const BlockShape&) = default;
+};
+
+/// The candidate shapes the autotuner considers (OSKI's classic 1..4 square
+/// and rectangular register-block sizes, plus 6 and 8 wide for FEM blocks).
+[[nodiscard]] const std::vector<BlockShape>& candidate_shapes();
+
+/// Exact fill ratio of @p coo under an aligned r×c grid (1.0 = no fill).
+[[nodiscard]] double fill_ratio(const Coo& coo, BlockShape shape);
+
+/// Predicted storage bytes of the BCSR representation (values + fill +
+/// block indices + block row pointers); the autotuner's objective.
+[[nodiscard]] std::size_t predicted_bytes(const Coo& coo, BlockShape shape);
+
+/// Picks the candidate shape with the smallest predicted footprint.
+/// Sampling: with sample_fraction < 1, only that fraction of block rows is
+/// scanned (deterministic stride), which is how OSKI keeps tuning cheap.
+[[nodiscard]] BlockShape choose_block_size(const Coo& coo, double sample_fraction = 1.0);
+
+/// BCSR matrix with fixed r×c blocks.
+class BcsrMatrix {
+   public:
+    BcsrMatrix() = default;
+
+    /// Builds from a canonical COO with the given block shape.
+    BcsrMatrix(const Coo& coo, BlockShape shape);
+
+    [[nodiscard]] index_t rows() const { return n_rows_; }
+    [[nodiscard]] index_t cols() const { return n_cols_; }
+
+    /// Structural non-zeros of the source matrix (excluding fill).
+    [[nodiscard]] std::int64_t nnz() const { return nnz_; }
+
+    /// Stored elements including explicit zero fill.
+    [[nodiscard]] std::int64_t stored_elements() const {
+        return static_cast<std::int64_t>(values_.size());
+    }
+
+    [[nodiscard]] BlockShape shape() const { return shape_; }
+    [[nodiscard]] index_t block_rows() const { return n_block_rows_; }
+    [[nodiscard]] std::int64_t blocks() const { return static_cast<std::int64_t>(bcolind_.size()); }
+
+    /// Realised fill ratio: stored_elements / nnz.
+    [[nodiscard]] double fill() const {
+        return nnz_ == 0 ? 1.0 : static_cast<double>(stored_elements()) / static_cast<double>(nnz_);
+    }
+
+    /// Block row I owns blocks [browptr()[I], browptr()[I+1]); block b
+    /// starts column bcolind()[b]*c and its r*c values are row-major at
+    /// values()[b*r*c].
+    [[nodiscard]] std::span<const index_t> browptr() const { return browptr_; }
+    [[nodiscard]] std::span<const index_t> bcolind() const { return bcolind_; }
+    [[nodiscard]] std::span<const value_t> values() const { return values_; }
+
+    /// Storage footprint in bytes.
+    [[nodiscard]] std::size_t size_bytes() const;
+
+    /// y = A * x, serial.
+    void spmv(std::span<const value_t> x, std::span<value_t> y) const;
+
+    /// y = A * x restricted to block rows [bbegin, bend); the building block
+    /// of the multithreaded kernel (block rows never share output rows).
+    void spmv_block_rows(index_t bbegin, index_t bend, std::span<const value_t> x,
+                         std::span<value_t> y) const;
+
+   private:
+    index_t n_rows_ = 0;
+    index_t n_cols_ = 0;
+    std::int64_t nnz_ = 0;
+    BlockShape shape_;
+    index_t n_block_rows_ = 0;
+    aligned_vector<index_t> browptr_;
+    aligned_vector<index_t> bcolind_;
+    aligned_vector<value_t> values_;
+};
+
+}  // namespace symspmv::bcsr

@@ -1,0 +1,54 @@
+#include "bcsr/bcsr_kernels.hpp"
+
+#include <limits>
+
+#include "core/error.hpp"
+#include "core/timer.hpp"
+
+namespace symspmv::bcsr {
+
+BcsrSerialKernel::BcsrSerialKernel(BcsrMatrix matrix) : matrix_(std::move(matrix)) {}
+
+void BcsrSerialKernel::spmv(std::span<const value_t> x, std::span<value_t> y) {
+    Timer t;
+    matrix_.spmv(x, y);
+    phases_ = {t.seconds(), 0.0};
+}
+
+namespace {
+
+/// Block-row partitions with approximately equal stored-element counts
+/// (fill included, since fill is streamed just like real values).
+std::vector<RowRange> split_block_rows(const BcsrMatrix& m, int p) {
+    const std::size_t per_block =
+        static_cast<std::size_t>(m.shape().r) * static_cast<std::size_t>(m.shape().c);
+    std::vector<index_t> prefix(static_cast<std::size_t>(m.block_rows()) + 1, 0);
+    for (index_t bi = 0; bi < m.block_rows(); ++bi) {
+        const std::int64_t blocks_in_row = m.browptr()[static_cast<std::size_t>(bi) + 1] -
+                                           m.browptr()[static_cast<std::size_t>(bi)];
+        const std::int64_t cum = prefix[static_cast<std::size_t>(bi)] +
+                                 blocks_in_row * static_cast<std::int64_t>(per_block);
+        SYMSPMV_CHECK_MSG(cum <= std::numeric_limits<index_t>::max(),
+                          "BCSR matrix exceeds 2^31 stored elements");
+        prefix[static_cast<std::size_t>(bi) + 1] = static_cast<index_t>(cum);
+    }
+    return split_by_nnz(prefix, p);
+}
+
+}  // namespace
+
+BcsrMtKernel::BcsrMtKernel(BcsrMatrix matrix, ThreadPool& pool)
+    : matrix_(std::move(matrix)), pool_(pool), parts_(split_block_rows(matrix_, pool.size())) {}
+
+void BcsrMtKernel::spmv(std::span<const value_t> x, std::span<value_t> y) {
+    SYMSPMV_CHECK_MSG(static_cast<index_t>(x.size()) == matrix_.cols(), "spmv: x size mismatch");
+    SYMSPMV_CHECK_MSG(static_cast<index_t>(y.size()) == matrix_.rows(), "spmv: y size mismatch");
+    Timer total;
+    pool_.run([&](int tid) {
+        const RowRange part = parts_[static_cast<std::size_t>(tid)];
+        matrix_.spmv_block_rows(part.begin, part.end, x, y);
+    });
+    phases_ = {total.seconds(), 0.0};
+}
+
+}  // namespace symspmv::bcsr

@@ -1,0 +1,55 @@
+// SpM×V kernels over the BCSR format (register-blocking baseline, §VI).
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "bcsr/bcsr.hpp"
+#include "core/partition.hpp"
+#include "core/thread_pool.hpp"
+#include "spmv/kernel.hpp"
+
+namespace symspmv::bcsr {
+
+/// Serial BCSR kernel.
+class BcsrSerialKernel final : public SpmvKernel {
+   public:
+    explicit BcsrSerialKernel(BcsrMatrix matrix);
+
+    [[nodiscard]] std::string_view name() const override { return "BCSR-serial"; }
+    [[nodiscard]] index_t rows() const override { return matrix_.rows(); }
+    [[nodiscard]] std::int64_t nnz() const override { return matrix_.nnz(); }
+    [[nodiscard]] std::size_t footprint_bytes() const override { return matrix_.size_bytes(); }
+    void spmv(std::span<const value_t> x, std::span<value_t> y) override;
+
+    [[nodiscard]] const BcsrMatrix& matrix() const { return matrix_; }
+
+   private:
+    BcsrMatrix matrix_;
+};
+
+/// Multithreaded BCSR kernel: block rows are partitioned by stored-element
+/// count; block rows never share output rows, so no reduction phase exists.
+class BcsrMtKernel final : public SpmvKernel {
+   public:
+    /// @p pool outlives the kernel; its size fixes the thread count.
+    BcsrMtKernel(BcsrMatrix matrix, ThreadPool& pool);
+
+    [[nodiscard]] std::string_view name() const override { return "BCSR"; }
+    [[nodiscard]] index_t rows() const override { return matrix_.rows(); }
+    [[nodiscard]] std::int64_t nnz() const override { return matrix_.nnz(); }
+    [[nodiscard]] std::size_t footprint_bytes() const override { return matrix_.size_bytes(); }
+    void spmv(std::span<const value_t> x, std::span<value_t> y) override;
+
+    [[nodiscard]] const BcsrMatrix& matrix() const { return matrix_; }
+
+    /// Block-row (not element-row) ranges assigned to each thread.
+    [[nodiscard]] std::span<const RowRange> block_partitions() const { return parts_; }
+
+   private:
+    BcsrMatrix matrix_;
+    ThreadPool& pool_;
+    std::vector<RowRange> parts_;
+};
+
+}  // namespace symspmv::bcsr

@@ -1,0 +1,65 @@
+#include "bench/advisor.hpp"
+
+#include <algorithm>
+
+#include "csx/detect.hpp"
+#include "matrix/properties.hpp"
+
+namespace symspmv::bench {
+
+FormatFeatures extract_features(const Coo& matrix) {
+    FormatFeatures f;
+    const MatrixProperties props = analyze(matrix);
+    f.symmetric = props.numerically_symmetric;
+    f.relative_bandwidth =
+        props.rows > 0 ? props.avg_bandwidth / static_cast<double>(props.rows) : 0.0;
+    f.nnz_per_row = props.nnz_per_row;
+    f.row_skew = props.nnz_per_row > 0.0
+                     ? static_cast<double>(props.max_row_nnz) / props.nnz_per_row
+                     : 1.0;
+
+    // Pattern coverage from the CSX detector statistics over the triangle
+    // that would actually be encoded (cheap: statistics only, no encode).
+    const Coo target = f.symmetric ? matrix.strict_lower() : matrix;
+    if (target.nnz() > 0) {
+        const csx::Detector detector(target.entries(), csx::CsxConfig{});
+        std::int64_t covered = 0;
+        for (const csx::PatternStats& s : detector.collect_stats()) {
+            if (!csx::is_delta(s.pattern.type)) covered = std::max(covered, s.covered);
+        }
+        // Best single pattern's coverage is a conservative lower bound on
+        // what the multi-pattern encoder reaches.
+        f.pattern_coverage = static_cast<double>(covered) / static_cast<double>(target.nnz());
+    }
+    return f;
+}
+
+Advice advise(const FormatFeatures& f) {
+    if (!f.symmetric) {
+        if (f.pattern_coverage > 0.5) {
+            return {KernelKind::kBcsr,
+                    "unsymmetric with dense substructure: register blocking pays"};
+        }
+        return {KernelKind::kCsr, "unsymmetric and irregular: CSR is the safe baseline"};
+    }
+    if (f.relative_bandwidth > 0.1) {
+        // The §V.B corner cases: mirrored writes land far away, the
+        // conflict index grows, and "no symmetric format did achieve
+        // performance improvement over CSR".
+        return {KernelKind::kCsr,
+                "symmetric but high bandwidth (corner case of §V.B): reorder with RCM "
+                "before considering a symmetric format"};
+    }
+    if (f.pattern_coverage > 0.5) {
+        return {KernelKind::kCsxSym,
+                "symmetric, low bandwidth, substructure-rich: CSX-Sym's compression "
+                "margin over SSS applies (Table I / Fig. 11)"};
+    }
+    return {KernelKind::kSssIndexing,
+            "symmetric and low bandwidth but few substructures: SSS with local-vectors "
+            "indexing takes the symmetry win without CSX preprocessing"};
+}
+
+Advice advise(const Coo& matrix) { return advise(extract_features(matrix)); }
+
+}  // namespace symspmv::bench

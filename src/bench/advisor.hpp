@@ -1,0 +1,50 @@
+// Format advisor: the paper's §V.B/§V.D analysis turned into a selection
+// rule (OSKI's [26] auto-selection spirit).
+//
+// The evaluation identifies exactly which structural features decide the
+// winning format:
+//   - symmetry            -> the symmetric formats apply at all,
+//   - relative bandwidth  -> high-bandwidth matrices are the corner cases
+//                            where "no symmetric format beat CSR" (§V.B),
+//   - dense substructure  -> CSX-Sym's extra compression only pays when
+//                            patterns cover most non-zeros (Fig. 12),
+//   - row-length skew     -> ELL-family formats drown in padding.
+// advise() encodes those rules and explains itself; the advisor_eval bench
+// checks the advice against measurement per suite matrix.
+#pragma once
+
+#include <string>
+
+#include "bench/registry.hpp"
+#include "matrix/coo.hpp"
+
+namespace symspmv::bench {
+
+/// The structural features the §V analysis conditions on.
+struct FormatFeatures {
+    bool symmetric = false;
+    double relative_bandwidth = 0.0;  // avg |i-j| / rows  (corner-case signal)
+    double pattern_coverage = 0.0;    // fraction of nnz in CSX-Sym substructures
+    double row_skew = 0.0;            // max row nnz / mean row nnz
+    double nnz_per_row = 0.0;
+};
+
+/// One-pass feature extraction (runs the CSX detector statistics on the
+/// lower triangle when the matrix is symmetric).
+FormatFeatures extract_features(const Coo& matrix);
+
+struct Advice {
+    KernelKind kernel = KernelKind::kCsr;
+    std::string rationale;
+};
+
+/// The decision rule.  Thresholds follow the paper's suite: the four
+/// corner cases have relative bandwidth above ~0.1 while the regular
+/// matrices sit well below it; pattern coverage above ~0.5 is where the
+/// CSX-Sym compression margin over SSS materializes (Table I).
+Advice advise(const FormatFeatures& features);
+
+/// Convenience: extract + advise.
+Advice advise(const Coo& matrix);
+
+}  // namespace symspmv::bench

@@ -1,0 +1,104 @@
+#include "bench/harness.hpp"
+
+#include <iomanip>
+#include <ostream>
+#include <random>
+#include <sstream>
+
+#include "core/allocator.hpp"
+#include "core/error.hpp"
+#include "core/timer.hpp"
+
+namespace symspmv::bench {
+
+Measurement measure(SpmvKernel& kernel, const MeasureOptions& opts) {
+    SYMSPMV_CHECK_MSG(opts.iterations >= 1, "measure: need at least one iteration");
+    const auto n = static_cast<std::size_t>(kernel.rows());
+    aligned_vector<value_t> a(n), b(n, 0.0);
+    std::mt19937_64 rng(opts.seed);
+    std::uniform_real_distribution<value_t> dist(-1.0, 1.0);
+    for (auto& v : a) v = dist(rng);
+
+    // x and y swap every iteration (§V.A), so the product chains through
+    // both buffers and the compiler cannot hoist anything.
+    value_t* x = a.data();
+    value_t* y = b.data();
+    auto swap_xy = [&] { std::swap(x, y); };
+
+    for (int i = 0; i < opts.warmup; ++i) {
+        kernel.spmv({x, n}, {y, n});
+        swap_xy();
+    }
+
+    Measurement m;
+    std::vector<double> per_op;
+    per_op.reserve(static_cast<std::size_t>(opts.iterations));
+    for (int i = 0; i < opts.iterations; ++i) {
+        Timer t;
+        kernel.spmv({x, n}, {y, n});
+        per_op.push_back(t.seconds());
+        m.phase_totals.multiply_seconds += kernel.last_phases().multiply_seconds;
+        m.phase_totals.reduction_seconds += kernel.last_phases().reduction_seconds;
+        swap_xy();
+    }
+    m.per_op = summarize(per_op);
+    m.seconds_per_op = m.per_op.median;
+    if (m.seconds_per_op > 0.0) {
+        m.gflops = static_cast<double>(kernel.flops()) / m.seconds_per_op * 1e-9;
+    }
+    return m;
+}
+
+TablePrinter::TablePrinter(std::ostream& out, std::vector<int> widths)
+    : out_(out), widths_(std::move(widths)) {}
+
+void TablePrinter::header(const std::vector<std::string>& cells) {
+    row(cells);
+    rule();
+}
+
+namespace {
+std::ostream* g_csv_sink = nullptr;
+}  // namespace
+
+void TablePrinter::set_csv_sink(std::ostream* out) { g_csv_sink = out; }
+
+void TablePrinter::csv_line(const std::vector<std::string>& cells) {
+    if (g_csv_sink == nullptr) return;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        // Trim the padding spaces fmt/pct never produce but labels might.
+        std::string cell = cells[i];
+        if (cell.find(',') != std::string::npos) cell = '"' + cell + '"';
+        *g_csv_sink << cell;
+        if (i + 1 < cells.size()) *g_csv_sink << ',';
+    }
+    *g_csv_sink << '\n';
+}
+
+void TablePrinter::row(const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size() && i < widths_.size(); ++i) {
+        out_ << (i == 0 ? std::left : std::right) << std::setw(widths_[i]) << cells[i];
+        if (i + 1 < cells.size()) out_ << "  ";
+    }
+    out_ << '\n';
+    csv_line(cells);
+}
+
+void TablePrinter::rule() {
+    int total = 0;
+    for (int w : widths_) total += w + 2;
+    for (int i = 0; i < total; ++i) out_ << '-';
+    out_ << '\n';
+}
+
+std::string TablePrinter::fmt(double v, int precision) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+}
+
+std::string TablePrinter::pct(double fraction, int precision) {
+    return fmt(fraction * 100.0, precision) + "%";
+}
+
+}  // namespace symspmv::bench

@@ -1,0 +1,59 @@
+// Measurement framework (§V.A): N consecutive SpM×V operations with random
+// input vectors, swapping the input and output vectors at every iteration.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/stats.hpp"
+#include "core/types.hpp"
+#include "spmv/kernel.hpp"
+
+namespace symspmv::bench {
+
+struct MeasureOptions {
+    int iterations = 128;       // the paper's 128 consecutive operations
+    int warmup = 2;             // untimed warmup iterations
+    std::uint64_t seed = 2013;  // RNG seed for the input vector
+};
+
+struct Measurement {
+    double seconds_per_op = 0.0;   // median over iterations
+    double gflops = 0.0;           // 2*nnz / median seconds
+    SpmvPhases phase_totals;       // summed over timed iterations
+    Summary per_op;                // full per-iteration distribution
+};
+
+/// Runs the §V.A measurement loop on @p kernel.
+Measurement measure(SpmvKernel& kernel, const MeasureOptions& opts = {});
+
+/// Plain fixed-width table printer for the bench binaries.  When a CSV
+/// sink is installed (set_csv_sink, typically via the benches' --csv flag)
+/// every header/row is mirrored there as comma-separated values, so bench
+/// output can feed plotting scripts without reparsing the aligned text.
+class TablePrinter {
+   public:
+    /// @p widths: column widths; text is left-aligned, numbers right-aligned.
+    TablePrinter(std::ostream& out, std::vector<int> widths);
+
+    void header(const std::vector<std::string>& cells);
+    void row(const std::vector<std::string>& cells);
+    void rule();
+
+    static std::string fmt(double v, int precision = 2);
+    static std::string pct(double fraction, int precision = 1);
+
+    /// Mirrors all subsequently printed tables to @p out as CSV (nullptr
+    /// disconnects).  The sink must outlive the printers using it.
+    static void set_csv_sink(std::ostream* out);
+
+   private:
+    void csv_line(const std::vector<std::string>& cells);
+
+    std::ostream& out_;
+    std::vector<int> widths_;
+};
+
+}  // namespace symspmv::bench

@@ -1,0 +1,155 @@
+#include "bench/registry.hpp"
+
+#include "bcsr/bcsr_kernels.hpp"
+#include "core/error.hpp"
+#include "csb/csb_kernels.hpp"
+#include "csx/jit.hpp"
+#include "csx/kernels.hpp"
+#include "matrix/csr.hpp"
+#include "matrix/sss.hpp"
+#include "spmv/alt_kernels.hpp"
+#include "spmv/baseline_kernels.hpp"
+#include "spmv/csr_kernels.hpp"
+#include "spmv/sss_kernels.hpp"
+
+namespace symspmv {
+
+std::string_view to_string(KernelKind kind) {
+    switch (kind) {
+        case KernelKind::kCsrSerial:
+            return "CSR-serial";
+        case KernelKind::kCsr:
+            return "CSR";
+        case KernelKind::kSssSerial:
+            return "SSS-serial";
+        case KernelKind::kSssNaive:
+            return "SSS-naive";
+        case KernelKind::kSssEffective:
+            return "SSS-eff";
+        case KernelKind::kSssIndexing:
+            return "SSS-idx";
+        case KernelKind::kCsx:
+            return "CSX";
+        case KernelKind::kCsxSym:
+            return "CSX-Sym";
+        case KernelKind::kCsb:
+            return "CSB";
+        case KernelKind::kCsbSym:
+            return "CSB-Sym";
+        case KernelKind::kBcsr:
+            return "BCSR";
+        case KernelKind::kSssAtomic:
+            return "SSS-atomic";
+        case KernelKind::kSssColor:
+            return "SSS-color";
+        case KernelKind::kCsrDu:
+            return "CSR-DU";
+        case KernelKind::kEll:
+            return "ELL";
+        case KernelKind::kHyb:
+            return "HYB";
+        case KernelKind::kDia:
+            return "DIA";
+        case KernelKind::kJds:
+            return "JDS";
+        case KernelKind::kVbl:
+            return "VBL";
+        case KernelKind::kCsxJit:
+            return "CSX-jit";
+        case KernelKind::kCsxSymJit:
+            return "CSX-Sym-jit";
+    }
+    return "?";
+}
+
+KernelKind parse_kernel_kind(std::string_view name) {
+    for (KernelKind kind : all_kernel_kinds()) {
+        if (to_string(kind) == name) return kind;
+    }
+    throw InvalidArgument("unknown kernel kind: " + std::string(name));
+}
+
+const std::vector<KernelKind>& all_kernel_kinds() {
+    static const std::vector<KernelKind> kinds = [] {
+        std::vector<KernelKind> k = {
+            KernelKind::kCsrSerial, KernelKind::kCsr,          KernelKind::kSssSerial,
+            KernelKind::kSssNaive,  KernelKind::kSssEffective, KernelKind::kSssIndexing,
+            KernelKind::kCsx,       KernelKind::kCsxSym,       KernelKind::kCsb,
+            KernelKind::kCsbSym,    KernelKind::kBcsr,         KernelKind::kSssAtomic,
+            KernelKind::kSssColor,  KernelKind::kCsrDu,        KernelKind::kEll,
+            KernelKind::kHyb,       KernelKind::kDia,          KernelKind::kJds,
+            KernelKind::kVbl,
+        };
+        // The JIT backends need a system C compiler at runtime.
+        if (csx::JitModule::compiler_available()) {
+            k.push_back(KernelKind::kCsxJit);
+            k.push_back(KernelKind::kCsxSymJit);
+        }
+        return k;
+    }();
+    return kinds;
+}
+
+const std::vector<KernelKind>& figure_kernel_kinds() {
+    static const std::vector<KernelKind> kinds = {
+        KernelKind::kCsr,
+        KernelKind::kCsx,
+        KernelKind::kSssIndexing,
+        KernelKind::kCsxSym,
+    };
+    return kinds;
+}
+
+KernelPtr make_kernel(KernelKind kind, const Coo& full, ThreadPool& pool,
+                      const csx::CsxConfig& cfg) {
+    switch (kind) {
+        case KernelKind::kCsrSerial:
+            return std::make_unique<CsrSerialKernel>(Csr(full));
+        case KernelKind::kCsr:
+            return std::make_unique<CsrMtKernel>(Csr(full), pool);
+        case KernelKind::kSssSerial:
+            return std::make_unique<SssSerialKernel>(Sss(full));
+        case KernelKind::kSssNaive:
+            return std::make_unique<SssMtKernel>(Sss(full), pool, ReductionMethod::kNaive);
+        case KernelKind::kSssEffective:
+            return std::make_unique<SssMtKernel>(Sss(full), pool,
+                                                 ReductionMethod::kEffectiveRanges);
+        case KernelKind::kSssIndexing:
+            return std::make_unique<SssMtKernel>(Sss(full), pool, ReductionMethod::kIndexing);
+        case KernelKind::kCsx:
+            return std::make_unique<csx::CsxMtKernel>(Csr(full), cfg, pool);
+        case KernelKind::kCsxSym:
+            return std::make_unique<csx::CsxSymKernel>(Sss(full), cfg, pool);
+        case KernelKind::kCsb:
+            return std::make_unique<csb::CsbMtKernel>(csb::CsbMatrix(full), pool);
+        case KernelKind::kCsbSym:
+            return std::make_unique<csb::CsbSymKernel>(csb::CsbSymMatrix(full), pool);
+        case KernelKind::kBcsr:
+            return std::make_unique<bcsr::BcsrMtKernel>(
+                bcsr::BcsrMatrix(full, bcsr::choose_block_size(full)), pool);
+        case KernelKind::kSssAtomic:
+            return std::make_unique<SssAtomicKernel>(Sss(full), pool);
+        case KernelKind::kSssColor:
+            return std::make_unique<SssColorKernel>(Sss(full), pool);
+        case KernelKind::kCsrDu:
+            return std::make_unique<csx::CsxMtKernel>(Csr(full), csx::delta_only_config(), pool,
+                                                      "CSR-DU");
+        case KernelKind::kEll:
+            return std::make_unique<EllpackMtKernel>(Ellpack(full), pool);
+        case KernelKind::kHyb:
+            return std::make_unique<HybMtKernel>(Hyb(full), pool);
+        case KernelKind::kDia:
+            return std::make_unique<DiaMtKernel>(Dia(full), pool);
+        case KernelKind::kJds:
+            return std::make_unique<JdsMtKernel>(Jds(full), pool);
+        case KernelKind::kVbl:
+            return std::make_unique<VblMtKernel>(Vbl(full), pool);
+        case KernelKind::kCsxJit:
+            return std::make_unique<csx::CsxJitKernel>(Csr(full), cfg, pool);
+        case KernelKind::kCsxSymJit:
+            return std::make_unique<csx::CsxSymJitKernel>(Sss(full), cfg, pool);
+    }
+    throw InvalidArgument("unknown kernel kind");
+}
+
+}  // namespace symspmv

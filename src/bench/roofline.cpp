@@ -1,0 +1,71 @@
+#include "bench/roofline.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "bench/streamprobe.hpp"
+#include "core/error.hpp"
+#include "core/timer.hpp"
+
+namespace symspmv::bench {
+
+double RooflineModel::attainable_gflops(double intensity) const {
+    return std::min(peak_gflops, bandwidth_gbs * intensity);
+}
+
+namespace {
+
+/// Per-thread multiply-add loop with eight independent accumulator chains
+/// (enough ILP to keep any current FP pipeline full).  Returns flops done.
+double fma_burst(std::int64_t iterations, double seed) {
+    double a0 = seed + 0.1, a1 = seed + 0.2, a2 = seed + 0.3, a3 = seed + 0.4;
+    double a4 = seed + 0.5, a5 = seed + 0.6, a6 = seed + 0.7, a7 = seed + 0.8;
+    const double m = 1.0000001;
+    const double c = 1e-9;
+    for (std::int64_t i = 0; i < iterations; ++i) {
+        a0 = a0 * m + c;
+        a1 = a1 * m + c;
+        a2 = a2 * m + c;
+        a3 = a3 * m + c;
+        a4 = a4 * m + c;
+        a5 = a5 * m + c;
+        a6 = a6 * m + c;
+        a7 = a7 * m + c;
+    }
+    // Fold the chains so the loop cannot be discarded.
+    return a0 + a1 + a2 + a3 + a4 + a5 + a6 + a7;
+}
+
+}  // namespace
+
+double probe_peak_gflops(ThreadPool& pool) {
+    constexpr std::int64_t kIterations = 4'000'000;  // 64 Mflop per worker
+    std::atomic<double> sink{0.0};
+    // Warmup round settles frequency scaling.
+    pool.run([&](int tid) { sink.store(fma_burst(kIterations / 8, tid)); });
+    Timer t;
+    pool.run([&](int tid) { sink.store(fma_burst(kIterations, 1.0 + tid)); });
+    const double seconds = t.seconds();
+    SYMSPMV_CHECK(seconds > 0.0);
+    const double flops = 16.0 * static_cast<double>(kIterations) *
+                         static_cast<double>(pool.size());  // 2 flops x 8 chains
+    return flops / seconds / 1e9;
+}
+
+RooflineModel probe_roofline(ThreadPool& pool) {
+    RooflineModel model;
+    model.peak_gflops = probe_peak_gflops(pool);
+    model.bandwidth_gbs = stream_probe(pool).triad_gbs;
+    return model;
+}
+
+std::size_t streamed_bytes(const SpmvKernel& kernel) {
+    return kernel.footprint_bytes() +
+           2 * static_cast<std::size_t>(kernel.rows()) * kValueBytes;
+}
+
+double operational_intensity(const SpmvKernel& kernel) {
+    return static_cast<double>(kernel.flops()) / static_cast<double>(streamed_bytes(kernel));
+}
+
+}  // namespace symspmv::bench

@@ -1,0 +1,48 @@
+// Roofline model (Williams et al. [5] in the paper's references).
+//
+// The paper's whole premise (§I) is that SpM×V has a "very low flop:byte
+// ratio", so its attainable performance is bandwidth * intensity, far below
+// the compute peak — and compression raises intensity by shrinking bytes.
+// This module makes that argument quantitative: probe the machine's two
+// ceilings, compute each kernel's operational intensity from its real
+// footprint, and compare attainable vs measured Gflop/s.
+#pragma once
+
+#include "core/thread_pool.hpp"
+#include "core/types.hpp"
+#include "spmv/kernel.hpp"
+
+namespace symspmv::bench {
+
+/// The two ceilings of the roofline plot.
+struct RooflineModel {
+    double peak_gflops = 0.0;      // compute ceiling
+    double bandwidth_gbs = 0.0;    // memory ceiling (triad-sustained)
+
+    /// Attainable Gflop/s at @p intensity flops/byte:
+    /// min(peak, bandwidth * intensity).
+    [[nodiscard]] double attainable_gflops(double intensity) const;
+
+    /// Intensity where the two ceilings meet (the "ridge point").
+    [[nodiscard]] double ridge_intensity() const {
+        return bandwidth_gbs > 0.0 ? peak_gflops / bandwidth_gbs : 0.0;
+    }
+};
+
+/// Measures the FP compute ceiling with an unrolled multiply-add loop on
+/// every pool worker (seconds-scale; cache-resident, no memory traffic).
+double probe_peak_gflops(ThreadPool& pool);
+
+/// Builds the model from the FMA probe and the STREAM-like triad probe.
+RooflineModel probe_roofline(ThreadPool& pool);
+
+/// Bytes one SpM×V of @p kernel streams: the format's own footprint
+/// (values + indices + reduction side structures) plus the input and
+/// output vectors.  The compulsory-traffic estimate the paper's size
+/// equations feed.
+[[nodiscard]] std::size_t streamed_bytes(const SpmvKernel& kernel);
+
+/// Operational intensity of @p kernel in flops/byte: 2*nnz / streamed.
+[[nodiscard]] double operational_intensity(const SpmvKernel& kernel);
+
+}  // namespace symspmv::bench

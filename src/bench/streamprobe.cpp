@@ -1,0 +1,48 @@
+#include "bench/streamprobe.hpp"
+
+#include <algorithm>
+
+#include "core/allocator.hpp"
+#include "core/partition.hpp"
+#include "core/timer.hpp"
+#include "core/types.hpp"
+
+namespace symspmv::bench {
+
+StreamResult stream_probe(ThreadPool& pool, std::size_t elements, int repetitions) {
+    aligned_vector<double> a(elements, 1.0), b(elements, 2.0), c(elements, 0.5);
+    const auto parts = split_even(static_cast<index_t>(elements), pool.size());
+    const double scalar = 3.0;
+
+    StreamResult result;
+    for (int rep = 0; rep < repetitions; ++rep) {
+        Timer t;
+        pool.run([&](int tid) {
+            const RowRange r = parts[static_cast<std::size_t>(tid)];
+            double* __restrict av = a.data();
+            const double* __restrict bv = b.data();
+            const double* __restrict cv = c.data();
+            for (index_t i = r.begin; i < r.end; ++i) av[i] = bv[i] + scalar * cv[i];
+        });
+        const double triad_s = t.seconds();
+        // Triad moves 3 doubles per element (2 loads + 1 store).
+        const double triad_gbs =
+            static_cast<double>(elements) * 3.0 * sizeof(double) / triad_s * 1e-9;
+        result.triad_gbs = std::max(result.triad_gbs, triad_gbs);
+
+        t.reset();
+        pool.run([&](int tid) {
+            const RowRange r = parts[static_cast<std::size_t>(tid)];
+            double* __restrict cv = c.data();
+            const double* __restrict av = a.data();
+            for (index_t i = r.begin; i < r.end; ++i) cv[i] = av[i];
+        });
+        const double copy_s = t.seconds();
+        const double copy_gbs =
+            static_cast<double>(elements) * 2.0 * sizeof(double) / copy_s * 1e-9;
+        result.copy_gbs = std::max(result.copy_gbs, copy_gbs);
+    }
+    return result;
+}
+
+}  // namespace symspmv::bench

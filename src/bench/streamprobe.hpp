@@ -1,0 +1,26 @@
+// STREAM-like sustained memory bandwidth probe.
+//
+// Table II of the paper reports sustained bandwidth "obtained with the
+// STREAM benchmark"; this probe reproduces the triad kernel
+// (a[i] = b[i] + s * c[i]) over arrays much larger than the caches so the
+// bench reports can contextualize the measured SpM×V rates.
+#pragma once
+
+#include <cstddef>
+
+#include "core/thread_pool.hpp"
+
+namespace symspmv::bench {
+
+struct StreamResult {
+    double triad_gbs = 0.0;  // best-of-k triad bandwidth in GB/s
+    double copy_gbs = 0.0;   // best-of-k copy bandwidth in GB/s
+};
+
+/// Runs the probe with `pool.size()` threads over arrays of @p elements
+/// doubles each (default ~8 MiB per array), repeating @p repetitions times
+/// and keeping the best rate, as STREAM does.
+StreamResult stream_probe(ThreadPool& pool, std::size_t elements = 1u << 20,
+                          int repetitions = 5);
+
+}  // namespace symspmv::bench

@@ -1,0 +1,66 @@
+#include "cachesim/cache.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace symspmv::cachesim {
+
+CacheConfig dunnington_l2() { return {3 * 1024 * 1024, 64, 12}; }
+CacheConfig dunnington_l3() { return {16 * 1024 * 1024, 64, 16}; }
+CacheConfig gainestown_l2() { return {256 * 1024, 64, 8}; }
+CacheConfig gainestown_l3() { return {8 * 1024 * 1024, 64, 16}; }
+
+Cache::Cache(const CacheConfig& cfg) : cfg_(cfg) {
+    SYMSPMV_CHECK_MSG(cfg.ways >= 1 && cfg.line_bytes >= 8 &&
+                          std::has_single_bit(cfg.line_bytes),
+                      "cache: line size must be a power of two");
+    const std::size_t lines = cfg.size_bytes / cfg.line_bytes;
+    SYMSPMV_CHECK_MSG(lines % static_cast<std::size_t>(cfg.ways) == 0,
+                      "cache: size must be a multiple of ways*line");
+    sets_ = lines / static_cast<std::size_t>(cfg.ways);
+    SYMSPMV_CHECK_MSG(std::has_single_bit(sets_), "cache: set count must be a power of two");
+    line_shift_ = std::countr_zero(cfg.line_bytes);
+    tags_.assign(lines, 0);
+}
+
+bool Cache::access(addr_t addr) {
+    // Tag 0 marks an empty way, so line tags are offset by 1.
+    const addr_t line = (addr >> line_shift_) + 1;
+    const std::size_t set = static_cast<std::size_t>(line - 1) & (sets_ - 1);
+    addr_t* ways = tags_.data() + set * static_cast<std::size_t>(cfg_.ways);
+    for (int w = 0; w < cfg_.ways; ++w) {
+        if (ways[w] == line) {
+            // Move to front (most recently used).
+            std::rotate(ways, ways + w, ways + w + 1);
+            ++hits_;
+            return true;
+        }
+    }
+    // Miss: evict the LRU way (the last), insert at front.
+    std::rotate(ways, ways + cfg_.ways - 1, ways + cfg_.ways);
+    ways[0] = line;
+    ++misses_;
+    return false;
+}
+
+std::int64_t Cache::access_range(addr_t addr, std::size_t bytes) {
+    std::int64_t range_hits = 0;
+    const addr_t first = addr >> line_shift_;
+    const addr_t last = (addr + bytes - 1) >> line_shift_;
+    for (addr_t line = first; line <= last; ++line) {
+        if (access(line << line_shift_)) ++range_hits;
+    }
+    return range_hits;
+}
+
+void Cache::reset_counters() {
+    hits_ = 0;
+    misses_ = 0;
+}
+
+void Cache::flush() {
+    std::ranges::fill(tags_, 0);
+    reset_counters();
+}
+
+}  // namespace symspmv::cachesim

@@ -1,0 +1,69 @@
+// Set-associative LRU cache model.
+//
+// The paper attributes part of the local-vectors-indexing win to cache
+// effects: "the high working set overhead of the alternative methods ...
+// is likely to spill out useful data from the cache, incurring an
+// increased overhead to the multiplication phase of the next iteration"
+// (§V.B).  That claim is hardware-dependent on a real machine; this model
+// makes it machine-independent: replay the kernel's address stream through
+// a configurable cache and count the misses each phase suffers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace symspmv::cachesim {
+
+/// Addresses are abstract byte offsets in a flat simulated address space.
+using addr_t = std::uint64_t;
+
+struct CacheConfig {
+    std::size_t size_bytes = 256 * 1024;  // Gainestown per-core L2
+    std::size_t line_bytes = 64;
+    int ways = 8;
+};
+
+/// Preset configurations of the paper's two platforms (Table II).
+CacheConfig dunnington_l2();   // 3 MiB / 12-way, shared per 2 cores
+CacheConfig dunnington_l3();   // 16 MiB / 16-way
+CacheConfig gainestown_l2();   // 256 KiB / 8-way
+CacheConfig gainestown_l3();   // 8 MiB / 16-way
+
+class Cache {
+   public:
+    explicit Cache(const CacheConfig& cfg);
+
+    /// Touches the line containing @p addr; returns true on hit.  Misses
+    /// fill the line (LRU eviction).
+    bool access(addr_t addr);
+
+    /// Touches every line of [addr, addr + bytes); returns the hits.
+    std::int64_t access_range(addr_t addr, std::size_t bytes);
+
+    [[nodiscard]] std::int64_t hits() const { return hits_; }
+    [[nodiscard]] std::int64_t misses() const { return misses_; }
+    [[nodiscard]] std::int64_t accesses() const { return hits_ + misses_; }
+
+    /// Resets the counters, keeping the cache contents (so a phase can be
+    /// measured against the state the previous phase left behind).
+    void reset_counters();
+
+    /// Empties the cache entirely.
+    void flush();
+
+    [[nodiscard]] const CacheConfig& config() const { return cfg_; }
+    [[nodiscard]] std::size_t sets() const { return sets_; }
+
+   private:
+    CacheConfig cfg_;
+    std::size_t sets_ = 0;
+    int line_shift_ = 0;
+    // Per set: `ways` tags ordered most-recent-first (tag 0 = empty).
+    std::vector<addr_t> tags_;
+    std::int64_t hits_ = 0;
+    std::int64_t misses_ = 0;
+};
+
+}  // namespace symspmv::cachesim

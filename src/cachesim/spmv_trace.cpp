@@ -1,0 +1,179 @@
+#include "cachesim/spmv_trace.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+
+namespace symspmv::cachesim {
+
+namespace {
+
+/// Rows per turn when interleaving the per-thread streams (coarse model of
+/// concurrent execution sharing one cache).
+constexpr index_t kInterleaveRows = 32;
+
+/// Reduction-index entries per interleave turn.
+constexpr std::size_t kInterleaveEntries = 256;
+
+addr_t page_align(addr_t a) { return (a + 4095) & ~addr_t{4095}; }
+
+}  // namespace
+
+SpmvTrace::SpmvTrace(const Sss& matrix, std::span<const RowRange> parts)
+    : matrix_(matrix),
+      parts_(parts.begin(), parts.end()),
+      reduce_parts_(split_even(matrix.rows(), static_cast<int>(parts.size()))),
+      index_(matrix, parts) {
+    addr_t cursor = 0;
+    const auto place = [&](std::size_t bytes) {
+        const addr_t base = cursor;
+        cursor = page_align(cursor + bytes);
+        return base;
+    };
+    const auto n = static_cast<std::size_t>(matrix.rows());
+    layout_.rowptr = place((n + 1) * kIndexBytes);
+    layout_.colind = place(matrix.colind().size() * kIndexBytes);
+    layout_.values = place(matrix.values().size() * kValueBytes);
+    layout_.dvalues = place(n * kValueBytes);
+    layout_.x = place(n * kValueBytes);
+    layout_.y = place(n * kValueBytes);
+    layout_.locals.reserve(parts_.size());
+    for (const RowRange& part : parts_) {
+        // naive keeps full-length locals; the others only [0, begin).  The
+        // larger layout is reserved so all methods share one address map
+        // (unused pages cost nothing in the model).
+        (void)part;
+        layout_.locals.push_back(place(n * kValueBytes));
+    }
+    layout_.index = place(index_.entries().size() * sizeof(ReductionEntry));
+    total_bytes_ = cursor;
+}
+
+void SpmvTrace::multiply_rows(Cache& cache, int tid, index_t row_begin, index_t row_end,
+                              ReductionMethod method) const {
+    const auto rowptr = matrix_.rowptr();
+    const auto colind = matrix_.colind();
+    const index_t start = parts_[static_cast<std::size_t>(tid)].begin;
+    const addr_t local = layout_.locals[static_cast<std::size_t>(tid)];
+    for (index_t r = row_begin; r < row_end; ++r) {
+        cache.access(layout_.rowptr + static_cast<addr_t>(r) * kIndexBytes);
+        cache.access(layout_.dvalues + static_cast<addr_t>(r) * kValueBytes);
+        cache.access(layout_.x + static_cast<addr_t>(r) * kValueBytes);
+        const addr_t own_row =
+            (method == ReductionMethod::kNaive ? local : layout_.y) +
+            static_cast<addr_t>(r) * kValueBytes;
+        cache.access(own_row);
+        for (index_t j = rowptr[static_cast<std::size_t>(r)];
+             j < rowptr[static_cast<std::size_t>(r) + 1]; ++j) {
+            const index_t c = colind[static_cast<std::size_t>(j)];
+            cache.access(layout_.colind + static_cast<addr_t>(j) * kIndexBytes);
+            cache.access(layout_.values + static_cast<addr_t>(j) * kValueBytes);
+            cache.access(layout_.x + static_cast<addr_t>(c) * kValueBytes);
+            // Mirrored write target per method (§III).
+            addr_t mirror = local;
+            if (method != ReductionMethod::kNaive && c >= start) mirror = layout_.y;
+            cache.access(mirror + static_cast<addr_t>(c) * kValueBytes);
+        }
+    }
+}
+
+void SpmvTrace::replay_multiply(Cache& cache, ReductionMethod method) const {
+    // Round-robin over threads, kInterleaveRows rows per turn.
+    std::vector<index_t> next(parts_.size());
+    for (std::size_t t = 0; t < parts_.size(); ++t) next[t] = parts_[t].begin;
+    bool progress = true;
+    while (progress) {
+        progress = false;
+        for (std::size_t t = 0; t < parts_.size(); ++t) {
+            if (next[t] >= parts_[t].end) continue;
+            const index_t hi = std::min<index_t>(next[t] + kInterleaveRows, parts_[t].end);
+            multiply_rows(cache, static_cast<int>(t), next[t], hi, method);
+            next[t] = hi;
+            progress = true;
+        }
+    }
+}
+
+void SpmvTrace::replay_reduction(Cache& cache, ReductionMethod method) const {
+    const auto n = matrix_.rows();
+    switch (method) {
+        case ReductionMethod::kNaive: {
+            // Every thread scans all p locals over its reduction rows.
+            std::vector<index_t> next(reduce_parts_.size());
+            for (std::size_t t = 0; t < reduce_parts_.size(); ++t) {
+                next[t] = reduce_parts_[t].begin;
+            }
+            bool progress = true;
+            while (progress) {
+                progress = false;
+                for (std::size_t t = 0; t < reduce_parts_.size(); ++t) {
+                    if (next[t] >= reduce_parts_[t].end) continue;
+                    const index_t hi =
+                        std::min<index_t>(next[t] + kInterleaveRows, reduce_parts_[t].end);
+                    for (index_t r = next[t]; r < hi; ++r) {
+                        cache.access(layout_.y + static_cast<addr_t>(r) * kValueBytes);
+                        for (const addr_t local : layout_.locals) {
+                            cache.access(local + static_cast<addr_t>(r) * kValueBytes);
+                        }
+                    }
+                    next[t] = hi;
+                    progress = true;
+                }
+            }
+            break;
+        }
+        case ReductionMethod::kEffectiveRanges: {
+            // Same scan restricted to each local's effective region.
+            for (index_t r = 0; r < n; ++r) {
+                bool touched = false;
+                for (std::size_t i = 1; i < parts_.size(); ++i) {
+                    if (r < parts_[i].begin) {
+                        cache.access(layout_.locals[i] + static_cast<addr_t>(r) * kValueBytes);
+                        touched = true;
+                    }
+                }
+                if (touched) cache.access(layout_.y + static_cast<addr_t>(r) * kValueBytes);
+            }
+            break;
+        }
+        case ReductionMethod::kIndexing: {
+            const auto entries = index_.entries();
+            const auto chunks = index_.chunk_ptr();
+            std::vector<std::size_t> next(chunks.begin(), chunks.end() - 1);
+            bool progress = true;
+            while (progress) {
+                progress = false;
+                for (std::size_t t = 0; t + 1 < chunks.size(); ++t) {
+                    if (next[t] >= chunks[t + 1]) continue;
+                    const std::size_t hi = std::min(next[t] + kInterleaveEntries, chunks[t + 1]);
+                    for (std::size_t k = next[t]; k < hi; ++k) {
+                        const ReductionEntry e = entries[k];
+                        cache.access(layout_.index + k * sizeof(ReductionEntry));
+                        cache.access(layout_.locals[static_cast<std::size_t>(e.vid)] +
+                                     static_cast<addr_t>(e.idx) * kValueBytes);
+                        cache.access(layout_.y + static_cast<addr_t>(e.idx) * kValueBytes);
+                    }
+                    next[t] = hi;
+                    progress = true;
+                }
+            }
+            break;
+        }
+    }
+}
+
+InterferenceResult SpmvTrace::run_interference(Cache& cache, ReductionMethod method) const {
+    InterferenceResult out;
+    cache.flush();
+    replay_multiply(cache, method);
+    out.first_multiply = cache.misses();
+    cache.reset_counters();
+    replay_reduction(cache, method);
+    out.reduction = cache.misses();
+    cache.reset_counters();
+    replay_multiply(cache, method);
+    out.second_multiply = cache.misses();
+    return out;
+}
+
+}  // namespace symspmv::cachesim

@@ -1,0 +1,76 @@
+// Address-trace generator for the multithreaded symmetric SpM×V (§V.B).
+//
+// Lays the SSS arrays, the vectors and the per-thread local vectors out in
+// a simulated address space and replays the memory accesses of the
+// multiply and reduction phases through a Cache, with the per-thread
+// streams interleaved in small blocks to model the shared last-level
+// cache of the paper's SMP platform.
+//
+// The experiment the paper's §V.B argument implies:
+//   multiply -> reduction(method) -> multiply again
+// and compare the *second* multiply's miss count across reduction methods:
+// a reduction that streams big local-vector ranges (naive, effective
+// ranges) evicts the matrix/vector lines the next multiply needs, while
+// the indexed reduction touches too little to disturb them.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "cachesim/cache.hpp"
+#include "core/partition.hpp"
+#include "matrix/sss.hpp"
+#include "spmv/reduction.hpp"
+#include "spmv/sss_kernels.hpp"
+
+namespace symspmv::cachesim {
+
+/// Miss counts of one multiply -> reduce -> multiply experiment.
+struct InterferenceResult {
+    std::int64_t first_multiply = 0;   // cold-ish misses (same for all methods)
+    std::int64_t reduction = 0;        // misses of the reduction itself
+    std::int64_t second_multiply = 0;  // the §V.B quantity: pollution damage
+};
+
+class SpmvTrace {
+   public:
+    /// @p parts: one row range per simulated thread.
+    SpmvTrace(const Sss& matrix, std::span<const RowRange> parts);
+
+    /// Replays one multiply phase (all threads, block-interleaved).
+    void replay_multiply(Cache& cache, ReductionMethod method) const;
+
+    /// Replays one reduction phase for @p method.
+    void replay_reduction(Cache& cache, ReductionMethod method) const;
+
+    /// The full §V.B experiment on a freshly flushed cache.
+    InterferenceResult run_interference(Cache& cache, ReductionMethod method) const;
+
+    /// Total simulated bytes (arrays + vectors + local vectors).
+    [[nodiscard]] std::size_t footprint_bytes() const { return total_bytes_; }
+
+   private:
+    struct Layout {
+        addr_t rowptr = 0;
+        addr_t colind = 0;
+        addr_t values = 0;
+        addr_t dvalues = 0;
+        addr_t x = 0;
+        addr_t y = 0;
+        std::vector<addr_t> locals;   // per thread
+        addr_t index = 0;             // reduction-index entry array
+    };
+
+    void multiply_rows(Cache& cache, int tid, index_t row_begin, index_t row_end,
+                       ReductionMethod method) const;
+
+    const Sss& matrix_;
+    std::vector<RowRange> parts_;
+    std::vector<RowRange> reduce_parts_;
+    ReductionIndex index_;
+    Layout layout_;
+    std::size_t total_bytes_ = 0;
+};
+
+}  // namespace symspmv::cachesim

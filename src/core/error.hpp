@@ -1,0 +1,59 @@
+// Error handling helpers.
+//
+// Library invariants are checked with SYMSPMV_CHECK (always on; throws) and
+// SYMSPMV_DCHECK (debug only).  Following the C++ Core Guidelines (I.10), we
+// signal precondition violations with exceptions rather than error codes so
+// that construction failures cannot yield half-built matrices.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace symspmv {
+
+/// Thrown when a matrix file or byte stream is malformed.
+class ParseError : public std::runtime_error {
+   public:
+    using std::runtime_error::runtime_error;
+};
+
+/// Thrown when an argument violates a documented precondition.
+class InvalidArgument : public std::invalid_argument {
+   public:
+    using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown when an internal invariant is violated (a library bug).
+class InternalError : public std::logic_error {
+   public:
+    using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void throw_check_failure(const char* expr, const char* file, int line,
+                                             const std::string& msg) {
+    std::ostringstream os;
+    os << "check failed: " << expr << " at " << file << ':' << line;
+    if (!msg.empty()) os << " — " << msg;
+    throw InternalError(os.str());
+}
+}  // namespace detail
+
+}  // namespace symspmv
+
+#define SYMSPMV_CHECK(expr)                                                          \
+    do {                                                                             \
+        if (!(expr)) ::symspmv::detail::throw_check_failure(#expr, __FILE__, __LINE__, ""); \
+    } while (0)
+
+#define SYMSPMV_CHECK_MSG(expr, msg)                                                    \
+    do {                                                                                \
+        if (!(expr)) ::symspmv::detail::throw_check_failure(#expr, __FILE__, __LINE__, (msg)); \
+    } while (0)
+
+#ifdef NDEBUG
+#define SYMSPMV_DCHECK(expr) ((void)0)
+#else
+#define SYMSPMV_DCHECK(expr) SYMSPMV_CHECK(expr)
+#endif

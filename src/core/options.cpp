@@ -1,0 +1,84 @@
+#include "core/options.hpp"
+
+#include <cstdlib>
+
+#include "core/error.hpp"
+
+namespace symspmv {
+namespace {
+
+std::string_view strip_dashes(std::string_view s) {
+    while (!s.empty() && s.front() == '-') s.remove_prefix(1);
+    return s;
+}
+
+bool looks_like_flag(std::string_view s) { return s.size() >= 3 && s.substr(0, 2) == "--"; }
+
+}  // namespace
+
+Options::Options(int argc, const char* const* argv) {
+    if (argc > 0) program_ = argv[0];
+    for (int i = 1; i < argc; ++i) {
+        std::string_view arg = argv[i];
+        if (!looks_like_flag(arg)) {
+            positional_.emplace_back(arg);
+            continue;
+        }
+        Flag flag;
+        const auto eq = arg.find('=');
+        if (eq != std::string_view::npos) {
+            flag.name = std::string(strip_dashes(arg.substr(0, eq)));
+            flag.value = std::string(arg.substr(eq + 1));
+        } else {
+            flag.name = std::string(strip_dashes(arg));
+            // Consume a following token as the value unless it is a flag.
+            if (i + 1 < argc && !looks_like_flag(argv[i + 1])) {
+                flag.value = std::string(argv[i + 1]);
+                ++i;
+            }
+        }
+        flags_.push_back(std::move(flag));
+    }
+}
+
+bool Options::has(std::string_view name) const {
+    const auto stripped = strip_dashes(name);
+    for (const auto& f : flags_) {
+        if (f.name == stripped) return true;
+    }
+    return false;
+}
+
+std::optional<std::string> Options::get(std::string_view name) const {
+    const auto stripped = strip_dashes(name);
+    for (const auto& f : flags_) {
+        if (f.name == stripped) return f.value;
+    }
+    return std::nullopt;
+}
+
+long Options::get_int(std::string_view name, long fallback) const {
+    const auto v = get(name);
+    if (!v || v->empty()) return fallback;
+    char* end = nullptr;
+    const long parsed = std::strtol(v->c_str(), &end, 10);
+    SYMSPMV_CHECK_MSG(end && *end == '\0', "option value is not an integer: " + *v);
+    return parsed;
+}
+
+double Options::get_double(std::string_view name, double fallback) const {
+    const auto v = get(name);
+    if (!v || v->empty()) return fallback;
+    char* end = nullptr;
+    const double parsed = std::strtod(v->c_str(), &end);
+    SYMSPMV_CHECK_MSG(end && *end == '\0', "option value is not a number: " + *v);
+    return parsed;
+}
+
+std::string Options::get_string(std::string_view name, std::string_view fallback) const {
+    const auto v = get(name);
+    if (!v) return std::string(fallback);
+    return *v;
+}
+
+}  // namespace symspmv

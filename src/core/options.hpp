@@ -1,0 +1,44 @@
+// Minimal command-line option parser shared by the benchmark binaries and
+// the examples.  Flags are of the form --name value or --name=value; bare
+// --name acts as a boolean.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace symspmv {
+
+class Options {
+   public:
+    Options(int argc, const char* const* argv);
+
+    /// True if --name was present (with or without a value).
+    [[nodiscard]] bool has(std::string_view name) const;
+
+    /// Value of --name, if present with a value.
+    [[nodiscard]] std::optional<std::string> get(std::string_view name) const;
+
+    [[nodiscard]] long get_int(std::string_view name, long fallback) const;
+    [[nodiscard]] double get_double(std::string_view name, double fallback) const;
+    [[nodiscard]] std::string get_string(std::string_view name, std::string_view fallback) const;
+
+    /// Positional (non-flag) arguments in order.
+    [[nodiscard]] const std::vector<std::string>& positional() const { return positional_; }
+
+    /// Program name (argv[0]).
+    [[nodiscard]] const std::string& program() const { return program_; }
+
+   private:
+    struct Flag {
+        std::string name;  // without leading dashes
+        std::optional<std::string> value;
+    };
+
+    std::string program_;
+    std::vector<Flag> flags_;
+    std::vector<std::string> positional_;
+};
+
+}  // namespace symspmv

@@ -1,0 +1,66 @@
+// Row partitioning of a sparse matrix among threads.
+//
+// The paper assigns the matrix to threads row-wise, "ensuring an
+// approximately equal number of non-zero elements per partition" (Fig. 3a).
+// split_by_nnz implements that policy; split_even is the equal-rows policy
+// used for the reduction phase of the naive method (Alg. 3, lines 12-15).
+#pragma once
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/types.hpp"
+
+namespace symspmv {
+
+/// Half-open row range [begin, end) owned by one thread.
+struct RowRange {
+    index_t begin = 0;
+    index_t end = 0;
+
+    [[nodiscard]] index_t rows() const { return end - begin; }
+    friend bool operator==(const RowRange&, const RowRange&) = default;
+};
+
+/// Splits n rows into p contiguous ranges of (almost) equal row count.
+/// The first n % p ranges get one extra row.
+inline std::vector<RowRange> split_even(index_t n, int p) {
+    SYMSPMV_CHECK_MSG(p >= 1 && n >= 0, "split_even: need p >= 1, n >= 0");
+    std::vector<RowRange> out(static_cast<std::size_t>(p));
+    const index_t base = n / p;
+    const index_t extra = n % p;
+    index_t begin = 0;
+    for (int i = 0; i < p; ++i) {
+        const index_t len = base + (i < extra ? 1 : 0);
+        out[static_cast<std::size_t>(i)] = {begin, begin + len};
+        begin += len;
+    }
+    return out;
+}
+
+/// Splits rows into p contiguous ranges with approximately equal non-zero
+/// counts, using the CSR/SSS row-pointer array as the nnz prefix sum.
+/// @p rowptr has n+1 entries; range i targets nnz ~= total/p.
+inline std::vector<RowRange> split_by_nnz(std::span<const index_t> rowptr, int p) {
+    SYMSPMV_CHECK_MSG(p >= 1 && !rowptr.empty(), "split_by_nnz: need p >= 1 and rowptr");
+    const index_t n = static_cast<index_t>(rowptr.size() - 1);
+    const index_t total = rowptr[static_cast<std::size_t>(n)];
+    std::vector<RowRange> out(static_cast<std::size_t>(p));
+    index_t begin = 0;
+    for (int i = 0; i < p; ++i) {
+        // Target cumulative nnz at the end of partition i (rounded evenly).
+        const index_t target =
+            static_cast<index_t>((static_cast<long long>(total) * (i + 1)) / p);
+        const auto* it = std::lower_bound(rowptr.data() + begin, rowptr.data() + n + 1, target);
+        index_t end = static_cast<index_t>(it - rowptr.data());
+        end = std::clamp(end, begin, n);
+        if (i == p - 1) end = n;  // last partition always absorbs the tail
+        out[static_cast<std::size_t>(i)] = {begin, end};
+        begin = end;
+    }
+    return out;
+}
+
+}  // namespace symspmv

@@ -1,0 +1,35 @@
+#include "core/placement.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "core/error.hpp"
+
+namespace symspmv {
+
+void first_touch_partitioned(void* data, std::size_t elem_size, std::span<const RowRange> parts,
+                             ThreadPool& pool) {
+    SYMSPMV_CHECK_MSG(static_cast<int>(parts.size()) == pool.size(),
+                      "first_touch_partitioned: one partition per worker required");
+    auto* base = static_cast<unsigned char*>(data);
+    pool.run([&](int tid) {
+        const RowRange part = parts[static_cast<std::size_t>(tid)];
+        const std::size_t begin = static_cast<std::size_t>(part.begin) * elem_size;
+        const std::size_t end = static_cast<std::size_t>(part.end) * elem_size;
+        if (end > begin) std::memset(base + begin, 0, end - begin);
+    });
+}
+
+void first_touch_interleaved(void* data, std::size_t bytes, ThreadPool& pool) {
+    auto* base = static_cast<unsigned char*>(data);
+    const int p = pool.size();
+    pool.run([&](int tid) {
+        // Page k belongs to worker (k mod p); partial last page included.
+        for (std::size_t offset = static_cast<std::size_t>(tid) * kPageBytes; offset < bytes;
+             offset += static_cast<std::size_t>(p) * kPageBytes) {
+            std::memset(base + offset, 0, std::min(kPageBytes, bytes - offset));
+        }
+    });
+}
+
+}  // namespace symspmv

@@ -1,0 +1,49 @@
+// Page placement for NUMA machines (§V.A: the paper uses numactl plus a
+// "low-level interleaved allocator" [16] for its Gainestown results).
+//
+// Linux assigns the physical page backing an allocation to the NUMA node
+// of the *first thread that touches it*.  These helpers exploit that
+// first-touch policy without libnuma: partition-touch places each thread's
+// share of an array on that thread's node (right for the format arrays,
+// which are read by their owning partition), and interleave-touch spreads
+// pages round-robin (right for the x vector, which every thread gathers
+// from).  On UMA machines both are harmless zero-fills.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "core/partition.hpp"
+#include "core/thread_pool.hpp"
+#include "core/types.hpp"
+
+namespace symspmv {
+
+/// OS page granularity used for placement (the worst case; transparent
+/// huge pages only coarsen it).
+inline constexpr std::size_t kPageBytes = 4096;
+
+/// Zero-fills @p bytes of @p data so that the pages backing element range
+/// [parts[i].begin, parts[i].end) * elem_size are first touched by worker
+/// i.  Call right after allocating a partitioned array and before filling
+/// it from the building thread.
+void first_touch_partitioned(void* data, std::size_t elem_size, std::span<const RowRange> parts,
+                             ThreadPool& pool);
+
+/// Zero-fills @p data page by page, pages dealt round-robin to the
+/// workers — the interleaved-allocation stand-in.
+void first_touch_interleaved(void* data, std::size_t bytes, ThreadPool& pool);
+
+/// Typed convenience wrappers.
+template <typename T>
+void first_touch_partitioned(std::span<T> data, std::span<const RowRange> parts,
+                             ThreadPool& pool) {
+    first_touch_partitioned(data.data(), sizeof(T), parts, pool);
+}
+
+template <typename T>
+void first_touch_interleaved(std::span<T> data, ThreadPool& pool) {
+    first_touch_interleaved(data.data(), data.size_bytes(), pool);
+}
+
+}  // namespace symspmv

@@ -1,0 +1,45 @@
+// Small descriptive-statistics helpers for the measurement framework.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <span>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace symspmv {
+
+/// Summary of a sample of measurements (seconds, bytes, ratios, ...).
+struct Summary {
+    double min = 0.0;
+    double max = 0.0;
+    double mean = 0.0;
+    double median = 0.0;
+    double stddev = 0.0;
+    std::size_t count = 0;
+};
+
+/// Computes min/max/mean/median/sample-stddev of @p sample (must be non-empty).
+inline Summary summarize(std::span<const double> sample) {
+    SYMSPMV_CHECK_MSG(!sample.empty(), "summarize: empty sample");
+    Summary s;
+    s.count = sample.size();
+    std::vector<double> sorted(sample.begin(), sample.end());
+    std::sort(sorted.begin(), sorted.end());
+    s.min = sorted.front();
+    s.max = sorted.back();
+    const std::size_t mid = sorted.size() / 2;
+    s.median = (sorted.size() % 2 == 1) ? sorted[mid] : 0.5 * (sorted[mid - 1] + sorted[mid]);
+    double sum = 0.0;
+    for (double v : sorted) sum += v;
+    s.mean = sum / static_cast<double>(sorted.size());
+    if (sorted.size() > 1) {
+        double ss = 0.0;
+        for (double v : sorted) ss += (v - s.mean) * (v - s.mean);
+        s.stddev = std::sqrt(ss / static_cast<double>(sorted.size() - 1));
+    }
+    return s;
+}
+
+}  // namespace symspmv

@@ -1,0 +1,90 @@
+#include "core/thread_pool.hpp"
+
+#ifdef __linux__
+#include <pthread.h>
+#include <sched.h>
+#include <unistd.h>
+#endif
+
+#include "core/error.hpp"
+
+namespace symspmv {
+
+namespace {
+
+/// Binds the calling thread to logical CPU (tid % cpu count); returns
+/// whether the bind took effect.  No-op outside Linux.
+bool pin_to_cpu(int tid) {
+#ifdef __linux__
+    const long cpus = ::sysconf(_SC_NPROCESSORS_ONLN);
+    if (cpus <= 0) return false;
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    CPU_SET(static_cast<std::size_t>(tid % static_cast<int>(cpus)), &set);
+    return ::pthread_setaffinity_np(::pthread_self(), sizeof(set), &set) == 0;
+#else
+    (void)tid;
+    return false;
+#endif
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(int threads, bool pin_threads) {
+    SYMSPMV_CHECK_MSG(threads >= 1, "thread pool needs at least one worker");
+    barrier_ = std::make_unique<std::barrier<>>(threads);
+    pinned_.assign(static_cast<std::size_t>(threads), 0);
+    workers_.reserve(static_cast<std::size_t>(threads));
+    for (int tid = 0; tid < threads; ++tid) {
+        workers_.emplace_back([this, tid, pin_threads] { worker_loop(tid, pin_threads); });
+    }
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        std::lock_guard lock(mu_);
+        stop_ = true;
+    }
+    cv_job_.notify_all();
+}
+
+void ThreadPool::run(const Job& job) {
+    std::unique_lock lock(mu_);
+    SYMSPMV_CHECK_MSG(pending_ == 0, "ThreadPool::run is not reentrant");
+    job_ = &job;
+    pending_ = size();
+    first_error_ = nullptr;
+    ++generation_;
+    cv_job_.notify_all();
+    cv_done_.wait(lock, [this] { return pending_ == 0; });
+    job_ = nullptr;
+    if (first_error_) std::rethrow_exception(first_error_);
+}
+
+void ThreadPool::worker_loop(int tid, bool pin) {
+    if (pin) pinned_[static_cast<std::size_t>(tid)] = pin_to_cpu(tid) ? 1 : 0;
+    std::uint64_t seen = 0;
+    for (;;) {
+        const Job* job = nullptr;
+        {
+            std::unique_lock lock(mu_);
+            cv_job_.wait(lock, [&] { return stop_ || generation_ != seen; });
+            if (stop_) return;
+            seen = generation_;
+            job = job_;
+        }
+        std::exception_ptr error;
+        try {
+            (*job)(tid);
+        } catch (...) {
+            error = std::current_exception();
+        }
+        {
+            std::lock_guard lock(mu_);
+            if (error && !first_error_) first_error_ = error;
+            if (--pending_ == 0) cv_done_.notify_all();
+        }
+    }
+}
+
+}  // namespace symspmv

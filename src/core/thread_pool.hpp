@@ -1,0 +1,71 @@
+// Persistent worker-thread pool with an in-job barrier.
+//
+// The paper parallelizes SpM×V with explicit native threading (Pthreads) and
+// a two-phase structure: every thread multiplies its own partition, all
+// threads synchronize, then every thread reduces its slice of the local
+// vectors.  This pool reproduces that model: run() executes one job on all
+// workers and barrier() lets a job synchronize its phases without returning
+// to the caller (which would cost a full fork/join per phase).
+#pragma once
+
+#include <barrier>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace symspmv {
+
+class ThreadPool {
+   public:
+    /// Job executed by every worker; receives the worker id in [0, threads).
+    using Job = std::function<void(int)>;
+
+    /// Creates @p threads persistent workers.  @p threads must be >= 1.
+    /// With @p pin_threads, worker i is bound to logical CPU i modulo the
+    /// machine's CPU count — the paper "bound the threads to specific
+    /// logical processors" (§V.A); pinning failures are ignored (some
+    /// sandboxes forbid sched_setaffinity).
+    explicit ThreadPool(int threads, bool pin_threads = false);
+
+    /// True when worker @p tid was successfully pinned to a CPU.
+    [[nodiscard]] bool pinned(int tid) const {
+        return pinned_[static_cast<std::size_t>(tid)] != 0;
+    }
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    ~ThreadPool();
+
+    /// Number of worker threads.
+    [[nodiscard]] int size() const noexcept { return static_cast<int>(workers_.size()); }
+
+    /// Runs @p job on every worker and blocks until all of them finish.
+    /// Exceptions thrown by a job are rethrown on the calling thread (the
+    /// first one wins; remaining workers still complete the job round).
+    void run(const Job& job);
+
+    /// Synchronization point usable from inside a running job: every worker
+    /// must call it the same number of times.
+    void barrier() { barrier_->arrive_and_wait(); }
+
+   private:
+    void worker_loop(int tid, bool pin);
+
+    std::vector<std::jthread> workers_;
+    std::vector<char> pinned_;
+    std::unique_ptr<std::barrier<>> barrier_;
+
+    std::mutex mu_;
+    std::condition_variable cv_job_;
+    std::condition_variable cv_done_;
+    const Job* job_ = nullptr;
+    std::uint64_t generation_ = 0;
+    int pending_ = 0;
+    bool stop_ = false;
+    std::exception_ptr first_error_;
+};
+
+}  // namespace symspmv

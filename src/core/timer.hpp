@@ -1,0 +1,53 @@
+// Wall-clock timing utilities used by the benchmark harness and by the
+// per-phase breakdowns (Figs. 10 and 14 of the paper).
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+
+namespace symspmv {
+
+/// Monotonic wall-clock stopwatch.
+class Timer {
+   public:
+    using clock = std::chrono::steady_clock;
+
+    Timer() : start_(clock::now()) {}
+
+    /// Restart the stopwatch.
+    void reset() { start_ = clock::now(); }
+
+    /// Seconds elapsed since construction or the last reset().
+    [[nodiscard]] double seconds() const {
+        return std::chrono::duration<double>(clock::now() - start_).count();
+    }
+
+   private:
+    clock::time_point start_;
+};
+
+/// Accumulates time across many start/stop intervals; one per measured phase
+/// (multiplication, reduction, vector ops, preprocessing).
+class PhaseTimer {
+   public:
+    void start() { t_.reset(); }
+    void stop() {
+        total_ += t_.seconds();
+        ++intervals_;
+    }
+
+    [[nodiscard]] double total_seconds() const { return total_; }
+    [[nodiscard]] std::size_t intervals() const { return intervals_; }
+
+    void clear() {
+        total_ = 0.0;
+        intervals_ = 0;
+    }
+
+   private:
+    Timer t_;
+    double total_ = 0.0;
+    std::size_t intervals_ = 0;
+};
+
+}  // namespace symspmv

@@ -1,0 +1,44 @@
+// Fundamental scalar and index types used across the symspmv library.
+//
+// The paper (Section V.A) uses 4-byte integers for indexing information and
+// 8-byte IEEE-754 doubles for non-zero values; we adopt the same defaults so
+// the size formulas (Eqs. 1-2) hold verbatim:
+//   S_CSR = 12*NNZ + 4*(N+1)
+//   S_SSS = 6*(NNZ + N) + 4
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace symspmv {
+
+/// Row/column index type (paper: four-byte indices).
+using index_t = std::int32_t;
+
+/// Non-zero value type (paper: double-precision floating point).
+using value_t = double;
+
+/// Size in bytes of one stored index.
+inline constexpr std::size_t kIndexBytes = sizeof(index_t);
+
+/// Size in bytes of one stored non-zero value.
+inline constexpr std::size_t kValueBytes = sizeof(value_t);
+
+/// A single (row, column, value) triplet; the canonical element exchanged
+/// between formats and produced by the generators and the Matrix Market
+/// reader.
+struct Triplet {
+    index_t row;
+    index_t col;
+    value_t val;
+
+    friend bool operator==(const Triplet&, const Triplet&) = default;
+};
+
+/// Row-major coordinate ordering used to canonicalize COO matrices.
+inline constexpr bool triplet_rowmajor_less(const Triplet& a, const Triplet& b) {
+    if (a.row != b.row) return a.row < b.row;
+    return a.col < b.col;
+}
+
+}  // namespace symspmv

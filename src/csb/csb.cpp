@@ -1,0 +1,169 @@
+#include "csb/csb.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace symspmv::csb {
+
+index_t resolve_block_size(const CsbConfig& cfg, index_t n) {
+    if (cfg.block_size != 0) {
+        SYMSPMV_CHECK_MSG(cfg.block_size >= CsbConfig::kMinBlock &&
+                              cfg.block_size <= CsbConfig::kMaxBlock &&
+                              std::has_single_bit(static_cast<std::uint32_t>(cfg.block_size)),
+                          "CSB block size must be a power of two in [4, 65536]");
+        return cfg.block_size;
+    }
+    const auto target = static_cast<std::uint32_t>(std::sqrt(static_cast<double>(std::max<index_t>(n, 1))));
+    const std::uint32_t beta = std::bit_ceil(std::max<std::uint32_t>(target, 1));
+    return std::clamp<index_t>(static_cast<index_t>(beta), CsbConfig::kMinBlock,
+                               CsbConfig::kMaxBlock);
+}
+
+namespace {
+
+int log2_of(index_t pow2) { return std::countr_zero(static_cast<std::uint32_t>(pow2)); }
+
+}  // namespace
+
+CsbMatrix::CsbMatrix(const Coo& coo, const CsbConfig& cfg) {
+    SYMSPMV_CHECK_MSG(coo.is_canonical(), "CsbMatrix requires a canonical COO matrix");
+    n_rows_ = coo.rows();
+    n_cols_ = coo.cols();
+    beta_ = resolve_block_size(cfg, std::max(n_rows_, n_cols_));
+    beta_bits_ = log2_of(beta_);
+    n_block_rows_ = (n_rows_ + beta_ - 1) >> beta_bits_;
+    n_block_cols_ = (n_cols_ + beta_ - 1) >> beta_bits_;
+
+    // COO is row-major sorted; within one block row the entries of distinct
+    // blocks interleave by column, so bucket them by block column with a
+    // counting pass.  Everything stays O(nnz + blocks).
+    const auto entries = coo.entries();
+    blockrow_ptr_.assign(static_cast<std::size_t>(n_block_rows_) + 1, 0);
+
+    // Pass 1: count distinct blocks per block row by scanning each block
+    // row's entries and marking block columns seen this round.
+    std::vector<std::int64_t> col_count(static_cast<std::size_t>(n_block_cols_), 0);
+    std::size_t pos = 0;
+    std::vector<std::size_t> rowband_begin(static_cast<std::size_t>(n_block_rows_) + 1, 0);
+    for (index_t br = 0; br < n_block_rows_; ++br) {
+        rowband_begin[static_cast<std::size_t>(br)] = pos;
+        const index_t row_end = std::min<index_t>((br + 1) << beta_bits_, n_rows_);
+        while (pos < entries.size() && entries[pos].row < row_end) ++pos;
+    }
+    rowband_begin[static_cast<std::size_t>(n_block_rows_)] = pos;
+    SYMSPMV_CHECK(pos == entries.size());
+
+    rloc_.resize(entries.size());
+    cloc_.resize(entries.size());
+    values_.resize(entries.size());
+
+    const index_t mask = beta_ - 1;
+    std::int64_t element_base = 0;
+    for (index_t br = 0; br < n_block_rows_; ++br) {
+        const std::size_t lo = rowband_begin[static_cast<std::size_t>(br)];
+        const std::size_t hi = rowband_begin[static_cast<std::size_t>(br) + 1];
+        // Count elements per block column inside this block row.
+        for (std::size_t k = lo; k < hi; ++k) {
+            ++col_count[static_cast<std::size_t>(entries[k].col >> beta_bits_)];
+        }
+        // Emit blocks in ascending block-column order.
+        blockrow_ptr_[static_cast<std::size_t>(br)] = static_cast<index_t>(blocks_.size());
+        std::vector<std::int64_t> offset(static_cast<std::size_t>(n_block_cols_), -1);
+        for (index_t bc = 0; bc < n_block_cols_; ++bc) {
+            const std::int64_t cnt = col_count[static_cast<std::size_t>(bc)];
+            if (cnt == 0) continue;
+            offset[static_cast<std::size_t>(bc)] = element_base;
+            blocks_.push_back(BlockRef{bc, element_base});
+            element_base += cnt;
+            col_count[static_cast<std::size_t>(bc)] = 0;  // reset for the next block row
+        }
+        // Scatter the elements; the row-major scan keeps each block's
+        // elements row-major too.
+        for (std::size_t k = lo; k < hi; ++k) {
+            const Triplet& t = entries[k];
+            const index_t bc = t.col >> beta_bits_;
+            const std::int64_t dst = offset[static_cast<std::size_t>(bc)]++;
+            rloc_[static_cast<std::size_t>(dst)] = static_cast<blockindex_t>(t.row & mask);
+            cloc_[static_cast<std::size_t>(dst)] = static_cast<blockindex_t>(t.col & mask);
+            values_[static_cast<std::size_t>(dst)] = t.val;
+        }
+    }
+    blockrow_ptr_[static_cast<std::size_t>(n_block_rows_)] = static_cast<index_t>(blocks_.size());
+    SYMSPMV_CHECK(element_base == static_cast<std::int64_t>(entries.size()));
+}
+
+std::int64_t CsbMatrix::blockrow_nnz(index_t block_row) const {
+    const index_t b0 = blockrow_ptr_[static_cast<std::size_t>(block_row)];
+    const index_t b1 = blockrow_ptr_[static_cast<std::size_t>(block_row) + 1];
+    if (b0 == b1) return 0;
+    const std::int64_t first = blocks_[static_cast<std::size_t>(b0)].first;
+    const std::int64_t last =
+        (b1 < static_cast<index_t>(blocks_.size()) ? blocks_[static_cast<std::size_t>(b1)].first
+                                                   : nnz());
+    return last - first;
+}
+
+std::size_t CsbMatrix::size_bytes() const {
+    return values_.size() * kValueBytes + (rloc_.size() + cloc_.size()) * sizeof(blockindex_t) +
+           blocks_.size() * sizeof(BlockRef) + blockrow_ptr_.size() * kIndexBytes;
+}
+
+void CsbMatrix::spmv(std::span<const value_t> x, std::span<value_t> y) const {
+    SYMSPMV_CHECK(static_cast<index_t>(x.size()) == n_cols_ &&
+                  static_cast<index_t>(y.size()) == n_rows_);
+    std::ranges::fill(y, value_t{0});
+    for (index_t br = 0; br < n_block_rows_; ++br) {
+        const index_t row_base = br << beta_bits_;
+        for (index_t b = blockrow_ptr_[static_cast<std::size_t>(br)];
+             b < blockrow_ptr_[static_cast<std::size_t>(br) + 1]; ++b) {
+            const BlockRef& blk = blocks_[static_cast<std::size_t>(b)];
+            const index_t col_base = blk.block_col << beta_bits_;
+            const std::int64_t first = blk.first;
+            const std::int64_t last = first + block_nnz(b);
+            for (std::int64_t k = first; k < last; ++k) {
+                y[static_cast<std::size_t>(row_base + rloc_[static_cast<std::size_t>(k)])] +=
+                    values_[static_cast<std::size_t>(k)] *
+                    x[static_cast<std::size_t>(col_base + cloc_[static_cast<std::size_t>(k)])];
+            }
+        }
+    }
+}
+
+CsbSymMatrix::CsbSymMatrix(const Coo& full, const CsbConfig& cfg) {
+    SYMSPMV_CHECK_MSG(full.rows() == full.cols(), "CsbSymMatrix requires a square matrix");
+    SYMSPMV_DCHECK(full.is_symmetric());
+    full_nnz_ = full.nnz();
+    lower_ = CsbMatrix(full.lower(), cfg);
+}
+
+void CsbSymMatrix::spmv(std::span<const value_t> x, std::span<value_t> y) const {
+    const CsbMatrix& m = lower_;
+    SYMSPMV_CHECK(x.size() == y.size() && static_cast<index_t>(y.size()) == m.rows());
+    std::ranges::fill(y, value_t{0});
+    const int bits = std::countr_zero(static_cast<std::uint32_t>(m.block_size()));
+    const auto rloc = m.rloc();
+    const auto cloc = m.cloc();
+    const auto vals = m.values();
+    for (index_t br = 0; br < m.block_rows(); ++br) {
+        const index_t row_base = br << bits;
+        for (index_t b = m.blockrow_ptr()[static_cast<std::size_t>(br)];
+             b < m.blockrow_ptr()[static_cast<std::size_t>(br) + 1]; ++b) {
+            const BlockRef& blk = m.block_refs()[static_cast<std::size_t>(b)];
+            const index_t col_base = blk.block_col << bits;
+            const std::int64_t first = blk.first;
+            const std::int64_t last = first + m.block_nnz(b);
+            for (std::int64_t k = first; k < last; ++k) {
+                const index_t r = row_base + rloc[static_cast<std::size_t>(k)];
+                const index_t c = col_base + cloc[static_cast<std::size_t>(k)];
+                const value_t v = vals[static_cast<std::size_t>(k)];
+                y[static_cast<std::size_t>(r)] += v * x[static_cast<std::size_t>(c)];
+                if (r != c) y[static_cast<std::size_t>(c)] += v * x[static_cast<std::size_t>(r)];
+            }
+        }
+    }
+}
+
+}  // namespace symspmv::csb

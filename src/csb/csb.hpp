@@ -1,0 +1,144 @@
+// Compressed Sparse Blocks (CSB) — the comparator format of Buluç et al.
+// [SPAA'09], discussed in the paper's related work (§VI).
+//
+// The matrix is divided into β×β square blocks.  Blocks are stored
+// block-row-major: a block-row pointer array (CSR at block granularity), a
+// block-column index per block, and per-block element lists whose row/column
+// coordinates are *local* to the block and therefore fit in 16-bit integers.
+// This halves the per-element index cost relative to CSR (4 bytes of local
+// coordinates vs 4 bytes of colind + amortized rowptr) once β ≤ 2^16, and
+// keeps the nnz of a block contiguous in memory.
+//
+// The symmetric variant CsbSym (Buluç et al. [IPDPS'11], ref. [27] of the
+// paper) stores only the lower-triangle blocks; its kernel mirrors each
+// block on the fly, directing near-diagonal transposed writes to small local
+// band buffers and far ones to atomic updates (see csb_kernels.hpp).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/allocator.hpp"
+#include "core/types.hpp"
+#include "matrix/coo.hpp"
+
+namespace symspmv::csb {
+
+/// Local (in-block) coordinate; β never exceeds 2^16.
+using blockindex_t = std::uint16_t;
+
+/// Construction parameters for both CSB variants.
+struct CsbConfig {
+    /// Block edge β.  0 selects automatically: the power of two nearest to
+    /// sqrt(n), clamped to [kMinBlock, kMaxBlock] (Buluç's recommendation,
+    /// which makes the number of block rows ~sqrt(n)).
+    index_t block_size = 0;
+
+    static constexpr index_t kMinBlock = 4;
+    static constexpr index_t kMaxBlock = 1 << 16;
+};
+
+/// Resolves cfg.block_size for an n×n matrix (returns a power of two).
+[[nodiscard]] index_t resolve_block_size(const CsbConfig& cfg, index_t n);
+
+/// One stored block: its block-column index and the range of its elements
+/// in the element arrays.
+struct BlockRef {
+    index_t block_col = 0;
+    std::int64_t first = 0;  // index of the block's first element
+};
+
+/// Unsymmetric CSB matrix.
+class CsbMatrix {
+   public:
+    CsbMatrix() = default;
+
+    /// Builds from a canonical COO matrix (square or rectangular).
+    explicit CsbMatrix(const Coo& coo, const CsbConfig& cfg = {});
+
+    [[nodiscard]] index_t rows() const { return n_rows_; }
+    [[nodiscard]] index_t cols() const { return n_cols_; }
+    [[nodiscard]] std::int64_t nnz() const { return static_cast<std::int64_t>(values_.size()); }
+
+    /// Block edge β (a power of two).
+    [[nodiscard]] index_t block_size() const { return beta_; }
+    [[nodiscard]] index_t block_rows() const { return n_block_rows_; }
+    [[nodiscard]] index_t block_cols() const { return n_block_cols_; }
+    [[nodiscard]] std::int64_t blocks() const { return static_cast<std::int64_t>(blocks_.size()); }
+
+    /// Block-row pointers: block row I owns blocks
+    /// [blockrow_ptr()[I], blockrow_ptr()[I+1]).
+    [[nodiscard]] std::span<const index_t> blockrow_ptr() const { return blockrow_ptr_; }
+    [[nodiscard]] std::span<const BlockRef> block_refs() const { return blocks_; }
+
+    /// Element k of block b lives at rloc()[first+k], cloc()[first+k]
+    /// relative to the block origin, with value values()[first+k].
+    [[nodiscard]] std::span<const blockindex_t> rloc() const { return rloc_; }
+    [[nodiscard]] std::span<const blockindex_t> cloc() const { return cloc_; }
+    [[nodiscard]] std::span<const value_t> values() const { return values_; }
+
+    /// Number of elements of block b (blocks are stored contiguously).
+    [[nodiscard]] std::int64_t block_nnz(std::int64_t b) const {
+        const std::int64_t next = (b + 1 < blocks() ? blocks_[static_cast<std::size_t>(b + 1)].first
+                                                    : nnz());
+        return next - blocks_[static_cast<std::size_t>(b)].first;
+    }
+
+    /// Total non-zeros in block row I (used to balance the MT kernel).
+    [[nodiscard]] std::int64_t blockrow_nnz(index_t block_row) const;
+
+    /// Storage footprint in bytes: 4 bytes of local coordinates + 8 bytes of
+    /// value per element, 12 bytes per block, 4 bytes per block row + 1.
+    [[nodiscard]] std::size_t size_bytes() const;
+
+    /// y = A * x, serial (the test oracle for the MT kernel).
+    void spmv(std::span<const value_t> x, std::span<value_t> y) const;
+
+   private:
+    index_t n_rows_ = 0;
+    index_t n_cols_ = 0;
+    index_t beta_ = 0;
+    int beta_bits_ = 0;
+    index_t n_block_rows_ = 0;
+    index_t n_block_cols_ = 0;
+    aligned_vector<index_t> blockrow_ptr_;
+    aligned_vector<BlockRef> blocks_;
+    aligned_vector<blockindex_t> rloc_;
+    aligned_vector<blockindex_t> cloc_;
+    aligned_vector<value_t> values_;
+};
+
+/// Symmetric CSB: only blocks (I, J) with J <= I are stored; diagonal blocks
+/// keep just their lower triangle (diagonal included).  nnz() reports the
+/// non-zeros of the represented full matrix, like Sss.
+class CsbSymMatrix {
+   public:
+    CsbSymMatrix() = default;
+
+    /// Builds from a canonical COO holding the FULL symmetric matrix.
+    explicit CsbSymMatrix(const Coo& full, const CsbConfig& cfg = {});
+
+    [[nodiscard]] index_t rows() const { return lower_.rows(); }
+    [[nodiscard]] index_t cols() const { return lower_.rows(); }
+
+    /// Non-zeros of the full symmetric matrix.
+    [[nodiscard]] std::int64_t nnz() const { return full_nnz_; }
+
+    /// Non-zeros actually stored (lower triangle + diagonal).
+    [[nodiscard]] std::int64_t stored_nnz() const { return lower_.nnz(); }
+
+    /// The underlying block structure over the lower triangle.
+    [[nodiscard]] const CsbMatrix& lower() const { return lower_; }
+
+    [[nodiscard]] index_t block_size() const { return lower_.block_size(); }
+    [[nodiscard]] std::size_t size_bytes() const { return lower_.size_bytes(); }
+
+    /// Serial symmetric SpM×V: y = A * x with on-the-fly mirroring.
+    void spmv(std::span<const value_t> x, std::span<value_t> y) const;
+
+   private:
+    CsbMatrix lower_;
+    std::int64_t full_nnz_ = 0;
+};
+
+}  // namespace symspmv::csb

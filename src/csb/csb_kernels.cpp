@@ -1,0 +1,216 @@
+#include "csb/csb_kernels.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <limits>
+
+#include "core/error.hpp"
+#include "core/timer.hpp"
+
+namespace symspmv::csb {
+
+namespace {
+
+/// Block-row partitions with approximately equal element counts, via the
+/// cumulative element count per block row (the block-granularity analogue of
+/// split_by_nnz).
+std::vector<RowRange> split_block_rows(const CsbMatrix& m, int p) {
+    std::vector<index_t> prefix(static_cast<std::size_t>(m.block_rows()) + 1, 0);
+    for (index_t br = 0; br < m.block_rows(); ++br) {
+        const std::int64_t cum =
+            prefix[static_cast<std::size_t>(br)] + m.blockrow_nnz(br);
+        SYMSPMV_CHECK_MSG(cum <= std::numeric_limits<index_t>::max(),
+                          "CSB matrix exceeds 2^31 stored elements");
+        prefix[static_cast<std::size_t>(br) + 1] = static_cast<index_t>(cum);
+    }
+    return split_by_nnz(prefix, p);
+}
+
+}  // namespace
+
+CsbMtKernel::CsbMtKernel(CsbMatrix matrix, ThreadPool& pool)
+    : matrix_(std::move(matrix)), pool_(pool), parts_(split_block_rows(matrix_, pool.size())) {}
+
+void CsbMtKernel::spmv(std::span<const value_t> x, std::span<value_t> y) {
+    SYMSPMV_CHECK_MSG(static_cast<index_t>(x.size()) == matrix_.cols(), "spmv: x size mismatch");
+    SYMSPMV_CHECK_MSG(static_cast<index_t>(y.size()) == matrix_.rows(), "spmv: y size mismatch");
+    Timer total;
+    const int bits = std::countr_zero(static_cast<std::uint32_t>(matrix_.block_size()));
+    const auto blockrow_ptr = matrix_.blockrow_ptr();
+    const auto blocks = matrix_.block_refs();
+    const auto rloc = matrix_.rloc();
+    const auto cloc = matrix_.cloc();
+    const auto vals = matrix_.values();
+    pool_.run([&](int tid) {
+        const RowRange part = parts_[static_cast<std::size_t>(tid)];
+        const value_t* __restrict xv = x.data();
+        value_t* __restrict yv = y.data();
+        // Rows of this thread's block rows are private: zero, then scatter.
+        // Empty tail partitions (more threads than block rows) clamp to an
+        // empty row range.
+        const index_t row_lo = std::min<index_t>(part.begin << bits, matrix_.rows());
+        const index_t row_hi = std::min<index_t>(part.end << bits, matrix_.rows());
+        std::fill(yv + row_lo, yv + row_hi, value_t{0});
+        for (index_t br = part.begin; br < part.end; ++br) {
+            const index_t row_base = br << bits;
+            for (index_t b = blockrow_ptr[static_cast<std::size_t>(br)];
+                 b < blockrow_ptr[static_cast<std::size_t>(br) + 1]; ++b) {
+                const BlockRef& blk = blocks[static_cast<std::size_t>(b)];
+                const index_t col_base = blk.block_col << bits;
+                const std::int64_t first = blk.first;
+                const std::int64_t last = first + matrix_.block_nnz(b);
+                for (std::int64_t k = first; k < last; ++k) {
+                    yv[row_base + rloc[static_cast<std::size_t>(k)]] +=
+                        vals[static_cast<std::size_t>(k)] *
+                        xv[col_base + cloc[static_cast<std::size_t>(k)]];
+                }
+            }
+        }
+    });
+    phases_ = {total.seconds(), 0.0};
+}
+
+CsbSymKernel::CsbSymKernel(CsbSymMatrix matrix, ThreadPool& pool)
+    : matrix_(std::move(matrix)), pool_(pool) {
+    const CsbMatrix& m = matrix_.lower();
+    const int p = pool_.size();
+    parts_ = split_block_rows(m, p);
+    const index_t beta = m.block_size();
+    const int bits = std::countr_zero(static_cast<std::uint32_t>(beta));
+    row_parts_.resize(parts_.size());
+    bands_.resize(parts_.size());
+    band_base_.resize(parts_.size());
+    for (std::size_t t = 0; t < parts_.size(); ++t) {
+        const index_t row_lo = parts_[t].begin << bits;
+        const index_t row_hi = std::min<index_t>(parts_[t].end << bits, m.rows());
+        row_parts_[t] = {std::min(row_lo, m.rows()), row_hi};
+        // The band buffer covers the (kBandDiagonals - 1) block rows right
+        // below this thread's first block row: the only rows a banded
+        // transposed write can touch outside the thread's own range.
+        const index_t band_begin =
+            std::max<index_t>(parts_[t].begin - (kBandDiagonals - 1), 0) << bits;
+        band_base_[t] = std::min(band_begin, m.rows());
+        bands_[t].assign(static_cast<std::size_t>(row_parts_[t].begin - band_base_[t]),
+                         value_t{0});
+    }
+    // Count the elements whose transposed write must be atomic (blocks more
+    // than kBandDiagonals-1 block diagonals away from their owner's range).
+    for (std::size_t t = 0; t < parts_.size(); ++t) {
+        for (index_t br = parts_[t].begin; br < parts_[t].end; ++br) {
+            for (index_t b = m.blockrow_ptr()[static_cast<std::size_t>(br)];
+                 b < m.blockrow_ptr()[static_cast<std::size_t>(br) + 1]; ++b) {
+                const index_t bc = m.block_refs()[static_cast<std::size_t>(b)].block_col;
+                if (bc < parts_[t].begin && br - bc >= kBandDiagonals) {
+                    atomic_updates_ += m.block_nnz(b);
+                }
+            }
+        }
+    }
+}
+
+std::size_t CsbSymKernel::footprint_bytes() const {
+    std::size_t bytes = matrix_.size_bytes();
+    for (const auto& band : bands_) bytes += band.size() * kValueBytes;
+    return bytes;
+}
+
+void CsbSymKernel::multiply(int tid, std::span<const value_t> x, std::span<value_t> y) {
+    const CsbMatrix& m = matrix_.lower();
+    const RowRange part = parts_[static_cast<std::size_t>(tid)];
+    const int bits = std::countr_zero(static_cast<std::uint32_t>(m.block_size()));
+    const auto blockrow_ptr = m.blockrow_ptr();
+    const auto blocks = m.block_refs();
+    const auto rloc = m.rloc();
+    const auto cloc = m.cloc();
+    const auto vals = m.values();
+    const value_t* __restrict xv = x.data();
+    value_t* __restrict yv = y.data();
+    value_t* __restrict band = bands_[static_cast<std::size_t>(tid)].data();
+    const index_t band_base = band_base_[static_cast<std::size_t>(tid)];
+
+    for (index_t br = part.begin; br < part.end; ++br) {
+        const index_t row_base = br << bits;
+        for (index_t b = blockrow_ptr[static_cast<std::size_t>(br)];
+             b < blockrow_ptr[static_cast<std::size_t>(br) + 1]; ++b) {
+            const BlockRef& blk = blocks[static_cast<std::size_t>(b)];
+            const index_t bc = blk.block_col;
+            const index_t col_base = bc << bits;
+            const std::int64_t first = blk.first;
+            const std::int64_t last = first + m.block_nnz(b);
+            if (bc >= part.begin) {
+                // Both the direct and the transposed write stay inside this
+                // thread's rows (the diagonal block included).
+                for (std::int64_t k = first; k < last; ++k) {
+                    const index_t r = row_base + rloc[static_cast<std::size_t>(k)];
+                    const index_t c = col_base + cloc[static_cast<std::size_t>(k)];
+                    const value_t v = vals[static_cast<std::size_t>(k)];
+                    yv[r] += v * xv[c];
+                    if (r != c) yv[c] += v * xv[r];
+                }
+            } else if (br - bc < kBandDiagonals) {
+                // Banded block: the transposed write lands in the band
+                // buffer, to be folded in during the (constant-size)
+                // reduction phase.  own_begin <= c is impossible here.
+                for (std::int64_t k = first; k < last; ++k) {
+                    const index_t r = row_base + rloc[static_cast<std::size_t>(k)];
+                    const index_t c = col_base + cloc[static_cast<std::size_t>(k)];
+                    const value_t v = vals[static_cast<std::size_t>(k)];
+                    yv[r] += v * xv[c];
+                    band[c - band_base] += v * xv[r];
+                }
+            } else {
+                // Far block: atomic transposed update ([27]'s fallback).
+                for (std::int64_t k = first; k < last; ++k) {
+                    const index_t r = row_base + rloc[static_cast<std::size_t>(k)];
+                    const index_t c = col_base + cloc[static_cast<std::size_t>(k)];
+                    const value_t v = vals[static_cast<std::size_t>(k)];
+                    yv[r] += v * xv[c];
+                    std::atomic_ref<value_t>(yv[c]).fetch_add(v * xv[r],
+                                                              std::memory_order_relaxed);
+                }
+            }
+        }
+    }
+}
+
+void CsbSymKernel::reduce(int tid, std::span<value_t> y) {
+    // Fold every band buffer segment that overlaps this thread's rows.  Each
+    // band spans at most (kBandDiagonals-1)*beta rows, so this phase costs
+    // O(beta) per thread — independent of N and p.
+    const RowRange rows = row_parts_[static_cast<std::size_t>(tid)];
+    value_t* __restrict yv = y.data();
+    for (std::size_t s = 0; s < bands_.size(); ++s) {
+        if (bands_[s].empty()) continue;
+        const index_t lo = std::max(rows.begin, band_base_[s]);
+        const index_t hi =
+            std::min(rows.end, band_base_[s] + static_cast<index_t>(bands_[s].size()));
+        value_t* __restrict band = bands_[s].data();
+        for (index_t r = lo; r < hi; ++r) {
+            yv[r] += band[r - band_base_[s]];
+            band[r - band_base_[s]] = value_t{0};
+        }
+    }
+}
+
+void CsbSymKernel::spmv(std::span<const value_t> x, std::span<value_t> y) {
+    SYMSPMV_CHECK_MSG(static_cast<index_t>(x.size()) == matrix_.rows(), "spmv: x size mismatch");
+    SYMSPMV_CHECK_MSG(static_cast<index_t>(y.size()) == matrix_.rows(), "spmv: y size mismatch");
+    Timer total;
+    pool_.run([&](int tid) {
+        // Phase 0: zero own output rows (atomic adds from other threads may
+        // target them, so everyone must finish zeroing before multiplying).
+        const RowRange rows = row_parts_[static_cast<std::size_t>(tid)];
+        std::fill(y.data() + rows.begin, y.data() + rows.end, value_t{0});
+        pool_.barrier();
+        Timer t;
+        multiply(tid, x, y);
+        pool_.barrier();
+        if (tid == 0) last_mult_seconds_ = t.seconds();
+        reduce(tid, y);
+    });
+    const double total_seconds = total.seconds();
+    phases_ = {last_mult_seconds_, std::max(0.0, total_seconds - last_mult_seconds_)};
+}
+
+}  // namespace symspmv::csb

@@ -1,0 +1,86 @@
+// SpM×V kernels over the CSB formats (related work [8], [27] of the paper).
+//
+// CsbMtKernel parallelizes across block rows (each block row's output rows
+// are private to their owner, so no reduction phase exists).  CsbSymKernel
+// implements the reduced-bandwidth symmetric scheme of Buluç et al.
+// [IPDPS'11]: transposed writes that stay within the three innermost block
+// diagonals go to a small per-thread band buffer (so the reduction phase is
+// a constant number of short vector additions, independent of the thread
+// count), and the rare far-from-diagonal writes use atomic adds.  The paper
+// (§VI) predicts this scheme is "bound by the atomic operations" on
+// high-bandwidth matrices — atomic_updates_per_spmv() exposes the counter
+// the ablation bench uses to check exactly that.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "core/allocator.hpp"
+#include "core/partition.hpp"
+#include "core/thread_pool.hpp"
+#include "csb/csb.hpp"
+#include "spmv/kernel.hpp"
+
+namespace symspmv::csb {
+
+/// Unsymmetric multithreaded CSB kernel.
+class CsbMtKernel final : public SpmvKernel {
+   public:
+    /// @p pool outlives the kernel; its size fixes the thread count.
+    CsbMtKernel(CsbMatrix matrix, ThreadPool& pool);
+
+    [[nodiscard]] std::string_view name() const override { return "CSB"; }
+    [[nodiscard]] index_t rows() const override { return matrix_.rows(); }
+    [[nodiscard]] std::int64_t nnz() const override { return matrix_.nnz(); }
+    [[nodiscard]] std::size_t footprint_bytes() const override { return matrix_.size_bytes(); }
+    void spmv(std::span<const value_t> x, std::span<value_t> y) override;
+
+    [[nodiscard]] const CsbMatrix& matrix() const { return matrix_; }
+
+    /// Block-row ranges (not element rows) assigned to each thread.
+    [[nodiscard]] std::span<const RowRange> block_partitions() const { return parts_; }
+
+   private:
+    CsbMatrix matrix_;
+    ThreadPool& pool_;
+    std::vector<RowRange> parts_;
+};
+
+/// Symmetric multithreaded CSB kernel (band buffers + atomics).
+class CsbSymKernel final : public SpmvKernel {
+   public:
+    /// Number of innermost block diagonals whose transposed writes are
+    /// buffered locally instead of updated atomically ([27] uses three:
+    /// offsets 0, 1 and 2 from the main block diagonal).
+    static constexpr index_t kBandDiagonals = 3;
+
+    CsbSymKernel(CsbSymMatrix matrix, ThreadPool& pool);
+
+    [[nodiscard]] std::string_view name() const override { return "CSB-Sym"; }
+    [[nodiscard]] index_t rows() const override { return matrix_.rows(); }
+    [[nodiscard]] std::int64_t nnz() const override { return matrix_.nnz(); }
+    [[nodiscard]] std::size_t footprint_bytes() const override;
+    void spmv(std::span<const value_t> x, std::span<value_t> y) override;
+
+    [[nodiscard]] const CsbSymMatrix& matrix() const { return matrix_; }
+
+    /// Stored elements whose transposed write needs an atomic add (falls
+    /// outside the banded block diagonals of the owning thread).  Constant
+    /// across calls; high values predict the related-work failure mode.
+    [[nodiscard]] std::int64_t atomic_updates_per_spmv() const { return atomic_updates_; }
+
+   private:
+    void multiply(int tid, std::span<const value_t> x, std::span<value_t> y);
+    void reduce(int tid, std::span<value_t> y);
+
+    CsbSymMatrix matrix_;
+    ThreadPool& pool_;
+    std::vector<RowRange> parts_;        // block-row ranges per thread
+    std::vector<RowRange> row_parts_;    // same ranges in element rows
+    std::vector<aligned_vector<value_t>> bands_;  // per-thread band buffers
+    std::vector<index_t> band_base_;     // first element row each band covers
+    std::int64_t atomic_updates_ = 0;
+    double last_mult_seconds_ = 0.0;  // written by worker 0 per spmv
+};
+
+}  // namespace symspmv::csb

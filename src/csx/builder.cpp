@@ -1,0 +1,169 @@
+#include "csx/builder.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+#include "csx/varint.hpp"
+
+namespace symspmv::csx {
+namespace {
+
+/// Width class of a column delta for delta-unit bodies.
+PatternType delta_class(index_t d) {
+    SYMSPMV_CHECK_MSG(d >= 0, "delta_class: negative delta");
+    if (d <= 0xFF) return PatternType::kDelta8;
+    if (d <= 0xFFFF) return PatternType::kDelta16;
+    return PatternType::kDelta32;
+}
+
+int delta_id(PatternType t) { return static_cast<int>(t); }
+
+void append_fixed(std::vector<std::uint8_t>& out, PatternType cls, index_t d) {
+    switch (cls) {
+        case PatternType::kDelta8:
+            out.push_back(static_cast<std::uint8_t>(d));
+            break;
+        case PatternType::kDelta16: {
+            const auto v = static_cast<std::uint16_t>(d);
+            out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+            out.push_back(static_cast<std::uint8_t>(v >> 8));
+            break;
+        }
+        case PatternType::kDelta32: {
+            const auto v = static_cast<std::uint32_t>(d);
+            out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+            out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xFF));
+            out.push_back(static_cast<std::uint8_t>((v >> 16) & 0xFF));
+            out.push_back(static_cast<std::uint8_t>((v >> 24) & 0xFF));
+            break;
+        }
+        default:
+            throw InternalError("append_fixed: not a delta class");
+    }
+}
+
+/// Column-cursor position after a unit; must mirror walk_ctl exactly.
+index_t cursor_after(const DetectedUnit& u, std::span<const Triplet> elems) {
+    if (is_delta(u.pattern.type)) {
+        return elems[u.elems.back()].col + 1;
+    }
+    if (u.pattern.type == PatternType::kHorizontal) {
+        return u.col + (u.size - 1) * u.pattern.delta + 1;
+    }
+    return u.col + 1;
+}
+
+}  // namespace
+
+EncodedPartition encode_partition(std::span<const Triplet> elems, index_t row_begin,
+                                  index_t row_end, std::span<const Pattern> table,
+                                  const CsxConfig& cfg, index_t boundary) {
+    SYMSPMV_CHECK_MSG(table.size() <= static_cast<std::size_t>(kMaxTableId - kFirstTableId + 1),
+                      "encode_partition: pattern table too large");
+    for (const Triplet& t : elems) {
+        SYMSPMV_CHECK_MSG(t.row >= row_begin && t.row < row_end,
+                          "encode_partition: element outside row range");
+    }
+
+    EncodedPartition out;
+    out.row_begin = row_begin;
+    out.row_end = row_end;
+
+    // Pass 1: materialize substructure units for the selected patterns.
+    const Detector detector(elems, cfg, boundary);
+    auto encoded = detector.encode_units(table);
+    std::vector<DetectedUnit> units = std::move(encoded.units);
+
+    // Pass 2: sweep leftovers into delta units, row by row.  Elements are
+    // canonical row-major, so one forward scan suffices.  Units never span
+    // the CSX-Sym boundary, and a width-class change starts a new unit.
+    std::vector<std::uint32_t> leftover;
+    std::size_t i = 0;
+    while (i < elems.size()) {
+        const index_t row = elems[i].row;
+        leftover.clear();
+        for (; i < elems.size() && elems[i].row == row; ++i) {
+            if (!encoded.consumed[i]) leftover.push_back(static_cast<std::uint32_t>(i));
+        }
+        std::size_t k = 0;
+        while (k < leftover.size()) {
+            DetectedUnit u;
+            u.row = row;
+            u.col = elems[leftover[k]].col;
+            u.elems.push_back(leftover[k]);
+            PatternType cls = PatternType::kDelta8;  // class of a singleton
+            bool cls_fixed = false;
+            std::size_t j = k + 1;
+            for (; j < leftover.size() && u.elems.size() < kMaxUnitSize; ++j) {
+                const index_t prev_col = elems[u.elems.back()].col;
+                const index_t next_col = elems[leftover[j]].col;
+                if (boundary >= 0 && (prev_col < boundary) != (next_col < boundary)) break;
+                const PatternType c = delta_class(next_col - prev_col);
+                if (!cls_fixed) {
+                    cls = c;
+                    cls_fixed = true;
+                } else if (c != cls) {
+                    break;
+                }
+                u.elems.push_back(leftover[j]);
+            }
+            u.pattern = {cls, 0};
+            u.size = static_cast<int>(u.elems.size());
+            units.push_back(std::move(u));
+            k = j;
+        }
+    }
+
+    // Pass 3: order all units by anchor and serialize the ctl stream.
+    std::sort(units.begin(), units.end(), [](const DetectedUnit& a, const DetectedUnit& b) {
+        if (a.row != b.row) return a.row < b.row;
+        if (a.col != b.col) return a.col < b.col;
+        return a.pattern < b.pattern;
+    });
+
+    index_t cur_row = row_begin;
+    index_t cur_col = 0;
+    out.values.reserve(elems.size());
+    for (const DetectedUnit& u : units) {
+        std::uint8_t flags = 0;
+        index_t jump = 0;
+        if (u.row != cur_row) {
+            flags |= kCtlNewRow;
+            jump = u.row - cur_row;
+            SYMSPMV_CHECK_MSG(jump > 0, "encode_partition: units not row-sorted");
+            if (jump > 1) flags |= kCtlRowJump;
+            cur_col = 0;
+        }
+        int id;
+        if (is_delta(u.pattern.type)) {
+            id = delta_id(u.pattern.type);
+        } else {
+            const auto it = std::find(table.begin(), table.end(), u.pattern);
+            SYMSPMV_CHECK_MSG(it != table.end(), "encode_partition: unit pattern not in table");
+            id = kFirstTableId + static_cast<int>(it - table.begin());
+        }
+        flags |= static_cast<std::uint8_t>(id);
+
+        out.ctl.push_back(flags);
+        if (flags & kCtlRowJump) write_uvarint(out.ctl, static_cast<std::uint64_t>(jump));
+        SYMSPMV_CHECK_MSG(u.size >= 1 && u.size <= kMaxUnitSize, "encode_partition: bad unit size");
+        out.ctl.push_back(static_cast<std::uint8_t>(u.size));
+        write_svarint(out.ctl, static_cast<std::int64_t>(u.col) - cur_col);
+        if (is_delta(u.pattern.type)) {
+            for (std::size_t e = 1; e < u.elems.size(); ++e) {
+                append_fixed(out.ctl, u.pattern.type,
+                             elems[u.elems[e]].col - elems[u.elems[e - 1]].col);
+            }
+        }
+        for (std::uint32_t e : u.elems) out.values.push_back(elems[e].val);
+
+        out.coverage[u.pattern] += u.size;
+        cur_row = u.row;
+        cur_col = cursor_after(u, elems);
+    }
+    SYMSPMV_CHECK_MSG(out.values.size() == elems.size(),
+                      "encode_partition: element count mismatch after encoding");
+    return out;
+}
+
+}  // namespace symspmv::csx

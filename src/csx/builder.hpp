@@ -1,0 +1,58 @@
+// CSX partition encoder: turns a row range of a sparse matrix into the ctl
+// byte stream + values array of the CSX representation (§IV.A, Fig. 7).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "core/allocator.hpp"
+#include "core/types.hpp"
+#include "csx/detect.hpp"
+#include "csx/pattern.hpp"
+
+namespace symspmv::csx {
+
+/// One thread's share of a CSX matrix: a self-contained ctl/values pair
+/// covering rows [row_begin, row_end).
+struct EncodedPartition {
+    index_t row_begin = 0;
+    index_t row_end = 0;
+    std::vector<std::uint8_t> ctl;
+    aligned_vector<value_t> values;
+
+    /// Elements encoded per pattern (delta units under their own keys);
+    /// useful for the compression reports and the ablation benches.
+    std::map<Pattern, std::int64_t> coverage;
+
+    [[nodiscard]] std::size_t size_bytes() const {
+        return ctl.size() + values.size() * kValueBytes;
+    }
+};
+
+/// Encodes @p elems (canonical row-major, rows within [row_begin, row_end))
+/// against the per-matrix pattern table @p table.  @p boundary activates the
+/// CSX-Sym rule: no unit's columns may straddle it (mixed elements fall back
+/// to delta units that the encoder splits at the boundary).
+EncodedPartition encode_partition(std::span<const Triplet> elems, index_t row_begin,
+                                  index_t row_end, std::span<const Pattern> table,
+                                  const CsxConfig& cfg, index_t boundary = -1);
+
+/// Decoded unit header handed to the SpM×V interpreters.
+struct UnitHeader {
+    index_t row = 0;   // absolute anchor row
+    index_t col = 0;   // absolute anchor column
+    int size = 0;      // elements in the unit
+    int id = 0;        // 0-2: delta units; >= kFirstTableId: table index + 3
+};
+
+/// Walks a ctl stream invoking `fn(header, body_pos)` per unit, where
+/// body_pos is the ctl offset of the unit's body.  Used by tests and the
+/// debug dumper; the hot SpM×V loops inline the same logic.
+template <typename Fn>
+void for_each_unit(std::span<const std::uint8_t> ctl, index_t row_begin, Fn&& fn);
+
+}  // namespace symspmv::csx
+
+#include "csx/builder_inl.hpp"

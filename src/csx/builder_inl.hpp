@@ -1,0 +1,103 @@
+// Inline ctl-stream walker shared by the SpM×V interpreters, the tests and
+// the debug tooling.  Keeping the stream-structure logic in one place means
+// an encoding change cannot silently diverge from the decoders.
+#pragma once
+
+#include <cstring>
+
+#include "core/error.hpp"
+#include "csx/varint.hpp"
+
+namespace symspmv::csx {
+
+namespace detail {
+
+/// Reads one fixed-width little-endian delta from a delta-unit body.
+template <typename T>
+inline index_t read_fixed(const std::uint8_t* body, int k) {
+    T v;
+    std::memcpy(&v, body + static_cast<std::size_t>(k) * sizeof(T), sizeof(T));
+    return static_cast<index_t>(v);
+}
+
+}  // namespace detail
+
+/// Walks every unit of @p ctl.  @p table resolves pattern ids >= 3.
+/// fn is invoked as fn(const UnitHeader&, const std::uint8_t* body) where
+/// body points at the unit's delta body (delta units only, else nullptr).
+template <typename Fn>
+inline void walk_ctl(std::span<const std::uint8_t> ctl, index_t row_begin,
+                     std::span<const Pattern> table, Fn&& fn) {
+    const std::uint8_t* data = ctl.data();
+    const std::size_t size = ctl.size();
+    std::size_t pos = 0;
+    index_t cur_row = row_begin;
+    index_t cur_col = 0;
+    while (pos < size) {
+        const std::uint8_t flags = data[pos++];
+        if (flags & kCtlNewRow) {
+            index_t jump = 1;
+            if (flags & kCtlRowJump) {
+                jump = static_cast<index_t>(read_uvarint(data, size, pos));
+            }
+            cur_row += jump;
+            cur_col = 0;
+        }
+        UnitHeader h;
+        h.id = flags & kCtlIdMask;
+        h.size = data[pos++];
+        SYMSPMV_CHECK_MSG(h.size >= 1, "ctl: empty unit");
+        cur_col += static_cast<index_t>(read_svarint(data, size, pos));
+        h.row = cur_row;
+        h.col = cur_col;
+
+        const std::uint8_t* body = nullptr;
+        switch (h.id) {
+            case 0: {  // delta8
+                body = data + pos;
+                pos += static_cast<std::size_t>(h.size - 1);
+                index_t last = h.col;
+                for (int k = 0; k < h.size - 1; ++k) last += detail::read_fixed<std::uint8_t>(body, k);
+                cur_col = last + 1;
+                break;
+            }
+            case 1: {  // delta16
+                body = data + pos;
+                pos += static_cast<std::size_t>(h.size - 1) * 2;
+                index_t last = h.col;
+                for (int k = 0; k < h.size - 1; ++k) last += detail::read_fixed<std::uint16_t>(body, k);
+                cur_col = last + 1;
+                break;
+            }
+            case 2: {  // delta32
+                body = data + pos;
+                pos += static_cast<std::size_t>(h.size - 1) * 4;
+                index_t last = h.col;
+                for (int k = 0; k < h.size - 1; ++k) last += detail::read_fixed<std::uint32_t>(body, k);
+                cur_col = last + 1;
+                break;
+            }
+            default: {
+                const std::size_t t = static_cast<std::size_t>(h.id - kFirstTableId);
+                SYMSPMV_CHECK_MSG(t < table.size(), "ctl: pattern id outside table");
+                const Pattern& p = table[t];
+                if (p.type == PatternType::kHorizontal) {
+                    cur_col = h.col + (h.size - 1) * p.delta + 1;
+                } else {
+                    cur_col = h.col + 1;
+                }
+                break;
+            }
+        }
+        SYMSPMV_CHECK_MSG(pos <= size, "ctl: truncated unit body");
+        fn(static_cast<const UnitHeader&>(h), body);
+    }
+}
+
+template <typename Fn>
+inline void for_each_unit(std::span<const std::uint8_t> ctl, index_t row_begin, Fn&& fn) {
+    // Table-free variant for streams known to contain only delta units.
+    walk_ctl(ctl, row_begin, std::span<const Pattern>{}, std::forward<Fn>(fn));
+}
+
+}  // namespace symspmv::csx

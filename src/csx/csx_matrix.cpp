@@ -1,0 +1,197 @@
+#include "csx/csx_matrix.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+#include "core/timer.hpp"
+
+namespace symspmv::csx {
+
+std::vector<Pattern> build_pattern_table(std::span<const std::vector<PatternStats>> per_part,
+                                         std::int64_t total_nnz, const CsxConfig& cfg) {
+    std::map<Pattern, PatternStats> merged;
+    for (const auto& stats : per_part) {
+        for (const PatternStats& s : stats) {
+            PatternStats& m = merged[s.pattern];
+            m.pattern = s.pattern;
+            m.covered += s.covered;
+            m.units += s.units;
+        }
+    }
+    std::vector<PatternStats> ranked;
+    ranked.reserve(merged.size());
+    for (const auto& [pattern, s] : merged) ranked.push_back(s);
+    std::sort(ranked.begin(), ranked.end(), [](const PatternStats& a, const PatternStats& b) {
+        if (a.savings() != b.savings()) return a.savings() > b.savings();
+        return a.pattern < b.pattern;
+    });
+    const auto threshold =
+        static_cast<std::int64_t>(cfg.min_coverage * static_cast<double>(total_nnz));
+    std::vector<Pattern> table;
+    const std::size_t capacity = kMaxTableId - kFirstTableId + 1;
+    for (const PatternStats& s : ranked) {
+        if (s.covered < threshold) continue;
+        table.push_back(s.pattern);
+        if (table.size() == capacity) break;
+    }
+    return table;
+}
+
+namespace {
+
+/// Extracts the partition's elements as row-major triplets.
+std::vector<Triplet> partition_triplets(const Csr& csr, const RowRange& part) {
+    std::vector<Triplet> elems;
+    const auto rowptr = csr.rowptr();
+    const auto colind = csr.colind();
+    const auto values = csr.values();
+    elems.reserve(static_cast<std::size_t>(rowptr[static_cast<std::size_t>(part.end)] -
+                                           rowptr[static_cast<std::size_t>(part.begin)]));
+    for (index_t r = part.begin; r < part.end; ++r) {
+        for (index_t j = rowptr[static_cast<std::size_t>(r)];
+             j < rowptr[static_cast<std::size_t>(r) + 1]; ++j) {
+            elems.push_back({r, colind[static_cast<std::size_t>(j)],
+                             values[static_cast<std::size_t>(j)]});
+        }
+    }
+    return elems;
+}
+
+}  // namespace
+
+CsxMatrix::CsxMatrix(const Csr& full, const CsxConfig& cfg, int partitions)
+    : n_rows_(full.rows()), n_cols_(full.cols()), nnz_(full.nnz()) {
+    SYMSPMV_CHECK_MSG(partitions >= 1, "CsxMatrix: need at least one partition");
+    Timer prep;
+    parts_ = split_by_nnz(full.rowptr(), partitions);
+
+    // Stats pass per partition, then one shared pattern table.
+    std::vector<std::vector<Triplet>> elems(parts_.size());
+    std::vector<std::vector<PatternStats>> stats(parts_.size());
+    for (std::size_t p = 0; p < parts_.size(); ++p) {
+        elems[p] = partition_triplets(full, parts_[p]);
+        stats[p] = Detector(elems[p], cfg).collect_stats();
+    }
+    table_ = build_pattern_table(stats, nnz_, cfg);
+
+    encoded_.reserve(parts_.size());
+    for (std::size_t p = 0; p < parts_.size(); ++p) {
+        encoded_.push_back(
+            encode_partition(elems[p], parts_[p].begin, parts_[p].end, table_, cfg));
+    }
+    preprocess_seconds_ = prep.seconds();
+}
+
+std::size_t CsxMatrix::size_bytes() const {
+    std::size_t bytes = 0;
+    for (const EncodedPartition& e : encoded_) bytes += e.size_bytes();
+    return bytes;
+}
+
+std::map<Pattern, std::int64_t> CsxMatrix::coverage() const {
+    std::map<Pattern, std::int64_t> out;
+    for (const EncodedPartition& e : encoded_) {
+        for (const auto& [pattern, count] : e.coverage) out[pattern] += count;
+    }
+    return out;
+}
+
+void CsxMatrix::spmv_partition(int pid, std::span<const value_t> x, std::span<value_t> y) const {
+    const EncodedPartition& part = encoded_[static_cast<std::size_t>(pid)];
+    const value_t* __restrict xv = x.data();
+    value_t* __restrict yv = y.data();
+    for (index_t r = part.row_begin; r < part.row_end; ++r) yv[r] = value_t{0};
+
+    const value_t* __restrict va = part.values.data();
+    std::size_t vpos = 0;
+    walk_ctl(std::span<const std::uint8_t>(part.ctl), part.row_begin, table_,
+             [&](const UnitHeader& h, const std::uint8_t* body) {
+                 switch (h.id) {
+                     case 0: {  // delta8
+                         index_t c = h.col;
+                         value_t acc = va[vpos++] * xv[c];
+                         for (int k = 0; k < h.size - 1; ++k) {
+                             c += detail::read_fixed<std::uint8_t>(body, k);
+                             acc += va[vpos++] * xv[c];
+                         }
+                         yv[h.row] += acc;
+                         break;
+                     }
+                     case 1: {  // delta16
+                         index_t c = h.col;
+                         value_t acc = va[vpos++] * xv[c];
+                         for (int k = 0; k < h.size - 1; ++k) {
+                             c += detail::read_fixed<std::uint16_t>(body, k);
+                             acc += va[vpos++] * xv[c];
+                         }
+                         yv[h.row] += acc;
+                         break;
+                     }
+                     case 2: {  // delta32
+                         index_t c = h.col;
+                         value_t acc = va[vpos++] * xv[c];
+                         for (int k = 0; k < h.size - 1; ++k) {
+                             c += detail::read_fixed<std::uint32_t>(body, k);
+                             acc += va[vpos++] * xv[c];
+                         }
+                         yv[h.row] += acc;
+                         break;
+                     }
+                     default: {
+                         const Pattern& p = table_[static_cast<std::size_t>(h.id - kFirstTableId)];
+                         switch (p.type) {
+                             case PatternType::kHorizontal: {
+                                 value_t acc = 0.0;
+                                 index_t c = h.col;
+                                 for (int k = 0; k < h.size; ++k, c += p.delta) {
+                                     acc += va[vpos++] * xv[c];
+                                 }
+                                 yv[h.row] += acc;
+                                 break;
+                             }
+                             case PatternType::kVertical: {
+                                 const value_t xc = xv[h.col];
+                                 index_t r = h.row;
+                                 for (int k = 0; k < h.size; ++k, r += p.delta) {
+                                     yv[r] += va[vpos++] * xc;
+                                 }
+                                 break;
+                             }
+                             case PatternType::kDiagonal: {
+                                 index_t r = h.row;
+                                 index_t c = h.col;
+                                 for (int k = 0; k < h.size; ++k, r += p.delta, c += p.delta) {
+                                     yv[r] += va[vpos++] * xv[c];
+                                 }
+                                 break;
+                             }
+                             case PatternType::kAntiDiagonal: {
+                                 index_t r = h.row;
+                                 index_t c = h.col;
+                                 for (int k = 0; k < h.size; ++k, r += p.delta, c -= p.delta) {
+                                     yv[r] += va[vpos++] * xv[c];
+                                 }
+                                 break;
+                             }
+                             case PatternType::kBlock: {
+                                 const auto block_rows = p.delta;
+                                 const int cols = h.size / static_cast<int>(block_rows);
+                                 for (int b = 0; b < cols; ++b) {
+                                     const value_t xc = xv[h.col + b];
+                                     for (index_t a = 0; a < block_rows; ++a) {
+                                         yv[h.row + a] += va[vpos++] * xc;
+                                     }
+                                 }
+                                 break;
+                             }
+                             default:
+                                 throw InternalError("CsxMatrix: delta pattern in table");
+                         }
+                         break;
+                     }
+                 }
+             });
+    SYMSPMV_CHECK_MSG(vpos == part.values.size(), "CsxMatrix: values not fully consumed");
+}
+
+}  // namespace symspmv::csx

@@ -1,0 +1,69 @@
+// The CSX compressed sparse matrix (§IV.A).
+//
+// A CSX matrix is a set of per-thread encoded partitions (each thread
+// detects and encodes its own row range, exactly as the original
+// implementation does before spawning its runtime-generated kernels) plus a
+// per-matrix pattern table.  SpM×V execution interprets the ctl stream with
+// one specialized inner loop per pattern — the compiled stand-in for CSX's
+// LLVM-generated code (see DESIGN.md §5).
+#pragma once
+
+#include <map>
+#include <span>
+#include <vector>
+
+#include "core/partition.hpp"
+#include "core/types.hpp"
+#include "csx/builder.hpp"
+#include "csx/detect.hpp"
+#include "matrix/csr.hpp"
+
+namespace symspmv::csx {
+
+class CsxMatrix {
+   public:
+    /// Builds from a general CSR matrix, split row-wise into @p partitions
+    /// of approximately equal non-zero count.
+    CsxMatrix(const Csr& full, const CsxConfig& cfg, int partitions);
+
+    [[nodiscard]] index_t rows() const { return n_rows_; }
+    [[nodiscard]] index_t cols() const { return n_cols_; }
+    [[nodiscard]] std::int64_t nnz() const { return nnz_; }
+    [[nodiscard]] int partitions() const { return static_cast<int>(parts_.size()); }
+    [[nodiscard]] const RowRange& partition_rows(int pid) const {
+        return parts_[static_cast<std::size_t>(pid)];
+    }
+    [[nodiscard]] const EncodedPartition& partition(int pid) const {
+        return encoded_[static_cast<std::size_t>(pid)];
+    }
+    [[nodiscard]] std::span<const Pattern> table() const { return table_; }
+
+    /// ctl + values bytes of all partitions.
+    [[nodiscard]] std::size_t size_bytes() const;
+
+    /// Wall-clock seconds spent in detection + encoding (§V.E).
+    [[nodiscard]] double preprocess_seconds() const { return preprocess_seconds_; }
+
+    /// Elements encoded per pattern across all partitions.
+    [[nodiscard]] std::map<Pattern, std::int64_t> coverage() const;
+
+    /// Computes y[r] for the rows of partition @p pid only (zeroing them
+    /// first); partitions are independent, so calls may run concurrently.
+    void spmv_partition(int pid, std::span<const value_t> x, std::span<value_t> y) const;
+
+   private:
+    index_t n_rows_ = 0;
+    index_t n_cols_ = 0;
+    std::int64_t nnz_ = 0;
+    std::vector<RowRange> parts_;
+    std::vector<Pattern> table_;
+    std::vector<EncodedPartition> encoded_;
+    double preprocess_seconds_ = 0.0;
+};
+
+/// Shared by CsxMatrix and CsxSymMatrix: merges per-partition pattern
+/// statistics, applies the coverage threshold and the table-size cap.
+std::vector<Pattern> build_pattern_table(std::span<const std::vector<PatternStats>> per_part,
+                                         std::int64_t total_nnz, const CsxConfig& cfg);
+
+}  // namespace symspmv::csx

@@ -1,0 +1,182 @@
+#include "csx/csx_sym.hpp"
+
+#include "core/error.hpp"
+#include "core/timer.hpp"
+
+namespace symspmv::csx {
+namespace {
+
+std::vector<Triplet> partition_triplets(const Sss& sss, const RowRange& part) {
+    std::vector<Triplet> elems;
+    const auto rowptr = sss.rowptr();
+    const auto colind = sss.colind();
+    const auto values = sss.values();
+    elems.reserve(static_cast<std::size_t>(rowptr[static_cast<std::size_t>(part.end)] -
+                                           rowptr[static_cast<std::size_t>(part.begin)]));
+    for (index_t r = part.begin; r < part.end; ++r) {
+        for (index_t j = rowptr[static_cast<std::size_t>(r)];
+             j < rowptr[static_cast<std::size_t>(r) + 1]; ++j) {
+            elems.push_back({r, colind[static_cast<std::size_t>(j)],
+                             values[static_cast<std::size_t>(j)]});
+        }
+    }
+    return elems;
+}
+
+}  // namespace
+
+CsxSymMatrix::CsxSymMatrix(const Sss& sss, const CsxConfig& cfg, int partitions)
+    : n_(sss.rows()), full_nnz_(sss.nnz()) {
+    SYMSPMV_CHECK_MSG(partitions >= 1, "CsxSymMatrix: need at least one partition");
+    Timer prep;
+    dvalues_.assign(sss.dvalues().begin(), sss.dvalues().end());
+    parts_ = split_by_nnz(sss.rowptr(), partitions);
+
+    // Stats per partition with that partition's local/direct boundary, then
+    // one shared pattern table across partitions.
+    std::vector<std::vector<Triplet>> elems(parts_.size());
+    std::vector<std::vector<PatternStats>> stats(parts_.size());
+    for (std::size_t p = 0; p < parts_.size(); ++p) {
+        elems[p] = partition_triplets(sss, parts_[p]);
+        stats[p] = Detector(elems[p], cfg, parts_[p].begin).collect_stats();
+    }
+    const auto stored = static_cast<std::int64_t>(sss.stored_nnz());
+    table_ = build_pattern_table(stats, stored, cfg);
+
+    encoded_.reserve(parts_.size());
+    for (std::size_t p = 0; p < parts_.size(); ++p) {
+        encoded_.push_back(encode_partition(elems[p], parts_[p].begin, parts_[p].end, table_, cfg,
+                                            /*boundary=*/parts_[p].begin));
+    }
+    preprocess_seconds_ = prep.seconds();
+}
+
+std::size_t CsxSymMatrix::size_bytes() const {
+    std::size_t bytes = dvalues_.size() * kValueBytes;
+    for (const EncodedPartition& e : encoded_) bytes += e.size_bytes();
+    return bytes;
+}
+
+std::map<Pattern, std::int64_t> CsxSymMatrix::coverage() const {
+    std::map<Pattern, std::int64_t> out;
+    for (const EncodedPartition& e : encoded_) {
+        for (const auto& [pattern, count] : e.coverage) out[pattern] += count;
+    }
+    return out;
+}
+
+void CsxSymMatrix::spmv_partition(int pid, std::span<const value_t> x, std::span<value_t> y,
+                                  std::span<value_t> local) const {
+    const EncodedPartition& part = encoded_[static_cast<std::size_t>(pid)];
+    const index_t start = part.row_begin;
+    SYMSPMV_CHECK_MSG(static_cast<index_t>(local.size()) >= start,
+                      "CsxSymMatrix: local vector too small");
+    const value_t* __restrict xv = x.data();
+    value_t* __restrict yv = y.data();
+    value_t* __restrict lv = local.data();
+    const value_t* __restrict dv = dvalues_.data();
+    // Diagonal pass seeds the partition's own rows (Alg. 2 line 3).
+    for (index_t r = part.row_begin; r < part.row_end; ++r) yv[r] = dv[r] * xv[r];
+
+    const value_t* __restrict va = part.values.data();
+    std::size_t vpos = 0;
+    walk_ctl(std::span<const std::uint8_t>(part.ctl), part.row_begin, table_,
+             [&](const UnitHeader& h, const std::uint8_t* body) {
+                 // §IV.B: the encoder guarantees all of a unit's columns lie
+                 // on one side of `start`, so the mirror target is selected
+                 // once per unit.
+                 const bool mirror_local = h.col < start;
+                 value_t* __restrict mv = mirror_local ? lv : yv;
+                 switch (h.id) {
+                     case 0:
+                     case 1:
+                     case 2: {  // delta units
+                         index_t c = h.col;
+                         const value_t xr = xv[h.row];
+                         value_t acc = 0.0;
+                         for (int k = 0;; ++k) {
+                             const value_t v = va[vpos++];
+                             acc += v * xv[c];
+                             mv[c] += v * xr;
+                             if (k == h.size - 1) break;
+                             if (h.id == 0) c += detail::read_fixed<std::uint8_t>(body, k);
+                             if (h.id == 1) c += detail::read_fixed<std::uint16_t>(body, k);
+                             if (h.id == 2) c += detail::read_fixed<std::uint32_t>(body, k);
+                         }
+                         yv[h.row] += acc;
+                         break;
+                     }
+                     default: {
+                         const Pattern& p = table_[static_cast<std::size_t>(h.id - kFirstTableId)];
+                         switch (p.type) {
+                             case PatternType::kHorizontal: {
+                                 const value_t xr = xv[h.row];
+                                 value_t acc = 0.0;
+                                 index_t c = h.col;
+                                 for (int k = 0; k < h.size; ++k, c += p.delta) {
+                                     const value_t v = va[vpos++];
+                                     acc += v * xv[c];
+                                     mv[c] += v * xr;
+                                 }
+                                 yv[h.row] += acc;
+                                 break;
+                             }
+                             case PatternType::kVertical: {
+                                 const value_t xc = xv[h.col];
+                                 value_t macc = 0.0;
+                                 index_t r = h.row;
+                                 for (int k = 0; k < h.size; ++k, r += p.delta) {
+                                     const value_t v = va[vpos++];
+                                     yv[r] += v * xc;
+                                     macc += v * xv[r];
+                                 }
+                                 mv[h.col] += macc;
+                                 break;
+                             }
+                             case PatternType::kDiagonal: {
+                                 index_t r = h.row;
+                                 index_t c = h.col;
+                                 for (int k = 0; k < h.size; ++k, r += p.delta, c += p.delta) {
+                                     const value_t v = va[vpos++];
+                                     yv[r] += v * xv[c];
+                                     mv[c] += v * xv[r];
+                                 }
+                                 break;
+                             }
+                             case PatternType::kAntiDiagonal: {
+                                 index_t r = h.row;
+                                 index_t c = h.col;
+                                 for (int k = 0; k < h.size; ++k, r += p.delta, c -= p.delta) {
+                                     const value_t v = va[vpos++];
+                                     yv[r] += v * xv[c];
+                                     mv[c] += v * xv[r];
+                                 }
+                                 break;
+                             }
+                             case PatternType::kBlock: {
+                                 const auto block_rows = p.delta;
+                                 const int cols = h.size / static_cast<int>(block_rows);
+                                 for (int b = 0; b < cols; ++b) {
+                                     const index_t c = h.col + b;
+                                     const value_t xc = xv[c];
+                                     value_t macc = 0.0;
+                                     for (index_t a = 0; a < block_rows; ++a) {
+                                         const value_t v = va[vpos++];
+                                         yv[h.row + a] += v * xc;
+                                         macc += v * xv[h.row + a];
+                                     }
+                                     mv[c] += macc;
+                                 }
+                                 break;
+                             }
+                             default:
+                                 throw InternalError("CsxSymMatrix: delta pattern in table");
+                         }
+                         break;
+                     }
+                 }
+             });
+    SYMSPMV_CHECK_MSG(vpos == part.values.size(), "CsxSymMatrix: values not fully consumed");
+}
+
+}  // namespace symspmv::csx

@@ -1,0 +1,71 @@
+// CSX-Sym: the symmetric CSX variant (§IV.B).
+//
+// Substructures are detected only in the strictly lower triangle; the main
+// diagonal lives in a separate dvalues array (like SSS).  Each encoded unit
+// additionally performs the mirrored (transposed) updates.  The §IV.B rule
+// is enforced at encode time: a unit's columns must lie entirely below the
+// owning partition's start row (mirrored writes go to the local vector) or
+// entirely inside it (mirrored writes go directly to the output vector), so
+// execution never needs a per-element branch.
+#pragma once
+
+#include <map>
+#include <span>
+#include <vector>
+
+#include "core/allocator.hpp"
+#include "core/partition.hpp"
+#include "core/types.hpp"
+#include "csx/builder.hpp"
+#include "csx/csx_matrix.hpp"
+#include "csx/detect.hpp"
+#include "matrix/sss.hpp"
+
+namespace symspmv::csx {
+
+class CsxSymMatrix {
+   public:
+    /// Builds from an SSS matrix (lower triangle + diagonal), split row-wise
+    /// into @p partitions of approximately equal stored non-zero count.
+    CsxSymMatrix(const Sss& sss, const CsxConfig& cfg, int partitions);
+
+    [[nodiscard]] index_t rows() const { return n_; }
+
+    /// Non-zeros of the full symmetric matrix.
+    [[nodiscard]] std::int64_t nnz() const { return full_nnz_; }
+
+    [[nodiscard]] int partitions() const { return static_cast<int>(parts_.size()); }
+    [[nodiscard]] const RowRange& partition_rows(int pid) const {
+        return parts_[static_cast<std::size_t>(pid)];
+    }
+    [[nodiscard]] std::span<const RowRange> partition_spans() const { return parts_; }
+    [[nodiscard]] const EncodedPartition& partition(int pid) const {
+        return encoded_[static_cast<std::size_t>(pid)];
+    }
+    [[nodiscard]] std::span<const Pattern> table() const { return table_; }
+    [[nodiscard]] std::span<const value_t> dvalues() const { return dvalues_; }
+
+    /// ctl + values + dvalues bytes (matrix representation only; reduction
+    /// side structures are accounted by the kernel, as in Table I).
+    [[nodiscard]] std::size_t size_bytes() const;
+
+    [[nodiscard]] double preprocess_seconds() const { return preprocess_seconds_; }
+    [[nodiscard]] std::map<Pattern, std::int64_t> coverage() const;
+
+    /// Multiply phase for partition @p pid: writes the partition's own rows
+    /// of @p y directly and the mirrored products below the partition start
+    /// into @p local (the thread's local vector, size >= partition start).
+    void spmv_partition(int pid, std::span<const value_t> x, std::span<value_t> y,
+                        std::span<value_t> local) const;
+
+   private:
+    index_t n_ = 0;
+    std::int64_t full_nnz_ = 0;
+    std::vector<RowRange> parts_;
+    std::vector<Pattern> table_;
+    std::vector<EncodedPartition> encoded_;
+    aligned_vector<value_t> dvalues_;
+    double preprocess_seconds_ = 0.0;
+};
+
+}  // namespace symspmv::csx

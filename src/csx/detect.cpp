@@ -1,0 +1,289 @@
+#include "csx/detect.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "core/error.hpp"
+
+namespace symspmv::csx {
+namespace {
+
+/// Row-window size for sampled statistics (CSX samples row windows so that
+/// vertical/diagonal runs inside a window are still observed).
+constexpr index_t kSampleWindowRows = 64;
+
+}  // namespace
+
+Detector::Detector(std::span<const Triplet> elems, const CsxConfig& cfg, index_t boundary)
+    : elems_(elems), cfg_(cfg), boundary_(boundary) {
+    SYMSPMV_CHECK_MSG(cfg_.min_pattern_length >= 2, "CsxConfig: min_pattern_length >= 2");
+    SYMSPMV_CHECK_MSG(cfg_.max_delta >= 1, "CsxConfig: max_delta >= 1");
+    SYMSPMV_CHECK_MSG(cfg_.sample_fraction > 0.0 && cfg_.sample_fraction <= 1.0,
+                      "CsxConfig: sample_fraction in (0,1]");
+    if (!elems_.empty()) row_begin_ = elems_.front().row;
+}
+
+bool Detector::row_sampled(index_t row) const {
+    if (cfg_.sample_fraction >= 1.0) return true;
+    const auto window = static_cast<std::uint64_t>(row / kSampleWindowRows);
+    const std::uint64_t h = window * 2654435761ULL;
+    return static_cast<double>(h % 1000) < cfg_.sample_fraction * 1000.0;
+}
+
+template <typename LineOf, typename PosOf>
+void Detector::scan_directional(PatternType type, LineOf line_of, PosOf pos_of,
+                                std::vector<PatternStats>* stats, std::vector<bool>* consumed,
+                                std::vector<DetectedUnit>* units, index_t fixed_delta) const {
+    // Gather eligible element indices and sort by (line, pos): elements of a
+    // run become consecutive.
+    std::vector<std::uint32_t> order;
+    order.reserve(elems_.size());
+    for (std::uint32_t i = 0; i < elems_.size(); ++i) {
+        if (consumed != nullptr && (*consumed)[i]) continue;
+        if (consumed == nullptr && !row_sampled(elems_[i].row)) continue;
+        order.push_back(i);
+    }
+    std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+        const auto la = line_of(elems_[a]);
+        const auto lb = line_of(elems_[b]);
+        if (la != lb) return la < lb;
+        return pos_of(elems_[a]) < pos_of(elems_[b]);
+    });
+
+    struct DeltaStats {
+        std::int64_t covered = 0;
+        std::int64_t units = 0;
+    };
+    std::map<index_t, DeltaStats> covered_by_delta;
+    std::size_t k = 0;
+    while (k + 1 < order.size()) {
+        const auto line = line_of(elems_[order[k]]);
+        if (line_of(elems_[order[k + 1]]) != line) {
+            ++k;
+            continue;
+        }
+        const index_t d = pos_of(elems_[order[k + 1]]) - pos_of(elems_[order[k]]);
+        if (d < 1 || d > cfg_.max_delta || !same_side(elems_[order[k]].col, elems_[order[k + 1]].col)) {
+            ++k;
+            continue;
+        }
+        // Extend the constant-stride run.
+        std::size_t end = k + 1;
+        while (end + 1 < order.size() && static_cast<int>(end - k) + 1 < kMaxUnitSize &&
+               line_of(elems_[order[end + 1]]) == line &&
+               pos_of(elems_[order[end + 1]]) - pos_of(elems_[order[end]]) == d &&
+               same_side(elems_[order[k]].col, elems_[order[end + 1]].col)) {
+            ++end;
+        }
+        const int len = static_cast<int>(end - k + 1);
+        if (len < cfg_.min_pattern_length || (fixed_delta >= 0 && d != fixed_delta)) {
+            // Too short, or not the pattern being encoded: advance one step
+            // so overlapping runs with other strides are still discoverable.
+            ++k;
+            continue;
+        }
+        if (stats != nullptr) {
+            covered_by_delta[d].covered += len;
+            ++covered_by_delta[d].units;
+        }
+        if (units != nullptr) {
+            DetectedUnit u;
+            // The anchor is the first element in transform order; for every
+            // supported type this is also the topmost-leftmost element.
+            u.row = elems_[order[k]].row;
+            u.col = elems_[order[k]].col;
+            u.pattern = {type, d};
+            u.size = len;
+            u.elems.assign(order.begin() + static_cast<std::ptrdiff_t>(k),
+                           order.begin() + static_cast<std::ptrdiff_t>(end + 1));
+            for (std::uint32_t e : u.elems) (*consumed)[e] = true;
+            units->push_back(std::move(u));
+        }
+        k = end + 1;
+    }
+    if (stats != nullptr) {
+        for (const auto& [d, ds] : covered_by_delta) {
+            const auto scale = [&](std::int64_t v) {
+                return static_cast<std::int64_t>(static_cast<double>(v) / cfg_.sample_fraction);
+            };
+            stats->push_back({{type, d}, scale(ds.covered), scale(ds.units)});
+        }
+    }
+}
+
+void Detector::scan_blocks(int block_rows, std::vector<PatternStats>* stats,
+                           std::vector<bool>* consumed, std::vector<DetectedUnit>* units) const {
+    SYMSPMV_CHECK_MSG(block_rows >= 2, "scan_blocks: block height >= 2");
+    const index_t r = block_rows;
+    const int max_cols = kMaxUnitSize / block_rows;
+    if (max_cols < 2) return;
+
+    // Sort eligible elements by (strip, col, row): a full column of a strip
+    // becomes r consecutive entries; full columns at consecutive col values
+    // form a block.
+    auto strip_of = [&](const Triplet& t) { return (t.row - row_begin_) / r; };
+    std::vector<std::uint32_t> order;
+    order.reserve(elems_.size());
+    for (std::uint32_t i = 0; i < elems_.size(); ++i) {
+        if (consumed != nullptr && (*consumed)[i]) continue;
+        if (consumed == nullptr && !row_sampled(elems_[i].row)) continue;
+        order.push_back(i);
+    }
+    std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+        const auto sa = strip_of(elems_[a]);
+        const auto sb = strip_of(elems_[b]);
+        if (sa != sb) return sa < sb;
+        if (elems_[a].col != elems_[b].col) return elems_[a].col < elems_[b].col;
+        return elems_[a].row < elems_[b].row;
+    });
+
+    // Collect full columns: (strip, col, first-order-index).
+    struct FullColumn {
+        index_t strip;
+        index_t col;
+        std::size_t first;
+    };
+    std::vector<FullColumn> full;
+    std::size_t k = 0;
+    while (k < order.size()) {
+        const index_t strip = strip_of(elems_[order[k]]);
+        const index_t col = elems_[order[k]].col;
+        std::size_t end = k;
+        while (end + 1 < order.size() && strip_of(elems_[order[end + 1]]) == strip &&
+               elems_[order[end + 1]].col == col) {
+            ++end;
+        }
+        // Full column: exactly r elements covering rows strip_start..+r-1.
+        const index_t strip_start = row_begin_ + strip * r;
+        if (static_cast<index_t>(end - k + 1) == r && elems_[order[k]].row == strip_start &&
+            elems_[order[end]].row == strip_start + r - 1) {
+            full.push_back({strip, col, k});
+        }
+        k = end + 1;
+    }
+
+    // Group consecutive full columns of a strip into blocks.
+    std::int64_t covered = 0;
+    std::int64_t unit_count = 0;
+    std::size_t f = 0;
+    while (f < full.size()) {
+        std::size_t g = f;
+        while (g + 1 < full.size() && full[g + 1].strip == full[f].strip &&
+               full[g + 1].col == full[g].col + 1 &&
+               static_cast<int>(g - f + 2) <= max_cols &&
+               same_side(full[f].col, full[g + 1].col)) {
+            ++g;
+        }
+        const int cols = static_cast<int>(g - f + 1);
+        if (cols >= 2) {
+            covered += static_cast<std::int64_t>(cols) * r;
+            ++unit_count;
+            if (units != nullptr) {
+                DetectedUnit u;
+                u.row = row_begin_ + full[f].strip * r;
+                u.col = full[f].col;
+                u.pattern = {PatternType::kBlock, r};
+                u.size = cols * r;
+                for (std::size_t c = f; c <= g; ++c) {
+                    for (index_t e = 0; e < r; ++e) {
+                        const std::uint32_t idx = order[full[c].first + static_cast<std::size_t>(e)];
+                        u.elems.push_back(idx);
+                        (*consumed)[idx] = true;
+                    }
+                }
+                units->push_back(std::move(u));
+            }
+        }
+        f = g + 1;
+    }
+    if (stats != nullptr && covered > 0) {
+        const auto scale = [&](std::int64_t v) {
+            return static_cast<std::int64_t>(static_cast<double>(v) / cfg_.sample_fraction);
+        };
+        stats->push_back({{PatternType::kBlock, r}, scale(covered), scale(unit_count)});
+    }
+}
+
+std::vector<PatternStats> Detector::collect_stats() const {
+    std::vector<PatternStats> stats;
+    const auto line_row = [](const Triplet& t) { return t.row; };
+    const auto line_col = [](const Triplet& t) { return t.col; };
+    const auto line_diag = [](const Triplet& t) { return t.col - t.row; };
+    const auto line_adiag = [](const Triplet& t) { return t.col + t.row; };
+    const auto pos_row = [](const Triplet& t) { return t.row; };
+    const auto pos_col = [](const Triplet& t) { return t.col; };
+    if (cfg_.horizontal) {
+        scan_directional(PatternType::kHorizontal, line_row, pos_col, &stats, nullptr, nullptr, -1);
+    }
+    if (cfg_.vertical) {
+        scan_directional(PatternType::kVertical, line_col, pos_row, &stats, nullptr, nullptr, -1);
+    }
+    if (cfg_.diagonal) {
+        scan_directional(PatternType::kDiagonal, line_diag, pos_row, &stats, nullptr, nullptr, -1);
+    }
+    if (cfg_.antidiagonal) {
+        scan_directional(PatternType::kAntiDiagonal, line_adiag, pos_row, &stats, nullptr, nullptr,
+                         -1);
+    }
+    if (cfg_.blocks) {
+        for (int r : cfg_.block_rows) scan_blocks(r, &stats, nullptr, nullptr);
+    }
+    std::sort(stats.begin(), stats.end(), [](const PatternStats& a, const PatternStats& b) {
+        if (a.savings() != b.savings()) return a.savings() > b.savings();
+        return a.pattern < b.pattern;
+    });
+    return stats;
+}
+
+std::vector<Pattern> Detector::select_patterns() const {
+    const auto stats = collect_stats();
+    const auto threshold = static_cast<std::int64_t>(
+        cfg_.min_coverage * static_cast<double>(elems_.size()));
+    std::vector<Pattern> selected;
+    const std::size_t table_capacity = kMaxTableId - kFirstTableId + 1;
+    for (const PatternStats& s : stats) {
+        if (s.covered < threshold || s.covered < cfg_.min_pattern_length) continue;
+        selected.push_back(s.pattern);
+        if (selected.size() == table_capacity) break;
+    }
+    return selected;
+}
+
+Detector::EncodeResult Detector::encode_units(std::span<const Pattern> selected) const {
+    EncodeResult result;
+    result.consumed.assign(elems_.size(), false);
+    const auto line_row = [](const Triplet& t) { return t.row; };
+    const auto line_col = [](const Triplet& t) { return t.col; };
+    const auto line_diag = [](const Triplet& t) { return t.col - t.row; };
+    const auto line_adiag = [](const Triplet& t) { return t.col + t.row; };
+    const auto pos_row = [](const Triplet& t) { return t.row; };
+    const auto pos_col = [](const Triplet& t) { return t.col; };
+    for (const Pattern& p : selected) {
+        switch (p.type) {
+            case PatternType::kHorizontal:
+                scan_directional(p.type, line_row, pos_col, nullptr, &result.consumed,
+                                 &result.units, p.delta);
+                break;
+            case PatternType::kVertical:
+                scan_directional(p.type, line_col, pos_row, nullptr, &result.consumed,
+                                 &result.units, p.delta);
+                break;
+            case PatternType::kDiagonal:
+                scan_directional(p.type, line_diag, pos_row, nullptr, &result.consumed,
+                                 &result.units, p.delta);
+                break;
+            case PatternType::kAntiDiagonal:
+                scan_directional(p.type, line_adiag, pos_row, nullptr, &result.consumed,
+                                 &result.units, p.delta);
+                break;
+            case PatternType::kBlock:
+                scan_blocks(static_cast<int>(p.delta), nullptr, &result.consumed, &result.units);
+                break;
+            default:
+                throw InvalidArgument("delta units cannot be selected patterns");
+        }
+    }
+    return result;
+}
+
+}  // namespace symspmv::csx

@@ -1,0 +1,116 @@
+// CSX substructure detection (§IV.A).
+//
+// Detection follows the CSX approach: for every candidate pattern type the
+// partition's coordinates are transformed so that elements of that pattern
+// become consecutive in sort order, then maximal constant-stride runs are
+// collected.  A statistics pass (optionally row-sampled, like CSX's matrix
+// sampling) ranks the pattern types; the encoding pass then materializes
+// units greedily in rank order, each element consumed at most once.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/types.hpp"
+#include "csx/pattern.hpp"
+
+namespace symspmv::csx {
+
+/// Tuning knobs of the CSX preprocessing (DESIGN.md §6 lists the ablations).
+struct CsxConfig {
+    int min_pattern_length = 4;   // shortest run encoded as a substructure
+    index_t max_delta = 64;       // largest stride considered
+    bool horizontal = true;
+    bool vertical = true;
+    bool diagonal = true;
+    bool antidiagonal = true;
+    bool blocks = true;
+    std::vector<int> block_rows = {2, 3, 4, 6, 8};
+    double min_coverage = 0.05;   // fraction of partition nnz to justify a pattern
+    double sample_fraction = 1.0; // row-window fraction used for statistics
+};
+
+/// Configuration with every substructure pattern disabled: only delta units
+/// remain, which degenerates CSX into the CSR-DU format (Kourtis et al.'s
+/// delta-unit column-index compression, the predecessor of CSX).
+[[nodiscard]] inline CsxConfig delta_only_config() {
+    CsxConfig cfg;
+    cfg.horizontal = false;
+    cfg.vertical = false;
+    cfg.diagonal = false;
+    cfg.antidiagonal = false;
+    cfg.blocks = false;
+    return cfg;
+}
+
+/// Coverage statistics of one candidate pattern.
+struct PatternStats {
+    Pattern pattern;
+    std::int64_t covered = 0;  // elements coverable by this pattern
+    std::int64_t units = 0;    // number of units those elements would form
+
+    /// Ranking score: elements covered minus the ~3-byte ctl head paid per
+    /// unit.  This prefers block units (many elements per head) over
+    /// horizontal runs of the same raw coverage, mirroring CSX's preference
+    /// for the encoding that actually shrinks the ctl stream the most.
+    [[nodiscard]] std::int64_t savings() const { return covered - 3 * units; }
+};
+
+/// One detected unit: `size` elements starting at (row, col); `elems` holds
+/// indices into the partition's element array in storage order (the order
+/// the values array will use).
+struct DetectedUnit {
+    index_t row = 0;
+    index_t col = 0;
+    Pattern pattern;
+    int size = 0;
+    std::vector<std::uint32_t> elems;
+};
+
+class Detector {
+   public:
+    /// @p elems: the partition's elements, canonical row-major order.
+    /// @p boundary: if >= 0, no unit may span columns on both sides of this
+    /// column (the CSX-Sym local-vs-direct write rule, §IV.B); -1 disables.
+    Detector(std::span<const Triplet> elems, const CsxConfig& cfg, index_t boundary = -1);
+
+    /// Statistics pass over all enabled pattern types, sorted by coverage
+    /// (descending).  Honors cfg.sample_fraction.
+    [[nodiscard]] std::vector<PatternStats> collect_stats() const;
+
+    /// Selects the patterns to encode: coverage filter + table-size cap.
+    [[nodiscard]] std::vector<Pattern> select_patterns() const;
+
+    /// Materializes substructure units for @p selected (in priority order).
+    /// Elements not covered by any unit are left for delta units; the
+    /// returned mask marks consumed elements.
+    struct EncodeResult {
+        std::vector<DetectedUnit> units;
+        std::vector<bool> consumed;
+    };
+    [[nodiscard]] EncodeResult encode_units(std::span<const Pattern> selected) const;
+
+   private:
+    template <typename LineOf, typename PosOf>
+    void scan_directional(PatternType type, LineOf line_of, PosOf pos_of,
+                          std::vector<PatternStats>* stats, std::vector<bool>* consumed,
+                          std::vector<DetectedUnit>* units, index_t fixed_delta) const;
+
+    void scan_blocks(int block_rows, std::vector<PatternStats>* stats,
+                     std::vector<bool>* consumed, std::vector<DetectedUnit>* units) const;
+
+    [[nodiscard]] bool same_side(index_t col_a, index_t col_b) const {
+        if (boundary_ < 0) return true;
+        return (col_a < boundary_) == (col_b < boundary_);
+    }
+
+    [[nodiscard]] bool row_sampled(index_t row) const;
+
+    std::span<const Triplet> elems_;
+    CsxConfig cfg_;
+    index_t boundary_;
+    index_t row_begin_ = 0;  // first row of the partition (block alignment)
+};
+
+}  // namespace symspmv::csx

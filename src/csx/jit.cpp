@@ -1,0 +1,333 @@
+#include "csx/jit.hpp"
+
+#include <dlfcn.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "core/error.hpp"
+#include "core/timer.hpp"
+
+namespace symspmv::csx {
+
+namespace {
+
+/// First compiler on PATH, or "" when none works.
+std::string find_compiler() {
+    for (const char* cc : {"cc", "gcc", "clang"}) {
+        const std::string probe = std::string("command -v ") + cc + " >/dev/null 2>&1";
+        if (std::system(probe.c_str()) == 0) return cc;
+    }
+    return {};
+}
+
+const std::string& compiler() {
+    static const std::string cc = find_compiler();
+    return cc;
+}
+
+/// Emits the specialized case for pattern-table entry @p t (unit id t+3).
+/// Mirrors the interpreter in csx_matrix.cpp case for case, but with the
+/// pattern type and stride folded into the source as literals.
+void emit_pattern_case(std::ostream& os, std::size_t t, const Pattern& p) {
+    const int id = static_cast<int>(t) + kFirstTableId;
+    const long d = p.delta;
+    os << "    case " << id << ": { /* " << to_string(p) << " */\n";
+    switch (p.type) {
+        case PatternType::kHorizontal:
+            os << "      double acc = 0.0; long c = ucol;\n"
+               << "      for (int k = 0; k < usize; ++k) { acc += va[vpos++] * x[c]; c += " << d
+               << "; }\n"
+               << "      y[cur_row] += acc; cur_col = ucol + (long)(usize - 1) * " << d
+               << " + 1;\n";
+            break;
+        case PatternType::kVertical:
+            os << "      const double xc = x[ucol]; long r = cur_row;\n"
+               << "      for (int k = 0; k < usize; ++k) { y[r] += va[vpos++] * xc; r += " << d
+               << "; }\n"
+               << "      cur_col = ucol + 1;\n";
+            break;
+        case PatternType::kDiagonal:
+            os << "      long r = cur_row; long c = ucol;\n"
+               << "      for (int k = 0; k < usize; ++k) { y[r] += va[vpos++] * x[c]; r += " << d
+               << "; c += " << d << "; }\n"
+               << "      cur_col = ucol + 1;\n";
+            break;
+        case PatternType::kAntiDiagonal:
+            os << "      long r = cur_row; long c = ucol;\n"
+               << "      for (int k = 0; k < usize; ++k) { y[r] += va[vpos++] * x[c]; r += " << d
+               << "; c -= " << d << "; }\n"
+               << "      cur_col = ucol + 1;\n";
+            break;
+        case PatternType::kBlock:
+            os << "      const int bcols = usize / " << d << ";\n"
+               << "      for (int b = 0; b < bcols; ++b) {\n"
+               << "        const double xc = x[ucol + b];\n"
+               << "        for (int a = 0; a < " << d << "; ++a) y[cur_row + a] += va[vpos++] * xc;\n"
+               << "      }\n"
+               << "      cur_col = ucol + 1;\n";
+            break;
+        default:
+            throw InternalError("jit: delta pattern in table");
+    }
+    os << "      break; }\n";
+}
+
+/// Emits the symmetric (mirroring) case for table entry @p t, mirroring
+/// CsxSymMatrix::spmv_partition case for case.
+void emit_sym_pattern_case(std::ostream& os, std::size_t t, const Pattern& p) {
+    const int id = static_cast<int>(t) + kFirstTableId;
+    const long d = p.delta;
+    os << "    case " << id << ": { /* sym " << to_string(p) << " */\n";
+    switch (p.type) {
+        case PatternType::kHorizontal:
+            os << "      const double xr = x[cur_row]; double acc = 0.0; long c = ucol;\n"
+               << "      for (int k = 0; k < usize; ++k) { const double v = va[vpos++];\n"
+               << "        acc += v * x[c]; mv[c] += v * xr; c += " << d << "; }\n"
+               << "      y[cur_row] += acc; cur_col = ucol + (long)(usize - 1) * " << d
+               << " + 1;\n";
+            break;
+        case PatternType::kVertical:
+            os << "      const double xc = x[ucol]; double macc = 0.0; long r = cur_row;\n"
+               << "      for (int k = 0; k < usize; ++k) { const double v = va[vpos++];\n"
+               << "        y[r] += v * xc; macc += v * x[r]; r += " << d << "; }\n"
+               << "      mv[ucol] += macc; cur_col = ucol + 1;\n";
+            break;
+        case PatternType::kDiagonal:
+            os << "      long r = cur_row; long c = ucol;\n"
+               << "      for (int k = 0; k < usize; ++k) { const double v = va[vpos++];\n"
+               << "        y[r] += v * x[c]; mv[c] += v * x[r]; r += " << d << "; c += " << d
+               << "; }\n"
+               << "      cur_col = ucol + 1;\n";
+            break;
+        case PatternType::kAntiDiagonal:
+            os << "      long r = cur_row; long c = ucol;\n"
+               << "      for (int k = 0; k < usize; ++k) { const double v = va[vpos++];\n"
+               << "        y[r] += v * x[c]; mv[c] += v * x[r]; r += " << d << "; c -= " << d
+               << "; }\n"
+               << "      cur_col = ucol + 1;\n";
+            break;
+        case PatternType::kBlock:
+            os << "      const int bcols = usize / " << d << ";\n"
+               << "      for (int b = 0; b < bcols; ++b) {\n"
+               << "        const long c = ucol + b; const double xc = x[c]; double macc = 0.0;\n"
+               << "        for (int a = 0; a < " << d << "; ++a) { const double v = va[vpos++];\n"
+               << "          y[cur_row + a] += v * xc; macc += v * x[cur_row + a]; }\n"
+               << "        mv[c] += macc;\n"
+               << "      }\n"
+               << "      cur_col = ucol + 1;\n";
+            break;
+        default:
+            throw InternalError("jit: delta pattern in table");
+    }
+    os << "      break; }\n";
+}
+
+}  // namespace
+
+std::string generate_kernel_source(std::span<const Pattern> table) {
+    std::ostringstream os;
+    os << "/* symspmv: runtime-generated CSX kernel (" << table.size()
+       << " specialized pattern cases) */\n"
+          "#include <stddef.h>\n"
+          "#include <stdint.h>\n"
+          "#include <string.h>\n"
+          "\n"
+          "static uint64_t read_uvarint(const uint8_t* d, size_t* pos) {\n"
+          "  uint64_t v = 0; int shift = 0;\n"
+          "  for (;;) {\n"
+          "    const uint8_t b = d[(*pos)++];\n"
+          "    v |= (uint64_t)(b & 0x7F) << shift;\n"
+          "    if ((b & 0x80) == 0) break;\n"
+          "    shift += 7;\n"
+          "  }\n"
+          "  return v;\n"
+          "}\n"
+          "\n"
+          "static int64_t read_svarint(const uint8_t* d, size_t* pos) {\n"
+          "  const uint64_t v = read_uvarint(d, pos);\n"
+          "  return (int64_t)(v >> 1) ^ -(int64_t)(v & 1);\n"
+          "}\n"
+          "\n"
+          "void csx_spmv(const uint8_t* ctl, size_t ctl_len, const double* va,\n"
+          "              int32_t row_begin, int32_t row_end, const double* restrict x,\n"
+          "              double* restrict y) {\n"
+          "  for (int32_t r = row_begin; r < row_end; ++r) y[r] = 0.0;\n"
+          "  size_t pos = 0, vpos = 0;\n"
+          "  long cur_row = row_begin, cur_col = 0;\n"
+          "  while (pos < ctl_len) {\n"
+          "    const uint8_t flags = ctl[pos++];\n"
+          "    if (flags & 0x80) {\n"
+          "      long jump = 1;\n"
+          "      if (flags & 0x40) jump = (long)read_uvarint(ctl, &pos);\n"
+          "      cur_row += jump; cur_col = 0;\n"
+          "    }\n"
+          "    const int uid = flags & 0x3F;\n"
+          "    const int usize = ctl[pos++];\n"
+          "    cur_col += (long)read_svarint(ctl, &pos);\n"
+          "    const long ucol = cur_col;\n"
+          "    switch (uid) {\n"
+          "    case 0: { /* delta8 */\n"
+          "      long c = ucol; double acc = va[vpos++] * x[c];\n"
+          "      for (int k = 0; k < usize - 1; ++k) { c += ctl[pos + (size_t)k];\n"
+          "        acc += va[vpos++] * x[c]; }\n"
+          "      pos += (size_t)(usize - 1); y[cur_row] += acc; cur_col = c + 1;\n"
+          "      break; }\n"
+          "    case 1: { /* delta16 */\n"
+          "      long c = ucol; double acc = va[vpos++] * x[c];\n"
+          "      for (int k = 0; k < usize - 1; ++k) { uint16_t dlt;\n"
+          "        memcpy(&dlt, ctl + pos + (size_t)k * 2, 2); c += dlt;\n"
+          "        acc += va[vpos++] * x[c]; }\n"
+          "      pos += (size_t)(usize - 1) * 2; y[cur_row] += acc; cur_col = c + 1;\n"
+          "      break; }\n"
+          "    case 2: { /* delta32 */\n"
+          "      long c = ucol; double acc = va[vpos++] * x[c];\n"
+          "      for (int k = 0; k < usize - 1; ++k) { uint32_t dlt;\n"
+          "        memcpy(&dlt, ctl + pos + (size_t)k * 4, 4); c += dlt;\n"
+          "        acc += va[vpos++] * x[c]; }\n"
+          "      pos += (size_t)(usize - 1) * 4; y[cur_row] += acc; cur_col = c + 1;\n"
+          "      break; }\n";
+    for (std::size_t t = 0; t < table.size(); ++t) emit_pattern_case(os, t, table[t]);
+    os << "    default: return; /* corrupt stream: ids are validated at encode time */\n"
+          "    }\n"
+          "  }\n"
+          "}\n"
+          "\n"
+          "void csx_sym_spmv(const uint8_t* ctl, size_t ctl_len, const double* va,\n"
+          "                  const double* dvalues, int32_t row_begin, int32_t row_end,\n"
+          "                  const double* restrict x, double* restrict y,\n"
+          "                  double* restrict local) {\n"
+          "  for (int32_t r = row_begin; r < row_end; ++r) y[r] = dvalues[r] * x[r];\n"
+          "  size_t pos = 0, vpos = 0;\n"
+          "  long cur_row = row_begin, cur_col = 0;\n"
+          "  while (pos < ctl_len) {\n"
+          "    const uint8_t flags = ctl[pos++];\n"
+          "    if (flags & 0x80) {\n"
+          "      long jump = 1;\n"
+          "      if (flags & 0x40) jump = (long)read_uvarint(ctl, &pos);\n"
+          "      cur_row += jump; cur_col = 0;\n"
+          "    }\n"
+          "    const int uid = flags & 0x3F;\n"
+          "    const int usize = ctl[pos++];\n"
+          "    cur_col += (long)read_svarint(ctl, &pos);\n"
+          "    const long ucol = cur_col;\n"
+          "    /* one-side-per-unit (IV.B): pick the mirror target once */\n"
+          "    double* restrict mv = (ucol < row_begin) ? local : y;\n"
+          "    switch (uid) {\n"
+          "    case 0: case 1: case 2: { /* delta units */\n"
+          "      long c = ucol; const double xr = x[cur_row]; double acc = 0.0;\n"
+          "      const int width = (uid == 0) ? 1 : (uid == 1) ? 2 : 4;\n"
+          "      for (int k = 0;; ++k) {\n"
+          "        const double v = va[vpos++];\n"
+          "        acc += v * x[c]; mv[c] += v * xr;\n"
+          "        if (k == usize - 1) break;\n"
+          "        if (uid == 0) { c += ctl[pos + (size_t)k]; }\n"
+          "        else if (uid == 1) { uint16_t dlt; memcpy(&dlt, ctl + pos + (size_t)k * 2, 2);"
+          " c += dlt; }\n"
+          "        else { uint32_t dlt; memcpy(&dlt, ctl + pos + (size_t)k * 4, 4); c += dlt; }\n"
+          "      }\n"
+          "      pos += (size_t)(usize - 1) * (size_t)width;\n"
+          "      y[cur_row] += acc; cur_col = c + 1;\n"
+          "      break; }\n";
+    for (std::size_t t = 0; t < table.size(); ++t) emit_sym_pattern_case(os, t, table[t]);
+    os << "    default: return;\n"
+          "    }\n"
+          "  }\n"
+          "}\n";
+    return os.str();
+}
+
+bool JitModule::compiler_available() { return !compiler().empty(); }
+
+JitModule::JitModule(std::span<const Pattern> table) {
+    SYMSPMV_CHECK_MSG(compiler_available(), "jit: no C compiler on PATH");
+    Timer t;
+    source_ = generate_kernel_source(table);
+
+    // Unique temp names per process + module.
+    char c_path[] = "/tmp/symspmv_jit_XXXXXX.c";
+    const int fd = ::mkstemps(c_path, 2);
+    SYMSPMV_CHECK_MSG(fd >= 0, "jit: cannot create temp source file");
+    {
+        std::ofstream out(c_path);
+        out << source_;
+    }
+    ::close(fd);
+    so_path_ = std::string(c_path, sizeof(c_path) - 3) + ".so";
+
+    const std::string cmd = compiler() + " -O2 -shared -fPIC -o " + so_path_ + " " + c_path +
+                            " 2>/dev/null";
+    const int rc = std::system(cmd.c_str());
+    ::unlink(c_path);
+    SYMSPMV_CHECK_MSG(rc == 0, "jit: compilation failed");
+
+    handle_ = ::dlopen(so_path_.c_str(), RTLD_NOW | RTLD_LOCAL);
+    SYMSPMV_CHECK_MSG(handle_ != nullptr, "jit: dlopen failed");
+    fn_ = reinterpret_cast<JitSpmvFn>(::dlsym(handle_, "csx_spmv"));
+    SYMSPMV_CHECK_MSG(fn_ != nullptr, "jit: csx_spmv symbol missing");
+    sym_fn_ = reinterpret_cast<JitSymSpmvFn>(::dlsym(handle_, "csx_sym_spmv"));
+    SYMSPMV_CHECK_MSG(sym_fn_ != nullptr, "jit: csx_sym_spmv symbol missing");
+    compile_seconds_ = t.seconds();
+}
+
+JitModule::~JitModule() {
+    if (handle_ != nullptr) ::dlclose(handle_);
+    if (!so_path_.empty()) ::unlink(so_path_.c_str());
+}
+
+CsxJitKernel::CsxJitKernel(const Csr& full, const CsxConfig& cfg, ThreadPool& pool)
+    : matrix_(full, cfg, pool.size()), module_(matrix_.table()), pool_(pool) {}
+
+void CsxJitKernel::spmv(std::span<const value_t> x, std::span<value_t> y) {
+    SYMSPMV_CHECK_MSG(static_cast<index_t>(x.size()) == matrix_.cols(), "spmv: x size mismatch");
+    SYMSPMV_CHECK_MSG(static_cast<index_t>(y.size()) == matrix_.rows(), "spmv: y size mismatch");
+    Timer t;
+    const JitSpmvFn fn = module_.fn();
+    pool_.run([&](int tid) {
+        const EncodedPartition& part = matrix_.partition(tid);
+        fn(part.ctl.data(), part.ctl.size(), part.values.data(), part.row_begin, part.row_end,
+           x.data(), y.data());
+    });
+    phases_ = {t.seconds(), 0.0};
+}
+
+CsxSymJitKernel::CsxSymJitKernel(const Sss& sss, const CsxConfig& cfg, ThreadPool& pool)
+    : matrix_(sss, cfg, pool.size()), module_(matrix_.table()), pool_(pool) {
+    index_ = ReductionIndex(sss, matrix_.partition_spans());
+    locals_.resize(static_cast<std::size_t>(pool_.size()));
+    for (int i = 0; i < pool_.size(); ++i) {
+        locals_[static_cast<std::size_t>(i)].assign(
+            static_cast<std::size_t>(matrix_.partition_rows(i).begin), value_t{0});
+    }
+}
+
+std::size_t CsxSymJitKernel::footprint_bytes() const {
+    std::size_t bytes = matrix_.size_bytes() + index_.bytes();
+    for (const auto& v : locals_) bytes += v.size() * kValueBytes;
+    return bytes;
+}
+
+void CsxSymJitKernel::spmv(std::span<const value_t> x, std::span<value_t> y) {
+    SYMSPMV_CHECK_MSG(static_cast<index_t>(x.size()) == matrix_.rows(), "spmv: x size mismatch");
+    SYMSPMV_CHECK_MSG(static_cast<index_t>(y.size()) == matrix_.rows(), "spmv: y size mismatch");
+    Timer total;
+    const JitSymSpmvFn fn = module_.sym_fn();
+    pool_.run([&](int tid) {
+        Timer t;
+        const EncodedPartition& part = matrix_.partition(tid);
+        fn(part.ctl.data(), part.ctl.size(), part.values.data(), matrix_.dvalues().data(),
+           part.row_begin, part.row_end, x.data(), y.data(),
+           locals_[static_cast<std::size_t>(tid)].data());
+        pool_.barrier();
+        if (tid == 0) last_mult_seconds_ = t.seconds();
+        apply_reduction_index(index_, locals_, y, tid);
+    });
+    const double total_seconds = total.seconds();
+    phases_ = {last_mult_seconds_, std::max(0.0, total_seconds - last_mult_seconds_)};
+}
+
+}  // namespace symspmv::csx

@@ -1,0 +1,134 @@
+// Runtime code generation for CSX (§IV.A, DESIGN.md §5).
+//
+// The original CSX emits per-matrix SpM×V code with LLVM at runtime; this
+// module is the faithful stand-in: once a matrix's pattern table is known,
+// it emits C source in which every table entry becomes a fully specialized
+// switch case (pattern type and stride baked in as literals — exactly the
+// constants the LLVM backend folds), compiles it with the system C compiler
+// into a shared object and dlopens the resulting kernel.
+//
+// The backend is optional: compiler_available() probes for cc/gcc/clang and
+// callers fall back to the built-in interpreter (csx_matrix.cpp) when no
+// compiler is installed.  The ctl stream layout is identical either way.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/allocator.hpp"
+#include "core/thread_pool.hpp"
+#include "csx/csx_matrix.hpp"
+#include "csx/csx_sym.hpp"
+#include "csx/pattern.hpp"
+#include "spmv/kernel.hpp"
+#include "spmv/reduction.hpp"
+
+namespace symspmv::csx {
+
+/// Signature of the generated per-matrix kernel: computes y over the rows
+/// of one encoded partition (zeroing them first).
+using JitSpmvFn = void (*)(const std::uint8_t* ctl, std::size_t ctl_len, const double* values,
+                           std::int32_t row_begin, std::int32_t row_end, const double* x,
+                           double* y);
+
+/// Symmetric variant: seeds y[row] with dvalues, performs the mirrored
+/// writes into `local` (below row_begin) or `y` (own rows) per the §IV.B
+/// one-side-per-unit guarantee.
+using JitSymSpmvFn = void (*)(const std::uint8_t* ctl, std::size_t ctl_len, const double* values,
+                              const double* dvalues, std::int32_t row_begin, std::int32_t row_end,
+                              const double* x, double* y, double* local);
+
+/// One compiled kernel pair (shared object) for a pattern table.
+class JitModule {
+   public:
+    /// True when a usable C compiler was found on PATH (probed once).
+    static bool compiler_available();
+
+    /// Generates, compiles and loads the kernel for @p table.  Throws
+    /// InternalError when no compiler is available or compilation fails.
+    explicit JitModule(std::span<const Pattern> table);
+
+    JitModule(const JitModule&) = delete;
+    JitModule& operator=(const JitModule&) = delete;
+
+    ~JitModule();
+
+    [[nodiscard]] JitSpmvFn fn() const { return fn_; }
+    [[nodiscard]] JitSymSpmvFn sym_fn() const { return sym_fn_; }
+
+    /// The generated C source (exposed for tests and debugging).
+    [[nodiscard]] const std::string& source() const { return source_; }
+
+    /// Wall-clock seconds of the emit + compile + load step; part of the
+    /// preprocessing cost a fair §V.E comparison must include.
+    [[nodiscard]] double compile_seconds() const { return compile_seconds_; }
+
+   private:
+    std::string source_;
+    std::string so_path_;
+    void* handle_ = nullptr;
+    JitSpmvFn fn_ = nullptr;
+    JitSymSpmvFn sym_fn_ = nullptr;
+    double compile_seconds_ = 0.0;
+};
+
+/// Generates the C source for @p table: both the unsymmetric (`csx_spmv`)
+/// and the symmetric (`csx_sym_spmv`) entry points, each with one fully
+/// specialized case per table entry.  Separated out for testability.
+[[nodiscard]] std::string generate_kernel_source(std::span<const Pattern> table);
+
+/// Unsymmetric CSX kernel executing through the runtime-compiled module.
+class CsxJitKernel final : public SpmvKernel {
+   public:
+    CsxJitKernel(const Csr& full, const CsxConfig& cfg, ThreadPool& pool);
+
+    [[nodiscard]] std::string_view name() const override { return "CSX-jit"; }
+    [[nodiscard]] index_t rows() const override { return matrix_.rows(); }
+    [[nodiscard]] std::int64_t nnz() const override { return matrix_.nnz(); }
+    [[nodiscard]] std::size_t footprint_bytes() const override { return matrix_.size_bytes(); }
+    void spmv(std::span<const value_t> x, std::span<value_t> y) override;
+
+    [[nodiscard]] const CsxMatrix& matrix() const { return matrix_; }
+    [[nodiscard]] const JitModule& module() const { return module_; }
+
+    /// Detection/encoding plus code generation seconds (§V.E accounting).
+    [[nodiscard]] double preprocess_seconds() const {
+        return matrix_.preprocess_seconds() + module_.compile_seconds();
+    }
+
+   private:
+    CsxMatrix matrix_;
+    JitModule module_;
+    ThreadPool& pool_;
+};
+
+/// CSX-Sym kernel executing through the runtime-compiled module, with the
+/// §III.C local-vectors-indexing reduction (same as CsxSymKernel).
+class CsxSymJitKernel final : public SpmvKernel {
+   public:
+    CsxSymJitKernel(const Sss& sss, const CsxConfig& cfg, ThreadPool& pool);
+
+    [[nodiscard]] std::string_view name() const override { return "CSX-Sym-jit"; }
+    [[nodiscard]] index_t rows() const override { return matrix_.rows(); }
+    [[nodiscard]] std::int64_t nnz() const override { return matrix_.nnz(); }
+    [[nodiscard]] std::size_t footprint_bytes() const override;
+    void spmv(std::span<const value_t> x, std::span<value_t> y) override;
+
+    [[nodiscard]] const CsxSymMatrix& matrix() const { return matrix_; }
+    [[nodiscard]] const JitModule& module() const { return module_; }
+    [[nodiscard]] double preprocess_seconds() const {
+        return matrix_.preprocess_seconds() + module_.compile_seconds();
+    }
+
+   private:
+    CsxSymMatrix matrix_;
+    JitModule module_;
+    ThreadPool& pool_;
+    std::vector<aligned_vector<value_t>> locals_;
+    ReductionIndex index_;
+    double last_mult_seconds_ = 0.0;
+};
+
+}  // namespace symspmv::csx

@@ -1,0 +1,51 @@
+#include "csx/kernels.hpp"
+
+#include "core/error.hpp"
+#include "core/timer.hpp"
+
+namespace symspmv::csx {
+
+CsxMtKernel::CsxMtKernel(const Csr& full, const CsxConfig& cfg, ThreadPool& pool,
+                         std::string name)
+    : matrix_(full, cfg, pool.size()), pool_(pool), name_(std::move(name)) {}
+
+void CsxMtKernel::spmv(std::span<const value_t> x, std::span<value_t> y) {
+    SYMSPMV_CHECK_MSG(static_cast<index_t>(x.size()) == matrix_.cols(), "spmv: x size mismatch");
+    SYMSPMV_CHECK_MSG(static_cast<index_t>(y.size()) == matrix_.rows(), "spmv: y size mismatch");
+    Timer t;
+    pool_.run([&](int tid) { matrix_.spmv_partition(tid, x, y); });
+    phases_ = {t.seconds(), 0.0};
+}
+
+CsxSymKernel::CsxSymKernel(const Sss& sss, const CsxConfig& cfg, ThreadPool& pool)
+    : matrix_(sss, cfg, pool.size()), pool_(pool) {
+    index_ = ReductionIndex(sss, matrix_.partition_spans());
+    locals_.resize(static_cast<std::size_t>(pool_.size()));
+    for (int i = 0; i < pool_.size(); ++i) {
+        locals_[static_cast<std::size_t>(i)].assign(
+            static_cast<std::size_t>(matrix_.partition_rows(i).begin), value_t{0});
+    }
+}
+
+std::size_t CsxSymKernel::footprint_bytes() const {
+    std::size_t bytes = matrix_.size_bytes() + index_.bytes();
+    for (const auto& v : locals_) bytes += v.size() * kValueBytes;
+    return bytes;
+}
+
+void CsxSymKernel::spmv(std::span<const value_t> x, std::span<value_t> y) {
+    SYMSPMV_CHECK_MSG(static_cast<index_t>(x.size()) == matrix_.rows(), "spmv: x size mismatch");
+    SYMSPMV_CHECK_MSG(static_cast<index_t>(y.size()) == matrix_.rows(), "spmv: y size mismatch");
+    Timer total;
+    pool_.run([&](int tid) {
+        Timer t;
+        matrix_.spmv_partition(tid, x, y, locals_[static_cast<std::size_t>(tid)]);
+        pool_.barrier();
+        if (tid == 0) last_mult_seconds_ = t.seconds();
+        apply_reduction_index(index_, locals_, y, tid);
+    });
+    const double total_seconds = total.seconds();
+    phases_ = {last_mult_seconds_, std::max(0.0, total_seconds - last_mult_seconds_)};
+}
+
+}  // namespace symspmv::csx

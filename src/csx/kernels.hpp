@@ -1,0 +1,69 @@
+// SpmvKernel adapters for the CSX and CSX-Sym formats.
+//
+// CSX-Sym integrates with the local-vectors indexing reduction of §III.C
+// (the paper evaluates CSX-Sym only with that optimized reduction: "All
+// symmetric formats use the optimized local vector indexing method",
+// Fig. 11 caption).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/allocator.hpp"
+#include "core/thread_pool.hpp"
+#include "csx/csx_matrix.hpp"
+#include "csx/csx_sym.hpp"
+#include "spmv/kernel.hpp"
+#include "spmv/reduction.hpp"
+
+namespace symspmv::csx {
+
+/// Multithreaded unsymmetric CSX kernel (each worker interprets the
+/// partition it encoded; no reduction phase).
+class CsxMtKernel final : public SpmvKernel {
+   public:
+    /// Builds the CSX matrix with one partition per pool worker.  @p name
+    /// labels the kernel in reports ("CSR-DU" when cfg disables patterns).
+    CsxMtKernel(const Csr& full, const CsxConfig& cfg, ThreadPool& pool,
+                std::string name = "CSX");
+
+    [[nodiscard]] std::string_view name() const override { return name_; }
+    [[nodiscard]] index_t rows() const override { return matrix_.rows(); }
+    [[nodiscard]] std::int64_t nnz() const override { return matrix_.nnz(); }
+    [[nodiscard]] std::size_t footprint_bytes() const override { return matrix_.size_bytes(); }
+    void spmv(std::span<const value_t> x, std::span<value_t> y) override;
+
+    [[nodiscard]] const CsxMatrix& matrix() const { return matrix_; }
+
+   private:
+    CsxMatrix matrix_;
+    ThreadPool& pool_;
+    std::string name_;
+};
+
+/// Multithreaded CSX-Sym kernel with local-vectors-indexing reduction.
+class CsxSymKernel final : public SpmvKernel {
+   public:
+    /// @p sss provides both the lower-triangle structure to encode and the
+    /// conflict information for the reduction index.
+    CsxSymKernel(const Sss& sss, const CsxConfig& cfg, ThreadPool& pool);
+
+    [[nodiscard]] std::string_view name() const override { return "CSX-Sym"; }
+    [[nodiscard]] index_t rows() const override { return matrix_.rows(); }
+    [[nodiscard]] std::int64_t nnz() const override { return matrix_.nnz(); }
+    [[nodiscard]] std::size_t footprint_bytes() const override;
+    void spmv(std::span<const value_t> x, std::span<value_t> y) override;
+
+    [[nodiscard]] const CsxSymMatrix& matrix() const { return matrix_; }
+    [[nodiscard]] const ReductionIndex& reduction_index() const { return index_; }
+
+   private:
+    CsxSymMatrix matrix_;
+    ThreadPool& pool_;
+    std::vector<aligned_vector<value_t>> locals_;
+    ReductionIndex index_;
+    double last_mult_seconds_ = 0.0;
+};
+
+}  // namespace symspmv::csx

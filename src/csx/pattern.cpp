@@ -1,0 +1,35 @@
+#include "csx/pattern.hpp"
+
+namespace symspmv::csx {
+
+std::string to_string(PatternType t) {
+    switch (t) {
+        case PatternType::kDelta8:
+            return "delta8";
+        case PatternType::kDelta16:
+            return "delta16";
+        case PatternType::kDelta32:
+            return "delta32";
+        case PatternType::kHorizontal:
+            return "horiz";
+        case PatternType::kVertical:
+            return "vert";
+        case PatternType::kDiagonal:
+            return "diag";
+        case PatternType::kAntiDiagonal:
+            return "adiag";
+        case PatternType::kBlock:
+            return "block";
+    }
+    return "?";
+}
+
+std::string to_string(const Pattern& p) {
+    if (p.type == PatternType::kBlock) {
+        return "block(r=" + std::to_string(p.delta) + ")";
+    }
+    if (is_delta(p.type)) return to_string(p.type);
+    return to_string(p.type) + "(d=" + std::to_string(p.delta) + ")";
+}
+
+}  // namespace symspmv::csx

@@ -1,0 +1,57 @@
+// CSX substructure model (§IV.A, Fig. 6).
+//
+// A CSX unit is either a delta unit (a run of column deltas representable in
+// 8/16/32 bits) or a substructure unit drawn from the per-matrix pattern
+// table: horizontal / vertical / diagonal / anti-diagonal runs with a fixed
+// element stride, or row-aligned dense blocks.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace symspmv::csx {
+
+enum class PatternType : std::uint8_t {
+    kDelta8 = 0,    // body: (size-1) 8-bit column deltas
+    kDelta16 = 1,   // body: (size-1) 16-bit column deltas
+    kDelta32 = 2,   // body: (size-1) 32-bit column deltas
+    kHorizontal,    // (i, j+k*d), k = 0..size-1
+    kVertical,      // (i+k*d, j)
+    kDiagonal,      // (i+k*d, j+k*d)
+    kAntiDiagonal,  // (i+k*d, j-k*d)
+    kBlock,         // dense r x c block anchored at (i, j), column-major;
+                    // `delta` holds r, the column count is size / r
+};
+
+/// True for the three built-in delta unit kinds.
+[[nodiscard]] constexpr bool is_delta(PatternType t) {
+    return t == PatternType::kDelta8 || t == PatternType::kDelta16 || t == PatternType::kDelta32;
+}
+
+/// One pattern-table entry: a substructure type with its stride (or block
+/// row count).  Delta units are built-in and never appear in the table.
+struct Pattern {
+    PatternType type = PatternType::kHorizontal;
+    index_t delta = 1;
+
+    friend bool operator==(const Pattern&, const Pattern&) = default;
+    friend auto operator<=>(const Pattern&, const Pattern&) = default;
+};
+
+[[nodiscard]] std::string to_string(PatternType t);
+[[nodiscard]] std::string to_string(const Pattern& p);
+
+/// ctl flags-byte layout: bit 7 = new row, bit 6 = row jump follows,
+/// bits 0-5 = unit id (0-2 built-in delta units, 3+ pattern-table index).
+inline constexpr std::uint8_t kCtlNewRow = 0x80;
+inline constexpr std::uint8_t kCtlRowJump = 0x40;
+inline constexpr std::uint8_t kCtlIdMask = 0x3F;
+inline constexpr int kFirstTableId = 3;
+inline constexpr int kMaxTableId = 63;
+/// Maximum elements per unit (the size field is one byte).
+inline constexpr int kMaxUnitSize = 255;
+
+}  // namespace symspmv::csx

@@ -1,0 +1,60 @@
+// Variable-length integer coding for the CSX ctl byte stream.
+//
+// CSX stores column indices "as a delta distance from the previous column in
+// a variable size integer" (§IV.A).  Unit-start column deltas can be
+// negative (a unit may be anchored left of where the previous unit ended),
+// so those use zigzag-mapped LEB128; all other quantities are unsigned
+// LEB128.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace symspmv::csx {
+
+/// Appends @p v as unsigned LEB128 to @p out.
+inline void write_uvarint(std::vector<std::uint8_t>& out, std::uint64_t v) {
+    while (v >= 0x80) {
+        out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+        v >>= 7;
+    }
+    out.push_back(static_cast<std::uint8_t>(v));
+}
+
+/// Reads an unsigned LEB128 value, advancing @p pos.
+inline std::uint64_t read_uvarint(const std::uint8_t* data, std::size_t size, std::size_t& pos) {
+    std::uint64_t v = 0;
+    int shift = 0;
+    for (;;) {
+        SYMSPMV_CHECK_MSG(pos < size, "varint: truncated stream");
+        const std::uint8_t byte = data[pos++];
+        v |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+        if ((byte & 0x80) == 0) break;
+        shift += 7;
+        SYMSPMV_CHECK_MSG(shift < 64, "varint: overlong encoding");
+    }
+    return v;
+}
+
+/// Zigzag mapping: 0,-1,1,-2,2,... -> 0,1,2,3,4,...
+inline std::uint64_t zigzag_encode(std::int64_t v) {
+    return (static_cast<std::uint64_t>(v) << 1) ^ static_cast<std::uint64_t>(v >> 63);
+}
+
+inline std::int64_t zigzag_decode(std::uint64_t v) {
+    return static_cast<std::int64_t>(v >> 1) ^ -static_cast<std::int64_t>(v & 1);
+}
+
+/// Appends @p v as zigzag LEB128.
+inline void write_svarint(std::vector<std::uint8_t>& out, std::int64_t v) {
+    write_uvarint(out, zigzag_encode(v));
+}
+
+/// Reads a zigzag LEB128 value, advancing @p pos.
+inline std::int64_t read_svarint(const std::uint8_t* data, std::size_t size, std::size_t& pos) {
+    return zigzag_decode(read_uvarint(data, size, pos));
+}
+
+}  // namespace symspmv::csx

@@ -1,0 +1,92 @@
+#include "matrix/binio.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace symspmv {
+
+namespace {
+
+constexpr char kMagic[4] = {'S', 'M', 'X', '1'};
+
+template <typename T>
+void write_pod(std::ostream& out, const T& v) {
+    out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+    T v;
+    in.read(reinterpret_cast<char*>(&v), sizeof(T));
+    if (!in) throw ParseError("smx: truncated stream");
+    return v;
+}
+
+}  // namespace
+
+void write_binary(std::ostream& out, const Coo& coo) {
+    SYMSPMV_CHECK_MSG(coo.is_canonical(), "smx: matrix must be canonical");
+    out.write(kMagic, sizeof(kMagic));
+    write_pod<std::uint32_t>(out, 0);  // flags, reserved
+    write_pod<std::int32_t>(out, coo.rows());
+    write_pod<std::int32_t>(out, coo.cols());
+    write_pod<std::int64_t>(out, static_cast<std::int64_t>(coo.nnz()));
+    for (const Triplet& t : coo.entries()) {
+        write_pod(out, t.row);
+        write_pod(out, t.col);
+        write_pod(out, t.val);
+    }
+    SYMSPMV_CHECK_MSG(static_cast<bool>(out), "smx: write failed");
+}
+
+void write_binary_file(const std::string& path, const Coo& coo) {
+    std::ofstream out(path, std::ios::binary);
+    SYMSPMV_CHECK_MSG(static_cast<bool>(out), "smx: cannot open '" + path + "' for writing");
+    write_binary(out, coo);
+}
+
+Coo read_binary(std::istream& in) {
+    char magic[4];
+    in.read(magic, sizeof(magic));
+    if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+        throw ParseError("smx: bad magic (not an .smx stream)");
+    }
+    const auto flags = read_pod<std::uint32_t>(in);
+    if (flags != 0) throw ParseError("smx: unsupported flags");
+    const auto rows = read_pod<std::int32_t>(in);
+    const auto cols = read_pod<std::int32_t>(in);
+    const auto nnz = read_pod<std::int64_t>(in);
+    if (rows < 0 || cols < 0 || nnz < 0) throw ParseError("smx: negative dimension");
+    if (nnz > static_cast<std::int64_t>(rows) * cols) {
+        throw ParseError("smx: nnz exceeds matrix capacity");
+    }
+    std::vector<Triplet> entries;
+    entries.reserve(static_cast<std::size_t>(nnz));
+    for (std::int64_t k = 0; k < nnz; ++k) {
+        Triplet t;
+        t.row = read_pod<index_t>(in);
+        t.col = read_pod<index_t>(in);
+        t.val = read_pod<value_t>(in);
+        if (t.row < 0 || t.row >= rows || t.col < 0 || t.col >= cols) {
+            throw ParseError("smx: entry out of bounds");
+        }
+        if (!entries.empty() && !triplet_rowmajor_less(entries.back(), t)) {
+            throw ParseError("smx: entries not in canonical order");
+        }
+        entries.push_back(t);
+    }
+    return Coo(rows, cols, std::move(entries));
+}
+
+Coo read_binary_file(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw ParseError("smx: cannot open '" + path + "'");
+    return read_binary(in);
+}
+
+}  // namespace symspmv

@@ -1,0 +1,28 @@
+// Fast binary matrix serialization.
+//
+// Matrix Market is the interchange format, but parsing text dominates the
+// startup of full-scale bench runs (a 46M-non-zero ldoor takes far longer
+// to parse than to multiply).  This little-endian binary cache round-trips
+// a canonical COO exactly: 16-byte header (magic, version, flags) + rows,
+// cols, nnz + packed triplets.  Intended for the bench pipeline
+// (mtx -> .smx once, then mmap-speed loads), not as an interchange format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "matrix/coo.hpp"
+
+namespace symspmv {
+
+/// Writes @p coo (must be canonical) to @p out in .smx format.
+void write_binary(std::ostream& out, const Coo& coo);
+void write_binary_file(const std::string& path, const Coo& coo);
+
+/// Reads an .smx stream; throws ParseError on malformed input.  The result
+/// is validated (bounds) and canonical by construction order, which is
+/// verified and rejected otherwise.
+Coo read_binary(std::istream& in);
+Coo read_binary_file(const std::string& path);
+
+}  // namespace symspmv

@@ -1,0 +1,128 @@
+#include "matrix/coo.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace symspmv {
+
+Coo::Coo(index_t n_rows, index_t n_cols) : n_rows_(n_rows), n_cols_(n_cols) {
+    SYMSPMV_CHECK_MSG(n_rows >= 0 && n_cols >= 0, "Coo: negative dimension");
+}
+
+Coo::Coo(index_t n_rows, index_t n_cols, std::vector<Triplet> entries)
+    : n_rows_(n_rows), n_cols_(n_cols), entries_(std::move(entries)), canonical_(false) {
+    SYMSPMV_CHECK_MSG(n_rows >= 0 && n_cols >= 0, "Coo: negative dimension");
+    for (const Triplet& t : entries_) {
+        SYMSPMV_CHECK_MSG(t.row >= 0 && t.row < n_rows_ && t.col >= 0 && t.col < n_cols_,
+                          "Coo: entry out of bounds");
+    }
+    canonicalize();
+}
+
+void Coo::add(index_t row, index_t col, value_t val) {
+    SYMSPMV_CHECK_MSG(row >= 0 && row < n_rows_ && col >= 0 && col < n_cols_,
+                      "Coo::add: entry out of bounds");
+    entries_.push_back({row, col, val});
+    canonical_ = false;
+}
+
+void Coo::canonicalize() {
+    if (canonical_) return;
+    std::sort(entries_.begin(), entries_.end(), [](const Triplet& a, const Triplet& b) {
+        return triplet_rowmajor_less(a, b);
+    });
+    // Sum duplicates in place.
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        if (out > 0 && entries_[out - 1].row == entries_[i].row &&
+            entries_[out - 1].col == entries_[i].col) {
+            entries_[out - 1].val += entries_[i].val;
+        } else {
+            entries_[out++] = entries_[i];
+        }
+    }
+    entries_.resize(out);
+    canonical_ = true;
+}
+
+bool Coo::is_canonical() const {
+    if (!canonical_) return false;
+    for (std::size_t i = 1; i < entries_.size(); ++i) {
+        const auto& a = entries_[i - 1];
+        const auto& b = entries_[i];
+        if (!triplet_rowmajor_less(a, b)) return false;
+    }
+    return true;
+}
+
+bool Coo::is_symmetric() const {
+    if (n_rows_ != n_cols_) return false;
+    SYMSPMV_CHECK_MSG(canonical_, "is_symmetric requires a canonical matrix");
+    // Canonical order makes (i,j) lookups binary-searchable.
+    auto find = [&](index_t r, index_t c) -> const Triplet* {
+        const Triplet probe{r, c, 0.0};
+        auto it = std::lower_bound(
+            entries_.begin(), entries_.end(), probe,
+            [](const Triplet& a, const Triplet& b) { return triplet_rowmajor_less(a, b); });
+        if (it == entries_.end() || it->row != r || it->col != c) return nullptr;
+        return &*it;
+    };
+    for (const Triplet& t : entries_) {
+        if (t.row == t.col) continue;
+        const Triplet* mirror = find(t.col, t.row);
+        if (mirror == nullptr || mirror->val != t.val) return false;
+    }
+    return true;
+}
+
+Coo Coo::strict_lower() const {
+    Coo out(n_rows_, n_cols_);
+    for (const Triplet& t : entries_) {
+        if (t.row > t.col) out.entries_.push_back(t);
+    }
+    out.canonical_ = canonical_;
+    return out;
+}
+
+Coo Coo::lower() const {
+    Coo out(n_rows_, n_cols_);
+    for (const Triplet& t : entries_) {
+        if (t.row >= t.col) out.entries_.push_back(t);
+    }
+    out.canonical_ = canonical_;
+    return out;
+}
+
+Coo Coo::transpose() const {
+    Coo out(n_cols_, n_rows_);
+    out.entries_.reserve(entries_.size());
+    for (const Triplet& t : entries_) out.entries_.push_back({t.col, t.row, t.val});
+    out.canonical_ = false;
+    out.canonicalize();
+    return out;
+}
+
+Coo Coo::mirror_lower_to_full() const {
+    SYMSPMV_CHECK_MSG(n_rows_ == n_cols_, "mirror_lower_to_full: matrix must be square");
+    Coo out(n_rows_, n_cols_);
+    out.entries_.reserve(entries_.size() * 2);
+    for (const Triplet& t : entries_) {
+        SYMSPMV_CHECK_MSG(t.row >= t.col, "mirror_lower_to_full: input has upper entries");
+        out.entries_.push_back(t);
+        if (t.row != t.col) out.entries_.push_back({t.col, t.row, t.val});
+    }
+    out.canonical_ = false;
+    out.canonicalize();
+    return out;
+}
+
+void Coo::spmv(std::span<const value_t> x, std::span<value_t> y) const {
+    SYMSPMV_CHECK_MSG(static_cast<index_t>(x.size()) == n_cols_, "spmv: x size mismatch");
+    SYMSPMV_CHECK_MSG(static_cast<index_t>(y.size()) == n_rows_, "spmv: y size mismatch");
+    std::fill(y.begin(), y.end(), value_t{0});
+    for (const Triplet& t : entries_) {
+        y[static_cast<std::size_t>(t.row)] += t.val * x[static_cast<std::size_t>(t.col)];
+    }
+}
+
+}  // namespace symspmv

@@ -1,0 +1,67 @@
+// Coordinate (triplet) format — the exchange format of the library.
+//
+// Every other representation (CSR, SSS, CSX, CSX-Sym) is built from a
+// canonicalized Coo: entries sorted row-major with duplicates combined.
+// The generators and the Matrix Market reader both produce Coo.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/types.hpp"
+
+namespace symspmv {
+
+class Coo {
+   public:
+    Coo() = default;
+
+    /// Creates an empty n_rows x n_cols matrix.
+    Coo(index_t n_rows, index_t n_cols);
+
+    /// Creates a matrix from raw triplets (canonicalizes on construction).
+    Coo(index_t n_rows, index_t n_cols, std::vector<Triplet> entries);
+
+    [[nodiscard]] index_t rows() const { return n_rows_; }
+    [[nodiscard]] index_t cols() const { return n_cols_; }
+    [[nodiscard]] index_t nnz() const { return static_cast<index_t>(entries_.size()); }
+    [[nodiscard]] std::span<const Triplet> entries() const { return entries_; }
+
+    /// Appends one element; call canonicalize() before reading the matrix.
+    void add(index_t row, index_t col, value_t val);
+
+    /// Sorts entries row-major and sums duplicates in place.
+    void canonicalize();
+
+    /// True iff entries are sorted row-major without duplicates.
+    [[nodiscard]] bool is_canonical() const;
+
+    /// True iff the matrix is square and a(i,j) == a(j,i) for every entry
+    /// (exact comparison; generators produce exactly symmetric values).
+    [[nodiscard]] bool is_symmetric() const;
+
+    /// Returns the strictly lower triangular part (diagonal excluded).
+    [[nodiscard]] Coo strict_lower() const;
+
+    /// Returns the lower triangular part including the diagonal.
+    [[nodiscard]] Coo lower() const;
+
+    /// Returns the transpose.
+    [[nodiscard]] Coo transpose() const;
+
+    /// For a matrix that stores only the lower triangle of a symmetric
+    /// matrix: returns the full (mirrored) matrix.
+    [[nodiscard]] Coo mirror_lower_to_full() const;
+
+    /// Reference y = A * x (general, serial); used as the test oracle.
+    void spmv(std::span<const value_t> x, std::span<value_t> y) const;
+
+   private:
+    index_t n_rows_ = 0;
+    index_t n_cols_ = 0;
+    std::vector<Triplet> entries_;
+    bool canonical_ = true;
+};
+
+}  // namespace symspmv

@@ -1,0 +1,92 @@
+#include "matrix/csr.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+
+namespace symspmv {
+
+Csr::Csr(const Coo& coo) : n_rows_(coo.rows()), n_cols_(coo.cols()) {
+    SYMSPMV_CHECK_MSG(coo.is_canonical(), "Csr: COO input must be canonical");
+    const auto entries = coo.entries();
+    rowptr_.assign(static_cast<std::size_t>(n_rows_) + 1, 0);
+    colind_.resize(entries.size());
+    values_.resize(entries.size());
+    for (const Triplet& t : entries) ++rowptr_[static_cast<std::size_t>(t.row) + 1];
+    for (index_t r = 0; r < n_rows_; ++r) {
+        rowptr_[static_cast<std::size_t>(r) + 1] += rowptr_[static_cast<std::size_t>(r)];
+    }
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        colind_[i] = entries[i].col;
+        values_[i] = entries[i].val;
+    }
+}
+
+Csr::Csr(index_t n_rows, index_t n_cols, aligned_vector<index_t> rowptr,
+         aligned_vector<index_t> colind, aligned_vector<value_t> values)
+    : n_rows_(n_rows),
+      n_cols_(n_cols),
+      rowptr_(std::move(rowptr)),
+      colind_(std::move(colind)),
+      values_(std::move(values)) {
+    validate();
+}
+
+void Csr::validate() const {
+    SYMSPMV_CHECK_MSG(n_rows_ >= 0 && n_cols_ >= 0, "Csr: negative dimension");
+    SYMSPMV_CHECK_MSG(rowptr_.size() == static_cast<std::size_t>(n_rows_) + 1,
+                      "Csr: rowptr size mismatch");
+    SYMSPMV_CHECK_MSG(colind_.size() == values_.size(), "Csr: colind/values size mismatch");
+    SYMSPMV_CHECK_MSG(rowptr_.front() == 0, "Csr: rowptr must start at 0");
+    SYMSPMV_CHECK_MSG(rowptr_.back() == static_cast<index_t>(values_.size()),
+                      "Csr: rowptr must end at nnz");
+    for (index_t r = 0; r < n_rows_; ++r) {
+        SYMSPMV_CHECK_MSG(rowptr_[static_cast<std::size_t>(r)] <=
+                              rowptr_[static_cast<std::size_t>(r) + 1],
+                          "Csr: rowptr not monotone");
+    }
+    for (index_t c : colind_) {
+        SYMSPMV_CHECK_MSG(c >= 0 && c < n_cols_, "Csr: column index out of bounds");
+    }
+}
+
+std::size_t Csr::size_bytes() const {
+    // Eq. (1): values + colind per nnz, plus the rowptr array.
+    return (kValueBytes + kIndexBytes) * values_.size() +
+           kIndexBytes * (static_cast<std::size_t>(n_rows_) + 1);
+}
+
+void Csr::spmv(std::span<const value_t> x, std::span<value_t> y) const {
+    SYMSPMV_CHECK_MSG(static_cast<index_t>(x.size()) == n_cols_, "spmv: x size mismatch");
+    SYMSPMV_CHECK_MSG(static_cast<index_t>(y.size()) == n_rows_, "spmv: y size mismatch");
+    spmv_rows(0, n_rows_, x, y);
+}
+
+void Csr::spmv_rows(index_t row_begin, index_t row_end, std::span<const value_t> x,
+                    std::span<value_t> y) const {
+    const index_t* __restrict rp = rowptr_.data();
+    const index_t* __restrict ci = colind_.data();
+    const value_t* __restrict va = values_.data();
+    const value_t* __restrict xv = x.data();
+    for (index_t r = row_begin; r < row_end; ++r) {
+        value_t acc = 0.0;
+        for (index_t j = rp[r]; j < rp[r + 1]; ++j) {
+            acc += va[j] * xv[ci[j]];
+        }
+        y[static_cast<std::size_t>(r)] = acc;
+    }
+}
+
+Coo Csr::to_coo() const {
+    Coo out(n_rows_, n_cols_);
+    for (index_t r = 0; r < n_rows_; ++r) {
+        for (index_t j = rowptr_[static_cast<std::size_t>(r)];
+             j < rowptr_[static_cast<std::size_t>(r) + 1]; ++j) {
+            out.add(r, colind_[static_cast<std::size_t>(j)], values_[static_cast<std::size_t>(j)]);
+        }
+    }
+    out.canonicalize();
+    return out;
+}
+
+}  // namespace symspmv

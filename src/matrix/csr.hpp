@@ -1,0 +1,59 @@
+// Compressed Sparse Row (CSR) — the baseline format of the paper (§II.A).
+//
+// Three arrays: values (non-zeros row-wise), colind (column indices) and
+// rowptr (row start offsets).  Size per Eq. (1): 12*NNZ + 4*(N+1) bytes with
+// 4-byte indices and 8-byte values.
+#pragma once
+
+#include <span>
+
+#include "core/allocator.hpp"
+#include "core/types.hpp"
+#include "matrix/coo.hpp"
+
+namespace symspmv {
+
+class Csr {
+   public:
+    Csr() = default;
+
+    /// Builds from a canonical COO matrix.
+    explicit Csr(const Coo& coo);
+
+    /// Builds directly from raw arrays (validated).
+    Csr(index_t n_rows, index_t n_cols, aligned_vector<index_t> rowptr,
+        aligned_vector<index_t> colind, aligned_vector<value_t> values);
+
+    [[nodiscard]] index_t rows() const { return n_rows_; }
+    [[nodiscard]] index_t cols() const { return n_cols_; }
+    [[nodiscard]] index_t nnz() const { return static_cast<index_t>(values_.size()); }
+
+    [[nodiscard]] std::span<const index_t> rowptr() const { return rowptr_; }
+    [[nodiscard]] std::span<const index_t> colind() const { return colind_; }
+    [[nodiscard]] std::span<const value_t> values() const { return values_; }
+
+    /// Storage footprint in bytes (Eq. 1 of the paper).
+    [[nodiscard]] std::size_t size_bytes() const;
+
+    /// y = A * x, serial.
+    void spmv(std::span<const value_t> x, std::span<value_t> y) const;
+
+    /// y = A * x restricted to rows [row_begin, row_end); building block of
+    /// the multithreaded kernel.
+    void spmv_rows(index_t row_begin, index_t row_end, std::span<const value_t> x,
+                   std::span<value_t> y) const;
+
+    /// Converts back to COO (canonical).
+    [[nodiscard]] Coo to_coo() const;
+
+   private:
+    void validate() const;
+
+    index_t n_rows_ = 0;
+    index_t n_cols_ = 0;
+    aligned_vector<index_t> rowptr_;
+    aligned_vector<index_t> colind_;
+    aligned_vector<value_t> values_;
+};
+
+}  // namespace symspmv

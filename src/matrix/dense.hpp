@@ -1,0 +1,52 @@
+// Tiny row-major dense matrix used only as a test oracle for small inputs.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/types.hpp"
+#include "matrix/coo.hpp"
+
+namespace symspmv {
+
+class Dense {
+   public:
+    Dense(index_t n_rows, index_t n_cols)
+        : n_rows_(n_rows),
+          n_cols_(n_cols),
+          data_(static_cast<std::size_t>(n_rows) * static_cast<std::size_t>(n_cols), 0.0) {
+        SYMSPMV_CHECK_MSG(n_rows >= 0 && n_cols >= 0, "Dense: negative dimension");
+    }
+
+    explicit Dense(const Coo& coo) : Dense(coo.rows(), coo.cols()) {
+        for (const Triplet& t : coo.entries()) at(t.row, t.col) += t.val;
+    }
+
+    [[nodiscard]] index_t rows() const { return n_rows_; }
+    [[nodiscard]] index_t cols() const { return n_cols_; }
+
+    [[nodiscard]] value_t& at(index_t r, index_t c) {
+        return data_[static_cast<std::size_t>(r) * n_cols_ + static_cast<std::size_t>(c)];
+    }
+    [[nodiscard]] value_t at(index_t r, index_t c) const {
+        return data_[static_cast<std::size_t>(r) * n_cols_ + static_cast<std::size_t>(c)];
+    }
+
+    void spmv(std::span<const value_t> x, std::span<value_t> y) const {
+        SYMSPMV_CHECK(static_cast<index_t>(x.size()) == n_cols_);
+        SYMSPMV_CHECK(static_cast<index_t>(y.size()) == n_rows_);
+        for (index_t r = 0; r < n_rows_; ++r) {
+            value_t acc = 0.0;
+            for (index_t c = 0; c < n_cols_; ++c) acc += at(r, c) * x[static_cast<std::size_t>(c)];
+            y[static_cast<std::size_t>(r)] = acc;
+        }
+    }
+
+   private:
+    index_t n_rows_;
+    index_t n_cols_;
+    std::vector<value_t> data_;
+};
+
+}  // namespace symspmv

@@ -1,0 +1,85 @@
+#include "matrix/dia.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "core/error.hpp"
+
+namespace symspmv {
+
+Dia::Dia(const Coo& coo, int max_diagonals) {
+    SYMSPMV_CHECK_MSG(coo.is_canonical(), "Dia requires a canonical COO matrix");
+    SYMSPMV_CHECK_MSG(max_diagonals >= 0, "Dia: max_diagonals must be non-negative");
+    n_rows_ = coo.rows();
+    n_cols_ = coo.cols();
+    nnz_ = coo.nnz();
+
+    // Count non-zeros per diagonal offset.
+    std::map<index_t, std::int64_t> counts;
+    for (const Triplet& t : coo.entries()) ++counts[t.col - t.row];
+
+    // Keep the most populated offsets (ties toward the main diagonal for
+    // determinism and cache friendliness).
+    std::vector<std::pair<index_t, std::int64_t>> ranked(counts.begin(), counts.end());
+    std::ranges::sort(ranked, [](const auto& a, const auto& b) {
+        if (a.second != b.second) return a.second > b.second;
+        return std::abs(a.first) < std::abs(b.first);
+    });
+    if (static_cast<int>(ranked.size()) > max_diagonals) {
+        ranked.resize(static_cast<std::size_t>(max_diagonals));
+    }
+    offsets_.reserve(ranked.size());
+    for (const auto& [offset, count] : ranked) offsets_.push_back(offset);
+    std::ranges::sort(offsets_);
+
+    data_.assign(offsets_.size() * static_cast<std::size_t>(n_rows_), value_t{0});
+    for (const Triplet& t : coo.entries()) {
+        const index_t offset = t.col - t.row;
+        const auto it = std::ranges::lower_bound(offsets_, offset);
+        if (it != offsets_.end() && *it == offset) {
+            const std::size_t lane = static_cast<std::size_t>(it - offsets_.begin());
+            data_[lane * static_cast<std::size_t>(n_rows_) + static_cast<std::size_t>(t.row)] =
+                t.val;
+            ++lane_nnz_;
+        } else {
+            tail_rows_.push_back(t.row);
+            tail_cols_.push_back(t.col);
+            tail_vals_.push_back(t.val);
+        }
+    }
+}
+
+void Dia::spmv(std::span<const value_t> x, std::span<value_t> y) const {
+    SYMSPMV_CHECK(static_cast<index_t>(x.size()) == n_cols_ &&
+                  static_cast<index_t>(y.size()) == n_rows_);
+    spmv_lanes_rows(0, n_rows_, x, y);
+    spmv_tail_range(0, tail_vals_.size(), x, y);
+}
+
+void Dia::spmv_lanes_rows(index_t row_begin, index_t row_end, std::span<const value_t> x,
+                          std::span<value_t> y) const {
+    const value_t* __restrict xv = x.data();
+    value_t* __restrict yv = y.data();
+    for (index_t r = row_begin; r < row_end; ++r) yv[r] = value_t{0};
+    for (std::size_t lane = 0; lane < offsets_.size(); ++lane) {
+        const index_t offset = offsets_[lane];
+        // Row range where column r + offset is in bounds.
+        const index_t lo = std::max<index_t>(row_begin, offset < 0 ? -offset : 0);
+        const index_t hi = std::min<index_t>(row_end, n_cols_ - offset);
+        const value_t* __restrict vals = data_.data() + lane * static_cast<std::size_t>(n_rows_);
+        for (index_t r = lo; r < hi; ++r) {
+            yv[r] += vals[r] * xv[r + offset];
+        }
+    }
+}
+
+void Dia::spmv_tail_range(std::size_t lo, std::size_t hi, std::span<const value_t> x,
+                          std::span<value_t> y) const {
+    const value_t* __restrict xv = x.data();
+    value_t* __restrict yv = y.data();
+    for (std::size_t k = lo; k < hi; ++k) {
+        yv[tail_rows_[k]] += tail_vals_[k] * xv[tail_cols_[k]];
+    }
+}
+
+}  // namespace symspmv

@@ -1,0 +1,84 @@
+// DIA (diagonal) storage — the last member of the SPARSKIT baseline family
+// ([13]): non-zeros are stored along matrix diagonals, so banded matrices
+// need *no* column indices at all (one offset per diagonal).
+//
+// DIA collapses on scattered matrices (every distinct offset costs a full
+// n-element lane of padding), so like Hyb the constructor keeps only the
+// most-populated diagonals — up to max_diagonals or until the padding
+// budget is exhausted — and spills the rest into a row-major COO tail.
+// max_diagonals = unlimited + a banded matrix reproduces textbook DIA.
+#pragma once
+
+#include <span>
+
+#include "core/allocator.hpp"
+#include "core/types.hpp"
+#include "matrix/coo.hpp"
+
+namespace symspmv {
+
+class Dia {
+   public:
+    Dia() = default;
+
+    /// Builds from a canonical COO.  Keeps the @p max_diagonals diagonals
+    /// with the most non-zeros (ties toward the main diagonal); all other
+    /// entries go to the tail.
+    explicit Dia(const Coo& coo, int max_diagonals = 64);
+
+    [[nodiscard]] index_t rows() const { return n_rows_; }
+    [[nodiscard]] index_t cols() const { return n_cols_; }
+    [[nodiscard]] std::int64_t nnz() const { return nnz_; }
+
+    /// Diagonals actually stored as dense lanes.
+    [[nodiscard]] int diagonals() const { return static_cast<int>(offsets_.size()); }
+    [[nodiscard]] std::span<const index_t> offsets() const { return offsets_; }
+
+    /// Lane d is data()[d*rows() .. (d+1)*rows()): element i of lane d is
+    /// a(i, i + offsets()[d]) (zero where out of range or absent).
+    [[nodiscard]] std::span<const value_t> data() const { return data_; }
+
+    [[nodiscard]] std::int64_t lane_nnz() const { return lane_nnz_; }
+    [[nodiscard]] std::int64_t tail_nnz() const {
+        return static_cast<std::int64_t>(tail_vals_.size());
+    }
+
+    /// Stored lane slots / lane non-zeros.
+    [[nodiscard]] double padding_ratio() const {
+        return lane_nnz_ == 0 ? 1.0
+                              : static_cast<double>(data_.size()) /
+                                    static_cast<double>(lane_nnz_);
+    }
+
+    [[nodiscard]] std::size_t size_bytes() const {
+        return data_.size() * kValueBytes + offsets_.size() * kIndexBytes +
+               (tail_rows_.size() + tail_cols_.size()) * kIndexBytes +
+               tail_vals_.size() * kValueBytes;
+    }
+
+    /// y = A * x, serial.
+    void spmv(std::span<const value_t> x, std::span<value_t> y) const;
+
+    /// Lane part over rows [row_begin, row_end) (MT building block).
+    void spmv_lanes_rows(index_t row_begin, index_t row_end, std::span<const value_t> x,
+                         std::span<value_t> y) const;
+
+    /// Tail entries [lo, hi) (rows sorted; see Hyb for the MT contract).
+    void spmv_tail_range(std::size_t lo, std::size_t hi, std::span<const value_t> x,
+                         std::span<value_t> y) const;
+
+    [[nodiscard]] std::span<const index_t> tail_rows() const { return tail_rows_; }
+
+   private:
+    index_t n_rows_ = 0;
+    index_t n_cols_ = 0;
+    std::int64_t nnz_ = 0;
+    std::int64_t lane_nnz_ = 0;
+    std::vector<index_t> offsets_;  // ascending diagonal offsets (col - row)
+    aligned_vector<value_t> data_;
+    aligned_vector<index_t> tail_rows_;
+    aligned_vector<index_t> tail_cols_;
+    aligned_vector<value_t> tail_vals_;
+};
+
+}  // namespace symspmv

@@ -1,0 +1,142 @@
+#include "matrix/ellpack.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/error.hpp"
+
+namespace symspmv {
+
+namespace {
+
+/// Non-zero count per row of a canonical COO matrix.
+std::vector<index_t> row_counts(const Coo& coo) {
+    std::vector<index_t> counts(static_cast<std::size_t>(coo.rows()), 0);
+    for (const Triplet& t : coo.entries()) ++counts[static_cast<std::size_t>(t.row)];
+    return counts;
+}
+
+}  // namespace
+
+Ellpack::Ellpack(const Coo& coo) {
+    SYMSPMV_CHECK_MSG(coo.is_canonical(), "Ellpack requires a canonical COO matrix");
+    n_rows_ = coo.rows();
+    n_cols_ = coo.cols();
+    nnz_ = coo.nnz();
+    const auto counts = row_counts(coo);
+    width_ = counts.empty() ? 0 : *std::ranges::max_element(counts);
+
+    const std::size_t slots = static_cast<std::size_t>(n_rows_) * static_cast<std::size_t>(width_);
+    colind_.assign(slots, 0);
+    values_.assign(slots, value_t{0});
+
+    std::vector<index_t> cursor(static_cast<std::size_t>(n_rows_), 0);
+    for (const Triplet& t : coo.entries()) {
+        const index_t s = cursor[static_cast<std::size_t>(t.row)]++;
+        const std::size_t at = static_cast<std::size_t>(s) * static_cast<std::size_t>(n_rows_) +
+                               static_cast<std::size_t>(t.row);
+        colind_[at] = t.col;
+        values_[at] = t.val;
+    }
+    // Padding slots point at the row's last valid column (or 0 for empty
+    // rows) so the kernel's gather stays in bounds without branching.
+    for (index_t r = 0; r < n_rows_; ++r) {
+        const index_t valid = cursor[static_cast<std::size_t>(r)];
+        const index_t pad_col =
+            valid == 0 ? 0
+                       : colind_[static_cast<std::size_t>(valid - 1) *
+                                     static_cast<std::size_t>(n_rows_) +
+                                 static_cast<std::size_t>(r)];
+        for (index_t s = valid; s < width_; ++s) {
+            colind_[static_cast<std::size_t>(s) * static_cast<std::size_t>(n_rows_) +
+                    static_cast<std::size_t>(r)] = pad_col;
+        }
+    }
+}
+
+void Ellpack::spmv(std::span<const value_t> x, std::span<value_t> y) const {
+    SYMSPMV_CHECK(static_cast<index_t>(x.size()) == n_cols_ &&
+                  static_cast<index_t>(y.size()) == n_rows_);
+    spmv_rows(0, n_rows_, x, y);
+}
+
+void Ellpack::spmv_rows(index_t row_begin, index_t row_end, std::span<const value_t> x,
+                        std::span<value_t> y) const {
+    const value_t* __restrict xv = x.data();
+    value_t* __restrict yv = y.data();
+    for (index_t r = row_begin; r < row_end; ++r) yv[r] = value_t{0};
+    // Slot-major sweep: each pass streams one padded "column" of the rows.
+    for (index_t s = 0; s < width_; ++s) {
+        const std::size_t base = static_cast<std::size_t>(s) * static_cast<std::size_t>(n_rows_);
+        const index_t* __restrict cols = colind_.data() + base;
+        const value_t* __restrict vals = values_.data() + base;
+        for (index_t r = row_begin; r < row_end; ++r) {
+            yv[r] += vals[r] * xv[cols[r]];
+        }
+    }
+}
+
+Jds::Jds(const Coo& coo) {
+    SYMSPMV_CHECK_MSG(coo.is_canonical(), "Jds requires a canonical COO matrix");
+    n_rows_ = coo.rows();
+    n_cols_ = coo.cols();
+    const auto counts = row_counts(coo);
+
+    // Stable sort rows by descending non-zero count.
+    perm_.resize(static_cast<std::size_t>(n_rows_));
+    std::iota(perm_.begin(), perm_.end(), 0);
+    std::ranges::stable_sort(perm_, [&](index_t a, index_t b) {
+        return counts[static_cast<std::size_t>(a)] > counts[static_cast<std::size_t>(b)];
+    });
+
+    const index_t max_len = counts.empty() ? 0 : counts[static_cast<std::size_t>(perm_[0])];
+    jd_ptr_.assign(static_cast<std::size_t>(max_len) + 1, 0);
+
+    // Row start offsets in the original CSR-like order.
+    std::vector<std::size_t> row_start(static_cast<std::size_t>(n_rows_) + 1, 0);
+    for (index_t r = 0; r < n_rows_; ++r) {
+        row_start[static_cast<std::size_t>(r) + 1] =
+            row_start[static_cast<std::size_t>(r)] +
+            static_cast<std::size_t>(counts[static_cast<std::size_t>(r)]);
+    }
+
+    const auto entries = coo.entries();
+    colind_.resize(entries.size());
+    values_.resize(entries.size());
+    std::size_t out = 0;
+    for (index_t d = 0; d < max_len; ++d) {
+        jd_ptr_[static_cast<std::size_t>(d)] = static_cast<index_t>(out);
+        // Sorted rows with at least d+1 non-zeros are a prefix of perm_.
+        for (index_t k = 0; k < n_rows_; ++k) {
+            const index_t row = perm_[static_cast<std::size_t>(k)];
+            if (counts[static_cast<std::size_t>(row)] <= d) break;
+            const Triplet& t = entries[row_start[static_cast<std::size_t>(row)] +
+                                       static_cast<std::size_t>(d)];
+            colind_[out] = t.col;
+            values_[out] = t.val;
+            ++out;
+        }
+    }
+    jd_ptr_[static_cast<std::size_t>(max_len)] = static_cast<index_t>(out);
+    SYMSPMV_CHECK(out == entries.size());
+}
+
+void Jds::spmv(std::span<const value_t> x, std::span<value_t> y) const {
+    SYMSPMV_CHECK(static_cast<index_t>(x.size()) == n_cols_ &&
+                  static_cast<index_t>(y.size()) == n_rows_);
+    const value_t* __restrict xv = x.data();
+    value_t* __restrict yv = y.data();
+    std::ranges::fill(y, value_t{0});
+    for (index_t d = 0; d < diagonals(); ++d) {
+        const index_t lo = jd_ptr_[static_cast<std::size_t>(d)];
+        const index_t hi = jd_ptr_[static_cast<std::size_t>(d) + 1];
+        // Entry k of this diagonal belongs to sorted row (k - lo).
+        for (index_t k = lo; k < hi; ++k) {
+            const index_t row = perm_[static_cast<std::size_t>(k - lo)];
+            yv[row] += values_[static_cast<std::size_t>(k)] *
+                       xv[colind_[static_cast<std::size_t>(k)]];
+        }
+    }
+}
+
+}  // namespace symspmv

@@ -1,0 +1,108 @@
+// ELLPACK/ITPACK storage — the classic vector-machine format catalogued by
+// SPARSKIT ([13] in the paper's references) and used here as a baseline.
+//
+// Every row is padded to the length of the longest row; column indices and
+// values become dense n x width arrays (column-major here, so the kernel
+// streams one "diagonal" of the padded structure at a time, the layout
+// vector machines exploited).  The padding ratio makes ELLPACK great on
+// regular stencils and catastrophic on matrices with a few long rows —
+// exactly the structure contrast the paper's suite spans.
+#pragma once
+
+#include <span>
+
+#include "core/allocator.hpp"
+#include "core/types.hpp"
+#include "matrix/coo.hpp"
+
+namespace symspmv {
+
+class Ellpack {
+   public:
+    Ellpack() = default;
+
+    /// Builds from a canonical COO matrix.
+    explicit Ellpack(const Coo& coo);
+
+    [[nodiscard]] index_t rows() const { return n_rows_; }
+    [[nodiscard]] index_t cols() const { return n_cols_; }
+    [[nodiscard]] std::int64_t nnz() const { return nnz_; }
+
+    /// Padded row width (= longest row's non-zero count).
+    [[nodiscard]] index_t width() const { return width_; }
+
+    /// Stored slots / structural non-zeros (>= 1; the padding cost).
+    [[nodiscard]] double padding_ratio() const {
+        return nnz_ == 0 ? 1.0
+                         : static_cast<double>(n_rows_) * static_cast<double>(width_) /
+                               static_cast<double>(nnz_);
+    }
+
+    /// Column-major slot arrays: slot s of row r lives at s*rows + r.
+    /// Padding slots repeat the row's last valid column with value 0.
+    [[nodiscard]] std::span<const index_t> colind() const { return colind_; }
+    [[nodiscard]] std::span<const value_t> values() const { return values_; }
+
+    [[nodiscard]] std::size_t size_bytes() const {
+        return colind_.size() * kIndexBytes + values_.size() * kValueBytes;
+    }
+
+    /// y = A * x, serial.
+    void spmv(std::span<const value_t> x, std::span<value_t> y) const;
+
+    /// y = A * x restricted to rows [row_begin, row_end).
+    void spmv_rows(index_t row_begin, index_t row_end, std::span<const value_t> x,
+                   std::span<value_t> y) const;
+
+   private:
+    index_t n_rows_ = 0;
+    index_t n_cols_ = 0;
+    index_t width_ = 0;
+    std::int64_t nnz_ = 0;
+    aligned_vector<index_t> colind_;
+    aligned_vector<value_t> values_;
+};
+
+/// Jagged Diagonal Storage (JDS) — SPARSKIT's format for long-vector
+/// machines.  Rows are sorted by descending non-zero count; the k-th
+/// non-zeros of all rows that have one form the k-th "jagged diagonal",
+/// stored contiguously.  No padding, but SpM×V results come out in the
+/// permuted order and are scattered back through the row permutation.
+class Jds {
+   public:
+    Jds() = default;
+
+    /// Builds from a canonical COO matrix.
+    explicit Jds(const Coo& coo);
+
+    [[nodiscard]] index_t rows() const { return n_rows_; }
+    [[nodiscard]] index_t cols() const { return n_cols_; }
+    [[nodiscard]] std::int64_t nnz() const { return static_cast<std::int64_t>(values_.size()); }
+
+    /// Number of jagged diagonals (= longest row's non-zero count).
+    [[nodiscard]] index_t diagonals() const { return static_cast<index_t>(jd_ptr_.size()) - 1; }
+
+    /// perm()[k] = original row of sorted position k.
+    [[nodiscard]] std::span<const index_t> perm() const { return perm_; }
+    [[nodiscard]] std::span<const index_t> jd_ptr() const { return jd_ptr_; }
+    [[nodiscard]] std::span<const index_t> colind() const { return colind_; }
+    [[nodiscard]] std::span<const value_t> values() const { return values_; }
+
+    [[nodiscard]] std::size_t size_bytes() const {
+        return (colind_.size() + perm_.size() + jd_ptr_.size()) * kIndexBytes +
+               values_.size() * kValueBytes;
+    }
+
+    /// y = A * x, serial.
+    void spmv(std::span<const value_t> x, std::span<value_t> y) const;
+
+   private:
+    index_t n_rows_ = 0;
+    index_t n_cols_ = 0;
+    aligned_vector<index_t> perm_;
+    aligned_vector<index_t> jd_ptr_;   // start of each jagged diagonal
+    aligned_vector<index_t> colind_;
+    aligned_vector<value_t> values_;
+};
+
+}  // namespace symspmv

@@ -1,0 +1,212 @@
+#include "matrix/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace symspmv::gen {
+namespace {
+
+/// Mirrors a strictly-lower-triangular entry set and adds a dominant
+/// diagonal, yielding a canonical SPD matrix.
+Coo finalize_spd(index_t n, std::vector<Triplet> strict_lower) {
+    Coo full(n, n, std::move(strict_lower));  // canonicalizes, sums duplicates
+    Coo mirrored(n, n);
+    for (const Triplet& t : full.entries()) {
+        SYMSPMV_DCHECK(t.row > t.col);
+        mirrored.add(t.row, t.col, t.val);
+        mirrored.add(t.col, t.row, t.val);
+    }
+    mirrored.canonicalize();
+    return make_spd(mirrored);
+}
+
+/// Uniform value in [0.1, 1.0] — bounded away from zero so no generated
+/// entry is accidentally structural-only.
+value_t random_value(std::mt19937_64& rng) {
+    std::uniform_real_distribution<value_t> dist(0.1, 1.0);
+    return dist(rng);
+}
+
+/// Sampling with replacement from m options keeps only distinct entries
+/// after canonicalization.  To land `want` distinct entries, draw
+/// k = ln(1 - d/m) / ln(1 - 1/m) times, capping the target density so the
+/// formula stays finite.
+double draws_for_distinct(double want, double m) {
+    if (m < 1.0) return 0.0;
+    const double d = std::min(want, 0.85 * m);
+    if (d <= 0.0) return 0.0;
+    if (m < 2.0) return d;
+    return std::log(1.0 - d / m) / std::log(1.0 - 1.0 / m);
+}
+
+}  // namespace
+
+Coo make_spd(const Coo& full) {
+    SYMSPMV_CHECK_MSG(full.rows() == full.cols(), "make_spd: matrix must be square");
+    SYMSPMV_CHECK_MSG(full.is_canonical(), "make_spd: input must be canonical");
+    const index_t n = full.rows();
+    std::vector<value_t> abs_row_sum(static_cast<std::size_t>(n), 0.0);
+    for (const Triplet& t : full.entries()) {
+        if (t.row != t.col) abs_row_sum[static_cast<std::size_t>(t.row)] += std::abs(t.val);
+    }
+    Coo out(n, n);
+    for (const Triplet& t : full.entries()) {
+        if (t.row != t.col) out.add(t.row, t.col, t.val);
+    }
+    for (index_t r = 0; r < n; ++r) {
+        out.add(r, r, abs_row_sum[static_cast<std::size_t>(r)] + 1.0);
+    }
+    out.canonicalize();
+    return out;
+}
+
+Coo poisson2d(index_t nx, index_t ny) {
+    SYMSPMV_CHECK_MSG(nx >= 1 && ny >= 1, "poisson2d: grid must be non-empty");
+    const index_t n = nx * ny;
+    Coo out(n, n);
+    auto id = [nx](index_t i, index_t j) { return i * nx + j; };
+    for (index_t i = 0; i < ny; ++i) {
+        for (index_t j = 0; j < nx; ++j) {
+            const index_t r = id(i, j);
+            out.add(r, r, 4.0);
+            if (j > 0) out.add(r, id(i, j - 1), -1.0);
+            if (j + 1 < nx) out.add(r, id(i, j + 1), -1.0);
+            if (i > 0) out.add(r, id(i - 1, j), -1.0);
+            if (i + 1 < ny) out.add(r, id(i + 1, j), -1.0);
+        }
+    }
+    out.canonicalize();
+    return out;
+}
+
+Coo poisson3d(index_t nx, index_t ny, index_t nz) {
+    SYMSPMV_CHECK_MSG(nx >= 1 && ny >= 1 && nz >= 1, "poisson3d: grid must be non-empty");
+    const index_t n = nx * ny * nz;
+    Coo out(n, n);
+    auto id = [nx, ny](index_t i, index_t j, index_t k) { return (i * ny + j) * nx + k; };
+    for (index_t i = 0; i < nz; ++i) {
+        for (index_t j = 0; j < ny; ++j) {
+            for (index_t k = 0; k < nx; ++k) {
+                const index_t r = id(i, j, k);
+                out.add(r, r, 6.0);
+                if (k > 0) out.add(r, id(i, j, k - 1), -1.0);
+                if (k + 1 < nx) out.add(r, id(i, j, k + 1), -1.0);
+                if (j > 0) out.add(r, id(i, j - 1, k), -1.0);
+                if (j + 1 < ny) out.add(r, id(i, j + 1, k), -1.0);
+                if (i > 0) out.add(r, id(i - 1, j, k), -1.0);
+                if (i + 1 < nz) out.add(r, id(i + 1, j, k), -1.0);
+            }
+        }
+    }
+    out.canonicalize();
+    return out;
+}
+
+Coo banded_random(index_t n, index_t half_band, double nnz_per_row, std::uint64_t seed,
+                  double scatter_fraction) {
+    SYMSPMV_CHECK_MSG(n >= 2, "banded_random: n must be >= 2");
+    SYMSPMV_CHECK_MSG(half_band >= 1 && half_band < n, "banded_random: bad half_band");
+    SYMSPMV_CHECK_MSG(scatter_fraction >= 0.0 && scatter_fraction <= 1.0,
+                      "banded_random: scatter_fraction in [0,1]");
+    std::mt19937_64 rng(seed);
+    // Each row gets ~ (nnz_per_row - 1) / 2 strictly-lower entries, so the
+    // mirrored matrix plus diagonal meets the nnz/row target.  Duplicate
+    // draws merge during canonicalization, so the draw count is inflated by
+    // the with-replacement correction against the band width.
+    const double lower_per_row = std::max(0.0, (nnz_per_row - 1.0) / 2.0);
+    std::uniform_real_distribution<double> coin(0.0, 1.0);
+    std::vector<Triplet> lower;
+    lower.reserve(static_cast<std::size_t>(lower_per_row * n * 1.1));
+    for (index_t r = 1; r < n; ++r) {
+        const double band_width = static_cast<double>(std::min(r, half_band));
+        std::poisson_distribution<int> count_dist(draws_for_distinct(lower_per_row, band_width));
+        const int k = count_dist(rng);
+        for (int e = 0; e < k; ++e) {
+            index_t c;
+            if (coin(rng) < scatter_fraction) {
+                std::uniform_int_distribution<index_t> col_dist(0, r - 1);
+                c = col_dist(rng);
+            } else {
+                const index_t lo = std::max<index_t>(0, r - half_band);
+                std::uniform_int_distribution<index_t> col_dist(lo, r - 1);
+                c = col_dist(rng);
+            }
+            lower.push_back({r, c, random_value(rng)});
+        }
+    }
+    return finalize_spd(n, std::move(lower));
+}
+
+Coo block_fem(index_t nodes, int block, double node_degree, double band_fraction,
+              std::uint64_t seed) {
+    SYMSPMV_CHECK_MSG(nodes >= 2 && block >= 1, "block_fem: bad size parameters");
+    SYMSPMV_CHECK_MSG(band_fraction > 0.0 && band_fraction <= 1.0,
+                      "block_fem: band_fraction in (0,1]");
+    std::mt19937_64 rng(seed);
+    const double lower_deg = node_degree / 2.0;
+    // The node band must be wide enough to host the requested degree without
+    // collapsing into duplicates (dense matrices like consph/crankseg_2 ask
+    // for more neighbours than a thin band can provide at small scales).
+    const index_t node_band =
+        std::max<index_t>(static_cast<index_t>(band_fraction * nodes),
+                          static_cast<index_t>(std::ceil(1.5 * lower_deg)) + 1);
+    std::vector<Triplet> lower;
+
+    auto add_block = [&](index_t u, index_t v) {
+        // Dense block x block coupling between nodes u > v; only the strictly
+        // lower part of the full matrix is emitted.
+        for (int a = 0; a < block; ++a) {
+            for (int b = 0; b < block; ++b) {
+                const index_t r = u * block + a;
+                const index_t c = v * block + b;
+                if (r > c) lower.push_back({r, c, random_value(rng)});
+            }
+        }
+    };
+
+    for (index_t u = 1; u < nodes; ++u) {
+        const index_t lo = std::max<index_t>(0, u - node_band);
+        const double band_width = static_cast<double>(u - lo);
+        std::poisson_distribution<int> deg_dist(draws_for_distinct(lower_deg, band_width));
+        const int k = deg_dist(rng);
+        std::uniform_int_distribution<index_t> nb_dist(lo, u - 1);
+        for (int e = 0; e < k; ++e) add_block(u, nb_dist(rng));
+    }
+    // Dense diagonal self-coupling block for every node (strictly lower part).
+    for (index_t u = 0; u < nodes; ++u) add_block(u, u);
+
+    return finalize_spd(nodes * block, std::move(lower));
+}
+
+Coo power_law_circuit(index_t n, double avg_degree, std::uint64_t seed) {
+    SYMSPMV_CHECK_MSG(n >= 4, "power_law_circuit: n must be >= 4");
+    std::mt19937_64 rng(seed);
+    std::vector<Triplet> lower;
+    // Narrow band: every row couples to 1-2 immediate predecessors.
+    for (index_t r = 1; r < n; ++r) {
+        lower.push_back({r, r - 1, random_value(rng)});
+        if (r >= 2 && (r % 3 == 0)) lower.push_back({r, r - 2, random_value(rng)});
+    }
+    // Long-range hub connections: endpoints drawn with a power-law bias
+    // toward low indices (hubs = ground/supply rails in circuit matrices).
+    const double base = 1.0 + (n > 1 ? 0.0 : 0.0);
+    (void)base;
+    const auto extra = static_cast<std::size_t>(std::max(0.0, (avg_degree - 2.7) / 2.0) * n);
+    std::uniform_real_distribution<double> unit(0.0, 1.0);
+    for (std::size_t e = 0; e < extra; ++e) {
+        // Inverse-CDF sample of p(k) ~ k^-2 over [1, n).
+        const double u = unit(rng);
+        const auto hub = static_cast<index_t>(1.0 / (1.0 - u * (1.0 - 1.0 / n)));
+        const index_t h = std::clamp<index_t>(hub - 1, 0, n - 2);
+        std::uniform_int_distribution<index_t> other_dist(h + 1, n - 1);
+        const index_t r = other_dist(rng);
+        lower.push_back({r, h, random_value(rng)});
+    }
+    return finalize_spd(n, std::move(lower));
+}
+
+}  // namespace symspmv::gen

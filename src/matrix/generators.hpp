@@ -1,0 +1,50 @@
+// Parametric generators of symmetric positive-definite sparse matrices.
+//
+// These are the offline stand-ins for the University of Florida collection
+// used in the paper (Table I).  Each generator controls the structural
+// features the paper's effects depend on: matrix bandwidth, non-zeros per
+// row, and the presence of dense substructures (which drive CSX detection).
+// All outputs are exactly symmetric and strictly diagonally dominant with a
+// positive diagonal, hence symmetric positive definite — so CG applies.
+#pragma once
+
+#include <cstdint>
+
+#include "matrix/coo.hpp"
+
+namespace symspmv::gen {
+
+/// 5-point Laplacian stencil on an nx x ny grid (rows = nx*ny).
+/// Low, perfectly regular bandwidth (= nx); the classic C.F.D./thermal shape.
+Coo poisson2d(index_t nx, index_t ny);
+
+/// 7-point Laplacian stencil on an nx x ny x nz grid.
+Coo poisson3d(index_t nx, index_t ny, index_t nz);
+
+/// Random symmetric matrix with ~nnz_per_row non-zeros per row.
+/// A fraction (1 - scatter_fraction) of the off-diagonal entries lands
+/// inside a band of half-width half_band around the diagonal; the remaining
+/// scatter_fraction is uniform over the whole row — this is the knob that
+/// makes "high-bandwidth corner case" matrices (§V.B).
+Coo banded_random(index_t n, index_t half_band, double nnz_per_row, std::uint64_t seed,
+                  double scatter_fraction = 0.0);
+
+/// Structural-FEM analog: a banded random graph over `nodes` mesh nodes,
+/// where every node carries `block` degrees of freedom and every node-node
+/// edge contributes a dense block x block coupling submatrix.  Produces the
+/// dense 2-D substructures typical of bmw*/hood/ldoor/inline_1 that CSX
+/// encodes as block units.  node_degree counts off-diagonal node neighbours.
+Coo block_fem(index_t nodes, int block, double node_degree, double band_fraction,
+              std::uint64_t seed);
+
+/// Circuit-analog: a narrow diagonal band plus a few power-law "hub" nodes
+/// with long-range connections — low nnz/row, very high bandwidth
+/// (G3_circuit shape).
+Coo power_law_circuit(index_t n, double avg_degree, std::uint64_t seed);
+
+/// Replaces the diagonal so the matrix is strictly diagonally dominant:
+/// a(i,i) = sum_j |a(i,j)| + 1.  @p full must be canonical and symmetric in
+/// structure; returns the SPD result.
+Coo make_spd(const Coo& full);
+
+}  // namespace symspmv::gen

@@ -1,0 +1,96 @@
+#include "matrix/hyb.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+
+namespace symspmv {
+
+Hyb::Hyb(const Coo& coo, double width_quantile) {
+    SYMSPMV_CHECK_MSG(coo.is_canonical(), "Hyb requires a canonical COO matrix");
+    SYMSPMV_CHECK_MSG(width_quantile >= 0.0 && width_quantile <= 1.0,
+                      "Hyb: width_quantile must be in [0, 1]");
+    n_rows_ = coo.rows();
+    n_cols_ = coo.cols();
+    nnz_ = coo.nnz();
+
+    std::vector<index_t> counts(static_cast<std::size_t>(n_rows_), 0);
+    for (const Triplet& t : coo.entries()) ++counts[static_cast<std::size_t>(t.row)];
+
+    // Width = smallest k with quantile of rows having <= k non-zeros.
+    std::vector<index_t> sorted(counts);
+    std::ranges::sort(sorted);
+    if (!sorted.empty()) {
+        const auto at = static_cast<std::size_t>(
+            width_quantile * static_cast<double>(sorted.size() - 1) + 0.5);
+        width_ = sorted[std::min(at, sorted.size() - 1)];
+    }
+
+    const std::size_t slots = static_cast<std::size_t>(n_rows_) * static_cast<std::size_t>(width_);
+    ell_colind_.assign(slots, 0);
+    ell_values_.assign(slots, value_t{0});
+
+    std::vector<index_t> cursor(static_cast<std::size_t>(n_rows_), 0);
+    for (const Triplet& t : coo.entries()) {
+        index_t& slot = cursor[static_cast<std::size_t>(t.row)];
+        if (slot < width_) {
+            const std::size_t at =
+                static_cast<std::size_t>(slot) * static_cast<std::size_t>(n_rows_) +
+                static_cast<std::size_t>(t.row);
+            ell_colind_[at] = t.col;
+            ell_values_[at] = t.val;
+            ++slot;
+            ++ell_nnz_;
+        } else {
+            tail_rows_.push_back(t.row);
+            tail_cols_.push_back(t.col);
+            tail_vals_.push_back(t.val);
+        }
+    }
+    // Pad with the row's last valid column (same convention as Ellpack).
+    for (index_t r = 0; r < n_rows_; ++r) {
+        const index_t valid = cursor[static_cast<std::size_t>(r)];
+        const index_t pad_col =
+            valid == 0 ? 0
+                       : ell_colind_[static_cast<std::size_t>(valid - 1) *
+                                         static_cast<std::size_t>(n_rows_) +
+                                     static_cast<std::size_t>(r)];
+        for (index_t s = valid; s < width_; ++s) {
+            ell_colind_[static_cast<std::size_t>(s) * static_cast<std::size_t>(n_rows_) +
+                        static_cast<std::size_t>(r)] = pad_col;
+        }
+    }
+}
+
+void Hyb::spmv(std::span<const value_t> x, std::span<value_t> y) const {
+    SYMSPMV_CHECK(static_cast<index_t>(x.size()) == n_cols_ &&
+                  static_cast<index_t>(y.size()) == n_rows_);
+    spmv_ell_rows(0, n_rows_, x, y);
+    spmv_tail_range(0, tail_vals_.size(), x, y);
+}
+
+void Hyb::spmv_ell_rows(index_t row_begin, index_t row_end, std::span<const value_t> x,
+                        std::span<value_t> y) const {
+    const value_t* __restrict xv = x.data();
+    value_t* __restrict yv = y.data();
+    for (index_t r = row_begin; r < row_end; ++r) yv[r] = value_t{0};
+    for (index_t s = 0; s < width_; ++s) {
+        const std::size_t base = static_cast<std::size_t>(s) * static_cast<std::size_t>(n_rows_);
+        const index_t* __restrict cols = ell_colind_.data() + base;
+        const value_t* __restrict vals = ell_values_.data() + base;
+        for (index_t r = row_begin; r < row_end; ++r) {
+            yv[r] += vals[r] * xv[cols[r]];
+        }
+    }
+}
+
+void Hyb::spmv_tail_range(std::size_t lo, std::size_t hi, std::span<const value_t> x,
+                          std::span<value_t> y) const {
+    const value_t* __restrict xv = x.data();
+    value_t* __restrict yv = y.data();
+    for (std::size_t k = lo; k < hi; ++k) {
+        yv[tail_rows_[k]] += tail_vals_[k] * xv[tail_cols_[k]];
+    }
+}
+
+}  // namespace symspmv

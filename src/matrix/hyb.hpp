@@ -1,0 +1,90 @@
+// HYB (hybrid ELL + COO) storage.
+//
+// ELLPACK's padding is ruined by a few long rows (see Ellpack); HYB caps
+// the ELL width at a quantile of the row-length distribution and spills
+// the excess non-zeros of the long rows into a small COO tail.  The
+// classic regular/irregular split completes the baseline-format family the
+// related work ([12], [13]) catalogues.
+#pragma once
+
+#include <span>
+
+#include "core/allocator.hpp"
+#include "core/types.hpp"
+#include "matrix/coo.hpp"
+#include "matrix/ellpack.hpp"
+
+namespace symspmv {
+
+class Hyb {
+   public:
+    Hyb() = default;
+
+    /// Builds from a canonical COO.  @p width_quantile picks the ELL width
+    /// as the smallest row length covering that fraction of rows (1.0
+    /// degenerates to plain ELLPACK, 0.0 to plain COO).
+    explicit Hyb(const Coo& coo, double width_quantile = 0.9);
+
+    [[nodiscard]] index_t rows() const { return n_rows_; }
+    [[nodiscard]] index_t cols() const { return n_cols_; }
+    [[nodiscard]] std::int64_t nnz() const { return nnz_; }
+
+    /// ELL slot width chosen by the quantile rule.
+    [[nodiscard]] index_t ell_width() const { return width_; }
+
+    /// Non-zeros stored in the ELL part (the rest is the COO tail).
+    [[nodiscard]] std::int64_t ell_nnz() const { return ell_nnz_; }
+    [[nodiscard]] std::int64_t tail_nnz() const {
+        return static_cast<std::int64_t>(tail_vals_.size());
+    }
+
+    /// Stored ELL slots / ELL non-zeros (padding of the regular part).
+    [[nodiscard]] double ell_padding_ratio() const {
+        return ell_nnz_ == 0 ? 1.0
+                             : static_cast<double>(n_rows_) * static_cast<double>(width_) /
+                                   static_cast<double>(ell_nnz_);
+    }
+
+    /// Column-major ELL arrays (layout identical to Ellpack).
+    [[nodiscard]] std::span<const index_t> ell_colind() const { return ell_colind_; }
+    [[nodiscard]] std::span<const value_t> ell_values() const { return ell_values_; }
+
+    /// COO tail, row-major sorted.
+    [[nodiscard]] std::span<const index_t> tail_rows() const { return tail_rows_; }
+    [[nodiscard]] std::span<const index_t> tail_cols() const { return tail_cols_; }
+    [[nodiscard]] std::span<const value_t> tail_values() const { return tail_vals_; }
+
+    [[nodiscard]] std::size_t size_bytes() const {
+        return ell_colind_.size() * kIndexBytes + ell_values_.size() * kValueBytes +
+               (tail_rows_.size() + tail_cols_.size()) * kIndexBytes +
+               tail_vals_.size() * kValueBytes;
+    }
+
+    /// y = A * x, serial.
+    void spmv(std::span<const value_t> x, std::span<value_t> y) const;
+
+    /// ELL part restricted to rows [row_begin, row_end) (building block of
+    /// the MT kernel; the COO tail is handled separately because its rows
+    /// are not partition-aligned).
+    void spmv_ell_rows(index_t row_begin, index_t row_end, std::span<const value_t> x,
+                       std::span<value_t> y) const;
+
+    /// Adds tail entries [lo, hi) into y (rows are sorted, so a partition
+    /// of the tail by row never splits a row between threads).
+    void spmv_tail_range(std::size_t lo, std::size_t hi, std::span<const value_t> x,
+                         std::span<value_t> y) const;
+
+   private:
+    index_t n_rows_ = 0;
+    index_t n_cols_ = 0;
+    index_t width_ = 0;
+    std::int64_t nnz_ = 0;
+    std::int64_t ell_nnz_ = 0;
+    aligned_vector<index_t> ell_colind_;
+    aligned_vector<value_t> ell_values_;
+    aligned_vector<index_t> tail_rows_;
+    aligned_vector<index_t> tail_cols_;
+    aligned_vector<value_t> tail_vals_;
+};
+
+}  // namespace symspmv

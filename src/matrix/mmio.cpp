@@ -1,0 +1,115 @@
+#include "matrix/mmio.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+#include "core/error.hpp"
+
+namespace symspmv {
+namespace {
+
+std::string lower(std::string s) {
+    for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return s;
+}
+
+MatrixMarketHeader parse_header(const std::string& line) {
+    std::istringstream is(line);
+    std::string banner, object, fmt, field, symmetry;
+    is >> banner >> object >> fmt >> field >> symmetry;
+    if (lower(banner) != "%%matrixmarket") throw ParseError("missing %%MatrixMarket banner");
+    if (lower(object) != "matrix") throw ParseError("unsupported MatrixMarket object: " + object);
+    if (lower(fmt) != "coordinate") {
+        throw ParseError("only coordinate MatrixMarket format is supported, got: " + fmt);
+    }
+    MatrixMarketHeader h;
+    const std::string f = lower(field);
+    if (f == "pattern") {
+        h.pattern = true;
+    } else if (f != "real" && f != "integer" && f != "double") {
+        throw ParseError("unsupported MatrixMarket field: " + field);
+    }
+    const std::string s = lower(symmetry);
+    if (s == "symmetric") {
+        h.symmetric = true;
+    } else if (s != "general") {
+        throw ParseError("unsupported MatrixMarket symmetry: " + symmetry);
+    }
+    return h;
+}
+
+}  // namespace
+
+Coo read_matrix_market_raw(std::istream& in, MatrixMarketHeader& header) {
+    std::string line;
+    if (!std::getline(in, line)) throw ParseError("empty MatrixMarket stream");
+    header = parse_header(line);
+
+    // Skip comments and blank lines up to the size line.
+    while (std::getline(in, line)) {
+        if (!line.empty() && line[0] != '%') break;
+    }
+    std::istringstream size_line(line);
+    long rows = 0, cols = 0, nnz = 0;
+    if (!(size_line >> rows >> cols >> nnz) || rows < 0 || cols < 0 || nnz < 0) {
+        throw ParseError("malformed MatrixMarket size line: " + line);
+    }
+
+    Coo coo(static_cast<index_t>(rows), static_cast<index_t>(cols));
+    for (long k = 0; k < nnz; ++k) {
+        long i = 0, j = 0;
+        double v = 1.0;
+        if (!(in >> i >> j)) throw ParseError("truncated MatrixMarket entry list");
+        if (!header.pattern && !(in >> v)) throw ParseError("missing MatrixMarket value");
+        if (i < 1 || i > rows || j < 1 || j > cols) {
+            throw ParseError("MatrixMarket entry out of bounds");
+        }
+        coo.add(static_cast<index_t>(i - 1), static_cast<index_t>(j - 1), v);
+    }
+    coo.canonicalize();
+    return coo;
+}
+
+Coo read_matrix_market(std::istream& in) {
+    MatrixMarketHeader header;
+    Coo coo = read_matrix_market_raw(in, header);
+    if (!header.symmetric) return coo;
+    // Symmetric files may store either triangle; mirror every off-diagonal.
+    Coo full(coo.rows(), coo.cols());
+    for (const Triplet& t : coo.entries()) {
+        full.add(t.row, t.col, t.val);
+        if (t.row != t.col) full.add(t.col, t.row, t.val);
+    }
+    full.canonicalize();
+    return full;
+}
+
+Coo read_matrix_market_file(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) throw ParseError("cannot open matrix file: " + path);
+    return read_matrix_market(in);
+}
+
+void write_matrix_market(std::ostream& out, const Coo& coo, bool as_symmetric) {
+    SYMSPMV_CHECK_MSG(coo.is_canonical(), "write_matrix_market: COO input must be canonical");
+    const Coo* body = &coo;
+    Coo lower_part;
+    if (as_symmetric) {
+        SYMSPMV_CHECK_MSG(coo.is_symmetric(), "write_matrix_market: matrix is not symmetric");
+        lower_part = coo.lower();
+        body = &lower_part;
+    }
+    out << "%%MatrixMarket matrix coordinate real "
+        << (as_symmetric ? "symmetric" : "general") << '\n';
+    out << coo.rows() << ' ' << coo.cols() << ' ' << body->nnz() << '\n';
+    out << std::setprecision(17);
+    for (const Triplet& t : body->entries()) {
+        out << (t.row + 1) << ' ' << (t.col + 1) << ' ' << t.val << '\n';
+    }
+}
+
+}  // namespace symspmv

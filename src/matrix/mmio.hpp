@@ -1,0 +1,37 @@
+// Matrix Market (.mtx) I/O.
+//
+// The paper evaluates on matrices from the University of Florida Sparse
+// Matrix Collection, which are distributed in Matrix Market coordinate
+// format.  This reader/writer handles the subset those files use:
+//   %%MatrixMarket matrix coordinate {real,integer,pattern} {general,symmetric}
+// Symmetric files store only the lower triangle; read_matrix_market expands
+// them to the full matrix (use read_matrix_market_raw to keep the triangle).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "matrix/coo.hpp"
+
+namespace symspmv {
+
+struct MatrixMarketHeader {
+    bool pattern = false;    // entries have no value field (implied 1.0)
+    bool symmetric = false;  // file stores the lower triangle only
+};
+
+/// Reads a Matrix Market stream; symmetric inputs are mirrored to full.
+Coo read_matrix_market(std::istream& in);
+
+/// Reads a Matrix Market file by path; symmetric inputs are mirrored to full.
+Coo read_matrix_market_file(const std::string& path);
+
+/// Reads without mirroring; reports what the header declared.
+Coo read_matrix_market_raw(std::istream& in, MatrixMarketHeader& header);
+
+/// Writes @p coo in coordinate/real/general layout.
+/// If @p as_symmetric is true, writes only the lower triangle with the
+/// symmetric qualifier (the matrix must be symmetric).
+void write_matrix_market(std::ostream& out, const Coo& coo, bool as_symmetric = false);
+
+}  // namespace symspmv

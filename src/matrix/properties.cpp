@@ -1,0 +1,66 @@
+#include "matrix/properties.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <vector>
+
+#include "core/error.hpp"
+
+namespace symspmv {
+
+index_t bandwidth(const Coo& coo) {
+    index_t bw = 0;
+    for (const Triplet& t : coo.entries()) bw = std::max(bw, std::abs(t.row - t.col));
+    return bw;
+}
+
+MatrixProperties analyze(const Coo& coo) {
+    SYMSPMV_CHECK_MSG(coo.is_canonical(), "analyze: COO input must be canonical");
+    MatrixProperties p;
+    p.rows = coo.rows();
+    p.cols = coo.cols();
+    p.nnz = coo.nnz();
+
+    std::vector<index_t> row_nnz(static_cast<std::size_t>(p.rows), 0);
+    long long bw_sum = 0;
+    for (const Triplet& t : coo.entries()) {
+        const index_t d = std::abs(t.row - t.col);
+        p.bandwidth = std::max(p.bandwidth, d);
+        bw_sum += d;
+        ++row_nnz[static_cast<std::size_t>(t.row)];
+        if (t.row == t.col) ++p.diag_nnz;
+    }
+    if (p.nnz > 0) p.avg_bandwidth = static_cast<double>(bw_sum) / p.nnz;
+    if (p.rows > 0 && p.cols > 0) {
+        p.density = static_cast<double>(p.nnz) /
+                    (static_cast<double>(p.rows) * static_cast<double>(p.cols));
+        p.nnz_per_row = static_cast<double>(p.nnz) / p.rows;
+    }
+    if (!row_nnz.empty()) {
+        p.max_row_nnz = *std::max_element(row_nnz.begin(), row_nnz.end());
+        p.min_row_nnz = *std::min_element(row_nnz.begin(), row_nnz.end());
+        p.empty_rows =
+            static_cast<index_t>(std::count(row_nnz.begin(), row_nnz.end(), index_t{0}));
+    }
+
+    if (p.rows == p.cols) {
+        p.numerically_symmetric = coo.is_symmetric();
+        if (p.numerically_symmetric) {
+            p.structurally_symmetric = true;
+        } else {
+            // Structure-only check: mirror the pattern and compare.
+            std::vector<std::pair<index_t, index_t>> fwd, rev;
+            fwd.reserve(static_cast<std::size_t>(p.nnz));
+            rev.reserve(static_cast<std::size_t>(p.nnz));
+            for (const Triplet& t : coo.entries()) {
+                fwd.emplace_back(t.row, t.col);
+                rev.emplace_back(t.col, t.row);
+            }
+            std::sort(rev.begin(), rev.end());
+            p.structurally_symmetric = (fwd == rev);
+        }
+    }
+    return p;
+}
+
+}  // namespace symspmv

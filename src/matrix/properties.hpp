@@ -1,0 +1,37 @@
+// Structural properties of sparse matrices.
+//
+// Matrix bandwidth drives the paper's corner-case analysis (§V.B, §V.D):
+// high-bandwidth matrices defeat the symmetric formats because mirrored
+// writes land far from the thread's own rows.
+#pragma once
+
+#include <cstddef>
+
+#include "core/types.hpp"
+#include "matrix/coo.hpp"
+
+namespace symspmv {
+
+struct MatrixProperties {
+    index_t rows = 0;
+    index_t cols = 0;
+    index_t nnz = 0;
+    index_t bandwidth = 0;        // max |i - j| over non-zeros
+    double avg_bandwidth = 0.0;   // mean |i - j|
+    double density = 0.0;         // nnz / (rows * cols)
+    double nnz_per_row = 0.0;
+    index_t max_row_nnz = 0;
+    index_t min_row_nnz = 0;
+    index_t empty_rows = 0;
+    index_t diag_nnz = 0;
+    bool structurally_symmetric = false;
+    bool numerically_symmetric = false;
+};
+
+/// Computes all properties in one pass over a canonical COO matrix.
+MatrixProperties analyze(const Coo& coo);
+
+/// Matrix bandwidth only: max |i - j| over the non-zeros.
+index_t bandwidth(const Coo& coo);
+
+}  // namespace symspmv

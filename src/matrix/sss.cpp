@@ -1,0 +1,90 @@
+#include "matrix/sss.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+
+namespace symspmv {
+
+Sss::Sss(const Coo& full) : n_(full.rows()) {
+    SYMSPMV_CHECK_MSG(full.rows() == full.cols(), "Sss: matrix must be square");
+    SYMSPMV_CHECK_MSG(full.is_canonical(), "Sss: COO input must be canonical");
+    SYMSPMV_DCHECK(full.is_symmetric());
+
+    dvalues_.assign(static_cast<std::size_t>(n_), value_t{0});
+    rowptr_.assign(static_cast<std::size_t>(n_) + 1, 0);
+
+    std::size_t lower_nnz = 0;
+    for (const Triplet& t : full.entries()) {
+        if (t.row > t.col) ++lower_nnz;
+    }
+    colind_.resize(lower_nnz);
+    values_.resize(lower_nnz);
+
+    // Entries are canonical (row-major sorted), so a single pass fills the
+    // strict-lower CSR arrays in order.
+    std::size_t k = 0;
+    for (const Triplet& t : full.entries()) {
+        if (t.row == t.col) {
+            dvalues_[static_cast<std::size_t>(t.row)] = t.val;
+            ++diag_nnz_;
+        } else if (t.row > t.col) {
+            ++rowptr_[static_cast<std::size_t>(t.row) + 1];
+            colind_[k] = t.col;
+            values_[k] = t.val;
+            ++k;
+        }
+    }
+    for (index_t r = 0; r < n_; ++r) {
+        rowptr_[static_cast<std::size_t>(r) + 1] += rowptr_[static_cast<std::size_t>(r)];
+    }
+}
+
+std::size_t Sss::size_bytes() const {
+    return kValueBytes * dvalues_.size() + (kValueBytes + kIndexBytes) * values_.size() +
+           kIndexBytes * rowptr_.size();
+}
+
+void Sss::spmv(std::span<const value_t> x, std::span<value_t> y) const {
+    SYMSPMV_CHECK_MSG(static_cast<index_t>(x.size()) == n_, "spmv: x size mismatch");
+    SYMSPMV_CHECK_MSG(static_cast<index_t>(y.size()) == n_, "spmv: y size mismatch");
+    const index_t* __restrict rp = rowptr_.data();
+    const index_t* __restrict ci = colind_.data();
+    const value_t* __restrict va = values_.data();
+    const value_t* __restrict dv = dvalues_.data();
+    const value_t* __restrict xv = x.data();
+    value_t* __restrict yv = y.data();
+    // Alg. 2: the diagonal product seeds each row, then each stored lower
+    // element contributes both its own product and the mirrored one.
+    for (index_t r = 0; r < n_; ++r) yv[r] = dv[r] * xv[r];
+    for (index_t r = 0; r < n_; ++r) {
+        value_t acc = yv[r];
+        const value_t xr = xv[r];
+        for (index_t j = rp[r]; j < rp[r + 1]; ++j) {
+            const index_t c = ci[j];
+            acc += va[j] * xv[c];
+            yv[c] += va[j] * xr;
+        }
+        yv[r] = acc;
+    }
+}
+
+Csr Sss::to_csr() const {
+    Coo full(n_, n_);
+    for (index_t r = 0; r < n_; ++r) {
+        if (dvalues_[static_cast<std::size_t>(r)] != value_t{0}) {
+            full.add(r, r, dvalues_[static_cast<std::size_t>(r)]);
+        }
+        for (index_t j = rowptr_[static_cast<std::size_t>(r)];
+             j < rowptr_[static_cast<std::size_t>(r) + 1]; ++j) {
+            const index_t c = colind_[static_cast<std::size_t>(j)];
+            const value_t v = values_[static_cast<std::size_t>(j)];
+            full.add(r, c, v);
+            full.add(c, r, v);
+        }
+    }
+    full.canonicalize();
+    return Csr(full);
+}
+
+}  // namespace symspmv

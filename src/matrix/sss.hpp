@@ -1,0 +1,63 @@
+// Symmetric Sparse Skyline (SSS) — §II.B of the paper.
+//
+// Stores the main diagonal in a dense N-element dvalues array and the
+// strictly lower triangular part in CSR.  Size per Eq. (2):
+//   S_SSS = 6*(NNZ + N) + 4   bytes,
+// where NNZ counts the non-zeros of the *full* symmetric matrix.
+#pragma once
+
+#include <span>
+
+#include "core/allocator.hpp"
+#include "core/types.hpp"
+#include "matrix/coo.hpp"
+#include "matrix/csr.hpp"
+
+namespace symspmv {
+
+class Sss {
+   public:
+    Sss() = default;
+
+    /// Builds from a canonical COO holding the FULL symmetric matrix.
+    /// Requires a square matrix; symmetry is the caller's contract (checked
+    /// in debug builds only — it is O(nnz log nnz)).
+    explicit Sss(const Coo& full);
+
+    [[nodiscard]] index_t rows() const { return n_; }
+    [[nodiscard]] index_t cols() const { return n_; }
+
+    /// Non-zeros of the full symmetric matrix (diagonal + 2x strict lower).
+    [[nodiscard]] index_t nnz() const {
+        return diag_nnz_ + 2 * static_cast<index_t>(values_.size());
+    }
+
+    /// Non-zeros actually stored (diagonal array + strict lower part).
+    [[nodiscard]] std::size_t stored_nnz() const {
+        return static_cast<std::size_t>(n_) + values_.size();
+    }
+
+    [[nodiscard]] std::span<const value_t> dvalues() const { return dvalues_; }
+    [[nodiscard]] std::span<const index_t> rowptr() const { return rowptr_; }
+    [[nodiscard]] std::span<const index_t> colind() const { return colind_; }
+    [[nodiscard]] std::span<const value_t> values() const { return values_; }
+
+    /// Storage footprint in bytes (Eq. 2 of the paper).
+    [[nodiscard]] std::size_t size_bytes() const;
+
+    /// Serial symmetric SpM×V (Alg. 2): y = A * x.
+    void spmv(std::span<const value_t> x, std::span<value_t> y) const;
+
+    /// Expands back to the full symmetric matrix in CSR form.
+    [[nodiscard]] Csr to_csr() const;
+
+   private:
+    index_t n_ = 0;
+    index_t diag_nnz_ = 0;  // structural non-zeros on the diagonal
+    aligned_vector<value_t> dvalues_;
+    aligned_vector<index_t> rowptr_;
+    aligned_vector<index_t> colind_;
+    aligned_vector<value_t> values_;
+};
+
+}  // namespace symspmv

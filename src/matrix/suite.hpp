@@ -1,0 +1,49 @@
+// The 12-matrix evaluation suite of Table I, as synthetic analogs.
+//
+// Each entry maps one University of Florida matrix to a generator whose
+// parameters reproduce its structure class: rows-to-nnz ratio, relative
+// bandwidth, and dense-block content.  `scale` shrinks/grows the row count
+// (1.0 reproduces the paper's sizes; the benches default to a laptop-scale
+// fraction).  If a directory of real .mtx files is supplied, those are
+// loaded instead, making the reproduction exact.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "matrix/coo.hpp"
+
+namespace symspmv::gen {
+
+/// Structure class of a suite matrix (drives which generator is used).
+enum class StructureClass {
+    kStencil,       // regular low-bandwidth FEM/CFD stencil
+    kIrregular,     // high-bandwidth scattered (corner cases of §V.B)
+    kBlockFem,      // structural matrices with dense dof blocks
+    kCircuit,       // power-law, very high bandwidth
+    kDenseRows,     // nd12k-style near-dense rows
+};
+
+struct SuiteEntry {
+    std::string name;       // the paper's matrix name
+    std::string problem;    // Table I "Problem" column
+    StructureClass cls;
+    index_t paper_rows;     // Table I rows
+    std::int64_t paper_nnz; // Table I non-zeros
+};
+
+/// The 12 matrices of Table I in paper order.
+const std::vector<SuiteEntry>& suite_entries();
+
+/// Generates the synthetic analog of @p entry at the given scale
+/// (scale = 1.0 targets the paper's row counts).  Deterministic per name.
+Coo generate_suite_matrix(const SuiteEntry& entry, double scale);
+
+/// Convenience: generate by matrix name (throws on unknown names).
+Coo generate_suite_matrix(const std::string& name, double scale);
+
+/// If `dir` contains "<name>.mtx", loads it; otherwise generates the analog.
+Coo load_or_generate(const std::string& name, double scale, const std::string& dir);
+
+}  // namespace symspmv::gen

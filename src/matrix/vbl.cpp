@@ -1,0 +1,82 @@
+#include "matrix/vbl.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+
+namespace symspmv {
+
+Vbl::Vbl(const Coo& coo) {
+    SYMSPMV_CHECK_MSG(coo.is_canonical(), "Vbl requires a canonical COO matrix");
+    n_rows_ = coo.rows();
+    n_cols_ = coo.cols();
+    block_rowptr_.assign(static_cast<std::size_t>(n_rows_) + 1, 0);
+    values_.reserve(static_cast<std::size_t>(coo.nnz()));
+
+    const auto entries = coo.entries();
+    std::size_t pos = 0;
+    for (index_t r = 0; r < n_rows_; ++r) {
+        block_rowptr_[static_cast<std::size_t>(r)] = static_cast<index_t>(bcol_.size());
+        while (pos < entries.size() && entries[pos].row == r) {
+            // Open a block at this element and extend it while columns stay
+            // consecutive (8-bit length caps a run at 255 elements).
+            const index_t start = entries[pos].col;
+            index_t len = 0;
+            while (pos < entries.size() && entries[pos].row == r &&
+                   entries[pos].col == start + len && len < kMaxBlockLength) {
+                values_.push_back(entries[pos].val);
+                ++len;
+                ++pos;
+            }
+            bcol_.push_back(start);
+            blen_.push_back(static_cast<std::uint8_t>(len));
+        }
+    }
+    block_rowptr_[static_cast<std::size_t>(n_rows_)] = static_cast<index_t>(bcol_.size());
+    SYMSPMV_CHECK(pos == entries.size());
+}
+
+void Vbl::spmv(std::span<const value_t> x, std::span<value_t> y) const {
+    SYMSPMV_CHECK(static_cast<index_t>(x.size()) == n_cols_ &&
+                  static_cast<index_t>(y.size()) == n_rows_);
+    spmv_rows(0, n_rows_, x, y);
+}
+
+std::size_t Vbl::value_offset_of_row(index_t row) const {
+    std::size_t v = 0;
+    for (index_t b = 0; b < block_rowptr_[static_cast<std::size_t>(row)]; ++b) {
+        v += blen_[static_cast<std::size_t>(b)];
+    }
+    return v;
+}
+
+void Vbl::spmv_rows(index_t row_begin, index_t row_end, std::span<const value_t> x,
+                    std::span<value_t> y) const {
+    spmv_rows_from(row_begin, row_end, value_offset_of_row(row_begin), x, y);
+}
+
+void Vbl::spmv_rows_from(index_t row_begin, index_t row_end, std::size_t value_offset,
+                         std::span<const value_t> x, std::span<value_t> y) const {
+    const value_t* __restrict xv = x.data();
+    value_t* __restrict yv = y.data();
+    // Values are stored in block order, which is also row-major order, so a
+    // running cursor locates each row's first value.
+    std::size_t v = value_offset;
+    for (index_t r = row_begin; r < row_end; ++r) {
+        value_t acc = value_t{0};
+        for (index_t b = block_rowptr_[static_cast<std::size_t>(r)];
+             b < block_rowptr_[static_cast<std::size_t>(r) + 1]; ++b) {
+            const index_t col = bcol_[static_cast<std::size_t>(b)];
+            const int len = blen_[static_cast<std::size_t>(b)];
+            const value_t* __restrict vals = values_.data() + v;
+            const value_t* __restrict xs = xv + col;
+            for (int k = 0; k < len; ++k) {
+                acc += vals[k] * xs[k];
+            }
+            v += static_cast<std::size_t>(len);
+        }
+        yv[r] = acc;
+    }
+}
+
+}  // namespace symspmv

@@ -1,0 +1,80 @@
+// Variable Block Length (VBL) storage — 1-D variable blocking in the spirit
+// of Vuduc & Moon's variable block splitting ([24] in the paper).
+//
+// Consecutive non-zeros of a row collapse into one block described by a
+// start column and an 8-bit length, so a horizontal run of L elements costs
+// 5 bytes of metadata instead of 4L.  This is the "poor man's CSX": it
+// captures exactly the horizontal substructures (CSX additionally encodes
+// vertical/diagonal/2-D ones) and serves as the intermediate point between
+// CSR and CSX in the compression ablation.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "core/allocator.hpp"
+#include "core/types.hpp"
+#include "matrix/coo.hpp"
+
+namespace symspmv {
+
+class Vbl {
+   public:
+    /// Longest run one block can describe (8-bit length field).
+    static constexpr index_t kMaxBlockLength = 255;
+
+    Vbl() = default;
+
+    /// Builds from a canonical COO matrix.
+    explicit Vbl(const Coo& coo);
+
+    [[nodiscard]] index_t rows() const { return n_rows_; }
+    [[nodiscard]] index_t cols() const { return n_cols_; }
+    [[nodiscard]] std::int64_t nnz() const { return static_cast<std::int64_t>(values_.size()); }
+    [[nodiscard]] std::int64_t blocks() const { return static_cast<std::int64_t>(bcol_.size()); }
+
+    /// Mean elements per block (1.0 = fully scattered, no gain over CSR).
+    [[nodiscard]] double mean_block_length() const {
+        return blocks() == 0 ? 0.0 : static_cast<double>(nnz()) / static_cast<double>(blocks());
+    }
+
+    /// Row r owns blocks [block_rowptr()[r], block_rowptr()[r+1]); block b
+    /// covers columns [bcol()[b], bcol()[b] + blen()[b]) and its values are
+    /// contiguous in values() (block order).
+    [[nodiscard]] std::span<const index_t> block_rowptr() const { return block_rowptr_; }
+    [[nodiscard]] std::span<const index_t> bcol() const { return bcol_; }
+    [[nodiscard]] std::span<const std::uint8_t> blen() const { return blen_; }
+    [[nodiscard]] std::span<const value_t> values() const { return values_; }
+
+    [[nodiscard]] std::size_t size_bytes() const {
+        return values_.size() * kValueBytes + bcol_.size() * kIndexBytes + blen_.size() +
+               block_rowptr_.size() * kIndexBytes;
+    }
+
+    /// y = A * x, serial.
+    void spmv(std::span<const value_t> x, std::span<value_t> y) const;
+
+    /// y = A * x restricted to rows [row_begin, row_end).  Scans the block
+    /// lengths up to row_begin to find the value cursor; the MT kernel uses
+    /// the offset overload instead.
+    void spmv_rows(index_t row_begin, index_t row_end, std::span<const value_t> x,
+                   std::span<value_t> y) const;
+
+    /// As above with the value offset of row_begin supplied by the caller
+    /// (see value_offset_of_row).
+    void spmv_rows_from(index_t row_begin, index_t row_end, std::size_t value_offset,
+                        std::span<const value_t> x, std::span<value_t> y) const;
+
+    /// Index into values() of the first element of @p row (O(blocks) scan).
+    [[nodiscard]] std::size_t value_offset_of_row(index_t row) const;
+
+   private:
+    index_t n_rows_ = 0;
+    index_t n_cols_ = 0;
+    aligned_vector<index_t> block_rowptr_;
+    aligned_vector<index_t> bcol_;
+    aligned_vector<std::uint8_t> blen_;
+    aligned_vector<value_t> values_;
+};
+
+}  // namespace symspmv

@@ -1,0 +1,208 @@
+#include "reorder/orderings.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "core/error.hpp"
+#include "reorder/rcm.hpp"
+
+namespace symspmv {
+
+namespace {
+
+/// Smallest-degree unvisited vertex (component restart heuristic shared by
+/// both orderings).
+index_t min_degree_unvisited(const AdjacencyGraph& g, const std::vector<char>& visited) {
+    index_t best = -1;
+    index_t best_degree = std::numeric_limits<index_t>::max();
+    for (index_t v = 0; v < g.vertices(); ++v) {
+        if (visited[static_cast<std::size_t>(v)] == 0 && g.degree(v) < best_degree) {
+            best = v;
+            best_degree = g.degree(v);
+        }
+    }
+    return best;
+}
+
+}  // namespace
+
+std::vector<index_t> king_permutation(const Coo& a) {
+    const AdjacencyGraph g(a);
+    const index_t n = g.vertices();
+    std::vector<index_t> order;
+    order.reserve(static_cast<std::size_t>(n));
+    std::vector<char> visited(static_cast<std::size_t>(n), 0);
+    std::vector<char> in_front(static_cast<std::size_t>(n), 0);
+
+    while (static_cast<index_t>(order.size()) < n) {
+        const index_t root = pseudo_peripheral_vertex(g, min_degree_unvisited(g, visited));
+        visited[static_cast<std::size_t>(root)] = 1;
+        order.push_back(root);
+        // Frontier: numbered vertices' unnumbered neighbors.
+        std::vector<index_t> front;
+        for (index_t u : g.neighbors(root)) {
+            if (visited[static_cast<std::size_t>(u)] == 0 &&
+                in_front[static_cast<std::size_t>(u)] == 0) {
+                in_front[static_cast<std::size_t>(u)] = 1;
+                front.push_back(u);
+            }
+        }
+        while (!front.empty()) {
+            // King's rule: pick the frontier vertex introducing the fewest
+            // new frontier vertices; ties by degree then index for
+            // determinism.
+            std::size_t best = 0;
+            index_t best_new = std::numeric_limits<index_t>::max();
+            for (std::size_t i = 0; i < front.size(); ++i) {
+                index_t fresh = 0;
+                for (index_t u : g.neighbors(front[i])) {
+                    if (visited[static_cast<std::size_t>(u)] == 0 &&
+                        in_front[static_cast<std::size_t>(u)] == 0) {
+                        ++fresh;
+                    }
+                }
+                const index_t cand = front[i];
+                const index_t cur = front[best];
+                if (fresh < best_new ||
+                    (fresh == best_new &&
+                     (g.degree(cand) < g.degree(cur) ||
+                      (g.degree(cand) == g.degree(cur) && cand < cur)))) {
+                    best_new = fresh;
+                    best = i;
+                }
+            }
+            const index_t v = front[best];
+            front.erase(front.begin() + static_cast<std::ptrdiff_t>(best));
+            in_front[static_cast<std::size_t>(v)] = 0;
+            visited[static_cast<std::size_t>(v)] = 1;
+            order.push_back(v);
+            for (index_t u : g.neighbors(v)) {
+                if (visited[static_cast<std::size_t>(u)] == 0 &&
+                    in_front[static_cast<std::size_t>(u)] == 0) {
+                    in_front[static_cast<std::size_t>(u)] = 1;
+                    front.push_back(u);
+                }
+            }
+        }
+    }
+
+    std::vector<index_t> perm(static_cast<std::size_t>(n));
+    for (index_t pos = 0; pos < n; ++pos) {
+        perm[static_cast<std::size_t>(order[static_cast<std::size_t>(pos)])] = pos;
+    }
+    return perm;
+}
+
+std::vector<index_t> sloan_permutation(const Coo& a, int w1, int w2) {
+    SYMSPMV_CHECK_MSG(w1 >= 0 && w2 >= 0 && w1 + w2 > 0, "sloan: weights must be non-negative");
+    const AdjacencyGraph g(a);
+    const index_t n = g.vertices();
+    std::vector<index_t> order;
+    order.reserve(static_cast<std::size_t>(n));
+
+    // Vertex states: 0 inactive, 1 preactive (queued), 2 active (neighbor
+    // of a numbered vertex), 3 numbered (postactive).
+    enum : char { kInactive = 0, kPreactive = 1, kActive = 2, kNumbered = 3 };
+    std::vector<char> state(static_cast<std::size_t>(n), kInactive);
+    std::vector<index_t> distance(static_cast<std::size_t>(n), 0);
+    std::vector<long> priority(static_cast<std::size_t>(n), 0);
+
+    while (static_cast<index_t>(order.size()) < n) {
+        // Start/end pair: pseudo-peripheral end vertex supplies the global
+        // distance term.
+        index_t start = -1;
+        {
+            std::vector<char> numbered(static_cast<std::size_t>(n), 0);
+            for (index_t v = 0; v < n; ++v) {
+                numbered[static_cast<std::size_t>(v)] =
+                    state[static_cast<std::size_t>(v)] == kNumbered ? 1 : 0;
+            }
+            start = min_degree_unvisited(g, numbered);
+        }
+        start = pseudo_peripheral_vertex(g, start);
+        const LevelStructure from_start = bfs_levels(g, start);
+        const index_t end = from_start.order.back();
+        const LevelStructure from_end = bfs_levels(g, end);
+        for (index_t level = 0; level < from_end.depth(); ++level) {
+            for (index_t k = from_end.level_ptr[static_cast<std::size_t>(level)];
+                 k < from_end.level_ptr[static_cast<std::size_t>(level) + 1]; ++k) {
+                distance[static_cast<std::size_t>(
+                    from_end.order[static_cast<std::size_t>(k)])] = level;
+            }
+        }
+
+        // Priority: w1 * distance(v, end) - w2 * (degree(v) + 1); numbering
+        // a vertex bumps its neighbors (Sloan's local degree update).
+        const auto prio = [&](index_t v) {
+            return static_cast<long>(w1) * distance[static_cast<std::size_t>(v)] -
+                   static_cast<long>(w2) * (g.degree(v) + 1);
+        };
+        using Entry = std::pair<long, index_t>;  // (priority, vertex)
+        std::priority_queue<Entry> queue;
+        for (index_t v : from_start.order) {
+            priority[static_cast<std::size_t>(v)] = prio(v);
+        }
+        state[static_cast<std::size_t>(start)] = kPreactive;
+        queue.emplace(priority[static_cast<std::size_t>(start)], start);
+
+        while (!queue.empty()) {
+            const auto [p, v] = queue.top();
+            queue.pop();
+            // Lazy deletion: stale or already numbered entries are skipped.
+            if (state[static_cast<std::size_t>(v)] == kNumbered ||
+                p != priority[static_cast<std::size_t>(v)]) {
+                continue;
+            }
+            if (state[static_cast<std::size_t>(v)] == kPreactive) {
+                // Activating v rewards its neighbors (they will soon be
+                // adjacent to the numbered set).
+                for (index_t u : g.neighbors(v)) {
+                    if (state[static_cast<std::size_t>(u)] == kNumbered) continue;
+                    priority[static_cast<std::size_t>(u)] += w2;
+                    if (state[static_cast<std::size_t>(u)] == kInactive) {
+                        state[static_cast<std::size_t>(u)] = kPreactive;
+                    }
+                    queue.emplace(priority[static_cast<std::size_t>(u)], u);
+                }
+            }
+            state[static_cast<std::size_t>(v)] = kNumbered;
+            order.push_back(v);
+            for (index_t u : g.neighbors(v)) {
+                if (state[static_cast<std::size_t>(u)] == kNumbered) continue;
+                if (state[static_cast<std::size_t>(u)] != kActive) {
+                    state[static_cast<std::size_t>(u)] = kActive;
+                    priority[static_cast<std::size_t>(u)] += w2;
+                    queue.emplace(priority[static_cast<std::size_t>(u)], u);
+                }
+            }
+        }
+    }
+
+    std::vector<index_t> perm(static_cast<std::size_t>(n));
+    for (index_t pos = 0; pos < n; ++pos) {
+        perm[static_cast<std::size_t>(order[static_cast<std::size_t>(pos)])] = pos;
+    }
+    return perm;
+}
+
+std::int64_t profile(const Coo& a) {
+    SYMSPMV_CHECK_MSG(a.rows() == a.cols(), "profile: matrix must be square");
+    std::vector<index_t> min_col(static_cast<std::size_t>(a.rows()),
+                                 std::numeric_limits<index_t>::max());
+    for (const Triplet& t : a.entries()) {
+        if (t.col <= t.row) {
+            min_col[static_cast<std::size_t>(t.row)] =
+                std::min(min_col[static_cast<std::size_t>(t.row)], t.col);
+        }
+    }
+    std::int64_t total = 0;
+    for (index_t r = 0; r < a.rows(); ++r) {
+        if (min_col[static_cast<std::size_t>(r)] <= r) {
+            total += r - min_col[static_cast<std::size_t>(r)];
+        }
+    }
+    return total;
+}
+
+}  // namespace symspmv

@@ -1,0 +1,38 @@
+// Additional bandwidth/profile-reduction orderings beside RCM (§V.D).
+//
+// The reordering literature the paper draws on ([18]-[20]) contains more
+// than Cuthill-McKee; these two classics let the ordering ablation compare
+// what RCM actually buys:
+//
+//  - King (1970): like Cuthill-McKee, but at every step the candidate that
+//    adds the fewest *new* frontier vertices is numbered next — a greedy
+//    wavefront (profile) minimizer.
+//  - Sloan (1986): priority-queue ordering balancing the distance to a
+//    pseudo-peripheral end vertex against the current degree; typically
+//    better *profile* (sum of row bandwidths) than RCM at slightly worse
+//    maximum bandwidth.
+//
+// Both return perm[old] = new, compose with permute_symmetric(), and
+// handle disconnected graphs by restarting per component.
+#pragma once
+
+#include <vector>
+
+#include "core/types.hpp"
+#include "matrix/coo.hpp"
+
+namespace symspmv {
+
+/// King ordering: perm[old] = new.
+std::vector<index_t> king_permutation(const Coo& a);
+
+/// Sloan ordering: perm[old] = new.  @p w1 weights the global distance
+/// term, @p w2 the local degree term (Sloan's recommended 2:1 default).
+std::vector<index_t> sloan_permutation(const Coo& a, int w1 = 2, int w2 = 1);
+
+/// Profile of a symmetric matrix: sum over rows of (i - min column in row i)
+/// for the lower triangle — the quantity King/Sloan minimize (bandwidth()
+/// in matrix/properties.hpp is the max).
+std::int64_t profile(const Coo& a);
+
+}  // namespace symspmv

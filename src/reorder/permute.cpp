@@ -1,0 +1,56 @@
+#include "reorder/permute.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+
+namespace symspmv {
+
+bool is_permutation(std::span<const index_t> perm) {
+    const auto n = static_cast<index_t>(perm.size());
+    std::vector<bool> seen(perm.size(), false);
+    for (index_t p : perm) {
+        if (p < 0 || p >= n || seen[static_cast<std::size_t>(p)]) return false;
+        seen[static_cast<std::size_t>(p)] = true;
+    }
+    return true;
+}
+
+std::vector<index_t> invert_permutation(std::span<const index_t> perm) {
+    SYMSPMV_CHECK_MSG(is_permutation(perm), "invert_permutation: not a permutation");
+    std::vector<index_t> inv(perm.size());
+    for (std::size_t i = 0; i < perm.size(); ++i) {
+        inv[static_cast<std::size_t>(perm[i])] = static_cast<index_t>(i);
+    }
+    return inv;
+}
+
+Coo permute_symmetric(const Coo& a, std::span<const index_t> perm) {
+    SYMSPMV_CHECK_MSG(a.rows() == a.cols(), "permute_symmetric: matrix must be square");
+    SYMSPMV_CHECK_MSG(static_cast<index_t>(perm.size()) == a.rows(),
+                      "permute_symmetric: permutation size mismatch");
+    SYMSPMV_CHECK_MSG(is_permutation(perm), "permute_symmetric: not a permutation");
+    Coo out(a.rows(), a.cols());
+    for (const Triplet& t : a.entries()) {
+        out.add(perm[static_cast<std::size_t>(t.row)], perm[static_cast<std::size_t>(t.col)],
+                t.val);
+    }
+    out.canonicalize();
+    return out;
+}
+
+std::vector<value_t> permute_vector(std::span<const value_t> v, std::span<const index_t> perm) {
+    SYMSPMV_CHECK_MSG(v.size() == perm.size(), "permute_vector: size mismatch");
+    std::vector<value_t> out(v.size());
+    for (std::size_t i = 0; i < v.size(); ++i) out[static_cast<std::size_t>(perm[i])] = v[i];
+    return out;
+}
+
+std::vector<value_t> unpermute_vector(std::span<const value_t> v, std::span<const index_t> perm) {
+    SYMSPMV_CHECK_MSG(v.size() == perm.size(), "unpermute_vector: size mismatch");
+    std::vector<value_t> out(v.size());
+    for (std::size_t i = 0; i < v.size(); ++i) out[i] = v[static_cast<std::size_t>(perm[i])];
+    return out;
+}
+
+}  // namespace symspmv

@@ -1,0 +1,29 @@
+// Permutation utilities: validation, inversion, and the symmetric
+// permutation P*A*P^T used by the bandwidth-reduction study (§V.D).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/types.hpp"
+#include "matrix/coo.hpp"
+
+namespace symspmv {
+
+/// True iff @p perm is a bijection of {0, ..., perm.size()-1}.
+bool is_permutation(std::span<const index_t> perm);
+
+/// Returns inv with inv[perm[i]] = i.
+std::vector<index_t> invert_permutation(std::span<const index_t> perm);
+
+/// Applies the symmetric permutation: out(perm[i], perm[j]) = a(i, j).
+/// Preserves symmetry and spectrum; @p perm maps old index -> new index.
+Coo permute_symmetric(const Coo& a, std::span<const index_t> perm);
+
+/// Permutes a vector: out[perm[i]] = v[i].
+std::vector<value_t> permute_vector(std::span<const value_t> v, std::span<const index_t> perm);
+
+/// Applies the inverse: out[i] = v[perm[i]] (maps a permuted solution back).
+std::vector<value_t> unpermute_vector(std::span<const value_t> v, std::span<const index_t> perm);
+
+}  // namespace symspmv

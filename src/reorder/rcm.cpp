@@ -1,0 +1,138 @@
+#include "reorder/rcm.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/error.hpp"
+
+namespace symspmv {
+
+AdjacencyGraph::AdjacencyGraph(const Coo& a) : n_(a.rows()) {
+    SYMSPMV_CHECK_MSG(a.rows() == a.cols(), "AdjacencyGraph: matrix must be square");
+    SYMSPMV_CHECK_MSG(a.is_canonical(), "AdjacencyGraph: COO input must be canonical");
+    // Symmetrize the pattern: every off-diagonal (i,j) contributes both
+    // directions; duplicates are removed below.
+    std::vector<std::pair<index_t, index_t>> edges;
+    edges.reserve(static_cast<std::size_t>(a.nnz()) * 2);
+    for (const Triplet& t : a.entries()) {
+        if (t.row == t.col) continue;
+        edges.emplace_back(t.row, t.col);
+        edges.emplace_back(t.col, t.row);
+    }
+    std::sort(edges.begin(), edges.end());
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+    xadj_.assign(static_cast<std::size_t>(n_) + 1, 0);
+    for (const auto& [u, v] : edges) ++xadj_[static_cast<std::size_t>(u) + 1];
+    for (index_t v = 0; v < n_; ++v) {
+        xadj_[static_cast<std::size_t>(v) + 1] += xadj_[static_cast<std::size_t>(v)];
+    }
+    adj_.resize(edges.size());
+    for (std::size_t e = 0; e < edges.size(); ++e) adj_[e] = edges[e].second;
+}
+
+index_t LevelStructure::width() const {
+    index_t w = 0;
+    for (std::size_t l = 0; l + 1 < level_ptr.size(); ++l) {
+        w = std::max(w, level_ptr[l + 1] - level_ptr[l]);
+    }
+    return w;
+}
+
+LevelStructure bfs_levels(const AdjacencyGraph& g, index_t root) {
+    SYMSPMV_CHECK_MSG(root >= 0 && root < g.vertices(), "bfs_levels: root out of range");
+    LevelStructure ls;
+    std::vector<bool> visited(static_cast<std::size_t>(g.vertices()), false);
+    ls.order.push_back(root);
+    visited[static_cast<std::size_t>(root)] = true;
+    ls.level_ptr = {0, 1};
+    std::size_t frontier_begin = 0;
+    while (true) {
+        const std::size_t frontier_end = ls.order.size();
+        for (std::size_t i = frontier_begin; i < frontier_end; ++i) {
+            for (index_t nb : g.neighbors(ls.order[i])) {
+                if (!visited[static_cast<std::size_t>(nb)]) {
+                    visited[static_cast<std::size_t>(nb)] = true;
+                    ls.order.push_back(nb);
+                }
+            }
+        }
+        if (ls.order.size() == frontier_end) break;  // no new level
+        ls.level_ptr.push_back(static_cast<index_t>(ls.order.size()));
+        frontier_begin = frontier_end;
+    }
+    return ls;
+}
+
+index_t pseudo_peripheral_vertex(const AdjacencyGraph& g, index_t start) {
+    index_t root = start;
+    LevelStructure ls = bfs_levels(g, root);
+    for (int iter = 0; iter < 16; ++iter) {  // converges in a handful of steps
+        // Minimum-degree vertex of the last level.
+        const index_t last_begin = ls.level_ptr[static_cast<std::size_t>(ls.depth()) - 1];
+        const index_t last_end = ls.level_ptr[static_cast<std::size_t>(ls.depth())];
+        index_t candidate = ls.order[static_cast<std::size_t>(last_begin)];
+        for (index_t i = last_begin; i < last_end; ++i) {
+            const index_t v = ls.order[static_cast<std::size_t>(i)];
+            if (g.degree(v) < g.degree(candidate)) candidate = v;
+        }
+        LevelStructure cls = bfs_levels(g, candidate);
+        if (cls.depth() <= ls.depth()) break;
+        root = candidate;
+        ls = std::move(cls);
+    }
+    return root;
+}
+
+std::vector<index_t> cuthill_mckee_permutation(const Coo& a) {
+    const AdjacencyGraph g(a);
+    const index_t n = g.vertices();
+    std::vector<index_t> perm(static_cast<std::size_t>(n), -1);  // perm[old] = new
+    std::vector<bool> visited(static_cast<std::size_t>(n), false);
+    std::vector<index_t> queue;
+    queue.reserve(static_cast<std::size_t>(n));
+    index_t next_label = 0;
+
+    // Vertices sorted by degree: component restarts pick the smallest-degree
+    // unvisited vertex, per the classic algorithm.
+    std::vector<index_t> by_degree(static_cast<std::size_t>(n));
+    std::iota(by_degree.begin(), by_degree.end(), 0);
+    std::stable_sort(by_degree.begin(), by_degree.end(),
+                     [&](index_t u, index_t v) { return g.degree(u) < g.degree(v); });
+
+    std::vector<index_t> scratch;
+    for (index_t seed : by_degree) {
+        if (visited[static_cast<std::size_t>(seed)]) continue;
+        const index_t root = pseudo_peripheral_vertex(g, seed);
+        queue.clear();
+        queue.push_back(root);
+        visited[static_cast<std::size_t>(root)] = true;
+        for (std::size_t head = 0; head < queue.size(); ++head) {
+            const index_t v = queue[head];
+            perm[static_cast<std::size_t>(v)] = next_label++;
+            // Enqueue unvisited neighbours in increasing-degree order.
+            scratch.clear();
+            for (index_t nb : g.neighbors(v)) {
+                if (!visited[static_cast<std::size_t>(nb)]) {
+                    visited[static_cast<std::size_t>(nb)] = true;
+                    scratch.push_back(nb);
+                }
+            }
+            std::stable_sort(scratch.begin(), scratch.end(), [&](index_t x, index_t y) {
+                return g.degree(x) < g.degree(y);
+            });
+            queue.insert(queue.end(), scratch.begin(), scratch.end());
+        }
+    }
+    SYMSPMV_CHECK_MSG(next_label == n, "cuthill_mckee: failed to label every vertex");
+    return perm;
+}
+
+std::vector<index_t> rcm_permutation(const Coo& a) {
+    std::vector<index_t> perm = cuthill_mckee_permutation(a);
+    const auto n = static_cast<index_t>(perm.size());
+    for (index_t& p : perm) p = n - 1 - p;
+    return perm;
+}
+
+}  // namespace symspmv

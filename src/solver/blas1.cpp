@@ -1,0 +1,103 @@
+#include "solver/blas1.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "core/allocator.hpp"
+#include "core/error.hpp"
+#include "core/partition.hpp"
+
+namespace symspmv::blas1 {
+namespace {
+
+/// Per-thread partial results, padded to a cache line each to avoid false
+/// sharing during the parallel dot product.
+struct alignas(kCacheLineBytes) Partial {
+    value_t v = 0.0;
+};
+
+std::vector<RowRange> ranges(ThreadPool& pool, std::size_t n) {
+    return split_even(static_cast<index_t>(n), pool.size());
+}
+
+}  // namespace
+
+value_t dot(ThreadPool& pool, std::span<const value_t> x, std::span<const value_t> y) {
+    SYMSPMV_CHECK_MSG(x.size() == y.size(), "dot: size mismatch");
+    const auto parts = ranges(pool, x.size());
+    std::vector<Partial> partial(static_cast<std::size_t>(pool.size()));
+    pool.run([&](int tid) {
+        const RowRange r = parts[static_cast<std::size_t>(tid)];
+        value_t acc = 0.0;
+        for (index_t i = r.begin; i < r.end; ++i) {
+            acc += x[static_cast<std::size_t>(i)] * y[static_cast<std::size_t>(i)];
+        }
+        partial[static_cast<std::size_t>(tid)].v = acc;
+    });
+    value_t total = 0.0;
+    for (const Partial& p : partial) total += p.v;
+    return total;
+}
+
+void axpy(ThreadPool& pool, value_t alpha, std::span<const value_t> x, std::span<value_t> y) {
+    SYMSPMV_CHECK_MSG(x.size() == y.size(), "axpy: size mismatch");
+    const auto parts = ranges(pool, x.size());
+    pool.run([&](int tid) {
+        const RowRange r = parts[static_cast<std::size_t>(tid)];
+        for (index_t i = r.begin; i < r.end; ++i) {
+            y[static_cast<std::size_t>(i)] += alpha * x[static_cast<std::size_t>(i)];
+        }
+    });
+}
+
+void xpby(ThreadPool& pool, std::span<const value_t> x, value_t beta, std::span<value_t> y) {
+    SYMSPMV_CHECK_MSG(x.size() == y.size(), "xpby: size mismatch");
+    const auto parts = ranges(pool, x.size());
+    pool.run([&](int tid) {
+        const RowRange r = parts[static_cast<std::size_t>(tid)];
+        for (index_t i = r.begin; i < r.end; ++i) {
+            y[static_cast<std::size_t>(i)] =
+                x[static_cast<std::size_t>(i)] + beta * y[static_cast<std::size_t>(i)];
+        }
+    });
+}
+
+void copy(ThreadPool& pool, std::span<const value_t> x, std::span<value_t> y) {
+    SYMSPMV_CHECK_MSG(x.size() == y.size(), "copy: size mismatch");
+    const auto parts = ranges(pool, x.size());
+    pool.run([&](int tid) {
+        const RowRange r = parts[static_cast<std::size_t>(tid)];
+        for (index_t i = r.begin; i < r.end; ++i) {
+            y[static_cast<std::size_t>(i)] = x[static_cast<std::size_t>(i)];
+        }
+    });
+}
+
+void zero(ThreadPool& pool, std::span<value_t> x) {
+    const auto parts = ranges(pool, x.size());
+    pool.run([&](int tid) {
+        const RowRange r = parts[static_cast<std::size_t>(tid)];
+        for (index_t i = r.begin; i < r.end; ++i) x[static_cast<std::size_t>(i)] = 0.0;
+    });
+}
+
+value_t norm2(ThreadPool& pool, std::span<const value_t> x) {
+    return std::sqrt(dot(pool, x, x));
+}
+
+namespace serial {
+
+value_t dot(std::span<const value_t> x, std::span<const value_t> y) {
+    SYMSPMV_CHECK_MSG(x.size() == y.size(), "dot: size mismatch");
+    value_t acc = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) acc += x[i] * y[i];
+    return acc;
+}
+
+void axpy(value_t alpha, std::span<const value_t> x, std::span<value_t> y) {
+    SYMSPMV_CHECK_MSG(x.size() == y.size(), "axpy: size mismatch");
+    for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+}  // namespace serial
+}  // namespace symspmv::blas1

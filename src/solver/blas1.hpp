@@ -1,0 +1,40 @@
+// Parallel BLAS-1 vector operations used by the CG solver (Alg. 1).
+//
+// CG performs several dot products and axpy updates per iteration but only
+// one SpM×V; for small matrices these vector operations dominate the solver
+// time (§V.F), so they are parallelized over the same thread pool.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/thread_pool.hpp"
+#include "core/types.hpp"
+
+namespace symspmv::blas1 {
+
+/// Returns sum_i x[i] * y[i].
+value_t dot(ThreadPool& pool, std::span<const value_t> x, std::span<const value_t> y);
+
+/// y += alpha * x.
+void axpy(ThreadPool& pool, value_t alpha, std::span<const value_t> x, std::span<value_t> y);
+
+/// y = x + beta * y  (the p-update of CG).
+void xpby(ThreadPool& pool, std::span<const value_t> x, value_t beta, std::span<value_t> y);
+
+/// y = x.
+void copy(ThreadPool& pool, std::span<const value_t> x, std::span<value_t> y);
+
+/// x = 0.
+void zero(ThreadPool& pool, std::span<value_t> x);
+
+/// Returns the Euclidean norm of x.
+value_t norm2(ThreadPool& pool, std::span<const value_t> x);
+
+/// Serial reference implementations (used by tests and tiny problems).
+namespace serial {
+value_t dot(std::span<const value_t> x, std::span<const value_t> y);
+void axpy(value_t alpha, std::span<const value_t> x, std::span<value_t> y);
+}  // namespace serial
+
+}  // namespace symspmv::blas1

@@ -1,0 +1,85 @@
+#include "solver/cg.hpp"
+
+#include <cmath>
+
+#include "core/error.hpp"
+#include "core/timer.hpp"
+#include "solver/blas1.hpp"
+
+namespace symspmv::cg {
+
+Result solve(SpmvKernel& kernel, ThreadPool& pool, std::span<const value_t> b,
+             std::span<const value_t> x0, const Options& opts) {
+    const auto n = static_cast<std::size_t>(kernel.rows());
+    SYMSPMV_CHECK_MSG(b.size() == n, "cg: b size mismatch");
+    SYMSPMV_CHECK_MSG(x0.empty() || x0.size() == n, "cg: x0 size mismatch");
+    SYMSPMV_CHECK_MSG(opts.max_iterations >= 0, "cg: negative iteration limit");
+
+    Result res;
+    res.x.assign(n, 0.0);
+    if (!x0.empty()) res.x.assign(x0.begin(), x0.end());
+
+    std::vector<value_t> r(n), p(n), ap(n);
+    PhaseTimer vec_timer;
+
+    // r0 = b - A x0 ; p0 = r0.
+    kernel.spmv(res.x, ap);
+    res.breakdown.spmv_multiply_seconds += kernel.last_phases().multiply_seconds;
+    res.breakdown.spmv_reduction_seconds += kernel.last_phases().reduction_seconds;
+    vec_timer.start();
+    blas1::copy(pool, b, r);
+    blas1::axpy(pool, -1.0, ap, r);
+    blas1::copy(pool, r, p);
+    value_t rr = blas1::dot(pool, r, r);
+    const value_t b_norm = blas1::norm2(pool, b);
+    vec_timer.stop();
+
+    const value_t threshold = opts.tolerance * (b_norm > 0.0 ? b_norm : 1.0);
+    res.residual_norm = std::sqrt(rr);
+    if (opts.record_residuals) res.residual_history.push_back(res.residual_norm);
+    if (res.residual_norm <= threshold) {
+        res.converged = true;
+        res.breakdown.vector_ops_seconds = vec_timer.total_seconds();
+        return res;
+    }
+
+    for (int i = 0; i < opts.max_iterations; ++i) {
+        // a_i = (r.r) / (p.A.p)  — the SpM×V of the iteration (Alg. 1 line 6).
+        kernel.spmv(p, ap);
+        res.breakdown.spmv_multiply_seconds += kernel.last_phases().multiply_seconds;
+        res.breakdown.spmv_reduction_seconds += kernel.last_phases().reduction_seconds;
+
+        vec_timer.start();
+        const value_t pap = blas1::dot(pool, p, ap);
+        SYMSPMV_CHECK_MSG(pap > 0.0, "cg: matrix is not positive definite (p.A.p <= 0)");
+        const value_t alpha = rr / pap;
+        blas1::axpy(pool, alpha, p, res.x);    // x_{i+1} = x_i + a_i p_i
+        blas1::axpy(pool, -alpha, ap, r);      // r_{i+1} = r_i - a_i A p_i
+        const value_t rr_next = blas1::dot(pool, r, r);
+        vec_timer.stop();
+
+        res.iterations = i + 1;
+        res.residual_norm = std::sqrt(rr_next);
+        if (opts.record_residuals) res.residual_history.push_back(res.residual_norm);
+        if (res.residual_norm <= threshold) {
+            res.converged = true;
+            rr = rr_next;
+            break;
+        }
+
+        vec_timer.start();
+        const value_t beta = rr_next / rr;
+        blas1::xpby(pool, r, beta, p);  // p_{i+1} = r_{i+1} + b_i p_i
+        rr = rr_next;
+        vec_timer.stop();
+    }
+    res.breakdown.vector_ops_seconds = vec_timer.total_seconds();
+    return res;
+}
+
+Result solve(SpmvKernel& kernel, ThreadPool& pool, std::span<const value_t> b,
+             const Options& opts) {
+    return solve(kernel, pool, b, {}, opts);
+}
+
+}  // namespace symspmv::cg

@@ -1,0 +1,59 @@
+// Non-preconditioned Conjugate Gradient (Alg. 1 of the paper).
+//
+// The solver is format-agnostic: it takes any SpmvKernel, so the Fig. 14
+// study (CSR vs CSX vs SSS-idx vs CSX-Sym inside CG) is a one-line kernel
+// swap.  Per-phase wall-clock accounting (SpM×V multiply, SpM×V reduction,
+// vector operations) reproduces the paper's execution-time breakdown.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/thread_pool.hpp"
+#include "core/types.hpp"
+#include "spmv/kernel.hpp"
+
+namespace symspmv::cg {
+
+struct Options {
+    int max_iterations = 1000;
+    double tolerance = 1e-8;       // stop when ||r|| <= tolerance * ||b||
+    bool track_breakdown = true;   // collect the Fig. 14 phase timings
+    bool record_residuals = false; // fill Result::residual_history
+};
+
+/// Execution-time breakdown of a solve (Fig. 14 legend: SpM×V, SpM×V
+/// reduction, vector operations; CSX preprocessing is accounted by the
+/// caller, who builds the kernel).
+struct Breakdown {
+    double spmv_multiply_seconds = 0.0;
+    double spmv_reduction_seconds = 0.0;
+    double vector_ops_seconds = 0.0;
+
+    [[nodiscard]] double total() const {
+        return spmv_multiply_seconds + spmv_reduction_seconds + vector_ops_seconds;
+    }
+};
+
+struct Result {
+    std::vector<value_t> x;
+    int iterations = 0;
+    double residual_norm = 0.0;  // ||b - A x|| at exit
+    bool converged = false;
+    Breakdown breakdown;
+    /// ||r|| after every iteration, starting with the initial residual
+    /// (only filled when Options::record_residuals is set).
+    std::vector<double> residual_history;
+};
+
+/// Solves A x = b with A given by @p kernel (must be symmetric positive
+/// definite for CG to apply).  @p x0 is the initial guess; pass empty to
+/// start from zero.
+Result solve(SpmvKernel& kernel, ThreadPool& pool, std::span<const value_t> b,
+             std::span<const value_t> x0, const Options& opts);
+
+/// Convenience overload starting from x0 = 0.
+Result solve(SpmvKernel& kernel, ThreadPool& pool, std::span<const value_t> b,
+             const Options& opts);
+
+}  // namespace symspmv::cg

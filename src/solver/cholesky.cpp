@@ -1,0 +1,55 @@
+#include "solver/cholesky.hpp"
+
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace symspmv::cg {
+
+DenseCholesky::DenseCholesky(const Dense& a) : l_(a.rows(), a.cols()) {
+    SYMSPMV_CHECK_MSG(a.rows() == a.cols(), "cholesky: matrix must be square");
+    const index_t n = a.rows();
+    for (index_t j = 0; j < n; ++j) {
+        value_t diag = a.at(j, j);
+        for (index_t k = 0; k < j; ++k) diag -= l_.at(j, k) * l_.at(j, k);
+        if (diag <= value_t{0}) {
+            throw InvalidArgument("cholesky: matrix is not positive definite");
+        }
+        const value_t ljj = std::sqrt(diag);
+        l_.at(j, j) = ljj;
+        for (index_t i = j + 1; i < n; ++i) {
+            value_t s = a.at(i, j);
+            for (index_t k = 0; k < j; ++k) s -= l_.at(i, k) * l_.at(j, k);
+            l_.at(i, j) = s / ljj;
+        }
+    }
+}
+
+DenseCholesky::DenseCholesky(const Coo& a) : DenseCholesky(Dense(a)) {}
+
+std::vector<value_t> DenseCholesky::solve(std::span<const value_t> b) const {
+    const index_t n = l_.rows();
+    SYMSPMV_CHECK_MSG(static_cast<index_t>(b.size()) == n, "cholesky: b size mismatch");
+    // Forward: L z = b.
+    std::vector<value_t> z(b.begin(), b.end());
+    for (index_t i = 0; i < n; ++i) {
+        value_t s = z[static_cast<std::size_t>(i)];
+        for (index_t k = 0; k < i; ++k) s -= l_.at(i, k) * z[static_cast<std::size_t>(k)];
+        z[static_cast<std::size_t>(i)] = s / l_.at(i, i);
+    }
+    // Backward: L^T x = z.
+    for (index_t i = n - 1; i >= 0; --i) {
+        value_t s = z[static_cast<std::size_t>(i)];
+        for (index_t k = i + 1; k < n; ++k) s -= l_.at(k, i) * z[static_cast<std::size_t>(k)];
+        z[static_cast<std::size_t>(i)] = s / l_.at(i, i);
+    }
+    return z;
+}
+
+double DenseCholesky::log_determinant() const {
+    double log_det = 0.0;
+    for (index_t i = 0; i < l_.rows(); ++i) log_det += std::log(l_.at(i, i));
+    return 2.0 * log_det;
+}
+
+}  // namespace symspmv::cg

@@ -1,0 +1,41 @@
+// Dense Cholesky factorization — the direct-solve oracle for the iterative
+// solver tests.
+//
+// CG's accuracy claims need an independent ground truth; for the
+// test-sized systems a dense LL^T factorization provides the exact
+// solution (up to rounding) against which the CG/PCG results are checked.
+// Deliberately simple and O(n^3): this is test infrastructure, not a
+// production solver.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/types.hpp"
+#include "matrix/dense.hpp"
+
+namespace symspmv::cg {
+
+/// Dense LL^T factorization of a symmetric positive definite matrix.
+class DenseCholesky {
+   public:
+    /// Factorizes @p a (must be square, symmetric, positive definite;
+    /// throws InvalidArgument when a non-positive pivot appears).
+    explicit DenseCholesky(const Dense& a);
+
+    /// Builds the dense matrix from COO first.
+    explicit DenseCholesky(const Coo& a);
+
+    [[nodiscard]] index_t rows() const { return l_.rows(); }
+
+    /// Solves A x = b via forward + backward substitution.
+    [[nodiscard]] std::vector<value_t> solve(std::span<const value_t> b) const;
+
+    /// log(det A) = 2 * sum log(L_ii); handy for SPD sanity checks.
+    [[nodiscard]] double log_determinant() const;
+
+   private:
+    Dense l_;  // lower triangular factor (upper part unused)
+};
+
+}  // namespace symspmv::cg

@@ -1,0 +1,108 @@
+#include "solver/lanczos.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+#include "core/error.hpp"
+#include "solver/blas1.hpp"
+
+namespace symspmv::cg {
+
+double SpectrumEstimate::cg_iteration_bound(double eps) const {
+    const double kappa = condition_number();
+    if (kappa <= 1.0) return 1.0;
+    return 0.5 * std::sqrt(kappa) * std::log(2.0 / eps);
+}
+
+namespace {
+
+/// Number of eigenvalues of the tridiagonal (alpha, beta) strictly below
+/// @p x (Sturm sequence count, computed stably as sign agreements of the
+/// shifted LDL^T pivots).
+int sturm_count(std::span<const double> alpha, std::span<const double> beta, double x) {
+    int count = 0;
+    double d = 1.0;
+    for (std::size_t i = 0; i < alpha.size(); ++i) {
+        const double b2 = i == 0 ? 0.0 : beta[i - 1] * beta[i - 1];
+        d = alpha[i] - x - (d == 0.0 ? b2 / 1e-300 : b2 / d);
+        if (d < 0.0) ++count;
+    }
+    return count;
+}
+
+/// Finds the k-th smallest eigenvalue (0-based) by bisection on [lo, hi].
+double bisect_eigenvalue(std::span<const double> alpha, std::span<const double> beta, int k,
+                         double lo, double hi) {
+    for (int it = 0; it < 200 && hi - lo > 1e-13 * std::max(1.0, std::abs(hi)); ++it) {
+        const double mid = 0.5 * (lo + hi);
+        if (sturm_count(alpha, beta, mid) > k) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    return 0.5 * (lo + hi);
+}
+
+}  // namespace
+
+std::pair<double, double> tridiagonal_extreme_eigenvalues(std::span<const double> alpha,
+                                                          std::span<const double> beta) {
+    SYMSPMV_CHECK_MSG(!alpha.empty() && beta.size() + 1 == alpha.size(),
+                      "tridiagonal: need n diagonals and n-1 off-diagonals");
+    // Gershgorin bounds.
+    double lo = alpha[0];
+    double hi = alpha[0];
+    for (std::size_t i = 0; i < alpha.size(); ++i) {
+        const double r = (i > 0 ? std::abs(beta[i - 1]) : 0.0) +
+                         (i + 1 < alpha.size() ? std::abs(beta[i]) : 0.0);
+        lo = std::min(lo, alpha[i] - r);
+        hi = std::max(hi, alpha[i] + r);
+    }
+    const int n = static_cast<int>(alpha.size());
+    const double smallest = bisect_eigenvalue(alpha, beta, 0, lo, hi);
+    const double largest = bisect_eigenvalue(alpha, beta, n - 1, lo, hi);
+    return {smallest, largest};
+}
+
+SpectrumEstimate estimate_spectrum(SpmvKernel& kernel, ThreadPool& pool, int steps,
+                                   std::uint64_t seed) {
+    const auto n = static_cast<std::size_t>(kernel.rows());
+    SYMSPMV_CHECK_MSG(steps >= 1, "lanczos: need at least one step");
+    steps = std::min(steps, static_cast<int>(n));
+
+    std::vector<value_t> v(n), v_prev(n, 0.0), w(n);
+    std::mt19937_64 rng(seed);
+    std::uniform_real_distribution<value_t> dist(-1.0, 1.0);
+    for (auto& e : v) e = dist(rng);
+    const value_t v_norm = blas1::norm2(pool, v);
+    for (auto& e : v) e /= v_norm;
+
+    std::vector<double> alpha;
+    std::vector<double> beta;
+    alpha.reserve(static_cast<std::size_t>(steps));
+    double beta_prev = 0.0;
+    for (int j = 0; j < steps; ++j) {
+        kernel.spmv(v, w);                                 // w = A v_j
+        blas1::axpy(pool, -beta_prev, v_prev, w);          // w -= beta_{j-1} v_{j-1}
+        const double a = blas1::dot(pool, w, v);           // alpha_j
+        blas1::axpy(pool, -a, v, w);                       // w -= alpha_j v_j
+        alpha.push_back(a);
+        const double b = blas1::norm2(pool, w);
+        if (j + 1 == steps || b < 1e-12) break;            // invariant subspace
+        beta.push_back(b);
+        beta_prev = b;
+        v_prev = v;
+        for (std::size_t i = 0; i < n; ++i) v[i] = w[i] / b;
+    }
+
+    const auto [lmin, lmax] = tridiagonal_extreme_eigenvalues(alpha, beta);
+    SpectrumEstimate est;
+    est.lambda_min = lmin;
+    est.lambda_max = lmax;
+    est.iterations = static_cast<int>(alpha.size());
+    return est;
+}
+
+}  // namespace symspmv::cg

@@ -1,0 +1,50 @@
+// Lanczos extreme-eigenvalue estimation for symmetric positive definite
+// operators.
+//
+// CG's §II.C convergence behaviour is governed by the spectral condition
+// number κ = λ_max/λ_min: the classical bound needs ~(√κ/2)·ln(2/ε)
+// iterations.  This module estimates both extreme eigenvalues with a plain
+// Lanczos recurrence over any SpmvKernel (the same kernels CG uses) and a
+// bisection/Sturm eigensolver on the resulting tridiagonal matrix — which
+// is how the preconditioner ablation's iteration counts can be predicted
+// from structure alone.
+//
+// No reorthogonalization is performed: extreme Ritz values converge first
+// and are exactly what we need; interior ghost eigenvalues are irrelevant.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/thread_pool.hpp"
+#include "core/types.hpp"
+#include "spmv/kernel.hpp"
+
+namespace symspmv::cg {
+
+struct SpectrumEstimate {
+    double lambda_min = 0.0;  // smallest Ritz value after `iterations` steps
+    double lambda_max = 0.0;  // largest Ritz value
+    int iterations = 0;       // Lanczos steps actually performed
+
+    [[nodiscard]] double condition_number() const {
+        return lambda_min > 0.0 ? lambda_max / lambda_min : 0.0;
+    }
+
+    /// Classical CG iteration bound to reduce the A-norm error by @p eps.
+    [[nodiscard]] double cg_iteration_bound(double eps = 1e-8) const;
+};
+
+/// Runs @p steps Lanczos iterations on A given by @p kernel (must be
+/// symmetric; positive definiteness is the caller's contract) and returns
+/// the extreme Ritz values.  @p seed randomizes the start vector.
+SpectrumEstimate estimate_spectrum(SpmvKernel& kernel, ThreadPool& pool, int steps = 50,
+                                   std::uint64_t seed = 2013);
+
+/// Extreme eigenvalues of the symmetric tridiagonal matrix with diagonal
+/// @p alpha and off-diagonal @p beta (beta[i] couples i and i+1), via
+/// bisection with Sturm-sequence counts.  Exposed for testing.
+std::pair<double, double> tridiagonal_extreme_eigenvalues(std::span<const double> alpha,
+                                                          std::span<const double> beta);
+
+}  // namespace symspmv::cg

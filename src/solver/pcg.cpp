@@ -1,0 +1,98 @@
+#include "solver/pcg.hpp"
+
+#include <cmath>
+
+#include "core/error.hpp"
+#include "core/timer.hpp"
+#include "solver/blas1.hpp"
+
+namespace symspmv::cg {
+
+PcgResult pcg_solve(SpmvKernel& kernel, Preconditioner& precond, ThreadPool& pool,
+                    std::span<const value_t> b, std::span<const value_t> x0,
+                    const Options& opts) {
+    const auto n = static_cast<std::size_t>(kernel.rows());
+    SYMSPMV_CHECK_MSG(b.size() == n, "pcg: b size mismatch");
+    SYMSPMV_CHECK_MSG(x0.empty() || x0.size() == n, "pcg: x0 size mismatch");
+    SYMSPMV_CHECK_MSG(opts.max_iterations >= 0, "pcg: negative iteration limit");
+
+    PcgResult out;
+    Result& res = out.base;
+    res.x.assign(n, 0.0);
+    if (!x0.empty()) res.x.assign(x0.begin(), x0.end());
+
+    std::vector<value_t> r(n), z(n), p(n), ap(n);
+    PhaseTimer vec_timer;
+    PhaseTimer pc_timer;
+
+    // r0 = b - A x0 ; z0 = M^{-1} r0 ; p0 = z0.
+    kernel.spmv(res.x, ap);
+    res.breakdown.spmv_multiply_seconds += kernel.last_phases().multiply_seconds;
+    res.breakdown.spmv_reduction_seconds += kernel.last_phases().reduction_seconds;
+    vec_timer.start();
+    blas1::copy(pool, b, r);
+    blas1::axpy(pool, -1.0, ap, r);
+    const value_t b_norm = blas1::norm2(pool, b);
+    value_t rr = blas1::dot(pool, r, r);
+    vec_timer.stop();
+    pc_timer.start();
+    precond.apply(r, z);
+    pc_timer.stop();
+    vec_timer.start();
+    blas1::copy(pool, z, p);
+    value_t rz = blas1::dot(pool, r, z);
+    vec_timer.stop();
+
+    const value_t threshold = opts.tolerance * (b_norm > 0.0 ? b_norm : 1.0);
+    res.residual_norm = std::sqrt(rr);
+    if (opts.record_residuals) res.residual_history.push_back(res.residual_norm);
+    if (res.residual_norm <= threshold) {
+        res.converged = true;
+        res.breakdown.vector_ops_seconds = vec_timer.total_seconds();
+        out.precond_seconds = pc_timer.total_seconds();
+        return out;
+    }
+
+    for (int i = 0; i < opts.max_iterations; ++i) {
+        kernel.spmv(p, ap);
+        res.breakdown.spmv_multiply_seconds += kernel.last_phases().multiply_seconds;
+        res.breakdown.spmv_reduction_seconds += kernel.last_phases().reduction_seconds;
+
+        vec_timer.start();
+        const value_t pap = blas1::dot(pool, p, ap);
+        SYMSPMV_CHECK_MSG(pap > 0.0, "pcg: matrix is not positive definite (p.A.p <= 0)");
+        const value_t alpha = rz / pap;
+        blas1::axpy(pool, alpha, p, res.x);
+        blas1::axpy(pool, -alpha, ap, r);
+        rr = blas1::dot(pool, r, r);
+        vec_timer.stop();
+
+        res.iterations = i + 1;
+        res.residual_norm = std::sqrt(rr);
+        if (opts.record_residuals) res.residual_history.push_back(res.residual_norm);
+        if (res.residual_norm <= threshold) {
+            res.converged = true;
+            break;
+        }
+
+        pc_timer.start();
+        precond.apply(r, z);
+        pc_timer.stop();
+        vec_timer.start();
+        const value_t rz_next = blas1::dot(pool, r, z);
+        const value_t beta = rz_next / rz;
+        blas1::xpby(pool, z, beta, p);  // p_{i+1} = z_{i+1} + beta p_i
+        rz = rz_next;
+        vec_timer.stop();
+    }
+    res.breakdown.vector_ops_seconds = vec_timer.total_seconds();
+    out.precond_seconds = pc_timer.total_seconds();
+    return out;
+}
+
+PcgResult pcg_solve(SpmvKernel& kernel, Preconditioner& precond, ThreadPool& pool,
+                    std::span<const value_t> b, const Options& opts) {
+    return pcg_solve(kernel, precond, pool, b, {}, opts);
+}
+
+}  // namespace symspmv::cg

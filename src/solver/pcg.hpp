@@ -1,0 +1,33 @@
+// Preconditioned Conjugate Gradient — the extension arm of the CG study.
+//
+// Identical to cg::solve with M = I (the control), but every iteration also
+// applies z = M^{-1} r and orients the search directions by r·z instead of
+// r·r.  The per-phase breakdown gains a preconditioner phase so the Fig. 14
+// style accounting extends naturally.
+#pragma once
+
+#include <span>
+
+#include "core/thread_pool.hpp"
+#include "solver/cg.hpp"
+#include "solver/precond.hpp"
+
+namespace symspmv::cg {
+
+struct PcgResult {
+    Result base;                       // x, iterations, residual, breakdown
+    double precond_seconds = 0.0;      // time spent inside M^{-1}
+
+    [[nodiscard]] double total_seconds() const { return base.breakdown.total() + precond_seconds; }
+};
+
+/// Solves A x = b with A given by @p kernel and the SPD preconditioner
+/// @p precond.  @p x0 is the initial guess; pass empty to start from zero.
+PcgResult pcg_solve(SpmvKernel& kernel, Preconditioner& precond, ThreadPool& pool,
+                    std::span<const value_t> b, std::span<const value_t> x0, const Options& opts);
+
+/// Convenience overload starting from x0 = 0.
+PcgResult pcg_solve(SpmvKernel& kernel, Preconditioner& precond, ThreadPool& pool,
+                    std::span<const value_t> b, const Options& opts);
+
+}  // namespace symspmv::cg

@@ -1,0 +1,104 @@
+#include "spmv/alt_kernels.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+#include "core/error.hpp"
+#include "core/timer.hpp"
+
+namespace symspmv {
+
+SssAtomicKernel::SssAtomicKernel(Sss matrix, ThreadPool& pool)
+    : matrix_(std::move(matrix)), pool_(pool), parts_(split_by_nnz(matrix_.rowptr(), pool.size())) {}
+
+void SssAtomicKernel::spmv(std::span<const value_t> x, std::span<value_t> y) {
+    SYMSPMV_CHECK_MSG(static_cast<index_t>(x.size()) == matrix_.rows(), "spmv: x size mismatch");
+    SYMSPMV_CHECK_MSG(static_cast<index_t>(y.size()) == matrix_.rows(), "spmv: y size mismatch");
+    Timer total;
+    const auto rowptr = matrix_.rowptr();
+    const auto colind = matrix_.colind();
+    const auto values = matrix_.values();
+    const auto dvalues = matrix_.dvalues();
+    pool_.run([&](int tid) {
+        // Zero phase: everyone must finish before any thread adds.
+        const RowRange zero = split_even(matrix_.rows(), pool_.size())[static_cast<std::size_t>(tid)];
+        std::fill(y.data() + zero.begin, y.data() + zero.end, value_t{0});
+        pool_.barrier();
+        const RowRange part = parts_[static_cast<std::size_t>(tid)];
+        const value_t* __restrict xv = x.data();
+        value_t* yv = y.data();
+        for (index_t r = part.begin; r < part.end; ++r) {
+            // The row sum is accumulated in a register, but even the final
+            // y[r] store must be atomic: other threads' mirrored writes may
+            // target r concurrently.  One atomic per row + one per stored
+            // off-diagonal element — the cost §III.A calls prohibitive.
+            value_t acc = dvalues[static_cast<std::size_t>(r)] * xv[r];
+            const value_t xr = xv[r];
+            for (index_t j = rowptr[static_cast<std::size_t>(r)];
+                 j < rowptr[static_cast<std::size_t>(r) + 1]; ++j) {
+                const index_t c = colind[static_cast<std::size_t>(j)];
+                const value_t v = values[static_cast<std::size_t>(j)];
+                acc += v * xv[c];
+                std::atomic_ref<value_t>(yv[c]).fetch_add(v * xr, std::memory_order_relaxed);
+            }
+            std::atomic_ref<value_t>(yv[r]).fetch_add(acc, std::memory_order_relaxed);
+        }
+    });
+    phases_ = {total.seconds(), 0.0};
+}
+
+SssColorKernel::SssColorKernel(Sss matrix, ThreadPool& pool, int blocks_per_thread)
+    : matrix_(std::move(matrix)),
+      pool_(pool),
+      plan_(matrix_, std::max(1, pool.size() * blocks_per_thread)),
+      zero_parts_(split_even(matrix_.rows(), pool.size())) {}
+
+void SssColorKernel::run_block(RowRange block, std::span<const value_t> x,
+                               std::span<value_t> y) const {
+    const auto rowptr = matrix_.rowptr();
+    const auto colind = matrix_.colind();
+    const auto values = matrix_.values();
+    const auto dvalues = matrix_.dvalues();
+    const value_t* __restrict xv = x.data();
+    value_t* __restrict yv = y.data();
+    for (index_t r = block.begin; r < block.end; ++r) {
+        value_t acc = dvalues[static_cast<std::size_t>(r)] * xv[r];
+        const value_t xr = xv[r];
+        for (index_t j = rowptr[static_cast<std::size_t>(r)];
+             j < rowptr[static_cast<std::size_t>(r) + 1]; ++j) {
+            const index_t c = colind[static_cast<std::size_t>(j)];
+            const value_t v = values[static_cast<std::size_t>(j)];
+            acc += v * xv[c];
+            yv[c] += v * xr;  // conflict-free by the coloring invariant
+        }
+        yv[r] += acc;
+    }
+}
+
+void SssColorKernel::spmv(std::span<const value_t> x, std::span<value_t> y) {
+    SYMSPMV_CHECK_MSG(static_cast<index_t>(x.size()) == matrix_.rows(), "spmv: x size mismatch");
+    SYMSPMV_CHECK_MSG(static_cast<index_t>(y.size()) == matrix_.rows(), "spmv: y size mismatch");
+    Timer total;
+    const auto blocks = plan_.blocks_of_color();
+    const auto color_ptr = plan_.color_ptr();
+    const auto ranges = plan_.block_ranges();
+    pool_.run([&](int tid) {
+        const RowRange zero = zero_parts_[static_cast<std::size_t>(tid)];
+        std::fill(y.data() + zero.begin, y.data() + zero.end, value_t{0});
+        pool_.barrier();
+        // Colors run strictly one after another; within a color, the blocks
+        // are dealt round-robin to the workers (write sets are disjoint).
+        for (int c = 0; c < plan_.colors(); ++c) {
+            const std::size_t lo = color_ptr[static_cast<std::size_t>(c)];
+            const std::size_t hi = color_ptr[static_cast<std::size_t>(c) + 1];
+            for (std::size_t k = lo + static_cast<std::size_t>(tid); k < hi;
+                 k += static_cast<std::size_t>(pool_.size())) {
+                run_block(ranges[static_cast<std::size_t>(blocks[k])], x, y);
+            }
+            pool_.barrier();
+        }
+    });
+    phases_ = {total.seconds(), 0.0};
+}
+
+}  // namespace symspmv

@@ -1,0 +1,68 @@
+// Alternative symmetric SpM×V parallelizations from the paper's related
+// work, built as comparators for the local-vectors ablation benches:
+//
+//  - SssAtomicKernel: every output write is an atomic add.  This is the
+//    locking/atomic option §III.A dismisses as "prohibitive cost"; the
+//    bench quantifies exactly how prohibitive.
+//  - SssColorKernel: Batista's "colorful" method [7] — conflict-free block
+//    colors executed color-by-color, no local vectors and no reduction, at
+//    the cost of sequential color phases and reduced parallelism.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "core/partition.hpp"
+#include "core/thread_pool.hpp"
+#include "matrix/sss.hpp"
+#include "spmv/coloring.hpp"
+#include "spmv/kernel.hpp"
+
+namespace symspmv {
+
+/// Symmetric SSS kernel with atomic output updates instead of local vectors.
+class SssAtomicKernel final : public SpmvKernel {
+   public:
+    /// @p pool outlives the kernel; its size fixes the thread count.
+    SssAtomicKernel(Sss matrix, ThreadPool& pool);
+
+    [[nodiscard]] std::string_view name() const override { return "SSS-atomic"; }
+    [[nodiscard]] index_t rows() const override { return matrix_.rows(); }
+    [[nodiscard]] std::int64_t nnz() const override { return matrix_.nnz(); }
+    [[nodiscard]] std::size_t footprint_bytes() const override { return matrix_.size_bytes(); }
+    void spmv(std::span<const value_t> x, std::span<value_t> y) override;
+
+    [[nodiscard]] const Sss& matrix() const { return matrix_; }
+
+   private:
+    Sss matrix_;
+    ThreadPool& pool_;
+    std::vector<RowRange> parts_;
+};
+
+/// Symmetric SSS kernel parallelized by conflict-graph coloring.
+class SssColorKernel final : public SpmvKernel {
+   public:
+    /// @p blocks_per_thread controls the coloring granularity: more blocks
+    /// give the greedy coloring more freedom (and each color more
+    /// parallelism) at a higher scheduling overhead.
+    SssColorKernel(Sss matrix, ThreadPool& pool, int blocks_per_thread = 4);
+
+    [[nodiscard]] std::string_view name() const override { return "SSS-color"; }
+    [[nodiscard]] index_t rows() const override { return matrix_.rows(); }
+    [[nodiscard]] std::int64_t nnz() const override { return matrix_.nnz(); }
+    [[nodiscard]] std::size_t footprint_bytes() const override { return matrix_.size_bytes(); }
+    void spmv(std::span<const value_t> x, std::span<value_t> y) override;
+
+    [[nodiscard]] const ColoringPlan& plan() const { return plan_; }
+
+   private:
+    void run_block(RowRange block, std::span<const value_t> x, std::span<value_t> y) const;
+
+    Sss matrix_;
+    ThreadPool& pool_;
+    ColoringPlan plan_;
+    std::vector<RowRange> zero_parts_;
+};
+
+}  // namespace symspmv

@@ -1,0 +1,163 @@
+#include "spmv/baseline_kernels.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+#include "core/timer.hpp"
+
+namespace symspmv {
+
+EllpackMtKernel::EllpackMtKernel(Ellpack matrix, ThreadPool& pool)
+    : matrix_(std::move(matrix)),
+      pool_(pool),
+      parts_(split_even(matrix_.rows(), pool.size())) {}
+
+void EllpackMtKernel::spmv(std::span<const value_t> x, std::span<value_t> y) {
+    SYMSPMV_CHECK_MSG(static_cast<index_t>(x.size()) == matrix_.cols(), "spmv: x size mismatch");
+    SYMSPMV_CHECK_MSG(static_cast<index_t>(y.size()) == matrix_.rows(), "spmv: y size mismatch");
+    Timer t;
+    pool_.run([&](int tid) {
+        const RowRange part = parts_[static_cast<std::size_t>(tid)];
+        matrix_.spmv_rows(part.begin, part.end, x, y);
+    });
+    phases_ = {t.seconds(), 0.0};
+}
+
+JdsMtKernel::JdsMtKernel(Jds matrix, ThreadPool& pool)
+    : matrix_(std::move(matrix)), pool_(pool) {
+    // Balance by non-zeros: position k in sorted order holds the k-th
+    // longest row, so the per-position cost is its row length; build the
+    // prefix and reuse split_by_nnz.
+    const index_t n = matrix_.rows();
+    std::vector<index_t> prefix(static_cast<std::size_t>(n) + 1, 0);
+    std::vector<index_t> len(static_cast<std::size_t>(n), 0);
+    for (index_t d = 0; d < matrix_.diagonals(); ++d) {
+        const index_t count = matrix_.jd_ptr()[static_cast<std::size_t>(d) + 1] -
+                              matrix_.jd_ptr()[static_cast<std::size_t>(d)];
+        for (index_t k = 0; k < count; ++k) ++len[static_cast<std::size_t>(k)];
+    }
+    for (index_t k = 0; k < n; ++k) {
+        prefix[static_cast<std::size_t>(k) + 1] =
+            prefix[static_cast<std::size_t>(k)] + len[static_cast<std::size_t>(k)];
+    }
+    parts_ = split_by_nnz(prefix, pool.size());
+}
+
+void JdsMtKernel::spmv(std::span<const value_t> x, std::span<value_t> y) {
+    SYMSPMV_CHECK_MSG(static_cast<index_t>(x.size()) == matrix_.cols(), "spmv: x size mismatch");
+    SYMSPMV_CHECK_MSG(static_cast<index_t>(y.size()) == matrix_.rows(), "spmv: y size mismatch");
+    Timer t;
+    const auto perm = matrix_.perm();
+    const auto jd_ptr = matrix_.jd_ptr();
+    const auto colind = matrix_.colind();
+    const auto values = matrix_.values();
+    pool_.run([&](int tid) {
+        const RowRange part = parts_[static_cast<std::size_t>(tid)];  // sorted positions
+        const value_t* __restrict xv = x.data();
+        value_t* __restrict yv = y.data();
+        for (index_t k = part.begin; k < part.end; ++k) {
+            yv[perm[static_cast<std::size_t>(k)]] = value_t{0};
+        }
+        for (index_t d = 0; d < matrix_.diagonals(); ++d) {
+            const index_t lo = jd_ptr[static_cast<std::size_t>(d)];
+            const index_t hi = jd_ptr[static_cast<std::size_t>(d) + 1];
+            const index_t count = hi - lo;
+            // This diagonal covers sorted positions [0, count).
+            const index_t from = part.begin;
+            const index_t to = std::min(part.end, count);
+            for (index_t k = from; k < to; ++k) {
+                yv[perm[static_cast<std::size_t>(k)]] +=
+                    values[static_cast<std::size_t>(lo + k)] *
+                    xv[colind[static_cast<std::size_t>(lo + k)]];
+            }
+        }
+    });
+    phases_ = {t.seconds(), 0.0};
+}
+
+VblMtKernel::VblMtKernel(Vbl matrix, ThreadPool& pool) : matrix_(std::move(matrix)), pool_(pool) {
+    // Build a per-row nnz prefix from the block lengths to balance by nnz.
+    const index_t n = matrix_.rows();
+    std::vector<index_t> prefix(static_cast<std::size_t>(n) + 1, 0);
+    std::size_t v = 0;
+    for (index_t r = 0; r < n; ++r) {
+        for (index_t b = matrix_.block_rowptr()[static_cast<std::size_t>(r)];
+             b < matrix_.block_rowptr()[static_cast<std::size_t>(r) + 1]; ++b) {
+            v += matrix_.blen()[static_cast<std::size_t>(b)];
+        }
+        prefix[static_cast<std::size_t>(r) + 1] = static_cast<index_t>(v);
+    }
+    parts_ = split_by_nnz(prefix, pool.size());
+    value_offsets_.reserve(parts_.size());
+    for (const RowRange& part : parts_) {
+        value_offsets_.push_back(
+            static_cast<std::size_t>(prefix[static_cast<std::size_t>(part.begin)]));
+    }
+}
+
+DiaMtKernel::DiaMtKernel(Dia matrix, ThreadPool& pool)
+    : matrix_(std::move(matrix)),
+      pool_(pool),
+      parts_(split_even(matrix_.rows(), pool.size())) {
+    const auto tail_rows = matrix_.tail_rows();
+    tail_ptr_.reserve(parts_.size() + 1);
+    tail_ptr_.push_back(0);
+    for (const RowRange& part : parts_) {
+        const auto it = std::lower_bound(tail_rows.begin(), tail_rows.end(), part.end);
+        tail_ptr_.push_back(static_cast<std::size_t>(it - tail_rows.begin()));
+    }
+}
+
+void DiaMtKernel::spmv(std::span<const value_t> x, std::span<value_t> y) {
+    SYMSPMV_CHECK_MSG(static_cast<index_t>(x.size()) == matrix_.cols(), "spmv: x size mismatch");
+    SYMSPMV_CHECK_MSG(static_cast<index_t>(y.size()) == matrix_.rows(), "spmv: y size mismatch");
+    Timer t;
+    pool_.run([&](int tid) {
+        const RowRange part = parts_[static_cast<std::size_t>(tid)];
+        matrix_.spmv_lanes_rows(part.begin, part.end, x, y);
+        matrix_.spmv_tail_range(tail_ptr_[static_cast<std::size_t>(tid)],
+                                tail_ptr_[static_cast<std::size_t>(tid) + 1], x, y);
+    });
+    phases_ = {t.seconds(), 0.0};
+}
+
+HybMtKernel::HybMtKernel(Hyb matrix, ThreadPool& pool)
+    : matrix_(std::move(matrix)),
+      pool_(pool),
+      parts_(split_even(matrix_.rows(), pool.size())) {
+    // Tail ranges aligned to the row partitions (tail rows are sorted).
+    const auto tail_rows = matrix_.tail_rows();
+    tail_ptr_.reserve(parts_.size() + 1);
+    tail_ptr_.push_back(0);
+    for (const RowRange& part : parts_) {
+        const auto it = std::lower_bound(tail_rows.begin(), tail_rows.end(), part.end);
+        tail_ptr_.push_back(static_cast<std::size_t>(it - tail_rows.begin()));
+    }
+}
+
+void HybMtKernel::spmv(std::span<const value_t> x, std::span<value_t> y) {
+    SYMSPMV_CHECK_MSG(static_cast<index_t>(x.size()) == matrix_.cols(), "spmv: x size mismatch");
+    SYMSPMV_CHECK_MSG(static_cast<index_t>(y.size()) == matrix_.rows(), "spmv: y size mismatch");
+    Timer t;
+    pool_.run([&](int tid) {
+        const RowRange part = parts_[static_cast<std::size_t>(tid)];
+        matrix_.spmv_ell_rows(part.begin, part.end, x, y);
+        matrix_.spmv_tail_range(tail_ptr_[static_cast<std::size_t>(tid)],
+                                tail_ptr_[static_cast<std::size_t>(tid) + 1], x, y);
+    });
+    phases_ = {t.seconds(), 0.0};
+}
+
+void VblMtKernel::spmv(std::span<const value_t> x, std::span<value_t> y) {
+    SYMSPMV_CHECK_MSG(static_cast<index_t>(x.size()) == matrix_.cols(), "spmv: x size mismatch");
+    SYMSPMV_CHECK_MSG(static_cast<index_t>(y.size()) == matrix_.rows(), "spmv: y size mismatch");
+    Timer t;
+    pool_.run([&](int tid) {
+        const RowRange part = parts_[static_cast<std::size_t>(tid)];
+        matrix_.spmv_rows_from(part.begin, part.end,
+                               value_offsets_[static_cast<std::size_t>(tid)], x, y);
+    });
+    phases_ = {t.seconds(), 0.0};
+}
+
+}  // namespace symspmv

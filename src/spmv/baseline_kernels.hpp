@@ -1,0 +1,124 @@
+// SpM×V kernels for the SPARSKIT-era baseline formats (ELLPACK, JDS) and
+// the 1-D variable-block VBL format — the historical baselines the paper's
+// related work traces CSX back to ([13], [24]).
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "core/partition.hpp"
+#include "core/thread_pool.hpp"
+#include "matrix/dia.hpp"
+#include "matrix/ellpack.hpp"
+#include "matrix/hyb.hpp"
+#include "matrix/vbl.hpp"
+#include "spmv/kernel.hpp"
+
+namespace symspmv {
+
+/// Multithreaded ELLPACK kernel: equal-row partitions (every row costs the
+/// same padded width, so equal rows = equal work).
+class EllpackMtKernel final : public SpmvKernel {
+   public:
+    EllpackMtKernel(Ellpack matrix, ThreadPool& pool);
+
+    [[nodiscard]] std::string_view name() const override { return "ELL"; }
+    [[nodiscard]] index_t rows() const override { return matrix_.rows(); }
+    [[nodiscard]] std::int64_t nnz() const override { return matrix_.nnz(); }
+    [[nodiscard]] std::size_t footprint_bytes() const override { return matrix_.size_bytes(); }
+    void spmv(std::span<const value_t> x, std::span<value_t> y) override;
+
+    [[nodiscard]] const Ellpack& matrix() const { return matrix_; }
+
+   private:
+    Ellpack matrix_;
+    ThreadPool& pool_;
+    std::vector<RowRange> parts_;
+};
+
+/// Multithreaded JDS kernel.  Sorted-row positions are partitioned; each
+/// position is a distinct output row, so threads never conflict and sweep
+/// their slice of every jagged diagonal without barriers.
+class JdsMtKernel final : public SpmvKernel {
+   public:
+    JdsMtKernel(Jds matrix, ThreadPool& pool);
+
+    [[nodiscard]] std::string_view name() const override { return "JDS"; }
+    [[nodiscard]] index_t rows() const override { return matrix_.rows(); }
+    [[nodiscard]] std::int64_t nnz() const override { return matrix_.nnz(); }
+    [[nodiscard]] std::size_t footprint_bytes() const override { return matrix_.size_bytes(); }
+    void spmv(std::span<const value_t> x, std::span<value_t> y) override;
+
+    [[nodiscard]] const Jds& matrix() const { return matrix_; }
+
+   private:
+    Jds matrix_;
+    ThreadPool& pool_;
+    std::vector<RowRange> parts_;  // ranges of sorted-row positions
+};
+
+/// Multithreaded VBL kernel: row partitions balanced by non-zero count,
+/// with precomputed value offsets at the partition boundaries.
+class VblMtKernel final : public SpmvKernel {
+   public:
+    VblMtKernel(Vbl matrix, ThreadPool& pool);
+
+    [[nodiscard]] std::string_view name() const override { return "VBL"; }
+    [[nodiscard]] index_t rows() const override { return matrix_.rows(); }
+    [[nodiscard]] std::int64_t nnz() const override { return matrix_.nnz(); }
+    [[nodiscard]] std::size_t footprint_bytes() const override { return matrix_.size_bytes(); }
+    void spmv(std::span<const value_t> x, std::span<value_t> y) override;
+
+    [[nodiscard]] const Vbl& matrix() const { return matrix_; }
+
+   private:
+    Vbl matrix_;
+    ThreadPool& pool_;
+    std::vector<RowRange> parts_;
+    std::vector<std::size_t> value_offsets_;  // values() cursor per partition
+};
+
+/// Multithreaded DIA kernel: row partitions sweep their slice of every
+/// stored diagonal lane, plus the partition-aligned COO-tail range.
+class DiaMtKernel final : public SpmvKernel {
+   public:
+    DiaMtKernel(Dia matrix, ThreadPool& pool);
+
+    [[nodiscard]] std::string_view name() const override { return "DIA"; }
+    [[nodiscard]] index_t rows() const override { return matrix_.rows(); }
+    [[nodiscard]] std::int64_t nnz() const override { return matrix_.nnz(); }
+    [[nodiscard]] std::size_t footprint_bytes() const override { return matrix_.size_bytes(); }
+    void spmv(std::span<const value_t> x, std::span<value_t> y) override;
+
+    [[nodiscard]] const Dia& matrix() const { return matrix_; }
+
+   private:
+    Dia matrix_;
+    ThreadPool& pool_;
+    std::vector<RowRange> parts_;
+    std::vector<std::size_t> tail_ptr_;
+};
+
+/// Multithreaded HYB kernel: each thread handles its row partition's ELL
+/// slots plus the COO-tail entries falling in those rows (the tail is
+/// row-major sorted, so per-partition tail ranges never conflict).
+class HybMtKernel final : public SpmvKernel {
+   public:
+    HybMtKernel(Hyb matrix, ThreadPool& pool);
+
+    [[nodiscard]] std::string_view name() const override { return "HYB"; }
+    [[nodiscard]] index_t rows() const override { return matrix_.rows(); }
+    [[nodiscard]] std::int64_t nnz() const override { return matrix_.nnz(); }
+    [[nodiscard]] std::size_t footprint_bytes() const override { return matrix_.size_bytes(); }
+    void spmv(std::span<const value_t> x, std::span<value_t> y) override;
+
+    [[nodiscard]] const Hyb& matrix() const { return matrix_; }
+
+   private:
+    Hyb matrix_;
+    ThreadPool& pool_;
+    std::vector<RowRange> parts_;
+    std::vector<std::size_t> tail_ptr_;  // tail entry range per partition
+};
+
+}  // namespace symspmv

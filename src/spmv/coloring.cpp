@@ -1,0 +1,106 @@
+#include "spmv/coloring.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+
+namespace symspmv {
+
+namespace {
+
+/// Sorted distinct columns of block @p b that fall below its own row range
+/// (the mirrored-write targets outside the block).
+std::vector<index_t> remote_writes(const Sss& sss, RowRange block) {
+    std::vector<index_t> cols;
+    const auto rowptr = sss.rowptr();
+    const auto colind = sss.colind();
+    for (index_t r = block.begin; r < block.end; ++r) {
+        for (index_t j = rowptr[static_cast<std::size_t>(r)];
+             j < rowptr[static_cast<std::size_t>(r) + 1]; ++j) {
+            const index_t c = colind[static_cast<std::size_t>(j)];
+            if (c < block.begin) cols.push_back(c);
+        }
+    }
+    std::ranges::sort(cols);
+    const auto dup = std::ranges::unique(cols);
+    cols.erase(dup.begin(), dup.end());
+    return cols;
+}
+
+/// True when two sorted index sequences share an element.
+bool intersects(std::span<const index_t> a, std::span<const index_t> b) {
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (i < a.size() && j < b.size()) {
+        if (a[i] == b[j]) return true;
+        if (a[i] < b[j]) {
+            ++i;
+        } else {
+            ++j;
+        }
+    }
+    return false;
+}
+
+/// True when sorted sequence @p a has an element inside [range.begin, range.end).
+bool touches(std::span<const index_t> a, RowRange range) {
+    const auto it = std::ranges::lower_bound(a, range.begin);
+    return it != a.end() && *it < range.end;
+}
+
+}  // namespace
+
+ColoringPlan::ColoringPlan(const Sss& sss, int n_blocks) {
+    SYMSPMV_CHECK_MSG(n_blocks >= 1, "ColoringPlan: need at least one block");
+    block_ranges_ = split_by_nnz(sss.rowptr(), n_blocks);
+
+    // Write sets: own rows (implicit, the contiguous range) + remote columns.
+    std::vector<std::vector<index_t>> remote(block_ranges_.size());
+    for (std::size_t b = 0; b < block_ranges_.size(); ++b) {
+        remote[b] = remote_writes(sss, block_ranges_[b]);
+    }
+
+    // Conflict test.  Own-row ranges never overlap across blocks, so a
+    // conflict needs a remote write hitting another block's rows or two
+    // blocks sharing a remote target.
+    const auto conflict = [&](std::size_t a, std::size_t b) {
+        return touches(remote[a], block_ranges_[b]) || touches(remote[b], block_ranges_[a]) ||
+               intersects(remote[a], remote[b]);
+    };
+
+    // Greedy coloring in block order (the natural first-fit heuristic).
+    std::vector<int> color(block_ranges_.size(), -1);
+    int n_colors = 0;
+    std::vector<char> used;
+    for (std::size_t b = 0; b < block_ranges_.size(); ++b) {
+        used.assign(static_cast<std::size_t>(n_colors) + 1, 0);
+        for (std::size_t a = 0; a < b; ++a) {
+            if (conflict(a, b)) used[static_cast<std::size_t>(color[a])] = 1;
+        }
+        int c = 0;
+        while (used[static_cast<std::size_t>(c)] != 0) ++c;
+        color[b] = c;
+        n_colors = std::max(n_colors, c + 1);
+    }
+
+    // Bucket blocks by color.
+    color_ptr_.assign(static_cast<std::size_t>(n_colors) + 1, 0);
+    for (int c : color) ++color_ptr_[static_cast<std::size_t>(c) + 1];
+    for (std::size_t c = 1; c < color_ptr_.size(); ++c) color_ptr_[c] += color_ptr_[c - 1];
+    blocks_of_color_.resize(block_ranges_.size());
+    std::vector<std::size_t> cursor(color_ptr_.begin(), color_ptr_.end() - 1);
+    for (std::size_t b = 0; b < block_ranges_.size(); ++b) {
+        blocks_of_color_[cursor[static_cast<std::size_t>(color[b])]++] = static_cast<int>(b);
+    }
+}
+
+int ColoringPlan::max_parallelism() const {
+    int best = 0;
+    for (int c = 0; c < colors(); ++c) {
+        best = std::max(best, static_cast<int>(color_ptr_[static_cast<std::size_t>(c) + 1] -
+                                               color_ptr_[static_cast<std::size_t>(c)]));
+    }
+    return best;
+}
+
+}  // namespace symspmv

@@ -1,0 +1,57 @@
+// Conflict-graph coloring for the symmetric SpM×V — the "colorful" method
+// of Batista et al. ([7], discussed in §VI of the paper).
+//
+// Instead of buffering the mirrored (upper-triangle) writes in local vectors
+// and reducing them afterwards, the matrix rows are grouped into blocks and
+// the blocks are colored so that no two blocks of the same color write a
+// common output-vector element.  The kernel then executes one color at a
+// time, with all blocks of the current color running in parallel and no
+// synchronization on the output vector at all.  The paper notes that "the
+// geometry of the graphs limits the potential of this approach" — the
+// coloring bench measures exactly that loss of parallelism.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/partition.hpp"
+#include "core/types.hpp"
+#include "matrix/sss.hpp"
+
+namespace symspmv {
+
+/// A block-level greedy coloring of the symmetric SpM×V write conflicts.
+class ColoringPlan {
+   public:
+    ColoringPlan() = default;
+
+    /// Partitions the rows of @p sss into @p n_blocks contiguous blocks of
+    /// roughly equal non-zero count and greedily colors the conflict graph:
+    /// blocks A and B conflict when the write set of A (its own rows plus
+    /// the below-block columns of its lower-triangle elements) intersects
+    /// the write set of B.
+    ColoringPlan(const Sss& sss, int n_blocks);
+
+    /// Number of colors used (the sequential depth of the kernel).
+    [[nodiscard]] int colors() const { return static_cast<int>(color_ptr_.size()) - 1; }
+
+    [[nodiscard]] int blocks() const { return static_cast<int>(block_ranges_.size()); }
+
+    /// Row range of block @p b.
+    [[nodiscard]] std::span<const RowRange> block_ranges() const { return block_ranges_; }
+
+    /// Blocks of color c: block_of_color()[color_ptr()[c] .. color_ptr()[c+1]).
+    [[nodiscard]] std::span<const int> blocks_of_color() const { return blocks_of_color_; }
+    [[nodiscard]] std::span<const std::size_t> color_ptr() const { return color_ptr_; }
+
+    /// Largest number of same-color blocks (the parallelism actually
+    /// available to the kernel; ideally == blocks()/colors()).
+    [[nodiscard]] int max_parallelism() const;
+
+   private:
+    std::vector<RowRange> block_ranges_;
+    std::vector<int> blocks_of_color_;
+    std::vector<std::size_t> color_ptr_;
+};
+
+}  // namespace symspmv

@@ -1,0 +1,43 @@
+// Communication volume of a row-partitioned SpM×V.
+//
+// §V.D motivates reordering with the distributed-SpM×V literature
+// ([18]-[20]): there, a row partition's cost includes the input-vector
+// elements it must fetch from other partitions.  On shared memory the
+// same quantity counts the remote x-vector cache lines each thread pulls,
+// so it is the natural third metric (beside bandwidth and profile) for
+// the ordering ablation.
+#pragma once
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "core/partition.hpp"
+#include "core/types.hpp"
+#include "matrix/csr.hpp"
+
+namespace symspmv {
+
+/// Total distinct out-of-partition column indices summed over partitions:
+/// the words of x a distributed implementation would communicate.
+inline std::int64_t communication_volume(const Csr& csr, std::span<const RowRange> parts) {
+    std::int64_t volume = 0;
+    std::vector<index_t> remote;
+    for (const RowRange& part : parts) {
+        remote.clear();
+        for (index_t r = part.begin; r < part.end; ++r) {
+            for (index_t j = csr.rowptr()[static_cast<std::size_t>(r)];
+                 j < csr.rowptr()[static_cast<std::size_t>(r) + 1]; ++j) {
+                const index_t c = csr.colind()[static_cast<std::size_t>(j)];
+                if (c < part.begin || c >= part.end) remote.push_back(c);
+            }
+        }
+        std::ranges::sort(remote);
+        const auto dup = std::ranges::unique(remote);
+        remote.erase(dup.begin(), dup.end());
+        volume += static_cast<std::int64_t>(remote.size());
+    }
+    return volume;
+}
+
+}  // namespace symspmv

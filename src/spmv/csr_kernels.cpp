@@ -1,0 +1,33 @@
+#include "spmv/csr_kernels.hpp"
+
+#include "core/error.hpp"
+#include "core/timer.hpp"
+
+namespace symspmv {
+
+CsrSerialKernel::CsrSerialKernel(Csr matrix) : matrix_(std::move(matrix)) {}
+
+void CsrSerialKernel::spmv(std::span<const value_t> x, std::span<value_t> y) {
+    Timer t;
+    matrix_.spmv(x, y);
+    phases_ = {t.seconds(), 0.0};
+}
+
+CsrMtKernel::CsrMtKernel(Csr matrix, ThreadPool& pool)
+    : matrix_(std::move(matrix)), pool_(pool) {
+    SYMSPMV_CHECK_MSG(matrix_.rows() == matrix_.cols(), "CsrMtKernel: matrix must be square");
+    parts_ = split_by_nnz(matrix_.rowptr(), pool_.size());
+}
+
+void CsrMtKernel::spmv(std::span<const value_t> x, std::span<value_t> y) {
+    SYMSPMV_CHECK_MSG(static_cast<index_t>(x.size()) == matrix_.cols(), "spmv: x size mismatch");
+    SYMSPMV_CHECK_MSG(static_cast<index_t>(y.size()) == matrix_.rows(), "spmv: y size mismatch");
+    Timer t;
+    pool_.run([&](int tid) {
+        const RowRange part = parts_[static_cast<std::size_t>(tid)];
+        matrix_.spmv_rows(part.begin, part.end, x, y);
+    });
+    phases_ = {t.seconds(), 0.0};
+}
+
+}  // namespace symspmv

@@ -1,0 +1,52 @@
+// CSR SpM×V kernels: the unsymmetric baseline of every figure in the paper.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "core/partition.hpp"
+#include "core/thread_pool.hpp"
+#include "matrix/csr.hpp"
+#include "spmv/kernel.hpp"
+
+namespace symspmv {
+
+/// Serial CSR kernel.
+class CsrSerialKernel final : public SpmvKernel {
+   public:
+    explicit CsrSerialKernel(Csr matrix);
+
+    [[nodiscard]] std::string_view name() const override { return "CSR-serial"; }
+    [[nodiscard]] index_t rows() const override { return matrix_.rows(); }
+    [[nodiscard]] std::int64_t nnz() const override { return matrix_.nnz(); }
+    [[nodiscard]] std::size_t footprint_bytes() const override { return matrix_.size_bytes(); }
+    void spmv(std::span<const value_t> x, std::span<value_t> y) override;
+
+    [[nodiscard]] const Csr& matrix() const { return matrix_; }
+
+   private:
+    Csr matrix_;
+};
+
+/// Multithreaded CSR kernel: rows are partitioned by non-zero count and each
+/// thread computes its rows independently (no reduction phase).
+class CsrMtKernel final : public SpmvKernel {
+   public:
+    /// @p pool outlives the kernel; its size fixes the thread count.
+    CsrMtKernel(Csr matrix, ThreadPool& pool);
+
+    [[nodiscard]] std::string_view name() const override { return "CSR"; }
+    [[nodiscard]] index_t rows() const override { return matrix_.rows(); }
+    [[nodiscard]] std::int64_t nnz() const override { return matrix_.nnz(); }
+    [[nodiscard]] std::size_t footprint_bytes() const override { return matrix_.size_bytes(); }
+    void spmv(std::span<const value_t> x, std::span<value_t> y) override;
+
+    [[nodiscard]] std::span<const RowRange> partitions() const { return parts_; }
+
+   private:
+    Csr matrix_;
+    ThreadPool& pool_;
+    std::vector<RowRange> parts_;
+};
+
+}  // namespace symspmv

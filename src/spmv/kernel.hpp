@@ -1,0 +1,61 @@
+// Abstract SpM×V kernel interface.
+//
+// The paper's measurement framework "interfaces with the storage format
+// implementations through a well-defined sparse matrix-vector multiplication
+// interface" (§V.A); this is that interface.  Every format (CSR, SSS with
+// any reduction method, CSX, CSX-Sym) implements it, so the benches and the
+// CG solver are format-agnostic.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string_view>
+
+#include "core/types.hpp"
+
+namespace symspmv {
+
+/// Wall-clock split of one spmv() call into the paper's phases (Fig. 10).
+struct SpmvPhases {
+    double multiply_seconds = 0.0;
+    double reduction_seconds = 0.0;
+
+    [[nodiscard]] double total() const { return multiply_seconds + reduction_seconds; }
+};
+
+class SpmvKernel {
+   public:
+    virtual ~SpmvKernel() = default;
+
+    /// Human-readable kernel name ("CSR", "SSS-idx", "CSX-Sym", ...).
+    [[nodiscard]] virtual std::string_view name() const = 0;
+
+    [[nodiscard]] virtual index_t rows() const = 0;
+
+    /// Non-zeros of the represented (full) matrix; the flop count of one
+    /// multiplication is 2x this for every format, which is how the paper
+    /// reports Gflop/s comparably across formats.
+    [[nodiscard]] virtual std::int64_t nnz() const = 0;
+
+    /// Bytes of the matrix representation, including reduction side
+    /// structures (local vectors, conflict index).
+    [[nodiscard]] virtual std::size_t footprint_bytes() const = 0;
+
+    /// y = A * x.  x and y must not alias and must have rows() elements.
+    virtual void spmv(std::span<const value_t> x, std::span<value_t> y) = 0;
+
+    /// Phase breakdown of the most recent spmv() call; kernels without a
+    /// reduction phase report everything as multiply time.
+    [[nodiscard]] virtual SpmvPhases last_phases() const { return phases_; }
+
+    /// Floating point operations per multiplication (2 per non-zero).
+    [[nodiscard]] std::int64_t flops() const { return 2 * nnz(); }
+
+   protected:
+    SpmvPhases phases_;
+};
+
+using KernelPtr = std::unique_ptr<SpmvKernel>;
+
+}  // namespace symspmv

@@ -1,0 +1,77 @@
+#include "spmv/reduction.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+
+namespace symspmv {
+
+ReductionIndex::ReductionIndex(const Sss& sss, std::span<const RowRange> parts) {
+    const auto p = static_cast<int>(parts.size());
+    SYMSPMV_CHECK_MSG(p >= 1, "ReductionIndex: need at least one partition");
+    const auto rowptr = sss.rowptr();
+    const auto colind = sss.colind();
+
+    // Collect, per thread, the distinct columns below its start row: those
+    // are exactly the conflicting rows of its local vector.
+    std::vector<bool> seen;
+    for (int i = 0; i < p; ++i) {
+        const RowRange part = parts[static_cast<std::size_t>(i)];
+        effective_rows_ += part.begin;
+        if (part.begin == 0) continue;  // thread 0 has no effective region
+        seen.assign(static_cast<std::size_t>(part.begin), false);
+        for (index_t r = part.begin; r < part.end; ++r) {
+            for (index_t j = rowptr[static_cast<std::size_t>(r)];
+                 j < rowptr[static_cast<std::size_t>(r) + 1]; ++j) {
+                const index_t c = colind[static_cast<std::size_t>(j)];
+                if (c < part.begin && !seen[static_cast<std::size_t>(c)]) {
+                    seen[static_cast<std::size_t>(c)] = true;
+                    entries_.push_back({c, i});
+                }
+            }
+        }
+    }
+
+    // Sort by idx (ties by vid) — the parallelization key of §III.C.
+    std::sort(entries_.begin(), entries_.end(), [](const ReductionEntry& a,
+                                                   const ReductionEntry& b) {
+        if (a.idx != b.idx) return a.idx < b.idx;
+        return a.vid < b.vid;
+    });
+
+    // Split into p chunks of roughly equal size, advancing each boundary so
+    // no idx value straddles two chunks (the independence restriction).
+    chunk_ptr_.assign(static_cast<std::size_t>(p) + 1, 0);
+    const std::size_t total = entries_.size();
+    for (int t = 1; t < p; ++t) {
+        std::size_t cut = (total * static_cast<std::size_t>(t)) / static_cast<std::size_t>(p);
+        cut = std::max(cut, chunk_ptr_[static_cast<std::size_t>(t) - 1]);
+        while (cut > 0 && cut < total && entries_[cut].idx == entries_[cut - 1].idx) ++cut;
+        chunk_ptr_[static_cast<std::size_t>(t)] = cut;
+    }
+    chunk_ptr_[static_cast<std::size_t>(p)] = total;
+}
+
+double ReductionIndex::density() const {
+    if (effective_rows_ == 0) return 0.0;
+    return static_cast<double>(entries_.size()) / static_cast<double>(effective_rows_);
+}
+
+ReductionWorkingSet reduction_working_set(const Sss& sss, std::span<const RowRange> parts) {
+    const auto p = static_cast<std::int64_t>(parts.size());
+    const std::int64_t n = sss.rows();
+    const ReductionIndex index(sss, parts);
+
+    ReductionWorkingSet ws;
+    ws.naive = static_cast<std::int64_t>(kValueBytes) * p * n;  // Eq. (3)
+    ws.effective = static_cast<std::int64_t>(kValueBytes) * index.effective_region_rows();
+    // Eq. (5): the index itself (8 bytes/entry) plus the touched local-vector
+    // values (8 bytes/entry).
+    ws.indexing = static_cast<std::int64_t>(index.bytes()) +
+                  static_cast<std::int64_t>(kValueBytes) *
+                      static_cast<std::int64_t>(index.entries().size());
+    ws.density = index.density();
+    return ws;
+}
+
+}  // namespace symspmv

@@ -1,0 +1,101 @@
+// Local-vectors reduction machinery for the symmetric SpM×V (§III).
+//
+// Three methods are modelled:
+//  - naive (Alg. 3):       p full-length local vectors, O(pN) reduction.
+//  - effective ranges [7]: thread i writes rows [0, start_i) to its local
+//                          vector and its own rows directly; reduction scans
+//                          the effective regions, ws ≈ 4(p-1)N (Eq. 4).
+//  - indexing (§III.C):    a (vid, idx) conflict index enumerates only the
+//                          local-vector elements actually written,
+//                          ws ≈ 8(p-1)Nd with d the effective-region density
+//                          (Eqs. 5-6).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/partition.hpp"
+#include "core/types.hpp"
+#include "matrix/sss.hpp"
+
+namespace symspmv {
+
+/// One conflict-index entry: local vector `vid` has a non-zero at row `idx`.
+/// Matches the paper's layout: four bytes for idx (matrix index size) and —
+/// generously, like the paper — four bytes for vid.
+struct ReductionEntry {
+    index_t idx;
+    std::int32_t vid;
+
+    friend bool operator==(const ReductionEntry&, const ReductionEntry&) = default;
+};
+static_assert(sizeof(ReductionEntry) == 8);
+
+/// The non-zero index over the effective regions of the local vectors.
+class ReductionIndex {
+   public:
+    ReductionIndex() = default;
+
+    /// Builds the index for @p sss partitioned as @p parts: for every thread
+    /// i, the distinct column indices below start_i appearing in its
+    /// partition are exactly the local-vector rows the multiply phase will
+    /// write.  Entries are sorted by idx (the paper's parallelization key)
+    /// and split into `parts.size()` chunks such that no idx value is shared
+    /// between chunks, guaranteeing independent final-vector updates.
+    ReductionIndex(const Sss& sss, std::span<const RowRange> parts);
+
+    [[nodiscard]] std::span<const ReductionEntry> entries() const { return entries_; }
+
+    /// Chunk bounds for parallel reduction: thread t owns entries
+    /// [chunk_ptr()[t], chunk_ptr()[t+1]).
+    [[nodiscard]] std::span<const std::size_t> chunk_ptr() const { return chunk_ptr_; }
+
+    /// Total size of all effective regions: sum_i start_i rows.
+    [[nodiscard]] std::int64_t effective_region_rows() const { return effective_rows_; }
+
+    /// Density d of the effective regions (Fig. 4): indexed entries divided
+    /// by the total effective-region size.  Zero when there are no regions.
+    [[nodiscard]] double density() const;
+
+    /// Bytes of the index structure itself.
+    [[nodiscard]] std::size_t bytes() const { return entries_.size() * sizeof(ReductionEntry); }
+
+   private:
+    std::vector<ReductionEntry> entries_;
+    std::vector<std::size_t> chunk_ptr_;
+    std::int64_t effective_rows_ = 0;
+};
+
+/// Working-set overhead in bytes of the reduction phase for each method,
+/// both the paper's analytic models (Eqs. 3-6) and the exact measured values
+/// for a concrete matrix/partitioning.  Used by the Fig. 5 bench.
+struct ReductionWorkingSet {
+    std::int64_t naive = 0;            // 8*p*N (Eq. 3)
+    std::int64_t effective = 0;        // 8 * sum_i start_i (≈ Eq. 4)
+    std::int64_t indexing = 0;         // index pairs + touched values (Eq. 5)
+    double density = 0.0;              // measured effective-region density
+};
+
+ReductionWorkingSet reduction_working_set(const Sss& sss, std::span<const RowRange> parts);
+
+/// Applies chunk @p tid of the reduction index: accumulates the indexed
+/// local-vector elements into @p y and re-zeroes them (so the next multiply
+/// phase starts from clean local vectors without an O(N) sweep).  Shared by
+/// the SSS-idx and CSX-Sym kernels.
+template <typename Locals>
+inline void apply_reduction_index(const ReductionIndex& index, Locals& locals,
+                                  std::span<value_t> y, int tid) {
+    const auto entries = index.entries();
+    const auto chunks = index.chunk_ptr();
+    value_t* __restrict yv = y.data();
+    for (std::size_t k = chunks[static_cast<std::size_t>(tid)];
+         k < chunks[static_cast<std::size_t>(tid) + 1]; ++k) {
+        const ReductionEntry e = entries[k];
+        value_t* __restrict local = locals[static_cast<std::size_t>(e.vid)].data();
+        yv[e.idx] += local[e.idx];
+        local[e.idx] = value_t{0};
+    }
+}
+
+}  // namespace symspmv

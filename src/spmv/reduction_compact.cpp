@@ -1,0 +1,187 @@
+#include "spmv/reduction_compact.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/error.hpp"
+#include "core/timer.hpp"
+
+namespace symspmv {
+
+std::string_view to_string(VidWidth w) {
+    switch (w) {
+        case VidWidth::k1:
+            return "vid8";
+        case VidWidth::k2:
+            return "vid16";
+        case VidWidth::k4:
+            return "vid32";
+    }
+    return "vid?";
+}
+
+std::string_view to_string(IndexLayout layout) {
+    switch (layout) {
+        case IndexLayout::kPairs4:
+            return "SSS-idx-v4";
+        case IndexLayout::kPairs2:
+            return "SSS-idx-v2";
+        case IndexLayout::kPairs1:
+            return "SSS-idx-v1";
+        case IndexLayout::kGrouped:
+            return "SSS-idx-grouped";
+    }
+    return "SSS-idx-?";
+}
+
+CompactReductionIndex::CompactReductionIndex(const ReductionIndex& index, VidWidth width)
+    : width_(width) {
+    const auto entries = index.entries();
+    idx_.reserve(entries.size());
+    std::int32_t max_vid = 0;
+    for (const ReductionEntry& e : entries) max_vid = std::max(max_vid, e.vid);
+    const std::int64_t limit = (std::int64_t{1} << (8 * static_cast<int>(width))) - 1;
+    SYMSPMV_CHECK_MSG(max_vid <= limit, "vid width too narrow for this thread count");
+    switch (width) {
+        case VidWidth::k1:
+            vid8_.reserve(entries.size());
+            for (const ReductionEntry& e : entries) {
+                idx_.push_back(e.idx);
+                vid8_.push_back(static_cast<std::uint8_t>(e.vid));
+            }
+            break;
+        case VidWidth::k2:
+            vid16_.reserve(entries.size());
+            for (const ReductionEntry& e : entries) {
+                idx_.push_back(e.idx);
+                vid16_.push_back(static_cast<std::uint16_t>(e.vid));
+            }
+            break;
+        case VidWidth::k4:
+            vid32_.reserve(entries.size());
+            for (const ReductionEntry& e : entries) {
+                idx_.push_back(e.idx);
+                vid32_.push_back(static_cast<std::uint32_t>(e.vid));
+            }
+            break;
+    }
+    chunk_ptr_.assign(index.chunk_ptr().begin(), index.chunk_ptr().end());
+}
+
+GroupedReductionIndex::GroupedReductionIndex(const ReductionIndex& index, VidWidth width)
+    : width_(width) {
+    SYMSPMV_CHECK_MSG(width == VidWidth::k2, "grouped layout stores 16-bit vids");
+    const auto entries = index.entries();  // already sorted by idx
+    const auto chunks = index.chunk_ptr();
+    const int n_chunks = static_cast<int>(chunks.size()) - 1;
+    chunk_ptr_.assign(static_cast<std::size_t>(n_chunks) + 1, 0);
+    group_ptr_.push_back(0);
+    int chunk = 0;
+    for (std::size_t k = 0; k < entries.size(); ++k) {
+        // Entry chunks never split an idx, so group boundaries respect them;
+        // record the group count at every chunk boundary crossed.
+        while (chunk < n_chunks && k >= chunks[static_cast<std::size_t>(chunk) + 1]) {
+            ++chunk;
+            chunk_ptr_[static_cast<std::size_t>(chunk)] = row_idx_.size();
+        }
+        if (row_idx_.empty() || row_idx_.back() != entries[k].idx ||
+            k == chunks[static_cast<std::size_t>(chunk)]) {
+            if (!row_idx_.empty()) group_ptr_.push_back(static_cast<index_t>(vid_.size()));
+            row_idx_.push_back(entries[k].idx);
+        }
+        SYMSPMV_CHECK(entries[k].vid <= std::numeric_limits<std::uint16_t>::max());
+        vid_.push_back(static_cast<std::uint16_t>(entries[k].vid));
+    }
+    group_ptr_.push_back(static_cast<index_t>(vid_.size()));
+    while (chunk < n_chunks) {
+        ++chunk;
+        chunk_ptr_[static_cast<std::size_t>(chunk)] = row_idx_.size();
+    }
+}
+
+SssCompactIdxKernel::SssCompactIdxKernel(Sss matrix, ThreadPool& pool, IndexLayout layout)
+    : matrix_(std::move(matrix)), pool_(pool), layout_(layout) {
+    const int p = pool_.size();
+    parts_ = split_by_nnz(matrix_.rowptr(), p);
+    locals_.resize(static_cast<std::size_t>(p));
+    for (int i = 0; i < p; ++i) {
+        locals_[static_cast<std::size_t>(i)].assign(
+            static_cast<std::size_t>(parts_[static_cast<std::size_t>(i)].begin), value_t{0});
+    }
+    const ReductionIndex full(matrix_, parts_);
+    switch (layout_) {
+        case IndexLayout::kPairs4:
+            compact_ = CompactReductionIndex(full, VidWidth::k4);
+            break;
+        case IndexLayout::kPairs2:
+            compact_ = CompactReductionIndex(full, VidWidth::k2);
+            break;
+        case IndexLayout::kPairs1:
+            compact_ = CompactReductionIndex(full, VidWidth::k1);
+            break;
+        case IndexLayout::kGrouped:
+            grouped_ = GroupedReductionIndex(full);
+            break;
+    }
+}
+
+std::string_view SssCompactIdxKernel::name() const { return to_string(layout_); }
+
+std::size_t SssCompactIdxKernel::index_bytes() const {
+    return layout_ == IndexLayout::kGrouped ? grouped_.bytes() : compact_.bytes();
+}
+
+std::size_t SssCompactIdxKernel::footprint_bytes() const {
+    std::size_t bytes = matrix_.size_bytes() + index_bytes();
+    for (const auto& v : locals_) bytes += v.size() * kValueBytes;
+    return bytes;
+}
+
+void SssCompactIdxKernel::spmv(std::span<const value_t> x, std::span<value_t> y) {
+    SYMSPMV_CHECK_MSG(static_cast<index_t>(x.size()) == matrix_.rows(), "spmv: x size mismatch");
+    SYMSPMV_CHECK_MSG(static_cast<index_t>(y.size()) == matrix_.rows(), "spmv: y size mismatch");
+    Timer total;
+    const auto rowptr = matrix_.rowptr();
+    const auto colind = matrix_.colind();
+    const auto values = matrix_.values();
+    const auto dvalues = matrix_.dvalues();
+    pool_.run([&](int tid) {
+        Timer t;
+        // Multiply phase — identical to SssMtKernel's indexing mode.
+        const RowRange part = parts_[static_cast<std::size_t>(tid)];
+        value_t* __restrict local = locals_[static_cast<std::size_t>(tid)].data();
+        const value_t* __restrict xv = x.data();
+        value_t* __restrict yv = y.data();
+        const index_t start = part.begin;
+        for (index_t r = part.begin; r < part.end; ++r) {
+            yv[r] = dvalues[static_cast<std::size_t>(r)] * xv[r];
+        }
+        for (index_t r = part.begin; r < part.end; ++r) {
+            value_t acc = yv[r];
+            const value_t xr = xv[r];
+            for (index_t j = rowptr[static_cast<std::size_t>(r)];
+                 j < rowptr[static_cast<std::size_t>(r) + 1]; ++j) {
+                const index_t c = colind[static_cast<std::size_t>(j)];
+                const value_t v = values[static_cast<std::size_t>(j)];
+                acc += v * xv[c];
+                if (c >= start) {
+                    yv[c] += v * xr;
+                } else {
+                    local[c] += v * xr;
+                }
+            }
+            yv[r] = acc;
+        }
+        pool_.barrier();
+        if (tid == 0) last_mult_seconds_ = t.seconds();
+        if (layout_ == IndexLayout::kGrouped) {
+            grouped_.apply(locals_, y, tid);
+        } else {
+            compact_.apply(locals_, y, tid);
+        }
+    });
+    const double total_seconds = total.seconds();
+    phases_ = {last_mult_seconds_, std::max(0.0, total_seconds - last_mult_seconds_)};
+}
+
+}  // namespace symspmv

@@ -1,0 +1,179 @@
+// Compact layouts of the local-vectors reduction index (§III.C ablations).
+//
+// The paper stores one (vid, idx) pair per conflicting element and remarks
+// that it uses "generously four bytes for the vid field, but two or even a
+// single byte is enough for current multicore architectures".  This module
+// implements that remark plus one further layout the paper does not try:
+//
+//  - CompactReductionIndex: idx stays four bytes; vid shrinks to 1, 2 or 4
+//    bytes in a separate (structure-of-arrays) stream.
+//  - GroupedReductionIndex: entries sharing an idx collapse into one idx
+//    plus a CSC-like group of vids, removing the repeated idx values that
+//    appear whenever several threads conflict on the same output row.
+//
+// Both keep the paper's parallelization invariant: chunks never split an
+// idx value, so final-vector updates stay independent.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "core/allocator.hpp"
+#include "core/partition.hpp"
+#include "core/thread_pool.hpp"
+#include "core/types.hpp"
+#include "matrix/sss.hpp"
+#include "spmv/kernel.hpp"
+#include "spmv/reduction.hpp"
+
+namespace symspmv {
+
+/// Bytes used for the vid field of a compact index entry.
+enum class VidWidth : std::uint8_t { k1 = 1, k2 = 2, k4 = 4 };
+
+[[nodiscard]] std::string_view to_string(VidWidth w);
+
+/// Pair layout with a narrow vid stream.
+class CompactReductionIndex {
+   public:
+    CompactReductionIndex() = default;
+
+    /// Compacts @p index to @p width.  Throws when the thread count does not
+    /// fit the width (e.g. 300 threads with VidWidth::k1).
+    CompactReductionIndex(const ReductionIndex& index, VidWidth width);
+
+    [[nodiscard]] VidWidth width() const { return width_; }
+    [[nodiscard]] std::size_t entries() const { return idx_.size(); }
+
+    /// Bytes of the index structure (4 per idx + width() per vid).
+    [[nodiscard]] std::size_t bytes() const {
+        return idx_.size() * (kIndexBytes + static_cast<std::size_t>(width_));
+    }
+
+    /// Applies chunk @p tid: y[idx] += locals[vid][idx], re-zeroing the
+    /// local element (same contract as apply_reduction_index).
+    template <typename Locals>
+    void apply(Locals& locals, std::span<value_t> y, int tid) const {
+        const std::size_t lo = chunk_ptr_[static_cast<std::size_t>(tid)];
+        const std::size_t hi = chunk_ptr_[static_cast<std::size_t>(tid) + 1];
+        value_t* __restrict yv = y.data();
+        switch (width_) {
+            case VidWidth::k1:
+                apply_range<std::uint8_t>(vid8_, locals, yv, lo, hi);
+                break;
+            case VidWidth::k2:
+                apply_range<std::uint16_t>(vid16_, locals, yv, lo, hi);
+                break;
+            case VidWidth::k4:
+                apply_range<std::uint32_t>(vid32_, locals, yv, lo, hi);
+                break;
+        }
+    }
+
+   private:
+    template <typename V, typename Locals>
+    void apply_range(const std::vector<V>& vids, Locals& locals, value_t* __restrict yv,
+                     std::size_t lo, std::size_t hi) const {
+        for (std::size_t k = lo; k < hi; ++k) {
+            const index_t idx = idx_[k];
+            value_t* __restrict local = locals[static_cast<std::size_t>(vids[k])].data();
+            yv[idx] += local[idx];
+            local[idx] = value_t{0};
+        }
+    }
+
+    VidWidth width_ = VidWidth::k4;
+    std::vector<index_t> idx_;
+    std::vector<std::uint8_t> vid8_;
+    std::vector<std::uint16_t> vid16_;
+    std::vector<std::uint32_t> vid32_;
+    std::vector<std::size_t> chunk_ptr_;
+};
+
+/// CSC-like grouped layout: one entry per distinct conflicting output row.
+class GroupedReductionIndex {
+   public:
+    GroupedReductionIndex() = default;
+
+    /// Groups @p index by idx value.  Vids are stored with @p width bytes.
+    GroupedReductionIndex(const ReductionIndex& index, VidWidth width = VidWidth::k2);
+
+    [[nodiscard]] std::size_t rows() const { return row_idx_.size(); }
+    [[nodiscard]] std::size_t entries() const { return vid_.size(); }
+
+    /// Bytes: 4 per distinct row + 4 per group pointer + width per vid.
+    [[nodiscard]] std::size_t bytes() const {
+        return row_idx_.size() * kIndexBytes + group_ptr_.size() * kIndexBytes +
+               vid_.size() * static_cast<std::size_t>(width_);
+    }
+
+    /// Applies chunk @p tid (chunks are whole groups, so idx values are
+    /// never shared between threads by construction).
+    template <typename Locals>
+    void apply(Locals& locals, std::span<value_t> y, int tid) const {
+        const std::size_t lo = chunk_ptr_[static_cast<std::size_t>(tid)];
+        const std::size_t hi = chunk_ptr_[static_cast<std::size_t>(tid) + 1];
+        value_t* __restrict yv = y.data();
+        for (std::size_t g = lo; g < hi; ++g) {
+            const index_t idx = row_idx_[g];
+            value_t acc = value_t{0};
+            for (index_t k = group_ptr_[g]; k < group_ptr_[g + 1]; ++k) {
+                value_t* __restrict local =
+                    locals[static_cast<std::size_t>(vid_[static_cast<std::size_t>(k)])].data();
+                acc += local[idx];
+                local[idx] = value_t{0};
+            }
+            yv[idx] += acc;
+        }
+    }
+
+   private:
+    VidWidth width_ = VidWidth::k2;
+    std::vector<index_t> row_idx_;    // distinct conflicting rows, ascending
+    std::vector<index_t> group_ptr_;  // group g: vid_[group_ptr_[g] .. group_ptr_[g+1])
+    std::vector<std::uint16_t> vid_;
+    std::vector<std::size_t> chunk_ptr_;
+};
+
+/// Index layout selector for the ablation kernel.
+enum class IndexLayout {
+    kPairs4,   // the paper's layout: (idx, vid) pairs, 4-byte vid
+    kPairs2,   // 2-byte vid stream
+    kPairs1,   // 1-byte vid stream
+    kGrouped,  // CSC-like grouped layout
+};
+
+[[nodiscard]] std::string_view to_string(IndexLayout layout);
+
+/// SSS-idx kernel variant with a selectable index layout; the multiply
+/// phase is identical to SssMtKernel's indexing mode, only the reduction
+/// structure changes.
+class SssCompactIdxKernel final : public SpmvKernel {
+   public:
+    SssCompactIdxKernel(Sss matrix, ThreadPool& pool, IndexLayout layout);
+
+    [[nodiscard]] std::string_view name() const override;
+    [[nodiscard]] index_t rows() const override { return matrix_.rows(); }
+    [[nodiscard]] std::int64_t nnz() const override { return matrix_.nnz(); }
+    [[nodiscard]] std::size_t footprint_bytes() const override;
+    void spmv(std::span<const value_t> x, std::span<value_t> y) override;
+
+    [[nodiscard]] IndexLayout layout() const { return layout_; }
+
+    /// Bytes of the reduction-index structure alone (the ablation metric).
+    [[nodiscard]] std::size_t index_bytes() const;
+
+   private:
+    Sss matrix_;
+    ThreadPool& pool_;
+    IndexLayout layout_;
+    std::vector<RowRange> parts_;
+    std::vector<aligned_vector<value_t>> locals_;
+    CompactReductionIndex compact_;
+    GroupedReductionIndex grouped_;
+    double last_mult_seconds_ = 0.0;
+};
+
+}  // namespace symspmv

@@ -1,0 +1,180 @@
+#include "spmv/sss_kernels.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+#include "core/timer.hpp"
+
+namespace symspmv {
+
+std::string_view to_string(ReductionMethod m) {
+    switch (m) {
+        case ReductionMethod::kNaive:
+            return "SSS-naive";
+        case ReductionMethod::kEffectiveRanges:
+            return "SSS-eff";
+        case ReductionMethod::kIndexing:
+            return "SSS-idx";
+    }
+    return "SSS-?";
+}
+
+SssSerialKernel::SssSerialKernel(Sss matrix) : matrix_(std::move(matrix)) {}
+
+void SssSerialKernel::spmv(std::span<const value_t> x, std::span<value_t> y) {
+    Timer t;
+    matrix_.spmv(x, y);
+    phases_ = {t.seconds(), 0.0};
+}
+
+SssMtKernel::SssMtKernel(Sss matrix, ThreadPool& pool, ReductionMethod method)
+    : matrix_(std::move(matrix)), pool_(pool), method_(method) {
+    const int p = pool_.size();
+    parts_ = split_by_nnz(matrix_.rowptr(), p);
+    reduce_parts_ = split_even(matrix_.rows(), p);
+    locals_.resize(static_cast<std::size_t>(p));
+    for (int i = 0; i < p; ++i) {
+        // Naive keeps full-length local vectors (Alg. 3); the other methods
+        // only need the effective region [0, start_i) of each thread.
+        const index_t len = method_ == ReductionMethod::kNaive
+                                ? matrix_.rows()
+                                : parts_[static_cast<std::size_t>(i)].begin;
+        locals_[static_cast<std::size_t>(i)].assign(static_cast<std::size_t>(len), value_t{0});
+    }
+    if (method_ == ReductionMethod::kIndexing) {
+        index_ = ReductionIndex(matrix_, parts_);
+    }
+}
+
+std::string_view SssMtKernel::name() const { return to_string(method_); }
+
+std::size_t SssMtKernel::footprint_bytes() const {
+    std::size_t bytes = matrix_.size_bytes() + index_.bytes();
+    for (const auto& v : locals_) bytes += v.size() * kValueBytes;
+    return bytes;
+}
+
+void SssMtKernel::multiply_direct(int tid, std::span<const value_t> x, std::span<value_t> y) {
+    // Effective-ranges / indexing multiply phase: rows in the own partition
+    // are written directly; mirrored writes below start go to the local
+    // vector (its effective region).
+    const RowRange part = parts_[static_cast<std::size_t>(tid)];
+    const auto rowptr = matrix_.rowptr();
+    const auto colind = matrix_.colind();
+    const auto values = matrix_.values();
+    const auto dvalues = matrix_.dvalues();
+    value_t* __restrict local = locals_[static_cast<std::size_t>(tid)].data();
+    const value_t* __restrict xv = x.data();
+    value_t* __restrict yv = y.data();
+    const index_t start = part.begin;
+    for (index_t r = part.begin; r < part.end; ++r) {
+        yv[r] = dvalues[static_cast<std::size_t>(r)] * xv[r];
+    }
+    for (index_t r = part.begin; r < part.end; ++r) {
+        value_t acc = yv[r];
+        const value_t xr = xv[r];
+        for (index_t j = rowptr[static_cast<std::size_t>(r)];
+             j < rowptr[static_cast<std::size_t>(r) + 1]; ++j) {
+            const index_t c = colind[static_cast<std::size_t>(j)];
+            const value_t v = values[static_cast<std::size_t>(j)];
+            acc += v * xv[c];
+            if (c >= start) {
+                yv[c] += v * xr;  // own rows: conflict-free direct update
+            } else {
+                local[c] += v * xr;  // possibly-conflicting region
+            }
+        }
+        yv[r] = acc;
+    }
+}
+
+void SssMtKernel::multiply_naive(int tid, std::span<const value_t> x) {
+    // Alg. 3 lines 2-11: every product, diagonal included, goes to the local
+    // vector; the output vector is not touched until the reduction.
+    const RowRange part = parts_[static_cast<std::size_t>(tid)];
+    const auto rowptr = matrix_.rowptr();
+    const auto colind = matrix_.colind();
+    const auto values = matrix_.values();
+    const auto dvalues = matrix_.dvalues();
+    value_t* __restrict local = locals_[static_cast<std::size_t>(tid)].data();
+    const value_t* __restrict xv = x.data();
+    for (index_t r = part.begin; r < part.end; ++r) {
+        value_t acc = dvalues[static_cast<std::size_t>(r)] * xv[r];
+        const value_t xr = xv[r];
+        for (index_t j = rowptr[static_cast<std::size_t>(r)];
+             j < rowptr[static_cast<std::size_t>(r) + 1]; ++j) {
+            const index_t c = colind[static_cast<std::size_t>(j)];
+            const value_t v = values[static_cast<std::size_t>(j)];
+            acc += v * xv[c];
+            local[c] += v * xr;
+        }
+        local[r] = acc;
+    }
+}
+
+void SssMtKernel::reduce_naive(int tid, std::span<value_t> y) {
+    // Alg. 3 lines 12-15: rows are split evenly; every thread sums all p
+    // local vectors over its rows (and re-zeroes them for the next call).
+    const RowRange rows = reduce_parts_[static_cast<std::size_t>(tid)];
+    value_t* __restrict yv = y.data();
+    for (index_t r = rows.begin; r < rows.end; ++r) yv[r] = value_t{0};
+    for (auto& local_vec : locals_) {
+        value_t* __restrict local = local_vec.data();
+        for (index_t r = rows.begin; r < rows.end; ++r) {
+            yv[r] += local[r];
+            local[r] = value_t{0};
+        }
+    }
+}
+
+void SssMtKernel::reduce_effective(int tid, std::span<value_t> y) {
+    // Scan the full effective region [0, start_i) of every local vector,
+    // restricted to this thread's reduction rows.
+    const RowRange rows = reduce_parts_[static_cast<std::size_t>(tid)];
+    value_t* __restrict yv = y.data();
+    for (std::size_t i = 1; i < locals_.size(); ++i) {
+        const index_t region_end = parts_[i].begin;
+        value_t* __restrict local = locals_[i].data();
+        const index_t lo = rows.begin;
+        const index_t hi = std::min(rows.end, region_end);
+        for (index_t r = lo; r < hi; ++r) {
+            yv[r] += local[r];
+            local[r] = value_t{0};
+        }
+    }
+}
+
+void SssMtKernel::reduce_indexing(int tid, std::span<value_t> y) {
+    apply_reduction_index(index_, locals_, y, tid);
+}
+
+void SssMtKernel::spmv(std::span<const value_t> x, std::span<value_t> y) {
+    SYMSPMV_CHECK_MSG(static_cast<index_t>(x.size()) == matrix_.rows(), "spmv: x size mismatch");
+    SYMSPMV_CHECK_MSG(static_cast<index_t>(y.size()) == matrix_.rows(), "spmv: y size mismatch");
+    Timer total;
+    pool_.run([&](int tid) {
+        Timer t;
+        if (method_ == ReductionMethod::kNaive) {
+            multiply_naive(tid, x);
+        } else {
+            multiply_direct(tid, x, y);
+        }
+        pool_.barrier();
+        if (tid == 0) last_mult_seconds_ = t.seconds();
+        switch (method_) {
+            case ReductionMethod::kNaive:
+                reduce_naive(tid, y);
+                break;
+            case ReductionMethod::kEffectiveRanges:
+                reduce_effective(tid, y);
+                break;
+            case ReductionMethod::kIndexing:
+                reduce_indexing(tid, y);
+                break;
+        }
+    });
+    const double total_seconds = total.seconds();
+    phases_ = {last_mult_seconds_, std::max(0.0, total_seconds - last_mult_seconds_)};
+}
+
+}  // namespace symspmv

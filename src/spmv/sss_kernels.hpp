@@ -1,0 +1,79 @@
+// Symmetric SpM×V kernels over the SSS format (§II.B, §III).
+//
+// The multithreaded kernel supports the three local-vector reduction methods
+// the paper compares (Fig. 9): naive (Alg. 3), effective ranges [Batista et
+// al.], and the proposed non-zero indexing scheme (§III.C).
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "core/allocator.hpp"
+#include "core/partition.hpp"
+#include "core/thread_pool.hpp"
+#include "matrix/sss.hpp"
+#include "spmv/kernel.hpp"
+#include "spmv/reduction.hpp"
+
+namespace symspmv {
+
+/// How the per-thread partial results are combined into the output vector.
+enum class ReductionMethod {
+    kNaive,            // full-length local vectors, O(pN) reduction (Alg. 3)
+    kEffectiveRanges,  // local vectors cover [0, start_i) only (Fig. 3c)
+    kIndexing,         // (vid, idx) non-zero conflict index (Fig. 3d, §III.C)
+};
+
+[[nodiscard]] std::string_view to_string(ReductionMethod m);
+
+/// Serial symmetric kernel (Alg. 2) — no local vectors needed.
+class SssSerialKernel final : public SpmvKernel {
+   public:
+    explicit SssSerialKernel(Sss matrix);
+
+    [[nodiscard]] std::string_view name() const override { return "SSS-serial"; }
+    [[nodiscard]] index_t rows() const override { return matrix_.rows(); }
+    [[nodiscard]] std::int64_t nnz() const override { return matrix_.nnz(); }
+    [[nodiscard]] std::size_t footprint_bytes() const override { return matrix_.size_bytes(); }
+    void spmv(std::span<const value_t> x, std::span<value_t> y) override;
+
+    [[nodiscard]] const Sss& matrix() const { return matrix_; }
+
+   private:
+    Sss matrix_;
+};
+
+/// Multithreaded symmetric kernel with a selectable reduction method.
+class SssMtKernel final : public SpmvKernel {
+   public:
+    /// @p pool outlives the kernel; its size fixes the thread count.
+    SssMtKernel(Sss matrix, ThreadPool& pool, ReductionMethod method);
+
+    [[nodiscard]] std::string_view name() const override;
+    [[nodiscard]] index_t rows() const override { return matrix_.rows(); }
+    [[nodiscard]] std::int64_t nnz() const override { return matrix_.nnz(); }
+    [[nodiscard]] std::size_t footprint_bytes() const override;
+    void spmv(std::span<const value_t> x, std::span<value_t> y) override;
+
+    [[nodiscard]] ReductionMethod method() const { return method_; }
+    [[nodiscard]] std::span<const RowRange> partitions() const { return parts_; }
+    [[nodiscard]] const ReductionIndex& reduction_index() const { return index_; }
+
+   private:
+    void multiply_direct(int tid, std::span<const value_t> x, std::span<value_t> y);
+    void multiply_naive(int tid, std::span<const value_t> x);
+    void reduce_naive(int tid, std::span<value_t> y);
+    void reduce_effective(int tid, std::span<value_t> y);
+    void reduce_indexing(int tid, std::span<value_t> y);
+
+    Sss matrix_;
+    ThreadPool& pool_;
+    ReductionMethod method_;
+    std::vector<RowRange> parts_;          // multiply-phase partitions (by nnz)
+    std::vector<RowRange> reduce_parts_;   // reduction-phase partitions (by rows)
+    std::vector<aligned_vector<value_t>> locals_;
+    ReductionIndex index_;                 // only populated for kIndexing
+    double last_mult_seconds_ = 0.0;       // written by worker 0 per spmv
+};
+
+}  // namespace symspmv

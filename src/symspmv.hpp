@@ -1,0 +1,79 @@
+// Umbrella header for the symspmv library.
+//
+// Downstream users can include this single header; the individual module
+// headers remain available for faster builds.  See README.md for the
+// public API tour and DESIGN.md for the module inventory.
+#pragma once
+
+// Core utilities.
+#include "core/allocator.hpp"    // IWYU pragma: export
+#include "core/error.hpp"        // IWYU pragma: export
+#include "core/options.hpp"      // IWYU pragma: export
+#include "core/partition.hpp"    // IWYU pragma: export
+#include "core/placement.hpp"    // IWYU pragma: export
+#include "core/stats.hpp"        // IWYU pragma: export
+#include "core/thread_pool.hpp"  // IWYU pragma: export
+#include "core/timer.hpp"        // IWYU pragma: export
+#include "core/types.hpp"        // IWYU pragma: export
+
+// Sparse matrix formats.
+#include "matrix/coo.hpp"         // IWYU pragma: export
+#include "matrix/binio.hpp"       // IWYU pragma: export
+#include "matrix/csr.hpp"         // IWYU pragma: export
+#include "matrix/dense.hpp"       // IWYU pragma: export
+#include "matrix/dia.hpp"         // IWYU pragma: export
+#include "matrix/ellpack.hpp"     // IWYU pragma: export
+#include "matrix/generators.hpp"  // IWYU pragma: export
+#include "matrix/hyb.hpp"         // IWYU pragma: export
+#include "matrix/mmio.hpp"        // IWYU pragma: export
+#include "matrix/properties.hpp"  // IWYU pragma: export
+#include "matrix/sss.hpp"         // IWYU pragma: export
+#include "matrix/suite.hpp"       // IWYU pragma: export
+#include "matrix/vbl.hpp"         // IWYU pragma: export
+
+// Bandwidth reduction.
+#include "reorder/orderings.hpp"  // IWYU pragma: export
+#include "reorder/permute.hpp"    // IWYU pragma: export
+#include "reorder/rcm.hpp"        // IWYU pragma: export
+
+// SpM×V kernels and the local-vectors reduction machinery.
+#include "spmv/alt_kernels.hpp"        // IWYU pragma: export
+#include "spmv/baseline_kernels.hpp"   // IWYU pragma: export
+#include "spmv/coloring.hpp"           // IWYU pragma: export
+#include "spmv/comm_volume.hpp"        // IWYU pragma: export
+#include "spmv/csr_kernels.hpp"        // IWYU pragma: export
+#include "spmv/kernel.hpp"             // IWYU pragma: export
+#include "spmv/reduction.hpp"          // IWYU pragma: export
+#include "spmv/reduction_compact.hpp"  // IWYU pragma: export
+#include "spmv/sss_kernels.hpp"        // IWYU pragma: export
+
+// Blocked comparator formats.
+#include "bcsr/bcsr.hpp"          // IWYU pragma: export
+#include "bcsr/bcsr_kernels.hpp"  // IWYU pragma: export
+#include "csb/csb.hpp"            // IWYU pragma: export
+#include "csb/csb_kernels.hpp"    // IWYU pragma: export
+
+// CSX and CSX-Sym.
+#include "csx/csx_matrix.hpp"  // IWYU pragma: export
+#include "csx/csx_sym.hpp"     // IWYU pragma: export
+#include "csx/detect.hpp"      // IWYU pragma: export
+#include "csx/jit.hpp"         // IWYU pragma: export
+#include "csx/kernels.hpp"     // IWYU pragma: export
+
+// Iterative solvers.
+#include "solver/blas1.hpp"    // IWYU pragma: export
+#include "solver/cg.hpp"       // IWYU pragma: export
+#include "solver/cholesky.hpp" // IWYU pragma: export
+#include "solver/lanczos.hpp"  // IWYU pragma: export
+#include "solver/pcg.hpp"      // IWYU pragma: export
+#include "solver/precond.hpp"  // IWYU pragma: export
+
+// Cache model for the §V.B interference study.
+#include "cachesim/cache.hpp"       // IWYU pragma: export
+#include "cachesim/spmv_trace.hpp"  // IWYU pragma: export
+
+// Kernel registry, measurement harness, roofline model, format advisor.
+#include "bench/advisor.hpp"   // IWYU pragma: export
+#include "bench/harness.hpp"   // IWYU pragma: export
+#include "bench/registry.hpp"  // IWYU pragma: export
+#include "bench/roofline.hpp"  // IWYU pragma: export

@@ -1,0 +1,77 @@
+// Tests for the format advisor (§V.B/§V.D selection rules).
+#include <gtest/gtest.h>
+
+#include "bench/advisor.hpp"
+#include "matrix/generators.hpp"
+#include "matrix/suite.hpp"
+
+namespace symspmv::bench {
+namespace {
+
+TEST(FeatureExtraction, DetectsSymmetryAndBandwidth) {
+    const FormatFeatures banded = extract_features(gen::make_spd(gen::poisson2d(20, 20)));
+    EXPECT_TRUE(banded.symmetric);
+    EXPECT_LT(banded.relative_bandwidth, 0.1);
+
+    const FormatFeatures scattered =
+        extract_features(gen::make_spd(gen::banded_random(300, 140, 5.0, 3, 1.0)));
+    EXPECT_TRUE(scattered.symmetric);
+    EXPECT_GT(scattered.relative_bandwidth, 0.1);
+}
+
+TEST(FeatureExtraction, BlockFemHasHighPatternCoverage) {
+    const FormatFeatures f =
+        extract_features(gen::make_spd(gen::block_fem(80, 3, 5.0, 0.7, 5)));
+    EXPECT_GT(f.pattern_coverage, 0.5);
+}
+
+TEST(FeatureExtraction, PowerLawHasHighRowSkew) {
+    const FormatFeatures f =
+        extract_features(gen::make_spd(gen::power_law_circuit(400, 3.0, 7)));
+    EXPECT_GT(f.row_skew, 3.0);
+}
+
+TEST(Advise, BlockStructuredSymmetricGetsCsxSym) {
+    // Narrow band (band_fraction 0.05) + dense 3x3 blocks: the Fig. 11
+    // sweet spot.  A wide band would correctly hit the corner-case rule.
+    const Advice a = advise(gen::make_spd(gen::block_fem(80, 3, 5.0, 0.05, 9)));
+    EXPECT_EQ(a.kernel, KernelKind::kCsxSym) << a.rationale;
+    EXPECT_FALSE(a.rationale.empty());
+}
+
+TEST(Advise, HighBandwidthSymmetricStaysOnCsr) {
+    const Advice a = advise(gen::make_spd(gen::banded_random(300, 140, 5.0, 11, 1.0)));
+    EXPECT_EQ(a.kernel, KernelKind::kCsr);
+    EXPECT_NE(a.rationale.find("RCM"), std::string::npos);
+}
+
+TEST(Advise, UnsymmetricMatrixNeverGetsASymmetricFormat) {
+    Coo coo(50, 50);
+    for (index_t i = 0; i < 50; ++i) coo.add(i, i, 5.0);
+    coo.add(3, 7, 1.0);  // no mirror
+    coo.canonicalize();
+    const Advice a = advise(coo);
+    EXPECT_TRUE(a.kernel == KernelKind::kCsr || a.kernel == KernelKind::kBcsr);
+}
+
+TEST(Advise, SparseStencilGetsSssOrCsxSym) {
+    const Advice a = advise(gen::make_spd(gen::poisson2d(24, 24)));
+    EXPECT_TRUE(a.kernel == KernelKind::kSssIndexing || a.kernel == KernelKind::kCsxSym)
+        << to_string(a.kernel);
+}
+
+TEST(Advise, SuiteCornerCasesMatchThePaper) {
+    // The paper's four §V.B corner cases vs four regular matrices.
+    for (const char* name : {"offshore", "G3_circuit"}) {
+        const Advice a = advise(gen::generate_suite_matrix(name, 0.004));
+        EXPECT_EQ(a.kernel, KernelKind::kCsr) << name << ": " << a.rationale;
+    }
+    for (const char* name : {"bmwcra_1", "ldoor", "inline_1", "hood"}) {
+        const Advice a = advise(gen::generate_suite_matrix(name, 0.004));
+        EXPECT_TRUE(a.kernel == KernelKind::kCsxSym || a.kernel == KernelKind::kSssIndexing)
+            << name << ": " << a.rationale;
+    }
+}
+
+}  // namespace
+}  // namespace symspmv::bench

@@ -1,0 +1,155 @@
+// Tests for the alternative symmetric parallelizations: conflict-graph
+// coloring [7] and atomic output updates (§III.A's dismissed option).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <set>
+#include <vector>
+
+#include "core/thread_pool.hpp"
+#include "matrix/generators.hpp"
+#include "spmv/alt_kernels.hpp"
+#include "spmv/coloring.hpp"
+
+namespace symspmv {
+namespace {
+
+std::vector<value_t> random_vector(index_t n, std::uint64_t seed) {
+    std::mt19937_64 rng(seed);
+    std::uniform_real_distribution<value_t> dist(-1.0, 1.0);
+    std::vector<value_t> v(static_cast<std::size_t>(n));
+    for (auto& e : v) e = dist(rng);
+    return v;
+}
+
+void expect_near_vectors(std::span<const value_t> expected, std::span<const value_t> actual) {
+    ASSERT_EQ(expected.size(), actual.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_NEAR(expected[i], actual[i], 1e-9 * (1.0 + std::abs(expected[i]))) << "at " << i;
+    }
+}
+
+/// Exact write set of a block: its rows plus the below-block columns.
+std::set<index_t> write_set(const Sss& sss, RowRange block) {
+    std::set<index_t> out;
+    for (index_t r = block.begin; r < block.end; ++r) out.insert(r);
+    for (index_t r = block.begin; r < block.end; ++r) {
+        for (index_t j = sss.rowptr()[static_cast<std::size_t>(r)];
+             j < sss.rowptr()[static_cast<std::size_t>(r) + 1]; ++j) {
+            const index_t c = sss.colind()[static_cast<std::size_t>(j)];
+            if (c < block.begin) out.insert(c);
+        }
+    }
+    return out;
+}
+
+TEST(ColoringPlan, CoversAllBlocksExactlyOnce) {
+    const Sss sss(gen::make_spd(gen::banded_random(240, 20, 6.0, 3)));
+    const ColoringPlan plan(sss, 12);
+    EXPECT_EQ(plan.blocks(), 12);
+    std::set<int> seen(plan.blocks_of_color().begin(), plan.blocks_of_color().end());
+    EXPECT_EQ(static_cast<int>(seen.size()), 12);
+    EXPECT_EQ(plan.color_ptr().front(), 0u);
+    EXPECT_EQ(plan.color_ptr().back(), 12u);
+}
+
+TEST(ColoringPlan, SameColorBlocksHaveDisjointWriteSets) {
+    const Sss sss(gen::make_spd(gen::banded_random(300, 35, 7.0, 5, 0.3)));
+    const ColoringPlan plan(sss, 16);
+    for (int c = 0; c < plan.colors(); ++c) {
+        const std::size_t lo = plan.color_ptr()[static_cast<std::size_t>(c)];
+        const std::size_t hi = plan.color_ptr()[static_cast<std::size_t>(c) + 1];
+        for (std::size_t i = lo; i < hi; ++i) {
+            for (std::size_t j = i + 1; j < hi; ++j) {
+                const auto wa = write_set(sss, plan.block_ranges()[static_cast<std::size_t>(
+                                                   plan.blocks_of_color()[i])]);
+                const auto wb = write_set(sss, plan.block_ranges()[static_cast<std::size_t>(
+                                                   plan.blocks_of_color()[j])]);
+                std::vector<index_t> overlap;
+                std::ranges::set_intersection(wa, wb, std::back_inserter(overlap));
+                EXPECT_TRUE(overlap.empty())
+                    << "blocks " << plan.blocks_of_color()[i] << " and "
+                    << plan.blocks_of_color()[j] << " share color " << c;
+            }
+        }
+    }
+}
+
+TEST(ColoringPlan, DiagonalMatrixNeedsOneColor) {
+    // Pure diagonal: no mirrored writes, every block is independent.
+    Coo coo(64, 64);
+    for (index_t i = 0; i < 64; ++i) coo.add(i, i, 2.0);
+    coo.canonicalize();
+    const Sss sss(coo);
+    const ColoringPlan plan(sss, 8);
+    EXPECT_EQ(plan.colors(), 1);
+    EXPECT_EQ(plan.max_parallelism(), 8);
+}
+
+TEST(ColoringPlan, DenseBandNeedsMultipleColors) {
+    const Sss sss(gen::make_spd(gen::banded_random(256, 40, 10.0, 7)));
+    const ColoringPlan plan(sss, 8);
+    EXPECT_GT(plan.colors(), 1) << "adjacent band blocks must conflict";
+}
+
+class AltKernelThreads : public ::testing::TestWithParam<int> {};
+
+TEST_P(AltKernelThreads, AtomicKernelMatchesOracle) {
+    ThreadPool pool(GetParam());
+    const Coo coo = gen::make_spd(gen::banded_random(350, 30, 7.0, 11, 0.25));
+    SssAtomicKernel kernel(Sss(coo), pool);
+    const auto x = random_vector(coo.rows(), 1);
+    std::vector<value_t> y(static_cast<std::size_t>(coo.rows()));
+    std::vector<value_t> y_ref(static_cast<std::size_t>(coo.rows()));
+    kernel.spmv(x, y);
+    coo.spmv(x, y_ref);
+    expect_near_vectors(y_ref, y);
+}
+
+TEST_P(AltKernelThreads, ColorKernelMatchesOracle) {
+    ThreadPool pool(GetParam());
+    const Coo coo = gen::make_spd(gen::banded_random(350, 30, 7.0, 13, 0.25));
+    SssColorKernel kernel(Sss(coo), pool);
+    const auto x = random_vector(coo.rows(), 2);
+    std::vector<value_t> y(static_cast<std::size_t>(coo.rows()));
+    std::vector<value_t> y_ref(static_cast<std::size_t>(coo.rows()));
+    kernel.spmv(x, y);
+    coo.spmv(x, y_ref);
+    expect_near_vectors(y_ref, y);
+}
+
+TEST_P(AltKernelThreads, ColorKernelHandlesHighBandwidthMatrix) {
+    ThreadPool pool(GetParam());
+    const Coo coo = gen::make_spd(gen::power_law_circuit(400, 4.0, 17));
+    SssColorKernel kernel(Sss(coo), pool, 6);
+    const auto x = random_vector(coo.rows(), 3);
+    std::vector<value_t> y(static_cast<std::size_t>(coo.rows()));
+    std::vector<value_t> y_ref(static_cast<std::size_t>(coo.rows()));
+    kernel.spmv(x, y);
+    coo.spmv(x, y_ref);
+    expect_near_vectors(y_ref, y);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, AltKernelThreads, ::testing::Values(1, 2, 3, 4, 8));
+
+TEST(AltKernels, RepeatedCallsAreConsistent) {
+    ThreadPool pool(4);
+    const Coo coo = gen::make_spd(gen::poisson2d(20, 20));
+    SssAtomicKernel atomic_kernel(Sss(coo), pool);
+    SssColorKernel color_kernel(Sss(coo), pool);
+    const auto x = random_vector(coo.rows(), 4);
+    std::vector<value_t> y1(static_cast<std::size_t>(coo.rows()));
+    std::vector<value_t> y2(static_cast<std::size_t>(coo.rows()));
+    atomic_kernel.spmv(x, y1);
+    atomic_kernel.spmv(x, y2);
+    expect_near_vectors(y1, y2);
+    color_kernel.spmv(x, y1);
+    color_kernel.spmv(x, y2);
+    for (std::size_t i = 0; i < y1.size(); ++i) {
+        EXPECT_DOUBLE_EQ(y1[i], y2[i]);  // deterministic: no atomics involved
+    }
+}
+
+}  // namespace
+}  // namespace symspmv

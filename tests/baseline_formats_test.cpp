@@ -1,0 +1,196 @@
+// Tests for the SPARSKIT-era baseline formats: ELLPACK, JDS and VBL.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "core/thread_pool.hpp"
+#include "matrix/csr.hpp"
+#include "matrix/ellpack.hpp"
+#include "matrix/generators.hpp"
+#include "matrix/vbl.hpp"
+#include "spmv/baseline_kernels.hpp"
+
+namespace symspmv {
+namespace {
+
+std::vector<value_t> random_vector(index_t n, std::uint64_t seed) {
+    std::mt19937_64 rng(seed);
+    std::uniform_real_distribution<value_t> dist(-1.0, 1.0);
+    std::vector<value_t> v(static_cast<std::size_t>(n));
+    for (auto& e : v) e = dist(rng);
+    return v;
+}
+
+void expect_near_vectors(std::span<const value_t> expected, std::span<const value_t> actual) {
+    ASSERT_EQ(expected.size(), actual.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_NEAR(expected[i], actual[i], 1e-9 * (1.0 + std::abs(expected[i]))) << "at " << i;
+    }
+}
+
+// --- ELLPACK ---------------------------------------------------------------
+
+TEST(Ellpack, WidthIsLongestRow) {
+    Coo coo(4, 4);
+    coo.add(0, 0, 1.0);
+    coo.add(1, 0, 1.0);
+    coo.add(1, 1, 1.0);
+    coo.add(1, 3, 1.0);
+    coo.add(3, 3, 1.0);
+    coo.canonicalize();
+    const Ellpack ell(coo);
+    EXPECT_EQ(ell.width(), 3);
+    EXPECT_DOUBLE_EQ(ell.padding_ratio(), 12.0 / 5.0);
+}
+
+TEST(Ellpack, StencilHasLowPadding) {
+    const Coo coo = gen::make_spd(gen::poisson2d(20, 20));
+    const Ellpack ell(coo);
+    EXPECT_EQ(ell.width(), 5);
+    EXPECT_LT(ell.padding_ratio(), 1.2);
+}
+
+TEST(Ellpack, PowerLawHubExplodesPadding) {
+    const Coo coo = gen::make_spd(gen::power_law_circuit(500, 3.0, 7));
+    const Ellpack ell(coo);
+    EXPECT_GT(ell.padding_ratio(), 2.0) << "hub rows must dominate the width";
+}
+
+TEST(Ellpack, SerialSpmvMatchesOracle) {
+    const Coo coo = gen::make_spd(gen::banded_random(173, 15, 5.0, 5, 0.2));
+    const Ellpack ell(coo);
+    const auto x = random_vector(coo.rows(), 1);
+    std::vector<value_t> y(static_cast<std::size_t>(coo.rows()));
+    std::vector<value_t> y_ref(y.size());
+    ell.spmv(x, y);
+    coo.spmv(x, y_ref);
+    expect_near_vectors(y_ref, y);
+}
+
+TEST(Ellpack, HandlesEmptyRowsAndEmptyMatrix) {
+    Coo coo(5, 5);
+    coo.add(2, 2, 3.0);
+    coo.canonicalize();
+    const Ellpack ell(coo);
+    const auto x = random_vector(5, 2);
+    std::vector<value_t> y(5);
+    ell.spmv(x, y);
+    EXPECT_DOUBLE_EQ(y[2], 3.0 * x[2]);
+    EXPECT_DOUBLE_EQ(y[0], 0.0);
+
+    const Ellpack empty((Coo(3, 3)));
+    EXPECT_EQ(empty.width(), 0);
+    std::vector<value_t> y2(3, 7.0);
+    empty.spmv(random_vector(3, 3), y2);
+    for (value_t v : y2) EXPECT_EQ(v, 0.0);
+}
+
+// --- JDS --------------------------------------------------------------------
+
+TEST(Jds, PermSortsRowsByLength) {
+    Coo coo(4, 4);
+    coo.add(0, 0, 1.0);
+    coo.add(2, 0, 1.0);
+    coo.add(2, 1, 1.0);
+    coo.add(2, 2, 1.0);
+    coo.add(3, 2, 1.0);
+    coo.add(3, 3, 1.0);
+    coo.canonicalize();
+    const Jds jds(coo);
+    EXPECT_EQ(jds.perm()[0], 2);  // 3 nnz
+    EXPECT_EQ(jds.perm()[1], 3);  // 2 nnz
+    EXPECT_EQ(jds.diagonals(), 3);
+    EXPECT_EQ(jds.nnz(), 6);
+}
+
+TEST(Jds, NoPaddingEverStored) {
+    const Coo coo = gen::make_spd(gen::power_law_circuit(400, 3.0, 11));
+    const Jds jds(coo);
+    EXPECT_EQ(jds.nnz(), coo.nnz());
+}
+
+TEST(Jds, SerialSpmvMatchesOracle) {
+    const Coo coo = gen::make_spd(gen::banded_random(211, 18, 6.0, 9, 0.3));
+    const Jds jds(coo);
+    const auto x = random_vector(coo.rows(), 4);
+    std::vector<value_t> y(static_cast<std::size_t>(coo.rows()));
+    std::vector<value_t> y_ref(y.size());
+    jds.spmv(x, y);
+    coo.spmv(x, y_ref);
+    expect_near_vectors(y_ref, y);
+}
+
+// --- VBL --------------------------------------------------------------------
+
+TEST(Vbl, CollapsesConsecutiveRuns) {
+    Coo coo(3, 10);
+    for (index_t c = 2; c < 7; ++c) coo.add(0, c, 1.0);  // run of 5
+    coo.add(1, 0, 1.0);
+    coo.add(1, 5, 1.0);  // two singleton blocks
+    coo.canonicalize();
+    const Vbl vbl(coo);
+    EXPECT_EQ(vbl.blocks(), 3);
+    EXPECT_EQ(vbl.nnz(), 7);
+    EXPECT_EQ(vbl.blen()[0], 5);
+    EXPECT_EQ(vbl.bcol()[0], 2);
+}
+
+TEST(Vbl, SplitsRunsAtMaxBlockLength) {
+    Coo coo(1, 600);
+    for (index_t c = 0; c < 600; ++c) coo.add(0, c, 1.0);
+    coo.canonicalize();
+    const Vbl vbl(coo);
+    EXPECT_EQ(vbl.blocks(), 3);  // 255 + 255 + 90
+    EXPECT_EQ(vbl.nnz(), 600);
+    EXPECT_EQ(vbl.blen()[0], 255);
+    EXPECT_EQ(vbl.blen()[2], 90);
+}
+
+TEST(Vbl, DenseRowsBeatCsrFootprint) {
+    // block_fem produces long horizontal runs -> VBL < CSR bytes.
+    const Coo coo = gen::make_spd(gen::block_fem(100, 4, 5.0, 0.8, 13));
+    const Vbl vbl(coo);
+    EXPECT_GT(vbl.mean_block_length(), 1.5);
+    EXPECT_LT(vbl.size_bytes(), Csr(coo).size_bytes());
+}
+
+TEST(Vbl, SerialSpmvMatchesOracle) {
+    const Coo coo = gen::make_spd(gen::block_fem(60, 3, 5.0, 0.6, 17));
+    const Vbl vbl(coo);
+    const auto x = random_vector(coo.rows(), 5);
+    std::vector<value_t> y(static_cast<std::size_t>(coo.rows()));
+    std::vector<value_t> y_ref(y.size());
+    vbl.spmv(x, y);
+    coo.spmv(x, y_ref);
+    expect_near_vectors(y_ref, y);
+}
+
+// --- MT kernels --------------------------------------------------------------
+
+class BaselineKernelThreads : public ::testing::TestWithParam<int> {};
+
+TEST_P(BaselineKernelThreads, AllThreeMatchOracle) {
+    ThreadPool pool(GetParam());
+    const Coo coo = gen::make_spd(gen::banded_random(321, 22, 6.0, 19, 0.25));
+    const auto x = random_vector(coo.rows(), 6);
+    std::vector<value_t> y_ref(static_cast<std::size_t>(coo.rows()));
+    coo.spmv(x, y_ref);
+
+    EllpackMtKernel ell(Ellpack(coo), pool);
+    JdsMtKernel jds(Jds(coo), pool);
+    VblMtKernel vbl(Vbl(coo), pool);
+    for (SpmvKernel* kernel : {static_cast<SpmvKernel*>(&ell), static_cast<SpmvKernel*>(&jds),
+                               static_cast<SpmvKernel*>(&vbl)}) {
+        std::vector<value_t> y(y_ref.size());
+        kernel->spmv(x, y);
+        expect_near_vectors(y_ref, y);
+        EXPECT_EQ(kernel->nnz(), coo.nnz());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, BaselineKernelThreads, ::testing::Values(1, 2, 3, 5, 8));
+
+}  // namespace
+}  // namespace symspmv

@@ -1,0 +1,159 @@
+// Tests for the BCSR format, its fill-ratio model and the autotuner.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "bcsr/bcsr.hpp"
+#include "bcsr/bcsr_kernels.hpp"
+#include "core/thread_pool.hpp"
+#include "matrix/generators.hpp"
+
+namespace symspmv::bcsr {
+namespace {
+
+std::vector<value_t> random_vector(index_t n, std::uint64_t seed) {
+    std::mt19937_64 rng(seed);
+    std::uniform_real_distribution<value_t> dist(-1.0, 1.0);
+    std::vector<value_t> v(static_cast<std::size_t>(n));
+    for (auto& e : v) e = dist(rng);
+    return v;
+}
+
+void expect_near_vectors(std::span<const value_t> expected, std::span<const value_t> actual) {
+    ASSERT_EQ(expected.size(), actual.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_NEAR(expected[i], actual[i], 1e-9 * (1.0 + std::abs(expected[i]))) << "at " << i;
+    }
+}
+
+/// A matrix whose non-zeros form perfectly aligned dense 3x3 tiles.
+Coo aligned_block_matrix(index_t node_count) {
+    Coo coo(node_count * 3, node_count * 3);
+    for (index_t node = 0; node < node_count; ++node) {
+        for (int i = 0; i < 3; ++i) {
+            for (int j = 0; j < 3; ++j) {
+                const index_t r = node * 3 + i;
+                const index_t c = node * 3 + j;
+                coo.add(r, c, r == c ? 10.0 : 1.0);
+            }
+        }
+    }
+    coo.canonicalize();
+    return coo;
+}
+
+TEST(BcsrFill, UnitBlocksHaveNoFill) {
+    const Coo coo = gen::make_spd(gen::banded_random(150, 10, 5.0, 3));
+    EXPECT_DOUBLE_EQ(fill_ratio(coo, {1, 1}), 1.0);
+}
+
+TEST(BcsrFill, AlignedBlockMatrixHasNoFillAt3x3) {
+    const Coo coo = aligned_block_matrix(40);
+    EXPECT_DOUBLE_EQ(fill_ratio(coo, {3, 3}), 1.0);
+    // A mismatched 2x2 grid must introduce fill on the 3x3 tiles.
+    EXPECT_GT(fill_ratio(coo, {2, 2}), 1.0);
+}
+
+TEST(BcsrFill, ScatteredMatrixFillGrowsWithBlockArea) {
+    const Coo coo = gen::make_spd(gen::banded_random(300, 100, 4.0, 5, 0.8));
+    const double f22 = fill_ratio(coo, {2, 2});
+    const double f44 = fill_ratio(coo, {4, 4});
+    EXPECT_GT(f22, 1.0);
+    EXPECT_GT(f44, f22);
+}
+
+TEST(BcsrAutotune, PicksExactBlockShapeForAlignedBlocks) {
+    const Coo coo = aligned_block_matrix(60);
+    EXPECT_EQ(choose_block_size(coo), (BlockShape{3, 3}));
+}
+
+TEST(BcsrAutotune, PicksSmallBlocksForScatteredMatrix) {
+    const Coo coo = gen::make_spd(gen::power_law_circuit(400, 3.0, 9));
+    const BlockShape s = choose_block_size(coo);
+    EXPECT_LE(s.r * s.c, 2) << "scattered matrices cannot afford fill";
+}
+
+TEST(BcsrAutotune, SampledChoiceMatchesFullScanOnRegularMatrix) {
+    const Coo coo = aligned_block_matrix(200);
+    EXPECT_EQ(choose_block_size(coo, 0.25), choose_block_size(coo, 1.0));
+}
+
+TEST(BcsrAutotune, PredictedBytesMatchesConstructedMatrix) {
+    const Coo coo = gen::make_spd(gen::banded_random(220, 15, 6.0, 13));
+    for (const BlockShape shape : {BlockShape{1, 1}, BlockShape{2, 2}, BlockShape{3, 2}}) {
+        const BcsrMatrix m(coo, shape);
+        EXPECT_EQ(predicted_bytes(coo, shape), m.size_bytes()) << shape.r << "x" << shape.c;
+    }
+}
+
+TEST(BcsrMatrix, StoredElementsMatchFillRatio) {
+    const Coo coo = gen::make_spd(gen::banded_random(180, 12, 5.0, 17));
+    const BcsrMatrix m(coo, {2, 3});
+    EXPECT_DOUBLE_EQ(m.fill(), fill_ratio(coo, {2, 3}));
+    EXPECT_EQ(m.stored_elements(), m.blocks() * 6);
+}
+
+class BcsrShapes : public ::testing::TestWithParam<BlockShape> {};
+
+TEST_P(BcsrShapes, SerialSpmvMatchesCooOracle) {
+    const Coo coo = gen::make_spd(gen::banded_random(233, 18, 6.0, 19, 0.2));
+    const BcsrMatrix m(coo, GetParam());
+    const auto x = random_vector(coo.rows(), 1);
+    std::vector<value_t> y(static_cast<std::size_t>(coo.rows()));
+    std::vector<value_t> y_ref(static_cast<std::size_t>(coo.rows()));
+    m.spmv(x, y);
+    coo.spmv(x, y_ref);
+    expect_near_vectors(y_ref, y);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, BcsrShapes,
+                         ::testing::Values(BlockShape{1, 1}, BlockShape{1, 2}, BlockShape{2, 1},
+                                           BlockShape{2, 2}, BlockShape{3, 3}, BlockShape{2, 4},
+                                           BlockShape{4, 4}, BlockShape{6, 3}, BlockShape{8, 8}),
+                         [](const auto& info) {
+                             return std::to_string(info.param.r) + "x" +
+                                    std::to_string(info.param.c);
+                         });
+
+class BcsrThreads : public ::testing::TestWithParam<int> {};
+
+TEST_P(BcsrThreads, MtKernelMatchesOracle) {
+    ThreadPool pool(GetParam());
+    const Coo coo = gen::make_spd(gen::block_fem(80, 3, 4.0, 0.6, 23));
+    BcsrMtKernel kernel(BcsrMatrix(coo, choose_block_size(coo)), pool);
+    const auto x = random_vector(coo.rows(), 2);
+    std::vector<value_t> y(static_cast<std::size_t>(coo.rows()));
+    std::vector<value_t> y_ref(static_cast<std::size_t>(coo.rows()));
+    kernel.spmv(x, y);
+    coo.spmv(x, y_ref);
+    expect_near_vectors(y_ref, y);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, BcsrThreads, ::testing::Values(1, 2, 3, 5, 8));
+
+TEST(BcsrMatrix, TailRowsAndColumnsAreHandled) {
+    // 10x10 with 3x3 blocks: both grids have a ragged tail.
+    const Coo coo = gen::make_spd(gen::poisson2d(10, 1));  // 10x10 tridiagonal
+    const BcsrMatrix m(coo, {3, 3});
+    const auto x = random_vector(10, 3);
+    std::vector<value_t> y(10);
+    std::vector<value_t> y_ref(10);
+    m.spmv(x, y);
+    coo.spmv(x, y_ref);
+    expect_near_vectors(y_ref, y);
+}
+
+TEST(BcsrMatrix, EmptyMatrix) {
+    const Coo coo(7, 7);
+    const BcsrMatrix m(coo, {2, 2});
+    EXPECT_EQ(m.blocks(), 0);
+    std::vector<value_t> y(7, 5.0);
+    const auto x = random_vector(7, 4);
+    m.spmv(x, y);
+    for (value_t v : y) EXPECT_EQ(v, 0.0);
+}
+
+}  // namespace
+}  // namespace symspmv::bcsr

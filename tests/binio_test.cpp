@@ -1,0 +1,84 @@
+// Tests for the .smx binary matrix cache.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/error.hpp"
+#include "matrix/binio.hpp"
+#include "matrix/generators.hpp"
+
+namespace symspmv {
+namespace {
+
+TEST(BinIo, RoundTripsExactly) {
+    const Coo original = gen::make_spd(gen::banded_random(300, 20, 6.0, 3, 0.3));
+    std::stringstream buf;
+    write_binary(buf, original);
+    const Coo loaded = read_binary(buf);
+    ASSERT_EQ(loaded.rows(), original.rows());
+    ASSERT_EQ(loaded.nnz(), original.nnz());
+    for (index_t k = 0; k < original.nnz(); ++k) {
+        EXPECT_EQ(loaded.entries()[static_cast<std::size_t>(k)],
+                  original.entries()[static_cast<std::size_t>(k)]);  // bitwise values too
+    }
+}
+
+TEST(BinIo, EmptyMatrixRoundTrips) {
+    const Coo original(17, 9);
+    std::stringstream buf;
+    write_binary(buf, original);
+    const Coo loaded = read_binary(buf);
+    EXPECT_EQ(loaded.rows(), 17);
+    EXPECT_EQ(loaded.cols(), 9);
+    EXPECT_EQ(loaded.nnz(), 0);
+}
+
+TEST(BinIo, RejectsBadMagic) {
+    std::stringstream buf;
+    buf << "NOPE garbage";
+    EXPECT_THROW(read_binary(buf), ParseError);
+}
+
+TEST(BinIo, RejectsTruncation) {
+    const Coo original = gen::make_spd(gen::poisson2d(8, 8));
+    std::stringstream buf;
+    write_binary(buf, original);
+    const std::string full = buf.str();
+    for (std::size_t cut : {4UL, 15UL, 24UL, full.size() - 3}) {
+        std::stringstream truncated(full.substr(0, cut));
+        EXPECT_THROW(read_binary(truncated), ParseError) << "cut at " << cut;
+    }
+}
+
+TEST(BinIo, RejectsOutOfBoundsEntries) {
+    // Handcraft a header claiming 2x2 with an entry at row 5.
+    std::stringstream buf;
+    buf.write("SMX1", 4);
+    const std::uint32_t flags = 0;
+    const std::int32_t rows = 2;
+    const std::int32_t cols = 2;
+    const std::int64_t nnz = 1;
+    buf.write(reinterpret_cast<const char*>(&flags), 4);
+    buf.write(reinterpret_cast<const char*>(&rows), 4);
+    buf.write(reinterpret_cast<const char*>(&cols), 4);
+    buf.write(reinterpret_cast<const char*>(&nnz), 8);
+    const index_t r = 5;
+    const index_t c = 0;
+    const value_t v = 1.0;
+    buf.write(reinterpret_cast<const char*>(&r), 4);
+    buf.write(reinterpret_cast<const char*>(&c), 4);
+    buf.write(reinterpret_cast<const char*>(&v), 8);
+    EXPECT_THROW(read_binary(buf), ParseError);
+}
+
+TEST(BinIo, FileRoundTrip) {
+    const Coo original = gen::make_spd(gen::poisson2d(10, 10));
+    const std::string path = "/tmp/symspmv_binio_test.smx";
+    write_binary_file(path, original);
+    const Coo loaded = read_binary_file(path);
+    EXPECT_EQ(loaded.nnz(), original.nnz());
+    EXPECT_THROW(read_binary_file("/tmp/definitely_missing_42.smx"), ParseError);
+}
+
+}  // namespace
+}  // namespace symspmv

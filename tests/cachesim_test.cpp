@@ -1,0 +1,127 @@
+// Tests for the cache model and the §V.B interference experiment.
+#include <gtest/gtest.h>
+
+#include "cachesim/cache.hpp"
+#include "cachesim/spmv_trace.hpp"
+#include "matrix/generators.hpp"
+
+namespace symspmv::cachesim {
+namespace {
+
+TEST(Cache, MissesThenHitsOnRepeatedAccess) {
+    Cache cache({1024, 64, 2});
+    EXPECT_FALSE(cache.access(0));
+    EXPECT_TRUE(cache.access(0));
+    EXPECT_TRUE(cache.access(63));   // same line
+    EXPECT_FALSE(cache.access(64));  // next line
+    EXPECT_EQ(cache.misses(), 2);
+    EXPECT_EQ(cache.hits(), 2);
+}
+
+TEST(Cache, LruEvictionWithinASet) {
+    // 2-way, 8 sets of 64-byte lines: addresses k*512 all map to set 0.
+    Cache cache({1024, 64, 2});
+    EXPECT_FALSE(cache.access(0));
+    EXPECT_FALSE(cache.access(512));
+    EXPECT_TRUE(cache.access(0));      // still resident
+    EXPECT_FALSE(cache.access(1024));  // evicts LRU = 512
+    EXPECT_TRUE(cache.access(0));
+    EXPECT_FALSE(cache.access(512));   // was evicted
+}
+
+TEST(Cache, FullyAssociativeKeepsWorkingSet) {
+    Cache cache({512, 64, 8});  // one set, 8 ways
+    for (addr_t a = 0; a < 8; ++a) EXPECT_FALSE(cache.access(a * 64));
+    for (addr_t a = 0; a < 8; ++a) EXPECT_TRUE(cache.access(a * 64));
+    EXPECT_FALSE(cache.access(8 * 64));  // evicts line 0 (LRU)
+    EXPECT_FALSE(cache.access(0));
+}
+
+TEST(Cache, AccessRangeCountsEveryLineOnce) {
+    Cache cache({4096, 64, 4});
+    const std::int64_t range_hits = cache.access_range(0, 640);  // 10 lines
+    EXPECT_EQ(range_hits, 0);
+    EXPECT_EQ(cache.misses(), 10);
+    EXPECT_EQ(cache.access_range(0, 640), 10);
+}
+
+TEST(Cache, FlushEmptiesContents) {
+    Cache cache({1024, 64, 2});
+    cache.access(0);
+    cache.flush();
+    EXPECT_EQ(cache.accesses(), 0);
+    EXPECT_FALSE(cache.access(0));
+}
+
+TEST(Cache, PresetsMatchTableII) {
+    EXPECT_EQ(dunnington_l2().size_bytes, 3u * 1024 * 1024);
+    EXPECT_EQ(gainestown_l2().size_bytes, 256u * 1024);
+    EXPECT_EQ(dunnington_l3().size_bytes, 16u * 1024 * 1024);
+    EXPECT_EQ(gainestown_l3().size_bytes, 8u * 1024 * 1024);
+}
+
+TEST(Cache, RejectsBadGeometry) {
+    EXPECT_ANY_THROW(Cache({1000, 48, 2}));  // non-power-of-two line
+    EXPECT_ANY_THROW(Cache({1000, 64, 3}));  // size not multiple of ways*line
+}
+
+class Interference : public ::testing::TestWithParam<ReductionMethod> {};
+
+TEST_P(Interference, ColdMultiplyMissesAreMethodIndependent) {
+    const Sss sss(gen::make_spd(gen::banded_random(2000, 80, 8.0, 3, 0.2)));
+    const auto parts = split_by_nnz(sss.rowptr(), 8);
+    const SpmvTrace trace(sss, parts);
+    Cache a(gainestown_l2());
+    Cache b(gainestown_l2());
+    const auto r = trace.run_interference(a, GetParam());
+    const auto idx = trace.run_interference(b, ReductionMethod::kIndexing);
+    EXPECT_EQ(r.first_multiply, idx.first_multiply)
+        << "the first multiply touches the same lines regardless of method";
+}
+
+TEST_P(Interference, SecondMultiplyNeverMissesMoreThanCold) {
+    const Sss sss(gen::make_spd(gen::banded_random(1500, 60, 7.0, 5, 0.3)));
+    const auto parts = split_by_nnz(sss.rowptr(), 8);
+    const SpmvTrace trace(sss, parts);
+    Cache cache(gainestown_l3());
+    const auto r = trace.run_interference(cache, GetParam());
+    EXPECT_LE(r.second_multiply, r.first_multiply);
+}
+
+INSTANTIATE_TEST_SUITE_P(Methods, Interference,
+                         ::testing::Values(ReductionMethod::kNaive,
+                                           ReductionMethod::kEffectiveRanges,
+                                           ReductionMethod::kIndexing),
+                         [](const auto& info) { return std::string(to_string(info.param)).substr(4); });
+
+TEST(Interference, IndexingReductionTouchesFewestLines) {
+    const Sss sss(gen::make_spd(gen::banded_random(3000, 100, 8.0, 7, 0.25)));
+    const auto parts = split_by_nnz(sss.rowptr(), 16);
+    const SpmvTrace trace(sss, parts);
+    Cache c1(gainestown_l2());
+    Cache c2(gainestown_l2());
+    Cache c3(gainestown_l2());
+    const auto naive = trace.run_interference(c1, ReductionMethod::kNaive);
+    const auto eff = trace.run_interference(c2, ReductionMethod::kEffectiveRanges);
+    const auto idx = trace.run_interference(c3, ReductionMethod::kIndexing);
+    EXPECT_LT(eff.reduction, naive.reduction);
+    EXPECT_LT(idx.reduction, eff.reduction);
+}
+
+TEST(Interference, IndexingPreservesTheNextMultiplyWorkingSet) {
+    // The §V.B claim, on a cache big enough to hold the multiply working
+    // set (~1.8 MiB here) but not the naive reduction traffic (16 full
+    // local vectors ~ 2.6 MiB on top).
+    const Sss sss(gen::make_spd(gen::banded_random(20'000, 300, 10.0, 9, 0.2)));
+    const auto parts = split_by_nnz(sss.rowptr(), 16);
+    const SpmvTrace trace(sss, parts);
+    Cache c1(dunnington_l2());
+    Cache c3(dunnington_l2());
+    const auto naive = trace.run_interference(c1, ReductionMethod::kNaive);
+    const auto idx = trace.run_interference(c3, ReductionMethod::kIndexing);
+    EXPECT_LT(idx.second_multiply, naive.second_multiply)
+        << "indexed reduction must pollute the cache less than naive";
+}
+
+}  // namespace
+}  // namespace symspmv::cachesim

@@ -1,0 +1,156 @@
+// Tests for the Conjugate Gradient solver (Alg. 1).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "bench/registry.hpp"
+#include "matrix/csr.hpp"
+#include "matrix/generators.hpp"
+#include "solver/cg.hpp"
+#include "spmv/csr_kernels.hpp"
+
+namespace symspmv {
+namespace {
+
+std::vector<value_t> random_vector(std::size_t n, std::uint64_t seed) {
+    std::mt19937_64 rng(seed);
+    std::uniform_real_distribution<value_t> dist(-1.0, 1.0);
+    std::vector<value_t> v(n);
+    for (auto& x : v) x = dist(rng);
+    return v;
+}
+
+double residual(const Coo& a, std::span<const value_t> x, std::span<const value_t> b) {
+    std::vector<value_t> ax(b.size());
+    a.spmv(x, ax);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < b.size(); ++i) acc += (b[i] - ax[i]) * (b[i] - ax[i]);
+    return std::sqrt(acc);
+}
+
+TEST(Cg, SolvesSmallSpdSystem) {
+    const Coo a = gen::poisson2d(10, 10);
+    ThreadPool pool(2);
+    CsrSerialKernel kernel((Csr(a)));
+    const auto b = random_vector(100, 3);
+    cg::Options opts;
+    opts.max_iterations = 500;
+    opts.tolerance = 1e-10;
+    const cg::Result res = cg::solve(kernel, pool, b, opts);
+    EXPECT_TRUE(res.converged);
+    EXPECT_LT(residual(a, res.x, b), 1e-7);
+    EXPECT_GT(res.iterations, 0);
+}
+
+TEST(Cg, ConvergesFastOnDiagonallyDominantMatrix) {
+    // Strong dominance => tight spectrum => few iterations.
+    const Coo a = gen::banded_random(500, 30, 8.0, 7);
+    ThreadPool pool(4);
+    CsrSerialKernel kernel((Csr(a)));
+    const auto b = random_vector(500, 11);
+    cg::Options opts;
+    opts.max_iterations = 200;
+    const cg::Result res = cg::solve(kernel, pool, b, opts);
+    EXPECT_TRUE(res.converged);
+    EXPECT_LT(res.iterations, 60);
+}
+
+TEST(Cg, ZeroRhsReturnsImmediately) {
+    const Coo a = gen::poisson2d(5, 5);
+    ThreadPool pool(2);
+    CsrSerialKernel kernel((Csr(a)));
+    const std::vector<value_t> b(25, 0.0);
+    const cg::Result res = cg::solve(kernel, pool, b, {});
+    EXPECT_TRUE(res.converged);
+    EXPECT_EQ(res.iterations, 0);
+    for (value_t v : res.x) EXPECT_EQ(v, 0.0);
+}
+
+TEST(Cg, InitialGuessIsUsed) {
+    const Coo a = gen::poisson2d(8, 8);
+    ThreadPool pool(2);
+    CsrSerialKernel kernel((Csr(a)));
+    const auto b = random_vector(64, 5);
+    cg::Options opts;
+    opts.tolerance = 1e-12;
+    opts.max_iterations = 300;
+    const cg::Result cold = cg::solve(kernel, pool, b, opts);
+    ASSERT_TRUE(cold.converged);
+    // Restarting from the solution must converge in zero iterations.
+    const cg::Result warm = cg::solve(kernel, pool, b, cold.x, opts);
+    EXPECT_TRUE(warm.converged);
+    EXPECT_EQ(warm.iterations, 0);
+}
+
+TEST(Cg, IterationCapIsHonored) {
+    const Coo a = gen::poisson2d(30, 30);
+    ThreadPool pool(2);
+    CsrSerialKernel kernel((Csr(a)));
+    const auto b = random_vector(900, 9);
+    cg::Options opts;
+    opts.max_iterations = 3;
+    opts.tolerance = 1e-14;
+    const cg::Result res = cg::solve(kernel, pool, b, opts);
+    EXPECT_FALSE(res.converged);
+    EXPECT_EQ(res.iterations, 3);
+}
+
+TEST(Cg, BreakdownAccountsAllPhases) {
+    const Coo a = gen::banded_random(2000, 100, 10.0, 13);
+    ThreadPool pool(4);
+    const KernelPtr kernel = make_kernel(KernelKind::kSssIndexing, a, pool);
+    const auto b = random_vector(2000, 21);
+    cg::Options opts;
+    opts.max_iterations = 30;
+    const cg::Result res = cg::solve(*kernel, pool, b, opts);
+    EXPECT_GT(res.breakdown.spmv_multiply_seconds, 0.0);
+    EXPECT_GE(res.breakdown.spmv_reduction_seconds, 0.0);
+    EXPECT_GT(res.breakdown.vector_ops_seconds, 0.0);
+    EXPECT_GT(res.breakdown.total(), 0.0);
+}
+
+TEST(Cg, AllKernelsReachTheSameSolution) {
+    const Coo a = gen::banded_random(600, 60, 9.0, 17, 0.2);
+    ThreadPool pool(4);
+    const auto b = random_vector(600, 31);
+    cg::Options opts;
+    opts.tolerance = 1e-10;
+    opts.max_iterations = 300;
+    std::vector<value_t> reference;
+    for (KernelKind kind : figure_kernel_kinds()) {
+        const KernelPtr kernel = make_kernel(kind, a, pool);
+        const cg::Result res = cg::solve(*kernel, pool, b, opts);
+        ASSERT_TRUE(res.converged) << to_string(kind);
+        if (reference.empty()) {
+            reference = res.x;
+        } else {
+            for (std::size_t i = 0; i < reference.size(); ++i) {
+                ASSERT_NEAR(res.x[i], reference[i], 1e-6) << to_string(kind);
+            }
+        }
+    }
+}
+
+TEST(Cg, RejectsIndefiniteMatrix) {
+    // A matrix with a negative eigenvalue: CG's p.A.p check must fire.
+    Coo bad(2, 2);
+    bad.add(0, 0, 1.0);
+    bad.add(1, 1, -1.0);
+    bad.canonicalize();
+    ThreadPool pool(1);
+    CsrSerialKernel kernel((Csr(bad)));
+    const std::vector<value_t> b = {0.0, 1.0};
+    EXPECT_THROW(cg::solve(kernel, pool, b, {}), InternalError);
+}
+
+TEST(Cg, InputValidation) {
+    const Coo a = gen::poisson2d(4, 4);
+    ThreadPool pool(1);
+    CsrSerialKernel kernel((Csr(a)));
+    const std::vector<value_t> wrong(7, 1.0);
+    EXPECT_THROW(cg::solve(kernel, pool, wrong, {}), InternalError);
+}
+
+}  // namespace
+}  // namespace symspmv

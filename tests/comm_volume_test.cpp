@@ -1,0 +1,74 @@
+// Tests for the partitioned-SpM×V communication-volume metric (§V.D).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "matrix/generators.hpp"
+#include "reorder/permute.hpp"
+#include "reorder/rcm.hpp"
+#include "spmv/comm_volume.hpp"
+
+namespace symspmv {
+namespace {
+
+TEST(CommVolume, DiagonalMatrixNeedsNoCommunication) {
+    Coo coo(40, 40);
+    for (index_t i = 0; i < 40; ++i) coo.add(i, i, 2.0);
+    coo.canonicalize();
+    const Csr csr(coo);
+    EXPECT_EQ(communication_volume(csr, split_even(40, 4)), 0);
+}
+
+TEST(CommVolume, SinglePartitionNeedsNoCommunication) {
+    const Coo coo = gen::make_spd(gen::banded_random(200, 30, 6.0, 3, 0.5));
+    const Csr csr(coo);
+    EXPECT_EQ(communication_volume(csr, split_even(200, 1)), 0);
+}
+
+TEST(CommVolume, HandComputedTridiagonal) {
+    // Tridiagonal split in two halves: each half reads exactly one element
+    // of the other (the boundary neighbor).
+    const Coo coo = gen::make_spd(gen::poisson2d(10, 1));
+    const Csr csr(coo);
+    EXPECT_EQ(communication_volume(csr, split_even(10, 2)), 2);
+}
+
+TEST(CommVolume, CountsDistinctColumnsOnly) {
+    // Many references to the same remote column count once per partition.
+    Coo coo(20, 20);
+    for (index_t i = 0; i < 20; ++i) coo.add(i, i, 5.0);
+    for (index_t i = 10; i < 20; ++i) {
+        coo.add(i, 0, 1.0);
+        coo.add(0, i, 1.0);
+    }
+    coo.canonicalize();
+    const Csr csr(coo);
+    // Partition [0,10) reads cols 10..19 (10 remote); [10,20) reads col 0.
+    EXPECT_EQ(communication_volume(csr, split_even(20, 2)), 11);
+}
+
+TEST(CommVolume, GrowsWithPartitionCount) {
+    const Coo coo = gen::make_spd(gen::banded_random(400, 25, 6.0, 7, 0.3));
+    const Csr csr(coo);
+    const auto vol = [&](int p) { return communication_volume(csr, split_even(400, p)); };
+    EXPECT_LE(vol(2), vol(4));
+    EXPECT_LE(vol(4), vol(8));
+}
+
+TEST(CommVolume, RcmReducesVolumeOfScrambledMatrix) {
+    Coo coo = gen::make_spd(gen::poisson2d(24, 24));
+    std::vector<index_t> perm(static_cast<std::size_t>(coo.rows()));
+    for (std::size_t i = 0; i < perm.size(); ++i) perm[i] = static_cast<index_t>(i);
+    std::mt19937_64 rng(11);
+    std::ranges::shuffle(perm, rng);
+    const Coo scrambled = permute_symmetric(coo, perm);
+    const Coo reordered = permute_symmetric(scrambled, rcm_permutation(scrambled));
+    const auto parts4 = split_even(coo.rows(), 4);
+    EXPECT_LT(communication_volume(Csr(reordered), parts4),
+              communication_volume(Csr(scrambled), parts4))
+        << "bandwidth reduction must cut the remote x reads (§V.D)";
+}
+
+}  // namespace
+}  // namespace symspmv

@@ -1,0 +1,161 @@
+// Tests for the COO exchange format.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/error.hpp"
+#include "matrix/coo.hpp"
+
+namespace symspmv {
+namespace {
+
+Coo small_symmetric() {
+    // The 8x8 example of Fig. 8 in spirit: symmetric, diagonal present.
+    Coo m(4, 4);
+    m.add(0, 0, 2.0);
+    m.add(1, 1, 3.0);
+    m.add(2, 2, 4.0);
+    m.add(3, 3, 5.0);
+    m.add(1, 0, 1.5);
+    m.add(0, 1, 1.5);
+    m.add(3, 1, -0.5);
+    m.add(1, 3, -0.5);
+    m.canonicalize();
+    return m;
+}
+
+TEST(Coo, CanonicalizeSortsRowMajor) {
+    Coo m(3, 3);
+    m.add(2, 1, 1.0);
+    m.add(0, 2, 2.0);
+    m.add(0, 1, 3.0);
+    m.canonicalize();
+    const auto e = m.entries();
+    ASSERT_EQ(e.size(), 3u);
+    EXPECT_EQ(e[0], (Triplet{0, 1, 3.0}));
+    EXPECT_EQ(e[1], (Triplet{0, 2, 2.0}));
+    EXPECT_EQ(e[2], (Triplet{2, 1, 1.0}));
+    EXPECT_TRUE(m.is_canonical());
+}
+
+TEST(Coo, CanonicalizeSumsDuplicates) {
+    Coo m(2, 2);
+    m.add(1, 0, 1.0);
+    m.add(1, 0, 2.5);
+    m.add(0, 0, 1.0);
+    m.canonicalize();
+    ASSERT_EQ(m.nnz(), 2);
+    EXPECT_EQ(m.entries()[1], (Triplet{1, 0, 3.5}));
+}
+
+TEST(Coo, AddOutOfBoundsThrows) {
+    Coo m(2, 2);
+    EXPECT_THROW(m.add(2, 0, 1.0), InternalError);
+    EXPECT_THROW(m.add(0, -1, 1.0), InternalError);
+}
+
+TEST(Coo, ConstructorValidatesEntries) {
+    std::vector<Triplet> bad = {{5, 0, 1.0}};
+    EXPECT_THROW(Coo(2, 2, bad), InternalError);
+}
+
+TEST(Coo, IsSymmetricDetectsSymmetry) {
+    EXPECT_TRUE(small_symmetric().is_symmetric());
+}
+
+TEST(Coo, IsSymmetricDetectsValueAsymmetry) {
+    Coo m(2, 2);
+    m.add(0, 1, 1.0);
+    m.add(1, 0, 2.0);
+    m.canonicalize();
+    EXPECT_FALSE(m.is_symmetric());
+}
+
+TEST(Coo, IsSymmetricDetectsStructureAsymmetry) {
+    Coo m(2, 2);
+    m.add(0, 1, 1.0);
+    m.canonicalize();
+    EXPECT_FALSE(m.is_symmetric());
+}
+
+TEST(Coo, NonSquareIsNeverSymmetric) {
+    Coo m(2, 3);
+    m.canonicalize();
+    EXPECT_FALSE(m.is_symmetric());
+}
+
+TEST(Coo, StrictLowerDropsDiagonalAndUpper) {
+    const Coo lower = small_symmetric().strict_lower();
+    ASSERT_EQ(lower.nnz(), 2);
+    for (const Triplet& t : lower.entries()) EXPECT_GT(t.row, t.col);
+}
+
+TEST(Coo, LowerKeepsDiagonal) {
+    const Coo lower = small_symmetric().lower();
+    EXPECT_EQ(lower.nnz(), 6);  // 4 diagonal + 2 strictly lower
+    for (const Triplet& t : lower.entries()) EXPECT_GE(t.row, t.col);
+}
+
+TEST(Coo, TransposeRoundTrip) {
+    Coo m(2, 3);
+    m.add(0, 2, 1.0);
+    m.add(1, 0, -2.0);
+    m.canonicalize();
+    const Coo t = m.transpose();
+    EXPECT_EQ(t.rows(), 3);
+    EXPECT_EQ(t.cols(), 2);
+    const Coo back = t.transpose();
+    ASSERT_EQ(back.nnz(), m.nnz());
+    for (index_t i = 0; i < m.nnz(); ++i) {
+        EXPECT_EQ(back.entries()[static_cast<std::size_t>(i)],
+                  m.entries()[static_cast<std::size_t>(i)]);
+    }
+}
+
+TEST(Coo, MirrorLowerToFullRestoresSymmetricMatrix) {
+    const Coo full = small_symmetric();
+    const Coo mirrored = full.lower().mirror_lower_to_full();
+    ASSERT_EQ(mirrored.nnz(), full.nnz());
+    for (index_t i = 0; i < full.nnz(); ++i) {
+        EXPECT_EQ(mirrored.entries()[static_cast<std::size_t>(i)],
+                  full.entries()[static_cast<std::size_t>(i)]);
+    }
+}
+
+TEST(Coo, MirrorRejectsUpperEntries) {
+    Coo m(2, 2);
+    m.add(0, 1, 1.0);
+    m.canonicalize();
+    EXPECT_THROW(m.mirror_lower_to_full(), InternalError);
+}
+
+TEST(Coo, SpmvMatchesHandComputation) {
+    const Coo m = small_symmetric();
+    const std::vector<value_t> x = {1.0, 2.0, 3.0, 4.0};
+    std::vector<value_t> y(4, -99.0);
+    m.spmv(x, y);
+    // Row 0: 2*1 + 1.5*2 = 5 ; row 1: 1.5*1 + 3*2 - 0.5*4 = 5.5
+    // Row 2: 4*3 = 12 ; row 3: -0.5*2 + 5*4 = 19
+    EXPECT_DOUBLE_EQ(y[0], 5.0);
+    EXPECT_DOUBLE_EQ(y[1], 5.5);
+    EXPECT_DOUBLE_EQ(y[2], 12.0);
+    EXPECT_DOUBLE_EQ(y[3], 19.0);
+}
+
+TEST(Coo, SpmvChecksDimensions) {
+    const Coo m = small_symmetric();
+    std::vector<value_t> x(3), y(4);
+    EXPECT_THROW(m.spmv(x, y), InternalError);
+}
+
+TEST(Coo, EmptyMatrixBehaves) {
+    Coo m(0, 0);
+    m.canonicalize();
+    EXPECT_EQ(m.nnz(), 0);
+    EXPECT_TRUE(m.is_canonical());
+    std::vector<value_t> x, y;
+    m.spmv(x, y);  // no-op, no crash
+}
+
+}  // namespace
+}  // namespace symspmv

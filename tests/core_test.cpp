@@ -1,0 +1,189 @@
+// Tests for src/core: thread pool, partitioning, stats, options, allocator.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "core/allocator.hpp"
+#include "core/error.hpp"
+#include "core/options.hpp"
+#include "core/partition.hpp"
+#include "core/stats.hpp"
+#include "core/thread_pool.hpp"
+#include "core/timer.hpp"
+
+namespace symspmv {
+namespace {
+
+TEST(AlignedAllocator, VectorStorageIsCacheLineAligned) {
+    aligned_vector<double> v(100, 1.0);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(v.data()) % kCacheLineBytes, 0u);
+    aligned_vector<index_t> w(7, 3);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(w.data()) % kCacheLineBytes, 0u);
+}
+
+TEST(ThreadPool, RunsJobOnEveryWorker) {
+    ThreadPool pool(4);
+    std::vector<int> hits(4, 0);
+    pool.run([&](int tid) { hits[static_cast<std::size_t>(tid)] = tid + 1; });
+    EXPECT_EQ(hits, (std::vector<int>{1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, RunCanBeRepeated) {
+    ThreadPool pool(3);
+    std::atomic<int> counter{0};
+    for (int round = 0; round < 10; ++round) {
+        pool.run([&](int) { counter.fetch_add(1, std::memory_order_relaxed); });
+    }
+    EXPECT_EQ(counter.load(), 30);
+}
+
+TEST(ThreadPool, BarrierSynchronizesPhases) {
+    ThreadPool pool(4);
+    std::vector<int> phase1(4, 0);
+    std::atomic<bool> phase1_incomplete_seen{false};
+    pool.run([&](int tid) {
+        phase1[static_cast<std::size_t>(tid)] = 1;
+        pool.barrier();
+        // After the barrier every thread must observe all phase-1 writes.
+        for (int v : phase1) {
+            if (v != 1) phase1_incomplete_seen = true;
+        }
+    });
+    EXPECT_FALSE(phase1_incomplete_seen.load());
+}
+
+TEST(ThreadPool, PropagatesJobException) {
+    ThreadPool pool(2);
+    EXPECT_THROW(pool.run([](int tid) {
+        if (tid == 1) throw std::runtime_error("boom");
+    }),
+                 std::runtime_error);
+    // The pool stays usable after an exception.
+    std::atomic<int> ok{0};
+    pool.run([&](int) { ok.fetch_add(1); });
+    EXPECT_EQ(ok.load(), 2);
+}
+
+TEST(ThreadPool, RejectsZeroWorkers) { EXPECT_THROW(ThreadPool(0), InternalError); }
+
+TEST(SplitEven, DistributesRemainder) {
+    const auto parts = split_even(10, 4);
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[0], (RowRange{0, 3}));
+    EXPECT_EQ(parts[1], (RowRange{3, 6}));
+    EXPECT_EQ(parts[2], (RowRange{6, 8}));
+    EXPECT_EQ(parts[3], (RowRange{8, 10}));
+}
+
+TEST(SplitEven, MoreThreadsThanRows) {
+    const auto parts = split_even(2, 5);
+    index_t total = 0;
+    for (const auto& p : parts) {
+        EXPECT_LE(p.begin, p.end);
+        total += p.rows();
+    }
+    EXPECT_EQ(total, 2);
+    EXPECT_EQ(parts.front().begin, 0);
+    EXPECT_EQ(parts.back().end, 2);
+}
+
+TEST(SplitByNnz, BalancesNonzeros) {
+    // Row nnz: 1, 1, 1, 9, 1, 1, 1, 1 -> prefix 0,1,2,3,12,13,14,15,16.
+    std::vector<index_t> rowptr = {0, 1, 2, 3, 12, 13, 14, 15, 16};
+    const auto parts = split_by_nnz(rowptr, 2);
+    ASSERT_EQ(parts.size(), 2u);
+    EXPECT_EQ(parts[0].begin, 0);
+    EXPECT_EQ(parts[0].end, parts[1].begin);
+    EXPECT_EQ(parts[1].end, 8);
+    // The heavy row 3 must not leave partition 0 badly unbalanced: target 8.
+    const index_t cut = parts[0].end;
+    EXPECT_GE(cut, 3);
+    EXPECT_LE(cut, 5);
+}
+
+TEST(SplitByNnz, CoversAllRowsContiguously) {
+    std::vector<index_t> rowptr(101);
+    std::iota(rowptr.begin(), rowptr.end(), 0);  // 1 nnz per row
+    for (int p = 1; p <= 16; ++p) {
+        const auto parts = split_by_nnz(rowptr, p);
+        ASSERT_EQ(parts.size(), static_cast<std::size_t>(p));
+        EXPECT_EQ(parts.front().begin, 0);
+        EXPECT_EQ(parts.back().end, 100);
+        for (std::size_t i = 1; i < parts.size(); ++i) {
+            EXPECT_EQ(parts[i].begin, parts[i - 1].end);
+        }
+    }
+}
+
+TEST(SplitByNnz, EmptyMatrix) {
+    std::vector<index_t> rowptr = {0};
+    const auto parts = split_by_nnz(rowptr, 3);
+    for (const auto& p : parts) EXPECT_EQ(p.rows(), 0);
+}
+
+TEST(Stats, SummarizeBasics) {
+    const std::vector<double> v = {4.0, 1.0, 3.0, 2.0};
+    const Summary s = summarize(v);
+    EXPECT_DOUBLE_EQ(s.min, 1.0);
+    EXPECT_DOUBLE_EQ(s.max, 4.0);
+    EXPECT_DOUBLE_EQ(s.mean, 2.5);
+    EXPECT_DOUBLE_EQ(s.median, 2.5);
+    EXPECT_EQ(s.count, 4u);
+    EXPECT_NEAR(s.stddev, 1.2909944487, 1e-9);
+}
+
+TEST(Stats, SummarizeOddCountMedian) {
+    const std::vector<double> v = {5.0, 1.0, 3.0};
+    EXPECT_DOUBLE_EQ(summarize(v).median, 3.0);
+}
+
+TEST(Stats, SummarizeRejectsEmpty) {
+    const std::vector<double> v;
+    EXPECT_THROW(summarize(v), InternalError);
+}
+
+TEST(Options, ParsesFlagsAndPositionals) {
+    const char* argv[] = {"prog", "--threads", "8",    "--scale=0.5", "matrix.mtx",
+                          "--verbose",         "--name", "hello"};
+    Options opts(8, argv);
+    EXPECT_EQ(opts.get_int("--threads", 1), 8);
+    EXPECT_DOUBLE_EQ(opts.get_double("--scale", 1.0), 0.5);
+    EXPECT_TRUE(opts.has("--verbose"));
+    EXPECT_FALSE(opts.has("--quiet"));
+    EXPECT_EQ(opts.get_string("--name", ""), "hello");
+    ASSERT_EQ(opts.positional().size(), 1u);
+    EXPECT_EQ(opts.positional()[0], "matrix.mtx");
+}
+
+TEST(Options, FallbacksWhenAbsent) {
+    const char* argv[] = {"prog"};
+    Options opts(1, argv);
+    EXPECT_EQ(opts.get_int("--threads", 7), 7);
+    EXPECT_DOUBLE_EQ(opts.get_double("--scale", 2.5), 2.5);
+    EXPECT_EQ(opts.get_string("--name", "dflt"), "dflt");
+}
+
+TEST(Options, RejectsMalformedNumbers) {
+    const char* argv[] = {"prog", "--threads", "abc"};
+    Options opts(3, argv);
+    EXPECT_THROW((void)opts.get_int("--threads", 1), InternalError);
+}
+
+TEST(Timer, PhaseTimerAccumulates) {
+    PhaseTimer t;
+    t.start();
+    t.stop();
+    t.start();
+    t.stop();
+    EXPECT_EQ(t.intervals(), 2u);
+    EXPECT_GE(t.total_seconds(), 0.0);
+    t.clear();
+    EXPECT_EQ(t.intervals(), 0u);
+    EXPECT_EQ(t.total_seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace symspmv

@@ -1,0 +1,228 @@
+// Tests for the CSB / CSB-Sym formats and kernels (related work [8], [27]).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "core/thread_pool.hpp"
+#include "csb/csb.hpp"
+#include "csb/csb_kernels.hpp"
+#include "matrix/generators.hpp"
+
+namespace symspmv::csb {
+namespace {
+
+std::vector<value_t> random_vector(index_t n, std::uint64_t seed) {
+    std::mt19937_64 rng(seed);
+    std::uniform_real_distribution<value_t> dist(-1.0, 1.0);
+    std::vector<value_t> v(static_cast<std::size_t>(n));
+    for (auto& e : v) e = dist(rng);
+    return v;
+}
+
+void expect_near_vectors(std::span<const value_t> expected, std::span<const value_t> actual) {
+    ASSERT_EQ(expected.size(), actual.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_NEAR(expected[i], actual[i], 1e-9 * (1.0 + std::abs(expected[i]))) << "at " << i;
+    }
+}
+
+TEST(CsbConfig, AutoBlockSizeIsPowerOfTwoNearSqrtN) {
+    EXPECT_EQ(resolve_block_size({}, 1), CsbConfig::kMinBlock);
+    EXPECT_EQ(resolve_block_size({}, 100), 16);     // ceil-pow2(10)
+    EXPECT_EQ(resolve_block_size({}, 10'000), 128); // ceil-pow2(100)
+    const index_t b = resolve_block_size({}, 1 << 20);
+    EXPECT_EQ(b & (b - 1), 0);
+}
+
+TEST(CsbConfig, ExplicitBlockSizeMustBePowerOfTwo) {
+    CsbConfig cfg;
+    cfg.block_size = 48;
+    EXPECT_ANY_THROW((void)resolve_block_size(cfg, 100));
+    cfg.block_size = 64;
+    EXPECT_EQ(resolve_block_size(cfg, 100), 64);
+}
+
+TEST(CsbMatrix, RoundTripsAllElements) {
+    const Coo coo = gen::make_spd(gen::banded_random(200, 12, 6.0, 7, 0.1));
+    CsbConfig cfg;
+    cfg.block_size = 16;
+    const CsbMatrix csb(coo, cfg);
+    EXPECT_EQ(csb.nnz(), coo.nnz());
+    EXPECT_EQ(csb.rows(), coo.rows());
+    EXPECT_EQ(csb.block_rows(), (coo.rows() + 15) / 16);
+    // Every stored element reconstructs a COO entry.
+    std::vector<Triplet> seen;
+    for (index_t br = 0; br < csb.block_rows(); ++br) {
+        for (index_t b = csb.blockrow_ptr()[static_cast<std::size_t>(br)];
+             b < csb.blockrow_ptr()[static_cast<std::size_t>(br) + 1]; ++b) {
+            const BlockRef& blk = csb.block_refs()[static_cast<std::size_t>(b)];
+            for (std::int64_t k = blk.first; k < blk.first + csb.block_nnz(b); ++k) {
+                seen.push_back({static_cast<index_t>(br * 16 + csb.rloc()[static_cast<std::size_t>(k)]),
+                                static_cast<index_t>(blk.block_col * 16 +
+                                                     csb.cloc()[static_cast<std::size_t>(k)]),
+                                csb.values()[static_cast<std::size_t>(k)]});
+            }
+        }
+    }
+    std::ranges::sort(seen, triplet_rowmajor_less);
+    ASSERT_EQ(seen.size(), coo.entries().size());
+    for (std::size_t i = 0; i < seen.size(); ++i) {
+        EXPECT_EQ(seen[i], coo.entries()[i]);
+    }
+}
+
+TEST(CsbMatrix, LocalIndicesStayInsideBlocks) {
+    const Coo coo = gen::make_spd(gen::banded_random(300, 40, 8.0, 11, 0.2));
+    CsbConfig cfg;
+    cfg.block_size = 32;
+    const CsbMatrix csb(coo, cfg);
+    for (std::size_t k = 0; k < static_cast<std::size_t>(csb.nnz()); ++k) {
+        EXPECT_LT(csb.rloc()[k], 32);
+        EXPECT_LT(csb.cloc()[k], 32);
+    }
+}
+
+TEST(CsbMatrix, SerialSpmvMatchesCooOracle) {
+    const Coo coo = gen::make_spd(gen::banded_random(257, 20, 5.0, 3, 0.15));
+    const CsbMatrix csb(coo);
+    const auto x = random_vector(coo.rows(), 1);
+    std::vector<value_t> y_csb(static_cast<std::size_t>(coo.rows()));
+    std::vector<value_t> y_ref(static_cast<std::size_t>(coo.rows()));
+    csb.spmv(x, y_csb);
+    coo.spmv(x, y_ref);
+    expect_near_vectors(y_ref, y_csb);
+}
+
+TEST(CsbMatrix, FootprintCountsBlocksAndElements) {
+    const Coo coo = gen::make_spd(gen::poisson2d(20, 20));
+    CsbConfig cfg;
+    cfg.block_size = 64;
+    const CsbMatrix csb(coo, cfg);
+    const std::size_t expected = static_cast<std::size_t>(csb.nnz()) * (8 + 2 + 2) +
+                                 static_cast<std::size_t>(csb.blocks()) * sizeof(BlockRef) +
+                                 (static_cast<std::size_t>(csb.block_rows()) + 1) * 4;
+    EXPECT_EQ(csb.size_bytes(), expected);
+}
+
+TEST(CsbMatrix, HandlesEmptyMatrix) {
+    const Coo coo(10, 10);
+    const CsbMatrix csb(coo);
+    EXPECT_EQ(csb.nnz(), 0);
+    const auto x = random_vector(10, 2);
+    std::vector<value_t> y(10, 1.0);
+    csb.spmv(x, y);
+    for (value_t v : y) EXPECT_EQ(v, 0.0);
+}
+
+TEST(CsbSymMatrix, StoresOnlyLowerTriangle) {
+    const Coo coo = gen::make_spd(gen::banded_random(128, 10, 4.0, 5));
+    const CsbSymMatrix sym(coo);
+    EXPECT_EQ(sym.nnz(), coo.nnz());
+    EXPECT_LT(sym.stored_nnz(), sym.nnz());
+    EXPECT_LT(sym.size_bytes(), CsbMatrix(coo).size_bytes());
+}
+
+TEST(CsbSymMatrix, SerialSpmvMatchesCooOracle) {
+    const Coo coo = gen::make_spd(gen::banded_random(211, 16, 6.0, 13, 0.25));
+    const CsbSymMatrix sym(coo);
+    const auto x = random_vector(coo.rows(), 3);
+    std::vector<value_t> y_sym(static_cast<std::size_t>(coo.rows()));
+    std::vector<value_t> y_ref(static_cast<std::size_t>(coo.rows()));
+    sym.spmv(x, y_sym);
+    coo.spmv(x, y_ref);
+    expect_near_vectors(y_ref, y_sym);
+}
+
+class CsbKernelThreads : public ::testing::TestWithParam<int> {};
+
+TEST_P(CsbKernelThreads, MtKernelMatchesOracle) {
+    ThreadPool pool(GetParam());
+    const Coo coo = gen::make_spd(gen::banded_random(400, 25, 7.0, 17, 0.2));
+    CsbMtKernel kernel(CsbMatrix(coo), pool);
+    const auto x = random_vector(coo.rows(), 4);
+    std::vector<value_t> y(static_cast<std::size_t>(coo.rows()));
+    std::vector<value_t> y_ref(static_cast<std::size_t>(coo.rows()));
+    kernel.spmv(x, y);
+    coo.spmv(x, y_ref);
+    expect_near_vectors(y_ref, y);
+}
+
+TEST_P(CsbKernelThreads, SymKernelMatchesOracle) {
+    ThreadPool pool(GetParam());
+    const Coo coo = gen::make_spd(gen::banded_random(400, 25, 7.0, 19, 0.2));
+    CsbSymKernel kernel(CsbSymMatrix(coo), pool);
+    const auto x = random_vector(coo.rows(), 5);
+    std::vector<value_t> y(static_cast<std::size_t>(coo.rows()));
+    std::vector<value_t> y_ref(static_cast<std::size_t>(coo.rows()));
+    kernel.spmv(x, y);
+    coo.spmv(x, y_ref);
+    expect_near_vectors(y_ref, y);
+}
+
+TEST_P(CsbKernelThreads, SymKernelIsRepeatable) {
+    ThreadPool pool(GetParam());
+    const Coo coo = gen::make_spd(gen::power_law_circuit(350, 4.0, 23));
+    CsbSymKernel kernel(CsbSymMatrix(coo), pool);
+    const auto x = random_vector(coo.rows(), 6);
+    std::vector<value_t> y1(static_cast<std::size_t>(coo.rows()));
+    std::vector<value_t> y2(static_cast<std::size_t>(coo.rows()));
+    kernel.spmv(x, y1);
+    kernel.spmv(x, y2);  // band buffers must have been re-zeroed
+    for (std::size_t i = 0; i < y1.size(); ++i) {
+        EXPECT_DOUBLE_EQ(y1[i], y2[i]);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, CsbKernelThreads, ::testing::Values(1, 2, 3, 4, 7, 8));
+
+TEST(CsbSymKernel, HighBandwidthMatrixTriggersAtomics) {
+    ThreadPool pool(4);
+    // Fully scattered matrix: many far-from-diagonal blocks.
+    const Coo scattered = gen::make_spd(gen::banded_random(512, 250, 6.0, 29, 1.0));
+    CsbConfig cfg;
+    cfg.block_size = 16;
+    CsbSymKernel far_kernel(CsbSymMatrix(scattered, cfg), pool);
+    EXPECT_GT(far_kernel.atomic_updates_per_spmv(), 0);
+
+    // Narrow band, wide blocks: everything stays within the band diagonals.
+    const Coo banded = gen::make_spd(gen::banded_random(512, 8, 6.0, 31, 0.0));
+    cfg.block_size = 64;
+    CsbSymKernel near_kernel(CsbSymMatrix(banded, cfg), pool);
+    EXPECT_EQ(near_kernel.atomic_updates_per_spmv(), 0);
+}
+
+TEST(CsbSymKernel, PoissonStencilMatchesOracleAcrossBlockSizes) {
+    ThreadPool pool(3);
+    const Coo coo = gen::make_spd(gen::poisson2d(24, 24));
+    const auto x = random_vector(coo.rows(), 7);
+    std::vector<value_t> y_ref(static_cast<std::size_t>(coo.rows()));
+    coo.spmv(x, y_ref);
+    for (index_t beta : {4, 8, 32, 128}) {
+        CsbConfig cfg;
+        cfg.block_size = beta;
+        CsbSymKernel kernel(CsbSymMatrix(coo, cfg), pool);
+        std::vector<value_t> y(static_cast<std::size_t>(coo.rows()));
+        kernel.spmv(x, y);
+        expect_near_vectors(y_ref, y);
+    }
+}
+
+TEST(CsbSymKernel, ReportsConstantReductionFootprint) {
+    const Coo coo = gen::make_spd(gen::banded_random(600, 30, 6.0, 37));
+    CsbConfig cfg;
+    cfg.block_size = 32;
+    ThreadPool pool2(2);
+    ThreadPool pool8(8);
+    CsbSymKernel k2(CsbSymMatrix(coo, cfg), pool2);
+    CsbSymKernel k8(CsbSymMatrix(coo, cfg), pool8);
+    // Band buffers grow with p but each stays <= (kBandDiagonals-1)*beta:
+    const std::size_t per_thread = (CsbSymKernel::kBandDiagonals - 1) * 32 * sizeof(value_t);
+    EXPECT_LE(k2.footprint_bytes() - k2.matrix().size_bytes(), 2 * per_thread);
+    EXPECT_LE(k8.footprint_bytes() - k8.matrix().size_bytes(), 8 * per_thread);
+}
+
+}  // namespace
+}  // namespace symspmv::csb

@@ -1,0 +1,115 @@
+// Tests for the CSR baseline format.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "core/error.hpp"
+#include "matrix/coo.hpp"
+#include "matrix/csr.hpp"
+#include "matrix/dense.hpp"
+#include "matrix/generators.hpp"
+
+namespace symspmv {
+namespace {
+
+Coo fig1_matrix() {
+    // A small general matrix exercising empty rows and row-major order.
+    Coo m(5, 5);
+    m.add(0, 0, 1.0);
+    m.add(0, 3, 2.0);
+    m.add(1, 1, 3.0);
+    m.add(3, 0, 4.0);
+    m.add(3, 2, 5.0);
+    m.add(3, 4, 6.0);
+    m.add(4, 4, 7.0);
+    m.canonicalize();
+    return m;
+}
+
+TEST(Csr, LayoutMatchesDefinition) {
+    const Csr csr(fig1_matrix());
+    EXPECT_EQ(csr.rows(), 5);
+    EXPECT_EQ(csr.nnz(), 7);
+    const std::vector<index_t> want_rowptr = {0, 2, 3, 3, 6, 7};
+    const std::vector<index_t> want_colind = {0, 3, 1, 0, 2, 4, 4};
+    EXPECT_TRUE(std::equal(want_rowptr.begin(), want_rowptr.end(), csr.rowptr().begin()));
+    EXPECT_TRUE(std::equal(want_colind.begin(), want_colind.end(), csr.colind().begin()));
+}
+
+TEST(Csr, SizeBytesMatchesEq1) {
+    const Csr csr(fig1_matrix());
+    // Eq. (1): 12*NNZ + 4*(N+1) = 12*7 + 4*6 = 108.
+    EXPECT_EQ(csr.size_bytes(), 108u);
+}
+
+TEST(Csr, SpmvMatchesCooOracle) {
+    const Coo coo = fig1_matrix();
+    const Csr csr(coo);
+    const std::vector<value_t> x = {1, -1, 2, 0.5, 3};
+    std::vector<value_t> y_csr(5), y_coo(5);
+    csr.spmv(x, y_csr);
+    coo.spmv(x, y_coo);
+    for (int i = 0; i < 5; ++i) EXPECT_DOUBLE_EQ(y_csr[i], y_coo[i]);
+}
+
+TEST(Csr, SpmvRowsComputesPartitionOnly) {
+    const Csr csr(fig1_matrix());
+    const std::vector<value_t> x = {1, 1, 1, 1, 1};
+    std::vector<value_t> y(5, -1.0);
+    csr.spmv_rows(3, 5, x, y);
+    EXPECT_DOUBLE_EQ(y[0], -1.0);  // untouched
+    EXPECT_DOUBLE_EQ(y[3], 15.0);
+    EXPECT_DOUBLE_EQ(y[4], 7.0);
+}
+
+TEST(Csr, RoundTripThroughCoo) {
+    const Coo coo = fig1_matrix();
+    const Coo back = Csr(coo).to_coo();
+    ASSERT_EQ(back.nnz(), coo.nnz());
+    for (index_t i = 0; i < coo.nnz(); ++i) {
+        EXPECT_EQ(back.entries()[static_cast<std::size_t>(i)],
+                  coo.entries()[static_cast<std::size_t>(i)]);
+    }
+}
+
+TEST(Csr, RawConstructorValidates) {
+    aligned_vector<index_t> rowptr = {0, 1};
+    aligned_vector<index_t> colind = {5};  // out of bounds for 1 column
+    aligned_vector<value_t> values = {1.0};
+    EXPECT_THROW(Csr(1, 1, rowptr, colind, values), InternalError);
+
+    aligned_vector<index_t> bad_rowptr = {0, 2};  // claims 2 nnz, has 1
+    aligned_vector<index_t> ok_colind = {0};
+    EXPECT_THROW(Csr(1, 1, bad_rowptr, ok_colind, values), InternalError);
+}
+
+TEST(Csr, EmptyMatrix) {
+    Coo coo(3, 3);
+    coo.canonicalize();
+    const Csr csr(coo);
+    EXPECT_EQ(csr.nnz(), 0);
+    const std::vector<value_t> x = {1, 2, 3};
+    std::vector<value_t> y(3, 9.0);
+    csr.spmv(x, y);
+    for (value_t v : y) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Csr, RandomizedAgainstDenseOracle) {
+    std::mt19937_64 rng(42);
+    for (int trial = 0; trial < 10; ++trial) {
+        const Coo coo = gen::banded_random(64, 16, 6.0, 1000 + trial);
+        const Csr csr(coo);
+        const Dense dense(coo);
+        std::uniform_real_distribution<value_t> dist(-1.0, 1.0);
+        std::vector<value_t> x(64);
+        for (auto& v : x) v = dist(rng);
+        std::vector<value_t> y_csr(64), y_dense(64);
+        csr.spmv(x, y_csr);
+        dense.spmv(x, y_dense);
+        for (int i = 0; i < 64; ++i) EXPECT_NEAR(y_csr[i], y_dense[i], 1e-12);
+    }
+}
+
+}  // namespace
+}  // namespace symspmv

@@ -1,0 +1,203 @@
+// Tests for CSX substructure detection.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "csx/detect.hpp"
+#include "matrix/generators.hpp"
+
+namespace symspmv::csx {
+namespace {
+
+std::vector<Triplet> row_of(index_t r, std::vector<index_t> cols) {
+    std::vector<Triplet> out;
+    for (index_t c : cols) out.push_back({r, c, 1.0});
+    return out;
+}
+
+CsxConfig tight() {
+    CsxConfig cfg;
+    cfg.min_coverage = 0.0;  // accept everything in unit tests
+    return cfg;
+}
+
+TEST(Detect, FindsHorizontalRun) {
+    const auto elems = row_of(3, {10, 11, 12, 13, 14});
+    const Detector d(elems, tight());
+    const auto stats = d.collect_stats();
+    ASSERT_FALSE(stats.empty());
+    EXPECT_EQ(stats[0].pattern, (Pattern{PatternType::kHorizontal, 1}));
+    EXPECT_EQ(stats[0].covered, 5);
+}
+
+TEST(Detect, FindsStridedHorizontalRun) {
+    const auto elems = row_of(0, {0, 3, 6, 9});
+    const auto stats = Detector(elems, tight()).collect_stats();
+    ASSERT_FALSE(stats.empty());
+    EXPECT_EQ(stats[0].pattern, (Pattern{PatternType::kHorizontal, 3}));
+}
+
+TEST(Detect, FindsVerticalRun) {
+    std::vector<Triplet> elems;
+    for (index_t r = 2; r < 8; ++r) elems.push_back({r, 5, 1.0});
+    const auto stats = Detector(elems, tight()).collect_stats();
+    ASSERT_FALSE(stats.empty());
+    EXPECT_EQ(stats[0].pattern, (Pattern{PatternType::kVertical, 1}));
+    EXPECT_EQ(stats[0].covered, 6);
+}
+
+TEST(Detect, FindsDiagonalRun) {
+    std::vector<Triplet> elems;
+    for (index_t k = 0; k < 5; ++k) elems.push_back({10 + k, 4 + k, 1.0});
+    const auto stats = Detector(elems, tight()).collect_stats();
+    bool found = false;
+    for (const auto& s : stats) {
+        if (s.pattern == Pattern{PatternType::kDiagonal, 1}) {
+            EXPECT_EQ(s.covered, 5);
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Detect, FindsAntiDiagonalRun) {
+    std::vector<Triplet> elems;
+    for (index_t k = 0; k < 4; ++k) elems.push_back({10 + k, 9 - k, 1.0});
+    const auto stats = Detector(elems, tight()).collect_stats();
+    bool found = false;
+    for (const auto& s : stats) {
+        if (s.pattern == Pattern{PatternType::kAntiDiagonal, 1}) found = true;
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Detect, FindsDenseBlock) {
+    // 2x4 dense block anchored at (0, 10).
+    std::vector<Triplet> elems;
+    for (index_t r = 0; r < 2; ++r) {
+        for (index_t c = 10; c < 14; ++c) elems.push_back({r, c, 1.0});
+    }
+    CsxConfig cfg = tight();
+    cfg.block_rows = {2};
+    // Disable the directional types so the block is unambiguous.
+    cfg.horizontal = cfg.vertical = cfg.diagonal = cfg.antidiagonal = false;
+    const auto stats = Detector(elems, cfg).collect_stats();
+    ASSERT_EQ(stats.size(), 1u);
+    EXPECT_EQ(stats[0].pattern, (Pattern{PatternType::kBlock, 2}));
+    EXPECT_EQ(stats[0].covered, 8);
+}
+
+TEST(Detect, BlockAlignmentFollowsPartitionStart) {
+    // Same block, but the partition starts at row 1: strips are rows {1,2}.
+    std::vector<Triplet> elems;
+    for (index_t r = 1; r < 3; ++r) {
+        for (index_t c = 0; c < 3; ++c) elems.push_back({r, c, 1.0});
+    }
+    CsxConfig cfg = tight();
+    cfg.block_rows = {2};
+    cfg.horizontal = cfg.vertical = cfg.diagonal = cfg.antidiagonal = false;
+    const auto stats = Detector(elems, cfg).collect_stats();
+    ASSERT_EQ(stats.size(), 1u);
+    EXPECT_EQ(stats[0].covered, 6);
+}
+
+TEST(Detect, ShortRunsAreIgnored) {
+    const auto elems = row_of(0, {1, 2, 3});  // length 3 < default min 4
+    const auto stats = Detector(elems, tight()).collect_stats();
+    for (const auto& s : stats) {
+        EXPECT_NE(s.pattern.type, PatternType::kHorizontal);
+    }
+}
+
+TEST(Detect, MinPatternLengthIsConfigurable) {
+    auto cfg = tight();
+    cfg.min_pattern_length = 3;
+    const auto elems = row_of(0, {1, 2, 3});
+    const auto stats = Detector(elems, cfg).collect_stats();
+    ASSERT_FALSE(stats.empty());
+    EXPECT_EQ(stats[0].covered, 3);
+}
+
+TEST(Detect, MaxDeltaIsRespected) {
+    auto cfg = tight();
+    cfg.max_delta = 2;
+    const auto elems = row_of(0, {0, 5, 10, 15});  // stride 5 > max_delta
+    const auto stats = Detector(elems, cfg).collect_stats();
+    EXPECT_TRUE(stats.empty());
+}
+
+TEST(Detect, BoundaryBreaksRuns) {
+    // Columns 3,4,5,6 with a CSX-Sym boundary at 5: the run must not span
+    // both sides (§IV.B, Fig. 8).
+    const auto elems = row_of(9, {3, 4, 5, 6});
+    const Detector d(elems, tight(), /*boundary=*/5);
+    const auto stats = d.collect_stats();
+    for (const auto& s : stats) {
+        EXPECT_LT(s.covered, 4) << to_string(s.pattern);
+    }
+}
+
+TEST(Detect, SelectPatternsHonorsCoverageThreshold) {
+    // 100 elements: a 10-element horizontal run + 90 scattered.
+    std::vector<Triplet> elems;
+    for (index_t c = 0; c < 10; ++c) elems.push_back({0, c, 1.0});
+    for (index_t r = 1; r < 91; ++r) elems.push_back({r, (r * 37) % 500, 1.0});
+    CsxConfig cfg;
+    cfg.min_coverage = 0.2;  // 10% run is below the 20% bar
+    {
+        Detector d(elems, cfg);
+        EXPECT_TRUE(d.select_patterns().empty());
+    }
+    cfg.min_coverage = 0.05;
+    {
+        Detector d(elems, cfg);
+        const auto sel = d.select_patterns();
+        ASSERT_FALSE(sel.empty());
+        EXPECT_EQ(sel[0].type, PatternType::kHorizontal);
+    }
+}
+
+TEST(Detect, EncodeUnitsConsumesEachElementOnce) {
+    const Coo m = gen::block_fem(32, 3, 6.0, 0.2, 41);
+    const std::vector<Triplet> elems(m.entries().begin(), m.entries().end());
+    CsxConfig cfg;
+    cfg.min_coverage = 0.01;
+    Detector d(elems, cfg);
+    const auto selected = d.select_patterns();
+    const auto res = d.encode_units(selected);
+    std::vector<int> hit(elems.size(), 0);
+    for (const auto& u : res.units) {
+        EXPECT_EQ(static_cast<int>(u.elems.size()), u.size);
+        for (auto e : u.elems) ++hit[e];
+    }
+    for (std::size_t i = 0; i < elems.size(); ++i) {
+        EXPECT_EQ(hit[i], res.consumed[i] ? 1 : 0);
+    }
+}
+
+TEST(Detect, UnitSizeNeverExceedsCap) {
+    // A 1000-element dense row must be chopped into <=255-element units.
+    std::vector<index_t> cols(1000);
+    for (index_t i = 0; i < 1000; ++i) cols[static_cast<std::size_t>(i)] = i;
+    const auto elems = row_of(0, cols);
+    CsxConfig cfg = tight();
+    Detector d(elems, cfg);
+    const std::vector<Pattern> sel = {{PatternType::kHorizontal, 1}};
+    const auto res = d.encode_units(sel);
+    ASSERT_FALSE(res.units.empty());
+    for (const auto& u : res.units) EXPECT_LE(u.size, kMaxUnitSize);
+}
+
+TEST(Detect, SamplingStillFindsDominantPattern) {
+    const Coo m = gen::poisson2d(64, 64);
+    const std::vector<Triplet> elems(m.entries().begin(), m.entries().end());
+    CsxConfig cfg;
+    cfg.sample_fraction = 0.25;
+    cfg.min_coverage = 0.05;
+    Detector d(elems, cfg);
+    const auto sel = d.select_patterns();
+    EXPECT_FALSE(sel.empty());  // the stencil's diagonals dominate
+}
+
+}  // namespace
+}  // namespace symspmv::csx

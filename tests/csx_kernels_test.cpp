@@ -1,0 +1,142 @@
+// Tests for the CSX / CSX-Sym SpmvKernel adapters and the kernel registry.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "bench/registry.hpp"
+#include "csx/kernels.hpp"
+#include "matrix/csr.hpp"
+#include "matrix/generators.hpp"
+#include "matrix/suite.hpp"
+
+namespace symspmv {
+namespace {
+
+std::vector<value_t> random_vector(std::size_t n, std::uint64_t seed) {
+    std::mt19937_64 rng(seed);
+    std::uniform_real_distribution<value_t> dist(-1.0, 1.0);
+    std::vector<value_t> v(n);
+    for (auto& x : v) x = dist(rng);
+    return v;
+}
+
+TEST(CsxKernels, CsxMtMatchesCsr) {
+    const Coo m = gen::banded_random(400, 50, 8.0, 3, 0.2);
+    ThreadPool pool(4);
+    csx::CsxMtKernel kernel(Csr(m), csx::CsxConfig{}, pool);
+    const auto x = random_vector(400, 8);
+    std::vector<value_t> y(400), y_ref(400);
+    Csr(m).spmv(x, y_ref);
+    kernel.spmv(x, y);
+    for (int i = 0; i < 400; ++i) ASSERT_NEAR(y[i], y_ref[i], 1e-12);
+    EXPECT_EQ(kernel.name(), "CSX");
+    EXPECT_EQ(kernel.nnz(), m.nnz());
+}
+
+TEST(CsxKernels, CsxSymMatchesCsrAcrossThreadCounts) {
+    const Coo m = gen::banded_random(513, 120, 12.0, 7, 0.3);
+    const Csr csr(m);
+    const auto x = random_vector(513, 12);
+    std::vector<value_t> y_ref(513);
+    csr.spmv(x, y_ref);
+    for (int threads : {1, 2, 4, 8}) {
+        ThreadPool pool(threads);
+        csx::CsxSymKernel kernel(Sss(m), csx::CsxConfig{}, pool);
+        std::vector<value_t> y(513);
+        kernel.spmv(x, y);
+        for (int i = 0; i < 513; ++i) {
+            ASSERT_NEAR(y[i], y_ref[i], 1e-11) << "threads=" << threads;
+        }
+    }
+}
+
+TEST(CsxKernels, CsxSymRepeatedCallsStayCorrect) {
+    const Coo m = gen::block_fem(50, 3, 6.0, 0.2, 19);
+    const Csr csr(m);
+    ThreadPool pool(4);
+    csx::CsxSymKernel kernel(Sss(m), csx::CsxConfig{}, pool);
+    const auto n = static_cast<std::size_t>(m.rows());
+    auto x = random_vector(n, 14);
+    std::vector<value_t> y(n);
+    for (int iter = 0; iter < 5; ++iter) {
+        kernel.spmv(x, y);
+        std::vector<value_t> y_ref(n);
+        csr.spmv(x, y_ref);
+        for (std::size_t i = 0; i < n; ++i) {
+            // Iterated products grow like ||A||^k, so tolerance is relative.
+            ASSERT_NEAR(y[i], y_ref[i], 1e-12 * std::max(1.0, std::abs(y_ref[i]))) << iter;
+        }
+        x.swap(y);
+    }
+}
+
+TEST(CsxKernels, FootprintIncludesReductionStructures) {
+    const Coo m = gen::banded_random(600, 100, 10.0, 9, 0.4);
+    ThreadPool pool(4);
+    csx::CsxSymKernel kernel(Sss(m), csx::CsxConfig{}, pool);
+    EXPECT_GE(kernel.footprint_bytes(),
+              kernel.matrix().size_bytes() + kernel.reduction_index().bytes());
+}
+
+TEST(Registry, KindNamesRoundTrip) {
+    for (KernelKind kind : all_kernel_kinds()) {
+        EXPECT_EQ(parse_kernel_kind(to_string(kind)), kind);
+    }
+    EXPECT_THROW((void)parse_kernel_kind("bogus"), InvalidArgument);
+}
+
+TEST(Registry, FigureKindsAreTheFourOfTheEvaluation) {
+    const auto& kinds = figure_kernel_kinds();
+    ASSERT_EQ(kinds.size(), 4u);
+    EXPECT_EQ(to_string(kinds[0]), "CSR");
+    EXPECT_EQ(to_string(kinds[1]), "CSX");
+    EXPECT_EQ(to_string(kinds[2]), "SSS-idx");
+    EXPECT_EQ(to_string(kinds[3]), "CSX-Sym");
+}
+
+TEST(Registry, AllKernelsAgreeOnARandomMatrix) {
+    const Coo m = gen::banded_random(350, 70, 9.0, 29, 0.3);
+    ThreadPool pool(3);
+    const auto x = random_vector(350, 17);
+    std::vector<value_t> y_ref(350);
+    Csr(m).spmv(x, y_ref);
+    for (KernelKind kind : all_kernel_kinds()) {
+        const KernelPtr kernel = make_kernel(kind, m, pool);
+        ASSERT_EQ(kernel->rows(), 350);
+        EXPECT_EQ(kernel->nnz(), m.nnz()) << to_string(kind);
+        EXPECT_EQ(kernel->flops(), 2 * static_cast<std::int64_t>(m.nnz()));
+        std::vector<value_t> y(350);
+        kernel->spmv(x, y);
+        for (int i = 0; i < 350; ++i) {
+            ASSERT_NEAR(y[i], y_ref[i], 1e-11) << to_string(kind) << " row " << i;
+        }
+    }
+}
+
+class RegistryOnSuite : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RegistryOnSuite, AllKernelsAgree) {
+    const Coo m = gen::generate_suite_matrix(GetParam(), 0.003);
+    ThreadPool pool(4);
+    const auto n = static_cast<std::size_t>(m.rows());
+    const auto x = random_vector(n, 23);
+    std::vector<value_t> y_ref(n);
+    Csr(m).spmv(x, y_ref);
+    for (KernelKind kind : figure_kernel_kinds()) {
+        const KernelPtr kernel = make_kernel(kind, m, pool);
+        std::vector<value_t> y(n);
+        kernel->spmv(x, y);
+        double max_err = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            max_err = std::max(max_err, std::abs(y[i] - y_ref[i]));
+        }
+        EXPECT_LT(max_err, 1e-9) << to_string(kind) << " on " << GetParam();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, RegistryOnSuite,
+                         ::testing::Values("parabolic_fem", "offshore", "consph", "G3_circuit",
+                                           "bmw7st_1", "nd12k"));
+
+}  // namespace
+}  // namespace symspmv

@@ -1,0 +1,144 @@
+// Randomized property sweep: seed-derived random matrices pushed through
+// the whole format zoo and the reduction-index machinery.  Complements the
+// structured tests with shapes nobody hand-picked.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <set>
+#include <vector>
+
+#include "bench/registry.hpp"
+#include "core/thread_pool.hpp"
+#include "matrix/generators.hpp"
+#include "spmv/reduction.hpp"
+
+namespace symspmv {
+namespace {
+
+struct FuzzCase {
+    Coo matrix;
+    int threads;
+    std::mt19937_64 rng;
+};
+
+/// Derives a random symmetric SPD matrix and thread count from @p seed.
+FuzzCase make_case(std::uint64_t seed) {
+    std::mt19937_64 rng(seed * 0x9E3779B97F4A7C15ULL + 1);
+    const index_t n = static_cast<index_t>(64 + rng() % 700);
+    const index_t band = static_cast<index_t>(1 + rng() % (static_cast<std::uint64_t>(n) / 2));
+    const double nnz_per_row = 2.0 + static_cast<double>(rng() % 12);
+    const double scatter = static_cast<double>(rng() % 100) / 100.0;
+    Coo m = gen::make_spd(gen::banded_random(n, band, nnz_per_row, seed, scatter));
+    return {std::move(m), static_cast<int>(1 + rng() % 8), std::move(rng)};
+}
+
+std::vector<value_t> random_vector(index_t n, std::mt19937_64& rng) {
+    std::uniform_real_distribution<value_t> dist(-1.0, 1.0);
+    std::vector<value_t> v(static_cast<std::size_t>(n));
+    for (auto& e : v) e = dist(rng);
+    return v;
+}
+
+class RandomMatrices : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomMatrices, EveryKernelMatchesTheOracle) {
+    FuzzCase c = make_case(GetParam());
+    ThreadPool pool(c.threads);
+    const auto x = random_vector(c.matrix.rows(), c.rng);
+    std::vector<value_t> y_ref(static_cast<std::size_t>(c.matrix.rows()));
+    c.matrix.spmv(x, y_ref);
+    for (KernelKind kind : all_kernel_kinds()) {
+        if (kind == KernelKind::kCsxJit || kind == KernelKind::kCsxSymJit) {
+            continue;  // covered in jit_test (each build invokes the compiler)
+        }
+        const KernelPtr kernel = make_kernel(kind, c.matrix, pool);
+        std::vector<value_t> y(y_ref.size());
+        kernel->spmv(x, y);
+        for (std::size_t i = 0; i < y.size(); ++i) {
+            ASSERT_NEAR(y_ref[i], y[i], 1e-9 * (1.0 + std::abs(y_ref[i])))
+                << to_string(kind) << " seed=" << GetParam() << " row " << i;
+        }
+    }
+}
+
+TEST_P(RandomMatrices, ReductionIndexInvariantsUnderRandomPartitions) {
+    FuzzCase c = make_case(GetParam());
+    const Sss sss(c.matrix);
+    // Random contiguous partition into p parts (not the usual nnz split).
+    const int p = c.threads + 1;
+    std::vector<index_t> cuts = {0, sss.rows()};
+    for (int i = 0; i < p - 1; ++i) {
+        cuts.push_back(static_cast<index_t>(c.rng() % static_cast<std::uint64_t>(sss.rows() + 1)));
+    }
+    std::ranges::sort(cuts);
+    std::vector<RowRange> parts;
+    for (std::size_t i = 0; i + 1 < cuts.size(); ++i) parts.push_back({cuts[i], cuts[i + 1]});
+
+    const ReductionIndex index(sss, parts);
+    const auto entries = index.entries();
+
+    // (1) Sorted by idx; (2) no duplicate (idx, vid) pairs.
+    for (std::size_t k = 1; k < entries.size(); ++k) {
+        ASSERT_LE(entries[k - 1].idx, entries[k].idx);
+        ASSERT_FALSE(entries[k - 1] == entries[k]);
+    }
+    // (3) Chunks tile the entries and never split an idx value.
+    const auto chunks = index.chunk_ptr();
+    ASSERT_EQ(chunks.front(), 0u);
+    ASSERT_EQ(chunks.back(), entries.size());
+    for (std::size_t t = 1; t + 1 < chunks.size(); ++t) {
+        const std::size_t cut = chunks[t];
+        if (cut == 0 || cut == entries.size()) continue;
+        ASSERT_NE(entries[cut - 1].idx, entries[cut].idx) << "chunk splits idx at " << cut;
+    }
+    // (4) Entries are exactly the brute-force conflict set.
+    std::set<std::pair<index_t, std::int32_t>> expected;
+    for (std::size_t t = 0; t < parts.size(); ++t) {
+        for (index_t r = parts[t].begin; r < parts[t].end; ++r) {
+            for (index_t j = sss.rowptr()[static_cast<std::size_t>(r)];
+                 j < sss.rowptr()[static_cast<std::size_t>(r) + 1]; ++j) {
+                const index_t col = sss.colind()[static_cast<std::size_t>(j)];
+                if (col < parts[t].begin) {
+                    expected.emplace(col, static_cast<std::int32_t>(t));
+                }
+            }
+        }
+    }
+    ASSERT_EQ(entries.size(), expected.size());
+    for (const ReductionEntry& e : entries) {
+        EXPECT_TRUE(expected.contains({e.idx, e.vid}))
+            << "unexpected entry (" << e.idx << ", " << e.vid << ")";
+    }
+    // (5) Density within [0, 1].
+    EXPECT_GE(index.density(), 0.0);
+    EXPECT_LE(index.density(), 1.0);
+}
+
+TEST_P(RandomMatrices, SpmvIsLinear) {
+    // K(a*x1 + x2) == a*K(x1) + K(x2): catches state leaking between calls.
+    FuzzCase c = make_case(GetParam());
+    ThreadPool pool(c.threads);
+    const KernelPtr kernel = make_kernel(KernelKind::kCsxSym, c.matrix, pool);
+    const auto x1 = random_vector(c.matrix.rows(), c.rng);
+    const auto x2 = random_vector(c.matrix.rows(), c.rng);
+    const value_t a = 2.75;
+    std::vector<value_t> combined(x1.size());
+    for (std::size_t i = 0; i < x1.size(); ++i) combined[i] = a * x1[i] + x2[i];
+
+    std::vector<value_t> y1(x1.size()), y2(x1.size()), yc(x1.size());
+    kernel->spmv(x1, y1);
+    kernel->spmv(x2, y2);
+    kernel->spmv(combined, yc);
+    for (std::size_t i = 0; i < yc.size(); ++i) {
+        EXPECT_NEAR(yc[i], a * y1[i] + y2[i], 1e-8 * (1.0 + std::abs(yc[i])));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomMatrices,
+                         ::testing::Range<std::uint64_t>(0, 12),
+                         [](const auto& info) { return "seed" + std::to_string(info.param); });
+
+}  // namespace
+}  // namespace symspmv

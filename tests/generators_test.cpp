@@ -1,0 +1,146 @@
+// Tests for the synthetic matrix generators: every output must be symmetric,
+// diagonally dominant (hence SPD), deterministic per seed, and match the
+// requested structural features.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "matrix/generators.hpp"
+#include "matrix/properties.hpp"
+
+namespace symspmv {
+namespace {
+
+void expect_spd_structure(const Coo& m) {
+    ASSERT_TRUE(m.is_symmetric());
+    // Strict diagonal dominance with positive diagonal.
+    std::vector<value_t> diag(static_cast<std::size_t>(m.rows()), 0.0);
+    std::vector<value_t> offsum(static_cast<std::size_t>(m.rows()), 0.0);
+    for (const Triplet& t : m.entries()) {
+        if (t.row == t.col) {
+            diag[static_cast<std::size_t>(t.row)] = t.val;
+        } else {
+            offsum[static_cast<std::size_t>(t.row)] += std::abs(t.val);
+        }
+    }
+    // Weak dominance everywhere with at least one strictly dominant row is
+    // enough for SPD on the irreducible matrices the generators produce
+    // (Poisson stencils are weakly dominant in the interior).
+    int strict_rows = 0;
+    for (index_t r = 0; r < m.rows(); ++r) {
+        EXPECT_GE(diag[static_cast<std::size_t>(r)], offsum[static_cast<std::size_t>(r)])
+            << "row " << r << " not diagonally dominant";
+        if (diag[static_cast<std::size_t>(r)] > offsum[static_cast<std::size_t>(r)]) ++strict_rows;
+    }
+    EXPECT_GT(strict_rows, 0);
+}
+
+TEST(Generators, Poisson2dShape) {
+    const Coo m = gen::poisson2d(8, 8);
+    EXPECT_EQ(m.rows(), 64);
+    // 5-point stencil: nnz = 5*n - 2*nx - 2*ny = 320 - 32.
+    EXPECT_EQ(m.nnz(), 288);
+    expect_spd_structure(m);
+}
+
+TEST(Generators, Poisson3dShape) {
+    const Coo m = gen::poisson3d(4, 4, 4);
+    EXPECT_EQ(m.rows(), 64);
+    expect_spd_structure(m);
+    EXPECT_EQ(bandwidth(m), 16);  // nx*ny
+}
+
+TEST(Generators, BandedRandomIsSpdAndDeterministic) {
+    const Coo a = gen::banded_random(300, 20, 8.0, 5);
+    const Coo b = gen::banded_random(300, 20, 8.0, 5);
+    expect_spd_structure(a);
+    ASSERT_EQ(a.nnz(), b.nnz());
+    for (index_t i = 0; i < a.nnz(); ++i) {
+        EXPECT_EQ(a.entries()[static_cast<std::size_t>(i)],
+                  b.entries()[static_cast<std::size_t>(i)]);
+    }
+}
+
+TEST(Generators, BandedRandomDifferentSeedsDiffer) {
+    const Coo a = gen::banded_random(300, 20, 8.0, 5);
+    const Coo b = gen::banded_random(300, 20, 8.0, 6);
+    EXPECT_NE(a.nnz(), b.nnz());
+}
+
+TEST(Generators, BandedRandomHitsNnzTarget) {
+    const Coo m = gen::banded_random(4096, 64, 12.0, 9);
+    const double per_row = static_cast<double>(m.nnz()) / m.rows();
+    EXPECT_NEAR(per_row, 12.0, 1.5);
+}
+
+TEST(Generators, BandedRandomRespectsBandWithoutScatter) {
+    const Coo m = gen::banded_random(512, 10, 6.0, 2, 0.0);
+    EXPECT_LE(bandwidth(m), 10);
+}
+
+TEST(Generators, BlockFemProducesDenseBlocks) {
+    const Coo m = gen::block_fem(64, 6, 8.0, 0.1, 21);
+    EXPECT_EQ(m.rows(), 64 * 6);
+    expect_spd_structure(m);
+    // Dense diagonal self-block: rows within one node couple to each other.
+    // Check node 10: rows 60..65 all mutually connected.
+    std::set<std::pair<index_t, index_t>> pat;
+    for (const Triplet& t : m.entries()) pat.emplace(t.row, t.col);
+    for (index_t a = 60; a < 66; ++a) {
+        for (index_t b = 60; b < 66; ++b) {
+            EXPECT_TRUE(pat.count({a, b})) << a << "," << b;
+        }
+    }
+}
+
+TEST(Generators, BlockFemNnzPerRowScalesWithDegreeAndBlock) {
+    const Coo m = gen::block_fem(256, 6, 8.0, 0.05, 33);
+    const double per_row = static_cast<double>(m.nnz()) / m.rows();
+    // ~ (degree + 1) * block = 54; generous tolerance for the Poisson draw
+    // and duplicate edges that merge.
+    EXPECT_GT(per_row, 30.0);
+    EXPECT_LT(per_row, 60.0);
+}
+
+TEST(Generators, PowerLawCircuitIsSpdWithHighBandwidth) {
+    const Coo m = gen::power_law_circuit(2048, 4.8, 17);
+    expect_spd_structure(m);
+    EXPECT_GT(bandwidth(m), 1024);  // long-range hub links
+    const double per_row = static_cast<double>(m.nnz()) / m.rows();
+    EXPECT_GT(per_row, 3.0);
+    EXPECT_LT(per_row, 8.0);
+}
+
+TEST(Generators, MakeSpdFixesDiagonal) {
+    Coo m(3, 3);
+    m.add(1, 0, -4.0);
+    m.add(0, 1, -4.0);
+    m.add(2, 1, 2.0);
+    m.add(1, 2, 2.0);
+    m.canonicalize();
+    const Coo spd = gen::make_spd(m);
+    expect_spd_structure(spd);
+    // Diagonal = |offdiag| row sum + 1.
+    for (const Triplet& t : spd.entries()) {
+        if (t.row == 0 && t.col == 0) {
+            EXPECT_DOUBLE_EQ(t.val, 5.0);
+        }
+        if (t.row == 1 && t.col == 1) {
+            EXPECT_DOUBLE_EQ(t.val, 7.0);
+        }
+    }
+}
+
+TEST(Generators, RejectBadParameters) {
+    EXPECT_THROW(gen::poisson2d(0, 4), InternalError);
+    EXPECT_THROW(gen::banded_random(8, 0, 4.0, 1), InternalError);
+    EXPECT_THROW(gen::banded_random(8, 4, 4.0, 1, 1.5), InternalError);
+    EXPECT_THROW(gen::block_fem(16, 3, 4.0, 0.0, 1), InternalError);
+    EXPECT_THROW(gen::power_law_circuit(2, 3.0, 1), InternalError);
+}
+
+}  // namespace
+}  // namespace symspmv

@@ -1,0 +1,64 @@
+// Tests for the measurement framework and the STREAM probe.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "bench/harness.hpp"
+#include "bench/registry.hpp"
+#include "bench/streamprobe.hpp"
+#include "matrix/generators.hpp"
+
+namespace symspmv {
+namespace {
+
+TEST(Harness, MeasureProducesSaneNumbers) {
+    const Coo m = gen::banded_random(1024, 64, 8.0, 3);
+    ThreadPool pool(2);
+    const KernelPtr kernel = make_kernel(KernelKind::kSssIndexing, m, pool);
+    bench::MeasureOptions opts;
+    opts.iterations = 8;
+    opts.warmup = 1;
+    const bench::Measurement meas = bench::measure(*kernel, opts);
+    EXPECT_GT(meas.seconds_per_op, 0.0);
+    EXPECT_GT(meas.gflops, 0.0);
+    EXPECT_EQ(meas.per_op.count, 8u);
+    EXPECT_GT(meas.phase_totals.multiply_seconds, 0.0);
+}
+
+TEST(Harness, MeasureIsDeterministicInShape) {
+    const Coo m = gen::banded_random(256, 16, 6.0, 5);
+    ThreadPool pool(1);
+    const KernelPtr a = make_kernel(KernelKind::kCsr, m, pool);
+    bench::MeasureOptions opts;
+    opts.iterations = 4;
+    const auto meas = bench::measure(*a, opts);
+    EXPECT_LE(meas.per_op.min, meas.per_op.median);
+    EXPECT_LE(meas.per_op.median, meas.per_op.max);
+}
+
+TEST(Harness, TablePrinterAlignsColumns) {
+    std::ostringstream out;
+    bench::TablePrinter table(out, {10, 8, 8});
+    table.header({"matrix", "a", "b"});
+    table.row({"m1", "1.00", "2.00"});
+    const std::string text = out.str();
+    EXPECT_NE(text.find("matrix"), std::string::npos);
+    EXPECT_NE(text.find("m1"), std::string::npos);
+    EXPECT_NE(text.find("----"), std::string::npos);
+}
+
+TEST(Harness, FormatHelpers) {
+    EXPECT_EQ(bench::TablePrinter::fmt(1.23456, 2), "1.23");
+    EXPECT_EQ(bench::TablePrinter::fmt(1.5, 0), "2");
+    EXPECT_EQ(bench::TablePrinter::pct(0.436, 1), "43.6%");
+}
+
+TEST(StreamProbe, ReportsPositiveBandwidth) {
+    ThreadPool pool(2);
+    const bench::StreamResult r = bench::stream_probe(pool, 1u << 16, 2);
+    EXPECT_GT(r.triad_gbs, 0.0);
+    EXPECT_GT(r.copy_gbs, 0.0);
+}
+
+}  // namespace
+}  // namespace symspmv

@@ -1,0 +1,92 @@
+// Tests for the HYB (ELL + COO tail) format.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "core/thread_pool.hpp"
+#include "matrix/generators.hpp"
+#include "matrix/hyb.hpp"
+#include "spmv/baseline_kernels.hpp"
+
+namespace symspmv {
+namespace {
+
+std::vector<value_t> random_vector(index_t n, std::uint64_t seed) {
+    std::mt19937_64 rng(seed);
+    std::uniform_real_distribution<value_t> dist(-1.0, 1.0);
+    std::vector<value_t> v(static_cast<std::size_t>(n));
+    for (auto& e : v) e = dist(rng);
+    return v;
+}
+
+void expect_near_vectors(std::span<const value_t> expected, std::span<const value_t> actual) {
+    ASSERT_EQ(expected.size(), actual.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_NEAR(expected[i], actual[i], 1e-9 * (1.0 + std::abs(expected[i]))) << "at " << i;
+    }
+}
+
+TEST(Hyb, QuantileExtremes) {
+    const Coo coo = gen::make_spd(gen::power_law_circuit(300, 3.0, 3));
+    const Hyb all_ell(coo, 1.0);
+    EXPECT_EQ(all_ell.tail_nnz(), 0);
+    EXPECT_EQ(all_ell.ell_nnz(), coo.nnz());
+    const Hyb mostly_coo(coo, 0.0);
+    EXPECT_GT(mostly_coo.tail_nnz(), 0);
+    EXPECT_LT(mostly_coo.ell_width(), all_ell.ell_width());
+}
+
+TEST(Hyb, SplitConservesEveryNonZero) {
+    const Coo coo = gen::make_spd(gen::power_law_circuit(400, 4.0, 5));
+    const Hyb hyb(coo, 0.9);
+    EXPECT_EQ(hyb.ell_nnz() + hyb.tail_nnz(), coo.nnz());
+    EXPECT_GT(hyb.tail_nnz(), 0) << "power-law hubs must spill";
+}
+
+TEST(Hyb, TamesEllpackPaddingOnPowerLawMatrix) {
+    const Coo coo = gen::make_spd(gen::power_law_circuit(500, 3.0, 7));
+    const Ellpack ell(coo);
+    const Hyb hyb(coo, 0.9);
+    EXPECT_LT(hyb.ell_padding_ratio(), ell.padding_ratio() / 2.0);
+    EXPECT_LT(hyb.size_bytes(), ell.size_bytes());
+}
+
+TEST(Hyb, SerialSpmvMatchesOracle) {
+    const Coo coo = gen::make_spd(gen::power_law_circuit(350, 4.0, 9));
+    for (double q : {0.0, 0.5, 0.9, 1.0}) {
+        const Hyb hyb(coo, q);
+        const auto x = random_vector(coo.rows(), 1);
+        std::vector<value_t> y(static_cast<std::size_t>(coo.rows()));
+        std::vector<value_t> y_ref(y.size());
+        hyb.spmv(x, y);
+        coo.spmv(x, y_ref);
+        expect_near_vectors(y_ref, y);
+    }
+}
+
+TEST(Hyb, RegularMatrixHasNoTail) {
+    const Coo coo = gen::make_spd(gen::poisson2d(15, 15));  // every row <= 5 nnz
+    const Hyb hyb(coo, 0.9);
+    EXPECT_EQ(hyb.tail_nnz(), 0);
+}
+
+class HybThreads : public ::testing::TestWithParam<int> {};
+
+TEST_P(HybThreads, MtKernelMatchesOracle) {
+    ThreadPool pool(GetParam());
+    const Coo coo = gen::make_spd(gen::power_law_circuit(450, 4.0, 11));
+    HybMtKernel kernel(Hyb(coo), pool);
+    const auto x = random_vector(coo.rows(), 2);
+    std::vector<value_t> y(static_cast<std::size_t>(coo.rows()));
+    std::vector<value_t> y_ref(y.size());
+    kernel.spmv(x, y);
+    coo.spmv(x, y_ref);
+    expect_near_vectors(y_ref, y);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, HybThreads, ::testing::Values(1, 2, 3, 5, 8));
+
+}  // namespace
+}  // namespace symspmv

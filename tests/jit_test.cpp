@@ -1,0 +1,158 @@
+// Tests for the runtime code-generation backend (the LLVM stand-in).
+// All compilation-dependent tests skip gracefully when no C compiler is on
+// PATH, mirroring the library's own fallback to the interpreter.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "core/thread_pool.hpp"
+#include "csx/jit.hpp"
+#include "csx/kernels.hpp"
+#include "matrix/generators.hpp"
+
+namespace symspmv::csx {
+namespace {
+
+std::vector<value_t> random_vector(index_t n, std::uint64_t seed) {
+    std::mt19937_64 rng(seed);
+    std::uniform_real_distribution<value_t> dist(-1.0, 1.0);
+    std::vector<value_t> v(static_cast<std::size_t>(n));
+    for (auto& e : v) e = dist(rng);
+    return v;
+}
+
+#define SKIP_WITHOUT_COMPILER()                                  \
+    if (!JitModule::compiler_available()) {                      \
+        GTEST_SKIP() << "no C compiler on PATH; JIT unavailable"; \
+    }
+
+TEST(JitSource, ContainsOneCasePerTableEntry) {
+    const std::vector<Pattern> table = {
+        {PatternType::kHorizontal, 1},
+        {PatternType::kBlock, 3},
+        {PatternType::kDiagonal, 2},
+    };
+    const std::string src = generate_kernel_source(table);
+    EXPECT_NE(src.find("case 3:"), std::string::npos);
+    EXPECT_NE(src.find("case 4:"), std::string::npos);
+    EXPECT_NE(src.find("case 5:"), std::string::npos);
+    EXPECT_EQ(src.find("case 6:"), std::string::npos);
+    // Strides appear as folded literals, not table lookups.
+    EXPECT_EQ(src.find("table"), std::string::npos);
+}
+
+TEST(JitSource, EmptyTableStillHasDeltaUnits) {
+    const std::string src = generate_kernel_source({});
+    EXPECT_NE(src.find("delta8"), std::string::npos);
+    EXPECT_NE(src.find("delta16"), std::string::npos);
+    EXPECT_NE(src.find("delta32"), std::string::npos);
+    EXPECT_EQ(src.find("case 3:"), std::string::npos);
+}
+
+TEST(JitModule, CompilesAndLoads) {
+    SKIP_WITHOUT_COMPILER();
+    const std::vector<Pattern> table = {{PatternType::kHorizontal, 1}};
+    const JitModule module(table);
+    EXPECT_NE(module.fn(), nullptr);
+    EXPECT_GT(module.compile_seconds(), 0.0);
+}
+
+class JitKernelMatrices : public ::testing::TestWithParam<int> {};
+
+TEST_P(JitKernelMatrices, MatchesInterpreterExactly) {
+    SKIP_WITHOUT_COMPILER();
+    ThreadPool pool(GetParam());
+    // block_fem exercises block + horizontal patterns; power_law the delta
+    // fallbacks; poisson the diagonal family.
+    const std::vector<Coo> matrices = {
+        gen::make_spd(gen::block_fem(60, 3, 5.0, 0.6, 3)),
+        gen::make_spd(gen::power_law_circuit(300, 4.0, 5)),
+        gen::make_spd(gen::poisson2d(18, 18)),
+    };
+    for (const Coo& full : matrices) {
+        const Csr csr(full);
+        CsxMtKernel interp(csr, CsxConfig{}, pool);
+        CsxJitKernel jit(csr, CsxConfig{}, pool);
+        const auto x = random_vector(full.rows(), 11);
+        std::vector<value_t> y_interp(static_cast<std::size_t>(full.rows()));
+        std::vector<value_t> y_jit(y_interp.size());
+        interp.spmv(x, y_interp);
+        jit.spmv(x, y_jit);
+        for (std::size_t i = 0; i < y_interp.size(); ++i) {
+            // Same ctl stream, same arithmetic order: bitwise equality.
+            EXPECT_DOUBLE_EQ(y_interp[i], y_jit[i]) << "row " << i;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, JitKernelMatrices, ::testing::Values(1, 2, 4));
+
+TEST(JitKernel, MatchesCooOracle) {
+    SKIP_WITHOUT_COMPILER();
+    ThreadPool pool(3);
+    const Coo full = gen::make_spd(gen::banded_random(400, 30, 7.0, 7, 0.2));
+    CsxJitKernel jit(Csr(full), CsxConfig{}, pool);
+    const auto x = random_vector(full.rows(), 13);
+    std::vector<value_t> y(static_cast<std::size_t>(full.rows()));
+    std::vector<value_t> y_ref(y.size());
+    jit.spmv(x, y);
+    full.spmv(x, y_ref);
+    for (std::size_t i = 0; i < y.size(); ++i) {
+        EXPECT_NEAR(y_ref[i], y[i], 1e-9 * (1.0 + std::abs(y_ref[i])));
+    }
+}
+
+TEST(JitSymKernel, MatchesInterpreterExactly) {
+    SKIP_WITHOUT_COMPILER();
+    ThreadPool pool(4);
+    const std::vector<Coo> matrices = {
+        gen::make_spd(gen::block_fem(60, 3, 5.0, 0.6, 7)),
+        gen::make_spd(gen::banded_random(350, 25, 6.0, 9, 0.3)),
+    };
+    for (const Coo& full : matrices) {
+        const Sss sss(full);
+        CsxSymKernel interp(sss, CsxConfig{}, pool);
+        CsxSymJitKernel jit(sss, CsxConfig{}, pool);
+        const auto x = random_vector(full.rows(), 17);
+        std::vector<value_t> y_interp(static_cast<std::size_t>(full.rows()));
+        std::vector<value_t> y_jit(y_interp.size());
+        interp.spmv(x, y_interp);
+        jit.spmv(x, y_jit);
+        for (std::size_t i = 0; i < y_interp.size(); ++i) {
+            EXPECT_DOUBLE_EQ(y_interp[i], y_jit[i]) << "row " << i;
+        }
+        // Repeat: the shared locals must have been re-zeroed via the index.
+        jit.spmv(x, y_jit);
+        for (std::size_t i = 0; i < y_interp.size(); ++i) {
+            EXPECT_DOUBLE_EQ(y_interp[i], y_jit[i]) << "repeat row " << i;
+        }
+    }
+}
+
+TEST(JitSymKernel, MatchesCooOracle) {
+    SKIP_WITHOUT_COMPILER();
+    ThreadPool pool(3);
+    const Coo full = gen::make_spd(gen::power_law_circuit(400, 4.0, 19));
+    CsxSymJitKernel jit(Sss(full), CsxConfig{}, pool);
+    const auto x = random_vector(full.rows(), 23);
+    std::vector<value_t> y(static_cast<std::size_t>(full.rows()));
+    std::vector<value_t> y_ref(y.size());
+    jit.spmv(x, y);
+    full.spmv(x, y_ref);
+    for (std::size_t i = 0; i < y.size(); ++i) {
+        EXPECT_NEAR(y_ref[i], y[i], 1e-9 * (1.0 + std::abs(y_ref[i])));
+    }
+}
+
+TEST(JitKernel, AccountsCompileTimeAsPreprocessing) {
+    SKIP_WITHOUT_COMPILER();
+    ThreadPool pool(2);
+    const Coo full = gen::make_spd(gen::poisson2d(16, 16));
+    CsxJitKernel jit(Csr(full), CsxConfig{}, pool);
+    EXPECT_GT(jit.preprocess_seconds(), jit.matrix().preprocess_seconds());
+}
+
+}  // namespace
+}  // namespace symspmv::csx

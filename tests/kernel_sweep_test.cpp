@@ -1,0 +1,239 @@
+// Cross-format integration sweep: every registered kernel x representative
+// suite matrices x thread counts, checked against the COO oracle, plus
+// structural edge cases and the permutation-invariance property
+// K(P A P^T)(P x) == P (A x) that the §V.D reordering study relies on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <random>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "bench/registry.hpp"
+#include "core/thread_pool.hpp"
+#include "matrix/generators.hpp"
+#include "matrix/suite.hpp"
+#include "reorder/permute.hpp"
+#include "reorder/rcm.hpp"
+
+namespace symspmv {
+namespace {
+
+std::vector<value_t> random_vector(index_t n, std::uint64_t seed) {
+    std::mt19937_64 rng(seed);
+    std::uniform_real_distribution<value_t> dist(-1.0, 1.0);
+    std::vector<value_t> v(static_cast<std::size_t>(n));
+    for (auto& e : v) e = dist(rng);
+    return v;
+}
+
+void expect_near_vectors(std::span<const value_t> expected, std::span<const value_t> actual,
+                         double tol = 1e-9) {
+    ASSERT_EQ(expected.size(), actual.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+        ASSERT_NEAR(expected[i], actual[i], tol * (1.0 + std::abs(expected[i]))) << "at " << i;
+    }
+}
+
+/// Suite matrices are expensive to generate; share them across the sweep.
+const Coo& cached_matrix(const std::string& name) {
+    static std::map<std::string, Coo> cache;
+    auto it = cache.find(name);
+    if (it == cache.end()) {
+        it = cache.emplace(name, gen::generate_suite_matrix(name, 0.004)).first;
+    }
+    return it->second;
+}
+
+/// Representative structural classes: stencil, irregular high-bandwidth,
+/// block-FEM, circuit, dense-rows (one per StructureClass of Table I).
+const std::vector<std::string>& sweep_matrices() {
+    static const std::vector<std::string> names = {
+        "parabolic_fem", "offshore", "bmw7st_1", "G3_circuit",
+        "nd12k",         "ldoor",    "hood",     "crankseg_2",
+    };
+    return names;
+}
+
+using SweepParam = std::tuple<KernelKind, std::string>;
+
+class KernelMatrixSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(KernelMatrixSweep, MatchesOracleAcrossThreadCounts) {
+    const auto [kind, name] = GetParam();
+    const Coo& full = cached_matrix(name);
+    const auto x = random_vector(full.rows(), std::hash<std::string>{}(name));
+    std::vector<value_t> y_ref(static_cast<std::size_t>(full.rows()));
+    full.spmv(x, y_ref);
+    for (int threads : {1, 3, 8}) {
+        ThreadPool pool(threads);
+        const KernelPtr kernel = make_kernel(kind, full, pool);
+        EXPECT_EQ(kernel->rows(), full.rows());
+        EXPECT_EQ(kernel->nnz(), full.nnz());
+        std::vector<value_t> y(static_cast<std::size_t>(full.rows()));
+        kernel->spmv(x, y);
+        expect_near_vectors(y_ref, y);
+    }
+}
+
+std::vector<SweepParam> sweep_params() {
+    std::vector<SweepParam> out;
+    for (KernelKind kind : all_kernel_kinds()) {
+        for (const std::string& name : sweep_matrices()) out.emplace_back(kind, name);
+    }
+    return out;
+}
+
+std::string sweep_name(const ::testing::TestParamInfo<SweepParam>& info) {
+    std::string s = std::string(to_string(std::get<0>(info.param))) + "_" +
+                    std::get<1>(info.param);
+    for (char& c : s) {
+        if (c == '-') c = '_';
+    }
+    return s;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, KernelMatrixSweep, ::testing::ValuesIn(sweep_params()),
+                         sweep_name);
+
+class KernelEdgeCases : public ::testing::TestWithParam<KernelKind> {};
+
+TEST_P(KernelEdgeCases, PureDiagonalMatrix) {
+    Coo coo(33, 33);
+    for (index_t i = 0; i < 33; ++i) coo.add(i, i, static_cast<value_t>(i + 1));
+    coo.canonicalize();
+    ThreadPool pool(4);
+    const KernelPtr kernel = make_kernel(GetParam(), coo, pool);
+    const auto x = random_vector(33, 7);
+    std::vector<value_t> y(33);
+    kernel->spmv(x, y);
+    for (index_t i = 0; i < 33; ++i) {
+        EXPECT_NEAR(y[static_cast<std::size_t>(i)],
+                    static_cast<value_t>(i + 1) * x[static_cast<std::size_t>(i)], 1e-12);
+    }
+}
+
+TEST_P(KernelEdgeCases, OneByOneMatrix) {
+    Coo coo(1, 1);
+    coo.add(0, 0, 3.0);
+    coo.canonicalize();
+    ThreadPool pool(2);
+    const KernelPtr kernel = make_kernel(GetParam(), coo, pool);
+    const std::vector<value_t> x = {2.0};
+    std::vector<value_t> y(1);
+    kernel->spmv(x, y);
+    EXPECT_DOUBLE_EQ(y[0], 6.0);
+}
+
+TEST_P(KernelEdgeCases, MoreThreadsThanRows) {
+    const Coo coo = gen::make_spd(gen::poisson2d(3, 2));  // 6 rows
+    ThreadPool pool(8);
+    const KernelPtr kernel = make_kernel(GetParam(), coo, pool);
+    const auto x = random_vector(coo.rows(), 9);
+    std::vector<value_t> y(static_cast<std::size_t>(coo.rows()));
+    std::vector<value_t> y_ref(y.size());
+    kernel->spmv(x, y);
+    coo.spmv(x, y_ref);
+    expect_near_vectors(y_ref, y);
+}
+
+TEST_P(KernelEdgeCases, ArrowheadMatrix) {
+    // One dense first row/column: the worst case for row partitioning and
+    // the local-vector conflict index (every thread conflicts on row 0).
+    const index_t n = 200;
+    Coo coo(n, n);
+    for (index_t i = 0; i < n; ++i) coo.add(i, i, 100.0);
+    for (index_t i = 1; i < n; ++i) {
+        coo.add(i, 0, 1.0);
+        coo.add(0, i, 1.0);
+    }
+    coo.canonicalize();
+    ThreadPool pool(6);
+    const KernelPtr kernel = make_kernel(GetParam(), coo, pool);
+    const auto x = random_vector(n, 11);
+    std::vector<value_t> y(static_cast<std::size_t>(n));
+    std::vector<value_t> y_ref(y.size());
+    kernel->spmv(x, y);
+    coo.spmv(x, y_ref);
+    expect_near_vectors(y_ref, y);
+}
+
+TEST_P(KernelEdgeCases, RejectsMismatchedVectorSizes) {
+    const Coo coo = gen::make_spd(gen::poisson2d(6, 6));  // 36 rows
+    ThreadPool pool(2);
+    const KernelPtr kernel = make_kernel(GetParam(), coo, pool);
+    std::vector<value_t> x(36, 1.0);
+    std::vector<value_t> y_short(35);
+    std::vector<value_t> x_short(35, 1.0);
+    std::vector<value_t> y(36);
+    EXPECT_ANY_THROW(kernel->spmv(x, y_short));
+    EXPECT_ANY_THROW(kernel->spmv(x_short, y));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, KernelEdgeCases, ::testing::ValuesIn(all_kernel_kinds()),
+                         [](const auto& info) {
+                             std::string s(to_string(info.param));
+                             for (char& c : s) {
+                                 if (c == '-') c = '_';
+                             }
+                             return s;
+                         });
+
+class PermutationInvariance : public ::testing::TestWithParam<KernelKind> {};
+
+TEST_P(PermutationInvariance, RcmPermutedKernelComputesPermutedProduct) {
+    const Coo& full = cached_matrix("bmwcra_1");
+    const auto perm = rcm_permutation(full);
+    const Coo permuted = permute_symmetric(full, perm);
+    ThreadPool pool(4);
+    const KernelPtr plain = make_kernel(GetParam(), full, pool);
+    const KernelPtr reordered = make_kernel(GetParam(), permuted, pool);
+
+    const auto x = random_vector(full.rows(), 13);
+    std::vector<value_t> y(static_cast<std::size_t>(full.rows()));
+    plain->spmv(x, y);
+
+    const auto px = permute_vector(x, perm);
+    std::vector<value_t> py(px.size());
+    reordered->spmv(px, py);
+
+    expect_near_vectors(permute_vector(y, perm), py);
+}
+
+TEST_P(PermutationInvariance, RandomPermutationToo) {
+    const Coo& full = cached_matrix("thermal2");
+    std::vector<index_t> perm(static_cast<std::size_t>(full.rows()));
+    for (std::size_t i = 0; i < perm.size(); ++i) perm[i] = static_cast<index_t>(i);
+    std::mt19937_64 rng(99);
+    std::ranges::shuffle(perm, rng);
+    const Coo permuted = permute_symmetric(full, perm);
+    ThreadPool pool(3);
+    const KernelPtr plain = make_kernel(GetParam(), full, pool);
+    const KernelPtr reordered = make_kernel(GetParam(), permuted, pool);
+
+    const auto x = random_vector(full.rows(), 17);
+    std::vector<value_t> y(static_cast<std::size_t>(full.rows()));
+    plain->spmv(x, y);
+    const auto px = permute_vector(x, perm);
+    std::vector<value_t> py(px.size());
+    reordered->spmv(px, py);
+    expect_near_vectors(permute_vector(y, perm), py);
+}
+
+INSTANTIATE_TEST_SUITE_P(SymmetricKernels, PermutationInvariance,
+                         ::testing::Values(KernelKind::kCsr, KernelKind::kSssIndexing,
+                                           KernelKind::kCsxSym, KernelKind::kCsbSym,
+                                           KernelKind::kSssColor),
+                         [](const auto& info) {
+                             std::string s(to_string(info.param));
+                             for (char& c : s) {
+                                 if (c == '-') c = '_';
+                             }
+                             return s;
+                         });
+
+}  // namespace
+}  // namespace symspmv

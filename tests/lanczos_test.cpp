@@ -1,0 +1,115 @@
+// Tests for the Lanczos spectrum estimator and the tridiagonal eigensolver.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bench/registry.hpp"
+#include "core/thread_pool.hpp"
+#include "matrix/generators.hpp"
+#include "solver/lanczos.hpp"
+#include "solver/pcg.hpp"
+
+namespace symspmv::cg {
+namespace {
+
+TEST(TridiagonalEigen, DiagonalMatrixIsExact) {
+    const std::vector<double> alpha = {3.0, -1.0, 7.0, 2.0};
+    const std::vector<double> beta = {0.0, 0.0, 0.0};
+    const auto [lmin, lmax] = tridiagonal_extreme_eigenvalues(alpha, beta);
+    EXPECT_NEAR(lmin, -1.0, 1e-10);
+    EXPECT_NEAR(lmax, 7.0, 1e-10);
+}
+
+TEST(TridiagonalEigen, TwoByTwoClosedForm) {
+    // [[2, 1], [1, 2]] has eigenvalues 1 and 3.
+    const std::vector<double> alpha = {2.0, 2.0};
+    const std::vector<double> beta = {1.0};
+    const auto [lmin, lmax] = tridiagonal_extreme_eigenvalues(alpha, beta);
+    EXPECT_NEAR(lmin, 1.0, 1e-10);
+    EXPECT_NEAR(lmax, 3.0, 1e-10);
+}
+
+TEST(TridiagonalEigen, DiscreteLaplacianSpectrum) {
+    // tridiag(-1, 2, -1) of size n has eigenvalues 2 - 2cos(k pi/(n+1)).
+    const int n = 40;
+    const std::vector<double> alpha(static_cast<std::size_t>(n), 2.0);
+    const std::vector<double> beta(static_cast<std::size_t>(n) - 1, -1.0);
+    const auto [lmin, lmax] = tridiagonal_extreme_eigenvalues(alpha, beta);
+    const double pi = std::acos(-1.0);
+    EXPECT_NEAR(lmin, 2.0 - 2.0 * std::cos(pi / (n + 1)), 1e-9);
+    EXPECT_NEAR(lmax, 2.0 - 2.0 * std::cos(n * pi / (n + 1)), 1e-9);
+}
+
+TEST(Lanczos, DiagonalOperatorSpectrumIsRecovered) {
+    Coo coo(60, 60);
+    for (index_t i = 0; i < 60; ++i) coo.add(i, i, 1.0 + static_cast<value_t>(i));
+    coo.canonicalize();
+    ThreadPool pool(2);
+    auto kernel = make_kernel(KernelKind::kCsr, coo, pool);
+    const SpectrumEstimate est = estimate_spectrum(*kernel, pool, 60);
+    EXPECT_NEAR(est.lambda_max, 60.0, 1e-6);
+    EXPECT_NEAR(est.lambda_min, 1.0, 1e-6);
+    EXPECT_NEAR(est.condition_number(), 60.0, 1e-4);
+}
+
+TEST(Lanczos, SpdMatrixYieldsPositiveEstimates) {
+    ThreadPool pool(3);
+    const Coo coo = gen::make_spd(gen::poisson2d(18, 18));
+    auto kernel = make_kernel(KernelKind::kSssIndexing, coo, pool);
+    const SpectrumEstimate est = estimate_spectrum(*kernel, pool, 40);
+    EXPECT_GT(est.lambda_min, 0.0) << "SPD matrices have positive spectra";
+    EXPECT_GT(est.lambda_max, est.lambda_min);
+    EXPECT_GE(est.cg_iteration_bound(), 1.0);
+}
+
+TEST(Lanczos, RitzValuesStayInsideTheDiagonalDominanceBounds) {
+    // make_spd sets a(i,i) = sum|offdiag| + 1, so by Gershgorin every
+    // eigenvalue lies in [1, 2*max_diag].
+    ThreadPool pool(2);
+    const Coo coo = gen::make_spd(gen::banded_random(250, 15, 5.0, 3));
+    double max_diag = 0.0;
+    for (const Triplet& t : coo.entries()) {
+        if (t.row == t.col) max_diag = std::max(max_diag, t.val);
+    }
+    auto kernel = make_kernel(KernelKind::kCsr, coo, pool);
+    const SpectrumEstimate est = estimate_spectrum(*kernel, pool, 30);
+    EXPECT_GE(est.lambda_min, 0.99);
+    EXPECT_LE(est.lambda_max, 2.0 * max_diag + 1e-9);
+}
+
+TEST(Lanczos, BoundPredictsObservedCgIterations) {
+    // The classical bound must hold: measured iterations <= bound (Ritz
+    // extremes converge from inside, so widen the estimate slightly).
+    ThreadPool pool(2);
+    const Coo coo = gen::make_spd(gen::poisson2d(16, 16));
+    auto kernel = make_kernel(KernelKind::kSssIndexing, coo, pool);
+    const SpectrumEstimate est = estimate_spectrum(*kernel, pool, 60);
+
+    std::vector<value_t> b(static_cast<std::size_t>(coo.rows()), 1.0);
+    Options opts;
+    opts.tolerance = 1e-8;
+    opts.max_iterations = 1000;
+    const Result res = solve(*kernel, pool, b, opts);
+    ASSERT_TRUE(res.converged);
+    EXPECT_LE(res.iterations, est.cg_iteration_bound(1e-8) * 1.5 + 5.0);
+}
+
+TEST(Lanczos, HistoryRecordingMatchesIterationCount) {
+    ThreadPool pool(2);
+    const Coo coo = gen::make_spd(gen::poisson2d(12, 12));
+    auto kernel = make_kernel(KernelKind::kCsr, coo, pool);
+    std::vector<value_t> b(static_cast<std::size_t>(coo.rows()), 1.0);
+    Options opts;
+    opts.record_residuals = true;
+    const Result res = solve(*kernel, pool, b, opts);
+    ASSERT_TRUE(res.converged);
+    // history = initial residual + one entry per iteration.
+    EXPECT_EQ(static_cast<int>(res.residual_history.size()), res.iterations + 1);
+    for (std::size_t i = 1; i < res.residual_history.size(); ++i) {
+        EXPECT_GE(res.residual_history[i], 0.0);  // exact zero = exact convergence
+    }
+    EXPECT_DOUBLE_EQ(res.residual_history.back(), res.residual_norm);
+}
+
+}  // namespace
+}  // namespace symspmv::cg

@@ -1,0 +1,97 @@
+// Robustness fuzz for the Matrix Market parser: random mutations of a
+// valid file must either parse (if still valid) or throw ParseError /
+// InvalidArgument — never crash, hang or silently return garbage shape.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <sstream>
+
+#include "core/error.hpp"
+#include "matrix/generators.hpp"
+#include "matrix/mmio.hpp"
+
+namespace symspmv {
+namespace {
+
+std::string valid_file() {
+    const Coo coo = gen::make_spd(gen::poisson2d(6, 6));
+    std::ostringstream os;
+    write_matrix_market(os, coo, /*as_symmetric=*/true);
+    return os.str();
+}
+
+/// Parses @p text expecting either success or a library exception.
+void expect_graceful(const std::string& text) {
+    std::istringstream is(text);
+    try {
+        const Coo coo = read_matrix_market(is);
+        // Parsed: the shape must at least be non-negative and consistent.
+        EXPECT_GE(coo.rows(), 0);
+        EXPECT_GE(coo.cols(), 0);
+        for (const Triplet& t : coo.entries()) {
+            EXPECT_GE(t.row, 0);
+            EXPECT_LT(t.row, coo.rows());
+            EXPECT_GE(t.col, 0);
+            EXPECT_LT(t.col, coo.cols());
+        }
+    } catch (const ParseError&) {
+    } catch (const InvalidArgument&) {
+    } catch (const InternalError&) {
+        // Internal invariants firing on hostile input are acceptable too —
+        // the contract is "throws, never crashes".
+    }
+}
+
+class MmioFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MmioFuzz, ByteMutationsNeverCrash) {
+    const std::string base = valid_file();
+    std::mt19937_64 rng(GetParam());
+    for (int round = 0; round < 200; ++round) {
+        std::string mutated = base;
+        const int edits = 1 + static_cast<int>(rng() % 4);
+        for (int e = 0; e < edits; ++e) {
+            const std::size_t at = rng() % mutated.size();
+            switch (rng() % 3) {
+                case 0:  // flip a byte
+                    mutated[at] = static_cast<char>(rng() % 256);
+                    break;
+                case 1:  // delete a byte
+                    mutated.erase(at, 1);
+                    break;
+                default:  // duplicate a byte
+                    mutated.insert(at, 1, mutated[at]);
+                    break;
+            }
+            if (mutated.empty()) break;
+        }
+        expect_graceful(mutated);
+    }
+}
+
+TEST_P(MmioFuzz, TruncationsNeverCrash) {
+    const std::string base = valid_file();
+    std::mt19937_64 rng(GetParam() ^ 0xABCD);
+    for (int round = 0; round < 50; ++round) {
+        expect_graceful(base.substr(0, rng() % base.size()));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MmioFuzz, ::testing::Values(1, 2, 3, 4, 5),
+                         [](const auto& info) { return "seed" + std::to_string(info.param); });
+
+TEST(MmioFuzz, HostileHeaders) {
+    for (const char* text : {
+             "%%MatrixMarket matrix coordinate real general\n-1 4 2\n1 1 1.0\n",
+             "%%MatrixMarket matrix coordinate real general\n4 4 2\n0 1 1.0\n",
+             "%%MatrixMarket matrix coordinate real general\n4 4 2\n5 1 1.0\n",
+             "%%MatrixMarket matrix coordinate real general\n4 4 999999999\n1 1 1.0\n",
+             "%%MatrixMarket matrix coordinate real general\n99999999999999999999 4 1\n1 1 1\n",
+             "%%MatrixMarket matrix coordinate real general\n4 4 1\n1 1 nonsense\n",
+         }) {
+        expect_graceful(text);
+    }
+}
+
+}  // namespace
+}  // namespace symspmv

@@ -1,0 +1,145 @@
+// Tests for Matrix Market I/O.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/error.hpp"
+#include "matrix/mmio.hpp"
+
+namespace symspmv {
+namespace {
+
+TEST(Mmio, ReadsGeneralRealMatrix) {
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "% a comment\n"
+        "3 3 3\n"
+        "1 1 1.5\n"
+        "2 3 -2.0\n"
+        "3 1 4.0\n");
+    const Coo m = read_matrix_market(in);
+    EXPECT_EQ(m.rows(), 3);
+    EXPECT_EQ(m.cols(), 3);
+    ASSERT_EQ(m.nnz(), 3);
+    EXPECT_EQ(m.entries()[0], (Triplet{0, 0, 1.5}));
+    EXPECT_EQ(m.entries()[1], (Triplet{1, 2, -2.0}));
+    EXPECT_EQ(m.entries()[2], (Triplet{2, 0, 4.0}));
+}
+
+TEST(Mmio, MirrorsSymmetricFiles) {
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real symmetric\n"
+        "3 3 3\n"
+        "1 1 2.0\n"
+        "2 1 1.0\n"
+        "3 3 5.0\n");
+    const Coo m = read_matrix_market(in);
+    EXPECT_EQ(m.nnz(), 4);  // (0,0), (1,0), (0,1), (2,2)
+    EXPECT_TRUE(m.is_symmetric());
+}
+
+TEST(Mmio, RawReadKeepsTriangle) {
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real symmetric\n"
+        "3 3 2\n"
+        "2 1 1.0\n"
+        "3 2 4.0\n");
+    MatrixMarketHeader header;
+    const Coo m = read_matrix_market_raw(in, header);
+    EXPECT_TRUE(header.symmetric);
+    EXPECT_FALSE(header.pattern);
+    EXPECT_EQ(m.nnz(), 2);
+}
+
+TEST(Mmio, PatternEntriesGetUnitValues) {
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate pattern general\n"
+        "2 2 2\n"
+        "1 2\n"
+        "2 1\n");
+    const Coo m = read_matrix_market(in);
+    ASSERT_EQ(m.nnz(), 2);
+    EXPECT_DOUBLE_EQ(m.entries()[0].val, 1.0);
+}
+
+TEST(Mmio, IntegerFieldIsAccepted) {
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate integer general\n"
+        "2 2 1\n"
+        "1 1 3\n");
+    const Coo m = read_matrix_market(in);
+    EXPECT_DOUBLE_EQ(m.entries()[0].val, 3.0);
+}
+
+TEST(Mmio, RejectsMalformedInputs) {
+    {
+        std::istringstream in("not a matrix\n");
+        EXPECT_THROW(read_matrix_market(in), ParseError);
+    }
+    {
+        std::istringstream in("%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n");
+        EXPECT_THROW(read_matrix_market(in), ParseError);
+    }
+    {
+        std::istringstream in(
+            "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n");
+        EXPECT_THROW(read_matrix_market(in), ParseError);  // truncated
+    }
+    {
+        std::istringstream in(
+            "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n");
+        EXPECT_THROW(read_matrix_market(in), ParseError);  // out of bounds
+    }
+    {
+        std::istringstream in(
+            "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1.0 0.0\n");
+        EXPECT_THROW(read_matrix_market(in), ParseError);  // unsupported field
+    }
+}
+
+TEST(Mmio, MissingFileThrows) {
+    EXPECT_THROW(read_matrix_market_file("/nonexistent/foo.mtx"), ParseError);
+}
+
+TEST(Mmio, WriteReadRoundTripGeneral) {
+    Coo m(3, 4);
+    m.add(0, 3, 1.25);
+    m.add(2, 0, -7.5);
+    m.canonicalize();
+    std::ostringstream out;
+    write_matrix_market(out, m);
+    std::istringstream in(out.str());
+    const Coo back = read_matrix_market(in);
+    EXPECT_EQ(back.rows(), 3);
+    EXPECT_EQ(back.cols(), 4);
+    ASSERT_EQ(back.nnz(), 2);
+    EXPECT_EQ(back.entries()[0], (Triplet{0, 3, 1.25}));
+    EXPECT_EQ(back.entries()[1], (Triplet{2, 0, -7.5}));
+}
+
+TEST(Mmio, WriteReadRoundTripSymmetric) {
+    Coo m(3, 3);
+    m.add(0, 0, 2.0);
+    m.add(1, 0, 1.0);
+    m.add(0, 1, 1.0);
+    m.add(2, 2, 3.0);
+    m.canonicalize();
+    std::ostringstream out;
+    write_matrix_market(out, m, /*as_symmetric=*/true);
+    EXPECT_NE(out.str().find("symmetric"), std::string::npos);
+    std::istringstream in(out.str());
+    const Coo back = read_matrix_market(in);
+    ASSERT_EQ(back.nnz(), m.nnz());
+    EXPECT_TRUE(back.is_symmetric());
+}
+
+TEST(Mmio, SymmetricWriteRejectsAsymmetric) {
+    Coo m(2, 2);
+    m.add(0, 1, 1.0);
+    m.canonicalize();
+    std::ostringstream out;
+    EXPECT_THROW(write_matrix_market(out, m, true), InternalError);
+}
+
+}  // namespace
+}  // namespace symspmv

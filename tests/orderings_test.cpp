@@ -1,0 +1,134 @@
+// Tests for the King and Sloan orderings and the profile metric.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "matrix/generators.hpp"
+#include "matrix/properties.hpp"
+#include "reorder/orderings.hpp"
+#include "reorder/permute.hpp"
+#include "reorder/rcm.hpp"
+
+namespace symspmv {
+namespace {
+
+/// Random symmetric permutation scrambles the natural band ordering.
+Coo scrambled(const Coo& a, std::uint64_t seed) {
+    std::vector<index_t> perm(static_cast<std::size_t>(a.rows()));
+    for (std::size_t i = 0; i < perm.size(); ++i) perm[i] = static_cast<index_t>(i);
+    std::mt19937_64 rng(seed);
+    std::ranges::shuffle(perm, rng);
+    return permute_symmetric(a, perm);
+}
+
+TEST(Profile, HandComputedExample) {
+    Coo coo(4, 4);
+    coo.add(0, 0, 1.0);
+    coo.add(1, 1, 1.0);
+    coo.add(2, 0, 1.0);  // row 2 reaches back to col 0: contributes 2
+    coo.add(2, 2, 1.0);
+    coo.add(3, 2, 1.0);  // row 3 reaches back to col 2: contributes 1
+    coo.add(3, 3, 1.0);
+    coo.add(0, 2, 1.0);  // upper entries are ignored by profile()
+    coo.add(2, 3, 1.0);
+    coo.canonicalize();
+    EXPECT_EQ(profile(coo), 3);
+}
+
+TEST(Profile, ZeroForDiagonalMatrix) {
+    Coo coo(10, 10);
+    for (index_t i = 0; i < 10; ++i) coo.add(i, i, 2.0);
+    coo.canonicalize();
+    EXPECT_EQ(profile(coo), 0);
+}
+
+class OrderingAlgorithms : public ::testing::TestWithParam<const char*> {
+   protected:
+    static std::vector<index_t> run(const char* name, const Coo& a) {
+        if (std::string_view(name) == "king") return king_permutation(a);
+        if (std::string_view(name) == "sloan") return sloan_permutation(a);
+        return rcm_permutation(a);
+    }
+};
+
+TEST_P(OrderingAlgorithms, ProducesAValidPermutation) {
+    const Coo a = scrambled(gen::make_spd(gen::poisson2d(16, 16)), 1);
+    const auto perm = run(GetParam(), a);
+    EXPECT_TRUE(is_permutation(perm));
+}
+
+TEST_P(OrderingAlgorithms, ReducesBandwidthOfScrambledStencil) {
+    const Coo natural = gen::make_spd(gen::poisson2d(20, 20));
+    const Coo a = scrambled(natural, 2);
+    const auto perm = run(GetParam(), a);
+    const Coo reordered = permute_symmetric(a, perm);
+    EXPECT_LT(bandwidth(reordered), bandwidth(a) / 2)
+        << GetParam() << ": " << bandwidth(a) << " -> " << bandwidth(reordered);
+}
+
+TEST_P(OrderingAlgorithms, ReducesProfileOfScrambledStencil) {
+    const Coo a = scrambled(gen::make_spd(gen::poisson2d(18, 18)), 3);
+    const auto perm = run(GetParam(), a);
+    const Coo reordered = permute_symmetric(a, perm);
+    EXPECT_LT(profile(reordered), profile(a) / 2);
+}
+
+TEST_P(OrderingAlgorithms, HandlesDisconnectedComponents) {
+    // Two disjoint paths.
+    Coo coo(8, 8);
+    for (index_t i = 0; i < 8; ++i) coo.add(i, i, 4.0);
+    for (index_t i : {0, 1, 2}) {
+        coo.add(i, i + 1, -1.0);
+        coo.add(i + 1, i, -1.0);
+    }
+    for (index_t i : {4, 5, 6}) {
+        coo.add(i, i + 1, -1.0);
+        coo.add(i + 1, i, -1.0);
+    }
+    coo.canonicalize();
+    const auto perm = run(GetParam(), coo);
+    EXPECT_TRUE(is_permutation(perm));
+    const Coo reordered = permute_symmetric(coo, perm);
+    EXPECT_LE(bandwidth(reordered), 1);  // both paths become tridiagonal
+}
+
+TEST_P(OrderingAlgorithms, SpectrumPreservingOnSpmv) {
+    // Reordering must not change the product (up to the permutation).
+    const Coo a = scrambled(gen::make_spd(gen::banded_random(150, 12, 5.0, 5)), 4);
+    const auto perm = run(GetParam(), a);
+    const Coo reordered = permute_symmetric(a, perm);
+    std::mt19937_64 rng(5);
+    std::uniform_real_distribution<value_t> dist(-1.0, 1.0);
+    std::vector<value_t> x(static_cast<std::size_t>(a.rows()));
+    for (auto& v : x) v = dist(rng);
+    std::vector<value_t> y(x.size());
+    std::vector<value_t> yp(x.size());
+    a.spmv(x, y);
+    reordered.spmv(permute_vector(x, perm), yp);
+    const auto expected = permute_vector(y, perm);
+    for (std::size_t i = 0; i < y.size(); ++i) {
+        EXPECT_NEAR(expected[i], yp[i], 1e-12);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Algorithms, OrderingAlgorithms,
+                         ::testing::Values("rcm", "king", "sloan"));
+
+TEST(OrderingQuality, SloanProfileCompetitiveWithRcm) {
+    // Sloan's selling point: profile at least in RCM's ballpark (usually
+    // better on FEM meshes).  Allow 1.5x slack — it is a heuristic.
+    const Coo a = scrambled(gen::make_spd(gen::poisson2d(24, 24)), 6);
+    const Coo by_rcm = permute_symmetric(a, rcm_permutation(a));
+    const Coo by_sloan = permute_symmetric(a, sloan_permutation(a));
+    EXPECT_LT(profile(by_sloan), profile(by_rcm) * 3 / 2);
+}
+
+TEST(OrderingQuality, KingFrontierNeverWorseThanRandomOrder) {
+    const Coo a = scrambled(gen::make_spd(gen::banded_random(200, 8, 4.0, 7)), 7);
+    const Coo by_king = permute_symmetric(a, king_permutation(a));
+    EXPECT_LT(profile(by_king), profile(a));
+}
+
+}  // namespace
+}  // namespace symspmv

@@ -1,0 +1,197 @@
+// Tests for the preconditioners and the preconditioned CG solver.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "bench/registry.hpp"
+#include "core/thread_pool.hpp"
+#include "matrix/generators.hpp"
+#include "matrix/sss.hpp"
+#include "solver/pcg.hpp"
+#include "solver/precond.hpp"
+
+namespace symspmv::cg {
+namespace {
+
+std::vector<value_t> random_vector(index_t n, std::uint64_t seed) {
+    std::mt19937_64 rng(seed);
+    std::uniform_real_distribution<value_t> dist(-1.0, 1.0);
+    std::vector<value_t> v(static_cast<std::size_t>(n));
+    for (auto& e : v) e = dist(rng);
+    return v;
+}
+
+/// ||b - A x|| via the COO oracle.
+double residual_norm(const Coo& a, std::span<const value_t> x, std::span<const value_t> b) {
+    std::vector<value_t> ax(b.size());
+    a.spmv(x, ax);
+    double s = 0.0;
+    for (std::size_t i = 0; i < b.size(); ++i) {
+        const double d = b[i] - ax[i];
+        s += d * d;
+    }
+    return std::sqrt(s);
+}
+
+TEST(Preconditioner, IdentityCopies) {
+    IdentityPreconditioner pc;
+    const std::vector<value_t> r = {1.0, -2.0, 3.5};
+    std::vector<value_t> z(3);
+    pc.apply(r, z);
+    EXPECT_EQ(z, r);
+}
+
+TEST(Preconditioner, JacobiDividesByDiagonal) {
+    ThreadPool pool(2);
+    Coo coo(3, 3);
+    coo.add(0, 0, 2.0);
+    coo.add(1, 1, 4.0);
+    coo.add(2, 2, 8.0);
+    coo.canonicalize();
+    const Sss sss(coo);
+    JacobiPreconditioner pc(sss, pool);
+    const std::vector<value_t> r = {2.0, 2.0, 2.0};
+    std::vector<value_t> z(3);
+    pc.apply(r, z);
+    EXPECT_DOUBLE_EQ(z[0], 1.0);
+    EXPECT_DOUBLE_EQ(z[1], 0.5);
+    EXPECT_DOUBLE_EQ(z[2], 0.25);
+}
+
+TEST(Preconditioner, SsorSolvesMzEqualsRExactly) {
+    // Verify M z = r by explicitly multiplying z with
+    // M = (1/(w(2-w))) (D + wL) D^{-1} (D + wL)^T on a small matrix.
+    const Coo coo = gen::make_spd(gen::poisson2d(5, 5));
+    const Sss sss(coo);
+    const double w = 1.3;
+    SsorPreconditioner pc(sss, w);
+    const auto r = random_vector(sss.rows(), 1);
+    std::vector<value_t> z(r.size());
+    pc.apply(r, z);
+
+    // u = (D + wL)^T z   (dense computation from the SSS arrays).
+    const index_t n = sss.rows();
+    std::vector<value_t> u(static_cast<std::size_t>(n), 0.0);
+    for (index_t i = 0; i < n; ++i) {
+        u[static_cast<std::size_t>(i)] += sss.dvalues()[static_cast<std::size_t>(i)] *
+                                          z[static_cast<std::size_t>(i)];
+        for (index_t j = sss.rowptr()[static_cast<std::size_t>(i)];
+             j < sss.rowptr()[static_cast<std::size_t>(i) + 1]; ++j) {
+            const index_t c = sss.colind()[static_cast<std::size_t>(j)];
+            u[static_cast<std::size_t>(c)] +=
+                w * sss.values()[static_cast<std::size_t>(j)] * z[static_cast<std::size_t>(i)];
+        }
+    }
+    // v = D^{-1} u, then m = (D + wL) v, then m /= w(2-w).
+    std::vector<value_t> v(u);
+    for (index_t i = 0; i < n; ++i) {
+        v[static_cast<std::size_t>(i)] /= sss.dvalues()[static_cast<std::size_t>(i)];
+    }
+    std::vector<value_t> m(static_cast<std::size_t>(n), 0.0);
+    for (index_t i = 0; i < n; ++i) {
+        m[static_cast<std::size_t>(i)] += sss.dvalues()[static_cast<std::size_t>(i)] *
+                                          v[static_cast<std::size_t>(i)];
+        for (index_t j = sss.rowptr()[static_cast<std::size_t>(i)];
+             j < sss.rowptr()[static_cast<std::size_t>(i) + 1]; ++j) {
+            const index_t c = sss.colind()[static_cast<std::size_t>(j)];
+            m[static_cast<std::size_t>(i)] +=
+                w * sss.values()[static_cast<std::size_t>(j)] * v[static_cast<std::size_t>(c)];
+        }
+    }
+    for (index_t i = 0; i < n; ++i) {
+        m[static_cast<std::size_t>(i)] /= w * (2.0 - w);
+        EXPECT_NEAR(m[static_cast<std::size_t>(i)], r[static_cast<std::size_t>(i)], 1e-10)
+            << "row " << i;
+    }
+}
+
+TEST(Preconditioner, FactoryResolvesNames) {
+    ThreadPool pool(1);
+    const Sss sss(gen::make_spd(gen::poisson2d(4, 4)));
+    EXPECT_EQ(make_preconditioner("none", sss, pool)->name(), "none");
+    EXPECT_EQ(make_preconditioner("jacobi", sss, pool)->name(), "Jacobi");
+    EXPECT_EQ(make_preconditioner("ssor", sss, pool)->name(), "SSOR");
+    EXPECT_ANY_THROW(make_preconditioner("ilu", sss, pool));
+}
+
+class PcgSolve : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PcgSolve, ConvergesToTrueSolution) {
+    ThreadPool pool(4);
+    const Coo coo = gen::make_spd(gen::poisson2d(16, 16));
+    const Sss sss(coo);
+    auto kernel = make_kernel(KernelKind::kSssIndexing, coo, pool);
+    auto pc = make_preconditioner(GetParam(), sss, pool);
+    const auto b = random_vector(coo.rows(), 2);
+    Options opts;
+    opts.max_iterations = 2000;
+    opts.tolerance = 1e-10;
+    const PcgResult res = pcg_solve(*kernel, *pc, pool, b, opts);
+    EXPECT_TRUE(res.base.converged) << GetParam();
+    EXPECT_LT(residual_norm(coo, res.base.x, b), 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Preconds, PcgSolve, ::testing::Values("none", "jacobi", "ssor"));
+
+TEST(Pcg, IdentityMatchesPlainCgIterationForIteration) {
+    ThreadPool pool(2);
+    const Coo coo = gen::make_spd(gen::banded_random(200, 10, 5.0, 3));
+    auto kernel = make_kernel(KernelKind::kCsr, coo, pool);
+    IdentityPreconditioner pc;
+    const auto b = random_vector(coo.rows(), 3);
+    Options opts;
+    opts.max_iterations = 300;
+    opts.tolerance = 1e-9;
+    const Result plain = solve(*kernel, pool, b, opts);
+    const PcgResult pcg = pcg_solve(*kernel, pc, pool, b, opts);
+    EXPECT_EQ(plain.iterations, pcg.base.iterations);
+    ASSERT_EQ(plain.x.size(), pcg.base.x.size());
+    for (std::size_t i = 0; i < plain.x.size(); ++i) {
+        EXPECT_NEAR(plain.x[i], pcg.base.x[i], 1e-12);
+    }
+}
+
+TEST(Pcg, SsorReducesIterationCountOnStencil) {
+    // The whole point of preconditioning: fewer iterations than plain CG.
+    ThreadPool pool(2);
+    const Coo coo = gen::make_spd(gen::poisson2d(24, 24));
+    const Sss sss(coo);
+    auto kernel = make_kernel(KernelKind::kSssIndexing, coo, pool);
+    const auto b = random_vector(coo.rows(), 4);
+    Options opts;
+    opts.max_iterations = 3000;
+    opts.tolerance = 1e-9;
+
+    IdentityPreconditioner none;
+    SsorPreconditioner ssor(sss, 1.0);
+    const PcgResult plain = pcg_solve(*kernel, none, pool, b, opts);
+    const PcgResult pcond = pcg_solve(*kernel, ssor, pool, b, opts);
+    ASSERT_TRUE(plain.base.converged);
+    ASSERT_TRUE(pcond.base.converged);
+    EXPECT_LT(pcond.base.iterations, plain.base.iterations);
+}
+
+TEST(Pcg, TracksPrecondPhaseSeconds) {
+    ThreadPool pool(1);
+    const Coo coo = gen::make_spd(gen::poisson2d(12, 12));
+    const Sss sss(coo);
+    auto kernel = make_kernel(KernelKind::kSssSerial, coo, pool);
+    SsorPreconditioner ssor(sss);
+    const auto b = random_vector(coo.rows(), 5);
+    Options opts;
+    opts.max_iterations = 500;
+    const PcgResult res = pcg_solve(*kernel, ssor, pool, b, opts);
+    EXPECT_GT(res.precond_seconds, 0.0);
+    EXPECT_GT(res.total_seconds(), res.precond_seconds);
+}
+
+TEST(Pcg, RejectsBadOmega) {
+    const Sss sss(gen::make_spd(gen::poisson2d(4, 4)));
+    EXPECT_ANY_THROW(SsorPreconditioner(sss, 0.0));
+    EXPECT_ANY_THROW(SsorPreconditioner(sss, 2.0));
+}
+
+}  // namespace
+}  // namespace symspmv::cg

@@ -1,0 +1,103 @@
+// End-to-end pipeline tests: the full paper workflow on one matrix —
+// generate -> (scramble) -> RCM -> build a symmetric kernel -> solve with
+// (P)CG -> check the solution against a dense Cholesky direct solve.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+#include "bench/registry.hpp"
+#include "matrix/sss.hpp"
+#include "matrix/suite.hpp"
+#include "reorder/permute.hpp"
+#include "reorder/rcm.hpp"
+#include "solver/cholesky.hpp"
+#include "solver/pcg.hpp"
+
+namespace symspmv {
+namespace {
+
+std::vector<value_t> random_vector(index_t n, std::uint64_t seed) {
+    std::mt19937_64 rng(seed);
+    std::uniform_real_distribution<value_t> dist(-1.0, 1.0);
+    std::vector<value_t> v(static_cast<std::size_t>(n));
+    for (auto& e : v) e = dist(rng);
+    return v;
+}
+
+TEST(Cholesky, Solves2x2Exactly) {
+    Coo coo(2, 2);
+    coo.add(0, 0, 4.0);
+    coo.add(0, 1, 2.0);
+    coo.add(1, 0, 2.0);
+    coo.add(1, 1, 3.0);
+    coo.canonicalize();
+    const cg::DenseCholesky chol(coo);
+    // A [1, 2]^T = [8, 8]^T.
+    const std::vector<value_t> b = {8.0, 8.0};
+    const auto x = chol.solve(b);
+    EXPECT_NEAR(x[0], 1.0, 1e-12);
+    EXPECT_NEAR(x[1], 2.0, 1e-12);
+    // det = 4*3 - 2*2 = 8.
+    EXPECT_NEAR(chol.log_determinant(), std::log(8.0), 1e-12);
+}
+
+TEST(Cholesky, RejectsIndefiniteMatrix) {
+    Coo coo(2, 2);
+    coo.add(0, 0, 1.0);
+    coo.add(0, 1, 5.0);
+    coo.add(1, 0, 5.0);
+    coo.add(1, 1, 1.0);  // eigenvalues 6, -4
+    coo.canonicalize();
+    EXPECT_THROW(cg::DenseCholesky{coo}, InvalidArgument);
+}
+
+class PipelineSuite : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PipelineSuite, GenerateReorderSolveVerify) {
+    // Tiny scale keeps the dense O(n^3) oracle tractable.
+    Coo full = gen::generate_suite_matrix(GetParam(), 0.0008);
+    if (full.rows() > 900) GTEST_SKIP() << "dense oracle too large at this scale";
+    ASSERT_TRUE(full.is_symmetric());
+
+    // Scramble, then recover locality with RCM (the §V.D pipeline).
+    std::vector<index_t> shuffle_perm(static_cast<std::size_t>(full.rows()));
+    for (std::size_t i = 0; i < shuffle_perm.size(); ++i) {
+        shuffle_perm[i] = static_cast<index_t>(i);
+    }
+    std::mt19937_64 rng(7);
+    std::ranges::shuffle(shuffle_perm, rng);
+    full = permute_symmetric(full, shuffle_perm);
+    const auto rcm = rcm_permutation(full);
+    const Coo reordered = permute_symmetric(full, rcm);
+
+    const cg::DenseCholesky direct(reordered);
+    const auto b = random_vector(reordered.rows(), 13);
+    const auto x_exact = direct.solve(b);
+
+    ThreadPool pool(4);
+    const Sss sss(reordered);
+    for (KernelKind kind : {KernelKind::kSssIndexing, KernelKind::kCsxSym}) {
+        auto kernel = make_kernel(kind, reordered, pool);
+        auto precond = cg::make_preconditioner("jacobi", sss, pool);
+        cg::Options opts;
+        opts.tolerance = 1e-12;
+        opts.max_iterations = 5000;
+        const cg::PcgResult res = cg::pcg_solve(*kernel, *precond, pool, b, opts);
+        ASSERT_TRUE(res.base.converged) << to_string(kind);
+        double max_err = 0.0;
+        for (std::size_t i = 0; i < x_exact.size(); ++i) {
+            max_err = std::max(max_err, std::abs(res.base.x[i] - x_exact[i]));
+        }
+        EXPECT_LT(max_err, 1e-7) << to_string(kind) << " after " << res.base.iterations
+                                 << " iterations";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrices, PipelineSuite,
+                         ::testing::Values("parabolic_fem", "consph", "bmw7st_1", "nd12k",
+                                           "crankseg_2"));
+
+}  // namespace
+}  // namespace symspmv

@@ -1,0 +1,50 @@
+// Tests for the first-touch page placement helpers (§V.A substitution).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/placement.hpp"
+
+namespace symspmv {
+namespace {
+
+TEST(Placement, PartitionedTouchZeroesExactlyTheArray) {
+    ThreadPool pool(4);
+    std::vector<double> data(10'000, 7.0);
+    const auto parts = split_even(static_cast<index_t>(data.size()), pool.size());
+    first_touch_partitioned(std::span<double>(data), parts, pool);
+    for (double v : data) ASSERT_EQ(v, 0.0);
+}
+
+TEST(Placement, PartitionedTouchRequiresMatchingPartitionCount) {
+    ThreadPool pool(3);
+    std::vector<double> data(100);
+    const auto parts = split_even(100, 4);  // wrong count
+    EXPECT_ANY_THROW(first_touch_partitioned(std::span<double>(data), parts, pool));
+}
+
+TEST(Placement, PartitionedTouchHandlesEmptyPartitions) {
+    ThreadPool pool(8);
+    std::vector<int> data(5, 3);  // fewer elements than workers
+    const auto parts = split_even(5, 8);
+    first_touch_partitioned(std::span<int>(data), parts, pool);
+    for (int v : data) ASSERT_EQ(v, 0);
+}
+
+TEST(Placement, InterleavedTouchCoversWholeBufferIncludingTail) {
+    ThreadPool pool(3);
+    // Deliberately not a multiple of the page size.
+    std::vector<unsigned char> data(3 * kPageBytes + 123, 0xAB);
+    first_touch_interleaved(std::span<unsigned char>(data), pool);
+    for (unsigned char v : data) ASSERT_EQ(v, 0);
+}
+
+TEST(Placement, InterleavedTouchOnTinyBuffer) {
+    ThreadPool pool(4);
+    std::vector<unsigned char> data(17, 0xCD);
+    first_touch_interleaved(std::span<unsigned char>(data), pool);
+    for (unsigned char v : data) ASSERT_EQ(v, 0);
+}
+
+}  // namespace
+}  // namespace symspmv

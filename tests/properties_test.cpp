@@ -1,0 +1,84 @@
+// Tests for matrix structural properties.
+#include <gtest/gtest.h>
+
+#include "matrix/generators.hpp"
+#include "matrix/properties.hpp"
+
+namespace symspmv {
+namespace {
+
+TEST(Properties, BandwidthOfTridiagonal) {
+    Coo m(4, 4);
+    for (index_t i = 0; i < 4; ++i) m.add(i, i, 2.0);
+    for (index_t i = 1; i < 4; ++i) {
+        m.add(i, i - 1, -1.0);
+        m.add(i - 1, i, -1.0);
+    }
+    m.canonicalize();
+    EXPECT_EQ(bandwidth(m), 1);
+    const MatrixProperties p = analyze(m);
+    EXPECT_EQ(p.bandwidth, 1);
+    EXPECT_EQ(p.nnz, 10);
+    EXPECT_EQ(p.diag_nnz, 4);
+    EXPECT_TRUE(p.numerically_symmetric);
+    EXPECT_TRUE(p.structurally_symmetric);
+}
+
+TEST(Properties, BandwidthOfArrowMatrix) {
+    Coo m(6, 6);
+    for (index_t i = 0; i < 6; ++i) m.add(i, i, 1.0);
+    m.add(5, 0, 1.0);
+    m.add(0, 5, 1.0);
+    m.canonicalize();
+    EXPECT_EQ(bandwidth(m), 5);
+}
+
+TEST(Properties, RowStatistics) {
+    Coo m(4, 4);
+    m.add(0, 0, 1.0);
+    m.add(0, 1, 1.0);
+    m.add(0, 2, 1.0);
+    m.add(2, 2, 1.0);
+    m.canonicalize();
+    const MatrixProperties p = analyze(m);
+    EXPECT_EQ(p.max_row_nnz, 3);
+    EXPECT_EQ(p.min_row_nnz, 0);
+    EXPECT_EQ(p.empty_rows, 2);
+    EXPECT_DOUBLE_EQ(p.nnz_per_row, 1.0);
+    EXPECT_DOUBLE_EQ(p.density, 4.0 / 16.0);
+}
+
+TEST(Properties, StructurallyButNotNumericallySymmetric) {
+    Coo m(2, 2);
+    m.add(0, 1, 1.0);
+    m.add(1, 0, 2.0);
+    m.canonicalize();
+    const MatrixProperties p = analyze(m);
+    EXPECT_TRUE(p.structurally_symmetric);
+    EXPECT_FALSE(p.numerically_symmetric);
+}
+
+TEST(Properties, PoissonGridBandwidthEqualsNx) {
+    const Coo m = gen::poisson2d(17, 9);
+    EXPECT_EQ(bandwidth(m), 17);
+    const MatrixProperties p = analyze(m);
+    EXPECT_TRUE(p.numerically_symmetric);
+    EXPECT_EQ(p.empty_rows, 0);
+}
+
+TEST(Properties, ScatterFractionRaisesBandwidth) {
+    const Coo banded = gen::banded_random(1024, 16, 8.0, 11, 0.0);
+    const Coo scattered = gen::banded_random(1024, 16, 8.0, 11, 0.8);
+    EXPECT_LE(bandwidth(banded), 16);
+    EXPECT_GT(bandwidth(scattered), 256);
+}
+
+TEST(Properties, AvgBandwidthIsBounded) {
+    const Coo m = gen::banded_random(256, 8, 6.0, 3);
+    const MatrixProperties p = analyze(m);
+    EXPECT_GE(p.avg_bandwidth, 0.0);
+    EXPECT_LE(p.avg_bandwidth, static_cast<double>(p.bandwidth));
+}
+
+}  // namespace
+}  // namespace symspmv

@@ -1,0 +1,150 @@
+// Tests for the reduction index (§III.C) and the working-set models.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/partition.hpp"
+#include "matrix/generators.hpp"
+#include "matrix/sss.hpp"
+#include "spmv/reduction.hpp"
+
+namespace symspmv {
+namespace {
+
+Sss make_sss(index_t n, index_t band, double per_row, std::uint64_t seed, double scatter = 0.0) {
+    return Sss(gen::banded_random(n, band, per_row, seed, scatter));
+}
+
+TEST(ReductionIndex, EmptyForSingleThread) {
+    const Sss sss = make_sss(100, 10, 6.0, 1);
+    const auto parts = split_by_nnz(sss.rowptr(), 1);
+    const ReductionIndex index(sss, parts);
+    EXPECT_TRUE(index.entries().empty());
+    EXPECT_EQ(index.effective_region_rows(), 0);
+    EXPECT_EQ(index.density(), 0.0);
+}
+
+TEST(ReductionIndex, EntriesAreExactlyTheConflictingRows) {
+    // Hand-built 6x6 symmetric matrix; 2 threads.
+    Coo full(6, 6);
+    const auto add_sym = [&](index_t r, index_t c, value_t v) {
+        full.add(r, c, v);
+        if (r != c) full.add(c, r, v);
+    };
+    for (index_t i = 0; i < 6; ++i) add_sym(i, i, 4.0);
+    add_sym(3, 0, 1.0);  // thread 1 (rows 3-5) conflicts at row 0
+    add_sym(4, 0, 1.0);  // duplicate conflict row 0 -> single entry
+    add_sym(5, 2, 1.0);  // conflict at row 2
+    add_sym(1, 0, 1.0);  // thread 0 internal, no conflict
+    full.canonicalize();
+    const Sss sss(full);
+    const std::vector<RowRange> parts = {{0, 3}, {3, 6}};
+    const ReductionIndex index(sss, parts);
+    ASSERT_EQ(index.entries().size(), 2u);
+    EXPECT_EQ(index.entries()[0], (ReductionEntry{0, 1}));
+    EXPECT_EQ(index.entries()[1], (ReductionEntry{2, 1}));
+    EXPECT_EQ(index.effective_region_rows(), 3);  // thread 1's region is rows 0-2
+    EXPECT_NEAR(index.density(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(ReductionIndex, EntriesSortedByIdx) {
+    const Sss sss = make_sss(500, 60, 10.0, 3, 0.4);
+    const auto parts = split_by_nnz(sss.rowptr(), 8);
+    const ReductionIndex index(sss, parts);
+    const auto e = index.entries();
+    for (std::size_t i = 1; i < e.size(); ++i) {
+        EXPECT_LE(e[i - 1].idx, e[i].idx);
+        if (e[i - 1].idx == e[i].idx) {
+            EXPECT_LT(e[i - 1].vid, e[i].vid);
+        }
+    }
+}
+
+TEST(ReductionIndex, NoDuplicateEntries) {
+    const Sss sss = make_sss(300, 50, 12.0, 5, 0.5);
+    const auto parts = split_by_nnz(sss.rowptr(), 6);
+    const ReductionIndex index(sss, parts);
+    std::set<std::pair<index_t, int>> seen;
+    for (const ReductionEntry& e : index.entries()) {
+        EXPECT_TRUE(seen.emplace(e.idx, e.vid).second) << "duplicate (" << e.idx << "," << e.vid
+                                                       << ")";
+    }
+}
+
+TEST(ReductionIndex, ChunksCoverAllEntriesWithoutSplittingIdx) {
+    const Sss sss = make_sss(400, 80, 10.0, 7, 0.6);
+    for (int p : {2, 3, 4, 7, 8}) {
+        const auto parts = split_by_nnz(sss.rowptr(), p);
+        const ReductionIndex index(sss, parts);
+        const auto chunks = index.chunk_ptr();
+        ASSERT_EQ(chunks.size(), static_cast<std::size_t>(p) + 1);
+        EXPECT_EQ(chunks.front(), 0u);
+        EXPECT_EQ(chunks.back(), index.entries().size());
+        for (std::size_t t = 1; t < chunks.size(); ++t) {
+            EXPECT_LE(chunks[t - 1], chunks[t]);
+            // No idx value may straddle a chunk boundary.
+            const std::size_t cut = chunks[t];
+            if (cut > 0 && cut < index.entries().size()) {
+                EXPECT_NE(index.entries()[cut - 1].idx, index.entries()[cut].idx);
+            }
+        }
+    }
+}
+
+TEST(ReductionIndex, VidZeroNeverAppears) {
+    // Thread 0 starts at row 0: its effective region is empty by definition.
+    const Sss sss = make_sss(300, 40, 8.0, 9, 0.3);
+    const auto parts = split_by_nnz(sss.rowptr(), 4);
+    const ReductionIndex index(sss, parts);
+    for (const ReductionEntry& e : index.entries()) EXPECT_GT(e.vid, 0);
+}
+
+TEST(ReductionIndex, DensityDecreasesWithThreadCount) {
+    // Fig. 4: the effective regions get sparser as threads are added.
+    const Sss sss = make_sss(4096, 128, 12.0, 13, 0.1);
+    double prev = 1.0;
+    for (int p : {2, 8, 32, 128}) {
+        const auto parts = split_by_nnz(sss.rowptr(), p);
+        const ReductionIndex index(sss, parts);
+        const double d = index.density();
+        EXPECT_LE(d, prev * 1.05) << "density should not grow with threads (p=" << p << ")";
+        prev = d;
+    }
+    EXPECT_LT(prev, 0.5);
+}
+
+TEST(WorkingSet, MatchesPaperFormulas) {
+    const Sss sss = make_sss(1000, 100, 10.0, 17, 0.2);
+    const int p = 8;
+    const auto parts = split_by_nnz(sss.rowptr(), p);
+    const ReductionWorkingSet ws = reduction_working_set(sss, parts);
+    // Eq. (3): naive = 8 p N.
+    EXPECT_EQ(ws.naive, 8LL * p * 1000);
+    // Eq. (4): effective ~= 4 (p-1) N — exact value is 8 * sum(start_i);
+    // with near-equal partitions the approximation holds within ~20%.
+    EXPECT_NEAR(static_cast<double>(ws.effective), 4.0 * (p - 1) * 1000,
+                0.2 * 4.0 * (p - 1) * 1000);
+    // Eq. (5)/(6): indexing = 16 bytes per indexed entry ~= 16 * eff_rows * d.
+    const ReductionIndex index(sss, parts);
+    EXPECT_EQ(ws.indexing, static_cast<std::int64_t>(16 * index.entries().size()));
+    EXPECT_DOUBLE_EQ(ws.density, index.density());
+    // The indexing working set must be well below the effective-ranges one
+    // whenever the regions are sparse.
+    if (ws.density < 0.4) {
+        EXPECT_LT(ws.indexing, ws.effective);
+    }
+}
+
+TEST(WorkingSet, IndexingStabilizesWithThreads) {
+    // Fig. 5: naive/effective grow linearly with p; indexing flattens out.
+    const Sss sss = make_sss(8192, 256, 10.0, 21, 0.1);
+    const auto ws4 = reduction_working_set(sss, split_by_nnz(sss.rowptr(), 4));
+    const auto ws32 = reduction_working_set(sss, split_by_nnz(sss.rowptr(), 32));
+    const double naive_growth = static_cast<double>(ws32.naive) / ws4.naive;
+    const double idx_growth = static_cast<double>(ws32.indexing) / ws4.indexing;
+    EXPECT_NEAR(naive_growth, 8.0, 1e-9);
+    EXPECT_LT(idx_growth, naive_growth / 2.0);
+}
+
+}  // namespace
+}  // namespace symspmv

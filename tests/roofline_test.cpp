@@ -1,0 +1,65 @@
+// Tests for the roofline model (§I's flop:byte argument made executable).
+#include <gtest/gtest.h>
+
+#include "bench/registry.hpp"
+#include "bench/roofline.hpp"
+#include "core/thread_pool.hpp"
+#include "matrix/csr.hpp"
+#include "matrix/generators.hpp"
+
+namespace symspmv::bench {
+namespace {
+
+TEST(RooflineModel, AttainableIsMinOfCeilings) {
+    RooflineModel m;
+    m.peak_gflops = 100.0;
+    m.bandwidth_gbs = 50.0;
+    EXPECT_DOUBLE_EQ(m.attainable_gflops(0.1), 5.0);    // memory-bound
+    EXPECT_DOUBLE_EQ(m.attainable_gflops(2.0), 100.0);  // compute-bound
+    EXPECT_DOUBLE_EQ(m.attainable_gflops(m.ridge_intensity()), 100.0);
+    EXPECT_DOUBLE_EQ(m.ridge_intensity(), 2.0);
+}
+
+TEST(RooflineModel, ProbesReturnPositiveCeilings) {
+    ThreadPool pool(2);
+    const RooflineModel m = probe_roofline(pool);
+    EXPECT_GT(m.peak_gflops, 0.0);
+    EXPECT_GT(m.bandwidth_gbs, 0.0);
+    EXPECT_GT(m.ridge_intensity(), 0.0);
+}
+
+TEST(OperationalIntensity, MatchesCsrSizeFormula) {
+    ThreadPool pool(1);
+    const Coo full = gen::make_spd(gen::poisson2d(20, 20));
+    const KernelPtr csr = make_kernel(KernelKind::kCsr, full, pool);
+    // CSR: 2*nnz flops over (12*nnz + 4*(N+1)) matrix bytes + 16*N vectors.
+    const double expected =
+        2.0 * static_cast<double>(full.nnz()) /
+        (12.0 * static_cast<double>(full.nnz()) + 4.0 * (full.rows() + 1) + 16.0 * full.rows());
+    EXPECT_DOUBLE_EQ(operational_intensity(*csr), expected);
+}
+
+TEST(OperationalIntensity, SpmvIsDeepInTheMemoryBoundRegion) {
+    // The paper's premise: every format's intensity is << 1 flop/byte.
+    ThreadPool pool(2);
+    const Coo full = gen::make_spd(gen::banded_random(400, 20, 6.0, 3));
+    for (KernelKind kind : {KernelKind::kCsr, KernelKind::kSssIndexing, KernelKind::kCsxSym}) {
+        const KernelPtr kernel = make_kernel(kind, full, pool);
+        EXPECT_LT(operational_intensity(*kernel), 0.5) << to_string(kind);
+        EXPECT_GT(operational_intensity(*kernel), 0.05) << to_string(kind);
+    }
+}
+
+TEST(OperationalIntensity, SymmetricFormatsRaiseIntensity) {
+    // Halving the matrix bytes must raise flops/byte — the speedup driver.
+    ThreadPool pool(2);
+    const Coo full = gen::make_spd(gen::block_fem(120, 3, 5.0, 0.6, 5));
+    const KernelPtr csr = make_kernel(KernelKind::kCsr, full, pool);
+    const KernelPtr sss = make_kernel(KernelKind::kSssIndexing, full, pool);
+    const KernelPtr csxsym = make_kernel(KernelKind::kCsxSym, full, pool);
+    EXPECT_GT(operational_intensity(*sss), operational_intensity(*csr));
+    EXPECT_GT(operational_intensity(*csxsym), operational_intensity(*sss));
+}
+
+}  // namespace
+}  // namespace symspmv::bench

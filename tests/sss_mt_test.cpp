@@ -1,0 +1,177 @@
+// Tests for the multithreaded symmetric SpM×V kernels: every reduction
+// method must match the CSR oracle bit-for-bit in structure (within fp
+// tolerance) for any thread count, including repeated calls (local vectors
+// must be clean between iterations).
+#include <gtest/gtest.h>
+
+#include <random>
+#include <tuple>
+
+#include "matrix/csr.hpp"
+#include "matrix/generators.hpp"
+#include "matrix/suite.hpp"
+#include "spmv/csr_kernels.hpp"
+#include "spmv/sss_kernels.hpp"
+
+namespace symspmv {
+namespace {
+
+std::vector<value_t> random_vector(std::size_t n, std::uint64_t seed) {
+    std::mt19937_64 rng(seed);
+    std::uniform_real_distribution<value_t> dist(-1.0, 1.0);
+    std::vector<value_t> v(n);
+    for (auto& x : v) x = dist(rng);
+    return v;
+}
+
+TEST(CsrMtKernel, MatchesSerial) {
+    const Coo full = gen::banded_random(333, 40, 9.0, 2, 0.2);
+    ThreadPool pool(4);
+    CsrSerialKernel serial((Csr(full)));
+    CsrMtKernel mt(Csr(full), pool);
+    const auto x = random_vector(333, 5);
+    std::vector<value_t> y1(333), y2(333);
+    serial.spmv(x, y1);
+    mt.spmv(x, y2);
+    for (int i = 0; i < 333; ++i) EXPECT_DOUBLE_EQ(y2[i], y1[i]);
+}
+
+TEST(SssSerialKernel, MatchesCsr) {
+    const Coo full = gen::banded_random(200, 30, 8.0, 3);
+    CsrSerialKernel csr((Csr(full)));
+    SssSerialKernel sss((Sss(full)));
+    EXPECT_EQ(sss.nnz(), csr.nnz());
+    const auto x = random_vector(200, 6);
+    std::vector<value_t> y1(200), y2(200);
+    csr.spmv(x, y1);
+    sss.spmv(x, y2);
+    for (int i = 0; i < 200; ++i) EXPECT_NEAR(y2[i], y1[i], 1e-12);
+}
+
+using MtCase = std::tuple<int, int>;  // (threads, seed)
+
+class SssMtAllMethods : public ::testing::TestWithParam<MtCase> {};
+
+TEST_P(SssMtAllMethods, AllReductionMethodsMatchCsr) {
+    const auto [threads, seed] = GetParam();
+    const Coo full =
+        gen::banded_random(257, 50, 10.0, static_cast<std::uint64_t>(seed), 0.4);
+    const Csr csr(full);
+    const auto x = random_vector(257, static_cast<std::uint64_t>(seed) + 100);
+    std::vector<value_t> y_ref(257);
+    csr.spmv(x, y_ref);
+
+    ThreadPool pool(threads);
+    for (ReductionMethod m : {ReductionMethod::kNaive, ReductionMethod::kEffectiveRanges,
+                              ReductionMethod::kIndexing}) {
+        SssMtKernel kernel(Sss(full), pool, m);
+        std::vector<value_t> y(257, -7.0);
+        kernel.spmv(x, y);
+        for (int i = 0; i < 257; ++i) {
+            ASSERT_NEAR(y[i], y_ref[i], 1e-11)
+                << to_string(m) << " threads=" << threads << " row=" << i;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadsAndSeeds, SssMtAllMethods,
+                         ::testing::Combine(::testing::Values(1, 2, 3, 4, 7, 8),
+                                            ::testing::Values(1, 2, 3)));
+
+TEST(SssMtKernel, RepeatedCallsStayCorrect) {
+    // Local vectors must be re-zeroed between iterations by every method.
+    const Coo full = gen::banded_random(180, 30, 8.0, 11, 0.5);
+    const Csr csr(full);
+    ThreadPool pool(4);
+    for (ReductionMethod m : {ReductionMethod::kNaive, ReductionMethod::kEffectiveRanges,
+                              ReductionMethod::kIndexing}) {
+        SssMtKernel kernel(Sss(full), pool, m);
+        auto x = random_vector(180, 21);
+        std::vector<value_t> y(180);
+        for (int iter = 0; iter < 5; ++iter) {
+            kernel.spmv(x, y);
+            std::vector<value_t> y_ref(180);
+            csr.spmv(x, y_ref);
+            for (int i = 0; i < 180; ++i) {
+                // Iterated products grow like ||A||^k, so tolerance is relative.
+                ASSERT_NEAR(y[i], y_ref[i], 1e-12 * std::max(1.0, std::abs(y_ref[i])))
+                    << to_string(m) << " iter=" << iter << " row=" << i;
+            }
+            x.swap(y);  // swap input/output like the measurement framework
+        }
+    }
+}
+
+TEST(SssMtKernel, MoreThreadsThanRows) {
+    const Coo full = gen::banded_random(6, 2, 3.0, 1);
+    const Csr csr(full);
+    ThreadPool pool(12);
+    const auto x = random_vector(6, 9);
+    std::vector<value_t> y_ref(6);
+    csr.spmv(x, y_ref);
+    for (ReductionMethod m : {ReductionMethod::kNaive, ReductionMethod::kEffectiveRanges,
+                              ReductionMethod::kIndexing}) {
+        SssMtKernel kernel(Sss(full), pool, m);
+        std::vector<value_t> y(6);
+        kernel.spmv(x, y);
+        for (int i = 0; i < 6; ++i) EXPECT_NEAR(y[i], y_ref[i], 1e-12) << to_string(m);
+    }
+}
+
+TEST(SssMtKernel, HighBandwidthMatrix) {
+    // The §V.B corner case: most non-zeros far from the diagonal.
+    const Coo full = gen::banded_random(400, 399, 8.0, 13, 1.0);
+    const Csr csr(full);
+    ThreadPool pool(8);
+    const auto x = random_vector(400, 31);
+    std::vector<value_t> y_ref(400);
+    csr.spmv(x, y_ref);
+    for (ReductionMethod m : {ReductionMethod::kNaive, ReductionMethod::kEffectiveRanges,
+                              ReductionMethod::kIndexing}) {
+        SssMtKernel kernel(Sss(full), pool, m);
+        std::vector<value_t> y(400);
+        kernel.spmv(x, y);
+        for (int i = 0; i < 400; ++i) ASSERT_NEAR(y[i], y_ref[i], 1e-11) << to_string(m);
+    }
+}
+
+TEST(SssMtKernel, FootprintAccountsLocalVectors) {
+    const Coo full = gen::banded_random(512, 64, 8.0, 15);
+    ThreadPool pool(4);
+    const Sss sss(full);
+    const std::size_t base = sss.size_bytes();
+    SssMtKernel naive(Sss(full), pool, ReductionMethod::kNaive);
+    SssMtKernel eff(Sss(full), pool, ReductionMethod::kEffectiveRanges);
+    SssMtKernel idx(Sss(full), pool, ReductionMethod::kIndexing);
+    // Naive: 4 full local vectors = 4*512*8 bytes over the matrix.
+    EXPECT_EQ(naive.footprint_bytes(), base + 4u * 512u * 8u);
+    // Effective ranges holds sum(start_i) <= 3*512 rows of local vectors.
+    EXPECT_LT(eff.footprint_bytes(), naive.footprint_bytes());
+    // Indexing adds its 8-byte entries on top of the effective-range locals.
+    EXPECT_GE(idx.footprint_bytes(), eff.footprint_bytes());
+    EXPECT_EQ(idx.footprint_bytes(),
+              eff.footprint_bytes() + idx.reduction_index().bytes());
+}
+
+TEST(SssMtKernel, PhaseBreakdownIsPopulated) {
+    const Coo full = gen::banded_random(2048, 256, 16.0, 17, 0.3);
+    ThreadPool pool(4);
+    SssMtKernel kernel(Sss(full), pool, ReductionMethod::kIndexing);
+    const auto x = random_vector(2048, 3);
+    std::vector<value_t> y(2048);
+    kernel.spmv(x, y);
+    const SpmvPhases phases = kernel.last_phases();
+    EXPECT_GT(phases.multiply_seconds, 0.0);
+    EXPECT_GE(phases.reduction_seconds, 0.0);
+}
+
+TEST(SssMtKernel, NameReflectsMethod) {
+    const Coo full = gen::banded_random(64, 8, 4.0, 1);
+    ThreadPool pool(2);
+    EXPECT_EQ(SssMtKernel(Sss(full), pool, ReductionMethod::kNaive).name(), "SSS-naive");
+    EXPECT_EQ(SssMtKernel(Sss(full), pool, ReductionMethod::kEffectiveRanges).name(), "SSS-eff");
+    EXPECT_EQ(SssMtKernel(Sss(full), pool, ReductionMethod::kIndexing).name(), "SSS-idx");
+}
+
+}  // namespace
+}  // namespace symspmv

@@ -1,0 +1,137 @@
+// Tests for the SSS symmetric skyline format (§II.B, Alg. 2).
+#include <gtest/gtest.h>
+
+#include <random>
+#include <vector>
+
+#include "core/error.hpp"
+#include "matrix/coo.hpp"
+#include "matrix/csr.hpp"
+#include "matrix/generators.hpp"
+#include "matrix/sss.hpp"
+
+namespace symspmv {
+namespace {
+
+Coo symmetric5() {
+    Coo m(5, 5);
+    const auto add_sym = [&](index_t r, index_t c, value_t v) {
+        m.add(r, c, v);
+        if (r != c) m.add(c, r, v);
+    };
+    add_sym(0, 0, 2.0);
+    add_sym(1, 1, 3.0);
+    add_sym(2, 2, 4.0);
+    add_sym(3, 3, 5.0);
+    add_sym(4, 4, 6.0);
+    add_sym(1, 0, 1.0);
+    add_sym(3, 0, -2.0);
+    add_sym(4, 2, 0.5);
+    add_sym(4, 3, 1.5);
+    m.canonicalize();
+    return m;
+}
+
+TEST(Sss, StoresDiagonalSeparately) {
+    const Sss sss(symmetric5());
+    ASSERT_EQ(sss.dvalues().size(), 5u);
+    EXPECT_DOUBLE_EQ(sss.dvalues()[0], 2.0);
+    EXPECT_DOUBLE_EQ(sss.dvalues()[4], 6.0);
+    EXPECT_EQ(sss.values().size(), 4u);  // strictly lower entries only
+    for (std::size_t r = 0; r < 5; ++r) {
+        for (index_t j = sss.rowptr()[r]; j < sss.rowptr()[r + 1]; ++j) {
+            EXPECT_LT(sss.colind()[static_cast<std::size_t>(j)], static_cast<index_t>(r));
+        }
+    }
+}
+
+TEST(Sss, NnzCountsFullMatrix) {
+    const Coo full = symmetric5();
+    const Sss sss(full);
+    EXPECT_EQ(sss.nnz(), full.nnz());
+    EXPECT_EQ(sss.stored_nnz(), 5u + 4u);
+}
+
+TEST(Sss, SizeBytesMatchesEq2) {
+    const Coo full = symmetric5();
+    const Sss sss(full);
+    // Eq. (2): 6*(NNZ + N) + 4 with NNZ = 13, N = 5 -> 112 when the diagonal
+    // is fully populated.
+    EXPECT_EQ(sss.size_bytes(), 6u * (13 + 5) + 4u);
+}
+
+TEST(Sss, SizeIsAboutHalfOfCsr) {
+    const Coo full = gen::banded_random(512, 64, 16.0, 7);
+    const Csr csr(full);
+    const Sss sss(full);
+    const double ratio = static_cast<double>(sss.size_bytes()) / csr.size_bytes();
+    EXPECT_LT(ratio, 0.62);
+    EXPECT_GT(ratio, 0.45);
+}
+
+TEST(Sss, SerialSpmvMatchesCsr) {
+    const Coo full = symmetric5();
+    const Csr csr(full);
+    const Sss sss(full);
+    const std::vector<value_t> x = {1.0, -2.0, 0.5, 3.0, 2.0};
+    std::vector<value_t> y_csr(5), y_sss(5);
+    csr.spmv(x, y_csr);
+    sss.spmv(x, y_sss);
+    for (int i = 0; i < 5; ++i) EXPECT_NEAR(y_sss[i], y_csr[i], 1e-13);
+}
+
+TEST(Sss, ToCsrRoundTrip) {
+    const Coo full = symmetric5();
+    const Coo back = Sss(full).to_csr().to_coo();
+    ASSERT_EQ(back.nnz(), full.nnz());
+    for (index_t i = 0; i < full.nnz(); ++i) {
+        EXPECT_EQ(back.entries()[static_cast<std::size_t>(i)],
+                  full.entries()[static_cast<std::size_t>(i)]);
+    }
+}
+
+TEST(Sss, RejectsNonSquare) {
+    Coo m(2, 3);
+    m.canonicalize();
+    EXPECT_THROW(Sss sss(m), InternalError);
+}
+
+TEST(Sss, HandlesMissingDiagonalEntries) {
+    Coo m(3, 3);
+    m.add(1, 0, 2.0);
+    m.add(0, 1, 2.0);
+    m.canonicalize();
+    const Sss sss(m);
+    EXPECT_DOUBLE_EQ(sss.dvalues()[0], 0.0);
+    EXPECT_EQ(sss.nnz(), 2);
+    const std::vector<value_t> x = {1.0, 1.0, 1.0};
+    std::vector<value_t> y(3);
+    sss.spmv(x, y);
+    EXPECT_DOUBLE_EQ(y[0], 2.0);
+    EXPECT_DOUBLE_EQ(y[1], 2.0);
+    EXPECT_DOUBLE_EQ(y[2], 0.0);
+}
+
+class SssRandomized : public ::testing::TestWithParam<int> {};
+
+TEST_P(SssRandomized, MatchesCsrOnRandomSpdMatrices) {
+    const int seed = GetParam();
+    const Coo full = gen::banded_random(200, 40, 10.0, static_cast<std::uint64_t>(seed),
+                                        /*scatter_fraction=*/0.3);
+    ASSERT_TRUE(full.is_symmetric());
+    const Csr csr(full);
+    const Sss sss(full);
+    std::mt19937_64 rng(static_cast<std::uint64_t>(seed) * 7 + 1);
+    std::uniform_real_distribution<value_t> dist(-2.0, 2.0);
+    std::vector<value_t> x(200);
+    for (auto& v : x) v = dist(rng);
+    std::vector<value_t> y_csr(200), y_sss(200);
+    csr.spmv(x, y_csr);
+    sss.spmv(x, y_sss);
+    for (int i = 0; i < 200; ++i) EXPECT_NEAR(y_sss[i], y_csr[i], 1e-11);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SssRandomized, ::testing::Range(1, 13));
+
+}  // namespace
+}  // namespace symspmv

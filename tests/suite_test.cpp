@@ -1,0 +1,102 @@
+// Tests for the Table I suite analogs.
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "core/error.hpp"
+#include "matrix/mmio.hpp"
+#include "matrix/properties.hpp"
+#include "matrix/suite.hpp"
+
+namespace symspmv {
+namespace {
+
+TEST(Suite, HasTwelveEntriesInPaperOrder) {
+    const auto& entries = gen::suite_entries();
+    ASSERT_EQ(entries.size(), 12u);
+    EXPECT_EQ(entries.front().name, "parabolic_fem");
+    EXPECT_EQ(entries.back().name, "ldoor");
+    EXPECT_EQ(entries[4].name, "G3_circuit");
+    // Paper nnz counts carried through for scaling.
+    EXPECT_EQ(entries.back().paper_nnz, 46522475);
+}
+
+TEST(Suite, UnknownNameThrows) {
+    EXPECT_THROW(gen::generate_suite_matrix("not_a_matrix", 0.01), InvalidArgument);
+}
+
+TEST(Suite, GenerationIsDeterministic) {
+    const Coo a = gen::generate_suite_matrix("consph", 0.01);
+    const Coo b = gen::generate_suite_matrix("consph", 0.01);
+    ASSERT_EQ(a.nnz(), b.nnz());
+    EXPECT_EQ(a.entries()[0], b.entries()[0]);
+    EXPECT_EQ(a.entries()[static_cast<std::size_t>(a.nnz()) - 1],
+              b.entries()[static_cast<std::size_t>(b.nnz()) - 1]);
+}
+
+TEST(Suite, ScaleGrowsTheMatrix) {
+    const Coo small = gen::generate_suite_matrix("hood", 0.005);
+    const Coo big = gen::generate_suite_matrix("hood", 0.02);
+    EXPECT_GT(big.rows(), small.rows());
+    EXPECT_GT(big.nnz(), small.nnz());
+}
+
+class SuiteMatrices : public ::testing::TestWithParam<gen::SuiteEntry> {};
+
+TEST_P(SuiteMatrices, AnalogIsSymmetricSpdWithSaneShape) {
+    const auto& entry = GetParam();
+    const Coo m = gen::generate_suite_matrix(entry, 0.01);
+    ASSERT_TRUE(m.is_symmetric()) << entry.name;
+    const MatrixProperties p = analyze(m);
+    EXPECT_EQ(p.diag_nnz, p.rows) << entry.name;  // SPD analogs have full diagonals
+    EXPECT_EQ(p.empty_rows, 0) << entry.name;
+    // nnz/row should be in the right ballpark of the paper's figure
+    // (generators are stochastic; allow a factor-of-2 band).  Density is
+    // capped at rows/4 for matrices whose paper density is infeasible at
+    // this scale (nd12k).
+    const double paper_per_row =
+        static_cast<double>(entry.paper_nnz) / static_cast<double>(entry.paper_rows);
+    const double expected = std::min(paper_per_row, p.rows / 4.0);
+    EXPECT_GT(p.nnz_per_row, expected / 2.2) << entry.name;
+    EXPECT_LT(p.nnz_per_row, expected * 2.2) << entry.name;
+}
+
+TEST_P(SuiteMatrices, HighBandwidthClassesStayHighBandwidth) {
+    const auto& entry = GetParam();
+    const Coo m = gen::generate_suite_matrix(entry, 0.01);
+    const MatrixProperties p = analyze(m);
+    const double rel_bw = static_cast<double>(p.bandwidth) / p.rows;
+    if (entry.cls == gen::StructureClass::kCircuit ||
+        entry.cls == gen::StructureClass::kIrregular) {
+        EXPECT_GT(rel_bw, 0.5) << entry.name;  // the §V.B corner cases
+    }
+    if (entry.cls == gen::StructureClass::kBlockFem && entry.name != "crankseg_2") {
+        EXPECT_LT(rel_bw, 0.2) << entry.name;  // structural matrices are banded
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(TableI, SuiteMatrices, ::testing::ValuesIn(gen::suite_entries()),
+                         [](const ::testing::TestParamInfo<gen::SuiteEntry>& info) {
+                             return info.param.name;
+                         });
+
+TEST(Suite, LoadOrGenerateFallsBackToGenerator) {
+    const Coo m = gen::load_or_generate("nd12k", 0.01, "/nonexistent-dir");
+    EXPECT_GT(m.nnz(), 0);
+}
+
+TEST(Suite, LoadOrGeneratePrefersMtxFile) {
+    const std::string dir = ::testing::TempDir();
+    const std::string path = dir + "/nd12k.mtx";
+    {
+        std::ofstream out(path);
+        out << "%%MatrixMarket matrix coordinate real symmetric\n"
+            << "2 2 2\n1 1 3.0\n2 2 4.0\n";
+    }
+    const Coo m = gen::load_or_generate("nd12k", 0.01, dir);
+    EXPECT_EQ(m.rows(), 2);
+    EXPECT_EQ(m.nnz(), 2);
+}
+
+}  // namespace
+}  // namespace symspmv

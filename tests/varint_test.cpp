@@ -1,0 +1,99 @@
+// Tests for the ctl-stream variable-length integer coding.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "core/error.hpp"
+#include "csx/varint.hpp"
+
+namespace symspmv::csx {
+namespace {
+
+TEST(Varint, UnsignedRoundTrip) {
+    const std::vector<std::uint64_t> cases = {
+        0,          1,     127, 128, 300, 16383, 16384,
+        0xFFFFFFFF, std::numeric_limits<std::uint64_t>::max()};
+    for (std::uint64_t v : cases) {
+        std::vector<std::uint8_t> buf;
+        write_uvarint(buf, v);
+        std::size_t pos = 0;
+        EXPECT_EQ(read_uvarint(buf.data(), buf.size(), pos), v);
+        EXPECT_EQ(pos, buf.size());
+    }
+}
+
+TEST(Varint, UnsignedEncodingSizes) {
+    std::vector<std::uint8_t> buf;
+    write_uvarint(buf, 127);
+    EXPECT_EQ(buf.size(), 1u);
+    buf.clear();
+    write_uvarint(buf, 128);
+    EXPECT_EQ(buf.size(), 2u);
+    buf.clear();
+    write_uvarint(buf, 1ULL << 21);
+    EXPECT_EQ(buf.size(), 4u);
+}
+
+TEST(Varint, SignedRoundTrip) {
+    const std::vector<std::int64_t> cases = {
+        0,        1,        -1, 63, -64, 64, -65, 1000000,
+        -1000000, std::numeric_limits<std::int64_t>::max(),
+        std::numeric_limits<std::int64_t>::min()};
+    for (std::int64_t v : cases) {
+        std::vector<std::uint8_t> buf;
+        write_svarint(buf, v);
+        std::size_t pos = 0;
+        EXPECT_EQ(read_svarint(buf.data(), buf.size(), pos), v);
+        EXPECT_EQ(pos, buf.size());
+    }
+}
+
+TEST(Varint, ZigzagMapping) {
+    EXPECT_EQ(zigzag_encode(0), 0u);
+    EXPECT_EQ(zigzag_encode(-1), 1u);
+    EXPECT_EQ(zigzag_encode(1), 2u);
+    EXPECT_EQ(zigzag_encode(-2), 3u);
+    EXPECT_EQ(zigzag_decode(4), 2);
+    EXPECT_EQ(zigzag_decode(3), -2);
+}
+
+TEST(Varint, SmallNegativesStaySingleByte) {
+    // Unit-start column deltas are usually tiny in either direction; they
+    // must not balloon the ctl stream.
+    for (std::int64_t v = -63; v <= 63; ++v) {
+        std::vector<std::uint8_t> buf;
+        write_svarint(buf, v);
+        EXPECT_EQ(buf.size(), 1u) << v;
+    }
+}
+
+TEST(Varint, TruncatedStreamThrows) {
+    std::vector<std::uint8_t> buf;
+    write_uvarint(buf, 100000);
+    buf.pop_back();
+    std::size_t pos = 0;
+    EXPECT_THROW(read_uvarint(buf.data(), buf.size(), pos), InternalError);
+}
+
+TEST(Varint, OverlongEncodingThrows) {
+    const std::vector<std::uint8_t> bad(11, 0x80);  // never terminates in 64 bits
+    std::size_t pos = 0;
+    EXPECT_THROW(read_uvarint(bad.data(), bad.size(), pos), InternalError);
+}
+
+TEST(Varint, SequencesConcatenate) {
+    std::vector<std::uint8_t> buf;
+    write_uvarint(buf, 7);
+    write_svarint(buf, -300);
+    write_uvarint(buf, 1 << 20);
+    std::size_t pos = 0;
+    EXPECT_EQ(read_uvarint(buf.data(), buf.size(), pos), 7u);
+    EXPECT_EQ(read_svarint(buf.data(), buf.size(), pos), -300);
+    EXPECT_EQ(read_uvarint(buf.data(), buf.size(), pos), 1u << 20);
+    EXPECT_EQ(pos, buf.size());
+}
+
+}  // namespace
+}  // namespace symspmv::csx

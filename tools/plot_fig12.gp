@@ -1,0 +1,18 @@
+# gnuplot script for Fig. 12 (per-matrix Gflop/s, grouped bars):
+#
+#   gnuplot -e "csv='results/fig12_per_matrix.csv'" tools/plot_fig12.gp
+if (!exists("csv")) csv = 'results/fig12_per_matrix.csv'
+set datafile separator ','
+set terminal pngcairo size 1100,500
+set output 'fig12.png'
+set style data histograms
+set style histogram clustered gap 1
+set style fill solid 0.8 border -1
+set ylabel 'Gflop/s'
+set xtics rotate by -35
+set key top left
+set grid ytics
+plot csv using 2:xtic(1) skip 1 title 'CSR', \
+     csv using 3 skip 1 title 'CSX', \
+     csv using 4 skip 1 title 'SSS-idx', \
+     csv using 5 skip 1 title 'CSX-Sym'

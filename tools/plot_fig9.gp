@@ -1,0 +1,18 @@
+# gnuplot script for Fig. 9 (symmetric SpM×V speedup per reduction method)
+# from the CSV written by tools/reproduce.sh:
+#
+#   gnuplot -e "csv='results/fig9_local_vectors.csv'" tools/plot_fig9.gp
+#
+# Produces fig9.png next to the current directory.
+if (!exists("csv")) csv = 'results/fig9_local_vectors.csv'
+set datafile separator ','
+set terminal pngcairo size 800,500
+set output 'fig9.png'
+set key top left
+set xlabel 'threads'
+set ylabel 'speedup over serial CSR'
+set grid
+plot csv using 1:2 skip 1 with linespoints title 'CSR', \
+     csv using 1:3 skip 1 with linespoints title 'SSS-naive', \
+     csv using 1:4 skip 1 with linespoints title 'SSS-eff', \
+     csv using 1:5 skip 1 with linespoints title 'SSS-idx'

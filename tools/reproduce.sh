@@ -1,0 +1,34 @@
+#!/usr/bin/env sh
+# Reproduces every table/figure/ablation of the paper in one sweep.
+#
+#   tools/reproduce.sh [build-dir] [results-dir] [extra bench flags...]
+#
+# Each bench writes its aligned table to results/<name>.txt and a CSV
+# mirror to results/<name>.csv (for the gnuplot scripts in tools/).
+# Pass e.g. "--scale 0.05 --threads 1,2,4,8,16" to override the defaults.
+set -eu
+
+BUILD="${1:-build}"
+RESULTS="${2:-results}"
+[ $# -ge 1 ] && shift
+[ $# -ge 1 ] && shift
+
+mkdir -p "$RESULTS"
+
+for bench in "$BUILD"/bench/*; do
+    [ -f "$bench" ] && [ -x "$bench" ] || continue
+    name=$(basename "$bench")
+    case "$name" in
+        bench_kernels)
+            # google-benchmark flags only; the shared bench flags don't apply.
+            echo "== $name (google-benchmark)"
+            "$bench" --benchmark_min_time=0.05s > "$RESULTS/$name.txt" 2>&1 || true
+            ;;
+        *)
+            echo "== $name"
+            "$bench" --csv "$RESULTS/$name.csv" "$@" > "$RESULTS/$name.txt" 2>&1 || true
+            ;;
+    esac
+done
+
+echo "done: $(ls "$RESULTS" | wc -l) files in $RESULTS/"
