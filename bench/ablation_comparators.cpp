@@ -22,7 +22,7 @@ using namespace symspmv;
 int main(int argc, char** argv) {
     const auto env = bench::parse_env(argc, argv);
     const int threads = env.max_threads();
-    ThreadPool pool(threads);
+    auto ctx = env.make_context(threads);
     const std::vector<KernelKind> kinds = {
         KernelKind::kCsr,     KernelKind::kSssIndexing, KernelKind::kSssAtomic,
         KernelKind::kSssColor, KernelKind::kCsb,        KernelKind::kCsbSym,
@@ -36,7 +36,7 @@ int main(int argc, char** argv) {
     for (std::size_t i = 0; i < kinds.size(); ++i) widths.push_back(11);
     widths.push_back(9);
     widths.push_back(7);
-    bench::TablePrinter table(std::cout, widths);
+    bench::TablePrinter table(std::cout, widths, env.csv_sink);
     std::vector<std::string> head = {"Matrix"};
     for (KernelKind k : kinds) head.emplace_back(std::string(to_string(k)) + " GF");
     head.emplace_back("atomics%");  // CSB-Sym atomic transposed writes / stored nnz
@@ -44,12 +44,13 @@ int main(int argc, char** argv) {
     table.header(head);
 
     for (const auto& entry : env.entries) {
-        const Coo full = env.load(entry);
+        const engine::MatrixBundle bundle(env.load(entry));
+        const engine::KernelFactory factory(bundle, ctx);
         std::vector<std::string> row = {entry.name};
         std::string atomics_pct = "-";
         std::string colors = "-";
         for (KernelKind kind : kinds) {
-            const KernelPtr kernel = make_kernel(kind, full, pool);
+            const KernelPtr kernel = factory.make(kind);
             const auto meas = bench::measure(*kernel, bench::measure_options(env));
             row.push_back(bench::TablePrinter::fmt(meas.gflops, 2));
             if (kind == KernelKind::kCsbSym) {

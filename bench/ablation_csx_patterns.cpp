@@ -46,22 +46,27 @@ int main(int argc, char** argv) {
     const int parts = env.max_threads();
     const auto variants = pattern_variants();
 
+    // One bundle per matrix, shared by all three sweeps below: each
+    // COO->CSR/SSS conversion happens exactly once per matrix, not once per
+    // sweep.
+    std::vector<engine::MatrixBundle> bundles;
+    for (const auto& entry : env.entries) bundles.emplace_back(env.load(entry));
+
     std::cout << "Ablation: CSX-Sym pattern families (compression ratio vs CSR; scale="
               << env.scale << ", " << parts << " partitions)\n\n";
     std::vector<int> widths = {14};
     for (std::size_t i = 0; i < variants.size(); ++i) widths.push_back(11);
-    bench::TablePrinter table(std::cout, widths);
+    bench::TablePrinter table(std::cout, widths, env.csv_sink);
     std::vector<std::string> head = {"Matrix"};
     for (const Variant& v : variants) head.push_back(v.name);
     table.header(head);
 
-    for (const auto& entry : env.entries) {
-        const Coo full = env.load(entry);
-        const double csr_bytes = static_cast<double>(Csr(full).size_bytes());
-        const Sss sss(full);
-        std::vector<std::string> row = {entry.name};
+    for (std::size_t i = 0; i < env.entries.size(); ++i) {
+        const engine::MatrixBundle& bundle = bundles[i];
+        const double csr_bytes = static_cast<double>(bundle.csr().size_bytes());
+        std::vector<std::string> row = {env.entries[i].name};
         for (const Variant& v : variants) {
-            const csx::CsxSymMatrix m(sss, v.cfg, parts);
+            const csx::CsxSymMatrix m(bundle.sss(), v.cfg, parts);
             row.push_back(
                 bench::TablePrinter::pct(1.0 - static_cast<double>(m.size_bytes()) / csr_bytes));
         }
@@ -72,20 +77,19 @@ int main(int argc, char** argv) {
     const std::vector<double> fractions = {1.0, 0.5, 0.25, 0.1};
     std::vector<int> w2 = {14};
     for (std::size_t i = 0; i < fractions.size(); ++i) w2.push_back(16);
-    bench::TablePrinter table2(std::cout, w2);
+    bench::TablePrinter table2(std::cout, w2, env.csv_sink);
     std::vector<std::string> head2 = {"Matrix"};
     for (double f : fractions) head2.push_back("sample " + bench::TablePrinter::fmt(f, 2));
     table2.header(head2);
 
-    for (const auto& entry : env.entries) {
-        const Coo full = env.load(entry);
-        const double csr_bytes = static_cast<double>(Csr(full).size_bytes());
-        const Sss sss(full);
-        std::vector<std::string> row = {entry.name};
+    for (std::size_t i = 0; i < env.entries.size(); ++i) {
+        const engine::MatrixBundle& bundle = bundles[i];
+        const double csr_bytes = static_cast<double>(bundle.csr().size_bytes());
+        std::vector<std::string> row = {env.entries[i].name};
         for (double f : fractions) {
             csx::CsxConfig cfg;
             cfg.sample_fraction = f;
-            const csx::CsxSymMatrix m(sss, cfg, parts);
+            const csx::CsxSymMatrix m(bundle.sss(), cfg, parts);
             row.push_back(
                 bench::TablePrinter::fmt(m.preprocess_seconds() * 1e3, 1) + "ms/" +
                 bench::TablePrinter::pct(1.0 - static_cast<double>(m.size_bytes()) / csr_bytes));
@@ -97,20 +101,19 @@ int main(int argc, char** argv) {
     const std::vector<int> min_lengths = {2, 4, 8, 16};
     std::vector<int> w3 = {14};
     for (std::size_t i = 0; i < min_lengths.size(); ++i) w3.push_back(10);
-    bench::TablePrinter table3(std::cout, w3);
+    bench::TablePrinter table3(std::cout, w3, env.csv_sink);
     std::vector<std::string> head3 = {"Matrix"};
     for (int l : min_lengths) head3.push_back("len>=" + std::to_string(l));
     table3.header(head3);
 
-    for (const auto& entry : env.entries) {
-        const Coo full = env.load(entry);
-        const double csr_bytes = static_cast<double>(Csr(full).size_bytes());
-        const Sss sss(full);
-        std::vector<std::string> row = {entry.name};
+    for (std::size_t i = 0; i < env.entries.size(); ++i) {
+        const engine::MatrixBundle& bundle = bundles[i];
+        const double csr_bytes = static_cast<double>(bundle.csr().size_bytes());
+        std::vector<std::string> row = {env.entries[i].name};
         for (int l : min_lengths) {
             csx::CsxConfig cfg;
             cfg.min_pattern_length = l;
-            const csx::CsxSymMatrix m(sss, cfg, parts);
+            const csx::CsxSymMatrix m(bundle.sss(), cfg, parts);
             row.push_back(
                 bench::TablePrinter::pct(1.0 - static_cast<double>(m.size_bytes()) / csr_bytes));
         }

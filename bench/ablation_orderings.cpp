@@ -55,14 +55,14 @@ OrderingResult evaluate(const Coo& a, ThreadPool& pool, const bench::MeasureOpti
 int main(int argc, char** argv) {
     const auto env = bench::parse_env(argc, argv);
     const int threads = env.max_threads();
-    ThreadPool pool(threads);
+    auto ctx = env.make_context(threads);
     const auto mopts = bench::measure_options(env);
 
     std::cout << "Ablation: reordering algorithms at " << threads
               << " threads (scale=" << env.scale << ", scrambled start)\n"
               << "bw = bandwidth, prof = profile/1000, idx = conflict-index KiB, "
                  "us = SSS-idx SpM×V\n\n";
-    bench::TablePrinter table(std::cout, {14, 9, 22, 22, 22, 22});
+    bench::TablePrinter table(std::cout, {14, 9, 22, 22, 22, 22}, env.csv_sink);
     table.header({"Matrix", "", "scrambled", "RCM", "King", "Sloan"});
 
     for (const auto& entry : env.entries) {
@@ -79,7 +79,7 @@ int main(int argc, char** argv) {
         std::vector<std::string> comm_row = {"", "comm"};
         std::vector<std::string> us_row = {"", "us"};
         for (const auto& [name, matrix] : variants) {
-            const OrderingResult r = evaluate(matrix, pool, mopts);
+            const OrderingResult r = evaluate(matrix, ctx, mopts);
             bw_row.push_back(std::to_string(r.bw));
             prof_row.push_back(bench::TablePrinter::fmt(static_cast<double>(r.prof) / 1e3, 1));
             idx_row.push_back(

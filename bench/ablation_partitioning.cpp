@@ -55,24 +55,22 @@ class PolicyCsrKernel final : public SpmvKernel {
 
 int main(int argc, char** argv) {
     const auto env = bench::parse_env(argc, argv);
-    const Options opts(argc, argv);
-    const bool pin = opts.has("--pin");
     const int threads = env.max_threads();
-    ThreadPool pool(threads, pin);
+    auto ctx = env.make_context(threads);
 
     std::cout << "Ablation: row partitioning policy at " << threads << " threads"
-              << (pin ? " (pinned)" : "") << " (scale=" << env.scale << ")\n"
+              << (env.pin_threads ? " (pinned)" : "") << " (scale=" << env.scale << ")\n"
               << "imb = max/mean partition nnz; us = median SpM×V time\n\n";
-    bench::TablePrinter table(std::cout, {14, 10, 10, 10, 10});
+    bench::TablePrinter table(std::cout, {14, 10, 10, 10, 10}, env.csv_sink);
     table.header({"Matrix", "even imb", "even us", "nnz imb", "nnz us"});
 
     for (const auto& entry : env.entries) {
-        const Coo full = env.load(entry);
-        const Csr csr(full);
+        const engine::MatrixBundle bundle(env.load(entry));
+        const Csr& csr = bundle.csr();
         const auto even = split_even(csr.rows(), threads);
         const auto by_nnz = split_by_nnz(csr.rowptr(), threads);
-        PolicyCsrKernel even_kernel(csr, pool, even);
-        PolicyCsrKernel nnz_kernel(csr, pool, by_nnz);
+        PolicyCsrKernel even_kernel(csr, ctx, even);
+        PolicyCsrKernel nnz_kernel(csr, ctx, by_nnz);
         const auto even_meas = bench::measure(even_kernel, bench::measure_options(env));
         const auto nnz_meas = bench::measure(nnz_kernel, bench::measure_options(env));
         table.row({entry.name, bench::TablePrinter::fmt(imbalance(csr, even), 2),

@@ -6,7 +6,6 @@
 // Jacobi / SSOR), reporting iterations to convergence and the time split
 // between SpM×V, vector ops and the preconditioner.
 #include <iostream>
-#include <random>
 
 #include "bench/common.hpp"
 #include "matrix/sss.hpp"
@@ -17,7 +16,7 @@ using namespace symspmv;
 int main(int argc, char** argv) {
     const auto env = bench::parse_env(argc, argv);
     const int threads = env.max_threads();
-    ThreadPool pool(threads);
+    auto ctx = env.make_context(threads);
     const std::vector<std::string> precs = {"none", "jacobi", "ssor"};
 
     std::cout << "Ablation: preconditioned CG with the SSS-idx kernel at " << threads
@@ -27,7 +26,7 @@ int main(int argc, char** argv) {
         widths.push_back(9);
         widths.push_back(10);
     }
-    bench::TablePrinter table(std::cout, widths);
+    bench::TablePrinter table(std::cout, widths, env.csv_sink);
     std::vector<std::string> head = {"Matrix"};
     for (const std::string& p : precs) {
         head.push_back(p + " it");
@@ -36,21 +35,19 @@ int main(int argc, char** argv) {
     table.header(head);
 
     for (const auto& entry : env.entries) {
-        const Coo full = env.load(entry);
-        const Sss sss(full);
-        auto kernel = make_kernel(KernelKind::kSssIndexing, full, pool);
-        std::mt19937_64 rng(2013);
-        std::uniform_real_distribution<value_t> dist(-1.0, 1.0);
-        std::vector<value_t> b(static_cast<std::size_t>(full.rows()));
-        for (auto& v : b) v = dist(rng);
+        const engine::MatrixBundle bundle(env.load(entry));
+        const engine::KernelFactory factory(bundle, ctx);
+        auto kernel = factory.make(KernelKind::kSssIndexing);
+        const std::vector<value_t> b =
+            bench::random_vector(static_cast<std::size_t>(bundle.coo().rows()));
 
         cg::Options opts;
         opts.max_iterations = 4000;
         opts.tolerance = 1e-8;
         std::vector<std::string> row = {entry.name};
         for (const std::string& p : precs) {
-            auto pc = cg::make_preconditioner(p, sss, pool);
-            const cg::PcgResult res = cg::pcg_solve(*kernel, *pc, pool, b, opts);
+            auto pc = cg::make_preconditioner(p, bundle.sss(), ctx);
+            const cg::PcgResult res = cg::pcg_solve(*kernel, *pc, ctx, b, opts);
             row.push_back(std::to_string(res.base.iterations) +
                           (res.base.converged ? "" : "*"));
             row.push_back(bench::TablePrinter::fmt(res.total_seconds() * 1e3, 1));

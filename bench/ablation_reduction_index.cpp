@@ -15,7 +15,7 @@ using namespace symspmv;
 int main(int argc, char** argv) {
     const auto env = bench::parse_env(argc, argv);
     const int threads = env.max_threads();
-    ThreadPool pool(threads);
+    auto ctx = env.make_context(threads);
     const std::vector<IndexLayout> layouts = {IndexLayout::kPairs4, IndexLayout::kPairs2,
                                               IndexLayout::kPairs1, IndexLayout::kGrouped};
 
@@ -28,7 +28,7 @@ int main(int argc, char** argv) {
         widths.push_back(10);
         widths.push_back(9);
     }
-    bench::TablePrinter table(std::cout, widths);
+    bench::TablePrinter table(std::cout, widths, env.csv_sink);
     std::vector<std::string> head = {"Matrix"};
     for (IndexLayout l : layouts) {
         const std::string base(to_string(l).substr(8));  // strip "SSS-idx-"
@@ -38,10 +38,11 @@ int main(int argc, char** argv) {
     table.header(head);
 
     for (const auto& entry : env.entries) {
-        const Coo full = env.load(entry);
+        // One bundle per matrix: COO->SSS runs once, each layout copies it.
+        const engine::MatrixBundle bundle(env.load(entry));
         std::vector<std::string> row = {entry.name};
         for (IndexLayout layout : layouts) {
-            SssCompactIdxKernel kernel(Sss(full), pool, layout);
+            SssCompactIdxKernel kernel(bundle.sss(), ctx, layout);
             const auto meas = bench::measure(kernel, bench::measure_options(env));
             row.push_back(
                 bench::TablePrinter::fmt(static_cast<double>(kernel.index_bytes()) / 1024.0, 1));

@@ -15,24 +15,25 @@ using namespace symspmv;
 int main(int argc, char** argv) {
     const auto env = bench::parse_env(argc, argv);
     const int threads = env.max_threads();
-    ThreadPool pool(threads);
+    auto ctx = env.make_context(threads);
     const std::vector<KernelKind> candidates = {
         KernelKind::kCsr, KernelKind::kSssIndexing, KernelKind::kCsxSym, KernelKind::kBcsr};
 
     std::cout << "Format advisor vs measurement at " << threads
               << " threads (scale=" << env.scale << ")\n\n";
-    bench::TablePrinter table(std::cout, {14, 12, 12, 10, 10});
+    bench::TablePrinter table(std::cout, {14, 12, 12, 10, 10}, env.csv_sink);
     table.header({"Matrix", "advised", "best", "adv GF", "best GF"});
 
     int hits = 0;
     for (const auto& entry : env.entries) {
-        const Coo full = env.load(entry);
-        const bench::Advice advice = bench::advise(full);
+        const engine::MatrixBundle bundle(env.load(entry));
+        const engine::KernelFactory factory(bundle, ctx);
+        const bench::Advice advice = bench::advise(bundle.coo());
         double best_gf = 0.0;
         double advised_gf = 0.0;
         std::string best_name;
         for (KernelKind kind : candidates) {
-            const KernelPtr kernel = make_kernel(kind, full, pool);
+            const KernelPtr kernel = factory.make(kind);
             const double gf = bench::measure(*kernel, bench::measure_options(env)).gflops;
             if (gf > best_gf) {
                 best_gf = gf;

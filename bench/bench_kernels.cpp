@@ -3,9 +3,7 @@
 // with statistically robust per-kernel numbers.
 #include <benchmark/benchmark.h>
 
-#include <random>
-
-#include "bench/registry.hpp"
+#include "bench/common.hpp"
 #include "csx/csx_sym.hpp"
 #include "csx/detect.hpp"
 #include "matrix/csr.hpp"
@@ -30,19 +28,23 @@ const Coo& scattered_matrix() {
     return m;
 }
 
-std::vector<value_t> random_x(std::size_t n) {
-    std::mt19937_64 rng(17);
-    std::uniform_real_distribution<value_t> dist(-1.0, 1.0);
-    std::vector<value_t> v(n);
-    for (auto& x : v) x = dist(rng);
-    return v;
+// Shared bundles: the COO->CSR/SSS conversions run once across every
+// registered benchmark instead of once per (kind x thread-count) case.
+engine::MatrixBundle& bench_bundle() {
+    static engine::MatrixBundle b = engine::MatrixBundle::view(bench_matrix());
+    return b;
 }
 
-void bm_spmv(benchmark::State& state, KernelKind kind, const Coo& m) {
-    ThreadPool pool(static_cast<int>(state.range(0)));
-    const KernelPtr kernel = make_kernel(kind, m, pool);
-    const auto n = static_cast<std::size_t>(m.rows());
-    auto x = random_x(n);
+engine::MatrixBundle& scattered_bundle() {
+    static engine::MatrixBundle b = engine::MatrixBundle::view(scattered_matrix());
+    return b;
+}
+
+void bm_spmv(benchmark::State& state, KernelKind kind, const engine::MatrixBundle& bundle) {
+    engine::ExecutionContext ctx(static_cast<int>(state.range(0)));
+    const KernelPtr kernel = engine::KernelFactory(bundle, ctx).make(kind);
+    const auto n = static_cast<std::size_t>(bundle.coo().rows());
+    auto x = bench::random_vector(n, 17);
     std::vector<value_t> y(n);
     for (auto _ : state) {
         kernel->spmv(x, y);
@@ -58,13 +60,13 @@ void register_spmv_benches() {
     for (KernelKind kind : all_kernel_kinds()) {
         const std::string name = "spmv/" + std::string(to_string(kind)) + "/blockfem";
         auto* bench = benchmark::RegisterBenchmark(
-            name.c_str(), [kind](benchmark::State& s) { bm_spmv(s, kind, bench_matrix()); });
+            name.c_str(), [kind](benchmark::State& s) { bm_spmv(s, kind, bench_bundle()); });
         bench->Arg(1)->Arg(4)->Unit(benchmark::kMicrosecond)->UseRealTime();
     }
     for (KernelKind kind : figure_kernel_kinds()) {
         const std::string name = "spmv/" + std::string(to_string(kind)) + "/scattered";
         auto* bench = benchmark::RegisterBenchmark(
-            name.c_str(), [kind](benchmark::State& s) { bm_spmv(s, kind, scattered_matrix()); });
+            name.c_str(), [kind](benchmark::State& s) { bm_spmv(s, kind, scattered_bundle()); });
         bench->Arg(4)->Unit(benchmark::kMicrosecond)->UseRealTime();
     }
 }

@@ -42,7 +42,7 @@ int main(int argc, char** argv) {
         widths.push_back(10);
         widths.push_back(10);
     }
-    bench::TablePrinter table(std::cout, widths);
+    bench::TablePrinter table(std::cout, widths, env.csv_sink);
     std::vector<std::string> head = {"Matrix", "mult1"};
     for (ReductionMethod m : methods) {
         const std::string base(to_string(m).substr(4));
@@ -55,8 +55,8 @@ int main(int argc, char** argv) {
         return bench::TablePrinter::fmt(static_cast<double>(misses) / 1e3, 1);
     };
     for (const auto& entry : env.entries) {
-        const Coo full = env.load(entry);
-        const Sss sss(full);
+        const engine::MatrixBundle bundle(env.load(entry));
+        const Sss& sss = bundle.sss();
         const auto parts = split_by_nnz(sss.rowptr(), threads);
         const SpmvTrace trace(sss, parts);
         std::vector<std::string> row = {entry.name};

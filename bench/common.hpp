@@ -7,19 +7,25 @@
 //   --matrix NAME    restrict to a single suite matrix
 //   --iterations N   SpM×V iterations per measurement (paper: 128)
 //   --threads LIST   comma-separated thread counts for sweeps
+//   --pin            pin worker threads to logical CPUs (§V.A)
 //   --csv FILE       mirror every printed table to FILE as CSV
 #pragma once
 
+#include <cstdint>
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <random>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "bench/harness.hpp"
-#include "bench/registry.hpp"
 #include "core/options.hpp"
+#include "engine/bundle.hpp"
+#include "engine/context.hpp"
+#include "engine/factory.hpp"
+#include "engine/registry.hpp"
 #include "matrix/suite.hpp"
 
 namespace symspmv::bench {
@@ -28,14 +34,28 @@ struct BenchEnv {
     double scale = 0.008;
     std::string matrices_dir;
     int iterations = 24;
+    bool pin_threads = false;
     std::vector<int> thread_counts = {1, 2, 4, 8, 16};
     std::vector<gen::SuiteEntry> entries;
+
+    // The --csv stream (if any); csv_sink is what TablePrinter takes, so a
+    // bench without --csv simply passes nullptr.  Instance-scoped: two
+    // BenchEnvs never share a sink.
+    std::shared_ptr<std::ofstream> csv_file;
+    std::ostream* csv_sink = nullptr;
 
     [[nodiscard]] Coo load(const gen::SuiteEntry& entry) const {
         return gen::load_or_generate(entry.name, scale, matrices_dir);
     }
 
     [[nodiscard]] int max_threads() const { return thread_counts.back(); }
+
+    /// An ExecutionContext with @p threads workers and the bench's pinning
+    /// flag — the one object handed to factories, solvers and probes.
+    [[nodiscard]] engine::ExecutionContext make_context(int threads) const {
+        return engine::ExecutionContext(
+            engine::ContextOptions{.threads = threads, .pin_threads = pin_threads});
+    }
 };
 
 inline std::vector<int> parse_thread_list(const std::string& list) {
@@ -54,17 +74,17 @@ inline BenchEnv parse_env(int argc, const char* const* argv, int default_iterati
     env.scale = opts.get_double("--scale", env.scale);
     env.matrices_dir = opts.get_string("--matrices", "");
     env.iterations = static_cast<int>(opts.get_int("--iterations", default_iterations));
+    env.pin_threads = opts.has("--pin");
     const std::string threads = opts.get_string("--threads", "");
     if (!threads.empty()) env.thread_counts = parse_thread_list(threads);
     const std::string csv_path = opts.get_string("--csv", "");
     if (!csv_path.empty()) {
-        static std::ofstream csv_file;  // outlives every TablePrinter
-        csv_file.open(csv_path);
-        if (!csv_file) {
+        env.csv_file = std::make_shared<std::ofstream>(csv_path);
+        if (!*env.csv_file) {
             std::cerr << "cannot open --csv file '" << csv_path << "'\n";
             std::exit(2);
         }
-        TablePrinter::set_csv_sink(&csv_file);
+        env.csv_sink = env.csv_file.get();
     }
     const std::string only = opts.get_string("--matrix", "");
     for (const gen::SuiteEntry& e : gen::suite_entries()) {
@@ -81,6 +101,16 @@ inline MeasureOptions measure_options(const BenchEnv& env) {
     MeasureOptions m;
     m.iterations = env.iterations;
     return m;
+}
+
+/// Deterministic uniform(-1, 1) vector — the shared input generator for
+/// every bench that needs a right-hand side or an x vector.
+inline std::vector<value_t> random_vector(std::size_t n, std::uint64_t seed = 2013) {
+    std::mt19937_64 rng(seed);
+    std::uniform_real_distribution<value_t> dist(-1.0, 1.0);
+    std::vector<value_t> v(n);
+    for (auto& x : v) x = dist(rng);
+    return v;
 }
 
 }  // namespace symspmv::bench

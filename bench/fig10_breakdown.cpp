@@ -5,9 +5,14 @@
 // Paper shape: the shaded (reduction) share dominates for naive/effective
 // ranges at 24 threads and is minimal for the indexing scheme, which also
 // shortens the multiply phase via reduced cache interference.
+//
+// The per-thread phase profiler adds the column the scalar split cannot
+// show: the multiply-phase load imbalance (slowest thread over mean - 1),
+// i.e. how long the fast threads idle at the phase barrier.
 #include <iostream>
 
 #include "bench/common.hpp"
+#include "engine/profiler.hpp"
 
 using namespace symspmv;
 
@@ -16,24 +21,30 @@ int main(int argc, char** argv) {
     const int threads = env.max_threads();
     const std::vector<KernelKind> kinds = {KernelKind::kSssNaive, KernelKind::kSssEffective,
                                            KernelKind::kSssIndexing};
-    ThreadPool pool(threads);
+    auto ctx = env.make_context(threads);
 
     std::cout << "Fig. 10: symmetric SpM×V time breakdown at " << threads
               << " threads (scale=" << env.scale << ", iters=" << env.iterations << ")\n\n";
-    bench::TablePrinter table(std::cout, {14, 11, 11, 11, 11});
-    table.header({"Matrix", "Method", "mult us", "reduce us", "reduce %"});
+    bench::TablePrinter table(std::cout, {14, 11, 11, 11, 11, 9}, env.csv_sink);
+    table.header({"Matrix", "Method", "mult us", "reduce us", "reduce %", "imb %"});
 
+    engine::PhaseProfiler profiler(threads);
     for (const auto& entry : env.entries) {
-        const Coo full = env.load(entry);
+        const engine::MatrixBundle bundle(env.load(entry));
+        const engine::KernelFactory factory(bundle, ctx);
         for (KernelKind kind : kinds) {
-            const KernelPtr kernel = make_kernel(kind, full, pool);
-            const auto meas = bench::measure(*kernel, bench::measure_options(env));
+            const KernelPtr kernel = factory.make(kind);
+            auto opts = bench::measure_options(env);
+            opts.profiler = &profiler;
+            const auto meas = bench::measure(*kernel, opts);
             const double mult = meas.phase_totals.multiply_seconds / env.iterations;
             const double red = meas.phase_totals.reduction_seconds / env.iterations;
+            const double imbalance = profiler.stats(engine::Phase::kMultiply).imbalance;
             table.row({entry.name, std::string(to_string(kind)),
                        bench::TablePrinter::fmt(mult * 1e6, 1),
                        bench::TablePrinter::fmt(red * 1e6, 1),
-                       bench::TablePrinter::pct(red / (mult + red))});
+                       bench::TablePrinter::pct(red / (mult + red)),
+                       bench::TablePrinter::pct(imbalance)});
         }
         table.rule();
     }

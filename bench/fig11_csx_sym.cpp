@@ -20,31 +20,34 @@ int main(int argc, char** argv) {
               << "(suite average, scale=" << env.scale << ", iters=" << env.iterations << ")\n\n";
     std::vector<int> widths = {10};
     for (std::size_t i = 0; i < kinds.size(); ++i) widths.push_back(11);
-    bench::TablePrinter table(std::cout, widths);
+    bench::TablePrinter table(std::cout, widths, env.csv_sink);
     std::vector<std::string> head = {"p"};
     for (KernelKind k : kinds) head.emplace_back(to_string(k));
     table.header(head);
 
+    // One bundle per matrix: the COO->CSR/SSS conversions run once for the
+    // whole (p x kind) sweep instead of once per kernel build.
     std::vector<double> serial_seconds;
-    std::vector<Coo> matrices;
+    std::vector<engine::MatrixBundle> bundles;
     for (const auto& entry : env.entries) {
-        matrices.push_back(env.load(entry));
-        CsrSerialKernel serial((Csr(matrices.back())));
+        bundles.emplace_back(env.load(entry));
+        CsrSerialKernel serial(bundles.back().csr());
         serial_seconds.push_back(
             bench::measure(serial, bench::measure_options(env)).seconds_per_op);
     }
 
     for (int t : env.thread_counts) {
-        ThreadPool pool(t);
+        auto ctx = env.make_context(t);
         std::vector<std::string> row = {std::to_string(t)};
         for (KernelKind kind : kinds) {
             double sum_speedup = 0.0;
-            for (std::size_t m = 0; m < matrices.size(); ++m) {
-                const KernelPtr kernel = make_kernel(kind, matrices[m], pool);
+            for (std::size_t m = 0; m < bundles.size(); ++m) {
+                const engine::KernelFactory factory(bundles[m], ctx);
+                const KernelPtr kernel = factory.make(kind);
                 const auto meas = bench::measure(*kernel, bench::measure_options(env));
                 sum_speedup += serial_seconds[m] / meas.seconds_per_op;
             }
-            row.push_back(bench::TablePrinter::fmt(sum_speedup / matrices.size(), 2));
+            row.push_back(bench::TablePrinter::fmt(sum_speedup / bundles.size(), 2));
         }
         table.row(row);
     }

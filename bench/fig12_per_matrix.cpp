@@ -16,9 +16,9 @@ int main(int argc, char** argv) {
     const auto env = bench::parse_env(argc, argv);
     const int threads = env.max_threads();
     const auto& kinds = figure_kernel_kinds();
-    ThreadPool pool(threads);
+    auto ctx = env.make_context(threads);
 
-    const bench::StreamResult stream = bench::stream_probe(pool);
+    const bench::StreamResult stream = bench::stream_probe(ctx);
     std::cout << "Fig. 12: per-matrix SpM×V performance at " << threads
               << " threads (scale=" << env.scale << ", iters=" << env.iterations << ")\n"
               << "Sustained bandwidth (triad probe): "
@@ -27,19 +27,22 @@ int main(int argc, char** argv) {
     std::vector<int> widths = {14};
     for (std::size_t i = 0; i < kinds.size(); ++i) widths.push_back(11);
     widths.push_back(10);
-    bench::TablePrinter table(std::cout, widths);
+    bench::TablePrinter table(std::cout, widths, env.csv_sink);
     std::vector<std::string> head = {"Matrix"};
     for (KernelKind k : kinds) head.emplace_back(std::string(to_string(k)) + " GF");
     head.emplace_back("best");
     table.header(head);
 
     for (const auto& entry : env.entries) {
-        const Coo full = env.load(entry);
+        // One bundle per matrix: COO->CSR and COO->SSS run once here, not
+        // once per kernel kind.
+        const engine::MatrixBundle bundle(env.load(entry));
+        const engine::KernelFactory factory(bundle, ctx);
         std::vector<std::string> row = {entry.name};
         double best = 0.0;
         std::string best_name;
         for (KernelKind kind : kinds) {
-            const KernelPtr kernel = make_kernel(kind, full, pool);
+            const KernelPtr kernel = factory.make(kind);
             const auto meas = bench::measure(*kernel, bench::measure_options(env));
             row.push_back(bench::TablePrinter::fmt(meas.gflops, 2));
             if (meas.gflops > best) {

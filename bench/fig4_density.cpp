@@ -18,7 +18,7 @@ int main(int argc, char** argv) {
               << ")\n\n";
     std::vector<int> widths = {14};
     for (std::size_t i = 0; i < threads.size(); ++i) widths.push_back(8);
-    bench::TablePrinter table(std::cout, widths);
+    bench::TablePrinter table(std::cout, widths, env.csv_sink);
     std::vector<std::string> head = {"Matrix"};
     for (int t : threads) head.push_back("p=" + std::to_string(t));
     table.header(head);

@@ -19,13 +19,17 @@ int main(int argc, char** argv) {
 
     std::cout << "Fig. 5: reduction working-set overhead over the serial SSS matrix size\n"
               << "(suite average, scale=" << env.scale << ")\n\n";
-    bench::TablePrinter table(std::cout, {8, 12, 12, 12, 10});
+    bench::TablePrinter table(std::cout, {8, 12, 12, 12, 10}, env.csv_sink);
     table.header({"p", "naive", "eff.ranges", "indexing", "density"});
+
+    // One bundle per matrix: COO->SSS runs once for the whole thread sweep.
+    std::vector<engine::MatrixBundle> bundles;
+    for (const auto& entry : env.entries) bundles.emplace_back(env.load(entry));
 
     for (int t : threads) {
         double naive = 0.0, eff = 0.0, idx = 0.0, dens = 0.0;
-        for (const auto& entry : env.entries) {
-            const Sss sss(env.load(entry));
+        for (const engine::MatrixBundle& bundle : bundles) {
+            const Sss& sss = bundle.sss();
             const auto parts = split_by_nnz(sss.rowptr(), t);
             const ReductionWorkingSet ws = reduction_working_set(sss, parts);
             const double base = static_cast<double>(sss.size_bytes());

@@ -39,7 +39,7 @@ int main(int argc, char** argv) {
 
     std::cout << "Section V.E: CSX-Sym preprocessing cost in serial CSR SpM×V units\n"
               << "(scale=" << env.scale << ", " << parts << " partitions)\n\n";
-    bench::TablePrinter table(std::cout, {14, 12, 12});
+    bench::TablePrinter table(std::cout, {14, 12, 12}, env.csv_sink);
     table.header({"Matrix", "plain", "RCM"});
 
     double avg_plain = 0.0, avg_rcm = 0.0;
@@ -66,7 +66,7 @@ int main(int argc, char** argv) {
     const double serial_s = csr_serial_seconds(probe, env);
     std::cout << "\nAblation on " << env.entries.back().name
               << ": preprocessing cost vs sampling and run-length knobs\n\n";
-    bench::TablePrinter ab(std::cout, {26, 12, 14});
+    bench::TablePrinter ab(std::cout, {26, 12, 14}, env.csv_sink);
     ab.header({"Config", "prep units", "CSXS bytes/nnz"});
     auto report = [&](const std::string& name, const csx::CsxConfig& cfg) {
         const Sss sss(probe);

@@ -16,8 +16,8 @@ using namespace symspmv;
 int main(int argc, char** argv) {
     const auto env = bench::parse_env(argc, argv);
     const int threads = env.max_threads();
-    ThreadPool pool(threads);
-    const bench::RooflineModel model = bench::probe_roofline(pool);
+    auto ctx = env.make_context(threads);
+    const bench::RooflineModel model = bench::probe_roofline(ctx);
 
     std::cout << "Roofline placement of the SpM×V kernels at " << threads
               << " threads (scale=" << env.scale << ")\n"
@@ -31,13 +31,14 @@ int main(int argc, char** argv) {
         KernelKind::kCsx,     KernelKind::kCsxSym,
         KernelKind::kCsb,     KernelKind::kBcsr,
     };
-    bench::TablePrinter table(std::cout, {14, 11, 12, 12, 12, 10});
+    bench::TablePrinter table(std::cout, {14, 11, 12, 12, 12, 10}, env.csv_sink);
     table.header({"Matrix", "Kernel", "flops/byte", "attain GF", "meas GF", "attained"});
 
     for (const auto& entry : env.entries) {
-        const Coo full = env.load(entry);
+        const engine::MatrixBundle bundle(env.load(entry));
+        const engine::KernelFactory factory(bundle, ctx);
         for (KernelKind kind : kinds) {
-            const KernelPtr kernel = make_kernel(kind, full, pool);
+            const KernelPtr kernel = factory.make(kind);
             const double intensity = bench::operational_intensity(*kernel);
             const double attainable = model.attainable_gflops(intensity);
             const auto meas = bench::measure(*kernel, bench::measure_options(env));

@@ -17,14 +17,17 @@ using namespace symspmv;
 int main(int argc, char** argv) {
     const auto env = bench::parse_env(argc, argv);
     std::cout << "Table I: matrix suite and compression ratios (scale=" << env.scale << ")\n\n";
-    bench::TablePrinter table(std::cout, {14, 9, 11, 10, 10, 10, 10, 11});
+    bench::TablePrinter table(std::cout, {14, 9, 11, 10, 10, 10, 10, 11}, env.csv_sink);
     table.header({"Matrix", "Rows", "Nonzeros", "Size MiB", "C.R. SSS", "C.R. CSXS", "C.R. Max",
                   "Problem"});
 
     for (const auto& entry : env.entries) {
-        const Coo full = env.load(entry);
-        const Csr csr(full);
-        const Sss sss(full);
+        // One bundle per matrix: CSR and SSS are derived from the same COO
+        // exactly once each.
+        const engine::MatrixBundle bundle(env.load(entry));
+        const Coo& full = bundle.coo();
+        const Csr& csr = bundle.csr();
+        const Sss& sss = bundle.sss();
         const csx::CsxSymMatrix csxsym(sss, csx::CsxConfig{}, env.max_threads());
 
         const double csr_bytes = static_cast<double>(csr.size_bytes());

@@ -43,12 +43,12 @@ int main(int argc, char** argv) {
     const bool scramble_first = !opts.has("--no-scramble") && env.matrices_dir.empty();
     const int threads = env.max_threads();
     const auto& kinds = figure_kernel_kinds();
-    ThreadPool pool(threads);
+    auto ctx = env.make_context(threads);
 
     std::cout << "Table III: SpM×V improvement due to RCM reordering at " << threads
               << " threads (scale=" << env.scale << ", iters=" << env.iterations
               << (scramble_first ? ", natural-order emulation: scrambled" : "") << ")\n\n";
-    bench::TablePrinter table(std::cout, {10, 14, 14});
+    bench::TablePrinter table(std::cout, {10, 14, 14}, env.csv_sink);
     table.header({"Format", "improvement", "(suite avg)"});
 
     std::vector<double> gains(kinds.size(), 0.0);
@@ -57,12 +57,18 @@ int main(int argc, char** argv) {
     for (const auto& entry : env.entries) {
         Coo plain = env.load(entry);
         if (scramble_first) plain = scramble(plain, 2013);
-        const Coo reordered = permute_symmetric(plain, rcm_permutation(plain));
+        Coo reordered = permute_symmetric(plain, rcm_permutation(plain));
         bw_before += static_cast<double>(bandwidth(plain)) / env.entries.size();
         bw_after += static_cast<double>(bandwidth(reordered)) / env.entries.size();
+        // Two bundles per matrix: the plain and reordered conversions each
+        // run once for the whole kind sweep.
+        const engine::MatrixBundle bundle_before(std::move(plain));
+        const engine::MatrixBundle bundle_after(std::move(reordered));
+        const engine::KernelFactory factory_before(bundle_before, ctx);
+        const engine::KernelFactory factory_after(bundle_after, ctx);
         for (std::size_t k = 0; k < kinds.size(); ++k) {
-            const KernelPtr before = make_kernel(kinds[k], plain, pool);
-            const KernelPtr after = make_kernel(kinds[k], reordered, pool);
+            const KernelPtr before = factory_before.make(kinds[k]);
+            const KernelPtr after = factory_after.make(kinds[k]);
             const double t_before =
                 bench::measure(*before, bench::measure_options(env)).seconds_per_op;
             const double t_after =

@@ -11,8 +11,11 @@
 #include <iomanip>
 #include <iostream>
 
-#include "bench/registry.hpp"
 #include "core/options.hpp"
+#include "engine/bundle.hpp"
+#include "engine/context.hpp"
+#include "engine/factory.hpp"
+#include "engine/registry.hpp"
 #include "matrix/sss.hpp"
 #include "matrix/suite.hpp"
 #include "solver/pcg.hpp"
@@ -23,12 +26,13 @@ int main(int argc, char** argv) {
     const Options opts(argc, argv);
     try {
         const std::string name = opts.get_string("--suite", "thermal2");
-        const Coo full = gen::generate_suite_matrix(name, opts.get_double("--scale", 0.01));
-        ThreadPool pool(static_cast<int>(opts.get_int("--threads", 4)));
-        auto kernel = make_kernel(KernelKind::kSssIndexing, full, pool);
-        const Sss sss(full);
+        const engine::MatrixBundle bundle(
+            gen::generate_suite_matrix(name, opts.get_double("--scale", 0.01)));
+        engine::ExecutionContext ctx(static_cast<int>(opts.get_int("--threads", 4)));
+        const engine::KernelFactory factory(bundle, ctx);
+        auto kernel = factory.make(KernelKind::kSssIndexing);
 
-        std::vector<value_t> b(static_cast<std::size_t>(full.rows()), 1.0);
+        std::vector<value_t> b(static_cast<std::size_t>(bundle.coo().rows()), 1.0);
         const double b_norm = std::sqrt(static_cast<double>(b.size()));
 
         cg::Options cg_opts;
@@ -39,14 +43,14 @@ int main(int argc, char** argv) {
         std::vector<std::vector<double>> histories;
         std::vector<std::string> labels = {"none", "jacobi", "ssor"};
         for (const std::string& p : labels) {
-            auto pc = cg::make_preconditioner(p, sss, pool);
-            const cg::PcgResult res = cg::pcg_solve(*kernel, *pc, pool, b, cg_opts);
+            auto pc = cg::make_preconditioner(p, bundle.sss(), ctx);
+            const cg::PcgResult res = cg::pcg_solve(*kernel, *pc, ctx, b, cg_opts);
             histories.push_back(res.base.residual_history);
             std::cerr << p << ": " << res.base.iterations << " iterations, "
                       << (res.base.converged ? "converged" : "NOT converged") << "\n";
         }
 
-        std::cout << "# " << name << " (" << full.rows() << " rows): relative residual "
+        std::cout << "# " << name << " (" << bundle.coo().rows() << " rows): relative residual "
                   << "per CG iteration\n"
                   << "# iter  none  jacobi  ssor\n";
         std::size_t depth = 0;

@@ -6,8 +6,11 @@
 #include <iomanip>
 #include <iostream>
 
-#include "bench/registry.hpp"
 #include "core/options.hpp"
+#include "engine/bundle.hpp"
+#include "engine/context.hpp"
+#include "engine/factory.hpp"
+#include "engine/registry.hpp"
 #include "matrix/generators.hpp"
 #include "solver/cg.hpp"
 
@@ -28,7 +31,9 @@ int main(int argc, char** argv) {
     std::vector<value_t> b(static_cast<std::size_t>(a.rows()), 0.0);
     b[static_cast<std::size_t>(a.rows()) / 2] = 1.0;
 
-    ThreadPool pool(threads);
+    engine::ExecutionContext ctx(threads);
+    const engine::MatrixBundle bundle = engine::MatrixBundle::view(a);
+    const engine::KernelFactory factory(bundle, ctx);
     cg::Options copts;
     copts.tolerance = tol;
     copts.max_iterations = 4 * static_cast<int>(nx + ny);
@@ -37,8 +42,8 @@ int main(int argc, char** argv) {
               << std::setw(14) << "residual" << std::setw(12) << "spmv ms" << std::setw(12)
               << "reduce ms" << std::setw(12) << "vecops ms" << '\n';
     for (KernelKind kind : figure_kernel_kinds()) {
-        const KernelPtr kernel = make_kernel(kind, a, pool);
-        const cg::Result res = cg::solve(*kernel, pool, b, copts);
+        const KernelPtr kernel = factory.make(kind);
+        const cg::Result res = cg::solve(*kernel, ctx, b, copts);
         std::cout << std::left << std::setw(10) << to_string(kind) << std::right << std::setw(8)
                   << res.iterations << std::setw(14) << std::scientific << std::setprecision(2)
                   << res.residual_norm << std::fixed << std::setw(12)

@@ -5,8 +5,11 @@
 #include <iostream>
 #include <random>
 
-#include "bench/registry.hpp"
 #include "core/options.hpp"
+#include "engine/bundle.hpp"
+#include "engine/context.hpp"
+#include "engine/factory.hpp"
+#include "engine/registry.hpp"
 #include "matrix/csr.hpp"
 #include "matrix/generators.hpp"
 
@@ -28,15 +31,20 @@ int main(int argc, char** argv) {
     std::vector<value_t> x(static_cast<std::size_t>(matrix.rows()));
     for (auto& v : x) v = dist(rng);
 
-    // 3. Run y = A*x through every kernel; all must agree with CSR.
-    ThreadPool pool(threads);
+    // 3. Run y = A*x through every kernel; all must agree with CSR.  The
+    //    ExecutionContext owns the thread pool; the MatrixBundle derives
+    //    each representation (CSR, SSS, ...) from the COO exactly once and
+    //    the KernelFactory builds every kernel from those shared copies.
+    engine::ExecutionContext ctx(threads);
+    const engine::MatrixBundle bundle = engine::MatrixBundle::view(matrix);
+    const engine::KernelFactory factory(bundle, ctx);
     std::vector<value_t> reference(x.size());
-    Csr(matrix).spmv(x, reference);
+    bundle.csr().spmv(x, reference);
 
-    const std::size_t csr_bytes = Csr(matrix).size_bytes();
+    const std::size_t csr_bytes = bundle.csr().size_bytes();
     std::cout << "CSR size: " << csr_bytes << " bytes\n\n";
     for (KernelKind kind : all_kernel_kinds()) {
-        const KernelPtr kernel = make_kernel(kind, matrix, pool);
+        const KernelPtr kernel = factory.make(kind);
         std::vector<value_t> y(x.size());
         kernel->spmv(x, y);
         double max_err = 0.0;

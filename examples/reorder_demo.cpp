@@ -5,8 +5,11 @@
 //   ./examples/reorder_demo [--suite G3_circuit] [--scale 0.01] [--threads 8]
 #include <iostream>
 
-#include "bench/registry.hpp"
 #include "core/options.hpp"
+#include "engine/bundle.hpp"
+#include "engine/context.hpp"
+#include "engine/factory.hpp"
+#include "engine/registry.hpp"
 #include "csx/csx_sym.hpp"
 #include "matrix/properties.hpp"
 #include "matrix/sss.hpp"
@@ -53,16 +56,18 @@ int main(int argc, char** argv) {
     describe("RCM-reordered", reordered, threads);
 
     // Solving the permuted system gives the permuted solution: P A P^T (P x) = P b.
-    ThreadPool pool(threads);
+    engine::ExecutionContext ctx(threads);
     std::vector<value_t> b(static_cast<std::size_t>(plain.rows()), 1.0);
     cg::Options copts;
     copts.max_iterations = 500;
 
-    const KernelPtr k1 = make_kernel(KernelKind::kCsxSym, plain, pool);
-    const cg::Result r1 = cg::solve(*k1, pool, b, copts);
-    const KernelPtr k2 = make_kernel(KernelKind::kCsxSym, reordered, pool);
+    const engine::MatrixBundle plain_bundle = engine::MatrixBundle::view(plain);
+    const engine::MatrixBundle reordered_bundle = engine::MatrixBundle::view(reordered);
+    const KernelPtr k1 = engine::KernelFactory(plain_bundle, ctx).make(KernelKind::kCsxSym);
+    const cg::Result r1 = cg::solve(*k1, ctx, b, copts);
+    const KernelPtr k2 = engine::KernelFactory(reordered_bundle, ctx).make(KernelKind::kCsxSym);
     const auto pb = permute_vector(b, perm);
-    const cg::Result r2 = cg::solve(*k2, pool, pb, copts);
+    const cg::Result r2 = cg::solve(*k2, ctx, pb, copts);
     const auto x2 = unpermute_vector(r2.x, invert_permutation(perm));
 
     double max_diff = 0.0;

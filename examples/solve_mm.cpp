@@ -14,8 +14,11 @@
 #include <random>
 #include <string>
 
-#include "bench/registry.hpp"
 #include "core/options.hpp"
+#include "engine/bundle.hpp"
+#include "engine/context.hpp"
+#include "engine/factory.hpp"
+#include "engine/registry.hpp"
 #include "matrix/generators.hpp"
 #include "matrix/mmio.hpp"
 #include "matrix/sss.hpp"
@@ -52,12 +55,13 @@ int main(int argc, char** argv) {
         }
         std::cout << "matrix: " << full.rows() << " rows, " << full.nnz() << " non-zeros\n";
 
-        ThreadPool pool(threads);
-        const KernelPtr kernel = make_kernel(parse_kernel_kind(kernel_name), full, pool);
-        const Sss sss(full);
-        const auto precond = cg::make_preconditioner(precond_name, sss, pool);
+        engine::ExecutionContext ctx(threads);
+        const engine::MatrixBundle bundle(std::move(full));
+        const engine::KernelFactory factory(bundle, ctx);
+        const KernelPtr kernel = factory.make(parse_kernel_kind(kernel_name));
+        const auto precond = cg::make_preconditioner(precond_name, bundle.sss(), ctx);
 
-        std::vector<value_t> b(static_cast<std::size_t>(full.rows()), 1.0);
+        std::vector<value_t> b(static_cast<std::size_t>(bundle.coo().rows()), 1.0);
         if (opts.get_string("--rhs", "ones") == "random") {
             std::mt19937_64 rng(2013);
             std::uniform_real_distribution<value_t> dist(-1.0, 1.0);
@@ -67,7 +71,7 @@ int main(int argc, char** argv) {
         cg::Options cg_opts;
         cg_opts.tolerance = tol;
         cg_opts.max_iterations = max_iter;
-        const cg::PcgResult res = cg::pcg_solve(*kernel, *precond, pool, b, cg_opts);
+        const cg::PcgResult res = cg::pcg_solve(*kernel, *precond, ctx, b, cg_opts);
 
         std::cout << "kernel: " << kernel->name() << ", preconditioner: " << precond->name()
                   << ", threads: " << threads << "\n"

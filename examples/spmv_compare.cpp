@@ -12,8 +12,11 @@
 #include <string>
 
 #include "bench/harness.hpp"
-#include "bench/registry.hpp"
 #include "core/options.hpp"
+#include "engine/bundle.hpp"
+#include "engine/context.hpp"
+#include "engine/factory.hpp"
+#include "engine/registry.hpp"
 #include "matrix/csr.hpp"
 #include "matrix/mmio.hpp"
 #include "matrix/suite.hpp"
@@ -54,8 +57,12 @@ int main(int argc, char** argv) {
         bench::MeasureOptions mopts;
         mopts.iterations = static_cast<int>(opts.get_int("--iterations", 32));
 
-        std::cout << "matrix " << label << ": " << full.rows() << " rows, " << full.nnz()
-                  << " non-zeros, CSR = " << Csr(full).size_bytes() / 1024 << " KiB"
+        // One bundle for the whole (kind x thread) sweep: each derived
+        // representation is built from the COO exactly once.
+        const engine::MatrixBundle bundle(std::move(full));
+        std::cout << "matrix " << label << ": " << bundle.coo().rows() << " rows, "
+                  << bundle.coo().nnz()
+                  << " non-zeros, CSR = " << bundle.csr().size_bytes() / 1024 << " KiB"
                   << (opts.has("--rcm") ? ", RCM reordered" : "") << "\n\n";
 
         std::vector<int> widths = {12, 11, 9};
@@ -71,8 +78,8 @@ int main(int argc, char** argv) {
             std::string reduction_share = "0.0%";
             std::vector<std::string> gflops;
             for (int t : threads) {
-                ThreadPool pool(t);
-                const KernelPtr kernel = make_kernel(kind, full, pool);
+                engine::ExecutionContext ctx(t);
+                const KernelPtr kernel = engine::KernelFactory(bundle, ctx).make(kind);
                 const auto meas = bench::measure(*kernel, mopts);
                 gflops.push_back(bench::TablePrinter::fmt(meas.gflops, 2));
                 if (t == threads.back()) {

@@ -15,7 +15,7 @@
 
 #include <string>
 
-#include "bench/registry.hpp"
+#include "engine/registry.hpp"
 #include "matrix/coo.hpp"
 
 namespace symspmv::bench {

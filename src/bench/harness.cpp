@@ -30,10 +30,18 @@ Measurement measure(SpmvKernel& kernel, const MeasureOptions& opts) {
         swap_xy();
     }
 
+    // Profile only the timed window: warmup effects would otherwise skew
+    // the per-thread imbalance statistics.
+    if (opts.profiler != nullptr) {
+        opts.profiler->reset();
+        kernel.set_profiler(opts.profiler);
+    }
+
     Measurement m;
     std::vector<double> per_op;
     per_op.reserve(static_cast<std::size_t>(opts.iterations));
     for (int i = 0; i < opts.iterations; ++i) {
+        if (opts.profiler != nullptr) opts.profiler->begin_op();
         Timer t;
         kernel.spmv({x, n}, {y, n});
         per_op.push_back(t.seconds());
@@ -41,6 +49,7 @@ Measurement measure(SpmvKernel& kernel, const MeasureOptions& opts) {
         m.phase_totals.reduction_seconds += kernel.last_phases().reduction_seconds;
         swap_xy();
     }
+    if (opts.profiler != nullptr) kernel.set_profiler(nullptr);
     m.per_op = summarize(per_op);
     m.seconds_per_op = m.per_op.median;
     if (m.seconds_per_op > 0.0) {
@@ -49,30 +58,24 @@ Measurement measure(SpmvKernel& kernel, const MeasureOptions& opts) {
     return m;
 }
 
-TablePrinter::TablePrinter(std::ostream& out, std::vector<int> widths)
-    : out_(out), widths_(std::move(widths)) {}
+TablePrinter::TablePrinter(std::ostream& out, std::vector<int> widths, std::ostream* csv_sink)
+    : out_(out), widths_(std::move(widths)), csv_sink_(csv_sink) {}
 
 void TablePrinter::header(const std::vector<std::string>& cells) {
     row(cells);
     rule();
 }
 
-namespace {
-std::ostream* g_csv_sink = nullptr;
-}  // namespace
-
-void TablePrinter::set_csv_sink(std::ostream* out) { g_csv_sink = out; }
-
 void TablePrinter::csv_line(const std::vector<std::string>& cells) {
-    if (g_csv_sink == nullptr) return;
+    if (csv_sink_ == nullptr) return;
     for (std::size_t i = 0; i < cells.size(); ++i) {
         // Trim the padding spaces fmt/pct never produce but labels might.
         std::string cell = cells[i];
         if (cell.find(',') != std::string::npos) cell = '"' + cell + '"';
-        *g_csv_sink << cell;
-        if (i + 1 < cells.size()) *g_csv_sink << ',';
+        *csv_sink_ << cell;
+        if (i + 1 < cells.size()) *csv_sink_ << ',';
     }
-    *g_csv_sink << '\n';
+    *csv_sink_ << '\n';
 }
 
 void TablePrinter::row(const std::vector<std::string>& cells) {

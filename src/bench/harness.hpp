@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "core/profiling.hpp"
 #include "core/stats.hpp"
 #include "core/types.hpp"
 #include "spmv/kernel.hpp"
@@ -17,6 +18,11 @@ struct MeasureOptions {
     int iterations = 128;       // the paper's 128 consecutive operations
     int warmup = 2;             // untimed warmup iterations
     std::uint64_t seed = 2013;  // RNG seed for the input vector
+    /// When set, the kernel records per-thread multiply/barrier/reduction
+    /// times into it over the timed iterations (warmup excluded); the
+    /// profiler is reset at the start of the timed window and detached
+    /// afterwards.  Must have at least as many slots as the kernel threads.
+    PhaseProfiler* profiler = nullptr;
 };
 
 struct Measurement {
@@ -30,13 +36,16 @@ struct Measurement {
 Measurement measure(SpmvKernel& kernel, const MeasureOptions& opts = {});
 
 /// Plain fixed-width table printer for the bench binaries.  When a CSV
-/// sink is installed (set_csv_sink, typically via the benches' --csv flag)
-/// every header/row is mirrored there as comma-separated values, so bench
-/// output can feed plotting scripts without reparsing the aligned text.
+/// sink is passed (typically via the benches' --csv flag) every header/row
+/// is mirrored there as comma-separated values, so bench output can feed
+/// plotting scripts without reparsing the aligned text.  The sink is
+/// per-instance — concurrent printers with different sinks never
+/// cross-contaminate each other's output.
 class TablePrinter {
    public:
     /// @p widths: column widths; text is left-aligned, numbers right-aligned.
-    TablePrinter(std::ostream& out, std::vector<int> widths);
+    /// @p csv_sink: optional CSV mirror; must outlive the printer.
+    TablePrinter(std::ostream& out, std::vector<int> widths, std::ostream* csv_sink = nullptr);
 
     void header(const std::vector<std::string>& cells);
     void row(const std::vector<std::string>& cells);
@@ -45,15 +54,12 @@ class TablePrinter {
     static std::string fmt(double v, int precision = 2);
     static std::string pct(double fraction, int precision = 1);
 
-    /// Mirrors all subsequently printed tables to @p out as CSV (nullptr
-    /// disconnects).  The sink must outlive the printers using it.
-    static void set_csv_sink(std::ostream* out);
-
    private:
     void csv_line(const std::vector<std::string>& cells);
 
     std::ostream& out_;
     std::vector<int> widths_;
+    std::ostream* csv_sink_ = nullptr;
 };
 
 }  // namespace symspmv::bench

@@ -1,57 +1,7 @@
-// Kernel registry: builds any of the paper's SpM×V kernels from a full
-// symmetric COO matrix.  This is the entry point benches and examples use.
+// Compatibility shim: the kernel registry moved to the engine layer
+// (engine/registry.hpp), where kernel construction belongs; the bench layer
+// now depends on the engine, not the other way round.  Include the engine
+// header directly in new code.
 #pragma once
 
-#include <string_view>
-#include <vector>
-
-#include "core/thread_pool.hpp"
-#include "csx/detect.hpp"
-#include "matrix/coo.hpp"
-#include "spmv/kernel.hpp"
-
-namespace symspmv {
-
-enum class KernelKind {
-    kCsrSerial,     // serial CSR baseline
-    kCsr,           // multithreaded CSR (the paper's baseline)
-    kSssSerial,     // Alg. 2
-    kSssNaive,      // Alg. 3 (naive local vectors)
-    kSssEffective,  // effective ranges [Batista et al.]
-    kSssIndexing,   // §III.C local vectors indexing
-    kCsx,           // unsymmetric CSX
-    kCsxSym,        // CSX-Sym + local vectors indexing (§IV)
-    kCsb,           // Compressed Sparse Blocks [Buluç et al., SPAA'09]
-    kCsbSym,        // symmetric CSB: band buffers + atomics [27]
-    kBcsr,          // register-blocked BCSR with autotuned shape [22]-[26]
-    kSssAtomic,     // symmetric SSS with atomic output updates (§III.A)
-    kSssColor,      // Batista's "colorful" conflict-coloring method [7]
-    kCsrDu,         // CSX with patterns disabled: delta units only (CSR-DU)
-    kEll,           // ELLPACK/ITPACK padded-row baseline [13]
-    kHyb,           // hybrid ELL + COO-tail split
-    kDia,           // diagonal storage with COO-tail spill [13]
-    kJds,           // Jagged Diagonal Storage baseline [13]
-    kVbl,           // 1-D variable-length horizontal blocks [24]
-    kCsxJit,        // CSX via runtime C code generation (needs a compiler;
-                    // listed by all_kernel_kinds() only when one is found)
-    kCsxSymJit,     // CSX-Sym via runtime code generation (same caveat)
-};
-
-[[nodiscard]] std::string_view to_string(KernelKind kind);
-
-/// Parses a kernel name as printed by to_string (throws on unknown names).
-[[nodiscard]] KernelKind parse_kernel_kind(std::string_view name);
-
-/// All kinds in presentation order (serial kinds first).
-[[nodiscard]] const std::vector<KernelKind>& all_kernel_kinds();
-
-/// The four multithreaded formats compared in Fig. 11/12/13/14.
-[[nodiscard]] const std::vector<KernelKind>& figure_kernel_kinds();
-
-/// Builds a kernel for @p full (a canonical, symmetric COO matrix; the
-/// unsymmetric kinds simply don't exploit the symmetry).  @p pool must
-/// outlive the kernel.
-KernelPtr make_kernel(KernelKind kind, const Coo& full, ThreadPool& pool,
-                      const csx::CsxConfig& cfg = {});
-
-}  // namespace symspmv
+#include "engine/registry.hpp"  // IWYU pragma: export

@@ -1,0 +1,58 @@
+#include "core/profiling.hpp"
+
+#include <algorithm>
+
+#include "core/error.hpp"
+
+namespace symspmv {
+
+std::string_view to_string(Phase phase) {
+    switch (phase) {
+        case Phase::kMultiply:
+            return "multiply";
+        case Phase::kBarrier:
+            return "barrier";
+        case Phase::kReduction:
+            return "reduction";
+    }
+    return "?";
+}
+
+PhaseProfiler::PhaseProfiler(int threads) {
+    SYMSPMV_CHECK_MSG(threads >= 1, "PhaseProfiler: need at least one thread slot");
+    slots_.resize(static_cast<std::size_t>(threads));
+}
+
+void PhaseProfiler::record(int tid, Phase phase, double seconds) {
+    if (tid < 0 || tid >= threads()) return;
+    Slot& slot = slots_[static_cast<std::size_t>(tid)];
+    slot.seconds[static_cast<int>(phase)] += seconds;
+    ++slot.samples[static_cast<int>(phase)];
+}
+
+double PhaseProfiler::seconds(int tid, Phase phase) const {
+    SYMSPMV_CHECK_MSG(tid >= 0 && tid < threads(), "PhaseProfiler: tid out of range");
+    return slots_[static_cast<std::size_t>(tid)].seconds[static_cast<int>(phase)];
+}
+
+PhaseStats PhaseProfiler::stats(Phase phase) const {
+    PhaseStats s;
+    s.min_seconds = slots_.empty() ? 0.0 : slots_.front().seconds[static_cast<int>(phase)];
+    for (const Slot& slot : slots_) {
+        const double sec = slot.seconds[static_cast<int>(phase)];
+        s.min_seconds = std::min(s.min_seconds, sec);
+        s.max_seconds = std::max(s.max_seconds, sec);
+        s.total_seconds += sec;
+        s.samples += slot.samples[static_cast<int>(phase)];
+    }
+    if (!slots_.empty()) s.mean_seconds = s.total_seconds / static_cast<double>(slots_.size());
+    if (s.mean_seconds > 0.0) s.imbalance = s.max_seconds / s.mean_seconds - 1.0;
+    return s;
+}
+
+void PhaseProfiler::reset() {
+    for (Slot& slot : slots_) slot = Slot{};
+    ops_ = 0;
+}
+
+}  // namespace symspmv

@@ -1,0 +1,87 @@
+// Per-thread, per-phase wall-clock profiling for the two-phase SpM×V
+// execution model (multiply / reduce / barrier wait).
+//
+// The paper's Fig. 9/10 analysis hinges on where each *thread* spends its
+// time, not just the aggregate split: the reduction methods differ exactly
+// in how evenly the reduction work is distributed and how long the fast
+// threads idle at the phase barrier.  SpmvPhases (spmv/kernel.hpp) keeps the
+// scalar per-call split; PhaseProfiler generalizes it to a per-thread
+// accumulator that any kernel records into when attached via
+// SpmvKernel::set_profiler, and exposes imbalance statistics
+// (max/mean - 1, the classical load-imbalance metric).
+//
+// Recording is wait-free: each worker writes only its own cache-line-padded
+// slot, so attaching a profiler does not perturb the measured kernel.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+namespace symspmv {
+
+/// The phases of one SpM×V operation a thread can spend time in.
+enum class Phase {
+    kMultiply = 0,   // own-partition multiplication
+    kBarrier = 1,    // waiting on the multiply->reduce barrier
+    kReduction = 2,  // combining local vectors into y
+};
+
+inline constexpr int kPhaseCount = 3;
+
+[[nodiscard]] std::string_view to_string(Phase phase);
+
+/// Cross-thread summary of one phase (seconds accumulated per thread over
+/// all recorded operations).
+struct PhaseStats {
+    double min_seconds = 0.0;    // fastest thread's accumulated time
+    double max_seconds = 0.0;    // slowest thread's accumulated time
+    double mean_seconds = 0.0;   // mean over threads
+    double total_seconds = 0.0;  // sum over threads (CPU seconds)
+    double imbalance = 0.0;      // max/mean - 1; 0 = perfectly balanced
+    std::size_t samples = 0;     // record() calls that fed this phase
+};
+
+/// Accumulates per-thread wall-clock by phase.  One instance profiles one
+/// kernel (or solver run) at a time; reset() rearms it for the next
+/// measurement window.  Thread tid must only be written from worker tid.
+class PhaseProfiler {
+   public:
+    /// @p threads fixes the slot count; record() with tid outside
+    /// [0, threads) is ignored (a kernel may run on fewer workers).
+    explicit PhaseProfiler(int threads);
+
+    [[nodiscard]] int threads() const { return static_cast<int>(slots_.size()); }
+
+    /// Adds @p seconds to (tid, phase).  Wait-free; no cross-thread writes.
+    void record(int tid, Phase phase, double seconds);
+
+    /// Marks the start of one profiled operation (bumps ops()).  Called by
+    /// the measuring loop, not by kernels.
+    void begin_op() { ++ops_; }
+
+    /// Profiled operations since construction or reset().
+    [[nodiscard]] std::size_t ops() const { return ops_; }
+
+    /// Accumulated seconds of @p phase on worker @p tid.
+    [[nodiscard]] double seconds(int tid, Phase phase) const;
+
+    /// Summary over threads for @p phase.  Threads that never recorded the
+    /// phase still participate with 0 s (they *were* idle there).
+    [[nodiscard]] PhaseStats stats(Phase phase) const;
+
+    /// Zeroes all slots and the operation counter.
+    void reset();
+
+   private:
+    // One cache line per worker so concurrent record() calls never share.
+    struct alignas(64) Slot {
+        double seconds[kPhaseCount] = {0.0, 0.0, 0.0};
+        std::size_t samples[kPhaseCount] = {0, 0, 0};
+    };
+
+    std::vector<Slot> slots_;
+    std::size_t ops_ = 0;
+};
+
+}  // namespace symspmv

@@ -15,6 +15,9 @@
 #include <thread>
 #include <vector>
 
+#include "core/profiling.hpp"
+#include "core/timer.hpp"
+
 namespace symspmv {
 
 class ThreadPool {
@@ -50,6 +53,15 @@ class ThreadPool {
     /// Synchronization point usable from inside a running job: every worker
     /// must call it the same number of times.
     void barrier() { barrier_->arrive_and_wait(); }
+
+    /// Profiled barrier: like barrier(), but records the time worker @p tid
+    /// spent waiting for the others as Phase::kBarrier — the per-thread
+    /// imbalance signal of the two-phase SpM×V model.
+    void barrier(PhaseProfiler& profiler, int tid) {
+        Timer t;
+        barrier_->arrive_and_wait();
+        profiler.record(tid, Phase::kBarrier, t.seconds());
+    }
 
    private:
     void worker_loop(int tid, bool pin);

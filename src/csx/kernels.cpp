@@ -13,7 +13,11 @@ void CsxMtKernel::spmv(std::span<const value_t> x, std::span<value_t> y) {
     SYMSPMV_CHECK_MSG(static_cast<index_t>(x.size()) == matrix_.cols(), "spmv: x size mismatch");
     SYMSPMV_CHECK_MSG(static_cast<index_t>(y.size()) == matrix_.rows(), "spmv: y size mismatch");
     Timer t;
-    pool_.run([&](int tid) { matrix_.spmv_partition(tid, x, y); });
+    pool_.run([&](int tid) {
+        Timer tm;
+        matrix_.spmv_partition(tid, x, y);
+        if (profiler_ != nullptr) profiler_->record(tid, Phase::kMultiply, tm.seconds());
+    });
     phases_ = {t.seconds(), 0.0};
 }
 
@@ -40,9 +44,16 @@ void CsxSymKernel::spmv(std::span<const value_t> x, std::span<value_t> y) {
     pool_.run([&](int tid) {
         Timer t;
         matrix_.spmv_partition(tid, x, y, locals_[static_cast<std::size_t>(tid)]);
-        pool_.barrier();
+        if (profiler_ != nullptr) {
+            profiler_->record(tid, Phase::kMultiply, t.seconds());
+            pool_.barrier(*profiler_, tid);
+        } else {
+            pool_.barrier();
+        }
         if (tid == 0) last_mult_seconds_ = t.seconds();
+        Timer tr;
         apply_reduction_index(index_, locals_, y, tid);
+        if (profiler_ != nullptr) profiler_->record(tid, Phase::kReduction, tr.seconds());
     });
     const double total_seconds = total.seconds();
     phases_ = {last_mult_seconds_, std::max(0.0, total_seconds - last_mult_seconds_)};

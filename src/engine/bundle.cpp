@@ -1,0 +1,56 @@
+#include "engine/bundle.hpp"
+
+namespace symspmv::engine {
+
+MatrixBundle::MatrixBundle(Coo full)
+    : owned_(std::make_unique<Coo>(std::move(full))),
+      full_(owned_.get()),
+      state_(std::make_unique<State>()) {}
+
+MatrixBundle::MatrixBundle(const Coo* borrowed)
+    : full_(borrowed), state_(std::make_unique<State>()) {}
+
+MatrixBundle MatrixBundle::view(const Coo& full) { return MatrixBundle(&full); }
+
+const Csr& MatrixBundle::csr() const {
+    const std::scoped_lock lock(state_->mu);
+    if (!state_->csr) {
+        state_->csr = std::make_unique<Csr>(*full_);
+        ++state_->counts.csr;
+    }
+    return *state_->csr;
+}
+
+const Sss& MatrixBundle::sss() const {
+    const std::scoped_lock lock(state_->mu);
+    if (!state_->sss) {
+        state_->sss = std::make_unique<Sss>(*full_);
+        ++state_->counts.sss;
+    }
+    return *state_->sss;
+}
+
+const Csr& MatrixBundle::lower_csr() const {
+    const std::scoped_lock lock(state_->mu);
+    if (!state_->lower_csr) {
+        state_->lower_csr = std::make_unique<Csr>(full_->lower());
+        ++state_->counts.lower_csr;
+    }
+    return *state_->lower_csr;
+}
+
+const MatrixProperties& MatrixBundle::properties() const {
+    const std::scoped_lock lock(state_->mu);
+    if (!state_->properties) {
+        state_->properties = std::make_unique<MatrixProperties>(analyze(*full_));
+        ++state_->counts.properties;
+    }
+    return *state_->properties;
+}
+
+BundleBuildCounts MatrixBundle::build_counts() const {
+    const std::scoped_lock lock(state_->mu);
+    return state_->counts;
+}
+
+}  // namespace symspmv::engine

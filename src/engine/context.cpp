@@ -1,0 +1,41 @@
+#include "engine/context.hpp"
+
+#include "core/error.hpp"
+
+namespace symspmv::engine {
+
+ExecutionContext::ExecutionContext(const ContextOptions& opts)
+    : opts_(opts), pool_(opts.threads, opts.pin_threads) {}
+
+ExecutionContext::ExecutionContext(int threads, bool pin_threads)
+    : ExecutionContext(ContextOptions{.threads = threads, .pin_threads = pin_threads}) {}
+
+std::vector<RowRange> ExecutionContext::partition(std::span<const index_t> rowptr) const {
+    SYMSPMV_CHECK_MSG(!rowptr.empty(), "ExecutionContext::partition: empty rowptr");
+    switch (opts_.partition) {
+        case PartitionPolicy::kByNnz:
+            return split_by_nnz(rowptr, pool_.size());
+        case PartitionPolicy::kEvenRows:
+            return split_even(static_cast<index_t>(rowptr.size() - 1), pool_.size());
+    }
+    throw InvalidArgument("ExecutionContext: unknown partition policy");
+}
+
+aligned_vector<value_t> ExecutionContext::allocate_vector(index_t n) {
+    aligned_vector<value_t> v(static_cast<std::size_t>(n));
+    switch (opts_.placement) {
+        case PlacementPolicy::kNone:
+            break;
+        case PlacementPolicy::kInterleave:
+            first_touch_interleaved<value_t>(v, pool_);
+            break;
+        case PlacementPolicy::kPartitioned: {
+            const auto parts = split_even(n, pool_.size());
+            first_touch_partitioned<value_t>(v, parts, pool_);
+            break;
+        }
+    }
+    return v;
+}
+
+}  // namespace symspmv::engine

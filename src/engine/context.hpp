@@ -1,0 +1,77 @@
+// ExecutionContext — the engine's single owner of execution resources.
+//
+// The paper binds threads to logical processors, partitions matrix rows by
+// non-zero count and places pages NUMA-aware (§V.A); before this layer every
+// bench, example and solver call re-plumbed a raw ThreadPool& and re-decided
+// those policies locally.  An ExecutionContext bundles the three decisions —
+// worker pool (+ pinning), page-placement policy and row-partition policy —
+// into one object that is created once and passed everywhere a ThreadPool
+// used to be (it converts implicitly, so the lower layers keep their
+// ThreadPool& signatures and stay independent of the engine).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/allocator.hpp"
+#include "core/partition.hpp"
+#include "core/placement.hpp"
+#include "core/thread_pool.hpp"
+#include "core/types.hpp"
+
+namespace symspmv::engine {
+
+/// First-touch page placement applied to vectors the context allocates.
+enum class PlacementPolicy {
+    kNone,         // leave placement to the allocating thread (UMA default)
+    kInterleave,   // deal pages round-robin across workers (for x/y vectors)
+    kPartitioned,  // give each worker the pages of its own row range
+};
+
+/// How matrix rows are split among workers.
+enum class PartitionPolicy {
+    kByNnz,     // equal non-zeros per partition (the paper's policy, Fig. 3a)
+    kEvenRows,  // equal rows per partition (the naive reduction split)
+};
+
+struct ContextOptions {
+    int threads = 1;
+    bool pin_threads = false;  // bind worker i to logical CPU i (§V.A)
+    PlacementPolicy placement = PlacementPolicy::kNone;
+    PartitionPolicy partition = PartitionPolicy::kByNnz;
+};
+
+class ExecutionContext {
+   public:
+    explicit ExecutionContext(const ContextOptions& opts);
+
+    /// Convenience: a context with @p threads workers and default policies.
+    explicit ExecutionContext(int threads, bool pin_threads = false);
+
+    ExecutionContext(const ExecutionContext&) = delete;
+    ExecutionContext& operator=(const ExecutionContext&) = delete;
+
+    [[nodiscard]] ThreadPool& pool() { return pool_; }
+    [[nodiscard]] int threads() const { return pool_.size(); }
+    [[nodiscard]] const ContextOptions& options() const { return opts_; }
+
+    /// Implicit view as the worker pool, so a context drops into every API
+    /// that still takes ThreadPool& (cg::solve, pcg_solve, estimate_spectrum,
+    /// the kernel constructors) without those layers depending on the engine.
+    operator ThreadPool&() { return pool_; }  // NOLINT(google-explicit-constructor)
+
+    /// Splits the rows described by the CSR/SSS row-pointer array according
+    /// to the context's partition policy, one range per worker.
+    [[nodiscard]] std::vector<RowRange> partition(std::span<const index_t> rowptr) const;
+
+    /// Allocates an n-element vector and first-touches its pages per the
+    /// placement policy (interleaved and partitioned both deal pages across
+    /// the workers; kNone leaves them to the calling thread).
+    [[nodiscard]] aligned_vector<value_t> allocate_vector(index_t n);
+
+   private:
+    ContextOptions opts_;
+    ThreadPool pool_;
+};
+
+}  // namespace symspmv::engine

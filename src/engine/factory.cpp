@@ -1,0 +1,78 @@
+#include "engine/factory.hpp"
+
+#include "bcsr/bcsr_kernels.hpp"
+#include "core/error.hpp"
+#include "csb/csb_kernels.hpp"
+#include "csx/jit.hpp"
+#include "csx/kernels.hpp"
+#include "spmv/alt_kernels.hpp"
+#include "spmv/baseline_kernels.hpp"
+#include "spmv/csr_kernels.hpp"
+#include "spmv/sss_kernels.hpp"
+
+namespace symspmv::engine {
+
+KernelFactory::KernelFactory(const MatrixBundle& bundle, ThreadPool& pool, csx::CsxConfig cfg)
+    : bundle_(bundle), pool_(pool), cfg_(cfg) {}
+
+KernelFactory::KernelFactory(const MatrixBundle& bundle, ExecutionContext& ctx,
+                             csx::CsxConfig cfg)
+    : KernelFactory(bundle, ctx.pool(), cfg) {}
+
+KernelPtr KernelFactory::make(KernelKind kind) const {
+    // Kernels that own their representation by value (CSR/SSS families) get
+    // a copy of the bundle's cached conversion: an O(nnz) memcpy, not a
+    // repeat of the O(nnz log nnz) COO conversion.  CSX-family kernels read
+    // the cached representation by reference while encoding.
+    switch (kind) {
+        case KernelKind::kCsrSerial:
+            return std::make_unique<CsrSerialKernel>(bundle_.csr());
+        case KernelKind::kCsr:
+            return std::make_unique<CsrMtKernel>(bundle_.csr(), pool_);
+        case KernelKind::kSssSerial:
+            return std::make_unique<SssSerialKernel>(bundle_.sss());
+        case KernelKind::kSssNaive:
+            return std::make_unique<SssMtKernel>(bundle_.sss(), pool_, ReductionMethod::kNaive);
+        case KernelKind::kSssEffective:
+            return std::make_unique<SssMtKernel>(bundle_.sss(), pool_,
+                                                 ReductionMethod::kEffectiveRanges);
+        case KernelKind::kSssIndexing:
+            return std::make_unique<SssMtKernel>(bundle_.sss(), pool_,
+                                                 ReductionMethod::kIndexing);
+        case KernelKind::kCsx:
+            return std::make_unique<csx::CsxMtKernel>(bundle_.csr(), cfg_, pool_);
+        case KernelKind::kCsxSym:
+            return std::make_unique<csx::CsxSymKernel>(bundle_.sss(), cfg_, pool_);
+        case KernelKind::kCsb:
+            return std::make_unique<csb::CsbMtKernel>(csb::CsbMatrix(bundle_.coo()), pool_);
+        case KernelKind::kCsbSym:
+            return std::make_unique<csb::CsbSymKernel>(csb::CsbSymMatrix(bundle_.coo()), pool_);
+        case KernelKind::kBcsr:
+            return std::make_unique<bcsr::BcsrMtKernel>(
+                bcsr::BcsrMatrix(bundle_.coo(), bcsr::choose_block_size(bundle_.coo())), pool_);
+        case KernelKind::kSssAtomic:
+            return std::make_unique<SssAtomicKernel>(bundle_.sss(), pool_);
+        case KernelKind::kSssColor:
+            return std::make_unique<SssColorKernel>(bundle_.sss(), pool_);
+        case KernelKind::kCsrDu:
+            return std::make_unique<csx::CsxMtKernel>(bundle_.csr(), csx::delta_only_config(),
+                                                      pool_, "CSR-DU");
+        case KernelKind::kEll:
+            return std::make_unique<EllpackMtKernel>(Ellpack(bundle_.coo()), pool_);
+        case KernelKind::kHyb:
+            return std::make_unique<HybMtKernel>(Hyb(bundle_.coo()), pool_);
+        case KernelKind::kDia:
+            return std::make_unique<DiaMtKernel>(Dia(bundle_.coo()), pool_);
+        case KernelKind::kJds:
+            return std::make_unique<JdsMtKernel>(Jds(bundle_.coo()), pool_);
+        case KernelKind::kVbl:
+            return std::make_unique<VblMtKernel>(Vbl(bundle_.coo()), pool_);
+        case KernelKind::kCsxJit:
+            return std::make_unique<csx::CsxJitKernel>(bundle_.csr(), cfg_, pool_);
+        case KernelKind::kCsxSymJit:
+            return std::make_unique<csx::CsxSymJitKernel>(bundle_.sss(), cfg_, pool_);
+    }
+    throw InvalidArgument("unknown kernel kind");
+}
+
+}  // namespace symspmv::engine

@@ -1,0 +1,40 @@
+// KernelFactory — builds any registry kernel from a MatrixBundle.
+//
+// Where make_kernel() converts the COO input on every call, the factory
+// pulls the shared representations (CSR, SSS) out of its bundle, so a sweep
+// over all_kernel_kinds() performs each conversion at most once per matrix.
+// Formats with a private representation (CSB, BCSR, ELL, ...) still convert
+// from the bundle's COO themselves — those conversions are kernel-specific
+// and shared by nothing else.
+#pragma once
+
+#include "csx/detect.hpp"
+#include "engine/bundle.hpp"
+#include "engine/context.hpp"
+#include "engine/registry.hpp"
+#include "spmv/kernel.hpp"
+
+namespace symspmv::engine {
+
+class KernelFactory {
+   public:
+    /// Both @p bundle and @p pool must outlive the factory and every kernel
+    /// it builds.  @p cfg configures the CSX-family kinds.
+    KernelFactory(const MatrixBundle& bundle, ThreadPool& pool, csx::CsxConfig cfg = {});
+
+    /// Context-owned pool plus the context's policies.
+    KernelFactory(const MatrixBundle& bundle, ExecutionContext& ctx, csx::CsxConfig cfg = {});
+
+    /// Builds a kernel of @p kind over the bundle's matrix.
+    [[nodiscard]] KernelPtr make(KernelKind kind) const;
+
+    [[nodiscard]] const MatrixBundle& bundle() const { return bundle_; }
+    [[nodiscard]] ThreadPool& pool() const { return pool_; }
+
+   private:
+    const MatrixBundle& bundle_;
+    ThreadPool& pool_;
+    csx::CsxConfig cfg_;
+};
+
+}  // namespace symspmv::engine

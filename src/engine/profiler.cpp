@@ -1,0 +1,29 @@
+#include "engine/profiler.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace symspmv::engine {
+
+std::string imbalance_report(const PhaseProfiler& profiler) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(3);
+    for (int p = 0; p < kPhaseCount; ++p) {
+        const auto phase = static_cast<Phase>(p);
+        const PhaseStats s = profiler.stats(phase);
+        if (s.samples == 0) continue;
+        os << std::left << std::setw(10) << to_string(phase) << " min " << std::setw(9)
+           << s.min_seconds * 1e3 << " mean " << std::setw(9) << s.mean_seconds * 1e3 << " max "
+           << std::setw(9) << s.max_seconds * 1e3 << " ms  imbalance "
+           << std::setprecision(1) << s.imbalance * 100.0 << "%\n"
+           << std::setprecision(3);
+    }
+    return os.str();
+}
+
+double per_op_max_seconds(const PhaseProfiler& profiler, Phase phase) {
+    if (profiler.ops() == 0) return 0.0;
+    return profiler.stats(phase).max_seconds / static_cast<double>(profiler.ops());
+}
+
+}  // namespace symspmv::engine

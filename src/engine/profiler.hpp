@@ -1,0 +1,29 @@
+// Engine view of the per-thread phase profiler.
+//
+// The recording machinery lives in core/profiling.hpp so that ThreadPool
+// and the kernels (which sit below the engine) can write into it; this
+// header is the engine-level entry point that re-exports those types and
+// adds the reporting helpers the benches and the CG breakdown use.
+#pragma once
+
+#include <string>
+
+#include "core/profiling.hpp"
+
+namespace symspmv::engine {
+
+using symspmv::kPhaseCount;
+using symspmv::Phase;
+using symspmv::PhaseProfiler;
+using symspmv::PhaseStats;
+
+/// Multi-line human-readable summary: one row per phase with per-thread
+/// min/mean/max milliseconds and the max/mean-1 imbalance percentage.
+/// Phases no thread ever recorded are omitted.
+[[nodiscard]] std::string imbalance_report(const PhaseProfiler& profiler);
+
+/// Per-op seconds the slowest thread spent in @p phase (stats max divided
+/// by profiled op count); 0 when no ops were profiled.
+[[nodiscard]] double per_op_max_seconds(const PhaseProfiler& profiler, Phase phase);
+
+}  // namespace symspmv::engine

@@ -1,16 +1,9 @@
-#include "bench/registry.hpp"
+#include "engine/registry.hpp"
 
-#include "bcsr/bcsr_kernels.hpp"
 #include "core/error.hpp"
-#include "csb/csb_kernels.hpp"
 #include "csx/jit.hpp"
-#include "csx/kernels.hpp"
-#include "matrix/csr.hpp"
-#include "matrix/sss.hpp"
-#include "spmv/alt_kernels.hpp"
-#include "spmv/baseline_kernels.hpp"
-#include "spmv/csr_kernels.hpp"
-#include "spmv/sss_kernels.hpp"
+#include "engine/bundle.hpp"
+#include "engine/factory.hpp"
 
 namespace symspmv {
 
@@ -102,54 +95,8 @@ const std::vector<KernelKind>& figure_kernel_kinds() {
 
 KernelPtr make_kernel(KernelKind kind, const Coo& full, ThreadPool& pool,
                       const csx::CsxConfig& cfg) {
-    switch (kind) {
-        case KernelKind::kCsrSerial:
-            return std::make_unique<CsrSerialKernel>(Csr(full));
-        case KernelKind::kCsr:
-            return std::make_unique<CsrMtKernel>(Csr(full), pool);
-        case KernelKind::kSssSerial:
-            return std::make_unique<SssSerialKernel>(Sss(full));
-        case KernelKind::kSssNaive:
-            return std::make_unique<SssMtKernel>(Sss(full), pool, ReductionMethod::kNaive);
-        case KernelKind::kSssEffective:
-            return std::make_unique<SssMtKernel>(Sss(full), pool,
-                                                 ReductionMethod::kEffectiveRanges);
-        case KernelKind::kSssIndexing:
-            return std::make_unique<SssMtKernel>(Sss(full), pool, ReductionMethod::kIndexing);
-        case KernelKind::kCsx:
-            return std::make_unique<csx::CsxMtKernel>(Csr(full), cfg, pool);
-        case KernelKind::kCsxSym:
-            return std::make_unique<csx::CsxSymKernel>(Sss(full), cfg, pool);
-        case KernelKind::kCsb:
-            return std::make_unique<csb::CsbMtKernel>(csb::CsbMatrix(full), pool);
-        case KernelKind::kCsbSym:
-            return std::make_unique<csb::CsbSymKernel>(csb::CsbSymMatrix(full), pool);
-        case KernelKind::kBcsr:
-            return std::make_unique<bcsr::BcsrMtKernel>(
-                bcsr::BcsrMatrix(full, bcsr::choose_block_size(full)), pool);
-        case KernelKind::kSssAtomic:
-            return std::make_unique<SssAtomicKernel>(Sss(full), pool);
-        case KernelKind::kSssColor:
-            return std::make_unique<SssColorKernel>(Sss(full), pool);
-        case KernelKind::kCsrDu:
-            return std::make_unique<csx::CsxMtKernel>(Csr(full), csx::delta_only_config(), pool,
-                                                      "CSR-DU");
-        case KernelKind::kEll:
-            return std::make_unique<EllpackMtKernel>(Ellpack(full), pool);
-        case KernelKind::kHyb:
-            return std::make_unique<HybMtKernel>(Hyb(full), pool);
-        case KernelKind::kDia:
-            return std::make_unique<DiaMtKernel>(Dia(full), pool);
-        case KernelKind::kJds:
-            return std::make_unique<JdsMtKernel>(Jds(full), pool);
-        case KernelKind::kVbl:
-            return std::make_unique<VblMtKernel>(Vbl(full), pool);
-        case KernelKind::kCsxJit:
-            return std::make_unique<csx::CsxJitKernel>(Csr(full), cfg, pool);
-        case KernelKind::kCsxSymJit:
-            return std::make_unique<csx::CsxSymJitKernel>(Sss(full), cfg, pool);
-    }
-    throw InvalidArgument("unknown kernel kind");
+    const engine::MatrixBundle bundle = engine::MatrixBundle::view(full);
+    return engine::KernelFactory(bundle, pool, cfg).make(kind);
 }
 
 }  // namespace symspmv

@@ -19,10 +19,21 @@ Result solve(SpmvKernel& kernel, ThreadPool& pool, std::span<const value_t> b,
     res.x.assign(n, 0.0);
     if (!x0.empty()) res.x.assign(x0.begin(), x0.end());
 
+    // Attach for the duration of the solve; detach on every exit path
+    // (including the not-positive-definite throw below).
+    struct ProfilerGuard {
+        SpmvKernel* kernel;
+        ~ProfilerGuard() {
+            if (kernel != nullptr) kernel->set_profiler(nullptr);
+        }
+    } profiler_guard{opts.profiler != nullptr ? &kernel : nullptr};
+    if (opts.profiler != nullptr) kernel.set_profiler(opts.profiler);
+
     std::vector<value_t> r(n), p(n), ap(n);
     PhaseTimer vec_timer;
 
     // r0 = b - A x0 ; p0 = r0.
+    if (opts.profiler != nullptr) opts.profiler->begin_op();
     kernel.spmv(res.x, ap);
     res.breakdown.spmv_multiply_seconds += kernel.last_phases().multiply_seconds;
     res.breakdown.spmv_reduction_seconds += kernel.last_phases().reduction_seconds;
@@ -45,6 +56,7 @@ Result solve(SpmvKernel& kernel, ThreadPool& pool, std::span<const value_t> b,
 
     for (int i = 0; i < opts.max_iterations; ++i) {
         // a_i = (r.r) / (p.A.p)  — the SpM×V of the iteration (Alg. 1 line 6).
+        if (opts.profiler != nullptr) opts.profiler->begin_op();
         kernel.spmv(p, ap);
         res.breakdown.spmv_multiply_seconds += kernel.last_phases().multiply_seconds;
         res.breakdown.spmv_reduction_seconds += kernel.last_phases().reduction_seconds;

@@ -9,6 +9,7 @@
 #include <span>
 #include <vector>
 
+#include "core/profiling.hpp"
 #include "core/thread_pool.hpp"
 #include "core/types.hpp"
 #include "spmv/kernel.hpp"
@@ -20,6 +21,11 @@ struct Options {
     double tolerance = 1e-8;       // stop when ||r|| <= tolerance * ||b||
     bool track_breakdown = true;   // collect the Fig. 14 phase timings
     bool record_residuals = false; // fill Result::residual_history
+    /// When set, the kernel records per-thread multiply/barrier/reduction
+    /// times into it across every SpM×V of the solve (attached for the
+    /// duration of solve(), detached before returning) — the per-thread
+    /// refinement of Breakdown's scalar phase split.
+    PhaseProfiler* profiler = nullptr;
 };
 
 /// Execution-time breakdown of a solve (Fig. 14 legend: SpM×V, SpM×V

@@ -11,6 +11,7 @@ void CsrSerialKernel::spmv(std::span<const value_t> x, std::span<value_t> y) {
     Timer t;
     matrix_.spmv(x, y);
     phases_ = {t.seconds(), 0.0};
+    if (profiler_ != nullptr) profiler_->record(0, Phase::kMultiply, phases_.multiply_seconds);
 }
 
 CsrMtKernel::CsrMtKernel(Csr matrix, ThreadPool& pool)
@@ -24,8 +25,10 @@ void CsrMtKernel::spmv(std::span<const value_t> x, std::span<value_t> y) {
     SYMSPMV_CHECK_MSG(static_cast<index_t>(y.size()) == matrix_.rows(), "spmv: y size mismatch");
     Timer t;
     pool_.run([&](int tid) {
+        Timer tm;
         const RowRange part = parts_[static_cast<std::size_t>(tid)];
         matrix_.spmv_rows(part.begin, part.end, x, y);
+        if (profiler_ != nullptr) profiler_->record(tid, Phase::kMultiply, tm.seconds());
     });
     phases_ = {t.seconds(), 0.0};
 }

@@ -12,6 +12,7 @@
 #include <span>
 #include <string_view>
 
+#include "core/profiling.hpp"
 #include "core/types.hpp"
 
 namespace symspmv {
@@ -52,8 +53,18 @@ class SpmvKernel {
     /// Floating point operations per multiplication (2 per non-zero).
     [[nodiscard]] std::int64_t flops() const { return 2 * nnz(); }
 
+    /// Attaches a per-thread phase profiler; every subsequent spmv() call
+    /// records each worker's multiply / barrier-wait / reduction wall-clock
+    /// into it (serial kernels record under tid 0).  Pass nullptr to
+    /// detach.  The profiler must outlive the attachment and have at least
+    /// as many slots as the kernel has threads.
+    void set_profiler(PhaseProfiler* profiler) { profiler_ = profiler; }
+
+    [[nodiscard]] PhaseProfiler* profiler() const { return profiler_; }
+
    protected:
     SpmvPhases phases_;
+    PhaseProfiler* profiler_ = nullptr;
 };
 
 using KernelPtr = std::unique_ptr<SpmvKernel>;

@@ -25,6 +25,7 @@ void SssSerialKernel::spmv(std::span<const value_t> x, std::span<value_t> y) {
     Timer t;
     matrix_.spmv(x, y);
     phases_ = {t.seconds(), 0.0};
+    if (profiler_ != nullptr) profiler_->record(0, Phase::kMultiply, phases_.multiply_seconds);
 }
 
 SssMtKernel::SssMtKernel(Sss matrix, ThreadPool& pool, ReductionMethod method)
@@ -159,8 +160,14 @@ void SssMtKernel::spmv(std::span<const value_t> x, std::span<value_t> y) {
         } else {
             multiply_direct(tid, x, y);
         }
-        pool_.barrier();
+        if (profiler_ != nullptr) {
+            profiler_->record(tid, Phase::kMultiply, t.seconds());
+            pool_.barrier(*profiler_, tid);
+        } else {
+            pool_.barrier();
+        }
         if (tid == 0) last_mult_seconds_ = t.seconds();
+        Timer tr;
         switch (method_) {
             case ReductionMethod::kNaive:
                 reduce_naive(tid, y);
@@ -172,6 +179,7 @@ void SssMtKernel::spmv(std::span<const value_t> x, std::span<value_t> y) {
                 reduce_indexing(tid, y);
                 break;
         }
+        if (profiler_ != nullptr) profiler_->record(tid, Phase::kReduction, tr.seconds());
     });
     const double total_seconds = total.seconds();
     phases_ = {last_mult_seconds_, std::max(0.0, total_seconds - last_mult_seconds_)};

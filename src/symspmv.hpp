@@ -11,6 +11,7 @@
 #include "core/options.hpp"      // IWYU pragma: export
 #include "core/partition.hpp"    // IWYU pragma: export
 #include "core/placement.hpp"    // IWYU pragma: export
+#include "core/profiling.hpp"    // IWYU pragma: export
 #include "core/stats.hpp"        // IWYU pragma: export
 #include "core/thread_pool.hpp"  // IWYU pragma: export
 #include "core/timer.hpp"        // IWYU pragma: export
@@ -72,8 +73,15 @@
 #include "cachesim/cache.hpp"       // IWYU pragma: export
 #include "cachesim/spmv_trace.hpp"  // IWYU pragma: export
 
-// Kernel registry, measurement harness, roofline model, format advisor.
+// Engine: execution contexts, shared matrix bundles, the kernel registry
+// and the per-thread phase profiler.
+#include "engine/bundle.hpp"    // IWYU pragma: export
+#include "engine/context.hpp"   // IWYU pragma: export
+#include "engine/factory.hpp"   // IWYU pragma: export
+#include "engine/profiler.hpp"  // IWYU pragma: export
+#include "engine/registry.hpp"  // IWYU pragma: export
+
+// Measurement harness, roofline model, format advisor.
 #include "bench/advisor.hpp"   // IWYU pragma: export
 #include "bench/harness.hpp"   // IWYU pragma: export
-#include "bench/registry.hpp"  // IWYU pragma: export
 #include "bench/roofline.hpp"  // IWYU pragma: export

@@ -1,10 +1,12 @@
 // Tests for the Conjugate Gradient solver (Alg. 1).
 #include <gtest/gtest.h>
 
+#include "test_util.hpp"
+
 #include <cmath>
 #include <random>
 
-#include "bench/registry.hpp"
+#include "engine/registry.hpp"
 #include "matrix/csr.hpp"
 #include "matrix/generators.hpp"
 #include "solver/cg.hpp"
@@ -13,13 +15,7 @@
 namespace symspmv {
 namespace {
 
-std::vector<value_t> random_vector(std::size_t n, std::uint64_t seed) {
-    std::mt19937_64 rng(seed);
-    std::uniform_real_distribution<value_t> dist(-1.0, 1.0);
-    std::vector<value_t> v(n);
-    for (auto& x : v) x = dist(rng);
-    return v;
-}
+using symspmv::test::random_vector;
 
 double residual(const Coo& a, std::span<const value_t> x, std::span<const value_t> b) {
     std::vector<value_t> ax(b.size());

@@ -1,9 +1,11 @@
 // Tests for the CSX / CSX-Sym SpmvKernel adapters and the kernel registry.
 #include <gtest/gtest.h>
 
+#include "test_util.hpp"
+
 #include <random>
 
-#include "bench/registry.hpp"
+#include "engine/registry.hpp"
 #include "csx/kernels.hpp"
 #include "matrix/csr.hpp"
 #include "matrix/generators.hpp"
@@ -12,13 +14,7 @@
 namespace symspmv {
 namespace {
 
-std::vector<value_t> random_vector(std::size_t n, std::uint64_t seed) {
-    std::mt19937_64 rng(seed);
-    std::uniform_real_distribution<value_t> dist(-1.0, 1.0);
-    std::vector<value_t> v(n);
-    for (auto& x : v) x = dist(rng);
-    return v;
-}
+using symspmv::test::random_vector;
 
 TEST(CsxKernels, CsxMtMatchesCsr) {
     const Coo m = gen::banded_random(400, 50, 8.0, 3, 0.2);

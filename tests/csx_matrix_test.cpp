@@ -1,6 +1,8 @@
 // Tests for the CSX encoder, ctl walker, and the CSX/CSX-Sym matrices.
 #include <gtest/gtest.h>
 
+#include "test_util.hpp"
+
 #include <random>
 #include <vector>
 
@@ -14,13 +16,7 @@
 namespace symspmv::csx {
 namespace {
 
-std::vector<value_t> random_vector(std::size_t n, std::uint64_t seed) {
-    std::mt19937_64 rng(seed);
-    std::uniform_real_distribution<value_t> dist(-1.0, 1.0);
-    std::vector<value_t> v(n);
-    for (auto& x : v) x = dist(rng);
-    return v;
-}
+using symspmv::test::random_vector;
 
 /// Decodes an encoded partition back into triplets via walk_ctl.
 std::vector<Triplet> decode(const EncodedPartition& part, std::span<const Pattern> table) {

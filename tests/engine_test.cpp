@@ -1,0 +1,251 @@
+// Engine layer: ExecutionContext, MatrixBundle, KernelFactory and the
+// per-thread PhaseProfiler.
+//
+// The load-bearing assertion for the refactor lives here: a full
+// all_kernel_kinds() factory sweep must run each COO->CSR/SSS/lower-CSR
+// conversion at most once (build_counts()), and every factory-built kernel
+// must compute the same product as the one-shot make_kernel() path.
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "engine/bundle.hpp"
+#include "engine/context.hpp"
+#include "engine/factory.hpp"
+#include "engine/profiler.hpp"
+#include "engine/registry.hpp"
+#include "matrix/generators.hpp"
+
+namespace symspmv::engine {
+namespace {
+
+using symspmv::test::random_vector;
+
+Coo test_matrix() { return gen::make_spd(gen::block_fem(60, 3, 6.0, 0.1, 7)); }
+
+template <typename T>
+bool spans_equal(std::span<const T> a, std::span<const T> b) {
+    return a.size() == b.size() && std::equal(a.begin(), a.end(), b.begin());
+}
+
+// ---------------------------------------------------------------- bundle --
+
+TEST(MatrixBundle, CachesEveryRepresentation) {
+    const MatrixBundle bundle(test_matrix());
+    EXPECT_EQ(bundle.build_counts().total(), 0) << "bundle must be lazy";
+
+    const Csr* csr = &bundle.csr();
+    const Sss* sss = &bundle.sss();
+    const Csr* lower = &bundle.lower_csr();
+    const MatrixProperties* props = &bundle.properties();
+
+    // Repeated access is a cache hit on the same object.
+    EXPECT_EQ(csr, &bundle.csr());
+    EXPECT_EQ(sss, &bundle.sss());
+    EXPECT_EQ(lower, &bundle.lower_csr());
+    EXPECT_EQ(props, &bundle.properties());
+
+    const BundleBuildCounts counts = bundle.build_counts();
+    EXPECT_EQ(counts.csr, 1);
+    EXPECT_EQ(counts.sss, 1);
+    EXPECT_EQ(counts.lower_csr, 1);
+    EXPECT_EQ(counts.properties, 1);
+}
+
+TEST(MatrixBundle, RepresentationsMatchDirectConversion) {
+    const Coo coo = test_matrix();
+    const MatrixBundle bundle = MatrixBundle::view(coo);
+
+    const Csr direct_csr(coo);
+    EXPECT_TRUE(spans_equal(direct_csr.rowptr(), bundle.csr().rowptr()));
+    EXPECT_TRUE(spans_equal(direct_csr.colind(), bundle.csr().colind()));
+    EXPECT_TRUE(spans_equal(direct_csr.values(), bundle.csr().values()));
+
+    const Sss direct_sss(coo);
+    EXPECT_TRUE(spans_equal(direct_sss.rowptr(), bundle.sss().rowptr()));
+    EXPECT_TRUE(spans_equal(direct_sss.colind(), bundle.sss().colind()));
+    EXPECT_TRUE(spans_equal(direct_sss.values(), bundle.sss().values()));
+    EXPECT_TRUE(spans_equal(direct_sss.dvalues(), bundle.sss().dvalues()));
+
+    const Csr direct_lower(coo.lower());
+    EXPECT_TRUE(spans_equal(direct_lower.rowptr(), bundle.lower_csr().rowptr()));
+    EXPECT_TRUE(spans_equal(direct_lower.colind(), bundle.lower_csr().colind()));
+    EXPECT_TRUE(spans_equal(direct_lower.values(), bundle.lower_csr().values()));
+}
+
+TEST(MatrixBundle, MoveKeepsHandedOutReferencesValid) {
+    MatrixBundle a(test_matrix());
+    const Csr* csr = &a.csr();
+    const MatrixBundle b = std::move(a);
+    EXPECT_EQ(csr, &b.csr());
+    EXPECT_EQ(b.build_counts().csr, 1);
+}
+
+// --------------------------------------------------------------- factory --
+
+TEST(KernelFactory, SweepConvertsEachRepresentationAtMostOnce) {
+    const MatrixBundle bundle(test_matrix());
+    ExecutionContext ctx(4);
+    const KernelFactory factory(bundle, ctx);
+
+    std::vector<value_t> y(static_cast<std::size_t>(bundle.coo().rows()));
+    const auto x = random_vector(bundle.coo().rows(), std::uint64_t{3});
+    for (KernelKind kind : all_kernel_kinds()) {
+        const KernelPtr kernel = factory.make(kind);
+        kernel->spmv(x, y);  // every kernel is usable, not just constructible
+    }
+
+    // The acceptance criterion of the refactor: the whole sweep performs
+    // each shared conversion at most once.
+    const BundleBuildCounts counts = bundle.build_counts();
+    EXPECT_LE(counts.csr, 1);
+    EXPECT_LE(counts.sss, 1);
+    EXPECT_LE(counts.lower_csr, 1);
+    EXPECT_LE(counts.properties, 1);
+}
+
+TEST(KernelFactory, MatchesMakeKernelForEveryKind) {
+    const Coo coo = test_matrix();
+    const MatrixBundle bundle = MatrixBundle::view(coo);
+    ExecutionContext ctx(3);
+    const KernelFactory factory(bundle, ctx);
+
+    const auto x = random_vector(coo.rows(), std::uint64_t{11});
+    std::vector<value_t> y_factory(x.size());
+    std::vector<value_t> y_direct(x.size());
+    for (KernelKind kind : all_kernel_kinds()) {
+        factory.make(kind)->spmv(x, y_factory);
+        make_kernel(kind, coo, ctx)->spmv(x, y_direct);
+        for (std::size_t i = 0; i < x.size(); ++i) {
+            ASSERT_DOUBLE_EQ(y_factory[i], y_direct[i])
+                << to_string(kind) << " row " << i;
+        }
+    }
+}
+
+// --------------------------------------------------------------- context --
+
+TEST(ExecutionContext, PartitionFollowsThePolicy) {
+    const MatrixBundle bundle(test_matrix());
+    const auto rowptr = bundle.csr().rowptr();
+
+    ExecutionContext by_nnz(ContextOptions{.threads = 4});
+    EXPECT_EQ(by_nnz.threads(), 4);
+    const auto nnz_parts = by_nnz.partition(rowptr);
+    ASSERT_EQ(nnz_parts.size(), 4u);
+    EXPECT_EQ(nnz_parts, split_by_nnz(rowptr, 4));
+
+    ExecutionContext even(
+        ContextOptions{.threads = 4, .partition = PartitionPolicy::kEvenRows});
+    const auto even_parts = even.partition(rowptr);
+    EXPECT_EQ(even_parts, split_even(static_cast<index_t>(rowptr.size() - 1), 4));
+
+    // Partitions tile [0, rows) without gaps in both policies.
+    for (const auto& parts : {nnz_parts, even_parts}) {
+        index_t next = 0;
+        for (const RowRange& p : parts) {
+            EXPECT_EQ(p.begin, next);
+            next = p.end;
+        }
+        EXPECT_EQ(next, static_cast<index_t>(rowptr.size() - 1));
+    }
+}
+
+TEST(ExecutionContext, AllocateVectorHonorsSizeForEveryPlacement) {
+    for (PlacementPolicy placement : {PlacementPolicy::kNone, PlacementPolicy::kInterleave,
+                                      PlacementPolicy::kPartitioned}) {
+        ExecutionContext ctx(ContextOptions{.threads = 2, .placement = placement});
+        auto v = ctx.allocate_vector(1000);
+        ASSERT_EQ(v.size(), 1000u);
+        std::fill(v.begin(), v.end(), 1.0);  // pages are writable
+    }
+}
+
+TEST(ExecutionContext, ConvertsToItsOwnThreadPool) {
+    ExecutionContext ctx(2);
+    ThreadPool& pool = ctx;  // the compatibility bridge for solver signatures
+    EXPECT_EQ(&pool, &ctx.pool());
+    EXPECT_EQ(pool.size(), 2);
+}
+
+// -------------------------------------------------------------- profiler --
+
+TEST(PhaseProfiler, AccumulatesAndSummarizesPerThread) {
+    PhaseProfiler profiler(3);
+    profiler.record(0, Phase::kMultiply, 1.0);
+    profiler.record(1, Phase::kMultiply, 2.0);
+    profiler.record(2, Phase::kMultiply, 3.0);
+    profiler.record(1, Phase::kReduction, 0.5);
+    profiler.record(99, Phase::kMultiply, 1e9);  // out-of-range tid: ignored
+    profiler.begin_op();
+
+    EXPECT_DOUBLE_EQ(profiler.seconds(1, Phase::kMultiply), 2.0);
+    EXPECT_EQ(profiler.ops(), 1u);
+
+    const PhaseStats mult = profiler.stats(Phase::kMultiply);
+    EXPECT_DOUBLE_EQ(mult.min_seconds, 1.0);
+    EXPECT_DOUBLE_EQ(mult.max_seconds, 3.0);
+    EXPECT_DOUBLE_EQ(mult.mean_seconds, 2.0);
+    EXPECT_DOUBLE_EQ(mult.total_seconds, 6.0);
+    EXPECT_DOUBLE_EQ(mult.imbalance, 0.5);  // 3/2 - 1
+    EXPECT_EQ(mult.samples, 3u);
+
+    // Threads that never recorded a phase count as idle (0 s).
+    const PhaseStats red = profiler.stats(Phase::kReduction);
+    EXPECT_DOUBLE_EQ(red.min_seconds, 0.0);
+    EXPECT_DOUBLE_EQ(red.max_seconds, 0.5);
+    EXPECT_EQ(red.samples, 1u);
+
+    profiler.reset();
+    EXPECT_EQ(profiler.ops(), 0u);
+    EXPECT_DOUBLE_EQ(profiler.stats(Phase::kMultiply).total_seconds, 0.0);
+}
+
+TEST(PhaseProfiler, RecordsEveryPhaseOfASymmetricKernel) {
+    const MatrixBundle bundle(test_matrix());
+    ExecutionContext ctx(4);
+    const KernelFactory factory(bundle, ctx);
+    const KernelPtr kernel = factory.make(KernelKind::kSssIndexing);
+
+    PhaseProfiler profiler(ctx.threads());
+    kernel->set_profiler(&profiler);
+    const auto x = random_vector(bundle.coo().rows(), std::uint64_t{5});
+    std::vector<value_t> y(x.size());
+    profiler.begin_op();
+    kernel->spmv(x, y);
+    kernel->set_profiler(nullptr);
+
+    for (Phase phase : {Phase::kMultiply, Phase::kBarrier, Phase::kReduction}) {
+        const PhaseStats s = profiler.stats(phase);
+        EXPECT_EQ(s.samples, 4u) << to_string(phase) << ": one sample per worker";
+        EXPECT_GE(s.min_seconds, 0.0);
+    }
+
+    // The profiled product is still correct.
+    std::vector<value_t> reference(x.size());
+    bundle.csr().spmv(x, reference);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        EXPECT_NEAR(y[i], reference[i], 1e-10 * std::abs(reference[i]) + 1e-12);
+    }
+}
+
+TEST(PhaseProfiler, ImbalanceReportCoversRecordedPhasesOnly) {
+    PhaseProfiler profiler(2);
+    EXPECT_TRUE(imbalance_report(profiler).empty()) << "nothing recorded, nothing reported";
+
+    profiler.record(0, Phase::kMultiply, 1.0);
+    profiler.record(1, Phase::kMultiply, 3.0);
+    profiler.record(0, Phase::kReduction, 0.25);
+    const std::string report = imbalance_report(profiler);
+    EXPECT_NE(report.find(to_string(Phase::kMultiply)), std::string::npos);
+    EXPECT_NE(report.find(to_string(Phase::kReduction)), std::string::npos);
+    EXPECT_EQ(report.find(to_string(Phase::kBarrier)), std::string::npos)
+        << "phases nobody recorded stay out of the report";
+}
+
+}  // namespace
+}  // namespace symspmv::engine

@@ -3,13 +3,15 @@
 // structured tests with shapes nobody hand-picked.
 #include <gtest/gtest.h>
 
+#include "test_util.hpp"
+
 #include <algorithm>
 #include <cmath>
 #include <random>
 #include <set>
 #include <vector>
 
-#include "bench/registry.hpp"
+#include "engine/registry.hpp"
 #include "core/thread_pool.hpp"
 #include "matrix/generators.hpp"
 #include "spmv/reduction.hpp"
@@ -34,12 +36,7 @@ FuzzCase make_case(std::uint64_t seed) {
     return {std::move(m), static_cast<int>(1 + rng() % 8), std::move(rng)};
 }
 
-std::vector<value_t> random_vector(index_t n, std::mt19937_64& rng) {
-    std::uniform_real_distribution<value_t> dist(-1.0, 1.0);
-    std::vector<value_t> v(static_cast<std::size_t>(n));
-    for (auto& e : v) e = dist(rng);
-    return v;
-}
+using symspmv::test::random_vector;
 
 class RandomMatrices : public ::testing::TestWithParam<std::uint64_t> {};
 

@@ -4,7 +4,7 @@
 #include <sstream>
 
 #include "bench/harness.hpp"
-#include "bench/registry.hpp"
+#include "engine/registry.hpp"
 #include "bench/streamprobe.hpp"
 #include "matrix/generators.hpp"
 

@@ -3,6 +3,8 @@
 // PATH, mirroring the library's own fallback to the interpreter.
 #include <gtest/gtest.h>
 
+#include "test_util.hpp"
+
 #include <cmath>
 #include <random>
 #include <vector>
@@ -15,13 +17,7 @@
 namespace symspmv::csx {
 namespace {
 
-std::vector<value_t> random_vector(index_t n, std::uint64_t seed) {
-    std::mt19937_64 rng(seed);
-    std::uniform_real_distribution<value_t> dist(-1.0, 1.0);
-    std::vector<value_t> v(static_cast<std::size_t>(n));
-    for (auto& e : v) e = dist(rng);
-    return v;
-}
+using symspmv::test::random_vector;
 
 #define SKIP_WITHOUT_COMPILER()                                  \
     if (!JitModule::compiler_available()) {                      \

@@ -4,6 +4,8 @@
 // K(P A P^T)(P x) == P (A x) that the §V.D reordering study relies on.
 #include <gtest/gtest.h>
 
+#include "test_util.hpp"
+
 #include <algorithm>
 #include <cmath>
 #include <map>
@@ -12,7 +14,7 @@
 #include <tuple>
 #include <vector>
 
-#include "bench/registry.hpp"
+#include "engine/registry.hpp"
 #include "core/thread_pool.hpp"
 #include "matrix/generators.hpp"
 #include "matrix/suite.hpp"
@@ -22,13 +24,7 @@
 namespace symspmv {
 namespace {
 
-std::vector<value_t> random_vector(index_t n, std::uint64_t seed) {
-    std::mt19937_64 rng(seed);
-    std::uniform_real_distribution<value_t> dist(-1.0, 1.0);
-    std::vector<value_t> v(static_cast<std::size_t>(n));
-    for (auto& e : v) e = dist(rng);
-    return v;
-}
+using symspmv::test::random_vector;
 
 void expect_near_vectors(std::span<const value_t> expected, std::span<const value_t> actual,
                          double tol = 1e-9) {

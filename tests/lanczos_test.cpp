@@ -3,7 +3,7 @@
 
 #include <cmath>
 
-#include "bench/registry.hpp"
+#include "engine/registry.hpp"
 #include "core/thread_pool.hpp"
 #include "matrix/generators.hpp"
 #include "solver/lanczos.hpp"

@@ -1,11 +1,13 @@
 // Tests for the preconditioners and the preconditioned CG solver.
 #include <gtest/gtest.h>
 
+#include "test_util.hpp"
+
 #include <cmath>
 #include <random>
 #include <vector>
 
-#include "bench/registry.hpp"
+#include "engine/registry.hpp"
 #include "core/thread_pool.hpp"
 #include "matrix/generators.hpp"
 #include "matrix/sss.hpp"
@@ -15,13 +17,7 @@
 namespace symspmv::cg {
 namespace {
 
-std::vector<value_t> random_vector(index_t n, std::uint64_t seed) {
-    std::mt19937_64 rng(seed);
-    std::uniform_real_distribution<value_t> dist(-1.0, 1.0);
-    std::vector<value_t> v(static_cast<std::size_t>(n));
-    for (auto& e : v) e = dist(rng);
-    return v;
-}
+using symspmv::test::random_vector;
 
 /// ||b - A x|| via the COO oracle.
 double residual_norm(const Coo& a, std::span<const value_t> x, std::span<const value_t> b) {

@@ -3,11 +3,13 @@
 // (P)CG -> check the solution against a dense Cholesky direct solve.
 #include <gtest/gtest.h>
 
+#include "test_util.hpp"
+
 #include <algorithm>
 #include <cmath>
 #include <random>
 
-#include "bench/registry.hpp"
+#include "engine/registry.hpp"
 #include "matrix/sss.hpp"
 #include "matrix/suite.hpp"
 #include "reorder/permute.hpp"
@@ -18,13 +20,7 @@
 namespace symspmv {
 namespace {
 
-std::vector<value_t> random_vector(index_t n, std::uint64_t seed) {
-    std::mt19937_64 rng(seed);
-    std::uniform_real_distribution<value_t> dist(-1.0, 1.0);
-    std::vector<value_t> v(static_cast<std::size_t>(n));
-    for (auto& e : v) e = dist(rng);
-    return v;
-}
+using symspmv::test::random_vector;
 
 TEST(Cholesky, Solves2x2Exactly) {
     Coo coo(2, 2);

@@ -1,6 +1,8 @@
 // Tests for the compact / grouped reduction-index layouts (§III.C ablation).
 #include <gtest/gtest.h>
 
+#include "test_util.hpp"
+
 #include <cmath>
 #include <random>
 #include <vector>
@@ -13,13 +15,7 @@
 namespace symspmv {
 namespace {
 
-std::vector<value_t> random_vector(index_t n, std::uint64_t seed) {
-    std::mt19937_64 rng(seed);
-    std::uniform_real_distribution<value_t> dist(-1.0, 1.0);
-    std::vector<value_t> v(static_cast<std::size_t>(n));
-    for (auto& e : v) e = dist(rng);
-    return v;
-}
+using symspmv::test::random_vector;
 
 void expect_near_vectors(std::span<const value_t> expected, std::span<const value_t> actual) {
     ASSERT_EQ(expected.size(), actual.size());

@@ -1,7 +1,7 @@
 // Tests for the roofline model (§I's flop:byte argument made executable).
 #include <gtest/gtest.h>
 
-#include "bench/registry.hpp"
+#include "engine/registry.hpp"
 #include "bench/roofline.hpp"
 #include "core/thread_pool.hpp"
 #include "matrix/csr.hpp"

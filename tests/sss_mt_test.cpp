@@ -4,6 +4,8 @@
 // must be clean between iterations).
 #include <gtest/gtest.h>
 
+#include "test_util.hpp"
+
 #include <random>
 #include <tuple>
 
@@ -16,13 +18,7 @@
 namespace symspmv {
 namespace {
 
-std::vector<value_t> random_vector(std::size_t n, std::uint64_t seed) {
-    std::mt19937_64 rng(seed);
-    std::uniform_real_distribution<value_t> dist(-1.0, 1.0);
-    std::vector<value_t> v(n);
-    for (auto& x : v) x = dist(rng);
-    return v;
-}
+using symspmv::test::random_vector;
 
 TEST(CsrMtKernel, MatchesSerial) {
     const Coo full = gen::banded_random(333, 40, 9.0, 2, 0.2);

@@ -1,0 +1,35 @@
+// Shared test helpers.  Every test that needs a deterministic input vector
+// uses these instead of a per-file copy.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace symspmv::test {
+
+/// Deterministic uniform(-1, 1) vector from a fixed seed.
+inline std::vector<value_t> random_vector(std::size_t n, std::uint64_t seed) {
+    std::mt19937_64 rng(seed);
+    std::uniform_real_distribution<value_t> dist(-1.0, 1.0);
+    std::vector<value_t> v(n);
+    for (auto& e : v) e = dist(rng);
+    return v;
+}
+
+inline std::vector<value_t> random_vector(index_t n, std::uint64_t seed) {
+    return random_vector(static_cast<std::size_t>(n), seed);
+}
+
+/// Overload drawing from a caller-owned generator (for fuzzing loops that
+/// thread one rng through many draws).
+inline std::vector<value_t> random_vector(index_t n, std::mt19937_64& rng) {
+    std::uniform_real_distribution<value_t> dist(-1.0, 1.0);
+    std::vector<value_t> v(static_cast<std::size_t>(n));
+    for (auto& e : v) e = dist(rng);
+    return v;
+}
+
+}  // namespace symspmv::test
