@@ -9,6 +9,7 @@
 //   --threads LIST   comma-separated thread counts for sweeps
 //   --pin            pin worker threads to logical CPUs (§V.A)
 //   --csv FILE       mirror every printed table to FILE as CSV
+//   --plan-cache DIR persistent autotune plan cache (benches that tune)
 #pragma once
 
 #include <cstdint>
@@ -33,6 +34,7 @@ namespace symspmv::bench {
 struct BenchEnv {
     double scale = 0.008;
     std::string matrices_dir;
+    std::string plan_cache;  // autotune plan-cache directory ("" = in-memory)
     int iterations = 24;
     bool pin_threads = false;
     std::vector<int> thread_counts = {1, 2, 4, 8, 16};
@@ -73,6 +75,7 @@ inline BenchEnv parse_env(int argc, const char* const* argv, int default_iterati
     BenchEnv env;
     env.scale = opts.get_double("--scale", env.scale);
     env.matrices_dir = opts.get_string("--matrices", "");
+    env.plan_cache = opts.get_string("--plan-cache", "");
     env.iterations = static_cast<int>(opts.get_int("--iterations", default_iterations));
     env.pin_threads = opts.has("--pin");
     const std::string threads = opts.get_string("--threads", "");

@@ -1,0 +1,91 @@
+// Tuning amortization (the §V.C argument applied to the autotuner): the
+// one-time cost of the empirical plan search against the per-iteration gain
+// of the tuned plan over the multithreaded CSR baseline, reported as the
+// break-even SpM×V iteration count per suite matrix.
+//
+// Also the quality check of the tuned plan: its measured time is printed
+// next to the best kernel of an exhaustive registry sweep at the same
+// thread count, so any gap the pruned search leaves is visible.  A second
+// tune() per matrix asserts the warm-cache property (zero timed trials).
+//
+// Extra flags beyond bench/common.hpp: --plan-cache DIR persists plans, so
+// a re-run of this bench demonstrates the cross-process warm path.
+#include <iostream>
+#include <string>
+
+#include "autotune/store.hpp"
+#include "autotune/tuner.hpp"
+#include "bench/common.hpp"
+
+using namespace symspmv;
+
+int main(int argc, char** argv) {
+    const auto env = bench::parse_env(argc, argv, /*default_iterations=*/16);
+    const int threads = env.max_threads();
+
+    autotune::PlanStore store(env.plan_cache);
+    autotune::TuneOptions tune_opts;
+    tune_opts.pin_threads = env.pin_threads;
+    tune_opts.refine_iterations = env.iterations;
+    autotune::Tuner tuner(store, tune_opts);
+
+    std::cout << "Autotune amortization: search cost vs per-iteration gain over CSR\n"
+              << "(scale=" << env.scale << ", " << threads << " threads"
+              << (store.persistent() ? ", plan cache " + store.directory() : "") << ")\n\n";
+    bench::TablePrinter table(std::cout, {14, 22, 7, 8, 10, 10, 10, 10, 10}, env.csv_sink);
+    table.header({"Matrix", "plan", "trials", "tune(s)", "tuned(ms)", "best(ms)", "best-kind",
+                  "CSR(ms)", "brk-even"});
+
+    bool warm_ok = true;
+    for (const auto& entry : env.entries) {
+        const engine::MatrixBundle bundle(env.load(entry));
+
+        const autotune::TuneReport cold = tuner.tune(bundle, threads);
+        const autotune::TuneReport warm = tuner.tune(bundle, threads);
+        warm_ok = warm_ok && warm.trials == 0 &&
+                  autotune::same_decision(warm.plan, cold.plan);
+
+        // Re-measure the winner and the exhaustive registry sweep under the
+        // same harness settings, so the comparison is apples-to-apples.
+        engine::ExecutionContext ctx = env.make_context(threads);
+        const engine::KernelFactory factory(bundle, ctx);
+        auto opts = bench::measure_options(env);
+        const KernelPtr tuned = autotune::build_plan(cold.plan, bundle, ctx.pool());
+        const double tuned_s = bench::measure(*tuned, opts).seconds_per_op;
+
+        double best_s = 0.0, csr_s = 0.0;
+        std::string best_kind;
+        for (KernelKind kind : autotune::default_tuning_kinds()) {
+            const KernelPtr kernel = factory.make(kind);
+            const double s = bench::measure(*kernel, opts).seconds_per_op;
+            if (kind == KernelKind::kCsr) csr_s = s;
+            if (best_kind.empty() || s < best_s) {
+                best_s = s;
+                best_kind = std::string(to_string(kind));
+            }
+        }
+
+        // Break-even: SpM×V iterations after which the one-time search has
+        // paid for itself through the per-iteration gain over CSR.
+        const double gain = csr_s - tuned_s;
+        const std::string break_even =
+            gain > 0.0 ? bench::TablePrinter::fmt(cold.tune_seconds / gain, 0) : "never";
+        table.row({entry.name, autotune::to_string(cold.plan), std::to_string(cold.trials),
+                   bench::TablePrinter::fmt(cold.tune_seconds, 2),
+                   bench::TablePrinter::fmt(tuned_s * 1e3, 3),
+                   bench::TablePrinter::fmt(best_s * 1e3, 3), best_kind,
+                   bench::TablePrinter::fmt(csr_s * 1e3, 3), break_even});
+    }
+
+    std::cout << "\nplan store: " << store.counters().hits << " hits ("
+              << store.counters().disk_hits << " from disk), " << store.counters().misses
+              << " misses, " << store.counters().saves << " saves; " << tuner.trials_total()
+              << " timed trials total\n";
+    if (!warm_ok) {
+        std::cout << "WARM-CACHE PROPERTY VIOLATED: a repeated tune() ran timed trials or "
+                     "changed its plan\n";
+        return 1;
+    }
+    std::cout << "warm-cache property held: repeated tune() used 0 trials per matrix\n";
+    return 0;
+}

@@ -7,6 +7,11 @@
 //   ./examples/solve_mm matrix.mtx [--kernel SSS-idx] [--precond none]
 //                       [--threads N] [--tol 1e-8] [--max-iter 5000]
 //                       [--rcm] [--rhs ones|random]
+//                       [--tune] [--plan-cache DIR] [--tune-budget N]
+//
+// With --tune the kernel is chosen by the autotune subsystem instead of
+// --kernel: a timed search on the first run, an instant plan-cache hit on
+// every later run when --plan-cache names a directory.
 //
 // Without a file argument a Poisson benchmark problem is generated, so the
 // example is runnable out of the box.
@@ -14,6 +19,8 @@
 #include <random>
 #include <string>
 
+#include "autotune/store.hpp"
+#include "autotune/tuner.hpp"
 #include "core/options.hpp"
 #include "engine/bundle.hpp"
 #include "engine/context.hpp"
@@ -58,7 +65,28 @@ int main(int argc, char** argv) {
         engine::ExecutionContext ctx(threads);
         const engine::MatrixBundle bundle(std::move(full));
         const engine::KernelFactory factory(bundle, ctx);
-        const KernelPtr kernel = factory.make(parse_kernel_kind(kernel_name));
+        KernelPtr kernel;
+        if (opts.get_bool("--tune", false)) {
+            autotune::PlanStore store(opts.get_string("--plan-cache", ""));
+            autotune::TuneOptions tune_opts;
+            tune_opts.max_trials = static_cast<int>(opts.get_int("--tune-budget", 0));
+            autotune::Tuner tuner(store, tune_opts);
+            autotune::TuneReport report;
+            kernel = factory.make_tuned(tuner, &report);
+            if (report.cache_hit) {
+                std::cout << "plan cache hit: " << autotune::to_string(report.plan)
+                          << " (0 timed trials)\n";
+            } else {
+                std::cout << "tuned: " << autotune::to_string(report.plan) << " ("
+                          << report.trials << " trials, " << report.tune_seconds
+                          << " s; prior: " << report.prior_rationale << ")\n";
+                if (store.persistent()) {
+                    std::cout << "plan saved under " << store.directory() << "\n";
+                }
+            }
+        } else {
+            kernel = factory.make(parse_kernel_kind(kernel_name));
+        }
         const auto precond = cg::make_preconditioner(precond_name, bundle.sss(), ctx);
 
         std::vector<value_t> b(static_cast<std::size_t>(bundle.coo().rows()), 1.0);

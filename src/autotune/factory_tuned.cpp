@@ -1,0 +1,22 @@
+// KernelFactory::make_tuned — the engine's entry into the autotune
+// subsystem.  Lives in symspmv_autotune (not symspmv_engine) so the engine
+// library stays below the bench layer; the declaration in engine/factory.hpp
+// documents the link requirement.
+#include "autotune/tuner.hpp"
+#include "engine/factory.hpp"
+
+namespace symspmv::engine {
+
+KernelPtr KernelFactory::make_tuned(autotune::Tuner& tuner,
+                                    autotune::TuneReport* report) const {
+    // Threads are fixed to this factory's pool: the caller already owns the
+    // execution resources, so the search covers kernel kind, partition
+    // policy and the CSX toggles for exactly this pool size.
+    autotune::TuneReport result = tuner.tune(bundle_, pool_.size());
+    if (report != nullptr) *report = result;
+    // The plan replays on the factory's own pool; its partition policy and
+    // CSX config override the factory defaults — the plan decides.
+    return autotune::build_plan(result.plan, bundle_, pool_);
+}
+
+}  // namespace symspmv::engine

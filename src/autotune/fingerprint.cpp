@@ -1,0 +1,119 @@
+#include "autotune/fingerprint.hpp"
+
+#include <cstring>
+#include <sstream>
+#include <thread>
+
+#include "core/error.hpp"
+
+namespace symspmv::autotune {
+
+std::uint64_t fnv1a(const void* data, std::size_t bytes, std::uint64_t seed) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    std::uint64_t h = seed;
+    for (std::size_t i = 0; i < bytes; ++i) {
+        h ^= p[i];
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+namespace {
+
+std::uint64_t mix_u64(std::uint64_t h, std::uint64_t v) { return fnv1a(&v, sizeof(v), h); }
+
+std::uint64_t hash_string(std::uint64_t h, const std::string& s) {
+    return fnv1a(s.data(), s.size(), h);
+}
+
+std::string hex(std::uint64_t v) {
+    std::ostringstream os;
+    os << std::hex << v;
+    return os.str();
+}
+
+std::string compiler_id() {
+#if defined(__clang__)
+    return "clang-" + std::to_string(__clang_major__) + "." + std::to_string(__clang_minor__);
+#elif defined(__GNUC__)
+    return "gcc-" + std::to_string(__GNUC__) + "." + std::to_string(__GNUC_MINOR__);
+#else
+    return "unknown";
+#endif
+}
+
+std::string build_id() {
+#ifdef NDEBUG
+    return "opt";
+#else
+    return "debug";
+#endif
+}
+
+}  // namespace
+
+MatrixFingerprint fingerprint(const Coo& matrix) {
+    SYMSPMV_CHECK_MSG(matrix.is_canonical(),
+                      "fingerprint: matrix must be canonical (call canonicalize() first)");
+    MatrixFingerprint fp;
+    fp.rows = matrix.rows();
+    fp.cols = matrix.cols();
+    fp.nnz = static_cast<std::int64_t>(matrix.nnz());
+    std::uint64_t pattern = fnv1a(nullptr, 0);
+    std::uint64_t values = fnv1a(nullptr, 0);
+    for (const Triplet& t : matrix.entries()) {
+        const index_t rc[2] = {t.row, t.col};
+        pattern = fnv1a(rc, sizeof(rc), pattern);
+        // Bit pattern, not arithmetic value: distinguishes -0.0 from 0.0 and
+        // never depends on rounding of a textual rendering.
+        std::uint64_t bits = 0;
+        static_assert(sizeof(bits) == sizeof(t.val));
+        std::memcpy(&bits, &t.val, sizeof(bits));
+        values = mix_u64(values, bits);
+    }
+    fp.pattern_hash = pattern;
+    fp.value_hash = values;
+    return fp;
+}
+
+std::string to_string(const MatrixFingerprint& fp) {
+    std::ostringstream os;
+    os << fp.rows << 'x' << fp.cols << 'x' << fp.nnz << '-' << hex(fp.pattern_hash) << '-'
+       << hex(fp.value_hash);
+    return os.str();
+}
+
+std::uint64_t digest(const MatrixFingerprint& fp) {
+    std::uint64_t h = fnv1a(nullptr, 0);
+    h = mix_u64(h, static_cast<std::uint64_t>(fp.rows));
+    h = mix_u64(h, static_cast<std::uint64_t>(fp.cols));
+    h = mix_u64(h, static_cast<std::uint64_t>(fp.nnz));
+    h = mix_u64(h, fp.pattern_hash);
+    h = mix_u64(h, fp.value_hash);
+    return h;
+}
+
+HardwareSignature local_hardware_signature(bool pin_threads, engine::PlacementPolicy placement) {
+    HardwareSignature hw;
+    hw.hardware_threads = static_cast<int>(std::thread::hardware_concurrency());
+    if (hw.hardware_threads <= 0) hw.hardware_threads = 1;
+    hw.pin_threads = pin_threads;
+    hw.placement = placement;
+    hw.compiler = compiler_id();
+    hw.build = build_id();
+    return hw;
+}
+
+std::string to_string(const HardwareSignature& hw) {
+    std::ostringstream os;
+    os << hw.hardware_threads << 'c' << (hw.pin_threads ? "-pin" : "-nopin") << '-'
+       << engine::to_string(hw.placement) << '-' << hw.compiler << '-' << hw.build;
+    return os.str();
+}
+
+std::uint64_t digest(const HardwareSignature& hw) {
+    const std::string s = to_string(hw);
+    return hash_string(fnv1a(nullptr, 0), s);
+}
+
+}  // namespace symspmv::autotune

@@ -1,0 +1,73 @@
+// Stable identities for the plan cache: what was tuned, and where.
+//
+// A plan is only reusable when both the matrix and the machine match.  The
+// MatrixFingerprint hashes the canonical COO form (dimensions, non-zero
+// pattern and values) so that any structural or numerical change retunes,
+// while the insertion order of the triplets — which canonicalization
+// erases — does not.  The HardwareSignature captures the execution
+// environment the timings were taken in: logical core count, the
+// pinning/placement policies in force, and the compiler/build flags the
+// kernels were compiled with (OSKI keys its tuned transformations the same
+// way: per matrix, per machine, per build).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "core/types.hpp"
+#include "engine/context.hpp"
+#include "matrix/coo.hpp"
+
+namespace symspmv::autotune {
+
+/// FNV-1a 64-bit over raw bytes — the one stable hash every autotune key
+/// uses (endianness-stable across the little-endian targets we build for).
+[[nodiscard]] std::uint64_t fnv1a(const void* data, std::size_t bytes,
+                                  std::uint64_t seed = 1469598103934665603ULL);
+
+/// Structural + numerical identity of one canonical COO matrix.
+struct MatrixFingerprint {
+    index_t rows = 0;
+    index_t cols = 0;
+    std::int64_t nnz = 0;
+    std::uint64_t pattern_hash = 0;  // over the (row, col) sequence
+    std::uint64_t value_hash = 0;    // over the value bit patterns
+
+    friend bool operator==(const MatrixFingerprint&, const MatrixFingerprint&) = default;
+};
+
+/// Fingerprints @p matrix (must be canonical — sorted, duplicates combined —
+/// so permuted insertion orders of the same matrix hash identically).
+[[nodiscard]] MatrixFingerprint fingerprint(const Coo& matrix);
+
+/// Compact single-token rendering ("RxCxNNZ-pattern-value" in hex).
+[[nodiscard]] std::string to_string(const MatrixFingerprint& fp);
+
+/// Combined 64-bit digest (used in plan-store filenames).
+[[nodiscard]] std::uint64_t digest(const MatrixFingerprint& fp);
+
+/// The execution environment a plan's timings are valid for.
+struct HardwareSignature {
+    int hardware_threads = 0;  // logical CPUs of the machine
+    bool pin_threads = false;
+    engine::PlacementPolicy placement = engine::PlacementPolicy::kNone;
+    std::string compiler;  // e.g. "gcc-13.2"
+    std::string build;     // "opt" (NDEBUG) or "debug"
+
+    friend bool operator==(const HardwareSignature&, const HardwareSignature&) = default;
+};
+
+/// Signature of this process: hardware_concurrency plus the caller's
+/// pinning/placement policies and the compile-time toolchain identity.
+[[nodiscard]] HardwareSignature local_hardware_signature(
+    bool pin_threads = false,
+    engine::PlacementPolicy placement = engine::PlacementPolicy::kNone);
+
+/// Single-token rendering ("16c-pin-none-gcc-13.2-opt" style).
+[[nodiscard]] std::string to_string(const HardwareSignature& hw);
+
+/// Combined 64-bit digest (used in plan-store filenames).
+[[nodiscard]] std::uint64_t digest(const HardwareSignature& hw);
+
+}  // namespace symspmv::autotune

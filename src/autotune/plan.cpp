@@ -1,0 +1,30 @@
+#include "autotune/plan.hpp"
+
+#include <sstream>
+
+#include "engine/factory.hpp"
+
+namespace symspmv::autotune {
+
+bool same_decision(const Plan& a, const Plan& b) {
+    return a.kernel == b.kernel && a.threads == b.threads && a.partition == b.partition &&
+           a.csx_patterns == b.csx_patterns;
+}
+
+csx::CsxConfig csx_config(const Plan& plan) {
+    return plan.csx_patterns ? csx::CsxConfig{} : csx::delta_only_config();
+}
+
+KernelPtr build_plan(const Plan& plan, const engine::MatrixBundle& bundle, ThreadPool& pool) {
+    const engine::KernelFactory factory(bundle, pool, csx_config(plan), plan.partition);
+    return factory.make(plan.kernel);
+}
+
+std::string to_string(const Plan& plan) {
+    std::ostringstream os;
+    os << symspmv::to_string(plan.kernel) << " x" << plan.threads << ' '
+       << engine::to_string(plan.partition) << " patterns=" << (plan.csx_patterns ? "on" : "off");
+    return os.str();
+}
+
+}  // namespace symspmv::autotune

@@ -1,0 +1,52 @@
+// An execution plan: everything the engine needs to rebuild "the kernel
+// that won the timed search" without searching again.
+//
+// A plan is deliberately small and declarative — kernel kind, thread count,
+// row-partition policy and the CSX encoding toggle — so it can be persisted
+// as a few lines of text and replayed on any process that sees the same
+// matrix and hardware signature.  build_plan() is the replay: it turns a
+// plan back into a runnable kernel through the engine's KernelFactory.
+#pragma once
+
+#include <string>
+
+#include "csx/detect.hpp"
+#include "engine/bundle.hpp"
+#include "engine/context.hpp"
+#include "engine/registry.hpp"
+#include "spmv/kernel.hpp"
+
+namespace symspmv::autotune {
+
+struct Plan {
+    KernelKind kernel = KernelKind::kCsr;
+    int threads = 1;
+    engine::PartitionPolicy partition = engine::PartitionPolicy::kByNnz;
+    /// CSX substructure detection on/off; false degenerates the CSX-family
+    /// kinds to delta-only encoding (cheaper preprocessing, less
+    /// compression).  Ignored by non-CSX kinds.
+    bool csx_patterns = true;
+    /// The winner's measured median seconds per operation at tune time
+    /// (diagnostic; not part of the plan's identity).
+    double expected_seconds_per_op = 0.0;
+};
+
+/// True when two plans make the same decisions (the measurement diagnostic
+/// is excluded — a reloaded plan must compare equal to the freshly tuned
+/// one even if the stored timing differs in the last ulp).
+[[nodiscard]] bool same_decision(const Plan& a, const Plan& b);
+
+/// The CSX configuration implied by the plan's toggles.
+[[nodiscard]] csx::CsxConfig csx_config(const Plan& plan);
+
+/// Replays @p plan over @p bundle: builds its kernel kind with its CSX
+/// config and partition policy on @p pool.  The pool's size decides the
+/// actual thread count; callers that honor plan.threads should pass a pool
+/// of that size (ExecutionContext(plan.threads)).
+[[nodiscard]] KernelPtr build_plan(const Plan& plan, const engine::MatrixBundle& bundle,
+                                   ThreadPool& pool);
+
+/// Human-readable one-liner: "CSX-Sym x8 by-nnz patterns=on".
+[[nodiscard]] std::string to_string(const Plan& plan);
+
+}  // namespace symspmv::autotune

@@ -1,0 +1,132 @@
+#include "autotune/store.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "core/atomic_file.hpp"
+#include "core/error.hpp"
+
+namespace symspmv::autotune {
+
+namespace {
+
+std::string hex(std::uint64_t v) {
+    std::ostringstream os;
+    os << std::hex << v;
+    return os.str();
+}
+
+/// Reads "<keyword> <token>" and returns the token; nullopt unless the
+/// keyword matches exactly (the strictness is what turns every malformed
+/// file into a miss instead of a misparse).
+std::optional<std::string> read_field(std::istream& in, std::string_view keyword) {
+    std::string key, value;
+    if (!(in >> key >> value)) return std::nullopt;
+    if (key != keyword) return std::nullopt;
+    return value;
+}
+
+}  // namespace
+
+PlanStore::PlanStore(std::string dir) : dir_(std::move(dir)) {}
+
+std::string PlanStore::key_id(const PlanKey& key) {
+    return hex(digest(key.fingerprint)) + "-" + hex(digest(key.hardware)) + "-" +
+           hex(key.search_hash);
+}
+
+std::string PlanStore::path_for(const PlanKey& key) const {
+    if (dir_.empty()) return "";
+    return dir_ + "/" + key_id(key) + ".plan";
+}
+
+void PlanStore::serialize(std::ostream& out, const PlanKey& key, const Plan& plan) {
+    out << "symspmv-plan " << kPlanFormatVersion << '\n'
+        << "matrix " << to_string(key.fingerprint) << '\n'
+        << "hardware " << to_string(key.hardware) << '\n'
+        << "search " << hex(key.search_hash) << '\n'
+        << "kernel " << symspmv::to_string(plan.kernel) << '\n'
+        << "threads " << plan.threads << '\n'
+        << "partition " << engine::to_string(plan.partition) << '\n'
+        << "csx-patterns " << (plan.csx_patterns ? 1 : 0) << '\n'
+        << "seconds " << plan.expected_seconds_per_op << '\n'
+        << "end symspmv-plan\n";  // trailer: truncation anywhere is detectable
+}
+
+std::optional<Plan> PlanStore::parse(std::istream& in, const PlanKey& key) {
+    const auto version = read_field(in, "symspmv-plan");
+    if (!version || *version != std::to_string(kPlanFormatVersion)) return std::nullopt;
+
+    // The embedded key must be the requested one.  This rejects files for a
+    // different matrix or machine that ended up under this name (filename
+    // digest collision, a cache directory copied across machines, ...).
+    const auto matrix = read_field(in, "matrix");
+    if (!matrix || *matrix != to_string(key.fingerprint)) return std::nullopt;
+    const auto hardware = read_field(in, "hardware");
+    if (!hardware || *hardware != to_string(key.hardware)) return std::nullopt;
+    const auto search = read_field(in, "search");
+    if (!search || *search != hex(key.search_hash)) return std::nullopt;
+
+    const auto kernel = read_field(in, "kernel");
+    const auto threads = read_field(in, "threads");
+    const auto partition = read_field(in, "partition");
+    const auto patterns = read_field(in, "csx-patterns");
+    const auto seconds = read_field(in, "seconds");
+    if (!kernel || !threads || !partition || !patterns || !seconds) return std::nullopt;
+    // Even the last data field could survive a truncation (a clipped seconds
+    // value still parses as a number); the trailer cannot.
+    const auto trailer = read_field(in, "end");
+    if (!trailer || *trailer != "symspmv-plan") return std::nullopt;
+
+    Plan plan;
+    try {
+        // parse_kernel_kind also rejects kinds this process cannot build
+        // (the JIT backends without a system compiler): such plans re-tune.
+        plan.kernel = parse_kernel_kind(*kernel);
+        plan.threads = std::stoi(*threads);
+        plan.partition = engine::parse_partition_policy(*partition);
+        plan.expected_seconds_per_op = std::stod(*seconds);
+    } catch (const std::exception&) {
+        return std::nullopt;
+    }
+    if (plan.threads < 1) return std::nullopt;
+    if (*patterns != "0" && *patterns != "1") return std::nullopt;
+    plan.csx_patterns = *patterns == "1";
+    return plan;
+}
+
+std::optional<Plan> PlanStore::load(const PlanKey& key) {
+    const std::string id = key_id(key);
+    if (const auto it = memory_.find(id); it != memory_.end()) {
+        ++counters_.hits;
+        return it->second;
+    }
+    if (!dir_.empty()) {
+        std::ifstream in(path_for(key));
+        if (in) {
+            if (auto plan = parse(in, key)) {
+                ++counters_.hits;
+                ++counters_.disk_hits;
+                memory_.emplace(id, *plan);
+                return plan;
+            }
+        }
+    }
+    ++counters_.misses;
+    return std::nullopt;
+}
+
+void PlanStore::save(const PlanKey& key, const Plan& plan) {
+    ++counters_.saves;
+    memory_[key_id(key)] = plan;
+    if (dir_.empty()) return;
+    std::error_code ec;
+    std::filesystem::create_directories(dir_, ec);
+    SYMSPMV_CHECK_MSG(!ec, "plan store: cannot create directory '" + dir_ + "'");
+    write_file_atomic(path_for(key), [&](std::ostream& out) { serialize(out, key, plan); });
+}
+
+}  // namespace symspmv::autotune

@@ -1,0 +1,80 @@
+// Persistent, fingerprint-keyed plan cache.
+//
+// One plan file per (matrix fingerprint, hardware signature, search space)
+// key, written atomically (core/atomic_file.hpp) as a small versioned text
+// record that embeds the full key it was tuned for.  Loading is defensive
+// by construction: a truncated, garbage, wrong-version or wrong-key file is
+// reported as a clean cache miss — the tuner then re-tunes and overwrites —
+// never as a crash or a silently wrong plan.  An in-memory layer in front
+// of the disk makes repeated lookups in one process free and doubles as the
+// whole store when no cache directory is configured.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "autotune/fingerprint.hpp"
+#include "autotune/plan.hpp"
+
+namespace symspmv::autotune {
+
+/// Bumped whenever the plan file layout changes; older files load as a miss.
+inline constexpr int kPlanFormatVersion = 1;
+
+/// The full cache key: which matrix, which machine, which candidate space.
+/// The search space participates so that e.g. a thread-count-restricted
+/// make_tuned() and a full search never overwrite each other's winners.
+struct PlanKey {
+    MatrixFingerprint fingerprint;
+    HardwareSignature hardware;
+    std::uint64_t search_hash = 0;
+};
+
+class PlanStore {
+   public:
+    /// @p dir: the cache directory, created on first save().  Empty means
+    /// in-memory only — plans live for the store's lifetime, nothing is
+    /// persisted.
+    explicit PlanStore(std::string dir = "");
+
+    /// Cache lookup.  Disk entries are revalidated against @p key (the file
+    /// embeds the key it was written for); any mismatch or parse failure is
+    /// a miss.
+    [[nodiscard]] std::optional<Plan> load(const PlanKey& key);
+
+    /// Inserts into the memory layer and, when disk-backed, persists
+    /// atomically (temp file + rename).
+    void save(const PlanKey& key, const Plan& plan);
+
+    /// Observability: how this store has been used.
+    struct Counters {
+        int hits = 0;         // load() returned a plan (memory or disk)
+        int misses = 0;       // load() found nothing usable
+        int disk_hits = 0;    // subset of hits satisfied by a plan file
+        int saves = 0;        // save() calls
+    };
+    [[nodiscard]] const Counters& counters() const { return counters_; }
+
+    [[nodiscard]] const std::string& directory() const { return dir_; }
+    [[nodiscard]] bool persistent() const { return !dir_.empty(); }
+
+    /// The plan file a key maps to ("" when in-memory only).
+    [[nodiscard]] std::string path_for(const PlanKey& key) const;
+
+    /// Serialization, exposed for the robustness tests.
+    static void serialize(std::ostream& out, const PlanKey& key, const Plan& plan);
+    /// Strict parse + key validation; std::nullopt on any deviation.
+    [[nodiscard]] static std::optional<Plan> parse(std::istream& in, const PlanKey& key);
+
+   private:
+    [[nodiscard]] static std::string key_id(const PlanKey& key);
+
+    std::string dir_;
+    std::map<std::string, Plan> memory_;
+    Counters counters_;
+};
+
+}  // namespace symspmv::autotune

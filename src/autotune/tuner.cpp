@@ -1,0 +1,209 @@
+#include "autotune/tuner.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <thread>
+
+#include "bench/advisor.hpp"
+#include "bench/harness.hpp"
+#include "core/error.hpp"
+#include "core/profiling.hpp"
+#include "core/timer.hpp"
+#include "engine/context.hpp"
+
+namespace symspmv::autotune {
+
+namespace {
+
+/// Kinds that exploit symmetry and therefore need symmetric input.
+bool requires_symmetric(KernelKind kind) {
+    switch (kind) {
+        case KernelKind::kSssSerial:
+        case KernelKind::kSssNaive:
+        case KernelKind::kSssEffective:
+        case KernelKind::kSssIndexing:
+        case KernelKind::kSssAtomic:
+        case KernelKind::kSssColor:
+        case KernelKind::kCsxSym:
+        case KernelKind::kCsbSym:
+        case KernelKind::kCsxSymJit:
+            return true;
+        default:
+            return false;
+    }
+}
+
+/// Kinds whose row partition the factory can re-split (even-rows candidates).
+bool row_partitioned(KernelKind kind) {
+    switch (kind) {
+        case KernelKind::kCsr:
+        case KernelKind::kSssNaive:
+        case KernelKind::kSssEffective:
+        case KernelKind::kSssIndexing:
+            return true;
+        default:
+            return false;
+    }
+}
+
+std::vector<int> default_thread_counts() {
+    int hw = static_cast<int>(std::thread::hardware_concurrency());
+    if (hw <= 0) hw = 1;
+    std::vector<int> counts;
+    for (int t = 1; t < hw; t *= 2) counts.push_back(t);
+    counts.push_back(hw);
+    return counts;
+}
+
+std::vector<KernelKind> resolve_kinds(const TuneOptions& opts) {
+    return opts.kernels.empty() ? default_tuning_kinds() : opts.kernels;
+}
+
+}  // namespace
+
+const std::vector<KernelKind>& default_tuning_kinds() {
+    static const std::vector<KernelKind> kinds = [] {
+        std::vector<KernelKind> k;
+        for (KernelKind kind : all_kernel_kinds()) {
+            if (kind == KernelKind::kCsrSerial || kind == KernelKind::kSssSerial) continue;
+            if (kind == KernelKind::kCsxJit || kind == KernelKind::kCsxSymJit) continue;
+            k.push_back(kind);
+        }
+        return k;
+    }();
+    return kinds;
+}
+
+HardwareSignature signature_for(const TuneOptions& opts) {
+    return local_hardware_signature(opts.pin_threads, opts.placement);
+}
+
+std::uint64_t search_space_hash(const TuneOptions& opts,
+                                const std::vector<int>& thread_counts) {
+    std::uint64_t h = fnv1a(nullptr, 0);
+    auto mix_int = [&h](long v) { h = fnv1a(&v, sizeof(v), h); };
+    std::vector<int> threads = thread_counts;
+    std::sort(threads.begin(), threads.end());  // order-independent identity
+    for (int t : threads) mix_int(t);
+    mix_int(-1);  // separator: {1,2}+{} never hashes like {1}+{2}
+    for (KernelKind kind : resolve_kinds(opts)) mix_int(static_cast<long>(kind));
+    mix_int(-1);
+    mix_int(opts.try_even_rows ? 1 : 0);
+    mix_int(opts.try_delta_only_csx ? 1 : 0);
+    return h;
+}
+
+Tuner::Tuner(PlanStore& store, TuneOptions opts) : store_(store), opts_(std::move(opts)) {}
+
+TuneReport Tuner::tune(const engine::MatrixBundle& bundle) {
+    return run(bundle,
+               opts_.thread_counts.empty() ? default_thread_counts() : opts_.thread_counts);
+}
+
+TuneReport Tuner::tune(const engine::MatrixBundle& bundle, int threads) {
+    SYMSPMV_CHECK_MSG(threads >= 1, "tune: need at least one thread");
+    return run(bundle, {threads});
+}
+
+TuneReport Tuner::run(const engine::MatrixBundle& bundle, std::vector<int> thread_counts) {
+    const Timer wall;
+    TuneReport report;
+    const PlanKey key{fingerprint(bundle.coo()), signature_for(opts_),
+                      search_space_hash(opts_, thread_counts)};
+    if (auto cached = store_.load(key)) {
+        report.plan = *cached;
+        report.cache_hit = true;
+        report.tune_seconds = wall.seconds();
+        return report;
+    }
+
+    // Candidate enumeration.  Larger thread counts go first — they are the
+    // likelier winners, and an early good median makes the screening prune
+    // bite sooner.
+    std::sort(thread_counts.begin(), thread_counts.end(), std::greater<>());
+    std::vector<KernelKind> kinds = resolve_kinds(opts_);
+    if (!bundle.properties().numerically_symmetric) {
+        std::erase_if(kinds, requires_symmetric);
+    }
+    SYMSPMV_CHECK_MSG(!kinds.empty(), "tune: no applicable kernel kinds for this matrix");
+    std::vector<Plan> candidates;
+    for (int threads : thread_counts) {
+        for (KernelKind kind : kinds) {
+            candidates.push_back({kind, threads, engine::PartitionPolicy::kByNnz, true});
+            if (opts_.try_even_rows && row_partitioned(kind)) {
+                candidates.push_back({kind, threads, engine::PartitionPolicy::kEvenRows, true});
+            }
+            if (opts_.try_delta_only_csx && kind == KernelKind::kCsxSym) {
+                candidates.push_back({kind, threads, engine::PartitionPolicy::kByNnz, false});
+            }
+        }
+    }
+
+    // The advisor's prediction is the search prior: its kind is tried first,
+    // so under a trial budget the empirically-strong region is covered
+    // before the long tail.
+    const bench::Advice advice = bench::advise(bundle.coo());
+    report.prior_rationale = advice.rationale;
+    std::stable_partition(candidates.begin(), candidates.end(),
+                          [&](const Plan& p) { return p.kernel == advice.kernel; });
+
+    constexpr double kInf = std::numeric_limits<double>::infinity();
+    double best_screening = kInf;
+    double best_refined = kInf;
+    Plan winner;
+    bool have_winner = false;
+    for (const Plan& candidate : candidates) {
+        if (opts_.max_trials > 0 && report.trials >= opts_.max_trials) break;
+        TrialRecord record;
+        record.plan = candidate;
+        try {
+            engine::ExecutionContext ctx(
+                engine::ContextOptions{.threads = candidate.threads,
+                                       .pin_threads = opts_.pin_threads,
+                                       .placement = opts_.placement,
+                                       .partition = candidate.partition});
+            const KernelPtr kernel = build_plan(candidate, bundle, ctx.pool());
+            PhaseProfiler profiler(candidate.threads);
+            bench::MeasureOptions screening;
+            screening.iterations = opts_.screening_iterations;
+            screening.warmup = 1;
+            screening.seed = opts_.seed;
+            screening.profiler = &profiler;
+            const bench::Measurement coarse = bench::measure(*kernel, screening);
+            ++report.trials;
+            ++trials_total_;
+            record.screening_seconds_per_op = coarse.seconds_per_op;
+            record.multiply_imbalance = profiler.stats(Phase::kMultiply).imbalance;
+            if (coarse.seconds_per_op > opts_.prune_ratio * best_screening) {
+                record.pruned = true;  // clearly losing: skip the full measurement
+            } else {
+                best_screening = std::min(best_screening, coarse.seconds_per_op);
+                bench::MeasureOptions refine;
+                refine.iterations = opts_.refine_iterations;
+                refine.warmup = 1;
+                refine.seed = opts_.seed;
+                const bench::Measurement fine = bench::measure(*kernel, refine);
+                record.refined_seconds_per_op = fine.seconds_per_op;
+                if (!have_winner || fine.seconds_per_op < best_refined) {
+                    best_refined = fine.seconds_per_op;
+                    winner = candidate;
+                    winner.expected_seconds_per_op = fine.seconds_per_op;
+                    have_winner = true;
+                }
+            }
+        } catch (const std::exception&) {
+            // A candidate this input cannot build (format constraint, memory
+            // blow-up) loses by definition; the search moves on.
+            record.pruned = true;
+        }
+        report.records.push_back(std::move(record));
+    }
+    SYMSPMV_CHECK_MSG(have_winner, "tune: no candidate could be measured");
+
+    report.plan = winner;
+    store_.save(key, winner);
+    report.tune_seconds = wall.seconds();
+    return report;
+}
+
+}  // namespace symspmv::autotune

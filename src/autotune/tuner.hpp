@@ -1,0 +1,110 @@
+// Empirical plan search (OSKI-style autotuning, PAPERS.md).
+//
+// The static advisor (bench/advisor.hpp) predicts a winner from structural
+// features; the tuner *measures*.  It enumerates candidate plans — kernel
+// kind x thread count x partition policy x CSX encoding toggle — seeds the
+// search order with the advisor's prediction as a prior, times each
+// candidate through the §V.A harness with a cheap screening pass that
+// prunes clearly-losing candidates before the full measurement, and
+// persists the winner in the plan store.  The second tune() for the same
+// (matrix, machine, search space) is a cache hit: zero timed trials, the
+// stored plan replayed instantly — the §V.C amortization argument turned
+// into an API.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "autotune/plan.hpp"
+#include "autotune/store.hpp"
+#include "engine/bundle.hpp"
+
+namespace symspmv::autotune {
+
+struct TuneOptions {
+    /// Thread counts to search; empty = powers of two up to the machine's
+    /// hardware concurrency (inclusive).
+    std::vector<int> thread_counts;
+    bool pin_threads = false;
+    engine::PlacementPolicy placement = engine::PlacementPolicy::kNone;
+    /// Kernel kinds to consider; empty = every multithreaded registry kind
+    /// (default_tuning_kinds()).  Symmetric-only kinds are dropped
+    /// automatically for unsymmetric input.
+    std::vector<KernelKind> kernels;
+    /// Also try the even-rows partition for the row-partitioned kernels.
+    bool try_even_rows = true;
+    /// Also try delta-only CSX encoding for the CSX-Sym kind.
+    bool try_delta_only_csx = true;
+    /// The two-stage measurement: every candidate gets a short screening
+    /// run; only candidates within prune_ratio of the best screening median
+    /// are re-measured at refine_iterations.
+    int screening_iterations = 3;
+    int refine_iterations = 12;
+    double prune_ratio = 1.5;
+    /// Trial budget (candidates actually timed); 0 = unbounded.  Tiny
+    /// budgets keep the CI smoke cycle fast.
+    int max_trials = 0;
+    std::uint64_t seed = 2013;  // input-vector seed for the timed runs
+};
+
+/// One timed candidate of a search, for reporting.
+struct TrialRecord {
+    Plan plan;
+    double screening_seconds_per_op = 0.0;
+    double refined_seconds_per_op = 0.0;  // 0 when pruned after screening
+    double multiply_imbalance = 0.0;      // PhaseProfiler max/mean - 1
+    bool pruned = false;
+};
+
+/// Outcome of one tune() call.
+struct TuneReport {
+    Plan plan;
+    bool cache_hit = false;
+    int trials = 0;          // timed candidates; 0 on the warm path
+    double tune_seconds = 0.0;
+    std::string prior_rationale;       // the advisor's explanation (cold only)
+    std::vector<TrialRecord> records;  // search trace (cold only)
+};
+
+/// Every multithreaded registry kind (the JIT backends are excluded: their
+/// runtime compilation cost belongs to a deliberate opt-in, not a sweep).
+[[nodiscard]] const std::vector<KernelKind>& default_tuning_kinds();
+
+/// The hardware signature a tuner with @p opts tunes for.
+[[nodiscard]] HardwareSignature signature_for(const TuneOptions& opts);
+
+/// Hash of the candidate space (thread counts, kinds, toggles) — the third
+/// component of the plan-store key.
+[[nodiscard]] std::uint64_t search_space_hash(const TuneOptions& opts,
+                                              const std::vector<int>& thread_counts);
+
+class Tuner {
+   public:
+    /// @p store outlives the tuner.
+    explicit Tuner(PlanStore& store, TuneOptions opts = {});
+
+    /// Best plan for @p bundle on this machine, searching every configured
+    /// thread count.  Warm path (store hit) performs zero timed trials.
+    [[nodiscard]] TuneReport tune(const engine::MatrixBundle& bundle);
+
+    /// Same with the thread count fixed to @p threads — the
+    /// KernelFactory::make_tuned() path, where the pool already exists.
+    [[nodiscard]] TuneReport tune(const engine::MatrixBundle& bundle, int threads);
+
+    [[nodiscard]] const TuneOptions& options() const { return opts_; }
+    [[nodiscard]] PlanStore& store() { return store_; }
+
+    /// Timed trials across every tune() on this tuner (the observable the
+    /// warm-cache property is asserted on).
+    [[nodiscard]] long trials_total() const { return trials_total_; }
+
+   private:
+    TuneReport run(const engine::MatrixBundle& bundle, std::vector<int> thread_counts);
+
+    PlanStore& store_;
+    TuneOptions opts_;
+    long trials_total_ = 0;
+};
+
+}  // namespace symspmv::autotune

@@ -1,0 +1,38 @@
+#include "core/atomic_file.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+
+#include "core/error.hpp"
+
+namespace symspmv {
+
+void write_file_atomic(const std::string& path,
+                       const std::function<void(std::ostream&)>& writer) {
+    // The counter keeps concurrent writers within one process apart; writers
+    // in different processes are separated by the temp file being renamed
+    // away before anyone else can finish writing the same name (last rename
+    // wins, each rename installs a complete file).
+    static std::atomic<unsigned> sequence{0};
+    const std::string tmp = path + ".tmp" + std::to_string(sequence.fetch_add(1));
+    try {
+        {
+            std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+            SYMSPMV_CHECK_MSG(static_cast<bool>(out),
+                              "atomic write: cannot open '" + tmp + "'");
+            writer(out);
+            out.flush();
+            SYMSPMV_CHECK_MSG(static_cast<bool>(out), "atomic write: write to '" + tmp + "' failed");
+        }
+        if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+            throw InternalError("atomic write: rename to '" + path + "' failed");
+        }
+    } catch (...) {
+        std::remove(tmp.c_str());
+        throw;
+    }
+}
+
+}  // namespace symspmv

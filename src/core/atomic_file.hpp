@@ -1,0 +1,24 @@
+// Atomic file replacement: write the new contents to a temporary file in
+// the target's directory, then rename() it over the destination.
+//
+// POSIX rename() is atomic within a filesystem, so readers either see the
+// complete old file or the complete new file — never a torn write.  The
+// binary matrix cache (matrix/binio.hpp) and the autotune plan store
+// (autotune/store.hpp) both persist through this helper, so a crashed or
+// killed run can never leave a half-written .smx or .plan file behind.
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+namespace symspmv {
+
+/// Writes @p path atomically: opens a sibling temporary file, invokes
+/// @p writer on its stream, flushes, and renames it onto @p path.  On any
+/// failure (open, writer exception, bad stream, rename) the temporary file
+/// is removed and the error is rethrown; the destination is left untouched.
+void write_file_atomic(const std::string& path,
+                       const std::function<void(std::ostream&)>& writer);
+
+}  // namespace symspmv

@@ -75,6 +75,20 @@ double Options::get_double(std::string_view name, double fallback) const {
     return parsed;
 }
 
+bool Options::get_bool(std::string_view name, bool fallback) const {
+    if (!has(name)) return fallback;
+    const auto v = get(name);
+    if (!v || v->empty()) return true;  // bare --name
+    for (const char* t : {"true", "1", "yes", "on"}) {
+        if (*v == t) return true;
+    }
+    for (const char* f : {"false", "0", "no", "off"}) {
+        if (*v == f) return false;
+    }
+    SYMSPMV_CHECK_MSG(false, "option value is not a boolean: " + *v);
+    return fallback;  // unreachable
+}
+
 std::string Options::get_string(std::string_view name, std::string_view fallback) const {
     const auto v = get(name);
     if (!v) return std::string(fallback);

@@ -24,6 +24,11 @@ class Options {
     [[nodiscard]] double get_double(std::string_view name, double fallback) const;
     [[nodiscard]] std::string get_string(std::string_view name, std::string_view fallback) const;
 
+    /// Boolean flag with an explicit-value escape hatch: bare --name is
+    /// true, --name=true/false (also 1/0, yes/no, on/off) parses the value,
+    /// absence returns @p fallback.  Throws on any other value.
+    [[nodiscard]] bool get_bool(std::string_view name, bool fallback) const;
+
     /// Positional (non-flag) arguments in order.
     [[nodiscard]] const std::vector<std::string>& positional() const { return positional_; }
 

@@ -4,6 +4,43 @@
 
 namespace symspmv::engine {
 
+std::string_view to_string(PartitionPolicy policy) {
+    switch (policy) {
+        case PartitionPolicy::kByNnz:
+            return "by-nnz";
+        case PartitionPolicy::kEvenRows:
+            return "even-rows";
+    }
+    return "?";
+}
+
+std::string_view to_string(PlacementPolicy policy) {
+    switch (policy) {
+        case PlacementPolicy::kNone:
+            return "none";
+        case PlacementPolicy::kInterleave:
+            return "interleave";
+        case PlacementPolicy::kPartitioned:
+            return "partitioned";
+    }
+    return "?";
+}
+
+PartitionPolicy parse_partition_policy(std::string_view name) {
+    for (PartitionPolicy p : {PartitionPolicy::kByNnz, PartitionPolicy::kEvenRows}) {
+        if (to_string(p) == name) return p;
+    }
+    throw InvalidArgument("unknown partition policy: " + std::string(name));
+}
+
+PlacementPolicy parse_placement_policy(std::string_view name) {
+    for (PlacementPolicy p : {PlacementPolicy::kNone, PlacementPolicy::kInterleave,
+                              PlacementPolicy::kPartitioned}) {
+        if (to_string(p) == name) return p;
+    }
+    throw InvalidArgument("unknown placement policy: " + std::string(name));
+}
+
 ExecutionContext::ExecutionContext(const ContextOptions& opts)
     : opts_(opts), pool_(opts.threads, opts.pin_threads) {}
 

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <span>
+#include <string_view>
 #include <vector>
 
 #include "core/allocator.hpp"
@@ -40,6 +41,15 @@ struct ContextOptions {
     PlacementPolicy placement = PlacementPolicy::kNone;
     PartitionPolicy partition = PartitionPolicy::kByNnz;
 };
+
+/// Stable names ("by-nnz", "even-rows", "none", ...) used by the CLI flags
+/// and the autotune plan files.
+[[nodiscard]] std::string_view to_string(PartitionPolicy policy);
+[[nodiscard]] std::string_view to_string(PlacementPolicy policy);
+
+/// Inverse of to_string (throws InvalidArgument on unknown names).
+[[nodiscard]] PartitionPolicy parse_partition_policy(std::string_view name);
+[[nodiscard]] PlacementPolicy parse_placement_policy(std::string_view name);
 
 class ExecutionContext {
    public:

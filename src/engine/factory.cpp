@@ -12,33 +12,44 @@
 
 namespace symspmv::engine {
 
-KernelFactory::KernelFactory(const MatrixBundle& bundle, ThreadPool& pool, csx::CsxConfig cfg)
-    : bundle_(bundle), pool_(pool), cfg_(cfg) {}
+KernelFactory::KernelFactory(const MatrixBundle& bundle, ThreadPool& pool, csx::CsxConfig cfg,
+                             PartitionPolicy partition)
+    : bundle_(bundle), pool_(pool), cfg_(cfg), partition_(partition) {}
 
 KernelFactory::KernelFactory(const MatrixBundle& bundle, ExecutionContext& ctx,
                              csx::CsxConfig cfg)
-    : KernelFactory(bundle, ctx.pool(), cfg) {}
+    : KernelFactory(bundle, ctx.pool(), cfg, ctx.options().partition) {}
 
 KernelPtr KernelFactory::make(KernelKind kind) const {
     // Kernels that own their representation by value (CSR/SSS families) get
     // a copy of the bundle's cached conversion: an O(nnz) memcpy, not a
     // repeat of the O(nnz log nnz) COO conversion.  CSX-family kernels read
     // the cached representation by reference while encoding.
+    //
+    // For the row-partitioned kernels an empty parts vector means "use the
+    // kernel's own by-nnz split"; only the even-rows policy needs explicit
+    // ranges.
+    std::vector<RowRange> parts;
+    if (partition_ == PartitionPolicy::kEvenRows) {
+        parts = split_even(bundle_.coo().rows(), pool_.size());
+    }
     switch (kind) {
         case KernelKind::kCsrSerial:
             return std::make_unique<CsrSerialKernel>(bundle_.csr());
         case KernelKind::kCsr:
-            return std::make_unique<CsrMtKernel>(bundle_.csr(), pool_);
+            return std::make_unique<CsrMtKernel>(bundle_.csr(), pool_, std::move(parts));
         case KernelKind::kSssSerial:
             return std::make_unique<SssSerialKernel>(bundle_.sss());
         case KernelKind::kSssNaive:
-            return std::make_unique<SssMtKernel>(bundle_.sss(), pool_, ReductionMethod::kNaive);
+            return std::make_unique<SssMtKernel>(bundle_.sss(), pool_, ReductionMethod::kNaive,
+                                                 std::move(parts));
         case KernelKind::kSssEffective:
             return std::make_unique<SssMtKernel>(bundle_.sss(), pool_,
-                                                 ReductionMethod::kEffectiveRanges);
+                                                 ReductionMethod::kEffectiveRanges,
+                                                 std::move(parts));
         case KernelKind::kSssIndexing:
             return std::make_unique<SssMtKernel>(bundle_.sss(), pool_,
-                                                 ReductionMethod::kIndexing);
+                                                 ReductionMethod::kIndexing, std::move(parts));
         case KernelKind::kCsx:
             return std::make_unique<csx::CsxMtKernel>(bundle_.csr(), cfg_, pool_);
         case KernelKind::kCsxSym:

@@ -14,27 +14,48 @@
 #include "engine/registry.hpp"
 #include "spmv/kernel.hpp"
 
+namespace symspmv::autotune {
+class Tuner;
+struct TuneReport;
+}  // namespace symspmv::autotune
+
 namespace symspmv::engine {
 
 class KernelFactory {
    public:
     /// Both @p bundle and @p pool must outlive the factory and every kernel
-    /// it builds.  @p cfg configures the CSX-family kinds.
-    KernelFactory(const MatrixBundle& bundle, ThreadPool& pool, csx::CsxConfig cfg = {});
+    /// it builds.  @p cfg configures the CSX-family kinds; @p partition is
+    /// applied to the row-partitioned kernels (CSR and the SSS reduction
+    /// family — the other formats tile by their own structure).
+    KernelFactory(const MatrixBundle& bundle, ThreadPool& pool, csx::CsxConfig cfg = {},
+                  PartitionPolicy partition = PartitionPolicy::kByNnz);
 
-    /// Context-owned pool plus the context's policies.
+    /// Context-owned pool plus the context's policies (including its row
+    /// partition policy).
     KernelFactory(const MatrixBundle& bundle, ExecutionContext& ctx, csx::CsxConfig cfg = {});
 
     /// Builds a kernel of @p kind over the bundle's matrix.
     [[nodiscard]] KernelPtr make(KernelKind kind) const;
 
+    /// Empirically-selected best kernel for this matrix on this machine:
+    /// consults the tuner's plan store and runs a timed search on a cache
+    /// miss (thread count fixed to this factory's pool, so the returned
+    /// kernel runs on it directly).  The optional @p report receives the
+    /// winning plan plus the cache-hit/trial accounting of this call.
+    /// Defined in the symspmv_autotune library — link symspmv_autotune (or
+    /// symspmv::symspmv) to use it.
+    [[nodiscard]] KernelPtr make_tuned(autotune::Tuner& tuner,
+                                       autotune::TuneReport* report = nullptr) const;
+
     [[nodiscard]] const MatrixBundle& bundle() const { return bundle_; }
     [[nodiscard]] ThreadPool& pool() const { return pool_; }
+    [[nodiscard]] PartitionPolicy partition() const { return partition_; }
 
    private:
     const MatrixBundle& bundle_;
     ThreadPool& pool_;
     csx::CsxConfig cfg_;
+    PartitionPolicy partition_ = PartitionPolicy::kByNnz;
 };
 
 }  // namespace symspmv::engine

@@ -6,6 +6,7 @@
 #include <ostream>
 #include <vector>
 
+#include "core/atomic_file.hpp"
 #include "core/error.hpp"
 
 namespace symspmv {
@@ -45,9 +46,8 @@ void write_binary(std::ostream& out, const Coo& coo) {
 }
 
 void write_binary_file(const std::string& path, const Coo& coo) {
-    std::ofstream out(path, std::ios::binary);
-    SYMSPMV_CHECK_MSG(static_cast<bool>(out), "smx: cannot open '" + path + "' for writing");
-    write_binary(out, coo);
+    // Atomic (temp + rename): a crashed run never leaves a torn .smx behind.
+    write_file_atomic(path, [&](std::ostream& out) { write_binary(out, coo); });
 }
 
 Coo read_binary(std::istream& in) {

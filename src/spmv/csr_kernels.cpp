@@ -15,9 +15,14 @@ void CsrSerialKernel::spmv(std::span<const value_t> x, std::span<value_t> y) {
 }
 
 CsrMtKernel::CsrMtKernel(Csr matrix, ThreadPool& pool)
-    : matrix_(std::move(matrix)), pool_(pool) {
+    : CsrMtKernel(std::move(matrix), pool, {}) {}
+
+CsrMtKernel::CsrMtKernel(Csr matrix, ThreadPool& pool, std::vector<RowRange> parts)
+    : matrix_(std::move(matrix)), pool_(pool), parts_(std::move(parts)) {
     SYMSPMV_CHECK_MSG(matrix_.rows() == matrix_.cols(), "CsrMtKernel: matrix must be square");
-    parts_ = split_by_nnz(matrix_.rowptr(), pool_.size());
+    if (parts_.empty()) parts_ = split_by_nnz(matrix_.rowptr(), pool_.size());
+    SYMSPMV_CHECK_MSG(static_cast<int>(parts_.size()) == pool_.size(),
+                      "CsrMtKernel: one partition per worker");
 }
 
 void CsrMtKernel::spmv(std::span<const value_t> x, std::span<value_t> y) {

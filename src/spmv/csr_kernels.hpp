@@ -35,6 +35,11 @@ class CsrMtKernel final : public SpmvKernel {
     /// @p pool outlives the kernel; its size fixes the thread count.
     CsrMtKernel(Csr matrix, ThreadPool& pool);
 
+    /// Same, with a caller-chosen row partition (one range per worker,
+    /// tiling [0, rows)); an empty @p parts falls back to the by-nnz split.
+    /// The engine's KernelFactory uses this to apply its partition policy.
+    CsrMtKernel(Csr matrix, ThreadPool& pool, std::vector<RowRange> parts);
+
     [[nodiscard]] std::string_view name() const override { return "CSR"; }
     [[nodiscard]] index_t rows() const override { return matrix_.rows(); }
     [[nodiscard]] std::int64_t nnz() const override { return matrix_.nnz(); }

@@ -29,9 +29,15 @@ void SssSerialKernel::spmv(std::span<const value_t> x, std::span<value_t> y) {
 }
 
 SssMtKernel::SssMtKernel(Sss matrix, ThreadPool& pool, ReductionMethod method)
-    : matrix_(std::move(matrix)), pool_(pool), method_(method) {
+    : SssMtKernel(std::move(matrix), pool, method, {}) {}
+
+SssMtKernel::SssMtKernel(Sss matrix, ThreadPool& pool, ReductionMethod method,
+                         std::vector<RowRange> parts)
+    : matrix_(std::move(matrix)), pool_(pool), method_(method), parts_(std::move(parts)) {
     const int p = pool_.size();
-    parts_ = split_by_nnz(matrix_.rowptr(), p);
+    if (parts_.empty()) parts_ = split_by_nnz(matrix_.rowptr(), p);
+    SYMSPMV_CHECK_MSG(static_cast<int>(parts_.size()) == p,
+                      "SssMtKernel: one partition per worker");
     reduce_parts_ = split_even(matrix_.rows(), p);
     locals_.resize(static_cast<std::size_t>(p));
     for (int i = 0; i < p; ++i) {

@@ -49,6 +49,13 @@ class SssMtKernel final : public SpmvKernel {
     /// @p pool outlives the kernel; its size fixes the thread count.
     SssMtKernel(Sss matrix, ThreadPool& pool, ReductionMethod method);
 
+    /// Same, with a caller-chosen multiply-phase partition (one range per
+    /// worker, tiling [0, rows)); an empty @p parts falls back to the
+    /// by-nnz split.  Local-vector sizes and the conflict index follow the
+    /// given partition, so any tiling is safe.
+    SssMtKernel(Sss matrix, ThreadPool& pool, ReductionMethod method,
+                std::vector<RowRange> parts);
+
     [[nodiscard]] std::string_view name() const override;
     [[nodiscard]] index_t rows() const override { return matrix_.rows(); }
     [[nodiscard]] std::int64_t nnz() const override { return matrix_.nnz(); }

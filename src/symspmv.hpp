@@ -7,6 +7,7 @@
 
 // Core utilities.
 #include "core/allocator.hpp"    // IWYU pragma: export
+#include "core/atomic_file.hpp"  // IWYU pragma: export
 #include "core/error.hpp"        // IWYU pragma: export
 #include "core/options.hpp"      // IWYU pragma: export
 #include "core/partition.hpp"    // IWYU pragma: export
@@ -85,3 +86,9 @@
 #include "bench/advisor.hpp"   // IWYU pragma: export
 #include "bench/harness.hpp"   // IWYU pragma: export
 #include "bench/roofline.hpp"  // IWYU pragma: export
+
+// Autotuning: empirical plan search with a persistent plan cache.
+#include "autotune/fingerprint.hpp"  // IWYU pragma: export
+#include "autotune/plan.hpp"         // IWYU pragma: export
+#include "autotune/store.hpp"        // IWYU pragma: export
+#include "autotune/tuner.hpp"        // IWYU pragma: export

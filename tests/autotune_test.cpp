@@ -1,0 +1,377 @@
+// Autotune subsystem: matrix fingerprints, the persistent plan store, and
+// the empirical tuner.
+//
+// The two load-bearing properties of the subsystem are asserted here: the
+// warm-cache property (a second tune() for the same key performs zero timed
+// trials and replays the identical decision) and plan-store robustness (a
+// truncated, garbage, wrong-version or wrong-key plan file loads as a clean
+// cache miss — never a crash, never a silently wrong plan).
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "autotune/fingerprint.hpp"
+#include "autotune/plan.hpp"
+#include "autotune/store.hpp"
+#include "autotune/tuner.hpp"
+#include "core/error.hpp"
+#include "engine/bundle.hpp"
+#include "engine/context.hpp"
+#include "matrix/generators.hpp"
+
+namespace symspmv::autotune {
+namespace {
+
+using symspmv::test::random_vector;
+
+Coo test_matrix() { return gen::make_spd(gen::poisson2d(18, 18)); }
+
+/// A fresh, empty scratch directory per call site.
+std::filesystem::path scratch_dir(const std::string& name) {
+    const auto dir = std::filesystem::temp_directory_path() / ("symspmv_autotune_" + name);
+    std::filesystem::remove_all(dir);
+    return dir;
+}
+
+std::string slurp(const std::filesystem::path& path) {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+void spit(const std::filesystem::path& path, const std::string& content) {
+    std::filesystem::create_directories(path.parent_path());
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << content;
+}
+
+// ----------------------------------------------------------- fingerprint --
+
+TEST(Fingerprint, InsertionOrderDoesNotMatter) {
+    // The same matrix assembled in two different triplet orders must hash
+    // identically once canonicalized.
+    const Coo reference = test_matrix();
+    Coo shuffled(reference.rows(), reference.cols());
+    std::vector<Triplet> entries(reference.entries().begin(), reference.entries().end());
+    std::mt19937_64 rng(99);
+    std::shuffle(entries.begin(), entries.end(), rng);
+    for (const Triplet& t : entries) shuffled.add(t.row, t.col, t.val);
+    shuffled.canonicalize();
+
+    EXPECT_EQ(fingerprint(reference), fingerprint(shuffled));
+    EXPECT_EQ(to_string(fingerprint(reference)), to_string(fingerprint(shuffled)));
+}
+
+TEST(Fingerprint, ValueChangeAltersOnlyTheValueHash) {
+    const Coo base = test_matrix();
+    const MatrixFingerprint before = fingerprint(base);
+    std::vector<Triplet> entries(base.entries().begin(), base.entries().end());
+    entries.front().val += 1e-9;  // tiny, but a different bit pattern
+    const Coo changed(base.rows(), base.cols(), std::move(entries));
+
+    const MatrixFingerprint after = fingerprint(changed);
+    EXPECT_EQ(after.pattern_hash, before.pattern_hash) << "pattern untouched";
+    EXPECT_NE(after.value_hash, before.value_hash);
+    EXPECT_FALSE(after == before);
+    EXPECT_NE(digest(after), digest(before));
+}
+
+TEST(Fingerprint, PatternChangeAltersThePatternHash) {
+    const Coo base = test_matrix();
+    Coo changed = base;
+    changed.add(0, base.cols() - 1, 0.5);
+    changed.canonicalize();
+    EXPECT_NE(fingerprint(changed).pattern_hash, fingerprint(base).pattern_hash);
+}
+
+TEST(Fingerprint, DimensionsParticipate) {
+    // Identical (empty) pattern, different shape: still distinct keys.
+    const Coo a(10, 10);
+    const Coo b(11, 10);
+    EXPECT_FALSE(fingerprint(a) == fingerprint(b));
+    EXPECT_NE(digest(fingerprint(a)), digest(fingerprint(b)));
+}
+
+TEST(Fingerprint, RejectsNonCanonicalInput) {
+    Coo raw(4, 4);
+    raw.add(2, 1, 1.0);
+    raw.add(0, 0, 1.0);  // unsorted on purpose
+    EXPECT_THROW((void)fingerprint(raw), InternalError);
+}
+
+TEST(HardwareSignatureTest, DigestSeparatesPolicies) {
+    const HardwareSignature base = local_hardware_signature();
+    HardwareSignature pinned = base;
+    pinned.pin_threads = true;
+    HardwareSignature interleaved = base;
+    interleaved.placement = engine::PlacementPolicy::kInterleave;
+    EXPECT_NE(digest(base), digest(pinned));
+    EXPECT_NE(digest(base), digest(interleaved));
+    EXPECT_NE(digest(pinned), digest(interleaved));
+    EXPECT_FALSE(to_string(base).empty());
+}
+
+// ------------------------------------------------------------ plan store --
+
+PlanKey sample_key() {
+    PlanKey key;
+    key.fingerprint = fingerprint(test_matrix());
+    key.hardware = local_hardware_signature();
+    key.search_hash = 0xfeedULL;
+    return key;
+}
+
+Plan sample_plan() {
+    Plan plan;
+    plan.kernel = KernelKind::kSssIndexing;
+    plan.threads = 2;
+    plan.partition = engine::PartitionPolicy::kEvenRows;
+    plan.csx_patterns = false;
+    plan.expected_seconds_per_op = 1.25e-4;
+    return plan;
+}
+
+TEST(PlanStore, InMemoryRoundTrip) {
+    PlanStore store;  // no directory: memory layer only
+    const PlanKey key = sample_key();
+    EXPECT_FALSE(store.load(key).has_value());
+    store.save(key, sample_plan());
+    const auto loaded = store.load(key);
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_TRUE(same_decision(*loaded, sample_plan()));
+    EXPECT_TRUE(store.path_for(key).empty());
+    EXPECT_FALSE(store.persistent());
+    EXPECT_EQ(store.counters().hits, 1);
+    EXPECT_EQ(store.counters().misses, 1);
+    EXPECT_EQ(store.counters().saves, 1);
+    EXPECT_EQ(store.counters().disk_hits, 0);
+}
+
+TEST(PlanStore, PersistsAcrossInstances) {
+    const auto dir = scratch_dir("persist");
+    const PlanKey key = sample_key();
+    {
+        PlanStore writer(dir.string());
+        writer.save(key, sample_plan());
+    }
+    PlanStore reader(dir.string());  // fresh instance: memory layer is empty
+    const auto loaded = reader.load(key);
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_TRUE(same_decision(*loaded, sample_plan()));
+    EXPECT_DOUBLE_EQ(loaded->expected_seconds_per_op, sample_plan().expected_seconds_per_op);
+    EXPECT_EQ(reader.counters().disk_hits, 1);
+
+    // And no stray temp files from the atomic write.
+    for (const auto& e : std::filesystem::directory_iterator(dir)) {
+        EXPECT_EQ(e.path().string().find(".tmp"), std::string::npos) << e.path();
+    }
+}
+
+TEST(PlanStore, TruncatedFileIsACleanMiss) {
+    const auto dir = scratch_dir("truncated");
+    const PlanKey key = sample_key();
+    {
+        PlanStore writer(dir.string());
+        writer.save(key, sample_plan());
+    }
+    const std::string full = slurp(PlanStore(dir.string()).path_for(key));
+    ASSERT_FALSE(full.empty());
+    for (std::size_t cut : {std::size_t{0}, std::size_t{5}, full.size() / 2, full.size() - 2}) {
+        PlanStore store(dir.string());
+        spit(store.path_for(key), full.substr(0, cut));
+        EXPECT_FALSE(store.load(key).has_value()) << "cut at " << cut;
+        EXPECT_EQ(store.counters().misses, 1) << "cut at " << cut;
+    }
+}
+
+TEST(PlanStore, GarbageFileIsACleanMiss) {
+    const auto dir = scratch_dir("garbage");
+    const PlanKey key = sample_key();
+    for (const std::string& garbage :
+         {std::string("not a plan file at all"), std::string("symspmv-plan one\n"),
+          std::string(2048, 'x'), std::string("symspmv-plan 1\nmatrix banana\n")}) {
+        PlanStore store(dir.string());
+        spit(store.path_for(key), garbage);
+        EXPECT_FALSE(store.load(key).has_value());
+    }
+}
+
+TEST(PlanStore, WrongVersionIsAMiss) {
+    const auto dir = scratch_dir("version");
+    const PlanKey key = sample_key();
+    {
+        PlanStore writer(dir.string());
+        writer.save(key, sample_plan());
+    }
+    PlanStore store(dir.string());
+    std::string content = slurp(store.path_for(key));
+    const std::string current = "symspmv-plan " + std::to_string(kPlanFormatVersion);
+    const auto pos = content.find(current);
+    ASSERT_NE(pos, std::string::npos);
+    content.replace(pos, current.size(),
+                    "symspmv-plan " + std::to_string(kPlanFormatVersion + 1));
+    spit(store.path_for(key), content);
+    EXPECT_FALSE(store.load(key).has_value());
+}
+
+TEST(PlanStore, WrongHardwareSignatureIsAMiss) {
+    // Simulate copying a plan cache to a different machine: the file parses,
+    // but its embedded hardware signature does not match the requesting
+    // key's, so revalidation must reject it.
+    const auto dir = scratch_dir("hardware");
+    const PlanKey tuned_on = sample_key();
+    {
+        PlanStore writer(dir.string());
+        writer.save(tuned_on, sample_plan());
+    }
+    PlanKey other_machine = tuned_on;
+    other_machine.hardware.hardware_threads += 8;
+    other_machine.hardware.compiler = "gcc-0.0";
+
+    PlanStore store(dir.string());
+    spit(store.path_for(other_machine), slurp(store.path_for(tuned_on)));
+    EXPECT_FALSE(store.load(other_machine).has_value());
+    EXPECT_TRUE(store.load(tuned_on).has_value()) << "the original key still hits";
+}
+
+TEST(PlanStore, WrongMatrixFingerprintIsAMiss) {
+    const auto dir = scratch_dir("matrix");
+    const PlanKey key = sample_key();
+    {
+        PlanStore writer(dir.string());
+        writer.save(key, sample_plan());
+    }
+    PlanKey other = key;
+    other.fingerprint.value_hash ^= 1;  // same matrix shape, different values
+    PlanStore store(dir.string());
+    spit(store.path_for(other), slurp(store.path_for(key)));
+    EXPECT_FALSE(store.load(other).has_value());
+}
+
+TEST(PlanStore, SerializeParseRoundTrip) {
+    const PlanKey key = sample_key();
+    std::stringstream buf;
+    PlanStore::serialize(buf, key, sample_plan());
+    const auto parsed = PlanStore::parse(buf, key);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_TRUE(same_decision(*parsed, sample_plan()));
+}
+
+// ----------------------------------------------------------------- tuner --
+
+TuneOptions fast_options() {
+    TuneOptions opts;
+    opts.kernels = {KernelKind::kCsr, KernelKind::kSssNaive, KernelKind::kSssIndexing};
+    opts.screening_iterations = 1;
+    opts.refine_iterations = 2;
+    return opts;
+}
+
+TEST(Tuner, WarmCachePropertyHolds) {
+    const engine::MatrixBundle bundle(test_matrix());
+    PlanStore store;
+    Tuner tuner(store, fast_options());
+
+    const TuneReport cold = tuner.tune(bundle, 2);
+    EXPECT_FALSE(cold.cache_hit);
+    EXPECT_GT(cold.trials, 0);
+    EXPECT_FALSE(cold.records.empty());
+    EXPECT_FALSE(cold.prior_rationale.empty());
+    EXPECT_GT(cold.plan.expected_seconds_per_op, 0.0);
+
+    const TuneReport warm = tuner.tune(bundle, 2);
+    EXPECT_TRUE(warm.cache_hit);
+    EXPECT_EQ(warm.trials, 0) << "warm path must run zero timed trials";
+    EXPECT_TRUE(same_decision(warm.plan, cold.plan));
+    EXPECT_EQ(tuner.trials_total(), cold.trials);
+}
+
+TEST(Tuner, TunedPlanBuildsACorrectKernel) {
+    const engine::MatrixBundle bundle(test_matrix());
+    PlanStore store;
+    Tuner tuner(store, fast_options());
+    const TuneReport report = tuner.tune(bundle, 2);
+
+    engine::ExecutionContext ctx(report.plan.threads);
+    const KernelPtr kernel = build_plan(report.plan, bundle, ctx.pool());
+    const auto x = random_vector(bundle.coo().rows(), std::uint64_t{7});
+    std::vector<value_t> y(x.size()), reference(x.size());
+    kernel->spmv(x, y);
+    bundle.csr().spmv(x, reference);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        EXPECT_NEAR(y[i], reference[i], 1e-10 * std::abs(reference[i]) + 1e-12);
+    }
+}
+
+TEST(Tuner, PersistedPlanSkipsTheSearchInANewStore) {
+    // End-to-end tune -> persist -> reload, two PlanStore instances standing
+    // in for two processes.
+    const auto dir = scratch_dir("tuner");
+    const engine::MatrixBundle bundle(test_matrix());
+
+    PlanStore first(dir.string());
+    Tuner cold_tuner(first, fast_options());
+    const TuneReport cold = cold_tuner.tune(bundle, 2);
+    EXPECT_FALSE(cold.cache_hit);
+    EXPECT_EQ(first.counters().saves, 1);
+
+    PlanStore second(dir.string());
+    Tuner warm_tuner(second, fast_options());
+    const TuneReport warm = warm_tuner.tune(bundle, 2);
+    EXPECT_TRUE(warm.cache_hit);
+    EXPECT_EQ(warm.trials, 0);
+    EXPECT_EQ(warm_tuner.trials_total(), 0);
+    EXPECT_TRUE(same_decision(warm.plan, cold.plan));
+    EXPECT_EQ(second.counters().disk_hits, 1);
+}
+
+TEST(Tuner, RespectsTheTrialBudget) {
+    const engine::MatrixBundle bundle(test_matrix());
+    PlanStore store;
+    TuneOptions opts = fast_options();
+    opts.max_trials = 2;
+    Tuner tuner(store, opts);
+    const TuneReport report = tuner.tune(bundle, 2);
+    EXPECT_LE(report.trials, 2);
+    EXPECT_GT(report.trials, 0);
+}
+
+TEST(Tuner, SearchSpacesKeySeparately) {
+    // A plan tuned under one search space must not satisfy a different one:
+    // retuning with another kernel set is a miss, not a stale hit.
+    const engine::MatrixBundle bundle(test_matrix());
+    PlanStore store;
+    Tuner csr_only(store, [] {
+        TuneOptions o;
+        o.kernels = {KernelKind::kCsr};
+        o.screening_iterations = 1;
+        o.refine_iterations = 1;
+        return o;
+    }());
+    const TuneReport first = csr_only.tune(bundle, 2);
+    EXPECT_EQ(first.plan.kernel, KernelKind::kCsr);
+
+    Tuner full(store, fast_options());
+    const TuneReport second = full.tune(bundle, 2);
+    EXPECT_FALSE(second.cache_hit) << "different search space, different key";
+    EXPECT_GT(second.trials, 1);
+}
+
+TEST(Tuner, DifferentThreadCountsAreDifferentSearches) {
+    TuneOptions opts = fast_options();
+    EXPECT_NE(search_space_hash(opts, {1, 2}), search_space_hash(opts, {1, 2, 4}));
+    EXPECT_EQ(search_space_hash(opts, {2, 1}), search_space_hash(opts, {1, 2}))
+        << "thread order is canonicalized";
+}
+
+}  // namespace
+}  // namespace symspmv::autotune

@@ -1,8 +1,10 @@
 // Tests for the .smx binary matrix cache.
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <sstream>
 
+#include "core/atomic_file.hpp"
 #include "core/error.hpp"
 #include "matrix/binio.hpp"
 #include "matrix/generators.hpp"
@@ -78,6 +80,48 @@ TEST(BinIo, FileRoundTrip) {
     const Coo loaded = read_binary_file(path);
     EXPECT_EQ(loaded.nnz(), original.nnz());
     EXPECT_THROW(read_binary_file("/tmp/definitely_missing_42.smx"), ParseError);
+}
+
+TEST(BinIo, AtomicOverwriteReplacesAndLeavesNoTempFiles) {
+    const auto dir = std::filesystem::temp_directory_path() / "symspmv_binio_atomic";
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    const std::string path = (dir / "matrix.smx").string();
+
+    write_binary_file(path, gen::make_spd(gen::poisson2d(6, 6)));
+    const Coo second = gen::make_spd(gen::poisson2d(9, 9));
+    write_binary_file(path, second);  // overwrite in place
+
+    const Coo loaded = read_binary_file(path);
+    EXPECT_EQ(loaded.rows(), second.rows());
+    EXPECT_EQ(loaded.nnz(), second.nnz());
+    // temp-and-rename must not leave intermediate files behind
+    std::size_t files = 0;
+    for (const auto& e : std::filesystem::directory_iterator(dir)) {
+        ++files;
+        EXPECT_EQ(e.path().string().find(".tmp"), std::string::npos) << e.path();
+    }
+    EXPECT_EQ(files, 1u);
+}
+
+TEST(BinIo, AtomicWriteFailureLeavesNothingBehind) {
+    // Unwritable destination: the write throws and the temp file is cleaned
+    // up, so there is neither a partial target nor a stray temp.
+    const std::string path = "/tmp/symspmv_no_such_dir_9321/matrix.smx";
+    const Coo m = gen::make_spd(gen::poisson2d(4, 4));
+    EXPECT_THROW(write_binary_file(path, m), InternalError);
+    EXPECT_FALSE(std::filesystem::exists("/tmp/symspmv_no_such_dir_9321"));
+}
+
+TEST(AtomicFile, WriterExceptionPropagatesAndCleansUp) {
+    const auto dir = std::filesystem::temp_directory_path() / "symspmv_atomic_throw";
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    const std::string path = (dir / "out.txt").string();
+    EXPECT_THROW(
+        write_file_atomic(path, [](std::ostream&) { throw ParseError("boom"); }),
+        ParseError);
+    EXPECT_TRUE(std::filesystem::is_empty(dir)) << "no temp, no target after failure";
 }
 
 }  // namespace
