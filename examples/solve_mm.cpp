@@ -8,10 +8,16 @@
 //                       [--threads N] [--tol 1e-8] [--max-iter 5000]
 //                       [--rcm] [--rhs ones|random]
 //                       [--tune] [--plan-cache DIR] [--tune-budget N]
+//                       [--verify]
 //
 // With --tune the kernel is chosen by the autotune subsystem instead of
 // --kernel: a timed search on the first run, an instant plan-cache hit on
 // every later run when --plan-cache names a directory.
+//
+// With --verify the selected kernel is differentially checked against a
+// long-double reference before solving (src/verify), and the derived CSR
+// and SSS representations are run through the format invariant validators;
+// any deviation aborts the solve with exit code 2.
 //
 // Without a file argument a Poisson benchmark problem is generated, so the
 // example is runnable out of the box.
@@ -32,6 +38,8 @@
 #include "reorder/permute.hpp"
 #include "reorder/rcm.hpp"
 #include "solver/pcg.hpp"
+#include "verify/oracle.hpp"
+#include "verify/validate.hpp"
 
 using namespace symspmv;
 
@@ -86,6 +94,27 @@ int main(int argc, char** argv) {
             }
         } else {
             kernel = factory.make(parse_kernel_kind(kernel_name));
+        }
+        if (opts.has("--verify")) {
+            std::vector<std::string> issues = verify::validate(bundle.csr());
+            for (const std::string& s : verify::validate(bundle.sss())) issues.push_back(s);
+            const verify::OracleResult check =
+                verify::check_kernel(*kernel, bundle.coo(), "input matrix");
+            if (!issues.empty() || !check.pass) {
+                std::cerr << "verify FAILED for kernel " << kernel->name() << ":\n";
+                for (const std::string& s : issues) std::cerr << "  " << s << "\n";
+                if (!check.pass) {
+                    std::cerr << "  " << (check.error.empty()
+                                              ? "row " + std::to_string(check.worst_row) +
+                                                    " exceeds the error bound by " +
+                                                    std::to_string(check.worst_share) + "x"
+                                              : check.error)
+                              << "\n";
+                }
+                return 2;
+            }
+            std::cout << "verify: formats valid; " << kernel->name()
+                      << " matches the reference (worst " << check.max_ulp << " ULP)\n";
         }
         const auto precond = cg::make_preconditioner(precond_name, bundle.sss(), ctx);
 

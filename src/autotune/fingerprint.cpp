@@ -5,17 +5,12 @@
 #include <thread>
 
 #include "core/error.hpp"
+#include "core/hash.hpp"
 
 namespace symspmv::autotune {
 
 std::uint64_t fnv1a(const void* data, std::size_t bytes, std::uint64_t seed) {
-    const auto* p = static_cast<const unsigned char*>(data);
-    std::uint64_t h = seed;
-    for (std::size_t i = 0; i < bytes; ++i) {
-        h ^= p[i];
-        h *= 1099511628211ULL;
-    }
-    return h;
+    return fnv1a64(data, bytes, seed);
 }
 
 namespace {

@@ -1,5 +1,6 @@
 #include "autotune/store.hpp"
 
+#include <charconv>
 #include <filesystem>
 #include <fstream>
 #include <istream>
@@ -8,6 +9,7 @@
 
 #include "core/atomic_file.hpp"
 #include "core/error.hpp"
+#include "core/hash.hpp"
 
 namespace symspmv::autotune {
 
@@ -29,6 +31,33 @@ std::optional<std::string> read_field(std::istream& in, std::string_view keyword
     return value;
 }
 
+/// Strict full-token numeric parse.  std::stoi/std::stod would accept
+/// trailing garbage ("4x" -> 4) and throw on non-numeric or out-of-range
+/// input; the cache contract is that every malformed field is a clean miss,
+/// so parse with std::from_chars and demand the whole token is consumed.
+template <typename T>
+std::optional<T> parse_number(const std::string& token) {
+    T value{};
+    const char* begin = token.data();
+    const char* end = begin + token.size();
+    const auto [ptr, ec] = std::from_chars(begin, end, value);
+    if (ec != std::errc{} || ptr != end) return std::nullopt;
+    return value;
+}
+
+/// Checksum over the decision fields (the key fields are revalidated
+/// against the requested key instead, which is strictly stronger).
+std::uint64_t decision_checksum(const std::string& kernel, const std::string& threads,
+                                const std::string& partition, const std::string& patterns,
+                                const std::string& seconds) {
+    std::uint64_t h = fnv1a64(kernel);
+    h = fnv1a64(threads, h);
+    h = fnv1a64(partition, h);
+    h = fnv1a64(patterns, h);
+    h = fnv1a64(seconds, h);
+    return h;
+}
+
 }  // namespace
 
 PlanStore::PlanStore(std::string dir) : dir_(std::move(dir)) {}
@@ -44,15 +73,29 @@ std::string PlanStore::path_for(const PlanKey& key) const {
 }
 
 void PlanStore::serialize(std::ostream& out, const PlanKey& key, const Plan& plan) {
+    // The decision fields are written from explicit tokens so the checksum
+    // is computed over exactly the bytes parse() will read back.  to_chars
+    // renders the shortest round-trip form of the measured seconds (the
+    // default ostream formatting would quietly drop precision).
+    char buf[64];
+    const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), plan.expected_seconds_per_op);
+    SYMSPMV_CHECK_MSG(ec == std::errc{}, "plan store: cannot format seconds");
+    const std::string kernel{symspmv::to_string(plan.kernel)};
+    const std::string threads = std::to_string(plan.threads);
+    const std::string partition{engine::to_string(plan.partition)};
+    const std::string patterns = plan.csx_patterns ? "1" : "0";
+    const std::string seconds(buf, ptr);
     out << "symspmv-plan " << kPlanFormatVersion << '\n'
         << "matrix " << to_string(key.fingerprint) << '\n'
         << "hardware " << to_string(key.hardware) << '\n'
         << "search " << hex(key.search_hash) << '\n'
-        << "kernel " << symspmv::to_string(plan.kernel) << '\n'
-        << "threads " << plan.threads << '\n'
-        << "partition " << engine::to_string(plan.partition) << '\n'
-        << "csx-patterns " << (plan.csx_patterns ? 1 : 0) << '\n'
-        << "seconds " << plan.expected_seconds_per_op << '\n'
+        << "kernel " << kernel << '\n'
+        << "threads " << threads << '\n'
+        << "partition " << partition << '\n'
+        << "csx-patterns " << patterns << '\n'
+        << "seconds " << seconds << '\n'
+        << "sum " << hex(decision_checksum(kernel, threads, partition, patterns, seconds))
+        << '\n'
         << "end symspmv-plan\n";  // trailer: truncation anywhere is detectable
 }
 
@@ -76,22 +119,31 @@ std::optional<Plan> PlanStore::parse(std::istream& in, const PlanKey& key) {
     const auto patterns = read_field(in, "csx-patterns");
     const auto seconds = read_field(in, "seconds");
     if (!kernel || !threads || !partition || !patterns || !seconds) return std::nullopt;
+    const auto sum = read_field(in, "sum");
+    if (!sum ||
+        *sum != hex(decision_checksum(*kernel, *threads, *partition, *patterns, *seconds))) {
+        return std::nullopt;
+    }
     // Even the last data field could survive a truncation (a clipped seconds
     // value still parses as a number); the trailer cannot.
     const auto trailer = read_field(in, "end");
     if (!trailer || *trailer != "symspmv-plan") return std::nullopt;
+
+    const auto parsed_threads = parse_number<int>(*threads);
+    const auto parsed_seconds = parse_number<double>(*seconds);
+    if (!parsed_threads || !parsed_seconds) return std::nullopt;
 
     Plan plan;
     try {
         // parse_kernel_kind also rejects kinds this process cannot build
         // (the JIT backends without a system compiler): such plans re-tune.
         plan.kernel = parse_kernel_kind(*kernel);
-        plan.threads = std::stoi(*threads);
         plan.partition = engine::parse_partition_policy(*partition);
-        plan.expected_seconds_per_op = std::stod(*seconds);
-    } catch (const std::exception&) {
+    } catch (const InvalidArgument&) {
         return std::nullopt;
     }
+    plan.threads = *parsed_threads;
+    plan.expected_seconds_per_op = *parsed_seconds;
     if (plan.threads < 1) return std::nullopt;
     if (*patterns != "0" && *patterns != "1") return std::nullopt;
     plan.csx_patterns = *patterns == "1";

@@ -22,7 +22,10 @@
 namespace symspmv::autotune {
 
 /// Bumped whenever the plan file layout changes; older files load as a miss.
-inline constexpr int kPlanFormatVersion = 1;
+/// v2 added the "sum" integrity line: the embedded key already revalidates
+/// the matrix/hardware/search lines, and the checksum extends that cover to
+/// the decision fields, so byte-level corruption anywhere is a clean miss.
+inline constexpr int kPlanFormatVersion = 2;
 
 /// The full cache key: which matrix, which machine, which candidate space.
 /// The search space participates so that e.g. a thread-count-restricted

@@ -1,0 +1,81 @@
+// Poisonable thread barrier.
+//
+// std::barrier has no error path: when one worker of a fork-join job dies
+// before arriving, every peer already waiting in arrive_and_wait() blocks
+// forever.  The thread pool's jobs synchronize their multiply and reduction
+// phases through an in-job barrier, so a throwing kernel phase used to turn
+// into a process-wide hang instead of a rethrown exception.  This barrier
+// adds the missing path: poison() wakes every current and future waiter by
+// throwing Poisoned out of arrive_and_wait(), which unwinds the job on each
+// worker; reset() re-arms the barrier once no thread is inside it.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace symspmv {
+
+class PoisonableBarrier {
+   public:
+    /// Thrown from arrive_and_wait() on every thread once the barrier is
+    /// poisoned.  Deliberately not derived from std::exception: job code
+    /// catching library exceptions must not be able to swallow it by type.
+    struct Poisoned {};
+
+    explicit PoisonableBarrier(int count) : count_(count < 1 ? 1 : count) {}
+
+    PoisonableBarrier(const PoisonableBarrier&) = delete;
+    PoisonableBarrier& operator=(const PoisonableBarrier&) = delete;
+
+    /// Blocks until @p count threads have arrived in this generation, then
+    /// releases them all.  Throws Poisoned instead of blocking (or waking
+    /// normally) once poison() has been called in this generation.
+    void arrive_and_wait() {
+        std::unique_lock lock(mu_);
+        if (poisoned_) throw Poisoned{};
+        if (++arrived_ == count_) {
+            arrived_ = 0;
+            ++generation_;
+            cv_.notify_all();
+            return;
+        }
+        const std::uint64_t gen = generation_;
+        cv_.wait(lock, [&] { return poisoned_ || generation_ != gen; });
+        if (generation_ == gen) throw Poisoned{};  // woken by poison, not arrival
+    }
+
+    /// Marks the barrier broken and wakes every waiter.  Idempotent and safe
+    /// to call from any thread, including one that never arrived.
+    void poison() {
+        {
+            std::lock_guard lock(mu_);
+            poisoned_ = true;
+        }
+        cv_.notify_all();
+    }
+
+    [[nodiscard]] bool poisoned() const {
+        std::lock_guard lock(mu_);
+        return poisoned_;
+    }
+
+    /// Re-arms a poisoned barrier.  The caller must guarantee that no thread
+    /// is inside arrive_and_wait() (the pool calls this after every worker
+    /// has finished the failed job round).
+    void reset() {
+        std::lock_guard lock(mu_);
+        poisoned_ = false;
+        arrived_ = 0;
+    }
+
+   private:
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    int count_;
+    int arrived_ = 0;
+    std::uint64_t generation_ = 0;
+    bool poisoned_ = false;
+};
+
+}  // namespace symspmv

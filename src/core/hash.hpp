@@ -1,0 +1,37 @@
+// Shared byte hashing.
+//
+// FNV-1a 64-bit is the one stable hash the library uses wherever bytes need
+// an identity: the autotune cache keys (autotune/fingerprint.hpp), the .smx
+// integrity checksum (matrix/binio.cpp) and the plan-file checksum
+// (autotune/store.cpp).  It lives in core so the matrix layer can use it
+// without depending on autotune.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace symspmv {
+
+inline constexpr std::uint64_t kFnvOffsetBasis = 1469598103934665603ULL;
+inline constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+/// FNV-1a over raw bytes (endianness-stable across the little-endian targets
+/// we build for).  Chainable: pass a previous result as @p seed.
+[[nodiscard]] inline std::uint64_t fnv1a64(const void* data, std::size_t bytes,
+                                           std::uint64_t seed = kFnvOffsetBasis) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    std::uint64_t h = seed;
+    for (std::size_t i = 0; i < bytes; ++i) {
+        h ^= p[i];
+        h *= kFnvPrime;
+    }
+    return h;
+}
+
+[[nodiscard]] inline std::uint64_t fnv1a64(std::string_view s,
+                                           std::uint64_t seed = kFnvOffsetBasis) {
+    return fnv1a64(s.data(), s.size(), seed);
+}
+
+}  // namespace symspmv

@@ -30,9 +30,8 @@ bool pin_to_cpu(int tid) {
 
 }  // namespace
 
-ThreadPool::ThreadPool(int threads, bool pin_threads) {
+ThreadPool::ThreadPool(int threads, bool pin_threads) : barrier_(threads) {
     SYMSPMV_CHECK_MSG(threads >= 1, "thread pool needs at least one worker");
-    barrier_ = std::make_unique<std::barrier<>>(threads);
     pinned_.assign(static_cast<std::size_t>(threads), 0);
     workers_.reserve(static_cast<std::size_t>(threads));
     for (int tid = 0; tid < threads; ++tid) {
@@ -58,7 +57,12 @@ void ThreadPool::run(const Job& job) {
     cv_job_.notify_all();
     cv_done_.wait(lock, [this] { return pending_ == 0; });
     job_ = nullptr;
-    if (first_error_) std::rethrow_exception(first_error_);
+    if (first_error_) {
+        // Every worker is out of the job (pending_ == 0), so nobody can be
+        // inside the barrier: safe to re-arm it for the next run().
+        barrier_.reset();
+        std::rethrow_exception(first_error_);
+    }
 }
 
 void ThreadPool::worker_loop(int tid, bool pin) {
@@ -73,15 +77,25 @@ void ThreadPool::worker_loop(int tid, bool pin) {
             seen = generation_;
             job = job_;
         }
-        std::exception_ptr error;
         try {
             (*job)(tid);
+        } catch (const PoisonableBarrier::Poisoned&) {
+            // A peer already died and recorded its error; this worker merely
+            // unwound out of a barrier wait.
         } catch (...) {
-            error = std::current_exception();
+            // Record the error BEFORE poisoning: peers woken by the poison
+            // must always find first_error_ set, so run() rethrows the real
+            // exception, never a bare barrier-poisoned marker.
+            {
+                std::lock_guard lock(mu_);
+                if (!first_error_) first_error_ = std::current_exception();
+            }
+            // A worker that dies before an in-job barrier would strand its
+            // peers there forever; poisoning unwinds them instead.
+            barrier_.poison();
         }
         {
             std::lock_guard lock(mu_);
-            if (error && !first_error_) first_error_ = error;
             if (--pending_ == 0) cv_done_.notify_all();
         }
     }

@@ -8,13 +8,13 @@
 // to the caller (which would cost a full fork/join per phase).
 #pragma once
 
-#include <barrier>
 #include <condition_variable>
 #include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "core/barrier.hpp"
 #include "core/profiling.hpp"
 #include "core/timer.hpp"
 
@@ -47,19 +47,23 @@ class ThreadPool {
 
     /// Runs @p job on every worker and blocks until all of them finish.
     /// Exceptions thrown by a job are rethrown on the calling thread (the
-    /// first one wins; remaining workers still complete the job round).
+    /// first one wins).  A throwing worker poisons the in-job barrier, so
+    /// peers blocked in barrier() unwind instead of waiting forever for an
+    /// arrival that will never come; workers that never reach a barrier
+    /// still complete the job round normally.
     void run(const Job& job);
 
     /// Synchronization point usable from inside a running job: every worker
-    /// must call it the same number of times.
-    void barrier() { barrier_->arrive_and_wait(); }
+    /// must call it the same number of times.  Unwinds the calling worker
+    /// when a peer threw out of the job (see run()).
+    void barrier() { barrier_.arrive_and_wait(); }
 
     /// Profiled barrier: like barrier(), but records the time worker @p tid
     /// spent waiting for the others as Phase::kBarrier — the per-thread
     /// imbalance signal of the two-phase SpM×V model.
     void barrier(PhaseProfiler& profiler, int tid) {
         Timer t;
-        barrier_->arrive_and_wait();
+        barrier_.arrive_and_wait();
         profiler.record(tid, Phase::kBarrier, t.seconds());
     }
 
@@ -68,7 +72,7 @@ class ThreadPool {
 
     std::vector<std::jthread> workers_;
     std::vector<char> pinned_;
-    std::unique_ptr<std::barrier<>> barrier_;
+    PoisonableBarrier barrier_;
 
     std::mutex mu_;
     std::condition_variable cv_job_;

@@ -8,40 +8,81 @@
 
 #include "core/atomic_file.hpp"
 #include "core/error.hpp"
+#include "core/hash.hpp"
 
 namespace symspmv {
 
 namespace {
 
-constexpr char kMagic[4] = {'S', 'M', 'X', '1'};
+// SMX2 appended a trailing FNV-1a checksum over every byte after the magic,
+// so any byte-level corruption — not just truncation or structural damage —
+// surfaces as a ParseError instead of silently different values.  This is a
+// cache format, not an interchange format: SMX1 files simply regenerate.
+constexpr char kMagic[4] = {'S', 'M', 'X', '2'};
 
-template <typename T>
-void write_pod(std::ostream& out, const T& v) {
-    out.write(reinterpret_cast<const char*>(&v), sizeof(T));
-}
+/// Stream writer/reader pair that checksums every byte it moves.
+class HashingWriter {
+   public:
+    explicit HashingWriter(std::ostream& out) : out_(out) {}
 
-template <typename T>
-T read_pod(std::istream& in) {
-    T v;
-    in.read(reinterpret_cast<char*>(&v), sizeof(T));
-    if (!in) throw ParseError("smx: truncated stream");
-    return v;
-}
+    template <typename T>
+    void write(const T& v) {
+        out_.write(reinterpret_cast<const char*>(&v), sizeof(T));
+        hash_ = fnv1a64(&v, sizeof(T), hash_);
+    }
+
+    [[nodiscard]] std::uint64_t hash() const { return hash_; }
+
+   private:
+    std::ostream& out_;
+    std::uint64_t hash_ = kFnvOffsetBasis;
+};
+
+class HashingReader {
+   public:
+    explicit HashingReader(std::istream& in) : in_(in) {}
+
+    template <typename T>
+    T read() {
+        T v;
+        in_.read(reinterpret_cast<char*>(&v), sizeof(T));
+        if (!in_) throw ParseError("smx: truncated stream");
+        hash_ = fnv1a64(&v, sizeof(T), hash_);
+        return v;
+    }
+
+    /// Reads the trailing checksum without hashing it.
+    std::uint64_t read_checksum() {
+        std::uint64_t v = 0;
+        in_.read(reinterpret_cast<char*>(&v), sizeof(v));
+        if (!in_) throw ParseError("smx: truncated stream (missing checksum)");
+        return v;
+    }
+
+    [[nodiscard]] std::uint64_t hash() const { return hash_; }
+
+   private:
+    std::istream& in_;
+    std::uint64_t hash_ = kFnvOffsetBasis;
+};
 
 }  // namespace
 
 void write_binary(std::ostream& out, const Coo& coo) {
     SYMSPMV_CHECK_MSG(coo.is_canonical(), "smx: matrix must be canonical");
     out.write(kMagic, sizeof(kMagic));
-    write_pod<std::uint32_t>(out, 0);  // flags, reserved
-    write_pod<std::int32_t>(out, coo.rows());
-    write_pod<std::int32_t>(out, coo.cols());
-    write_pod<std::int64_t>(out, static_cast<std::int64_t>(coo.nnz()));
+    HashingWriter w(out);
+    w.write<std::uint32_t>(0);  // flags, reserved
+    w.write<std::int32_t>(coo.rows());
+    w.write<std::int32_t>(coo.cols());
+    w.write<std::int64_t>(static_cast<std::int64_t>(coo.nnz()));
     for (const Triplet& t : coo.entries()) {
-        write_pod(out, t.row);
-        write_pod(out, t.col);
-        write_pod(out, t.val);
+        w.write(t.row);
+        w.write(t.col);
+        w.write(t.val);
     }
+    const std::uint64_t sum = w.hash();
+    out.write(reinterpret_cast<const char*>(&sum), sizeof(sum));
     SYMSPMV_CHECK_MSG(static_cast<bool>(out), "smx: write failed");
 }
 
@@ -56,11 +97,12 @@ Coo read_binary(std::istream& in) {
     if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
         throw ParseError("smx: bad magic (not an .smx stream)");
     }
-    const auto flags = read_pod<std::uint32_t>(in);
+    HashingReader r(in);
+    const auto flags = r.read<std::uint32_t>();
     if (flags != 0) throw ParseError("smx: unsupported flags");
-    const auto rows = read_pod<std::int32_t>(in);
-    const auto cols = read_pod<std::int32_t>(in);
-    const auto nnz = read_pod<std::int64_t>(in);
+    const auto rows = r.read<std::int32_t>();
+    const auto cols = r.read<std::int32_t>();
+    const auto nnz = r.read<std::int64_t>();
     if (rows < 0 || cols < 0 || nnz < 0) throw ParseError("smx: negative dimension");
     if (nnz > static_cast<std::int64_t>(rows) * cols) {
         throw ParseError("smx: nnz exceeds matrix capacity");
@@ -69,9 +111,9 @@ Coo read_binary(std::istream& in) {
     entries.reserve(static_cast<std::size_t>(nnz));
     for (std::int64_t k = 0; k < nnz; ++k) {
         Triplet t;
-        t.row = read_pod<index_t>(in);
-        t.col = read_pod<index_t>(in);
-        t.val = read_pod<value_t>(in);
+        t.row = r.read<index_t>();
+        t.col = r.read<index_t>();
+        t.val = r.read<value_t>();
         if (t.row < 0 || t.row >= rows || t.col < 0 || t.col >= cols) {
             throw ParseError("smx: entry out of bounds");
         }
@@ -79,6 +121,9 @@ Coo read_binary(std::istream& in) {
             throw ParseError("smx: entries not in canonical order");
         }
         entries.push_back(t);
+    }
+    if (r.read_checksum() != r.hash()) {
+        throw ParseError("smx: checksum mismatch (corrupted stream)");
     }
     return Coo(rows, cols, std::move(entries));
 }

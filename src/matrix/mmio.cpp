@@ -3,6 +3,7 @@
 #include <fstream>
 #include <iomanip>
 #include <istream>
+#include <limits>
 #include <ostream>
 #include <sstream>
 #include <string>
@@ -49,14 +50,35 @@ Coo read_matrix_market_raw(std::istream& in, MatrixMarketHeader& header) {
     if (!std::getline(in, line)) throw ParseError("empty MatrixMarket stream");
     header = parse_header(line);
 
-    // Skip comments and blank lines up to the size line.
+    // Skip comments and blank lines up to the size line.  The loop must
+    // distinguish "found a size line" from "stream ended": without the flag,
+    // EOF here would leave `line` holding the last comment and produce a
+    // misleading "malformed size line: %..." error for a truncated file.
+    bool found_size_line = false;
     while (std::getline(in, line)) {
-        if (!line.empty() && line[0] != '%') break;
+        if (!line.empty() && line[0] != '%') {
+            found_size_line = true;
+            break;
+        }
+    }
+    if (!found_size_line) {
+        throw ParseError("MatrixMarket stream ends before the size line");
     }
     std::istringstream size_line(line);
     long rows = 0, cols = 0, nnz = 0;
     if (!(size_line >> rows >> cols >> nnz) || rows < 0 || cols < 0 || nnz < 0) {
         throw ParseError("malformed MatrixMarket size line: " + line);
+    }
+    constexpr long kMaxIndex = std::numeric_limits<index_t>::max();
+    if (rows > kMaxIndex || cols > kMaxIndex) {
+        throw ParseError("MatrixMarket dimensions exceed 32-bit index range: " + line);
+    }
+    // rows*cols cannot overflow now (both fit in 32 bits); an nnz beyond it
+    // is physically impossible and would otherwise only surface much later
+    // as a truncation error (or an attempted huge allocation).
+    if (nnz > rows * cols) {
+        throw ParseError("MatrixMarket size line declares more entries than rows*cols: " +
+                         line);
     }
 
     Coo coo(static_cast<index_t>(rows), static_cast<index_t>(cols));
@@ -71,6 +93,7 @@ Coo read_matrix_market_raw(std::istream& in, MatrixMarketHeader& header) {
         coo.add(static_cast<index_t>(i - 1), static_cast<index_t>(j - 1), v);
     }
     coo.canonicalize();
+    header.duplicates = static_cast<long>(coo.nnz()) != nnz;  // canonicalize() summed some
     return coo;
 }
 
@@ -78,13 +101,30 @@ Coo read_matrix_market(std::istream& in) {
     MatrixMarketHeader header;
     Coo coo = read_matrix_market_raw(in, header);
     if (!header.symmetric) return coo;
+    // A repeated coordinate in a symmetric file would be summed into the
+    // stored triangle and then mirrored — a silently doubled value, not a
+    // recoverable input.
+    if (header.duplicates) {
+        throw ParseError("symmetric MatrixMarket file repeats an entry");
+    }
     // Symmetric files may store either triangle; mirror every off-diagonal.
     Coo full(coo.rows(), coo.cols());
+    index_t off_diagonal = 0;
     for (const Triplet& t : coo.entries()) {
         full.add(t.row, t.col, t.val);
-        if (t.row != t.col) full.add(t.col, t.row, t.val);
+        if (t.row != t.col) {
+            full.add(t.col, t.row, t.val);
+            ++off_diagonal;
+        }
     }
     full.canonicalize();
+    // If the file stored both (i,j) and (j,i), mirroring collides them and
+    // canonicalize() sums the pair — again a silent value change.  Detect it
+    // by counting: a clean single-triangle file mirrors to exactly
+    // diagonal + 2*off-diagonal distinct entries.
+    if (full.nnz() != coo.nnz() + off_diagonal) {
+        throw ParseError("symmetric MatrixMarket file stores both triangles of an entry");
+    }
     return full;
 }
 

@@ -16,8 +16,13 @@
 namespace symspmv {
 
 struct MatrixMarketHeader {
-    bool pattern = false;    // entries have no value field (implied 1.0)
-    bool symmetric = false;  // file stores the lower triangle only
+    bool pattern = false;     // entries have no value field (implied 1.0)
+    bool symmetric = false;   // file stores the lower triangle only
+    bool duplicates = false;  // the entry list repeated a coordinate (the
+                              // raw reader sums them; the mirroring reader
+                              // rejects symmetric files that do this, since
+                              // a repeated or both-triangle entry would
+                              // silently double its value)
 };
 
 /// Reads a Matrix Market stream; symmetric inputs are mirrored to full.

@@ -166,13 +166,17 @@ void SssMtKernel::spmv(std::span<const value_t> x, std::span<value_t> y) {
         } else {
             multiply_direct(tid, x, y);
         }
+        // Sample the multiply time BEFORE the barrier on both paths: sampling
+        // after it would charge the slowest thread's barrier wait to the
+        // multiply phase and understate the reduction correspondingly.
+        const double mult_seconds = t.seconds();
+        if (tid == 0) last_mult_seconds_ = mult_seconds;
         if (profiler_ != nullptr) {
-            profiler_->record(tid, Phase::kMultiply, t.seconds());
+            profiler_->record(tid, Phase::kMultiply, mult_seconds);
             pool_.barrier(*profiler_, tid);
         } else {
             pool_.barrier();
         }
-        if (tid == 0) last_mult_seconds_ = t.seconds();
         Timer tr;
         switch (method_) {
             case ReductionMethod::kNaive:

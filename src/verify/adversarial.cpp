@@ -1,0 +1,135 @@
+#include "verify/adversarial.hpp"
+
+#include <cmath>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "matrix/generators.hpp"
+
+namespace symspmv::verify {
+namespace {
+
+/// Triplet list that stays exactly symmetric by construction: every
+/// off-diagonal insert mirrors itself with the identical value.
+class SymBuilder {
+   public:
+    explicit SymBuilder(index_t n) : n_(n) {}
+
+    void add(index_t i, index_t j, value_t v) {
+        entries_.push_back({i, j, v});
+        if (i != j) entries_.push_back({j, i, v});
+    }
+
+    [[nodiscard]] Coo build() && { return Coo(n_, n_, std::move(entries_)); }
+
+   private:
+    index_t n_;
+    std::vector<Triplet> entries_;
+};
+
+Coo empty_matrix(index_t n) { return Coo(n, n); }
+
+Coo one_by_one() {
+    SymBuilder b(1);
+    b.add(0, 0, -3.25);
+    return std::move(b).build();
+}
+
+/// Pure diagonal with wildly varying magnitudes — every row is a singleton.
+Coo diagonal_only(index_t n) {
+    SymBuilder b(n);
+    for (index_t i = 0; i < n; ++i) {
+        const double mag = std::ldexp(1.0, static_cast<int>(i % 64) - 32);
+        b.add(i, i, (i % 2 == 0) ? mag : -mag);
+    }
+    return std::move(b).build();
+}
+
+/// Tridiagonal band, but every row r with r % 5 == 2 is structurally empty
+/// (no diagonal either).  Kernels that assume rowptr[r] < rowptr[r+1], or
+/// that derive partitions from non-empty rows only, break here.
+Coo empty_rows(index_t n) {
+    SymBuilder b(n);
+    const auto alive = [](index_t r) { return r % 5 != 2; };
+    for (index_t i = 0; i < n; ++i) {
+        if (!alive(i)) continue;
+        b.add(i, i, 4.0 + static_cast<double>(i % 3));
+        if (i + 1 < n && alive(i + 1)) b.add(i + 1, i, -1.0);
+    }
+    return std::move(b).build();
+}
+
+/// Arrowhead: row/column 0 is dense, the rest is diagonal.  The dense
+/// column is the worst case for symmetric kernels' mirrored updates (every
+/// thread writes y[0]) and for by-nnz partitioning (row 0 outweighs all).
+Coo arrowhead(index_t n) {
+    SymBuilder b(n);
+    for (index_t i = 0; i < n; ++i) b.add(i, i, static_cast<double>(n));
+    for (index_t i = 1; i < n; ++i) b.add(i, 0, -1.0 / static_cast<double>(i));
+    return std::move(b).build();
+}
+
+/// Diagonal plus full anti-diagonal: bandwidth n-1 on every row.  DIA/ELL
+/// style formats degenerate, CSX anti-diagonal detection triggers.
+Coo anti_band(index_t n) {
+    SymBuilder b(n);
+    for (index_t i = 0; i < n; ++i) b.add(i, i, 2.0);
+    for (index_t i = 0; i < n; ++i) {
+        const index_t j = n - 1 - i;
+        if (i < j) b.add(j, i, 0.5 + static_cast<double>(i));
+    }
+    return std::move(b).build();
+}
+
+/// Tridiagonal band whose values cycle through the floating-point edge
+/// cases: signed zeros, denormals, and magnitudes 60 binary orders apart.
+/// Structural zeros (entries whose value is ±0.0) must flow through every
+/// format without being dropped or de-canonicalizing anything.
+Coo signed_zero_denormal(index_t n) {
+    constexpr double kDenorm = std::numeric_limits<double>::denorm_min();
+    constexpr double kTiny = std::numeric_limits<double>::min();
+    const double cycle[8] = {+0.0, -0.0, kDenorm, -kDenorm, kTiny, 1.0, -0x1p-30, 0x1p30};
+    SymBuilder b(n);
+    for (index_t i = 0; i < n; ++i) {
+        b.add(i, i, cycle[i % 8]);
+        if (i + 1 < n) b.add(i + 1, i, cycle[(i + 3) % 8]);
+    }
+    return std::move(b).build();
+}
+
+/// Tiny pentadiagonal matrix: with the oracle's 8-thread pool there are
+/// more partitions than rows, so several partitions are empty.
+Coo tiny_wide() {
+    const index_t n = 5;
+    SymBuilder b(n);
+    for (index_t i = 0; i < n; ++i) b.add(i, i, 6.0);
+    for (index_t i = 2; i < n; ++i) b.add(i, i - 2, 1.0 + static_cast<double>(i));
+    return std::move(b).build();
+}
+
+}  // namespace
+
+std::vector<AdversarialCase> adversarial_suite() {
+    std::vector<AdversarialCase> suite;
+    suite.push_back({"empty", "zero nnz: conversions and partitioners see no work at all",
+                     empty_matrix(24)});
+    suite.push_back({"one-by-one", "degenerate dimensions", one_by_one()});
+    suite.push_back({"diagonal-only", "singleton diagonal rows, magnitudes 2^-32..2^31",
+                     diagonal_only(37)});
+    suite.push_back({"empty-rows", "structurally empty rows inside the band", empty_rows(40)});
+    suite.push_back({"arrowhead", "one dense row/column: mirrored-write hot spot, "
+                     "degenerate by-nnz partitions", arrowhead(64)});
+    suite.push_back({"anti-band", "bandwidth n-1 on every row", anti_band(48)});
+    suite.push_back({"signed-zero-denormal", "±0.0 structural entries, denormals, "
+                     "60-binary-order magnitude spread", signed_zero_denormal(32)});
+    suite.push_back({"tiny-wide", "fewer rows than pool threads (empty partitions)",
+                     tiny_wide()});
+    suite.push_back({"scatter", "high-bandwidth irregular rows (§V.B corner case)",
+                     gen::make_spd(gen::banded_random(229, 200, 6.0, 11, 0.9))});
+    suite.push_back({"block-fem", "dense 3x3 block substructures (CSX pattern units)",
+                     gen::make_spd(gen::block_fem(40, 3, 4.0, 0.6, 7))});
+    return suite;
+}
+
+}  // namespace symspmv::verify

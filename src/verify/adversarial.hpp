@@ -1,0 +1,29 @@
+// Deterministic adversarial matrix suite for the differential oracle.
+//
+// The generator suite in matrix/generators.hpp produces *typical* matrices
+// (the paper's Table I stand-ins).  This suite produces the structures that
+// break kernels in practice but almost never occur in benchmark inputs:
+// empty rows, a dense row/column, singleton diagonals, extreme bandwidth,
+// signed zeros and denormal values, and matrices small enough that a pool
+// has more threads than there are rows to partition.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "matrix/coo.hpp"
+
+namespace symspmv::verify {
+
+struct AdversarialCase {
+    std::string name;
+    std::string targets;  // the failure mode this case exists to provoke
+    Coo matrix;           // canonical, square, exactly symmetric
+};
+
+/// The fixed suite.  Every case is deterministic (fixed seeds), exactly
+/// symmetric and small enough that the full oracle sweep stays in test
+/// time.  Order is stable so reports are diffable run to run.
+[[nodiscard]] std::vector<AdversarialCase> adversarial_suite();
+
+}  // namespace symspmv::verify

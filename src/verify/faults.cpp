@@ -1,0 +1,224 @@
+#include "verify/faults.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <random>
+#include <set>
+#include <sstream>
+
+#include "autotune/fingerprint.hpp"
+#include "autotune/plan.hpp"
+#include "autotune/store.hpp"
+#include "core/error.hpp"
+#include "matrix/binio.hpp"
+#include "matrix/generators.hpp"
+#include "matrix/mmio.hpp"
+#include "verify/validate.hpp"
+
+namespace symspmv::verify {
+namespace {
+
+enum class Outcome { kReject, kIdentical, kDifferent, kCrash };
+
+struct Attempt {
+    Outcome outcome = Outcome::kReject;
+    std::string detail;
+};
+
+/// Bitwise matrix equality: shape, coordinates and value *bit patterns*
+/// (operator== on doubles would call -0.0 and 0.0 interchangeable, which is
+/// exactly the kind of silent drift the harness exists to catch).
+bool bitwise_equal(const Coo& a, const Coo& b) {
+    if (a.rows() != b.rows() || a.cols() != b.cols() || a.nnz() != b.nnz()) return false;
+    for (index_t k = 0; k < a.nnz(); ++k) {
+        const Triplet& ta = a.entries()[static_cast<std::size_t>(k)];
+        const Triplet& tb = b.entries()[static_cast<std::size_t>(k)];
+        if (ta.row != tb.row || ta.col != tb.col) return false;
+        if (std::memcmp(&ta.val, &tb.val, sizeof(ta.val)) != 0) return false;
+    }
+    return true;
+}
+
+/// Applies the deterministic fault schedule to @p good and classifies each
+/// corrupted copy with @p attempt.  Truncation lengths sit on an even grid;
+/// mutation positions come from the seeded rng.  @p text replaces the
+/// faulted byte with a random printable character instead of a bit flip.
+template <typename TryParse>
+FaultReport run_faults(const std::string& good, std::uint64_t seed, int truncations,
+                       int mutations, bool text, TryParse&& attempt) {
+    FaultReport rep;
+    const auto record = [&](const std::string& fault, const std::string& data) {
+        ++rep.trials;
+        Attempt a;
+        try {
+            a = attempt(data);
+        } catch (...) {
+            a.outcome = Outcome::kCrash;
+            a.detail = "classifier itself threw";
+        }
+        switch (a.outcome) {
+            case Outcome::kReject:
+                ++rep.clean_rejects;
+                break;
+            case Outcome::kIdentical:
+                ++rep.accepted_identical;
+                break;
+            case Outcome::kDifferent:
+                ++rep.accepted_different;
+                rep.incidents.push_back("silent accept after " + fault + ": " + a.detail);
+                break;
+            case Outcome::kCrash:
+                ++rep.crashes;
+                rep.incidents.push_back("crash after " + fault + ": " + a.detail);
+                break;
+        }
+    };
+
+    const std::size_t size = good.size();
+    std::set<std::size_t> cuts;
+    for (int i = 1; i <= truncations; ++i) {
+        cuts.insert(size * static_cast<std::size_t>(i) /
+                    static_cast<std::size_t>(truncations + 1));
+    }
+    if (size > 0) cuts.insert(size - 1);  // lose just the final byte
+    for (const std::size_t cut : cuts) {
+        record("truncation to " + std::to_string(cut) + " bytes", good.substr(0, cut));
+    }
+
+    std::mt19937_64 rng(seed);
+    const char kTextPool[] = " \t0123456789-+.eE%abcxyz";
+    for (int i = 0; i < mutations && size > 0; ++i) {
+        const std::size_t pos = rng() % size;
+        std::string bad = good;
+        if (text) {
+            const char repl = kTextPool[rng() % (sizeof(kTextPool) - 1)];
+            if (repl == bad[pos]) continue;  // not a fault; skip
+            bad[pos] = repl;
+        } else {
+            bad[pos] = static_cast<char>(bad[pos] ^ static_cast<char>(1u << (rng() % 8)));
+        }
+        record("byte " + std::to_string(pos) + (text ? " substitution" : " bit flip"), bad);
+    }
+    return rep;
+}
+
+}  // namespace
+
+std::string FaultReport::summary(const std::string& what) const {
+    std::ostringstream os;
+    os << what << ": " << trials << " faults -> " << clean_rejects << " clean rejects, "
+       << accepted_identical << " harmless accepts, " << accepted_different
+       << " SILENT WRONG ACCEPTS, " << crashes << " crashes\n";
+    for (const std::string& line : incidents) os << "  " << line << '\n';
+    return os.str();
+}
+
+FaultReport fuzz_smx_stream(const Coo& original, std::uint64_t seed, int truncations,
+                            int bitflips) {
+    std::ostringstream os;
+    write_binary(os, original);
+    const std::string good = os.str();
+    return run_faults(good, seed, truncations, bitflips, /*text=*/false,
+                      [&](const std::string& data) {
+                          Attempt a;
+                          std::istringstream in(data);
+                          try {
+                              const Coo loaded = read_binary(in);
+                              a.outcome = bitwise_equal(loaded, original) ? Outcome::kIdentical
+                                                                          : Outcome::kDifferent;
+                              if (a.outcome == Outcome::kDifferent) {
+                                  a.detail = "read_binary returned a different matrix";
+                              }
+                          } catch (const ParseError&) {
+                              a.outcome = Outcome::kReject;
+                          } catch (const std::exception& e) {
+                              a.outcome = Outcome::kCrash;
+                              a.detail = e.what();
+                          }
+                          return a;
+                      });
+}
+
+FaultReport fuzz_plan_file(std::uint64_t seed, int truncations, int bitflips) {
+    // A deterministic key (no machine-dependent fields) so the fault
+    // schedule fuzzes identical bytes on every host.
+    autotune::PlanKey key;
+    key.fingerprint = autotune::fingerprint(gen::make_spd(gen::poisson2d(6, 6)));
+    key.hardware.hardware_threads = 8;
+    key.hardware.pin_threads = true;
+    key.hardware.placement = engine::PlacementPolicy::kInterleave;
+    key.hardware.compiler = "gcc-13.2";
+    key.hardware.build = "opt";
+    key.search_hash = 0xabcdef0123456789ULL;
+
+    autotune::Plan plan;
+    plan.kernel = KernelKind::kCsxSym;
+    plan.threads = 8;
+    plan.partition = engine::PartitionPolicy::kByNnz;
+    plan.csx_patterns = true;
+    plan.expected_seconds_per_op = 1.25e-4;
+
+    std::ostringstream os;
+    autotune::PlanStore::serialize(os, key, plan);
+    const std::string good = os.str();
+    return run_faults(good, seed, truncations, bitflips, /*text=*/false,
+                      [&](const std::string& data) {
+                          Attempt a;
+                          std::istringstream in(data);
+                          try {
+                              const auto loaded = autotune::PlanStore::parse(in, key);
+                              if (!loaded) {
+                                  a.outcome = Outcome::kReject;  // clean cache miss
+                              } else if (autotune::same_decision(*loaded, plan) &&
+                                         loaded->expected_seconds_per_op ==
+                                             plan.expected_seconds_per_op) {
+                                  a.outcome = Outcome::kIdentical;
+                              } else {
+                                  a.outcome = Outcome::kDifferent;
+                                  a.detail = "parse() served " + autotune::to_string(*loaded);
+                              }
+                          } catch (const std::exception& e) {
+                              // parse() promises miss-not-throw on any input.
+                              a.outcome = Outcome::kCrash;
+                              a.detail = e.what();
+                          }
+                          return a;
+                      });
+}
+
+FaultReport fuzz_matrix_market(const Coo& original, std::uint64_t seed, int truncations,
+                               int mutations) {
+    std::ostringstream os;
+    write_matrix_market(os, original, original.is_symmetric());
+    const std::string good = os.str();
+    return run_faults(
+        good, seed, truncations, mutations, /*text=*/true, [&](const std::string& data) {
+            Attempt a;
+            std::istringstream in(data);
+            try {
+                const Coo loaded = read_matrix_market(in);
+                // Text has no integrity cover: a changed digit is a valid
+                // different file.  What must still hold is structural
+                // well-formedness of whatever was accepted.
+                const auto issues = validate(loaded);
+                if (!issues.empty()) {
+                    a.outcome = Outcome::kCrash;
+                    a.detail = "ill-formed accept: " + issues.front();
+                } else {
+                    a.outcome = bitwise_equal(loaded, original) ? Outcome::kIdentical
+                                                                : Outcome::kDifferent;
+                    a.detail = "text mutation changed the parsed matrix";
+                }
+            } catch (const ParseError&) {
+                a.outcome = Outcome::kReject;
+            } catch (const InvalidArgument&) {
+                a.outcome = Outcome::kReject;
+            } catch (const std::exception& e) {
+                a.outcome = Outcome::kCrash;
+                a.detail = e.what();
+            }
+            return a;
+        });
+}
+
+}  // namespace symspmv::verify

@@ -1,0 +1,65 @@
+// Fault-injection harness for the ingestion paths.
+//
+// Takes a known-good artifact (.smx stream, plan-cache file, MatrixMarket
+// text), applies deterministic byte-level faults (truncations and bit
+// flips), and classifies what the reader does with each corrupted copy:
+//
+//   clean reject       ParseError (or a cache miss for plan files)
+//   accepted identical parsed fine and the data equals the original
+//                      (the fault hit redundant bytes)
+//   accepted different parsed fine but the data CHANGED — a silent wrong
+//                      answer, the one outcome the checksummed binary
+//                      formats must never produce
+//   crash              any other exception escaped the reader
+//
+// For the checksummed formats (.smx, plan files) the contract is strict:
+// no accepted-different, no crash.  MatrixMarket is plain text with no
+// integrity cover — a flipped digit is a different but perfectly valid
+// file — so there the contract is only: never crash, and everything that
+// parses is structurally well-formed (accepted_different counts mutations
+// that legitimately changed the parsed matrix).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "matrix/coo.hpp"
+
+namespace symspmv::verify {
+
+struct FaultReport {
+    int trials = 0;
+    int clean_rejects = 0;
+    int accepted_identical = 0;
+    int accepted_different = 0;
+    int crashes = 0;
+    std::vector<std::string> incidents;  // one line per crash / silent accept
+
+    /// The strict (checksummed-format) contract.
+    [[nodiscard]] bool strictly_clean() const {
+        return crashes == 0 && accepted_different == 0;
+    }
+    /// The text-format contract.
+    [[nodiscard]] bool no_crashes() const { return crashes == 0; }
+
+    [[nodiscard]] std::string summary(const std::string& what) const;
+};
+
+/// Fuzzes read_binary() over corrupted serializations of @p original:
+/// every truncation length on a deterministic grid plus @p bitflips
+/// single-bit flips at seeded positions.
+[[nodiscard]] FaultReport fuzz_smx_stream(const Coo& original, std::uint64_t seed,
+                                          int truncations, int bitflips);
+
+/// Fuzzes PlanStore::parse() the same way; "accepted different" means a
+/// corrupted file loaded as a plan with different decisions — the silent
+/// wrong answer a tuning cache must never serve.
+[[nodiscard]] FaultReport fuzz_plan_file(std::uint64_t seed, int truncations, int bitflips);
+
+/// Fuzzes read_matrix_market() with truncations plus random printable-byte
+/// substitutions (bit flips in text mostly produce other text).
+[[nodiscard]] FaultReport fuzz_matrix_market(const Coo& original, std::uint64_t seed,
+                                             int truncations, int mutations);
+
+}  // namespace symspmv::verify

@@ -1,0 +1,192 @@
+#include "verify/oracle.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <limits>
+#include <map>
+#include <random>
+#include <sstream>
+
+#include "core/thread_pool.hpp"
+#include "engine/bundle.hpp"
+#include "engine/factory.hpp"
+
+namespace symspmv::verify {
+namespace {
+
+std::vector<value_t> deterministic_x(index_t n, std::uint64_t seed) {
+    std::mt19937_64 rng(seed);
+    std::uniform_real_distribution<value_t> dist(-1.0, 1.0);
+    std::vector<value_t> x(static_cast<std::size_t>(n));
+    for (auto& v : x) v = dist(rng);
+    return x;
+}
+
+bool is_jit(KernelKind kind) {
+    return kind == KernelKind::kCsxJit || kind == KernelKind::kCsxSymJit;
+}
+
+/// ULP of double @p r, with the reference magnitude floored at DBL_MIN so a
+/// zero/denormal reference doesn't divide by a 4.9e-324 ULP.
+double ulp_of(double r) {
+    const double ar = std::max(std::abs(r), std::numeric_limits<double>::min());
+    return std::nextafter(ar, std::numeric_limits<double>::infinity()) - ar;
+}
+
+}  // namespace
+
+Reference reference_spmv(const Coo& full, std::span<const value_t> x, double slack) {
+    const auto n = static_cast<std::size_t>(full.rows());
+    std::vector<long double> acc(n, 0.0L);
+    std::vector<long double> abs_sum(n, 0.0L);
+    std::vector<index_t> row_nnz(n, 0);
+    for (const Triplet& t : full.entries()) {
+        const auto r = static_cast<std::size_t>(t.row);
+        const long double p =
+            static_cast<long double>(t.val) * static_cast<long double>(x[static_cast<std::size_t>(t.col)]);
+        acc[r] += p;
+        abs_sum[r] += std::abs(p);
+        ++row_nnz[r];
+    }
+    Reference ref;
+    ref.y.resize(n);
+    ref.bound.resize(n);
+    constexpr double kEps = std::numeric_limits<double>::epsilon();
+    constexpr double kFloor = std::numeric_limits<double>::min();
+    for (std::size_t r = 0; r < n; ++r) {
+        ref.y[r] = static_cast<value_t>(acc[r]);
+        const double model = slack * kEps * static_cast<double>(row_nnz[r] + 2) *
+                             static_cast<double>(abs_sum[r]);
+        ref.bound[r] = std::max(model, kFloor);
+    }
+    return ref;
+}
+
+OracleResult check_kernel(SpmvKernel& kernel, const Coo& full, std::string_view case_name,
+                          double ulp_slack, std::uint64_t x_seed) {
+    OracleResult res;
+    res.kernel = std::string(kernel.name());
+    res.case_name = std::string(case_name);
+    if (kernel.rows() != full.rows()) {
+        res.error = "kernel reports " + std::to_string(kernel.rows()) + " rows, matrix has " +
+                    std::to_string(full.rows());
+        return res;
+    }
+    const auto x = deterministic_x(full.rows(), x_seed);
+    const Reference ref = reference_spmv(full, x, ulp_slack);
+    std::vector<value_t> y(static_cast<std::size_t>(full.rows()), 0.0);
+    try {
+        kernel.spmv(x, y);
+    } catch (const std::exception& e) {
+        res.error = e.what();
+        return res;
+    }
+    res.pass = true;
+    for (std::size_t i = 0; i < y.size(); ++i) {
+        const double err = std::abs(y[i] - ref.y[i]);
+        if (std::isnan(y[i]) || err > ref.bound[i]) {
+            res.pass = false;
+        }
+        const double share = err / ref.bound[i];
+        if (share > res.worst_share || std::isnan(y[i])) {
+            res.worst_share = std::isnan(y[i]) ? std::numeric_limits<double>::infinity() : share;
+            res.worst_row = static_cast<index_t>(i);
+        }
+        res.max_ulp = std::max(res.max_ulp, err / ulp_of(ref.y[i]));
+    }
+    return res;
+}
+
+OracleReport run_differential_oracle(const std::vector<AdversarialCase>& cases,
+                                     const OracleOptions& opts) {
+    const std::vector<KernelKind>& kinds = opts.kinds.empty() ? all_kernel_kinds() : opts.kinds;
+    OracleReport report;
+    for (const AdversarialCase& c : cases) {
+        const engine::MatrixBundle bundle = engine::MatrixBundle::view(c.matrix);
+        for (std::size_t ti = 0; ti < opts.thread_counts.size(); ++ti) {
+            const int threads = opts.thread_counts[ti];
+            const bool last = ti + 1 == opts.thread_counts.size();
+            ThreadPool pool(threads);
+            const engine::KernelFactory factory(bundle, pool);
+            for (const KernelKind kind : kinds) {
+                if (opts.jit_last_thread_count_only && is_jit(kind) && !last) continue;
+                OracleResult res;
+                try {
+                    const KernelPtr kernel = factory.make(kind);
+                    res = check_kernel(*kernel, c.matrix, c.name, opts.ulp_slack, opts.x_seed);
+                } catch (const std::exception& e) {
+                    res.kernel = std::string(to_string(kind));
+                    res.case_name = c.name;
+                    res.error = std::string("build: ") + e.what();
+                    res.pass = false;
+                }
+                res.threads = threads;
+                report.results.push_back(std::move(res));
+            }
+        }
+    }
+    return report;
+}
+
+OracleReport run_differential_oracle(const OracleOptions& opts) {
+    return run_differential_oracle(adversarial_suite(), opts);
+}
+
+bool OracleReport::all_passed() const { return failures() == 0; }
+
+int OracleReport::failures() const {
+    int n = 0;
+    for (const OracleResult& r : results) n += r.pass ? 0 : 1;
+    return n;
+}
+
+std::string OracleReport::table() const {
+    struct Row {
+        double max_ulp = 0.0;
+        std::string worst_case;
+        int worst_threads = 0;
+        int runs = 0;
+        int failed = 0;
+    };
+    std::map<std::string, Row> rows;
+    for (const OracleResult& r : results) {
+        Row& row = rows[r.kernel];
+        ++row.runs;
+        if (!r.pass) ++row.failed;
+        if (r.max_ulp >= row.max_ulp) {
+            row.max_ulp = r.max_ulp;
+            row.worst_case = r.case_name;
+            row.worst_threads = r.threads;
+        }
+    }
+    std::ostringstream os;
+    os << std::left << std::setw(14) << "kernel" << std::right << std::setw(10) << "max ULP"
+       << "  " << std::left << std::setw(22) << "worst case" << std::right << std::setw(5)
+       << "runs" << std::setw(7) << "failed" << '\n';
+    for (const auto& [kernel, row] : rows) {
+        os << std::left << std::setw(14) << kernel << std::right << std::setw(10)
+           << std::setprecision(3) << std::fixed << row.max_ulp << "  " << std::left
+           << std::setw(22) << (row.worst_case + " x" + std::to_string(row.worst_threads))
+           << std::right << std::setw(5) << row.runs << std::setw(7) << row.failed << '\n';
+    }
+    return os.str();
+}
+
+std::string OracleReport::failure_lines() const {
+    std::ostringstream os;
+    for (const OracleResult& r : results) {
+        if (r.pass) continue;
+        os << r.kernel << " on " << r.case_name << " x" << r.threads << ": ";
+        if (!r.error.empty()) {
+            os << r.error;
+        } else {
+            os << "row " << r.worst_row << " off by " << std::setprecision(3)
+               << r.worst_share << "x the bound (" << r.max_ulp << " ULP)";
+        }
+        os << '\n';
+    }
+    return os.str();
+}
+
+}  // namespace symspmv::verify

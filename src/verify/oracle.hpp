@@ -1,0 +1,82 @@
+// Differential oracle: every registered kernel vs. a serial reference.
+//
+// The reference y = A*x is accumulated in long double straight off the COO
+// triplets, and each component carries its own error bound derived from a
+// standard forward-error model of dot-product accumulation:
+//
+//   |y_i - fl(y_i)| <= slack * eps * (row_nnz_i + 2) * sum_j |a_ij| |x_j|
+//
+// (eps = DBL_EPSILON; the +2 covers the diagonal split and one reduction
+// step; `slack` absorbs reassociation across threads and the tree-shaped
+// reductions).  The bound is floored at DBL_MIN so rows whose abs-sum is
+// itself denormal tolerate flush-to-zero differences between kernels.  The
+// measured worst componentwise ULP distance is reported per (kernel, case)
+// so regressions show up as a number, not just a pass/fail flip.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "engine/registry.hpp"
+#include "matrix/coo.hpp"
+#include "spmv/kernel.hpp"
+#include "verify/adversarial.hpp"
+
+namespace symspmv::verify {
+
+struct OracleOptions {
+    std::vector<KernelKind> kinds;          // empty => all_kernel_kinds()
+    std::vector<int> thread_counts = {1, 3, 8};
+    double ulp_slack = 16.0;                // `slack` in the bound above
+    std::uint64_t x_seed = 2013;
+    /// JIT kinds recompile per kernel build; run them at one thread count
+    /// (the last) instead of all, to keep the sweep inside test time.
+    bool jit_last_thread_count_only = true;
+};
+
+/// One (kernel, case, thread count) comparison.
+struct OracleResult {
+    std::string kernel;
+    std::string case_name;
+    int threads = 0;
+    double max_ulp = 0.0;      // measured worst componentwise ULP distance
+    double worst_share = 0.0;  // max_i |y_i - ref_i| / bound_i; <= 1 passes
+    index_t worst_row = -1;
+    std::string error;         // non-empty: the kernel threw instead
+    bool pass = false;
+};
+
+struct OracleReport {
+    std::vector<OracleResult> results;
+
+    [[nodiscard]] bool all_passed() const;
+    [[nodiscard]] int failures() const;
+    /// Per-kernel worst-ULP table (rows: kernels; worst case and count).
+    [[nodiscard]] std::string table() const;
+    /// Every failing result, one line each.
+    [[nodiscard]] std::string failure_lines() const;
+};
+
+/// Reference product and componentwise tolerance for y = A*x.
+struct Reference {
+    std::vector<value_t> y;
+    std::vector<double> bound;
+};
+[[nodiscard]] Reference reference_spmv(const Coo& full, std::span<const value_t> x,
+                                       double slack);
+
+/// Compares one already-built kernel against the reference on @p full.
+[[nodiscard]] OracleResult check_kernel(SpmvKernel& kernel, const Coo& full,
+                                        std::string_view case_name, double ulp_slack = 16.0,
+                                        std::uint64_t x_seed = 2013);
+
+/// The full sweep: every kind x case x thread count.
+[[nodiscard]] OracleReport run_differential_oracle(const std::vector<AdversarialCase>& cases,
+                                                   const OracleOptions& opts = {});
+/// Convenience overload over adversarial_suite().
+[[nodiscard]] OracleReport run_differential_oracle(const OracleOptions& opts = {});
+
+}  // namespace symspmv::verify

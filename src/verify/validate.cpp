@@ -1,0 +1,312 @@
+#include "verify/validate.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "csx/builder_inl.hpp"
+
+namespace symspmv::verify {
+namespace {
+
+/// Issue sink with a cap: a badly corrupted structure would otherwise
+/// produce one message per element.
+class Issues {
+   public:
+    static constexpr std::size_t kMax = 64;
+
+    template <typename... Parts>
+    void add(Parts&&... parts) {
+        if (list_.size() == kMax) {
+            list_.push_back("... further issues suppressed");
+        }
+        if (list_.size() > kMax) return;
+        std::ostringstream os;
+        (os << ... << parts);
+        list_.push_back(os.str());
+    }
+
+    [[nodiscard]] std::vector<std::string> take() && { return std::move(list_); }
+
+   private:
+    std::vector<std::string> list_;
+};
+
+/// Shared CSR-shape checks.  @p strictly_lower switches the per-row column
+/// bound from [0, cols) to [0, row) — the SSS lower-triangle contract.
+void check_csr_arrays(Issues& issues, const char* what, index_t rows, index_t cols,
+                      std::span<const index_t> rowptr, std::span<const index_t> colind,
+                      std::span<const value_t> values, bool strictly_lower) {
+    if (rowptr.size() != static_cast<std::size_t>(rows) + 1) {
+        issues.add(what, ": rowptr has ", rowptr.size(), " entries, want rows+1 = ", rows + 1);
+        return;  // row walks below would index out of bounds
+    }
+    if (colind.size() != values.size()) {
+        issues.add(what, ": colind/values length mismatch (", colind.size(), " vs ",
+                   values.size(), ")");
+    }
+    if (!rowptr.empty() && rowptr.front() != 0) {
+        issues.add(what, ": rowptr[0] = ", rowptr.front(), ", want 0");
+    }
+    if (rowptr.back() != static_cast<index_t>(colind.size())) {
+        issues.add(what, ": rowptr[rows] = ", rowptr.back(), " does not match nnz = ",
+                   colind.size());
+    }
+    for (index_t r = 0; r < rows; ++r) {
+        const index_t begin = rowptr[static_cast<std::size_t>(r)];
+        const index_t end = rowptr[static_cast<std::size_t>(r) + 1];
+        if (begin > end) {
+            issues.add(what, ": rowptr decreases at row ", r);
+            continue;
+        }
+        if (end > static_cast<index_t>(colind.size())) {
+            issues.add(what, ": rowptr[", r + 1, "] points past the colind array");
+            continue;
+        }
+        const index_t limit = strictly_lower ? r : cols;
+        index_t prev = -1;
+        for (index_t k = begin; k < end; ++k) {
+            const index_t c = colind[static_cast<std::size_t>(k)];
+            if (c < 0 || c >= limit) {
+                issues.add(what, ": row ", r, " column ", c, " outside [0, ", limit, ")");
+            }
+            if (c <= prev) {
+                issues.add(what, ": row ", r, " columns not strictly increasing at ", c);
+            }
+            prev = c;
+        }
+    }
+}
+
+using Element = std::pair<index_t, index_t>;  // (row, col)
+
+/// Decodes one encoded partition, invoking per_unit(header, elements) for
+/// every unit.  Element enumeration mirrors the SpM×V interpreters in
+/// csx/csx_matrix.cpp exactly — the validator checks what execution would
+/// actually touch.  Decode failures (the walker's own invariants firing)
+/// land in @p issues instead of escaping.
+template <typename Fn>
+void decode_partition(const csx::EncodedPartition& part, std::span<const csx::Pattern> table,
+                      Issues& issues, Fn&& per_unit) {
+    std::vector<Element> elems;
+    try {
+        csx::walk_ctl(
+            std::span<const std::uint8_t>(part.ctl), part.row_begin, table,
+            [&](const csx::UnitHeader& h, const std::uint8_t* body) {
+                elems.clear();
+                switch (h.id) {
+                    case 0:
+                    case 1:
+                    case 2: {
+                        index_t c = h.col;
+                        elems.emplace_back(h.row, c);
+                        for (int k = 0; k < h.size - 1; ++k) {
+                            index_t delta = 0;
+                            if (h.id == 0) delta = csx::detail::read_fixed<std::uint8_t>(body, k);
+                            if (h.id == 1) delta = csx::detail::read_fixed<std::uint16_t>(body, k);
+                            if (h.id == 2) delta = csx::detail::read_fixed<std::uint32_t>(body, k);
+                            if (delta == 0) {
+                                issues.add("ctl: zero delta (duplicate column) in unit at row ",
+                                           h.row);
+                            }
+                            c += delta;
+                            elems.emplace_back(h.row, c);
+                        }
+                        break;
+                    }
+                    default: {
+                        const auto& p = table[static_cast<std::size_t>(h.id - csx::kFirstTableId)];
+                        switch (p.type) {
+                            case csx::PatternType::kHorizontal:
+                                for (int k = 0; k < h.size; ++k) {
+                                    elems.emplace_back(h.row, h.col + k * p.delta);
+                                }
+                                break;
+                            case csx::PatternType::kVertical:
+                                for (int k = 0; k < h.size; ++k) {
+                                    elems.emplace_back(h.row + k * p.delta, h.col);
+                                }
+                                break;
+                            case csx::PatternType::kDiagonal:
+                                for (int k = 0; k < h.size; ++k) {
+                                    elems.emplace_back(h.row + k * p.delta, h.col + k * p.delta);
+                                }
+                                break;
+                            case csx::PatternType::kAntiDiagonal:
+                                for (int k = 0; k < h.size; ++k) {
+                                    elems.emplace_back(h.row + k * p.delta, h.col - k * p.delta);
+                                }
+                                break;
+                            case csx::PatternType::kBlock: {
+                                if (p.delta <= 0 || h.size % p.delta != 0) {
+                                    issues.add("ctl: block unit size ", h.size,
+                                               " not divisible by block rows ", p.delta);
+                                    break;
+                                }
+                                const int bcols = h.size / static_cast<int>(p.delta);
+                                for (int b = 0; b < bcols; ++b) {
+                                    for (index_t a = 0; a < p.delta; ++a) {
+                                        elems.emplace_back(h.row + a, h.col + b);
+                                    }
+                                }
+                                break;
+                            }
+                            default:
+                                issues.add("ctl: delta pattern type in the table");
+                                break;
+                        }
+                        break;
+                    }
+                }
+                per_unit(h, elems);
+            });
+    } catch (const std::exception& e) {
+        issues.add("ctl stream does not decode: ", e.what());
+    }
+}
+
+struct PartitionScan {
+    std::vector<Element> elements;  // everything the partition touches
+};
+
+/// Checks one partition's units against the matrix bounds and the declared
+/// row range; returns all decoded elements for the duplicate/count checks.
+/// @p boundary < 0 disables the CSX-Sym straddle rule.
+PartitionScan scan_partition(const csx::EncodedPartition& part, const RowRange& declared,
+                             std::span<const csx::Pattern> table, index_t rows, index_t cols,
+                             int pid, Issues& issues, index_t boundary) {
+    PartitionScan scan;
+    if (part.row_begin != declared.begin || part.row_end != declared.end) {
+        issues.add("partition ", pid, ": encoded range [", part.row_begin, ", ", part.row_end,
+                   ") disagrees with partition_rows [", declared.begin, ", ", declared.end, ")");
+    }
+    decode_partition(part, table, issues, [&](const csx::UnitHeader& h,
+                                              const std::vector<Element>& elems) {
+        index_t cmin = cols;
+        index_t cmax = -1;
+        for (const auto& [r, c] : elems) {
+            if (r < part.row_begin || r >= part.row_end) {
+                issues.add("partition ", pid, ": unit at (", h.row, ",", h.col, ") touches row ",
+                           r, " outside [", part.row_begin, ", ", part.row_end, ")");
+            }
+            if (c < 0 || c >= cols) {
+                issues.add("partition ", pid, ": unit at (", h.row, ",", h.col,
+                           ") touches column ", c, " outside [0, ", cols, ")");
+            }
+            cmin = std::min(cmin, c);
+            cmax = std::max(cmax, c);
+        }
+        if (boundary >= 0 && cmin < boundary && cmax >= boundary) {
+            issues.add("partition ", pid, ": unit at (", h.row, ",", h.col,
+                       ") straddles the §IV.B boundary column ", boundary, " (columns ", cmin,
+                       "..", cmax, ")");
+        }
+        scan.elements.insert(scan.elements.end(), elems.begin(), elems.end());
+    });
+    if (scan.elements.size() != part.values.size()) {
+        issues.add("partition ", pid, ": ctl encodes ", scan.elements.size(),
+                   " elements but carries ", part.values.size(), " values");
+    }
+    std::sort(scan.elements.begin(), scan.elements.end());
+    for (std::size_t k = 1; k < scan.elements.size(); ++k) {
+        if (scan.elements[k] == scan.elements[k - 1]) {
+            issues.add("partition ", pid, ": duplicate element (", scan.elements[k].first, ",",
+                       scan.elements[k].second, ")");
+        }
+    }
+    return scan;
+}
+
+}  // namespace
+
+std::vector<std::string> validate(const Coo& m) {
+    Issues issues;
+    if (!m.is_canonical()) issues.add("coo: entries not in canonical row-major order");
+    for (const Triplet& t : m.entries()) {
+        if (t.row < 0 || t.row >= m.rows() || t.col < 0 || t.col >= m.cols()) {
+            issues.add("coo: entry (", t.row, ",", t.col, ") outside ", m.rows(), "x", m.cols());
+        }
+    }
+    return std::move(issues).take();
+}
+
+std::vector<std::string> validate(const Csr& m) {
+    Issues issues;
+    check_csr_arrays(issues, "csr", m.rows(), m.cols(), m.rowptr(), m.colind(), m.values(),
+                     /*strictly_lower=*/false);
+    return std::move(issues).take();
+}
+
+std::vector<std::string> validate(const Sss& m) {
+    Issues issues;
+    if (m.dvalues().size() != static_cast<std::size_t>(m.rows())) {
+        issues.add("sss: dvalues has ", m.dvalues().size(), " entries, want ", m.rows());
+    }
+    check_csr_arrays(issues, "sss lower", m.rows(), m.cols(), m.rowptr(), m.colind(),
+                     m.values(), /*strictly_lower=*/true);
+    return std::move(issues).take();
+}
+
+std::vector<std::string> validate(const csx::CsxMatrix& m) {
+    Issues issues;
+    std::int64_t total = 0;
+    index_t expected_begin = 0;
+    for (int pid = 0; pid < m.partitions(); ++pid) {
+        const RowRange& range = m.partition_rows(pid);
+        if (range.begin != expected_begin) {
+            issues.add("partition ", pid, ": starts at row ", range.begin, ", want ",
+                       expected_begin);
+        }
+        expected_begin = range.end;
+        const PartitionScan scan = scan_partition(m.partition(pid), range, m.table(), m.rows(),
+                                                  m.cols(), pid, issues, /*boundary=*/-1);
+        total += static_cast<std::int64_t>(scan.elements.size());
+    }
+    if (expected_begin != m.rows()) {
+        issues.add("partitions end at row ", expected_begin, ", want ", m.rows());
+    }
+    if (total != m.nnz()) {
+        issues.add("partitions encode ", total, " elements, matrix declares nnz = ", m.nnz());
+    }
+    return std::move(issues).take();
+}
+
+std::vector<std::string> validate(const csx::CsxSymMatrix& m) {
+    Issues issues;
+    if (m.dvalues().size() != static_cast<std::size_t>(m.rows())) {
+        issues.add("csx-sym: dvalues has ", m.dvalues().size(), " entries, want ", m.rows());
+    }
+    std::int64_t lower_total = 0;
+    index_t expected_begin = 0;
+    for (int pid = 0; pid < m.partitions(); ++pid) {
+        const RowRange& range = m.partition_rows(pid);
+        if (range.begin != expected_begin) {
+            issues.add("partition ", pid, ": starts at row ", range.begin, ", want ",
+                       expected_begin);
+        }
+        expected_begin = range.end;
+        const PartitionScan scan = scan_partition(m.partition(pid), range, m.table(), m.rows(),
+                                                  m.rows(), pid, issues,
+                                                  /*boundary=*/range.begin);
+        for (const auto& [r, c] : scan.elements) {
+            if (c >= r) {
+                issues.add("partition ", pid, ": element (", r, ",", c,
+                           ") not strictly below the diagonal");
+            }
+        }
+        lower_total += static_cast<std::int64_t>(scan.elements.size());
+    }
+    if (expected_begin != m.rows()) {
+        issues.add("partitions end at row ", expected_begin, ", want ", m.rows());
+    }
+    // full nnz = structural diagonal + 2x strict lower; the diagonal share
+    // must land in [0, rows].
+    const std::int64_t diag = m.nnz() - 2 * lower_total;
+    if (diag < 0 || diag > static_cast<std::int64_t>(m.rows())) {
+        issues.add("partitions encode ", lower_total, " lower elements, inconsistent with "
+                   "declared full nnz = ", m.nnz());
+    }
+    return std::move(issues).take();
+}
+
+}  // namespace symspmv::verify

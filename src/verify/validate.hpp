@@ -1,0 +1,42 @@
+// Structural invariant validators for every matrix representation.
+//
+// Each validate() walks one representation and returns a human-readable
+// list of every invariant violation it finds (empty = valid):
+//
+//   Coo      canonical order, in-bounds coordinates
+//   Csr      rowptr shape/monotonicity, per-row strictly increasing
+//            in-bounds columns, array-length consistency
+//   Sss      the CSR invariants on the strictly lower triangle, columns
+//            strictly below the diagonal, dense diagonal array length
+//   CsxMatrix    every ctl stream decodes, units stay inside their
+//                partition and the matrix bounds, no duplicate elements,
+//                per-partition value counts and the total element count
+//                match the declared nnz
+//   CsxSymMatrix the CSX invariants on the strictly lower triangle, plus
+//                the §IV.B boundary rule: no unit's columns may straddle
+//                the owning partition's start row
+//
+// The constructors of these types validate what they can cheaply; these
+// functions are the exhaustive version for tests, `solve_mm --verify` and
+// post-corruption triage, so they favour completeness over speed and never
+// throw on malformed input — malformation is their return value.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "csx/csx_matrix.hpp"
+#include "csx/csx_sym.hpp"
+#include "matrix/coo.hpp"
+#include "matrix/csr.hpp"
+#include "matrix/sss.hpp"
+
+namespace symspmv::verify {
+
+[[nodiscard]] std::vector<std::string> validate(const Coo& m);
+[[nodiscard]] std::vector<std::string> validate(const Csr& m);
+[[nodiscard]] std::vector<std::string> validate(const Sss& m);
+[[nodiscard]] std::vector<std::string> validate(const csx::CsxMatrix& m);
+[[nodiscard]] std::vector<std::string> validate(const csx::CsxSymMatrix& m);
+
+}  // namespace symspmv::verify

@@ -266,6 +266,66 @@ TEST(PlanStore, SerializeParseRoundTrip) {
     EXPECT_TRUE(same_decision(*parsed, sample_plan()));
 }
 
+/// Writes a plan file for @p key whose decision tokens are exactly the
+/// given strings, with a *valid* checksum over them — so a parse() miss can
+/// only come from the strict numeric parsing, not the integrity line.
+std::string handcrafted_plan_file(const PlanKey& key, const std::string& kernel,
+                                  const std::string& threads, const std::string& partition,
+                                  const std::string& patterns, const std::string& seconds) {
+    std::uint64_t h = fnv1a(kernel.data(), kernel.size());
+    h = fnv1a(threads.data(), threads.size(), h);
+    h = fnv1a(partition.data(), partition.size(), h);
+    h = fnv1a(patterns.data(), patterns.size(), h);
+    h = fnv1a(seconds.data(), seconds.size(), h);
+    std::ostringstream os;
+    os << "symspmv-plan " << kPlanFormatVersion << '\n'
+       << "matrix " << to_string(key.fingerprint) << '\n'
+       << "hardware " << to_string(key.hardware) << '\n'
+       << "search " << std::hex << key.search_hash << '\n'
+       << "kernel " << kernel << '\n'
+       << "threads " << threads << '\n'
+       << "partition " << partition << '\n'
+       << "csx-patterns " << patterns << '\n'
+       << "seconds " << seconds << '\n'
+       << "sum " << std::hex << h << '\n'
+       << "end symspmv-plan\n";
+    return os.str();
+}
+
+TEST(PlanStore, GarbageNumericFieldsAreACleanMiss) {
+    // Regression for the std::stoi/std::stod parsing: stoi("2x") returned 2
+    // (trailing junk silently ignored), stod("1e-4q") returned 1e-4, and a
+    // 20-digit thread count threw std::out_of_range.  With std::from_chars
+    // every partially-numeric or out-of-range token must be a clean miss.
+    const PlanKey key = sample_key();
+    const std::string kernel{to_string(KernelKind::kSssIndexing)};
+    const std::string partition{engine::to_string(engine::PartitionPolicy::kEvenRows)};
+
+    {  // control: the handcrafted writer produces a loadable file
+        std::istringstream in(
+            handcrafted_plan_file(key, kernel, "2", partition, "0", "1.25e-04"));
+        const auto plan = PlanStore::parse(in, key);
+        ASSERT_TRUE(plan.has_value());
+        EXPECT_EQ(plan->threads, 2);
+    }
+    const std::vector<std::pair<std::string, std::string>> garbage = {
+        {"2x", "1e-4"},                        // stoi would return 2
+        {"banana", "1e-4"},                    //
+        {"2.5", "1e-4"},                       // int field with a fraction
+        {"+2", "1e-4"},                        // stoi accepted the sign
+        {"99999999999999999999", "1e-4"},      // stoi threw out_of_range
+        {"2", "1e-4q"},                        // stod would return 1e-4
+        {"2", "one"},                          //
+        {"2", "1e99999"},                      // stod threw out_of_range
+    };
+    for (const auto& [threads, seconds] : garbage) {
+        std::istringstream in(
+            handcrafted_plan_file(key, kernel, threads, partition, "0", seconds));
+        EXPECT_FALSE(PlanStore::parse(in, key).has_value())
+            << "threads='" << threads << "' seconds='" << seconds << "'";
+    }
+}
+
 // ----------------------------------------------------------------- tuner --
 
 TuneOptions fast_options() {

@@ -52,10 +52,25 @@ TEST(BinIo, RejectsTruncation) {
     }
 }
 
-TEST(BinIo, RejectsOutOfBoundsEntries) {
-    // Handcraft a header claiming 2x2 with an entry at row 5.
+TEST(BinIo, RejectsValueByteCorruption) {
+    // A flipped bit inside a value field is structurally invisible (bounds
+    // and ordering still hold); only the SMX2 trailing checksum catches it.
+    const Coo original = gen::make_spd(gen::poisson2d(8, 8));
     std::stringstream buf;
-    buf.write("SMX1", 4);
+    write_binary(buf, original);
+    std::string corrupt = buf.str();
+    ASSERT_GT(corrupt.size(), 20u);
+    corrupt[corrupt.size() - 12] ^= 0x01;  // inside the last triplet's value
+    std::stringstream in(corrupt);
+    EXPECT_THROW(read_binary(in), ParseError);
+}
+
+TEST(BinIo, RejectsOutOfBoundsEntries) {
+    // Handcraft a header claiming 2x2 with an entry at row 5.  Bounds are
+    // checked while streaming, before the trailing checksum is even read, so
+    // the handcrafted stream needs no valid checksum.
+    std::stringstream buf;
+    buf.write("SMX2", 4);
     const std::uint32_t flags = 0;
     const std::int32_t rows = 2;
     const std::int32_t cols = 2;

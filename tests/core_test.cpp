@@ -69,6 +69,38 @@ TEST(ThreadPool, PropagatesJobException) {
 
 TEST(ThreadPool, RejectsZeroWorkers) { EXPECT_THROW(ThreadPool(0), InternalError); }
 
+TEST(ThreadPool, ThrowingWorkerPoisonsTheBarrierInsteadOfDeadlocking) {
+    // Regression: a worker throwing *before* an in-job barrier used to
+    // strand its peers in arrive_and_wait() forever (std::barrier has no
+    // error path), so run() never returned.  The poisonable barrier turns
+    // that into a clean rethrow on the caller.
+    ThreadPool pool(4);
+    for (int round = 0; round < 3; ++round) {
+        EXPECT_THROW(pool.run([&](int tid) {
+                         if (tid == 0) throw std::runtime_error("died before the barrier");
+                         pool.barrier();  // peers must unwind, not wait forever
+                     }),
+                     std::runtime_error);
+    }
+    // The barrier is re-armed: a healthy two-phase job still synchronizes.
+    std::atomic<int> after{0};
+    pool.run([&](int) {
+        after.fetch_add(1);
+        pool.barrier();
+        after.fetch_add(1);
+    });
+    EXPECT_EQ(after.load(), 8);
+}
+
+TEST(ThreadPool, AllWorkersThrowingStillRethrowsOneError) {
+    ThreadPool pool(3);
+    EXPECT_THROW(pool.run([](int) { throw std::runtime_error("everyone dies"); }),
+                 std::runtime_error);
+    std::atomic<int> ok{0};
+    pool.run([&](int) { ok.fetch_add(1); });
+    EXPECT_EQ(ok.load(), 3);
+}
+
 TEST(SplitEven, DistributesRemainder) {
     const auto parts = split_even(10, 4);
     ASSERT_EQ(parts.size(), 4u);

@@ -1,0 +1,59 @@
+// Fault-injection harness over the ingestion paths: byte-level corruption
+// and truncation of .smx streams, plan-cache files and MatrixMarket text.
+// The checksummed binary formats must reject every fault cleanly (never a
+// crash, never a silently different matrix/plan); the text format must
+// never crash and must only ever accept structurally well-formed matrices.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/error.hpp"
+#include "matrix/binio.hpp"
+#include "matrix/generators.hpp"
+#include "verify/faults.hpp"
+
+namespace symspmv {
+namespace {
+
+TEST(FaultInjection, SmxRejectsEveryTruncationAndBitFlip) {
+    const Coo original = gen::make_spd(gen::banded_random(60, 8, 5.0, 3, 0.2));
+    const verify::FaultReport rep = verify::fuzz_smx_stream(original, 17, 25, 400);
+    EXPECT_TRUE(rep.strictly_clean()) << rep.summary(".smx");
+    // Stronger: every byte of the stream is covered by the magic or the
+    // trailing checksum, so every single fault must be a clean reject.
+    EXPECT_EQ(rep.clean_rejects, rep.trials) << rep.summary(".smx");
+}
+
+TEST(FaultInjection, SmxRejectsEveryPrefixTruncationExhaustively) {
+    const Coo original = gen::make_spd(gen::poisson2d(6, 6));
+    std::ostringstream os;
+    write_binary(os, original);
+    const std::string full = os.str();
+    for (std::size_t cut = 0; cut < full.size(); ++cut) {
+        std::istringstream in(full.substr(0, cut));
+        EXPECT_THROW(read_binary(in), ParseError) << "prefix of " << cut << " bytes";
+    }
+}
+
+TEST(FaultInjection, PlanFilesMissOrServeTheExactPlan) {
+    const verify::FaultReport rep = verify::fuzz_plan_file(23, 25, 400);
+    EXPECT_TRUE(rep.strictly_clean()) << rep.summary("plan cache");
+    EXPECT_GT(rep.clean_rejects, 0);
+}
+
+TEST(FaultInjection, MatrixMarketNeverCrashesAndOnlyAcceptsWellFormed) {
+    const Coo original = gen::make_spd(gen::poisson2d(8, 8));
+    const verify::FaultReport rep = verify::fuzz_matrix_market(original, 31, 20, 300);
+    EXPECT_TRUE(rep.no_crashes()) << rep.summary("MatrixMarket");
+}
+
+TEST(FaultInjection, ReportSummaryIsReadable) {
+    const Coo original = gen::make_spd(gen::poisson2d(4, 4));
+    const verify::FaultReport rep = verify::fuzz_smx_stream(original, 1, 3, 5);
+    const std::string s = rep.summary(".smx");
+    EXPECT_NE(s.find("clean rejects"), std::string::npos);
+    EXPECT_NE(s.find(std::to_string(rep.trials)), std::string::npos);
+}
+
+}  // namespace
+}  // namespace symspmv

@@ -97,6 +97,67 @@ TEST(Mmio, RejectsMalformedInputs) {
     }
 }
 
+TEST(Mmio, StreamEndingBeforeTheSizeLineIsAParseError) {
+    // Regression: the comment-skip loop did not distinguish EOF from "found
+    // the size line", so a truncated file produced a misleading "malformed
+    // size line: %<last comment>" error (or worse, parsed the comment).
+    {
+        std::istringstream in("%%MatrixMarket matrix coordinate real general\n");
+        EXPECT_THROW(read_matrix_market(in), ParseError);
+    }
+    {
+        std::istringstream in(
+            "%%MatrixMarket matrix coordinate real general\n% only\n% comments\n");
+        EXPECT_THROW(read_matrix_market(in), ParseError);
+    }
+}
+
+TEST(Mmio, RejectsNnzBeyondMatrixCapacity) {
+    // 2x2 cannot hold 5 entries; without the bound the dup-summing reader
+    // would quietly accept the file (duplicates merge) or misreport later.
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "2 2 5\n1 1 1.0\n1 2 1.0\n2 1 1.0\n2 2 1.0\n1 1 1.0\n");
+    EXPECT_THROW(read_matrix_market(in), ParseError);
+}
+
+TEST(Mmio, RejectsOversizedDimensions) {
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real general\n5000000000 5000000000 1\n1 1 1.0\n");
+    EXPECT_THROW(read_matrix_market(in), ParseError);  // > 32-bit index range
+}
+
+TEST(Mmio, SymmetricFileWithRepeatedEntryIsAParseError) {
+    // The repeated coordinate would be summed and then mirrored — a silently
+    // doubled value, not a recoverable input.
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real symmetric\n"
+        "3 3 3\n2 1 1.0\n2 1 2.0\n3 3 1.0\n");
+    EXPECT_THROW(read_matrix_market(in), ParseError);
+}
+
+TEST(Mmio, SymmetricFileStoringBothTrianglesIsAParseError) {
+    // (2,1) and (1,2) both present: mirroring collides them and the pair
+    // would sum — again a silent value change.
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real symmetric\n"
+        "3 3 3\n2 1 1.0\n1 2 1.0\n3 3 1.0\n");
+    EXPECT_THROW(read_matrix_market(in), ParseError);
+}
+
+TEST(Mmio, GeneralFileStillSumsDuplicates) {
+    // For *general* files duplicate coordinates remain legal input: they sum
+    // (the raw reader reports it via the header flag).
+    std::istringstream in(
+        "%%MatrixMarket matrix coordinate real general\n"
+        "2 2 3\n1 1 1.0\n1 1 2.5\n2 2 1.0\n");
+    MatrixMarketHeader header;
+    const Coo coo = read_matrix_market_raw(in, header);
+    EXPECT_TRUE(header.duplicates);
+    EXPECT_EQ(coo.nnz(), 2);
+    EXPECT_DOUBLE_EQ(coo.entries()[0].val, 3.5);
+}
+
 TEST(Mmio, MissingFileThrows) {
     EXPECT_THROW(read_matrix_market_file("/nonexistent/foo.mtx"), ParseError);
 }

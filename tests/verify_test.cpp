@@ -1,0 +1,184 @@
+// The differential verification subsystem: adversarial suite health, the
+// oracle sweep over every registered kernel, and the format invariant
+// validators (accepting healthy structures, flagging corrupted ones).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "csx/csx_matrix.hpp"
+#include "csx/csx_sym.hpp"
+#include "engine/registry.hpp"
+#include "matrix/csr.hpp"
+#include "matrix/generators.hpp"
+#include "matrix/sss.hpp"
+#include "verify/adversarial.hpp"
+#include "verify/oracle.hpp"
+#include "verify/validate.hpp"
+
+namespace symspmv {
+namespace {
+
+using verify::adversarial_suite;
+using verify::validate;
+
+TEST(AdversarialSuite, CasesAreWellFormedSymmetricAndDeterministic) {
+    const auto suite = adversarial_suite();
+    ASSERT_GE(suite.size(), 8u);
+    const auto again = adversarial_suite();
+    ASSERT_EQ(suite.size(), again.size());
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        const verify::AdversarialCase& c = suite[i];
+        EXPECT_FALSE(c.name.empty());
+        EXPECT_EQ(c.matrix.rows(), c.matrix.cols()) << c.name;
+        EXPECT_TRUE(c.matrix.is_symmetric()) << c.name;
+        EXPECT_TRUE(validate(c.matrix).empty()) << c.name;
+        // Determinism: two generations produce the identical matrix.
+        EXPECT_EQ(c.matrix.nnz(), again[i].matrix.nnz()) << c.name;
+        for (index_t k = 0; k < c.matrix.nnz(); ++k) {
+            ASSERT_EQ(c.matrix.entries()[static_cast<std::size_t>(k)],
+                      again[i].matrix.entries()[static_cast<std::size_t>(k)])
+                << c.name;
+        }
+    }
+}
+
+TEST(AdversarialSuite, CoversTheTargetedStructures) {
+    bool has_empty_row_case = false;
+    bool has_tiny = false;
+    bool has_empty_matrix = false;
+    for (const auto& c : adversarial_suite()) {
+        if (c.matrix.nnz() == 0) has_empty_matrix = true;
+        if (c.matrix.rows() < 8) has_tiny = true;
+        // structurally empty row: some row index absent from all entries
+        std::vector<bool> seen(static_cast<std::size_t>(c.matrix.rows()), false);
+        for (const Triplet& t : c.matrix.entries()) {
+            seen[static_cast<std::size_t>(t.row)] = true;
+        }
+        for (bool s : seen) {
+            if (!s && c.matrix.rows() > 1) has_empty_row_case = true;
+        }
+    }
+    EXPECT_TRUE(has_empty_matrix);
+    EXPECT_TRUE(has_tiny);
+    EXPECT_TRUE(has_empty_row_case);
+}
+
+TEST(Oracle, ReferenceAgreesWithCooSpmvWithinItsOwnBounds) {
+    const Coo full = gen::make_spd(gen::banded_random(150, 20, 7.0, 5, 0.3));
+    std::vector<value_t> x(150);
+    for (std::size_t i = 0; i < x.size(); ++i) x[i] = 0.01 * static_cast<double>(i) - 0.7;
+    const verify::Reference ref = verify::reference_spmv(full, x, 16.0);
+    std::vector<value_t> y(150, 0.0);
+    full.spmv(x, y);
+    for (std::size_t i = 0; i < y.size(); ++i) {
+        EXPECT_GT(ref.bound[i], 0.0);
+        EXPECT_LE(std::abs(y[i] - ref.y[i]), ref.bound[i]) << "row " << i;
+    }
+}
+
+/// A kernel that is wrong in one component by an amount far beyond any
+/// rounding model — the oracle must flag it (meta-test of the oracle).
+class BrokenKernel final : public SpmvKernel {
+   public:
+    explicit BrokenKernel(Coo full) : full_(std::move(full)) {}
+    [[nodiscard]] std::string_view name() const override { return "broken"; }
+    [[nodiscard]] index_t rows() const override { return full_.rows(); }
+    [[nodiscard]] std::int64_t nnz() const override { return full_.nnz(); }
+    [[nodiscard]] std::size_t footprint_bytes() const override { return 0; }
+    void spmv(std::span<const value_t> x, std::span<value_t> y) override {
+        full_.spmv(x, y);
+        y[y.size() / 2] += 1e-3;
+    }
+
+   private:
+    Coo full_;
+};
+
+TEST(Oracle, FlagsAKernelThatIsWrongInOneComponent) {
+    const Coo full = gen::make_spd(gen::poisson2d(12, 12));
+    BrokenKernel broken(full);
+    const auto res = verify::check_kernel(broken, full, "meta");
+    EXPECT_FALSE(res.pass);
+    EXPECT_GT(res.worst_share, 1.0);
+    EXPECT_EQ(res.worst_row, full.rows() / 2);
+}
+
+// The tentpole sweep: every registered kernel x every adversarial case x
+// {1, 3, 8} threads must match the long-double reference within the
+// ULP-aware componentwise bound.
+TEST(Oracle, EveryRegisteredKernelPassesTheAdversarialSuite) {
+    const verify::OracleReport report = verify::run_differential_oracle();
+    EXPECT_TRUE(report.all_passed())
+        << report.failures() << " failures:\n"
+        << report.failure_lines() << '\n'
+        << report.table();
+    // The report is per (kernel, case, threads); every registered kind must
+    // appear, and the max-ULP table must render.
+    EXPECT_GE(report.results.size(),
+              all_kernel_kinds().size() * adversarial_suite().size());
+    EXPECT_FALSE(report.table().empty());
+}
+
+// ------------------------------------------------------------ validators --
+
+TEST(Validators, AcceptEveryHealthyRepresentation) {
+    const Coo full = gen::make_spd(gen::block_fem(30, 3, 4.0, 0.6, 9));
+    const Csr csr(full);
+    const Sss sss(full);
+    const csx::CsxMatrix csx(csr, csx::CsxConfig{}, 4);
+    const csx::CsxSymMatrix csx_sym(sss, csx::CsxConfig{}, 4);
+    EXPECT_TRUE(validate(full).empty());
+    EXPECT_TRUE(validate(csr).empty());
+    EXPECT_TRUE(validate(sss).empty());
+    EXPECT_TRUE(validate(csx).empty());
+    EXPECT_TRUE(validate(csx_sym).empty());
+}
+
+TEST(Validators, AcceptAdversarialStructures) {
+    // Empty rows, dense columns, denormals: the validators must accept all
+    // healthy encodings of the adversarial suite too (p > rows included).
+    for (const auto& c : adversarial_suite()) {
+        const Csr csr(c.matrix);
+        const Sss sss(c.matrix);
+        EXPECT_TRUE(validate(csr).empty()) << c.name;
+        EXPECT_TRUE(validate(sss).empty()) << c.name;
+        if (c.matrix.rows() > 0) {
+            const csx::CsxMatrix csx(csr, csx::CsxConfig{}, 8);
+            const csx::CsxSymMatrix csx_sym(sss, csx::CsxConfig{}, 8);
+            EXPECT_TRUE(validate(csx).empty()) << c.name;
+            EXPECT_TRUE(validate(csx_sym).empty()) << c.name;
+        }
+    }
+}
+
+TEST(Validators, FlagUnsortedCsrColumns) {
+    // The Csr constructor validates bounds and rowptr shape but not the
+    // within-row column order — exactly the gap validate() covers.
+    aligned_vector<index_t> rowptr = {0, 2, 3};
+    aligned_vector<index_t> colind = {1, 0, 1};  // row 0: columns out of order
+    aligned_vector<value_t> values = {1.0, 2.0, 3.0};
+    const Csr csr(2, 2, std::move(rowptr), std::move(colind), std::move(values));
+    const auto issues = validate(csr);
+    ASSERT_FALSE(issues.empty());
+    EXPECT_NE(issues.front().find("not strictly increasing"), std::string::npos)
+        << issues.front();
+}
+
+TEST(Validators, FlagDuplicateCsrColumns) {
+    aligned_vector<index_t> rowptr = {0, 2};
+    aligned_vector<index_t> colind = {1, 1};  // duplicate column
+    aligned_vector<value_t> values = {1.0, 2.0};
+    const Csr csr(1, 2, std::move(rowptr), std::move(colind), std::move(values));
+    EXPECT_FALSE(validate(csr).empty());
+}
+
+TEST(Validators, FlagNonCanonicalCoo) {
+    Coo coo(4, 4);
+    coo.add(2, 2, 1.0);
+    coo.add(0, 0, 1.0);  // out of order, not canonicalized
+    EXPECT_FALSE(validate(coo).empty());
+}
+
+}  // namespace
+}  // namespace symspmv
