@@ -8,7 +8,7 @@
 //                       [--threads N] [--tol 1e-8] [--max-iter 5000]
 //                       [--rcm] [--rhs ones|random]
 //                       [--tune] [--plan-cache DIR] [--tune-budget N]
-//                       [--verify]
+//                       [--verify] [--record FILE]
 //
 // With --tune the kernel is chosen by the autotune subsystem instead of
 // --kernel: a timed search on the first run, an instant plan-cache hit on
@@ -19,15 +19,29 @@
 // and SSS representations are run through the format invariant validators;
 // any deviation aborts the solve with exit code 2.
 //
+// With --record FILE one RunRecord describing the solve — per-iteration
+// phase breakdown, hardware counters (null when perf_event is unavailable),
+// derived GFLOP/s and effective bandwidth — is appended to FILE as a JSON
+// line (schema: docs/OBSERVABILITY.md).  SYMSPMV_TRACE=1 additionally dumps
+// preprocessing/multiply/barrier/reduction spans as Chrome trace JSON.
+//
 // Without a file argument a Poisson benchmark problem is generated, so the
 // example is runnable out of the box.
+#include <algorithm>
 #include <iostream>
+#include <optional>
 #include <random>
 #include <string>
 
+#include "autotune/fingerprint.hpp"
 #include "autotune/store.hpp"
 #include "autotune/tuner.hpp"
+#include "bench/roofline.hpp"
 #include "core/options.hpp"
+#include "engine/profiler.hpp"
+#include "obs/counters.hpp"
+#include "obs/run_record.hpp"
+#include "obs/trace.hpp"
 #include "engine/bundle.hpp"
 #include "engine/context.hpp"
 #include "engine/factory.hpp"
@@ -70,10 +84,12 @@ int main(int argc, char** argv) {
         }
         std::cout << "matrix: " << full.rows() << " rows, " << full.nnz() << " non-zeros\n";
 
+        obs::TraceWriter* trace = obs::global_trace();
         engine::ExecutionContext ctx(threads);
         const engine::MatrixBundle bundle(std::move(full));
         const engine::KernelFactory factory(bundle, ctx);
         KernelPtr kernel;
+        const double prep_start = trace != nullptr ? trace->now_seconds() : 0.0;
         if (opts.get_bool("--tune", false)) {
             autotune::PlanStore store(opts.get_string("--plan-cache", ""));
             autotune::TuneOptions tune_opts;
@@ -94,6 +110,10 @@ int main(int argc, char** argv) {
             }
         } else {
             kernel = factory.make(parse_kernel_kind(kernel_name));
+        }
+        if (trace != nullptr) {
+            trace->span("preprocess", "setup", obs::TraceWriter::kCallerTid, prep_start,
+                        trace->now_seconds() - prep_start);
         }
         if (opts.has("--verify")) {
             std::vector<std::string> issues = verify::validate(bundle.csr());
@@ -128,7 +148,63 @@ int main(int argc, char** argv) {
         cg::Options cg_opts;
         cg_opts.tolerance = tol;
         cg_opts.max_iterations = max_iter;
+
+        // Observability: per-thread phase profiling always (it is wait-free),
+        // hardware counters only when the run is recorded, trace spans when
+        // SYMSPMV_TRACE=1.
+        const std::string record_path = opts.get_string("--record", "");
+        PhaseProfiler profiler(threads);
+        if (trace != nullptr) profiler.set_trace_sink(trace);
+        cg_opts.profiler = &profiler;
+        std::optional<obs::ThreadCounters> counters;
+        if (!record_path.empty()) counters.emplace(ctx);
+
+        const double solve_start = trace != nullptr ? trace->now_seconds() : 0.0;
+        if (counters) counters->enable();
         const cg::PcgResult res = cg::pcg_solve(*kernel, *precond, ctx, b, cg_opts);
+        if (counters) counters->disable();
+        if (trace != nullptr) {
+            trace->span("pcg-solve", "solver", obs::TraceWriter::kCallerTid, solve_start,
+                        trace->now_seconds() - solve_start);
+        }
+
+        if (!record_path.empty()) {
+            obs::RunRecord rec;
+            rec.matrix = opts.positional().empty() ? "poisson-64x64"
+                                                   : opts.positional().front();
+            rec.fingerprint = autotune::to_string(autotune::fingerprint(bundle.coo()));
+            rec.rows = kernel->rows();
+            rec.nnz = kernel->nnz();
+            rec.kernel = std::string(kernel->name());
+            rec.threads = threads;
+            rec.partition = std::string(engine::to_string(ctx.options().partition));
+            rec.iterations = res.base.iterations;
+            const int iters = std::max(1, res.base.iterations);
+            // Per-op here means per CG iteration: one SpM×V plus the vector
+            // and preconditioner work that iteration carries.
+            rec.seconds_per_op = res.total_seconds() / iters;
+            rec.seconds_mean = rec.seconds_per_op;
+            rec.seconds_min = rec.seconds_per_op;
+            rec.seconds_max = rec.seconds_per_op;
+            rec.multiply_seconds = engine::per_op_max_seconds(profiler, Phase::kMultiply);
+            rec.barrier_seconds = engine::per_op_max_seconds(profiler, Phase::kBarrier);
+            rec.reduction_seconds = engine::per_op_max_seconds(profiler, Phase::kReduction);
+            rec.multiply_imbalance = profiler.stats(Phase::kMultiply).imbalance;
+            rec.footprint_bytes = static_cast<std::int64_t>(kernel->footprint_bytes());
+            rec.bytes_per_op = static_cast<std::int64_t>(bench::streamed_bytes(*kernel));
+            const double spmv_per_op = (res.base.breakdown.spmv_multiply_seconds +
+                                        res.base.breakdown.spmv_reduction_seconds) /
+                                       iters;
+            if (spmv_per_op > 0.0) {
+                rec.gflops = static_cast<double>(kernel->flops()) / spmv_per_op * 1e-9;
+                rec.bandwidth_gbs =
+                    static_cast<double>(rec.bytes_per_op) / spmv_per_op * 1e-9;
+            }
+            rec.counters = counters->aggregate();
+            obs::RunSink sink(record_path);
+            sink.write(rec);
+            std::cout << "run record appended to " << record_path << "\n";
+        }
 
         std::cout << "kernel: " << kernel->name() << ", preconditioner: " << precond->name()
                   << ", threads: " << threads << "\n"

@@ -28,6 +28,7 @@ void PhaseProfiler::record(int tid, Phase phase, double seconds) {
     Slot& slot = slots_[static_cast<std::size_t>(tid)];
     slot.seconds[static_cast<int>(phase)] += seconds;
     ++slot.samples[static_cast<int>(phase)];
+    if (trace_ != nullptr) trace_->phase_recorded(tid, phase, seconds);
 }
 
 double PhaseProfiler::seconds(int tid, Phase phase) const {

@@ -31,6 +31,21 @@ inline constexpr int kPhaseCount = 3;
 
 [[nodiscard]] std::string_view to_string(Phase phase);
 
+/// Observer of individual phase intervals, called synchronously from
+/// PhaseProfiler::record() as each interval ends.  This is the seam the
+/// observability layer's trace writer (obs/trace.hpp, SYMSPMV_TRACE=1)
+/// hangs off: the profiler keeps the wait-free per-thread accumulators, the
+/// sink sees every (tid, phase, duration) event with end-time "now".
+/// Implementations must be thread-safe — concurrent workers call in.
+class PhaseTraceSink {
+   public:
+    virtual ~PhaseTraceSink() = default;
+
+    /// Worker @p tid spent @p seconds in @p phase, ending approximately at
+    /// the time of this call.
+    virtual void phase_recorded(int tid, Phase phase, double seconds) = 0;
+};
+
 /// Cross-thread summary of one phase (seconds accumulated per thread over
 /// all recorded operations).
 struct PhaseStats {
@@ -70,8 +85,17 @@ class PhaseProfiler {
     /// phase still participate with 0 s (they *were* idle there).
     [[nodiscard]] PhaseStats stats(Phase phase) const;
 
-    /// Zeroes all slots and the operation counter.
+    /// Zeroes all slots and the operation counter (the trace sink stays
+    /// attached — a reset starts a new measurement window, not a new trace).
     void reset();
+
+    /// Attaches a per-interval observer (nullptr detaches).  The sink must
+    /// outlive the attachment; record() forwards every interval to it, so
+    /// only attach one while tracing — the accumulators themselves stay
+    /// wait-free either way.
+    void set_trace_sink(PhaseTraceSink* sink) { trace_ = sink; }
+
+    [[nodiscard]] PhaseTraceSink* trace_sink() const { return trace_; }
 
    private:
     // One cache line per worker so concurrent record() calls never share.
@@ -82,6 +106,7 @@ class PhaseProfiler {
 
     std::vector<Slot> slots_;
     std::size_t ops_ = 0;
+    PhaseTraceSink* trace_ = nullptr;
 };
 
 }  // namespace symspmv

@@ -70,6 +70,13 @@ class ExecutionContext {
     /// the kernel constructors) without those layers depending on the engine.
     operator ThreadPool&() { return pool_; }  // NOLINT(google-explicit-constructor)
 
+    /// Runs @p fn once on every worker thread (blocking until all finish).
+    /// This is the per-thread attachment seam the observability layer uses:
+    /// resources that must be created on the thread they measure — perf
+    /// counter groups (obs::ThreadCounters), thread-local trace state — are
+    /// opened here, on the workers the kernels will actually run on.
+    void for_each_worker(const std::function<void(int)>& fn) { pool_.run(fn); }
+
     /// Splits the rows described by the CSR/SSS row-pointer array according
     /// to the context's partition policy, one range per worker.
     [[nodiscard]] std::vector<RowRange> partition(std::span<const index_t> rowptr) const;

@@ -1,0 +1,228 @@
+#include "obs/counters.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "core/error.hpp"
+#include "engine/context.hpp"
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace symspmv::obs {
+
+std::string_view to_string(Counter c) {
+    switch (c) {
+        case Counter::kCycles: return "cycles";
+        case Counter::kInstructions: return "instructions";
+        case Counter::kLlcLoads: return "llc_loads";
+        case Counter::kLlcMisses: return "llc_misses";
+        case Counter::kStalledCycles: return "stalled_cycles";
+    }
+    return "?";
+}
+
+CounterSample& CounterSample::operator+=(const CounterSample& other) {
+    for (int i = 0; i < kCounterCount; ++i) {
+        const auto idx = static_cast<std::size_t>(i);
+        if (valid[idx] && other.valid[idx]) {
+            value[idx] += other.value[idx];
+        } else {
+            valid[idx] = false;
+            value[idx] = 0;
+        }
+    }
+    return *this;
+}
+
+bool CounterGroup::force_disabled() {
+    const char* env = std::getenv("SYMSPMV_NO_PERF");
+    return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+CounterGroup::CounterGroup(CounterGroup&& other) noexcept : fd_(other.fd_) {
+    other.fd_.fill(-1);
+}
+
+CounterGroup& CounterGroup::operator=(CounterGroup&& other) noexcept {
+    if (this != &other) {
+        close_all();
+        fd_ = other.fd_;
+        other.fd_.fill(-1);
+    }
+    return *this;
+}
+
+CounterGroup::~CounterGroup() { close_all();
+}
+
+bool CounterGroup::available() const {
+    for (const int fd : fd_) {
+        if (fd >= 0) return true;
+    }
+    return false;
+}
+
+#if defined(__linux__)
+
+namespace {
+
+struct EventSpec {
+    std::uint32_t type;
+    std::uint64_t config;
+};
+
+constexpr std::uint64_t llc_cache_config(std::uint64_t result) {
+    return PERF_COUNT_HW_CACHE_LL | (PERF_COUNT_HW_CACHE_OP_READ << 8) | (result << 16);
+}
+
+// Slot order must match enum Counter.
+constexpr EventSpec kEvents[kCounterCount] = {
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS},
+    {PERF_TYPE_HW_CACHE, llc_cache_config(PERF_COUNT_HW_CACHE_RESULT_ACCESS)},
+    {PERF_TYPE_HW_CACHE, llc_cache_config(PERF_COUNT_HW_CACHE_RESULT_MISS)},
+    {PERF_TYPE_HARDWARE, PERF_COUNT_HW_STALLED_CYCLES_BACKEND},
+};
+
+/// The perf read layout with TOTAL_TIME_ENABLED | TOTAL_TIME_RUNNING.
+struct ReadFormat {
+    std::uint64_t value = 0;
+    std::uint64_t time_enabled = 0;
+    std::uint64_t time_running = 0;
+};
+
+}  // namespace
+
+void CounterGroup::close_all() {
+    for (int& fd : fd_) {
+        if (fd >= 0) ::close(fd);
+        fd = -1;
+    }
+}
+
+bool CounterGroup::open_on_this_thread() {
+    close_all();
+    if (force_disabled()) return false;
+    for (int i = 0; i < kCounterCount; ++i) {
+        perf_event_attr attr;
+        std::memset(&attr, 0, sizeof(attr));
+        attr.size = sizeof(attr);
+        attr.type = kEvents[i].type;
+        attr.config = kEvents[i].config;
+        attr.disabled = 1;
+        // User-space only: paranoid level 2 (the common default) still
+        // allows self-measurement without CAP_PERFMON, and the SpM×V loop
+        // is user-space work anyway.
+        attr.exclude_kernel = 1;
+        attr.exclude_hv = 1;
+        attr.read_format = PERF_FORMAT_TOTAL_TIME_ENABLED | PERF_FORMAT_TOTAL_TIME_RUNNING;
+        // pid=0, cpu=-1: this thread, on whatever CPU it runs.
+        const long fd = ::syscall(SYS_perf_event_open, &attr, 0, -1, -1, PERF_FLAG_FD_CLOEXEC);
+        fd_[static_cast<std::size_t>(i)] = static_cast<int>(fd);  // -1 on failure
+    }
+    return available();
+}
+
+void CounterGroup::enable() {
+    for (const int fd : fd_) {
+        if (fd >= 0) {
+            ::ioctl(fd, PERF_EVENT_IOC_RESET, 0);
+            ::ioctl(fd, PERF_EVENT_IOC_ENABLE, 0);
+        }
+    }
+}
+
+void CounterGroup::disable() {
+    for (const int fd : fd_) {
+        if (fd >= 0) ::ioctl(fd, PERF_EVENT_IOC_DISABLE, 0);
+    }
+}
+
+CounterSample CounterGroup::read() const {
+    CounterSample s;
+    for (int i = 0; i < kCounterCount; ++i) {
+        const auto idx = static_cast<std::size_t>(i);
+        const int fd = fd_[idx];
+        if (fd < 0) continue;
+        ReadFormat rf;
+        if (::read(fd, &rf, sizeof(rf)) != static_cast<ssize_t>(sizeof(rf))) continue;
+        if (rf.time_running == 0) continue;  // never scheduled: no data
+        double v = static_cast<double>(rf.value);
+        if (rf.time_running < rf.time_enabled) {
+            // Multiplexed: extrapolate to the full enabled window.
+            v *= static_cast<double>(rf.time_enabled) / static_cast<double>(rf.time_running);
+        }
+        s.value[idx] = static_cast<std::int64_t>(v);
+        s.valid[idx] = true;
+    }
+    return s;
+}
+
+#else  // !__linux__: perf events do not exist; everything is a no-op.
+
+void CounterGroup::close_all() { fd_.fill(-1); }
+
+bool CounterGroup::open_on_this_thread() {
+    close_all();
+    return false;
+}
+
+void CounterGroup::enable() {}
+
+void CounterGroup::disable() {}
+
+CounterSample CounterGroup::read() const { return {}; }
+
+#endif
+
+ThreadCounters::ThreadCounters(ThreadPool& pool, bool include_caller)
+    : workers_(pool.size()) {
+    groups_.resize(static_cast<std::size_t>(workers_) + (include_caller ? 1 : 0));
+    // Each worker opens its own group: perf events attach to the opening
+    // thread, and the slots are disjoint, so this job is race-free.
+    pool.run([this](int tid) { groups_[static_cast<std::size_t>(tid)].open_on_this_thread(); });
+    if (include_caller) groups_.back().open_on_this_thread();
+}
+
+ThreadCounters::ThreadCounters(engine::ExecutionContext& ctx, bool include_caller)
+    : workers_(ctx.threads()) {
+    groups_.resize(static_cast<std::size_t>(workers_) + (include_caller ? 1 : 0));
+    ctx.for_each_worker(
+        [this](int tid) { groups_[static_cast<std::size_t>(tid)].open_on_this_thread(); });
+    if (include_caller) groups_.back().open_on_this_thread();
+}
+
+void ThreadCounters::enable() {
+    for (CounterGroup& g : groups_) g.enable();
+}
+
+void ThreadCounters::disable() {
+    for (CounterGroup& g : groups_) g.disable();
+}
+
+const CounterGroup& ThreadCounters::worker(int tid) const {
+    SYMSPMV_CHECK_MSG(tid >= 0 && tid < workers_, "ThreadCounters: tid out of range");
+    return groups_[static_cast<std::size_t>(tid)];
+}
+
+bool ThreadCounters::available() const {
+    for (const CounterGroup& g : groups_) {
+        if (g.available()) return true;
+    }
+    return false;
+}
+
+CounterSample ThreadCounters::aggregate() const {
+    if (groups_.empty()) return {};
+    CounterSample total = groups_.front().read();
+    for (std::size_t i = 1; i < groups_.size(); ++i) total += groups_[i].read();
+    return total;
+}
+
+}  // namespace symspmv::obs

@@ -1,0 +1,153 @@
+// Hardware performance counters for the SpM×V phases, via perf_event_open.
+//
+// The paper's argument is a memory-bandwidth argument: symmetric/compressed
+// formats win because they move fewer bytes, which shows up as fewer LLC
+// misses and fewer stalled cycles, not just lower wall-clock (§I, Figs.
+// 11-13; Schubert/Hager/Fehske make the same case for SpM×V generally).
+// This module measures exactly that: cycles, instructions, last-level-cache
+// loads/misses and backend-stalled cycles, per worker thread, over the
+// timed measurement window.
+//
+// Counters are opened *on the thread they measure* (perf events with pid=0
+// attach to the calling thread), which is why ThreadCounters opens one
+// CounterGroup per pool worker by running the open on each worker —
+// ExecutionContext::for_each_worker is the engine seam for that.
+//
+// Graceful degradation is a hard requirement: CI containers and hardened
+// kernels (perf_event_paranoid >= 3, seccomp) reject perf_event_open, and
+// some microarchitectures lack the stalled-cycles event.  Every open
+// failure simply marks that counter invalid; readings of invalid counters
+// serialize as JSON null (run_record.hpp), never as zeroes pretending to be
+// data.  Setting SYMSPMV_NO_PERF=1 forces the unavailable path (used by the
+// tests and to keep CI runs deterministic).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "core/thread_pool.hpp"
+
+namespace symspmv::engine {
+class ExecutionContext;
+}
+
+namespace symspmv::obs {
+
+/// The fixed counter set of one CounterGroup, in slot order.
+enum class Counter {
+    kCycles = 0,         // PERF_COUNT_HW_CPU_CYCLES
+    kInstructions = 1,   // PERF_COUNT_HW_INSTRUCTIONS
+    kLlcLoads = 2,       // last-level cache read accesses
+    kLlcMisses = 3,      // last-level cache read misses
+    kStalledCycles = 4,  // PERF_COUNT_HW_STALLED_CYCLES_BACKEND
+};
+
+inline constexpr int kCounterCount = 5;
+
+/// Stable snake_case names used as RunRecord JSON keys ("cycles",
+/// "llc_misses", ...).
+[[nodiscard]] std::string_view to_string(Counter c);
+
+/// One reading of the counter set.  A slot is valid only when its event
+/// was opened and actually scheduled; invalid slots hold 0 and must be
+/// reported as "no data" (JSON null), not as a measurement.
+struct CounterSample {
+    std::array<std::int64_t, kCounterCount> value{};
+    std::array<bool, kCounterCount> valid{};
+
+    [[nodiscard]] std::optional<std::int64_t> get(Counter c) const {
+        const auto i = static_cast<std::size_t>(c);
+        return valid[i] ? std::optional<std::int64_t>(value[i]) : std::nullopt;
+    }
+
+    [[nodiscard]] bool any_valid() const {
+        for (const bool v : valid) {
+            if (v) return true;
+        }
+        return false;
+    }
+
+    /// Per-slot sum; the result slot is valid only when both inputs are
+    /// (summing a measured thread with an unmeasured one would undercount).
+    CounterSample& operator+=(const CounterSample& other);
+
+    friend bool operator==(const CounterSample&, const CounterSample&) = default;
+};
+
+/// The five events of one thread.  Construction never throws: events that
+/// cannot be opened are skipped and read back as invalid.  Multiplexed
+/// events (more events than hardware counters) are scaled by
+/// time_enabled/time_running, the standard perf extrapolation.
+class CounterGroup {
+   public:
+    /// Closed group; open_on_this_thread() arms it.
+    CounterGroup() = default;
+    ~CounterGroup();
+
+    CounterGroup(CounterGroup&& other) noexcept;
+    CounterGroup& operator=(CounterGroup&& other) noexcept;
+    CounterGroup(const CounterGroup&) = delete;
+    CounterGroup& operator=(const CounterGroup&) = delete;
+
+    /// Opens the events for the calling thread (and only it).  Call from
+    /// the thread to be measured; returns available().
+    bool open_on_this_thread();
+
+    /// True when at least one event is open.
+    [[nodiscard]] bool available() const;
+
+    /// Zeroes and starts all open events (no-op when unavailable).
+    void enable();
+
+    /// Stops all open events.
+    void disable();
+
+    /// Current values (valid between disable() and the next enable(), or
+    /// while running).  Unavailable events are invalid slots.
+    [[nodiscard]] CounterSample read() const;
+
+    /// True when SYMSPMV_NO_PERF=1 forces the unavailable path.
+    [[nodiscard]] static bool force_disabled();
+
+   private:
+    void close_all();
+
+    std::array<int, kCounterCount> fd_{-1, -1, -1, -1, -1};
+};
+
+/// Per-thread counter groups for a worker pool: one group opened on each
+/// worker (so the events attach to it) and optionally one on the calling
+/// thread, which executes the serial kernels.  The engine-level entry point
+/// is the ExecutionContext overload — an ExecutionContext is how the rest
+/// of the system names "the threads this run executes on".
+class ThreadCounters {
+   public:
+    explicit ThreadCounters(ThreadPool& pool, bool include_caller = true);
+    explicit ThreadCounters(engine::ExecutionContext& ctx, bool include_caller = true);
+
+    /// Zero + start / stop every group (workers and caller).
+    void enable();
+    void disable();
+
+    /// The group of worker @p tid.
+    [[nodiscard]] const CounterGroup& worker(int tid) const;
+
+    [[nodiscard]] int workers() const { return workers_; }
+
+    /// True when at least one thread has at least one open event.
+    [[nodiscard]] bool available() const;
+
+    /// Sum over all threads (workers + caller).  A counter is valid only
+    /// when every thread measured it, so partial availability cannot
+    /// masquerade as a whole-run total.
+    [[nodiscard]] CounterSample aggregate() const;
+
+   private:
+    std::vector<CounterGroup> groups_;  // [0, workers_) = workers, then caller
+    int workers_ = 0;
+};
+
+}  // namespace symspmv::obs

@@ -1,0 +1,362 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+
+#include "core/error.hpp"
+
+namespace symspmv::obs {
+
+bool Json::as_bool() const {
+    if (const bool* b = std::get_if<bool>(&v_)) return *b;
+    throw ParseError("json: not a boolean");
+}
+
+std::int64_t Json::as_int() const {
+    if (const std::int64_t* i = std::get_if<std::int64_t>(&v_)) return *i;
+    throw ParseError("json: not an integer");
+}
+
+double Json::as_double() const {
+    if (const double* d = std::get_if<double>(&v_)) return *d;
+    if (const std::int64_t* i = std::get_if<std::int64_t>(&v_)) return static_cast<double>(*i);
+    throw ParseError("json: not a number");
+}
+
+const std::string& Json::as_string() const {
+    if (const std::string* s = std::get_if<std::string>(&v_)) return *s;
+    throw ParseError("json: not a string");
+}
+
+const JsonArray& Json::as_array() const {
+    if (const JsonArray* a = std::get_if<JsonArray>(&v_)) return *a;
+    throw ParseError("json: not an array");
+}
+
+const JsonObject& Json::as_object() const {
+    if (const JsonObject* o = std::get_if<JsonObject>(&v_)) return *o;
+    throw ParseError("json: not an object");
+}
+
+const Json* Json::get(std::string_view key) const {
+    for (const auto& [k, v] : as_object()) {
+        if (k == key) return &v;
+    }
+    return nullptr;
+}
+
+const Json& Json::at(std::string_view key) const {
+    if (const Json* v = get(key)) return *v;
+    throw ParseError("json: missing key '" + std::string(key) + "'");
+}
+
+Json& Json::set(std::string_view key, Json value) {
+    if (JsonObject* o = std::get_if<JsonObject>(&v_)) {
+        o->emplace_back(std::string(key), std::move(value));
+        return *this;
+    }
+    throw ParseError("json: set() on a non-object");
+}
+
+Json& Json::push_back(Json value) {
+    if (JsonArray* a = std::get_if<JsonArray>(&v_)) {
+        a->push_back(std::move(value));
+        return *this;
+    }
+    throw ParseError("json: push_back() on a non-array");
+}
+
+// ---------------------------------------------------------------------------
+// dump
+
+namespace {
+
+void dump_string(const std::string& s, std::string& out) {
+    out += '"';
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            case '\b': out += "\\b"; break;
+            case '\f': out += "\\f"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    constexpr char hex[] = "0123456789abcdef";
+                    out += "\\u00";
+                    out += hex[(c >> 4) & 0xF];
+                    out += hex[c & 0xF];
+                } else {
+                    out += c;  // UTF-8 bytes pass through verbatim
+                }
+        }
+    }
+    out += '"';
+}
+
+void dump_double(double d, std::string& out) {
+    // JSON has no NaN/Inf; the observability layer maps them to null (a
+    // missing measurement, which is what they mean here).
+    if (!std::isfinite(d)) {
+        out += "null";
+        return;
+    }
+    char buf[32];
+    const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), d);
+    out.append(buf, ptr);
+}
+
+}  // namespace
+
+std::string Json::dump() const {
+    std::string out;
+    struct Visitor {
+        std::string& out;
+        void operator()(std::nullptr_t) const { out += "null"; }
+        void operator()(bool b) const { out += b ? "true" : "false"; }
+        void operator()(std::int64_t i) const { out += std::to_string(i); }
+        void operator()(double d) const { dump_double(d, out); }
+        void operator()(const std::string& s) const { dump_string(s, out); }
+        void operator()(const JsonArray& a) const {
+            out += '[';
+            for (std::size_t i = 0; i < a.size(); ++i) {
+                if (i > 0) out += ',';
+                out += a[i].dump();
+            }
+            out += ']';
+        }
+        void operator()(const JsonObject& o) const {
+            out += '{';
+            for (std::size_t i = 0; i < o.size(); ++i) {
+                if (i > 0) out += ',';
+                dump_string(o[i].first, out);
+                out += ':';
+                out += o[i].second.dump();
+            }
+            out += '}';
+        }
+    };
+    std::visit(Visitor{out}, v_);
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// parse
+
+namespace {
+
+class Parser {
+   public:
+    explicit Parser(std::string_view text) : text_(text) {}
+
+    Json parse_document() {
+        Json v = parse_value();
+        skip_ws();
+        if (pos_ != text_.size()) fail("trailing characters after document");
+        return v;
+    }
+
+   private:
+    [[noreturn]] void fail(const std::string& what) const {
+        throw ParseError("json: " + what + " at offset " + std::to_string(pos_));
+    }
+
+    void skip_ws() {
+        while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                                       text_[pos_] == '\n' || text_[pos_] == '\r')) {
+            ++pos_;
+        }
+    }
+
+    char peek() {
+        if (pos_ >= text_.size()) fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void expect(char c) {
+        if (peek() != c) fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    bool consume_literal(std::string_view lit) {
+        if (text_.substr(pos_, lit.size()) != lit) return false;
+        pos_ += lit.size();
+        return true;
+    }
+
+    Json parse_value() {
+        skip_ws();
+        switch (peek()) {
+            case '{': return parse_object();
+            case '[': return parse_array();
+            case '"': return Json(parse_string());
+            case 't':
+                if (consume_literal("true")) return Json(true);
+                fail("bad literal");
+            case 'f':
+                if (consume_literal("false")) return Json(false);
+                fail("bad literal");
+            case 'n':
+                if (consume_literal("null")) return Json(nullptr);
+                fail("bad literal");
+            default: return parse_number();
+        }
+    }
+
+    Json parse_object() {
+        expect('{');
+        Json obj = Json::object();
+        skip_ws();
+        if (peek() == '}') {
+            ++pos_;
+            return obj;
+        }
+        while (true) {
+            skip_ws();
+            std::string key = parse_string();
+            skip_ws();
+            expect(':');
+            obj.set(key, parse_value());
+            skip_ws();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect('}');
+            return obj;
+        }
+    }
+
+    Json parse_array() {
+        expect('[');
+        Json arr = Json::array();
+        skip_ws();
+        if (peek() == ']') {
+            ++pos_;
+            return arr;
+        }
+        while (true) {
+            arr.push_back(parse_value());
+            skip_ws();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            expect(']');
+            return arr;
+        }
+    }
+
+    void append_utf8(std::string& out, unsigned cp) {
+        if (cp < 0x80) {
+            out += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+            out += static_cast<char>(0xC0 | (cp >> 6));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        } else if (cp < 0x10000) {
+            out += static_cast<char>(0xE0 | (cp >> 12));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        } else {
+            out += static_cast<char>(0xF0 | (cp >> 18));
+            out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+            out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (cp & 0x3F));
+        }
+    }
+
+    unsigned parse_hex4() {
+        if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+        unsigned cp = 0;
+        for (int i = 0; i < 4; ++i) {
+            const char c = text_[pos_++];
+            cp <<= 4;
+            if (c >= '0' && c <= '9') cp |= static_cast<unsigned>(c - '0');
+            else if (c >= 'a' && c <= 'f') cp |= static_cast<unsigned>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F') cp |= static_cast<unsigned>(c - 'A' + 10);
+            else fail("bad \\u escape");
+        }
+        return cp;
+    }
+
+    std::string parse_string() {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos_ >= text_.size()) fail("unterminated string");
+            const char c = text_[pos_++];
+            if (c == '"') return out;
+            if (static_cast<unsigned char>(c) < 0x20) fail("raw control character in string");
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size()) fail("truncated escape");
+            const char e = text_[pos_++];
+            switch (e) {
+                case '"': out += '"'; break;
+                case '\\': out += '\\'; break;
+                case '/': out += '/'; break;
+                case 'n': out += '\n'; break;
+                case 'r': out += '\r'; break;
+                case 't': out += '\t'; break;
+                case 'b': out += '\b'; break;
+                case 'f': out += '\f'; break;
+                case 'u': {
+                    unsigned cp = parse_hex4();
+                    if (cp >= 0xD800 && cp <= 0xDBFF) {  // high surrogate
+                        if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                            text_[pos_ + 1] != 'u') {
+                            fail("unpaired surrogate");
+                        }
+                        pos_ += 2;
+                        const unsigned lo = parse_hex4();
+                        if (lo < 0xDC00 || lo > 0xDFFF) fail("bad low surrogate");
+                        cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                    } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+                        fail("unpaired surrogate");
+                    }
+                    append_utf8(out, cp);
+                    break;
+                }
+                default: fail("unknown escape");
+            }
+        }
+    }
+
+    Json parse_number() {
+        const std::size_t start = pos_;
+        if (peek() == '-') ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '.' ||
+                text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-')) {
+            ++pos_;
+        }
+        const std::string_view tok = text_.substr(start, pos_ - start);
+        if (tok.empty() || tok == "-") fail("bad number");
+        // Integers stay integers (counters are int64 and must round-trip
+        // exactly); anything with a fraction or exponent parses as double.
+        if (tok.find_first_of(".eE") == std::string_view::npos) {
+            std::int64_t i = 0;
+            const auto [ptr, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), i);
+            if (ec == std::errc{} && ptr == tok.data() + tok.size()) return Json(i);
+        }
+        double d = 0.0;
+        const auto [ptr, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), d);
+        if (ec != std::errc{} || ptr != tok.data() + tok.size()) fail("bad number");
+        return Json(d);
+    }
+
+    std::string_view text_;
+    std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Json Json::parse(std::string_view text) { return Parser(text).parse_document(); }
+
+}  // namespace symspmv::obs

@@ -1,0 +1,89 @@
+// Minimal JSON value: the one serialization currency of the observability
+// layer (docs/OBSERVABILITY.md).
+//
+// RunRecords are appended as JSON Lines, the consolidated BENCH_symspmv.json
+// is one document, and the trace layer emits Chrome trace_event JSON — all
+// three need the same small thing: build a tree, dump it deterministically,
+// and parse it back for the round-trip tests and the bench_report
+// self-check.  Deliberately minimal (no SAX, no pointers, no allocator
+// games); objects preserve insertion order so dumped output is stable and
+// diffable across runs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace symspmv::obs {
+
+class Json;
+
+using JsonArray = std::vector<Json>;
+/// Insertion-ordered key/value pairs — dump order is build order.
+using JsonObject = std::vector<std::pair<std::string, Json>>;
+
+class Json {
+   public:
+    /// Null by default.
+    Json() = default;
+    Json(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+    Json(bool b) : v_(b) {}  // NOLINT(google-explicit-constructor)
+    Json(double d) : v_(d) {}  // NOLINT(google-explicit-constructor)
+    Json(std::int64_t i) : v_(i) {}  // NOLINT(google-explicit-constructor)
+    Json(int i) : v_(static_cast<std::int64_t>(i)) {}  // NOLINT
+    Json(std::size_t u) : v_(static_cast<std::int64_t>(u)) {}  // NOLINT
+    Json(std::string s) : v_(std::move(s)) {}  // NOLINT(google-explicit-constructor)
+    Json(std::string_view s) : v_(std::string(s)) {}  // NOLINT
+    Json(const char* s) : v_(std::string(s)) {}  // NOLINT(google-explicit-constructor)
+    Json(JsonArray a) : v_(std::move(a)) {}  // NOLINT(google-explicit-constructor)
+    Json(JsonObject o) : v_(std::move(o)) {}  // NOLINT(google-explicit-constructor)
+
+    [[nodiscard]] static Json object() { return Json(JsonObject{}); }
+    [[nodiscard]] static Json array() { return Json(JsonArray{}); }
+
+    [[nodiscard]] bool is_null() const { return std::holds_alternative<std::nullptr_t>(v_); }
+    [[nodiscard]] bool is_bool() const { return std::holds_alternative<bool>(v_); }
+    [[nodiscard]] bool is_int() const { return std::holds_alternative<std::int64_t>(v_); }
+    [[nodiscard]] bool is_number() const { return is_int() || std::holds_alternative<double>(v_); }
+    [[nodiscard]] bool is_string() const { return std::holds_alternative<std::string>(v_); }
+    [[nodiscard]] bool is_array() const { return std::holds_alternative<JsonArray>(v_); }
+    [[nodiscard]] bool is_object() const { return std::holds_alternative<JsonObject>(v_); }
+
+    /// Typed accessors; each throws ParseError when the value is not of the
+    /// requested type (as_double also accepts integers).
+    [[nodiscard]] bool as_bool() const;
+    [[nodiscard]] std::int64_t as_int() const;
+    [[nodiscard]] double as_double() const;
+    [[nodiscard]] const std::string& as_string() const;
+    [[nodiscard]] const JsonArray& as_array() const;
+    [[nodiscard]] const JsonObject& as_object() const;
+
+    /// Object access: get() returns nullptr when the key is absent; at()
+    /// throws ParseError.  Both throw when *this is not an object.
+    [[nodiscard]] const Json* get(std::string_view key) const;
+    [[nodiscard]] const Json& at(std::string_view key) const;
+
+    /// Appends a key/value pair (object) or an element (array); *this must
+    /// already hold the corresponding container.
+    Json& set(std::string_view key, Json value);
+    Json& push_back(Json value);
+
+    /// Compact single-line rendering.  Doubles are emitted in shortest
+    /// round-trip form (std::to_chars), so dump(parse(dump(x))) == dump(x).
+    [[nodiscard]] std::string dump() const;
+
+    /// Strict recursive-descent parser; throws ParseError on any malformed
+    /// input, including trailing garbage after the document.
+    [[nodiscard]] static Json parse(std::string_view text);
+
+    friend bool operator==(const Json&, const Json&) = default;
+
+   private:
+    std::variant<std::nullptr_t, bool, std::int64_t, double, std::string, JsonArray, JsonObject>
+        v_ = nullptr;
+};
+
+}  // namespace symspmv::obs

@@ -1,0 +1,158 @@
+#include "obs/run_record.hpp"
+
+#include "autotune/fingerprint.hpp"
+#include "bench/harness.hpp"
+#include "bench/roofline.hpp"
+#include "core/error.hpp"
+#include "engine/bundle.hpp"
+#include "engine/profiler.hpp"
+#include "spmv/kernel.hpp"
+
+namespace symspmv::obs {
+
+namespace {
+
+Json counters_to_json(const CounterSample& s) {
+    Json obj = Json::object();
+    for (int i = 0; i < kCounterCount; ++i) {
+        const auto c = static_cast<Counter>(i);
+        if (const auto v = s.get(c)) {
+            obj.set(to_string(c), *v);
+        } else {
+            obj.set(to_string(c), nullptr);  // unavailable, not zero
+        }
+    }
+    return obj;
+}
+
+CounterSample counters_from_json(const Json& j) {
+    CounterSample s;
+    for (int i = 0; i < kCounterCount; ++i) {
+        const auto c = static_cast<Counter>(i);
+        const Json& v = j.at(to_string(c));
+        if (!v.is_null()) {
+            s.value[static_cast<std::size_t>(i)] = v.as_int();
+            s.valid[static_cast<std::size_t>(i)] = true;
+        }
+    }
+    return s;
+}
+
+}  // namespace
+
+Json to_json(const RunRecord& rec) {
+    Json j = Json::object();
+    j.set("schema", rec.schema);
+    j.set("matrix", rec.matrix);
+    j.set("fingerprint", rec.fingerprint);
+    j.set("rows", rec.rows);
+    j.set("nnz", rec.nnz);
+    j.set("kernel", rec.kernel);
+    j.set("threads", rec.threads);
+    j.set("partition", rec.partition);
+    j.set("iterations", rec.iterations);
+    j.set("seconds_per_op", rec.seconds_per_op);
+    j.set("seconds_mean", rec.seconds_mean);
+    j.set("seconds_min", rec.seconds_min);
+    j.set("seconds_max", rec.seconds_max);
+    Json phases = Json::object();
+    phases.set("multiply", rec.multiply_seconds);
+    phases.set("barrier", rec.barrier_seconds);
+    phases.set("reduction", rec.reduction_seconds);
+    phases.set("multiply_imbalance", rec.multiply_imbalance);
+    j.set("phases", std::move(phases));
+    Json derived = Json::object();
+    derived.set("footprint_bytes", rec.footprint_bytes);
+    derived.set("bytes_per_op", rec.bytes_per_op);
+    derived.set("gflops", rec.gflops);
+    derived.set("bandwidth_gbs", rec.bandwidth_gbs);
+    j.set("derived", std::move(derived));
+    j.set("counters", counters_to_json(rec.counters));
+    return j;
+}
+
+RunRecord run_record_from_json(const Json& j) {
+    RunRecord rec;
+    rec.schema = static_cast<int>(j.at("schema").as_int());
+    if (rec.schema != kRunRecordSchema) {
+        throw ParseError("run record: unsupported schema " + std::to_string(rec.schema));
+    }
+    rec.matrix = j.at("matrix").as_string();
+    rec.fingerprint = j.at("fingerprint").as_string();
+    rec.rows = j.at("rows").as_int();
+    rec.nnz = j.at("nnz").as_int();
+    rec.kernel = j.at("kernel").as_string();
+    rec.threads = static_cast<int>(j.at("threads").as_int());
+    rec.partition = j.at("partition").as_string();
+    rec.iterations = static_cast<int>(j.at("iterations").as_int());
+    rec.seconds_per_op = j.at("seconds_per_op").as_double();
+    rec.seconds_mean = j.at("seconds_mean").as_double();
+    rec.seconds_min = j.at("seconds_min").as_double();
+    rec.seconds_max = j.at("seconds_max").as_double();
+    const Json& phases = j.at("phases");
+    rec.multiply_seconds = phases.at("multiply").as_double();
+    rec.barrier_seconds = phases.at("barrier").as_double();
+    rec.reduction_seconds = phases.at("reduction").as_double();
+    rec.multiply_imbalance = phases.at("multiply_imbalance").as_double();
+    const Json& derived = j.at("derived");
+    rec.footprint_bytes = derived.at("footprint_bytes").as_int();
+    rec.bytes_per_op = derived.at("bytes_per_op").as_int();
+    rec.gflops = derived.at("gflops").as_double();
+    rec.bandwidth_gbs = derived.at("bandwidth_gbs").as_double();
+    rec.counters = counters_from_json(j.at("counters"));
+    return rec;
+}
+
+std::string to_jsonl(const RunRecord& rec) { return to_json(rec).dump(); }
+
+RunRecord parse_run_record(std::string_view line) {
+    return run_record_from_json(Json::parse(line));
+}
+
+RunRecord make_run_record(std::string matrix, const engine::MatrixBundle& bundle,
+                          const SpmvKernel& kernel, const bench::Measurement& measurement,
+                          int iterations, int threads, std::string_view partition,
+                          const PhaseProfiler* profiler, const CounterSample* counters) {
+    RunRecord rec;
+    rec.matrix = std::move(matrix);
+    const autotune::MatrixFingerprint fp = autotune::fingerprint(bundle.coo());
+    rec.fingerprint = autotune::to_string(fp);
+    rec.rows = kernel.rows();
+    rec.nnz = kernel.nnz();
+    rec.kernel = std::string(kernel.name());
+    rec.threads = threads;
+    rec.partition = std::string(partition);
+    rec.iterations = iterations;
+    rec.seconds_per_op = measurement.seconds_per_op;
+    rec.seconds_mean = measurement.per_op.mean;
+    rec.seconds_min = measurement.per_op.min;
+    rec.seconds_max = measurement.per_op.max;
+    if (profiler != nullptr) {
+        rec.multiply_seconds = engine::per_op_max_seconds(*profiler, Phase::kMultiply);
+        rec.barrier_seconds = engine::per_op_max_seconds(*profiler, Phase::kBarrier);
+        rec.reduction_seconds = engine::per_op_max_seconds(*profiler, Phase::kReduction);
+        rec.multiply_imbalance = profiler->stats(Phase::kMultiply).imbalance;
+    }
+    rec.footprint_bytes = static_cast<std::int64_t>(kernel.footprint_bytes());
+    rec.bytes_per_op = static_cast<std::int64_t>(bench::streamed_bytes(kernel));
+    rec.gflops = measurement.gflops;
+    if (rec.seconds_per_op > 0.0) {
+        rec.bandwidth_gbs =
+            static_cast<double>(rec.bytes_per_op) / rec.seconds_per_op * 1e-9;
+    }
+    if (counters != nullptr) rec.counters = *counters;
+    return rec;
+}
+
+RunSink::RunSink(const std::string& path) : path_(path), out_(path, std::ios::app) {
+    if (!out_) throw InvalidArgument("run sink: cannot open '" + path + "'");
+}
+
+void RunSink::write(const RunRecord& rec) {
+    out_ << to_jsonl(rec) << '\n';
+    out_.flush();
+    if (!out_) throw InvalidArgument("run sink: write to '" + path_ + "' failed");
+    ++written_;
+}
+
+}  // namespace symspmv::obs

@@ -1,0 +1,124 @@
+// RunRecord — the machine-readable result of one measured SpM×V execution.
+//
+// Every quantitative claim in the paper is a relation between these fields:
+// speedup vs threads (Figs. 9/11/12), phase split (Fig. 10), bandwidth vs
+// footprint (Table I + §V.B), counters explaining both.  A RunRecord
+// captures one (matrix, kernel, threads) execution completely — identity,
+// timing distribution, per-phase breakdown with imbalance, hardware
+// counters, derived GFLOP/s and effective bandwidth — and serializes to one
+// JSON object.  RunSink appends records as JSON Lines; bench_report
+// consolidates them into BENCH_symspmv.json, which is what CI archives and
+// diffs PR over PR.  The schema is documented with a worked example in
+// docs/OBSERVABILITY.md; parse + field-equality round-trip is tested in
+// tests/obs_test.cpp.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <string_view>
+
+#include "obs/counters.hpp"
+#include "obs/json.hpp"
+
+namespace symspmv {
+class SpmvKernel;
+class PhaseProfiler;
+}  // namespace symspmv
+
+namespace symspmv::bench {
+struct Measurement;
+}
+
+namespace symspmv::engine {
+class MatrixBundle;
+}
+
+namespace symspmv::obs {
+
+/// Bumped whenever a field changes meaning; parsers reject other versions
+/// (same contract as the plan-file and .smx version fields).
+inline constexpr int kRunRecordSchema = 1;
+
+struct RunRecord {
+    int schema = kRunRecordSchema;
+
+    // --- identity: what ran, on what, how wide ---
+    std::string matrix;       // suite name or file path
+    std::string fingerprint;  // autotune::MatrixFingerprint rendering
+    std::int64_t rows = 0;
+    std::int64_t nnz = 0;  // non-zeros of the represented full matrix
+    std::string kernel;    // registry name ("SSS-idx", "CSX-Sym", ...)
+    int threads = 1;
+    std::string partition;  // row-partition policy name ("by-nnz", ...)
+
+    // --- measurement: the §V.A loop ---
+    int iterations = 0;             // timed operations
+    double seconds_per_op = 0.0;    // median
+    double seconds_mean = 0.0;
+    double seconds_min = 0.0;
+    double seconds_max = 0.0;
+
+    // --- phases: per-op seconds of the slowest thread (what wall-clock
+    //     actually waits for), plus the multiply imbalance (max/mean - 1) ---
+    double multiply_seconds = 0.0;
+    double barrier_seconds = 0.0;
+    double reduction_seconds = 0.0;
+    double multiply_imbalance = 0.0;
+
+    // --- derived: the bytes-moved model of docs/OBSERVABILITY.md ---
+    std::int64_t footprint_bytes = 0;  // matrix representation + side structures
+    std::int64_t bytes_per_op = 0;     // footprint + x and y vectors
+    double gflops = 0.0;               // 2*nnz / seconds_per_op
+    double bandwidth_gbs = 0.0;        // bytes_per_op / seconds_per_op
+
+    // --- hardware counters: totals over the timed window (all threads);
+    //     invalid slots serialize as JSON null ---
+    CounterSample counters;
+
+    friend bool operator==(const RunRecord&, const RunRecord&) = default;
+};
+
+/// One JSON object per record (the JSONL/BENCH_symspmv.json element).
+[[nodiscard]] Json to_json(const RunRecord& rec);
+
+/// Inverse of to_json; throws ParseError on wrong schema, missing fields or
+/// mistyped values.
+[[nodiscard]] RunRecord run_record_from_json(const Json& j);
+
+/// Single-line rendering / strict parse of one JSONL line.
+[[nodiscard]] std::string to_jsonl(const RunRecord& rec);
+[[nodiscard]] RunRecord parse_run_record(std::string_view line);
+
+/// Assembles a RunRecord from one harness measurement: identity from the
+/// bundle (fingerprinted through src/autotune), phases from the profiler
+/// (slowest-thread per-op seconds; zero phases when null), counters from
+/// the aggregated sample (null-valued when @p counters is null or has no
+/// valid slot), derived metrics from the kernel's footprint and the
+/// bytes-moved model.
+[[nodiscard]] RunRecord make_run_record(std::string matrix, const engine::MatrixBundle& bundle,
+                                        const SpmvKernel& kernel,
+                                        const bench::Measurement& measurement, int iterations,
+                                        int threads, std::string_view partition,
+                                        const PhaseProfiler* profiler,
+                                        const CounterSample* counters);
+
+/// Appends RunRecords to a JSON Lines file, one object per line, flushed
+/// after every record so a crashed run keeps everything it measured.
+class RunSink {
+   public:
+    /// Opens @p path in append mode; throws InvalidArgument when it cannot.
+    explicit RunSink(const std::string& path);
+
+    void write(const RunRecord& rec);
+
+    [[nodiscard]] std::size_t written() const { return written_; }
+    [[nodiscard]] const std::string& path() const { return path_; }
+
+   private:
+    std::string path_;
+    std::ofstream out_;
+    std::size_t written_ = 0;
+};
+
+}  // namespace symspmv::obs

@@ -1,0 +1,88 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+#include <ostream>
+
+#include "core/atomic_file.hpp"
+#include "obs/json.hpp"
+
+namespace symspmv::obs {
+
+TraceWriter::TraceWriter(std::string path) : path_(std::move(path)) {}
+
+TraceWriter::~TraceWriter() {
+    try {
+        flush();
+    } catch (...) {
+        // Destructor: a failed trace write must not terminate the run.
+    }
+}
+
+void TraceWriter::span(std::string_view name, std::string_view category, int tid,
+                       double start_seconds, double duration_seconds) {
+    TraceEvent e;
+    e.name = std::string(name);
+    e.category = std::string(category);
+    e.tid = tid;
+    e.start_us = start_seconds * 1e6;
+    e.duration_us = duration_seconds * 1e6;
+    const std::lock_guard<std::mutex> lock(mu_);
+    events_.push_back(std::move(e));
+}
+
+void TraceWriter::phase_recorded(int tid, Phase phase, double seconds) {
+    // The profiler reports a phase at its end; reconstruct the start, clamped
+    // to the writer's epoch so a phase straddling construction (or a replayed
+    // recording) never produces a negative timestamp.
+    const double start = std::max(0.0, now_seconds() - seconds);
+    span(to_string(phase), "spmv", tid, start, seconds);
+}
+
+std::size_t TraceWriter::events() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return events_.size();
+}
+
+void TraceWriter::flush() {
+    std::vector<TraceEvent> snapshot;
+    {
+        const std::lock_guard<std::mutex> lock(mu_);
+        snapshot = events_;
+    }
+    Json doc = Json::object();
+    Json events = Json::array();
+    for (const TraceEvent& e : snapshot) {
+        Json ev = Json::object();
+        ev.set("name", e.name);
+        ev.set("cat", e.category);
+        ev.set("ph", "X");  // complete event: timestamp + duration
+        ev.set("pid", 1);
+        ev.set("tid", e.tid);
+        ev.set("ts", e.start_us);
+        ev.set("dur", e.duration_us);
+        events.push_back(std::move(ev));
+    }
+    doc.set("traceEvents", std::move(events));
+    doc.set("displayTimeUnit", "ms");
+    write_file_atomic(path_, [&](std::ostream& out) { out << doc.dump() << '\n'; });
+}
+
+TraceWriter* global_trace() {
+    // Leaked-on-purpose singleton would never flush; a static unique_ptr
+    // destroys (and therefore flushes) the writer during normal exit.
+    static const std::unique_ptr<TraceWriter> writer = [] {
+        const char* env = std::getenv("SYMSPMV_TRACE");
+        if (env == nullptr || env[0] == '\0' || env[0] == '0') {
+            return std::unique_ptr<TraceWriter>();
+        }
+        const char* file = std::getenv("SYMSPMV_TRACE_FILE");
+        return std::make_unique<TraceWriter>(file != nullptr && file[0] != '\0'
+                                                 ? std::string(file)
+                                                 : std::string("symspmv_trace.json"));
+    }();
+    return writer.get();
+}
+
+}  // namespace symspmv::obs

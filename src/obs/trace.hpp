@@ -1,0 +1,110 @@
+// Trace spans in Chrome trace_event format (chrome://tracing, Perfetto).
+//
+// Phase timers and counters say how much; a trace says when.  The two-phase
+// SpM×V model makes the distinction matter: a slow reduction and a reduction
+// that starts late because one multiply partition straggled produce the same
+// totals but different traces.  TraceWriter collects complete-event spans
+// ("ph":"X") and writes the standard {"traceEvents": [...]} document, which
+// the trace viewers consume directly (docs/OBSERVABILITY.md has the
+// click-path).
+//
+// Two sources feed it:
+//   - PhaseProfiler: TraceWriter implements PhaseTraceSink, so attaching it
+//     with profiler.set_trace_sink(writer) turns every recorded
+//     multiply/barrier/reduction interval into a span on the worker's track.
+//   - TraceSpan: RAII for caller-side phases the kernels never see —
+//     preprocessing (format conversion, CSX encoding), matrix loading,
+//     whole solves.
+//
+// Process-wide switch: SYMSPMV_TRACE=1 turns global_trace() on (file name
+// from SYMSPMV_TRACE_FILE, default symspmv_trace.json, flushed at exit);
+// anything holding a TraceWriter* treats nullptr as "tracing off", so the
+// instrumentation costs one branch when disabled.
+#pragma once
+
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/profiling.hpp"
+#include "core/timer.hpp"
+
+namespace symspmv::obs {
+
+/// One complete-event span on the writer's session clock.
+struct TraceEvent {
+    std::string name;
+    std::string category;
+    int tid = 0;          // worker id, or TraceWriter::kCallerTid
+    double start_us = 0;  // microseconds since the writer's epoch
+    double duration_us = 0;
+};
+
+class TraceWriter final : public PhaseTraceSink {
+   public:
+    /// Track id used for spans recorded on the calling (non-pool) thread.
+    static constexpr int kCallerTid = 1000;
+
+    /// Spans accumulate in memory; flush() (or destruction) writes @p path.
+    explicit TraceWriter(std::string path);
+    ~TraceWriter() override;
+
+    TraceWriter(const TraceWriter&) = delete;
+    TraceWriter& operator=(const TraceWriter&) = delete;
+
+    /// Seconds since this writer was constructed (the session clock all
+    /// span timestamps are on).
+    [[nodiscard]] double now_seconds() const { return epoch_.seconds(); }
+
+    /// Records one span; thread-safe.
+    void span(std::string_view name, std::string_view category, int tid, double start_seconds,
+              double duration_seconds);
+
+    /// PhaseTraceSink: a kernel phase interval ending now on worker @p tid.
+    void phase_recorded(int tid, Phase phase, double seconds) override;
+
+    /// Writes the trace_event JSON document (atomically, temp + rename).
+    /// Safe to call repeatedly; each call rewrites the file with everything
+    /// recorded so far.
+    void flush();
+
+    [[nodiscard]] const std::string& path() const { return path_; }
+    [[nodiscard]] std::size_t events() const;
+
+   private:
+    std::string path_;
+    Timer epoch_;
+    mutable std::mutex mu_;
+    std::vector<TraceEvent> events_;
+};
+
+/// RAII span: times its own scope on @p writer's session clock.  A null
+/// writer makes it a no-op, so call sites pass global_trace() unguarded.
+class TraceSpan {
+   public:
+    TraceSpan(TraceWriter* writer, std::string name, int tid = TraceWriter::kCallerTid)
+        : writer_(writer), name_(std::move(name)), tid_(tid),
+          start_(writer != nullptr ? writer->now_seconds() : 0.0) {}
+
+    ~TraceSpan() {
+        if (writer_ != nullptr) {
+            writer_->span(name_, "setup", tid_, start_, writer_->now_seconds() - start_);
+        }
+    }
+
+    TraceSpan(const TraceSpan&) = delete;
+    TraceSpan& operator=(const TraceSpan&) = delete;
+
+   private:
+    TraceWriter* writer_;
+    std::string name_;
+    int tid_;
+    double start_;
+};
+
+/// The process-wide writer, or nullptr when SYMSPMV_TRACE is not set to a
+/// truthy value.  Created on first call, flushed at process exit.
+[[nodiscard]] TraceWriter* global_trace();
+
+}  // namespace symspmv::obs

@@ -21,11 +21,22 @@ PcgResult pcg_solve(SpmvKernel& kernel, Preconditioner& precond, ThreadPool& poo
     res.x.assign(n, 0.0);
     if (!x0.empty()) res.x.assign(x0.begin(), x0.end());
 
+    // Attach for the duration of the solve; detach on every exit path
+    // (including the not-positive-definite throw below).
+    struct ProfilerGuard {
+        SpmvKernel* kernel;
+        ~ProfilerGuard() {
+            if (kernel != nullptr) kernel->set_profiler(nullptr);
+        }
+    } profiler_guard{opts.profiler != nullptr ? &kernel : nullptr};
+    if (opts.profiler != nullptr) kernel.set_profiler(opts.profiler);
+
     std::vector<value_t> r(n), z(n), p(n), ap(n);
     PhaseTimer vec_timer;
     PhaseTimer pc_timer;
 
     // r0 = b - A x0 ; z0 = M^{-1} r0 ; p0 = z0.
+    if (opts.profiler != nullptr) opts.profiler->begin_op();
     kernel.spmv(res.x, ap);
     res.breakdown.spmv_multiply_seconds += kernel.last_phases().multiply_seconds;
     res.breakdown.spmv_reduction_seconds += kernel.last_phases().reduction_seconds;
@@ -54,6 +65,7 @@ PcgResult pcg_solve(SpmvKernel& kernel, Preconditioner& precond, ThreadPool& poo
     }
 
     for (int i = 0; i < opts.max_iterations; ++i) {
+        if (opts.profiler != nullptr) opts.profiler->begin_op();
         kernel.spmv(p, ap);
         res.breakdown.spmv_multiply_seconds += kernel.last_phases().multiply_seconds;
         res.breakdown.spmv_reduction_seconds += kernel.last_phases().reduction_seconds;

@@ -58,6 +58,12 @@ class SpmvKernel {
     /// into it (serial kernels record under tid 0).  Pass nullptr to
     /// detach.  The profiler must outlive the attachment and have at least
     /// as many slots as the kernel has threads.
+    ///
+    /// This is also the kernel's whole observability surface: the obs layer
+    /// turns these recordings into trace spans by attaching a
+    /// PhaseTraceSink to the profiler (obs/trace.hpp, SYMSPMV_TRACE=1), and
+    /// RunRecords derive their phase breakdown from the same accumulators
+    /// (obs/run_record.hpp) — kernels never depend on anything above them.
     void set_profiler(PhaseProfiler* profiler) { profiler_ = profiler; }
 
     [[nodiscard]] PhaseProfiler* profiler() const { return profiler_; }

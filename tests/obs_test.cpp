@@ -1,0 +1,302 @@
+// Observability layer: JSON round-trips, counter-unavailable fallback,
+// RunRecord serialization, trace well-formedness.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "bench/harness.hpp"
+#include "engine/bundle.hpp"
+#include "engine/context.hpp"
+#include "engine/factory.hpp"
+#include "engine/registry.hpp"
+#include "matrix/generators.hpp"
+#include "obs/counters.hpp"
+#include "obs/json.hpp"
+#include "obs/run_record.hpp"
+#include "obs/trace.hpp"
+#include "core/error.hpp"
+
+namespace symspmv::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Json
+
+TEST(Json, ScalarRoundTrip) {
+    EXPECT_EQ(Json::parse("null"), Json());
+    EXPECT_EQ(Json::parse("true").as_bool(), true);
+    EXPECT_EQ(Json::parse("-42").as_int(), -42);
+    EXPECT_DOUBLE_EQ(Json::parse("2.5e-3").as_double(), 2.5e-3);
+    EXPECT_EQ(Json::parse("\"a\\nb\\\"c\\u00e9\"").as_string(), "a\nb\"cé");
+}
+
+TEST(Json, IntegersStayExact) {
+    const std::int64_t big = 9007199254740993;  // not representable as double
+    Json j = Json::object();
+    j.set("v", big);
+    EXPECT_EQ(Json::parse(j.dump()).at("v").as_int(), big);
+}
+
+TEST(Json, NestedDumpParseIsStable) {
+    Json j = Json::object();
+    j.set("name", "SSS-idx");
+    j.set("list", JsonArray{Json(1), Json(2.5), Json(nullptr)});
+    Json inner = Json::object();
+    inner.set("flag", true);
+    j.set("inner", std::move(inner));
+    const std::string once = j.dump();
+    EXPECT_EQ(Json::parse(once).dump(), once);
+    EXPECT_EQ(Json::parse(once), j);
+}
+
+TEST(Json, RejectsMalformedInput) {
+    EXPECT_THROW(Json::parse(""), ParseError);
+    EXPECT_THROW(Json::parse("{"), ParseError);
+    EXPECT_THROW(Json::parse("{\"a\":1,}"), ParseError);
+    EXPECT_THROW(Json::parse("[1 2]"), ParseError);
+    EXPECT_THROW(Json::parse("nul"), ParseError);
+    EXPECT_THROW(Json::parse("1 trailing"), ParseError);
+    EXPECT_THROW(Json::parse("\"unterminated"), ParseError);
+}
+
+TEST(Json, NonFiniteDumpsAsNull) {
+    Json j = Json::object();
+    j.set("v", std::numeric_limits<double>::quiet_NaN());
+    EXPECT_EQ(j.dump(), "{\"v\":null}");
+}
+
+// ---------------------------------------------------------------------------
+// Counters
+
+/// Forces the perf-unavailable path for the duration of one test.
+class NoPerfGuard {
+   public:
+    NoPerfGuard() { ::setenv("SYMSPMV_NO_PERF", "1", 1); }
+    ~NoPerfGuard() { ::unsetenv("SYMSPMV_NO_PERF"); }
+};
+
+TEST(Counters, UnavailableFallbackIsTotal) {
+    const NoPerfGuard guard;
+    CounterGroup group;
+    EXPECT_FALSE(group.open_on_this_thread());
+    EXPECT_FALSE(group.available());
+    group.enable();   // must be no-ops, not crashes
+    group.disable();
+    const CounterSample s = group.read();
+    EXPECT_FALSE(s.any_valid());
+    for (int i = 0; i < kCounterCount; ++i) {
+        EXPECT_FALSE(s.get(static_cast<Counter>(i)).has_value());
+    }
+}
+
+TEST(Counters, ThreadCountersUnavailableAggregatesToNull) {
+    const NoPerfGuard guard;
+    ThreadPool pool(2);
+    ThreadCounters counters(pool, /*include_caller=*/true);
+    EXPECT_FALSE(counters.available());
+    counters.enable();
+    counters.disable();
+    EXPECT_FALSE(counters.aggregate().any_valid());
+}
+
+TEST(Counters, OpportunisticRealCounters) {
+    // Whatever the environment permits, the API must hold its contract:
+    // open never throws, reads are either valid data or null, aggregation
+    // only sums slots valid on every thread.
+    engine::ExecutionContext ctx(2);
+    ThreadCounters counters(ctx, /*include_caller=*/true);
+    counters.enable();
+    volatile double sink = 0.0;
+    for (int i = 0; i < 100000; ++i) sink = sink + 1.0;
+    counters.disable();
+    const CounterSample s = counters.aggregate();
+    for (int i = 0; i < kCounterCount; ++i) {
+        const auto v = s.get(static_cast<Counter>(i));
+        if (v.has_value()) EXPECT_GE(*v, 0);
+    }
+}
+
+TEST(Counters, SampleSumInvalidatesPartialSlots) {
+    CounterSample a, b;
+    a.value[0] = 100;
+    a.valid[0] = true;
+    a.value[1] = 7;
+    a.valid[1] = true;
+    b.value[0] = 23;
+    b.valid[0] = true;  // slot 1 invalid on b
+    a += b;
+    EXPECT_EQ(a.get(Counter::kCycles), 123);
+    EXPECT_FALSE(a.get(Counter::kInstructions).has_value());
+    EXPECT_EQ(a.value[1], 0);  // invalid slots must not carry stale values
+}
+
+// ---------------------------------------------------------------------------
+// RunRecord
+
+RunRecord sample_record() {
+    RunRecord rec;
+    rec.matrix = "consph";
+    rec.fingerprint = "100x100x500-abc-def";
+    rec.rows = 100;
+    rec.nnz = 500;
+    rec.kernel = "SSS-idx";
+    rec.threads = 4;
+    rec.partition = "by-nnz";
+    rec.iterations = 24;
+    rec.seconds_per_op = 1.25e-4;
+    rec.seconds_mean = 1.3e-4;
+    rec.seconds_min = 1.2e-4;
+    rec.seconds_max = 1.6e-4;
+    rec.multiply_seconds = 9e-5;
+    rec.barrier_seconds = 1e-5;
+    rec.reduction_seconds = 2e-5;
+    rec.multiply_imbalance = 0.07;
+    rec.footprint_bytes = 123456;
+    rec.bytes_per_op = 125056;
+    rec.gflops = 8.0;
+    rec.bandwidth_gbs = 1.0;
+    rec.counters.value[0] = 1000000;
+    rec.counters.valid[0] = true;
+    rec.counters.value[3] = 42;
+    rec.counters.valid[3] = true;  // slots 1, 2, 4 stay null
+    return rec;
+}
+
+TEST(RunRecord, JsonRoundTripFieldEquality) {
+    const RunRecord rec = sample_record();
+    const RunRecord back = parse_run_record(to_jsonl(rec));
+    EXPECT_EQ(back, rec);
+}
+
+TEST(RunRecord, InvalidCountersSerializeAsNull) {
+    const Json j = to_json(sample_record());
+    const Json& counters = j.at("counters");
+    EXPECT_EQ(counters.at("cycles").as_int(), 1000000);
+    EXPECT_TRUE(counters.at("instructions").is_null());
+    EXPECT_TRUE(counters.at("llc_loads").is_null());
+    EXPECT_EQ(counters.at("llc_misses").as_int(), 42);
+    EXPECT_TRUE(counters.at("stalled_cycles").is_null());
+}
+
+TEST(RunRecord, RejectsWrongSchemaAndMissingFields) {
+    Json j = to_json(sample_record());
+    std::string text = j.dump();
+    EXPECT_THROW(parse_run_record("{}"), ParseError);
+    const std::string bumped =
+        text.replace(text.find("\"schema\":1"), 10, "\"schema\":9");
+    EXPECT_THROW(parse_run_record(bumped), ParseError);
+}
+
+TEST(RunRecord, MakeFromMeasurementFillsDerivedFields) {
+    const NoPerfGuard guard;  // deterministic: counters null everywhere
+    const engine::MatrixBundle bundle(gen::make_spd(gen::poisson2d(24, 24)));
+    engine::ExecutionContext ctx(2);
+    const engine::KernelFactory factory(bundle, ctx);
+    const KernelPtr kernel = factory.make(KernelKind::kSssIndexing);
+
+    PhaseProfiler profiler(2);
+    bench::MeasureOptions mopts;
+    mopts.iterations = 3;
+    mopts.warmup = 1;
+    mopts.profiler = &profiler;
+    obs::ThreadCounters counters(ctx);
+    counters.enable();
+    const bench::Measurement m = bench::measure(*kernel, mopts);
+    counters.disable();
+    const CounterSample sample = counters.aggregate();
+
+    const RunRecord rec = make_run_record("poisson", bundle, *kernel, m, 3, 2, "by-nnz",
+                                          &profiler, &sample);
+    EXPECT_EQ(rec.matrix, "poisson");
+    EXPECT_EQ(rec.kernel, kernel->name());
+    EXPECT_EQ(rec.rows, kernel->rows());
+    EXPECT_EQ(rec.nnz, kernel->nnz());
+    EXPECT_FALSE(rec.fingerprint.empty());
+    EXPECT_GT(rec.seconds_per_op, 0.0);
+    EXPECT_GT(rec.gflops, 0.0);
+    EXPECT_GT(rec.bandwidth_gbs, 0.0);
+    EXPECT_GT(rec.multiply_seconds, 0.0);
+    EXPECT_GT(rec.bytes_per_op, rec.footprint_bytes);
+    EXPECT_FALSE(rec.counters.any_valid());
+    // And it must survive the wire format.
+    EXPECT_EQ(parse_run_record(to_jsonl(rec)), rec);
+}
+
+TEST(RunSink, AppendsParseableLines) {
+    const std::string path = ::testing::TempDir() + "/obs_sink_test.jsonl";
+    std::remove(path.c_str());
+    {
+        RunSink sink(path);
+        sink.write(sample_record());
+        sink.write(sample_record());
+        EXPECT_EQ(sink.written(), 2u);
+    }
+    std::ifstream in(path);
+    std::string line;
+    int lines = 0;
+    while (std::getline(in, line)) {
+        EXPECT_EQ(parse_run_record(line), sample_record());
+        ++lines;
+    }
+    EXPECT_EQ(lines, 2);
+    std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Trace
+
+TEST(Trace, EmitsWellFormedChromeTraceJson) {
+    const std::string path = ::testing::TempDir() + "/obs_trace_test.json";
+    {
+        TraceWriter writer(path);
+        {
+            TraceSpan span(&writer, "preprocess");
+        }
+        // Kernel phases arrive through the PhaseProfiler sink.
+        PhaseProfiler profiler(2);
+        profiler.set_trace_sink(&writer);
+        profiler.record(0, Phase::kMultiply, 0.001);
+        profiler.record(1, Phase::kMultiply, 0.002);
+        profiler.record(0, Phase::kBarrier, 0.0005);
+        profiler.record(1, Phase::kReduction, 0.0007);
+        EXPECT_EQ(writer.events(), 5u);
+        writer.flush();
+    }
+    std::ifstream in(path);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const Json doc = Json::parse(buf.str());  // throws if malformed
+    const JsonArray& events = doc.at("traceEvents").as_array();
+    ASSERT_EQ(events.size(), 5u);
+    bool saw_multiply = false;
+    for (const Json& e : events) {
+        EXPECT_TRUE(e.at("name").is_string());
+        EXPECT_EQ(e.at("ph").as_string(), "X");
+        EXPECT_GE(e.at("ts").as_double(), 0.0);
+        EXPECT_GE(e.at("dur").as_double(), 0.0);
+        EXPECT_TRUE(e.at("tid").is_int());
+        saw_multiply = saw_multiply || e.at("name").as_string() == "multiply";
+    }
+    EXPECT_TRUE(saw_multiply);
+    std::remove(path.c_str());
+}
+
+TEST(Trace, NullWriterSpansAreNoOps) {
+    TraceSpan span(nullptr, "nothing");  // must not crash on destruction
+}
+
+TEST(Trace, ProfilerResetKeepsSink) {
+    const std::string path = ::testing::TempDir() + "/obs_trace_reset.json";
+    TraceWriter writer(path);
+    PhaseProfiler profiler(1);
+    profiler.set_trace_sink(&writer);
+    profiler.reset();
+    profiler.record(0, Phase::kMultiply, 0.001);
+    EXPECT_EQ(writer.events(), 1u);
+    std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace symspmv::obs
