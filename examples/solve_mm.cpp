@@ -8,7 +8,8 @@
 //                       [--threads N] [--tol 1e-8] [--max-iter 5000]
 //                       [--rcm] [--rhs ones|random]
 //                       [--tune] [--plan-cache DIR] [--tune-budget N]
-//                       [--verify] [--record FILE]
+//                       [--verify] [--record FILE] [--record-truncate]
+//                       [--metrics FILE]
 //
 // With --tune the kernel is chosen by the autotune subsystem instead of
 // --kernel: a timed search on the first run, an instant plan-cache hit on
@@ -22,8 +23,14 @@
 // With --record FILE one RunRecord describing the solve — per-iteration
 // phase breakdown, hardware counters (null when perf_event is unavailable),
 // derived GFLOP/s and effective bandwidth — is appended to FILE as a JSON
-// line (schema: docs/OBSERVABILITY.md).  SYMSPMV_TRACE=1 additionally dumps
+// line (schema: docs/OBSERVABILITY.md); --record-truncate starts the file
+// over instead of appending.  SYMSPMV_TRACE=1 additionally dumps
 // preprocessing/multiply/barrier/reduction spans as Chrome trace JSON.
+//
+// With --metrics FILE the metrics registry — pool job/barrier totals, plan
+// cache hit/miss counters, bundle build counts, and the CG per-iteration
+// latency histogram with p50/p95/p99 — is exported after the solve: JSON
+// when FILE ends in .json, Prometheus text exposition otherwise.
 //
 // Without a file argument a Poisson benchmark problem is generated, so the
 // example is runnable out of the box.
@@ -37,9 +44,11 @@
 #include "autotune/store.hpp"
 #include "autotune/tuner.hpp"
 #include "bench/roofline.hpp"
+#include "core/atomic_file.hpp"
 #include "core/options.hpp"
 #include "engine/profiler.hpp"
 #include "obs/counters.hpp"
+#include "obs/metrics.hpp"
 #include "obs/run_record.hpp"
 #include "obs/trace.hpp"
 #include "engine/bundle.hpp"
@@ -88,13 +97,26 @@ int main(int argc, char** argv) {
         engine::ExecutionContext ctx(threads);
         const engine::MatrixBundle bundle(std::move(full));
         const engine::KernelFactory factory(bundle, ctx);
+
+        // Live metrics: collectors scrape the pool/bundle/plan-store state
+        // at export time, so the instrumented objects must outlive the
+        // export at the end of the run (they all do — same scope).
+        const std::string metrics_path = opts.get_string("--metrics", "");
+        obs::metrics::Registry& metrics = obs::metrics::global_metrics();
+        if (!metrics_path.empty()) {
+            obs::metrics::register_pool_metrics(metrics, ctx.pool());
+            obs::metrics::register_bundle_metrics(metrics, bundle);
+        }
+
         KernelPtr kernel;
+        std::optional<autotune::PlanStore> store;  // outlives the export
         const double prep_start = trace != nullptr ? trace->now_seconds() : 0.0;
         if (opts.get_bool("--tune", false)) {
-            autotune::PlanStore store(opts.get_string("--plan-cache", ""));
+            store.emplace(opts.get_string("--plan-cache", ""));
+            if (!metrics_path.empty()) obs::metrics::register_plan_store_metrics(metrics, *store);
             autotune::TuneOptions tune_opts;
             tune_opts.max_trials = static_cast<int>(opts.get_int("--tune-budget", 0));
-            autotune::Tuner tuner(store, tune_opts);
+            autotune::Tuner tuner(*store, tune_opts);
             autotune::TuneReport report;
             kernel = factory.make_tuned(tuner, &report);
             if (report.cache_hit) {
@@ -104,8 +126,8 @@ int main(int argc, char** argv) {
                 std::cout << "tuned: " << autotune::to_string(report.plan) << " ("
                           << report.trials << " trials, " << report.tune_seconds
                           << " s; prior: " << report.prior_rationale << ")\n";
-                if (store.persistent()) {
-                    std::cout << "plan saved under " << store.directory() << "\n";
+                if (store->persistent()) {
+                    std::cout << "plan saved under " << store->directory() << "\n";
                 }
             }
         } else {
@@ -148,6 +170,9 @@ int main(int argc, char** argv) {
         cg::Options cg_opts;
         cg_opts.tolerance = tol;
         cg_opts.max_iterations = max_iter;
+        // The solver records raw per-iteration wall times (it knows nothing
+        // about obs); this caller feeds them into the latency histogram.
+        cg_opts.record_iteration_seconds = !metrics_path.empty();
 
         // Observability: per-thread phase profiling always (it is wait-free),
         // hardware counters only when the run is recorded, trace spans when
@@ -201,9 +226,32 @@ int main(int argc, char** argv) {
                     static_cast<double>(rec.bytes_per_op) / spmv_per_op * 1e-9;
             }
             rec.counters = counters->aggregate();
-            obs::RunSink sink(record_path);
+            const bool truncate = opts.get_bool("--record-truncate", false);
+            obs::RunSink sink(record_path, truncate ? obs::RunSink::Mode::kTruncate
+                                                    : obs::RunSink::Mode::kAppend);
             sink.write(rec);
-            std::cout << "run record appended to " << record_path << "\n";
+            std::cout << "run record " << (truncate ? "written to " : "appended to ")
+                      << record_path << "\n";
+        }
+
+        if (!metrics_path.empty()) {
+            obs::metrics::Histogram& iter_hist = metrics.histogram(
+                "symspmv_cg_iteration_seconds",
+                "Wall time of each CG iteration (one SpM×V plus vector and "
+                "preconditioner work)",
+                {{"kernel", std::string(kernel->name())}});
+            for (const double s : res.base.iteration_seconds) iter_hist.observe(s);
+            const bool as_json = metrics_path.size() > 5 &&
+                                 metrics_path.rfind(".json") == metrics_path.size() - 5;
+            write_file_atomic(metrics_path, [&](std::ostream& out) {
+                if (as_json) {
+                    out << metrics.to_json().dump() << '\n';
+                } else {
+                    out << metrics.to_prometheus();
+                }
+            });
+            std::cout << "metrics exported to " << metrics_path << " ("
+                      << (as_json ? "JSON" : "Prometheus text") << ")\n";
         }
 
         std::cout << "kernel: " << kernel->name() << ", preconditioner: " << precond->name()

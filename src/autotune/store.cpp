@@ -165,6 +165,8 @@ std::optional<Plan> PlanStore::load(const PlanKey& key) {
                 memory_.emplace(id, *plan);
                 return plan;
             }
+            // A file was there but strict parse/revalidation refused it.
+            ++counters_.revalidation_rejects;
         }
     }
     ++counters_.misses;

@@ -52,12 +52,17 @@ class PlanStore {
     /// atomically (temp file + rename).
     void save(const PlanKey& key, const Plan& plan);
 
-    /// Observability: how this store has been used.
+    /// Observability: how this store has been used.  Surfaced through the
+    /// metrics registry by obs::register_plan_store_metrics.
     struct Counters {
         int hits = 0;         // load() returned a plan (memory or disk)
         int misses = 0;       // load() found nothing usable
         int disk_hits = 0;    // subset of hits satisfied by a plan file
         int saves = 0;        // save() calls
+        /// Subset of misses where a plan file existed but failed strict
+        /// parsing or embedded-key revalidation — the "cache is present but
+        /// stale/corrupt" signal, distinct from a cold miss.
+        int revalidation_rejects = 0;
     };
     [[nodiscard]] const Counters& counters() const { return counters_; }
 

@@ -48,6 +48,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::run(const Job& job) {
+    jobs_dispatched_.fetch_add(1, std::memory_order_relaxed);
     std::unique_lock lock(mu_);
     SYMSPMV_CHECK_MSG(pending_ == 0, "ThreadPool::run is not reentrant");
     job_ = &job;

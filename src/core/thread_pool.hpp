@@ -8,7 +8,9 @@
 // to the caller (which would cost a full fork/join per phase).
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -56,7 +58,10 @@ class ThreadPool {
     /// Synchronization point usable from inside a running job: every worker
     /// must call it the same number of times.  Unwinds the calling worker
     /// when a peer threw out of the job (see run()).
-    void barrier() { barrier_.arrive_and_wait(); }
+    void barrier() {
+        barrier_.arrive_and_wait();
+        barrier_crossings_.fetch_add(1, std::memory_order_relaxed);
+    }
 
     /// Profiled barrier: like barrier(), but records the time worker @p tid
     /// spent waiting for the others as Phase::kBarrier — the per-thread
@@ -64,7 +69,28 @@ class ThreadPool {
     void barrier(PhaseProfiler& profiler, int tid) {
         Timer t;
         barrier_.arrive_and_wait();
-        profiler.record(tid, Phase::kBarrier, t.seconds());
+        const double waited = t.seconds();
+        profiler.record(tid, Phase::kBarrier, waited);
+        barrier_crossings_.fetch_add(1, std::memory_order_relaxed);
+        barrier_wait_seconds_.fetch_add(waited, std::memory_order_relaxed);
+    }
+
+    /// Plain totals of how this pool has been used — the instrumentation
+    /// seam the metrics registry (obs/metrics.hpp) collects from; core
+    /// itself knows nothing about the registry.  barrier_wait_seconds only
+    /// accumulates from the *profiled* barrier overload (the plain one
+    /// deliberately stays timer-free), so it undercounts when kernels run
+    /// unprofiled; barrier_crossings counts both.
+    struct Stats {
+        std::uint64_t jobs_dispatched = 0;   // run() calls
+        std::uint64_t barrier_crossings = 0; // per worker, per barrier
+        double barrier_wait_seconds = 0.0;   // profiled waits, summed over workers
+        int threads = 0;
+    };
+    [[nodiscard]] Stats stats() const {
+        return Stats{jobs_dispatched_.load(std::memory_order_relaxed),
+                     barrier_crossings_.load(std::memory_order_relaxed),
+                     barrier_wait_seconds_.load(std::memory_order_relaxed), size()};
     }
 
    private:
@@ -73,6 +99,12 @@ class ThreadPool {
     std::vector<std::jthread> workers_;
     std::vector<char> pinned_;
     PoisonableBarrier barrier_;
+
+    // Usage totals for stats(); relaxed — they are observability data, not
+    // synchronization.
+    std::atomic<std::uint64_t> jobs_dispatched_{0};
+    std::atomic<std::uint64_t> barrier_crossings_{0};
+    std::atomic<double> barrier_wait_seconds_{0.0};
 
     std::mutex mu_;
     std::condition_variable cv_job_;

@@ -1,0 +1,79 @@
+#include "obs/attribution.hpp"
+
+#include <algorithm>
+
+namespace symspmv::obs {
+
+namespace {
+
+/// The LLC line size assumed when converting miss counts into bytes.  64 B
+/// covers every x86 and most ARM server parts; if a future target differs,
+/// the calibration ratio is off by a constant, not wrong in kind.
+constexpr double kCacheLineBytes = 64.0;
+
+}  // namespace
+
+std::string_view to_string(BoundVerdict v) {
+    switch (v) {
+        case BoundVerdict::kSyncBound: return "sync-bound";
+        case BoundVerdict::kMemoryBound: return "memory-bound";
+        case BoundVerdict::kBelowRoofline: return "below-roofline";
+    }
+    return "?";
+}
+
+RooflineAttribution attribute(const RunRecord& rec, const bench::RooflineModel& roofline,
+                              const AttributionThresholds& thresholds) {
+    RooflineAttribution a;
+    a.bandwidth_ceiling_gbs = roofline.bandwidth_gbs;
+
+    if (rec.bytes_per_op > 0) {
+        a.intensity_flops_per_byte =
+            2.0 * static_cast<double>(rec.nnz) / static_cast<double>(rec.bytes_per_op);
+    }
+    a.attainable_gflops = roofline.attainable_gflops(a.intensity_flops_per_byte);
+    if (a.attainable_gflops > 0.0) {
+        a.roofline_fraction = rec.gflops / a.attainable_gflops;
+    }
+    if (roofline.bandwidth_gbs > 0.0) {
+        a.bandwidth_fraction = rec.bandwidth_gbs / roofline.bandwidth_gbs;
+    }
+    if (const auto misses = rec.counters.get(Counter::kLlcMisses);
+        misses && rec.iterations > 0) {
+        a.measured_bytes_per_op = static_cast<double>(*misses) * kCacheLineBytes /
+                                  static_cast<double>(rec.iterations);
+    }
+    if (rec.seconds_per_op > 0.0) {
+        a.sync_fraction =
+            std::clamp((rec.barrier_seconds + rec.reduction_seconds) / rec.seconds_per_op,
+                       0.0, 1.0);
+    }
+
+    // Sync dominance is checked first: a sync-bound run can *also* show a
+    // high bandwidth fraction (the stragglers still stream), but the time
+    // is lost at the barrier, so that is the actionable diagnosis.
+    if (a.sync_fraction >= thresholds.sync_fraction) {
+        a.verdict = BoundVerdict::kSyncBound;
+    } else if (a.bandwidth_fraction >= thresholds.bandwidth_fraction) {
+        a.verdict = BoundVerdict::kMemoryBound;
+    } else {
+        a.verdict = BoundVerdict::kBelowRoofline;
+    }
+    return a;
+}
+
+Json to_json(const RooflineAttribution& a) {
+    Json j = Json::object();
+    j.set("intensity_flops_per_byte", a.intensity_flops_per_byte);
+    j.set("attainable_gflops", a.attainable_gflops);
+    j.set("roofline_fraction", a.roofline_fraction);
+    j.set("bandwidth_ceiling_gbs", a.bandwidth_ceiling_gbs);
+    j.set("bandwidth_fraction", a.bandwidth_fraction);
+    j.set("measured_bytes_per_op",
+          a.measured_bytes_per_op ? Json(*a.measured_bytes_per_op) : Json());
+    j.set("sync_fraction", a.sync_fraction);
+    j.set("verdict", to_string(a.verdict));
+    return j;
+}
+
+}  // namespace symspmv::obs

@@ -1,0 +1,92 @@
+// Roofline attribution — turning one RunRecord into a diagnosis.
+//
+// The paper's §V.A premise (shared by Schubert/Hager/Fehske's SpM×V limit
+// analysis) is that symmetric SpM×V is governed by the memory-bandwidth
+// ceiling: a kernel is "as fast as the hardware allows" exactly when its
+// effective bandwidth sits at the machine's sustained ceiling.  A raw
+// GFLOP/s regression therefore has two fundamentally different causes —
+// the kernel fell away from the bandwidth roof (memory side), or it burns
+// its time synchronizing (barrier/reduction side) — and fixing one does
+// nothing for the other.
+//
+// attribute() joins the three data sources a RunRecord already carries:
+//   1. the bytes-moved model (bytes_per_op; the compulsory-traffic estimate
+//      from bench::streamed_bytes),
+//   2. the measured LLC counters (llc_misses x 64 B = traffic actually paid
+//      for, when perf_event was available),
+//   3. the per-phase split (slowest-thread multiply/barrier/reduction),
+// with the machine ceilings from bench::probe_roofline, and emits a
+// bandwidth-ceiling fraction plus a memory-bound vs sync-bound verdict.
+// bench_report attaches the result to every record it writes.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "bench/roofline.hpp"
+#include "obs/json.hpp"
+#include "obs/run_record.hpp"
+
+namespace symspmv::obs {
+
+/// The diagnosis verdict, in decreasing order of actionability.
+enum class BoundVerdict {
+    /// Phase split dominated by barrier wait + reduction: threads idle at
+    /// synchronization points, not in the memory system.  More bandwidth
+    /// will not help; better load balance or reduction indexing will.
+    kSyncBound,
+    /// Effective bandwidth at >= the memory-bound threshold of the sustained
+    /// ceiling: the kernel streams as fast as the machine moves bytes.  Only
+    /// moving fewer bytes (compression, symmetry) makes it faster.
+    kMemoryBound,
+    /// Neither near the roof nor sync-heavy — latency-bound gathers, poor
+    /// prefetch, or a working set that fits in cache.  The roofline model's
+    /// compulsory-traffic assumption is weakest here; trust the counters.
+    kBelowRoofline,
+};
+
+[[nodiscard]] std::string_view to_string(BoundVerdict v);
+
+/// Tunable decision thresholds (defaults documented in OBSERVABILITY.md).
+struct AttributionThresholds {
+    /// Fraction of per-op time in barrier + reduction above which the run
+    /// is sync-bound regardless of bandwidth.
+    double sync_fraction = 0.30;
+    /// Bandwidth-ceiling fraction at or above which the run is memory-bound.
+    double bandwidth_fraction = 0.50;
+};
+
+struct RooflineAttribution {
+    // --- the model side ---
+    double intensity_flops_per_byte = 0.0;  // 2*nnz / bytes_per_op
+    double attainable_gflops = 0.0;         // min(peak, bw_ceiling * intensity)
+    double roofline_fraction = 0.0;         // measured gflops / attainable
+
+    // --- the bandwidth side ---
+    double bandwidth_ceiling_gbs = 0.0;   // the machine's sustained ceiling
+    double bandwidth_fraction = 0.0;      // effective bandwidth / ceiling
+    /// Measured traffic per op from the LLC miss counter (misses x 64 B /
+    /// iterations); nullopt when the counter was unavailable.  Comparing it
+    /// with bytes_per_op calibrates the model: >> 1 means the compulsory
+    /// -traffic assumption undercounts (cache thrashing), << 1 means the
+    /// working set is cache-resident and the roofline does not bind.
+    std::optional<double> measured_bytes_per_op;
+
+    // --- the synchronization side ---
+    double sync_fraction = 0.0;  // (barrier + reduction) / seconds_per_op
+
+    BoundVerdict verdict = BoundVerdict::kBelowRoofline;
+};
+
+/// Joins @p rec with the machine ceilings.  Pure arithmetic — no probing;
+/// callers measure the roofline once (bench::probe_roofline) and attribute
+/// any number of records against it.
+[[nodiscard]] RooflineAttribution attribute(const RunRecord& rec,
+                                            const bench::RooflineModel& roofline,
+                                            const AttributionThresholds& thresholds = {});
+
+/// {"intensity", "attainable_gflops", "roofline_fraction", ...,
+///  "measured_bytes_per_op": number|null, "verdict": "memory-bound"|...}.
+[[nodiscard]] Json to_json(const RooflineAttribution& a);
+
+}  // namespace symspmv::obs

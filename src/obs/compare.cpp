@@ -1,0 +1,228 @@
+#include "obs/compare.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <random>
+#include <sstream>
+#include <tuple>
+
+#include "core/error.hpp"
+#include "core/hash.hpp"
+#include "core/stats.hpp"
+
+namespace symspmv::obs {
+
+std::string_view to_string(CellDiff::Verdict v) {
+    switch (v) {
+        case CellDiff::Verdict::kOk: return "ok";
+        case CellDiff::Verdict::kImproved: return "improved";
+        case CellDiff::Verdict::kRegressed: return "REGRESSED";
+        case CellDiff::Verdict::kInsufficient: return "insufficient samples";
+        case CellDiff::Verdict::kBaselineOnly: return "missing in current";
+        case CellDiff::Verdict::kCurrentOnly: return "new cell";
+    }
+    return "?";
+}
+
+std::vector<RunRecord> load_run_records(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) throw InvalidArgument("bench_compare: cannot open '" + path + "'");
+    std::vector<RunRecord> records;
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+        try {
+            records.push_back(parse_run_record(line));
+        } catch (const ParseError& e) {
+            throw ParseError(path + ":" + std::to_string(lineno) + ": " + e.what());
+        }
+    }
+    return records;
+}
+
+namespace {
+
+double median_of(std::vector<double> v) {
+    return summarize(v).median;
+}
+
+}  // namespace
+
+void bootstrap_median_ci(const std::vector<double>& sample, int resamples, double confidence,
+                         std::uint64_t seed, double out_ci[2]) {
+    SYMSPMV_CHECK_MSG(!sample.empty(), "bootstrap: empty sample");
+    SYMSPMV_CHECK_MSG(confidence > 0.0 && confidence < 1.0, "bootstrap: confidence in (0,1)");
+    if (sample.size() == 1 || resamples <= 0) {
+        // Degenerate: no dispersion information.  The point interval makes
+        // single-sample cells gate purely on the noise floor (when the
+        // min-sample guard was lowered to admit them).
+        out_ci[0] = median_of(sample);
+        out_ci[1] = out_ci[0];
+        return;
+    }
+    std::mt19937_64 rng(seed);
+    std::uniform_int_distribution<std::size_t> pick(0, sample.size() - 1);
+    std::vector<double> medians(static_cast<std::size_t>(resamples));
+    std::vector<double> draw(sample.size());
+    for (auto& m : medians) {
+        for (auto& d : draw) d = sample[pick(rng)];
+        m = median_of(draw);
+    }
+    std::sort(medians.begin(), medians.end());
+    const double alpha = (1.0 - confidence) / 2.0;
+    const auto at = [&](double q) {
+        const auto idx = static_cast<std::size_t>(
+            std::clamp(q * static_cast<double>(medians.size() - 1), 0.0,
+                       static_cast<double>(medians.size() - 1)));
+        return medians[idx];
+    };
+    out_ci[0] = at(alpha);
+    out_ci[1] = at(1.0 - alpha);
+}
+
+CompareReport compare_runs(const std::vector<RunRecord>& baseline,
+                           const std::vector<RunRecord>& current,
+                           const CompareOptions& opts) {
+    using Key = std::tuple<std::string, std::string, int>;
+    std::map<Key, std::vector<double>> base_cells, cur_cells;
+    for (const RunRecord& r : baseline) {
+        base_cells[{r.matrix, r.kernel, r.threads}].push_back(r.gflops);
+    }
+    for (const RunRecord& r : current) {
+        cur_cells[{r.matrix, r.kernel, r.threads}].push_back(r.gflops);
+    }
+
+    CompareReport report;
+    report.options = opts;
+
+    std::map<Key, char> keys;  // union, already sorted
+    for (const auto& [k, v] : base_cells) keys[k] = 0;
+    for (const auto& [k, v] : cur_cells) keys[k] = 0;
+
+    for (const auto& [key, unused] : keys) {
+        CellDiff cell;
+        cell.matrix = std::get<0>(key);
+        cell.kernel = std::get<1>(key);
+        cell.threads = std::get<2>(key);
+
+        const auto bit = base_cells.find(key);
+        const auto cit = cur_cells.find(key);
+        if (bit == base_cells.end() || cit == cur_cells.end()) {
+            cell.verdict = bit == base_cells.end() ? CellDiff::Verdict::kCurrentOnly
+                                                   : CellDiff::Verdict::kBaselineOnly;
+            if (bit != base_cells.end()) {
+                cell.baseline_samples = static_cast<int>(bit->second.size());
+                cell.baseline_median = median_of(bit->second);
+            }
+            if (cit != cur_cells.end()) {
+                cell.current_samples = static_cast<int>(cit->second.size());
+                cell.current_median = median_of(cit->second);
+            }
+            report.cells.push_back(std::move(cell));
+            continue;
+        }
+
+        const std::vector<double>& base = bit->second;
+        const std::vector<double>& cur = cit->second;
+        cell.baseline_samples = static_cast<int>(base.size());
+        cell.current_samples = static_cast<int>(cur.size());
+        cell.baseline_median = median_of(base);
+        cell.current_median = median_of(cur);
+        if (cell.baseline_median != 0.0) {
+            cell.relative_change =
+                (cell.current_median - cell.baseline_median) / cell.baseline_median;
+        }
+
+        // Per-cell deterministic seed: stable regardless of iteration order
+        // or which other cells are present.
+        const std::uint64_t cell_seed =
+            fnv1a64(cell.matrix + "|" + cell.kernel + "|" + std::to_string(cell.threads),
+                    opts.seed);
+        bootstrap_median_ci(base, opts.resamples, opts.confidence, cell_seed,
+                            cell.baseline_ci);
+        bootstrap_median_ci(cur, opts.resamples, opts.confidence, cell_seed ^ 0x9e3779b97f4a7c15ULL,
+                            cell.current_ci);
+
+        if (cell.baseline_samples < opts.min_samples ||
+            cell.current_samples < opts.min_samples) {
+            cell.verdict = CellDiff::Verdict::kInsufficient;
+            ++report.insufficient;
+        } else if (cell.relative_change < -opts.noise_floor &&
+                   cell.current_ci[1] < cell.baseline_ci[0]) {
+            cell.verdict = CellDiff::Verdict::kRegressed;
+            ++report.regressions;
+        } else if (cell.relative_change > opts.noise_floor &&
+                   cell.current_ci[0] > cell.baseline_ci[1]) {
+            cell.verdict = CellDiff::Verdict::kImproved;
+            ++report.improvements;
+        } else {
+            cell.verdict = CellDiff::Verdict::kOk;
+        }
+        report.cells.push_back(std::move(cell));
+    }
+    return report;
+}
+
+namespace {
+
+std::string fmt(double v, int precision = 2) {
+    std::ostringstream os;
+    os.setf(std::ios::fixed);
+    os.precision(precision);
+    os << v;
+    return os.str();
+}
+
+std::string ci_text(const double ci[2]) {
+    return "[" + fmt(ci[0]) + ", " + fmt(ci[1]) + "]";
+}
+
+}  // namespace
+
+std::string render_markdown(const CompareReport& report, const std::string& baseline_name,
+                            const std::string& current_name) {
+    std::ostringstream out;
+    out << "# bench_compare — " << current_name << " vs " << baseline_name << "\n\n";
+    out << (report.pass() ? "**PASS**" : "**FAIL**") << ": " << report.regressions
+        << " regression(s), " << report.improvements << " improvement(s), "
+        << report.insufficient << " cell(s) below the " << report.options.min_samples
+        << "-sample guard.  Noise floor " << fmt(report.options.noise_floor * 100.0, 1)
+        << "%, " << fmt(report.options.confidence * 100.0, 0)
+        << "% bootstrap CIs on median GFLOP/s (" << report.options.resamples
+        << " resamples, seed " << report.options.seed << ").\n\n";
+
+    if (!report.pass()) {
+        out << "Regressed cells:\n\n";
+        for (const CellDiff& c : report.cells) {
+            if (c.verdict != CellDiff::Verdict::kRegressed) continue;
+            out << "- **" << c.matrix << " × " << c.kernel << " × p" << c.threads << "**: "
+                << fmt(c.baseline_median) << " → " << fmt(c.current_median) << " GFLOP/s ("
+                << fmt(c.relative_change * 100.0, 1) << "%), CI " << ci_text(c.baseline_ci)
+                << " → " << ci_text(c.current_ci) << "\n";
+        }
+        out << "\n";
+    }
+
+    out << "| matrix | kernel | p | base GFLOP/s | cur GFLOP/s | Δ% | base CI | cur CI | "
+           "n | verdict |\n"
+        << "|---|---|---:|---:|---:|---:|---|---|---:|---|\n";
+    for (const CellDiff& c : report.cells) {
+        const bool both = c.verdict != CellDiff::Verdict::kBaselineOnly &&
+                          c.verdict != CellDiff::Verdict::kCurrentOnly;
+        out << "| " << c.matrix << " | " << c.kernel << " | " << c.threads << " | "
+            << (c.baseline_samples > 0 ? fmt(c.baseline_median) : std::string("—")) << " | "
+            << (c.current_samples > 0 ? fmt(c.current_median) : std::string("—")) << " | "
+            << (both ? fmt(c.relative_change * 100.0, 1) : std::string("—")) << " | "
+            << (both ? ci_text(c.baseline_ci) : std::string("—")) << " | "
+            << (both ? ci_text(c.current_ci) : std::string("—")) << " | "
+            << c.baseline_samples << "/" << c.current_samples << " | " << to_string(c.verdict)
+            << " |\n";
+    }
+    return out.str();
+}
+
+}  // namespace symspmv::obs

@@ -1,0 +1,107 @@
+// Statistical comparison of two RunRecord sets — "did this change make
+// SpM×V slower?" answered with a confidence interval instead of a shrug.
+//
+// Timing data from a shared machine is noisy; a naive "current < baseline"
+// check flags noise as regression and real regressions as noise.  This
+// module groups both JSONL sets into (matrix, kernel, threads) cells,
+// bootstrap-resamples the median GFLOP/s of each side, and declares a
+// regression only when BOTH tests agree: the relative median change exceeds
+// the configured noise floor AND the two bootstrap confidence intervals are
+// disjoint.  Cells with fewer samples than the min-sample guard are
+// reported but never gate (one sample has no dispersion estimate — unless
+// the guard is explicitly lowered to 1, where the noise floor alone
+// decides).
+//
+// tools/bench_compare is the CLI wrapper; the CI perf-gate job runs it
+// against the committed BENCH_baseline.jsonl (refresh workflow:
+// docs/REPRODUCING.md).  All resampling is deterministically seeded, so a
+// re-run of the same two files produces byte-identical reports.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/run_record.hpp"
+
+namespace symspmv::obs {
+
+struct CompareOptions {
+    /// Relative median change treated as noise (0.05 = 5%).  The gate only
+    /// fires beyond it, in addition to the CI test.
+    double noise_floor = 0.05;
+    /// Cells where either side has fewer samples than this are marked
+    /// insufficient and never fail the gate.  Set to 1 to let single-sample
+    /// cells gate on the noise floor alone (the CI degenerates to a point).
+    int min_samples = 3;
+    /// Bootstrap resamples per side per cell.
+    int resamples = 2000;
+    /// Two-sided confidence level of the bootstrap intervals.
+    double confidence = 0.95;
+    /// Base RNG seed; each cell derives its own stream from it, so report
+    /// content does not depend on cell iteration order.
+    std::uint64_t seed = 2013;
+};
+
+/// One (matrix, kernel, threads) comparison cell.
+struct CellDiff {
+    std::string matrix;
+    std::string kernel;
+    int threads = 0;
+
+    enum class Verdict {
+        kOk,            // change within noise or CIs overlap
+        kImproved,      // significantly faster
+        kRegressed,     // significantly slower — gates
+        kInsufficient,  // min-sample guard tripped
+        kBaselineOnly,  // cell disappeared from the current set
+        kCurrentOnly,   // new cell with no baseline
+    };
+    Verdict verdict = Verdict::kOk;
+
+    int baseline_samples = 0;
+    int current_samples = 0;
+    double baseline_median = 0.0;  // GFLOP/s
+    double current_median = 0.0;
+    double relative_change = 0.0;  // (current - baseline) / baseline
+    double baseline_ci[2] = {0.0, 0.0};  // bootstrap CI on the median
+    double current_ci[2] = {0.0, 0.0};
+};
+
+[[nodiscard]] std::string_view to_string(CellDiff::Verdict v);
+
+struct CompareReport {
+    std::vector<CellDiff> cells;  // sorted by (matrix, kernel, threads)
+    int regressions = 0;
+    int improvements = 0;
+    int insufficient = 0;
+    CompareOptions options;
+
+    /// The gate: true when no cell regressed significantly.
+    [[nodiscard]] bool pass() const { return regressions == 0; }
+};
+
+/// Reads one RunRecord JSONL file (blank lines skipped).  Throws ParseError
+/// on any malformed line — a truncated baseline must fail loudly, not gate
+/// against half the data — and InvalidArgument when the file cannot be read.
+[[nodiscard]] std::vector<RunRecord> load_run_records(const std::string& path);
+
+/// Groups, bootstraps, and judges.  Deterministic for fixed inputs/options.
+[[nodiscard]] CompareReport compare_runs(const std::vector<RunRecord>& baseline,
+                                         const std::vector<RunRecord>& current,
+                                         const CompareOptions& opts = {});
+
+/// Markdown diff table: one row per cell, regressed cells named explicitly,
+/// summary verdict first.  @p baseline_name/@p current_name label the two
+/// sides (file paths, git revisions, ...).
+[[nodiscard]] std::string render_markdown(const CompareReport& report,
+                                          const std::string& baseline_name,
+                                          const std::string& current_name);
+
+/// Bootstrap CI on the median of @p sample: resamples with replacement,
+/// takes the empirical (1-confidence)/2 quantiles of the resampled medians.
+/// Exposed for the statistical tests.  @p sample must be non-empty.
+void bootstrap_median_ci(const std::vector<double>& sample, int resamples, double confidence,
+                         std::uint64_t seed, double out_ci[2]);
+
+}  // namespace symspmv::obs

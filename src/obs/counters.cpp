@@ -45,6 +45,26 @@ bool CounterGroup::force_disabled() {
     return env != nullptr && env[0] != '\0' && env[0] != '0';
 }
 
+int CounterGroup::max_events() {
+    const char* env = std::getenv("SYMSPMV_PERF_MAX_EVENTS");
+    if (env == nullptr || env[0] == '\0') return kCounterCount;
+    int n = 0;
+    for (const char* p = env; *p != '\0'; ++p) {
+        if (*p < '0' || *p > '9') return kCounterCount;  // garbage: ignore the cap
+        n = n * 10 + (*p - '0');
+        if (n > kCounterCount) return kCounterCount;
+    }
+    return n;
+}
+
+int CounterGroup::open_fds() const {
+    int n = 0;
+    for (const int fd : fd_) {
+        if (fd >= 0) ++n;
+    }
+    return n;
+}
+
 CounterGroup::CounterGroup(CounterGroup&& other) noexcept : fd_(other.fd_) {
     other.fd_.fill(-1);
 }
@@ -109,7 +129,15 @@ void CounterGroup::close_all() {
 bool CounterGroup::open_on_this_thread() {
     close_all();
     if (force_disabled()) return false;
-    for (int i = 0; i < kCounterCount; ++i) {
+    // Partial-open contract (audited + regression-tested): every fd the
+    // kernel hands us is stored into its fd_ slot *immediately*, so a later
+    // event failing — EMFILE, an event the hardware lacks, seccomp — leaves
+    // the already-open fds owned by this group and reclaimed by close_all()
+    // on destruction or reopen.  Nothing is ever held in a local between
+    // open and publication; there is no window in which an early return or
+    // a failed later open could orphan a descriptor.
+    const int limit = max_events();
+    for (int i = 0; i < limit; ++i) {
         perf_event_attr attr;
         std::memset(&attr, 0, sizeof(attr));
         attr.size = sizeof(attr);

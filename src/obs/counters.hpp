@@ -112,6 +112,17 @@ class CounterGroup {
     /// True when SYMSPMV_NO_PERF=1 forces the unavailable path.
     [[nodiscard]] static bool force_disabled();
 
+    /// Cap on how many events one group opens, from SYMSPMV_PERF_MAX_EVENTS
+    /// (default: all of them).  Two uses: machines with few programmable
+    /// PMU slots can avoid multiplexing, and the tests inject the
+    /// partial-open path ("some events open, a later one fails")
+    /// deterministically — the fd-leak regression test relies on it.
+    [[nodiscard]] static int max_events();
+
+    /// Open event fds this group currently owns (exposed so the leak test
+    /// can reconcile against /proc/self/fd).
+    [[nodiscard]] int open_fds() const;
+
    private:
     void close_all();
 

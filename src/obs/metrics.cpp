@@ -1,0 +1,421 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "autotune/store.hpp"
+#include "core/error.hpp"
+#include "core/thread_pool.hpp"
+#include "engine/bundle.hpp"
+
+namespace symspmv::obs::metrics {
+
+// ---------------------------------------------------------------------------
+// Counter
+
+namespace {
+
+/// Round-robin shard assignment, fixed per thread on first touch.  Distinct
+/// threads spread across shards; a thread always hits the same cache line.
+int this_thread_shard() {
+    static std::atomic<unsigned> next{0};
+    thread_local const int shard =
+        static_cast<int>(next.fetch_add(1, std::memory_order_relaxed) % Counter::kShards);
+    return shard;
+}
+
+}  // namespace
+
+void Counter::add(std::int64_t n) noexcept {
+    shards_[this_thread_shard()].v.fetch_add(n, std::memory_order_relaxed);
+}
+
+std::int64_t Counter::value() const noexcept {
+    std::int64_t total = 0;
+    for (const Shard& s : shards_) total += s.v.load(std::memory_order_relaxed);
+    return total;
+}
+
+void Gauge::add(double d) noexcept {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + d, std::memory_order_relaxed)) {
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+int Histogram::bucket_index(double seconds) noexcept {
+    if (!(seconds >= 1e-9)) return 0;  // < 1 ns, zero, negative, NaN
+    // ilogb(x) = floor(log2(x)) exactly, so a value sitting precisely on a
+    // power-of-two boundary opens its own bucket (half-open intervals).
+    const int exp = std::ilogb(seconds * 1e9);
+    return std::min(exp + 1, kBuckets - 1);
+}
+
+double Histogram::upper_bound(int i) noexcept {
+    if (i >= kBuckets - 1) return std::numeric_limits<double>::infinity();
+    return std::ldexp(1e-9, i);  // 2^i ns
+}
+
+void Histogram::observe(double seconds) noexcept {
+    buckets_[static_cast<std::size_t>(bucket_index(seconds))].fetch_add(
+        1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    double cur = sum_.load(std::memory_order_relaxed);
+    while (!sum_.compare_exchange_weak(cur, cur + seconds, std::memory_order_relaxed)) {
+    }
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+    Snapshot s;
+    for (int i = 0; i < kBuckets; ++i) {
+        s.buckets[static_cast<std::size_t>(i)] =
+            buckets_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+    }
+    // count/sum may trail the bucket array under concurrent observe(); keep
+    // the snapshot internally consistent by recomputing count from buckets.
+    s.count = 0;
+    for (const std::uint64_t b : s.buckets) s.count += b;
+    s.sum = sum_.load(std::memory_order_relaxed);
+    return s;
+}
+
+double Histogram::Snapshot::quantile(double q) const {
+    SYMSPMV_CHECK_MSG(q > 0.0 && q <= 1.0, "histogram quantile must be in (0, 1]");
+    if (count == 0) return 0.0;
+    const auto rank = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(count)));  // 1-based sample rank
+    std::uint64_t cumulative = 0;
+    for (int i = 0; i < kBuckets; ++i) {
+        const std::uint64_t in_bucket = buckets[static_cast<std::size_t>(i)];
+        if (cumulative + in_bucket < rank) {
+            cumulative += in_bucket;
+            continue;
+        }
+        const double lo = i == 0 ? 0.0 : upper_bound(i - 1);
+        double hi = upper_bound(i);
+        if (std::isinf(hi)) return lo;  // overflow bucket: report its floor
+        // Position of the rank inside this bucket, in (0, 1].
+        const double frac = static_cast<double>(rank - cumulative) /
+                            static_cast<double>(in_bucket);
+        return lo + (hi - lo) * frac;
+    }
+    return upper_bound(kBuckets - 2);  // unreachable: ranks are <= count
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+namespace {
+
+std::string_view kind_name(MetricKind k) {
+    switch (k) {
+        case MetricKind::kCounter: return "counter";
+        case MetricKind::kGauge: return "gauge";
+        case MetricKind::kHistogram: return "histogram";
+    }
+    return "?";
+}
+
+/// Prometheus label-value escaping: backslash, double quote, newline.
+std::string escape_label_value(std::string_view v) {
+    std::string out;
+    out.reserve(v.size());
+    for (const char c : v) {
+        if (c == '\\') {
+            out += "\\\\";
+        } else if (c == '"') {
+            out += "\\\"";
+        } else if (c == '\n') {
+            out += "\\n";
+        } else {
+            out += c;
+        }
+    }
+    return out;
+}
+
+/// HELP text escaping: backslash and newline only (quotes are legal there).
+std::string escape_help(std::string_view v) {
+    std::string out;
+    out.reserve(v.size());
+    for (const char c : v) {
+        if (c == '\\') {
+            out += "\\\\";
+        } else if (c == '\n') {
+            out += "\\n";
+        } else {
+            out += c;
+        }
+    }
+    return out;
+}
+
+void sort_labels(MetricLabels& labels) {
+    std::sort(labels.begin(), labels.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+}
+
+/// Shortest round-trip double rendering, matching Json's number style.
+std::string fmt_double(double v) {
+    Json j(v);
+    return j.dump();
+}
+
+}  // namespace
+
+std::string render_labels(const MetricLabels& labels) {
+    if (labels.empty()) return "";
+    std::string out = "{";
+    bool first = true;
+    for (const auto& [k, v] : labels) {
+        if (!first) out += ",";
+        first = false;
+        out += k;
+        out += "=\"";
+        out += escape_label_value(v);
+        out += "\"";
+    }
+    out += "}";
+    return out;
+}
+
+Registry::Instrument& Registry::find_or_create(std::string_view name, std::string_view help,
+                                               MetricLabels&& labels, MetricKind kind) {
+    sort_labels(labels);
+    const std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& ins : instruments_) {
+        if (ins->name == name) {
+            if (ins->kind != kind) {
+                throw InvalidArgument("metric '" + std::string(name) +
+                                      "' already registered with a different kind");
+            }
+            if (ins->labels == labels) return *ins;
+        }
+    }
+    auto ins = std::make_unique<Instrument>();
+    ins->name = std::string(name);
+    ins->help = std::string(help);
+    ins->kind = kind;
+    ins->labels = std::move(labels);
+    switch (kind) {
+        case MetricKind::kCounter: ins->counter.reset(new Counter()); break;
+        case MetricKind::kGauge: ins->gauge.reset(new Gauge()); break;
+        case MetricKind::kHistogram: ins->histogram.reset(new Histogram()); break;
+    }
+    instruments_.push_back(std::move(ins));
+    return *instruments_.back();
+}
+
+Counter& Registry::counter(std::string_view name, std::string_view help, MetricLabels labels) {
+    return *find_or_create(name, help, std::move(labels), MetricKind::kCounter).counter;
+}
+
+Gauge& Registry::gauge(std::string_view name, std::string_view help, MetricLabels labels) {
+    return *find_or_create(name, help, std::move(labels), MetricKind::kGauge).gauge;
+}
+
+Histogram& Registry::histogram(std::string_view name, std::string_view help,
+                               MetricLabels labels) {
+    return *find_or_create(name, help, std::move(labels), MetricKind::kHistogram).histogram;
+}
+
+void Registry::add_collector(std::function<std::vector<MetricPoint>()> collector) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    collectors_.push_back(std::move(collector));
+}
+
+Json Registry::to_json() const {
+    // Snapshot under the lock, render outside it (collectors may themselves
+    // take locks; keep the critical section to pointer copies).
+    std::vector<const Instrument*> instruments;
+    std::vector<std::function<std::vector<MetricPoint>()>> collectors;
+    {
+        const std::lock_guard<std::mutex> lock(mu_);
+        instruments.reserve(instruments_.size());
+        for (const auto& ins : instruments_) instruments.push_back(ins.get());
+        collectors = collectors_;
+    }
+    Json arr = Json::array();
+    const auto labels_json = [](const MetricLabels& labels) {
+        Json obj = Json::object();
+        for (const auto& [k, v] : labels) obj.set(k, v);
+        return obj;
+    };
+    for (const Instrument* ins : instruments) {
+        Json m = Json::object();
+        m.set("name", ins->name);
+        m.set("kind", kind_name(ins->kind));
+        m.set("labels", labels_json(ins->labels));
+        switch (ins->kind) {
+            case MetricKind::kCounter: m.set("value", ins->counter->value()); break;
+            case MetricKind::kGauge: m.set("value", ins->gauge->value()); break;
+            case MetricKind::kHistogram: {
+                const Histogram::Snapshot s = ins->histogram->snapshot();
+                m.set("count", s.count);
+                m.set("sum", s.sum);
+                m.set("p50", s.count > 0 ? s.quantile(0.50) : Json());
+                m.set("p95", s.count > 0 ? s.quantile(0.95) : Json());
+                m.set("p99", s.count > 0 ? s.quantile(0.99) : Json());
+                Json buckets = Json::array();
+                for (int i = 0; i < Histogram::kBuckets; ++i) {
+                    const std::uint64_t c = s.buckets[static_cast<std::size_t>(i)];
+                    if (c == 0) continue;  // sparse: only occupied buckets
+                    Json b = Json::object();
+                    const double ub = Histogram::upper_bound(i);
+                    b.set("le", std::isinf(ub) ? Json() : Json(ub));
+                    b.set("count", c);
+                    buckets.push_back(std::move(b));
+                }
+                m.set("buckets", std::move(buckets));
+                break;
+            }
+        }
+        arr.push_back(std::move(m));
+    }
+    for (const auto& collect : collectors) {
+        for (const MetricPoint& p : collect()) {
+            Json m = Json::object();
+            m.set("name", p.name);
+            m.set("kind", kind_name(p.kind));
+            m.set("labels", labels_json(p.labels));
+            m.set("value", p.value);
+            arr.push_back(std::move(m));
+        }
+    }
+    Json doc = Json::object();
+    doc.set("metrics", std::move(arr));
+    return doc;
+}
+
+std::string Registry::to_prometheus() const {
+    std::vector<const Instrument*> instruments;
+    std::vector<std::function<std::vector<MetricPoint>()>> collectors;
+    {
+        const std::lock_guard<std::mutex> lock(mu_);
+        instruments.reserve(instruments_.size());
+        for (const auto& ins : instruments_) instruments.push_back(ins.get());
+        collectors = collectors_;
+    }
+    std::ostringstream out;
+    // One HELP/TYPE header per metric name; series with the same name but
+    // different labels follow their first header.
+    std::vector<std::string> announced;
+    const auto announce = [&](const std::string& name, const std::string& help,
+                              MetricKind kind) {
+        if (std::find(announced.begin(), announced.end(), name) != announced.end()) return;
+        announced.push_back(name);
+        if (!help.empty()) out << "# HELP " << name << " " << escape_help(help) << "\n";
+        out << "# TYPE " << name << " " << kind_name(kind) << "\n";
+    };
+    for (const Instrument* ins : instruments) {
+        announce(ins->name, ins->help, ins->kind);
+        const std::string labels = render_labels(ins->labels);
+        switch (ins->kind) {
+            case MetricKind::kCounter:
+                out << ins->name << labels << " " << ins->counter->value() << "\n";
+                break;
+            case MetricKind::kGauge:
+                out << ins->name << labels << " " << fmt_double(ins->gauge->value()) << "\n";
+                break;
+            case MetricKind::kHistogram: {
+                const Histogram::Snapshot s = ins->histogram->snapshot();
+                std::uint64_t cumulative = 0;
+                for (int i = 0; i < Histogram::kBuckets; ++i) {
+                    const std::uint64_t c = s.buckets[static_cast<std::size_t>(i)];
+                    cumulative += c;
+                    const double ub = Histogram::upper_bound(i);
+                    if (c == 0 && !std::isinf(ub)) continue;  // sparse exposition
+                    MetricLabels with_le = ins->labels;
+                    with_le.emplace_back("le",
+                                         std::isinf(ub) ? std::string("+Inf") : fmt_double(ub));
+                    out << ins->name << "_bucket" << render_labels(with_le) << " "
+                        << cumulative << "\n";
+                }
+                out << ins->name << "_sum" << labels << " " << fmt_double(s.sum) << "\n";
+                out << ins->name << "_count" << labels << " " << s.count << "\n";
+                break;
+            }
+        }
+    }
+    for (const auto& collect : collectors) {
+        for (const MetricPoint& p : collect()) {
+            announce(p.name, p.help, p.kind);
+            out << p.name << render_labels(p.labels) << " " << fmt_double(p.value) << "\n";
+        }
+    }
+    return out.str();
+}
+
+Registry& global_metrics() {
+    static Registry registry;
+    return registry;
+}
+
+// ---------------------------------------------------------------------------
+// Collector adapters
+
+void register_pool_metrics(Registry& reg, const ThreadPool& pool, MetricLabels labels) {
+    sort_labels(labels);
+    reg.add_collector([&pool, labels]() {
+        const ThreadPool::Stats s = pool.stats();
+        return std::vector<MetricPoint>{
+            {"symspmv_pool_jobs_total", "Jobs dispatched to the worker pool",
+             MetricKind::kCounter, labels, static_cast<double>(s.jobs_dispatched)},
+            {"symspmv_pool_barrier_crossings_total",
+             "In-job barrier crossings (one per worker per phase transition)",
+             MetricKind::kCounter, labels, static_cast<double>(s.barrier_crossings)},
+            {"symspmv_pool_barrier_wait_seconds_total",
+             "Seconds workers spent waiting at profiled barriers",
+             MetricKind::kCounter, labels, s.barrier_wait_seconds},
+            {"symspmv_pool_threads", "Worker threads in the pool", MetricKind::kGauge, labels,
+             static_cast<double>(s.threads)},
+        };
+    });
+}
+
+void register_plan_store_metrics(Registry& reg, const autotune::PlanStore& store,
+                                 MetricLabels labels) {
+    sort_labels(labels);
+    reg.add_collector([&store, labels]() {
+        const autotune::PlanStore::Counters c = store.counters();
+        return std::vector<MetricPoint>{
+            {"symspmv_plan_cache_hits_total", "Plan-cache lookups answered from memory or disk",
+             MetricKind::kCounter, labels, static_cast<double>(c.hits)},
+            {"symspmv_plan_cache_misses_total", "Plan-cache lookups that found nothing usable",
+             MetricKind::kCounter, labels, static_cast<double>(c.misses)},
+            {"symspmv_plan_cache_disk_hits_total", "Plan-cache hits satisfied by a plan file",
+             MetricKind::kCounter, labels, static_cast<double>(c.disk_hits)},
+            {"symspmv_plan_cache_revalidation_rejects_total",
+             "Plan files present on disk but rejected by key revalidation or parsing",
+             MetricKind::kCounter, labels, static_cast<double>(c.revalidation_rejects)},
+            {"symspmv_plan_cache_saves_total", "Plans saved", MetricKind::kCounter, labels,
+             static_cast<double>(c.saves)},
+        };
+    });
+}
+
+void register_bundle_metrics(Registry& reg, const engine::MatrixBundle& bundle,
+                             MetricLabels labels) {
+    sort_labels(labels);
+    reg.add_collector([&bundle, labels]() {
+        const engine::BundleBuildCounts c = bundle.build_counts();
+        const auto point = [&](const char* repr, int builds) {
+            MetricLabels with_repr = labels;
+            with_repr.emplace_back("representation", repr);
+            sort_labels(with_repr);
+            return MetricPoint{"symspmv_bundle_builds_total",
+                               "COO-to-derived-representation conversions performed",
+                               MetricKind::kCounter, std::move(with_repr),
+                               static_cast<double>(builds)};
+        };
+        return std::vector<MetricPoint>{point("csr", c.csr), point("sss", c.sss),
+                                        point("lower_csr", c.lower_csr),
+                                        point("properties", c.properties)};
+    });
+}
+
+}  // namespace symspmv::obs::metrics

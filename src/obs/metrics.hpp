@@ -1,0 +1,226 @@
+// Runtime metrics registry — the consumption half of the observability
+// layer.
+//
+// RunRecords (run_record.hpp) capture one finished measurement; a
+// long-running process (a solver service, a sweep, CI) additionally needs a
+// *live* surface: how many jobs the pool dispatched, how often the plan
+// cache hit, how CG iteration latency is distributed — queryable at any
+// moment and exportable to the two formats monitoring stacks actually
+// ingest (JSON for this repo's own tooling, Prometheus text exposition for
+// scrapers).
+//
+// Three instrument kinds, all safe for concurrent update:
+//   - Counter:  monotonic int64, per-thread sharded (each updating thread
+//     owns a cache-line-padded slot, assigned round-robin on first use), so
+//     a hot-path increment is one relaxed fetch_add on an uncontended line.
+//   - Gauge:    a settable double (last-writer-wins; add() for deltas).
+//   - Histogram: log2-bucketed latencies from 1 ns up, with count/sum and
+//     deterministic p50/p95/p99 extraction by linear interpolation inside
+//     the winning bucket (bucket math documented at bucket_index()).
+//
+// The layering rule of DESIGN.md §10 still holds: core/engine/autotune know
+// nothing about obs.  Layers below obs expose their own plain counters
+// (ThreadPool::stats, PlanStore::counters, MatrixBundle::build_counts) and
+// the registry *collects* them at export time through registered collector
+// callbacks — the Prometheus "collector" pattern — so instrumenting a seam
+// costs the lower layer nothing but a struct.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace symspmv {
+class ThreadPool;
+}
+
+namespace symspmv::autotune {
+class PlanStore;
+}
+
+namespace symspmv::engine {
+class MatrixBundle;
+}
+
+namespace symspmv::obs::metrics {
+
+/// Label set of one instrument; kept sorted by key so exposition order is
+/// deterministic (and Prometheus sees one consistent series identity).
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+/// Monotonic counter.  add() is wait-free for practical purposes: each
+/// thread updates its own cache-line-padded shard (round-robin assigned via
+/// a thread_local on first touch), value() sums the shards.
+class Counter {
+   public:
+    static constexpr int kShards = 16;
+
+    void add(std::int64_t n = 1) noexcept;
+    [[nodiscard]] std::int64_t value() const noexcept;
+
+   private:
+    friend class Registry;
+    Counter() = default;
+    struct alignas(64) Shard {
+        std::atomic<std::int64_t> v{0};
+    };
+    Shard shards_[kShards];
+};
+
+/// Last-writer-wins double; for values that are *states*, not events.
+class Gauge {
+   public:
+    void set(double v) noexcept { v_.store(v, std::memory_order_relaxed); }
+    void add(double d) noexcept;
+    [[nodiscard]] double value() const noexcept { return v_.load(std::memory_order_relaxed); }
+
+   private:
+    friend class Registry;
+    Gauge() = default;
+
+    std::atomic<double> v_{0.0};
+};
+
+/// Log2-bucketed latency histogram.
+///
+/// Bucket 0 holds everything below 1 ns (including zero and negatives, which
+/// only arise from clock anomalies); bucket i >= 1 covers
+/// [2^(i-1) ns, 2^i ns) — 44 buckets reach ~2.4 hours, far past any latency
+/// this system produces; larger values clamp into the last bucket.
+/// A value exactly on a boundary lands in the bucket whose *lower* bound it
+/// is (half-open intervals), which the bucket-boundary tests pin down.
+class Histogram {
+   public:
+    static constexpr int kBuckets = 44;
+
+    void observe(double seconds) noexcept;
+
+    /// Bucket arithmetic, exposed for the boundary tests and the exporters.
+    [[nodiscard]] static int bucket_index(double seconds) noexcept;
+    /// Upper bound of bucket @p i (the Prometheus "le" value); +inf for the
+    /// last bucket.  The lower bound of bucket i is upper_bound(i-1), 0 for
+    /// bucket 0.
+    [[nodiscard]] static double upper_bound(int i) noexcept;
+
+    struct Snapshot {
+        std::uint64_t count = 0;
+        double sum = 0.0;
+        std::array<std::uint64_t, kBuckets> buckets{};
+
+        /// Deterministic quantile: finds the bucket holding the q-th sample
+        /// (rank ceil(q * count)) and interpolates linearly between its
+        /// bounds by the rank's position inside the bucket.  Returns 0 on an
+        /// empty histogram.  q must be in (0, 1].
+        [[nodiscard]] double quantile(double q) const;
+    };
+
+    [[nodiscard]] Snapshot snapshot() const;
+
+   private:
+    friend class Registry;
+    Histogram() = default;
+
+    std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<double> sum_{0.0};
+};
+
+/// One exported time series from a collector callback: scraped, not stored.
+struct MetricPoint {
+    std::string name;
+    std::string help;
+    MetricKind kind = MetricKind::kGauge;  // collectors emit counters/gauges
+    MetricLabels labels;
+    double value = 0.0;
+};
+
+/// Named instruments plus collector callbacks, exported as JSON or
+/// Prometheus text.  Instruments are identified by (name, labels): asking
+/// twice returns the same instance, so call sites don't need to coordinate
+/// registration.  Instrument references stay valid for the registry's
+/// lifetime.  Thread-safe throughout.
+class Registry {
+   public:
+    Registry() = default;
+    Registry(const Registry&) = delete;
+    Registry& operator=(const Registry&) = delete;
+
+    /// Returns the instrument registered under (@p name, @p labels),
+    /// creating it on first use.  @p help is kept from the first call.
+    /// Throws InvalidArgument when the name is already registered with a
+    /// different kind — one name must be one Prometheus metric type.
+    Counter& counter(std::string_view name, std::string_view help, MetricLabels labels = {});
+    Gauge& gauge(std::string_view name, std::string_view help, MetricLabels labels = {});
+    Histogram& histogram(std::string_view name, std::string_view help, MetricLabels labels = {});
+
+    /// Registers a scrape-time callback producing counter/gauge points from
+    /// state owned elsewhere (the lower layers' plain stat structs).  The
+    /// callback must stay valid for the registry's lifetime and be safe to
+    /// call from any thread.
+    void add_collector(std::function<std::vector<MetricPoint>()> collector);
+
+    /// JSON export: {"metrics": [{name, kind, labels, value | histogram}]}
+    /// with histograms rendered as count/sum/p50/p95/p99 plus buckets.
+    [[nodiscard]] Json to_json() const;
+
+    /// Prometheus text exposition format (version 0.0.4): # HELP/# TYPE
+    /// headers, escaped label values, labels in sorted-key order, histogram
+    /// as cumulative _bucket{le=...} + _sum + _count.
+    [[nodiscard]] std::string to_prometheus() const;
+
+   private:
+    struct Instrument {
+        std::string name;
+        std::string help;
+        MetricKind kind;
+        MetricLabels labels;
+        std::unique_ptr<Counter> counter;
+        std::unique_ptr<Gauge> gauge;
+        std::unique_ptr<Histogram> histogram;
+    };
+
+    Instrument& find_or_create(std::string_view name, std::string_view help,
+                               MetricLabels&& labels, MetricKind kind);
+
+    mutable std::mutex mu_;
+    std::vector<std::unique_ptr<Instrument>> instruments_;  // registration order
+    std::vector<std::function<std::vector<MetricPoint>()>> collectors_;
+};
+
+/// The process-wide registry (always available; exporting it is opt-in via
+/// --metrics flags, so an unexported registry costs only its counters).
+[[nodiscard]] Registry& global_metrics();
+
+/// Renders one label set as it appears in the exposition: {k="v",...} with
+/// keys sorted and values escaped; "" for no labels.  Exposed for tests.
+[[nodiscard]] std::string render_labels(const MetricLabels& labels);
+
+// ---------------------------------------------------------------------------
+// Collector adapters for the instrumented seams below obs.  Each registers a
+// scrape-time callback over the referenced object's own counters; the object
+// must outlive the registry (or at least every later export).
+
+/// symspmv_pool_jobs_total, symspmv_pool_barrier_crossings_total,
+/// symspmv_pool_barrier_wait_seconds_total, symspmv_pool_threads.
+void register_pool_metrics(Registry& reg, const ThreadPool& pool, MetricLabels labels = {});
+
+/// symspmv_plan_cache_{hits,misses,revalidation_rejects,disk_hits,saves}_total.
+void register_plan_store_metrics(Registry& reg, const autotune::PlanStore& store,
+                                 MetricLabels labels = {});
+
+/// symspmv_bundle_builds_total{representation=...}.
+void register_bundle_metrics(Registry& reg, const engine::MatrixBundle& bundle,
+                             MetricLabels labels = {});
+
+}  // namespace symspmv::obs::metrics

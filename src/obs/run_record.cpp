@@ -144,7 +144,9 @@ RunRecord make_run_record(std::string matrix, const engine::MatrixBundle& bundle
     return rec;
 }
 
-RunSink::RunSink(const std::string& path) : path_(path), out_(path, std::ios::app) {
+RunSink::RunSink(const std::string& path, Mode mode)
+    : path_(path),
+      out_(path, mode == Mode::kTruncate ? std::ios::trunc : std::ios::app) {
     if (!out_) throw InvalidArgument("run sink: cannot open '" + path + "'");
 }
 

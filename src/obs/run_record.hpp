@@ -105,10 +105,19 @@ struct RunRecord {
 
 /// Appends RunRecords to a JSON Lines file, one object per line, flushed
 /// after every record so a crashed run keeps everything it measured.
+/// Every failure — open or write — throws InvalidArgument; records are
+/// measurements, and silently dropping them corrupts every downstream
+/// comparison (bench_compare gates on these files).
 class RunSink {
    public:
-    /// Opens @p path in append mode; throws InvalidArgument when it cannot.
-    explicit RunSink(const std::string& path);
+    enum class Mode {
+        kAppend,    // accumulate across runs (baseline building)
+        kTruncate,  // start the file over (a fresh sweep)
+    };
+
+    /// Opens @p path in the given mode; throws InvalidArgument when it
+    /// cannot.
+    explicit RunSink(const std::string& path, Mode mode = Mode::kAppend);
 
     void write(const RunRecord& rec);
 

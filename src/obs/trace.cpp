@@ -53,6 +53,36 @@ void TraceWriter::flush() {
     }
     Json doc = Json::object();
     Json events = Json::array();
+    // Metadata ("ph":"M") events first, so the viewers label tracks by role
+    // instead of bare tid numbers: one process_name, then one thread_name
+    // per distinct track seen in the spans.
+    {
+        Json proc = Json::object();
+        proc.set("name", "process_name");
+        proc.set("ph", "M");
+        proc.set("pid", 1);
+        Json pargs = Json::object();
+        pargs.set("name", "symspmv");
+        proc.set("args", std::move(pargs));
+        events.push_back(std::move(proc));
+
+        std::vector<int> tids;
+        for (const TraceEvent& e : snapshot) tids.push_back(e.tid);
+        std::sort(tids.begin(), tids.end());
+        tids.erase(std::unique(tids.begin(), tids.end()), tids.end());
+        for (const int tid : tids) {
+            Json meta = Json::object();
+            meta.set("name", "thread_name");
+            meta.set("ph", "M");
+            meta.set("pid", 1);
+            meta.set("tid", tid);
+            Json args = Json::object();
+            args.set("name", tid == kCallerTid ? std::string("caller")
+                                               : "worker " + std::to_string(tid));
+            meta.set("args", std::move(args));
+            events.push_back(std::move(meta));
+        }
+    }
     for (const TraceEvent& e : snapshot) {
         Json ev = Json::object();
         ev.set("name", e.name);

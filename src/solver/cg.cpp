@@ -54,7 +54,9 @@ Result solve(SpmvKernel& kernel, ThreadPool& pool, std::span<const value_t> b,
         return res;
     }
 
+    Timer iter_timer;
     for (int i = 0; i < opts.max_iterations; ++i) {
+        if (opts.record_iteration_seconds) iter_timer.reset();
         // a_i = (r.r) / (p.A.p)  — the SpM×V of the iteration (Alg. 1 line 6).
         if (opts.profiler != nullptr) opts.profiler->begin_op();
         kernel.spmv(p, ap);
@@ -76,6 +78,9 @@ Result solve(SpmvKernel& kernel, ThreadPool& pool, std::span<const value_t> b,
         if (res.residual_norm <= threshold) {
             res.converged = true;
             rr = rr_next;
+            if (opts.record_iteration_seconds) {
+                res.iteration_seconds.push_back(iter_timer.seconds());
+            }
             break;
         }
 
@@ -84,6 +89,9 @@ Result solve(SpmvKernel& kernel, ThreadPool& pool, std::span<const value_t> b,
         blas1::xpby(pool, r, beta, p);  // p_{i+1} = r_{i+1} + b_i p_i
         rr = rr_next;
         vec_timer.stop();
+        if (opts.record_iteration_seconds) {
+            res.iteration_seconds.push_back(iter_timer.seconds());
+        }
     }
     res.breakdown.vector_ops_seconds = vec_timer.total_seconds();
     return res;

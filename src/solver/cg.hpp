@@ -21,6 +21,11 @@ struct Options {
     double tolerance = 1e-8;       // stop when ||r|| <= tolerance * ||b||
     bool track_breakdown = true;   // collect the Fig. 14 phase timings
     bool record_residuals = false; // fill Result::residual_history
+    /// Fill Result::iteration_seconds with the wall-clock of every
+    /// iteration (SpM×V + vector ops + preconditioner).  The raw series the
+    /// observability layer's latency histograms are built from; one Timer
+    /// read per iteration, so leaving it on costs nothing measurable.
+    bool record_iteration_seconds = false;
     /// When set, the kernel records per-thread multiply/barrier/reduction
     /// times into it across every SpM×V of the solve (attached for the
     /// duration of solve(), detached before returning) — the per-thread
@@ -50,6 +55,9 @@ struct Result {
     /// ||r|| after every iteration, starting with the initial residual
     /// (only filled when Options::record_residuals is set).
     std::vector<double> residual_history;
+    /// Wall-clock seconds of each iteration (only filled when
+    /// Options::record_iteration_seconds is set).
+    std::vector<double> iteration_seconds;
 };
 
 /// Solves A x = b with A given by @p kernel (must be symmetric positive

@@ -64,7 +64,9 @@ PcgResult pcg_solve(SpmvKernel& kernel, Preconditioner& precond, ThreadPool& poo
         return out;
     }
 
+    Timer iter_timer;
     for (int i = 0; i < opts.max_iterations; ++i) {
+        if (opts.record_iteration_seconds) iter_timer.reset();
         if (opts.profiler != nullptr) opts.profiler->begin_op();
         kernel.spmv(p, ap);
         res.breakdown.spmv_multiply_seconds += kernel.last_phases().multiply_seconds;
@@ -84,6 +86,9 @@ PcgResult pcg_solve(SpmvKernel& kernel, Preconditioner& precond, ThreadPool& poo
         if (opts.record_residuals) res.residual_history.push_back(res.residual_norm);
         if (res.residual_norm <= threshold) {
             res.converged = true;
+            if (opts.record_iteration_seconds) {
+                res.iteration_seconds.push_back(iter_timer.seconds());
+            }
             break;
         }
 
@@ -96,6 +101,9 @@ PcgResult pcg_solve(SpmvKernel& kernel, Preconditioner& precond, ThreadPool& poo
         blas1::xpby(pool, z, beta, p);  // p_{i+1} = z_{i+1} + beta p_i
         rz = rz_next;
         vec_timer.stop();
+        if (opts.record_iteration_seconds) {
+            res.iteration_seconds.push_back(iter_timer.seconds());
+        }
     }
     res.breakdown.vector_ops_seconds = vec_timer.total_seconds();
     out.precond_seconds = pc_timer.total_seconds();

@@ -1,0 +1,202 @@
+// Statistical run-set comparison (obs/compare.hpp): bootstrap CI sanity,
+// verdict logic on synthetic JSONL sets — identical sets must pass, an
+// injected 10% median slowdown must fail and be named — plus the loader's
+// strictness.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/error.hpp"
+#include "obs/compare.hpp"
+#include "obs/run_record.hpp"
+
+namespace symspmv::obs {
+namespace {
+
+/// Records for one (matrix, kernel, threads) cell whose GFLOP/s samples are
+/// base * (1 + jitter), jitter cycling through ±1% — realistic timing noise
+/// without randomness.
+std::vector<RunRecord> cell(const std::string& matrix, const std::string& kernel, int threads,
+                            double base_gflops, int samples) {
+    std::vector<RunRecord> records;
+    for (int i = 0; i < samples; ++i) {
+        RunRecord r;
+        r.matrix = matrix;
+        r.kernel = kernel;
+        r.threads = threads;
+        r.rows = 100;
+        r.nnz = 500;
+        const double jitter = 0.01 * static_cast<double>(i % 3 - 1);  // -1%, 0, +1%
+        r.gflops = base_gflops * (1.0 + jitter);
+        records.push_back(std::move(r));
+    }
+    return records;
+}
+
+std::vector<RunRecord> concat(std::vector<RunRecord> a, const std::vector<RunRecord>& b) {
+    a.insert(a.end(), b.begin(), b.end());
+    return a;
+}
+
+// ---------------------------------------------------------------------------
+// Bootstrap
+
+TEST(Bootstrap, CiCoversTheMedianAndIsDeterministic) {
+    const std::vector<double> sample = {1.0, 1.1, 0.9, 1.05, 0.95, 1.02, 0.98};
+    double ci1[2], ci2[2];
+    bootstrap_median_ci(sample, 2000, 0.95, 42, ci1);
+    bootstrap_median_ci(sample, 2000, 0.95, 42, ci2);
+    EXPECT_EQ(ci1[0], ci2[0]);  // same seed, same interval
+    EXPECT_EQ(ci1[1], ci2[1]);
+    EXPECT_LE(ci1[0], 1.0);  // the sample median is 1.0
+    EXPECT_GE(ci1[1], 1.0);
+    EXPECT_LE(ci1[0], ci1[1]);
+}
+
+TEST(Bootstrap, SingleSampleDegeneratesToPoint) {
+    double ci[2];
+    bootstrap_median_ci({2.5}, 2000, 0.95, 1, ci);
+    EXPECT_EQ(ci[0], 2.5);
+    EXPECT_EQ(ci[1], 2.5);
+}
+
+// ---------------------------------------------------------------------------
+// Verdicts
+
+TEST(Compare, IdenticalSetsPass) {
+    const auto records = concat(cell("consph", "SSS-idx", 4, 10.0, 5),
+                                cell("consph", "CSR", 4, 8.0, 5));
+    const CompareReport report = compare_runs(records, records, {});
+    EXPECT_TRUE(report.pass());
+    EXPECT_EQ(report.regressions, 0);
+    EXPECT_EQ(report.improvements, 0);
+    ASSERT_EQ(report.cells.size(), 2u);
+    for (const CellDiff& c : report.cells) {
+        EXPECT_EQ(c.verdict, CellDiff::Verdict::kOk);
+        EXPECT_EQ(c.relative_change, 0.0);
+    }
+}
+
+TEST(Compare, TenPercentSlowdownRegresses) {
+    const auto baseline = concat(cell("consph", "SSS-idx", 4, 10.0, 7),
+                                 cell("consph", "CSR", 4, 8.0, 7));
+    // SSS-idx loses 10%; CSR is unchanged.
+    const auto current = concat(cell("consph", "SSS-idx", 4, 9.0, 7),
+                                cell("consph", "CSR", 4, 8.0, 7));
+    CompareOptions opts;
+    opts.noise_floor = 0.05;
+    const CompareReport report = compare_runs(baseline, current, opts);
+    EXPECT_FALSE(report.pass());
+    EXPECT_EQ(report.regressions, 1);
+    bool found = false;
+    for (const CellDiff& c : report.cells) {
+        if (c.kernel == "SSS-idx") {
+            found = true;
+            EXPECT_EQ(c.verdict, CellDiff::Verdict::kRegressed);
+            EXPECT_NEAR(c.relative_change, -0.10, 0.02);
+        } else {
+            EXPECT_EQ(c.verdict, CellDiff::Verdict::kOk);
+        }
+    }
+    EXPECT_TRUE(found);
+    // The report must name the regressed cell, not just count it.
+    const std::string md = render_markdown(report, "baseline", "current");
+    EXPECT_NE(md.find("**FAIL**"), std::string::npos);
+    EXPECT_NE(md.find("consph × SSS-idx × p4"), std::string::npos) << md;
+    EXPECT_NE(md.find("REGRESSED"), std::string::npos);
+}
+
+TEST(Compare, SpeedupIsImprovementNotRegression) {
+    const auto baseline = cell("consph", "SSS-idx", 4, 10.0, 7);
+    const auto current = cell("consph", "SSS-idx", 4, 12.0, 7);
+    const CompareReport report = compare_runs(baseline, current, {});
+    EXPECT_TRUE(report.pass());
+    EXPECT_EQ(report.improvements, 1);
+    EXPECT_EQ(report.cells.front().verdict, CellDiff::Verdict::kImproved);
+}
+
+TEST(Compare, MinSampleGuardNeverGates) {
+    // A huge slowdown, but only 2 samples per side against the default
+    // 3-sample guard: reported, never failing the gate.
+    const auto baseline = cell("consph", "SSS-idx", 4, 10.0, 2);
+    const auto current = cell("consph", "SSS-idx", 4, 5.0, 2);
+    const CompareReport report = compare_runs(baseline, current, {});
+    EXPECT_TRUE(report.pass());
+    EXPECT_EQ(report.insufficient, 1);
+    EXPECT_EQ(report.cells.front().verdict, CellDiff::Verdict::kInsufficient);
+}
+
+TEST(Compare, MinSamplesOfOneGatesOnTheNoiseFloor) {
+    CompareOptions opts;
+    opts.min_samples = 1;
+    const auto baseline = cell("consph", "SSS-idx", 4, 10.0, 1);
+    const CompareReport slow =
+        compare_runs(baseline, cell("consph", "SSS-idx", 4, 8.0, 1), opts);
+    EXPECT_FALSE(slow.pass());  // -20% beyond the 5% floor, point CIs disjoint
+    const CompareReport same =
+        compare_runs(baseline, cell("consph", "SSS-idx", 4, 9.8, 1), opts);
+    EXPECT_TRUE(same.pass());  // -2% is inside the floor
+}
+
+TEST(Compare, NoiseInsideTheFloorPasses) {
+    const auto baseline = cell("consph", "SSS-idx", 4, 10.0, 7);
+    const auto current = cell("consph", "SSS-idx", 4, 9.9, 7);  // -1%
+    const CompareReport report = compare_runs(baseline, current, {});
+    EXPECT_TRUE(report.pass());
+    EXPECT_EQ(report.cells.front().verdict, CellDiff::Verdict::kOk);
+}
+
+TEST(Compare, DisjointCellSetsAreReportedNotGated) {
+    const auto baseline = cell("consph", "SSS-idx", 4, 10.0, 3);
+    const auto current = cell("consph", "CSX-Sym", 4, 11.0, 3);
+    const CompareReport report = compare_runs(baseline, current, {});
+    EXPECT_TRUE(report.pass());
+    ASSERT_EQ(report.cells.size(), 2u);
+    // Cells are sorted by (matrix, kernel, threads): CSX-Sym < SSS-idx.
+    EXPECT_EQ(report.cells[0].verdict, CellDiff::Verdict::kCurrentOnly);
+    EXPECT_EQ(report.cells[1].verdict, CellDiff::Verdict::kBaselineOnly);
+}
+
+// ---------------------------------------------------------------------------
+// Loader
+
+TEST(Loader, RoundTripsJsonlAndSkipsBlankLines) {
+    const std::string path = ::testing::TempDir() + "/compare_loader.jsonl";
+    {
+        std::ofstream out(path);
+        for (const RunRecord& r : cell("consph", "CSR", 2, 5.0, 3)) {
+            out << to_jsonl(r) << "\n\n";  // blank line after every record
+        }
+    }
+    const auto loaded = load_run_records(path);
+    EXPECT_EQ(loaded.size(), 3u);
+    EXPECT_EQ(loaded.front().matrix, "consph");
+    std::remove(path.c_str());
+}
+
+TEST(Loader, MalformedLineFailsLoudlyWithPosition) {
+    const std::string path = ::testing::TempDir() + "/compare_bad.jsonl";
+    {
+        std::ofstream out(path);
+        out << to_jsonl(cell("consph", "CSR", 2, 5.0, 1).front()) << "\n";
+        out << "{\"schema\": 1, \"truncated\n";
+    }
+    try {
+        load_run_records(path);
+        FAIL() << "expected ParseError";
+    } catch (const ParseError& e) {
+        // The error must point at the file and line.
+        EXPECT_NE(std::string(e.what()).find(":2:"), std::string::npos) << e.what();
+    }
+    std::remove(path.c_str());
+}
+
+TEST(Loader, MissingFileThrows) {
+    EXPECT_THROW(load_run_records("/nonexistent/b.jsonl"), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace symspmv::obs

@@ -1,0 +1,237 @@
+// Metrics registry: instrument semantics (sharded counters, histogram
+// bucket boundaries and percentiles), registry identity rules, and both
+// exposition formats (JSON, Prometheus text 0.0.4).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/thread_pool.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace symspmv::obs::metrics {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Counter / Gauge
+
+TEST(Counter, ConcurrentAddsSumExactly) {
+    Registry reg;
+    Counter& c = reg.counter("test_total", "test");
+    constexpr int kThreads = 8;
+    constexpr int kAdds = 10000;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&c] {
+            for (int i = 0; i < kAdds; ++i) c.add();
+        });
+    }
+    for (auto& t : threads) t.join();
+    EXPECT_EQ(c.value(), static_cast<std::int64_t>(kThreads) * kAdds);
+}
+
+TEST(Gauge, SetAndAdd) {
+    Registry reg;
+    Gauge& g = reg.gauge("test_gauge", "test");
+    g.set(2.5);
+    EXPECT_DOUBLE_EQ(g.value(), 2.5);
+    g.add(-1.0);
+    EXPECT_DOUBLE_EQ(g.value(), 1.5);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram bucket boundaries
+
+TEST(Histogram, BucketBoundariesAreHalfOpenPowersOfTwo) {
+    // Bucket 0: everything below 1 ns (zero, negative, NaN included).
+    EXPECT_EQ(Histogram::bucket_index(0.0), 0);
+    EXPECT_EQ(Histogram::bucket_index(-1.0), 0);
+    EXPECT_EQ(Histogram::bucket_index(0.5e-9), 0);
+    EXPECT_EQ(Histogram::bucket_index(std::numeric_limits<double>::quiet_NaN()), 0);
+    // A value exactly on a power-of-two boundary opens its own bucket.
+    EXPECT_EQ(Histogram::bucket_index(1e-9), 1);   // [1 ns, 2 ns)
+    EXPECT_EQ(Histogram::bucket_index(1.5e-9), 1);
+    EXPECT_EQ(Histogram::bucket_index(2e-9), 2);   // [2 ns, 4 ns)
+    EXPECT_EQ(Histogram::bucket_index(4e-9), 3);
+    // 1 µs = 1000 ns: 2^9 = 512 <= 1000 < 1024 = 2^10, so bucket 10.
+    EXPECT_EQ(Histogram::bucket_index(1e-6), 10);
+    // Values beyond the range clamp into the overflow bucket.
+    EXPECT_EQ(Histogram::bucket_index(1e9), Histogram::kBuckets - 1);
+}
+
+TEST(Histogram, UpperBoundsMatchTheIndexing) {
+    for (int i = 0; i + 1 < Histogram::kBuckets - 1; ++i) {
+        const double ub = Histogram::upper_bound(i);
+        // The upper bound of bucket i is the first value of bucket i+1.
+        EXPECT_EQ(Histogram::bucket_index(ub), i + 1) << "bucket " << i;
+        // And anything just below it still belongs to bucket i (or lower,
+        // for bucket 0 whose lower range is open-ended).
+        EXPECT_LE(Histogram::bucket_index(std::nextafter(ub, 0.0)), i);
+    }
+    EXPECT_TRUE(std::isinf(Histogram::upper_bound(Histogram::kBuckets - 1)));
+}
+
+// ---------------------------------------------------------------------------
+// Histogram percentiles
+
+TEST(Histogram, QuantilesInterpolateInsideTheWinningBucket) {
+    Registry reg;
+    Histogram& h = reg.histogram("test_seconds", "test");
+    // 100 observations, all inside bucket [1 ns, 2 ns).
+    for (int i = 0; i < 100; ++i) h.observe(1.5e-9);
+    const Histogram::Snapshot s = h.snapshot();
+    EXPECT_EQ(s.count, 100u);
+    EXPECT_NEAR(s.sum, 100 * 1.5e-9, 1e-15);
+    // p50: rank 50 of 100 in a bucket spanning [1e-9, 2e-9) -> halfway.
+    EXPECT_NEAR(s.quantile(0.50), 1.5e-9, 1e-15);
+    // p100: rank 100 -> the bucket's upper bound.
+    EXPECT_NEAR(s.quantile(1.0), 2e-9, 1e-15);
+}
+
+TEST(Histogram, QuantilesAcrossBuckets) {
+    Registry reg;
+    Histogram& h = reg.histogram("test_seconds", "test");
+    // 90 fast (bucket [1,2) ns) + 10 slow (bucket [1024, 2048) ns).
+    for (int i = 0; i < 90; ++i) h.observe(1.5e-9);
+    for (int i = 0; i < 10; ++i) h.observe(1.5e-6);
+    const Histogram::Snapshot s = h.snapshot();
+    // p50 lands in the fast bucket, p95 in the slow one.
+    EXPECT_LT(s.quantile(0.50), 2e-9);
+    EXPECT_GE(s.quantile(0.95), 1024e-9);
+    EXPECT_LT(s.quantile(0.95), 2048e-9);
+    // p99 too (rank 99 of 100, the 9th of 10 slow samples).
+    EXPECT_GE(s.quantile(0.99), 1024e-9);
+    // Monotone in q.
+    EXPECT_LE(s.quantile(0.50), s.quantile(0.95));
+    EXPECT_LE(s.quantile(0.95), s.quantile(0.99));
+}
+
+TEST(Histogram, EmptyQuantileIsZero) {
+    Registry reg;
+    Histogram& h = reg.histogram("test_seconds", "test");
+    EXPECT_EQ(h.snapshot().quantile(0.5), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Registry identity
+
+TEST(Registry, SameNameAndLabelsReturnsTheSameInstrument) {
+    Registry reg;
+    Counter& a = reg.counter("hits_total", "hits", {{"cache", "plan"}});
+    Counter& b = reg.counter("hits_total", "hits", {{"cache", "plan"}});
+    EXPECT_EQ(&a, &b);
+    // Label order must not matter: identity is the *sorted* label set.
+    Counter& c = reg.counter("multi_total", "m", {{"b", "2"}, {"a", "1"}});
+    Counter& d = reg.counter("multi_total", "m", {{"a", "1"}, {"b", "2"}});
+    EXPECT_EQ(&c, &d);
+    // Different labels: a different series.
+    Counter& e = reg.counter("hits_total", "hits", {{"cache", "other"}});
+    EXPECT_NE(&a, &e);
+}
+
+TEST(Registry, KindConflictThrows) {
+    Registry reg;
+    reg.counter("thing", "c");
+    EXPECT_THROW(reg.gauge("thing", "g"), InvalidArgument);
+    EXPECT_THROW(reg.histogram("thing", "h"), InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Prometheus exposition
+
+TEST(Prometheus, LabelValuesAreEscapedAndKeysSorted) {
+    EXPECT_EQ(render_labels({{"path", "a\\b\"c\nd"}}),
+              "{path=\"a\\\\b\\\"c\\nd\"}");
+    // render_labels renders in stored order; the registry stores sorted.
+    Registry reg;
+    reg.counter("t_total", "t", {{"zz", "1"}, {"aa", "2"}}).add(1);
+    const std::string text = reg.to_prometheus();
+    EXPECT_NE(text.find("t_total{aa=\"2\",zz=\"1\"} 1\n"), std::string::npos) << text;
+}
+
+TEST(Prometheus, HelpAndTypeAnnouncedOncePerName) {
+    Registry reg;
+    reg.counter("hits_total", "Cache hits", {{"cache", "a"}}).add(3);
+    reg.counter("hits_total", "Cache hits", {{"cache", "b"}}).add(4);
+    const std::string text = reg.to_prometheus();
+    EXPECT_EQ(text, "# HELP hits_total Cache hits\n"
+                    "# TYPE hits_total counter\n"
+                    "hits_total{cache=\"a\"} 3\n"
+                    "hits_total{cache=\"b\"} 4\n");
+}
+
+TEST(Prometheus, HistogramIsCumulativeWithInfBucket) {
+    Registry reg;
+    Histogram& h = reg.histogram("lat_seconds", "latency");
+    h.observe(1.5e-9);  // bucket 1, le=2e-09
+    h.observe(1.5e-9);
+    h.observe(3e-9);    // bucket 2, le=4e-09
+    const std::string text = reg.to_prometheus();
+    EXPECT_NE(text.find("# TYPE lat_seconds histogram\n"), std::string::npos);
+    EXPECT_NE(text.find("lat_seconds_bucket{le=\"2e-09\"} 2\n"), std::string::npos) << text;
+    EXPECT_NE(text.find("lat_seconds_bucket{le=\"4e-09\"} 3\n"), std::string::npos) << text;
+    // +Inf is always emitted and equals the total count.
+    EXPECT_NE(text.find("lat_seconds_bucket{le=\"+Inf\"} 3\n"), std::string::npos) << text;
+    EXPECT_NE(text.find("lat_seconds_count 3\n"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// JSON exposition
+
+TEST(JsonExport, HistogramCarriesPercentilesAndSparseBuckets) {
+    Registry reg;
+    Histogram& h = reg.histogram("lat_seconds", "latency");
+    for (int i = 0; i < 10; ++i) h.observe(1.5e-9);
+    const Json doc = reg.to_json();
+    const JsonArray& metrics = doc.at("metrics").as_array();
+    ASSERT_EQ(metrics.size(), 1u);
+    const Json& m = metrics[0];
+    EXPECT_EQ(m.at("name").as_string(), "lat_seconds");
+    EXPECT_EQ(m.at("kind").as_string(), "histogram");
+    EXPECT_EQ(m.at("count").as_int(), 10);
+    EXPECT_NEAR(m.at("p50").as_double(), 1.5e-9, 1e-15);
+    EXPECT_EQ(m.at("buckets").as_array().size(), 1u);  // sparse
+}
+
+// ---------------------------------------------------------------------------
+// Collectors
+
+TEST(Collectors, PoolMetricsScrapeLiveStats) {
+    Registry reg;
+    ThreadPool pool(2);
+    register_pool_metrics(reg, pool);
+    pool.run([](int) {});
+    pool.run([&pool](int) { pool.barrier(); });
+    const Json doc = reg.to_json();
+    double jobs = -1.0, crossings = -1.0, threads = -1.0;
+    for (const Json& m : doc.at("metrics").as_array()) {
+        const std::string& name = m.at("name").as_string();
+        if (name == "symspmv_pool_jobs_total") jobs = m.at("value").as_double();
+        if (name == "symspmv_pool_barrier_crossings_total") {
+            crossings = m.at("value").as_double();
+        }
+        if (name == "symspmv_pool_threads") threads = m.at("value").as_double();
+    }
+    EXPECT_EQ(jobs, 2.0);
+    EXPECT_EQ(crossings, 2.0);  // one barrier crossed by two workers
+    EXPECT_EQ(threads, 2.0);
+}
+
+TEST(Collectors, AppearInPrometheusWithHeaders) {
+    Registry reg;
+    ThreadPool pool(1);
+    register_pool_metrics(reg, pool);
+    const std::string text = reg.to_prometheus();
+    EXPECT_NE(text.find("# TYPE symspmv_pool_jobs_total counter"), std::string::npos);
+    EXPECT_NE(text.find("# TYPE symspmv_pool_threads gauge"), std::string::npos);
+    EXPECT_NE(text.find("symspmv_pool_threads 1\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace symspmv::obs::metrics

@@ -3,8 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <utility>
+#include <vector>
 
 #include "bench/harness.hpp"
 #include "engine/bundle.hpp"
@@ -117,6 +120,73 @@ TEST(Counters, OpportunisticRealCounters) {
         if (v.has_value()) EXPECT_GE(*v, 0);
     }
 }
+
+/// Caps how many events open_on_this_thread() attempts, injecting the
+/// partial-open path deterministically (see CounterGroup::max_events()).
+class PerfCapGuard {
+   public:
+    explicit PerfCapGuard(const char* cap) { ::setenv("SYMSPMV_PERF_MAX_EVENTS", cap, 1); }
+    ~PerfCapGuard() { ::unsetenv("SYMSPMV_PERF_MAX_EVENTS"); }
+};
+
+TEST(Counters, MaxEventsParsesEnvDefensively) {
+    EXPECT_EQ(CounterGroup::max_events(), kCounterCount);  // unset: no cap
+    {
+        const PerfCapGuard cap("2");
+        EXPECT_EQ(CounterGroup::max_events(), 2);
+    }
+    {
+        const PerfCapGuard cap("0");
+        EXPECT_EQ(CounterGroup::max_events(), 0);
+    }
+    {
+        const PerfCapGuard cap("99");  // above the slot count: clamp
+        EXPECT_EQ(CounterGroup::max_events(), kCounterCount);
+    }
+    {
+        const PerfCapGuard cap("two");  // garbage: ignore the cap
+        EXPECT_EQ(CounterGroup::max_events(), kCounterCount);
+    }
+}
+
+#if defined(__linux__)
+
+/// Descriptors this process currently holds, reconciled via /proc/self/fd.
+int count_open_fds() {
+    int n = 0;
+    for ([[maybe_unused]] const auto& entry :
+         std::filesystem::directory_iterator("/proc/self/fd")) {
+        ++n;
+    }
+    return n;
+}
+
+TEST(Counters, PartialOpenNeverLeaksDescriptors) {
+    // Regression test for the partial-open path: some events open, the rest
+    // fail (injected via the SYMSPMV_PERF_MAX_EVENTS cap).  Every fd the
+    // group acquired must be reclaimed across reopen, move, and destruction
+    // — reconciled against the process-wide descriptor table.
+    const int before = count_open_fds();
+    {
+        const PerfCapGuard cap("2");
+        CounterGroup group;
+        group.open_on_this_thread();
+        EXPECT_LE(group.open_fds(), 2);  // cap honoured (0 if perf is denied)
+        group.open_on_this_thread();     // reopen closes the first set
+        EXPECT_LE(group.open_fds(), 2);
+
+        CounterGroup moved(std::move(group));
+        EXPECT_EQ(group.open_fds(), 0);  // NOLINT: moved-from is fd-empty
+
+        CounterGroup target;
+        target.open_on_this_thread();    // target owns fds, then is assigned over
+        target = std::move(moved);
+        EXPECT_LE(target.open_fds(), 2);
+    }
+    EXPECT_EQ(count_open_fds(), before);
+}
+
+#endif  // __linux__
 
 TEST(Counters, SampleSumInvalidatesPartialSlots) {
     CounterSample a, b;
@@ -244,6 +314,30 @@ TEST(RunSink, AppendsParseableLines) {
     std::remove(path.c_str());
 }
 
+TEST(RunSink, TruncateModeStartsOver) {
+    const std::string path = ::testing::TempDir() + "/obs_sink_trunc.jsonl";
+    std::remove(path.c_str());
+    {
+        RunSink sink(path);  // default: append
+        sink.write(sample_record());
+        sink.write(sample_record());
+    }
+    {
+        RunSink sink(path, RunSink::Mode::kTruncate);  // fresh sweep
+        sink.write(sample_record());
+    }
+    std::ifstream in(path);
+    std::string line;
+    int lines = 0;
+    while (std::getline(in, line)) ++lines;
+    EXPECT_EQ(lines, 1);
+    std::remove(path.c_str());
+}
+
+TEST(RunSink, OpenFailureThrows) {
+    EXPECT_THROW(RunSink("/nonexistent-dir/obs_sink.jsonl"), InvalidArgument);
+}
+
 // ---------------------------------------------------------------------------
 // Trace
 
@@ -269,17 +363,35 @@ TEST(Trace, EmitsWellFormedChromeTraceJson) {
     buf << in.rdbuf();
     const Json doc = Json::parse(buf.str());  // throws if malformed
     const JsonArray& events = doc.at("traceEvents").as_array();
-    ASSERT_EQ(events.size(), 5u);
+    std::size_t spans = 0;
     bool saw_multiply = false;
+    bool saw_process_name = false;
+    std::vector<std::string> thread_names;
     for (const Json& e : events) {
         EXPECT_TRUE(e.at("name").is_string());
-        EXPECT_EQ(e.at("ph").as_string(), "X");
+        const std::string ph = e.at("ph").as_string();
+        if (ph == "M") {  // metadata: names the process/thread tracks
+            if (e.at("name").as_string() == "process_name") {
+                saw_process_name = true;
+                EXPECT_EQ(e.at("args").at("name").as_string(), "symspmv");
+            } else if (e.at("name").as_string() == "thread_name") {
+                thread_names.push_back(e.at("args").at("name").as_string());
+            }
+            continue;
+        }
+        EXPECT_EQ(ph, "X");
+        ++spans;
         EXPECT_GE(e.at("ts").as_double(), 0.0);
         EXPECT_GE(e.at("dur").as_double(), 0.0);
         EXPECT_TRUE(e.at("tid").is_int());
         saw_multiply = saw_multiply || e.at("name").as_string() == "multiply";
     }
+    EXPECT_EQ(spans, 5u);
     EXPECT_TRUE(saw_multiply);
+    EXPECT_TRUE(saw_process_name);
+    // Tracks seen: workers 0 and 1 (profiler) plus the caller (TraceSpan).
+    const std::vector<std::string> expected_names = {"worker 0", "worker 1", "caller"};
+    EXPECT_EQ(thread_names, expected_names);
     std::remove(path.c_str());
 }
 

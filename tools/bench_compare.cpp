@@ -1,0 +1,78 @@
+// bench_compare — the statistical perf-regression gate.
+//
+// Compares two RunRecord JSONL sets (a committed baseline and a fresh
+// sweep) cell by cell and exits non-zero when any (matrix, kernel, threads)
+// cell regressed significantly: relative median GFLOP/s change beyond the
+// noise floor AND disjoint bootstrap confidence intervals (obs/compare.hpp
+// documents the test).  CI runs this against BENCH_baseline.jsonl; the
+// baseline-refresh workflow is in docs/REPRODUCING.md.
+//
+//   bench_compare BASELINE.jsonl CURRENT.jsonl [options]
+//     --noise-floor F   relative change treated as noise     (default 0.05)
+//     --min-samples N   cells below N samples never gate     (default 3)
+//     --resamples N     bootstrap resamples per side          (default 2000)
+//     --confidence F    two-sided CI level                    (default 0.95)
+//     --seed N          base RNG seed                         (default 2013)
+//     --out FILE        also write the markdown report here
+//
+// Exit codes: 0 = no significant regression, 1 = regression(s), 2 = usage
+// or I/O error.  The report goes to stdout either way.
+#include <exception>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "core/options.hpp"
+#include "obs/compare.hpp"
+
+namespace {
+
+int usage(const char* prog) {
+    std::cerr << "usage: " << prog
+              << " BASELINE.jsonl CURRENT.jsonl [--noise-floor F] [--min-samples N]"
+                 " [--resamples N] [--confidence F] [--seed N] [--out FILE]\n";
+    return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    using namespace symspmv;
+    try {
+        const Options opts(argc, argv);
+        if (opts.positional().size() != 2) return usage(argv[0]);
+        const std::string& baseline_path = opts.positional()[0];
+        const std::string& current_path = opts.positional()[1];
+
+        obs::CompareOptions copts;
+        copts.noise_floor = opts.get_double("--noise-floor", copts.noise_floor);
+        copts.min_samples = static_cast<int>(opts.get_int("--min-samples", copts.min_samples));
+        copts.resamples = static_cast<int>(opts.get_int("--resamples", copts.resamples));
+        copts.confidence = opts.get_double("--confidence", copts.confidence);
+        copts.seed = static_cast<std::uint64_t>(
+            opts.get_int("--seed", static_cast<long>(copts.seed)));
+        if (copts.noise_floor < 0.0 || copts.min_samples < 1 ||
+            copts.confidence <= 0.0 || copts.confidence >= 1.0) {
+            return usage(argv[0]);
+        }
+
+        const auto baseline = obs::load_run_records(baseline_path);
+        const auto current = obs::load_run_records(current_path);
+        const obs::CompareReport report = obs::compare_runs(baseline, current, copts);
+        const std::string markdown = obs::render_markdown(report, baseline_path, current_path);
+        std::cout << markdown;
+
+        if (const auto out_path = opts.get("--out")) {
+            std::ofstream out(*out_path);
+            out << markdown;
+            if (!out) {
+                std::cerr << "bench_compare: cannot write '" << *out_path << "'\n";
+                return 2;
+            }
+        }
+        return report.pass() ? 0 : 1;
+    } catch (const std::exception& e) {
+        std::cerr << "bench_compare: " << e.what() << "\n";
+        return 2;
+    }
+}
