@@ -8,6 +8,10 @@
 //   --iterations N   SpM×V iterations per measurement (paper: 128)
 //   --threads LIST   comma-separated thread counts for sweeps
 //   --pin            pin worker threads to logical CPUs (§V.A)
+//   --pin-strategy S topology-aware layout: none|compact|scatter|per-socket
+//                    (implies pinning; overrides --pin's compact default)
+//   --cache DIR      binary .smx cache for generated suite matrices (the
+//                    full-scale tier generates each matrix once per machine)
 //   --csv FILE       mirror every printed table to FILE as CSV
 //   --plan-cache DIR persistent autotune plan cache (benches that tune)
 #pragma once
@@ -23,6 +27,7 @@
 
 #include "bench/harness.hpp"
 #include "core/options.hpp"
+#include "core/topology.hpp"
 #include "engine/bundle.hpp"
 #include "engine/context.hpp"
 #include "engine/factory.hpp"
@@ -34,9 +39,13 @@ namespace symspmv::bench {
 struct BenchEnv {
     double scale = 0.008;
     std::string matrices_dir;
+    std::string cache_dir;   // .smx cache for generated matrices ("" = off)
     std::string plan_cache;  // autotune plan-cache directory ("" = in-memory)
     int iterations = 24;
     bool pin_threads = false;
+    /// Topology-aware layout (--pin-strategy); kNone defers to pin_threads,
+    /// which maps to the compact layout (engine::effective_pin_strategy).
+    PinStrategy pin_strategy = PinStrategy::kNone;
     std::vector<int> thread_counts = {1, 2, 4, 8, 16};
     std::vector<gen::SuiteEntry> entries;
 
@@ -47,16 +56,20 @@ struct BenchEnv {
     std::ostream* csv_sink = nullptr;
 
     [[nodiscard]] Coo load(const gen::SuiteEntry& entry) const {
-        return gen::load_or_generate(entry.name, scale, matrices_dir);
+        return gen::load_or_generate(entry.name, scale, matrices_dir, cache_dir);
     }
 
     [[nodiscard]] int max_threads() const { return thread_counts.back(); }
 
     /// An ExecutionContext with @p threads workers and the bench's pinning
-    /// flag — the one object handed to factories, solvers and probes.
+    /// configuration — the one object handed to factories, solvers and
+    /// probes.  Contexts draw their worker pools from the process-wide
+    /// ContextPool, so repeated make_context(p) calls across a sweep reuse
+    /// one warm pool per (p, strategy).
     [[nodiscard]] engine::ExecutionContext make_context(int threads) const {
-        return engine::ExecutionContext(
-            engine::ContextOptions{.threads = threads, .pin_threads = pin_threads});
+        return engine::ExecutionContext(engine::ContextOptions{.threads = threads,
+                                                               .pin_threads = pin_threads,
+                                                               .pin_strategy = pin_strategy});
     }
 };
 
@@ -75,9 +88,19 @@ inline BenchEnv parse_env(int argc, const char* const* argv, int default_iterati
     BenchEnv env;
     env.scale = opts.get_double("--scale", env.scale);
     env.matrices_dir = opts.get_string("--matrices", "");
+    env.cache_dir = opts.get_string("--cache", "");
     env.plan_cache = opts.get_string("--plan-cache", "");
     env.iterations = static_cast<int>(opts.get_int("--iterations", default_iterations));
     env.pin_threads = opts.has("--pin");
+    const std::string strategy = opts.get_string("--pin-strategy", "");
+    if (!strategy.empty()) {
+        try {
+            env.pin_strategy = parse_pin_strategy(strategy);
+        } catch (const std::exception& e) {
+            std::cerr << e.what() << "\n";
+            std::exit(2);
+        }
+    }
     const std::string threads = opts.get_string("--threads", "");
     if (!threads.empty()) env.thread_counts = parse_thread_list(threads);
     const std::string csv_path = opts.get_string("--csv", "");

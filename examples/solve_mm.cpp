@@ -203,6 +203,10 @@ int main(int argc, char** argv) {
             rec.kernel = std::string(kernel->name());
             rec.threads = threads;
             rec.partition = std::string(engine::to_string(ctx.options().partition));
+            const obs::ExecConfig exec = obs::exec_config(ctx);
+            rec.placement = exec.placement;
+            rec.pinning = exec.pinning;
+            rec.topology = exec.topology;
             rec.iterations = res.base.iterations;
             const int iters = std::max(1, res.base.iterations);
             // Per-op here means per CG iteration: one SpM×V plus the vector

@@ -8,7 +8,7 @@ namespace symspmv::autotune {
 
 bool same_decision(const Plan& a, const Plan& b) {
     return a.kernel == b.kernel && a.threads == b.threads && a.partition == b.partition &&
-           a.csx_patterns == b.csx_patterns;
+           a.csx_patterns == b.csx_patterns && a.prefetch_distance == b.prefetch_distance;
 }
 
 csx::CsxConfig csx_config(const Plan& plan) {
@@ -16,14 +16,16 @@ csx::CsxConfig csx_config(const Plan& plan) {
 }
 
 KernelPtr build_plan(const Plan& plan, const engine::MatrixBundle& bundle, ThreadPool& pool) {
-    const engine::KernelFactory factory(bundle, pool, csx_config(plan), plan.partition);
+    engine::KernelFactory factory(bundle, pool, csx_config(plan), plan.partition);
+    factory.set_prefetch_distance(plan.prefetch_distance);
     return factory.make(plan.kernel);
 }
 
 std::string to_string(const Plan& plan) {
     std::ostringstream os;
     os << symspmv::to_string(plan.kernel) << " x" << plan.threads << ' '
-       << engine::to_string(plan.partition) << " patterns=" << (plan.csx_patterns ? "on" : "off");
+       << engine::to_string(plan.partition) << " patterns=" << (plan.csx_patterns ? "on" : "off")
+       << " prefetch=" << plan.prefetch_distance;
     return os.str();
 }
 

@@ -26,6 +26,10 @@ struct Plan {
     /// kinds to delta-only encoding (cheaper preprocessing, less
     /// compression).  Ignored by non-CSX kinds.
     bool csx_patterns = true;
+    /// Software-prefetch distance for the kernels that support it (the SSS
+    /// reduction family gathers x[colind[j + d]], CSX-Sym hints its values
+    /// stream); 0 = off.  Ignored by the other kinds.
+    int prefetch_distance = 0;
     /// The winner's measured median seconds per operation at tune time
     /// (diagnostic; not part of the plan's identity).
     double expected_seconds_per_op = 0.0;

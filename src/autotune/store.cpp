@@ -49,11 +49,12 @@ std::optional<T> parse_number(const std::string& token) {
 /// against the requested key instead, which is strictly stronger).
 std::uint64_t decision_checksum(const std::string& kernel, const std::string& threads,
                                 const std::string& partition, const std::string& patterns,
-                                const std::string& seconds) {
+                                const std::string& prefetch, const std::string& seconds) {
     std::uint64_t h = fnv1a64(kernel);
     h = fnv1a64(threads, h);
     h = fnv1a64(partition, h);
     h = fnv1a64(patterns, h);
+    h = fnv1a64(prefetch, h);
     h = fnv1a64(seconds, h);
     return h;
 }
@@ -84,6 +85,7 @@ void PlanStore::serialize(std::ostream& out, const PlanKey& key, const Plan& pla
     const std::string threads = std::to_string(plan.threads);
     const std::string partition{engine::to_string(plan.partition)};
     const std::string patterns = plan.csx_patterns ? "1" : "0";
+    const std::string prefetch = std::to_string(plan.prefetch_distance);
     const std::string seconds(buf, ptr);
     out << "symspmv-plan " << kPlanFormatVersion << '\n'
         << "matrix " << to_string(key.fingerprint) << '\n'
@@ -93,8 +95,10 @@ void PlanStore::serialize(std::ostream& out, const PlanKey& key, const Plan& pla
         << "threads " << threads << '\n'
         << "partition " << partition << '\n'
         << "csx-patterns " << patterns << '\n'
+        << "prefetch " << prefetch << '\n'
         << "seconds " << seconds << '\n'
-        << "sum " << hex(decision_checksum(kernel, threads, partition, patterns, seconds))
+        << "sum "
+        << hex(decision_checksum(kernel, threads, partition, patterns, prefetch, seconds))
         << '\n'
         << "end symspmv-plan\n";  // trailer: truncation anywhere is detectable
 }
@@ -117,11 +121,14 @@ std::optional<Plan> PlanStore::parse(std::istream& in, const PlanKey& key) {
     const auto threads = read_field(in, "threads");
     const auto partition = read_field(in, "partition");
     const auto patterns = read_field(in, "csx-patterns");
+    const auto prefetch = read_field(in, "prefetch");
     const auto seconds = read_field(in, "seconds");
-    if (!kernel || !threads || !partition || !patterns || !seconds) return std::nullopt;
+    if (!kernel || !threads || !partition || !patterns || !prefetch || !seconds) {
+        return std::nullopt;
+    }
     const auto sum = read_field(in, "sum");
-    if (!sum ||
-        *sum != hex(decision_checksum(*kernel, *threads, *partition, *patterns, *seconds))) {
+    if (!sum || *sum != hex(decision_checksum(*kernel, *threads, *partition, *patterns,
+                                              *prefetch, *seconds))) {
         return std::nullopt;
     }
     // Even the last data field could survive a truncation (a clipped seconds
@@ -130,8 +137,9 @@ std::optional<Plan> PlanStore::parse(std::istream& in, const PlanKey& key) {
     if (!trailer || *trailer != "symspmv-plan") return std::nullopt;
 
     const auto parsed_threads = parse_number<int>(*threads);
+    const auto parsed_prefetch = parse_number<int>(*prefetch);
     const auto parsed_seconds = parse_number<double>(*seconds);
-    if (!parsed_threads || !parsed_seconds) return std::nullopt;
+    if (!parsed_threads || !parsed_prefetch || !parsed_seconds) return std::nullopt;
 
     Plan plan;
     try {
@@ -143,8 +151,9 @@ std::optional<Plan> PlanStore::parse(std::istream& in, const PlanKey& key) {
         return std::nullopt;
     }
     plan.threads = *parsed_threads;
+    plan.prefetch_distance = *parsed_prefetch;
     plan.expected_seconds_per_op = *parsed_seconds;
-    if (plan.threads < 1) return std::nullopt;
+    if (plan.threads < 1 || plan.prefetch_distance < 0) return std::nullopt;
     if (*patterns != "0" && *patterns != "1") return std::nullopt;
     plan.csx_patterns = *patterns == "1";
     return plan;

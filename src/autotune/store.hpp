@@ -25,7 +25,10 @@ namespace symspmv::autotune {
 /// v2 added the "sum" integrity line: the embedded key already revalidates
 /// the matrix/hardware/search lines, and the checksum extends that cover to
 /// the decision fields, so byte-level corruption anywhere is a clean miss.
-inline constexpr int kPlanFormatVersion = 2;
+/// v3 added the "prefetch" decision line (software-prefetch distance); v2
+/// files predate the knob and must re-tune rather than silently replay with
+/// prefetch off on machines where the search would have enabled it.
+inline constexpr int kPlanFormatVersion = 3;
 
 /// The full cache key: which matrix, which machine, which candidate space.
 /// The search space participates so that e.g. a thread-count-restricted

@@ -46,6 +46,19 @@ bool row_partitioned(KernelKind kind) {
     }
 }
 
+/// Kinds that honor Plan::prefetch_distance.
+bool prefetch_capable(KernelKind kind) {
+    switch (kind) {
+        case KernelKind::kSssNaive:
+        case KernelKind::kSssEffective:
+        case KernelKind::kSssIndexing:
+        case KernelKind::kCsxSym:
+            return true;
+        default:
+            return false;
+    }
+}
+
 std::vector<int> default_thread_counts() {
     int hw = static_cast<int>(std::thread::hardware_concurrency());
     if (hw <= 0) hw = 1;
@@ -90,6 +103,11 @@ std::uint64_t search_space_hash(const TuneOptions& opts,
     mix_int(-1);
     mix_int(opts.try_even_rows ? 1 : 0);
     mix_int(opts.try_delta_only_csx ? 1 : 0);
+    mix_int(-1);
+    std::vector<int> distances = opts.prefetch_distances;
+    std::erase_if(distances, [](int d) { return d <= 0; });
+    std::sort(distances.begin(), distances.end());
+    for (int d : distances) mix_int(d);
     return h;
 }
 
@@ -127,14 +145,26 @@ TuneReport Tuner::run(const engine::MatrixBundle& bundle, std::vector<int> threa
     }
     SYMSPMV_CHECK_MSG(!kinds.empty(), "tune: no applicable kernel kinds for this matrix");
     std::vector<Plan> candidates;
+    // Prefetch-capable kinds fan out over the configured distances (plus
+    // always 0 = off — the base push); the rest stay at 0.
+    const auto push = [&](Plan plan) {
+        candidates.push_back(plan);
+        if (!prefetch_capable(plan.kernel)) return;
+        for (int d : opts_.prefetch_distances) {
+            if (d <= 0) continue;
+            Plan variant = plan;
+            variant.prefetch_distance = d;
+            candidates.push_back(variant);
+        }
+    };
     for (int threads : thread_counts) {
         for (KernelKind kind : kinds) {
-            candidates.push_back({kind, threads, engine::PartitionPolicy::kByNnz, true});
+            push({kind, threads, engine::PartitionPolicy::kByNnz, true});
             if (opts_.try_even_rows && row_partitioned(kind)) {
-                candidates.push_back({kind, threads, engine::PartitionPolicy::kEvenRows, true});
+                push({kind, threads, engine::PartitionPolicy::kEvenRows, true});
             }
             if (opts_.try_delta_only_csx && kind == KernelKind::kCsxSym) {
-                candidates.push_back({kind, threads, engine::PartitionPolicy::kByNnz, false});
+                push({kind, threads, engine::PartitionPolicy::kByNnz, false});
             }
         }
     }
@@ -157,6 +187,10 @@ TuneReport Tuner::run(const engine::MatrixBundle& bundle, std::vector<int> threa
         TrialRecord record;
         record.plan = candidate;
         try {
+            // The context draws its worker pool from the process-wide
+            // ContextPool, so re-trying a thread count across candidates
+            // (or across tune() calls) reuses one warm pool instead of
+            // spawning threads per trial.
             engine::ExecutionContext ctx(
                 engine::ContextOptions{.threads = candidate.threads,
                                        .pin_threads = opts_.pin_threads,

@@ -36,6 +36,10 @@ struct TuneOptions {
     bool try_even_rows = true;
     /// Also try delta-only CSX encoding for the CSX-Sym kind.
     bool try_delta_only_csx = true;
+    /// Software-prefetch distances to try for the prefetch-capable kinds
+    /// (the SSS reduction family and CSX-Sym); non-positive entries are
+    /// ignored, and every capable kind is always also tried at 0 (off).
+    std::vector<int> prefetch_distances = {16};
     /// The two-stage measurement: every candidate gets a short screening
     /// run; only candidates within prune_ratio of the best screening median
     /// are re-measured at refine_iterations.

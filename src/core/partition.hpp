@@ -40,24 +40,84 @@ inline std::vector<RowRange> split_even(index_t n, int p) {
     return out;
 }
 
-/// Splits rows into p contiguous ranges with approximately equal non-zero
-/// counts, using the CSR/SSS row-pointer array as the nnz prefix sum.
-/// @p rowptr has n+1 entries; range i targets nnz ~= total/p.
-inline std::vector<RowRange> split_by_nnz(std::span<const index_t> rowptr, int p) {
+/// Splits the row range [rows.begin, rows.end) into p contiguous ranges
+/// with approximately equal non-zero counts, using the (global) CSR/SSS
+/// row-pointer array as the nnz prefix sum.  The building block of both the
+/// whole-matrix split and the per-socket hierarchical split.
+inline std::vector<RowRange> split_by_nnz(std::span<const index_t> rowptr, int p,
+                                          RowRange rows) {
     SYMSPMV_CHECK_MSG(p >= 1 && !rowptr.empty(), "split_by_nnz: need p >= 1 and rowptr");
     const index_t n = static_cast<index_t>(rowptr.size() - 1);
-    const index_t total = rowptr[static_cast<std::size_t>(n)];
+    SYMSPMV_CHECK_MSG(rows.begin >= 0 && rows.begin <= rows.end && rows.end <= n,
+                      "split_by_nnz: row range out of bounds");
+    const index_t base_nnz = rowptr[static_cast<std::size_t>(rows.begin)];
+    const index_t total = rowptr[static_cast<std::size_t>(rows.end)] - base_nnz;
     std::vector<RowRange> out(static_cast<std::size_t>(p));
-    index_t begin = 0;
+    index_t begin = rows.begin;
     for (int i = 0; i < p; ++i) {
         // Target cumulative nnz at the end of partition i (rounded evenly).
         const index_t target =
-            static_cast<index_t>((static_cast<long long>(total) * (i + 1)) / p);
-        const auto* it = std::lower_bound(rowptr.data() + begin, rowptr.data() + n + 1, target);
+            base_nnz + static_cast<index_t>((static_cast<long long>(total) * (i + 1)) / p);
+        const auto* it = std::lower_bound(rowptr.data() + begin,
+                                          rowptr.data() + rows.end + 1, target);
         index_t end = static_cast<index_t>(it - rowptr.data());
-        end = std::clamp(end, begin, n);
-        if (i == p - 1) end = n;  // last partition always absorbs the tail
+        end = std::clamp(end, begin, rows.end);
+        if (i == p - 1) end = rows.end;  // last partition always absorbs the tail
         out[static_cast<std::size_t>(i)] = {begin, end};
+        begin = end;
+    }
+    return out;
+}
+
+/// Whole-matrix overload: splits all n rows into p nnz-balanced ranges.
+inline std::vector<RowRange> split_by_nnz(std::span<const index_t> rowptr, int p) {
+    SYMSPMV_CHECK_MSG(!rowptr.empty(), "split_by_nnz: need rowptr");
+    return split_by_nnz(rowptr, p, RowRange{0, static_cast<index_t>(rowptr.size() - 1)});
+}
+
+/// Hierarchical nnz split for NUMA machines: @p group_of[i] names the group
+/// (socket) worker i belongs to.  Rows are first split by nnz *between* the
+/// groups (weighted by how many workers each has), then by nnz *within*
+/// each group, so cross-socket traffic follows socket boundaries while
+/// every worker still receives ~nnz/p non-zeros.  Group ids may be sparse;
+/// workers of one group must be contiguous for the result to tile [0, n)
+/// in worker order (the per-socket pin strategy guarantees that).
+inline std::vector<RowRange> split_by_nnz_grouped(std::span<const index_t> rowptr,
+                                                  std::span<const int> group_of) {
+    const int p = static_cast<int>(group_of.size());
+    SYMSPMV_CHECK_MSG(p >= 1 && !rowptr.empty(), "split_by_nnz_grouped: need workers + rowptr");
+    // Contiguous runs of equal group id, in worker order.
+    std::vector<std::pair<int, int>> runs;  // (first worker, count)
+    for (int i = 0; i < p; ++i) {
+        if (runs.empty() || group_of[static_cast<std::size_t>(i)] !=
+                                group_of[static_cast<std::size_t>(runs.back().first)]) {
+            runs.emplace_back(i, 1);
+        } else {
+            ++runs.back().second;
+        }
+    }
+    // Outer split: weighted nnz targets at each group boundary (a group with
+    // twice the workers receives twice the non-zeros).
+    const index_t n = static_cast<index_t>(rowptr.size() - 1);
+    const index_t total = rowptr[static_cast<std::size_t>(n)];
+    std::vector<RowRange> out;
+    out.reserve(static_cast<std::size_t>(p));
+    index_t begin = 0;
+    long long workers_before = 0;
+    for (std::size_t g = 0; g < runs.size(); ++g) {
+        workers_before += runs[g].second;
+        index_t end;
+        if (g + 1 == runs.size()) {
+            end = n;
+        } else {
+            const index_t target =
+                static_cast<index_t>((static_cast<long long>(total) * workers_before) / p);
+            const auto* it =
+                std::lower_bound(rowptr.data() + begin, rowptr.data() + n + 1, target);
+            end = std::clamp(static_cast<index_t>(it - rowptr.data()), begin, n);
+        }
+        const auto inner = split_by_nnz(rowptr, runs[g].second, RowRange{begin, end});
+        out.insert(out.end(), inner.begin(), inner.end());
         begin = end;
     }
     return out;

@@ -32,4 +32,29 @@ void first_touch_interleaved(void* data, std::size_t bytes, ThreadPool& pool) {
     });
 }
 
+void rehome_partitioned(void* dst, const void* src, std::size_t elem_size,
+                        std::span<const RowRange> parts, ThreadPool& pool) {
+    SYMSPMV_CHECK_MSG(static_cast<int>(parts.size()) == pool.size(),
+                      "rehome_partitioned: one partition per worker required");
+    auto* out = static_cast<unsigned char*>(dst);
+    const auto* in = static_cast<const unsigned char*>(src);
+    pool.run([&](int tid) {
+        const RowRange part = parts[static_cast<std::size_t>(tid)];
+        const std::size_t begin = static_cast<std::size_t>(part.begin) * elem_size;
+        const std::size_t end = static_cast<std::size_t>(part.end) * elem_size;
+        if (end > begin) std::memcpy(out + begin, in + begin, end - begin);
+    });
+}
+
+std::vector<RowRange> nnz_ranges(std::span<const index_t> rowptr,
+                                 std::span<const RowRange> parts) {
+    SYMSPMV_CHECK_MSG(!rowptr.empty(), "nnz_ranges: need rowptr");
+    std::vector<RowRange> out(parts.size());
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        out[i] = {rowptr[static_cast<std::size_t>(parts[i].begin)],
+                  rowptr[static_cast<std::size_t>(parts[i].end)]};
+    }
+    return out;
+}
+
 }  // namespace symspmv

@@ -11,8 +11,12 @@
 #pragma once
 
 #include <cstddef>
+#include <cstring>
 #include <span>
+#include <type_traits>
+#include <vector>
 
+#include "core/allocator.hpp"
 #include "core/partition.hpp"
 #include "core/thread_pool.hpp"
 #include "core/types.hpp"
@@ -45,5 +49,63 @@ template <typename T>
 void first_touch_interleaved(std::span<T> data, ThreadPool& pool) {
     first_touch_interleaved(data.data(), data.size_bytes(), pool);
 }
+
+/// Re-homes an already-built array: allocates fresh storage, lets each
+/// worker copy its own element range [parts[i].begin, parts[i].end) — so
+/// that worker's node first-touches the pages backing its share — and swaps
+/// the result into @p arr.  This is how format arrays built single-threaded
+/// (COO conversions run on the building thread) move onto their owning
+/// partitions after the fact, without libnuma.  @p parts must tile
+/// [0, arr.size()) with one range per worker.  On UMA machines the effect
+/// is a parallel copy — correct, merely unnecessary.
+///
+/// The element copy is plain memcpy, so T must be trivially copyable.
+void rehome_partitioned(void* dst, const void* src, std::size_t elem_size,
+                        std::span<const RowRange> parts, ThreadPool& pool);
+
+template <typename T>
+void rehome_partitioned(aligned_vector<T>& arr, std::span<const RowRange> parts,
+                        ThreadPool& pool) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "rehome copies raw bytes from worker threads");
+    if (arr.empty()) return;
+    // Order matters.  reserve() allocates without touching (large
+    // allocations come from untouched mmap pages); the workers' zero-fill
+    // into the reserved capacity is then the *first* touch and fixes each
+    // page's home node.  resize()'s value-initialization afterwards writes
+    // zeros from the calling thread, but by then the pages are already
+    // placed — later touches never move a page.  The write into
+    // reserved-but-unconstructed storage is the usual HPC first-touch idiom
+    // and is benign for trivially copyable T.
+    aligned_vector<T> replacement;
+    replacement.reserve(arr.size());
+    first_touch_partitioned(replacement.data(), sizeof(T), parts, pool);
+    replacement.resize(arr.size());
+    rehome_partitioned(replacement.data(), arr.data(), sizeof(T), parts, pool);
+    arr.swap(replacement);
+}
+
+/// Interleaved re-home: fresh storage with pages dealt round-robin across
+/// the workers, then a copy.  For shared read-mostly arrays like the x
+/// vector.
+template <typename T>
+void rehome_interleaved(aligned_vector<T>& arr, ThreadPool& pool) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "rehome copies raw bytes from worker threads");
+    if (arr.empty()) return;
+    aligned_vector<T> replacement;
+    replacement.reserve(arr.size());  // see rehome_partitioned for the order
+    first_touch_interleaved(replacement.data(), arr.size() * sizeof(T), pool);
+    replacement.resize(arr.size());
+    std::memcpy(replacement.data(), arr.data(), arr.size() * sizeof(T));
+    arr.swap(replacement);
+}
+
+/// Derives the nnz-space ranges owned by each row partition from the
+/// row-pointer prefix sum: partition i owns elements
+/// [rowptr[parts[i].begin], rowptr[parts[i].end)) of colind/values.  Feed
+/// the result to rehome_partitioned for the nnz-indexed format arrays.
+[[nodiscard]] std::vector<RowRange> nnz_ranges(std::span<const index_t> rowptr,
+                                               std::span<const RowRange> parts);
 
 }  // namespace symspmv

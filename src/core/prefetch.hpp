@@ -1,0 +1,23 @@
+// Software prefetch, compiler-portable.
+//
+// The SSS multiply gathers x[colind[j]] — an irregular stream the hardware
+// prefetcher cannot follow, which is exactly where explicit prefetching
+// helps a memory-bound kernel (Gkountouvas et al. apply the same idea to the
+// compressed CSX streams).  The useful *distance* depends on the machine's
+// memory latency and the kernel's per-element work, so it is a tuning knob
+// (autotune plans carry it), not a constant.
+#pragma once
+
+namespace symspmv {
+
+/// Hints the cache to load the line holding @p p for reading.  No-op on
+/// compilers without __builtin_prefetch.
+inline void prefetch_read(const void* p) {
+#if defined(__GNUC__) || defined(__clang__)
+    __builtin_prefetch(p, /*rw=*/0, /*locality=*/3);
+#else
+    (void)p;
+#endif
+}
+
+}  // namespace symspmv

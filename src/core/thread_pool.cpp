@@ -12,30 +12,57 @@ namespace symspmv {
 
 namespace {
 
-/// Binds the calling thread to logical CPU (tid % cpu count); returns
-/// whether the bind took effect.  No-op outside Linux.
-bool pin_to_cpu(int tid) {
+/// Binds the calling thread to logical CPU @p cpu; returns whether the bind
+/// took effect.  No-op outside Linux.
+bool pin_to_cpu(int cpu) {
 #ifdef __linux__
-    const long cpus = ::sysconf(_SC_NPROCESSORS_ONLN);
-    if (cpus <= 0) return false;
+    if (cpu < 0) return false;
     cpu_set_t set;
     CPU_ZERO(&set);
-    CPU_SET(static_cast<std::size_t>(tid % static_cast<int>(cpus)), &set);
+    CPU_SET(static_cast<std::size_t>(cpu), &set);
     return ::pthread_setaffinity_np(::pthread_self(), sizeof(set), &set) == 0;
 #else
-    (void)tid;
+    (void)cpu;
     return false;
 #endif
 }
 
+/// The naive compatibility map: worker i -> CPU i modulo the CPU count.
+std::vector<int> modulo_pin_map(int threads) {
+#ifdef __linux__
+    const long cpus = ::sysconf(_SC_NPROCESSORS_ONLN);
+    if (cpus <= 0) return {};
+    std::vector<int> map(static_cast<std::size_t>(threads));
+    for (int i = 0; i < threads; ++i) map[static_cast<std::size_t>(i)] = i % static_cast<int>(cpus);
+    return map;
+#else
+    (void)threads;
+    return {};
+#endif
+}
+
+std::atomic<std::uint64_t> g_pools_created{0};
+
 }  // namespace
 
-ThreadPool::ThreadPool(int threads, bool pin_threads) : barrier_(threads) {
+std::uint64_t ThreadPool::pools_created() noexcept {
+    return g_pools_created.load(std::memory_order_relaxed);
+}
+
+ThreadPool::ThreadPool(int threads, bool pin_threads)
+    : ThreadPool(threads, pin_threads ? modulo_pin_map(threads) : std::vector<int>{}) {}
+
+ThreadPool::ThreadPool(int threads, const std::vector<int>& pin_cpus)
+    : pin_cpus_(pin_cpus), barrier_(threads) {
     SYMSPMV_CHECK_MSG(threads >= 1, "thread pool needs at least one worker");
+    SYMSPMV_CHECK_MSG(pin_cpus_.empty() || static_cast<int>(pin_cpus_.size()) == threads,
+                      "thread pool: pin map must have one CPU per worker");
+    g_pools_created.fetch_add(1, std::memory_order_relaxed);
     pinned_.assign(static_cast<std::size_t>(threads), 0);
     workers_.reserve(static_cast<std::size_t>(threads));
+    const bool pin = !pin_cpus_.empty();
     for (int tid = 0; tid < threads; ++tid) {
-        workers_.emplace_back([this, tid, pin_threads] { worker_loop(tid, pin_threads); });
+        workers_.emplace_back([this, tid, pin] { worker_loop(tid, pin); });
     }
 }
 
@@ -67,7 +94,10 @@ void ThreadPool::run(const Job& job) {
 }
 
 void ThreadPool::worker_loop(int tid, bool pin) {
-    if (pin) pinned_[static_cast<std::size_t>(tid)] = pin_to_cpu(tid) ? 1 : 0;
+    if (pin) {
+        pinned_[static_cast<std::size_t>(tid)] =
+            pin_to_cpu(pin_cpus_[static_cast<std::size_t>(tid)]) ? 1 : 0;
+    }
     std::uint64_t seen = 0;
     for (;;) {
         const Job* job = nullptr;

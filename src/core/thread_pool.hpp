@@ -34,6 +34,23 @@ class ThreadPool {
     /// sandboxes forbid sched_setaffinity).
     explicit ThreadPool(int threads, bool pin_threads = false);
 
+    /// Creates @p threads workers bound per an explicit pin map: worker i is
+    /// bound to logical CPU pin_cpus[i].  An empty map means no pinning; a
+    /// non-empty map must have one entry per worker.  This is the seam the
+    /// topology-aware strategies (core/topology.hpp pin_map) feed — the
+    /// bool constructor above is the naive compatibility path.
+    ThreadPool(int threads, const std::vector<int>& pin_cpus);
+
+    /// Logical CPU worker @p tid was asked to bind to, or -1 when unpinned.
+    [[nodiscard]] int pin_cpu(int tid) const {
+        return pin_cpus_.empty() ? -1 : pin_cpus_[static_cast<std::size_t>(tid)];
+    }
+
+    /// Process-wide count of ThreadPool constructions.  Pool reuse tests
+    /// assert this does not move while a sweep runs over pooled
+    /// ExecutionResources — the "no pools spawned mid-sweep" contract.
+    [[nodiscard]] static std::uint64_t pools_created() noexcept;
+
     /// True when worker @p tid was successfully pinned to a CPU.
     [[nodiscard]] bool pinned(int tid) const {
         return pinned_[static_cast<std::size_t>(tid)] != 0;
@@ -96,6 +113,7 @@ class ThreadPool {
    private:
     void worker_loop(int tid, bool pin);
 
+    std::vector<int> pin_cpus_;  // empty = unpinned; else one CPU per worker
     std::vector<std::jthread> workers_;
     std::vector<char> pinned_;
     PoisonableBarrier barrier_;

@@ -1,0 +1,330 @@
+#include "core/topology.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <sstream>
+#include <thread>
+#include <tuple>
+
+#include "core/error.hpp"
+
+namespace symspmv {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::optional<std::string> read_file(const fs::path& path) {
+    std::ifstream in(path);
+    if (!in) return std::nullopt;
+    std::string content;
+    std::getline(in, content);
+    return content;
+}
+
+std::optional<int> parse_int(std::string_view token) {
+    int value = 0;
+    const char* begin = token.data();
+    const char* end = begin + token.size();
+    const auto [ptr, ec] = std::from_chars(begin, end, value);
+    if (ec != std::errc{} || ptr != end) return std::nullopt;
+    return value;
+}
+
+std::optional<int> read_int(const fs::path& path) {
+    const auto content = read_file(path);
+    if (!content) return std::nullopt;
+    return parse_int(*content);
+}
+
+/// Parses a sysfs cpulist ("0-3,8,10-11") into CPU ids; nullopt on garbage.
+std::optional<std::vector<int>> parse_cpulist(const std::string& list) {
+    std::vector<int> cpus;
+    std::istringstream is(list);
+    std::string tok;
+    while (std::getline(is, tok, ',')) {
+        if (tok.empty()) continue;
+        const auto dash = tok.find('-');
+        if (dash == std::string::npos) {
+            const auto v = parse_int(tok);
+            if (!v) return std::nullopt;
+            cpus.push_back(*v);
+        } else {
+            const auto lo = parse_int(std::string_view(tok).substr(0, dash));
+            const auto hi = parse_int(std::string_view(tok).substr(dash + 1));
+            if (!lo || !hi || *hi < *lo) return std::nullopt;
+            for (int c = *lo; c <= *hi; ++c) cpus.push_back(c);
+        }
+    }
+    return cpus;
+}
+
+/// Parses a sysfs cache size ("32K", "8192K", "12M"); nullopt on garbage.
+std::optional<std::size_t> parse_cache_size(const std::string& text) {
+    if (text.empty()) return std::nullopt;
+    std::size_t multiplier = 1;
+    std::string_view digits = text;
+    switch (text.back()) {
+        case 'K':
+            multiplier = 1024;
+            digits.remove_suffix(1);
+            break;
+        case 'M':
+            multiplier = 1024 * 1024;
+            digits.remove_suffix(1);
+            break;
+        case 'G':
+            multiplier = 1024ull * 1024 * 1024;
+            digits.remove_suffix(1);
+            break;
+        default:
+            break;
+    }
+    const auto v = parse_int(digits);
+    if (!v || *v < 0) return std::nullopt;
+    return static_cast<std::size_t>(*v) * multiplier;
+}
+
+void read_caches(const fs::path& cpu0, CpuTopology& topo) {
+    const fs::path cache_dir = cpu0 / "cache";
+    std::error_code ec;
+    if (!fs::is_directory(cache_dir, ec)) return;
+    int max_level = 0;
+    for (const auto& entry : fs::directory_iterator(cache_dir, ec)) {
+        const fs::path dir = entry.path();
+        if (dir.filename().string().rfind("index", 0) != 0) continue;
+        const auto level = read_int(dir / "level");
+        const auto type = read_file(dir / "type");
+        const auto size_text = read_file(dir / "size");
+        if (!level || !type || !size_text) continue;
+        const auto size = parse_cache_size(*size_text);
+        if (!size) continue;
+        if (*level == 1 && *type == "Data") topo.l1d_bytes = *size;
+        if (*level == 2 && *type != "Instruction") topo.l2_bytes = *size;
+        if (*level >= max_level && *type != "Instruction") {
+            max_level = *level;
+            topo.llc_bytes = *size;
+        }
+    }
+}
+
+int fallback_cpu_count() {
+    const int hw = static_cast<int>(std::thread::hardware_concurrency());
+    return hw > 0 ? hw : 1;
+}
+
+}  // namespace
+
+int CpuTopology::physical_cores() const {
+    int cores = 0;
+    for (const Cpu& c : cpus) {
+        if (c.smt_rank == 0) ++cores;
+    }
+    return cores;
+}
+
+std::string CpuTopology::summary() const {
+    std::ostringstream os;
+    os << sockets << "s/" << nodes << "n/" << physical_cores() << "c/" << smt << "t";
+    return os.str();
+}
+
+CpuTopology flat_topology(int logical_cpus) {
+    SYMSPMV_CHECK_MSG(logical_cpus >= 1, "flat_topology: need at least one CPU");
+    CpuTopology topo;
+    topo.cpus.reserve(static_cast<std::size_t>(logical_cpus));
+    for (int i = 0; i < logical_cpus; ++i) {
+        topo.cpus.push_back({.id = i, .core = i, .socket = 0, .node = 0, .smt_rank = 0});
+    }
+    return topo;
+}
+
+CpuTopology fake_topology(int sockets, int cores_per_socket, int smt) {
+    SYMSPMV_CHECK_MSG(sockets >= 1 && cores_per_socket >= 1 && smt >= 1,
+                      "fake_topology: all dimensions must be >= 1");
+    CpuTopology topo;
+    topo.sockets = sockets;
+    topo.nodes = sockets;
+    topo.smt = smt;
+    topo.from_sysfs = true;  // behaves like a discovered hierarchy
+    // Logical CPU ids mimic Linux enumeration: all first siblings across the
+    // machine, then the second siblings, and so on.
+    int id = 0;
+    for (int rank = 0; rank < smt; ++rank) {
+        for (int s = 0; s < sockets; ++s) {
+            for (int c = 0; c < cores_per_socket; ++c) {
+                topo.cpus.push_back(
+                    {.id = id++, .core = c, .socket = s, .node = s, .smt_rank = rank});
+            }
+        }
+    }
+    std::sort(topo.cpus.begin(), topo.cpus.end(),
+              [](const auto& a, const auto& b) { return a.id < b.id; });
+    return topo;
+}
+
+CpuTopology discover_topology(const std::string& sysfs_root) {
+    const fs::path cpu_root = fs::path(sysfs_root) / "devices/system/cpu";
+    std::error_code ec;
+
+    // Pass 1: logical CPUs and their (socket, core).
+    std::vector<CpuTopology::Cpu> cpus;
+    if (fs::is_directory(cpu_root, ec)) {
+        for (const auto& entry : fs::directory_iterator(cpu_root, ec)) {
+            const std::string name = entry.path().filename().string();
+            if (name.rfind("cpu", 0) != 0) continue;
+            const auto id = parse_int(std::string_view(name).substr(3));
+            if (!id) continue;  // cpufreq, cpuidle, ...
+            const auto socket = read_int(entry.path() / "topology/physical_package_id");
+            const auto core = read_int(entry.path() / "topology/core_id");
+            if (!socket || !core) continue;  // offline CPU: no topology dir
+            cpus.push_back({.id = *id, .core = *core, .socket = *socket, .node = 0});
+        }
+    }
+    if (cpus.empty()) return flat_topology(fallback_cpu_count());
+
+    std::sort(cpus.begin(), cpus.end(), [](const auto& a, const auto& b) { return a.id < b.id; });
+
+    // Pass 2: NUMA nodes (optional — single-node trees often omit them).
+    const fs::path node_root = fs::path(sysfs_root) / "devices/system/node";
+    std::map<int, int> node_of_cpu;
+    int nodes_seen = 0;
+    if (fs::is_directory(node_root, ec)) {
+        for (const auto& entry : fs::directory_iterator(node_root, ec)) {
+            const std::string name = entry.path().filename().string();
+            if (name.rfind("node", 0) != 0) continue;
+            const auto node = parse_int(std::string_view(name).substr(4));
+            if (!node) continue;
+            const auto list = read_file(entry.path() / "cpulist");
+            if (!list) continue;
+            const auto members = parse_cpulist(*list);
+            if (!members) continue;
+            ++nodes_seen;
+            for (int cpu : *members) node_of_cpu[cpu] = *node;
+        }
+    }
+
+    CpuTopology topo;
+    topo.from_sysfs = true;
+    std::map<std::pair<int, int>, int> siblings_seen;  // (socket, core) -> count
+    std::map<int, bool> sockets_seen;
+    std::map<int, bool> nodes_present;
+    for (CpuTopology::Cpu cpu : cpus) {
+        if (const auto it = node_of_cpu.find(cpu.id); it != node_of_cpu.end()) {
+            cpu.node = it->second;
+        }
+        cpu.smt_rank = siblings_seen[{cpu.socket, cpu.core}]++;
+        sockets_seen[cpu.socket] = true;
+        nodes_present[cpu.node] = true;
+        topo.cpus.push_back(cpu);
+    }
+    topo.sockets = static_cast<int>(sockets_seen.size());
+    topo.nodes = nodes_seen > 0 ? static_cast<int>(nodes_present.size()) : 1;
+    topo.smt = 1;
+    for (const auto& [key, count] : siblings_seen) topo.smt = std::max(topo.smt, count);
+
+    read_caches(cpu_root / "cpu0", topo);
+    return topo;
+}
+
+const CpuTopology& local_topology() {
+    static const CpuTopology topo = discover_topology();
+    return topo;
+}
+
+std::string_view to_string(PinStrategy strategy) {
+    switch (strategy) {
+        case PinStrategy::kNone:
+            return "none";
+        case PinStrategy::kCompact:
+            return "compact";
+        case PinStrategy::kScatter:
+            return "scatter";
+        case PinStrategy::kPerSocket:
+            return "per-socket";
+    }
+    return "?";
+}
+
+PinStrategy parse_pin_strategy(std::string_view name) {
+    for (PinStrategy s : {PinStrategy::kNone, PinStrategy::kCompact, PinStrategy::kScatter,
+                          PinStrategy::kPerSocket}) {
+        if (to_string(s) == name) return s;
+    }
+    throw InvalidArgument("unknown pin strategy: " + std::string(name));
+}
+
+std::vector<int> pin_map(const CpuTopology& topo, int threads, PinStrategy strategy) {
+    SYMSPMV_CHECK_MSG(threads >= 1, "pin_map: need at least one thread");
+    if (strategy == PinStrategy::kNone) return {};
+    SYMSPMV_CHECK_MSG(!topo.cpus.empty(), "pin_map: topology has no CPUs");
+
+    // Order the logical CPUs by strategy; the map wraps this order.
+    std::vector<CpuTopology::Cpu> order = topo.cpus;
+    switch (strategy) {
+        case PinStrategy::kCompact:
+        case PinStrategy::kPerSocket:
+            // Fill every physical core of a socket before its SMT siblings,
+            // and a whole socket before the next one.  (kPerSocket shares
+            // this order; it differs in how *partitions* group workers, see
+            // socket_of_workers + PartitionPolicy::kBySocket.)
+            std::sort(order.begin(), order.end(), [](const auto& a, const auto& b) {
+                return std::tuple(a.socket, a.smt_rank, a.core, a.id) <
+                       std::tuple(b.socket, b.smt_rank, b.core, b.id);
+            });
+            break;
+        case PinStrategy::kScatter:
+            // Round-robin across sockets: physical cores of all sockets
+            // first (socket-major interleave), SMT siblings last.
+            std::sort(order.begin(), order.end(), [](const auto& a, const auto& b) {
+                return std::tuple(a.smt_rank, a.core, a.socket, a.id) <
+                       std::tuple(b.smt_rank, b.core, b.socket, b.id);
+            });
+            break;
+        case PinStrategy::kNone:
+            break;
+    }
+
+    const int cpus = topo.logical_cpus();
+    if (threads > cpus) {
+        // Warn once per process: oversubscription is sometimes intentional
+        // (the paper's p=16 sweep on an 8-CPU machine), but the old "bind
+        // worker i to CPU i" silently bound workers to phantom CPUs, which
+        // the kernel rejects, leaving them floating while their peers are
+        // pinned — the 113.8% imbalance rows of BENCH_symspmv.md.
+        static std::once_flag warned;
+        std::call_once(warned, [&] {
+            std::cerr << "symspmv: " << threads << " workers requested but only " << cpus
+                      << " logical CPUs online; pin map wraps around (workers will share "
+                         "CPUs)\n";
+        });
+    }
+    std::vector<int> map(static_cast<std::size_t>(threads));
+    for (int i = 0; i < threads; ++i) {
+        map[static_cast<std::size_t>(i)] = order[static_cast<std::size_t>(i % cpus)].id;
+    }
+    return map;
+}
+
+std::vector<int> socket_of_workers(const CpuTopology& topo, const std::vector<int>& map,
+                                   int threads) {
+    std::vector<int> sockets(static_cast<std::size_t>(threads), 0);
+    if (map.empty()) return sockets;
+    std::map<int, int> socket_of_cpu;
+    for (const CpuTopology::Cpu& c : topo.cpus) socket_of_cpu[c.id] = c.socket;
+    for (int i = 0; i < threads && i < static_cast<int>(map.size()); ++i) {
+        if (const auto it = socket_of_cpu.find(map[static_cast<std::size_t>(i)]);
+            it != socket_of_cpu.end()) {
+            sockets[static_cast<std::size_t>(i)] = it->second;
+        }
+    }
+    return sockets;
+}
+
+}  // namespace symspmv

@@ -1,0 +1,105 @@
+// CPU topology discovery and topology-aware pin maps.
+//
+// The paper's §V.A results depend on *where* threads run: its Gainestown
+// numbers bind threads to specific logical processors and place pages with
+// numactl, and Schubert/Hager/Fehske (PAPERS.md) show SpMV scaling is
+// decided by NUMA placement plus intra-socket bandwidth contention.  The
+// engine previously pinned "worker i -> logical CPU i", which on an SMT
+// machine stacks two workers on one physical core before the second core is
+// used, and on a multi-socket machine fills socket 0 completely before
+// socket 1 sees a thread.  This module discovers the real shape of the
+// machine — sockets, NUMA nodes, SMT siblings, cache sizes — from sysfs and
+// turns it into named pin strategies.
+//
+// Discovery is injectable: every parser takes the sysfs root as a
+// parameter, so tests feed fixture trees and non-Linux builds (or sandboxes
+// that hide /sys) fall back to a flat single-socket topology that makes all
+// strategies degenerate to the old behaviour.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace symspmv {
+
+struct CpuTopology {
+    /// One online logical CPU and its position in the machine hierarchy.
+    struct Cpu {
+        int id = 0;      // logical CPU number (sched_setaffinity target)
+        int core = 0;    // physical core id, unique within the socket
+        int socket = 0;  // physical package id
+        int node = 0;    // NUMA node id
+        /// 0 for the first logical CPU seen on its (socket, core), 1 for
+        /// its first SMT sibling, and so on — the fill order key.
+        int smt_rank = 0;
+
+        friend bool operator==(const Cpu&, const Cpu&) = default;
+    };
+
+    std::vector<Cpu> cpus;  // sorted by id
+    int sockets = 1;
+    int nodes = 1;
+    int smt = 1;  // logical CPUs per physical core (max over cores)
+
+    // Cache sizes in bytes; 0 = unknown.  L1d/L2 are per-core, llc is the
+    // largest cache level reported (shared, typically per socket).
+    std::size_t l1d_bytes = 0;
+    std::size_t l2_bytes = 0;
+    std::size_t llc_bytes = 0;
+
+    /// True when the hierarchy came from sysfs; false for the flat fallback.
+    bool from_sysfs = false;
+
+    [[nodiscard]] int logical_cpus() const { return static_cast<int>(cpus.size()); }
+
+    /// Physical cores across the machine.
+    [[nodiscard]] int physical_cores() const;
+
+    /// Compact single-token rendering "2s/2n/8c/2t" (sockets, NUMA nodes,
+    /// physical cores, SMT ways) for run records and bench headers.
+    [[nodiscard]] std::string summary() const;
+};
+
+/// Reads the topology from @p sysfs_root (default the live /sys).  Missing
+/// or unparsable trees yield flat_topology(hardware_concurrency) — the
+/// portable fallback, also used on non-Linux builds.
+[[nodiscard]] CpuTopology discover_topology(const std::string& sysfs_root = "/sys");
+
+/// The machine-wide topology, discovered once and cached (sysfs does not
+/// change under a running process).
+[[nodiscard]] const CpuTopology& local_topology();
+
+/// A UMA, SMT-free, single-socket topology with @p logical_cpus CPUs — the
+/// portable fallback and the base for hand-built test topologies.
+[[nodiscard]] CpuTopology flat_topology(int logical_cpus);
+
+/// Builds an arbitrary fake topology for tests: @p sockets x @p
+/// cores_per_socket x @p smt logical CPUs, one NUMA node per socket.
+[[nodiscard]] CpuTopology fake_topology(int sockets, int cores_per_socket, int smt);
+
+/// How worker threads are laid out over the machine.
+enum class PinStrategy {
+    kNone,       // do not bind threads at all
+    kCompact,    // fill physical cores in socket order; SMT siblings last
+    kScatter,    // round-robin sockets; physical cores first, siblings last
+    kPerSocket,  // contiguous worker blocks per socket (pairs with kBySocket)
+};
+
+[[nodiscard]] std::string_view to_string(PinStrategy strategy);
+[[nodiscard]] PinStrategy parse_pin_strategy(std::string_view name);
+
+/// Maps worker i -> logical CPU id under @p strategy (empty for kNone).
+/// When @p threads exceeds the online CPU count the map wraps around and a
+/// one-time warning is printed — multiple workers then legitimately share a
+/// CPU instead of binding to phantom ones (the p=16-on-8-CPUs fix).
+[[nodiscard]] std::vector<int> pin_map(const CpuTopology& topo, int threads,
+                                       PinStrategy strategy);
+
+/// The socket each worker of @p map lands on (all zero for an empty map or
+/// unknown CPUs) — the input of the by-socket partition policy.
+[[nodiscard]] std::vector<int> socket_of_workers(const CpuTopology& topo,
+                                                 const std::vector<int>& map, int threads);
+
+}  // namespace symspmv

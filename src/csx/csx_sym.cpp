@@ -1,6 +1,9 @@
 #include "csx/csx_sym.hpp"
 
 #include "core/error.hpp"
+#include "core/placement.hpp"
+#include "core/prefetch.hpp"
+#include "core/thread_pool.hpp"
 #include "core/timer.hpp"
 
 namespace symspmv::csx {
@@ -51,6 +54,21 @@ CsxSymMatrix::CsxSymMatrix(const Sss& sss, const CsxConfig& cfg, int partitions)
     preprocess_seconds_ = prep.seconds();
 }
 
+void CsxSymMatrix::rehome(ThreadPool& pool) {
+    if (pool.size() != partitions() || n_ == 0) return;
+    rehome_partitioned(dvalues_, parts_, pool);
+    pool.run([&](int tid) {
+        // Worker-local copies: allocation and every byte of the copy happen
+        // on the owning worker, so the fresh pages are first touched (and
+        // homed) on its node; swap retires the builder-thread pages.
+        EncodedPartition& part = encoded_[static_cast<std::size_t>(tid)];
+        std::vector<std::uint8_t> ctl(part.ctl.begin(), part.ctl.end());
+        aligned_vector<value_t> values(part.values.begin(), part.values.end());
+        part.ctl.swap(ctl);
+        part.values.swap(values);
+    });
+}
+
 std::size_t CsxSymMatrix::size_bytes() const {
     std::size_t bytes = dvalues_.size() * kValueBytes;
     for (const EncodedPartition& e : encoded_) bytes += e.size_bytes();
@@ -80,8 +98,11 @@ void CsxSymMatrix::spmv_partition(int pid, std::span<const value_t> x, std::span
 
     const value_t* __restrict va = part.values.data();
     std::size_t vpos = 0;
+    const auto pf = static_cast<std::size_t>(prefetch_distance_);
+    const std::size_t vend = part.values.size();
     walk_ctl(std::span<const std::uint8_t>(part.ctl), part.row_begin, table_,
              [&](const UnitHeader& h, const std::uint8_t* body) {
+                 if (pf > 0 && vpos + pf < vend) prefetch_read(&va[vpos + pf]);
                  // §IV.B: the encoder guarantees all of a unit's columns lie
                  // on one side of `start`, so the mirror target is selected
                  // once per unit.

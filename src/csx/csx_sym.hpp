@@ -58,6 +58,19 @@ class CsxSymMatrix {
     void spmv_partition(int pid, std::span<const value_t> x, std::span<value_t> y,
                         std::span<value_t> local) const;
 
+    /// Software-prefetch distance over the compressed values stream, in
+    /// elements, hinted once per encoded unit (the ctl stream is opaque
+    /// ahead of the cursor, so the values stream is the only address known
+    /// early).  0 = off; the autotuner learns the value.
+    void set_prefetch_distance(int d) { prefetch_distance_ = d < 0 ? 0 : d; }
+    [[nodiscard]] int prefetch_distance() const { return prefetch_distance_; }
+
+    /// NUMA first-touch re-home: each worker of @p pool copies its own
+    /// partition's ctl/values streams (and its rows of dvalues) so their
+    /// pages land on the node that executes the partition.  Requires one
+    /// worker per partition; no-op otherwise.
+    void rehome(ThreadPool& pool);
+
    private:
     index_t n_ = 0;
     std::int64_t full_nnz_ = 0;
@@ -65,6 +78,7 @@ class CsxSymMatrix {
     std::vector<Pattern> table_;
     std::vector<EncodedPartition> encoded_;
     aligned_vector<value_t> dvalues_;
+    int prefetch_distance_ = 0;
     double preprocess_seconds_ = 0.0;
 };
 

@@ -31,6 +31,17 @@ CsxSymKernel::CsxSymKernel(const Sss& sss, const CsxConfig& cfg, ThreadPool& poo
     }
 }
 
+void CsxSymKernel::apply_partitioned_placement() {
+    matrix_.rehome(pool_);
+    pool_.run([&](int tid) {
+        // Each worker re-touches its own local vector (built by the
+        // constructing thread) so its pages live on the worker's node.
+        auto& local = locals_[static_cast<std::size_t>(tid)];
+        aligned_vector<value_t> fresh(local.begin(), local.end());
+        local.swap(fresh);
+    });
+}
+
 std::size_t CsxSymKernel::footprint_bytes() const {
     std::size_t bytes = matrix_.size_bytes() + index_.bytes();
     for (const auto& v : locals_) bytes += v.size() * kValueBytes;

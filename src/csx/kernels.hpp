@@ -58,6 +58,15 @@ class CsxSymKernel final : public SpmvKernel {
     [[nodiscard]] const CsxSymMatrix& matrix() const { return matrix_; }
     [[nodiscard]] const ReductionIndex& reduction_index() const { return index_; }
 
+    /// See CsxSymMatrix::set_prefetch_distance.
+    void set_prefetch_distance(int d) { matrix_.set_prefetch_distance(d); }
+    [[nodiscard]] int prefetch_distance() const { return matrix_.prefetch_distance(); }
+
+    /// NUMA placement: re-homes the encoded streams and each worker's local
+    /// vector onto the owning workers.  Call after construction, before
+    /// timing.
+    void apply_partitioned_placement();
+
    private:
     CsxSymMatrix matrix_;
     ThreadPool& pool_;

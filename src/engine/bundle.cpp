@@ -53,4 +53,22 @@ BundleBuildCounts MatrixBundle::build_counts() const {
     return state_->counts;
 }
 
+int MatrixBundle::apply_placement(std::span<const RowRange> parts, ThreadPool& pool) const {
+    const std::scoped_lock lock(state_->mu);
+    int rehomed = 0;
+    if (state_->csr) {
+        state_->csr->rehome(parts, pool);
+        ++rehomed;
+    }
+    if (state_->sss) {
+        state_->sss->rehome(parts, pool);
+        ++rehomed;
+    }
+    if (state_->lower_csr) {
+        state_->lower_csr->rehome(parts, pool);
+        ++rehomed;
+    }
+    return rehomed;
+}
+
 }  // namespace symspmv::engine

@@ -16,7 +16,9 @@
 
 #include <memory>
 #include <mutex>
+#include <span>
 
+#include "core/partition.hpp"
 #include "matrix/coo.hpp"
 #include "matrix/csr.hpp"
 #include "matrix/properties.hpp"
@@ -68,6 +70,17 @@ class MatrixBundle {
 
     /// Conversion counters for the cache-effectiveness assertions.
     [[nodiscard]] BundleBuildCounts build_counts() const;
+
+    /// NUMA first-touch placement: re-homes the pages of every *already
+    /// built* cached representation onto the workers owning each row range
+    /// (@p parts, one per worker of @p pool).  Builds nothing — call after
+    /// the representations a run needs exist.  Contents are unchanged, but
+    /// spans obtained from the representations before the call are
+    /// invalidated (storage is reallocated), so apply placement before
+    /// constructing kernels, not while they are live.  Returns how many
+    /// representations were re-homed.  Safe to call again with a different
+    /// partition (e.g. per thread count in a sweep).
+    int apply_placement(std::span<const RowRange> parts, ThreadPool& pool) const;
 
    private:
     explicit MatrixBundle(const Coo* borrowed);

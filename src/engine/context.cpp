@@ -10,6 +10,8 @@ std::string_view to_string(PartitionPolicy policy) {
             return "by-nnz";
         case PartitionPolicy::kEvenRows:
             return "even-rows";
+        case PartitionPolicy::kBySocket:
+            return "by-socket";
     }
     return "?";
 }
@@ -27,7 +29,8 @@ std::string_view to_string(PlacementPolicy policy) {
 }
 
 PartitionPolicy parse_partition_policy(std::string_view name) {
-    for (PartitionPolicy p : {PartitionPolicy::kByNnz, PartitionPolicy::kEvenRows}) {
+    for (PartitionPolicy p : {PartitionPolicy::kByNnz, PartitionPolicy::kEvenRows,
+                              PartitionPolicy::kBySocket}) {
         if (to_string(p) == name) return p;
     }
     throw InvalidArgument("unknown partition policy: " + std::string(name));
@@ -41,19 +44,36 @@ PlacementPolicy parse_placement_policy(std::string_view name) {
     throw InvalidArgument("unknown placement policy: " + std::string(name));
 }
 
+PinStrategy effective_pin_strategy(const ContextOptions& opts) {
+    if (opts.pin_strategy != PinStrategy::kNone) return opts.pin_strategy;
+    return opts.pin_threads ? PinStrategy::kCompact : PinStrategy::kNone;
+}
+
 ExecutionContext::ExecutionContext(const ContextOptions& opts)
-    : opts_(opts), pool_(opts.threads, opts.pin_threads) {}
+    : ExecutionContext(ContextPool::instance().acquire(opts.threads, effective_pin_strategy(opts)),
+                       opts) {}
 
 ExecutionContext::ExecutionContext(int threads, bool pin_threads)
     : ExecutionContext(ContextOptions{.threads = threads, .pin_threads = pin_threads}) {}
+
+ExecutionContext::ExecutionContext(std::shared_ptr<ExecutionResources> resources,
+                                   const ContextOptions& opts)
+    : resources_(std::move(resources)), opts_(opts) {
+    SYMSPMV_CHECK_MSG(resources_ != nullptr, "ExecutionContext: null resources");
+    SYMSPMV_CHECK_MSG(resources_->threads() == opts_.threads || opts_.threads == 0,
+                      "ExecutionContext: resources/options thread count mismatch");
+    opts_.threads = resources_->threads();
+}
 
 std::vector<RowRange> ExecutionContext::partition(std::span<const index_t> rowptr) const {
     SYMSPMV_CHECK_MSG(!rowptr.empty(), "ExecutionContext::partition: empty rowptr");
     switch (opts_.partition) {
         case PartitionPolicy::kByNnz:
-            return split_by_nnz(rowptr, pool_.size());
+            return split_by_nnz(rowptr, threads());
         case PartitionPolicy::kEvenRows:
-            return split_even(static_cast<index_t>(rowptr.size() - 1), pool_.size());
+            return split_even(static_cast<index_t>(rowptr.size() - 1), threads());
+        case PartitionPolicy::kBySocket:
+            return split_by_nnz_grouped(rowptr, resources_->socket_of_worker());
     }
     throw InvalidArgument("ExecutionContext: unknown partition policy");
 }
@@ -64,11 +84,11 @@ aligned_vector<value_t> ExecutionContext::allocate_vector(index_t n) {
         case PlacementPolicy::kNone:
             break;
         case PlacementPolicy::kInterleave:
-            first_touch_interleaved<value_t>(v, pool_);
+            first_touch_interleaved<value_t>(v, pool());
             break;
         case PlacementPolicy::kPartitioned: {
-            const auto parts = split_even(n, pool_.size());
-            first_touch_partitioned<value_t>(v, parts, pool_);
+            const auto parts = split_even(n, threads());
+            first_touch_partitioned<value_t>(v, parts, pool());
             break;
         }
     }

@@ -1,15 +1,23 @@
-// ExecutionContext — the engine's single owner of execution resources.
+// ExecutionContext — a cheap per-run handle over pooled execution resources.
 //
 // The paper binds threads to logical processors, partitions matrix rows by
 // non-zero count and places pages NUMA-aware (§V.A); before this layer every
 // bench, example and solver call re-plumbed a raw ThreadPool& and re-decided
-// those policies locally.  An ExecutionContext bundles the three decisions —
-// worker pool (+ pinning), page-placement policy and row-partition policy —
-// into one object that is created once and passed everywhere a ThreadPool
-// used to be (it converts implicitly, so the lower layers keep their
-// ThreadPool& signatures and stay independent of the engine).
+// those policies locally.  An ExecutionContext bundles the decisions —
+// worker pool (+ pin strategy), page-placement policy and row-partition
+// policy — into one object that is passed everywhere a ThreadPool used to be
+// (it converts implicitly, so the lower layers keep their ThreadPool&
+// signatures and stay independent of the engine).
+//
+// The expensive half (pool + topology) lives in ExecutionResources
+// (engine/resources.hpp), reference-counted and cached by the process-wide
+// ContextPool; a context is only {shared_ptr, options} — copy it, pass it by
+// value, build one per run.  Two contexts with the same thread count and pin
+// strategy share one warm pool, so sweeping contexts in a loop no longer
+// spawns threads per iteration.
 #pragma once
 
+#include <memory>
 #include <span>
 #include <string_view>
 #include <vector>
@@ -18,11 +26,14 @@
 #include "core/partition.hpp"
 #include "core/placement.hpp"
 #include "core/thread_pool.hpp"
+#include "core/topology.hpp"
 #include "core/types.hpp"
+#include "engine/resources.hpp"
 
 namespace symspmv::engine {
 
-/// First-touch page placement applied to vectors the context allocates.
+/// First-touch page placement applied to vectors the context allocates and
+/// (via MatrixBundle::apply_placement) to the format arrays.
 enum class PlacementPolicy {
     kNone,         // leave placement to the allocating thread (UMA default)
     kInterleave,   // deal pages round-robin across workers (for x/y vectors)
@@ -33,11 +44,15 @@ enum class PlacementPolicy {
 enum class PartitionPolicy {
     kByNnz,     // equal non-zeros per partition (the paper's policy, Fig. 3a)
     kEvenRows,  // equal rows per partition (the naive reduction split)
+    kBySocket,  // nnz-balanced within each socket's worker block (NUMA split)
 };
 
 struct ContextOptions {
     int threads = 1;
-    bool pin_threads = false;  // bind worker i to logical CPU i (§V.A)
+    bool pin_threads = false;  // legacy alias: true = PinStrategy::kCompact
+    /// Where workers land on the machine.  kNone defers to pin_threads for
+    /// compatibility; any other value wins over the bool.
+    PinStrategy pin_strategy = PinStrategy::kNone;
     PlacementPolicy placement = PlacementPolicy::kNone;
     PartitionPolicy partition = PartitionPolicy::kByNnz;
 };
@@ -51,34 +66,49 @@ struct ContextOptions {
 [[nodiscard]] PartitionPolicy parse_partition_policy(std::string_view name);
 [[nodiscard]] PlacementPolicy parse_placement_policy(std::string_view name);
 
+/// The pin strategy @p opts resolves to (strategy field wins, then the
+/// legacy pin_threads bool).
+[[nodiscard]] PinStrategy effective_pin_strategy(const ContextOptions& opts);
+
 class ExecutionContext {
    public:
+    /// Draws resources for (opts.threads, resolved pin strategy) from the
+    /// process-wide ContextPool — repeat constructions with equal keys share
+    /// one warm pool.
     explicit ExecutionContext(const ContextOptions& opts);
 
     /// Convenience: a context with @p threads workers and default policies.
     explicit ExecutionContext(int threads, bool pin_threads = false);
 
-    ExecutionContext(const ExecutionContext&) = delete;
-    ExecutionContext& operator=(const ExecutionContext&) = delete;
+    /// A context over explicitly provided resources — the seam for private
+    /// (non-global) ContextPools and for tests injecting fake topologies.
+    ExecutionContext(std::shared_ptr<ExecutionResources> resources, const ContextOptions& opts);
 
-    [[nodiscard]] ThreadPool& pool() { return pool_; }
-    [[nodiscard]] int threads() const { return pool_.size(); }
+    [[nodiscard]] ThreadPool& pool() const { return resources_->pool(); }
+    [[nodiscard]] int threads() const { return resources_->threads(); }
     [[nodiscard]] const ContextOptions& options() const { return opts_; }
+    [[nodiscard]] const ExecutionResources& resources() const { return *resources_; }
+    [[nodiscard]] const std::shared_ptr<ExecutionResources>& resources_ptr() const {
+        return resources_;
+    }
+    [[nodiscard]] const CpuTopology& topology() const { return resources_->topology(); }
 
     /// Implicit view as the worker pool, so a context drops into every API
     /// that still takes ThreadPool& (cg::solve, pcg_solve, estimate_spectrum,
     /// the kernel constructors) without those layers depending on the engine.
-    operator ThreadPool&() { return pool_; }  // NOLINT(google-explicit-constructor)
+    operator ThreadPool&() const { return resources_->pool(); }  // NOLINT(google-explicit-constructor)
 
     /// Runs @p fn once on every worker thread (blocking until all finish).
     /// This is the per-thread attachment seam the observability layer uses:
     /// resources that must be created on the thread they measure — perf
     /// counter groups (obs::ThreadCounters), thread-local trace state — are
     /// opened here, on the workers the kernels will actually run on.
-    void for_each_worker(const std::function<void(int)>& fn) { pool_.run(fn); }
+    void for_each_worker(const std::function<void(int)>& fn) { resources_->pool().run(fn); }
 
     /// Splits the rows described by the CSR/SSS row-pointer array according
-    /// to the context's partition policy, one range per worker.
+    /// to the context's partition policy, one range per worker.  kBySocket
+    /// balances nnz within each socket's contiguous worker block (weighted
+    /// between sockets); without pinning it degenerates to plain by-nnz.
     [[nodiscard]] std::vector<RowRange> partition(std::span<const index_t> rowptr) const;
 
     /// Allocates an n-element vector and first-touches its pages per the
@@ -87,8 +117,8 @@ class ExecutionContext {
     [[nodiscard]] aligned_vector<value_t> allocate_vector(index_t n);
 
    private:
+    std::shared_ptr<ExecutionResources> resources_;
     ContextOptions opts_;
-    ThreadPool pool_;
 };
 
 }  // namespace symspmv::engine

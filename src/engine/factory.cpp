@@ -18,7 +18,10 @@ KernelFactory::KernelFactory(const MatrixBundle& bundle, ThreadPool& pool, csx::
 
 KernelFactory::KernelFactory(const MatrixBundle& bundle, ExecutionContext& ctx,
                              csx::CsxConfig cfg)
-    : KernelFactory(bundle, ctx.pool(), cfg, ctx.options().partition) {}
+    : KernelFactory(bundle, ctx.pool(), cfg, ctx.options().partition) {
+    placement_ = ctx.options().placement;
+    socket_of_worker_ = ctx.resources().socket_of_worker();
+}
 
 KernelPtr KernelFactory::make(KernelKind kind) const {
     // Kernels that own their representation by value (CSR/SSS families) get
@@ -27,33 +30,55 @@ KernelPtr KernelFactory::make(KernelKind kind) const {
     // the cached representation by reference while encoding.
     //
     // For the row-partitioned kernels an empty parts vector means "use the
-    // kernel's own by-nnz split"; only the even-rows policy needs explicit
-    // ranges.
-    std::vector<RowRange> parts;
-    if (partition_ == PartitionPolicy::kEvenRows) {
-        parts = split_even(bundle_.coo().rows(), pool_.size());
-    }
+    // kernel's own by-nnz split"; even-rows and by-socket need explicit
+    // ranges.  The partition depends on the representation's rowptr (CSR
+    // counts the full matrix, SSS the lower triangle), so it is derived per
+    // kind.
+    const auto parts_for = [this](std::span<const index_t> rowptr) -> std::vector<RowRange> {
+        switch (partition_) {
+            case PartitionPolicy::kByNnz:
+                return {};
+            case PartitionPolicy::kEvenRows:
+                return split_even(static_cast<index_t>(rowptr.size() - 1), pool_.size());
+            case PartitionPolicy::kBySocket:
+                if (static_cast<int>(socket_of_worker_.size()) != pool_.size()) return {};
+                return split_by_nnz_grouped(rowptr, socket_of_worker_);
+        }
+        return {};
+    };
+    const bool place = placement_ == PlacementPolicy::kPartitioned;
+    const auto make_sss_mt = [&](ReductionMethod method) {
+        auto kernel = std::make_unique<SssMtKernel>(bundle_.sss(), pool_, method,
+                                                    parts_for(bundle_.sss().rowptr()));
+        kernel->set_prefetch_distance(prefetch_distance_);
+        if (place) kernel->apply_partitioned_placement();
+        return kernel;
+    };
     switch (kind) {
         case KernelKind::kCsrSerial:
             return std::make_unique<CsrSerialKernel>(bundle_.csr());
-        case KernelKind::kCsr:
-            return std::make_unique<CsrMtKernel>(bundle_.csr(), pool_, std::move(parts));
+        case KernelKind::kCsr: {
+            auto kernel = std::make_unique<CsrMtKernel>(bundle_.csr(), pool_,
+                                                        parts_for(bundle_.csr().rowptr()));
+            if (place) kernel->apply_partitioned_placement();
+            return kernel;
+        }
         case KernelKind::kSssSerial:
             return std::make_unique<SssSerialKernel>(bundle_.sss());
         case KernelKind::kSssNaive:
-            return std::make_unique<SssMtKernel>(bundle_.sss(), pool_, ReductionMethod::kNaive,
-                                                 std::move(parts));
+            return make_sss_mt(ReductionMethod::kNaive);
         case KernelKind::kSssEffective:
-            return std::make_unique<SssMtKernel>(bundle_.sss(), pool_,
-                                                 ReductionMethod::kEffectiveRanges,
-                                                 std::move(parts));
+            return make_sss_mt(ReductionMethod::kEffectiveRanges);
         case KernelKind::kSssIndexing:
-            return std::make_unique<SssMtKernel>(bundle_.sss(), pool_,
-                                                 ReductionMethod::kIndexing, std::move(parts));
+            return make_sss_mt(ReductionMethod::kIndexing);
         case KernelKind::kCsx:
             return std::make_unique<csx::CsxMtKernel>(bundle_.csr(), cfg_, pool_);
-        case KernelKind::kCsxSym:
-            return std::make_unique<csx::CsxSymKernel>(bundle_.sss(), cfg_, pool_);
+        case KernelKind::kCsxSym: {
+            auto kernel = std::make_unique<csx::CsxSymKernel>(bundle_.sss(), cfg_, pool_);
+            kernel->set_prefetch_distance(prefetch_distance_);
+            if (place) kernel->apply_partitioned_placement();
+            return kernel;
+        }
         case KernelKind::kCsb:
             return std::make_unique<csb::CsbMtKernel>(csb::CsbMatrix(bundle_.coo()), pool_);
         case KernelKind::kCsbSym:

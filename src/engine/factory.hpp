@@ -30,8 +30,10 @@ class KernelFactory {
     KernelFactory(const MatrixBundle& bundle, ThreadPool& pool, csx::CsxConfig cfg = {},
                   PartitionPolicy partition = PartitionPolicy::kByNnz);
 
-    /// Context-owned pool plus the context's policies (including its row
-    /// partition policy).
+    /// Context-owned pool plus the context's policies: row partition policy,
+    /// page placement (kPartitioned re-homes the row-partitioned kernels'
+    /// arrays after construction) and, for the by-socket partition, the
+    /// socket each worker is pinned to.
     KernelFactory(const MatrixBundle& bundle, ExecutionContext& ctx, csx::CsxConfig cfg = {});
 
     /// Builds a kernel of @p kind over the bundle's matrix.
@@ -50,12 +52,22 @@ class KernelFactory {
     [[nodiscard]] const MatrixBundle& bundle() const { return bundle_; }
     [[nodiscard]] ThreadPool& pool() const { return pool_; }
     [[nodiscard]] PartitionPolicy partition() const { return partition_; }
+    [[nodiscard]] PlacementPolicy placement() const { return placement_; }
+
+    /// Software-prefetch distance pushed into the kernels that support it
+    /// (the SSS reduction family and CSX-Sym); 0 = off.  Autotune plans
+    /// carry the learned value here via build_plan.
+    void set_prefetch_distance(int d) { prefetch_distance_ = d < 0 ? 0 : d; }
+    [[nodiscard]] int prefetch_distance() const { return prefetch_distance_; }
 
    private:
     const MatrixBundle& bundle_;
     ThreadPool& pool_;
     csx::CsxConfig cfg_;
     PartitionPolicy partition_ = PartitionPolicy::kByNnz;
+    PlacementPolicy placement_ = PlacementPolicy::kNone;
+    std::vector<int> socket_of_worker_;  // for kBySocket; empty = one socket
+    int prefetch_distance_ = 0;
 };
 
 }  // namespace symspmv::engine

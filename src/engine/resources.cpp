@@ -1,0 +1,47 @@
+#include "engine/resources.hpp"
+
+namespace symspmv::engine {
+
+ExecutionResources::ExecutionResources(int threads, PinStrategy strategy, CpuTopology topo)
+    : topo_(std::move(topo)),
+      strategy_(strategy),
+      pin_cpus_(pin_map(topo_, threads, strategy)),
+      socket_of_worker_(socket_of_workers(topo_, pin_cpus_, threads)),
+      pool_(threads, pin_cpus_) {}
+
+ExecutionResources::ExecutionResources(int threads, PinStrategy strategy)
+    : ExecutionResources(threads, strategy, local_topology()) {}
+
+ContextPool::ContextPool() : topo_(local_topology()) {}
+
+ContextPool::ContextPool(CpuTopology topo) : topo_(std::move(topo)) {}
+
+std::shared_ptr<ExecutionResources> ContextPool::acquire(int threads, PinStrategy strategy) {
+    const auto key = std::make_pair(threads, strategy);
+    std::lock_guard lock(mu_);
+    if (auto it = cache_.find(key); it != cache_.end()) {
+        ++hits_;
+        return it->second;
+    }
+    ++misses_;
+    auto resources = std::make_shared<ExecutionResources>(threads, strategy, topo_);
+    cache_.emplace(key, resources);
+    return resources;
+}
+
+ContextPool::Stats ContextPool::stats() const {
+    std::lock_guard lock(mu_);
+    return Stats{hits_, misses_, cache_.size()};
+}
+
+void ContextPool::clear() {
+    std::lock_guard lock(mu_);
+    cache_.clear();
+}
+
+ContextPool& ContextPool::instance() {
+    static ContextPool pool;
+    return pool;
+}
+
+}  // namespace symspmv::engine

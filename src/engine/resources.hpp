@@ -1,0 +1,108 @@
+// ExecutionResources + ContextPool — the expensive half of execution state.
+//
+// Constructing a ThreadPool spawns OS threads, binds them to CPUs and warms
+// their stacks; before this layer every bench repetition, tuner candidate
+// and CG solve paid that cost by building a fresh ExecutionContext.  The
+// split here follows the usual resource/session pattern: an
+// ExecutionResources is the immutable, shareable bundle (worker pool +
+// machine topology + the pin layout the pool was built with), handed out as
+// a shared_ptr; ExecutionContext (engine/context.hpp) shrinks to a cheap
+// per-run handle that references one and carries only per-run policy
+// (placement, partitioning).  The ContextPool caches resources keyed by
+// (threads, pin strategy), so a bench sweeping thread counts, the tuner
+// trying dozens of candidates, and a future server handling sessions all
+// reuse the same warm pools — ThreadPool::pools_created() stays flat while
+// they run.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "core/thread_pool.hpp"
+#include "core/topology.hpp"
+
+namespace symspmv::engine {
+
+/// The expensive, immutable execution state: a warm worker pool plus the
+/// topology and pin layout it was built with.  Share it via shared_ptr;
+/// never rebuild one per run.  (The ThreadPool inside is mutable by nature —
+/// run() dispatches jobs — but the *configuration* never changes after
+/// construction, which is what makes sharing safe.)
+class ExecutionResources {
+   public:
+    /// Builds @p threads workers pinned per @p strategy over @p topo.
+    ExecutionResources(int threads, PinStrategy strategy, CpuTopology topo);
+
+    /// Same, over the discovered machine topology.
+    ExecutionResources(int threads, PinStrategy strategy);
+
+    ExecutionResources(const ExecutionResources&) = delete;
+    ExecutionResources& operator=(const ExecutionResources&) = delete;
+
+    [[nodiscard]] ThreadPool& pool() const { return pool_; }
+    [[nodiscard]] int threads() const { return pool_.size(); }
+    [[nodiscard]] const CpuTopology& topology() const { return topo_; }
+    [[nodiscard]] PinStrategy pin_strategy() const { return strategy_; }
+
+    /// Worker i -> logical CPU (empty when unpinned).
+    [[nodiscard]] const std::vector<int>& pin_cpus() const { return pin_cpus_; }
+
+    /// Worker i -> socket id (all zero when unpinned or UMA) — the input of
+    /// the by-socket partition policy.
+    [[nodiscard]] const std::vector<int>& socket_of_worker() const { return socket_of_worker_; }
+
+   private:
+    CpuTopology topo_;
+    PinStrategy strategy_;
+    std::vector<int> pin_cpus_;
+    std::vector<int> socket_of_worker_;
+    mutable ThreadPool pool_;
+};
+
+/// Cache of ExecutionResources keyed by (threads, pin strategy).  acquire()
+/// returns the cached entry or builds one; the pool keeps a reference, so
+/// the workers stay warm between checkouts and "returning" a resource is
+/// simply dropping the shared_ptr.  Thread-safe.
+class ContextPool {
+   public:
+    /// Pool over the discovered machine topology.
+    ContextPool();
+
+    /// Pool over an injected topology — the test seam (fake_topology) and
+    /// the hook for serving topologies read from fixture sysfs trees.
+    explicit ContextPool(CpuTopology topo);
+
+    ContextPool(const ContextPool&) = delete;
+    ContextPool& operator=(const ContextPool&) = delete;
+
+    /// The cached resources for (threads, strategy), built on first use.
+    [[nodiscard]] std::shared_ptr<ExecutionResources> acquire(int threads, PinStrategy strategy);
+
+    struct Stats {
+        std::uint64_t hits = 0;      // acquire() served from cache
+        std::uint64_t misses = 0;    // acquire() had to build
+        std::size_t resident = 0;    // distinct resources alive in the cache
+    };
+    [[nodiscard]] Stats stats() const;
+
+    /// Drops every cached resource (workers of unshared entries exit).
+    void clear();
+
+    [[nodiscard]] const CpuTopology& topology() const { return topo_; }
+
+    /// The process-wide pool every ExecutionContext draws from by default.
+    [[nodiscard]] static ContextPool& instance();
+
+   private:
+    CpuTopology topo_;
+    mutable std::mutex mu_;
+    std::map<std::pair<int, PinStrategy>, std::shared_ptr<ExecutionResources>> cache_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+}  // namespace symspmv::engine

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/error.hpp"
+#include "core/placement.hpp"
 
 namespace symspmv {
 
@@ -87,6 +88,16 @@ Coo Csr::to_coo() const {
     }
     out.canonicalize();
     return out;
+}
+
+void Csr::rehome(std::span<const RowRange> parts, ThreadPool& pool) {
+    if (n_rows_ == 0 || parts.empty()) return;
+    const auto nnzr = nnz_ranges(rowptr_, parts);
+    std::vector<RowRange> rp(parts.begin(), parts.end());
+    rp.back().end += 1;  // the rowptr sentinel rides with the last worker
+    rehome_partitioned(rowptr_, rp, pool);
+    rehome_partitioned(colind_, nnzr, pool);
+    rehome_partitioned(values_, nnzr, pool);
 }
 
 }  // namespace symspmv

@@ -8,10 +8,13 @@
 #include <span>
 
 #include "core/allocator.hpp"
+#include "core/partition.hpp"
 #include "core/types.hpp"
 #include "matrix/coo.hpp"
 
 namespace symspmv {
+
+class ThreadPool;
 
 class Csr {
    public:
@@ -45,6 +48,10 @@ class Csr {
 
     /// Converts back to COO (canonical).
     [[nodiscard]] Coo to_coo() const;
+
+    /// NUMA first-touch re-home of the three arrays onto the workers owning
+    /// each row range (see Sss::rehome).  Invalidates previous spans.
+    void rehome(std::span<const RowRange> parts, ThreadPool& pool);
 
    private:
     void validate() const;

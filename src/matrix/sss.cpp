@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/error.hpp"
+#include "core/placement.hpp"
 
 namespace symspmv {
 
@@ -85,6 +86,18 @@ Csr Sss::to_csr() const {
     }
     full.canonicalize();
     return Csr(full);
+}
+
+void Sss::rehome(std::span<const RowRange> parts, ThreadPool& pool) {
+    if (n_ == 0 || parts.empty()) return;
+    const auto nnzr = nnz_ranges(rowptr_, parts);
+    rehome_partitioned(dvalues_, parts, pool);
+    // rowptr has n+1 entries; the closing sentinel rides with the last worker.
+    std::vector<RowRange> rp(parts.begin(), parts.end());
+    rp.back().end += 1;
+    rehome_partitioned(rowptr_, rp, pool);
+    rehome_partitioned(colind_, nnzr, pool);
+    rehome_partitioned(values_, nnzr, pool);
 }
 
 }  // namespace symspmv

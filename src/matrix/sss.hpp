@@ -9,11 +9,14 @@
 #include <span>
 
 #include "core/allocator.hpp"
+#include "core/partition.hpp"
 #include "core/types.hpp"
 #include "matrix/coo.hpp"
 #include "matrix/csr.hpp"
 
 namespace symspmv {
+
+class ThreadPool;
 
 class Sss {
    public:
@@ -50,6 +53,14 @@ class Sss {
 
     /// Expands back to the full symmetric matrix in CSR form.
     [[nodiscard]] Csr to_csr() const;
+
+    /// NUMA first-touch re-home: moves the pages of every format array onto
+    /// the node of the worker that owns the corresponding row range (@p
+    /// parts, one per worker of @p pool, tiling [0, rows)).  The COO
+    /// conversion builds the arrays on one thread, so without this every
+    /// page sits on that thread's node.  Contents are unchanged; previously
+    /// obtained spans are invalidated (storage is reallocated).
+    void rehome(std::span<const RowRange> parts, ThreadPool& pool);
 
    private:
     index_t n_ = 0;

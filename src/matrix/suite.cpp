@@ -1,10 +1,12 @@
 #include "matrix/suite.hpp"
 
+#include <charconv>
 #include <cmath>
 #include <filesystem>
 #include <functional>
 
 #include "core/error.hpp"
+#include "matrix/binio.hpp"
 #include "matrix/generators.hpp"
 #include "matrix/mmio.hpp"
 
@@ -103,11 +105,37 @@ Coo generate_suite_matrix(const std::string& name, double scale) {
 }
 
 Coo load_or_generate(const std::string& name, double scale, const std::string& dir) {
+    return load_or_generate(name, scale, dir, "");
+}
+
+Coo load_or_generate(const std::string& name, double scale, const std::string& dir,
+                     const std::string& cache_dir) {
     if (!dir.empty()) {
         const auto path = std::filesystem::path(dir) / (name + ".mtx");
         if (std::filesystem::exists(path)) return read_matrix_market_file(path.string());
     }
-    return generate_suite_matrix(name, scale);
+    if (cache_dir.empty()) return generate_suite_matrix(name, scale);
+
+    // The scale is part of the cache identity: "consph at 0.008" and
+    // "consph at 1.0" are different matrices.  to_chars renders the shortest
+    // round-trip form, so equal scales always map to the same file name.
+    char buf[32];
+    const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), scale);
+    SYMSPMV_CHECK_MSG(ec == std::errc{}, "suite cache: cannot format scale");
+    const auto path = std::filesystem::path(cache_dir) /
+                      (name + "-s" + std::string(buf, ptr) + ".smx");
+    if (std::filesystem::exists(path)) {
+        try {
+            return read_binary_file(path.string());
+        } catch (const std::exception&) {
+            // Corrupt or truncated cache entry: fall through and rebuild it.
+        }
+    }
+    Coo coo = generate_suite_matrix(name, scale);
+    std::error_code fs_ec;
+    std::filesystem::create_directories(cache_dir, fs_ec);
+    if (!fs_ec) write_binary_file(path.string(), coo);  // atomic (core/atomic_file)
+    return coo;
 }
 
 }  // namespace symspmv::gen

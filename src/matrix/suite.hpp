@@ -46,4 +46,13 @@ Coo generate_suite_matrix(const std::string& name, double scale);
 /// If `dir` contains "<name>.mtx", loads it; otherwise generates the analog.
 Coo load_or_generate(const std::string& name, double scale, const std::string& dir);
 
+/// Same, with a binary cache: when @p cache_dir is non-empty, a generated
+/// matrix is stored there as "<name>-s<scale>.smx" (matrix/binio.hpp) and
+/// later calls load the cache at mmap speed instead of regenerating — the
+/// full-scale tier's matrices are built once per machine, not once per run.
+/// Real .mtx files (from @p dir) are never cached; a corrupt or stale cache
+/// entry is regenerated and overwritten.  Empty @p cache_dir = no caching.
+Coo load_or_generate(const std::string& name, double scale, const std::string& dir,
+                     const std::string& cache_dir);
+
 }  // namespace symspmv::gen

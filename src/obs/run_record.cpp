@@ -4,7 +4,9 @@
 #include "bench/harness.hpp"
 #include "bench/roofline.hpp"
 #include "core/error.hpp"
+#include "core/topology.hpp"
 #include "engine/bundle.hpp"
+#include "engine/context.hpp"
 #include "engine/profiler.hpp"
 #include "spmv/kernel.hpp"
 
@@ -50,6 +52,11 @@ Json to_json(const RunRecord& rec) {
     j.set("kernel", rec.kernel);
     j.set("threads", rec.threads);
     j.set("partition", rec.partition);
+    Json exec = Json::object();
+    exec.set("placement", rec.placement);
+    exec.set("pinning", rec.pinning);
+    exec.set("topology", rec.topology);
+    j.set("exec", std::move(exec));
     j.set("iterations", rec.iterations);
     j.set("seconds_per_op", rec.seconds_per_op);
     j.set("seconds_mean", rec.seconds_mean);
@@ -74,7 +81,9 @@ Json to_json(const RunRecord& rec) {
 RunRecord run_record_from_json(const Json& j) {
     RunRecord rec;
     rec.schema = static_cast<int>(j.at("schema").as_int());
-    if (rec.schema != kRunRecordSchema) {
+    // Schema 2 added the exec block; schema-1 records (committed baselines,
+    // BENCH_baseline.jsonl) still parse with those fields defaulted empty.
+    if (rec.schema != kRunRecordSchema && rec.schema != 1) {
         throw ParseError("run record: unsupported schema " + std::to_string(rec.schema));
     }
     rec.matrix = j.at("matrix").as_string();
@@ -84,6 +93,12 @@ RunRecord run_record_from_json(const Json& j) {
     rec.kernel = j.at("kernel").as_string();
     rec.threads = static_cast<int>(j.at("threads").as_int());
     rec.partition = j.at("partition").as_string();
+    if (rec.schema >= 2) {
+        const Json& exec = j.at("exec");
+        rec.placement = exec.at("placement").as_string();
+        rec.pinning = exec.at("pinning").as_string();
+        rec.topology = exec.at("topology").as_string();
+    }
     rec.iterations = static_cast<int>(j.at("iterations").as_int());
     rec.seconds_per_op = j.at("seconds_per_op").as_double();
     rec.seconds_mean = j.at("seconds_mean").as_double();
@@ -109,12 +124,24 @@ RunRecord parse_run_record(std::string_view line) {
     return run_record_from_json(Json::parse(line));
 }
 
+ExecConfig exec_config(const engine::ExecutionContext& ctx) {
+    ExecConfig exec;
+    exec.placement = std::string(engine::to_string(ctx.options().placement));
+    exec.pinning = std::string(to_string(engine::effective_pin_strategy(ctx.options())));
+    exec.topology = ctx.topology().summary();
+    return exec;
+}
+
 RunRecord make_run_record(std::string matrix, const engine::MatrixBundle& bundle,
                           const SpmvKernel& kernel, const bench::Measurement& measurement,
                           int iterations, int threads, std::string_view partition,
-                          const PhaseProfiler* profiler, const CounterSample* counters) {
+                          const PhaseProfiler* profiler, const CounterSample* counters,
+                          ExecConfig exec) {
     RunRecord rec;
     rec.matrix = std::move(matrix);
+    rec.placement = std::move(exec.placement);
+    rec.pinning = std::move(exec.pinning);
+    rec.topology = std::move(exec.topology);
     const autotune::MatrixFingerprint fp = autotune::fingerprint(bundle.coo());
     rec.fingerprint = autotune::to_string(fp);
     rec.rows = kernel.rows();

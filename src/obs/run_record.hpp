@@ -31,14 +31,18 @@ struct Measurement;
 }
 
 namespace symspmv::engine {
+class ExecutionContext;
 class MatrixBundle;
-}
+}  // namespace symspmv::engine
 
 namespace symspmv::obs {
 
 /// Bumped whenever a field changes meaning; parsers reject other versions
-/// (same contract as the plan-file and .smx version fields).
-inline constexpr int kRunRecordSchema = 1;
+/// (same contract as the plan-file and .smx version fields).  Exception:
+/// schema 2 only *added* fields (the execution-configuration block), so the
+/// parser still accepts schema-1 records with those fields defaulted —
+/// committed baselines keep loading across the bump.
+inline constexpr int kRunRecordSchema = 2;
 
 struct RunRecord {
     int schema = kRunRecordSchema;
@@ -51,6 +55,12 @@ struct RunRecord {
     std::string kernel;    // registry name ("SSS-idx", "CSX-Sym", ...)
     int threads = 1;
     std::string partition;  // row-partition policy name ("by-nnz", ...)
+
+    // --- execution configuration (schema 2): how the run was placed on the
+    //     machine; empty strings in records parsed from schema-1 files ---
+    std::string placement;  // PlacementPolicy name ("none", "partitioned")
+    std::string pinning;    // PinStrategy name ("none", "compact", ...)
+    std::string topology;   // CpuTopology::summary() ("2s/2n/8c/2t")
 
     // --- measurement: the §V.A loop ---
     int iterations = 0;             // timed operations
@@ -90,18 +100,31 @@ struct RunRecord {
 [[nodiscard]] std::string to_jsonl(const RunRecord& rec);
 [[nodiscard]] RunRecord parse_run_record(std::string_view line);
 
+/// The execution-configuration block of a record: names of the placement
+/// policy and pin strategy the run used, plus the machine-topology summary.
+/// Defaults mean "not recorded" (schema-1 compatibility value).
+struct ExecConfig {
+    std::string placement;
+    std::string pinning;
+    std::string topology;
+};
+
+/// The ExecConfig describing @p ctx: placement from its options, pinning
+/// from its effective pin strategy, topology from its resources.
+[[nodiscard]] ExecConfig exec_config(const engine::ExecutionContext& ctx);
+
 /// Assembles a RunRecord from one harness measurement: identity from the
 /// bundle (fingerprinted through src/autotune), phases from the profiler
 /// (slowest-thread per-op seconds; zero phases when null), counters from
 /// the aggregated sample (null-valued when @p counters is null or has no
 /// valid slot), derived metrics from the kernel's footprint and the
-/// bytes-moved model.
+/// bytes-moved model, execution configuration from @p exec.
 [[nodiscard]] RunRecord make_run_record(std::string matrix, const engine::MatrixBundle& bundle,
                                         const SpmvKernel& kernel,
                                         const bench::Measurement& measurement, int iterations,
                                         int threads, std::string_view partition,
                                         const PhaseProfiler* profiler,
-                                        const CounterSample* counters);
+                                        const CounterSample* counters, ExecConfig exec = {});
 
 /// Appends RunRecords to a JSON Lines file, one object per line, flushed
 /// after every record so a crashed run keeps everything it measured.

@@ -48,6 +48,11 @@ class CsrMtKernel final : public SpmvKernel {
 
     [[nodiscard]] std::span<const RowRange> partitions() const { return parts_; }
 
+    /// NUMA placement of the kernel's own matrix copy: first-touches the
+    /// format arrays onto the workers owning each partition.  Call once
+    /// after construction, before timing.
+    void apply_partitioned_placement() { matrix_.rehome(parts_, pool_); }
+
    private:
     Csr matrix_;
     ThreadPool& pool_;

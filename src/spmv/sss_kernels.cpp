@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/error.hpp"
+#include "core/prefetch.hpp"
 #include "core/timer.hpp"
 
 namespace symspmv {
@@ -55,13 +56,26 @@ SssMtKernel::SssMtKernel(Sss matrix, ThreadPool& pool, ReductionMethod method,
 
 std::string_view SssMtKernel::name() const { return to_string(method_); }
 
+void SssMtKernel::apply_partitioned_placement() {
+    matrix_.rehome(parts_, pool_);
+    pool_.run([&](int tid) {
+        // Each worker re-touches its own local vector (built by the
+        // constructing thread) so its pages live on the worker's node.
+        auto& local = locals_[static_cast<std::size_t>(tid)];
+        aligned_vector<value_t> fresh(local.begin(), local.end());
+        local.swap(fresh);
+    });
+}
+
 std::size_t SssMtKernel::footprint_bytes() const {
     std::size_t bytes = matrix_.size_bytes() + index_.bytes();
     for (const auto& v : locals_) bytes += v.size() * kValueBytes;
     return bytes;
 }
 
-void SssMtKernel::multiply_direct(int tid, std::span<const value_t> x, std::span<value_t> y) {
+template <bool Prefetch>
+void SssMtKernel::multiply_direct_impl(int tid, std::span<const value_t> x,
+                                       std::span<value_t> y) {
     // Effective-ranges / indexing multiply phase: rows in the own partition
     // are written directly; mirrored writes below start go to the local
     // vector (its effective region).
@@ -74,6 +88,11 @@ void SssMtKernel::multiply_direct(int tid, std::span<const value_t> x, std::span
     const value_t* __restrict xv = x.data();
     value_t* __restrict yv = y.data();
     const index_t start = part.begin;
+    // The prefetch cursor runs ahead in nnz space, clamped to this worker's
+    // own non-zeros so it never reads colind entries another worker owns
+    // (placement keeps those on a remote node on purpose).
+    const index_t pf = static_cast<index_t>(prefetch_distance_);
+    const index_t pf_end = rowptr[static_cast<std::size_t>(part.end)];
     for (index_t r = part.begin; r < part.end; ++r) {
         yv[r] = dvalues[static_cast<std::size_t>(r)] * xv[r];
     }
@@ -82,6 +101,11 @@ void SssMtKernel::multiply_direct(int tid, std::span<const value_t> x, std::span
         const value_t xr = xv[r];
         for (index_t j = rowptr[static_cast<std::size_t>(r)];
              j < rowptr[static_cast<std::size_t>(r) + 1]; ++j) {
+            if constexpr (Prefetch) {
+                if (j + pf < pf_end) {
+                    prefetch_read(&xv[colind[static_cast<std::size_t>(j + pf)]]);
+                }
+            }
             const index_t c = colind[static_cast<std::size_t>(j)];
             const value_t v = values[static_cast<std::size_t>(j)];
             acc += v * xv[c];
@@ -95,7 +119,16 @@ void SssMtKernel::multiply_direct(int tid, std::span<const value_t> x, std::span
     }
 }
 
-void SssMtKernel::multiply_naive(int tid, std::span<const value_t> x) {
+void SssMtKernel::multiply_direct(int tid, std::span<const value_t> x, std::span<value_t> y) {
+    if (prefetch_distance_ > 0) {
+        multiply_direct_impl<true>(tid, x, y);
+    } else {
+        multiply_direct_impl<false>(tid, x, y);
+    }
+}
+
+template <bool Prefetch>
+void SssMtKernel::multiply_naive_impl(int tid, std::span<const value_t> x) {
     // Alg. 3 lines 2-11: every product, diagonal included, goes to the local
     // vector; the output vector is not touched until the reduction.
     const RowRange part = parts_[static_cast<std::size_t>(tid)];
@@ -105,17 +138,32 @@ void SssMtKernel::multiply_naive(int tid, std::span<const value_t> x) {
     const auto dvalues = matrix_.dvalues();
     value_t* __restrict local = locals_[static_cast<std::size_t>(tid)].data();
     const value_t* __restrict xv = x.data();
+    const index_t pf = static_cast<index_t>(prefetch_distance_);
+    const index_t pf_end = rowptr[static_cast<std::size_t>(part.end)];
     for (index_t r = part.begin; r < part.end; ++r) {
         value_t acc = dvalues[static_cast<std::size_t>(r)] * xv[r];
         const value_t xr = xv[r];
         for (index_t j = rowptr[static_cast<std::size_t>(r)];
              j < rowptr[static_cast<std::size_t>(r) + 1]; ++j) {
+            if constexpr (Prefetch) {
+                if (j + pf < pf_end) {
+                    prefetch_read(&xv[colind[static_cast<std::size_t>(j + pf)]]);
+                }
+            }
             const index_t c = colind[static_cast<std::size_t>(j)];
             const value_t v = values[static_cast<std::size_t>(j)];
             acc += v * xv[c];
             local[c] += v * xr;
         }
         local[r] = acc;
+    }
+}
+
+void SssMtKernel::multiply_naive(int tid, std::span<const value_t> x) {
+    if (prefetch_distance_ > 0) {
+        multiply_naive_impl<true>(tid, x);
+    } else {
+        multiply_naive_impl<false>(tid, x);
     }
 }
 

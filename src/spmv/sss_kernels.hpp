@@ -66,7 +66,23 @@ class SssMtKernel final : public SpmvKernel {
     [[nodiscard]] std::span<const RowRange> partitions() const { return parts_; }
     [[nodiscard]] const ReductionIndex& reduction_index() const { return index_; }
 
+    /// Software-prefetch distance, in non-zeros ahead of the multiply
+    /// cursor: the x[colind[j + d]] gather target is hinted d elements
+    /// early.  0 disables (the default); the autotuner learns the value.
+    void set_prefetch_distance(int d) { prefetch_distance_ = d < 0 ? 0 : d; }
+    [[nodiscard]] int prefetch_distance() const { return prefetch_distance_; }
+
+    /// NUMA placement of the kernel's own matrix copy and local vectors:
+    /// first-touches them onto the workers owning each multiply partition.
+    /// Call once after construction, before timing (the constructor's copy
+    /// was first-touched by the constructing thread).
+    void apply_partitioned_placement();
+
    private:
+    template <bool Prefetch>
+    void multiply_direct_impl(int tid, std::span<const value_t> x, std::span<value_t> y);
+    template <bool Prefetch>
+    void multiply_naive_impl(int tid, std::span<const value_t> x);
     void multiply_direct(int tid, std::span<const value_t> x, std::span<value_t> y);
     void multiply_naive(int tid, std::span<const value_t> x);
     void reduce_naive(int tid, std::span<value_t> y);
@@ -80,6 +96,7 @@ class SssMtKernel final : public SpmvKernel {
     std::vector<RowRange> reduce_parts_;   // reduction-phase partitions (by rows)
     std::vector<aligned_vector<value_t>> locals_;
     ReductionIndex index_;                 // only populated for kIndexing
+    int prefetch_distance_ = 0;            // non-zeros ahead; 0 = off
     double last_mult_seconds_ = 0.0;       // written by worker 0 per spmv
 };
 

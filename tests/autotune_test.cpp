@@ -271,14 +271,43 @@ TEST(PlanStore, SerializeParseRoundTrip) {
 /// only come from the strict numeric parsing, not the integrity line.
 std::string handcrafted_plan_file(const PlanKey& key, const std::string& kernel,
                                   const std::string& threads, const std::string& partition,
-                                  const std::string& patterns, const std::string& seconds) {
+                                  const std::string& patterns, const std::string& seconds,
+                                  const std::string& prefetch = "0") {
+    std::uint64_t h = fnv1a(kernel.data(), kernel.size());
+    h = fnv1a(threads.data(), threads.size(), h);
+    h = fnv1a(partition.data(), partition.size(), h);
+    h = fnv1a(patterns.data(), patterns.size(), h);
+    h = fnv1a(prefetch.data(), prefetch.size(), h);
+    h = fnv1a(seconds.data(), seconds.size(), h);
+    std::ostringstream os;
+    os << "symspmv-plan " << kPlanFormatVersion << '\n'
+       << "matrix " << to_string(key.fingerprint) << '\n'
+       << "hardware " << to_string(key.hardware) << '\n'
+       << "search " << std::hex << key.search_hash << '\n'
+       << "kernel " << kernel << '\n'
+       << "threads " << threads << '\n'
+       << "partition " << partition << '\n'
+       << "csx-patterns " << patterns << '\n'
+       << "prefetch " << prefetch << '\n'
+       << "seconds " << seconds << '\n'
+       << "sum " << std::hex << h << '\n'
+       << "end symspmv-plan\n";
+    return os.str();
+}
+
+/// A pre-bump (v2) plan file: the format before the prefetch field, with a
+/// checksum valid *for that format*.  Today's parser must reject it at the
+/// version line — a clean revalidation miss, never a misparse.
+std::string v2_plan_file(const PlanKey& key, const std::string& kernel,
+                         const std::string& threads, const std::string& partition,
+                         const std::string& patterns, const std::string& seconds) {
     std::uint64_t h = fnv1a(kernel.data(), kernel.size());
     h = fnv1a(threads.data(), threads.size(), h);
     h = fnv1a(partition.data(), partition.size(), h);
     h = fnv1a(patterns.data(), patterns.size(), h);
     h = fnv1a(seconds.data(), seconds.size(), h);
     std::ostringstream os;
-    os << "symspmv-plan " << kPlanFormatVersion << '\n'
+    os << "symspmv-plan 2\n"
        << "matrix " << to_string(key.fingerprint) << '\n'
        << "hardware " << to_string(key.hardware) << '\n'
        << "search " << std::hex << key.search_hash << '\n'
@@ -324,6 +353,49 @@ TEST(PlanStore, GarbageNumericFieldsAreACleanMiss) {
         EXPECT_FALSE(PlanStore::parse(in, key).has_value())
             << "threads='" << threads << "' seconds='" << seconds << "'";
     }
+    for (const std::string& prefetch : {"-1", "8q", "nope", "3.5"}) {
+        std::istringstream in(
+            handcrafted_plan_file(key, kernel, "2", partition, "0", "1e-4", prefetch));
+        EXPECT_FALSE(PlanStore::parse(in, key).has_value()) << "prefetch='" << prefetch << "'";
+    }
+}
+
+TEST(PlanStore, PrefetchDistanceRoundTrips) {
+    const PlanKey key = sample_key();
+    Plan plan = sample_plan();
+    plan.kernel = KernelKind::kSssIndexing;
+    plan.prefetch_distance = 16;
+    std::stringstream buf;
+    PlanStore::serialize(buf, key, plan);
+    const auto parsed = PlanStore::parse(buf, key);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->prefetch_distance, 16);
+    EXPECT_TRUE(same_decision(*parsed, plan));
+    Plan off = plan;
+    off.prefetch_distance = 0;
+    EXPECT_FALSE(same_decision(*parsed, off)) << "prefetch is part of the decision";
+}
+
+TEST(PlanStore, PreBumpV2FileIsARevalidationReject) {
+    // A plan cache written before the prefetch bump: internally consistent
+    // v2 files must be clean misses (counted as revalidation rejects), and
+    // re-tuning overwrites them with v3.
+    const auto dir = scratch_dir("v2_reject");
+    const PlanKey key = sample_key();
+    PlanStore store(dir.string());
+    std::filesystem::create_directories(dir);
+    spit(store.path_for(key),
+         v2_plan_file(key, std::string(to_string(KernelKind::kSssIndexing)), "2",
+                      std::string(engine::to_string(engine::PartitionPolicy::kEvenRows)), "1",
+                      "1.25e-04"));
+    EXPECT_FALSE(store.load(key).has_value());
+    EXPECT_EQ(store.counters().revalidation_rejects, 1);
+    EXPECT_EQ(store.counters().misses, 1);
+
+    store.save(key, sample_plan());
+    const auto reloaded = PlanStore(dir.string()).load(key);
+    ASSERT_TRUE(reloaded.has_value());
+    EXPECT_TRUE(same_decision(*reloaded, sample_plan()));
 }
 
 // ----------------------------------------------------------------- tuner --
@@ -431,6 +503,51 @@ TEST(Tuner, DifferentThreadCountsAreDifferentSearches) {
     EXPECT_NE(search_space_hash(opts, {1, 2}), search_space_hash(opts, {1, 2, 4}));
     EXPECT_EQ(search_space_hash(opts, {2, 1}), search_space_hash(opts, {1, 2}))
         << "thread order is canonicalized";
+}
+
+TEST(Tuner, PrefetchDistancesArePartOfTheSearchIdentity) {
+    TuneOptions a = fast_options();
+    TuneOptions b = fast_options();
+    b.prefetch_distances = {8, 32};
+    EXPECT_NE(search_space_hash(a, {2}), search_space_hash(b, {2}));
+    TuneOptions canon = b;
+    canon.prefetch_distances = {32, -4, 8, 0};  // order/junk-insensitive
+    EXPECT_EQ(search_space_hash(b, {2}), search_space_hash(canon, {2}));
+}
+
+TEST(Tuner, PrefetchCapableKindsFanOutOverDistances) {
+    // One prefetch-capable kind, one distance, delta-only off: the candidate
+    // set is {by-nnz, even-rows} x {prefetch 0, prefetch 4} = 4 trials, and
+    // the winner's plan carries whichever distance measured fastest.
+    const engine::MatrixBundle bundle(test_matrix());
+    PlanStore store;
+    TuneOptions opts;
+    opts.kernels = {KernelKind::kSssIndexing};
+    opts.prefetch_distances = {4};
+    opts.try_delta_only_csx = false;
+    opts.screening_iterations = 1;
+    opts.refine_iterations = 1;
+    opts.prune_ratio = 1e9;  // measure everything
+    Tuner tuner(store, opts);
+    const TuneReport report = tuner.tune(bundle, 2);
+    EXPECT_EQ(report.trials, 4);
+    int with_prefetch = 0;
+    for (const TrialRecord& r : report.records) {
+        if (r.plan.prefetch_distance > 0) ++with_prefetch;
+    }
+    EXPECT_EQ(with_prefetch, 2);
+    EXPECT_GE(report.plan.prefetch_distance, 0);
+
+    // The winning plan replays through build_plan with the distance applied.
+    engine::ExecutionContext ctx(report.plan.threads);
+    const KernelPtr kernel = build_plan(report.plan, bundle, ctx.pool());
+    const auto x = random_vector(bundle.coo().rows(), std::uint64_t{11});
+    std::vector<value_t> y(x.size()), reference(x.size());
+    kernel->spmv(x, y);
+    bundle.csr().spmv(x, reference);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        EXPECT_NEAR(y[i], reference[i], 1e-10 * std::abs(reference[i]) + 1e-12);
+    }
 }
 
 }  // namespace

@@ -1,0 +1,136 @@
+// Tests for the ExecutionResources/ContextPool split: checkout, reuse, the
+// "no pools spawned mid-sweep" contract and the by-socket partition.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "core/thread_pool.hpp"
+#include "core/topology.hpp"
+#include "engine/context.hpp"
+#include "engine/resources.hpp"
+
+namespace symspmv::engine {
+namespace {
+
+TEST(ContextPool, AcquireCachesByThreadsAndStrategy) {
+    ContextPool pool(fake_topology(2, 2, 1));
+    const auto a = pool.acquire(2, PinStrategy::kNone);
+    const auto b = pool.acquire(2, PinStrategy::kNone);
+    EXPECT_EQ(a.get(), b.get());  // same warm resources
+    const auto c = pool.acquire(2, PinStrategy::kCompact);
+    EXPECT_NE(a.get(), c.get());  // different pin layout, different pool
+    const auto d = pool.acquire(3, PinStrategy::kNone);
+    EXPECT_NE(a.get(), d.get());
+    const ContextPool::Stats s = pool.stats();
+    EXPECT_EQ(s.misses, 3u);
+    EXPECT_EQ(s.hits, 1u);
+    EXPECT_EQ(s.resident, 3u);
+}
+
+TEST(ContextPool, ClearDropsResidentResources) {
+    ContextPool pool(fake_topology(1, 2, 1));
+    auto r = pool.acquire(2, PinStrategy::kNone);
+    EXPECT_EQ(pool.stats().resident, 1u);
+    pool.clear();
+    EXPECT_EQ(pool.stats().resident, 0u);
+    // The checked-out resource survives the clear (shared ownership)...
+    EXPECT_EQ(r->threads(), 2);
+    // ...and the next acquire builds fresh.
+    const auto r2 = pool.acquire(2, PinStrategy::kNone);
+    EXPECT_NE(r.get(), r2.get());
+}
+
+TEST(ContextPool, ReturningIsDroppingTheHandle) {
+    ContextPool pool(fake_topology(1, 4, 1));
+    ThreadPool* first = nullptr;
+    {
+        const ExecutionContext ctx(pool.acquire(4, PinStrategy::kNone),
+                                   ContextOptions{.threads = 4});
+        first = &ctx.pool();
+    }
+    // The context died, but the pool kept its reference: the same workers
+    // serve the next checkout.
+    const ExecutionContext again(pool.acquire(4, PinStrategy::kNone),
+                                 ContextOptions{.threads = 4});
+    EXPECT_EQ(&again.pool(), first);
+}
+
+TEST(ContextPool, NoPoolsSpawnedMidSweep) {
+    // A bench-style sweep: repeated context construction over a fixed set of
+    // thread counts.  After the first round warms the cache, pools_created()
+    // must stay flat — ExecutionContext construction is no longer paid per
+    // repetition.
+    const std::vector<int> counts = {1, 2, 3};
+    for (int t : counts) {
+        ExecutionContext warm{ContextOptions{.threads = t}};
+    }
+    const std::uint64_t baseline = ThreadPool::pools_created();
+    for (int round = 0; round < 4; ++round) {
+        for (int t : counts) {
+            ExecutionContext ctx{ContextOptions{.threads = t}};
+            EXPECT_EQ(ctx.threads(), t);
+            // Varying per-run policy must not key a new pool either.
+            ExecutionContext alt{ContextOptions{
+                .threads = t, .partition = PartitionPolicy::kEvenRows}};
+            EXPECT_EQ(&ctx.pool(), &alt.pool());
+        }
+    }
+    EXPECT_EQ(ThreadPool::pools_created(), baseline);
+}
+
+TEST(ContextPool, LegacyPinFlagMapsToCompactStrategy) {
+    EXPECT_EQ(effective_pin_strategy(ContextOptions{.pin_threads = true}),
+              PinStrategy::kCompact);
+    EXPECT_EQ(effective_pin_strategy(ContextOptions{.pin_threads = false}),
+              PinStrategy::kNone);
+    EXPECT_EQ(effective_pin_strategy(ContextOptions{.pin_threads = false,
+                                                    .pin_strategy = PinStrategy::kScatter}),
+              PinStrategy::kScatter);
+}
+
+TEST(ContextPool, BySocketPartitionGroupsWorkersBySocket) {
+    // 2 sockets x 2 cores, per-socket pinning: workers {0,1} -> socket 0,
+    // {2,3} -> socket 1.
+    auto resources = std::make_shared<ExecutionResources>(4, PinStrategy::kPerSocket,
+                                                          fake_topology(2, 2, 1));
+    ASSERT_EQ(resources->socket_of_worker(), (std::vector<int>{0, 0, 1, 1}));
+    const ExecutionContext ctx(resources,
+                               ContextOptions{.threads = 4,
+                                              .partition = PartitionPolicy::kBySocket});
+
+    // 8 rows, uniform 3 nnz per row.
+    std::vector<index_t> rowptr(9);
+    for (std::size_t i = 0; i < rowptr.size(); ++i) rowptr[i] = static_cast<index_t>(3 * i);
+    const auto parts = ctx.partition(rowptr);
+    ASSERT_EQ(parts.size(), 4u);
+    // The ranges tile [0, 8) in order...
+    EXPECT_EQ(parts.front().begin, 0);
+    EXPECT_EQ(parts.back().end, 8);
+    for (std::size_t i = 1; i < parts.size(); ++i) {
+        EXPECT_EQ(parts[i].begin, parts[i - 1].end);
+    }
+    // ...and with uniform rows the socket halves split the matrix evenly.
+    EXPECT_EQ(parts[1].end, 4);
+}
+
+TEST(ContextPool, ExplicitResourcesMustMatchRequestedThreads) {
+    auto resources = std::make_shared<ExecutionResources>(2, PinStrategy::kNone,
+                                                          fake_topology(1, 2, 1));
+    EXPECT_ANY_THROW(ExecutionContext(resources, ContextOptions{.threads = 3}));
+    // threads == 0 adopts the resource's width.
+    const ExecutionContext ctx(resources, ContextOptions{.threads = 0});
+    EXPECT_EQ(ctx.threads(), 2);
+    EXPECT_EQ(ctx.options().threads, 2);
+}
+
+TEST(ContextPool, TopologyIsVisibleThroughTheContext) {
+    auto resources = std::make_shared<ExecutionResources>(2, PinStrategy::kCompact,
+                                                          fake_topology(2, 4, 2));
+    const ExecutionContext ctx(resources, ContextOptions{.threads = 2});
+    EXPECT_EQ(ctx.topology().summary(), "2s/2n/8c/2t");
+    EXPECT_EQ(ctx.resources().pin_cpus().size(), 2u);
+}
+
+}  // namespace
+}  // namespace symspmv::engine

@@ -155,6 +155,72 @@ TEST(ExecutionContext, PartitionFollowsThePolicy) {
     }
 }
 
+TEST(MatrixBundle, ApplyPlacementPreservesEveryRepresentation) {
+    // Re-homing moves pages, never values: after apply_placement the bundle's
+    // representations are element-for-element what a fresh conversion builds.
+    const Coo coo = test_matrix();
+    const MatrixBundle bundle{Coo(coo)};
+    ExecutionContext ctx(3);
+    bundle.sss();  // build before placement so the SSS arrays get re-homed too
+    const auto parts = ctx.partition(bundle.csr().rowptr());
+    const int rehomed = bundle.apply_placement(parts, ctx.pool());
+    EXPECT_GE(rehomed, 2);
+
+    const Csr direct_csr(coo);
+    EXPECT_TRUE(spans_equal(direct_csr.rowptr(), bundle.csr().rowptr()));
+    EXPECT_TRUE(spans_equal(direct_csr.colind(), bundle.csr().colind()));
+    EXPECT_TRUE(spans_equal(direct_csr.values(), bundle.csr().values()));
+    const Sss direct_sss(coo);
+    EXPECT_TRUE(spans_equal(direct_sss.rowptr(), bundle.sss().rowptr()));
+    EXPECT_TRUE(spans_equal(direct_sss.colind(), bundle.sss().colind()));
+    EXPECT_TRUE(spans_equal(direct_sss.values(), bundle.sss().values()));
+    EXPECT_TRUE(spans_equal(direct_sss.dvalues(), bundle.sss().dvalues()));
+}
+
+TEST(KernelFactory, PartitionedPlacementKeepsKernelsCorrect) {
+    // The factory applies kernel-level placement (matrix copy + local
+    // vectors) when the context asks for it; results must be bit-identical
+    // to the unplaced kernel.
+    const Coo coo = test_matrix();
+    const MatrixBundle bundle = MatrixBundle::view(coo);
+    ExecutionContext plain(ContextOptions{.threads = 3});
+    ExecutionContext placed(ContextOptions{
+        .threads = 3, .placement = PlacementPolicy::kPartitioned});
+    const KernelFactory plain_factory(bundle, plain);
+    const KernelFactory placed_factory(bundle, placed);
+
+    const auto x = random_vector(coo.rows(), std::uint64_t{17});
+    std::vector<value_t> y_plain(x.size()), y_placed(x.size());
+    for (KernelKind kind : {KernelKind::kCsr, KernelKind::kSssNaive,
+                            KernelKind::kSssEffective, KernelKind::kSssIndexing,
+                            KernelKind::kCsxSym}) {
+        plain_factory.make(kind)->spmv(x, y_plain);
+        placed_factory.make(kind)->spmv(x, y_placed);
+        for (std::size_t i = 0; i < x.size(); ++i) {
+            ASSERT_DOUBLE_EQ(y_placed[i], y_plain[i]) << to_string(kind) << " row " << i;
+        }
+    }
+}
+
+TEST(KernelFactory, PrefetchDistanceDoesNotChangeResults) {
+    const Coo coo = test_matrix();
+    const MatrixBundle bundle = MatrixBundle::view(coo);
+    ExecutionContext ctx(ContextOptions{.threads = 2});
+    KernelFactory factory(bundle, ctx);
+    const auto x = random_vector(coo.rows(), std::uint64_t{23});
+    std::vector<value_t> y_off(x.size()), y_on(x.size());
+    for (KernelKind kind : {KernelKind::kSssNaive, KernelKind::kSssIndexing,
+                            KernelKind::kCsxSym}) {
+        factory.set_prefetch_distance(0);
+        factory.make(kind)->spmv(x, y_off);
+        factory.set_prefetch_distance(16);
+        factory.make(kind)->spmv(x, y_on);
+        for (std::size_t i = 0; i < x.size(); ++i) {
+            ASSERT_DOUBLE_EQ(y_on[i], y_off[i]) << to_string(kind) << " row " << i;
+        }
+    }
+}
+
 TEST(ExecutionContext, AllocateVectorHonorsSizeForEveryPlacement) {
     for (PlacementPolicy placement : {PlacementPolicy::kNone, PlacementPolicy::kInterleave,
                                       PlacementPolicy::kPartitioned}) {

@@ -214,6 +214,9 @@ RunRecord sample_record() {
     rec.kernel = "SSS-idx";
     rec.threads = 4;
     rec.partition = "by-nnz";
+    rec.placement = "partitioned";
+    rec.pinning = "compact";
+    rec.topology = "2s/2n/8c/2t";
     rec.iterations = 24;
     rec.seconds_per_op = 1.25e-4;
     rec.seconds_mean = 1.3e-4;
@@ -255,8 +258,38 @@ TEST(RunRecord, RejectsWrongSchemaAndMissingFields) {
     std::string text = j.dump();
     EXPECT_THROW(parse_run_record("{}"), ParseError);
     const std::string bumped =
-        text.replace(text.find("\"schema\":1"), 10, "\"schema\":9");
+        text.replace(text.find("\"schema\":2"), 10, "\"schema\":9");
     EXPECT_THROW(parse_run_record(bumped), ParseError);
+}
+
+TEST(RunRecord, Schema1RecordsStillParseWithExecDefaulted) {
+    // Committed baselines (BENCH_baseline.jsonl) predate the exec block;
+    // they must keep loading, with the schema-2 fields defaulted empty.
+    Json j = to_json(sample_record());
+    std::string text = j.dump();
+    text.replace(text.find("\"schema\":2"), 10, "\"schema\":1");
+    // Strip the exec block a schema-1 writer would never have emitted.
+    const auto begin = text.find("\"exec\":{");
+    ASSERT_NE(begin, std::string::npos);
+    const auto end = text.find('}', begin);
+    ASSERT_NE(end, std::string::npos);
+    text.erase(begin, end - begin + 2);  // block plus trailing "},"
+    const RunRecord rec = parse_run_record(text);
+    EXPECT_EQ(rec.schema, 1);
+    EXPECT_EQ(rec.matrix, "consph");
+    EXPECT_TRUE(rec.placement.empty());
+    EXPECT_TRUE(rec.pinning.empty());
+    EXPECT_TRUE(rec.topology.empty());
+}
+
+TEST(RunRecord, ExecConfigDescribesTheContext) {
+    const engine::ExecutionContext ctx(engine::ContextOptions{
+        .threads = 2, .pin_threads = true, .placement = engine::PlacementPolicy::kPartitioned});
+    const ExecConfig exec = exec_config(ctx);
+    EXPECT_EQ(exec.placement, "partitioned");
+    EXPECT_EQ(exec.pinning, "compact");
+    EXPECT_EQ(exec.topology, ctx.topology().summary());
+    EXPECT_FALSE(exec.topology.empty());
 }
 
 TEST(RunRecord, MakeFromMeasurementFillsDerivedFields) {

@@ -46,5 +46,66 @@ TEST(Placement, InterleavedTouchOnTinyBuffer) {
     for (unsigned char v : data) ASSERT_EQ(v, 0);
 }
 
+TEST(Placement, RehomePartitionedPreservesContents) {
+    ThreadPool pool(4);
+    // Deliberately spans several pages and is not a multiple of kPageBytes,
+    // so partition boundaries fall mid-page.
+    const std::size_t n = 3 * kPageBytes / sizeof(double) + 57;
+    aligned_vector<double> arr(n);
+    for (std::size_t i = 0; i < n; ++i) arr[i] = static_cast<double>(i) * 0.5 - 100.0;
+    const aligned_vector<double> expected = arr;
+    const auto parts = split_even(static_cast<index_t>(n), pool.size());
+    rehome_partitioned(arr, parts, pool);
+    ASSERT_EQ(arr.size(), expected.size());
+    for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(arr[i], expected[i]) << i;
+}
+
+TEST(Placement, RehomePartitionedHandlesZeroLengthPartitions) {
+    ThreadPool pool(8);
+    aligned_vector<int> arr = {1, 2, 3, 4, 5};  // fewer elements than workers
+    const auto parts = split_even(5, 8);        // trailing partitions are empty
+    rehome_partitioned(arr, parts, pool);
+    EXPECT_EQ(arr, (aligned_vector<int>{1, 2, 3, 4, 5}));
+}
+
+TEST(Placement, RehomePartitionedEmptyArrayIsNoop) {
+    ThreadPool pool(2);
+    aligned_vector<double> arr;
+    const std::vector<RowRange> parts = {{0, 0}, {0, 0}};
+    rehome_partitioned(arr, parts, pool);
+    EXPECT_TRUE(arr.empty());
+}
+
+TEST(Placement, RehomePartitionedRequiresMatchingPartitionCount) {
+    ThreadPool pool(3);
+    aligned_vector<double> arr(64, 1.0);
+    const auto parts = split_even(64, 4);  // wrong count for a 3-worker pool
+    EXPECT_ANY_THROW(rehome_partitioned(arr, parts, pool));
+}
+
+TEST(Placement, RehomeInterleavedPreservesContents) {
+    ThreadPool pool(3);
+    const std::size_t n = 2 * kPageBytes + 123;
+    aligned_vector<unsigned char> arr(n);
+    for (std::size_t i = 0; i < n; ++i) arr[i] = static_cast<unsigned char>(i * 31 + 7);
+    const aligned_vector<unsigned char> expected = arr;
+    rehome_interleaved(arr, pool);
+    EXPECT_EQ(arr, expected);
+}
+
+TEST(Placement, NnzRangesFollowRowptr) {
+    // rowptr of a 6-row matrix with 12 nnz.
+    const std::vector<index_t> rowptr = {0, 2, 5, 5, 9, 10, 12};
+    const std::vector<RowRange> parts = {{0, 2}, {2, 2}, {2, 6}};
+    const auto nnzr = nnz_ranges(rowptr, parts);
+    ASSERT_EQ(nnzr.size(), 3u);
+    EXPECT_EQ(nnzr[0].begin, 0);
+    EXPECT_EQ(nnzr[0].end, 5);
+    EXPECT_EQ(nnzr[1].begin, 5);  // empty row range -> empty nnz range
+    EXPECT_EQ(nnzr[1].end, 5);
+    EXPECT_EQ(nnzr[2].begin, 5);
+    EXPECT_EQ(nnzr[2].end, 12);
+}
+
 }  // namespace
 }  // namespace symspmv

@@ -1,0 +1,165 @@
+// Tests for CPU topology discovery (fixture sysfs trees) and the
+// topology-aware pin strategies.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/topology.hpp"
+
+namespace symspmv {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Writes @p content to @p path, creating parent directories.
+void put(const fs::path& path, const std::string& content) {
+    fs::create_directories(path.parent_path());
+    std::ofstream out(path);
+    out << content << '\n';
+    ASSERT_TRUE(out.good()) << path;
+}
+
+/// A scratch sysfs root unique to the running test.
+fs::path scratch_root(const std::string& name) {
+    const fs::path root = fs::path(::testing::TempDir()) / ("sysfs_" + name);
+    fs::remove_all(root);
+    fs::create_directories(root);
+    return root;
+}
+
+/// Builds the canonical fixture: 2 sockets x 2 cores x 2 SMT = 8 logical
+/// CPUs in Linux enumeration order (all first siblings, then the seconds),
+/// one NUMA node per socket, a 32K/256K/8M cache hierarchy on cpu0.
+fs::path make_two_socket_tree(const std::string& name) {
+    const fs::path root = scratch_root(name);
+    const fs::path cpu = root / "devices/system/cpu";
+    const int pkg_of[] = {0, 0, 1, 1, 0, 0, 1, 1};
+    const int core_of[] = {0, 1, 0, 1, 0, 1, 0, 1};
+    for (int i = 0; i < 8; ++i) {
+        const fs::path topo = cpu / ("cpu" + std::to_string(i)) / "topology";
+        put(topo / "physical_package_id", std::to_string(pkg_of[i]));
+        put(topo / "core_id", std::to_string(core_of[i]));
+    }
+    put(root / "devices/system/node/node0/cpulist", "0-1,4-5");
+    put(root / "devices/system/node/node1/cpulist", "2-3,6-7");
+    const fs::path cache = cpu / "cpu0/cache";
+    put(cache / "index0/level", "1");
+    put(cache / "index0/type", "Data");
+    put(cache / "index0/size", "32K");
+    put(cache / "index1/level", "1");
+    put(cache / "index1/type", "Instruction");
+    put(cache / "index1/size", "32K");
+    put(cache / "index2/level", "2");
+    put(cache / "index2/type", "Unified");
+    put(cache / "index2/size", "256K");
+    put(cache / "index3/level", "3");
+    put(cache / "index3/type", "Unified");
+    put(cache / "index3/size", "8192K");
+    return root;
+}
+
+TEST(Topology, DiscoversTwoSocketFixtureTree) {
+    const fs::path root = make_two_socket_tree("two_socket");
+    const CpuTopology topo = discover_topology(root.string());
+    EXPECT_TRUE(topo.from_sysfs);
+    EXPECT_EQ(topo.logical_cpus(), 8);
+    EXPECT_EQ(topo.sockets, 2);
+    EXPECT_EQ(topo.nodes, 2);
+    EXPECT_EQ(topo.smt, 2);
+    EXPECT_EQ(topo.physical_cores(), 4);
+    EXPECT_EQ(topo.summary(), "2s/2n/4c/2t");
+    EXPECT_EQ(topo.l1d_bytes, 32u * 1024);
+    EXPECT_EQ(topo.l2_bytes, 256u * 1024);
+    EXPECT_EQ(topo.llc_bytes, 8192u * 1024);
+    // cpus are sorted by id; cpu2 sits on socket 1 / node 1, and cpu4 is the
+    // SMT sibling of cpu0 (same socket 0 / core 0, seen second).
+    ASSERT_EQ(topo.cpus.size(), 8u);
+    EXPECT_EQ(topo.cpus[2].socket, 1);
+    EXPECT_EQ(topo.cpus[2].node, 1);
+    EXPECT_EQ(topo.cpus[2].smt_rank, 0);
+    EXPECT_EQ(topo.cpus[4].socket, 0);
+    EXPECT_EQ(topo.cpus[4].core, 0);
+    EXPECT_EQ(topo.cpus[4].smt_rank, 1);
+}
+
+TEST(Topology, MissingTreeFallsBackToFlat) {
+    const CpuTopology topo = discover_topology("/nonexistent/sysfs/root");
+    EXPECT_FALSE(topo.from_sysfs);
+    EXPECT_GE(topo.logical_cpus(), 1);
+    EXPECT_EQ(topo.sockets, 1);
+    EXPECT_EQ(topo.nodes, 1);
+    EXPECT_EQ(topo.smt, 1);
+}
+
+TEST(Topology, GarbageFilesAreSkippedNotMisparsed) {
+    const fs::path root = scratch_root("garbage");
+    const fs::path cpu = root / "devices/system/cpu";
+    // cpu0 is fine; cpu1 has a non-numeric core id and must be skipped.
+    put(cpu / "cpu0/topology/physical_package_id", "0");
+    put(cpu / "cpu0/topology/core_id", "0");
+    put(cpu / "cpu1/topology/physical_package_id", "0");
+    put(cpu / "cpu1/topology/core_id", "banana");
+    // A malformed node cpulist must not crash discovery or invent nodes.
+    put(root / "devices/system/node/node0/cpulist", "0-");
+    const CpuTopology topo = discover_topology(root.string());
+    EXPECT_TRUE(topo.from_sysfs);
+    EXPECT_EQ(topo.logical_cpus(), 1);
+    EXPECT_EQ(topo.nodes, 1);
+}
+
+TEST(Topology, FakeTopologyMatchesRequestedShape) {
+    const CpuTopology topo = fake_topology(2, 4, 2);
+    EXPECT_EQ(topo.logical_cpus(), 16);
+    EXPECT_EQ(topo.sockets, 2);
+    EXPECT_EQ(topo.nodes, 2);
+    EXPECT_EQ(topo.smt, 2);
+    EXPECT_EQ(topo.physical_cores(), 8);
+    EXPECT_EQ(topo.summary(), "2s/2n/8c/2t");
+}
+
+TEST(Topology, PinStrategyNamesRoundTrip) {
+    for (PinStrategy s : {PinStrategy::kNone, PinStrategy::kCompact, PinStrategy::kScatter,
+                          PinStrategy::kPerSocket}) {
+        EXPECT_EQ(parse_pin_strategy(to_string(s)), s);
+    }
+    EXPECT_ANY_THROW(parse_pin_strategy("hexagonal"));
+}
+
+TEST(PinMap, CompactFillsCoresBeforeSiblingsAndSocketsInOrder) {
+    // fake_topology(2, 2, 2) ids: rank0 = {s0c0:0, s0c1:1, s1c0:2, s1c1:3},
+    // rank1 = {s0c0:4, s0c1:5, s1c0:6, s1c1:7}.
+    const CpuTopology topo = fake_topology(2, 2, 2);
+    EXPECT_EQ(pin_map(topo, 8, PinStrategy::kCompact),
+              (std::vector<int>{0, 1, 4, 5, 2, 3, 6, 7}));
+}
+
+TEST(PinMap, ScatterAlternatesSockets) {
+    const CpuTopology topo = fake_topology(2, 2, 2);
+    EXPECT_EQ(pin_map(topo, 4, PinStrategy::kScatter), (std::vector<int>{0, 2, 1, 3}));
+}
+
+TEST(PinMap, NoneIsEmpty) {
+    EXPECT_TRUE(pin_map(fake_topology(1, 4, 1), 4, PinStrategy::kNone).empty());
+}
+
+TEST(PinMap, WrapsWhenThreadsExceedCpus) {
+    // The p=16-on-8-CPUs fix: the map wraps instead of binding to phantom
+    // CPU ids the kernel would reject.
+    const CpuTopology topo = flat_topology(2);
+    EXPECT_EQ(pin_map(topo, 5, PinStrategy::kCompact), (std::vector<int>{0, 1, 0, 1, 0}));
+}
+
+TEST(PinMap, SocketOfWorkersGroupsPerSocketBlocks) {
+    const CpuTopology topo = fake_topology(2, 2, 2);
+    const auto map = pin_map(topo, 8, PinStrategy::kPerSocket);
+    EXPECT_EQ(socket_of_workers(topo, map, 8),
+              (std::vector<int>{0, 0, 0, 0, 1, 1, 1, 1}));
+    // Unpinned workers all report socket 0 (the UMA degenerate case).
+    EXPECT_EQ(socket_of_workers(topo, {}, 3), (std::vector<int>{0, 0, 0}));
+}
+
+}  // namespace
+}  // namespace symspmv

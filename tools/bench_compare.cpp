@@ -14,9 +14,12 @@
 //     --confidence F    two-sided CI level                    (default 0.95)
 //     --seed N          base RNG seed                         (default 2013)
 //     --out FILE        also write the markdown report here
+//     --report-only     never fail on regressions (exit 0); the scheduled
+//                       perf-full lane reports, only the small gate blocks
 //
-// Exit codes: 0 = no significant regression, 1 = regression(s), 2 = usage
-// or I/O error.  The report goes to stdout either way.
+// Exit codes: 0 = no significant regression (always under --report-only),
+// 1 = regression(s), 2 = usage or I/O error.  The report goes to stdout
+// either way.
 #include <exception>
 #include <fstream>
 #include <iostream>
@@ -30,7 +33,8 @@ namespace {
 int usage(const char* prog) {
     std::cerr << "usage: " << prog
               << " BASELINE.jsonl CURRENT.jsonl [--noise-floor F] [--min-samples N]"
-                 " [--resamples N] [--confidence F] [--seed N] [--out FILE]\n";
+                 " [--resamples N] [--confidence F] [--seed N] [--out FILE]"
+                 " [--report-only]\n";
     return 2;
 }
 
@@ -69,6 +73,10 @@ int main(int argc, char** argv) {
                 std::cerr << "bench_compare: cannot write '" << *out_path << "'\n";
                 return 2;
             }
+        }
+        if (!report.pass() && opts.has("--report-only")) {
+            std::cerr << "bench_compare: regressions found, exiting 0 (--report-only)\n";
+            return 0;
         }
         return report.pass() ? 0 : 1;
     } catch (const std::exception& e) {

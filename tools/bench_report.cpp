@@ -19,8 +19,9 @@
 // kernels (CSR, CSX, SSS-idx, CSX-Sym) across the thread sweep.  Mapping
 // from records to paper figures: docs/REPRODUCING.md.
 //
-//   bench_report [--smoke] [--out DIR] [--scale F] [--matrices DIR]
-//                [--matrix NAME] [--iterations N] [--threads LIST] [--pin]
+//   bench_report [--tier smoke|small|full] [--out DIR] [--scale F]
+//                [--matrices DIR] [--matrix NAME] [--iterations N]
+//                [--threads LIST] [--pin] [--pin-strategy S] [--cache DIR]
 //                [--metrics FILE]
 //
 // Every record is additionally attributed against the machine's probed
@@ -29,10 +30,18 @@
 // metrics registry after the sweep — JSON when FILE ends in .json,
 // Prometheus text exposition otherwise.
 //
-// --smoke shrinks the sweep to two tiny matrices, four kernels and two
-// thread counts (the CI configuration; finishes in seconds).  Exit code is
-// non-zero when the self-check — re-reading and parsing every artifact it
-// just wrote — fails, so "bench_report ran" implies "the artifacts parse".
+// The tiers trade coverage for wall-clock:
+//   smoke  two tiny matrices, three kernels, two thread counts (the blocking
+//          CI configuration; finishes in seconds).  --smoke is an alias.
+//   small  the default: every suite matrix at laptop scale.
+//   full   paper scale (--scale 1.0) over a structure-class-covering subset
+//          with the full kernel set — the scheduled perf-full CI lane.  Pair
+//          with --cache DIR so the multi-million-nnz matrices are generated
+//          once per machine and loaded as .smx afterwards.
+// Explicit --scale/--iterations/--threads/--matrix always override the tier
+// defaults.  Exit code is non-zero when the self-check — re-reading and
+// parsing every artifact it just wrote — fails, so "bench_report ran"
+// implies "the artifacts parse".
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
@@ -57,39 +66,86 @@ using namespace symspmv;
 
 namespace {
 
+enum class Tier { kSmoke, kSmall, kFull };
+
+std::string_view to_string(Tier tier) {
+    switch (tier) {
+        case Tier::kSmoke: return "smoke";
+        case Tier::kSmall: return "small";
+        case Tier::kFull: return "full";
+    }
+    return "?";
+}
+
 struct ReportConfig {
     bench::BenchEnv env;
     std::string out_dir = ".";
-    bool smoke = false;
+    Tier tier = Tier::kSmall;
     std::string metrics_path;  // --metrics FILE: registry export, "" = off
     std::vector<KernelKind> kinds;
+
+    [[nodiscard]] bool smoke() const { return tier == Tier::kSmoke; }
 };
+
+/// Restricts the sweep to the suite matrices named in @p keep (no-op when
+/// none of them survived an earlier --matrix filter).
+void keep_matrices(bench::BenchEnv& env, std::initializer_list<std::string_view> keep) {
+    std::vector<gen::SuiteEntry> subset;
+    for (const gen::SuiteEntry& e : env.entries) {
+        if (std::find(keep.begin(), keep.end(), e.name) != keep.end()) subset.push_back(e);
+    }
+    if (!subset.empty()) env.entries = std::move(subset);
+}
 
 ReportConfig parse_config(int argc, char** argv) {
     ReportConfig cfg;
     cfg.env = bench::parse_env(argc, argv, /*default_iterations=*/24);
     const Options opts(argc, argv);
     cfg.out_dir = opts.get_string("--out", ".");
-    cfg.smoke = opts.has("--smoke");
-    cfg.metrics_path = opts.get_string("--metrics", "");
-    if (cfg.smoke) {
-        // CI configuration: tiny matrices, the four headline kernels, two
-        // thread counts — enough to exercise every record field in seconds.
-        if (!opts.has("--scale")) cfg.env.scale = 0.004;
-        if (!opts.has("--iterations")) cfg.env.iterations = 4;
-        if (!opts.has("--threads")) cfg.env.thread_counts = {1, 2};
-        if (!opts.has("--matrix")) {
-            std::vector<gen::SuiteEntry> small;
-            for (const gen::SuiteEntry& e : cfg.env.entries) {
-                if (e.name == "consph" || e.name == "parabolic_fem") small.push_back(e);
-            }
-            if (!small.empty()) cfg.env.entries = std::move(small);
-        }
-        cfg.kinds = {KernelKind::kCsr, KernelKind::kSssIndexing, KernelKind::kCsxSym};
+    const std::string tier = opts.get_string("--tier", opts.has("--smoke") ? "smoke" : "small");
+    if (tier == "smoke") {
+        cfg.tier = Tier::kSmoke;
+    } else if (tier == "small") {
+        cfg.tier = Tier::kSmall;
+    } else if (tier == "full") {
+        cfg.tier = Tier::kFull;
     } else {
-        cfg.kinds = {KernelKind::kCsr,          KernelKind::kCsx,
-                     KernelKind::kSssNaive,     KernelKind::kSssEffective,
-                     KernelKind::kSssIndexing,  KernelKind::kCsxSym};
+        std::cerr << "unknown --tier '" << tier << "' (smoke|small|full)\n";
+        std::exit(2);
+    }
+    cfg.metrics_path = opts.get_string("--metrics", "");
+    switch (cfg.tier) {
+        case Tier::kSmoke:
+            // Blocking-CI configuration: tiny matrices, the headline kernels,
+            // two thread counts — every record field exercised in seconds.
+            if (!opts.has("--scale")) cfg.env.scale = 0.004;
+            if (!opts.has("--iterations")) cfg.env.iterations = 4;
+            if (!opts.has("--threads")) cfg.env.thread_counts = {1, 2};
+            if (!opts.has("--matrix")) keep_matrices(cfg.env, {"consph", "parabolic_fem"});
+            cfg.kinds = {KernelKind::kCsr, KernelKind::kSssIndexing, KernelKind::kCsxSym};
+            break;
+        case Tier::kSmall:
+            cfg.kinds = {KernelKind::kCsr,          KernelKind::kCsx,
+                         KernelKind::kSssNaive,     KernelKind::kSssEffective,
+                         KernelKind::kSssIndexing,  KernelKind::kCsxSym};
+            break;
+        case Tier::kFull:
+            // Paper scale over one matrix per structure class (Table I row
+            // counts; tens of millions of non-zeros).  The subset keeps the
+            // scheduled lane's wall-clock bounded while still exceeding any
+            // LLC by an order of magnitude — the regime where the paper's
+            // memory-bound argument and the NUMA placement actually bite.
+            if (!opts.has("--scale")) cfg.env.scale = 1.0;
+            if (!opts.has("--iterations")) cfg.env.iterations = 16;
+            if (!opts.has("--threads")) cfg.env.thread_counts = {1, 2, 4, 8};
+            if (!opts.has("--matrix")) {
+                keep_matrices(cfg.env,
+                              {"parabolic_fem", "offshore", "consph", "G3_circuit"});
+            }
+            cfg.kinds = {KernelKind::kCsr,          KernelKind::kCsx,
+                         KernelKind::kSssNaive,     KernelKind::kSssEffective,
+                         KernelKind::kSssIndexing,  KernelKind::kCsxSym};
+            break;
     }
     return cfg;
 }
@@ -107,14 +163,22 @@ void write_markdown(const std::string& path, const ReportConfig& cfg,
                     const bench::RooflineModel& roofline) {
     write_file_atomic(path, [&](std::ostream& out) {
         out << "# BENCH_symspmv — measured SpM×V records\n\n"
-            << "Generated by `tools/bench_report`"
-            << (cfg.smoke ? " (smoke configuration)" : "") << "; scale=" << cfg.env.scale
+            << "Generated by `tools/bench_report` (" << to_string(cfg.tier)
+            << " tier); scale=" << cfg.env.scale
             << ", iterations=" << cfg.env.iterations << ".  Full schema and derived-metric\n"
             << "formulas: `docs/OBSERVABILITY.md`; figure mapping: `docs/REPRODUCING.md`.\n\n"
             << "Machine ceilings (probed): " << fmt(roofline.peak_gflops)
             << " GFLOP/s peak, " << fmt(roofline.bandwidth_gbs)
             << " GB/s sustained; the verdict column attributes each cell against them "
                "(`docs/OBSERVABILITY.md`).\n";
+        if (!records.empty()) {
+            const obs::RunRecord& first = records.front();
+            out << "\nExecution configuration: topology `"
+                << (first.topology.empty() ? "n/a" : first.topology) << "`, pinning `"
+                << (first.pinning.empty() ? "n/a" : first.pinning) << "`, placement `"
+                << (first.placement.empty() ? "n/a" : first.placement) << "`, partition `"
+                << first.partition << "`.\n";
+        }
         std::string current;
         // Serial-CSR per-op seconds per matrix, for the speedup column.
         std::map<std::string, double> serial;
@@ -172,8 +236,11 @@ int main(int argc, char** argv) {
         {
             const int widest = *std::max_element(cfg.env.thread_counts.begin(),
                                                  cfg.env.thread_counts.end());
-            ThreadPool probe_pool(widest, cfg.env.pin_threads);
-            roofline = bench::probe_roofline(probe_pool);
+            // Probing through the context warms the pooled resources the
+            // sweep below will check out — no second pool is ever spawned
+            // for the widest thread count.
+            auto probe_ctx = cfg.env.make_context(widest);
+            roofline = bench::probe_roofline(probe_ctx.pool());
         }
 
         // Live instruments: the registry collects what the sweep does.  The
@@ -238,7 +305,8 @@ int main(int argc, char** argv) {
                     const int effective_threads = kind == KernelKind::kCsrSerial ? 1 : threads;
                     obs::RunRecord rec = obs::make_run_record(
                         entry.name, bundle, *kernel, m, cfg.env.iterations, effective_threads,
-                        engine::to_string(ctx.options().partition), &profiler, &sample);
+                        engine::to_string(ctx.options().partition), &profiler, &sample,
+                        obs::exec_config(ctx));
                     sink.write(rec);
                     m_latency.observe(rec.seconds_per_op);
                     records.push_back(std::move(rec));
@@ -271,7 +339,8 @@ int main(int argc, char** argv) {
         obs::Json doc = obs::Json::object();
         doc.set("schema", obs::kRunRecordSchema);
         doc.set("tool", "bench_report");
-        doc.set("smoke", cfg.smoke);
+        doc.set("tier", std::string(to_string(cfg.tier)));
+        doc.set("smoke", cfg.smoke());
         doc.set("scale", cfg.env.scale);
         doc.set("iterations", cfg.env.iterations);
         doc.set("hardware",
