@@ -159,33 +159,83 @@ std::optional<Plan> PlanStore::parse(std::istream& in, const PlanKey& key) {
     return plan;
 }
 
+PlanStore::Counters PlanStore::counters() const {
+    std::lock_guard lock(mu_);
+    return counters_;
+}
+
+std::mutex& PlanStore::key_mutex_locked(const std::string& id) {
+    auto& slot = key_locks_[id];
+    if (!slot) slot = std::make_unique<std::mutex>();
+    return *slot;
+}
+
 std::optional<Plan> PlanStore::load(const PlanKey& key) {
     const std::string id = key_id(key);
+    std::mutex* key_mu = nullptr;
+    {
+        std::lock_guard lock(mu_);
+        if (const auto it = memory_.find(id); it != memory_.end()) {
+            ++counters_.hits;
+            return it->second;
+        }
+        if (dir_.empty()) {
+            ++counters_.misses;
+            return std::nullopt;
+        }
+        key_mu = &key_mutex_locked(id);
+    }
+    // The disk probe runs under the per-key lock (not the store lock, so
+    // other keys keep flowing): a concurrent save() of this key finishes its
+    // rename before we read, so we see either the old complete file or the
+    // new complete file, and the memory layer we then update agrees with it.
+    std::lock_guard key_lock(*key_mu);
+    std::ifstream in(path_for(key));
+    std::optional<Plan> plan;
+    bool rejected = false;
+    if (in) {
+        plan = parse(in, key);
+        rejected = !plan.has_value();
+    }
+    std::lock_guard lock(mu_);
     if (const auto it = memory_.find(id); it != memory_.end()) {
+        // A save() or a parallel load() beat us to the memory layer.
         ++counters_.hits;
         return it->second;
     }
-    if (!dir_.empty()) {
-        std::ifstream in(path_for(key));
-        if (in) {
-            if (auto plan = parse(in, key)) {
-                ++counters_.hits;
-                ++counters_.disk_hits;
-                memory_.emplace(id, *plan);
-                return plan;
-            }
-            // A file was there but strict parse/revalidation refused it.
-            ++counters_.revalidation_rejects;
-        }
+    if (plan) {
+        ++counters_.hits;
+        ++counters_.disk_hits;
+        memory_.emplace(id, *plan);
+        return plan;
     }
+    // A file was there but strict parse/revalidation refused it.
+    if (rejected) ++counters_.revalidation_rejects;
     ++counters_.misses;
     return std::nullopt;
 }
 
 void PlanStore::save(const PlanKey& key, const Plan& plan) {
-    ++counters_.saves;
-    memory_[key_id(key)] = plan;
-    if (dir_.empty()) return;
+    const std::string id = key_id(key);
+    std::mutex* key_mu = nullptr;
+    {
+        std::lock_guard lock(mu_);
+        ++counters_.saves;
+        if (dir_.empty()) {
+            memory_[id] = plan;
+            return;
+        }
+        key_mu = &key_mutex_locked(id);
+    }
+    // Memory update and file replace happen together under the per-key lock:
+    // two threads tuning the same fingerprint serialize here, so the plan
+    // file and the memory layer always agree on one winner instead of
+    // interleaving (memory from thread A, disk from thread B).
+    std::lock_guard key_lock(*key_mu);
+    {
+        std::lock_guard lock(mu_);
+        memory_[id] = plan;
+    }
     std::error_code ec;
     std::filesystem::create_directories(dir_, ec);
     SYMSPMV_CHECK_MSG(!ec, "plan store: cannot create directory '" + dir_ + "'");

@@ -8,11 +8,21 @@
 // never as a crash or a silently wrong plan.  An in-memory layer in front
 // of the disk makes repeated lookups in one process free and doubles as the
 // whole store when no cache directory is configured.
+//
+// Thread-safe: the store is the cross-client plan cache of the serve
+// subsystem, where several sessions look up and tune concurrently.  The map
+// and counters sit behind one store mutex, and each key additionally owns a
+// write-serialization mutex held across the (memory update + atomic file
+// replace) pair, so two threads tuning the same fingerprint cannot
+// interleave their plan-file writes — the disk and the memory layer always
+// land on the same winner.
 #pragma once
 
 #include <cstdint>
 #include <iosfwd>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 
@@ -67,7 +77,8 @@ class PlanStore {
         /// stale/corrupt" signal, distinct from a cold miss.
         int revalidation_rejects = 0;
     };
-    [[nodiscard]] const Counters& counters() const { return counters_; }
+    /// A consistent snapshot (by value: the counters move concurrently).
+    [[nodiscard]] Counters counters() const;
 
     [[nodiscard]] const std::string& directory() const { return dir_; }
     [[nodiscard]] bool persistent() const { return !dir_.empty(); }
@@ -83,8 +94,13 @@ class PlanStore {
    private:
     [[nodiscard]] static std::string key_id(const PlanKey& key);
 
+    /// The per-key write lock (created on first use; stable address).
+    [[nodiscard]] std::mutex& key_mutex_locked(const std::string& id);
+
     std::string dir_;
+    mutable std::mutex mu_;  // guards memory_, counters_ and key_locks_
     std::map<std::string, Plan> memory_;
+    std::map<std::string, std::unique_ptr<std::mutex>> key_locks_;
     Counters counters_;
 };
 

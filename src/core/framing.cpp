@@ -1,0 +1,87 @@
+#include "core/framing.hpp"
+
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "core/error.hpp"
+#include "core/hash.hpp"
+
+namespace symspmv {
+
+namespace {
+
+template <typename T>
+void put(std::ostream& out, T v, std::uint64_t& hash) {
+    out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+    hash = fnv1a64(&v, sizeof(T), hash);
+}
+
+template <typename T>
+T take(std::istream& in, std::uint64_t& hash) {
+    T v{};
+    in.read(reinterpret_cast<char*>(&v), sizeof(T));
+    if (!in) throw ParseError("frame: truncated header");
+    hash = fnv1a64(&v, sizeof(T), hash);
+    return v;
+}
+
+}  // namespace
+
+void write_frame(std::ostream& out, const Frame& frame) {
+    SYMSPMV_CHECK_MSG(frame.payload.size() <= 0xFFFFFFFFull, "frame: payload too large");
+    out.write(kFrameMagic, sizeof(kFrameMagic));
+    std::uint64_t hash = kFnvOffsetBasis;
+    put<std::uint16_t>(out, kFrameVersion, hash);
+    put<std::uint16_t>(out, frame.type, hash);
+    put<std::uint32_t>(out, static_cast<std::uint32_t>(frame.payload.size()), hash);
+    out.write(frame.payload.data(), static_cast<std::streamsize>(frame.payload.size()));
+    hash = fnv1a64(frame.payload.data(), frame.payload.size(), hash);
+    out.write(reinterpret_cast<const char*>(&hash), sizeof(hash));
+}
+
+std::string encode_frame(const Frame& frame) {
+    std::ostringstream os(std::ios::binary);
+    write_frame(os, frame);
+    return os.str();
+}
+
+std::optional<Frame> read_frame(std::istream& in, std::size_t max_payload) {
+    char magic[sizeof(kFrameMagic)];
+    in.read(magic, sizeof(magic));
+    if (!in) {
+        // A clean close lands exactly on a frame boundary: zero bytes read.
+        if (in.gcount() == 0 && in.eof()) return std::nullopt;
+        throw ParseError("frame: truncated magic");
+    }
+    if (std::memcmp(magic, kFrameMagic, sizeof(magic)) != 0) {
+        throw ParseError("frame: bad magic");
+    }
+    std::uint64_t hash = kFnvOffsetBasis;
+    const auto version = take<std::uint16_t>(in, hash);
+    if (version != kFrameVersion) {
+        throw ParseError("frame: unsupported version " + std::to_string(version));
+    }
+    Frame frame;
+    frame.type = take<std::uint16_t>(in, hash);
+    const auto size = take<std::uint32_t>(in, hash);
+    // Validate the length prefix before trusting it with an allocation.
+    if (size > max_payload) {
+        throw ParseError("frame: payload length " + std::to_string(size) +
+                         " exceeds the limit of " + std::to_string(max_payload));
+    }
+    frame.payload.resize(size);
+    if (size > 0) {
+        in.read(frame.payload.data(), static_cast<std::streamsize>(size));
+        if (!in) throw ParseError("frame: truncated payload");
+        hash = fnv1a64(frame.payload.data(), frame.payload.size(), hash);
+    }
+    std::uint64_t stored = 0;
+    in.read(reinterpret_cast<char*>(&stored), sizeof(stored));
+    if (!in) throw ParseError("frame: truncated checksum");
+    if (stored != hash) throw ParseError("frame: checksum mismatch");
+    return frame;
+}
+
+}  // namespace symspmv

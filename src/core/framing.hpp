@@ -1,0 +1,52 @@
+// Length-prefixed, checksummed wire frames.
+//
+// The serve subsystem speaks a binary protocol over stream sockets; this is
+// its transport atom, kept in core (like atomic_file and hash) so the
+// verification layer can fuzz it without depending on serve.  A frame is
+//
+//   "SFR1"  u16 version  u16 type  u32 payload_size  payload  u64 checksum
+//
+// little-endian throughout, with the FNV-1a checksum covering every byte
+// between the magic and the checksum itself — the same integrity discipline
+// as the SMX2 matrix cache (matrix/binio.cpp): truncation, bit flips and
+// garbage all surface as ParseError, never as a silently different payload.
+// The length prefix is validated against a caller-supplied ceiling *before*
+// any allocation, so an adversarial 4 GiB length field is a cheap clean
+// reject rather than an OOM or a multi-gigabyte read stall.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+namespace symspmv {
+
+struct Frame {
+    std::uint16_t type = 0;
+    std::string payload;
+
+    friend bool operator==(const Frame&, const Frame&) = default;
+};
+
+inline constexpr char kFrameMagic[4] = {'S', 'F', 'R', '1'};
+inline constexpr std::uint16_t kFrameVersion = 1;
+
+/// Default payload ceiling (64 MiB) — large enough for a full-scale matrix
+/// upload, small enough that a hostile length prefix cannot balloon memory.
+inline constexpr std::size_t kDefaultMaxFramePayload = 64u << 20;
+
+/// Writes one frame to @p out (does not flush).
+void write_frame(std::ostream& out, const Frame& frame);
+
+/// The frame as a byte string — the fuzz-harness and test entry point.
+[[nodiscard]] std::string encode_frame(const Frame& frame);
+
+/// Reads one frame.  Returns nullopt on a clean end-of-stream *before the
+/// first byte* of a frame (the peer closed between messages); throws
+/// ParseError on anything else: bad magic, unknown version, a length prefix
+/// above @p max_payload, truncation mid-frame, or a checksum mismatch.
+[[nodiscard]] std::optional<Frame> read_frame(std::istream& in,
+                                              std::size_t max_payload = kDefaultMaxFramePayload);
+
+}  // namespace symspmv

@@ -17,26 +17,59 @@ ContextPool::ContextPool() : topo_(local_topology()) {}
 ContextPool::ContextPool(CpuTopology topo) : topo_(std::move(topo)) {}
 
 std::shared_ptr<ExecutionResources> ContextPool::acquire(int threads, PinStrategy strategy) {
-    const auto key = std::make_pair(threads, strategy);
+    const Key key = std::make_pair(threads, strategy);
     std::lock_guard lock(mu_);
     if (auto it = cache_.find(key); it != cache_.end()) {
         ++hits_;
-        return it->second;
+        // Refresh recency: splice this key to the front of the LRU list.
+        lru_.splice(lru_.begin(), lru_, it->second.lru);
+        return it->second.resources;
     }
     ++misses_;
     auto resources = std::make_shared<ExecutionResources>(threads, strategy, topo_);
-    cache_.emplace(key, resources);
+    lru_.push_front(key);
+    cache_.emplace(key, Entry{resources, lru_.begin()});
+    evict_over_capacity_locked();
     return resources;
+}
+
+void ContextPool::evict_over_capacity_locked() {
+    if (capacity_ == 0) return;
+    while (cache_.size() > capacity_ && !lru_.empty()) {
+        const Key victim = lru_.back();
+        lru_.pop_back();
+        cache_.erase(victim);
+        ++evictions_;
+        // Checked-out holders keep the evicted resources alive through their
+        // shared_ptr; the workers exit when the last handle drops.
+    }
+}
+
+void ContextPool::set_capacity(std::size_t capacity) {
+    std::lock_guard lock(mu_);
+    capacity_ = capacity;
+    evict_over_capacity_locked();
+}
+
+std::size_t ContextPool::capacity() const {
+    std::lock_guard lock(mu_);
+    return capacity_;
+}
+
+std::size_t ContextPool::size() const {
+    std::lock_guard lock(mu_);
+    return cache_.size();
 }
 
 ContextPool::Stats ContextPool::stats() const {
     std::lock_guard lock(mu_);
-    return Stats{hits_, misses_, cache_.size()};
+    return Stats{hits_, misses_, evictions_, cache_.size()};
 }
 
 void ContextPool::clear() {
     std::lock_guard lock(mu_);
     cache_.clear();
+    lru_.clear();
 }
 
 ContextPool& ContextPool::instance() {

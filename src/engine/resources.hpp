@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -55,12 +56,21 @@ class ExecutionResources {
     /// the by-socket partition policy.
     [[nodiscard]] const std::vector<int>& socket_of_worker() const { return socket_of_worker_; }
 
+    /// Serializes whole-pool job submission.  ThreadPool::run is not
+    /// reentrant: two threads dispatching jobs on the same pool race.  The
+    /// single-submitter callers (benches, solvers) never needed this, but a
+    /// server executing requests for several matrix sessions on one shared
+    /// pool must hold this mutex around every run() burst (kernel
+    /// construction, spmv, solve) — see serve/service.cpp.
+    [[nodiscard]] std::mutex& run_mutex() const { return run_mu_; }
+
    private:
     CpuTopology topo_;
     PinStrategy strategy_;
     std::vector<int> pin_cpus_;
     std::vector<int> socket_of_worker_;
     mutable ThreadPool pool_;
+    mutable std::mutex run_mu_;
 };
 
 /// Cache of ExecutionResources keyed by (threads, pin strategy).  acquire()
@@ -83,11 +93,25 @@ class ContextPool {
     [[nodiscard]] std::shared_ptr<ExecutionResources> acquire(int threads, PinStrategy strategy);
 
     struct Stats {
-        std::uint64_t hits = 0;      // acquire() served from cache
-        std::uint64_t misses = 0;    // acquire() had to build
-        std::size_t resident = 0;    // distinct resources alive in the cache
+        std::uint64_t hits = 0;       // acquire() served from cache
+        std::uint64_t misses = 0;     // acquire() had to build
+        std::uint64_t evictions = 0;  // entries dropped by the capacity cap
+        std::size_t resident = 0;     // distinct resources alive in the cache
     };
     [[nodiscard]] Stats stats() const;
+
+    /// Caps the resident entries at @p capacity; 0 (the default) means
+    /// unbounded.  When an acquire() would exceed the cap the
+    /// least-recently-acquired entry is dropped (its workers exit once every
+    /// outstanding shared_ptr is released) — the guard a long-lived daemon
+    /// needs so a client-driven sweep over (threads, pinning) combinations
+    /// cannot grow the pool map without bound.  Shrinking the cap evicts
+    /// immediately.
+    void set_capacity(std::size_t capacity);
+    [[nodiscard]] std::size_t capacity() const;
+
+    /// Distinct resources currently cached (same as stats().resident).
+    [[nodiscard]] std::size_t size() const;
 
     /// Drops every cached resource (workers of unshared entries exit).
     void clear();
@@ -98,11 +122,23 @@ class ContextPool {
     [[nodiscard]] static ContextPool& instance();
 
    private:
+    using Key = std::pair<int, PinStrategy>;
+
+    struct Entry {
+        std::shared_ptr<ExecutionResources> resources;
+        std::list<Key>::iterator lru;  // position in lru_ (front = most recent)
+    };
+
+    void evict_over_capacity_locked();
+
     CpuTopology topo_;
     mutable std::mutex mu_;
-    std::map<std::pair<int, PinStrategy>, std::shared_ptr<ExecutionResources>> cache_;
+    std::map<Key, Entry> cache_;
+    std::list<Key> lru_;  // most recently acquired first
+    std::size_t capacity_ = 0;
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
+    std::uint64_t evictions_ = 0;
 };
 
 }  // namespace symspmv::engine

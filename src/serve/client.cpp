@@ -1,0 +1,84 @@
+#include "serve/client.hpp"
+
+namespace symspmv::serve {
+
+Frame Client::call(const Frame& request) {
+    write_frame(stream_, request);
+    stream_.flush();
+    if (!stream_) throw NetError("send failed: daemon hung up");
+    auto reply = read_frame(stream_, kDefaultMaxFramePayload);
+    if (!reply) throw NetError("daemon closed the connection before replying");
+    return std::move(*reply);
+}
+
+Frame Client::call_checked(const Frame& request, MsgType expected_reply) {
+    Frame reply = call(request);
+    if (reply.type == static_cast<std::uint16_t>(MsgType::kError)) {
+        const ErrorReply err = decode_error(reply.payload);
+        throw RemoteError(err.code, err.message);
+    }
+    if (reply.type != static_cast<std::uint16_t>(expected_reply)) {
+        throw ParseError("unexpected reply type " + std::to_string(reply.type) + ", wanted " +
+                         std::string(to_string(expected_reply)));
+    }
+    return reply;
+}
+
+void Client::ping() { (void)call_checked(make_frame(MsgType::kPing), MsgType::kPong); }
+
+SessionInfo Client::open(MsgType type, std::string data, std::uint32_t flags) {
+    OpenRequest req;
+    req.flags = flags;
+    req.data = std::move(data);
+    const Frame reply = call_checked(Frame{static_cast<std::uint16_t>(type), encode(req)},
+                                     MsgType::kSessionInfo);
+    return decode_session_info(reply.payload);
+}
+
+SessionInfo Client::open_smx(std::string smx_bytes, std::uint32_t flags) {
+    return open(MsgType::kOpenSmx, std::move(smx_bytes), flags);
+}
+
+SessionInfo Client::open_matrix_market(std::string mtx_text, std::uint32_t flags) {
+    return open(MsgType::kOpenMatrixMarket, std::move(mtx_text), flags);
+}
+
+SessionInfo Client::open_fingerprint(const std::string& token, std::uint32_t flags) {
+    return open(MsgType::kOpenFingerprint, token, flags);
+}
+
+std::vector<double> Client::spmv(std::uint64_t session, std::span<const double> x) {
+    SpmvRequest req;
+    req.session = session;
+    req.x.assign(x.begin(), x.end());
+    const Frame reply =
+        call_checked(make_frame(MsgType::kSpmv, encode(req)), MsgType::kSpmvResult);
+    return decode_spmv_result(reply.payload).y;
+}
+
+SolveResult Client::solve(std::uint64_t session, std::span<const double> b, double tolerance,
+                          std::uint32_t max_iterations) {
+    SolveRequest req;
+    req.session = session;
+    req.b.assign(b.begin(), b.end());
+    req.tolerance = tolerance;
+    req.max_iterations = max_iterations;
+    const Frame reply =
+        call_checked(make_frame(MsgType::kSolve, encode(req)), MsgType::kSolveResult);
+    return decode_solve_result(reply.payload);
+}
+
+void Client::close_session(std::uint64_t session) {
+    (void)call_checked(make_frame(MsgType::kCloseSession, encode_session_id(session)),
+                       MsgType::kSessionClosed);
+}
+
+std::string Client::metrics() {
+    return call_checked(make_frame(MsgType::kGetMetrics), MsgType::kMetricsText).payload;
+}
+
+void Client::shutdown_server() {
+    (void)call_checked(make_frame(MsgType::kShutdown), MsgType::kShutdownAck);
+}
+
+}  // namespace symspmv::serve

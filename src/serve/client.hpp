@@ -1,0 +1,71 @@
+// Client-side API for the serve protocol: one connection, synchronous
+// request/reply, typed helpers over the payload codecs.
+//
+// Error model: transport failures (connection refused, peer hung up,
+// corrupt framing) throw NetError/ParseError; a well-formed kError reply
+// from the daemon throws RemoteError carrying the protocol ErrorCode, so a
+// caller can distinguish "the queue was full" (kBusy — retry later) from
+// "bad request" without string matching.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "serve/net.hpp"
+#include "serve/protocol.hpp"
+
+namespace symspmv::serve {
+
+/// A kError reply from the daemon, surfaced as an exception.
+class RemoteError : public std::runtime_error {
+   public:
+    RemoteError(ErrorCode code, const std::string& message)
+        : std::runtime_error(std::string(to_string(code)) + ": " + message), code_(code) {}
+
+    [[nodiscard]] ErrorCode code() const { return code_; }
+
+   private:
+    ErrorCode code_;
+};
+
+class Client {
+   public:
+    [[nodiscard]] static Client connect_to_tcp(const std::string& host, int port) {
+        return Client(connect_tcp(host, port));
+    }
+    [[nodiscard]] static Client connect_to_unix(const std::string& path) {
+        return Client(connect_unix(path));
+    }
+
+    explicit Client(Socket sock) : stream_(std::move(sock)) {}
+
+    /// One raw round trip: writes @p request, returns the reply frame.
+    /// Throws NetError if the daemon hung up, ParseError on corrupt framing.
+    /// kError replies are returned as-is (the typed helpers throw them).
+    [[nodiscard]] Frame call(const Frame& request);
+
+    // Typed helpers — each throws RemoteError on a kError reply.
+    void ping();
+    [[nodiscard]] SessionInfo open_smx(std::string smx_bytes, std::uint32_t flags = 0);
+    [[nodiscard]] SessionInfo open_matrix_market(std::string mtx_text, std::uint32_t flags = 0);
+    [[nodiscard]] SessionInfo open_fingerprint(const std::string& token,
+                                               std::uint32_t flags = 0);
+    [[nodiscard]] std::vector<double> spmv(std::uint64_t session, std::span<const double> x);
+    [[nodiscard]] SolveResult solve(std::uint64_t session, std::span<const double> b,
+                                    double tolerance = 1e-8,
+                                    std::uint32_t max_iterations = 1000);
+    void close_session(std::uint64_t session);
+    [[nodiscard]] std::string metrics();
+    /// Asks the daemon to drain and waits for the acknowledgement.
+    void shutdown_server();
+
+   private:
+    [[nodiscard]] Frame call_checked(const Frame& request, MsgType expected_reply);
+    [[nodiscard]] SessionInfo open(MsgType type, std::string data, std::uint32_t flags);
+
+    SocketStream stream_;
+};
+
+}  // namespace symspmv::serve

@@ -1,0 +1,193 @@
+#include "serve/net.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+namespace symspmv::serve {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+    throw NetError(what + ": " + std::strerror(errno));
+}
+
+sockaddr_in make_tcp_addr(const std::string& host, int port) {
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        throw NetError("invalid IPv4 address: " + host);
+    }
+    return addr;
+}
+
+sockaddr_un make_unix_addr(const std::string& path) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof(addr.sun_path)) {
+        throw NetError("unix socket path too long: " + path);
+    }
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    return addr;
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+    if (this != &other) {
+        close();
+        fd_ = other.fd_;
+        other.fd_ = -1;
+    }
+    return *this;
+}
+
+void Socket::close() {
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+void Socket::shutdown_both() {
+    if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+SocketBuf::SocketBuf(int fd) : fd_(fd) {
+    in_.resize(kBufSize);
+    out_.resize(kBufSize);
+    setg(in_.data(), in_.data(), in_.data());
+    setp(out_.data(), out_.data() + out_.size());
+}
+
+SocketBuf::int_type SocketBuf::underflow() {
+    if (gptr() < egptr()) return traits_type::to_int_type(*gptr());
+    ssize_t n;
+    do {
+        n = ::recv(fd_, in_.data(), in_.size(), 0);
+    } while (n < 0 && errno == EINTR);
+    if (n <= 0) return traits_type::eof();
+    setg(in_.data(), in_.data(), in_.data() + n);
+    return traits_type::to_int_type(*gptr());
+}
+
+bool SocketBuf::flush_out() {
+    const char* p = pbase();
+    while (p < pptr()) {
+        ssize_t n;
+        do {
+            n = ::send(fd_, p, static_cast<std::size_t>(pptr() - p), MSG_NOSIGNAL);
+        } while (n < 0 && errno == EINTR);
+        if (n <= 0) return false;
+        p += n;
+    }
+    setp(out_.data(), out_.data() + out_.size());
+    return true;
+}
+
+SocketBuf::int_type SocketBuf::overflow(int_type ch) {
+    if (!flush_out()) return traits_type::eof();
+    if (!traits_type::eq_int_type(ch, traits_type::eof())) {
+        *pptr() = traits_type::to_char_type(ch);
+        pbump(1);
+    }
+    return traits_type::not_eof(ch);
+}
+
+int SocketBuf::sync() { return flush_out() ? 0 : -1; }
+
+SocketStream::SocketStream(Socket sock)
+    : std::iostream(nullptr), sock_(std::move(sock)), buf_(sock_.fd()) {
+    rdbuf(&buf_);
+}
+
+Socket listen_tcp(const std::string& host, int port, int backlog) {
+    Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!sock.valid()) throw_errno("socket");
+    const int one = 1;
+    ::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    const sockaddr_in addr = make_tcp_addr(host, port);
+    if (::bind(sock.fd(), reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+        throw_errno("bind " + host + ":" + std::to_string(port));
+    }
+    if (::listen(sock.fd(), backlog) != 0) throw_errno("listen");
+    return sock;
+}
+
+Socket listen_unix(const std::string& path, int backlog) {
+    std::error_code ec;
+    std::filesystem::remove(path, ec);  // stale socket file from a crash
+    Socket sock(::socket(AF_UNIX, SOCK_STREAM, 0));
+    if (!sock.valid()) throw_errno("socket");
+    const sockaddr_un addr = make_unix_addr(path);
+    if (::bind(sock.fd(), reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+        throw_errno("bind " + path);
+    }
+    if (::listen(sock.fd(), backlog) != 0) throw_errno("listen");
+    return sock;
+}
+
+Socket connect_tcp(const std::string& host, int port) {
+    Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!sock.valid()) throw_errno("socket");
+    const sockaddr_in addr = make_tcp_addr(host, port);
+    int rc;
+    do {
+        rc = ::connect(sock.fd(), reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+    } while (rc != 0 && errno == EINTR);
+    if (rc != 0) throw_errno("connect " + host + ":" + std::to_string(port));
+    return sock;
+}
+
+Socket connect_unix(const std::string& path) {
+    Socket sock(::socket(AF_UNIX, SOCK_STREAM, 0));
+    if (!sock.valid()) throw_errno("socket");
+    const sockaddr_un addr = make_unix_addr(path);
+    int rc;
+    do {
+        rc = ::connect(sock.fd(), reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+    } while (rc != 0 && errno == EINTR);
+    if (rc != 0) throw_errno("connect " + path);
+    return sock;
+}
+
+int local_port(const Socket& listener) {
+    sockaddr_in addr{};
+    socklen_t len = sizeof(addr);
+    if (::getsockname(listener.fd(), reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+        throw_errno("getsockname");
+    }
+    return ntohs(addr.sin_port);
+}
+
+Socket accept_connection(const Socket& listener) {
+    while (true) {
+        const int fd = ::accept(listener.fd(), nullptr, nullptr);
+        if (fd >= 0) return Socket(fd);
+        if (errno == EINTR) continue;
+        if (errno == EINVAL || errno == EBADF || errno == ECONNABORTED) {
+            return Socket();  // listener shut down: accept loop exits cleanly
+        }
+        throw_errno("accept");
+    }
+}
+
+std::string peek_bytes(const Socket& sock, std::size_t n) {
+    std::string buf(n, '\0');
+    ssize_t got;
+    do {
+        got = ::recv(sock.fd(), buf.data(), buf.size(), MSG_PEEK);
+    } while (got < 0 && errno == EINTR);
+    if (got <= 0) return {};
+    buf.resize(static_cast<std::size_t>(got));
+    return buf;
+}
+
+}  // namespace symspmv::serve

@@ -1,0 +1,110 @@
+// Thin POSIX socket layer for the serve daemon and client.
+//
+// Everything above this header speaks std::iostream: SocketStream wraps a
+// connected socket in a buffered streambuf so the core frame codec
+// (core/framing.hpp) reads and writes the wire directly.  Sends use
+// MSG_NOSIGNAL — a peer that vanished mid-reply is an error return, never a
+// SIGPIPE that kills the daemon.  Errors surface as NetError.
+#pragma once
+
+#include <cstddef>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <streambuf>
+#include <string>
+
+namespace symspmv::serve {
+
+/// Thrown when a socket operation fails (message includes errno text).
+class NetError : public std::runtime_error {
+   public:
+    using std::runtime_error::runtime_error;
+};
+
+/// RAII file descriptor.  Move-only; closes on destruction.
+class Socket {
+   public:
+    Socket() = default;
+    explicit Socket(int fd) : fd_(fd) {}
+    ~Socket() { close(); }
+
+    Socket(const Socket&) = delete;
+    Socket& operator=(const Socket&) = delete;
+    Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+    Socket& operator=(Socket&& other) noexcept;
+
+    [[nodiscard]] int fd() const { return fd_; }
+    [[nodiscard]] bool valid() const { return fd_ >= 0; }
+
+    void close();
+    /// shutdown(SHUT_RDWR): wakes any thread blocked in recv on this fd —
+    /// how the drain sequence unblocks connection readers.  Safe on a
+    /// closed/invalid socket.
+    void shutdown_both();
+
+   private:
+    int fd_ = -1;
+};
+
+/// Buffered std::streambuf over a connected socket.  Reads recv(); writes
+/// send(MSG_NOSIGNAL).  A failed send sets the stream's failbit via the
+/// usual streambuf contract.
+class SocketBuf : public std::streambuf {
+   public:
+    explicit SocketBuf(int fd);
+
+   protected:
+    int_type underflow() override;
+    int_type overflow(int_type ch) override;
+    int sync() override;
+
+   private:
+    bool flush_out();
+
+    static constexpr std::size_t kBufSize = 64 * 1024;
+    int fd_;
+    std::string in_;
+    std::string out_;
+};
+
+/// A connected socket exposed as a std::iostream (what the frame codec
+/// consumes).  Owns the fd.
+class SocketStream : public std::iostream {
+   public:
+    explicit SocketStream(Socket sock);
+
+    [[nodiscard]] Socket& socket() { return sock_; }
+
+   private:
+    Socket sock_;
+    SocketBuf buf_;
+};
+
+// ---------------------------------------------------------------------------
+// Listener / connector helpers.  All throw NetError on failure.
+
+/// TCP listener on @p host:@p port (port 0 = kernel-assigned; read it back
+/// with local_port).  SO_REUSEADDR is set.
+[[nodiscard]] Socket listen_tcp(const std::string& host, int port, int backlog = 64);
+
+/// Unix-domain listener at @p path (an existing socket file is replaced).
+[[nodiscard]] Socket listen_unix(const std::string& path, int backlog = 64);
+
+[[nodiscard]] Socket connect_tcp(const std::string& host, int port);
+[[nodiscard]] Socket connect_unix(const std::string& path);
+
+/// The port a TCP listener actually bound (resolves port 0).
+[[nodiscard]] int local_port(const Socket& listener);
+
+/// Blocking accept.  Returns an invalid Socket when the listener was shut
+/// down or closed (the accept loop's exit signal), throws NetError on other
+/// failures.
+[[nodiscard]] Socket accept_connection(const Socket& listener);
+
+/// MSG_PEEK up to @p n bytes without consuming them — how the server sniffs
+/// "GET " to serve plain-HTTP /metrics on the binary listener.  Returns
+/// fewer bytes at EOF.
+[[nodiscard]] std::string peek_bytes(const Socket& sock, std::size_t n);
+
+}  // namespace symspmv::serve

@@ -1,0 +1,188 @@
+#include "serve/protocol.hpp"
+
+namespace symspmv::serve {
+
+std::string_view to_string(MsgType type) {
+    switch (type) {
+        case MsgType::kPing: return "ping";
+        case MsgType::kOpenSmx: return "open-smx";
+        case MsgType::kOpenMatrixMarket: return "open-mtx";
+        case MsgType::kOpenFingerprint: return "open-fingerprint";
+        case MsgType::kSpmv: return "spmv";
+        case MsgType::kSolve: return "solve";
+        case MsgType::kCloseSession: return "close-session";
+        case MsgType::kGetMetrics: return "get-metrics";
+        case MsgType::kShutdown: return "shutdown";
+        case MsgType::kPong: return "pong";
+        case MsgType::kSessionInfo: return "session-info";
+        case MsgType::kSpmvResult: return "spmv-result";
+        case MsgType::kSolveResult: return "solve-result";
+        case MsgType::kSessionClosed: return "session-closed";
+        case MsgType::kMetricsText: return "metrics-text";
+        case MsgType::kShutdownAck: return "shutdown-ack";
+        case MsgType::kError: return "error";
+    }
+    return "unknown";
+}
+
+std::string_view to_string(ErrorCode code) {
+    switch (code) {
+        case ErrorCode::kBadRequest: return "bad-request";
+        case ErrorCode::kNotFound: return "not-found";
+        case ErrorCode::kBusy: return "busy";
+        case ErrorCode::kShuttingDown: return "shutting-down";
+        case ErrorCode::kInternal: return "internal";
+    }
+    return "unknown";
+}
+
+std::string encode(const OpenRequest& m) {
+    PayloadWriter w;
+    w.put<std::uint32_t>(m.flags);
+    w.put_bytes(m.data);
+    return w.take();
+}
+
+OpenRequest decode_open(std::string_view payload) {
+    PayloadReader r(payload);
+    OpenRequest m;
+    m.flags = r.get<std::uint32_t>();
+    m.data = r.get_bytes();
+    r.expect_end();
+    return m;
+}
+
+std::string encode(const SessionInfo& m) {
+    PayloadWriter w;
+    w.put<std::uint64_t>(m.session);
+    w.put_bytes(m.fingerprint);
+    w.put<std::uint32_t>(m.rows);
+    w.put<std::uint64_t>(m.nnz);
+    w.put_bytes(m.kernel);
+    w.put<std::uint8_t>(m.plan_from_cache);
+    w.put<std::uint8_t>(m.tuning_pending);
+    return w.take();
+}
+
+SessionInfo decode_session_info(std::string_view payload) {
+    PayloadReader r(payload);
+    SessionInfo m;
+    m.session = r.get<std::uint64_t>();
+    m.fingerprint = r.get_bytes();
+    m.rows = r.get<std::uint32_t>();
+    m.nnz = r.get<std::uint64_t>();
+    m.kernel = r.get_bytes();
+    m.plan_from_cache = r.get<std::uint8_t>();
+    m.tuning_pending = r.get<std::uint8_t>();
+    r.expect_end();
+    return m;
+}
+
+std::string encode(const SpmvRequest& m) {
+    PayloadWriter w;
+    w.put<std::uint64_t>(m.session);
+    w.put_doubles(m.x);
+    return w.take();
+}
+
+SpmvRequest decode_spmv_request(std::string_view payload) {
+    PayloadReader r(payload);
+    SpmvRequest m;
+    m.session = r.get<std::uint64_t>();
+    m.x = r.get_doubles();
+    r.expect_end();
+    return m;
+}
+
+std::string encode(const SpmvResult& m) {
+    PayloadWriter w;
+    w.put_doubles(m.y);
+    return w.take();
+}
+
+SpmvResult decode_spmv_result(std::string_view payload) {
+    PayloadReader r(payload);
+    SpmvResult m;
+    m.y = r.get_doubles();
+    r.expect_end();
+    return m;
+}
+
+std::string encode(const SolveRequest& m) {
+    PayloadWriter w;
+    w.put<std::uint64_t>(m.session);
+    w.put_doubles(m.b);
+    w.put<double>(m.tolerance);
+    w.put<std::uint32_t>(m.max_iterations);
+    return w.take();
+}
+
+SolveRequest decode_solve_request(std::string_view payload) {
+    PayloadReader r(payload);
+    SolveRequest m;
+    m.session = r.get<std::uint64_t>();
+    m.b = r.get_doubles();
+    m.tolerance = r.get<double>();
+    m.max_iterations = r.get<std::uint32_t>();
+    r.expect_end();
+    return m;
+}
+
+std::string encode(const SolveResult& m) {
+    PayloadWriter w;
+    w.put_doubles(m.x);
+    w.put<std::uint32_t>(m.iterations);
+    w.put<double>(m.residual_norm);
+    w.put<std::uint8_t>(m.converged);
+    return w.take();
+}
+
+SolveResult decode_solve_result(std::string_view payload) {
+    PayloadReader r(payload);
+    SolveResult m;
+    m.x = r.get_doubles();
+    m.iterations = r.get<std::uint32_t>();
+    m.residual_norm = r.get<double>();
+    m.converged = r.get<std::uint8_t>();
+    r.expect_end();
+    return m;
+}
+
+std::string encode(const ErrorReply& m) {
+    PayloadWriter w;
+    w.put<std::uint32_t>(static_cast<std::uint32_t>(m.code));
+    w.put_bytes(m.message);
+    return w.take();
+}
+
+ErrorReply decode_error(std::string_view payload) {
+    PayloadReader r(payload);
+    ErrorReply m;
+    m.code = static_cast<ErrorCode>(r.get<std::uint32_t>());
+    m.message = r.get_bytes();
+    r.expect_end();
+    return m;
+}
+
+std::string encode_session_id(std::uint64_t session) {
+    PayloadWriter w;
+    w.put<std::uint64_t>(session);
+    return w.take();
+}
+
+std::uint64_t decode_session_id(std::string_view payload) {
+    PayloadReader r(payload);
+    const auto id = r.get<std::uint64_t>();
+    r.expect_end();
+    return id;
+}
+
+Frame make_frame(MsgType type, std::string payload) {
+    return Frame{static_cast<std::uint16_t>(type), std::move(payload)};
+}
+
+Frame make_error(ErrorCode code, std::string message) {
+    return make_frame(MsgType::kError, encode(ErrorReply{code, std::move(message)}));
+}
+
+}  // namespace symspmv::serve

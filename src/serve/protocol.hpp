@@ -1,0 +1,210 @@
+// symspmv-serve wire protocol: message types and payload codecs.
+//
+// One request frame yields exactly one reply frame (the protocol is
+// synchronous per connection; a client pipelines by opening more
+// connections).  Transport framing — magic, length prefix, checksum — lives
+// in core/framing.hpp; this header defines what goes *inside* a frame:
+// little-endian packed payloads with explicit element counts, decoded
+// through a bounds-checked reader so a hostile payload is a ParseError (and
+// therefore a kError{kBadRequest} reply), never an out-of-bounds read.
+//
+// The full protocol specification, including the session lifecycle and a
+// worked byte-level example, is docs/SERVING.md.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/framing.hpp"
+
+namespace symspmv::serve {
+
+/// Frame types.  Requests are < 100, replies >= 100 — a peer can tell at a
+/// glance which direction a captured frame was travelling.
+enum class MsgType : std::uint16_t {
+    // requests
+    kPing = 1,
+    kOpenSmx = 2,            // payload: OpenRequest, data = .smx bytes
+    kOpenMatrixMarket = 3,   // payload: OpenRequest, data = MatrixMarket text
+    kOpenFingerprint = 4,    // payload: OpenRequest, data = fingerprint token
+    kSpmv = 5,               // payload: SpmvRequest
+    kSolve = 6,              // payload: SolveRequest
+    kCloseSession = 7,       // payload: u64 session id
+    kGetMetrics = 8,         // empty payload
+    kShutdown = 9,           // empty payload; asks the daemon to drain
+    // replies
+    kPong = 100,
+    kSessionInfo = 101,
+    kSpmvResult = 102,
+    kSolveResult = 103,
+    kSessionClosed = 104,
+    kMetricsText = 105,  // payload: Prometheus 0.0.4 text
+    kShutdownAck = 106,
+    kError = 107,  // payload: ErrorReply
+};
+
+[[nodiscard]] std::string_view to_string(MsgType type);
+
+/// Error codes carried by kError replies (the 4xx/5xx of the protocol).
+enum class ErrorCode : std::uint32_t {
+    kBadRequest = 1,    // malformed payload, wrong vector size, bad matrix
+    kNotFound = 2,      // unknown session id or uncached fingerprint
+    kBusy = 3,          // admission control shed the request (503-style)
+    kShuttingDown = 4,  // daemon is draining; no new work accepted
+    kInternal = 5,      // unexpected server-side failure
+};
+
+[[nodiscard]] std::string_view to_string(ErrorCode code);
+
+/// OpenRequest flags.
+inline constexpr std::uint32_t kOpenNoTune = 1u << 0;  // skip background tuning
+
+struct OpenRequest {
+    std::uint32_t flags = 0;
+    std::string data;  // .smx bytes, MatrixMarket text, or fingerprint token
+};
+
+struct SessionInfo {
+    std::uint64_t session = 0;
+    std::string fingerprint;  // canonical token; reusable with kOpenFingerprint
+    std::uint32_t rows = 0;
+    std::uint64_t nnz = 0;
+    std::string kernel;            // kernel currently serving this session
+    std::uint8_t plan_from_cache = 0;  // plan replayed from the PlanStore
+    std::uint8_t tuning_pending = 0;   // background tune-on-miss in flight
+};
+
+struct SpmvRequest {
+    std::uint64_t session = 0;
+    std::vector<double> x;
+};
+
+struct SpmvResult {
+    std::vector<double> y;
+};
+
+struct SolveRequest {
+    std::uint64_t session = 0;
+    std::vector<double> b;
+    double tolerance = 1e-8;
+    std::uint32_t max_iterations = 1000;
+};
+
+struct SolveResult {
+    std::vector<double> x;
+    std::uint32_t iterations = 0;
+    double residual_norm = 0.0;
+    std::uint8_t converged = 0;
+};
+
+struct ErrorReply {
+    ErrorCode code = ErrorCode::kInternal;
+    std::string message;
+};
+
+// ---------------------------------------------------------------------------
+// Payload codecs.  encode_* build a payload string; decode_* parse one and
+// throw ParseError on any deviation (short buffer, trailing bytes, counts
+// that don't match the remaining length).
+
+[[nodiscard]] std::string encode(const OpenRequest& m);
+[[nodiscard]] std::string encode(const SessionInfo& m);
+[[nodiscard]] std::string encode(const SpmvRequest& m);
+[[nodiscard]] std::string encode(const SpmvResult& m);
+[[nodiscard]] std::string encode(const SolveRequest& m);
+[[nodiscard]] std::string encode(const SolveResult& m);
+[[nodiscard]] std::string encode(const ErrorReply& m);
+[[nodiscard]] std::string encode_session_id(std::uint64_t session);
+
+[[nodiscard]] OpenRequest decode_open(std::string_view payload);
+[[nodiscard]] SessionInfo decode_session_info(std::string_view payload);
+[[nodiscard]] SpmvRequest decode_spmv_request(std::string_view payload);
+[[nodiscard]] SpmvResult decode_spmv_result(std::string_view payload);
+[[nodiscard]] SolveRequest decode_solve_request(std::string_view payload);
+[[nodiscard]] SolveResult decode_solve_result(std::string_view payload);
+[[nodiscard]] ErrorReply decode_error(std::string_view payload);
+[[nodiscard]] std::uint64_t decode_session_id(std::string_view payload);
+
+/// Convenience: a complete reply/request frame.
+[[nodiscard]] Frame make_frame(MsgType type, std::string payload = {});
+[[nodiscard]] Frame make_error(ErrorCode code, std::string message);
+
+// ---------------------------------------------------------------------------
+// Bounds-checked little-endian readers/writers (exposed for the codec unit
+// tests; the serve payloads above are built exclusively from these).
+
+class PayloadWriter {
+   public:
+    template <typename T>
+    void put(T v) {
+        static_assert(std::is_trivially_copyable_v<T>);
+        const auto* p = reinterpret_cast<const char*>(&v);
+        bytes_.append(p, sizeof(T));
+    }
+
+    void put_bytes(std::string_view s) {
+        put<std::uint32_t>(static_cast<std::uint32_t>(s.size()));
+        bytes_.append(s.data(), s.size());
+    }
+
+    void put_doubles(std::span<const double> v) {
+        put<std::uint32_t>(static_cast<std::uint32_t>(v.size()));
+        bytes_.append(reinterpret_cast<const char*>(v.data()), v.size() * sizeof(double));
+    }
+
+    [[nodiscard]] std::string take() { return std::move(bytes_); }
+
+   private:
+    std::string bytes_;
+};
+
+class PayloadReader {
+   public:
+    explicit PayloadReader(std::string_view payload) : data_(payload) {}
+
+    template <typename T>
+    [[nodiscard]] T get() {
+        static_assert(std::is_trivially_copyable_v<T>);
+        if (data_.size() - pos_ < sizeof(T)) throw ParseError("payload: truncated field");
+        T v;
+        std::memcpy(&v, data_.data() + pos_, sizeof(T));
+        pos_ += sizeof(T);
+        return v;
+    }
+
+    [[nodiscard]] std::string get_bytes() {
+        const auto n = get<std::uint32_t>();
+        if (data_.size() - pos_ < n) throw ParseError("payload: truncated byte string");
+        std::string s(data_.substr(pos_, n));
+        pos_ += n;
+        return s;
+    }
+
+    [[nodiscard]] std::vector<double> get_doubles() {
+        const auto n = get<std::uint32_t>();
+        if ((data_.size() - pos_) / sizeof(double) < n) {
+            throw ParseError("payload: truncated vector");
+        }
+        std::vector<double> v(n);
+        std::memcpy(v.data(), data_.data() + pos_, n * sizeof(double));
+        pos_ += n * sizeof(double);
+        return v;
+    }
+
+    /// Every decode ends with this: trailing bytes are a malformed payload,
+    /// not padding.
+    void expect_end() const {
+        if (pos_ != data_.size()) throw ParseError("payload: trailing bytes");
+    }
+
+   private:
+    std::string_view data_;
+    std::size_t pos_ = 0;
+};
+
+}  // namespace symspmv::serve

@@ -1,0 +1,78 @@
+// Bounded MPMC request queue with non-blocking admission.
+//
+// The serve admission-control model: producers (connection readers) never
+// block — try_push either accepts the item or reports the queue full, and
+// the caller turns "full" into a kBusy reply (shed, don't stall).
+// Consumers (workers) block in pop until an item arrives or the queue is
+// closed and drained, which is exactly the SIGTERM story: close() stops
+// admission immediately while the workers finish what was already accepted.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace symspmv::serve {
+
+template <typename T>
+class BoundedQueue {
+   public:
+    /// @p capacity of 0 admits nothing (every try_push sheds) — the
+    /// degenerate setting the overflow tests use.
+    explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {}
+
+    /// Non-blocking admission: false when the queue is full or closed.
+    [[nodiscard]] bool try_push(T item) {
+        {
+            std::lock_guard lock(mu_);
+            if (closed_ || items_.size() >= capacity_) return false;
+            items_.push_back(std::move(item));
+        }
+        cv_.notify_one();
+        return true;
+    }
+
+    /// Blocks until an item is available or the queue is closed *and*
+    /// drained; nullopt means "no more work ever" (worker exit signal).
+    [[nodiscard]] std::optional<T> pop() {
+        std::unique_lock lock(mu_);
+        cv_.wait(lock, [this] { return closed_ || !items_.empty(); });
+        if (items_.empty()) return std::nullopt;
+        T item = std::move(items_.front());
+        items_.pop_front();
+        return item;
+    }
+
+    /// Stops admission; already-queued items still drain through pop().
+    void close() {
+        {
+            std::lock_guard lock(mu_);
+            closed_ = true;
+        }
+        cv_.notify_all();
+    }
+
+    [[nodiscard]] bool closed() const {
+        std::lock_guard lock(mu_);
+        return closed_;
+    }
+
+    [[nodiscard]] std::size_t depth() const {
+        std::lock_guard lock(mu_);
+        return items_.size();
+    }
+
+    [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+   private:
+    const std::size_t capacity_;
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    std::deque<T> items_;
+    bool closed_ = false;
+};
+
+}  // namespace symspmv::serve

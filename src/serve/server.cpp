@@ -1,0 +1,195 @@
+#include "serve/server.hpp"
+
+#include <filesystem>
+#include <iostream>
+#include <sstream>
+
+namespace symspmv::serve {
+
+Server::Server(ServerOptions opts)
+    : opts_(std::move(opts)), service_(opts_.service), queue_(opts_.queue_capacity) {
+    // Materialize the shed counter up front so /metrics shows it at zero
+    // before the first overflow.
+    shed_ = &service_.metrics().counter(
+        "symspmv_serve_shed_total",
+        "Requests rejected by admission control (kBusy replies)");
+    if (opts_.port >= 0) {
+        tcp_listener_ = listen_tcp(opts_.host, opts_.port);
+        port_ = local_port(tcp_listener_);
+        accept_threads_.emplace_back([this] { accept_loop(tcp_listener_); });
+    }
+    if (!opts_.unix_path.empty()) {
+        unix_listener_ = listen_unix(opts_.unix_path);
+        accept_threads_.emplace_back([this] { accept_loop(unix_listener_); });
+    }
+    for (int i = 0; i < opts_.workers; ++i) {
+        workers_.emplace_back([this] { worker_loop(); });
+    }
+}
+
+Server::~Server() {
+    begin_shutdown();
+    if (!waited_joined()) wait();
+}
+
+bool Server::waited_joined() const {
+    // All joinable thread vectors empty after a completed wait().
+    return accept_threads_.empty() && workers_.empty();
+}
+
+void Server::begin_shutdown() {
+    bool expected = false;
+    if (!draining_.compare_exchange_strong(expected, true)) return;
+    service_.begin_drain();
+    // Waking the accept loops: shutdown() makes blocked accept() fail.
+    tcp_listener_.shutdown_both();
+    unix_listener_.shutdown_both();
+    // Stop admission; workers drain what was already accepted.
+    queue_.close();
+    {
+        std::lock_guard lock(shutdown_mu_);
+    }
+    shutdown_cv_.notify_all();
+}
+
+void Server::wait() {
+    {
+        std::unique_lock lock(shutdown_mu_);
+        shutdown_cv_.wait(lock, [this] { return draining_.load(std::memory_order_relaxed); });
+    }
+    for (auto& t : accept_threads_) t.join();
+    accept_threads_.clear();
+    // Queue is closed: workers finish every admitted request (replies
+    // included) and exit.
+    for (auto& t : workers_) t.join();
+    workers_.clear();
+    // Only now sever the connections — readers blocked in recv wake up and
+    // exit; no admitted reply is lost.
+    {
+        std::lock_guard lock(conns_mu_);
+        for (auto& weak : conns_) {
+            if (auto conn = weak.lock()) conn->stream.socket().shutdown_both();
+        }
+    }
+    for (auto& t : conn_threads_) t.join();
+    conn_threads_.clear();
+    tcp_listener_.close();
+    unix_listener_.close();
+    if (!opts_.unix_path.empty()) {
+        std::error_code ec;
+        std::filesystem::remove(opts_.unix_path, ec);
+    }
+}
+
+Server::Stats Server::stats() const {
+    Stats s;
+    s.connections_total = connections_total_.load(std::memory_order_relaxed);
+    s.http_requests = http_requests_.load(std::memory_order_relaxed);
+    s.requests_shed = static_cast<std::uint64_t>(shed_->value());
+    return s;
+}
+
+void Server::accept_loop(const Socket& listener) {
+    while (true) {
+        Socket sock = accept_connection(listener);
+        if (!sock.valid()) return;
+        if (draining_.load(std::memory_order_relaxed)) continue;  // drop late arrivals
+        connections_total_.fetch_add(1, std::memory_order_relaxed);
+        auto conn = std::make_shared<Conn>(std::move(sock));
+        std::lock_guard lock(conns_mu_);
+        conns_.push_back(conn);
+        conn_threads_.emplace_back([this, conn] { connection_loop(conn); });
+    }
+}
+
+void Server::reply(Conn& conn, const Frame& frame) {
+    std::lock_guard lock(conn.write_mu);
+    write_frame(conn.stream, frame);
+    conn.stream.flush();
+}
+
+void Server::connection_loop(const std::shared_ptr<Conn>& conn) {
+    const std::string head = peek_bytes(conn->stream.socket(), 4);
+    if (head == "GET ") {
+        serve_http(*conn);
+        return;
+    }
+    while (true) {
+        std::optional<Frame> frame;
+        try {
+            frame = read_frame(conn->stream, service_.options().max_payload);
+        } catch (const ParseError& e) {
+            // Framing is lost: report and hang up, there is no resync.
+            reply(*conn, make_error(ErrorCode::kBadRequest, e.what()));
+            return;
+        } catch (const std::exception& e) {
+            reply(*conn, make_error(ErrorCode::kInternal, e.what()));
+            return;
+        }
+        if (!frame) return;  // peer closed (or drain severed the socket)
+
+        const auto type = static_cast<MsgType>(frame->type);
+        // Control-plane types bypass the queue: liveness and metrics must
+        // answer even when the compute queue is saturated or draining.
+        if (type == MsgType::kShutdown) {
+            // Initiate the drain before acking, so the ack is a guarantee:
+            // by the time the client sees it, no new work is admitted.
+            begin_shutdown();
+            reply(*conn, make_frame(MsgType::kShutdownAck));
+            continue;
+        }
+        if (type == MsgType::kPing) {
+            reply(*conn, make_frame(MsgType::kPong));
+            continue;
+        }
+        if (type == MsgType::kGetMetrics) {
+            reply(*conn, make_frame(MsgType::kMetricsText, service_.metrics_text()));
+            continue;
+        }
+        if (draining_.load(std::memory_order_relaxed)) {
+            reply(*conn, make_error(ErrorCode::kShuttingDown, "daemon is draining"));
+            continue;
+        }
+        if (!queue_.try_push(Job{std::move(*frame), conn})) {
+            shed_->add(1);
+            reply(*conn, make_error(ErrorCode::kBusy, "request queue is full"));
+        }
+    }
+}
+
+void Server::serve_http(Conn& conn) {
+    http_requests_.fetch_add(1, std::memory_order_relaxed);
+    std::string request_line;
+    if (!std::getline(conn.stream, request_line)) return;
+    std::string line;  // drain the header block
+    while (std::getline(conn.stream, line) && line != "\r" && !line.empty()) {
+    }
+    std::istringstream parts(request_line);
+    std::string method, path;
+    parts >> method >> path;
+
+    std::string status = "404 Not Found";
+    std::string content_type = "text/plain; charset=utf-8";
+    std::string body = "not found; try /metrics\n";
+    if (path == "/metrics") {
+        status = "200 OK";
+        content_type = "text/plain; version=0.0.4; charset=utf-8";
+        body = service_.metrics_text();
+    }
+    std::lock_guard lock(conn.write_mu);
+    conn.stream << "HTTP/1.1 " << status << "\r\n"
+                << "Content-Type: " << content_type << "\r\n"
+                << "Content-Length: " << body.size() << "\r\n"
+                << "Connection: close\r\n\r\n"
+                << body;
+    conn.stream.flush();
+}
+
+void Server::worker_loop() {
+    while (auto job = queue_.pop()) {
+        const Frame out = service_.handle(job->request);
+        reply(*job->conn, out);
+    }
+}
+
+}  // namespace symspmv::serve

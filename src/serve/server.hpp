@@ -1,0 +1,133 @@
+// The daemon shell around Service: listeners, connection readers, the
+// bounded admission queue, the worker loop, and the graceful-drain sequence.
+//
+// Threading model:
+//   - one accept thread per listener (TCP and/or unix-domain);
+//   - one reader thread per connection, which parses frames and either
+//     answers trivially (ping, metrics, shutdown, shed/drain errors) or
+//     enqueues the request;
+//   - a fixed pool of worker threads popping the queue, calling
+//     Service::handle and writing the reply under the connection's write
+//     lock.
+//
+// Admission control: the queue is bounded and try_push never blocks — a
+// full queue is an immediate kError{kBusy} reply (load shedding), counted
+// in symspmv_serve_shed_total.
+//
+// Drain (SIGTERM or a kShutdown frame): begin_shutdown() stops the
+// listeners, closes the queue to new work and flips every later request to
+// kError{kShuttingDown}; wait() then joins the workers — every request
+// already admitted still gets its reply — before tearing down the
+// connections.  begin_shutdown() is idempotent and safe from any thread,
+// including a connection reader.
+//
+// HTTP on the same listener: a connection whose first bytes are "GET " is
+// answered as a one-shot HTTP/1.1 exchange — /metrics returns the live
+// Prometheus exposition (text/plain; version=0.0.4) — so a scraper needs no
+// second port.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "serve/net.hpp"
+#include "serve/queue.hpp"
+#include "serve/service.hpp"
+
+namespace symspmv::serve {
+
+struct ServerOptions {
+    ServiceOptions service;
+    /// TCP listener address; port < 0 disables TCP, port 0 lets the kernel
+    /// pick (read it back with Server::port()).
+    std::string host = "127.0.0.1";
+    int port = -1;
+    /// Unix-domain listener path ("" = disabled; the file is unlinked on
+    /// clean shutdown).
+    std::string unix_path;
+    /// Admission queue depth; 0 sheds every compute request (test setting).
+    std::size_t queue_capacity = 64;
+    /// Worker threads executing requests.
+    int workers = 2;
+};
+
+class Server {
+   public:
+    /// Binds the listeners and starts all threads; throws NetError when a
+    /// listener cannot bind.
+    explicit Server(ServerOptions opts);
+    ~Server();
+
+    Server(const Server&) = delete;
+    Server& operator=(const Server&) = delete;
+
+    [[nodiscard]] Service& service() { return service_; }
+    /// The bound TCP port (-1 when TCP is disabled).
+    [[nodiscard]] int port() const { return port_; }
+    [[nodiscard]] bool draining() const { return draining_.load(std::memory_order_relaxed); }
+
+    /// Initiates the drain: stop accepting, stop admitting, finish what was
+    /// admitted.  Idempotent; returns immediately (wait() blocks).
+    void begin_shutdown();
+
+    /// Blocks until begin_shutdown() fires, then completes the drain and
+    /// joins every thread.  Call exactly once, from the owning thread.
+    void wait();
+
+    struct Stats {
+        std::uint64_t connections_total = 0;
+        std::uint64_t requests_shed = 0;
+        std::uint64_t http_requests = 0;
+    };
+    [[nodiscard]] Stats stats() const;
+
+   private:
+    struct Conn {
+        explicit Conn(Socket sock) : stream(std::move(sock)) {}
+        SocketStream stream;
+        std::mutex write_mu;  // reader (errors) and workers (replies) share it
+    };
+    struct Job {
+        Frame request;
+        std::shared_ptr<Conn> conn;
+    };
+
+    [[nodiscard]] bool waited_joined() const;
+    void accept_loop(const Socket& listener);
+    void connection_loop(const std::shared_ptr<Conn>& conn);
+    void serve_http(Conn& conn);
+    void worker_loop();
+    void reply(Conn& conn, const Frame& frame);
+
+    ServerOptions opts_;
+    Service service_;
+    obs::metrics::Counter* shed_ = nullptr;  // owned by the service registry
+    BoundedQueue<Job> queue_;
+
+    Socket tcp_listener_;
+    Socket unix_listener_;
+    int port_ = -1;
+
+    std::atomic<bool> draining_{false};
+    std::mutex shutdown_mu_;
+    std::condition_variable shutdown_cv_;
+
+    mutable std::mutex conns_mu_;
+    std::vector<std::weak_ptr<Conn>> conns_;
+    std::vector<std::thread> conn_threads_;
+
+    std::vector<std::thread> accept_threads_;
+    std::vector<std::thread> workers_;
+
+    std::atomic<std::uint64_t> connections_total_{0};
+    std::atomic<std::uint64_t> http_requests_{0};
+};
+
+}  // namespace symspmv::serve

@@ -1,0 +1,359 @@
+#include "serve/service.hpp"
+
+#include <chrono>
+#include <exception>
+#include <filesystem>
+#include <iostream>
+#include <sstream>
+
+#include "core/timer.hpp"
+#include "engine/registry.hpp"
+#include "matrix/binio.hpp"
+#include "matrix/mmio.hpp"
+#include "solver/cg.hpp"
+
+namespace symspmv::serve {
+
+namespace {
+
+obs::metrics::MetricLabels type_label(MsgType type) {
+    return {{"type", std::string(to_string(type))}};
+}
+
+}  // namespace
+
+Service::Service(ServiceOptions opts)
+    : opts_(std::move(opts)),
+      store_(opts_.plan_cache_dir),
+      sessions_(opts_.max_states),
+      tune_queue_(64) {
+    pool_.set_capacity(opts_.context_pool_capacity);
+    obs::metrics::register_plan_store_metrics(registry_, store_);
+    registry_.add_collector([this] {
+        using obs::metrics::MetricKind;
+        using obs::metrics::MetricPoint;
+        const SessionManager::Stats s = sessions_.stats();
+        const engine::ContextPool::Stats p = pool_.stats();
+        std::vector<MetricPoint> points;
+        const auto point = [&](const char* name, const char* help, MetricKind kind, double v) {
+            points.push_back(MetricPoint{name, help, kind, {}, v});
+        };
+        point("symspmv_serve_sessions_open", "Open matrix sessions", MetricKind::kGauge,
+              static_cast<double>(s.sessions_open));
+        point("symspmv_serve_sessions_total", "Sessions ever opened", MetricKind::kCounter,
+              static_cast<double>(s.sessions_total));
+        point("symspmv_serve_matrix_states", "Resident interned matrix states",
+              MetricKind::kGauge, static_cast<double>(s.states_resident));
+        point("symspmv_serve_state_builds_total",
+              "Matrix states built from scratch (bundle + plan resolution)",
+              MetricKind::kCounter, static_cast<double>(s.states_built));
+        point("symspmv_serve_state_reuse_total", "Warm matrix-state hits",
+              MetricKind::kCounter, static_cast<double>(s.states_reused));
+        point("symspmv_serve_state_evictions_total", "Matrix states evicted by the cap",
+              MetricKind::kCounter, static_cast<double>(s.states_evicted));
+        point("symspmv_serve_context_pool_resident", "Warm execution resources resident",
+              MetricKind::kGauge, static_cast<double>(p.resident));
+        point("symspmv_serve_context_pool_evictions_total",
+              "Execution resources evicted by the LRU cap", MetricKind::kCounter,
+              static_cast<double>(p.evictions));
+        point("symspmv_serve_tune_queue_depth", "Matrix states awaiting background tuning",
+              MetricKind::kGauge, static_cast<double>(tune_queue_.depth()));
+        point("symspmv_serve_tunes_completed_total", "Background tunes completed",
+              MetricKind::kCounter,
+              static_cast<double>(tunes_completed_.load(std::memory_order_relaxed)));
+        return points;
+    });
+    if (opts_.tune) {
+        tuner_ = std::thread([this] { tune_loop(); });
+    }
+}
+
+Service::~Service() {
+    begin_drain();
+    if (tuner_.joinable()) tuner_.join();
+}
+
+void Service::begin_drain() {
+    draining_.store(true, std::memory_order_relaxed);
+    tune_queue_.close();
+}
+
+std::string Service::metrics_text() const { return registry_.to_prometheus(); }
+
+Frame Service::handle(const Frame& request) {
+    const auto type = static_cast<MsgType>(request.type);
+    registry_.counter("symspmv_serve_requests_total", "Requests handled, by message type",
+                      type_label(type))
+        .add(1);
+    Timer timer;
+    Frame reply;
+    try {
+        reply = dispatch(type, request);
+    } catch (const ParseError& e) {
+        reply = make_error(ErrorCode::kBadRequest, e.what());
+    } catch (const InvalidArgument& e) {
+        reply = make_error(ErrorCode::kBadRequest, e.what());
+    } catch (const std::exception& e) {
+        reply = make_error(ErrorCode::kInternal, e.what());
+    }
+    registry_
+        .histogram("symspmv_serve_request_seconds",
+                   "Request handling latency, by message type", type_label(type))
+        .observe(timer.seconds());
+    if (reply.type == static_cast<std::uint16_t>(MsgType::kError)) {
+        registry_.counter("symspmv_serve_errors_total", "Error replies, by message type",
+                          type_label(type))
+            .add(1);
+    }
+    return reply;
+}
+
+Frame Service::dispatch(MsgType type, const Frame& request) {
+    if (opts_.test_request_delay_ms > 0 &&
+        (type == MsgType::kSpmv || type == MsgType::kSolve)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(opts_.test_request_delay_ms));
+    }
+    switch (type) {
+        case MsgType::kPing:
+            return make_frame(MsgType::kPong);
+        case MsgType::kGetMetrics:
+            return make_frame(MsgType::kMetricsText, metrics_text());
+        case MsgType::kOpenSmx:
+        case MsgType::kOpenMatrixMarket:
+        case MsgType::kOpenFingerprint:
+            return handle_open(type, request);
+        case MsgType::kSpmv:
+            return handle_spmv(request);
+        case MsgType::kSolve:
+            return handle_solve(request);
+        case MsgType::kCloseSession:
+            return handle_close(request);
+        default:
+            return make_error(ErrorCode::kBadRequest,
+                              "unsupported request type " + std::to_string(request.type));
+    }
+}
+
+std::string Service::cache_path(const std::string& token) const {
+    return opts_.matrix_cache_dir + "/" + token + ".smx";
+}
+
+Frame Service::handle_open(MsgType type, const Frame& request) {
+    if (draining_.load(std::memory_order_relaxed)) {
+        return make_error(ErrorCode::kShuttingDown, "daemon is draining");
+    }
+    const OpenRequest req = decode_open(request.payload);
+
+    std::shared_ptr<MatrixState> state;
+    bool built = false;
+    if (type == MsgType::kOpenFingerprint) {
+        const std::string& token = req.data;
+        state = sessions_.find_state(token);
+        if (!state && !opts_.matrix_cache_dir.empty()) {
+            const std::string path = cache_path(token);
+            if (std::filesystem::exists(path)) {
+                Coo full = read_binary_file(path);
+                const auto fp = autotune::fingerprint(full);
+                if (autotune::to_string(fp) != token) {
+                    return make_error(ErrorCode::kInternal,
+                                      "matrix cache entry does not match its fingerprint");
+                }
+                state = sessions_.intern(token, [&] {
+                    built = true;
+                    return std::make_shared<MatrixState>(std::move(full), fp);
+                });
+            }
+        }
+        if (!state) {
+            return make_error(ErrorCode::kNotFound,
+                              "fingerprint not resident and not in the matrix cache");
+        }
+    } else {
+        Coo full;
+        if (type == MsgType::kOpenSmx) {
+            std::istringstream in(req.data, std::ios::binary);
+            full = read_binary(in);
+        } else {
+            std::istringstream in(req.data);
+            full = read_matrix_market(in);
+        }
+        if (full.rows() <= 0 || full.nnz() <= 0) {
+            return make_error(ErrorCode::kBadRequest, "matrix is empty");
+        }
+        const auto fp = autotune::fingerprint(full);
+        const std::string token = autotune::to_string(fp);
+        state = sessions_.intern(token, [&] {
+            built = true;
+            return std::make_shared<MatrixState>(std::move(full), fp);
+        });
+        if (built && !opts_.matrix_cache_dir.empty()) {
+            try {
+                std::filesystem::create_directories(opts_.matrix_cache_dir);
+                write_binary_file(cache_path(state->token), state->bundle.coo());
+            } catch (const std::exception& e) {
+                // Cache persistence is best-effort; serving continues.
+                std::cerr << "symspmv-serve: matrix cache write failed: " << e.what() << "\n";
+            }
+        }
+    }
+
+    if (sessions_.stats().sessions_open >= opts_.max_sessions) {
+        return make_error(ErrorCode::kBusy, "session limit reached");
+    }
+    ensure_kernel(state, (req.flags & kOpenNoTune) != 0);
+
+    SessionInfo info;
+    info.session = sessions_.open_session(state);
+    info.fingerprint = state->token;
+    {
+        std::lock_guard lock(state->exec_mu);
+        info.rows = static_cast<std::uint32_t>(state->bundle.coo().rows());
+        info.nnz = static_cast<std::uint64_t>(state->bundle.coo().nnz());
+        info.kernel = state->kernel ? std::string(state->kernel->name()) : "";
+        info.plan_from_cache = state->plan_from_cache ? 1 : 0;
+    }
+    info.tuning_pending = state->tuning_pending.load(std::memory_order_relaxed) ? 1 : 0;
+    return make_frame(MsgType::kSessionInfo, encode(info));
+}
+
+autotune::TuneOptions Service::tune_options() const {
+    autotune::TuneOptions t;
+    t.thread_counts = {opts_.threads};
+    t.pin_threads = opts_.pin_strategy != PinStrategy::kNone;
+    t.max_trials = opts_.tune_budget;
+    return t;
+}
+
+autotune::PlanKey Service::plan_key(const autotune::MatrixFingerprint& fp) const {
+    const autotune::TuneOptions topts = tune_options();
+    return autotune::PlanKey{fp, autotune::signature_for(topts),
+                             autotune::search_space_hash(topts, {opts_.threads})};
+}
+
+autotune::Plan Service::default_plan(const MatrixState& state) const {
+    autotune::Plan plan;
+    plan.kernel = state.bundle.coo().is_symmetric() ? KernelKind::kSssIndexing
+                                                    : KernelKind::kCsr;
+    plan.threads = opts_.threads;
+    return plan;
+}
+
+void Service::apply_plan_locked(MatrixState& state) {
+    auto resources = pool_.acquire(state.plan.threads, opts_.pin_strategy);
+    // Kernel construction dispatches pool jobs (partitioning, conversion):
+    // serialize against requests running on the same shared resources.
+    std::lock_guard run_lock(resources->run_mutex());
+    state.kernel = autotune::build_plan(state.plan, state.bundle, resources->pool());
+    state.resources = std::move(resources);
+}
+
+void Service::ensure_kernel(const std::shared_ptr<MatrixState>& state, bool no_tune) {
+    std::lock_guard lock(state->exec_mu);
+    if (state->kernel) return;
+    if (auto plan = store_.load(plan_key(state->fp))) {
+        state->plan = *plan;
+        state->plan_from_cache = true;
+    } else {
+        state->plan = default_plan(*state);
+        if (opts_.tune && !no_tune && !draining_.load(std::memory_order_relaxed)) {
+            state->tuning_pending.store(true, std::memory_order_relaxed);
+            if (!tune_queue_.try_push(state)) {
+                // Tune backlog full: stay on the default plan, don't stall.
+                state->tuning_pending.store(false, std::memory_order_relaxed);
+            }
+        }
+    }
+    apply_plan_locked(*state);
+}
+
+void Service::tune_loop() {
+    while (auto item = tune_queue_.pop()) {
+        const std::shared_ptr<MatrixState>& state = *item;
+        if (draining_.load(std::memory_order_relaxed)) {
+            state->tuning_pending.store(false, std::memory_order_relaxed);
+            continue;
+        }
+        try {
+            // The tuner measures on its own contexts (global ContextPool) and
+            // re-checks the store itself, so a plan another process tuned
+            // meanwhile is a zero-trial warm hit here.
+            autotune::Tuner tuner(store_, tune_options());
+            const autotune::TuneReport report = tuner.tune(state->bundle, opts_.threads);
+            std::lock_guard lock(state->exec_mu);
+            state->plan = report.plan;
+            state->plan_from_cache = report.cache_hit;
+            apply_plan_locked(*state);
+        } catch (const std::exception& e) {
+            std::cerr << "symspmv-serve: background tune failed: " << e.what() << "\n";
+        }
+        state->tuning_pending.store(false, std::memory_order_relaxed);
+        tunes_completed_.fetch_add(1, std::memory_order_relaxed);
+    }
+}
+
+Frame Service::handle_spmv(const Frame& request) {
+    const SpmvRequest req = decode_spmv_request(request.payload);
+    const auto state = sessions_.find(req.session);
+    if (!state) return make_error(ErrorCode::kNotFound, "unknown session id");
+    std::lock_guard lock(state->exec_mu);
+    const auto rows = static_cast<std::size_t>(state->kernel->rows());
+    if (req.x.size() != rows) {
+        return make_error(ErrorCode::kBadRequest,
+                          "x has " + std::to_string(req.x.size()) + " elements, matrix has " +
+                              std::to_string(rows) + " rows");
+    }
+    SpmvResult res;
+    res.y.assign(rows, 0.0);
+    {
+        std::lock_guard run_lock(state->resources->run_mutex());
+        state->kernel->spmv(req.x, res.y);
+    }
+    return make_frame(MsgType::kSpmvResult, encode(res));
+}
+
+Frame Service::handle_solve(const Frame& request) {
+    const SolveRequest req = decode_solve_request(request.payload);
+    const auto state = sessions_.find(req.session);
+    if (!state) return make_error(ErrorCode::kNotFound, "unknown session id");
+    std::lock_guard lock(state->exec_mu);
+    const auto rows = static_cast<std::size_t>(state->kernel->rows());
+    if (req.b.size() != rows) {
+        return make_error(ErrorCode::kBadRequest,
+                          "b has " + std::to_string(req.b.size()) + " elements, matrix has " +
+                              std::to_string(rows) + " rows");
+    }
+    if (!state->bundle.coo().is_symmetric()) {
+        return make_error(ErrorCode::kBadRequest, "CG solve needs a symmetric matrix");
+    }
+    if (!(req.tolerance > 0.0) || req.max_iterations == 0) {
+        return make_error(ErrorCode::kBadRequest, "tolerance must be > 0 and iterations >= 1");
+    }
+    cg::Options copts;
+    copts.tolerance = req.tolerance;
+    copts.max_iterations = static_cast<int>(req.max_iterations);
+    copts.record_iteration_seconds = true;
+    cg::Result result;
+    {
+        std::lock_guard run_lock(state->resources->run_mutex());
+        result = cg::solve(*state->kernel, state->resources->pool(), req.b, copts);
+    }
+    obs::metrics::Histogram& iters = registry_.histogram(
+        "symspmv_serve_cg_iteration_seconds",
+        "Wall time of each CG iteration executed by the service", {});
+    for (const double s : result.iteration_seconds) iters.observe(s);
+
+    SolveResult res;
+    res.x.assign(result.x.begin(), result.x.end());
+    res.iterations = static_cast<std::uint32_t>(result.iterations);
+    res.residual_norm = result.residual_norm;
+    res.converged = result.converged ? 1 : 0;
+    return make_frame(MsgType::kSolveResult, encode(res));
+}
+
+Frame Service::handle_close(const Frame& request) {
+    const std::uint64_t id = decode_session_id(request.payload);
+    if (!sessions_.close(id)) return make_error(ErrorCode::kNotFound, "unknown session id");
+    return make_frame(MsgType::kSessionClosed, encode_session_id(id));
+}
+
+}  // namespace symspmv::serve

@@ -1,0 +1,136 @@
+// The serve request executor: decoded frames in, reply frames out.
+//
+// Service is the socket-free core of the daemon (server.hpp adds listeners,
+// connection threads and the admission queue around it; the integration
+// tests drive Service directly).  It owns the shared caches the ISSUE's
+// warm-path contract is about:
+//
+//   - a SessionManager interning matrix states by fingerprint, so the
+//     bundle build and plan resolution for a matrix happen once across all
+//     clients and connections;
+//   - a PlanStore (optionally disk-backed), so tuning survives restarts and
+//     is shared across sessions — tune-on-miss runs on a background thread
+//     and hot-swaps the session kernel when it lands, requests keep flowing
+//     on the default kernel meanwhile;
+//   - a private ContextPool with an LRU capacity cap, so request execution
+//     reuses warm worker pools (ThreadPool::pools_created() stays flat once
+//     the configured shapes exist) and a long-lived process cannot
+//     accumulate pools without bound;
+//   - a metrics Registry whose Prometheus exposition the server publishes
+//     as /metrics: request counts and latency histograms per message type,
+//     plan-store and session collectors, tune accounting.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "autotune/store.hpp"
+#include "autotune/tuner.hpp"
+#include "core/framing.hpp"
+#include "core/topology.hpp"
+#include "engine/resources.hpp"
+#include "obs/metrics.hpp"
+#include "serve/protocol.hpp"
+#include "serve/queue.hpp"
+#include "serve/session.hpp"
+
+namespace symspmv::serve {
+
+struct ServiceOptions {
+    /// Workers per execution context (the pool kernels run on).
+    int threads = 2;
+    /// Thread layout on the machine; kPerSocket pairs naturally with
+    /// by-socket request placement on multi-socket hosts.
+    PinStrategy pin_strategy = PinStrategy::kNone;
+    /// Plan cache directory ("" = in-memory only, tuning lost on restart).
+    std::string plan_cache_dir;
+    /// .smx matrix cache directory ("" = off).  Uploaded matrices are
+    /// persisted here under their fingerprint token, and kOpenFingerprint
+    /// requests fall back to it when the state is not resident.
+    std::string matrix_cache_dir;
+    /// Background tune-on-miss: opens return immediately on the default
+    /// kernel; a background thread tunes and hot-swaps the session kernel.
+    bool tune = false;
+    /// Trial budget per background tune (0 = unbounded).
+    int tune_budget = 6;
+    /// Resident matrix-state cap (LRU eviction of session-free states).
+    std::size_t max_states = 32;
+    /// Open-session cap; opens beyond it are shed with kBusy.
+    std::size_t max_sessions = 1024;
+    /// Frame payload ceiling (bounds upload and vector sizes).
+    std::size_t max_payload = kDefaultMaxFramePayload;
+    /// LRU capacity of the private ContextPool (0 = unbounded).
+    std::size_t context_pool_capacity = 8;
+    /// Test seam: sleep this long inside every compute request, so the
+    /// overflow and drain tests can hold a worker busy deterministically.
+    int test_request_delay_ms = 0;
+};
+
+class Service {
+   public:
+    explicit Service(ServiceOptions opts);
+    ~Service();
+
+    Service(const Service&) = delete;
+    Service& operator=(const Service&) = delete;
+
+    /// Executes one request frame and returns its reply frame.  Never
+    /// throws: malformed payloads, unknown sessions and internal failures
+    /// all come back as kError frames.  Thread-safe; calls for the same
+    /// matrix state serialize on the state's execution lock.
+    [[nodiscard]] Frame handle(const Frame& request);
+
+    /// The live Prometheus exposition (what /metrics serves).
+    [[nodiscard]] std::string metrics_text() const;
+
+    /// Stops the background tuner and rejects queued tunes; already-running
+    /// measurement finishes.  Part of the graceful-drain sequence.
+    void begin_drain();
+
+    [[nodiscard]] const ServiceOptions& options() const { return opts_; }
+    [[nodiscard]] obs::metrics::Registry& metrics() { return registry_; }
+    [[nodiscard]] SessionManager& sessions() { return sessions_; }
+    [[nodiscard]] autotune::PlanStore& plan_store() { return store_; }
+    [[nodiscard]] engine::ContextPool& context_pool() { return pool_; }
+
+    /// Completed background tunes (test observability).
+    [[nodiscard]] std::uint64_t tunes_completed() const {
+        return tunes_completed_.load(std::memory_order_relaxed);
+    }
+
+   private:
+    Frame dispatch(MsgType type, const Frame& request);
+    Frame handle_open(MsgType type, const Frame& request);
+    Frame handle_spmv(const Frame& request);
+    Frame handle_solve(const Frame& request);
+    Frame handle_close(const Frame& request);
+
+    [[nodiscard]] autotune::TuneOptions tune_options() const;
+    [[nodiscard]] autotune::PlanKey plan_key(const autotune::MatrixFingerprint& fp) const;
+    [[nodiscard]] autotune::Plan default_plan(const MatrixState& state) const;
+
+    /// Builds the state's kernel if absent: plan-store warm path first,
+    /// default plan + optional background tune enqueue otherwise.
+    void ensure_kernel(const std::shared_ptr<MatrixState>& state, bool no_tune);
+    /// (Re)builds kernel + resources from state->plan; exec_mu must be held.
+    void apply_plan_locked(MatrixState& state);
+    void tune_loop();
+
+    [[nodiscard]] std::string cache_path(const std::string& token) const;
+
+    ServiceOptions opts_;
+    engine::ContextPool pool_;
+    autotune::PlanStore store_;
+    SessionManager sessions_;
+    obs::metrics::Registry registry_;
+    BoundedQueue<std::shared_ptr<MatrixState>> tune_queue_;
+    std::atomic<bool> draining_{false};
+    std::atomic<std::uint64_t> tunes_completed_{0};
+    std::thread tuner_;  // joined in ~Service
+};
+
+}  // namespace symspmv::serve

@@ -1,0 +1,90 @@
+#include "serve/session.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace symspmv::serve {
+
+std::shared_ptr<MatrixState> SessionManager::intern(
+    const std::string& token, const std::function<std::shared_ptr<MatrixState>()>& build) {
+    std::lock_guard lock(mu_);
+    last_used_[token] = ++use_clock_;
+    if (auto it = states_.find(token); it != states_.end()) {
+        ++stats_.states_reused;
+        return it->second;
+    }
+    auto state = build();
+    states_.emplace(token, state);
+    ++stats_.states_built;
+    evict_over_cap_locked();
+    return state;
+}
+
+std::shared_ptr<MatrixState> SessionManager::find_state(const std::string& token) {
+    std::lock_guard lock(mu_);
+    const auto it = states_.find(token);
+    if (it == states_.end()) return nullptr;
+    last_used_[token] = ++use_clock_;
+    ++stats_.states_reused;
+    return it->second;
+}
+
+std::uint64_t SessionManager::open_session(std::shared_ptr<MatrixState> state) {
+    std::lock_guard lock(mu_);
+    const std::uint64_t id = next_session_++;
+    sessions_.emplace(id, std::move(state));
+    ++stats_.sessions_total;
+    return id;
+}
+
+std::shared_ptr<MatrixState> SessionManager::find(std::uint64_t session) {
+    std::lock_guard lock(mu_);
+    const auto it = sessions_.find(session);
+    if (it == sessions_.end()) return nullptr;
+    last_used_[it->second->token] = ++use_clock_;
+    return it->second;
+}
+
+bool SessionManager::close(std::uint64_t session) {
+    std::lock_guard lock(mu_);
+    const bool erased = sessions_.erase(session) > 0;
+    if (erased) evict_over_cap_locked();
+    return erased;
+}
+
+void SessionManager::evict_over_cap_locked() {
+    if (max_states_ == 0) return;
+    while (states_.size() > max_states_) {
+        // The least-recently-used state with no live session; pinned states
+        // (open sessions) are skipped — a cap smaller than the concurrent
+        // session spread simply stays exceeded until sessions close.
+        std::string victim;
+        std::uint64_t oldest = std::numeric_limits<std::uint64_t>::max();
+        for (const auto& [token, state] : states_) {
+            const bool pinned = std::any_of(
+                sessions_.begin(), sessions_.end(),
+                [&](const auto& s) { return s.second.get() == state.get(); });
+            if (pinned) continue;
+            const auto it = last_used_.find(token);
+            const std::uint64_t stamp = it == last_used_.end() ? 0 : it->second;
+            if (stamp < oldest) {
+                oldest = stamp;
+                victim = token;
+            }
+        }
+        if (victim.empty()) return;  // everything pinned
+        states_.erase(victim);
+        last_used_.erase(victim);
+        ++stats_.states_evicted;
+    }
+}
+
+SessionManager::Stats SessionManager::stats() const {
+    std::lock_guard lock(mu_);
+    Stats s = stats_;
+    s.sessions_open = sessions_.size();
+    s.states_resident = states_.size();
+    return s;
+}
+
+}  // namespace symspmv::serve

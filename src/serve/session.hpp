@@ -1,0 +1,104 @@
+// Matrix sessions: the unit of amortization the service is built around.
+//
+// A *matrix state* is everything derivable from one input matrix — the
+// MatrixBundle, the (possibly tuned) plan, the built kernel, the pooled
+// ExecutionResources it runs on — interned by fingerprint so that any
+// number of clients opening the same matrix share one state: the bundle is
+// built once, the plan is resolved once, and every later open is a pure
+// cache hit (the §V.C amortization argument applied across clients instead
+// of across iterations).  A *session* is a client-visible u64 handle onto a
+// state; closing a session never tears the state down — states stay warm
+// for the next client and are only evicted LRU when the configured cap is
+// exceeded and no session references them.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "autotune/fingerprint.hpp"
+#include "autotune/plan.hpp"
+#include "engine/bundle.hpp"
+#include "engine/resources.hpp"
+#include "spmv/kernel.hpp"
+
+namespace symspmv::serve {
+
+/// Everything one matrix costs to prepare, built once and shared.
+struct MatrixState {
+    explicit MatrixState(Coo full, autotune::MatrixFingerprint fingerprint)
+        : fp(fingerprint), token(autotune::to_string(fp)), bundle(std::move(full)) {}
+
+    const autotune::MatrixFingerprint fp;
+    const std::string token;
+    engine::MatrixBundle bundle;
+
+    /// Guards everything below *and* serializes kernel execution: SpM×V
+    /// kernels carry per-call state (local vectors, phase accounting), so
+    /// two requests against one state must not overlap.  Lock order when
+    /// both are needed: exec_mu first, then resources->run_mutex().
+    std::mutex exec_mu;
+    std::shared_ptr<engine::ExecutionResources> resources;
+    autotune::Plan plan;
+    KernelPtr kernel;
+    bool plan_from_cache = false;
+    std::atomic<bool> tuning_pending{false};
+};
+
+/// Fingerprint-interned states plus the session-id indirection.
+/// Thread-safe.
+class SessionManager {
+   public:
+    /// @p max_states caps resident states; 0 = unbounded.  Eviction is LRU
+    /// over states with no open session.
+    explicit SessionManager(std::size_t max_states) : max_states_(max_states) {}
+
+    /// The state for @p token, built by @p build on first sight.  @p build
+    /// runs under the manager lock — keep it cheap (the bundle converts
+    /// lazily; the expensive kernel build happens later under the state's
+    /// own exec_mu, where it cannot stall unrelated sessions).
+    [[nodiscard]] std::shared_ptr<MatrixState> intern(
+        const std::string& token, const std::function<std::shared_ptr<MatrixState>()>& build);
+
+    /// Looks up an already-interned state (nullptr when absent) — the
+    /// kOpenFingerprint fast path before falling back to the .smx cache.
+    [[nodiscard]] std::shared_ptr<MatrixState> find_state(const std::string& token);
+
+    /// Registers a new client-visible session onto @p state.
+    [[nodiscard]] std::uint64_t open_session(std::shared_ptr<MatrixState> state);
+
+    /// The state behind a session id (nullptr for unknown/closed ids).
+    [[nodiscard]] std::shared_ptr<MatrixState> find(std::uint64_t session);
+
+    /// Closes a session; returns false for unknown ids.  The state stays
+    /// resident (warm) unless evicted later by the cap.
+    bool close(std::uint64_t session);
+
+    struct Stats {
+        std::size_t sessions_open = 0;
+        std::size_t states_resident = 0;
+        std::uint64_t states_built = 0;    // intern() invocations of build
+        std::uint64_t states_reused = 0;   // intern()/find hits on a warm state
+        std::uint64_t states_evicted = 0;  // cap-driven LRU drops
+        std::uint64_t sessions_total = 0;  // open_session() calls ever
+    };
+    [[nodiscard]] Stats stats() const;
+
+   private:
+    void evict_over_cap_locked();
+
+    const std::size_t max_states_;
+    mutable std::mutex mu_;
+    std::map<std::string, std::shared_ptr<MatrixState>> states_;
+    std::map<std::string, std::uint64_t> last_used_;  // token -> recency stamp
+    std::map<std::uint64_t, std::shared_ptr<MatrixState>> sessions_;
+    std::uint64_t next_session_ = 1;
+    std::uint64_t use_clock_ = 0;
+    Stats stats_;
+};
+
+}  // namespace symspmv::serve

@@ -221,4 +221,36 @@ FaultReport fuzz_matrix_market(const Coo& original, std::uint64_t seed, int trun
         });
 }
 
+FaultReport fuzz_frame_stream(const Frame& original, std::uint64_t seed, int truncations,
+                              int bitflips, std::size_t max_payload) {
+    const std::string good = encode_frame(original);
+    return run_faults(good, seed, truncations, bitflips, /*text=*/false,
+                      [&](const std::string& data) {
+                          Attempt a;
+                          std::istringstream in(data, std::ios::binary);
+                          try {
+                              const auto loaded = read_frame(in, max_payload);
+                              if (!loaded) {
+                                  // Clean EOF before the first byte — only the
+                                  // zero-length truncation can land here.
+                                  a.outcome = Outcome::kReject;
+                              } else if (*loaded == original) {
+                                  a.outcome = Outcome::kIdentical;
+                              } else {
+                                  a.outcome = Outcome::kDifferent;
+                                  a.detail = "read_frame returned a different frame (type " +
+                                             std::to_string(loaded->type) + ", " +
+                                             std::to_string(loaded->payload.size()) +
+                                             " payload bytes)";
+                              }
+                          } catch (const ParseError&) {
+                              a.outcome = Outcome::kReject;
+                          } catch (const std::exception& e) {
+                              a.outcome = Outcome::kCrash;
+                              a.detail = e.what();
+                          }
+                          return a;
+                      });
+}
+
 }  // namespace symspmv::verify

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "core/framing.hpp"
 #include "matrix/coo.hpp"
 
 namespace symspmv::verify {
@@ -61,5 +62,16 @@ struct FaultReport {
 /// substitutions (bit flips in text mostly produce other text).
 [[nodiscard]] FaultReport fuzz_matrix_market(const Coo& original, std::uint64_t seed,
                                              int truncations, int mutations);
+
+/// Fuzzes read_frame() (the serve wire transport, core/framing.hpp) over
+/// corrupted encodings of @p original: truncations on the deterministic
+/// grid plus @p bitflips single-bit flips — covering the magic, version,
+/// type, the length prefix (oversized-length attacks) and the checksum
+/// itself.  The checksummed-frame contract is strict: every fault is a
+/// ParseError (or a clean end-of-stream for the zero-byte truncation),
+/// never a different frame and never a crash.
+[[nodiscard]] FaultReport fuzz_frame_stream(const Frame& original, std::uint64_t seed,
+                                            int truncations, int bitflips,
+                                            std::size_t max_payload = kDefaultMaxFramePayload);
 
 }  // namespace symspmv::verify

@@ -11,11 +11,13 @@
 #include "test_util.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "autotune/fingerprint.hpp"
@@ -548,6 +550,61 @@ TEST(Tuner, PrefetchCapableKindsFanOutOverDistances) {
     for (std::size_t i = 0; i < x.size(); ++i) {
         EXPECT_NEAR(y[i], reference[i], 1e-10 * std::abs(reference[i]) + 1e-12);
     }
+}
+
+// Regression test for the store's concurrent-access contract (the serving
+// daemon loads and saves plans from request workers and the background
+// tuner simultaneously).  Two threads hammering the same key must leave
+// disk and memory agreeing on one intact winner — under TSan this also
+// proves the memory map and counters are free of data races.
+TEST(PlanStore, ConcurrentSaveAndLoadOnOneKeyStaysConsistent) {
+    const auto dir = scratch_dir("race");
+    PlanStore store(dir.string());
+    const PlanKey key = sample_key();
+
+    Plan a = sample_plan();
+    Plan b = sample_plan();
+    b.kernel = KernelKind::kCsr;
+    b.threads = 4;
+
+    std::atomic<bool> go{false};
+    std::atomic<int> bad_loads{0};
+    const auto writer = [&](const Plan& plan) {
+        while (!go.load()) {
+        }
+        for (int i = 0; i < 200; ++i) store.save(key, plan);
+    };
+    const auto reader = [&] {
+        while (!go.load()) {
+        }
+        for (int i = 0; i < 400; ++i) {
+            const auto loaded = store.load(key);
+            if (!loaded) continue;  // nothing saved yet
+            if (!same_decision(*loaded, a) && !same_decision(*loaded, b)) ++bad_loads;
+        }
+    };
+    std::thread t1(writer, a);
+    std::thread t2(writer, b);
+    std::thread t3(reader);
+    std::thread t4(reader);
+    go.store(true);
+    t1.join();
+    t2.join();
+    t3.join();
+    t4.join();
+
+    EXPECT_EQ(bad_loads.load(), 0) << "a load observed a torn/mixed plan";
+
+    // Disk and memory agree: a fresh store (no memory layer) parses the
+    // file to the same decision the warm store serves.
+    const auto warm = store.load(key);
+    ASSERT_TRUE(warm.has_value());
+    PlanStore fresh(dir.string());
+    const auto from_disk = fresh.load(key);
+    ASSERT_TRUE(from_disk.has_value()) << "last save left a corrupt/missing file";
+    EXPECT_TRUE(same_decision(*warm, *from_disk))
+        << "memory winner and disk winner diverged";
+    EXPECT_TRUE(same_decision(*from_disk, a) || same_decision(*from_disk, b));
 }
 
 }  // namespace

@@ -132,5 +132,86 @@ TEST(ContextPool, TopologyIsVisibleThroughTheContext) {
     EXPECT_EQ(ctx.resources().pin_cpus().size(), 2u);
 }
 
+TEST(ContextPoolLru, CapacityCapEvictsLeastRecentlyAcquired) {
+    ContextPool pool(fake_topology(1, 8, 1));
+    pool.set_capacity(2);
+    EXPECT_EQ(pool.capacity(), 2u);
+
+    auto a = pool.acquire(1, PinStrategy::kNone);
+    auto b = pool.acquire(2, PinStrategy::kNone);
+    EXPECT_EQ(pool.size(), 2u);
+
+    // Touch (1, none) so (2, none) becomes the LRU victim.
+    (void)pool.acquire(1, PinStrategy::kNone);
+    auto c = pool.acquire(3, PinStrategy::kNone);
+    EXPECT_EQ(pool.size(), 2u);
+    EXPECT_EQ(pool.stats().evictions, 1u);
+
+    // (1, none) survived the eviction (it was touched); (2, none) did not.
+    const auto a2 = pool.acquire(1, PinStrategy::kNone);
+    EXPECT_EQ(a.get(), a2.get());
+    const auto b2 = pool.acquire(2, PinStrategy::kNone);
+    EXPECT_NE(b.get(), b2.get());
+}
+
+TEST(ContextPoolLru, EvictedEntryStaysAliveThroughOutstandingHandles) {
+    ContextPool pool(fake_topology(1, 4, 1));
+    pool.set_capacity(1);
+    auto held = pool.acquire(2, PinStrategy::kNone);
+    (void)pool.acquire(3, PinStrategy::kNone);  // evicts (2, none) from the cache
+    EXPECT_EQ(pool.size(), 1u);
+    // The checkout still works: shared ownership keeps the workers alive.
+    EXPECT_EQ(held->threads(), 2);
+    EXPECT_EQ(held->pool().size(), 2);
+}
+
+TEST(ContextPoolLru, ShrinkingTheCapEvictsImmediately) {
+    ContextPool pool(fake_topology(1, 8, 1));
+    for (int t = 1; t <= 4; ++t) (void)pool.acquire(t, PinStrategy::kNone);
+    EXPECT_EQ(pool.size(), 4u);
+    pool.set_capacity(2);
+    EXPECT_EQ(pool.size(), 2u);
+    EXPECT_EQ(pool.stats().evictions, 2u);
+    // The two survivors are the most recently acquired shapes.
+    const ContextPool::Stats before = pool.stats();
+    (void)pool.acquire(3, PinStrategy::kNone);
+    (void)pool.acquire(4, PinStrategy::kNone);
+    EXPECT_EQ(pool.stats().hits, before.hits + 2);
+}
+
+TEST(ContextPoolLru, DaemonStyleSweepStaysBounded) {
+    // The long-lived daemon scenario the cap exists for: clients request a
+    // rotating spread of (threads, pinning) shapes far wider than the cap.
+    // Residency must never exceed the cap, and a warm working set must keep
+    // hitting once the rotation settles.
+    ContextPool pool(fake_topology(1, 8, 1));
+    pool.set_capacity(3);
+    for (int round = 0; round < 10; ++round) {
+        for (int t = 1; t <= 6; ++t) {
+            (void)pool.acquire(t, PinStrategy::kNone);
+            EXPECT_LE(pool.size(), 3u);
+        }
+    }
+    EXPECT_GT(pool.stats().evictions, 0u);
+
+    // A stable working set within the cap: after one warm-up round, no
+    // further evictions, no new worker pools — every acquire is a hit.
+    for (int t = 1; t <= 3; ++t) (void)pool.acquire(t, PinStrategy::kNone);
+    const std::uint64_t evictions_stable = pool.stats().evictions;
+    const std::uint64_t pools_before = ThreadPool::pools_created();
+    for (int round = 0; round < 20; ++round) {
+        for (int t = 1; t <= 3; ++t) (void)pool.acquire(t, PinStrategy::kNone);
+    }
+    EXPECT_EQ(pool.stats().evictions, evictions_stable);
+    EXPECT_EQ(ThreadPool::pools_created(), pools_before);
+}
+
+TEST(ContextPoolLru, ZeroCapacityMeansUnbounded) {
+    ContextPool pool(fake_topology(1, 8, 1));
+    for (int t = 1; t <= 6; ++t) (void)pool.acquire(t, PinStrategy::kNone);
+    EXPECT_EQ(pool.size(), 6u);
+    EXPECT_EQ(pool.stats().evictions, 0u);
+}
+
 }  // namespace
 }  // namespace symspmv::engine

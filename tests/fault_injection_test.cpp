@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "core/error.hpp"
+#include "core/framing.hpp"
 #include "matrix/binio.hpp"
 #include "matrix/generators.hpp"
 #include "verify/faults.hpp"
@@ -45,6 +46,56 @@ TEST(FaultInjection, MatrixMarketNeverCrashesAndOnlyAcceptsWellFormed) {
     const Coo original = gen::make_spd(gen::poisson2d(8, 8));
     const verify::FaultReport rep = verify::fuzz_matrix_market(original, 31, 20, 300);
     EXPECT_TRUE(rep.no_crashes()) << rep.summary("MatrixMarket");
+}
+
+TEST(FaultInjection, WireFramesRejectEveryTruncationAndBitFlip) {
+    Frame frame;
+    frame.type = 5;
+    frame.payload.assign(512, '\0');
+    for (std::size_t i = 0; i < frame.payload.size(); ++i) {
+        frame.payload[i] = static_cast<char>(i * 37 + 11);
+    }
+    const verify::FaultReport rep = verify::fuzz_frame_stream(frame, 41, 25, 400);
+    EXPECT_TRUE(rep.strictly_clean()) << rep.summary("wire frame");
+    EXPECT_EQ(rep.clean_rejects, rep.trials) << rep.summary("wire frame");
+}
+
+TEST(FaultInjection, WireFramesRejectEveryPrefixTruncationExhaustively) {
+    Frame frame;
+    frame.type = 2;
+    frame.payload = "abcdefgh";
+    const std::string full = encode_frame(frame);
+    // cut = 0 is the clean between-frames EOF (nullopt); every other prefix
+    // is a mid-frame truncation and must throw.
+    {
+        std::istringstream in(std::string(), std::ios::binary);
+        EXPECT_FALSE(read_frame(in).has_value());
+    }
+    for (std::size_t cut = 1; cut < full.size(); ++cut) {
+        std::istringstream in(full.substr(0, cut), std::ios::binary);
+        EXPECT_THROW((void)read_frame(in), ParseError) << "prefix of " << cut << " bytes";
+    }
+}
+
+TEST(FaultInjection, WireFrameOversizedLengthPrefixIsCheapCleanReject) {
+    // Hand-craft a header whose length field claims ~4 GiB.  The reader must
+    // reject on the prefix alone — before allocating or reading the body.
+    std::string bytes(kFrameMagic, sizeof(kFrameMagic));
+    const auto put16 = [&](std::uint16_t v) {
+        bytes.push_back(static_cast<char>(v & 0xff));
+        bytes.push_back(static_cast<char>(v >> 8));
+    };
+    put16(kFrameVersion);
+    put16(5);
+    for (int shift = 0; shift < 32; shift += 8) {
+        bytes.push_back(static_cast<char>((0xfffffff0u >> shift) & 0xff));
+    }
+    std::istringstream in(bytes, std::ios::binary);
+    EXPECT_THROW((void)read_frame(in), ParseError);
+
+    // Same header with a ceiling the claimed length sits just above.
+    std::istringstream tight(bytes, std::ios::binary);
+    EXPECT_THROW((void)read_frame(tight, /*max_payload=*/4096), ParseError);
 }
 
 TEST(FaultInjection, ReportSummaryIsReadable) {

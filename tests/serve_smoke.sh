@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Daemon lifecycle smoke: boot symspmv_serve on an ephemeral port, run the
+# client's end-to-end smoke sequence, scrape /metrics as plain HTTP on the
+# same listener, then SIGTERM the daemon and require a clean drain line.
+#
+# usage: serve_smoke.sh <symspmv_serve> <symspmv_client>
+set -u
+
+SERVE_BIN=$1
+CLIENT_BIN=$2
+LOG=$(mktemp)
+trap 'kill "$SERVE_PID" 2>/dev/null; rm -f "$LOG"' EXIT
+
+fail() {
+    echo "serve_smoke: FAIL: $1"
+    echo "--- daemon log ---"
+    cat "$LOG"
+    exit 1
+}
+
+"$SERVE_BIN" --port 0 --workers 2 --threads 2 > "$LOG" 2>&1 &
+SERVE_PID=$!
+
+# Wait for the listening line and parse the kernel-assigned port.
+PORT=""
+for _ in $(seq 1 100); do
+    PORT=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' "$LOG" | head -n1)
+    [ -n "$PORT" ] && break
+    kill -0 "$SERVE_PID" 2>/dev/null || fail "daemon exited before listening"
+    sleep 0.1
+done
+[ -n "$PORT" ] || fail "daemon never printed its listening line"
+
+"$CLIENT_BIN" --port "$PORT" --ping | grep -q PONG || fail "ping"
+"$CLIENT_BIN" --port "$PORT" --smoke | grep -q "SMOKE PASS" || fail "client smoke sequence"
+
+# /metrics over the binary protocol must expose the serving series.
+METRICS=$("$CLIENT_BIN" --port "$PORT" --metrics)
+echo "$METRICS" | grep -q "symspmv_serve_requests_total" || fail "metrics: request counters"
+echo "$METRICS" | grep -q "symspmv_serve_request_seconds_bucket" || fail "metrics: histograms"
+echo "$METRICS" | grep -q "symspmv_serve_shed_total" || fail "metrics: shed counter"
+
+# The same listener speaks plain HTTP for scrapers (python is in the CI
+# image; bash /dev/tcp is the fallback).
+HTTP=$(python3 - "$PORT" << 'EOF' 2>/dev/null
+import socket, sys
+s = socket.create_connection(("127.0.0.1", int(sys.argv[1])), timeout=10)
+s.sendall(b"GET /metrics HTTP/1.1\r\nHost: localhost\r\n\r\n")
+data = b""
+while chunk := s.recv(65536):
+    data += chunk
+sys.stdout.write(data.decode(errors="replace"))
+EOF
+) || HTTP=$(exec 3<>"/dev/tcp/127.0.0.1/$PORT" && printf 'GET /metrics HTTP/1.1\r\n\r\n' >&3 && cat <&3)
+echo "$HTTP" | grep -q "200 OK" || fail "HTTP scrape: status line"
+echo "$HTTP" | grep -q "version=0.0.4" || fail "HTTP scrape: Prometheus content type"
+
+# SIGTERM: the daemon must drain and report it, exiting 0.
+kill -TERM "$SERVE_PID"
+DRAIN_OK=1
+if wait "$SERVE_PID"; then DRAIN_OK=0; fi
+[ "$DRAIN_OK" -eq 0 ] || fail "daemon exited non-zero on SIGTERM"
+grep -q "drained cleanly" "$LOG" || fail "daemon never printed the drain summary"
+SERVE_PID=""
+
+echo "serve_smoke: PASS"
+exit 0

@@ -1,0 +1,547 @@
+// The serving subsystem end to end: protocol codecs, the socket-free
+// Service, and the full loopback daemon (Server + Client over TCP).
+//
+// The load-bearing assertions mirror the serving contract:
+//   - warm-path reuse: one matrix opened by two clients issuing many
+//     requests builds its bundle once, tunes once, and spawns no new worker
+//     pools after warm-up;
+//   - admission control: a saturated queue sheds with kBusy instead of
+//     stalling;
+//   - graceful drain: requests admitted before shutdown still get replies,
+//     requests after it get kShuttingDown;
+//   - hostile bytes on a live socket (garbage, truncation, oversized length
+//     prefixes) are clean protocol errors, never crashes or hangs.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "core/framing.hpp"
+#include "core/thread_pool.hpp"
+#include "matrix/binio.hpp"
+#include "matrix/generators.hpp"
+#include "serve/client.hpp"
+#include "serve/queue.hpp"
+#include "serve/server.hpp"
+#include "serve/service.hpp"
+
+namespace symspmv::serve {
+namespace {
+
+Coo test_matrix() { return gen::make_spd(gen::poisson2d(16, 16)); }
+
+std::string smx_bytes(const Coo& coo) {
+    std::ostringstream os(std::ios::binary);
+    write_binary(os, coo);
+    return os.str();
+}
+
+std::vector<double> varied_vector(std::size_t n) {
+    std::vector<double> v(n);
+    for (std::size_t i = 0; i < n; ++i) v[i] = 0.5 + 0.125 * static_cast<double>(i % 11);
+    return v;
+}
+
+/// Spins until @p done returns true or ~5 s pass.
+template <typename F>
+bool wait_for(F&& done) {
+    for (int i = 0; i < 500; ++i) {
+        if (done()) return true;
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    return false;
+}
+
+std::filesystem::path scratch_dir(const std::string& name) {
+    const auto dir = std::filesystem::temp_directory_path() / ("symspmv_serve_" + name);
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    return dir;
+}
+
+// ---------------------------------------------------------------- framing --
+
+TEST(Framing, RoundTripsThroughAStream) {
+    Frame in;
+    in.type = 42;
+    in.payload = std::string("\x00\x01payload\xff", 10);
+    std::stringstream buf(std::ios::in | std::ios::out | std::ios::binary);
+    write_frame(buf, in);
+    write_frame(buf, in);
+    const auto first = read_frame(buf);
+    const auto second = read_frame(buf);
+    const auto eof = read_frame(buf);
+    ASSERT_TRUE(first && second);
+    EXPECT_EQ(*first, in);
+    EXPECT_EQ(*second, in);
+    EXPECT_FALSE(eof.has_value());  // clean end-of-stream between frames
+}
+
+TEST(Framing, PayloadAboveCeilingIsRejectedBeforeAllocation) {
+    Frame big;
+    big.type = 1;
+    big.payload.assign(2048, 'x');
+    const std::string bytes = encode_frame(big);
+    std::istringstream in(bytes, std::ios::binary);
+    EXPECT_THROW((void)read_frame(in, /*max_payload=*/1024), ParseError);
+}
+
+TEST(Protocol, CodecsRoundTrip) {
+    OpenRequest open;
+    open.flags = kOpenNoTune;
+    open.data = "matrix-bytes";
+    const OpenRequest open2 = decode_open(encode(open));
+    EXPECT_EQ(open2.flags, open.flags);
+    EXPECT_EQ(open2.data, open.data);
+
+    SpmvRequest spmv;
+    spmv.session = 7;
+    spmv.x = {1.0, -2.5, 3.25};
+    const SpmvRequest spmv2 = decode_spmv_request(encode(spmv));
+    EXPECT_EQ(spmv2.session, 7u);
+    EXPECT_EQ(spmv2.x, spmv.x);
+
+    SolveResult solved;
+    solved.x = {0.5, 0.25};
+    solved.iterations = 12;
+    solved.residual_norm = 1e-9;
+    solved.converged = 1;
+    const SolveResult solved2 = decode_solve_result(encode(solved));
+    EXPECT_EQ(solved2.x, solved.x);
+    EXPECT_EQ(solved2.iterations, 12u);
+    EXPECT_EQ(solved2.converged, 1);
+}
+
+TEST(Protocol, MalformedPayloadsAreParseErrors) {
+    EXPECT_THROW((void)decode_spmv_request("short"), ParseError);
+    EXPECT_THROW((void)decode_open(std::string(3, '\0')), ParseError);
+    // A vector count that exceeds the remaining bytes.
+    PayloadWriter w;
+    w.put<std::uint64_t>(1);
+    w.put<std::uint32_t>(1000);  // claims 1000 doubles, provides none
+    EXPECT_THROW((void)decode_spmv_request(w.take()), ParseError);
+    // Trailing bytes after a well-formed message.
+    SpmvRequest req;
+    req.session = 1;
+    EXPECT_THROW((void)decode_spmv_request(encode(req) + "x"), ParseError);
+}
+
+// ------------------------------------------------------------ BoundedQueue --
+
+TEST(BoundedQueueTest, ShedsWhenFullAndDrainsAfterClose) {
+    BoundedQueue<int> q(2);
+    EXPECT_TRUE(q.try_push(1));
+    EXPECT_TRUE(q.try_push(2));
+    EXPECT_FALSE(q.try_push(3));  // full: shed
+    q.close();
+    EXPECT_FALSE(q.try_push(4));  // closed: shed
+    EXPECT_EQ(q.pop(), 1);        // admitted items still drain
+    EXPECT_EQ(q.pop(), 2);
+    EXPECT_FALSE(q.pop().has_value());  // closed and empty: worker exit
+}
+
+TEST(BoundedQueueTest, ZeroCapacityAdmitsNothing) {
+    BoundedQueue<int> q(0);
+    EXPECT_FALSE(q.try_push(1));
+}
+
+// ---------------------------------------------------------------- Service --
+
+TEST(ServiceTest, OpenSpmvSolveCloseLifecycle) {
+    ServiceOptions opts;
+    opts.threads = 2;
+    Service service(opts);
+    const Coo matrix = test_matrix();
+    const auto n = static_cast<std::size_t>(matrix.rows());
+
+    OpenRequest open;
+    open.data = smx_bytes(matrix);
+    Frame reply = service.handle(
+        Frame{static_cast<std::uint16_t>(MsgType::kOpenSmx), encode(open)});
+    ASSERT_EQ(reply.type, static_cast<std::uint16_t>(MsgType::kSessionInfo))
+        << decode_error(reply.payload).message;
+    const SessionInfo info = decode_session_info(reply.payload);
+    EXPECT_EQ(info.rows, n);
+    EXPECT_FALSE(info.kernel.empty());
+
+    SpmvRequest spmv;
+    spmv.session = info.session;
+    spmv.x = varied_vector(n);
+    reply = service.handle(make_frame(MsgType::kSpmv, encode(spmv)));
+    ASSERT_EQ(reply.type, static_cast<std::uint16_t>(MsgType::kSpmvResult));
+    const SpmvResult y = decode_spmv_result(reply.payload);
+    ASSERT_EQ(y.y.size(), n);
+
+    // Oracle: the local COO product.
+    std::vector<double> ref(n, 0.0);
+    for (const Triplet& t : matrix.entries()) {
+        ref[static_cast<std::size_t>(t.row)] +=
+            t.val * spmv.x[static_cast<std::size_t>(t.col)];
+    }
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(y.y[i], ref[i], 1e-10);
+
+    SolveRequest solve;
+    solve.session = info.session;
+    solve.b = varied_vector(n);
+    solve.tolerance = 1e-9;
+    solve.max_iterations = 2000;
+    reply = service.handle(make_frame(MsgType::kSolve, encode(solve)));
+    ASSERT_EQ(reply.type, static_cast<std::uint16_t>(MsgType::kSolveResult));
+    const SolveResult solved = decode_solve_result(reply.payload);
+    EXPECT_TRUE(solved.converged);
+    EXPECT_GT(solved.iterations, 1u);
+
+    reply = service.handle(
+        make_frame(MsgType::kCloseSession, encode_session_id(info.session)));
+    EXPECT_EQ(reply.type, static_cast<std::uint16_t>(MsgType::kSessionClosed));
+    // Closed session: requests on it are kNotFound.
+    reply = service.handle(make_frame(MsgType::kSpmv, encode(spmv)));
+    ASSERT_EQ(reply.type, static_cast<std::uint16_t>(MsgType::kError));
+    EXPECT_EQ(decode_error(reply.payload).code, ErrorCode::kNotFound);
+}
+
+TEST(ServiceTest, RequestValidationErrorsAreBadRequests) {
+    Service service(ServiceOptions{});
+    OpenRequest open;
+    open.data = smx_bytes(test_matrix());
+    const SessionInfo info = decode_session_info(
+        service.handle(Frame{static_cast<std::uint16_t>(MsgType::kOpenSmx), encode(open)})
+            .payload);
+
+    SpmvRequest wrong;
+    wrong.session = info.session;
+    wrong.x = {1.0, 2.0};  // wrong length
+    Frame reply = service.handle(make_frame(MsgType::kSpmv, encode(wrong)));
+    ASSERT_EQ(reply.type, static_cast<std::uint16_t>(MsgType::kError));
+    EXPECT_EQ(decode_error(reply.payload).code, ErrorCode::kBadRequest);
+
+    // Garbage payload bytes: a bad request, never an exception escaping.
+    reply = service.handle(make_frame(MsgType::kSpmv, "nonsense"));
+    ASSERT_EQ(reply.type, static_cast<std::uint16_t>(MsgType::kError));
+    EXPECT_EQ(decode_error(reply.payload).code, ErrorCode::kBadRequest);
+
+    // Garbage matrix bytes.
+    OpenRequest bad;
+    bad.data = "not an smx stream";
+    reply = service.handle(
+        Frame{static_cast<std::uint16_t>(MsgType::kOpenSmx), encode(bad)});
+    ASSERT_EQ(reply.type, static_cast<std::uint16_t>(MsgType::kError));
+    EXPECT_EQ(decode_error(reply.payload).code, ErrorCode::kBadRequest);
+
+    // Unknown fingerprint with no matrix cache configured.
+    OpenRequest fp;
+    fp.data = "0x0x0-deadbeef-deadbeef";
+    reply = service.handle(
+        Frame{static_cast<std::uint16_t>(MsgType::kOpenFingerprint), encode(fp)});
+    ASSERT_EQ(reply.type, static_cast<std::uint16_t>(MsgType::kError));
+    EXPECT_EQ(decode_error(reply.payload).code, ErrorCode::kNotFound);
+}
+
+TEST(ServiceTest, BackgroundTuneOnMissHotSwapsThePlan) {
+    const auto dir = scratch_dir("tune");
+    ServiceOptions opts;
+    opts.threads = 2;
+    opts.tune = true;
+    opts.tune_budget = 4;
+    opts.plan_cache_dir = (dir / "plans").string();
+    Service service(opts);
+
+    OpenRequest open;
+    open.data = smx_bytes(test_matrix());
+    const Frame reply = service.handle(
+        Frame{static_cast<std::uint16_t>(MsgType::kOpenSmx), encode(open)});
+    ASSERT_EQ(reply.type, static_cast<std::uint16_t>(MsgType::kSessionInfo));
+    const SessionInfo info = decode_session_info(reply.payload);
+    EXPECT_EQ(info.plan_from_cache, 0);  // cold store: default plan served first
+
+    ASSERT_TRUE(wait_for([&] { return service.tunes_completed() >= 1; }))
+        << "background tune never completed";
+    // The tuned winner is persisted for the next process.
+    EXPECT_GE(service.plan_store().counters().saves, 1);
+}
+
+TEST(ServiceTest, RestartServesTheTunedPlanAndCachedMatrixFromDisk) {
+    const auto dir = scratch_dir("restart");
+    ServiceOptions opts;
+    opts.threads = 2;
+    opts.tune = true;
+    opts.tune_budget = 4;
+    opts.plan_cache_dir = (dir / "plans").string();
+    opts.matrix_cache_dir = (dir / "matrices").string();
+
+    std::string token;
+    {
+        Service first(opts);
+        OpenRequest open;
+        open.data = smx_bytes(test_matrix());
+        const SessionInfo info = decode_session_info(
+            first
+                .handle(Frame{static_cast<std::uint16_t>(MsgType::kOpenSmx), encode(open)})
+                .payload);
+        token = info.fingerprint;
+        ASSERT_TRUE(wait_for([&] { return first.tunes_completed() >= 1; }));
+    }
+
+    // A fresh process: open by fingerprint alone.  The matrix comes from the
+    // .smx cache, the plan from the plan store — no upload, no re-tune.
+    Service second(opts);
+    OpenRequest fp;
+    fp.data = token;
+    const Frame reply = second.handle(
+        Frame{static_cast<std::uint16_t>(MsgType::kOpenFingerprint), encode(fp)});
+    ASSERT_EQ(reply.type, static_cast<std::uint16_t>(MsgType::kSessionInfo))
+        << decode_error(reply.payload).message;
+    const SessionInfo info = decode_session_info(reply.payload);
+    EXPECT_EQ(info.fingerprint, token);
+    EXPECT_EQ(info.plan_from_cache, 1);
+    EXPECT_EQ(info.tuning_pending, 0);
+    EXPECT_GE(second.plan_store().counters().disk_hits, 1);
+    EXPECT_EQ(second.tunes_completed(), 0u);
+}
+
+// ------------------------------------------------- loopback client/server --
+
+TEST(ServeLoopback, WarmPathAcrossTwoClientsBuildsAndTunesOnce) {
+    const auto dir = scratch_dir("warm");
+    ServerOptions sopts;
+    sopts.port = 0;
+    sopts.workers = 2;
+    sopts.service.threads = 2;
+    sopts.service.tune = true;
+    sopts.service.tune_budget = 4;
+    sopts.service.plan_cache_dir = (dir / "plans").string();
+    Server server(sopts);
+
+    const Coo matrix = test_matrix();
+    const auto n = static_cast<std::size_t>(matrix.rows());
+    const std::vector<double> x = varied_vector(n);
+
+    Client c1 = Client::connect_to_tcp("127.0.0.1", server.port());
+    Client c2 = Client::connect_to_tcp("127.0.0.1", server.port());
+
+    const SessionInfo s1 = c1.open_smx(smx_bytes(matrix));
+    const SessionInfo s2 = c2.open_smx(smx_bytes(matrix));
+    EXPECT_EQ(s1.fingerprint, s2.fingerprint);
+    EXPECT_NE(s1.session, s2.session);
+
+    // Warm-up: let the background tune land and hot-swap the kernel.
+    ASSERT_TRUE(wait_for([&] { return server.service().tunes_completed() >= 1; }));
+
+    // One spmv each to fault in any post-tune resources, then snapshot.
+    (void)c1.spmv(s1.session, x);
+    (void)c2.spmv(s2.session, x);
+    const std::uint64_t pools_before = ThreadPool::pools_created();
+    const autotune::PlanStore::Counters store_before =
+        server.service().plan_store().counters();
+
+    std::vector<double> y1, y2;
+    for (int i = 0; i < 10; ++i) {
+        y1 = c1.spmv(s1.session, x);
+        y2 = c2.spmv(s2.session, x);
+        ASSERT_EQ(y1.size(), y2.size());
+        for (std::size_t k = 0; k < y1.size(); ++k) {
+            EXPECT_NEAR(y1[k], y2[k], 1e-12);  // same shared state, same answers
+        }
+    }
+    const SolveResult solved = c1.solve(s1.session, x, 1e-9, 2000);
+    EXPECT_TRUE(solved.converged);
+
+    // The warm-path contract: 20 requests later, nothing was rebuilt.
+    EXPECT_EQ(ThreadPool::pools_created(), pools_before)
+        << "request handling spawned new worker pools after warm-up";
+    const autotune::PlanStore::Counters store_after =
+        server.service().plan_store().counters();
+    EXPECT_EQ(store_after.misses, store_before.misses)
+        << "a request re-resolved a plan after warm-up";
+    EXPECT_EQ(store_after.saves, store_before.saves);
+
+    const SessionManager::Stats sessions = server.service().sessions().stats();
+    EXPECT_EQ(sessions.states_built, 1u) << "the shared matrix was built more than once";
+    EXPECT_GE(sessions.states_reused, 1u);
+    EXPECT_EQ(server.service().tunes_completed(), 1u);
+
+    server.begin_shutdown();
+    server.wait();
+}
+
+TEST(ServeLoopback, QueueOverflowShedsWithBusy) {
+    ServerOptions sopts;
+    sopts.port = 0;
+    sopts.queue_capacity = 0;  // admit nothing: every compute request sheds
+    Server server(sopts);
+
+    Client client = Client::connect_to_tcp("127.0.0.1", server.port());
+    client.ping();  // control plane bypasses the queue and still answers
+
+    OpenRequest open;
+    open.data = smx_bytes(test_matrix());
+    try {
+        (void)client.open_smx(smx_bytes(test_matrix()));
+        FAIL() << "expected kBusy";
+    } catch (const RemoteError& e) {
+        EXPECT_EQ(e.code(), ErrorCode::kBusy);
+    }
+    EXPECT_TRUE(wait_for([&] { return server.stats().requests_shed >= 1; }));
+    // The shed counter is visible in the exposition.
+    EXPECT_NE(client.metrics().find("symspmv_serve_shed_total 1"), std::string::npos);
+
+    server.begin_shutdown();
+    server.wait();
+}
+
+TEST(ServeLoopback, GracefulDrainFinishesAdmittedWork) {
+    ServerOptions sopts;
+    sopts.port = 0;
+    sopts.workers = 1;
+    sopts.service.test_request_delay_ms = 300;  // hold the worker busy
+    Server server(sopts);
+
+    Client c1 = Client::connect_to_tcp("127.0.0.1", server.port());
+    Client c2 = Client::connect_to_tcp("127.0.0.1", server.port());
+    const Coo matrix = test_matrix();
+    const auto n = static_cast<std::size_t>(matrix.rows());
+    const SessionInfo info = c1.open_smx(smx_bytes(matrix));
+
+    // Admit a slow request, then initiate the drain while it runs.
+    std::atomic<bool> got_reply{false};
+    std::thread in_flight([&] {
+        const std::vector<double> y = c1.spmv(info.session, varied_vector(n));
+        got_reply.store(y.size() == n);
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    server.begin_shutdown();
+
+    // Requests after the drain began are refused, not queued.
+    try {
+        (void)c2.spmv(info.session, varied_vector(n));
+        FAIL() << "expected kShuttingDown";
+    } catch (const RemoteError& e) {
+        EXPECT_EQ(e.code(), ErrorCode::kShuttingDown);
+    }
+
+    server.wait();
+    in_flight.join();
+    EXPECT_TRUE(got_reply.load()) << "the admitted request lost its reply in the drain";
+}
+
+TEST(ServeLoopback, MetricsOverHttpAndBinaryOnOneListener) {
+    ServerOptions sopts;
+    sopts.port = 0;
+    Server server(sopts);
+
+    Client client = Client::connect_to_tcp("127.0.0.1", server.port());
+    (void)client.open_smx(smx_bytes(test_matrix()));
+    const std::string binary = client.metrics();
+    EXPECT_NE(binary.find("symspmv_serve_requests_total"), std::string::npos);
+    EXPECT_NE(binary.find("symspmv_serve_request_seconds_bucket"), std::string::npos);
+    EXPECT_NE(binary.find("symspmv_serve_shed_total"), std::string::npos);
+    EXPECT_NE(binary.find("symspmv_plan_cache_hits_total"), std::string::npos);
+
+    // Plain HTTP scrape on the same port.
+    SocketStream http(connect_tcp("127.0.0.1", server.port()));
+    http << "GET /metrics HTTP/1.1\r\nHost: localhost\r\n\r\n";
+    http.flush();
+    std::ostringstream response;
+    response << http.rdbuf();
+    const std::string text = response.str();
+    EXPECT_NE(text.find("200 OK"), std::string::npos);
+    EXPECT_NE(text.find("version=0.0.4"), std::string::npos);
+    EXPECT_NE(text.find("symspmv_serve_requests_total"), std::string::npos);
+
+    SocketStream wrong_path(connect_tcp("127.0.0.1", server.port()));
+    wrong_path << "GET /nope HTTP/1.1\r\n\r\n";
+    wrong_path.flush();
+    std::ostringstream nf;
+    nf << wrong_path.rdbuf();
+    EXPECT_NE(nf.str().find("404"), std::string::npos);
+
+    server.begin_shutdown();
+    server.wait();
+}
+
+TEST(ServeLoopback, HostileBytesOnALiveSocketAreCleanErrors) {
+    ServerOptions sopts;
+    sopts.port = 0;
+    Server server(sopts);
+
+    // Garbage that is not a frame and not HTTP.
+    {
+        SocketStream raw(connect_tcp("127.0.0.1", server.port()));
+        raw << "XXXXtotal nonsense bytes";
+        raw.flush();
+        const auto reply = read_frame(raw);
+        ASSERT_TRUE(reply.has_value());
+        EXPECT_EQ(reply->type, static_cast<std::uint16_t>(MsgType::kError));
+        EXPECT_EQ(decode_error(reply->payload).code, ErrorCode::kBadRequest);
+    }
+
+    // An oversized length prefix: claims ~4 GiB, sends nothing.
+    {
+        SocketStream raw(connect_tcp("127.0.0.1", server.port()));
+        std::string header(kFrameMagic, sizeof(kFrameMagic));
+        const auto put16 = [&](std::uint16_t v) {
+            header.push_back(static_cast<char>(v & 0xff));
+            header.push_back(static_cast<char>(v >> 8));
+        };
+        put16(kFrameVersion);
+        put16(static_cast<std::uint16_t>(MsgType::kSpmv));
+        for (int i = 0; i < 4; ++i) header.push_back(static_cast<char>(0xf0));
+        raw << header;
+        raw.flush();
+        const auto reply = read_frame(raw);
+        ASSERT_TRUE(reply.has_value());
+        EXPECT_EQ(decode_error(reply->payload).code, ErrorCode::kBadRequest);
+    }
+
+    // A truncated frame followed by an abrupt close: the connection dies,
+    // the daemon must not.
+    {
+        SocketStream raw(connect_tcp("127.0.0.1", server.port()));
+        const std::string full = encode_frame(make_frame(MsgType::kPing));
+        raw << full.substr(0, full.size() / 2);
+        raw.flush();
+    }
+
+    // The daemon is still fully alive for well-behaved clients.
+    Client client = Client::connect_to_tcp("127.0.0.1", server.port());
+    client.ping();
+    (void)client.open_smx(smx_bytes(test_matrix()));
+
+    server.begin_shutdown();
+    server.wait();
+}
+
+TEST(ServeLoopback, ClientShutdownFrameDrainsTheServer) {
+    ServerOptions sopts;
+    sopts.port = 0;
+    Server server(sopts);
+    Client client = Client::connect_to_tcp("127.0.0.1", server.port());
+    client.shutdown_server();
+    EXPECT_TRUE(server.draining());
+    server.wait();
+}
+
+TEST(ServeLoopback, UnixDomainListenerServesTheSameProtocol) {
+    const auto dir = scratch_dir("unix");
+    ServerOptions sopts;
+    sopts.port = -1;
+    sopts.unix_path = (dir / "serve.sock").string();
+    Server server(sopts);
+
+    Client client = Client::connect_to_unix(sopts.unix_path);
+    client.ping();
+    const SessionInfo info = client.open_smx(smx_bytes(test_matrix()));
+    EXPECT_GT(info.nnz, 0u);
+
+    server.begin_shutdown();
+    server.wait();
+    EXPECT_FALSE(std::filesystem::exists(sopts.unix_path))
+        << "the socket file must be unlinked on clean shutdown";
+}
+
+}  // namespace
+}  // namespace symspmv::serve

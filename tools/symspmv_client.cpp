@@ -1,0 +1,173 @@
+// symspmv_client: command-line client for a running symspmv_serve daemon.
+//
+// Modes (exactly one):
+//   --ping                liveness round trip
+//   --smoke               end-to-end check: generate an SPD Poisson matrix,
+//                         open a session, verify spmv against a local
+//                         computation, run a CG solve, verify the residual,
+//                         re-open by fingerprint, close.  Prints SMOKE PASS
+//                         and exits 0 only when every step checks out.
+//   --metrics             print the daemon's Prometheus exposition
+//   --solve FILE.mtx      open a MatrixMarket file and CG-solve A x = 1
+//   --shutdown            ask the daemon to drain
+//
+// Addressing: --host/--port (TCP, default 127.0.0.1:7070) or --unix PATH.
+
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <vector>
+
+#include "core/options.hpp"
+#include "matrix/binio.hpp"
+#include "matrix/generators.hpp"
+#include "serve/client.hpp"
+
+namespace {
+
+using namespace symspmv;
+using namespace symspmv::serve;
+
+Client connect(const Options& opts) {
+    const std::string unix_path = opts.get_string("unix", "");
+    if (!unix_path.empty()) return Client::connect_to_unix(unix_path);
+    return Client::connect_to_tcp(opts.get_string("host", "127.0.0.1"),
+                                  static_cast<int>(opts.get_int("port", 7070)));
+}
+
+/// y = A x computed locally from the COO entries, the smoke oracle.
+std::vector<double> reference_spmv(const Coo& coo, const std::vector<double>& x) {
+    std::vector<double> y(static_cast<std::size_t>(coo.rows()), 0.0);
+    for (const auto& e : coo.entries()) {
+        y[static_cast<std::size_t>(e.row)] += e.val * x[static_cast<std::size_t>(e.col)];
+    }
+    return y;
+}
+
+int run_smoke(const Options& opts) {
+    const Coo matrix = gen::make_spd(gen::poisson2d(24, 24));
+    const auto n = static_cast<std::size_t>(matrix.rows());
+    std::ostringstream smx(std::ios::binary);
+    write_binary(smx, matrix);
+
+    Client client = connect(opts);
+    client.ping();
+
+    const SessionInfo info = client.open_smx(smx.str());
+    std::cout << "opened session " << info.session << " (" << info.rows << " rows, "
+              << info.nnz << " nnz, kernel " << info.kernel << ", fingerprint "
+              << info.fingerprint << ")\n";
+
+    std::vector<double> x(n);
+    for (std::size_t i = 0; i < n; ++i) x[i] = 1.0 + 0.25 * static_cast<double>(i % 7);
+    const std::vector<double> y = client.spmv(info.session, x);
+    const std::vector<double> ref = reference_spmv(matrix, x);
+    double max_err = 0.0;
+    for (std::size_t i = 0; i < n; ++i) max_err = std::max(max_err, std::abs(y[i] - ref[i]));
+    if (max_err > 1e-10) {
+        std::cerr << "SMOKE FAIL: spmv deviates from the local reference by " << max_err
+                  << "\n";
+        return 1;
+    }
+
+    // A varied right-hand side (make_spd gives A*ones == ones exactly, which
+    // would let CG converge in one trivial step and prove nothing).
+    const SolveResult solved = client.solve(info.session, x, 1e-8, 2000);
+    if (!solved.converged) {
+        std::cerr << "SMOKE FAIL: CG did not converge (residual " << solved.residual_norm
+                  << " after " << solved.iterations << " iterations)\n";
+        return 1;
+    }
+    std::cout << "solve converged in " << solved.iterations << " iterations, residual "
+              << solved.residual_norm << "\n";
+
+    // Warm re-open: the daemon must already hold this matrix state.
+    const SessionInfo again = client.open_fingerprint(info.fingerprint);
+    if (again.fingerprint != info.fingerprint) {
+        std::cerr << "SMOKE FAIL: fingerprint re-open returned a different matrix\n";
+        return 1;
+    }
+    client.close_session(again.session);
+    client.close_session(info.session);
+
+    const std::string metrics = client.metrics();
+    if (metrics.find("symspmv_serve_requests_total") == std::string::npos) {
+        std::cerr << "SMOKE FAIL: /metrics is missing the request counters\n";
+        return 1;
+    }
+    std::cout << "SMOKE PASS\n";
+    return 0;
+}
+
+int run_solve(const Options& opts, const std::string& path) {
+    std::ifstream in(path);
+    if (!in) {
+        std::cerr << "cannot open " << path << "\n";
+        return 2;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+
+    Client client = connect(opts);
+    const SessionInfo info = client.open_matrix_market(text.str());
+    std::cout << "opened " << path << ": " << info.rows << " rows, " << info.nnz
+              << " nnz, kernel " << info.kernel << "\n";
+    const std::vector<double> b(info.rows, 1.0);
+    const SolveResult solved =
+        client.solve(info.session, b, opts.get_double("tol", 1e-8),
+                     static_cast<std::uint32_t>(opts.get_int("max-iterations", 1000)));
+    std::cout << (solved.converged ? "converged" : "NOT converged") << " in "
+              << solved.iterations << " iterations, residual " << solved.residual_norm << "\n";
+    client.close_session(info.session);
+    return solved.converged ? 0 : 1;
+}
+
+void usage(const std::string& prog) {
+    std::cout << "usage: " << prog
+              << " [--host H] [--port P] [--unix PATH] "
+                 "--ping | --smoke | --metrics | --solve FILE.mtx | --shutdown\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const Options opts(argc, argv);
+    if (opts.has("help")) {
+        usage(opts.program());
+        return 0;
+    }
+    try {
+        if (opts.has("ping")) {
+            connect(opts).ping();
+            std::cout << "PONG\n";
+            return 0;
+        }
+        if (opts.has("smoke")) return run_smoke(opts);
+        if (opts.has("metrics")) {
+            std::cout << connect(opts).metrics();
+            return 0;
+        }
+        if (opts.has("solve")) {
+            const auto path = opts.get("solve");
+            if (!path) {
+                usage(opts.program());
+                return 2;
+            }
+            return run_solve(opts, *path);
+        }
+        if (opts.has("shutdown")) {
+            connect(opts).shutdown_server();
+            std::cout << "daemon acknowledged shutdown\n";
+            return 0;
+        }
+        usage(opts.program());
+        return 2;
+    } catch (const RemoteError& e) {
+        std::cerr << "daemon error: " << e.what() << "\n";
+        return 1;
+    } catch (const std::exception& e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+}

@@ -1,0 +1,135 @@
+// symspmv_serve: the long-lived solve daemon.
+//
+// Boots a serve::Server on a TCP and/or unix-domain listener, prints one
+// "listening" line per listener (machine-parseable; the smoke script reads
+// the port from it), then blocks until SIGTERM/SIGINT or a client kShutdown
+// frame initiates the drain.  On exit it prints a one-line drain summary.
+//
+//   symspmv_serve --port 0 --threads 4 --tune --plan-cache /var/cache/symspmv
+//
+// Signals are handled on a dedicated sigwait thread: the signal mask is set
+// before any server thread starts, so every thread inherits it and delivery
+// is deterministic.  First signal drains gracefully; a second one is left
+// at default disposition (kills the process) as the escape hatch.
+
+#include <csignal>
+#include <cstring>
+#include <iostream>
+#include <thread>
+
+#include <unistd.h>
+
+#include "core/options.hpp"
+#include "core/topology.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+using namespace symspmv;
+
+PinStrategy parse_pin(const std::string& name) {
+    if (name == "none") return PinStrategy::kNone;
+    if (name == "compact") return PinStrategy::kCompact;
+    if (name == "scatter") return PinStrategy::kScatter;
+    if (name == "per-socket") return PinStrategy::kPerSocket;
+    throw InvalidArgument("unknown --pin value: " + name +
+                          " (expected none|compact|scatter|per-socket)");
+}
+
+void usage(const std::string& prog) {
+    std::cout
+        << "usage: " << prog << " [options]\n"
+        << "  --port N           TCP port to listen on (0 = kernel-assigned; default 7070)\n"
+        << "  --host ADDR        TCP bind address (default 127.0.0.1)\n"
+        << "  --no-tcp           disable the TCP listener\n"
+        << "  --unix PATH        also listen on a unix-domain socket\n"
+        << "  --threads N        worker threads per execution context (default 2)\n"
+        << "  --pin S            thread pinning: none|compact|scatter|per-socket\n"
+        << "  --workers N        request worker threads (default 2)\n"
+        << "  --queue-depth N    admission queue depth; overflow is shed (default 64)\n"
+        << "  --plan-cache DIR   persistent tuned-plan cache (default: in-memory)\n"
+        << "  --matrix-cache DIR persistent .smx cache for open-by-fingerprint\n"
+        << "  --tune             background tune-on-miss (opens stay fast)\n"
+        << "  --tune-budget N    trials per background tune (default 6)\n"
+        << "  --max-states N     resident matrix-state cap (default 32)\n"
+        << "  --max-sessions N   open-session cap (default 1024)\n"
+        << "  --context-pool N   warm execution-resource cap (default 8)\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    using namespace symspmv::serve;
+    const Options opts(argc, argv);
+    if (opts.has("help")) {
+        usage(opts.program());
+        return 0;
+    }
+    try {
+        ServerOptions sopts;
+        sopts.service.threads = static_cast<int>(opts.get_int("threads", 2));
+        sopts.service.pin_strategy = parse_pin(opts.get_string("pin", "none"));
+        sopts.service.plan_cache_dir = opts.get_string("plan-cache", "");
+        sopts.service.matrix_cache_dir = opts.get_string("matrix-cache", "");
+        sopts.service.tune = opts.get_bool("tune", false);
+        sopts.service.tune_budget = static_cast<int>(opts.get_int("tune-budget", 6));
+        sopts.service.max_states = static_cast<std::size_t>(opts.get_int("max-states", 32));
+        sopts.service.max_sessions =
+            static_cast<std::size_t>(opts.get_int("max-sessions", 1024));
+        sopts.service.context_pool_capacity =
+            static_cast<std::size_t>(opts.get_int("context-pool", 8));
+        sopts.service.test_request_delay_ms =
+            static_cast<int>(opts.get_int("test-request-delay-ms", 0));
+        sopts.host = opts.get_string("host", "127.0.0.1");
+        sopts.port = opts.has("no-tcp") ? -1 : static_cast<int>(opts.get_int("port", 7070));
+        sopts.unix_path = opts.get_string("unix", "");
+        sopts.queue_capacity = static_cast<std::size_t>(opts.get_int("queue-depth", 64));
+        sopts.workers = static_cast<int>(opts.get_int("workers", 2));
+        if (sopts.port < 0 && sopts.unix_path.empty()) {
+            std::cerr << "symspmv-serve: nothing to listen on (--no-tcp and no --unix)\n";
+            return 2;
+        }
+
+        // Mask the drain signals before the server spawns any thread.
+        sigset_t set;
+        sigemptyset(&set);
+        sigaddset(&set, SIGTERM);
+        sigaddset(&set, SIGINT);
+        pthread_sigmask(SIG_BLOCK, &set, nullptr);
+
+        Server server(sopts);
+        if (server.port() >= 0) {
+            std::cout << "symspmv-serve: listening on " << sopts.host << ":" << server.port()
+                      << std::endl;
+        }
+        if (!sopts.unix_path.empty()) {
+            std::cout << "symspmv-serve: listening on unix:" << sopts.unix_path << std::endl;
+        }
+
+        std::thread signal_thread([&set, &server] {
+            int sig = 0;
+            sigwait(&set, &sig);
+            if (!server.draining()) {
+                std::cout << "symspmv-serve: caught " << strsignal(sig) << ", draining"
+                          << std::endl;
+            }
+            server.begin_shutdown();
+        });
+
+        server.wait();
+        // If the drain came from a client kShutdown frame the signal thread
+        // is still parked in sigwait; a self-signal releases it (it stays
+        // blocked and pending — never fatal — if the thread already exited).
+        kill(getpid(), SIGTERM);
+        signal_thread.join();
+
+        const Server::Stats stats = server.stats();
+        std::cout << "symspmv-serve: drained cleanly (connections=" << stats.connections_total
+                  << " shed=" << stats.requests_shed << " http=" << stats.http_requests << ")"
+                  << std::endl;
+        return 0;
+    } catch (const std::exception& e) {
+        std::cerr << "symspmv-serve: " << e.what() << "\n";
+        return 1;
+    }
+}
