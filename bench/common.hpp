@@ -73,6 +73,20 @@ struct BenchEnv {
     }
 };
 
+/// Drops sweep entries above @p logical_cpus — the default {1,2,4,8,16}
+/// sweep on a 4-CPU container would otherwise spend most of its wall-clock
+/// measuring scheduler contention instead of the kernel.  Only *default*
+/// sweeps are clamped (an explicit --threads list is the user asking for
+/// exactly those counts, oversubscribed or not; the record's
+/// exec.oversubscribed flag tags such rows).  Keeps at least {1};
+/// @p logical_cpus <= 0 (topology unknown) leaves the list untouched.
+inline std::vector<int> clamp_thread_counts(std::vector<int> counts, int logical_cpus) {
+    if (logical_cpus <= 0) return counts;
+    std::erase_if(counts, [logical_cpus](int c) { return c > logical_cpus; });
+    if (counts.empty()) counts.push_back(1);
+    return counts;
+}
+
 inline std::vector<int> parse_thread_list(const std::string& list) {
     std::vector<int> out;
     std::istringstream is(list);
@@ -102,7 +116,12 @@ inline BenchEnv parse_env(int argc, const char* const* argv, int default_iterati
         }
     }
     const std::string threads = opts.get_string("--threads", "");
-    if (!threads.empty()) env.thread_counts = parse_thread_list(threads);
+    if (!threads.empty()) {
+        env.thread_counts = parse_thread_list(threads);
+    } else {
+        env.thread_counts =
+            clamp_thread_counts(std::move(env.thread_counts), local_topology().logical_cpus());
+    }
     const std::string csv_path = opts.get_string("--csv", "");
     if (!csv_path.empty()) {
         env.csv_file = std::make_shared<std::ofstream>(csv_path);

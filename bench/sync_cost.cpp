@@ -1,0 +1,210 @@
+// sync_cost: microbenchmark of the synchronization primitives behind the
+// multicore-scaling fix (§III.A of the paper; DESIGN.md §13).
+//
+// Three dispatch paths are timed with an empty job, isolating pure
+// synchronization overhead:
+//
+//   cv-pool run      the pre-fix dispatcher: mutex + condition_variable
+//                    sleep/wake per job (replicated below verbatim in
+//                    miniature, since the production pool no longer has it)
+//   pool run         the hot-dispatch fast path: spin-then-park on an atomic
+//                    generation word, one region per call
+//   pool run_many    N iterations inside ONE persistent region — the per-
+//                    iteration cost the bench loop and every CG iteration
+//                    actually pays after the fix
+//
+// plus the barrier-crossing cost of the mutex+cv PoisonableBarrier vs the
+// hybrid SpinBarrier under the same thread count.  The headline number is
+// the cv-run / run_many ratio: the fix's acceptance target is >= 5x.
+//
+//   sync_cost [--threads N] [--dispatches N] [--batch N] [--crossings N]
+#include <algorithm>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <iomanip>
+#include <iostream>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/barrier.hpp"
+#include "core/options.hpp"
+#include "core/spin_barrier.hpp"
+#include "core/thread_pool.hpp"
+#include "core/timer.hpp"
+
+using namespace symspmv;
+
+namespace {
+
+/// The pre-fix dispatcher in miniature: every run() takes the mutex, bumps a
+/// generation under it, and wakes the workers through a condition variable;
+/// workers sleep on the cv between jobs and the last one out signals a
+/// second cv.  Two scheduler round trips per dispatch — the cost the
+/// committed BENCH_symspmv.md showed dominating every parallel cell.
+class CvPool {
+   public:
+    explicit CvPool(int threads) {
+        workers_.reserve(static_cast<std::size_t>(threads));
+        for (int tid = 0; tid < threads; ++tid) {
+            workers_.emplace_back([this, tid] { loop(tid); });
+        }
+    }
+
+    ~CvPool() {
+        {
+            std::lock_guard lock(mu_);
+            stop_ = true;
+            ++generation_;
+        }
+        cv_job_.notify_all();
+    }
+
+    void run(const std::function<void(int)>& job) {
+        std::unique_lock lock(mu_);
+        job_ = &job;
+        remaining_ = static_cast<int>(workers_.size());
+        ++generation_;
+        cv_job_.notify_all();
+        cv_done_.wait(lock, [this] { return remaining_ == 0; });
+        job_ = nullptr;
+    }
+
+   private:
+    void loop(int tid) {
+        std::uint64_t seen = 0;
+        for (;;) {
+            const std::function<void(int)>* job = nullptr;
+            {
+                std::unique_lock lock(mu_);
+                cv_job_.wait(lock, [&] { return generation_ != seen; });
+                seen = generation_;
+                if (stop_) return;
+                job = job_;
+            }
+            (*job)(tid);
+            {
+                std::lock_guard lock(mu_);
+                if (--remaining_ == 0) cv_done_.notify_one();
+            }
+        }
+    }
+
+    std::mutex mu_;
+    std::condition_variable cv_job_;
+    std::condition_variable cv_done_;
+    const std::function<void(int)>* job_ = nullptr;
+    std::uint64_t generation_ = 0;
+    int remaining_ = 0;
+    bool stop_ = false;
+    std::vector<std::jthread> workers_;  // last: joins before the state dies
+};
+
+double ns_per(double seconds, std::int64_t ops) {
+    return ops > 0 ? seconds / static_cast<double>(ops) * 1e9 : 0.0;
+}
+
+/// Seconds for @p crew_size threads to cross @p barrier @p crossings times.
+template <typename Barrier>
+double time_crossings(Barrier& barrier, int crew_size, int crossings) {
+    std::vector<std::jthread> crew;
+    crew.reserve(static_cast<std::size_t>(crew_size));
+    Timer t;
+    for (int i = 0; i < crew_size; ++i) {
+        crew.emplace_back([&] {
+            for (int c = 0; c < crossings; ++c) barrier.arrive_and_wait();
+        });
+    }
+    crew.clear();  // join
+    return t.seconds();
+}
+
+void print_row(const char* what, double ns, double baseline_ns) {
+    std::cout << "  " << std::left << std::setw(34) << what << std::right << std::setw(12)
+              << std::fixed << std::setprecision(0) << ns << " ns";
+    if (baseline_ns > 0.0 && ns > 0.0) {
+        std::cout << "   (" << std::setprecision(1) << baseline_ns / ns << "x vs cv)";
+    }
+    std::cout << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const Options opts(argc, argv);
+    const unsigned hw = std::thread::hardware_concurrency();
+    const int default_threads = std::clamp(static_cast<int>(hw == 0 ? 2 : hw), 2, 4);
+    const int threads = static_cast<int>(opts.get_int("--threads", default_threads));
+    const int dispatches = static_cast<int>(opts.get_int("--dispatches", 20000));
+    const int batch = static_cast<int>(opts.get_int("--batch", 512));
+    const int crossings = static_cast<int>(opts.get_int("--crossings", 20000));
+
+    std::cout << "sync_cost: p=" << threads << ", " << dispatches << " dispatches, batch="
+              << batch << ", " << crossings << " barrier crossings ("
+              << (hw == 0 ? 0u : hw) << " CPUs online)\n\n";
+
+    const auto noop = [](int) {};
+    const auto noop_iter = [](int, int) {};
+
+    // --- dispatch cost ----------------------------------------------------
+    double cv_seconds = 0.0;
+    {
+        CvPool pool(threads);
+        for (int i = 0; i < 64; ++i) pool.run(noop);  // warmup
+        Timer t;
+        for (int i = 0; i < dispatches; ++i) pool.run(noop);
+        cv_seconds = t.seconds();
+    }
+    const double cv_ns = ns_per(cv_seconds, dispatches);
+
+    double run_seconds = 0.0;
+    double run_many_seconds = 0.0;
+    std::int64_t run_many_iters = 0;
+    {
+        ThreadPool pool(threads);
+        for (int i = 0; i < 64; ++i) pool.run(noop);  // warmup
+        Timer t;
+        for (int i = 0; i < dispatches; ++i) pool.run(noop);
+        run_seconds = t.seconds();
+
+        const int regions = std::max(1, dispatches / batch);
+        pool.run_many(batch, noop_iter);  // warmup
+        Timer t2;
+        for (int r = 0; r < regions; ++r) pool.run_many(batch, noop_iter);
+        run_many_seconds = t2.seconds();
+        run_many_iters = static_cast<std::int64_t>(regions) * batch;
+    }
+    const double run_ns = ns_per(run_seconds, dispatches);
+    const double run_many_ns = ns_per(run_many_seconds, run_many_iters);
+
+    std::cout << "dispatch overhead (empty job, per iteration):\n";
+    print_row("cv-pool run (pre-fix dispatcher)", cv_ns, 0.0);
+    print_row("pool run (hot dispatch)", run_ns, cv_ns);
+    print_row("pool run_many (persistent region)", run_many_ns, cv_ns);
+
+    // --- barrier crossing cost --------------------------------------------
+    double cv_barrier_ns = 0.0;
+    double spin_barrier_ns = 0.0;
+    {
+        PoisonableBarrier barrier(threads);
+        cv_barrier_ns = ns_per(time_crossings(barrier, threads, crossings), crossings);
+    }
+    {
+        SpinBarrier barrier(threads);
+        spin_barrier_ns = ns_per(time_crossings(barrier, threads, crossings), crossings);
+    }
+    std::cout << "\nbarrier crossing (per generation, " << threads << " threads):\n";
+    std::cout << "  " << std::left << std::setw(34) << "PoisonableBarrier (mutex+cv)"
+              << std::right << std::setw(12) << std::fixed << std::setprecision(0)
+              << cv_barrier_ns << " ns\n";
+    std::cout << "  " << std::left << std::setw(34) << "SpinBarrier (hybrid)" << std::right
+              << std::setw(12) << std::fixed << std::setprecision(0) << spin_barrier_ns
+              << " ns   (" << std::setprecision(1)
+              << (spin_barrier_ns > 0.0 ? cv_barrier_ns / spin_barrier_ns : 0.0) << "x)\n";
+
+    const double ratio = run_many_ns > 0.0 ? cv_ns / run_many_ns : 0.0;
+    std::cout << "\nper-iteration dispatch: run_many is " << std::setprecision(1) << ratio
+              << "x cheaper than the cv dispatcher (acceptance target: >= 5x)\n";
+    return 0;
+}

@@ -207,6 +207,8 @@ int main(int argc, char** argv) {
             rec.placement = exec.placement;
             rec.pinning = exec.pinning;
             rec.topology = exec.topology;
+            rec.oversubscribed = exec.logical_cpus > 0 && threads > exec.logical_cpus;
+            rec.counters_note = counters->unavailable_reason();
             rec.iterations = res.base.iterations;
             const int iters = std::max(1, res.base.iterations);
             // Per-op here means per CG iteration: one SpM×V plus the vector

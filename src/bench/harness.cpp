@@ -1,15 +1,86 @@
 #include "bench/harness.hpp"
 
 #include <iomanip>
+#include <optional>
 #include <ostream>
 #include <random>
 #include <sstream>
 
 #include "core/allocator.hpp"
 #include "core/error.hpp"
+#include "core/thread_pool.hpp"
 #include "core/timer.hpp"
 
 namespace symspmv::bench {
+
+namespace {
+
+/// §V.A measurement loop for kernels exposing a persistent parallel region:
+/// warmup and all timed iterations run under one ThreadPool::run_many()
+/// dispatch each, so the loop pays one worker wake instead of one per op.
+/// Per-op times come from worker-0 timestamps taken INSIDE the region at
+/// the end-of-op barrier; op 0 absorbs the single dispatch wake, which the
+/// median is robust to.
+Measurement measure_in_region(SpmvKernel& kernel, ThreadPool& pool, value_t* buf_a,
+                              value_t* buf_b, std::size_t n, const MeasureOptions& opts) {
+    value_t* bufs[2] = {buf_a, buf_b};
+    // The x/y swap of §V.A becomes buffer parity: op k reads bufs[k & 1]
+    // and writes bufs[(k + 1) & 1], chaining the product through both
+    // buffers so the compiler cannot hoist anything.
+    if (opts.warmup > 0) {
+        pool.run_many(opts.warmup, [&](int tid, int it) {
+            kernel.spmv_region(tid, {bufs[it & 1], n}, {bufs[(it + 1) & 1], n});
+            // End-of-op barrier: op it+1 reads the vector every worker just
+            // wrote, so no worker may start it early.
+            pool.barrier();
+        });
+    }
+    const int parity = opts.warmup & 1;
+
+    // Profile only the timed window.  Without a caller profiler, attach an
+    // internal one anyway: the region path derives phase_totals (and the
+    // per-op stamps' phase context) from profiler accumulators rather than
+    // kernel.last_phases(), which a region never updates.
+    PhaseProfiler* prev = kernel.profiler();
+    std::optional<PhaseProfiler> own;
+    PhaseProfiler* prof = opts.profiler;
+    if (prof != nullptr) {
+        prof->reset();
+    } else {
+        own.emplace(pool.size());
+        prof = &*own;
+    }
+    kernel.set_profiler(prof);
+
+    std::vector<double> stamps(static_cast<std::size_t>(opts.iterations) + 1, 0.0);
+    Timer clock;  // stamps[0] == 0.0 == dispatch time
+    pool.run_many(opts.iterations, [&](int tid, int it) {
+        if (tid == 0) prof->begin_op();
+        const int k = parity + it;
+        kernel.spmv_region(tid, {bufs[k & 1], n}, {bufs[(k + 1) & 1], n});
+        pool.barrier(*prof, tid);
+        if (tid == 0) stamps[static_cast<std::size_t>(it) + 1] = clock.seconds();
+    });
+    kernel.set_profiler(prev);
+
+    Measurement m;
+    std::vector<double> per_op(static_cast<std::size_t>(opts.iterations));
+    for (std::size_t i = 0; i < per_op.size(); ++i) per_op[i] = stamps[i + 1] - stamps[i];
+    // Worker 0's accumulated phase times over the window.  Unlike the
+    // legacy path (which books everything outside the multiply — barrier
+    // included — as reduction), this is the pure reduction time; barrier
+    // waits are visible separately through the profiler.
+    m.phase_totals.multiply_seconds = prof->seconds(0, Phase::kMultiply);
+    m.phase_totals.reduction_seconds = prof->seconds(0, Phase::kReduction);
+    m.per_op = summarize(per_op);
+    m.seconds_per_op = m.per_op.median;
+    if (m.seconds_per_op > 0.0) {
+        m.gflops = static_cast<double>(kernel.flops()) / m.seconds_per_op * 1e-9;
+    }
+    return m;
+}
+
+}  // namespace
 
 Measurement measure(SpmvKernel& kernel, const MeasureOptions& opts) {
     SYMSPMV_CHECK_MSG(opts.iterations >= 1, "measure: need at least one iteration");
@@ -18,6 +89,10 @@ Measurement measure(SpmvKernel& kernel, const MeasureOptions& opts) {
     std::mt19937_64 rng(opts.seed);
     std::uniform_real_distribution<value_t> dist(-1.0, 1.0);
     for (auto& v : a) v = dist(rng);
+
+    if (ThreadPool* pool = kernel.region_pool(); pool != nullptr) {
+        return measure_in_region(kernel, *pool, a.data(), b.data(), n, opts);
+    }
 
     // x and y swap every iteration (§V.A), so the product chains through
     // both buffers and the compiler cannot hoist anything.

@@ -32,7 +32,15 @@ struct Measurement {
     Summary per_op;                // full per-iteration distribution
 };
 
-/// Runs the §V.A measurement loop on @p kernel.
+/// Runs the §V.A measurement loop on @p kernel.  Kernels exposing a
+/// persistent parallel region (SpmvKernel::region_pool() != nullptr) are
+/// measured inside one ThreadPool::run_many() region — one worker wake for
+/// the whole loop, per-op times from worker-0 timestamps at the end-of-op
+/// barrier — so dispatch latency is paid once instead of per operation;
+/// serial kernels keep the plain timed loop.  On the region path
+/// phase_totals.reduction_seconds is the pure reduction time (barrier waits
+/// are booked separately in the profiler), where the legacy path folded
+/// barrier waits into it.
 Measurement measure(SpmvKernel& kernel, const MeasureOptions& opts = {});
 
 /// Plain fixed-width table printer for the bench binaries.  When a CSV

@@ -1,0 +1,96 @@
+// Sense-reversing spin barrier with the poison/unwind error path.
+//
+// Drop-in hot-path replacement for PoisonableBarrier (core/barrier.hpp): the
+// same arrive_and_wait()/poison()/reset() contract and the same Poisoned
+// marker thrown on every waiter once the barrier is broken, but the wait is
+// a bounded spin on a single atomic word (pause/yield) that parks on the
+// word's futex once the spin budget is exhausted (core/spin_wait.hpp).  The
+// mutex+cv barrier stays in the tree as the reference implementation and the
+// baseline bench/sync_cost compares against.
+//
+// State is one 32-bit word: bit 0 is the poison flag, bits 1..31 are the
+// epoch ("sense"), bumped by the last arriver of each generation.  A waiter
+// captures the word at entry and waits for it to change; an epoch bump means
+// normal release, a poison-only change means unwind.  Epoch wrap-around after
+// 2^31 generations is harmless: a waiter would have to sleep through exactly
+// 2^31 full generations — which cannot happen, because no generation can
+// complete without its own arrival.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "core/barrier.hpp"
+#include "core/spin_wait.hpp"
+
+namespace symspmv {
+
+class SpinBarrier {
+   public:
+    /// Same marker type as the sleeping barrier so catch sites in the thread
+    /// pool (and job code that must not swallow it) work with either.
+    using Poisoned = PoisonableBarrier::Poisoned;
+
+    /// Barrier for @p count threads.  @p spin_budget is the pause-iteration
+    /// count to burn before parking; -1 picks default_spin_budget(count).
+    explicit SpinBarrier(int count, int spin_budget = -1)
+        : count_(count < 1 ? 1 : count),
+          spin_budget_(spin_budget >= 0 ? spin_budget : default_spin_budget(count < 1 ? 1 : count)) {}
+
+    SpinBarrier(const SpinBarrier&) = delete;
+    SpinBarrier& operator=(const SpinBarrier&) = delete;
+
+    /// Blocks until @p count threads have arrived in this generation, then
+    /// releases them all.  Throws Poisoned instead of blocking (or waking
+    /// normally) once poison() has been called in this generation.
+    void arrive_and_wait() {
+        const std::uint32_t entry = word_.load(std::memory_order_acquire);
+        if ((entry & kPoisonBit) != 0) throw Poisoned{};
+        if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == count_) {
+            arrived_.store(0, std::memory_order_relaxed);
+            word_.fetch_add(kEpochStep, std::memory_order_acq_rel);
+            word_.notify_all();
+            return;
+        }
+        spin_then_wait(word_, entry, spin_budget_);
+        const std::uint32_t now = word_.load(std::memory_order_acquire);
+        // Same epoch but a changed word can only mean the poison bit: the
+        // generation never completed, unwind.  An advanced epoch is a normal
+        // release even if poison landed concurrently — the *next* arrival
+        // throws at entry.
+        if ((now | kPoisonBit) == (entry | kPoisonBit)) throw Poisoned{};
+    }
+
+    /// Marks the barrier broken and wakes every waiter, spinning or parked.
+    /// Idempotent and safe from any thread, including one that never arrived.
+    void poison() {
+        word_.fetch_or(kPoisonBit, std::memory_order_acq_rel);
+        word_.notify_all();
+    }
+
+    [[nodiscard]] bool poisoned() const {
+        return (word_.load(std::memory_order_acquire) & kPoisonBit) != 0;
+    }
+
+    /// Re-arms a poisoned barrier.  The caller must guarantee that no thread
+    /// is inside arrive_and_wait() (the pool calls this after every worker
+    /// has finished the failed job round).
+    void reset() {
+        arrived_.store(0, std::memory_order_relaxed);
+        word_.fetch_and(~kPoisonBit, std::memory_order_acq_rel);
+    }
+
+    [[nodiscard]] int count() const noexcept { return count_; }
+    [[nodiscard]] int spin_budget() const noexcept { return spin_budget_; }
+
+   private:
+    static constexpr std::uint32_t kPoisonBit = 1u;
+    static constexpr std::uint32_t kEpochStep = 2u;
+
+    const int count_;
+    const int spin_budget_;
+    std::atomic<std::uint32_t> word_{0};
+    std::atomic<int> arrived_{0};
+};
+
+}  // namespace symspmv

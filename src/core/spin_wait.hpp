@@ -1,0 +1,80 @@
+// Hybrid spin-then-park waiting primitives.
+//
+// The paper's §III.A point is that synchronization cost dominates symmetric
+// SpM×V at multicore granularities; a sleeping wait (mutex + condvar) costs a
+// scheduler round trip per wake — microseconds — while one SpM×V op on a
+// cache-resident matrix takes the same or less.  The cure is to spin briefly
+// on an atomic word before parking: the common case (peer arrives within the
+// op's own timescale) never leaves user space, and the uncommon case (peer
+// descheduled, pool idle between requests) still yields the CPU instead of
+// burning it.
+//
+// Parking uses C++20 std::atomic<uint32_t>::wait/notify_all, which libstdc++
+// and libc++ implement on Linux as a futex — the portable spelling of the
+// futex park path without raw syscalls.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <thread>
+
+namespace symspmv {
+
+/// One spin-loop backoff step: a pause/yield hint to the CPU so a spinning
+/// hyper-thread does not starve the sibling doing real work.
+inline void cpu_pause() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#elif defined(__aarch64__) || defined(__arm__)
+    asm volatile("yield" ::: "memory");
+#else
+    std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+/// Spin budget forced via SYMSPMV_SPIN (a non-negative pause-iteration
+/// count; 0 = park immediately), or -1 when unset/invalid.
+inline int spin_budget_override() noexcept {
+    static const int v = [] {
+        const char* env = std::getenv("SYMSPMV_SPIN");
+        if (env == nullptr || *env == '\0') return -1;
+        char* end = nullptr;
+        const long n = std::strtol(env, &end, 10);
+        if (end == nullptr || *end != '\0' || n < 0 || n > 100'000'000L) return -1;
+        return static_cast<int>(n);
+    }();
+    return v;
+}
+
+/// How many pause iterations a wait involving @p threads concurrent spinners
+/// should burn before parking.  Collapses to 0 (park immediately) when the
+/// spinners would exceed the CPUs this process may run on — spinning while
+/// oversubscribed only delays the thread that holds the CPU we are waiting
+/// for.  SYMSPMV_SPIN overrides unconditionally.
+inline int default_spin_budget(int threads) noexcept {
+    const int forced = spin_budget_override();
+    if (forced >= 0) return forced;
+    const unsigned cpus = std::thread::hardware_concurrency();  // affinity-aware on Linux
+    if (cpus != 0 && static_cast<unsigned>(threads) > cpus) return 0;
+    return 16384;  // ~tens of microseconds: covers one SpM×V op, not a scheduler quantum
+}
+
+/// Blocks until @p word differs from @p old: spins for @p spin_budget pause
+/// iterations (yielding periodically so an oversubscribed spinner cannot
+/// monopolize its CPU), then parks on the word's futex.  The caller re-loads
+/// the word itself; this only guarantees word != old on return, with acquire
+/// ordering.
+inline void spin_then_wait(const std::atomic<std::uint32_t>& word, std::uint32_t old,
+                           int spin_budget) {
+    for (int i = 0; i < spin_budget; ++i) {
+        if (word.load(std::memory_order_acquire) != old) return;
+        cpu_pause();
+        if ((i & 1023) == 1023) std::this_thread::yield();
+    }
+    while (word.load(std::memory_order_acquire) == old) {
+        word.wait(old, std::memory_order_acquire);
+    }
+}
+
+}  // namespace symspmv

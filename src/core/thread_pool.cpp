@@ -3,10 +3,12 @@
 #ifdef __linux__
 #include <pthread.h>
 #include <sched.h>
-#include <unistd.h>
 #endif
 
+#include <utility>
+
 #include "core/error.hpp"
+#include "core/topology.hpp"
 
 namespace symspmv {
 
@@ -27,20 +29,6 @@ bool pin_to_cpu(int cpu) {
 #endif
 }
 
-/// The naive compatibility map: worker i -> CPU i modulo the CPU count.
-std::vector<int> modulo_pin_map(int threads) {
-#ifdef __linux__
-    const long cpus = ::sysconf(_SC_NPROCESSORS_ONLN);
-    if (cpus <= 0) return {};
-    std::vector<int> map(static_cast<std::size_t>(threads));
-    for (int i = 0; i < threads; ++i) map[static_cast<std::size_t>(i)] = i % static_cast<int>(cpus);
-    return map;
-#else
-    (void)threads;
-    return {};
-#endif
-}
-
 std::atomic<std::uint64_t> g_pools_created{0};
 
 }  // namespace
@@ -50,10 +38,16 @@ std::uint64_t ThreadPool::pools_created() noexcept {
 }
 
 ThreadPool::ThreadPool(int threads, bool pin_threads)
-    : ThreadPool(threads, pin_threads ? modulo_pin_map(threads) : std::vector<int>{}) {}
+    // The legacy bool constructor routes through the topology layer's
+    // compact strategy instead of the old naive modulo map, so no caller
+    // gets pre-topology pinning (hyper-thread siblings before real cores).
+    : ThreadPool(threads, pin_threads ? pin_map(local_topology(), threads, PinStrategy::kCompact)
+                                      : std::vector<int>{}) {}
 
 ThreadPool::ThreadPool(int threads, const std::vector<int>& pin_cpus)
-    : pin_cpus_(pin_cpus), barrier_(threads) {
+    : pin_cpus_(pin_cpus),
+      barrier_(threads),
+      dispatch_spin_(default_spin_budget(threads + 1)) {
     SYMSPMV_CHECK_MSG(threads >= 1, "thread pool needs at least one worker");
     SYMSPMV_CHECK_MSG(pin_cpus_.empty() || static_cast<int>(pin_cpus_.size()) == threads,
                       "thread pool: pin map must have one CPU per worker");
@@ -67,29 +61,47 @@ ThreadPool::ThreadPool(int threads, const std::vector<int>& pin_cpus)
 }
 
 ThreadPool::~ThreadPool() {
-    {
-        std::lock_guard lock(mu_);
-        stop_ = true;
-    }
-    cv_job_.notify_all();
+    stop_.store(true, std::memory_order_release);
+    job_word_.fetch_add(1, std::memory_order_release);
+    job_word_.notify_all();
 }
 
 void ThreadPool::run(const Job& job) {
-    jobs_dispatched_.fetch_add(1, std::memory_order_relaxed);
-    std::unique_lock lock(mu_);
-    SYMSPMV_CHECK_MSG(pending_ == 0, "ThreadPool::run is not reentrant");
+    SYMSPMV_CHECK_MSG(active_.load(std::memory_order_acquire) == 0,
+                      "ThreadPool::run is not reentrant");
     job_ = &job;
-    pending_ = size();
-    first_error_ = nullptr;
-    ++generation_;
-    cv_job_.notify_all();
-    cv_done_.wait(lock, [this] { return pending_ == 0; });
+    iter_job_ = nullptr;
+    iterations_ = 0;
+    dispatch_and_wait();
+}
+
+void ThreadPool::run_many(int iterations, const IterJob& job) {
+    SYMSPMV_CHECK_MSG(iterations >= 0, "ThreadPool::run_many: negative iteration count");
+    if (iterations == 0) return;
+    SYMSPMV_CHECK_MSG(active_.load(std::memory_order_acquire) == 0,
+                      "ThreadPool::run_many is not reentrant");
     job_ = nullptr;
+    iter_job_ = &job;
+    iterations_ = iterations;
+    dispatch_and_wait();
+}
+
+void ThreadPool::dispatch_and_wait() {
+    jobs_dispatched_.fetch_add(1, std::memory_order_relaxed);
+    first_error_ = nullptr;  // no region active: workers cannot touch it
+    const std::uint32_t done = done_word_.load(std::memory_order_acquire);
+    active_.store(size(), std::memory_order_relaxed);
+    job_word_.fetch_add(1, std::memory_order_release);
+    job_word_.notify_all();
+    spin_then_wait(done_word_, done, dispatch_spin_);
+    job_ = nullptr;
+    iter_job_ = nullptr;
+    iterations_ = 0;
     if (first_error_) {
-        // Every worker is out of the job (pending_ == 0), so nobody can be
-        // inside the barrier: safe to re-arm it for the next run().
+        // Every worker is out of the job (done_word_ advanced), so nobody
+        // can be inside the barrier: safe to re-arm it for the next run().
         barrier_.reset();
-        std::rethrow_exception(first_error_);
+        std::rethrow_exception(std::exchange(first_error_, nullptr));
     }
 }
 
@@ -98,19 +110,20 @@ void ThreadPool::worker_loop(int tid, bool pin) {
         pinned_[static_cast<std::size_t>(tid)] =
             pin_to_cpu(pin_cpus_[static_cast<std::size_t>(tid)]) ? 1 : 0;
     }
-    std::uint64_t seen = 0;
+    std::uint32_t seen = 0;
     for (;;) {
-        const Job* job = nullptr;
-        {
-            std::unique_lock lock(mu_);
-            cv_job_.wait(lock, [&] { return stop_ || generation_ != seen; });
-            if (stop_) return;
-            seen = generation_;
-            job = job_;
-        }
+        spin_then_wait(job_word_, seen, dispatch_spin_);
+        seen = job_word_.load(std::memory_order_acquire);
+        if (stop_.load(std::memory_order_acquire)) return;
         try {
-            (*job)(tid);
-        } catch (const PoisonableBarrier::Poisoned&) {
+            if (iter_job_ != nullptr) {
+                const IterJob& job = *iter_job_;
+                const int iterations = iterations_;
+                for (int i = 0; i < iterations; ++i) job(tid, i);
+            } else {
+                (*job_)(tid);
+            }
+        } catch (const SpinBarrier::Poisoned&) {
             // A peer already died and recorded its error; this worker merely
             // unwound out of a barrier wait.
         } catch (...) {
@@ -118,16 +131,16 @@ void ThreadPool::worker_loop(int tid, bool pin) {
             // must always find first_error_ set, so run() rethrows the real
             // exception, never a bare barrier-poisoned marker.
             {
-                std::lock_guard lock(mu_);
+                std::lock_guard lock(err_mu_);
                 if (!first_error_) first_error_ = std::current_exception();
             }
             // A worker that dies before an in-job barrier would strand its
             // peers there forever; poisoning unwinds them instead.
             barrier_.poison();
         }
-        {
-            std::lock_guard lock(mu_);
-            if (--pending_ == 0) cv_done_.notify_all();
+        if (active_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+            done_word_.fetch_add(1, std::memory_order_release);
+            done_word_.notify_all();
         }
     }
 }

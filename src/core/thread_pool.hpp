@@ -6,18 +6,27 @@
 // vectors.  This pool reproduces that model: run() executes one job on all
 // workers and barrier() lets a job synchronize its phases without returning
 // to the caller (which would cost a full fork/join per phase).
+//
+// Dispatch is a persistent parallel region, not a sleep/wake handoff: workers
+// wait on an atomic generation word with a bounded spin before parking
+// (core/spin_wait.hpp), so back-to-back run() calls — the bench loop, every
+// CG iteration — stay in user space.  run_many() goes further and executes N
+// iterations of a job inside ONE region: the N-iteration loop pays one wake,
+// not N, which is the fix for the self-inflicted §III.A synchronization wall
+// the committed benches used to show.  The in-job barrier is the hybrid
+// SpinBarrier with the same poison/unwind error path as before.
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
 
-#include "core/barrier.hpp"
 #include "core/profiling.hpp"
+#include "core/spin_barrier.hpp"
+#include "core/spin_wait.hpp"
 #include "core/timer.hpp"
 
 namespace symspmv {
@@ -27,18 +36,21 @@ class ThreadPool {
     /// Job executed by every worker; receives the worker id in [0, threads).
     using Job = std::function<void(int)>;
 
+    /// Iterated job for run_many(); receives (worker id, iteration index).
+    using IterJob = std::function<void(int, int)>;
+
     /// Creates @p threads persistent workers.  @p threads must be >= 1.
-    /// With @p pin_threads, worker i is bound to logical CPU i modulo the
-    /// machine's CPU count — the paper "bound the threads to specific
-    /// logical processors" (§V.A); pinning failures are ignored (some
-    /// sandboxes forbid sched_setaffinity).
+    /// With @p pin_threads, workers are bound per the compact strategy of
+    /// core/topology (fill cores of socket 0 first, hyper-thread siblings
+    /// last) — the paper "bound the threads to specific logical processors"
+    /// (§V.A); pinning failures are ignored (some sandboxes forbid
+    /// sched_setaffinity).
     explicit ThreadPool(int threads, bool pin_threads = false);
 
     /// Creates @p threads workers bound per an explicit pin map: worker i is
     /// bound to logical CPU pin_cpus[i].  An empty map means no pinning; a
     /// non-empty map must have one entry per worker.  This is the seam the
-    /// topology-aware strategies (core/topology.hpp pin_map) feed — the
-    /// bool constructor above is the naive compatibility path.
+    /// topology-aware strategies (core/topology.hpp pin_map) feed.
     ThreadPool(int threads, const std::vector<int>& pin_cpus);
 
     /// Logical CPU worker @p tid was asked to bind to, or -1 when unpinned.
@@ -72,6 +84,17 @@ class ThreadPool {
     /// still complete the job round normally.
     void run(const Job& job);
 
+    /// Runs job(tid, i) for i in [0, iterations) on every worker inside one
+    /// parallel region — one worker wake and one join for the whole loop.
+    /// Iterations on one worker run in order; synchronization BETWEEN
+    /// workers' iterations is the job's responsibility (call barrier() at
+    /// whatever phase boundaries the loop body needs — e.g. end of op, so
+    /// iteration i+1 never reads a vector iteration i is still writing).
+    /// Error semantics match run(): a throwing iteration abandons that
+    /// worker's remaining iterations, poisons the barrier so peers unwind at
+    /// their next crossing, and the first exception is rethrown here.
+    void run_many(int iterations, const IterJob& job);
+
     /// Synchronization point usable from inside a running job: every worker
     /// must call it the same number of times.  Unwinds the calling worker
     /// when a peer threw out of the job (see run()).
@@ -97,9 +120,11 @@ class ThreadPool {
     /// itself knows nothing about the registry.  barrier_wait_seconds only
     /// accumulates from the *profiled* barrier overload (the plain one
     /// deliberately stays timer-free), so it undercounts when kernels run
-    /// unprofiled; barrier_crossings counts both.
+    /// unprofiled; barrier_crossings counts both.  jobs_dispatched counts
+    /// worker wakes: one per run(), one per run_many() regardless of its
+    /// iteration count — the quantity the persistent-region fix minimizes.
     struct Stats {
-        std::uint64_t jobs_dispatched = 0;   // run() calls
+        std::uint64_t jobs_dispatched = 0;   // run()/run_many() dispatches
         std::uint64_t barrier_crossings = 0; // per worker, per barrier
         double barrier_wait_seconds = 0.0;   // profiled waits, summed over workers
         int threads = 0;
@@ -112,11 +137,11 @@ class ThreadPool {
 
    private:
     void worker_loop(int tid, bool pin);
+    void dispatch_and_wait();
 
     std::vector<int> pin_cpus_;  // empty = unpinned; else one CPU per worker
-    std::vector<std::jthread> workers_;
     std::vector<char> pinned_;
-    PoisonableBarrier barrier_;
+    SpinBarrier barrier_;
 
     // Usage totals for stats(); relaxed — they are observability data, not
     // synchronization.
@@ -124,14 +149,29 @@ class ThreadPool {
     std::atomic<std::uint64_t> barrier_crossings_{0};
     std::atomic<double> barrier_wait_seconds_{0.0};
 
-    std::mutex mu_;
-    std::condition_variable cv_job_;
-    std::condition_variable cv_done_;
+    // Dispatch state.  The caller publishes the job fields, then bumps
+    // job_word_ (release) and notifies; workers spin-then-park on job_word_
+    // (acquire), execute, and the last one out bumps done_word_ for the
+    // caller.  The job pointers are plain fields: they are only written
+    // while no region is active (active_ == 0) and read after the acquire
+    // on job_word_.  dispatch_spin_ budgets the caller+worker handoff waits
+    // for threads+1 runnable threads (the caller is awake on both edges);
+    // the in-job barrier budgets for the workers alone.
+    std::atomic<std::uint32_t> job_word_{0};
+    std::atomic<std::uint32_t> done_word_{0};
+    std::atomic<int> active_{0};
+    std::atomic<bool> stop_{false};
     const Job* job_ = nullptr;
-    std::uint64_t generation_ = 0;
-    int pending_ = 0;
-    bool stop_ = false;
+    const IterJob* iter_job_ = nullptr;
+    int iterations_ = 0;
+    int dispatch_spin_ = 0;
+
+    std::mutex err_mu_;
     std::exception_ptr first_error_;
+
+    // Declared last so destruction joins the workers before any of the
+    // state they touch (pinned_, barrier_, the dispatch words) dies.
+    std::vector<std::jthread> workers_;
 };
 
 }  // namespace symspmv

@@ -9,15 +9,17 @@ CsxMtKernel::CsxMtKernel(const Csr& full, const CsxConfig& cfg, ThreadPool& pool
                          std::string name)
     : matrix_(full, cfg, pool.size()), pool_(pool), name_(std::move(name)) {}
 
+void CsxMtKernel::spmv_region(int tid, std::span<const value_t> x, std::span<value_t> y) {
+    Timer tm;
+    matrix_.spmv_partition(tid, x, y);
+    if (profiler_ != nullptr) profiler_->record(tid, Phase::kMultiply, tm.seconds());
+}
+
 void CsxMtKernel::spmv(std::span<const value_t> x, std::span<value_t> y) {
     SYMSPMV_CHECK_MSG(static_cast<index_t>(x.size()) == matrix_.cols(), "spmv: x size mismatch");
     SYMSPMV_CHECK_MSG(static_cast<index_t>(y.size()) == matrix_.rows(), "spmv: y size mismatch");
     Timer t;
-    pool_.run([&](int tid) {
-        Timer tm;
-        matrix_.spmv_partition(tid, x, y);
-        if (profiler_ != nullptr) profiler_->record(tid, Phase::kMultiply, tm.seconds());
-    });
+    pool_.run([&](int tid) { spmv_region(tid, x, y); });
     phases_ = {t.seconds(), 0.0};
 }
 
@@ -48,24 +50,29 @@ std::size_t CsxSymKernel::footprint_bytes() const {
     return bytes;
 }
 
+void CsxSymKernel::spmv_region(int tid, std::span<const value_t> x, std::span<value_t> y) {
+    Timer t;
+    matrix_.spmv_partition(tid, x, y, locals_[static_cast<std::size_t>(tid)]);
+    // Sample the multiply time BEFORE the barrier so the slowest thread's
+    // barrier wait is never charged to the multiply phase.
+    const double mult_seconds = t.seconds();
+    if (tid == 0) last_mult_seconds_ = mult_seconds;
+    if (profiler_ != nullptr) {
+        profiler_->record(tid, Phase::kMultiply, mult_seconds);
+        pool_.barrier(*profiler_, tid);
+    } else {
+        pool_.barrier();
+    }
+    Timer tr;
+    apply_reduction_index(index_, locals_, y, tid);
+    if (profiler_ != nullptr) profiler_->record(tid, Phase::kReduction, tr.seconds());
+}
+
 void CsxSymKernel::spmv(std::span<const value_t> x, std::span<value_t> y) {
     SYMSPMV_CHECK_MSG(static_cast<index_t>(x.size()) == matrix_.rows(), "spmv: x size mismatch");
     SYMSPMV_CHECK_MSG(static_cast<index_t>(y.size()) == matrix_.rows(), "spmv: y size mismatch");
     Timer total;
-    pool_.run([&](int tid) {
-        Timer t;
-        matrix_.spmv_partition(tid, x, y, locals_[static_cast<std::size_t>(tid)]);
-        if (profiler_ != nullptr) {
-            profiler_->record(tid, Phase::kMultiply, t.seconds());
-            pool_.barrier(*profiler_, tid);
-        } else {
-            pool_.barrier();
-        }
-        if (tid == 0) last_mult_seconds_ = t.seconds();
-        Timer tr;
-        apply_reduction_index(index_, locals_, y, tid);
-        if (profiler_ != nullptr) profiler_->record(tid, Phase::kReduction, tr.seconds());
-    });
+    pool_.run([&](int tid) { spmv_region(tid, x, y); });
     const double total_seconds = total.seconds();
     phases_ = {last_mult_seconds_, std::max(0.0, total_seconds - last_mult_seconds_)};
 }

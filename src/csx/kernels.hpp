@@ -33,6 +33,8 @@ class CsxMtKernel final : public SpmvKernel {
     [[nodiscard]] std::int64_t nnz() const override { return matrix_.nnz(); }
     [[nodiscard]] std::size_t footprint_bytes() const override { return matrix_.size_bytes(); }
     void spmv(std::span<const value_t> x, std::span<value_t> y) override;
+    [[nodiscard]] ThreadPool* region_pool() const override { return &pool_; }
+    void spmv_region(int tid, std::span<const value_t> x, std::span<value_t> y) override;
 
     [[nodiscard]] const CsxMatrix& matrix() const { return matrix_; }
 
@@ -54,6 +56,8 @@ class CsxSymKernel final : public SpmvKernel {
     [[nodiscard]] std::int64_t nnz() const override { return matrix_.nnz(); }
     [[nodiscard]] std::size_t footprint_bytes() const override;
     void spmv(std::span<const value_t> x, std::span<value_t> y) override;
+    [[nodiscard]] ThreadPool* region_pool() const override { return &pool_; }
+    void spmv_region(int tid, std::span<const value_t> x, std::span<value_t> y) override;
 
     [[nodiscard]] const CsxSymMatrix& matrix() const { return matrix_; }
     [[nodiscard]] const ReductionIndex& reduction_index() const { return index_; }

@@ -1,7 +1,9 @@
 #include "obs/counters.hpp"
 
+#include <cerrno>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 #include <utility>
 
 #include "core/error.hpp"
@@ -65,15 +67,19 @@ int CounterGroup::open_fds() const {
     return n;
 }
 
-CounterGroup::CounterGroup(CounterGroup&& other) noexcept : fd_(other.fd_) {
+CounterGroup::CounterGroup(CounterGroup&& other) noexcept
+    : fd_(other.fd_), reason_(std::move(other.reason_)) {
     other.fd_.fill(-1);
+    other.reason_.clear();
 }
 
 CounterGroup& CounterGroup::operator=(CounterGroup&& other) noexcept {
     if (this != &other) {
         close_all();
         fd_ = other.fd_;
+        reason_ = std::move(other.reason_);
         other.fd_.fill(-1);
+        other.reason_.clear();
     }
     return *this;
 }
@@ -128,7 +134,11 @@ void CounterGroup::close_all() {
 
 bool CounterGroup::open_on_this_thread() {
     close_all();
-    if (force_disabled()) return false;
+    reason_.clear();
+    if (force_disabled()) {
+        reason_ = "disabled by SYMSPMV_NO_PERF";
+        return false;
+    }
     // Partial-open contract (audited + regression-tested): every fd the
     // kernel hands us is stored into its fd_ slot *immediately*, so a later
     // event failing — EMFILE, an event the hardware lacks, seccomp — leaves
@@ -137,6 +147,8 @@ bool CounterGroup::open_on_this_thread() {
     // open and publication; there is no window in which an early return or
     // a failed later open could orphan a descriptor.
     const int limit = max_events();
+    int first_failed = -1;
+    int first_errno = 0;
     for (int i = 0; i < limit; ++i) {
         perf_event_attr attr;
         std::memset(&attr, 0, sizeof(attr));
@@ -153,6 +165,20 @@ bool CounterGroup::open_on_this_thread() {
         // pid=0, cpu=-1: this thread, on whatever CPU it runs.
         const long fd = ::syscall(SYS_perf_event_open, &attr, 0, -1, -1, PERF_FLAG_FD_CLOEXEC);
         fd_[static_cast<std::size_t>(i)] = static_cast<int>(fd);  // -1 on failure
+        if (fd < 0 && first_failed < 0) {
+            first_failed = i;
+            first_errno = errno;
+        }
+    }
+    // Record WHY the fallback happened, not just that it did — the old
+    // silent path left every "LLC misses n/a" report unexplainable.
+    if (first_failed >= 0) {
+        reason_ = "perf_event_open('";
+        reason_ += to_string(static_cast<Counter>(first_failed));
+        reason_ += "') failed: ";
+        reason_ += std::strerror(first_errno);
+    } else if (limit < kCounterCount) {
+        reason_ = "events capped at " + std::to_string(limit) + " by SYMSPMV_PERF_MAX_EVENTS";
     }
     return available();
 }
@@ -198,6 +224,7 @@ void CounterGroup::close_all() { fd_.fill(-1); }
 
 bool CounterGroup::open_on_this_thread() {
     close_all();
+    reason_ = "perf events unsupported on this platform";
     return false;
 }
 
@@ -244,6 +271,13 @@ bool ThreadCounters::available() const {
         if (g.available()) return true;
     }
     return false;
+}
+
+std::string ThreadCounters::unavailable_reason() const {
+    for (const CounterGroup& g : groups_) {
+        if (!g.unavailable_reason().empty()) return g.unavailable_reason();
+    }
+    return {};
 }
 
 CounterSample ThreadCounters::aggregate() const {

@@ -25,6 +25,7 @@
 #include <array>
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -99,6 +100,14 @@ class CounterGroup {
     /// True when at least one event is open.
     [[nodiscard]] bool available() const;
 
+    /// Why the last open_on_this_thread() fell short, or empty when every
+    /// event opened: "disabled by SYMSPMV_NO_PERF", the failing event's name
+    /// plus errno text (permission, missing hardware event), the
+    /// SYMSPMV_PERF_MAX_EVENTS cap, or platform unsupported.  The silent
+    /// fallback used to discard this; RunRecords and bench_report footnotes
+    /// now carry it so an "LLC misses n/a" column is explainable.
+    [[nodiscard]] const std::string& unavailable_reason() const { return reason_; }
+
     /// Zeroes and starts all open events (no-op when unavailable).
     void enable();
 
@@ -127,6 +136,7 @@ class CounterGroup {
     void close_all();
 
     std::array<int, kCounterCount> fd_{-1, -1, -1, -1, -1};
+    std::string reason_;
 };
 
 /// Per-thread counter groups for a worker pool: one group opened on each
@@ -150,6 +160,10 @@ class ThreadCounters {
 
     /// True when at least one thread has at least one open event.
     [[nodiscard]] bool available() const;
+
+    /// First non-empty per-group unavailable reason, or empty when every
+    /// event opened on every thread — the RunRecord counters_note source.
+    [[nodiscard]] std::string unavailable_reason() const;
 
     /// Sum over all threads (workers + caller).  A counter is valid only
     /// when every thread measured it, so partial availability cannot

@@ -56,6 +56,7 @@ Json to_json(const RunRecord& rec) {
     exec.set("placement", rec.placement);
     exec.set("pinning", rec.pinning);
     exec.set("topology", rec.topology);
+    exec.set("oversubscribed", rec.oversubscribed);
     j.set("exec", std::move(exec));
     j.set("iterations", rec.iterations);
     j.set("seconds_per_op", rec.seconds_per_op);
@@ -75,15 +76,17 @@ Json to_json(const RunRecord& rec) {
     derived.set("bandwidth_gbs", rec.bandwidth_gbs);
     j.set("derived", std::move(derived));
     j.set("counters", counters_to_json(rec.counters));
+    j.set("counters_note", rec.counters_note);
     return j;
 }
 
 RunRecord run_record_from_json(const Json& j) {
     RunRecord rec;
     rec.schema = static_cast<int>(j.at("schema").as_int());
-    // Schema 2 added the exec block; schema-1 records (committed baselines,
-    // BENCH_baseline.jsonl) still parse with those fields defaulted empty.
-    if (rec.schema != kRunRecordSchema && rec.schema != 1) {
+    // Schema 2 added the exec block, schema 3 the oversubscribed flag and
+    // counters_note; older records (committed baselines) still parse with
+    // those fields defaulted.
+    if (rec.schema < 1 || rec.schema > kRunRecordSchema) {
         throw ParseError("run record: unsupported schema " + std::to_string(rec.schema));
     }
     rec.matrix = j.at("matrix").as_string();
@@ -98,7 +101,9 @@ RunRecord run_record_from_json(const Json& j) {
         rec.placement = exec.at("placement").as_string();
         rec.pinning = exec.at("pinning").as_string();
         rec.topology = exec.at("topology").as_string();
+        if (rec.schema >= 3) rec.oversubscribed = exec.at("oversubscribed").as_bool();
     }
+    if (rec.schema >= 3) rec.counters_note = j.at("counters_note").as_string();
     rec.iterations = static_cast<int>(j.at("iterations").as_int());
     rec.seconds_per_op = j.at("seconds_per_op").as_double();
     rec.seconds_mean = j.at("seconds_mean").as_double();
@@ -129,6 +134,7 @@ ExecConfig exec_config(const engine::ExecutionContext& ctx) {
     exec.placement = std::string(engine::to_string(ctx.options().placement));
     exec.pinning = std::string(to_string(engine::effective_pin_strategy(ctx.options())));
     exec.topology = ctx.topology().summary();
+    exec.logical_cpus = ctx.topology().logical_cpus();
     return exec;
 }
 
@@ -136,12 +142,14 @@ RunRecord make_run_record(std::string matrix, const engine::MatrixBundle& bundle
                           const SpmvKernel& kernel, const bench::Measurement& measurement,
                           int iterations, int threads, std::string_view partition,
                           const PhaseProfiler* profiler, const CounterSample* counters,
-                          ExecConfig exec) {
+                          ExecConfig exec, std::string counters_note) {
     RunRecord rec;
     rec.matrix = std::move(matrix);
     rec.placement = std::move(exec.placement);
     rec.pinning = std::move(exec.pinning);
     rec.topology = std::move(exec.topology);
+    rec.oversubscribed = exec.logical_cpus > 0 && threads > exec.logical_cpus;
+    rec.counters_note = std::move(counters_note);
     const autotune::MatrixFingerprint fp = autotune::fingerprint(bundle.coo());
     rec.fingerprint = autotune::to_string(fp);
     rec.rows = kernel.rows();

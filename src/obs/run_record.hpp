@@ -39,10 +39,11 @@ namespace symspmv::obs {
 
 /// Bumped whenever a field changes meaning; parsers reject other versions
 /// (same contract as the plan-file and .smx version fields).  Exception:
-/// schema 2 only *added* fields (the execution-configuration block), so the
-/// parser still accepts schema-1 records with those fields defaulted —
-/// committed baselines keep loading across the bump.
-inline constexpr int kRunRecordSchema = 2;
+/// schemas 2 and 3 only *added* fields (2: the execution-configuration
+/// block; 3: exec.oversubscribed + counters_note), so the parser still
+/// accepts schema-1/2 records with those fields defaulted — committed
+/// baselines keep loading across the bumps.
+inline constexpr int kRunRecordSchema = 3;
 
 struct RunRecord {
     int schema = kRunRecordSchema;
@@ -61,6 +62,11 @@ struct RunRecord {
     std::string placement;  // PlacementPolicy name ("none", "partitioned")
     std::string pinning;    // PinStrategy name ("none", "compact", ...)
     std::string topology;   // CpuTopology::summary() ("2s/2n/8c/2t")
+    // Schema 3: more workers than online logical CPUs — barrier and
+    // imbalance columns then measure scheduler contention, not the kernel,
+    // and reports must tag the row instead of letting it read as a
+    // regression (the committed p=16 rows once showed 113.8% "imbalance").
+    bool oversubscribed = false;
 
     // --- measurement: the §V.A loop ---
     int iterations = 0;             // timed operations
@@ -85,6 +91,11 @@ struct RunRecord {
     // --- hardware counters: totals over the timed window (all threads);
     //     invalid slots serialize as JSON null ---
     CounterSample counters;
+    // Schema 3: why counters are missing/partial ("disabled by
+    // SYMSPMV_NO_PERF", "perf_event_open('cycles') failed: Permission
+    // denied", ...); empty when every event opened.  The silent-fallback
+    // fix: an all-null counters block is now always explainable.
+    std::string counters_note;
 
     friend bool operator==(const RunRecord&, const RunRecord&) = default;
 };
@@ -107,6 +118,10 @@ struct ExecConfig {
     std::string placement;
     std::string pinning;
     std::string topology;
+    /// Online logical CPUs of the discovered topology; 0 = unknown.  Not
+    /// serialized itself — make_run_record derives the record's
+    /// oversubscribed flag from it (threads > logical_cpus).
+    int logical_cpus = 0;
 };
 
 /// The ExecConfig describing @p ctx: placement from its options, pinning
@@ -124,7 +139,8 @@ struct ExecConfig {
                                         const bench::Measurement& measurement, int iterations,
                                         int threads, std::string_view partition,
                                         const PhaseProfiler* profiler,
-                                        const CounterSample* counters, ExecConfig exec = {});
+                                        const CounterSample* counters, ExecConfig exec = {},
+                                        std::string counters_note = {});
 
 /// Appends RunRecords to a JSON Lines file, one object per line, flushed
 /// after every record so a crashed run keeps everything it measured.

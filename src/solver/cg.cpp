@@ -1,12 +1,190 @@
 #include "solver/cg.hpp"
 
 #include <cmath>
+#include <optional>
+#include <vector>
 
+#include "core/allocator.hpp"
 #include "core/error.hpp"
+#include "core/partition.hpp"
 #include "core/timer.hpp"
 #include "solver/blas1.hpp"
 
 namespace symspmv::cg {
+
+namespace {
+
+// Attach for the duration of the solve; restore on every exit path
+// (including the not-positive-definite throw).
+struct ProfilerGuard {
+    SpmvKernel* kernel = nullptr;
+    PhaseProfiler* previous = nullptr;
+    ~ProfilerGuard() {
+        if (kernel != nullptr) kernel->set_profiler(previous);
+    }
+};
+
+/// Per-thread dot-product partials, padded to a cache line each to avoid
+/// false sharing (same idiom as blas1).
+struct alignas(kCacheLineBytes) Partial {
+    value_t v = 0.0;
+};
+
+/// Whole-solve persistent parallel region for kernels exposing one: every
+/// CG iteration used to cost ~6 pool dispatches (one per SpM×V + one per
+/// BLAS-1 call); here the ENTIRE solve is one ThreadPool::run_many-style
+/// region with SpinBarrier phase boundaries, so the per-iteration
+/// synchronization cost drops to a handful of barrier crossings.
+///
+/// Scalar recurrences (rr, alpha, beta) are computed REDUNDANTLY on every
+/// worker: after a barrier each worker sums the same per-thread partials in
+/// the same order, giving bit-identical values everywhere — every worker
+/// takes the same convergence branch with no broadcast or flag.  Worker 0
+/// alone writes the Result bookkeeping.
+Result solve_region(SpmvKernel& kernel, ThreadPool& pool, std::span<const value_t> b,
+                    const Options& opts, Result res) {
+    const auto n = static_cast<std::size_t>(kernel.rows());
+    const int threads = pool.size();
+
+    ProfilerGuard guard{&kernel, kernel.profiler()};
+    std::optional<PhaseProfiler> own;
+    PhaseProfiler* prof = opts.profiler;
+    if (prof == nullptr && opts.track_breakdown) {
+        // The region path reads the SpM×V phase split out of a profiler
+        // (last_phases() is never updated inside a region), so attach an
+        // internal one when the caller wants the breakdown but no profiler.
+        own.emplace(threads);
+        prof = &*own;
+    }
+    kernel.set_profiler(prof);
+
+    std::vector<value_t> r(n), p(n), ap(n);
+    std::vector<Partial> partial_a(static_cast<std::size_t>(threads));
+    std::vector<Partial> partial_b(static_cast<std::size_t>(threads));
+    const auto parts = split_even(static_cast<index_t>(n), threads);
+    const std::span<value_t> x{res.x};
+    double vec_seconds = 0.0;  // worker 0's share, written once at region end
+
+    auto sum = [threads](const std::vector<Partial>& partials) {
+        value_t total = 0.0;
+        for (int i = 0; i < threads; ++i) total += partials[static_cast<std::size_t>(i)].v;
+        return total;
+    };
+
+    // Breakdown is the DELTA over this solve; a caller-supplied profiler may
+    // already hold accumulations from earlier runs.
+    const double base_mult = prof != nullptr ? prof->seconds(0, Phase::kMultiply) : 0.0;
+    const double base_red = prof != nullptr ? prof->seconds(0, Phase::kReduction) : 0.0;
+
+    pool.run([&](int tid) {
+        const RowRange rg = parts[static_cast<std::size_t>(tid)];
+        const auto lo = static_cast<std::size_t>(rg.begin);
+        const auto hi = static_cast<std::size_t>(rg.end);
+        double vec_local = 0.0;
+
+        // r0 = b - A x0 ; p0 = r0 ; rr = r.r ; b_norm = ||b||.
+        if (tid == 0 && prof != nullptr) prof->begin_op();
+        kernel.spmv_region(tid, x, ap);
+        pool.barrier();  // all of ap written before any thread reads it
+        Timer vt;
+        value_t acc_r = 0.0;
+        value_t acc_b = 0.0;
+        for (std::size_t i = lo; i < hi; ++i) {
+            r[i] = b[i] - ap[i];
+            p[i] = r[i];
+            acc_r += r[i] * r[i];
+            acc_b += b[i] * b[i];
+        }
+        partial_a[static_cast<std::size_t>(tid)].v = acc_r;
+        partial_b[static_cast<std::size_t>(tid)].v = acc_b;
+        vec_local += vt.seconds();
+        pool.barrier();
+        value_t rr = sum(partial_a);
+        const value_t b_norm = std::sqrt(sum(partial_b));
+        const value_t threshold = opts.tolerance * (b_norm > 0.0 ? b_norm : 1.0);
+
+        if (tid == 0) {
+            res.residual_norm = std::sqrt(rr);
+            if (opts.record_residuals) res.residual_history.push_back(res.residual_norm);
+        }
+        if (std::sqrt(rr) <= threshold) {
+            if (tid == 0) {
+                res.converged = true;
+                vec_seconds = vec_local;
+            }
+            return;
+        }
+
+        Timer iter_timer;
+        for (int i = 0; i < opts.max_iterations; ++i) {
+            if (tid == 0 && opts.record_iteration_seconds) iter_timer.reset();
+            // a_i = (r.r) / (p.A.p) — the SpM×V of the iteration (Alg. 1 line 6).
+            if (tid == 0 && prof != nullptr) prof->begin_op();
+            kernel.spmv_region(tid, p, ap);
+            pool.barrier();
+
+            vt.reset();
+            partial_a[static_cast<std::size_t>(tid)].v =
+                blas1::serial::dot({p.data() + lo, hi - lo}, {ap.data() + lo, hi - lo});
+            pool.barrier();
+            const value_t pap = sum(partial_a);
+            // Deterministic on every worker: all throw together, the pool
+            // poisons/unwinds, and run() rethrows the first error.
+            SYMSPMV_CHECK_MSG(pap > 0.0, "cg: matrix is not positive definite (p.A.p <= 0)");
+            const value_t alpha = rr / pap;
+            value_t acc = 0.0;
+            for (std::size_t j = lo; j < hi; ++j) {
+                x[j] += alpha * p[j];   // x_{i+1} = x_i + a_i p_i
+                r[j] -= alpha * ap[j];  // r_{i+1} = r_i - a_i A p_i
+                acc += r[j] * r[j];     // own range only: no barrier needed
+            }
+            // The two partial arrays alternate: a fast worker may reach this
+            // store while a slow peer is still inside sum(partial_a) above, so
+            // the r.r partial must not reuse partial_a within the iteration.
+            partial_b[static_cast<std::size_t>(tid)].v = acc;
+            vec_local += vt.seconds();
+            pool.barrier();
+            const value_t rr_next = sum(partial_b);
+
+            if (tid == 0) {
+                res.iterations = i + 1;
+                res.residual_norm = std::sqrt(rr_next);
+                if (opts.record_residuals) res.residual_history.push_back(res.residual_norm);
+            }
+            if (std::sqrt(rr_next) <= threshold) {
+                if (tid == 0) {
+                    res.converged = true;
+                    if (opts.record_iteration_seconds) {
+                        res.iteration_seconds.push_back(iter_timer.seconds());
+                    }
+                }
+                break;
+            }
+
+            vt.reset();
+            const value_t beta = rr_next / rr;
+            for (std::size_t j = lo; j < hi; ++j) {
+                p[j] = r[j] + beta * p[j];  // p_{i+1} = r_{i+1} + b_i p_i
+            }
+            rr = rr_next;
+            vec_local += vt.seconds();
+            pool.barrier();  // all of p written before the next SpM×V reads it
+            if (tid == 0 && opts.record_iteration_seconds) {
+                res.iteration_seconds.push_back(iter_timer.seconds());
+            }
+        }
+        if (tid == 0) vec_seconds = vec_local;
+    });
+
+    if (prof != nullptr && opts.track_breakdown) {
+        res.breakdown.spmv_multiply_seconds = prof->seconds(0, Phase::kMultiply) - base_mult;
+        res.breakdown.spmv_reduction_seconds = prof->seconds(0, Phase::kReduction) - base_red;
+        res.breakdown.vector_ops_seconds = vec_seconds;
+    }
+    return res;
+}
+
+}  // namespace
 
 Result solve(SpmvKernel& kernel, ThreadPool& pool, std::span<const value_t> b,
              std::span<const value_t> x0, const Options& opts) {
@@ -19,14 +197,12 @@ Result solve(SpmvKernel& kernel, ThreadPool& pool, std::span<const value_t> b,
     res.x.assign(n, 0.0);
     if (!x0.empty()) res.x.assign(x0.begin(), x0.end());
 
-    // Attach for the duration of the solve; detach on every exit path
-    // (including the not-positive-definite throw below).
-    struct ProfilerGuard {
-        SpmvKernel* kernel;
-        ~ProfilerGuard() {
-            if (kernel != nullptr) kernel->set_profiler(nullptr);
-        }
-    } profiler_guard{opts.profiler != nullptr ? &kernel : nullptr};
+    if (kernel.region_pool() == &pool) {
+        return solve_region(kernel, pool, b, opts, std::move(res));
+    }
+
+    ProfilerGuard profiler_guard{opts.profiler != nullptr ? &kernel : nullptr,
+                                 opts.profiler != nullptr ? kernel.profiler() : nullptr};
     if (opts.profiler != nullptr) kernel.set_profiler(opts.profiler);
 
     std::vector<value_t> r(n), p(n), ap(n);

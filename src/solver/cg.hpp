@@ -63,6 +63,14 @@ struct Result {
 /// Solves A x = b with A given by @p kernel (must be symmetric positive
 /// definite for CG to apply).  @p x0 is the initial guess; pass empty to
 /// start from zero.
+///
+/// When the kernel's region_pool() is @p pool, the whole solve executes
+/// inside ONE persistent parallel region: scalar recurrences are computed
+/// redundantly (and deterministically) on every worker from shared padded
+/// partials, phase boundaries are SpinBarrier crossings, and the
+/// per-iteration cost drops from ~6 pool dispatches to a handful of barrier
+/// crossings.  Results are bit-identical to the dispatch-per-op path given
+/// the same partitioning.  Other kernels keep the blas1 dispatch loop.
 Result solve(SpmvKernel& kernel, ThreadPool& pool, std::span<const value_t> b,
              std::span<const value_t> x0, const Options& opts);
 

@@ -25,16 +25,18 @@ CsrMtKernel::CsrMtKernel(Csr matrix, ThreadPool& pool, std::vector<RowRange> par
                       "CsrMtKernel: one partition per worker");
 }
 
+void CsrMtKernel::spmv_region(int tid, std::span<const value_t> x, std::span<value_t> y) {
+    Timer tm;
+    const RowRange part = parts_[static_cast<std::size_t>(tid)];
+    matrix_.spmv_rows(part.begin, part.end, x, y);
+    if (profiler_ != nullptr) profiler_->record(tid, Phase::kMultiply, tm.seconds());
+}
+
 void CsrMtKernel::spmv(std::span<const value_t> x, std::span<value_t> y) {
     SYMSPMV_CHECK_MSG(static_cast<index_t>(x.size()) == matrix_.cols(), "spmv: x size mismatch");
     SYMSPMV_CHECK_MSG(static_cast<index_t>(y.size()) == matrix_.rows(), "spmv: y size mismatch");
     Timer t;
-    pool_.run([&](int tid) {
-        Timer tm;
-        const RowRange part = parts_[static_cast<std::size_t>(tid)];
-        matrix_.spmv_rows(part.begin, part.end, x, y);
-        if (profiler_ != nullptr) profiler_->record(tid, Phase::kMultiply, tm.seconds());
-    });
+    pool_.run([&](int tid) { spmv_region(tid, x, y); });
     phases_ = {t.seconds(), 0.0};
 }
 

@@ -10,12 +10,15 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <stdexcept>
 #include <string_view>
 
 #include "core/profiling.hpp"
 #include "core/types.hpp"
 
 namespace symspmv {
+
+class ThreadPool;
 
 /// Wall-clock split of one spmv() call into the paper's phases (Fig. 10).
 struct SpmvPhases {
@@ -45,6 +48,27 @@ class SpmvKernel {
 
     /// y = A * x.  x and y must not alias and must have rows() elements.
     virtual void spmv(std::span<const value_t> x, std::span<value_t> y) = 0;
+
+    /// The pool a multi-threaded kernel dispatches spmv() on, or nullptr for
+    /// kernels without one (serial CSR).  Non-null is the contract that
+    /// spmv_region() below is implemented: callers owning a persistent
+    /// parallel region on that pool (bench::measure, cg::solve) can then run
+    /// N operations under one ThreadPool::run_many() dispatch instead of N
+    /// run() wakes — the fix for dispatch latency dominating small SpM×V ops.
+    [[nodiscard]] virtual ThreadPool* region_pool() const { return nullptr; }
+
+    /// One worker's share of y = A * x, callable only from inside a running
+    /// job of region_pool() — every worker tid must call it exactly once per
+    /// operation.  Includes the kernel's internal phase barrier(s), so after
+    /// the LAST barrier the operation is complete on all workers; callers
+    /// sequencing dependent operations (x/y swap loops) must add their own
+    /// end-of-op barrier.  Size/alias preconditions are the caller's job
+    /// here (spmv() checks them once per call; a region caller checks once
+    /// per loop).
+    virtual void spmv_region(int /*tid*/, std::span<const value_t> /*x*/,
+                             std::span<value_t> /*y*/) {
+        throw std::logic_error("spmv_region: kernel does not support region execution");
+    }
 
     /// Phase breakdown of the most recent spmv() call; kernels without a
     /// reduction phase report everything as multiply time.

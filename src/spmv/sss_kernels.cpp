@@ -203,42 +203,44 @@ void SssMtKernel::reduce_indexing(int tid, std::span<value_t> y) {
     apply_reduction_index(index_, locals_, y, tid);
 }
 
+void SssMtKernel::spmv_region(int tid, std::span<const value_t> x, std::span<value_t> y) {
+    Timer t;
+    if (method_ == ReductionMethod::kNaive) {
+        multiply_naive(tid, x);
+    } else {
+        multiply_direct(tid, x, y);
+    }
+    // Sample the multiply time BEFORE the barrier on both paths: sampling
+    // after it would charge the slowest thread's barrier wait to the
+    // multiply phase and understate the reduction correspondingly.
+    const double mult_seconds = t.seconds();
+    if (tid == 0) last_mult_seconds_ = mult_seconds;
+    if (profiler_ != nullptr) {
+        profiler_->record(tid, Phase::kMultiply, mult_seconds);
+        pool_.barrier(*profiler_, tid);
+    } else {
+        pool_.barrier();
+    }
+    Timer tr;
+    switch (method_) {
+        case ReductionMethod::kNaive:
+            reduce_naive(tid, y);
+            break;
+        case ReductionMethod::kEffectiveRanges:
+            reduce_effective(tid, y);
+            break;
+        case ReductionMethod::kIndexing:
+            reduce_indexing(tid, y);
+            break;
+    }
+    if (profiler_ != nullptr) profiler_->record(tid, Phase::kReduction, tr.seconds());
+}
+
 void SssMtKernel::spmv(std::span<const value_t> x, std::span<value_t> y) {
     SYMSPMV_CHECK_MSG(static_cast<index_t>(x.size()) == matrix_.rows(), "spmv: x size mismatch");
     SYMSPMV_CHECK_MSG(static_cast<index_t>(y.size()) == matrix_.rows(), "spmv: y size mismatch");
     Timer total;
-    pool_.run([&](int tid) {
-        Timer t;
-        if (method_ == ReductionMethod::kNaive) {
-            multiply_naive(tid, x);
-        } else {
-            multiply_direct(tid, x, y);
-        }
-        // Sample the multiply time BEFORE the barrier on both paths: sampling
-        // after it would charge the slowest thread's barrier wait to the
-        // multiply phase and understate the reduction correspondingly.
-        const double mult_seconds = t.seconds();
-        if (tid == 0) last_mult_seconds_ = mult_seconds;
-        if (profiler_ != nullptr) {
-            profiler_->record(tid, Phase::kMultiply, mult_seconds);
-            pool_.barrier(*profiler_, tid);
-        } else {
-            pool_.barrier();
-        }
-        Timer tr;
-        switch (method_) {
-            case ReductionMethod::kNaive:
-                reduce_naive(tid, y);
-                break;
-            case ReductionMethod::kEffectiveRanges:
-                reduce_effective(tid, y);
-                break;
-            case ReductionMethod::kIndexing:
-                reduce_indexing(tid, y);
-                break;
-        }
-        if (profiler_ != nullptr) profiler_->record(tid, Phase::kReduction, tr.seconds());
-    });
+    pool_.run([&](int tid) { spmv_region(tid, x, y); });
     const double total_seconds = total.seconds();
     phases_ = {last_mult_seconds_, std::max(0.0, total_seconds - last_mult_seconds_)};
 }

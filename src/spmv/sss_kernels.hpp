@@ -61,6 +61,8 @@ class SssMtKernel final : public SpmvKernel {
     [[nodiscard]] std::int64_t nnz() const override { return matrix_.nnz(); }
     [[nodiscard]] std::size_t footprint_bytes() const override;
     void spmv(std::span<const value_t> x, std::span<value_t> y) override;
+    [[nodiscard]] ThreadPool* region_pool() const override { return &pool_; }
+    void spmv_region(int tid, std::span<const value_t> x, std::span<value_t> y) override;
 
     [[nodiscard]] ReductionMethod method() const { return method_; }
     [[nodiscard]] std::span<const RowRange> partitions() const { return parts_; }

@@ -85,6 +85,7 @@ TEST(Counters, UnavailableFallbackIsTotal) {
     CounterGroup group;
     EXPECT_FALSE(group.open_on_this_thread());
     EXPECT_FALSE(group.available());
+    EXPECT_EQ(group.unavailable_reason(), "disabled by SYMSPMV_NO_PERF");
     group.enable();   // must be no-ops, not crashes
     group.disable();
     const CounterSample s = group.read();
@@ -99,6 +100,7 @@ TEST(Counters, ThreadCountersUnavailableAggregatesToNull) {
     ThreadPool pool(2);
     ThreadCounters counters(pool, /*include_caller=*/true);
     EXPECT_FALSE(counters.available());
+    EXPECT_EQ(counters.unavailable_reason(), "disabled by SYMSPMV_NO_PERF");
     counters.enable();
     counters.disable();
     EXPECT_FALSE(counters.aggregate().any_valid());
@@ -217,6 +219,8 @@ RunRecord sample_record() {
     rec.placement = "partitioned";
     rec.pinning = "compact";
     rec.topology = "2s/2n/8c/2t";
+    rec.oversubscribed = true;
+    rec.counters_note = "perf_event_open('cycles') failed: Permission denied";
     rec.iterations = 24;
     rec.seconds_per_op = 1.25e-4;
     rec.seconds_mean = 1.3e-4;
@@ -258,7 +262,7 @@ TEST(RunRecord, RejectsWrongSchemaAndMissingFields) {
     std::string text = j.dump();
     EXPECT_THROW(parse_run_record("{}"), ParseError);
     const std::string bumped =
-        text.replace(text.find("\"schema\":2"), 10, "\"schema\":9");
+        text.replace(text.find("\"schema\":3"), 10, "\"schema\":9");
     EXPECT_THROW(parse_run_record(bumped), ParseError);
 }
 
@@ -267,7 +271,7 @@ TEST(RunRecord, Schema1RecordsStillParseWithExecDefaulted) {
     // they must keep loading, with the schema-2 fields defaulted empty.
     Json j = to_json(sample_record());
     std::string text = j.dump();
-    text.replace(text.find("\"schema\":2"), 10, "\"schema\":1");
+    text.replace(text.find("\"schema\":3"), 10, "\"schema\":1");
     // Strip the exec block a schema-1 writer would never have emitted.
     const auto begin = text.find("\"exec\":{");
     ASSERT_NE(begin, std::string::npos);
@@ -280,6 +284,30 @@ TEST(RunRecord, Schema1RecordsStillParseWithExecDefaulted) {
     EXPECT_TRUE(rec.placement.empty());
     EXPECT_TRUE(rec.pinning.empty());
     EXPECT_TRUE(rec.topology.empty());
+    // Schema-3 fields default too (the serialized counters_note key is
+    // simply ignored for pre-3 records).
+    EXPECT_FALSE(rec.oversubscribed);
+    EXPECT_TRUE(rec.counters_note.empty());
+}
+
+TEST(RunRecord, Schema2RecordsParseWithSchema3FieldsDefaulted) {
+    // A schema-2 writer emitted the exec block but neither oversubscribed
+    // nor counters_note; parsing must not require them.
+    Json j = to_json(sample_record());
+    std::string text = j.dump();
+    text.replace(text.find("\"schema\":3"), 10, "\"schema\":2");
+    auto erase_key = [&text](const std::string& fragment) {
+        const auto pos = text.find(fragment);
+        ASSERT_NE(pos, std::string::npos);
+        text.erase(pos, fragment.size());
+    };
+    erase_key(",\"oversubscribed\":true");
+    erase_key(",\"counters_note\":\"perf_event_open('cycles') failed: Permission denied\"");
+    const RunRecord rec = parse_run_record(text);
+    EXPECT_EQ(rec.schema, 2);
+    EXPECT_EQ(rec.pinning, "compact");
+    EXPECT_FALSE(rec.oversubscribed);
+    EXPECT_TRUE(rec.counters_note.empty());
 }
 
 TEST(RunRecord, ExecConfigDescribesTheContext) {
@@ -290,6 +318,8 @@ TEST(RunRecord, ExecConfigDescribesTheContext) {
     EXPECT_EQ(exec.pinning, "compact");
     EXPECT_EQ(exec.topology, ctx.topology().summary());
     EXPECT_FALSE(exec.topology.empty());
+    EXPECT_EQ(exec.logical_cpus, ctx.topology().logical_cpus());
+    EXPECT_GT(exec.logical_cpus, 0);
 }
 
 TEST(RunRecord, MakeFromMeasurementFillsDerivedFields) {
@@ -323,8 +353,22 @@ TEST(RunRecord, MakeFromMeasurementFillsDerivedFields) {
     EXPECT_GT(rec.multiply_seconds, 0.0);
     EXPECT_GT(rec.bytes_per_op, rec.footprint_bytes);
     EXPECT_FALSE(rec.counters.any_valid());
+    // Default ExecConfig: logical_cpus unknown, so never flagged.
+    EXPECT_FALSE(rec.oversubscribed);
+    EXPECT_TRUE(rec.counters_note.empty());
     // And it must survive the wire format.
     EXPECT_EQ(parse_run_record(to_jsonl(rec)), rec);
+
+    // With a known CPU count and more threads than CPUs, the record is
+    // tagged oversubscribed and carries the counters-fallback reason.
+    ExecConfig exec;
+    exec.logical_cpus = 2;
+    const RunRecord wide =
+        make_run_record("poisson", bundle, *kernel, m, 3, 4, "by-nnz", &profiler, &sample,
+                        std::move(exec), counters.unavailable_reason());
+    EXPECT_TRUE(wide.oversubscribed);
+    EXPECT_EQ(wide.counters_note, "disabled by SYMSPMV_NO_PERF");
+    EXPECT_EQ(parse_run_record(to_jsonl(wide)), wide);
 }
 
 TEST(RunSink, AppendsParseableLines) {

@@ -1,0 +1,265 @@
+// Synchronization layer: the hybrid SpinBarrier and the persistent parallel
+// region (ThreadPool::run_many / the hot run() dispatch).
+//
+// These tests pin down the contracts the §III.A fix rests on: generation
+// reuse without re-arming, poison/unwind on both the spinning and the parked
+// wait path, and run_many's one-wake-per-loop semantics including error
+// propagation and pool reuse afterwards.  The suite is expected to stay clean
+// under TSan — the memory-ordering claims in core/thread_pool.cpp are only as
+// good as a race-detector pass over exactly these scenarios.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <climits>
+#include <cstdint>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "core/error.hpp"
+#include "core/spin_barrier.hpp"
+#include "core/spin_wait.hpp"
+#include "core/thread_pool.hpp"
+#include "core/topology.hpp"
+
+namespace symspmv {
+namespace {
+
+// ---------------------------------------------------------------------------
+// SpinBarrier
+
+TEST(SpinBarrier, SingleThreadPassesImmediately) {
+    SpinBarrier barrier(1);
+    for (int g = 0; g < 100; ++g) barrier.arrive_and_wait();  // never blocks
+    EXPECT_FALSE(barrier.poisoned());
+}
+
+TEST(SpinBarrier, ExplicitBudgetIsStored) {
+    EXPECT_EQ(SpinBarrier(2, 5).spin_budget(), 5);
+    EXPECT_EQ(SpinBarrier(2, 0).spin_budget(), 0);
+}
+
+TEST(SpinBarrier, DefaultBudgetCollapsesWhenOversubscribed) {
+    // The affinity-aware default: spinning is pointless when the waiters
+    // outnumber the CPUs — the thread being waited for needs this core.
+    // Only checkable when SYMSPMV_SPIN does not force a budget.
+    if (spin_budget_override() >= 0) GTEST_SKIP() << "SYMSPMV_SPIN overrides the default";
+    const unsigned cpus = std::thread::hardware_concurrency();
+    if (cpus == 0) GTEST_SKIP() << "hardware_concurrency unknown";
+    EXPECT_EQ(SpinBarrier(static_cast<int>(cpus) + 1).spin_budget(), 0);
+}
+
+/// Runs @p threads threads through @p generations barrier generations and
+/// checks that no thread ever observes a torn generation: a shared counter
+/// bumped once per thread per generation must read threads*(g+1) after the
+/// g-th crossing on every thread.
+void run_generations(int threads, int generations, int spin_budget) {
+    SpinBarrier barrier(threads, spin_budget);
+    std::atomic<int> arrivals{0};
+    std::atomic<bool> torn{false};
+    std::vector<std::thread> crew;
+    crew.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) {
+        crew.emplace_back([&] {
+            for (int g = 0; g < generations; ++g) {
+                arrivals.fetch_add(1, std::memory_order_relaxed);
+                barrier.arrive_and_wait();
+                // Everyone from this generation has arrived; nobody from the
+                // next can have passed the barrier yet on this thread's turn.
+                const int seen = arrivals.load(std::memory_order_relaxed);
+                if (seen < threads * (g + 1)) torn.store(true, std::memory_order_relaxed);
+                barrier.arrive_and_wait();  // second phase: generation reuse
+            }
+        });
+    }
+    for (std::thread& th : crew) th.join();
+    EXPECT_FALSE(torn.load());
+    EXPECT_EQ(arrivals.load(), threads * generations);
+}
+
+TEST(SpinBarrier, GenerationReuseOnTheSpinPath) {
+    run_generations(/*threads=*/4, /*generations=*/200, /*spin_budget=*/INT_MAX);
+}
+
+TEST(SpinBarrier, GenerationReuseOnTheParkPath) {
+    run_generations(/*threads=*/4, /*generations=*/200, /*spin_budget=*/0);
+}
+
+TEST(SpinBarrier, PoisonedAtEntryThrows) {
+    SpinBarrier barrier(2);
+    barrier.poison();
+    EXPECT_TRUE(barrier.poisoned());
+    EXPECT_THROW(barrier.arrive_and_wait(), SpinBarrier::Poisoned);
+}
+
+/// One thread waits at the barrier on the given budget; the main thread
+/// poisons it.  The waiter must unwind with Poisoned instead of waiting for
+/// an arrival that will never come — on the spin path (huge budget) and on
+/// the park path (budget 0, futex wait) alike.
+void poison_unwinds_waiter(int spin_budget) {
+    SpinBarrier barrier(2, spin_budget);
+    std::atomic<bool> unwound{false};
+    std::thread waiter([&] {
+        try {
+            barrier.arrive_and_wait();
+        } catch (const SpinBarrier::Poisoned&) {
+            unwound.store(true, std::memory_order_release);
+        }
+    });
+    // No handshake needed: poison() wakes both a spinning and a parked
+    // waiter, and a waiter that arrives after the poison throws at entry.
+    barrier.poison();
+    waiter.join();
+    EXPECT_TRUE(unwound.load(std::memory_order_acquire));
+}
+
+TEST(SpinBarrier, PoisonDuringSpinUnwindsWaiter) { poison_unwinds_waiter(INT_MAX); }
+
+TEST(SpinBarrier, PoisonDuringParkUnwindsWaiter) { poison_unwinds_waiter(0); }
+
+TEST(SpinBarrier, ResetReArmsAfterPoison) {
+    SpinBarrier barrier(2, /*spin_budget=*/0);
+    barrier.poison();
+    EXPECT_THROW(barrier.arrive_and_wait(), SpinBarrier::Poisoned);
+    barrier.reset();
+    EXPECT_FALSE(barrier.poisoned());
+    std::thread peer([&] { barrier.arrive_and_wait(); });
+    barrier.arrive_and_wait();  // completes normally: the barrier works again
+    peer.join();
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool: persistent-region dispatch
+
+TEST(RunMany, ExecutesEveryIterationInOrderPerWorker) {
+    constexpr int kThreads = 3;
+    constexpr int kIters = 50;
+    ThreadPool pool(kThreads);
+    std::vector<std::vector<int>> seen(kThreads);
+    pool.run_many(kIters, [&](int tid, int i) {
+        seen[static_cast<std::size_t>(tid)].push_back(i);
+    });
+    for (int t = 0; t < kThreads; ++t) {
+        ASSERT_EQ(seen[static_cast<std::size_t>(t)].size(), static_cast<std::size_t>(kIters));
+        for (int i = 0; i < kIters; ++i) {
+            EXPECT_EQ(seen[static_cast<std::size_t>(t)][static_cast<std::size_t>(i)], i);
+        }
+    }
+}
+
+TEST(RunMany, ZeroIterationsIsANoOpAndNegativeThrows) {
+    ThreadPool pool(2);
+    std::atomic<int> calls{0};
+    pool.run_many(0, [&](int, int) { calls.fetch_add(1); });
+    EXPECT_EQ(calls.load(), 0);
+    EXPECT_THROW(pool.run_many(-1, [&](int, int) {}), InternalError);
+}
+
+TEST(RunMany, BarrierSynchronizesIterationsAcrossWorkers) {
+    // The measure/CG usage pattern: iteration i+1 must not start on any
+    // worker before iteration i finished on every worker.  With an
+    // end-of-iteration barrier, a per-iteration arrival counter can never be
+    // observed mid-iteration at a value from a previous iteration.
+    constexpr int kThreads = 4;
+    constexpr int kIters = 100;
+    ThreadPool pool(kThreads);
+    std::atomic<int> in_iteration{0};
+    std::atomic<bool> overlap{false};
+    pool.run_many(kIters, [&](int, int) {
+        const int inside = in_iteration.fetch_add(1, std::memory_order_acq_rel);
+        if (inside >= kThreads) overlap.store(true, std::memory_order_relaxed);
+        pool.barrier();  // end of iteration: everyone leaves together
+        in_iteration.fetch_sub(1, std::memory_order_acq_rel);
+        pool.barrier();  // nobody re-enters before the counters settle
+    });
+    EXPECT_FALSE(overlap.load());
+}
+
+TEST(RunMany, FirstExceptionIsRethrownAndThePoolStaysUsable) {
+    ThreadPool pool(3);
+    std::atomic<int> completed{0};
+    try {
+        pool.run_many(10, [&](int tid, int i) {
+            if (tid == 1 && i == 3) throw std::runtime_error("iteration failed");
+            pool.barrier();  // peers block here; the poison unwinds them
+            completed.fetch_add(1, std::memory_order_relaxed);
+        });
+        FAIL() << "expected the worker exception to be rethrown";
+    } catch (const std::runtime_error& e) {
+        EXPECT_STREQ(e.what(), "iteration failed");
+    }
+    // The failed region must leave the pool (and its re-armed barrier) fully
+    // functional: a two-phase job straight after runs to completion.
+    std::atomic<int> after{0};
+    pool.run([&](int) {
+        pool.barrier();
+        after.fetch_add(1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(after.load(), 3);
+}
+
+TEST(RunMany, ThrowingBeforeAnyBarrierStillCompletes) {
+    // A worker dying where no peer is at a barrier must not hang the join:
+    // the others simply finish their iterations.
+    ThreadPool pool(2);
+    EXPECT_THROW(pool.run_many(4,
+                               [&](int tid, int) {
+                                   if (tid == 0) throw std::runtime_error("early");
+                               }),
+                 std::runtime_error);
+    std::atomic<int> calls{0};
+    pool.run([&](int) { calls.fetch_add(1); });
+    EXPECT_EQ(calls.load(), 2);
+}
+
+TEST(RunMany, OversubscribedPoolCompletes) {
+    // More workers than CPUs: the spin budget collapses to zero and every
+    // wait parks, but the region semantics are unchanged.
+    const unsigned cpus = std::thread::hardware_concurrency();
+    const int threads = cpus == 0 ? 8 : static_cast<int>(cpus) * 2 + 1;
+    ThreadPool pool(threads);
+    std::atomic<int> calls{0};
+    pool.run_many(8, [&](int, int) {
+        calls.fetch_add(1, std::memory_order_relaxed);
+        pool.barrier();
+    });
+    EXPECT_EQ(calls.load(), threads * 8);
+}
+
+TEST(RunMany, BackToBackRegionsReuseTheHotPath) {
+    // Hammers the generation-word handshake: many small regions back to
+    // back, alternating run() and run_many(), must neither deadlock nor skip
+    // a dispatch.
+    ThreadPool pool(2);
+    std::atomic<int> calls{0};
+    for (int round = 0; round < 100; ++round) {
+        pool.run([&](int) { calls.fetch_add(1, std::memory_order_relaxed); });
+        pool.run_many(3, [&](int, int) { calls.fetch_add(1, std::memory_order_relaxed); });
+    }
+    EXPECT_EQ(calls.load(), 100 * (2 + 2 * 3));
+}
+
+TEST(RunMany, StatsCountOneDispatchPerRegion) {
+    ThreadPool pool(2);
+    const ThreadPool::Stats before = pool.stats();
+    pool.run([](int) {});
+    pool.run_many(16, [](int, int) {});
+    const ThreadPool::Stats after = pool.stats();
+    // The whole point of run_many: 16 iterations cost ONE dispatch.
+    EXPECT_EQ(after.jobs_dispatched - before.jobs_dispatched, 2u);
+}
+
+TEST(ThreadPool, LegacyPinCtorRoutesThroughTopology) {
+    // The bool constructor must produce the topology layer's compact map,
+    // not the old modulo-over-logical-ids layout.
+    const int threads = 2;
+    const std::vector<int> expected = pin_map(local_topology(), threads, PinStrategy::kCompact);
+    ThreadPool pool(threads, /*pin_threads=*/true);
+    ASSERT_EQ(static_cast<int>(expected.size()), threads);
+    for (int tid = 0; tid < threads; ++tid) {
+        EXPECT_EQ(pool.pin_cpu(tid), expected[static_cast<std::size_t>(tid)]);
+    }
+}
+
+}  // namespace
+}  // namespace symspmv

@@ -120,7 +120,10 @@ ReportConfig parse_config(int argc, char** argv) {
             // two thread counts — every record field exercised in seconds.
             if (!opts.has("--scale")) cfg.env.scale = 0.004;
             if (!opts.has("--iterations")) cfg.env.iterations = 4;
-            if (!opts.has("--threads")) cfg.env.thread_counts = {1, 2};
+            if (!opts.has("--threads")) {
+                cfg.env.thread_counts =
+                    bench::clamp_thread_counts({1, 2}, local_topology().logical_cpus());
+            }
             if (!opts.has("--matrix")) keep_matrices(cfg.env, {"consph", "parabolic_fem"});
             cfg.kinds = {KernelKind::kCsr, KernelKind::kSssIndexing, KernelKind::kCsxSym};
             break;
@@ -137,7 +140,10 @@ ReportConfig parse_config(int argc, char** argv) {
             // memory-bound argument and the NUMA placement actually bite.
             if (!opts.has("--scale")) cfg.env.scale = 1.0;
             if (!opts.has("--iterations")) cfg.env.iterations = 16;
-            if (!opts.has("--threads")) cfg.env.thread_counts = {1, 2, 4, 8};
+            if (!opts.has("--threads")) {
+                cfg.env.thread_counts =
+                    bench::clamp_thread_counts({1, 2, 4, 8}, local_topology().logical_cpus());
+            }
             if (!opts.has("--matrix")) {
                 keep_matrices(cfg.env,
                               {"parabolic_fem", "offshore", "consph", "G3_circuit"});
@@ -200,7 +206,11 @@ void write_markdown(const std::string& path, const ReportConfig& cfg,
                     ? fmt(it->second / r.seconds_per_op)
                     : std::string("n/a");
             const obs::RooflineAttribution attr = obs::attribute(r, roofline);
-            out << "| " << r.kernel << " | " << r.threads << " | " << fmt(r.gflops) << " | "
+            // Oversubscribed rows (more workers than online CPUs) measure
+            // scheduler contention, not the kernel; tag them so a 100%+
+            // "imbalance" cell is never misread as a kernel regression.
+            const char* tag = r.oversubscribed ? "†" : "";
+            out << "| " << r.kernel << " | " << r.threads << tag << " | " << fmt(r.gflops) << " | "
                 << fmt(r.bandwidth_gbs) << " | " << fmt(r.multiply_seconds * 1e3, 3) << " | "
                 << fmt(r.barrier_seconds * 1e3, 3) << " | " << fmt(r.reduction_seconds * 1e3, 3)
                 << " | " << fmt(r.multiply_imbalance * 100.0, 1) << "% | " << speedup << " | "
@@ -208,9 +218,23 @@ void write_markdown(const std::string& path, const ReportConfig& cfg,
                 << fmt(attr.bandwidth_fraction * 100.0, 0) << "% | " << to_string(attr.verdict)
                 << " |\n";
         }
+        bool any_oversubscribed = false;
+        std::string counters_note;
+        for (const obs::RunRecord& r : records) {
+            any_oversubscribed = any_oversubscribed || r.oversubscribed;
+            if (counters_note.empty()) counters_note = r.counters_note;
+        }
+        if (any_oversubscribed) {
+            out << "\n† oversubscribed: more worker threads than online logical CPUs; "
+                   "barrier/imbalance columns measure scheduler contention, not the "
+                   "kernel.\n";
+        }
         if (!records.empty() && !records.front().counters.any_valid()) {
-            out << "\nHardware counters were unavailable in this environment "
-                   "(perf_event_open rejected); counter fields are null.\n";
+            out << "\nHardware counters were unavailable or incomplete; counter "
+                   "fields are null.  Recorded reason: "
+                << (counters_note.empty() ? std::string("unknown (no reason recorded)")
+                                          : counters_note)
+                << "\n";
         }
     });
 }
@@ -306,7 +330,7 @@ int main(int argc, char** argv) {
                     obs::RunRecord rec = obs::make_run_record(
                         entry.name, bundle, *kernel, m, cfg.env.iterations, effective_threads,
                         engine::to_string(ctx.options().partition), &profiler, &sample,
-                        obs::exec_config(ctx));
+                        obs::exec_config(ctx), counters.unavailable_reason());
                     sink.write(rec);
                     m_latency.observe(rec.seconds_per_op);
                     records.push_back(std::move(rec));
@@ -346,6 +370,18 @@ int main(int argc, char** argv) {
         doc.set("hardware",
                 autotune::to_string(autotune::local_hardware_signature(cfg.env.pin_threads)));
         doc.set("counters_available", counters_seen);
+        {
+            // First recorded fallback reason ("" when every event opened on
+            // every thread) — the doc-level echo of the per-record note.
+            std::string note;
+            for (const obs::RunRecord& r : records) {
+                if (!r.counters_note.empty()) {
+                    note = r.counters_note;
+                    break;
+                }
+            }
+            doc.set("counters_note", std::move(note));
+        }
         obs::Json roof = obs::Json::object();
         roof.set("peak_gflops", roofline.peak_gflops);
         roof.set("bandwidth_gbs", roofline.bandwidth_gbs);
