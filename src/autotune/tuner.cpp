@@ -24,6 +24,7 @@ bool requires_symmetric(KernelKind kind) {
         case KernelKind::kSssIndexing:
         case KernelKind::kSssAtomic:
         case KernelKind::kSssColor:
+        case KernelKind::kSssRace:
         case KernelKind::kCsxSym:
         case KernelKind::kCsbSym:
         case KernelKind::kCsxSymJit:

@@ -8,6 +8,7 @@
 #include "spmv/alt_kernels.hpp"
 #include "spmv/baseline_kernels.hpp"
 #include "spmv/csr_kernels.hpp"
+#include "spmv/race_kernels.hpp"
 #include "spmv/sss_kernels.hpp"
 
 namespace symspmv::engine {
@@ -103,6 +104,8 @@ KernelPtr KernelFactory::make(KernelKind kind) const {
             return std::make_unique<JdsMtKernel>(Jds(bundle_.coo()), pool_);
         case KernelKind::kVbl:
             return std::make_unique<VblMtKernel>(Vbl(bundle_.coo()), pool_);
+        case KernelKind::kSssRace:
+            return std::make_unique<SssRaceKernel>(bundle_.sss(), bundle_.coo(), pool_);
         case KernelKind::kCsxJit:
             return std::make_unique<csx::CsxJitKernel>(bundle_.csr(), cfg_, pool_);
         case KernelKind::kCsxSymJit:

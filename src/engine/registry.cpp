@@ -47,6 +47,8 @@ std::string_view to_string(KernelKind kind) {
             return "JDS";
         case KernelKind::kVbl:
             return "VBL";
+        case KernelKind::kSssRace:
+            return "SSS-race";
         case KernelKind::kCsxJit:
             return "CSX-jit";
         case KernelKind::kCsxSymJit:
@@ -71,7 +73,7 @@ const std::vector<KernelKind>& all_kernel_kinds() {
             KernelKind::kCsbSym,    KernelKind::kBcsr,         KernelKind::kSssAtomic,
             KernelKind::kSssColor,  KernelKind::kCsrDu,        KernelKind::kEll,
             KernelKind::kHyb,       KernelKind::kDia,          KernelKind::kJds,
-            KernelKind::kVbl,
+            KernelKind::kVbl,       KernelKind::kSssRace,
         };
         // The JIT backends need a system C compiler at runtime.
         if (csx::JitModule::compiler_available()) {

@@ -37,6 +37,7 @@ enum class KernelKind {
     kDia,           // diagonal storage with COO-tail spill [13]
     kJds,           // Jagged Diagonal Storage baseline [13]
     kVbl,           // 1-D variable-length horizontal blocks [24]
+    kSssRace,       // reduction-free level-scheduled coloring (RACE-style)
     kCsxJit,        // CSX via runtime C code generation (needs a compiler;
                     // listed by all_kernel_kinds() only when one is found)
     kCsxSymJit,     // CSX-Sym via runtime code generation (same caveat)

@@ -1,0 +1,121 @@
+#include "reorder/levels.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/error.hpp"
+
+namespace symspmv {
+
+index_t LevelSets::width() const {
+    index_t w = 0;
+    for (index_t l = 0; l < levels(); ++l) {
+        w = std::max(w, static_cast<index_t>(level(l).size()));
+    }
+    return w;
+}
+
+LevelSets build_level_sets(const AdjacencyGraph& g) {
+    const index_t n = g.vertices();
+    LevelSets ls;
+    if (n == 0) {
+        ls.level_ptr = {0};
+        return ls;
+    }
+    // Component-by-component BFS from a pseudo-peripheral root; level_of
+    // merges the per-component structures by level index.
+    std::vector<index_t> level_of(static_cast<std::size_t>(n), -1);
+    index_t n_levels = 0;
+    for (index_t seed = 0; seed < n; ++seed) {
+        if (level_of[static_cast<std::size_t>(seed)] >= 0) continue;
+        const index_t root = pseudo_peripheral_vertex(g, seed);
+        const LevelStructure comp = bfs_levels(g, root);
+        for (index_t l = 0; l < comp.depth(); ++l) {
+            for (index_t i = comp.level_ptr[static_cast<std::size_t>(l)];
+                 i < comp.level_ptr[static_cast<std::size_t>(l) + 1]; ++i) {
+                level_of[static_cast<std::size_t>(comp.order[static_cast<std::size_t>(i)])] = l;
+            }
+        }
+        n_levels = std::max(n_levels, comp.depth());
+    }
+
+    // Bucket rows by level; ascending row id within a level keeps the
+    // structure deterministic (and diffable) regardless of BFS tie-breaks.
+    ls.level_ptr.assign(static_cast<std::size_t>(n_levels) + 1, 0);
+    for (index_t r = 0; r < n; ++r) {
+        SYMSPMV_CHECK_MSG(level_of[static_cast<std::size_t>(r)] >= 0,
+                          "build_level_sets: unvisited vertex");
+        ++ls.level_ptr[static_cast<std::size_t>(level_of[static_cast<std::size_t>(r)]) + 1];
+    }
+    for (std::size_t l = 1; l < ls.level_ptr.size(); ++l) {
+        ls.level_ptr[l] += ls.level_ptr[l - 1];
+    }
+    ls.rows.resize(static_cast<std::size_t>(n));
+    std::vector<index_t> cursor(ls.level_ptr.begin(), ls.level_ptr.end() - 1);
+    for (index_t r = 0; r < n; ++r) {
+        ls.rows[static_cast<std::size_t>(
+            cursor[static_cast<std::size_t>(level_of[static_cast<std::size_t>(r)])]++)] = r;
+    }
+    return ls;
+}
+
+LevelSets build_level_sets(const Coo& a) { return build_level_sets(AdjacencyGraph(a)); }
+
+std::vector<index_t> level_permutation(const LevelSets& ls) {
+    std::vector<index_t> perm(ls.rows.size(), -1);
+    for (std::size_t pos = 0; pos < ls.rows.size(); ++pos) {
+        perm[static_cast<std::size_t>(ls.rows[pos])] = static_cast<index_t>(pos);
+    }
+    return perm;
+}
+
+namespace {
+
+/// Emits [begin, end) of level @p lvl as blocks: whole when light enough,
+/// otherwise split at the weight midpoint and recurse on both halves.
+void emit_blocks(const LevelSets& ls, std::span<const std::int64_t> row_weight,
+                 std::int64_t target, std::size_t begin, std::size_t end, index_t lvl,
+                 LevelBlocks& out) {
+    std::int64_t weight = 0;
+    for (std::size_t i = begin; i < end; ++i) {
+        weight += row_weight[static_cast<std::size_t>(ls.rows[i])];
+    }
+    if (weight <= target || end - begin <= 1) {
+        for (std::size_t i = begin; i < end; ++i) out.rows.push_back(ls.rows[i]);
+        out.block_ptr.push_back(out.rows.size());
+        out.level_of.push_back(lvl);
+        return;
+    }
+    // Balanced split: first position where the prefix weight reaches half,
+    // clamped so both halves are non-empty.
+    std::size_t mid = begin;
+    std::int64_t prefix = 0;
+    while (mid < end - 1 && prefix * 2 < weight) {
+        prefix += row_weight[static_cast<std::size_t>(ls.rows[mid])];
+        ++mid;
+    }
+    mid = std::max(mid, begin + 1);
+    emit_blocks(ls, row_weight, target, begin, mid, lvl, out);
+    emit_blocks(ls, row_weight, target, mid, end, lvl, out);
+}
+
+}  // namespace
+
+LevelBlocks subdivide_levels(const LevelSets& ls, std::span<const std::int64_t> row_weight,
+                             std::int64_t target_weight) {
+    SYMSPMV_CHECK_MSG(row_weight.size() == ls.rows.size(),
+                      "subdivide_levels: one weight per row");
+    const std::int64_t target = std::max<std::int64_t>(1, target_weight);
+    LevelBlocks out;
+    out.rows.reserve(ls.rows.size());
+    out.block_ptr.push_back(0);
+    for (index_t l = 0; l < ls.levels(); ++l) {
+        const std::size_t begin = static_cast<std::size_t>(ls.level_ptr[static_cast<std::size_t>(l)]);
+        const std::size_t end = static_cast<std::size_t>(ls.level_ptr[static_cast<std::size_t>(l) + 1]);
+        if (begin == end) continue;  // empty merged level (component mismatch)
+        emit_blocks(ls, row_weight, target, begin, end, l, out);
+    }
+    return out;
+}
+
+}  // namespace symspmv

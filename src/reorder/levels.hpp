@@ -1,0 +1,100 @@
+// Whole-graph BFS level sets and their recursive subdivision into
+// load-balanced row blocks — the scheduling substrate of the RACE-style
+// reduction-free symmetric kernel (Alappat et al., "A Recursive Algebraic
+// Coloring Technique for Hardware-Efficient Symmetric Sparse Matrix-Vector
+// Multiplication"; see PAPERS.md and DESIGN.md §14).
+//
+// bfs_levels() (rcm.hpp) builds the level structure of ONE component rooted
+// at one vertex; build_level_sets() extends it to the whole graph by rooting
+// a BFS at a pseudo-peripheral vertex of every component and merging the
+// per-component structures BY LEVEL INDEX.  The merge is sound for
+// scheduling because vertices of different components share no edges: rows
+// listed under the same merged level never conflict, and the level-distance
+// guarantee below holds within each component separately.
+//
+// The property everything downstream rests on: an edge of the (symmetrized)
+// matrix graph connects vertices whose levels differ by AT MOST ONE.  The
+// symmetric SpM×V write set of a stored SSS row r — {r} plus its stored
+// (lower-triangle) neighbors — is therefore contained in levels
+// [level(r)-1, level(r)+1], so rows whose levels differ by three or more
+// can never write the same y element.  subdivide_levels() keeps that
+// argument usable for load balancing: it splits wide levels recursively
+// into blocks of bounded non-zero weight without ever mixing levels inside
+// one block, so a block inherits its level's distance guarantee.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/types.hpp"
+#include "matrix/coo.hpp"
+#include "reorder/rcm.hpp"
+
+namespace symspmv {
+
+/// BFS level structure of the whole graph: every vertex appears exactly
+/// once; disconnected components are merged by level index.
+struct LevelSets {
+    std::vector<index_t> level_ptr;  // levels()+1 offsets into `rows`
+    std::vector<index_t> rows;       // all vertices, grouped by level,
+                                     // ascending row id within a level
+
+    [[nodiscard]] index_t levels() const {
+        return level_ptr.empty() ? 0 : static_cast<index_t>(level_ptr.size()) - 1;
+    }
+
+    /// Rows of level @p l.
+    [[nodiscard]] std::span<const index_t> level(index_t l) const {
+        return {rows.data() + level_ptr[static_cast<std::size_t>(l)],
+                static_cast<std::size_t>(level_ptr[static_cast<std::size_t>(l) + 1] -
+                                         level_ptr[static_cast<std::size_t>(l)])};
+    }
+
+    /// Largest level size (the parallelism ceiling of level scheduling).
+    [[nodiscard]] index_t width() const;
+};
+
+/// Level sets over the adjacency of @p g, each component rooted at a
+/// George-Liu pseudo-peripheral vertex (deep, narrow levels — more stages
+/// of independent work).  An empty graph yields zero levels.
+[[nodiscard]] LevelSets build_level_sets(const AdjacencyGraph& g);
+
+/// Convenience overload: builds the AdjacencyGraph from canonical COO.
+[[nodiscard]] LevelSets build_level_sets(const Coo& a);
+
+/// The permutation induced by the level order: perm[old] = new position of
+/// the row in LevelSets::rows.  Composes with permute_symmetric(); levels
+/// become contiguous row ranges of the permuted matrix.
+[[nodiscard]] std::vector<index_t> level_permutation(const LevelSets& ls);
+
+/// Level blocks: the rows of each level, recursively subdivided into blocks
+/// whose non-zero weight is bounded — the unit of work the RACE-style
+/// kernel colors and schedules.  Blocks never span levels.
+struct LevelBlocks {
+    std::vector<index_t> rows;            // all vertices, grouped by block
+    std::vector<std::size_t> block_ptr;   // blocks()+1 offsets into `rows`
+    std::vector<index_t> level_of;        // BFS level each block came from
+
+    [[nodiscard]] int blocks() const {
+        return block_ptr.empty() ? 0 : static_cast<int>(block_ptr.size()) - 1;
+    }
+
+    [[nodiscard]] std::span<const index_t> block(int b) const {
+        return {rows.data() + block_ptr[static_cast<std::size_t>(b)],
+                block_ptr[static_cast<std::size_t>(b) + 1] -
+                    block_ptr[static_cast<std::size_t>(b)]};
+    }
+};
+
+/// Recursively halves every level of @p ls (split point balanced by row
+/// weight) until each block weighs at most @p target_weight or is a single
+/// row.  @p row_weight gives the per-row work estimate — the RACE kernel
+/// passes 1 + stored non-zeros of the row, so blocks carry roughly equal
+/// multiply work regardless of how skewed the rows are.  @p target_weight
+/// < 1 is clamped to 1.
+[[nodiscard]] LevelBlocks subdivide_levels(const LevelSets& ls,
+                                           std::span<const std::int64_t> row_weight,
+                                           std::int64_t target_weight);
+
+}  // namespace symspmv

@@ -1,0 +1,240 @@
+#include "spmv/race_kernels.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/error.hpp"
+#include "core/timer.hpp"
+#include "reorder/levels.hpp"
+
+namespace symspmv {
+
+namespace {
+
+/// Sorted distinct symmetric write set of the given rows: each row itself
+/// plus its stored (strictly lower) neighbors — exactly the y elements the
+/// kernel touches when it processes these rows.
+std::vector<index_t> write_set(const Sss& sss, std::span<const index_t> rows) {
+    const auto rowptr = sss.rowptr();
+    const auto colind = sss.colind();
+    std::vector<index_t> w;
+    std::size_t entries = rows.size();
+    for (const index_t r : rows) {
+        entries += static_cast<std::size_t>(rowptr[static_cast<std::size_t>(r) + 1] -
+                                            rowptr[static_cast<std::size_t>(r)]);
+    }
+    w.reserve(entries);
+    for (const index_t r : rows) {
+        w.push_back(r);
+        for (index_t j = rowptr[static_cast<std::size_t>(r)];
+             j < rowptr[static_cast<std::size_t>(r) + 1]; ++j) {
+            w.push_back(colind[static_cast<std::size_t>(j)]);
+        }
+    }
+    std::ranges::sort(w);
+    const auto dup = std::ranges::unique(w);
+    w.erase(dup.begin(), dup.end());
+    return w;
+}
+
+/// True when two sorted index sequences share an element.
+bool intersects(std::span<const index_t> a, std::span<const index_t> b) {
+    std::size_t i = 0;
+    std::size_t j = 0;
+    while (i < a.size() && j < b.size()) {
+        if (a[i] == b[j]) return true;
+        if (a[i] < b[j]) {
+            ++i;
+        } else {
+            ++j;
+        }
+    }
+    return false;
+}
+
+}  // namespace
+
+RaceSchedule::RaceSchedule(const Sss& sss, const Coo& full, int threads,
+                           int blocks_per_thread) {
+    SYMSPMV_CHECK_MSG(threads >= 1 && blocks_per_thread >= 1,
+                      "RaceSchedule: need threads >= 1 and blocks_per_thread >= 1");
+    const LevelSets ls = build_level_sets(full);
+    levels_ = ls.levels();
+
+    // Weight = 1 + stored lower non-zeros: proportional to the row's share
+    // of both multiply work and mirrored writes.
+    const index_t n = sss.rows();
+    const auto rowptr = sss.rowptr();
+    std::vector<std::int64_t> weight(static_cast<std::size_t>(n));
+    std::int64_t total = 0;
+    for (index_t r = 0; r < n; ++r) {
+        weight[static_cast<std::size_t>(r)] =
+            1 + rowptr[static_cast<std::size_t>(r) + 1] - rowptr[static_cast<std::size_t>(r)];
+        total += weight[static_cast<std::size_t>(r)];
+    }
+    const std::int64_t target =
+        std::max<std::int64_t>(1, total / (static_cast<std::int64_t>(threads) * blocks_per_thread));
+    LevelBlocks lb = subdivide_levels(ls, weight, target);
+    rows_ = std::move(lb.rows);
+    block_ptr_ = std::move(lb.block_ptr);
+
+    // Greedy first-fit coloring of the block conflict graph.  The conflict
+    // scan for block b only walks back while the level distance is <= 2:
+    // write sets live in levels [level-1, level+1] (levels.hpp), so farther
+    // blocks cannot conflict.  Blocks are emitted in level order, which
+    // makes that walk a short suffix, not O(blocks).
+    const int nb = blocks();
+    std::vector<std::vector<index_t>> wset(static_cast<std::size_t>(nb));
+    for (int b = 0; b < nb; ++b) {
+        wset[static_cast<std::size_t>(b)] = write_set(sss, block_rows(b));
+    }
+    std::vector<int> color(static_cast<std::size_t>(nb), -1);
+    int n_colors = 0;
+    std::vector<char> used;
+    for (int b = 0; b < nb; ++b) {
+        used.assign(static_cast<std::size_t>(n_colors) + 1, 0);
+        for (int a = b - 1;
+             a >= 0 && lb.level_of[static_cast<std::size_t>(b)] -
+                               lb.level_of[static_cast<std::size_t>(a)] <=
+                           2;
+             --a) {
+            if (intersects(wset[static_cast<std::size_t>(a)], wset[static_cast<std::size_t>(b)])) {
+                used[static_cast<std::size_t>(color[static_cast<std::size_t>(a)])] = 1;
+            }
+        }
+        int c = 0;
+        while (used[static_cast<std::size_t>(c)] != 0) ++c;
+        color[static_cast<std::size_t>(b)] = c;
+        n_colors = std::max(n_colors, c + 1);
+    }
+
+    // Bucket blocks by color; block order within a color is preserved.
+    color_ptr_.assign(static_cast<std::size_t>(n_colors) + 1, 0);
+    for (int c : color) ++color_ptr_[static_cast<std::size_t>(c) + 1];
+    for (std::size_t c = 1; c < color_ptr_.size(); ++c) color_ptr_[c] += color_ptr_[c - 1];
+    blocks_of_color_.resize(static_cast<std::size_t>(nb));
+    std::vector<std::size_t> cursor(color_ptr_.begin(), color_ptr_.end() - 1);
+    for (int b = 0; b < nb; ++b) {
+        blocks_of_color_[cursor[static_cast<std::size_t>(color[static_cast<std::size_t>(b)])]++] =
+            b;
+    }
+}
+
+int RaceSchedule::max_parallelism() const {
+    int best = 0;
+    for (int c = 0; c < colors(); ++c) {
+        best = std::max(best, static_cast<int>(color_ptr_[static_cast<std::size_t>(c) + 1] -
+                                               color_ptr_[static_cast<std::size_t>(c)]));
+    }
+    return best;
+}
+
+std::size_t RaceSchedule::bytes() const {
+    return rows_.size() * sizeof(index_t) + block_ptr_.size() * sizeof(std::size_t) +
+           blocks_of_color_.size() * sizeof(int) + color_ptr_.size() * sizeof(std::size_t);
+}
+
+bool RaceSchedule::write_safe(const Sss& sss) const {
+    for (int c = 0; c < colors(); ++c) {
+        // Each block's write set is already duplicate-free, so a duplicate
+        // in the concatenation of a color's write sets is an overlap
+        // between two blocks of that color.
+        std::vector<index_t> all;
+        for (std::size_t k = color_ptr_[static_cast<std::size_t>(c)];
+             k < color_ptr_[static_cast<std::size_t>(c) + 1]; ++k) {
+            const auto w = write_set(sss, block_rows(blocks_of_color_[k]));
+            all.insert(all.end(), w.begin(), w.end());
+        }
+        std::ranges::sort(all);
+        if (std::ranges::adjacent_find(all) != all.end()) return false;
+    }
+    return true;
+}
+
+SssRaceKernel::SssRaceKernel(Sss matrix, const Coo& full, ThreadPool& pool,
+                             int blocks_per_thread)
+    : matrix_(std::move(matrix)),
+      pool_(pool),
+      schedule_(matrix_, full, pool.size(), blocks_per_thread),
+      zero_parts_(split_even(matrix_.rows(), pool.size())),
+      stage_seconds_(static_cast<std::size_t>(schedule_.colors()) + 1, 0.0) {
+    SYMSPMV_CHECK_MSG(matrix_.rows() == full.rows(),
+                      "SssRaceKernel: Sss and Coo describe different matrices");
+}
+
+void SssRaceKernel::run_block(std::span<const index_t> rows, const value_t* __restrict xv,
+                              value_t* __restrict yv) const {
+    const auto rowptr = matrix_.rowptr();
+    const auto colind = matrix_.colind();
+    const auto values = matrix_.values();
+    for (const index_t r : rows) {
+        const value_t xr = xv[r];
+        value_t acc = 0.0;
+        for (index_t j = rowptr[static_cast<std::size_t>(r)];
+             j < rowptr[static_cast<std::size_t>(r) + 1]; ++j) {
+            const index_t c = colind[static_cast<std::size_t>(j)];
+            const value_t v = values[static_cast<std::size_t>(j)];
+            acc += v * xv[static_cast<std::size_t>(c)];
+            yv[static_cast<std::size_t>(c)] += v * xr;
+        }
+        yv[static_cast<std::size_t>(r)] += acc;
+    }
+}
+
+void SssRaceKernel::spmv_region(int tid, std::span<const value_t> x, std::span<value_t> y) {
+    const int p = pool_.size();
+    const value_t* __restrict xv = x.data();
+    value_t* __restrict yv = y.data();
+
+    // Stage 0: y <- D*x on an even contiguous split.  Seeds every y element
+    // exactly once (no conflicts possible), so the color stages below only
+    // accumulate off-diagonal contributions.
+    Timer stage_t;
+    const RowRange z = zero_parts_[static_cast<std::size_t>(tid)];
+    const auto dval = matrix_.dvalues();
+    for (index_t r = z.begin; r < z.end; ++r) {
+        yv[static_cast<std::size_t>(r)] = dval[static_cast<std::size_t>(r)] * xv[static_cast<std::size_t>(r)];
+    }
+    // Sample multiply time before the barrier (sss_kernels.cpp rationale);
+    // the stage_seconds_ slots deliberately *include* the closing barrier —
+    // they attribute the whole wall-clock of the op across stages.
+    const double init_seconds = stage_t.seconds();
+    if (profiler_ != nullptr) {
+        profiler_->record(tid, Phase::kMultiply, init_seconds);
+        pool_.barrier(*profiler_, tid);
+    } else {
+        pool_.barrier();
+    }
+    if (tid == 0) stage_seconds_[0] = stage_t.seconds();
+
+    // Color stages: same-color blocks have disjoint write sets, so workers
+    // scatter mirrored contributions directly into y.  There is no
+    // reduction phase to record — Phase::kReduction stays at zero.
+    const auto color_ptr = schedule_.color_ptr();
+    const auto boc = schedule_.blocks_of_color();
+    for (int c = 0; c < schedule_.colors(); ++c) {
+        Timer t;
+        for (std::size_t k = color_ptr[static_cast<std::size_t>(c)] + static_cast<std::size_t>(tid);
+             k < color_ptr[static_cast<std::size_t>(c) + 1]; k += static_cast<std::size_t>(p)) {
+            run_block(schedule_.block_rows(boc[k]), xv, yv);
+        }
+        const double mult_seconds = t.seconds();
+        if (profiler_ != nullptr) {
+            profiler_->record(tid, Phase::kMultiply, mult_seconds);
+            pool_.barrier(*profiler_, tid);
+        } else {
+            pool_.barrier();
+        }
+        if (tid == 0) stage_seconds_[static_cast<std::size_t>(c) + 1] = t.seconds();
+    }
+}
+
+void SssRaceKernel::spmv(std::span<const value_t> x, std::span<value_t> y) {
+    SYMSPMV_CHECK_MSG(static_cast<index_t>(x.size()) == matrix_.rows(), "spmv: x size mismatch");
+    SYMSPMV_CHECK_MSG(static_cast<index_t>(y.size()) == matrix_.rows(), "spmv: y size mismatch");
+    Timer total;
+    pool_.run([&](int tid) { spmv_region(tid, x, y); });
+    phases_ = {total.seconds(), 0.0};
+}
+
+}  // namespace symspmv

@@ -1,0 +1,126 @@
+// Reduction-free symmetric SpM×V via level scheduling + distance-2 conflict
+// coloring, after Alappat et al.'s Recursive Algebraic Coloring (RACE;
+// PAPERS.md, DESIGN.md §14).
+//
+// The paper's local-vectors kernels (sss_kernels.hpp) pay for symmetry with
+// per-thread buffers and a reduction phase; the colorful comparator
+// (alt_kernels.hpp) removes the reduction but colors arbitrary contiguous
+// blocks, so "the geometry of the graph limits the potential".  This kernel
+// takes the RACE route between the two: rows are grouped by BFS level
+// (src/reorder/levels.hpp), wide levels are recursively subdivided into
+// load-balanced blocks, and the blocks are greedily distance-2 colored —
+// only block pairs within two levels of each other can conflict at all, so
+// the coloring needs few colors and keeps nearly full parallelism per
+// color.  Execution is barrier-separated color stages inside one parallel
+// region: every thread writes y[i] and the mirrored y[j] directly.  No
+// local vectors, no reduction phase, no atomics — the profiler's
+// Phase::kReduction is identically zero by construction.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "core/partition.hpp"
+#include "core/thread_pool.hpp"
+#include "matrix/coo.hpp"
+#include "matrix/sss.hpp"
+#include "spmv/kernel.hpp"
+
+namespace symspmv {
+
+/// The level-scheduled block coloring backing SssRaceKernel, exposed
+/// separately so tests and tools can inspect (and re-verify) the schedule.
+class RaceSchedule {
+   public:
+    RaceSchedule() = default;
+
+    /// Builds the schedule for @p sss, whose full symmetric pattern is
+    /// @p full (the BFS runs on the symmetrized adjacency).  Rows are split
+    /// into roughly `threads * blocks_per_thread` blocks along BFS levels.
+    RaceSchedule(const Sss& sss, const Coo& full, int threads, int blocks_per_thread);
+
+    /// Number of barrier-separated color stages (the sequential depth).
+    [[nodiscard]] int colors() const { return static_cast<int>(color_ptr_.size()) - 1; }
+
+    [[nodiscard]] int blocks() const { return static_cast<int>(block_ptr_.size()) - 1; }
+
+    /// BFS levels of the underlying level structure.
+    [[nodiscard]] index_t levels() const { return levels_; }
+
+    /// Rows of block @p b (not necessarily contiguous row ids).
+    [[nodiscard]] std::span<const index_t> block_rows(int b) const {
+        return {rows_.data() + block_ptr_[static_cast<std::size_t>(b)],
+                block_ptr_[static_cast<std::size_t>(b) + 1] -
+                    block_ptr_[static_cast<std::size_t>(b)]};
+    }
+
+    /// Blocks of color c: blocks_of_color()[color_ptr()[c] .. color_ptr()[c+1]).
+    [[nodiscard]] std::span<const int> blocks_of_color() const { return blocks_of_color_; }
+    [[nodiscard]] std::span<const std::size_t> color_ptr() const { return color_ptr_; }
+
+    /// Largest number of same-color blocks (parallelism within a stage).
+    [[nodiscard]] int max_parallelism() const;
+
+    /// Bytes of the schedule's own arrays (counted into the kernel
+    /// footprint — the "side structure" replacing the local vectors).
+    [[nodiscard]] std::size_t bytes() const;
+
+    /// Recomputes every block's symmetric write set ({r} ∪ stored lower
+    /// neighbors) and checks that no two blocks of the same color
+    /// intersect — the invariant that makes the stages write-safe without
+    /// atomics.  O(colors · total write set) — test/diagnostic use.
+    [[nodiscard]] bool write_safe(const Sss& sss) const;
+
+   private:
+    index_t levels_ = 0;
+    std::vector<index_t> rows_;           // all rows, grouped by block
+    std::vector<std::size_t> block_ptr_;  // blocks()+1 offsets into rows_
+    std::vector<int> blocks_of_color_;
+    std::vector<std::size_t> color_ptr_;
+};
+
+/// Reduction-free symmetric SSS kernel on a RACE-style schedule.
+class SssRaceKernel final : public SpmvKernel {
+   public:
+    /// @p pool outlives the kernel; its size fixes the thread count.
+    /// @p full is the full symmetric COO the Sss was built from (adjacency
+    /// source for the BFS levels).  @p blocks_per_thread controls the
+    /// subdivision granularity: more blocks smooth the per-stage load at
+    /// the cost of more (smaller) stages on conflict-dense graphs.
+    SssRaceKernel(Sss matrix, const Coo& full, ThreadPool& pool, int blocks_per_thread = 4);
+
+    [[nodiscard]] std::string_view name() const override { return "SSS-race"; }
+    [[nodiscard]] index_t rows() const override { return matrix_.rows(); }
+    [[nodiscard]] std::int64_t nnz() const override { return matrix_.nnz(); }
+    [[nodiscard]] std::size_t footprint_bytes() const override {
+        return matrix_.size_bytes() + schedule_.bytes();
+    }
+    void spmv(std::span<const value_t> x, std::span<value_t> y) override;
+    [[nodiscard]] ThreadPool* region_pool() const override { return &pool_; }
+    void spmv_region(int tid, std::span<const value_t> x, std::span<value_t> y) override;
+
+    [[nodiscard]] const RaceSchedule& schedule() const { return schedule_; }
+    [[nodiscard]] const Sss& matrix() const { return matrix_; }
+
+    /// Per-stage wall-clock of the most recent spmv(): slot 0 is the
+    /// zero-y stage, slots 1..colors() the color stages, each measured on
+    /// worker 0 from the stage's opening barrier alignment to (and
+    /// including) its closing barrier.  This is the per-stage attribution
+    /// bench_report prints for SSS-race cells: the cost the reduction
+    /// phase turned into.
+    [[nodiscard]] std::span<const double> stage_seconds() const { return stage_seconds_; }
+
+   private:
+    void run_block(std::span<const index_t> rows, const value_t* __restrict xv,
+                   value_t* __restrict yv) const;
+
+    Sss matrix_;
+    ThreadPool& pool_;
+    RaceSchedule schedule_;
+    std::vector<RowRange> zero_parts_;
+    std::vector<double> stage_seconds_;  // colors()+1 slots; written by tid 0
+};
+
+}  // namespace symspmv

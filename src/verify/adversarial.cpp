@@ -1,5 +1,6 @@
 #include "verify/adversarial.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <utility>
@@ -108,6 +109,37 @@ Coo tiny_wide() {
     return std::move(b).build();
 }
 
+/// Disconnected components of very different diameters: a long path, a
+/// star, a small clique, and isolated vertices.  Level-scheduled kernels
+/// must restart their BFS per component and merge level structures of
+/// depths 30, 2, 1 and 1; orderings must cover unreachable vertices.
+Coo disconnected(index_t n) {
+    SymBuilder b(n);
+    for (index_t i = 0; i < n; ++i) b.add(i, i, 8.0 + static_cast<double>(i % 5));
+    const index_t path_end = n / 2;  // component 1: path 0-1-...-path_end-1
+    for (index_t i = 1; i < path_end; ++i) b.add(i, i - 1, -1.0);
+    const index_t star_end = path_end + (n - path_end) / 2;  // component 2: star
+    for (index_t i = path_end + 1; i < star_end; ++i) {
+        b.add(i, path_end, 0.25 + static_cast<double>(i - path_end));
+    }
+    const index_t clique_end = std::min<index_t>(star_end + 4, n);  // component 3: clique
+    for (index_t i = star_end; i < clique_end; ++i) {
+        for (index_t j = star_end; j < i; ++j) b.add(i, j, -0.5);
+    }
+    // Rows clique_end..n-1 stay isolated (diagonal-only components).
+    return std::move(b).build();
+}
+
+/// Pure path graph: n BFS levels of width one.  The degenerate case for
+/// level scheduling — no parallelism inside a level, so all speedup must
+/// come from coloring blocks of *different* levels into one stage.
+Coo path_chain(index_t n) {
+    SymBuilder b(n);
+    for (index_t i = 0; i < n; ++i) b.add(i, i, 3.0);
+    for (index_t i = 1; i < n; ++i) b.add(i, i - 1, -1.0 - static_cast<double>(i % 3));
+    return std::move(b).build();
+}
+
 }  // namespace
 
 std::vector<AdversarialCase> adversarial_suite() {
@@ -125,6 +157,10 @@ std::vector<AdversarialCase> adversarial_suite() {
                      "60-binary-order magnitude spread", signed_zero_denormal(32)});
     suite.push_back({"tiny-wide", "fewer rows than pool threads (empty partitions)",
                      tiny_wide()});
+    suite.push_back({"disconnected", "path + star + clique + isolated components: "
+                     "per-component BFS restarts, merged level structures", disconnected(53)});
+    suite.push_back({"path-chain", "pure path: n width-1 BFS levels, zero intra-level "
+                     "parallelism", path_chain(33)});
     suite.push_back({"scatter", "high-bandwidth irregular rows (§V.B corner case)",
                      gen::make_spd(gen::banded_random(229, 200, 6.0, 11, 0.9))});
     suite.push_back({"block-fem", "dense 3x3 block substructures (CSX pattern units)",

@@ -402,6 +402,14 @@ TEST(PlanStore, PreBumpV2FileIsARevalidationReject) {
 
 // ----------------------------------------------------------------- tuner --
 
+TEST(Tuner, DefaultCandidateSetIncludesTheRaceKernel) {
+    // The reduction-free SSS-race kernel must be a default tuner candidate
+    // (and, like every kind, its plan-file name must round-trip).
+    const auto& kinds = default_tuning_kinds();
+    EXPECT_NE(std::find(kinds.begin(), kinds.end(), KernelKind::kSssRace), kinds.end());
+    EXPECT_EQ(parse_kernel_kind(to_string(KernelKind::kSssRace)), KernelKind::kSssRace);
+}
+
 TuneOptions fast_options() {
     TuneOptions opts;
     opts.kernels = {KernelKind::kCsr, KernelKind::kSssNaive, KernelKind::kSssIndexing};

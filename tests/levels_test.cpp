@@ -1,0 +1,150 @@
+// Tests for whole-graph BFS level sets and their recursive subdivision
+// (src/reorder/levels.hpp) — the scheduling substrate of the SSS-race
+// kernel.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "matrix/generators.hpp"
+#include "reorder/levels.hpp"
+#include "reorder/permute.hpp"
+
+namespace symspmv {
+namespace {
+
+/// level_of[r] recovered from the bucketed structure.
+std::vector<index_t> level_of(const LevelSets& ls) {
+    std::vector<index_t> out(ls.rows.size(), -1);
+    for (index_t l = 0; l < ls.levels(); ++l) {
+        for (const index_t r : ls.level(l)) out[static_cast<std::size_t>(r)] = l;
+    }
+    return out;
+}
+
+/// Block-diagonal disconnected test graph: a path of @p path rows, a
+/// separate tridiagonal band of @p band rows, and @p isolated diagonal-only
+/// rows.
+Coo disconnected_coo(index_t path, index_t band, index_t isolated) {
+    const index_t n = path + band + isolated;
+    std::vector<Triplet> t;
+    for (index_t i = 0; i < n; ++i) t.push_back({i, i, 4.0});
+    for (index_t i = 1; i < path; ++i) {
+        t.push_back({i, i - 1, -1.0});
+        t.push_back({i - 1, i, -1.0});
+    }
+    for (index_t i = path + 1; i < path + band; ++i) {
+        t.push_back({i, i - 1, -2.0});
+        t.push_back({i - 1, i, -2.0});
+    }
+    return Coo(n, n, std::move(t));
+}
+
+TEST(LevelSets, EmptyMatrixHasZeroLevels) {
+    const LevelSets ls = build_level_sets(Coo(0, 0));
+    EXPECT_EQ(ls.levels(), 0);
+    EXPECT_TRUE(ls.rows.empty());
+    EXPECT_EQ(ls.width(), 0);
+}
+
+TEST(LevelSets, SingleRowIsOneSingletonLevel) {
+    const LevelSets ls = build_level_sets(Coo(1, 1, {{0, 0, 2.5}}));
+    ASSERT_EQ(ls.levels(), 1);
+    ASSERT_EQ(ls.rows.size(), 1u);
+    EXPECT_EQ(ls.rows[0], 0);
+}
+
+TEST(LevelSets, EveryRowAppearsExactlyOnce) {
+    const Coo a = gen::make_spd(gen::banded_random(97, 9, 5.0, 3));
+    const LevelSets ls = build_level_sets(a);
+    std::vector<index_t> sorted = ls.rows;
+    std::ranges::sort(sorted);
+    ASSERT_EQ(sorted.size(), 97u);
+    for (index_t r = 0; r < 97; ++r) EXPECT_EQ(sorted[static_cast<std::size_t>(r)], r);
+}
+
+TEST(LevelSets, EdgesNeverSpanMoreThanOneLevel) {
+    // The conflict-distance argument of the RACE schedule rests entirely on
+    // this property.
+    const Coo a = gen::make_spd(gen::banded_random(120, 14, 5.0, 11));
+    const LevelSets ls = build_level_sets(a);
+    const std::vector<index_t> lvl = level_of(ls);
+    for (const Triplet& t : a.entries()) {
+        if (t.row == t.col) continue;
+        const index_t d = lvl[static_cast<std::size_t>(t.row)] -
+                          lvl[static_cast<std::size_t>(t.col)];
+        EXPECT_LE(d <= 0 ? -d : d, 1) << "edge (" << t.row << ", " << t.col << ")";
+    }
+}
+
+TEST(LevelSets, DisconnectedComponentsMergeByLevelIndex) {
+    const Coo a = disconnected_coo(17, 6, 3);
+    const LevelSets ls = build_level_sets(a);
+    // Deepest component is the 17-row path: 17 levels from a peripheral end.
+    EXPECT_EQ(ls.levels(), 17);
+    // Every row is placed exactly once despite the BFS restarts.
+    std::vector<index_t> sorted = ls.rows;
+    std::ranges::sort(sorted);
+    ASSERT_EQ(sorted.size(), 26u);
+    for (index_t r = 0; r < 26; ++r) EXPECT_EQ(sorted[static_cast<std::size_t>(r)], r);
+    // Isolated vertices have no neighbors, so they all land in level 0.
+    const std::vector<index_t> lvl = level_of(ls);
+    for (index_t r = 23; r < 26; ++r) EXPECT_EQ(lvl[static_cast<std::size_t>(r)], 0);
+}
+
+TEST(LevelSets, PermutationRoundTrips) {
+    const Coo a = disconnected_coo(11, 5, 2);
+    const LevelSets ls = build_level_sets(a);
+    const std::vector<index_t> perm = level_permutation(ls);
+    EXPECT_TRUE(is_permutation(perm));
+    EXPECT_EQ(invert_permutation(invert_permutation(perm)), perm);
+    // Row at position pos of the level order maps to new index pos.
+    for (std::size_t pos = 0; pos < ls.rows.size(); ++pos) {
+        EXPECT_EQ(perm[static_cast<std::size_t>(ls.rows[pos])], static_cast<index_t>(pos));
+    }
+    // The symmetric permutation keeps the matrix symmetric and, because
+    // levels become contiguous row ranges, every permuted edge still spans
+    // at most one level.
+    const Coo b = permute_symmetric(a, perm);
+    EXPECT_TRUE(b.is_symmetric());
+    EXPECT_EQ(b.nnz(), a.nnz());
+}
+
+TEST(LevelBlocks, SubdivisionPartitionsRowsWithoutMixingLevels) {
+    const Coo a = gen::make_spd(gen::banded_random(90, 12, 5.0, 5));
+    const LevelSets ls = build_level_sets(a);
+    const std::vector<index_t> lvl = level_of(ls);
+    const std::vector<std::int64_t> weight(ls.rows.size(), 1);
+    const LevelBlocks lb = subdivide_levels(ls, weight, 3);
+    // Exact partition of the rows.
+    std::vector<index_t> sorted = lb.rows;
+    std::ranges::sort(sorted);
+    ASSERT_EQ(sorted.size(), ls.rows.size());
+    for (index_t r = 0; r < static_cast<index_t>(sorted.size()); ++r) {
+        EXPECT_EQ(sorted[static_cast<std::size_t>(r)], r);
+    }
+    ASSERT_EQ(lb.level_of.size(), static_cast<std::size_t>(lb.blocks()));
+    for (int b = 0; b < lb.blocks(); ++b) {
+        const auto rows = lb.block(b);
+        ASSERT_FALSE(rows.empty());
+        // Unit weights, target 3: blocks hold at most 3 rows...
+        EXPECT_LE(rows.size(), 3u);
+        // ...and never span levels.
+        for (const index_t r : rows) {
+            EXPECT_EQ(lvl[static_cast<std::size_t>(r)], lb.level_of[static_cast<std::size_t>(b)]);
+        }
+    }
+}
+
+TEST(LevelBlocks, HeavyRowBecomesItsOwnBlock) {
+    // One row outweighing the target must still terminate (single-row clamp).
+    const Coo a = disconnected_coo(4, 0, 0);
+    const LevelSets ls = build_level_sets(a);
+    std::vector<std::int64_t> weight(ls.rows.size(), 1);
+    weight[0] = 1000;
+    const LevelBlocks lb = subdivide_levels(ls, weight, 2);
+    EXPECT_EQ(static_cast<std::size_t>(lb.blocks()), ls.rows.size());
+}
+
+}  // namespace
+}  // namespace symspmv

@@ -1,0 +1,173 @@
+// Tests for the reduction-free RACE-style symmetric kernel
+// (src/spmv/race_kernels.hpp): schedule safety invariants, numerical
+// agreement with the serial SSS kernel, the exactly-zero reduction phase,
+// and region execution under run_many.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/profiling.hpp"
+#include "core/thread_pool.hpp"
+#include "engine/registry.hpp"
+#include "matrix/generators.hpp"
+#include "spmv/race_kernels.hpp"
+#include "test_util.hpp"
+
+namespace symspmv {
+namespace {
+
+/// Disconnected stress graph: path + star + isolated rows.
+Coo disconnected_coo(index_t n) {
+    std::vector<Triplet> t;
+    for (index_t i = 0; i < n; ++i) t.push_back({i, i, 6.0});
+    const index_t path_end = n / 2;
+    for (index_t i = 1; i < path_end; ++i) {
+        t.push_back({i, i - 1, -1.0});
+        t.push_back({i - 1, i, -1.0});
+    }
+    const index_t hub = path_end;
+    for (index_t i = hub + 1; i < n - 2; ++i) {
+        t.push_back({i, hub, 0.5});
+        t.push_back({hub, i, 0.5});
+    }
+    return Coo(n, n, std::move(t));
+}
+
+/// Arrowhead: the mirrored-write hot spot (every block conflicts via row 0).
+Coo arrowhead_coo(index_t n) {
+    std::vector<Triplet> t;
+    for (index_t i = 0; i < n; ++i) t.push_back({i, i, static_cast<double>(n)});
+    for (index_t i = 1; i < n; ++i) {
+        t.push_back({i, 0, -1.0});
+        t.push_back({0, i, -1.0});
+    }
+    return Coo(n, n, std::move(t));
+}
+
+void expect_matches_serial(const Coo& full, ThreadPool& pool) {
+    const Sss sss(full);
+    SssRaceKernel race(Sss(full), full, pool);
+    const auto x = test::random_vector(full.rows(), 42);
+    std::vector<value_t> y_race(static_cast<std::size_t>(full.rows()), -7.0);
+    std::vector<value_t> y_ref(static_cast<std::size_t>(full.rows()), 3.0);
+    race.spmv(x, y_race);
+    sss.spmv(x, y_ref);
+    for (std::size_t i = 0; i < y_ref.size(); ++i) {
+        EXPECT_NEAR(y_race[i], y_ref[i], 1e-9 * (1.0 + std::abs(y_ref[i]))) << "row " << i;
+    }
+}
+
+TEST(RaceSchedule, SameColorBlocksNeverShareWrites) {
+    for (const Coo& a : {gen::make_spd(gen::banded_random(150, 18, 5.0, 13)),
+                         disconnected_coo(61), arrowhead_coo(40)}) {
+        const Sss sss(a);
+        const RaceSchedule sched(sss, a, /*threads=*/4, /*blocks_per_thread=*/4);
+        EXPECT_TRUE(sched.write_safe(sss));
+        // Blocks partition all rows.
+        std::size_t covered = 0;
+        for (int b = 0; b < sched.blocks(); ++b) covered += sched.block_rows(b).size();
+        EXPECT_EQ(covered, static_cast<std::size_t>(a.rows()));
+        EXPECT_GE(sched.colors(), 1);
+    }
+}
+
+TEST(RaceSchedule, EmptyMatrixYieldsEmptySchedule) {
+    const Coo a(0, 0);
+    const Sss sss(a);
+    const RaceSchedule sched(sss, a, 4, 4);
+    EXPECT_EQ(sched.blocks(), 0);
+    EXPECT_EQ(sched.colors(), 0);
+    EXPECT_TRUE(sched.write_safe(sss));
+}
+
+TEST(RaceSchedule, DiagonalOnlyNeedsOneColor) {
+    std::vector<Triplet> t;
+    for (index_t i = 0; i < 32; ++i) t.push_back({i, i, 1.0 + i});
+    const Coo a(32, 32, std::move(t));
+    const Sss sss(a);
+    const RaceSchedule sched(sss, a, 4, 2);
+    // Singleton write sets never conflict: everything runs in one stage.
+    EXPECT_EQ(sched.colors(), 1);
+    EXPECT_EQ(sched.max_parallelism(), sched.blocks());
+}
+
+TEST(SssRaceKernel, MatchesSerialSssOnBandedSpd) {
+    ThreadPool pool(4);
+    expect_matches_serial(gen::make_spd(gen::banded_random(173, 21, 5.0, 7)), pool);
+}
+
+TEST(SssRaceKernel, MatchesSerialSssOnLevelBoundaryStressCases) {
+    ThreadPool pool(4);
+    expect_matches_serial(disconnected_coo(57), pool);
+    expect_matches_serial(arrowhead_coo(48), pool);
+    // Pure path: width-1 levels, the level-scheduling degenerate case.
+    std::vector<Triplet> t;
+    for (index_t i = 0; i < 29; ++i) t.push_back({i, i, 3.0});
+    for (index_t i = 1; i < 29; ++i) {
+        t.push_back({i, i - 1, -1.5});
+        t.push_back({i - 1, i, -1.5});
+    }
+    expect_matches_serial(Coo(29, 29, std::move(t)), pool);
+}
+
+TEST(SssRaceKernel, FewerRowsThanThreads) {
+    ThreadPool pool(8);
+    expect_matches_serial(gen::make_spd(gen::banded_random(5, 2, 4.0, 3)), pool);
+}
+
+TEST(SssRaceKernel, ReductionPhaseIsExactlyZero) {
+    ThreadPool pool(3);
+    const Coo a = gen::make_spd(gen::banded_random(90, 10, 5.0, 5));
+    SssRaceKernel race(Sss(a), a, pool);
+    PhaseProfiler profiler(3);
+    race.set_profiler(&profiler);
+    const auto x = test::random_vector(a.rows(), 11);
+    std::vector<value_t> y(static_cast<std::size_t>(a.rows()));
+    for (int op = 0; op < 4; ++op) race.spmv(x, y);
+    const PhaseStats reduction = profiler.stats(Phase::kReduction);
+    EXPECT_EQ(reduction.samples, 0u);
+    EXPECT_EQ(reduction.total_seconds, 0.0);
+    EXPECT_GT(profiler.stats(Phase::kMultiply).samples, 0u);
+    EXPECT_GT(profiler.stats(Phase::kBarrier).samples, 0u);
+    EXPECT_EQ(race.last_phases().reduction_seconds, 0.0);
+    // One stage-seconds slot per color stage plus the D·x init stage.
+    EXPECT_EQ(race.stage_seconds().size(),
+              static_cast<std::size_t>(race.schedule().colors()) + 1);
+}
+
+TEST(SssRaceKernel, RegionExecutionUnderRunMany) {
+    ThreadPool pool(4);
+    const Coo a = gen::make_spd(gen::banded_random(110, 13, 5.0, 9));
+    const Sss reference(a);
+    SssRaceKernel race(Sss(a), a, pool);
+    ASSERT_EQ(race.region_pool(), &pool);
+    const auto x = test::random_vector(a.rows(), 23);
+    std::vector<value_t> y(static_cast<std::size_t>(a.rows()), 99.0);
+    pool.run_many(5, [&](int tid, int /*iteration*/) {
+        race.spmv_region(tid, x, y);
+        pool.barrier();  // end-of-op barrier, per the kernel.hpp contract
+    });
+    std::vector<value_t> y_ref(static_cast<std::size_t>(a.rows()));
+    reference.spmv(x, y_ref);
+    for (std::size_t i = 0; i < y_ref.size(); ++i) {
+        EXPECT_NEAR(y[i], y_ref[i], 1e-9 * (1.0 + std::abs(y_ref[i])));
+    }
+}
+
+TEST(SssRaceKernel, RegisteredInKernelRegistry) {
+    EXPECT_EQ(parse_kernel_kind("SSS-race"), KernelKind::kSssRace);
+    EXPECT_EQ(to_string(KernelKind::kSssRace), "SSS-race");
+    const auto& all = all_kernel_kinds();
+    EXPECT_NE(std::find(all.begin(), all.end(), KernelKind::kSssRace), all.end());
+    ThreadPool pool(2);
+    const Coo a = gen::make_spd(gen::banded_random(50, 6, 4.0, 3));
+    const KernelPtr k = make_kernel(KernelKind::kSssRace, a, pool);
+    EXPECT_EQ(k->name(), "SSS-race");
+    EXPECT_EQ(k->nnz(), a.nnz());
+    EXPECT_GT(k->footprint_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace symspmv

@@ -61,6 +61,7 @@
 #include "obs/metrics.hpp"
 #include "obs/run_record.hpp"
 #include "obs/trace.hpp"
+#include "spmv/race_kernels.hpp"
 
 using namespace symspmv;
 
@@ -125,12 +126,14 @@ ReportConfig parse_config(int argc, char** argv) {
                     bench::clamp_thread_counts({1, 2}, local_topology().logical_cpus());
             }
             if (!opts.has("--matrix")) keep_matrices(cfg.env, {"consph", "parabolic_fem"});
-            cfg.kinds = {KernelKind::kCsr, KernelKind::kSssIndexing, KernelKind::kCsxSym};
+            cfg.kinds = {KernelKind::kCsr, KernelKind::kSssIndexing, KernelKind::kCsxSym,
+                         KernelKind::kSssRace};
             break;
         case Tier::kSmall:
             cfg.kinds = {KernelKind::kCsr,          KernelKind::kCsx,
                          KernelKind::kSssNaive,     KernelKind::kSssEffective,
-                         KernelKind::kSssIndexing,  KernelKind::kCsxSym};
+                         KernelKind::kSssIndexing,  KernelKind::kCsxSym,
+                         KernelKind::kSssRace};
             break;
         case Tier::kFull:
             // Paper scale over one matrix per structure class (Table I row
@@ -150,13 +153,23 @@ ReportConfig parse_config(int argc, char** argv) {
             }
             cfg.kinds = {KernelKind::kCsr,          KernelKind::kCsx,
                          KernelKind::kSssNaive,     KernelKind::kSssEffective,
-                         KernelKind::kSssIndexing,  KernelKind::kCsxSym};
+                         KernelKind::kSssIndexing,  KernelKind::kCsxSym,
+                         KernelKind::kSssRace};
             break;
     }
     return cfg;
 }
 
 std::string fmt(double v, int precision = 2) { return bench::TablePrinter::fmt(v, precision); }
+
+/// Per-cell context the RunRecord schema does not carry: where the kernel
+/// configuration came from (here always the registry sweep — a plan-replay
+/// sweep would say `plan:<file>`), and the per-stage wall-clock of
+/// stage-scheduled kernels (SSS-race) for the markdown attribution note.
+struct CellExtra {
+    std::string provenance;         // "registry:<kind name>"
+    std::vector<double> stage_seconds;  // empty unless the kernel reports stages
+};
 
 /// GiB-free pretty-printer for the markdown summary.
 std::string counter_cell(const obs::CounterSample& s, obs::Counter c) {
@@ -166,6 +179,7 @@ std::string counter_cell(const obs::CounterSample& s, obs::Counter c) {
 
 void write_markdown(const std::string& path, const ReportConfig& cfg,
                     const std::vector<obs::RunRecord>& records,
+                    const std::vector<CellExtra>& extras,
                     const bench::RooflineModel& roofline) {
     write_file_atomic(path, [&](std::ostream& out) {
         out << "# BENCH_symspmv — measured SpM×V records\n\n"
@@ -191,14 +205,23 @@ void write_markdown(const std::string& path, const ReportConfig& cfg,
         for (const obs::RunRecord& r : records) {
             if (r.kernel == "CSR-serial") serial[r.matrix] = r.seconds_per_op;
         }
-        for (const obs::RunRecord& r : records) {
+        // Stage-split notes of the matrix section being written, flushed
+        // under its table before the next section starts.
+        std::vector<std::string> stage_notes;
+        const auto flush_stage_notes = [&] {
+            for (const std::string& note : stage_notes) out << note;
+            stage_notes.clear();
+        };
+        for (std::size_t i = 0; i < records.size(); ++i) {
+            const obs::RunRecord& r = records[i];
             if (r.matrix != current) {
+                flush_stage_notes();
                 current = r.matrix;
                 out << "\n## " << r.matrix << " (" << r.rows << " rows, " << r.nnz
                     << " nnz)\n\n"
-                    << "| kernel | p | GFLOP/s | GB/s | multiply ms | barrier ms | "
+                    << "| kernel | source | p | GFLOP/s | GB/s | multiply ms | barrier ms | "
                        "reduction ms | imbalance | speedup | LLC misses | bw frac | verdict |\n"
-                    << "|---|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|---|\n";
+                    << "|---|---|---:|---:|---:|---:|---:|---:|---:|---:|---:|---:|---|\n";
             }
             const auto it = serial.find(r.matrix);
             const std::string speedup =
@@ -210,14 +233,34 @@ void write_markdown(const std::string& path, const ReportConfig& cfg,
             // scheduler contention, not the kernel; tag them so a 100%+
             // "imbalance" cell is never misread as a kernel regression.
             const char* tag = r.oversubscribed ? "†" : "";
-            out << "| " << r.kernel << " | " << r.threads << tag << " | " << fmt(r.gflops) << " | "
+            const std::string provenance =
+                i < extras.size() && !extras[i].provenance.empty() ? extras[i].provenance
+                                                                  : std::string("registry");
+            out << "| " << r.kernel << " | " << provenance << " | " << r.threads << tag << " | "
+                << fmt(r.gflops) << " | "
                 << fmt(r.bandwidth_gbs) << " | " << fmt(r.multiply_seconds * 1e3, 3) << " | "
                 << fmt(r.barrier_seconds * 1e3, 3) << " | " << fmt(r.reduction_seconds * 1e3, 3)
                 << " | " << fmt(r.multiply_imbalance * 100.0, 1) << "% | " << speedup << " | "
                 << counter_cell(r.counters, obs::Counter::kLlcMisses) << " | "
                 << fmt(attr.bandwidth_fraction * 100.0, 0) << "% | " << to_string(attr.verdict)
                 << " |\n";
+            if (i < extras.size() && !extras[i].stage_seconds.empty()) {
+                std::ostringstream note;
+                note << "\n" << r.kernel << " (p=" << r.threads << tag
+                     << ") stage split of the last measured op, barrier-separated: D·x init "
+                     << fmt(extras[i].stage_seconds.front() * 1e3, 3) << " ms";
+                if (extras[i].stage_seconds.size() > 1) {
+                    note << ", then " << extras[i].stage_seconds.size() - 1 << " color stage(s): ";
+                    for (std::size_t s = 1; s < extras[i].stage_seconds.size(); ++s) {
+                        note << (s > 1 ? ", " : "") << fmt(extras[i].stage_seconds[s] * 1e3, 3);
+                    }
+                    note << " ms";
+                }
+                note << " — reduction-free by construction (reduction column is exactly 0).\n";
+                stage_notes.push_back(note.str());
+            }
         }
+        flush_stage_notes();
         bool any_oversubscribed = false;
         std::string counters_note;
         for (const obs::RunRecord& r : records) {
@@ -285,6 +328,7 @@ int main(int argc, char** argv) {
             "Median per-operation SpM×V latency of each measured (matrix, kernel, threads) cell");
 
         std::vector<obs::RunRecord> records;
+        std::vector<CellExtra> extras;  // parallel to records
         bool counters_seen = false;
 
         for (const gen::SuiteEntry& entry : cfg.env.entries) {
@@ -334,6 +378,13 @@ int main(int argc, char** argv) {
                     sink.write(rec);
                     m_latency.observe(rec.seconds_per_op);
                     records.push_back(std::move(rec));
+                    CellExtra extra;
+                    extra.provenance = "registry:" + std::string(to_string(kind));
+                    if (const auto* race = dynamic_cast<const SssRaceKernel*>(kernel.get())) {
+                        const auto stages = race->stage_seconds();
+                        extra.stage_seconds.assign(stages.begin(), stages.end());
+                    }
+                    extras.push_back(std::move(extra));
                     std::cout << "  " << kernel->name() << " x" << effective_threads << ": "
                               << fmt(records.back().gflops) << " GFLOP/s, "
                               << fmt(records.back().bandwidth_gbs) << " GB/s\n";
@@ -398,7 +449,7 @@ int main(int argc, char** argv) {
         doc.set("records", std::move(arr));
         write_file_atomic(json_path, [&](std::ostream& out) { out << doc.dump() << '\n'; });
 
-        write_markdown(md_path, cfg, records, roofline);
+        write_markdown(md_path, cfg, records, extras, roofline);
 
         if (!cfg.metrics_path.empty()) {
             const bool as_json = cfg.metrics_path.size() > 5 &&
