@@ -27,23 +27,38 @@ T take(std::istream& in, std::uint64_t& hash) {
     return v;
 }
 
-}  // namespace
-
-void write_frame(std::ostream& out, const Frame& frame) {
+void write_frame_impl(std::ostream& out, const Frame& frame, std::uint16_t version) {
     SYMSPMV_CHECK_MSG(frame.payload.size() <= 0xFFFFFFFFull, "frame: payload too large");
     out.write(kFrameMagic, sizeof(kFrameMagic));
     std::uint64_t hash = kFnvOffsetBasis;
-    put<std::uint16_t>(out, kFrameVersion, hash);
+    put<std::uint16_t>(out, version, hash);
     put<std::uint16_t>(out, frame.type, hash);
+    if (version >= kFrameVersion) put<std::uint64_t>(out, frame.trace_id, hash);
     put<std::uint32_t>(out, static_cast<std::uint32_t>(frame.payload.size()), hash);
     out.write(frame.payload.data(), static_cast<std::streamsize>(frame.payload.size()));
     hash = fnv1a64(frame.payload.data(), frame.payload.size(), hash);
     out.write(reinterpret_cast<const char*>(&hash), sizeof(hash));
 }
 
+}  // namespace
+
+void write_frame(std::ostream& out, const Frame& frame) {
+    write_frame_impl(out, frame, kFrameVersion);
+}
+
 std::string encode_frame(const Frame& frame) {
     std::ostringstream os(std::ios::binary);
     write_frame(os, frame);
+    return os.str();
+}
+
+void write_frame_legacy(std::ostream& out, const Frame& frame) {
+    write_frame_impl(out, frame, kFrameVersionLegacy);
+}
+
+std::string encode_frame_legacy(const Frame& frame) {
+    std::ostringstream os(std::ios::binary);
+    write_frame_legacy(os, frame);
     return os.str();
 }
 
@@ -60,11 +75,14 @@ std::optional<Frame> read_frame(std::istream& in, std::size_t max_payload) {
     }
     std::uint64_t hash = kFnvOffsetBasis;
     const auto version = take<std::uint16_t>(in, hash);
-    if (version != kFrameVersion) {
+    if (version != kFrameVersion && version != kFrameVersionLegacy) {
         throw ParseError("frame: unsupported version " + std::to_string(version));
     }
     Frame frame;
     frame.type = take<std::uint16_t>(in, hash);
+    // Version-1 peers predate the trace id; they decode with trace_id 0 and
+    // the receiving server assigns one (obs/span.hpp).
+    if (version >= kFrameVersion) frame.trace_id = take<std::uint64_t>(in, hash);
     const auto size = take<std::uint32_t>(in, hash);
     // Validate the length prefix before trusting it with an allocation.
     if (size > max_payload) {

@@ -2,9 +2,11 @@
 //
 // The serve subsystem speaks a binary protocol over stream sockets; this is
 // its transport atom, kept in core (like atomic_file and hash) so the
-// verification layer can fuzz it without depending on serve.  A frame is
+// verification layer can fuzz it without depending on serve.  A version-2
+// frame is
 //
-//   "SFR1"  u16 version  u16 type  u32 payload_size  payload  u64 checksum
+//   "SFR1"  u16 version  u16 type  u64 trace_id  u32 payload_size  payload
+//   u64 checksum
 //
 // little-endian throughout, with the FNV-1a checksum covering every byte
 // between the magic and the checksum itself — the same integrity discipline
@@ -13,6 +15,12 @@
 // The length prefix is validated against a caller-supplied ceiling *before*
 // any allocation, so an adversarial 4 GiB length field is a cheap clean
 // reject rather than an OOM or a multi-gigabyte read stall.
+//
+// The trace id is the request-scoped correlation id of the tracing
+// subsystem (src/obs/span.hpp): clients stamp one per request, servers echo
+// it on the reply and assign one when it is absent.  Version-1 frames (no
+// trace id field) are still decoded — they simply carry trace_id 0, which
+// downstream layers read as "unset".
 #pragma once
 
 #include <cstdint>
@@ -24,13 +32,15 @@ namespace symspmv {
 
 struct Frame {
     std::uint16_t type = 0;
+    std::uint64_t trace_id = 0;  ///< Request correlation id; 0 = unset.
     std::string payload;
 
     friend bool operator==(const Frame&, const Frame&) = default;
 };
 
 inline constexpr char kFrameMagic[4] = {'S', 'F', 'R', '1'};
-inline constexpr std::uint16_t kFrameVersion = 1;
+inline constexpr std::uint16_t kFrameVersion = 2;
+inline constexpr std::uint16_t kFrameVersionLegacy = 1;  ///< Pre-trace-id layout.
 
 /// Default payload ceiling (64 MiB) — large enough for a full-scale matrix
 /// upload, small enough that a hostile length prefix cannot balloon memory.
@@ -42,7 +52,15 @@ void write_frame(std::ostream& out, const Frame& frame);
 /// The frame as a byte string — the fuzz-harness and test entry point.
 [[nodiscard]] std::string encode_frame(const Frame& frame);
 
-/// Reads one frame.  Returns nullopt on a clean end-of-stream *before the
+/// Writes @p frame in the version-1 layout (no trace id on the wire) — the
+/// compatibility path old clients exercise; frame.trace_id is ignored.
+void write_frame_legacy(std::ostream& out, const Frame& frame);
+
+/// The version-1 encoding as a byte string, for compat tests and fuzzing.
+[[nodiscard]] std::string encode_frame_legacy(const Frame& frame);
+
+/// Reads one frame of either version (v1 frames decode with trace_id 0).
+/// Returns nullopt on a clean end-of-stream *before the
 /// first byte* of a frame (the peer closed between messages); throws
 /// ParseError on anything else: bad magic, unknown version, a length prefix
 /// above @p max_payload, truncation mid-frame, or a checksum mismatch.

@@ -7,7 +7,8 @@ ExecutionResources::ExecutionResources(int threads, PinStrategy strategy, CpuTop
       strategy_(strategy),
       pin_cpus_(pin_map(topo_, threads, strategy)),
       socket_of_worker_(socket_of_workers(topo_, pin_cpus_, threads)),
-      pool_(threads, pin_cpus_) {}
+      pool_(threads, pin_cpus_),
+      profiler_(threads) {}
 
 ExecutionResources::ExecutionResources(int threads, PinStrategy strategy)
     : ExecutionResources(threads, strategy, local_topology()) {}

@@ -23,6 +23,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/profiling.hpp"
 #include "core/thread_pool.hpp"
 #include "core/topology.hpp"
 
@@ -64,6 +65,13 @@ class ExecutionResources {
     /// construction, spmv, solve) — see serve/service.cpp.
     [[nodiscard]] std::mutex& run_mutex() const { return run_mu_; }
 
+    /// A per-resources PhaseProfiler sized to the pool, reused across the
+    /// requests that execute on this bundle (serve/service.cpp resets it
+    /// per request under exec_mu -> run_mutex, so no two requests see each
+    /// other's slots).  Kept here so the tracing bridge does not construct
+    /// a cache-line-padded profiler per request.
+    [[nodiscard]] PhaseProfiler& profiler() const { return profiler_; }
+
    private:
     CpuTopology topo_;
     PinStrategy strategy_;
@@ -71,6 +79,7 @@ class ExecutionResources {
     std::vector<int> socket_of_worker_;
     mutable ThreadPool pool_;
     mutable std::mutex run_mu_;
+    mutable PhaseProfiler profiler_;
 };
 
 /// Cache of ExecutionResources keyed by (threads, pin strategy).  acquire()

@@ -1,0 +1,204 @@
+#include "obs/flight.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <functional>
+#include <thread>
+#include <utility>
+
+#include "obs/json.hpp"
+#include "obs/trace.hpp"
+
+namespace symspmv::obs {
+
+namespace {
+
+Json span_to_json(const Span& s) {
+    Json obj = Json::object();
+    obj.set("span_id", static_cast<std::int64_t>(s.span_id));
+    obj.set("parent_id", static_cast<std::int64_t>(s.parent_id));
+    obj.set("name", s.name);
+    obj.set("start_ns", static_cast<std::int64_t>(s.start_ns));
+    obj.set("end_ns", static_cast<std::int64_t>(s.end_ns));
+    obj.set("tid", s.tid);
+    Json notes = Json::object();
+    for (const auto& [key, value] : s.annotations) notes.set(key, value);
+    obj.set("annotations", std::move(notes));
+    return obj;
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(capacity, kShards)),
+      shard_capacity_(capacity_ / kShards + (capacity_ % kShards != 0 ? 1 : 0)) {
+    for (Shard& shard : shards_) shard.ring.resize(shard_capacity_);
+    capacity_ = shard_capacity_ * kShards;
+}
+
+FlightRecorder::Shard& FlightRecorder::shard_for_this_thread() {
+    const std::size_t h = std::hash<std::thread::id>{}(std::this_thread::get_id());
+    return shards_[h % kShards];
+}
+
+void FlightRecorder::record(Span span) {
+    Shard& shard = shard_for_this_thread();
+    const std::lock_guard<std::mutex> lock(shard.mu);
+    shard.ring[shard.written % shard_capacity_] = std::move(span);
+    ++shard.written;
+}
+
+std::vector<Span> FlightRecorder::snapshot() const {
+    std::vector<Span> out;
+    for (const Shard& shard : shards_) {
+        const std::lock_guard<std::mutex> lock(shard.mu);
+        const std::uint64_t kept = std::min<std::uint64_t>(shard.written, shard_capacity_);
+        for (std::uint64_t i = 0; i < kept; ++i) {
+            out.push_back(shard.ring[(shard.written - kept + i) % shard_capacity_]);
+        }
+    }
+    std::sort(out.begin(), out.end(),
+              [](const Span& a, const Span& b) { return a.start_ns < b.start_ns; });
+    return out;
+}
+
+std::vector<Span> FlightRecorder::trace(std::uint64_t trace_id) const {
+    std::vector<Span> all = snapshot();
+    std::erase_if(all, [trace_id](const Span& s) { return s.trace_id != trace_id; });
+    return all;
+}
+
+std::uint64_t FlightRecorder::recorded_total() const {
+    std::uint64_t total = 0;
+    for (const Shard& shard : shards_) {
+        const std::lock_guard<std::mutex> lock(shard.mu);
+        total += shard.written;
+    }
+    return total;
+}
+
+std::uint64_t FlightRecorder::dropped_total() const {
+    std::uint64_t dropped = 0;
+    for (const Shard& shard : shards_) {
+        const std::lock_guard<std::mutex> lock(shard.mu);
+        if (shard.written > shard_capacity_) dropped += shard.written - shard_capacity_;
+    }
+    return dropped;
+}
+
+std::string FlightRecorder::chrome_json() const {
+    const std::vector<Span> spans = snapshot();
+    std::vector<TraceEvent> events;
+    events.reserve(spans.size());
+    for (const Span& s : spans) {
+        TraceEvent e;
+        e.name = s.name;
+        e.category = "request";
+        e.tid = s.tid >= 0 ? s.tid : TraceWriter::kCallerTid;
+        e.start_us = static_cast<double>(s.start_ns) * 1e-3;
+        e.duration_us = static_cast<double>(s.end_ns - s.start_ns) * 1e-3;
+        e.args.emplace_back("trace_id", format_trace_id(s.trace_id));
+        e.args.emplace_back("span_id", std::to_string(s.span_id));
+        e.args.emplace_back("parent_id", std::to_string(s.parent_id));
+        for (const auto& [key, value] : s.annotations) e.args.emplace_back(key, value);
+        events.push_back(std::move(e));
+    }
+    return chrome_trace_document(events).dump();
+}
+
+void FlightRecorder::clear() {
+    for (Shard& shard : shards_) {
+        const std::lock_guard<std::mutex> lock(shard.mu);
+        // Keep `written` so recorded/dropped counters stay lifetime totals,
+        // but blank the retained spans.
+        for (Span& s : shard.ring) s = Span{};
+    }
+}
+
+namespace {
+
+std::size_t flight_capacity_from_env() {
+    std::size_t capacity = FlightRecorder::kDefaultCapacity;
+    if (const char* env = std::getenv("SYMSPMV_FLIGHT_CAPACITY");
+        env != nullptr && env[0] != '\0') {
+        const long parsed = std::strtol(env, nullptr, 10);
+        if (parsed > 0) capacity = static_cast<std::size_t>(parsed);
+    }
+    return capacity;
+}
+
+}  // namespace
+
+FlightRecorder& global_flight() {
+    static FlightRecorder recorder(flight_capacity_from_env());
+    return recorder;
+}
+
+FlightPhaseSink::FlightPhaseSink(FlightRecorder* recorder, SpanContext parent,
+                                 std::size_t max_spans)
+    : recorder_(recorder), parent_(parent), max_spans_(max_spans) {}
+
+void FlightPhaseSink::phase_recorded(int tid, Phase phase, double seconds) {
+    if (recorder_ == nullptr) return;
+    {
+        const std::lock_guard<std::mutex> lock(mu_);
+        if (recorded_ >= max_spans_) {
+            ++suppressed_;
+            return;
+        }
+        ++recorded_;
+    }
+    // The profiler reports a phase at its end; reconstruct the start.
+    const std::uint64_t end = monotonic_ns();
+    const auto dur = static_cast<std::uint64_t>(seconds * 1e9);
+    Span span;
+    span.trace_id = parent_.trace_id;
+    span.span_id = next_span_id();
+    span.parent_id = parent_.span_id;
+    span.name = std::string(to_string(phase));
+    span.start_ns = end > dur ? end - dur : 0;
+    span.end_ns = end;
+    span.tid = tid;
+    recorder_->record(std::move(span));
+}
+
+std::uint64_t FlightPhaseSink::recorded() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return recorded_;
+}
+
+std::uint64_t FlightPhaseSink::suppressed() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return suppressed_;
+}
+
+SlowLog::SlowLog(std::string path)
+    : path_(std::move(path)), out_(path_, std::ios::app) {}
+
+bool SlowLog::capture(std::uint64_t trace_id, double seconds, double threshold_seconds,
+                      std::string_view trigger, const std::vector<Span>& spans) {
+    Json record = Json::object();
+    record.set("schema", 1);
+    record.set("trace_id", format_trace_id(trace_id));
+    record.set("seconds", seconds);
+    record.set("threshold_seconds", threshold_seconds);
+    record.set("trigger", std::string(trigger));
+    Json tree = Json::array();
+    for (const Span& s : spans) tree.push_back(span_to_json(s));
+    record.set("spans", std::move(tree));
+
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (!out_.is_open()) return false;
+    out_ << record.dump() << '\n';
+    out_.flush();
+    if (!out_) return false;
+    ++captured_;
+    return true;
+}
+
+std::uint64_t SlowLog::captured() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return captured_;
+}
+
+}  // namespace symspmv::obs

@@ -1,0 +1,143 @@
+// Flight recorder: the always-on ring buffer completed spans land in.
+//
+// A tracing system that must be switched on before the incident is useless
+// for the question it exists to answer ("why was *that* request slow?").
+// The FlightRecorder is therefore always on and bounded: completed spans go
+// into fixed-capacity rings sharded by thread hash, each shard guarded by
+// its own mutex so concurrent request threads rarely contend, and the
+// oldest spans are overwritten when a ring wraps (counted, never
+// reallocated).  Recording is one short critical section moving a Span into
+// a pre-sized slot — cheap enough to leave on under load.
+//
+// Reading it back:
+//   - trace(id): every retained span of one request, the slow-capture path.
+//   - chrome_json(): the whole recorder as a Chrome trace_event document
+//     (built by the same chrome_trace_document the offline TraceWriter
+//     uses), served over the wire as kDumpTrace / `symspmv_client
+//     --dump-trace`.
+//   - SlowLog: appends one JSONL record per captured slow request
+//     (docs/FORMATS.md documents the schema).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/profiling.hpp"
+#include "obs/span.hpp"
+
+namespace symspmv::obs {
+
+class FlightRecorder {
+   public:
+    /// Total retained spans by default; SYMSPMV_FLIGHT_CAPACITY overrides
+    /// the process-global recorder's size (global_flight()).
+    static constexpr std::size_t kDefaultCapacity = 8192;
+
+    explicit FlightRecorder(std::size_t capacity = kDefaultCapacity);
+
+    FlightRecorder(const FlightRecorder&) = delete;
+    FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+    /// Records a completed span; thread-safe, never allocates the ring.
+    void record(Span span);
+
+    /// Every retained span, ordered by start time.
+    [[nodiscard]] std::vector<Span> snapshot() const;
+
+    /// The retained spans of one trace, ordered by start time.
+    [[nodiscard]] std::vector<Span> trace(std::uint64_t trace_id) const;
+
+    /// Spans ever recorded / overwritten by ring wraparound.
+    [[nodiscard]] std::uint64_t recorded_total() const;
+    [[nodiscard]] std::uint64_t dropped_total() const;
+
+    [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+    /// The retained spans as a Chrome trace_event JSON document.  Span
+    /// relationships ride in each event's args (trace/span/parent ids plus
+    /// annotations); tracks are worker tids, with request-thread spans on
+    /// the TraceWriter::kCallerTid track.
+    [[nodiscard]] std::string chrome_json() const;
+
+    /// Drops every retained span (counters keep running) — a test seam.
+    void clear();
+
+   private:
+    struct Shard {
+        mutable std::mutex mu;
+        std::vector<Span> ring;   // capacity slots, recycled in place
+        std::uint64_t written = 0;  // lifetime writes; ring[written % size]
+    };
+
+    static constexpr std::size_t kShards = 16;
+
+    [[nodiscard]] Shard& shard_for_this_thread();
+
+    std::size_t capacity_;        // total across shards
+    std::size_t shard_capacity_;  // per shard
+    mutable std::array<Shard, kShards> shards_;
+};
+
+/// The process-wide always-on recorder (capacity from
+/// SYMSPMV_FLIGHT_CAPACITY, default kDefaultCapacity).
+[[nodiscard]] FlightRecorder& global_flight();
+
+/// PhaseTraceSink bridging kernel phase intervals into the flight recorder
+/// as children of one request's execute span.  The pool workers reporting
+/// phases are not the thread that owns the request, so the parent context
+/// is captured explicitly at attach time.  Span volume is bounded by
+/// max_spans (a CG solve reports phases per iteration x thread); once the
+/// cap is hit further intervals are counted, not recorded.
+class FlightPhaseSink final : public PhaseTraceSink {
+   public:
+    static constexpr std::size_t kDefaultMaxSpans = 512;
+
+    FlightPhaseSink(FlightRecorder* recorder, SpanContext parent,
+                    std::size_t max_spans = kDefaultMaxSpans);
+
+    void phase_recorded(int tid, Phase phase, double seconds) override;
+
+    [[nodiscard]] std::uint64_t recorded() const;
+    [[nodiscard]] std::uint64_t suppressed() const;
+
+   private:
+    FlightRecorder* recorder_;
+    SpanContext parent_;
+    std::size_t max_spans_;
+    mutable std::mutex mu_;
+    std::uint64_t recorded_ = 0;
+    std::uint64_t suppressed_ = 0;
+};
+
+/// Append-only JSONL sidecar for slow-request captures.  One capture = one
+/// line: the trace id, the measured and threshold seconds, what tripped the
+/// threshold, and the span tree pulled from the flight recorder.
+class SlowLog {
+   public:
+    explicit SlowLog(std::string path);
+
+    SlowLog(const SlowLog&) = delete;
+    SlowLog& operator=(const SlowLog&) = delete;
+
+    /// Appends one record; returns false (and counts nothing) on write
+    /// failure.  @p trigger names the threshold source ("absolute" for
+    /// --slow-ms, "p99" for the rolling quantile).
+    bool capture(std::uint64_t trace_id, double seconds, double threshold_seconds,
+                 std::string_view trigger, const std::vector<Span>& spans);
+
+    [[nodiscard]] std::uint64_t captured() const;
+    [[nodiscard]] const std::string& path() const { return path_; }
+
+   private:
+    std::string path_;
+    mutable std::mutex mu_;
+    std::ofstream out_;
+    std::uint64_t captured_ = 0;
+};
+
+}  // namespace symspmv::obs

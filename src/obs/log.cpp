@@ -1,0 +1,128 @@
+#include "obs/log.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+#include <iostream>
+#include <mutex>
+#include <sstream>
+
+#include "obs/span.hpp"
+
+namespace symspmv::obs {
+
+std::string_view to_string(LogLevel level) {
+    switch (level) {
+        case LogLevel::kDebug: return "debug";
+        case LogLevel::kInfo: return "info";
+        case LogLevel::kWarn: return "warn";
+        case LogLevel::kError: return "error";
+    }
+    return "?";
+}
+
+namespace {
+
+LogLevel level_from_env() {
+    const char* env = std::getenv("SYMSPMV_LOG");
+    if (env == nullptr) return LogLevel::kInfo;
+    const std::string_view v = env;
+    if (v == "debug") return LogLevel::kDebug;
+    if (v == "info" || v.empty()) return LogLevel::kInfo;
+    if (v == "warn" || v == "warning") return LogLevel::kWarn;
+    if (v == "error") return LogLevel::kError;
+    return LogLevel::kInfo;
+}
+
+std::atomic<int>& level_word() {
+    static std::atomic<int> level{static_cast<int>(level_from_env())};
+    return level;
+}
+
+std::mutex g_mu;
+std::ostream* g_out = nullptr;  // nullptr = std::cerr (resolved per line)
+
+bool needs_quoting(std::string_view value) {
+    if (value.empty()) return true;
+    for (const char c : value) {
+        if (c == ' ' || c == '"' || c == '=' || c == '\\' || c == '\n' || c == '\t') return true;
+    }
+    return false;
+}
+
+void append_value(std::string& line, std::string_view value) {
+    if (!needs_quoting(value)) {
+        line.append(value);
+        return;
+    }
+    line.push_back('"');
+    for (const char c : value) {
+        switch (c) {
+            case '"': line.append("\\\""); break;
+            case '\\': line.append("\\\\"); break;
+            case '\n': line.append("\\n"); break;
+            case '\t': line.append("\\t"); break;
+            default: line.push_back(c);
+        }
+    }
+    line.push_back('"');
+}
+
+std::string utc_timestamp() {
+    const auto now = std::chrono::system_clock::now();
+    const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+    const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        now.time_since_epoch())
+                        .count() %
+                    1000;
+    std::tm tm{};
+    gmtime_r(&secs, &tm);
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ", tm.tm_year + 1900,
+                  tm.tm_mon + 1, tm.tm_mday, tm.tm_hour, tm.tm_min, tm.tm_sec,
+                  static_cast<int>(ms));
+    return buf;
+}
+
+}  // namespace
+
+LogLevel log_level() { return static_cast<LogLevel>(level_word().load(std::memory_order_relaxed)); }
+
+void set_log_level(LogLevel level) {
+    level_word().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void set_log_stream(std::ostream* out) {
+    const std::lock_guard<std::mutex> lock(g_mu);
+    g_out = out;
+}
+
+bool log_enabled(LogLevel level) { return level >= log_level(); }
+
+void log(LogLevel level, std::string_view msg, const LogFields& fields) {
+    if (!log_enabled(level)) return;
+    std::string line = utc_timestamp();
+    line.push_back(' ');
+    line.append(to_string(level));
+    line.push_back(' ');
+    append_value(line, msg);
+    for (const auto& [key, value] : fields) {
+        line.push_back(' ');
+        line.append(key);
+        line.push_back('=');
+        append_value(line, value);
+    }
+    if (const SpanContext ctx = current_span_context(); ctx.valid()) {
+        line.append(" trace=");
+        line.append(format_trace_id(ctx.trace_id));
+    }
+    line.push_back('\n');
+    const std::lock_guard<std::mutex> lock(g_mu);
+    std::ostream& out = g_out != nullptr ? *g_out : std::cerr;
+    out << line;
+    out.flush();
+}
+
+}  // namespace symspmv::obs

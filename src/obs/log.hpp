@@ -1,0 +1,59 @@
+// Structured leveled logging for the long-lived daemon.
+//
+// A daemon's stderr is read by machines (journald, a log shipper) more
+// often than by humans, so every line has one shape:
+//
+//   2026-08-07T12:34:56.789Z info message key=value key="two words"
+//
+// UTC timestamp, level, the message, then sorted-as-given key=value fields;
+// values with spaces/quotes are double-quoted with minimal escaping.  When
+// the calling thread has an ambient span context (obs/span.hpp) a
+// trace=0x... field is appended automatically — the log line, the slow
+// -capture JSONL record and the Chrome trace dump of one request all grep
+// by the same id.
+//
+// The threshold comes from SYMSPMV_LOG (debug|info|warn|error; default
+// info), read once; set_log_level()/set_log_stream() are test seams.
+// log_enabled() guards any call site whose field rendering is not free.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace symspmv::obs {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+[[nodiscard]] std::string_view to_string(LogLevel level);
+
+/// The active threshold (SYMSPMV_LOG, read once; overridable for tests).
+[[nodiscard]] LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/// Redirects output (default std::cerr) — the test seam.  Not owned.
+void set_log_stream(std::ostream* out);
+
+[[nodiscard]] bool log_enabled(LogLevel level);
+
+using LogFields = std::vector<std::pair<std::string, std::string>>;
+
+/// Emits one line when @p level passes the threshold; thread-safe.
+void log(LogLevel level, std::string_view msg, const LogFields& fields = {});
+
+inline void log_debug(std::string_view msg, const LogFields& fields = {}) {
+    log(LogLevel::kDebug, msg, fields);
+}
+inline void log_info(std::string_view msg, const LogFields& fields = {}) {
+    log(LogLevel::kInfo, msg, fields);
+}
+inline void log_warn(std::string_view msg, const LogFields& fields = {}) {
+    log(LogLevel::kWarn, msg, fields);
+}
+inline void log_error(std::string_view msg, const LogFields& fields = {}) {
+    log(LogLevel::kError, msg, fields);
+}
+
+}  // namespace symspmv::obs

@@ -1,0 +1,107 @@
+#include "obs/span.hpp"
+
+#include <atomic>
+#include <charconv>
+#include <chrono>
+#include <string_view>
+
+#include "core/hash.hpp"
+#include "obs/flight.hpp"
+
+namespace symspmv::obs {
+
+namespace {
+
+thread_local SpanContext t_context;
+
+std::atomic<std::uint64_t>& span_counter() {
+    static std::atomic<std::uint64_t> counter{0};
+    return counter;
+}
+
+}  // namespace
+
+std::uint64_t monotonic_ns() {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+std::uint64_t next_span_id() {
+    // fetch_add from 1 so 0 stays the reserved "no parent" sentinel.
+    return span_counter().fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+std::uint64_t make_trace_id() {
+    // Hash wall clock, monotonic clock and a process counter together: the
+    // wall clock separates processes, the counter separates ids minted in
+    // the same tick.  Collisions across machines are tolerable (trace ids
+    // scope flight-recorder lookups, not storage keys).
+    struct {
+        std::int64_t wall;
+        std::uint64_t mono;
+        std::uint64_t seq;
+    } seed{std::chrono::system_clock::now().time_since_epoch().count(), monotonic_ns(),
+           span_counter().fetch_add(1, std::memory_order_relaxed)};
+    const std::uint64_t id = fnv1a64(&seed, sizeof(seed));
+    return id != 0 ? id : 1;
+}
+
+std::string format_trace_id(std::uint64_t id) {
+    static constexpr char kHex[] = "0123456789abcdef";
+    std::string out = "0x0000000000000000";
+    for (int i = 0; i < 16; ++i) {
+        out[static_cast<std::size_t>(17 - i)] = kHex[(id >> (4 * i)) & 0xF];
+    }
+    return out;
+}
+
+std::uint64_t parse_trace_id(const std::string& text) {
+    std::string_view sv = text;
+    if (sv.starts_with("0x") || sv.starts_with("0X")) sv.remove_prefix(2);
+    if (sv.empty() || sv.size() > 16) return 0;
+    std::uint64_t id = 0;
+    const auto [ptr, ec] = std::from_chars(sv.data(), sv.data() + sv.size(), id, 16);
+    if (ec != std::errc{} || ptr != sv.data() + sv.size()) return 0;
+    return id;
+}
+
+SpanContext current_span_context() { return t_context; }
+
+SpanContextScope::SpanContextScope(SpanContext ctx) : saved_(t_context) { t_context = ctx; }
+
+SpanContextScope::~SpanContextScope() { t_context = saved_; }
+
+ScopedSpan::ScopedSpan(FlightRecorder* recorder, std::string name)
+    : ScopedSpan(recorder, std::move(name),
+                 t_context.valid() ? t_context : SpanContext{make_trace_id(), 0}) {}
+
+ScopedSpan::ScopedSpan(FlightRecorder* recorder, std::string name, SpanContext parent)
+    : recorder_(recorder), saved_(t_context) {
+    span_.trace_id = parent.valid() ? parent.trace_id : make_trace_id();
+    span_.span_id = next_span_id();
+    span_.parent_id = parent.span_id;
+    span_.name = std::move(name);
+    span_.start_ns = monotonic_ns();
+    t_context = context();
+}
+
+ScopedSpan::~ScopedSpan() {
+    end();
+    t_context = saved_;
+}
+
+void ScopedSpan::annotate(std::string key, std::string value) {
+    if (ended_) return;
+    span_.annotations.emplace_back(std::move(key), std::move(value));
+}
+
+void ScopedSpan::end() {
+    if (ended_) return;
+    ended_ = true;
+    span_.end_ns = monotonic_ns();
+    if (recorder_ != nullptr) recorder_->record(span_);
+}
+
+}  // namespace symspmv::obs

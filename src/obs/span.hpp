@@ -1,0 +1,137 @@
+// Request-scoped spans — the tracing atom of the serve stack.
+//
+// The offline half of observability (trace.hpp) answers "when did each
+// kernel phase run in this bench process"; a server needs the per-request
+// cut of the same question: for *this* solve, how long did the wire read,
+// the admission-queue wait, the plan-cache lookup and the multiply/barrier/
+// reduction phases each take?  A Span is the unit of that answer: a named
+// interval on the process monotonic clock with a trace id (one per
+// request, stamped by the client into the SFR1 frame or assigned by the
+// server), a span id, a parent span id, and key=value annotations.
+// Completed spans are recorded into a FlightRecorder (obs/flight.hpp);
+// nothing here blocks or allocates beyond the span's own strings.
+//
+// Parenting is ambient by default: each thread carries a current
+// SpanContext, ScopedSpan installs itself as that context for its scope,
+// so nested ScopedSpans chain without threading ids through call
+// signatures.  Work that hops threads (reader -> admission queue -> worker,
+// request -> pool workers) passes the parent context explicitly — either
+// via the explicit-parent ScopedSpan constructor or by installing a
+// SpanContextScope at the top of the borrowed thread's slice.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace symspmv::obs {
+
+class FlightRecorder;
+
+/// One completed interval of a request.  Times are std::chrono::steady_clock
+/// nanoseconds (monotonic_ns()), comparable across threads of one process.
+struct Span {
+    std::uint64_t trace_id = 0;
+    std::uint64_t span_id = 0;
+    std::uint64_t parent_id = 0;  ///< 0 = root of its trace.
+    std::string name;
+    std::uint64_t start_ns = 0;
+    std::uint64_t end_ns = 0;
+    /// Worker track for the Chrome export: pool worker id, or -1 for spans
+    /// recorded on request/caller threads.
+    int tid = -1;
+    std::vector<std::pair<std::string, std::string>> annotations;
+
+    [[nodiscard]] double seconds() const {
+        return static_cast<double>(end_ns - start_ns) * 1e-9;
+    }
+};
+
+/// Nanoseconds on the process monotonic clock.
+[[nodiscard]] std::uint64_t monotonic_ns();
+
+/// Process-unique span id; never 0.
+[[nodiscard]] std::uint64_t next_span_id();
+
+/// A fresh trace id: wall clock + monotonic clock + a process counter,
+/// mixed so concurrent processes (many clients against one server) do not
+/// collide in practice; never 0.
+[[nodiscard]] std::uint64_t make_trace_id();
+
+/// Trace ids render as zero-padded hex ("0x0123456789abcdef") everywhere —
+/// logs, slow-capture JSONL, Chrome trace args — so one grep correlates
+/// all three.
+[[nodiscard]] std::string format_trace_id(std::uint64_t id);
+
+/// Parses format_trace_id output (with or without the 0x); returns 0 on
+/// malformed input.
+[[nodiscard]] std::uint64_t parse_trace_id(const std::string& text);
+
+/// The (trace, span) pair a child span hangs off.
+struct SpanContext {
+    std::uint64_t trace_id = 0;
+    std::uint64_t span_id = 0;
+
+    [[nodiscard]] bool valid() const { return trace_id != 0; }
+};
+
+/// This thread's ambient context ({0,0} when none is installed).
+[[nodiscard]] SpanContext current_span_context();
+
+/// Installs @p ctx as the thread's ambient context for the scope — the
+/// cross-thread handoff: a worker thread adopting a request installs the
+/// request's root context before calling into the service.
+class SpanContextScope {
+   public:
+    explicit SpanContextScope(SpanContext ctx);
+    ~SpanContextScope();
+
+    SpanContextScope(const SpanContextScope&) = delete;
+    SpanContextScope& operator=(const SpanContextScope&) = delete;
+
+   private:
+    SpanContext saved_;
+};
+
+/// RAII span: starts at construction, records into @p recorder at end()
+/// (or destruction), and is the ambient context for its scope so nested
+/// ScopedSpans become its children.
+///
+/// Parent resolution: the ambient context if one is installed; otherwise
+/// the span roots a fresh trace (make_trace_id()).  The explicit-parent
+/// constructor overrides both — the cross-thread case.
+class ScopedSpan {
+   public:
+    /// A null @p recorder makes the span a no-op shell (ids still minted,
+    /// nothing recorded) so call sites need no guard.
+    ScopedSpan(FlightRecorder* recorder, std::string name);
+    ScopedSpan(FlightRecorder* recorder, std::string name, SpanContext parent);
+    ~ScopedSpan();
+
+    ScopedSpan(const ScopedSpan&) = delete;
+    ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+    void annotate(std::string key, std::string value);
+
+    /// The context children hang off ({trace_id, this span's id}).
+    [[nodiscard]] SpanContext context() const {
+        return {span_.trace_id, span_.span_id};
+    }
+
+    [[nodiscard]] std::uint64_t trace_id() const { return span_.trace_id; }
+
+    /// Stamps end time and records the span; idempotent (the destructor
+    /// calls it for the common case).  End early when the interesting
+    /// interval closes before scope exit — e.g. before snapshotting the
+    /// flight recorder so the span is part of its own trace's capture.
+    void end();
+
+   private:
+    FlightRecorder* recorder_;
+    Span span_;
+    bool ended_ = false;
+    SpanContext saved_;  // ambient context restored at destruction
+};
+
+}  // namespace symspmv::obs

@@ -28,6 +28,10 @@ void TraceWriter::span(std::string_view name, std::string_view category, int tid
     e.tid = tid;
     e.start_us = start_seconds * 1e6;
     e.duration_us = duration_seconds * 1e6;
+    event(std::move(e));
+}
+
+void TraceWriter::event(TraceEvent e) {
     const std::lock_guard<std::mutex> lock(mu_);
     events_.push_back(std::move(e));
 }
@@ -45,12 +49,7 @@ std::size_t TraceWriter::events() const {
     return events_.size();
 }
 
-void TraceWriter::flush() {
-    std::vector<TraceEvent> snapshot;
-    {
-        const std::lock_guard<std::mutex> lock(mu_);
-        snapshot = events_;
-    }
+Json chrome_trace_document(const std::vector<TraceEvent>& snapshot) {
     Json doc = Json::object();
     Json events = Json::array();
     // Metadata ("ph":"M") events first, so the viewers label tracks by role
@@ -77,8 +76,8 @@ void TraceWriter::flush() {
             meta.set("pid", 1);
             meta.set("tid", tid);
             Json args = Json::object();
-            args.set("name", tid == kCallerTid ? std::string("caller")
-                                               : "worker " + std::to_string(tid));
+            args.set("name", tid == TraceWriter::kCallerTid ? std::string("caller")
+                                                            : "worker " + std::to_string(tid));
             meta.set("args", std::move(args));
             events.push_back(std::move(meta));
         }
@@ -92,10 +91,25 @@ void TraceWriter::flush() {
         ev.set("tid", e.tid);
         ev.set("ts", e.start_us);
         ev.set("dur", e.duration_us);
+        if (!e.args.empty()) {
+            Json args = Json::object();
+            for (const auto& [key, value] : e.args) args.set(key, value);
+            ev.set("args", std::move(args));
+        }
         events.push_back(std::move(ev));
     }
     doc.set("traceEvents", std::move(events));
     doc.set("displayTimeUnit", "ms");
+    return doc;
+}
+
+void TraceWriter::flush() {
+    std::vector<TraceEvent> snapshot;
+    {
+        const std::lock_guard<std::mutex> lock(mu_);
+        snapshot = events_;
+    }
+    const Json doc = chrome_trace_document(snapshot);
     write_file_atomic(path_, [&](std::ostream& out) { out << doc.dump() << '\n'; });
 }
 

@@ -25,12 +25,15 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "core/profiling.hpp"
 #include "core/timer.hpp"
 
 namespace symspmv::obs {
+
+class Json;
 
 /// One complete-event span on the writer's session clock.
 struct TraceEvent {
@@ -39,7 +42,16 @@ struct TraceEvent {
     int tid = 0;          // worker id, or TraceWriter::kCallerTid
     double start_us = 0;  // microseconds since the writer's epoch
     double duration_us = 0;
+    /// Rendered as the event's "args" object (span/trace ids, annotations).
+    std::vector<std::pair<std::string, std::string>> args;
 };
+
+/// The standard {"traceEvents": [...]} document for @p events: process/
+/// thread-name metadata first, then one "ph":"X" complete event per span.
+/// Shared by TraceWriter::flush and the flight recorder's export
+/// (obs/flight.hpp), so every trace this library emits looks the same to
+/// chrome://tracing and Perfetto.
+[[nodiscard]] Json chrome_trace_document(const std::vector<TraceEvent>& events);
 
 class TraceWriter final : public PhaseTraceSink {
    public:
@@ -60,6 +72,9 @@ class TraceWriter final : public PhaseTraceSink {
     /// Records one span; thread-safe.
     void span(std::string_view name, std::string_view category, int tid, double start_seconds,
               double duration_seconds);
+
+    /// Records a fully-populated event (the args-carrying path); thread-safe.
+    void event(TraceEvent e);
 
     /// PhaseTraceSink: a kernel phase interval ending now on worker @p tid.
     void phase_recorded(int tid, Phase phase, double seconds) override;

@@ -1,9 +1,17 @@
 #include "serve/client.hpp"
 
+#include "obs/span.hpp"
+
 namespace symspmv::serve {
 
 Frame Client::call(const Frame& request) {
-    write_frame(stream_, request);
+    Frame stamped = request;
+    if (stamped.trace_id == 0) {
+        stamped.trace_id = next_trace_id_ != 0 ? next_trace_id_ : obs::make_trace_id();
+    }
+    next_trace_id_ = 0;
+    last_trace_id_ = stamped.trace_id;
+    write_frame(stream_, stamped);
     stream_.flush();
     if (!stream_) throw NetError("send failed: daemon hung up");
     auto reply = read_frame(stream_, kDefaultMaxFramePayload);
@@ -30,8 +38,8 @@ SessionInfo Client::open(MsgType type, std::string data, std::uint32_t flags) {
     OpenRequest req;
     req.flags = flags;
     req.data = std::move(data);
-    const Frame reply = call_checked(Frame{static_cast<std::uint16_t>(type), encode(req)},
-                                     MsgType::kSessionInfo);
+    const Frame reply =
+        call_checked(make_frame(type, encode(req)), MsgType::kSessionInfo);
     return decode_session_info(reply.payload);
 }
 
@@ -75,6 +83,10 @@ void Client::close_session(std::uint64_t session) {
 
 std::string Client::metrics() {
     return call_checked(make_frame(MsgType::kGetMetrics), MsgType::kMetricsText).payload;
+}
+
+std::string Client::dump_trace() {
+    return call_checked(make_frame(MsgType::kDumpTrace), MsgType::kTraceDump).payload;
 }
 
 void Client::shutdown_server() {

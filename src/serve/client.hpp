@@ -44,7 +44,18 @@ class Client {
     /// One raw round trip: writes @p request, returns the reply frame.
     /// Throws NetError if the daemon hung up, ParseError on corrupt framing.
     /// kError replies are returned as-is (the typed helpers throw them).
+    ///
+    /// Tracing: a request whose trace_id is 0 is stamped with
+    /// set_next_trace_id()'s pending id, or a freshly minted one — every
+    /// request leaves with a client-side trace id, recoverable afterwards
+    /// via last_trace_id().
     [[nodiscard]] Frame call(const Frame& request);
+
+    /// Stamps @p id on the next request only (0 cancels a pending stamp).
+    /// Lets a caller correlate a specific request with a later trace dump.
+    void set_next_trace_id(std::uint64_t id) { next_trace_id_ = id; }
+    /// The trace id the most recent request carried (0 before any call).
+    [[nodiscard]] std::uint64_t last_trace_id() const { return last_trace_id_; }
 
     // Typed helpers — each throws RemoteError on a kError reply.
     void ping();
@@ -58,6 +69,9 @@ class Client {
                                     std::uint32_t max_iterations = 1000);
     void close_session(std::uint64_t session);
     [[nodiscard]] std::string metrics();
+    /// The daemon's flight recorder as a Chrome trace_event JSON document
+    /// (load it in chrome://tracing or Perfetto).
+    [[nodiscard]] std::string dump_trace();
     /// Asks the daemon to drain and waits for the acknowledgement.
     void shutdown_server();
 
@@ -66,6 +80,8 @@ class Client {
     [[nodiscard]] SessionInfo open(MsgType type, std::string data, std::uint32_t flags);
 
     SocketStream stream_;
+    std::uint64_t next_trace_id_ = 0;
+    std::uint64_t last_trace_id_ = 0;
 };
 
 }  // namespace symspmv::serve

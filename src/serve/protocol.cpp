@@ -13,6 +13,7 @@ std::string_view to_string(MsgType type) {
         case MsgType::kCloseSession: return "close-session";
         case MsgType::kGetMetrics: return "get-metrics";
         case MsgType::kShutdown: return "shutdown";
+        case MsgType::kDumpTrace: return "dump-trace";
         case MsgType::kPong: return "pong";
         case MsgType::kSessionInfo: return "session-info";
         case MsgType::kSpmvResult: return "spmv-result";
@@ -21,6 +22,7 @@ std::string_view to_string(MsgType type) {
         case MsgType::kMetricsText: return "metrics-text";
         case MsgType::kShutdownAck: return "shutdown-ack";
         case MsgType::kError: return "error";
+        case MsgType::kTraceDump: return "trace-dump";
     }
     return "unknown";
 }
@@ -178,7 +180,7 @@ std::uint64_t decode_session_id(std::string_view payload) {
 }
 
 Frame make_frame(MsgType type, std::string payload) {
-    return Frame{static_cast<std::uint16_t>(type), std::move(payload)};
+    return Frame{.type = static_cast<std::uint16_t>(type), .payload = std::move(payload)};
 }
 
 Frame make_error(ErrorCode code, std::string message) {

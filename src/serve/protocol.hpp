@@ -37,6 +37,7 @@ enum class MsgType : std::uint16_t {
     kCloseSession = 7,       // payload: u64 session id
     kGetMetrics = 8,         // empty payload
     kShutdown = 9,           // empty payload; asks the daemon to drain
+    kDumpTrace = 10,         // empty payload; snapshot the flight recorder
     // replies
     kPong = 100,
     kSessionInfo = 101,
@@ -46,6 +47,7 @@ enum class MsgType : std::uint16_t {
     kMetricsText = 105,  // payload: Prometheus 0.0.4 text
     kShutdownAck = 106,
     kError = 107,  // payload: ErrorReply
+    kTraceDump = 108,  // payload: Chrome trace_event JSON
 };
 
 [[nodiscard]] std::string_view to_string(MsgType type);

@@ -1,10 +1,35 @@
 #include "serve/server.hpp"
 
 #include <filesystem>
-#include <iostream>
 #include <sstream>
 
+#include "obs/log.hpp"
+#include "obs/span.hpp"
+
 namespace symspmv::serve {
+
+namespace {
+
+constexpr const char* kOutcomeHelp =
+    "Requests finished, by outcome (ok | busy | error | shutdown)";
+constexpr const char* kPhaseHelp = "Request latency by lifecycle phase";
+
+/// Classifies a reply frame for the outcome counter: shedding (busy) and
+/// drain rejections (shutdown) are operational states, not failures.
+std::string_view outcome_of(const Frame& reply) {
+    if (reply.type != static_cast<std::uint16_t>(MsgType::kError)) return "ok";
+    try {
+        switch (decode_error(reply.payload).code) {
+            case ErrorCode::kBusy: return "busy";
+            case ErrorCode::kShuttingDown: return "shutdown";
+            default: return "error";
+        }
+    } catch (const std::exception&) {
+        return "error";
+    }
+}
+
+}  // namespace
 
 Server::Server(ServerOptions opts)
     : opts_(std::move(opts)), service_(opts_.service), queue_(opts_.queue_capacity) {
@@ -13,6 +38,16 @@ Server::Server(ServerOptions opts)
     shed_ = &service_.metrics().counter(
         "symspmv_serve_shed_total",
         "Requests rejected by admission control (kBusy replies)");
+    // Same for the outcome counters and phase histograms: a scrape before
+    // the first request already shows every series.
+    for (const char* outcome : {"ok", "busy", "error", "shutdown"}) {
+        service_.metrics().counter("symspmv_serve_requests_total", kOutcomeHelp,
+                                   {{"outcome", outcome}});
+    }
+    for (const char* phase : {"queue", "total"}) {
+        service_.metrics().histogram("symspmv_serve_request_seconds", kPhaseHelp,
+                                     {{"phase", phase}});
+    }
     if (opts_.port >= 0) {
         tcp_listener_ = listen_tcp(opts_.host, opts_.port);
         port_ = local_port(tcp_listener_);
@@ -115,6 +150,7 @@ void Server::connection_loop(const std::shared_ptr<Conn>& conn) {
         return;
     }
     while (true) {
+        const std::uint64_t read_start = obs::monotonic_ns();
         std::optional<Frame> frame;
         try {
             frame = read_frame(conn->stream, service_.options().max_payload);
@@ -128,31 +164,75 @@ void Server::connection_loop(const std::shared_ptr<Conn>& conn) {
         }
         if (!frame) return;  // peer closed (or drain severed the socket)
 
+        // The request's root span starts here — after the frame is fully
+        // read — so persistent-connection idle time between requests never
+        // counts against phase="total".  The read itself (which does include
+        // the wait for the first byte) is a separate preceding span.
+        const std::uint64_t read_end = obs::monotonic_ns();
+        const bool assigned = frame->trace_id == 0;
+        if (assigned) frame->trace_id = obs::make_trace_id();
+        const std::uint64_t root_id = obs::next_span_id();
+        {
+            obs::Span read_span;
+            read_span.trace_id = frame->trace_id;
+            read_span.span_id = obs::next_span_id();
+            read_span.parent_id = root_id;
+            read_span.name = "read-frame";
+            read_span.start_ns = read_start;
+            read_span.end_ns = read_end;
+            read_span.annotations.emplace_back(
+                "type", std::string(to_string(static_cast<MsgType>(frame->type))));
+            read_span.annotations.emplace_back("bytes",
+                                               std::to_string(frame->payload.size()));
+            read_span.annotations.emplace_back("trace_source",
+                                               assigned ? "server" : "client");
+            flight().record(std::move(read_span));
+        }
+
         const auto type = static_cast<MsgType>(frame->type);
-        // Control-plane types bypass the queue: liveness and metrics must
-        // answer even when the compute queue is saturated or draining.
+        // Control-plane types bypass the queue: liveness, metrics and trace
+        // dumps must answer even when the compute queue is saturated or
+        // draining.
         if (type == MsgType::kShutdown) {
             // Initiate the drain before acking, so the ack is a guarantee:
             // by the time the client sees it, no new work is admitted.
             begin_shutdown();
-            reply(*conn, make_frame(MsgType::kShutdownAck));
+            finish_request(*conn, *frame, make_frame(MsgType::kShutdownAck), root_id, read_end);
             continue;
         }
         if (type == MsgType::kPing) {
-            reply(*conn, make_frame(MsgType::kPong));
+            finish_request(*conn, *frame, make_frame(MsgType::kPong), root_id, read_end);
             continue;
         }
         if (type == MsgType::kGetMetrics) {
-            reply(*conn, make_frame(MsgType::kMetricsText, service_.metrics_text()));
+            finish_request(*conn, *frame,
+                           make_frame(MsgType::kMetricsText, service_.metrics_text()), root_id,
+                           read_end);
+            continue;
+        }
+        if (type == MsgType::kDumpTrace) {
+            finish_request(*conn, *frame,
+                           make_frame(MsgType::kTraceDump, flight().chrome_json()), root_id,
+                           read_end);
             continue;
         }
         if (draining_.load(std::memory_order_relaxed)) {
-            reply(*conn, make_error(ErrorCode::kShuttingDown, "daemon is draining"));
+            finish_request(*conn, *frame,
+                           make_error(ErrorCode::kShuttingDown, "daemon is draining"), root_id,
+                           read_end);
             continue;
         }
-        if (!queue_.try_push(Job{std::move(*frame), conn})) {
+        // try_push takes the job by value, so the frame is consumed whether
+        // admission succeeds or not — keep what the busy path needs.
+        Frame header;
+        header.type = frame->type;
+        header.trace_id = frame->trace_id;
+        if (!queue_.try_push(Job{std::move(*frame), conn, root_id, read_end,
+                                 obs::monotonic_ns()})) {
             shed_->add(1);
-            reply(*conn, make_error(ErrorCode::kBusy, "request queue is full"));
+            finish_request(*conn, header,
+                           make_error(ErrorCode::kBusy, "request queue is full"), root_id,
+                           read_end);
         }
     }
 }
@@ -187,9 +267,59 @@ void Server::serve_http(Conn& conn) {
 
 void Server::worker_loop() {
     while (auto job = queue_.pop()) {
-        const Frame out = service_.handle(job->request);
-        reply(*job->conn, out);
+        // Queue wait is its own span and histogram phase: under load it is
+        // the part of total latency admission control owns.
+        const std::uint64_t dequeue = obs::monotonic_ns();
+        {
+            obs::Span wait;
+            wait.trace_id = job->request.trace_id;
+            wait.span_id = obs::next_span_id();
+            wait.parent_id = job->root_span_id;
+            wait.name = "queue-wait";
+            wait.start_ns = job->enqueue_ns;
+            wait.end_ns = dequeue;
+            flight().record(std::move(wait));
+        }
+        service_.metrics()
+            .histogram("symspmv_serve_request_seconds", kPhaseHelp, {{"phase", "queue"}})
+            .observe(static_cast<double>(dequeue - job->enqueue_ns) * 1e-9);
+        Frame out;
+        {
+            // Make the root span the ambient parent so Service's handling
+            // span (opened on this worker thread) attaches under it.
+            obs::SpanContextScope scope({job->request.trace_id, job->root_span_id});
+            out = service_.handle(job->request);
+        }
+        finish_request(*job->conn, job->request, std::move(out), job->root_span_id,
+                       job->root_start_ns);
     }
+}
+
+void Server::finish_request(Conn& conn, const Frame& request, Frame out,
+                            std::uint64_t root_span_id, std::uint64_t root_start_ns) {
+    out.trace_id = request.trace_id;
+    reply(conn, out);
+    const std::uint64_t end = obs::monotonic_ns();
+    const std::string_view outcome = outcome_of(out);
+    {
+        obs::Span root;
+        root.trace_id = request.trace_id;
+        root.span_id = root_span_id;
+        root.name = "request";
+        root.start_ns = root_start_ns;
+        root.end_ns = end;
+        root.annotations.emplace_back(
+            "type", std::string(to_string(static_cast<MsgType>(request.type))));
+        root.annotations.emplace_back("outcome", std::string(outcome));
+        flight().record(std::move(root));
+    }
+    service_.metrics()
+        .histogram("symspmv_serve_request_seconds", kPhaseHelp, {{"phase", "total"}})
+        .observe(static_cast<double>(end - root_start_ns) * 1e-9);
+    service_.metrics()
+        .counter("symspmv_serve_requests_total", kOutcomeHelp,
+                 {{"outcome", std::string(outcome)}})
+        .add(1);
 }
 
 }  // namespace symspmv::serve

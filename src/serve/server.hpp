@@ -97,6 +97,12 @@ class Server {
     struct Job {
         Frame request;
         std::shared_ptr<Conn> conn;
+        /// Trace plumbing: the request's root span (opened by the reader,
+        /// closed by whichever thread writes the reply) and the enqueue
+        /// time the queue-wait span starts at.
+        std::uint64_t root_span_id = 0;
+        std::uint64_t root_start_ns = 0;
+        std::uint64_t enqueue_ns = 0;
     };
 
     [[nodiscard]] bool waited_joined() const;
@@ -105,6 +111,14 @@ class Server {
     void serve_http(Conn& conn);
     void worker_loop();
     void reply(Conn& conn, const Frame& frame);
+
+    [[nodiscard]] obs::FlightRecorder& flight() { return service_.flight(); }
+    /// Stamps the trace id on @p out, writes it, then closes the request:
+    /// records the root span [root_start_ns, now], observes the
+    /// phase="total" latency histogram and bumps the outcome counter
+    /// (ok | busy | error | shutdown, classified from the reply frame).
+    void finish_request(Conn& conn, const Frame& request, Frame out,
+                        std::uint64_t root_span_id, std::uint64_t root_start_ns);
 
     ServerOptions opts_;
     Service service_;

@@ -3,31 +3,56 @@
 #include <chrono>
 #include <exception>
 #include <filesystem>
-#include <iostream>
 #include <sstream>
 
+#include "core/spin_wait.hpp"
 #include "core/timer.hpp"
 #include "engine/registry.hpp"
 #include "matrix/binio.hpp"
 #include "matrix/mmio.hpp"
+#include "obs/log.hpp"
+#include "obs/run_record.hpp"
 #include "solver/cg.hpp"
+#include "spmv/race_kernels.hpp"
 
 namespace symspmv::serve {
 
 namespace {
 
+/// Reported as serve_build_info's version label (the CMake package
+/// version; bump with the package config in CMakeLists.txt).
+constexpr std::string_view kBuildVersion = "1.0.0";
+
 obs::metrics::MetricLabels type_label(MsgType type) {
     return {{"type", std::string(to_string(type))}};
 }
+
+bool is_compute(MsgType type) { return type == MsgType::kSpmv || type == MsgType::kSolve; }
 
 }  // namespace
 
 Service::Service(ServiceOptions opts)
     : opts_(std::move(opts)),
+      flight_(opts_.flight != nullptr ? opts_.flight : &obs::global_flight()),
       store_(opts_.plan_cache_dir),
       sessions_(opts_.max_states),
       tune_queue_(64) {
     pool_.set_capacity(opts_.context_pool_capacity);
+    sessions_.set_flight_recorder(flight_);
+    if (!opts_.slow_log_path.empty()) {
+        slow_log_ = std::make_unique<obs::SlowLog>(opts_.slow_log_path);
+    }
+    // Build/config identity as a constant gauge: one scrape answers "which
+    // build and which schema revisions is this daemon speaking?".
+    registry_
+        .gauge("symspmv_serve_build_info",
+               "Constant 1; build and schema identity in the labels",
+               {{"version", std::string(kBuildVersion)},
+                {"frame_version", std::to_string(kFrameVersion)},
+                {"record_schema", std::to_string(obs::kRunRecordSchema)},
+                {"plan_format", std::to_string(autotune::kPlanFormatVersion)},
+                {"spin_budget", std::to_string(default_spin_budget(opts_.threads))}})
+        .set(1.0);
     obs::metrics::register_plan_store_metrics(registry_, store_);
     registry_.add_collector([this] {
         using obs::metrics::MetricKind;
@@ -85,6 +110,15 @@ Frame Service::handle(const Frame& request) {
     registry_.counter("symspmv_serve_requests_total", "Requests handled, by message type",
                       type_label(type))
         .add(1);
+    // Trace context: the server's worker installs the request's root
+    // context before calling in; a socket-free caller (tests, embedding)
+    // gets the frame's stamped id, or a fresh trace.
+    std::optional<obs::SpanContextScope> adopted;
+    if (!obs::current_span_context().valid()) {
+        adopted.emplace(obs::SpanContext{
+            request.trace_id != 0 ? request.trace_id : obs::make_trace_id(), 0});
+    }
+    obs::ScopedSpan span(flight_, "handle:" + std::string(to_string(type)));
     Timer timer;
     Frame reply;
     try {
@@ -96,16 +130,69 @@ Frame Service::handle(const Frame& request) {
     } catch (const std::exception& e) {
         reply = make_error(ErrorCode::kInternal, e.what());
     }
+    const double seconds = timer.seconds();
     registry_
         .histogram("symspmv_serve_request_seconds",
                    "Request handling latency, by message type", type_label(type))
-        .observe(timer.seconds());
-    if (reply.type == static_cast<std::uint16_t>(MsgType::kError)) {
+        .observe(seconds);
+    if (is_compute(type)) {
+        // The queue|solve|total phase cut: "solve" is the service-side
+        // handling time (the server adds queue and total around it).
+        registry_
+            .histogram("symspmv_serve_request_seconds",
+                       "Request latency by lifecycle phase", {{"phase", "solve"}})
+            .observe(seconds);
+    }
+    const bool is_error = reply.type == static_cast<std::uint16_t>(MsgType::kError);
+    if (is_error) {
         registry_.counter("symspmv_serve_errors_total", "Error replies, by message type",
                           type_label(type))
             .add(1);
+        span.annotate("outcome", "error");
     }
+    reply.trace_id = span.trace_id();
+    // End before the slow check so the capture includes this span.
+    span.end();
+    if (!is_error) maybe_capture_slow(type, reply.trace_id, seconds);
     return reply;
+}
+
+void Service::maybe_capture_slow(MsgType type, std::uint64_t trace_id, double seconds) {
+    if (!slow_log_ || !is_compute(type)) return;
+    double threshold = 0.0;
+    std::string_view trigger;
+    if (opts_.slow_ms > 0.0) {
+        threshold = opts_.slow_ms * 1e-3;
+        trigger = "absolute";
+    } else {
+        // Rolling p99 of the solve-phase histogram; armed only once the
+        // histogram has seen enough traffic to mean something.
+        const auto snap = registry_
+                              .histogram("symspmv_serve_request_seconds",
+                                         "Request latency by lifecycle phase",
+                                         {{"phase", "solve"}})
+                              .snapshot();
+        if (snap.count < opts_.slow_auto_min_count) return;
+        threshold = snap.quantile(0.99);
+        trigger = "p99";
+    }
+    if (threshold <= 0.0 || seconds < threshold) return;
+    const std::vector<obs::Span> spans = flight_->trace(trace_id);
+    if (!slow_log_->capture(trace_id, seconds, threshold, trigger, spans)) {
+        obs::log_warn("slow-request capture write failed",
+                      {{"path", slow_log_->path()}});
+        return;
+    }
+    registry_
+        .counter("symspmv_serve_slow_captured_total",
+                 "Slow requests whose span trees were dumped to the slow log", {})
+        .add(1);
+    obs::log_warn("slow request captured",
+                  {{"type", std::string(to_string(type))},
+                   {"seconds", std::to_string(seconds)},
+                   {"threshold_seconds", std::to_string(threshold)},
+                   {"trigger", std::string(trigger)},
+                   {"spans", std::to_string(spans.size())}});
 }
 
 Frame Service::dispatch(MsgType type, const Frame& request) {
@@ -192,7 +279,8 @@ Frame Service::handle_open(MsgType type, const Frame& request) {
                 write_binary_file(cache_path(state->token), state->bundle.coo());
             } catch (const std::exception& e) {
                 // Cache persistence is best-effort; serving continues.
-                std::cerr << "symspmv-serve: matrix cache write failed: " << e.what() << "\n";
+                obs::log_warn("matrix cache write failed",
+                              {{"fingerprint", state->token}, {"error", e.what()}});
             }
         }
     }
@@ -239,30 +327,41 @@ autotune::Plan Service::default_plan(const MatrixState& state) const {
 }
 
 void Service::apply_plan_locked(MatrixState& state) {
+    obs::ScopedSpan span(flight_, "build-kernel");
     auto resources = pool_.acquire(state.plan.threads, opts_.pin_strategy);
     // Kernel construction dispatches pool jobs (partitioning, conversion):
     // serialize against requests running on the same shared resources.
     std::lock_guard run_lock(resources->run_mutex());
     state.kernel = autotune::build_plan(state.plan, state.bundle, resources->pool());
     state.resources = std::move(resources);
+    span.annotate("kernel", std::string(state.kernel->name()));
+    span.annotate("threads", std::to_string(state.plan.threads));
 }
 
 void Service::ensure_kernel(const std::shared_ptr<MatrixState>& state, bool no_tune) {
     std::lock_guard lock(state->exec_mu);
     if (state->kernel) return;
+    obs::ScopedSpan span(flight_, "plan-cache-lookup");
+    span.annotate("fingerprint", state->token);
     if (auto plan = store_.load(plan_key(state->fp))) {
         state->plan = *plan;
         state->plan_from_cache = true;
+        span.annotate("result", "hit");
     } else {
         state->plan = default_plan(*state);
+        span.annotate("result", "miss");
         if (opts_.tune && !no_tune && !draining_.load(std::memory_order_relaxed)) {
             state->tuning_pending.store(true, std::memory_order_relaxed);
             if (!tune_queue_.try_push(state)) {
                 // Tune backlog full: stay on the default plan, don't stall.
                 state->tuning_pending.store(false, std::memory_order_relaxed);
+                span.annotate("tune_enqueued", "shed");
+            } else {
+                span.annotate("tune_enqueued", "yes");
             }
         }
     }
+    span.end();
     apply_plan_locked(*state);
 }
 
@@ -273,6 +372,10 @@ void Service::tune_loop() {
             state->tuning_pending.store(false, std::memory_order_relaxed);
             continue;
         }
+        // Each background tune roots its own trace: it belongs to no single
+        // request, but its hot-swap explains latency shifts in the dump.
+        obs::ScopedSpan span(flight_, "tune-on-miss");
+        span.annotate("fingerprint", state->token);
         try {
             // The tuner measures on its own contexts (global ContextPool) and
             // re-checks the store itself, so a plan another process tuned
@@ -283,17 +386,96 @@ void Service::tune_loop() {
             state->plan = report.plan;
             state->plan_from_cache = report.cache_hit;
             apply_plan_locked(*state);
+            span.annotate("kernel", std::string(to_string(report.plan.kernel)));
+            obs::log_info("background tune swapped plan",
+                          {{"fingerprint", state->token},
+                           {"kernel", std::string(to_string(report.plan.kernel))}});
         } catch (const std::exception& e) {
-            std::cerr << "symspmv-serve: background tune failed: " << e.what() << "\n";
+            span.annotate("outcome", "error");
+            obs::log_error("background tune failed",
+                           {{"fingerprint", state->token}, {"error", e.what()}});
         }
         state->tuning_pending.store(false, std::memory_order_relaxed);
         tunes_completed_.fetch_add(1, std::memory_order_relaxed);
     }
 }
 
+namespace {
+
+/// Attaches a FlightPhaseSink to the resources' profiler for the scope of
+/// one kernel execution, so multiply/barrier/reduction intervals become
+/// child spans of @p parent.  exec_mu must be held (the profiler is shared
+/// per resources bundle); attach/detach happen outside run_mutex, before
+/// and after the workers run.
+class PhaseBridge {
+   public:
+    PhaseBridge(obs::FlightRecorder* flight, MatrixState& state, obs::SpanContext parent)
+        : flight_(flight), profiler_(state.resources->profiler()), kernel_(*state.kernel),
+          sink_(flight, parent) {
+        profiler_.reset();
+        profiler_.set_trace_sink(&sink_);
+        kernel_.set_profiler(&profiler_);
+    }
+
+    ~PhaseBridge() {
+        kernel_.set_profiler(nullptr);
+        profiler_.set_trace_sink(nullptr);
+    }
+
+    PhaseBridge(const PhaseBridge&) = delete;
+    PhaseBridge& operator=(const PhaseBridge&) = delete;
+
+    /// Post-run annotations on @p span: per-phase totals (slowest-thread
+    /// seconds), the span count the sink capped, and — for the SSS-race
+    /// kernel — one child span per color stage from stage_seconds(),
+    /// laid out end-to-end against the execution's end time.
+    void annotate(obs::ScopedSpan& span, std::uint64_t end_ns) const {
+        for (const Phase phase : {Phase::kMultiply, Phase::kBarrier, Phase::kReduction}) {
+            span.annotate(std::string(to_string(phase)) + "_seconds",
+                          std::to_string(profiler_.stats(phase).max_seconds));
+        }
+        if (sink_.suppressed() > 0) {
+            span.annotate("phase_spans_suppressed", std::to_string(sink_.suppressed()));
+        }
+        if (const auto* race = dynamic_cast<const SssRaceKernel*>(&kernel_)) {
+            const std::span<const double> stages = race->stage_seconds();
+            double total = 0.0;
+            for (const double s : stages) total += s;
+            std::uint64_t cursor = end_ns - static_cast<std::uint64_t>(total * 1e9);
+            const obs::SpanContext parent = span.context();
+            for (std::size_t i = 0; i < stages.size(); ++i) {
+                obs::Span stage;
+                stage.trace_id = parent.trace_id;
+                stage.span_id = obs::next_span_id();
+                stage.parent_id = parent.span_id;
+                stage.name = i == 0 ? "stage:init" : "stage:color-" + std::to_string(i);
+                stage.start_ns = cursor;
+                cursor += static_cast<std::uint64_t>(stages[i] * 1e9);
+                stage.end_ns = cursor;
+                stage.tid = 0;  // stages are timed on worker 0
+                if (flight_ != nullptr) flight_->record(std::move(stage));
+            }
+        }
+    }
+
+   private:
+    obs::FlightRecorder* flight_;
+    PhaseProfiler& profiler_;
+    SpmvKernel& kernel_;
+    obs::FlightPhaseSink sink_;
+};
+
+}  // namespace
+
 Frame Service::handle_spmv(const Frame& request) {
     const SpmvRequest req = decode_spmv_request(request.payload);
-    const auto state = sessions_.find(req.session);
+    std::shared_ptr<MatrixState> state;
+    {
+        obs::ScopedSpan lookup(flight_, "session-lookup");
+        lookup.annotate("session", std::to_string(req.session));
+        state = sessions_.find(req.session);
+        if (!state) lookup.annotate("result", "not-found");
+    }
     if (!state) return make_error(ErrorCode::kNotFound, "unknown session id");
     std::lock_guard lock(state->exec_mu);
     const auto rows = static_cast<std::size_t>(state->kernel->rows());
@@ -305,15 +487,27 @@ Frame Service::handle_spmv(const Frame& request) {
     SpmvResult res;
     res.y.assign(rows, 0.0);
     {
-        std::lock_guard run_lock(state->resources->run_mutex());
-        state->kernel->spmv(req.x, res.y);
+        obs::ScopedSpan exec(flight_, "spmv-execute");
+        exec.annotate("kernel", std::string(state->kernel->name()));
+        const PhaseBridge bridge(flight_, *state, exec.context());
+        {
+            std::lock_guard run_lock(state->resources->run_mutex());
+            state->kernel->spmv(req.x, res.y);
+        }
+        bridge.annotate(exec, obs::monotonic_ns());
     }
     return make_frame(MsgType::kSpmvResult, encode(res));
 }
 
 Frame Service::handle_solve(const Frame& request) {
     const SolveRequest req = decode_solve_request(request.payload);
-    const auto state = sessions_.find(req.session);
+    std::shared_ptr<MatrixState> state;
+    {
+        obs::ScopedSpan lookup(flight_, "session-lookup");
+        lookup.annotate("session", std::to_string(req.session));
+        state = sessions_.find(req.session);
+        if (!state) lookup.annotate("result", "not-found");
+    }
     if (!state) return make_error(ErrorCode::kNotFound, "unknown session id");
     std::lock_guard lock(state->exec_mu);
     const auto rows = static_cast<std::size_t>(state->kernel->rows());
@@ -334,8 +528,15 @@ Frame Service::handle_solve(const Frame& request) {
     copts.record_iteration_seconds = true;
     cg::Result result;
     {
-        std::lock_guard run_lock(state->resources->run_mutex());
-        result = cg::solve(*state->kernel, state->resources->pool(), req.b, copts);
+        obs::ScopedSpan exec(flight_, "solve-execute");
+        exec.annotate("kernel", std::string(state->kernel->name()));
+        const PhaseBridge bridge(flight_, *state, exec.context());
+        {
+            std::lock_guard run_lock(state->resources->run_mutex());
+            result = cg::solve(*state->kernel, state->resources->pool(), req.b, copts);
+        }
+        exec.annotate("iterations", std::to_string(result.iterations));
+        bridge.annotate(exec, obs::monotonic_ns());
     }
     obs::metrics::Histogram& iters = registry_.histogram(
         "symspmv_serve_cg_iteration_seconds",

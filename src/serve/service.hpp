@@ -33,6 +33,7 @@
 #include "core/framing.hpp"
 #include "core/topology.hpp"
 #include "engine/resources.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "serve/protocol.hpp"
 #include "serve/queue.hpp"
@@ -68,6 +69,20 @@ struct ServiceOptions {
     /// Test seam: sleep this long inside every compute request, so the
     /// overflow and drain tests can hold a worker busy deterministically.
     int test_request_delay_ms = 0;
+    /// Slow-request capture threshold for compute requests (kSpmv/kSolve),
+    /// in milliseconds.  0 = automatic: the rolling p99 of the
+    /// solve-phase latency histogram, once it has slow_auto_min_count
+    /// samples.  Captures need slow_log_path set.
+    double slow_ms = 0.0;
+    /// JSONL sidecar slow captures append to ("" = capture off).
+    std::string slow_log_path;
+    /// Samples the solve-phase histogram needs before the automatic p99
+    /// threshold arms (prevents the first warm-up requests from tripping
+    /// a quantile estimated from nothing).
+    std::uint64_t slow_auto_min_count = 64;
+    /// Flight recorder spans land in; nullptr = the process-global
+    /// obs::global_flight() (tests inject a private recorder).
+    obs::FlightRecorder* flight = nullptr;
 };
 
 class Service {
@@ -102,6 +117,14 @@ class Service {
         return tunes_completed_.load(std::memory_order_relaxed);
     }
 
+    /// The recorder this service's spans land in (never nullptr).
+    [[nodiscard]] obs::FlightRecorder& flight() { return *flight_; }
+
+    /// Slow requests captured to the JSONL sidecar so far.
+    [[nodiscard]] std::uint64_t slow_captured() const {
+        return slow_log_ ? slow_log_->captured() : 0;
+    }
+
    private:
     Frame dispatch(MsgType type, const Frame& request);
     Frame handle_open(MsgType type, const Frame& request);
@@ -122,7 +145,15 @@ class Service {
 
     [[nodiscard]] std::string cache_path(const std::string& token) const;
 
+    /// Dumps the span tree of @p trace_id to the slow log when @p seconds
+    /// exceeds the configured (or rolling-p99) threshold.  Compute
+    /// requests only; the caller must have ended its handling span first
+    /// so the capture includes it.
+    void maybe_capture_slow(MsgType type, std::uint64_t trace_id, double seconds);
+
     ServiceOptions opts_;
+    obs::FlightRecorder* flight_;
+    std::unique_ptr<obs::SlowLog> slow_log_;
     engine::ContextPool pool_;
     autotune::PlanStore store_;
     SessionManager sessions_;

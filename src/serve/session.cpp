@@ -13,6 +13,8 @@ std::shared_ptr<MatrixState> SessionManager::intern(
         ++stats_.states_reused;
         return it->second;
     }
+    obs::ScopedSpan span(flight_, "state-build");
+    span.annotate("fingerprint", token);
     auto state = build();
     states_.emplace(token, state);
     ++stats_.states_built;

@@ -24,6 +24,7 @@
 #include "autotune/plan.hpp"
 #include "engine/bundle.hpp"
 #include "engine/resources.hpp"
+#include "obs/flight.hpp"
 #include "spmv/kernel.hpp"
 
 namespace symspmv::serve {
@@ -56,6 +57,10 @@ class SessionManager {
     /// @p max_states caps resident states; 0 = unbounded.  Eviction is LRU
     /// over states with no open session.
     explicit SessionManager(std::size_t max_states) : max_states_(max_states) {}
+
+    /// Recorder state-build spans land in (nullptr = no spans).  Set once
+    /// at service construction, before requests flow.
+    void set_flight_recorder(obs::FlightRecorder* recorder) { flight_ = recorder; }
 
     /// The state for @p token, built by @p build on first sight.  @p build
     /// runs under the manager lock — keep it cheap (the bundle converts
@@ -91,6 +96,7 @@ class SessionManager {
    private:
     void evict_over_cap_locked();
 
+    obs::FlightRecorder* flight_ = nullptr;
     const std::size_t max_states_;
     mutable std::mutex mu_;
     std::map<std::string, std::shared_ptr<MatrixState>> states_;

@@ -221,9 +221,14 @@ FaultReport fuzz_matrix_market(const Coo& original, std::uint64_t seed, int trun
         });
 }
 
-FaultReport fuzz_frame_stream(const Frame& original, std::uint64_t seed, int truncations,
-                              int bitflips, std::size_t max_payload) {
-    const std::string good = encode_frame(original);
+namespace {
+
+/// Shared classifier for both frame encodings: @p expected is what an
+/// uncorrupted stream must decode to (for v1 that is the original with
+/// trace_id zeroed, since the legacy wire carries no id).
+FaultReport fuzz_frame_bytes(const std::string& good, const Frame& expected,
+                             std::uint64_t seed, int truncations, int bitflips,
+                             std::size_t max_payload) {
     return run_faults(good, seed, truncations, bitflips, /*text=*/false,
                       [&](const std::string& data) {
                           Attempt a;
@@ -234,7 +239,7 @@ FaultReport fuzz_frame_stream(const Frame& original, std::uint64_t seed, int tru
                                   // Clean EOF before the first byte — only the
                                   // zero-length truncation can land here.
                                   a.outcome = Outcome::kReject;
-                              } else if (*loaded == original) {
+                              } else if (*loaded == expected) {
                                   a.outcome = Outcome::kIdentical;
                               } else {
                                   a.outcome = Outcome::kDifferent;
@@ -251,6 +256,23 @@ FaultReport fuzz_frame_stream(const Frame& original, std::uint64_t seed, int tru
                           }
                           return a;
                       });
+}
+
+}  // namespace
+
+FaultReport fuzz_frame_stream(const Frame& original, std::uint64_t seed, int truncations,
+                              int bitflips, std::size_t max_payload) {
+    return fuzz_frame_bytes(encode_frame(original), original, seed, truncations, bitflips,
+                            max_payload);
+}
+
+FaultReport fuzz_frame_stream_legacy(const Frame& original, std::uint64_t seed,
+                                     int truncations, int bitflips,
+                                     std::size_t max_payload) {
+    Frame expected = original;
+    expected.trace_id = 0;
+    return fuzz_frame_bytes(encode_frame_legacy(original), expected, seed, truncations,
+                            bitflips, max_payload);
 }
 
 }  // namespace symspmv::verify

@@ -74,4 +74,12 @@ struct FaultReport {
                                             int truncations, int bitflips,
                                             std::size_t max_payload = kDefaultMaxFramePayload);
 
+/// Same harness over the LEGACY v1 encoding (no trace-id field), exercising
+/// the backward-compat decode path: an intact v1 stream must load as the
+/// original frame with trace_id == 0 (that is the accepted-identical
+/// criterion here), every fault must still be a clean reject.
+[[nodiscard]] FaultReport fuzz_frame_stream_legacy(
+    const Frame& original, std::uint64_t seed, int truncations, int bitflips,
+    std::size_t max_payload = kDefaultMaxFramePayload);
+
 }  // namespace symspmv::verify

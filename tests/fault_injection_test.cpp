@@ -51,6 +51,7 @@ TEST(FaultInjection, MatrixMarketNeverCrashesAndOnlyAcceptsWellFormed) {
 TEST(FaultInjection, WireFramesRejectEveryTruncationAndBitFlip) {
     Frame frame;
     frame.type = 5;
+    frame.trace_id = 0x1234abcd5678ef09ULL;  // the v2 field is fuzzed too
     frame.payload.assign(512, '\0');
     for (std::size_t i = 0; i < frame.payload.size(); ++i) {
         frame.payload[i] = static_cast<char>(i * 37 + 11);
@@ -58,6 +59,46 @@ TEST(FaultInjection, WireFramesRejectEveryTruncationAndBitFlip) {
     const verify::FaultReport rep = verify::fuzz_frame_stream(frame, 41, 25, 400);
     EXPECT_TRUE(rep.strictly_clean()) << rep.summary("wire frame");
     EXPECT_EQ(rep.clean_rejects, rep.trials) << rep.summary("wire frame");
+}
+
+TEST(FaultInjection, LegacyWireFramesStillDecodeAndRejectEveryFault) {
+    Frame frame;
+    frame.type = 5;
+    frame.trace_id = 0xfeedfacecafebeefULL;  // never on the v1 wire
+    frame.payload = "legacy payload bytes";
+
+    // Intact v1 stream: decodes as the same frame with no trace id.
+    {
+        std::istringstream in(encode_frame_legacy(frame), std::ios::binary);
+        const auto loaded = read_frame(in);
+        ASSERT_TRUE(loaded.has_value());
+        EXPECT_EQ(loaded->type, frame.type);
+        EXPECT_EQ(loaded->payload, frame.payload);
+        EXPECT_EQ(loaded->trace_id, 0u);
+    }
+
+    // And every corrupted v1 stream is a clean reject.
+    const verify::FaultReport rep = verify::fuzz_frame_stream_legacy(frame, 43, 25, 400);
+    EXPECT_TRUE(rep.strictly_clean()) << rep.summary("legacy wire frame");
+    EXPECT_EQ(rep.clean_rejects, rep.trials) << rep.summary("legacy wire frame");
+}
+
+TEST(FaultInjection, WireFrameTraceIdCorruptionIsACleanReject) {
+    Frame frame;
+    frame.type = 3;
+    frame.trace_id = 0x0123456789abcdefULL;
+    frame.payload = "payload";
+    const std::string good = encode_frame(frame);
+    // The trace id sits right after magic(4) + version(2) + type(2); mutate
+    // each of its 8 bytes — the checksum covers the field, so a changed id
+    // must never come back as a (differently-)valid frame.
+    const std::size_t off = sizeof(kFrameMagic) + 4;
+    for (std::size_t i = 0; i < 8; ++i) {
+        std::string bad = good;
+        bad[off + i] = static_cast<char>(bad[off + i] ^ 0x5a);
+        std::istringstream in(bad, std::ios::binary);
+        EXPECT_THROW((void)read_frame(in), ParseError) << "trace-id byte " << i;
+    }
 }
 
 TEST(FaultInjection, WireFramesRejectEveryPrefixTruncationExhaustively) {
@@ -87,6 +128,7 @@ TEST(FaultInjection, WireFrameOversizedLengthPrefixIsCheapCleanReject) {
     };
     put16(kFrameVersion);
     put16(5);
+    for (int i = 0; i < 8; ++i) bytes.push_back('\x11');  // v2 trace id
     for (int shift = 0; shift < 32; shift += 8) {
         bytes.push_back(static_cast<char>((0xfffffff0u >> shift) & 0xff));
     }

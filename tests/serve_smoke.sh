@@ -1,15 +1,20 @@
 #!/usr/bin/env bash
 # Daemon lifecycle smoke: boot symspmv_serve on an ephemeral port, run the
-# client's end-to-end smoke sequence, scrape /metrics as plain HTTP on the
+# client's end-to-end smoke sequence, pull a flight-recorder trace dump and
+# validate it as Chrome trace JSON, scrape /metrics as plain HTTP on the
 # same listener, then SIGTERM the daemon and require a clean drain line.
 #
 # usage: serve_smoke.sh <symspmv_serve> <symspmv_client>
+# env:   TRACE_OUT  where the trace dump lands (default: a temp file); CI
+#                   points this at an artifact path.
 set -u
 
 SERVE_BIN=$1
 CLIENT_BIN=$2
 LOG=$(mktemp)
-trap 'kill "$SERVE_PID" 2>/dev/null; rm -f "$LOG"' EXIT
+SLOW_LOG=$(mktemp)
+TRACE_OUT=${TRACE_OUT:-$(mktemp)}
+trap 'kill "$SERVE_PID" 2>/dev/null; rm -f "$LOG" "$SLOW_LOG"' EXIT
 
 fail() {
     echo "serve_smoke: FAIL: $1"
@@ -18,7 +23,7 @@ fail() {
     exit 1
 }
 
-"$SERVE_BIN" --port 0 --workers 2 --threads 2 > "$LOG" 2>&1 &
+"$SERVE_BIN" --port 0 --workers 2 --threads 2 --slow-log "$SLOW_LOG" > "$LOG" 2>&1 &
 SERVE_PID=$!
 
 # Wait for the listening line and parse the kernel-assigned port.
@@ -39,6 +44,33 @@ METRICS=$("$CLIENT_BIN" --port "$PORT" --metrics)
 echo "$METRICS" | grep -q "symspmv_serve_requests_total" || fail "metrics: request counters"
 echo "$METRICS" | grep -q "symspmv_serve_request_seconds_bucket" || fail "metrics: histograms"
 echo "$METRICS" | grep -q "symspmv_serve_shed_total" || fail "metrics: shed counter"
+echo "$METRICS" | grep -q 'symspmv_serve_build_info{' || fail "metrics: build info"
+echo "$METRICS" | grep -q 'symspmv_serve_requests_total{outcome="ok"}' \
+    || fail "metrics: outcome counters"
+echo "$METRICS" | grep -q 'symspmv_serve_request_seconds_count{phase="total"}' \
+    || fail "metrics: phase histograms"
+
+# The flight recorder must replay the smoke's requests as one well-formed
+# Chrome trace_event document with span/trace ids in the event args.
+"$CLIENT_BIN" --port "$PORT" --dump-trace "$TRACE_OUT" > /dev/null \
+    || fail "trace dump request"
+python3 - "$TRACE_OUT" << 'EOF' || fail "trace dump is not a valid Chrome trace"
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+events = doc["traceEvents"]
+assert isinstance(events, list) and events, "no trace events"
+spans = [e for e in events if e.get("ph") == "X"]
+assert spans, "no duration events"
+for e in spans:
+    assert e["dur"] >= 0 and "name" in e and "ts" in e
+    args = e.get("args", {})
+    assert args.get("trace_id", "0x").startswith("0x"), "span without a trace id"
+names = {e["name"] for e in spans}
+for expected in ("request", "read-frame", "queue-wait", "handle:spmv"):
+    assert expected in names, f"missing the {expected} span: {sorted(names)}"
+print(f"trace dump OK: {len(spans)} spans, {len(names)} distinct names")
+EOF
 
 # The same listener speaks plain HTTP for scrapers (python is in the CI
 # image; bash /dev/tcp is the fallback).

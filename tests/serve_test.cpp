@@ -13,9 +13,11 @@
 //     prefixes) are clean protocol errors, never crashes or hangs.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <filesystem>
+#include <fstream>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -24,6 +26,9 @@
 #include "core/thread_pool.hpp"
 #include "matrix/binio.hpp"
 #include "matrix/generators.hpp"
+#include "obs/flight.hpp"
+#include "obs/json.hpp"
+#include "obs/span.hpp"
 #include "serve/client.hpp"
 #include "serve/queue.hpp"
 #include "serve/server.hpp"
@@ -161,7 +166,7 @@ TEST(ServiceTest, OpenSpmvSolveCloseLifecycle) {
     OpenRequest open;
     open.data = smx_bytes(matrix);
     Frame reply = service.handle(
-        Frame{static_cast<std::uint16_t>(MsgType::kOpenSmx), encode(open)});
+        make_frame(MsgType::kOpenSmx, encode(open)));
     ASSERT_EQ(reply.type, static_cast<std::uint16_t>(MsgType::kSessionInfo))
         << decode_error(reply.payload).message;
     const SessionInfo info = decode_session_info(reply.payload);
@@ -209,7 +214,7 @@ TEST(ServiceTest, RequestValidationErrorsAreBadRequests) {
     OpenRequest open;
     open.data = smx_bytes(test_matrix());
     const SessionInfo info = decode_session_info(
-        service.handle(Frame{static_cast<std::uint16_t>(MsgType::kOpenSmx), encode(open)})
+        service.handle(make_frame(MsgType::kOpenSmx, encode(open)))
             .payload);
 
     SpmvRequest wrong;
@@ -228,7 +233,7 @@ TEST(ServiceTest, RequestValidationErrorsAreBadRequests) {
     OpenRequest bad;
     bad.data = "not an smx stream";
     reply = service.handle(
-        Frame{static_cast<std::uint16_t>(MsgType::kOpenSmx), encode(bad)});
+        make_frame(MsgType::kOpenSmx, encode(bad)));
     ASSERT_EQ(reply.type, static_cast<std::uint16_t>(MsgType::kError));
     EXPECT_EQ(decode_error(reply.payload).code, ErrorCode::kBadRequest);
 
@@ -236,7 +241,7 @@ TEST(ServiceTest, RequestValidationErrorsAreBadRequests) {
     OpenRequest fp;
     fp.data = "0x0x0-deadbeef-deadbeef";
     reply = service.handle(
-        Frame{static_cast<std::uint16_t>(MsgType::kOpenFingerprint), encode(fp)});
+        make_frame(MsgType::kOpenFingerprint, encode(fp)));
     ASSERT_EQ(reply.type, static_cast<std::uint16_t>(MsgType::kError));
     EXPECT_EQ(decode_error(reply.payload).code, ErrorCode::kNotFound);
 }
@@ -253,7 +258,7 @@ TEST(ServiceTest, BackgroundTuneOnMissHotSwapsThePlan) {
     OpenRequest open;
     open.data = smx_bytes(test_matrix());
     const Frame reply = service.handle(
-        Frame{static_cast<std::uint16_t>(MsgType::kOpenSmx), encode(open)});
+        make_frame(MsgType::kOpenSmx, encode(open)));
     ASSERT_EQ(reply.type, static_cast<std::uint16_t>(MsgType::kSessionInfo));
     const SessionInfo info = decode_session_info(reply.payload);
     EXPECT_EQ(info.plan_from_cache, 0);  // cold store: default plan served first
@@ -280,7 +285,7 @@ TEST(ServiceTest, RestartServesTheTunedPlanAndCachedMatrixFromDisk) {
         open.data = smx_bytes(test_matrix());
         const SessionInfo info = decode_session_info(
             first
-                .handle(Frame{static_cast<std::uint16_t>(MsgType::kOpenSmx), encode(open)})
+                .handle(make_frame(MsgType::kOpenSmx, encode(open)))
                 .payload);
         token = info.fingerprint;
         ASSERT_TRUE(wait_for([&] { return first.tunes_completed() >= 1; }));
@@ -292,7 +297,7 @@ TEST(ServiceTest, RestartServesTheTunedPlanAndCachedMatrixFromDisk) {
     OpenRequest fp;
     fp.data = token;
     const Frame reply = second.handle(
-        Frame{static_cast<std::uint16_t>(MsgType::kOpenFingerprint), encode(fp)});
+        make_frame(MsgType::kOpenFingerprint, encode(fp)));
     ASSERT_EQ(reply.type, static_cast<std::uint16_t>(MsgType::kSessionInfo))
         << decode_error(reply.payload).message;
     const SessionInfo info = decode_session_info(reply.payload);
@@ -386,8 +391,13 @@ TEST(ServeLoopback, QueueOverflowShedsWithBusy) {
         EXPECT_EQ(e.code(), ErrorCode::kBusy);
     }
     EXPECT_TRUE(wait_for([&] { return server.stats().requests_shed >= 1; }));
-    // The shed counter is visible in the exposition.
-    EXPECT_NE(client.metrics().find("symspmv_serve_shed_total 1"), std::string::npos);
+    // The shed counter and the busy outcome are visible in the exposition.
+    const std::string metrics = client.metrics();
+    EXPECT_NE(metrics.find("symspmv_serve_shed_total 1"), std::string::npos);
+    EXPECT_NE(
+        metrics.find("symspmv_serve_requests_total{outcome=\"busy\"} 1"),
+        std::string::npos)
+        << metrics;
 
     server.begin_shutdown();
     server.wait();
@@ -489,6 +499,7 @@ TEST(ServeLoopback, HostileBytesOnALiveSocketAreCleanErrors) {
         };
         put16(kFrameVersion);
         put16(static_cast<std::uint16_t>(MsgType::kSpmv));
+        for (int i = 0; i < 8; ++i) header.push_back('\x22');  // v2 trace id
         for (int i = 0; i < 4; ++i) header.push_back(static_cast<char>(0xf0));
         raw << header;
         raw.flush();
@@ -522,6 +533,124 @@ TEST(ServeLoopback, ClientShutdownFrameDrainsTheServer) {
     Client client = Client::connect_to_tcp("127.0.0.1", server.port());
     client.shutdown_server();
     EXPECT_TRUE(server.draining());
+    server.wait();
+}
+
+// The acceptance scenario of the tracing subsystem: a client-stamped trace
+// id travels the wire, the request's span tree is recorded from the frame
+// read through the kernel phases, the slow capture fires exactly once, and
+// the dump comes back as one well-formed Chrome trace.
+TEST(ServeLoopback, TraceChainSlowCaptureAndDump) {
+    const auto dir = scratch_dir("trace");
+    const std::string slow_path = (dir / "slow.jsonl").string();
+    obs::FlightRecorder flight(4096);  // private recorder: no cross-test spans
+
+    ServerOptions sopts;
+    sopts.port = 0;
+    sopts.workers = 1;
+    sopts.service.threads = 2;
+    sopts.service.test_request_delay_ms = 300;  // compute requests only
+    sopts.service.slow_ms = 150.0;              // 300 ms spmv must trip it
+    sopts.service.slow_log_path = slow_path;
+    sopts.service.flight = &flight;
+    Server server(sopts);
+
+    const Coo matrix = test_matrix();
+    const auto n = static_cast<std::size_t>(matrix.rows());
+    Client client = Client::connect_to_tcp("127.0.0.1", server.port());
+
+    // The open is not delayed and must not be captured as slow.
+    const SessionInfo info = client.open_smx(smx_bytes(matrix));
+
+    // One spmv with a known client-stamped trace id.
+    const std::uint64_t trace_id = 0x1122334455667788ULL;
+    client.set_next_trace_id(trace_id);
+    const std::vector<double> y = client.spmv(info.session, varied_vector(n));
+    EXPECT_EQ(y.size(), n);
+    EXPECT_EQ(client.last_trace_id(), trace_id);
+
+    // The root span is recorded just after the reply is written; give the
+    // worker its few microseconds before snapshotting.
+    ASSERT_TRUE(wait_for([&] {
+        const auto spans = flight.trace(trace_id);
+        return std::any_of(spans.begin(), spans.end(),
+                           [](const obs::Span& s) { return s.name == "request"; });
+    }));
+
+    // Exactly one slow capture, and it is the spmv.
+    EXPECT_EQ(server.service().slow_captured(), 1u);
+    std::ifstream slow(slow_path);
+    std::string line;
+    ASSERT_TRUE(std::getline(slow, line)) << "slow log is empty";
+    const obs::Json record = obs::Json::parse(line);
+    EXPECT_EQ(record.at("trace_id").as_string(), obs::format_trace_id(trace_id));
+    EXPECT_EQ(record.at("trigger").as_string(), "absolute");
+    EXPECT_GE(record.at("seconds").as_double(), 0.15);
+    std::vector<std::string> slow_names;
+    for (const auto& s : record.at("spans").as_array()) {
+        slow_names.push_back(s.at("name").as_string());
+    }
+    for (const char* expected : {"read-frame", "queue-wait", "handle:spmv",
+                                 "session-lookup", "spmv-execute", "multiply"}) {
+        EXPECT_NE(std::find(slow_names.begin(), slow_names.end(), expected),
+                  slow_names.end())
+            << "slow capture is missing the " << expected << " span";
+    }
+    EXPECT_FALSE(std::getline(slow, line)) << "more than one slow capture: " << line;
+
+    // The trace dump is one well-formed Chrome document holding the chain.
+    const obs::Json dump = obs::Json::parse(client.dump_trace());
+    std::vector<std::string> dump_names;
+    for (const auto& ev : dump.at("traceEvents").as_array()) {
+        if (ev.at("ph").as_string() != "X") continue;
+        const obs::Json* args = ev.get("args");
+        if (args == nullptr || args->get("trace_id") == nullptr) continue;
+        if (args->at("trace_id").as_string() != obs::format_trace_id(trace_id)) continue;
+        dump_names.push_back(ev.at("name").as_string());
+    }
+    for (const char* expected :
+         {"read-frame", "request", "queue-wait", "handle:spmv", "spmv-execute",
+          "multiply"}) {
+        EXPECT_NE(std::find(dump_names.begin(), dump_names.end(), expected),
+                  dump_names.end())
+            << "trace dump is missing the " << expected << " span";
+    }
+
+    // The new instrumentation is all visible in one scrape.
+    const std::string metrics = client.metrics();
+    EXPECT_NE(metrics.find("symspmv_serve_slow_captured_total 1"), std::string::npos);
+    EXPECT_NE(metrics.find("symspmv_serve_request_seconds_count{phase=\"queue\"}"),
+              std::string::npos);
+    EXPECT_NE(metrics.find("symspmv_serve_request_seconds_count{phase=\"total\"}"),
+              std::string::npos);
+    EXPECT_NE(metrics.find("symspmv_serve_requests_total{outcome=\"ok\"}"),
+              std::string::npos);
+    EXPECT_NE(metrics.find("symspmv_serve_build_info{"), std::string::npos);
+
+    server.begin_shutdown();
+    server.wait();
+}
+
+// A v1 (pre-trace-id) client on the wire: the daemon decodes the legacy
+// frame, assigns a trace id server-side, and answers with a frame the old
+// decoder's contract still covers.
+TEST(ServeLoopback, LegacyV1FramesInteroperate) {
+    ServerOptions sopts;
+    sopts.port = 0;
+    Server server(sopts);
+
+    SocketStream raw(connect_tcp("127.0.0.1", server.port()));
+    Frame ping;
+    ping.type = static_cast<std::uint16_t>(MsgType::kPing);
+    write_frame_legacy(raw, ping);
+    raw.flush();
+    const auto reply = read_frame(raw);
+    ASSERT_TRUE(reply.has_value());
+    EXPECT_EQ(reply->type, static_cast<std::uint16_t>(MsgType::kPong));
+    // No id on the v1 wire, so the server assigned one and stamped the reply.
+    EXPECT_NE(reply->trace_id, 0u);
+
+    server.begin_shutdown();
     server.wait();
 }
 

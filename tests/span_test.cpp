@@ -1,0 +1,271 @@
+// The request-tracing primitives: spans and ambient context propagation,
+// the flight-recorder ring (wraparound, sharding, trace extraction), the
+// Chrome trace_event export, the slow-capture JSONL sidecar and the
+// structured log line format.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "obs/flight.hpp"
+#include "obs/json.hpp"
+#include "obs/log.hpp"
+#include "obs/span.hpp"
+
+namespace symspmv::obs {
+namespace {
+
+TEST(Span, IdsAreUniqueAndNeverZero) {
+    const std::uint64_t a = next_span_id();
+    const std::uint64_t b = next_span_id();
+    EXPECT_NE(a, 0u);
+    EXPECT_NE(b, 0u);
+    EXPECT_NE(a, b);
+    EXPECT_NE(make_trace_id(), 0u);
+    EXPECT_NE(make_trace_id(), make_trace_id());
+}
+
+TEST(Span, TraceIdFormatRoundTrips) {
+    const std::uint64_t id = 0x0123456789abcdefULL;
+    EXPECT_EQ(format_trace_id(id), "0x0123456789abcdef");
+    EXPECT_EQ(parse_trace_id(format_trace_id(id)), id);
+    EXPECT_EQ(parse_trace_id("0123456789abcdef"), id);  // 0x optional
+    EXPECT_EQ(parse_trace_id("not hex"), 0u);
+    EXPECT_EQ(parse_trace_id(""), 0u);
+}
+
+TEST(Span, AmbientNestingParentsChildren) {
+    FlightRecorder rec(64);
+    std::uint64_t outer_id = 0;
+    std::uint64_t trace = 0;
+    {
+        ScopedSpan outer(&rec, "outer");
+        outer_id = outer.context().span_id;
+        trace = outer.trace_id();
+        EXPECT_NE(trace, 0u);
+        ScopedSpan inner(&rec, "inner");
+        EXPECT_EQ(inner.trace_id(), trace);
+    }
+    // Scope exit restores a clean ambient context.
+    EXPECT_FALSE(current_span_context().valid());
+
+    const auto spans = rec.trace(trace);
+    ASSERT_EQ(spans.size(), 2u);
+    // snapshot order is by start time: outer started first.
+    EXPECT_EQ(spans[0].name, "outer");
+    EXPECT_EQ(spans[0].parent_id, 0u);
+    EXPECT_EQ(spans[1].name, "inner");
+    EXPECT_EQ(spans[1].parent_id, outer_id);
+    EXPECT_GE(spans[1].start_ns, spans[0].start_ns);
+    EXPECT_LE(spans[1].end_ns, spans[0].end_ns);
+}
+
+TEST(Span, CrossThreadHandoffViaContextScope) {
+    FlightRecorder rec(64);
+    ScopedSpan root(&rec, "root");
+    const SpanContext parent = root.context();
+
+    std::thread worker([&] {
+        EXPECT_FALSE(current_span_context().valid());  // fresh thread
+        SpanContextScope scope(parent);
+        ScopedSpan child(&rec, "on-worker");
+        EXPECT_EQ(child.trace_id(), parent.trace_id);
+    });
+    worker.join();
+    root.end();
+
+    const auto spans = rec.trace(parent.trace_id);
+    ASSERT_EQ(spans.size(), 2u);
+    for (const auto& s : spans) {
+        if (s.name == "on-worker") EXPECT_EQ(s.parent_id, parent.span_id);
+    }
+}
+
+TEST(Span, ExplicitParentConstructorOverridesAmbient) {
+    FlightRecorder rec(64);
+    const SpanContext foreign{make_trace_id(), next_span_id()};
+    ScopedSpan ambient(&rec, "ambient-root");
+    ScopedSpan child(&rec, "adopted", foreign);
+    EXPECT_EQ(child.trace_id(), foreign.trace_id);
+    child.end();
+    const auto spans = rec.trace(foreign.trace_id);
+    ASSERT_EQ(spans.size(), 1u);
+    EXPECT_EQ(spans[0].parent_id, foreign.span_id);
+}
+
+TEST(Span, NullRecorderIsANoOpShell) {
+    ScopedSpan span(nullptr, "nowhere");
+    span.annotate("k", "v");
+    span.end();  // must not crash
+    EXPECT_NE(span.trace_id(), 0u);
+}
+
+TEST(Flight, RingWrapsAndCountsDrops) {
+    // Capacity rounds up to a multiple of the shard count; a single thread
+    // lands in exactly one shard, so its per-shard ring (capacity/16 slots)
+    // is what wraps.
+    FlightRecorder rec(16);  // one slot per shard
+    const std::uint64_t trace = make_trace_id();
+    for (int i = 0; i < 5; ++i) {
+        Span s;
+        s.trace_id = trace;
+        s.span_id = next_span_id();
+        s.name = "span-" + std::to_string(i);
+        s.start_ns = static_cast<std::uint64_t>(i);
+        s.end_ns = static_cast<std::uint64_t>(i) + 1;
+        rec.record(std::move(s));
+    }
+    EXPECT_EQ(rec.recorded_total(), 5u);
+    EXPECT_EQ(rec.dropped_total(), 4u);
+    const auto spans = rec.snapshot();
+    ASSERT_EQ(spans.size(), 1u);
+    EXPECT_EQ(spans[0].name, "span-4");  // newest survives wraparound
+}
+
+TEST(Flight, TraceFiltersToOneRequest) {
+    FlightRecorder rec(64);
+    const std::uint64_t t1 = make_trace_id();
+    const std::uint64_t t2 = make_trace_id();
+    for (int i = 0; i < 3; ++i) {
+        Span s;
+        s.trace_id = i == 1 ? t2 : t1;
+        s.span_id = next_span_id();
+        s.name = "s";
+        rec.record(std::move(s));
+    }
+    EXPECT_EQ(rec.trace(t1).size(), 2u);
+    EXPECT_EQ(rec.trace(t2).size(), 1u);
+    EXPECT_TRUE(rec.trace(0xdeadULL).empty());
+}
+
+TEST(Flight, ChromeJsonIsWellFormed) {
+    FlightRecorder rec(64);
+    {
+        ScopedSpan root(&rec, "request");
+        root.annotate("type", "spmv");
+        ScopedSpan child(&rec, "solve");
+        (void)child;
+    }
+    const std::string doc = rec.chrome_json();
+    const Json parsed = Json::parse(doc);
+    // Alongside the two duration events the document carries metadata
+    // events (process/thread names); count and check only the "X" ones.
+    std::size_t durations = 0;
+    for (const auto& ev : parsed.at("traceEvents").as_array()) {
+        if (ev.at("ph").as_string() != "X") continue;
+        ++durations;
+        EXPECT_GE(ev.at("dur").as_double(), 0.0);
+        const Json& args = ev.at("args");
+        EXPECT_TRUE(args.get("trace_id") != nullptr);
+        EXPECT_EQ(args.at("trace_id").as_string().substr(0, 2), "0x");
+        EXPECT_TRUE(args.get("span_id") != nullptr);
+    }
+    EXPECT_EQ(durations, 2u);
+}
+
+TEST(Flight, PhaseSinkBridgesAndCaps) {
+    FlightRecorder rec(256);
+    const SpanContext parent{make_trace_id(), next_span_id()};
+    FlightPhaseSink sink(&rec, parent, /*max_spans=*/3);
+    for (int i = 0; i < 5; ++i) sink.phase_recorded(i % 2, Phase::kMultiply, 1e-4);
+    EXPECT_EQ(sink.recorded(), 3u);
+    EXPECT_EQ(sink.suppressed(), 2u);
+    const auto spans = rec.trace(parent.trace_id);
+    ASSERT_EQ(spans.size(), 3u);
+    for (const auto& s : spans) {
+        EXPECT_EQ(s.parent_id, parent.span_id);
+        EXPECT_EQ(s.name, "multiply");
+        EXPECT_GE(s.tid, 0);
+    }
+}
+
+TEST(Flight, SlowLogAppendsParseableRecords) {
+    const std::string path =
+        (std::filesystem::temp_directory_path() / "symspmv_slow_test.jsonl").string();
+    std::filesystem::remove(path);
+    {
+        SlowLog log(path);
+        std::vector<Span> spans(2);
+        spans[0].trace_id = 0xabcULL;
+        spans[0].span_id = 7;
+        spans[0].name = "request";
+        spans[0].start_ns = 100;
+        spans[0].end_ns = 400;
+        spans[1].trace_id = 0xabcULL;
+        spans[1].span_id = 9;
+        spans[1].parent_id = 7;
+        spans[1].name = "solve";
+        spans[1].annotations.emplace_back("kernel", "sss-race");
+        EXPECT_TRUE(log.capture(0xabcULL, 0.25, 0.1, "absolute", spans));
+        EXPECT_EQ(log.captured(), 1u);
+    }
+    std::ifstream in(path);
+    std::string line;
+    ASSERT_TRUE(std::getline(in, line));
+    const Json rec = Json::parse(line);
+    EXPECT_EQ(rec.at("schema").as_int(), 1);
+    EXPECT_EQ(rec.at("trace_id").as_string(), format_trace_id(0xabcULL));
+    EXPECT_DOUBLE_EQ(rec.at("seconds").as_double(), 0.25);
+    EXPECT_EQ(rec.at("trigger").as_string(), "absolute");
+    const auto& spans_json = rec.at("spans").as_array();
+    ASSERT_EQ(spans_json.size(), 2u);
+    EXPECT_EQ(spans_json[1].at("parent_id").as_int(), 7);
+    EXPECT_EQ(spans_json[1].at("annotations").at("kernel").as_string(), "sss-race");
+    EXPECT_FALSE(std::getline(in, line));  // exactly one record
+    std::filesystem::remove(path);
+}
+
+class LogCapture {
+   public:
+    LogCapture() { set_log_stream(&out_); }
+    ~LogCapture() {
+        set_log_stream(nullptr);
+        set_log_level(LogLevel::kInfo);
+    }
+    [[nodiscard]] std::string text() const { return out_.str(); }
+
+   private:
+    std::ostringstream out_;
+};
+
+TEST(Log, LineShapeAndQuoting) {
+    LogCapture cap;
+    set_log_level(LogLevel::kInfo);
+    log_info("hello world", {{"plain", "v1"}, {"quoted", "two words"}});
+    const std::string line = cap.text();
+    // ISO UTC timestamp, level, message (quoted when multi-word, like any
+    // field value), then the fields.
+    EXPECT_NE(line.find("Z info \"hello world\" plain=v1 quoted=\"two words\""),
+              std::string::npos)
+        << line;
+    EXPECT_EQ(line.find('\n'), line.size() - 1);  // single line
+}
+
+TEST(Log, LevelThresholdFilters) {
+    LogCapture cap;
+    set_log_level(LogLevel::kWarn);
+    EXPECT_FALSE(log_enabled(LogLevel::kInfo));
+    EXPECT_TRUE(log_enabled(LogLevel::kError));
+    log_info("dropped");
+    log_warn("kept");
+    const std::string text = cap.text();
+    EXPECT_EQ(text.find("dropped"), std::string::npos);
+    EXPECT_NE(text.find("kept"), std::string::npos);
+}
+
+TEST(Log, AmbientTraceIdIsAppended) {
+    LogCapture cap;
+    set_log_level(LogLevel::kInfo);
+    FlightRecorder rec(64);
+    ScopedSpan span(&rec, "ctx");
+    log_info("inside request");
+    const std::string line = cap.text();
+    EXPECT_NE(line.find("trace=" + format_trace_id(span.trace_id())), std::string::npos)
+        << line;
+}
+
+}  // namespace
+}  // namespace symspmv::obs

@@ -8,6 +8,9 @@
 //                         re-open by fingerprint, close.  Prints SMOKE PASS
 //                         and exits 0 only when every step checks out.
 //   --metrics             print the daemon's Prometheus exposition
+//   --dump-trace [FILE]   fetch the daemon's flight recorder as a Chrome
+//                         trace_event JSON document (stdout, or FILE); load
+//                         it in chrome://tracing or Perfetto
 //   --solve FILE.mtx      open a MatrixMarket file and CG-solve A x = 1
 //   --shutdown            ask the daemon to drain
 //
@@ -123,10 +126,28 @@ int run_solve(const Options& opts, const std::string& path) {
     return solved.converged ? 0 : 1;
 }
 
+int run_dump_trace(const Options& opts) {
+    const std::string trace = connect(opts).dump_trace();
+    const auto out_path = opts.get("dump-trace");
+    if (!out_path || out_path->empty()) {
+        std::cout << trace << "\n";
+        return 0;
+    }
+    std::ofstream out(*out_path, std::ios::binary);
+    out << trace << "\n";
+    if (!out) {
+        std::cerr << "cannot write " << *out_path << "\n";
+        return 2;
+    }
+    std::cout << "wrote " << trace.size() << " bytes to " << *out_path << "\n";
+    return 0;
+}
+
 void usage(const std::string& prog) {
     std::cout << "usage: " << prog
               << " [--host H] [--port P] [--unix PATH] "
-                 "--ping | --smoke | --metrics | --solve FILE.mtx | --shutdown\n";
+                 "--ping | --smoke | --metrics | --dump-trace [FILE] | "
+                 "--solve FILE.mtx | --shutdown\n";
 }
 
 }  // namespace
@@ -148,6 +169,7 @@ int main(int argc, char** argv) {
             std::cout << connect(opts).metrics();
             return 0;
         }
+        if (opts.has("dump-trace")) return run_dump_trace(opts);
         if (opts.has("solve")) {
             const auto path = opts.get("solve");
             if (!path) {

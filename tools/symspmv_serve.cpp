@@ -21,6 +21,7 @@
 
 #include "core/options.hpp"
 #include "core/topology.hpp"
+#include "obs/log.hpp"
 #include "serve/server.hpp"
 
 namespace {
@@ -53,7 +54,17 @@ void usage(const std::string& prog) {
         << "  --tune-budget N    trials per background tune (default 6)\n"
         << "  --max-states N     resident matrix-state cap (default 32)\n"
         << "  --max-sessions N   open-session cap (default 1024)\n"
-        << "  --context-pool N   warm execution-resource cap (default 8)\n";
+        << "  --context-pool N   warm execution-resource cap (default 8)\n"
+        << "  --slow-ms N        slow-request capture threshold in ms for compute\n"
+        << "                     requests (0 = rolling p99 of the solve-phase\n"
+        << "                     histogram; default 0)\n"
+        << "  --slow-log PATH    JSONL sidecar slow captures append to\n"
+        << "                     (default serve_slow.jsonl; empty disables)\n"
+        << "\n"
+        << "Logging: set SYMSPMV_LOG=debug|info|warn|error (default info).\n"
+        << "Tracing: every request is recorded in an in-memory flight recorder\n"
+        << "(SYMSPMV_FLIGHT_CAPACITY spans, default 8192); dump it with\n"
+        << "  symspmv_client --dump-trace\n";
 }
 
 }  // namespace
@@ -80,6 +91,8 @@ int main(int argc, char** argv) {
             static_cast<std::size_t>(opts.get_int("context-pool", 8));
         sopts.service.test_request_delay_ms =
             static_cast<int>(opts.get_int("test-request-delay-ms", 0));
+        sopts.service.slow_ms = opts.get_double("slow-ms", 0.0);
+        sopts.service.slow_log_path = opts.get_string("slow-log", "serve_slow.jsonl");
         sopts.host = opts.get_string("host", "127.0.0.1");
         sopts.port = opts.has("no-tcp") ? -1 : static_cast<int>(opts.get_int("port", 7070));
         sopts.unix_path = opts.get_string("unix", "");
@@ -98,6 +111,14 @@ int main(int argc, char** argv) {
         pthread_sigmask(SIG_BLOCK, &set, nullptr);
 
         Server server(sopts);
+        obs::log_info("serve starting",
+                      {{"threads", std::to_string(sopts.service.threads)},
+                       {"workers", std::to_string(sopts.workers)},
+                       {"queue_depth", std::to_string(sopts.queue_capacity)},
+                       {"tune", sopts.service.tune ? "on" : "off"},
+                       {"slow_log", sopts.service.slow_log_path.empty()
+                                        ? "off"
+                                        : sopts.service.slow_log_path}});
         if (server.port() >= 0) {
             std::cout << "symspmv-serve: listening on " << sopts.host << ":" << server.port()
                       << std::endl;
@@ -110,8 +131,7 @@ int main(int argc, char** argv) {
             int sig = 0;
             sigwait(&set, &sig);
             if (!server.draining()) {
-                std::cout << "symspmv-serve: caught " << strsignal(sig) << ", draining"
-                          << std::endl;
+                obs::log_info("caught signal, draining", {{"signal", strsignal(sig)}});
             }
             server.begin_shutdown();
         });
